@@ -1,0 +1,161 @@
+//! Histogram — an extension application from the FREERIDE literature:
+//! bucket counts over scalar data, the smallest possible generalized
+//! reduction with an indirect (data-dependent) reduction-object index.
+
+use std::time::Instant;
+
+use cfr_core::{compile_loop, detect, zip_linearize, Detected, KernelRuntime, OptLevel};
+use chapel_frontend::programs;
+use chapel_sema::analyze;
+use freeride::{
+    CombineOp, DataView, Engine, GroupSpec, JobConfig, RObjHandle, RObjLayout, RunStats, Split,
+};
+
+use crate::data;
+use crate::error::AppError;
+use crate::timing::{AppTiming, Version};
+
+/// Parameters of a histogram run.
+#[derive(Debug, Clone)]
+pub struct HistogramParams {
+    /// Number of samples.
+    pub n: usize,
+    /// Number of buckets.
+    pub buckets: usize,
+    /// FREERIDE job configuration.
+    pub config: JobConfig,
+}
+
+impl HistogramParams {
+    /// Construct with defaults.
+    pub fn new(n: usize, buckets: usize) -> HistogramParams {
+        HistogramParams { n, buckets, config: JobConfig::with_threads(1) }
+    }
+
+    /// Set the thread count.
+    pub fn threads(mut self, t: usize) -> HistogramParams {
+        self.config.threads = t;
+        self
+    }
+}
+
+/// Result of a histogram run.
+#[derive(Debug, Clone)]
+pub struct HistogramResult {
+    /// Bucket counts.
+    pub hist: Vec<f64>,
+    /// Timing breakdown.
+    pub timing: AppTiming,
+}
+
+/// Run the histogram in the requested version.
+pub fn run(params: &HistogramParams, version: Version) -> Result<HistogramResult, AppError> {
+    match version.translated() {
+        Some(opt) => run_translated(params, opt),
+        None => Ok(run_manual(params)),
+    }
+}
+
+fn run_translated(params: &HistogramParams, opt: OptLevel) -> Result<HistogramResult, AppError> {
+    let wall = Instant::now();
+    let (n, buckets) = (params.n, params.buckets);
+
+    let src = programs::histogram(n, buckets);
+    let program = chapel_frontend::parse(&src)?;
+    let analysis = analyze(&program).map_err(cfr_core::CoreError::from)?;
+    let detection = detect(&program, &analysis);
+    let red = detection
+        .detected
+        .values()
+        .find_map(|x| match x {
+            Detected::Loop(l) => Some(l.clone()),
+            _ => None,
+        })
+        .ok_or_else(|| AppError::new("histogram loop not detected"))?;
+    let compiled = compile_loop(&program, &analysis, &red, opt)?;
+
+    let nested = data::histogram_nested(n);
+    let lin_start = Instant::now();
+    let buffer = zip_linearize(std::slice::from_ref(&nested), n, 1, false, params.config.threads)?;
+    let linearize_ns = lin_start.elapsed().as_nanos() as u64;
+
+    let layout = RObjLayout::new(vec![GroupSpec::new("hist", buckets, CombineOp::Sum)]);
+    let engine = Engine::new(params.config.clone());
+    let view = DataView::new(&buffer, 1)?;
+    let runtime = KernelRuntime {
+        kernel: compiled.kernel.clone(),
+        nested_state: Vec::new(),
+        flat_state: Vec::new(),
+        row_lo: compiled.lo,
+    };
+    let kernel_fn = |split: &Split<'_>, robj: &mut dyn RObjHandle| {
+        runtime.run_split(split, robj);
+    };
+    let outcome = engine.run(view, &layout, &kernel_fn);
+    let mut stats = RunStats { logical_threads: params.config.threads, ..Default::default() };
+    stats.absorb(&outcome.stats);
+
+    Ok(HistogramResult {
+        hist: outcome.robj.group_slice(0).to_vec(),
+        timing: AppTiming { linearize_ns, stats, wall_ns: wall.elapsed().as_nanos() as u64 },
+    })
+}
+
+fn run_manual(params: &HistogramParams) -> HistogramResult {
+    let wall = Instant::now();
+    let (n, buckets) = (params.n, params.buckets);
+    let buffer = data::histogram_flat(n);
+    let layout = RObjLayout::new(vec![GroupSpec::new("hist", buckets, CombineOp::Sum)]);
+    let engine = Engine::new(params.config.clone());
+    let view = DataView::new(&buffer, 1).expect("unit 1");
+    let kernel = |split: &Split<'_>, robj: &mut dyn RObjHandle| {
+        for row in split.iter_rows() {
+            // Same bucket rule as the Chapel program: int(x*B)+1, capped.
+            let mut b = (row[0] * buckets as f64).floor() as usize + 1;
+            if b > buckets {
+                b = buckets;
+            }
+            robj.accumulate(0, b - 1, 1.0);
+        }
+    };
+    let outcome = engine.run(view, &layout, &kernel);
+    let mut stats = RunStats { logical_threads: params.config.threads, ..Default::default() };
+    stats.absorb(&outcome.stats);
+    HistogramResult {
+        hist: outcome.robj.group_slice(0).to_vec(),
+        timing: AppTiming { linearize_ns: 0, stats, wall_ns: wall.elapsed().as_nanos() as u64 },
+    }
+}
+
+#[cfg(test)]
+mod histogram_tests {
+    use super::*;
+
+    #[test]
+    fn all_versions_agree_and_count_everything() {
+        let params = HistogramParams::new(500, 8).threads(2);
+        let manual = run(&params, Version::Manual).unwrap();
+        assert_eq!(manual.hist.iter().sum::<f64>(), 500.0);
+        for v in [Version::Generated, Version::Opt1, Version::Opt2] {
+            let r = run(&params, v).unwrap();
+            assert_eq!(r.hist, manual.hist, "{}", v.label());
+        }
+    }
+
+    #[test]
+    fn matches_interpreter_oracle() {
+        let (n, b) = (120usize, 5usize);
+        let interp =
+            chapel_interp::Interpreter::run_source(&programs::histogram(n, b)).unwrap();
+        let oracle = interp.global("hist").unwrap().to_linear().unwrap();
+        let oracle = linearize::Linearizer::new(&linearize::Shape::array(
+            linearize::Shape::Int,
+            b,
+        ))
+        .linearize(&oracle)
+        .unwrap()
+        .buffer;
+        let r = run(&HistogramParams::new(n, b), Version::Generated).unwrap();
+        assert_eq!(r.hist, oracle);
+    }
+}

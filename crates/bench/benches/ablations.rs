@@ -1,0 +1,149 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! shared-memory sync schemes, fused-vs-map-reduce processing structure,
+//! strength reduction in isolation, static vs dynamic splitting, and
+//! sequential vs parallel linearization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cfr_apps::kmeans::{run as kmeans_run, KmeansParams};
+use cfr_apps::Version;
+use freeride::mapreduce::MapReduceEngine;
+use freeride::{
+    CombineOp, DataView, Engine, GroupSpec, JobConfig, RObjHandle, RObjLayout, Split, Splitter,
+    SyncScheme,
+};
+
+/// Shared-memory techniques on the manual k-means kernel.
+fn sync_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sync");
+    group.sample_size(10);
+    for (name, scheme) in [
+        ("replication", SyncScheme::FullReplication),
+        ("full-lock", SyncScheme::FullLocking),
+        ("bucket-lock", SyncScheme::BucketLocking { stripes: 64 }),
+        ("atomic", SyncScheme::Atomic),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, &scheme| {
+            let mut params = KmeansParams::new(5_000, 4, 16, 1).threads(2);
+            params.config.scheme = scheme;
+            b.iter(|| kmeans_run(&params, Version::Manual).expect("kmeans"));
+        });
+    }
+    group.finish();
+}
+
+/// FREERIDE's fused process+reduce vs Phoenix-style map-sort-reduce on
+/// an identical histogram kernel (Figure 4's structural contrast).
+fn fused_vs_mapreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_mapreduce");
+    group.sample_size(10);
+    let n = 200_000usize;
+    let buckets = 64usize;
+    let data = cfr_apps::data::histogram_flat(n);
+
+    group.bench_function("freeride-fused", |b| {
+        let layout = RObjLayout::new(vec![GroupSpec::new("hist", buckets, CombineOp::Sum)]);
+        let engine = Engine::new(JobConfig::with_threads(2));
+        b.iter(|| {
+            let view = DataView::new(&data, 1).expect("unit 1");
+            engine.run(view, &layout, &|split: &Split<'_>, robj: &mut dyn RObjHandle| {
+                for row in split.iter_rows() {
+                    let bkt = ((row[0] * buckets as f64) as usize).min(buckets - 1);
+                    robj.accumulate(0, bkt, 1.0);
+                }
+            })
+        });
+    });
+    group.bench_function("map-sort-reduce", |b| {
+        let mr = MapReduceEngine::new(2);
+        b.iter(|| {
+            let view = DataView::new(&data, 1).expect("unit 1");
+            mr.run(
+                view,
+                |row, emit| {
+                    let bkt = ((row[0] * buckets as f64) as usize).min(buckets - 1);
+                    emit.push((bkt, 1.0));
+                },
+                &CombineOp::Sum,
+            )
+        });
+    });
+    group.finish();
+}
+
+/// Strength reduction and selective linearization in isolation
+/// (1 thread, 1 iteration).
+fn opt_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_strength");
+    group.sample_size(10);
+    let params = KmeansParams::new(1_000, 8, 50, 1);
+    for v in [Version::Generated, Version::Opt1, Version::Opt2] {
+        group.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |b, &v| {
+            b.iter(|| kmeans_run(&params, v).expect("kmeans"));
+        });
+    }
+    group.finish();
+}
+
+/// Static even split vs dynamic chunk queue on a skewed workload.
+fn splitters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_splitter");
+    group.sample_size(10);
+    let rows = 50_000usize;
+    let data: Vec<f64> = (0..rows).map(|i| (i % 512) as f64).collect();
+    let layout = RObjLayout::new(vec![GroupSpec::new("sum", 1, CombineOp::Sum)]);
+    let kernel = |split: &Split<'_>, robj: &mut dyn RObjHandle| {
+        for row in split.iter_rows() {
+            let mut acc = 0.0;
+            for r in 0..row[0] as usize {
+                acc += (r as f64).sqrt();
+            }
+            robj.accumulate(0, 0, acc);
+        }
+    };
+    for (name, splitter) in [
+        ("static", Splitter::Default),
+        ("dynamic", Splitter::Chunked { rows_per_chunk: 1024 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &splitter, |b, splitter| {
+            let engine = Engine::new(JobConfig {
+                threads: 2,
+                splitter: splitter.clone(),
+                ..Default::default()
+            });
+            b.iter(|| {
+                let view = DataView::new(&data, 1).expect("unit 1");
+                engine.run(view, &layout, &kernel)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Sequential vs parallel linearization (the paper's future work).
+fn linearization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_par_linearize");
+    group.sample_size(10);
+    let n = 100_000usize;
+    let d = 8usize;
+    let nested = cfr_apps::data::kmeans_points_nested(n, d);
+    for (name, parallel) in [("sequential", false), ("parallel", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &parallel, |b, &parallel| {
+            b.iter(|| {
+                cfr_core::zip_linearize(std::slice::from_ref(&nested), n, d, parallel, 4)
+                    .expect("linearize")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    sync_schemes,
+    fused_vs_mapreduce,
+    opt_levels,
+    splitters,
+    linearization
+);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 9: k-means on the small (12 MB) dataset, k = 100, i = 10 —
+//! all four versions.
+//!
+//! Criterion measures a micro-slice of the configuration (so `cargo
+//! bench` terminates in minutes); the `repro` binary runs the figure at
+//! any `--scale` and prints the paper-style series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cfr_apps::kmeans::{run, KmeansParams};
+use cfr_apps::Version;
+
+fn fig09(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09_kmeans_small");
+    group.sample_size(10);
+    // Micro-slice: the paper's k and i with a reduced point count.
+    let params = KmeansParams::new(500, 8, 100, 10).threads(1);
+    for v in Version::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |b, &v| {
+            b.iter(|| run(&params, v).expect("kmeans"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig09);
+criterion_main!(benches);

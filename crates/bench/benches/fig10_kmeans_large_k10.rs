@@ -1,0 +1,24 @@
+//! Figure 10: k-means on the large (1.2 GB) dataset, k = 10, i = 10 —
+//! all four versions (micro-slice; see `repro --fig 10 --scale ...` for
+//! the full sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cfr_apps::kmeans::{run, KmeansParams};
+use cfr_apps::Version;
+
+fn fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_kmeans_large_k10");
+    group.sample_size(10);
+    // k = 10 shifts weight from the distance loop to per-point overheads.
+    let params = KmeansParams::new(5_000, 8, 10, 10).threads(1);
+    for v in Version::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |b, &v| {
+            b.iter(|| run(&params, v).expect("kmeans"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 11: k-means on the large dataset, k = 100, **i = 1** — a
+//! single iteration, so the sequential linearization is not amortized
+//! (its relative overhead is the figure's point).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cfr_apps::kmeans::{run, KmeansParams};
+use cfr_apps::Version;
+
+fn fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_kmeans_large_i1");
+    group.sample_size(10);
+    let params = KmeansParams::new(2_000, 8, 100, 1).threads(1);
+    for v in Version::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |b, &v| {
+            b.iter(|| run(&params, v).expect("kmeans"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig11);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figure 12: PCA, 1000 rows × 10,000 columns — opt-2 vs manual FR
+//! (micro-slice; `repro --fig 12` for the full sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cfr_apps::pca::{run, PcaParams};
+use cfr_apps::Version;
+
+fn fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_pca_small");
+    group.sample_size(10);
+    let params = PcaParams::new(50, 500).threads(1);
+    for v in [Version::Opt2, Version::Manual] {
+        group.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |b, &v| {
+            b.iter(|| run(&params, v).expect("pca"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig12);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figure 13: PCA, 1000 rows × 100,000 columns — opt-2 vs manual FR
+//! (micro-slice with the paper's 10× column ratio over Figure 12).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cfr_apps::pca::{run, PcaParams};
+use cfr_apps::Version;
+
+fn fig13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_pca_large");
+    group.sample_size(10);
+    let params = PcaParams::new(50, 5_000).threads(1);
+    for v in [Version::Opt2, Version::Manual] {
+        group.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |b, &v| {
+            b.iter(|| run(&params, v).expect("pca"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig13);
+criterion_main!(benches);

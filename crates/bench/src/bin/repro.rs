@@ -1,0 +1,146 @@
+//! `repro` — regenerate the paper's evaluation figures.
+//!
+//! ```text
+//! repro [--fig 9|10|11|12|13|all] [--ablation sync|mapreduce|strength|splitter|linearize|all]
+//!       [--scale 0.01] [--threads 1,2,4,8] [--real-threads] [--csv PATH]
+//! ```
+//!
+//! By default every figure runs at `--scale 0.01` of the paper's dataset
+//! sizes with modeled thread scaling (suitable for single-core hosts);
+//! pass `--real-threads` on a multi-core machine for wall-clock numbers
+//! and `--scale 1.0` for the full-size datasets.
+
+use std::io::Write;
+
+use cfr_bench::{
+    ablation_mapreduce, ablation_par_linearize, ablation_splitter, ablation_strength,
+    ablation_sync, extension_apps, fig09, fig10, fig11, fig12, fig13, Figure, Harness,
+};
+use freeride::ExecMode;
+
+struct Options {
+    figs: Vec<u32>,
+    ablations: Vec<String>,
+    harness: Harness,
+    csv: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut figs: Vec<u32> = Vec::new();
+    let mut ablations: Vec<String> = Vec::new();
+    let mut harness = Harness::default();
+    let mut csv = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fig" => {
+                let v = args.next().ok_or("--fig needs a value")?;
+                if v == "all" {
+                    figs = vec![9, 10, 11, 12, 13];
+                } else {
+                    figs.push(v.parse().map_err(|_| format!("bad figure `{v}`"))?);
+                }
+            }
+            "--ablation" => {
+                let v = args.next().ok_or("--ablation needs a value")?;
+                if v == "all" {
+                    ablations = ["sync", "mapreduce", "strength", "splitter", "linearize", "apps"]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect();
+                } else {
+                    ablations.push(v);
+                }
+            }
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                harness.scale = v.parse().map_err(|_| format!("bad scale `{v}`"))?;
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                harness.threads = v
+                    .split(',')
+                    .map(|t| t.parse().map_err(|_| format!("bad thread count `{t}`")))
+                    .collect::<Result<_, String>>()?;
+            }
+            "--real-threads" => harness.exec = ExecMode::Threads,
+            "--csv" => csv = Some(args.next().ok_or("--csv needs a path")?),
+            "--help" | "-h" => {
+                println!(
+                    "repro — regenerate the paper's figures\n\
+                     \n\
+                     --fig N          figure number (9..13) or `all`\n\
+                     --ablation NAME  sync|mapreduce|strength|splitter|linearize|apps|all\n\
+                     --scale S        dataset scale relative to the paper (default 0.01)\n\
+                     --threads LIST   comma-separated thread counts (default 1,2,4,8)\n\
+                     --real-threads   measure wall-clock with real OS threads\n\
+                     --csv PATH       also write all rows as CSV"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if figs.is_empty() && ablations.is_empty() {
+        figs = vec![9, 10, 11, 12, 13];
+    }
+    Ok(Options { figs, ablations, harness, csv })
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut figures: Vec<Figure> = Vec::new();
+    for f in &opts.figs {
+        eprintln!("running figure {f} at scale {} ...", opts.harness.scale);
+        let fig = match f {
+            9 => fig09(&opts.harness),
+            10 => fig10(&opts.harness),
+            11 => fig11(&opts.harness),
+            12 => fig12(&opts.harness),
+            13 => fig13(&opts.harness),
+            other => {
+                eprintln!("error: no figure {other} in the paper's evaluation");
+                std::process::exit(2);
+            }
+        };
+        figures.push(fig);
+    }
+    let t = opts.harness.threads.iter().copied().max().unwrap_or(2);
+    for a in &opts.ablations {
+        eprintln!("running ablation {a} ...");
+        let fig = match a.as_str() {
+            "sync" => ablation_sync(20_000, 16, t),
+            "mapreduce" => ablation_mapreduce(2_000_000, 64, t),
+            "strength" => ablation_strength(5_000, 50),
+            "splitter" => ablation_splitter(200_000, t),
+            "linearize" => ablation_par_linearize(500_000, t),
+            "apps" => extension_apps(50_000, t),
+            other => {
+                eprintln!("error: unknown ablation `{other}`");
+                std::process::exit(2);
+            }
+        };
+        figures.push(fig);
+    }
+
+    for fig in &figures {
+        println!("{}", fig.render());
+    }
+
+    if let Some(path) = &opts.csv {
+        let mut out = String::new();
+        for fig in &figures {
+            out.push_str(&fig.to_csv());
+        }
+        let mut f = std::fs::File::create(path).expect("create csv");
+        f.write_all(out.as_bytes()).expect("write csv");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Frontend diagnostics.
+
+use std::fmt;
+
+use crate::token::Span;
+
+/// A lexing or parsing error with source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontendError {
+    /// Which stage produced the error.
+    pub stage: Stage,
+    /// Source location.
+    pub span: Span,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// The stage that produced a [`FrontendError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+}
+
+impl FrontendError {
+    /// A lexer error.
+    pub fn lex(span: Span, message: impl Into<String>) -> FrontendError {
+        FrontendError { stage: Stage::Lex, span, message: message.into() }
+    }
+
+    /// A parser error.
+    pub fn parse(span: Span, message: impl Into<String>) -> FrontendError {
+        FrontendError { stage: Stage::Parse, span, message: message.into() }
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stage = match self.stage {
+            Stage::Lex => "lex",
+            Stage::Parse => "parse",
+        };
+        write!(f, "{stage} error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+#[cfg(test)]
+mod error_tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = FrontendError::parse(Span { start: 0, end: 1, line: 3, col: 7 }, "expected `;`");
+        assert_eq!(e.to_string(), "parse error at 3:7: expected `;`");
+    }
+}

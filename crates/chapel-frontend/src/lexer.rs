@@ -1,0 +1,400 @@
+//! Hand-written lexer for the Chapel subset.
+//!
+//! Supports `//` line comments and nested `/* ... */` block comments
+//! (Chapel block comments nest), decimal integer and real literals
+//! (including `1.5e-3` forms), string literals with the usual escapes,
+//! identifiers, keywords, and the operator set of the subset.
+
+use crate::error::FrontendError;
+use crate::token::{Keyword, Span, Token, TokenKind};
+
+/// Tokenize `src`, returning the token stream ending in an
+/// [`TokenKind::Eof`] token.
+pub fn lex(src: &str) -> Result<Vec<Token>, FrontendError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Lexer<'s> {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1, tokens: Vec::new() }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, FrontendError> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.here();
+            let Some(c) = self.peek() else {
+                self.emit(TokenKind::Eof, start);
+                return Ok(self.tokens);
+            };
+            match c {
+                b'0'..=b'9' => self.number(start)?,
+                b'"' => self.string(start)?,
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(start),
+                _ => self.operator(start)?,
+            }
+        }
+    }
+
+    fn here(&self) -> Span {
+        Span { start: self.pos, end: self.pos, line: self.line, col: self.col }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: Span) {
+        let span = Span { start: start.start, end: self.pos, line: start.line, col: start.col };
+        self.tokens.push(Token { kind, span });
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), FrontendError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let open = self.here();
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'/'), Some(b'*')) => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(FrontendError::lex(open, "unterminated block comment"));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self, start: Span) -> Result<(), FrontendError> {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        let mut is_real = false;
+        // A `.` begins a fraction only if not `..` (range operator).
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+            is_real = true;
+            self.bump();
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            let mut ahead = self.pos + 1;
+            if matches!(self.bytes.get(ahead), Some(b'+' | b'-')) {
+                ahead += 1;
+            }
+            if matches!(self.bytes.get(ahead), Some(b'0'..=b'9')) {
+                is_real = true;
+                self.bump(); // e
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.bump();
+                }
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.bump();
+                }
+            }
+        }
+        let text = &self.src[start.start..self.pos];
+        if is_real {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| FrontendError::lex(start, format!("bad real literal `{text}`")))?;
+            self.emit(TokenKind::RealLit(v), start);
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| FrontendError::lex(start, format!("integer literal `{text}` out of range")))?;
+            self.emit(TokenKind::IntLit(v), start);
+        }
+        Ok(())
+    }
+
+    fn string(&mut self, start: Span) -> Result<(), FrontendError> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None | Some(b'\n') => {
+                    return Err(FrontendError::lex(start, "unterminated string literal"));
+                }
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'"') => out.push('"'),
+                    other => {
+                        return Err(FrontendError::lex(
+                            start,
+                            format!("bad escape `\\{}`", other.map(|c| c as char).unwrap_or(' ')),
+                        ));
+                    }
+                },
+                Some(c) => out.push(c as char),
+            }
+        }
+        self.emit(TokenKind::StrLit(out), start);
+        Ok(())
+    }
+
+    fn ident(&mut self, start: Span) {
+        while matches!(self.peek(), Some(b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9')) {
+            self.bump();
+        }
+        let text = &self.src[start.start..self.pos];
+        let kind = match Keyword::lookup(text) {
+            Some(kw) => TokenKind::Kw(kw),
+            None => TokenKind::Ident(text.to_string()),
+        };
+        self.emit(kind, start);
+    }
+
+    fn operator(&mut self, start: Span) -> Result<(), FrontendError> {
+        let c = self.bump().expect("peeked");
+        let two = |l: &mut Lexer<'s>, next: u8, yes: TokenKind, no: TokenKind| {
+            if l.peek() == Some(next) {
+                l.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let kind = match c {
+            b'+' => two(self, b'=', TokenKind::PlusAssign, TokenKind::Plus),
+            b'-' => two(self, b'=', TokenKind::MinusAssign, TokenKind::Minus),
+            b'*' => {
+                if self.peek() == Some(b'*') {
+                    self.bump();
+                    TokenKind::StarStar
+                } else {
+                    two(self, b'=', TokenKind::StarAssign, TokenKind::Star)
+                }
+            }
+            b'/' => two(self, b'=', TokenKind::SlashAssign, TokenKind::Slash),
+            b'%' => TokenKind::Percent,
+            b'=' => two(self, b'=', TokenKind::EqEq, TokenKind::Assign),
+            b'!' => two(self, b'=', TokenKind::NotEq, TokenKind::Bang),
+            b'<' => two(self, b'=', TokenKind::Le, TokenKind::Lt),
+            b'>' => two(self, b'=', TokenKind::Ge, TokenKind::Gt),
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    return Err(FrontendError::lex(start, "expected `&&`"));
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    return Err(FrontendError::lex(start, "expected `||`"));
+                }
+            }
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b',' => TokenKind::Comma,
+            b';' => TokenKind::Semi,
+            b':' => TokenKind::Colon,
+            b'.' => two(self, b'.', TokenKind::DotDot, TokenKind::Dot),
+            other => {
+                return Err(FrontendError::lex(
+                    start,
+                    format!("unexpected character `{}`", other as char),
+                ));
+            }
+        };
+        self.emit(kind, start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod lexer_tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        let ks = kinds("var x def reduce myName");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Kw(Keyword::Var),
+                TokenKind::Ident("x".into()),
+                TokenKind::Kw(Keyword::Def),
+                TokenKind::Kw(Keyword::Reduce),
+                TokenKind::Ident("myName".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        let ks = kinds("42 3.5 1e3 2.5e-2 7");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::IntLit(42),
+                TokenKind::RealLit(3.5),
+                TokenKind::RealLit(1000.0),
+                TokenKind::RealLit(0.025),
+                TokenKind::IntLit(7),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn range_vs_real() {
+        // `1..n` must lex as Int DotDot Ident, not a real literal.
+        let ks = kinds("1..n");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::IntLit(1),
+                TokenKind::DotDot,
+                TokenKind::Ident("n".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let ks = kinds("+ += == != <= >= && || ** . ..");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Plus,
+                TokenKind::PlusAssign,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::StarStar,
+                TokenKind::Dot,
+                TokenKind::DotDot,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_including_nested() {
+        let ks = kinds("a // line\n b /* block /* nested */ still */ c");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let ks = kinds(r#""hello\n\"world\"""#);
+        assert_eq!(ks, vec![TokenKind::StrLit("hello\n\"world\"".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[1].span.col, 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* open").is_err());
+        assert!(lex("a ? b").is_err());
+        assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn chapel_snippet_from_fig2() {
+        let src = r#"
+            class SumReduceScanOp: ReduceScanOp {
+                type eltType;
+                var value: real;
+                def accumulate(x) { value = value + x; }
+            }
+        "#;
+        let toks = lex(src).unwrap();
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Kw(Keyword::Class)));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Ident("ReduceScanOp".into())));
+    }
+}

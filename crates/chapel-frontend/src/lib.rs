@@ -1,0 +1,31 @@
+//! Frontend for the Chapel subset used by the chapel-freeride
+//! reproduction: lexer, recursive-descent parser, AST, pretty-printer,
+//! and the canned programs from the paper's figures.
+//!
+//! The subset covers 2010-era Chapel as used by the paper: records,
+//! rectangular arrays over ranges, `class ... : ReduceScanOp` with
+//! `accumulate`/`combine`/`generate`, `def` functions, `for`/`forall`
+//! loops (including `do`-sugar), `while`, `if`/`then`/`else`, and
+//! `reduce` expressions over arrays and elementwise expressions.
+//!
+//! ```
+//! use chapel_frontend::{parse, pretty};
+//!
+//! let program = parse("var total: real = + reduce A;").unwrap();
+//! assert_eq!(pretty::print_program(&program).trim(),
+//!            "var total: real = + reduce A;");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+mod error;
+mod lexer;
+mod parser;
+pub mod pretty;
+pub mod programs;
+pub mod token;
+
+pub use error::{FrontendError, Stage};
+pub use lexer::lex;
+pub use parser::{parse, parse_expr};

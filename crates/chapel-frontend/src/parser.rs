@@ -1,0 +1,969 @@
+//! Recursive-descent parser for the Chapel subset.
+//!
+//! Grammar highlights (see `ast.rs` for the produced nodes):
+//!
+//! ```text
+//! program   := item*
+//! item      := record | class | func | stmt
+//! record    := "record" IDENT "{" fieldDecl* "}"
+//! class     := "class" IDENT (":" IDENT)? "{" member* "}"
+//! member    := "type" IDENT ";" | fieldDecl | func
+//! func      := ("def"|"proc") IDENT "(" params ")" (":" type)? block
+//! fieldDecl := ("var"|"const")? IDENT ":" type ("=" expr)? ";"
+//! stmt      := varDecl | for | forall | while | if | return
+//!            | writeln | block | assignOrExpr
+//! type      := "int" | "real" | "bool" | "string" | IDENT
+//!            | "[" range ("," range)* "]" type
+//! expr      := reduceExpr | orExpr
+//! reduceExpr:= reduceOp "reduce" expr
+//! reduceOp  := "+" | "*" | "&&" | "||" | "min" | "max" | IDENT
+//! ```
+//!
+//! `for i in e do stmt;` and `if c then s else s` single-statement forms
+//! are accepted alongside braced blocks, matching 2010-era Chapel.
+
+use crate::ast::*;
+use crate::error::FrontendError;
+use crate::lexer::lex;
+use crate::token::{Keyword, Span, Token, TokenKind};
+
+/// Parse a full program.
+pub fn parse(src: &str) -> Result<Program, FrontendError> {
+    let tokens = lex(src)?;
+    Parser { tokens, pos: 0, depth: 0 }.program()
+}
+
+/// Parse a single expression (used by tests and the REPL-style tools).
+pub fn parse_expr(src: &str) -> Result<Expr, FrontendError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0, depth: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser {
+    // ---------- token plumbing ----------
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        self.eat(&TokenKind::Kw(kw))
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Span, FrontendError> {
+        if self.peek() == kind {
+            Ok(self.bump().span)
+        } else {
+            Err(FrontendError::parse(
+                self.span(),
+                format!("expected {kind}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), FrontendError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                let sp = self.bump().span;
+                Ok((s, sp))
+            }
+            other => Err(FrontendError::parse(
+                self.span(),
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), FrontendError> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(FrontendError::parse(
+                self.span(),
+                format!("expected end of input, found {}", self.peek()),
+            ))
+        }
+    }
+
+    // ---------- items ----------
+
+    fn program(&mut self) -> Result<Program, FrontendError> {
+        let mut items = Vec::new();
+        while !matches!(self.peek(), TokenKind::Eof) {
+            items.push(self.item()?);
+        }
+        Ok(Program { items })
+    }
+
+    fn item(&mut self) -> Result<Item, FrontendError> {
+        match self.peek() {
+            TokenKind::Kw(Keyword::Record) => Ok(Item::Record(self.record_decl()?)),
+            TokenKind::Kw(Keyword::Class) => Ok(Item::Class(self.class_decl()?)),
+            TokenKind::Kw(Keyword::Def | Keyword::Proc) => Ok(Item::Func(self.func_decl()?)),
+            _ => Ok(Item::Stmt(self.stmt()?)),
+        }
+    }
+
+    fn record_decl(&mut self) -> Result<RecordDecl, FrontendError> {
+        let start = self.span();
+        self.expect(&TokenKind::Kw(Keyword::Record))?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            fields.push(self.field_decl()?);
+        }
+        Ok(RecordDecl { name, fields, span: start.to(self.prev_span()) })
+    }
+
+    fn class_decl(&mut self) -> Result<ClassDecl, FrontendError> {
+        let start = self.span();
+        self.expect(&TokenKind::Kw(Keyword::Class))?;
+        let (name, _) = self.expect_ident()?;
+        let parent = if self.eat(&TokenKind::Colon) {
+            Some(self.expect_ident()?.0)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::LBrace)?;
+        let mut type_params = Vec::new();
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            match self.peek() {
+                TokenKind::Kw(Keyword::Type) => {
+                    self.bump();
+                    type_params.push(self.expect_ident()?.0);
+                    self.expect(&TokenKind::Semi)?;
+                }
+                TokenKind::Kw(Keyword::Def | Keyword::Proc) => {
+                    methods.push(self.func_decl()?);
+                }
+                _ => fields.push(self.field_decl()?),
+            }
+        }
+        Ok(ClassDecl {
+            name,
+            parent,
+            type_params,
+            fields,
+            methods,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    /// A record/class field: `var x: T = e;` with `var`/`const` optional
+    /// (the paper's Figure 6 writes fields without a keyword).
+    fn field_decl(&mut self) -> Result<VarDecl, FrontendError> {
+        let start = self.span();
+        let kind = if self.eat_kw(Keyword::Const) {
+            VarKind::Const
+        } else {
+            self.eat_kw(Keyword::Var);
+            VarKind::Var
+        };
+        let (name, _) = self.expect_ident()?;
+        self.expect(&TokenKind::Colon)?;
+        let ty = self.type_expr()?;
+        let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+        self.expect(&TokenKind::Semi)?;
+        Ok(VarDecl { kind, name, ty: Some(ty), init, span: start.to(self.prev_span()) })
+    }
+
+    fn func_decl(&mut self) -> Result<FuncDecl, FrontendError> {
+        let start = self.span();
+        self.bump(); // def | proc
+        let (name, _) = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                let pstart = self.span();
+                let (pname, _) = self.expect_ident()?;
+                let ty = if self.eat(&TokenKind::Colon) { Some(self.type_expr()?) } else { None };
+                params.push(Param { name: pname, ty, span: pstart.to(self.prev_span()) });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        let ret = if self.eat(&TokenKind::Colon) { Some(self.type_expr()?) } else { None };
+        let body = self.block()?;
+        Ok(FuncDecl { name, params, ret, body, span: start.to(self.prev_span()) })
+    }
+
+    // ---------- types ----------
+
+    fn type_expr(&mut self) -> Result<TypeExpr, FrontendError> {
+        match self.peek().clone() {
+            TokenKind::Kw(Keyword::Int) => {
+                self.bump();
+                Ok(TypeExpr::Int)
+            }
+            TokenKind::Kw(Keyword::Real) => {
+                self.bump();
+                Ok(TypeExpr::Real)
+            }
+            TokenKind::Kw(Keyword::Bool) => {
+                self.bump();
+                Ok(TypeExpr::Bool)
+            }
+            TokenKind::Kw(Keyword::StringKw) => {
+                self.bump();
+                Ok(TypeExpr::String)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(TypeExpr::Named(name))
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut dims = vec![self.range_expr()?];
+                while self.eat(&TokenKind::Comma) {
+                    dims.push(self.range_expr()?);
+                }
+                self.expect(&TokenKind::RBracket)?;
+                let elem = self.type_expr()?;
+                Ok(TypeExpr::Array { dims, elem: Box::new(elem) })
+            }
+            other => Err(FrontendError::parse(self.span(), format!("expected a type, found {other}"))),
+        }
+    }
+
+    fn range_expr(&mut self) -> Result<RangeExpr, FrontendError> {
+        let start = self.span();
+        let lo = self.additive()?;
+        self.expect(&TokenKind::DotDot)?;
+        let hi = self.additive()?;
+        Ok(RangeExpr { lo: Box::new(lo), hi: Box::new(hi), span: start.to(self.prev_span()) })
+    }
+
+    // ---------- statements ----------
+
+    fn block(&mut self) -> Result<Block, FrontendError> {
+        let start = self.span();
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block { stmts, span: start.to(self.prev_span()) })
+    }
+
+    /// A block, or a single statement after `do`/`then` sugar.
+    fn block_or_single(&mut self, sugar: Option<Keyword>) -> Result<Block, FrontendError> {
+        if let Some(kw) = sugar {
+            if self.eat_kw(kw) {
+                let start = self.span();
+                let s = self.stmt()?;
+                return Ok(Block { stmts: vec![s], span: start.to(self.prev_span()) });
+            }
+        }
+        self.block()
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, FrontendError> {
+        match self.peek().clone() {
+            TokenKind::Kw(Keyword::Var | Keyword::Const | Keyword::Param) => {
+                Ok(Stmt::Var(self.var_decl()?))
+            }
+            TokenKind::Kw(Keyword::For) => self.for_stmt(false),
+            TokenKind::Kw(Keyword::Forall) => self.for_stmt(true),
+            TokenKind::Kw(Keyword::While) => {
+                let start = self.span();
+                self.bump();
+                let cond = self.expr()?;
+                let body = self.block_or_single(Some(Keyword::Do))?;
+                Ok(Stmt::While { cond, body, span: start })
+            }
+            TokenKind::Kw(Keyword::If) => {
+                let start = self.span();
+                self.bump();
+                let cond = self.expr()?;
+                let then = self.block_or_single(Some(Keyword::Then))?;
+                let els = if self.eat_kw(Keyword::Else) {
+                    if matches!(self.peek(), TokenKind::LBrace) {
+                        Some(self.block()?)
+                    } else {
+                        // `else if` chains and `else <stmt>;` sugar both
+                        // become a single-statement block.
+                        let s = self.stmt()?;
+                        let sp = self.prev_span();
+                        Some(Block { stmts: vec![s], span: sp })
+                    }
+                } else {
+                    None
+                };
+                Ok(Stmt::If { cond, then, els, span: start })
+            }
+            TokenKind::Kw(Keyword::Return) => {
+                let start = self.span();
+                self.bump();
+                let value = if self.eat(&TokenKind::Semi) {
+                    return Ok(Stmt::Return { value: None, span: start });
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Return { value, span: start })
+            }
+            TokenKind::Kw(Keyword::Writeln) => {
+                let start = self.span();
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let mut args = Vec::new();
+                if !self.eat(&TokenKind::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                }
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Writeln { args, span: start })
+            }
+            TokenKind::LBrace => Ok(Stmt::Block(self.block()?)),
+            _ => self.assign_or_expr(),
+        }
+    }
+
+    fn var_decl(&mut self) -> Result<VarDecl, FrontendError> {
+        let start = self.span();
+        let kind = match self.bump().kind {
+            TokenKind::Kw(Keyword::Var) => VarKind::Var,
+            TokenKind::Kw(Keyword::Const) => VarKind::Const,
+            TokenKind::Kw(Keyword::Param) => VarKind::Param,
+            _ => unreachable!("caller checked"),
+        };
+        let (name, _) = self.expect_ident()?;
+        let ty = if self.eat(&TokenKind::Colon) { Some(self.type_expr()?) } else { None };
+        let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+        if ty.is_none() && init.is_none() {
+            return Err(FrontendError::parse(
+                start,
+                format!("`{name}` needs a type or an initializer"),
+            ));
+        }
+        self.expect(&TokenKind::Semi)?;
+        Ok(VarDecl { kind, name, ty, init, span: start.to(self.prev_span()) })
+    }
+
+    fn for_stmt(&mut self, parallel: bool) -> Result<Stmt, FrontendError> {
+        let start = self.span();
+        self.bump(); // for | forall
+        let (index, _) = self.expect_ident()?;
+        self.expect(&TokenKind::Kw(Keyword::In))?;
+        let iter = self.expr()?;
+        let body = self.block_or_single(Some(Keyword::Do))?;
+        Ok(Stmt::For { index, iter, body, parallel, span: start })
+    }
+
+    fn assign_or_expr(&mut self) -> Result<Stmt, FrontendError> {
+        let start = self.span();
+        let lhs = self.expr()?;
+        let op = match self.peek() {
+            TokenKind::Assign => Some(AssignOp::Set),
+            TokenKind::PlusAssign => Some(AssignOp::Add),
+            TokenKind::MinusAssign => Some(AssignOp::Sub),
+            TokenKind::StarAssign => Some(AssignOp::Mul),
+            TokenKind::SlashAssign => Some(AssignOp::Div),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.expr()?;
+            self.expect(&TokenKind::Semi)?;
+            Ok(Stmt::Assign { lhs, op, rhs, span: start.to(self.prev_span()) })
+        } else {
+            self.expect(&TokenKind::Semi)?;
+            Ok(Stmt::Expr(lhs))
+        }
+    }
+
+    // ---------- expressions ----------
+
+    /// Maximum expression nesting depth — recursive descent must not
+    /// overflow the stack on pathological inputs (test threads get a
+    /// 2 MiB stack; each nesting level costs ~10 frames in debug).
+    const MAX_DEPTH: usize = 64;
+
+    /// Entry point: a `reduce` expression or an ordinary expression.
+    fn expr(&mut self) -> Result<Expr, FrontendError> {
+        self.depth += 1;
+        if self.depth > Self::MAX_DEPTH {
+            self.depth -= 1;
+            return Err(FrontendError::parse(
+                self.span(),
+                "expression nested too deeply",
+            ));
+        }
+        let result = self.expr_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn expr_inner(&mut self) -> Result<Expr, FrontendError> {
+        if let Some((op, is_scan)) = self.peek_reduce_op() {
+            let start = self.span();
+            self.bump(); // the op token
+            self.bump(); // `reduce` | `scan`
+            let operand = self.expr()?;
+            let span = start.to(self.prev_span());
+            return Ok(if is_scan {
+                Expr::Scan { op, expr: Box::new(operand), span }
+            } else {
+                Expr::Reduce { op, expr: Box::new(operand), span }
+            });
+        }
+        self.or_expr()
+    }
+
+    /// Two-token lookahead for `<op> reduce` / `<op> scan`.
+    fn peek_reduce_op(&self) -> Option<(ReduceOp, bool)> {
+        let is_scan = match self.peek2() {
+            TokenKind::Kw(Keyword::Reduce) => false,
+            TokenKind::Kw(Keyword::Scan) => true,
+            _ => return None,
+        };
+        let op = match self.peek() {
+            TokenKind::Plus => ReduceOp::Sum,
+            TokenKind::Star => ReduceOp::Product,
+            TokenKind::AndAnd => ReduceOp::LogicalAnd,
+            TokenKind::OrOr => ReduceOp::LogicalOr,
+            TokenKind::Ident(name) => match name.as_str() {
+                "min" => ReduceOp::Min,
+                "max" => ReduceOp::Max,
+                other => ReduceOp::UserDefined(other.to_string()),
+            },
+            _ => return None,
+        };
+        Some((op, is_scan))
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, FrontendError> {
+        let mut l = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let r = self.and_expr()?;
+            let span = l.span().to(r.span());
+            l = Expr::Binary { op: BinOp::Or, l: Box::new(l), r: Box::new(r), span };
+        }
+        Ok(l)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, FrontendError> {
+        let mut l = self.equality()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let r = self.equality()?;
+            let span = l.span().to(r.span());
+            l = Expr::Binary { op: BinOp::And, l: Box::new(l), r: Box::new(r), span };
+        }
+        Ok(l)
+    }
+
+    fn equality(&mut self) -> Result<Expr, FrontendError> {
+        let mut l = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::EqEq => BinOp::Eq,
+                TokenKind::NotEq => BinOp::Ne,
+                _ => break,
+            };
+            self.bump();
+            let r = self.relational()?;
+            let span = l.span().to(r.span());
+            l = Expr::Binary { op, l: Box::new(l), r: Box::new(r), span };
+        }
+        Ok(l)
+    }
+
+    fn relational(&mut self) -> Result<Expr, FrontendError> {
+        let mut l = self.range_or_additive()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let r = self.range_or_additive()?;
+            let span = l.span().to(r.span());
+            l = Expr::Binary { op, l: Box::new(l), r: Box::new(r), span };
+        }
+        Ok(l)
+    }
+
+    /// Ranges bind looser than `+`: `1..n+1` is `1..(n+1)`.
+    fn range_or_additive(&mut self) -> Result<Expr, FrontendError> {
+        let lo = self.additive()?;
+        if self.eat(&TokenKind::DotDot) {
+            let hi = self.additive()?;
+            let span = lo.span().to(hi.span());
+            return Ok(Expr::Range(RangeExpr { lo: Box::new(lo), hi: Box::new(hi), span }));
+        }
+        Ok(lo)
+    }
+
+    fn additive(&mut self) -> Result<Expr, FrontendError> {
+        let mut l = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let r = self.multiplicative()?;
+            let span = l.span().to(r.span());
+            l = Expr::Binary { op, l: Box::new(l), r: Box::new(r), span };
+        }
+        Ok(l)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, FrontendError> {
+        let mut l = self.power()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let r = self.power()?;
+            let span = l.span().to(r.span());
+            l = Expr::Binary { op, l: Box::new(l), r: Box::new(r), span };
+        }
+        Ok(l)
+    }
+
+    /// `**` is right-associative.
+    fn power(&mut self) -> Result<Expr, FrontendError> {
+        let base = self.unary()?;
+        if self.eat(&TokenKind::StarStar) {
+            let exp = self.power()?;
+            let span = base.span().to(exp.span());
+            return Ok(Expr::Binary { op: BinOp::Pow, l: Box::new(base), r: Box::new(exp), span });
+        }
+        Ok(base)
+    }
+
+    fn unary(&mut self) -> Result<Expr, FrontendError> {
+        let start = self.span();
+        if self.eat(&TokenKind::Minus) {
+            let e = self.unary()?;
+            let span = start.to(e.span());
+            return Ok(Expr::Unary { op: UnOp::Neg, e: Box::new(e), span });
+        }
+        if self.eat(&TokenKind::Bang) {
+            let e = self.unary()?;
+            let span = start.to(e.span());
+            return Ok(Expr::Unary { op: UnOp::Not, e: Box::new(e), span });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, FrontendError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::Dot => {
+                    self.bump();
+                    let (field, fsp) = self.expect_ident()?;
+                    let span = e.span().to(fsp);
+                    // `base.method(args)` becomes a Call on a Field.
+                    if self.eat(&TokenKind::LParen) {
+                        let args = self.call_args()?;
+                        let span = span.to(self.prev_span());
+                        e = Expr::Call {
+                            callee: Box::new(Expr::Field {
+                                base: Box::new(e),
+                                field,
+                                span,
+                            }),
+                            args,
+                            span,
+                        };
+                    } else {
+                        e = Expr::Field { base: Box::new(e), field, span };
+                    }
+                }
+                TokenKind::LBracket => {
+                    self.bump();
+                    let mut indices = vec![self.expr()?];
+                    while self.eat(&TokenKind::Comma) {
+                        indices.push(self.expr()?);
+                    }
+                    let end = self.expect(&TokenKind::RBracket)?;
+                    let span = e.span().to(end);
+                    e = Expr::Index { base: Box::new(e), indices, span };
+                }
+                TokenKind::LParen => {
+                    self.bump();
+                    let args = self.call_args()?;
+                    let span = e.span().to(self.prev_span());
+                    e = Expr::Call { callee: Box::new(e), args, span };
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    /// Arguments after a consumed `(`.
+    fn call_args(&mut self) -> Result<Vec<Expr>, FrontendError> {
+        let mut args = Vec::new();
+        if self.eat(&TokenKind::RParen) {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.expr()?);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr, FrontendError> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Ok(Expr::Int(v, span))
+            }
+            TokenKind::RealLit(v) => {
+                self.bump();
+                Ok(Expr::Real(v, span))
+            }
+            TokenKind::StrLit(s) => {
+                self.bump();
+                Ok(Expr::Str(s, span))
+            }
+            TokenKind::Kw(Keyword::True) => {
+                self.bump();
+                Ok(Expr::Bool(true, span))
+            }
+            TokenKind::Kw(Keyword::False) => {
+                self.bump();
+                Ok(Expr::Bool(false, span))
+            }
+            TokenKind::Kw(Keyword::New) => {
+                self.bump();
+                let (class, _) = self.expect_ident()?;
+                self.expect(&TokenKind::LParen)?;
+                let args = self.call_args()?;
+                Ok(Expr::New { class, args, span: span.to(self.prev_span()) })
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::Ident(name, span))
+            }
+            // Type keywords in expression position support casts like
+            // `int(x)` / `max(int)`; we expose them as identifiers.
+            TokenKind::Kw(Keyword::Int) => {
+                self.bump();
+                Ok(Expr::Ident("int".into(), span))
+            }
+            TokenKind::Kw(Keyword::Real) => {
+                self.bump();
+                Ok(Expr::Ident("real".into(), span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => Err(FrontendError::parse(
+                span,
+                format!("expected an expression, found {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod parser_tests {
+    use super::*;
+
+    #[test]
+    fn var_decls() {
+        let p = parse("var x: int = 3; const y = 2.5; param n: int;").unwrap();
+        assert_eq!(p.items.len(), 3);
+        match &p.items[0] {
+            Item::Stmt(Stmt::Var(v)) => {
+                assert_eq!(v.name, "x");
+                assert_eq!(v.kind, VarKind::Var);
+                assert_eq!(v.ty, Some(TypeExpr::Int));
+                assert!(matches!(v.init, Some(Expr::Int(3, _))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn var_needs_type_or_init() {
+        assert!(parse("var x;").is_err());
+    }
+
+    #[test]
+    fn array_types() {
+        let p = parse("var A: [1..n] real;").unwrap();
+        match &p.items[0] {
+            Item::Stmt(Stmt::Var(v)) => match v.ty.as_ref().unwrap() {
+                TypeExpr::Array { dims, elem } => {
+                    assert_eq!(dims.len(), 1);
+                    assert_eq!(**elem, TypeExpr::Real);
+                }
+                other => panic!("unexpected type {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+        // Multi-dimensional.
+        let p = parse("var M: [1..r, 1..c] real;").unwrap();
+        match &p.items[0] {
+            Item::Stmt(Stmt::Var(v)) => match v.ty.as_ref().unwrap() {
+                TypeExpr::Array { dims, .. } => assert_eq!(dims.len(), 2),
+                other => panic!("unexpected type {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_from_fig6() {
+        let src = r#"
+            record A { a1: [1..m] real; a2: int; }
+            record B { b1: [1..n] A; b2: int; }
+            var data: [1..t] B;
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.items.len(), 3);
+        match &p.items[1] {
+            Item::Record(r) => {
+                assert_eq!(r.name, "B");
+                assert_eq!(r.fields.len(), 2);
+                assert_eq!(r.fields[0].name, "b1");
+                match r.fields[0].ty.as_ref().unwrap() {
+                    TypeExpr::Array { elem, .. } => {
+                        assert_eq!(**elem, TypeExpr::Named("A".into()));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_from_fig2() {
+        let src = r#"
+            class SumReduceScanOp: ReduceScanOp {
+                type eltType;
+                var value: real;
+                def accumulate(x) { value = value + x; }
+                def combine(x) { value = value + x.value; }
+                def generate() { return value; }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        match &p.items[0] {
+            Item::Class(c) => {
+                assert!(c.is_reduce_op());
+                assert_eq!(c.type_params, vec!["eltType"]);
+                assert_eq!(c.fields.len(), 1);
+                assert_eq!(c.methods.len(), 3);
+                assert!(c.method("accumulate").is_some());
+                assert!(c.method("generate").is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reduce_expressions() {
+        match parse_expr("+ reduce A").unwrap() {
+            Expr::Reduce { op: ReduceOp::Sum, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_expr("min reduce (A + B)").unwrap() {
+            Expr::Reduce { op: ReduceOp::Min, expr, .. } => {
+                assert!(matches!(*expr, Expr::Binary { op: BinOp::Add, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_expr("kmeansReduction reduce data").unwrap() {
+            Expr::Reduce { op: ReduceOp::UserDefined(n), .. } => {
+                assert_eq!(n, "kmeansReduction");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // `min reduce A + B` reduces over the whole sum (reduce binds
+        // loosest).
+        match parse_expr("min reduce A + B").unwrap() {
+            Expr::Reduce { expr, .. } => {
+                assert!(matches!(*expr, Expr::Binary { op: BinOp::Add, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loops_and_sugar() {
+        let p = parse("for i in 1..n { s += data[i]; }").unwrap();
+        match &p.items[0] {
+            Item::Stmt(Stmt::For { index, parallel: false, body, .. }) => {
+                assert_eq!(index, "i");
+                assert_eq!(body.stmts.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let p = parse("forall i in A do s += i;").unwrap();
+        assert!(matches!(&p.items[0], Item::Stmt(Stmt::For { parallel: true, .. })));
+        let p = parse("if x < 3 then y = 1; else y = 2;").unwrap();
+        assert!(matches!(&p.items[0], Item::Stmt(Stmt::If { els: Some(_), .. })));
+    }
+
+    #[test]
+    fn nested_access_chain() {
+        // data[i].b1[j].a1[k]
+        let e = parse_expr("data[i].b1[j].a1[k]").unwrap();
+        match e {
+            Expr::Index { base, .. } => match *base {
+                Expr::Field { field, .. } => assert_eq!(field, "a1"),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_and_method_call() {
+        let e = parse_expr("f(x, y + 1)").unwrap();
+        assert!(matches!(e, Expr::Call { .. }));
+        let e = parse_expr("obj.combine(other)").unwrap();
+        match e {
+            Expr::Call { callee, args, .. } => {
+                assert!(matches!(*callee, Expr::Field { .. }));
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        // 1 + 2 * 3 == 7, not 9
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Add, r, .. } => {
+                assert!(matches!(*r, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // 2 ** 3 ** 2 is right-assoc: 2 ** (3 ** 2)
+        let e = parse_expr("2 ** 3 ** 2").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Pow, r, .. } => {
+                assert!(matches!(*r, Expr::Binary { op: BinOp::Pow, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Range binds looser than +: 1..n+1
+        let e = parse_expr("1..n+1").unwrap();
+        match e {
+            Expr::Range(r) => assert!(matches!(*r.hi, Expr::Binary { op: BinOp::Add, .. })),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn while_and_writeln() {
+        let p = parse(r#"while x < 10 { x += 1; } writeln("done", x);"#).unwrap();
+        assert_eq!(p.items.len(), 2);
+        assert!(matches!(&p.items[1], Item::Stmt(Stmt::Writeln { args, .. }) if args.len() == 2));
+    }
+
+    #[test]
+    fn new_expression() {
+        let e = parse_expr("new kmeansReduction(real)").unwrap();
+        match e {
+            Expr::New { class, args, .. } => {
+                assert_eq!(class, "kmeansReduction");
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_reporting_has_position() {
+        let err = parse("var x: int = ;").unwrap_err();
+        assert!(err.to_string().contains("expected an expression"));
+        let err = parse("record R { x int; }").unwrap_err();
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn scan_expressions_parse() {
+        match parse_expr("+ scan A").unwrap() {
+            Expr::Scan { op: ReduceOp::Sum, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_expr("min scan (A + B)").unwrap() {
+            Expr::Scan { op: ReduceOp::Min, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn min_max_are_plain_calls_when_not_reduce() {
+        let e = parse_expr("min(a, b)").unwrap();
+        assert!(matches!(e, Expr::Call { .. }));
+        let e = parse_expr("max(int)").unwrap();
+        assert!(matches!(e, Expr::Call { .. }));
+    }
+}

@@ -1,0 +1,446 @@
+//! Pretty-printer: renders the AST back to Chapel source.
+//!
+//! Used in diagnostics, golden tests, and to verify the parser via
+//! round-tripping (parse → print → parse must be a fixed point).
+
+use std::fmt::Write;
+
+use crate::ast::*;
+
+/// Render a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for item in &p.items {
+        print_item(item, 0, &mut out);
+    }
+    out
+}
+
+/// Render a single expression.
+pub fn print_expr(e: &Expr) -> String {
+    let mut out = String::new();
+    expr(e, &mut out);
+    out
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn print_item(item: &Item, depth: usize, out: &mut String) {
+    match item {
+        Item::Record(r) => {
+            indent(depth, out);
+            let _ = writeln!(out, "record {} {{", r.name);
+            for f in &r.fields {
+                indent(depth + 1, out);
+                var_decl(f, out);
+                out.push('\n');
+            }
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        Item::Class(c) => {
+            indent(depth, out);
+            match &c.parent {
+                Some(p) => {
+                    let _ = writeln!(out, "class {}: {} {{", c.name, p);
+                }
+                None => {
+                    let _ = writeln!(out, "class {} {{", c.name);
+                }
+            }
+            for tp in &c.type_params {
+                indent(depth + 1, out);
+                let _ = writeln!(out, "type {tp};");
+            }
+            for f in &c.fields {
+                indent(depth + 1, out);
+                var_decl(f, out);
+                out.push('\n');
+            }
+            for m in &c.methods {
+                func(m, depth + 1, out);
+            }
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        Item::Func(f) => func(f, depth, out),
+        Item::Stmt(s) => stmt(s, depth, out),
+    }
+}
+
+fn func(f: &FuncDecl, depth: usize, out: &mut String) {
+    indent(depth, out);
+    let _ = write!(out, "def {}(", f.name);
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&p.name);
+        if let Some(t) = &p.ty {
+            out.push_str(": ");
+            type_expr(t, out);
+        }
+    }
+    out.push(')');
+    if let Some(t) = &f.ret {
+        out.push_str(": ");
+        type_expr(t, out);
+    }
+    out.push_str(" {\n");
+    for s in &f.body.stmts {
+        stmt(s, depth + 1, out);
+    }
+    indent(depth, out);
+    out.push_str("}\n");
+}
+
+fn var_decl(v: &VarDecl, out: &mut String) {
+    let kw = match v.kind {
+        VarKind::Var => "var",
+        VarKind::Const => "const",
+        VarKind::Param => "param",
+    };
+    let _ = write!(out, "{kw} {}", v.name);
+    if let Some(t) = &v.ty {
+        out.push_str(": ");
+        type_expr(t, out);
+    }
+    if let Some(e) = &v.init {
+        out.push_str(" = ");
+        expr(e, out);
+    }
+    out.push(';');
+}
+
+fn type_expr(t: &TypeExpr, out: &mut String) {
+    match t {
+        TypeExpr::Int => out.push_str("int"),
+        TypeExpr::Real => out.push_str("real"),
+        TypeExpr::Bool => out.push_str("bool"),
+        TypeExpr::String => out.push_str("string"),
+        TypeExpr::Named(n) => out.push_str(n),
+        TypeExpr::Array { dims, elem } => {
+            out.push('[');
+            for (i, d) in dims.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(&d.lo, out);
+                out.push_str("..");
+                expr(&d.hi, out);
+            }
+            out.push_str("] ");
+            type_expr(elem, out);
+        }
+    }
+}
+
+fn stmt(s: &Stmt, depth: usize, out: &mut String) {
+    match s {
+        Stmt::Var(v) => {
+            indent(depth, out);
+            var_decl(v, out);
+            out.push('\n');
+        }
+        Stmt::Assign { lhs, op, rhs, .. } => {
+            indent(depth, out);
+            expr(lhs, out);
+            out.push_str(match op {
+                AssignOp::Set => " = ",
+                AssignOp::Add => " += ",
+                AssignOp::Sub => " -= ",
+                AssignOp::Mul => " *= ",
+                AssignOp::Div => " /= ",
+            });
+            expr(rhs, out);
+            out.push_str(";\n");
+        }
+        Stmt::Expr(e) => {
+            indent(depth, out);
+            expr(e, out);
+            out.push_str(";\n");
+        }
+        Stmt::For { index, iter, body, parallel, .. } => {
+            indent(depth, out);
+            let kw = if *parallel { "forall" } else { "for" };
+            let _ = write!(out, "{kw} {index} in ");
+            expr(iter, out);
+            out.push_str(" {\n");
+            for st in &body.stmts {
+                stmt(st, depth + 1, out);
+            }
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        Stmt::While { cond, body, .. } => {
+            indent(depth, out);
+            out.push_str("while ");
+            expr(cond, out);
+            out.push_str(" {\n");
+            for st in &body.stmts {
+                stmt(st, depth + 1, out);
+            }
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        Stmt::If { cond, then, els, .. } => {
+            indent(depth, out);
+            out.push_str("if ");
+            expr(cond, out);
+            out.push_str(" {\n");
+            for st in &then.stmts {
+                stmt(st, depth + 1, out);
+            }
+            indent(depth, out);
+            out.push('}');
+            if let Some(e) = els {
+                out.push_str(" else {\n");
+                for st in &e.stmts {
+                    stmt(st, depth + 1, out);
+                }
+                indent(depth, out);
+                out.push('}');
+            }
+            out.push('\n');
+        }
+        Stmt::Return { value, .. } => {
+            indent(depth, out);
+            out.push_str("return");
+            if let Some(v) = value {
+                out.push(' ');
+                expr(v, out);
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Writeln { args, .. } => {
+            indent(depth, out);
+            out.push_str("writeln(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(a, out);
+            }
+            out.push_str(");\n");
+        }
+        Stmt::Block(b) => {
+            indent(depth, out);
+            out.push_str("{\n");
+            for st in &b.stmts {
+                stmt(st, depth + 1, out);
+            }
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+    }
+}
+
+fn expr(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Int(v, _) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::Real(v, _) => {
+            if v.fract() == 0.0 && v.is_finite() {
+                let _ = write!(out, "{v:.1}");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        Expr::Bool(v, _) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::Str(s, _) => {
+            let _ = write!(out, "{s:?}");
+        }
+        Expr::Ident(n, _) => out.push_str(n),
+        Expr::Range(r) => {
+            expr(&r.lo, out);
+            out.push_str("..");
+            expr(&r.hi, out);
+        }
+        Expr::Binary { op, l, r, .. } => {
+            out.push('(');
+            expr(l, out);
+            out.push_str(match op {
+                BinOp::Add => " + ",
+                BinOp::Sub => " - ",
+                BinOp::Mul => " * ",
+                BinOp::Div => " / ",
+                BinOp::Mod => " % ",
+                BinOp::Pow => " ** ",
+                BinOp::Eq => " == ",
+                BinOp::Ne => " != ",
+                BinOp::Lt => " < ",
+                BinOp::Le => " <= ",
+                BinOp::Gt => " > ",
+                BinOp::Ge => " >= ",
+                BinOp::And => " && ",
+                BinOp::Or => " || ",
+            });
+            expr(r, out);
+            out.push(')');
+        }
+        Expr::Unary { op, e: inner, .. } => {
+            out.push_str(match op {
+                UnOp::Neg => "(-",
+                UnOp::Not => "(!",
+            });
+            expr(inner, out);
+            out.push(')');
+        }
+        Expr::Index { base, indices, .. } => {
+            expr(base, out);
+            out.push('[');
+            for (i, ix) in indices.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(ix, out);
+            }
+            out.push(']');
+        }
+        Expr::Field { base, field, .. } => {
+            expr(base, out);
+            out.push('.');
+            out.push_str(field);
+        }
+        Expr::Call { callee, args, .. } => {
+            expr(callee, out);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(a, out);
+            }
+            out.push(')');
+        }
+        Expr::Scan { op, expr: inner, .. } => {
+            let name = match op {
+                ReduceOp::Sum => "+",
+                ReduceOp::Product => "*",
+                ReduceOp::Min => "min",
+                ReduceOp::Max => "max",
+                ReduceOp::LogicalAnd => "&&",
+                ReduceOp::LogicalOr => "||",
+                ReduceOp::UserDefined(n) => n.as_str(),
+            };
+            out.push_str(name);
+            out.push_str(" scan ");
+            expr(inner, out);
+        }
+        Expr::Reduce { op, expr: inner, .. } => {
+            out.push_str(match op {
+                ReduceOp::Sum => "+ reduce ",
+                ReduceOp::Product => "* reduce ",
+                ReduceOp::Min => "min reduce ",
+                ReduceOp::Max => "max reduce ",
+                ReduceOp::LogicalAnd => "&& reduce ",
+                ReduceOp::LogicalOr => "|| reduce ",
+                ReduceOp::UserDefined(n) => {
+                    out.push_str(n);
+                    out.push_str(" reduce ");
+                    expr(inner, out);
+                    return;
+                }
+            });
+            expr(inner, out);
+        }
+        Expr::New { class, args, .. } => {
+            let _ = write!(out, "new {class}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(a, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod pretty_tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// parse → print → parse must reach a fixed point (the second and
+    /// third ASTs are equal modulo spans; we compare printed text).
+    fn roundtrip(src: &str) {
+        let p1 = parse(src).unwrap();
+        let printed1 = print_program(&p1);
+        let p2 = parse(&printed1).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed1}"));
+        let printed2 = print_program(&p2);
+        assert_eq!(printed1, printed2, "printer not a fixed point for:\n{src}");
+    }
+
+    #[test]
+    fn roundtrip_fig2_sum_class() {
+        roundtrip(
+            r#"
+            class SumReduceScanOp: ReduceScanOp {
+                type eltType;
+                var value: real;
+                def accumulate(x) { value = value + x; }
+                def combine(x) { value = value + x.value; }
+                def generate() { return value; }
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_fig6_records() {
+        roundtrip(
+            r#"
+            record A { a1: [1..3] real; a2: int; }
+            record B { b1: [1..4] A; b2: int; }
+            var data: [1..2] B;
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_fig8_loops() {
+        roundtrip(
+            r#"
+            var sum: real = 0.0;
+            for i in 1..t {
+                for j in 1..n {
+                    for k in 1..m {
+                        sum += data[i].b1[j].a1[k];
+                    }
+                }
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_reduce_and_control_flow() {
+        roundtrip(
+            r#"
+            var s = + reduce A;
+            var m = min reduce (A + B);
+            if s > 0.0 { writeln("pos"); } else { writeln("neg"); }
+            while s < 100.0 { s *= 2.0; }
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_scan() {
+        roundtrip("var A: [1..5] real;\nvar S = + scan A;\nvar M = min scan A;\n");
+    }
+
+    #[test]
+    fn expr_printing() {
+        let e = crate::parser::parse_expr("a[i].f + g(1, 2.5)").unwrap();
+        assert_eq!(print_expr(&e), "(a[i].f + g(1, 2.5))");
+    }
+}

@@ -1,0 +1,70 @@
+//! Frontend robustness: the lexer and parser must never panic, and the
+//! pretty-printer must be a parser fixed point on every canned program
+//! at randomized sizes.
+
+use proptest::prelude::*;
+
+use chapel_frontend::{lex, parse, pretty, programs};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup: lex/parse return Ok or Err, never panic.
+    #[test]
+    fn never_panics_on_arbitrary_input(src in "\\PC{0,200}") {
+        let _ = lex(&src);
+        let _ = parse(&src);
+    }
+
+    /// Operator-dense soup (more likely to reach deep parser paths).
+    #[test]
+    fn never_panics_on_token_soup(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("var"), Just("for"), Just("if"), Just("reduce"),
+                Just("record"), Just("class"), Just("def"), Just("+"),
+                Just(".."), Just("["), Just("]"), Just("{"), Just("}"),
+                Just("("), Just(")"), Just(";"), Just("="), Just("1"),
+                Just("x"), Just("real"), Just("min"), Just("&&"),
+            ],
+            0..40,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = parse(&src);
+    }
+
+    /// Every canned program parses at random sizes, and printing is a
+    /// fixed point (print ∘ parse ∘ print = print).
+    #[test]
+    fn canned_programs_roundtrip(n in 1usize..30, k in 1usize..8, d in 1usize..6) {
+        for src in [
+            programs::kmeans(n.max(k), k, d),
+            programs::pca(d, n),
+            programs::histogram(n, k),
+            programs::linear_regression(n),
+            programs::knn(n, d, k.min(n)),
+            programs::fig8_nested_sum(n, k, d),
+            programs::sum_reduce(n),
+            programs::min_reduce_sum_expr(n),
+        ] {
+            let p1 = parse(&src).expect("canned program parses");
+            let printed1 = pretty::print_program(&p1);
+            let p2 = parse(&printed1).expect("printed program reparses");
+            let printed2 = pretty::print_program(&p2);
+            prop_assert_eq!(&printed1, &printed2);
+        }
+    }
+}
+
+#[test]
+fn deeply_nested_expressions_do_not_overflow() {
+    // 50 nested parens: well within the parser's depth budget.
+    let src = format!("var x = {}1{};", "(".repeat(50), ")".repeat(50));
+    parse(&src).expect("deep nesting parses");
+    // Pathological nesting must produce a parse error, not a stack
+    // overflow (the parser has a depth limit).
+    let src = format!("var x = {}1{};", "(".repeat(100_000), ")".repeat(100_000));
+    let err = parse(&src).unwrap_err();
+    assert!(err.to_string().contains("nested too deeply"));
+}

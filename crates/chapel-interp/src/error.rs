@@ -1,0 +1,42 @@
+//! Interpreter runtime errors.
+
+use std::fmt;
+
+use chapel_frontend::token::Span;
+
+/// A runtime error with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpError {
+    /// Source location (default span when it arose outside any node).
+    pub span: Span,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl InterpError {
+    /// Construct an error.
+    pub fn new(span: Span, message: impl Into<String>) -> InterpError {
+        InterpError { span, message: message.into() }
+    }
+
+    /// A type error without a location yet.
+    pub fn type_error(message: impl Into<String>) -> InterpError {
+        InterpError { span: Span::default(), message: message.into() }
+    }
+
+    /// Attach a location if none was recorded.
+    pub fn with_span(mut self, span: Span) -> InterpError {
+        if self.span == Span::default() {
+            self.span = span;
+        }
+        self
+    }
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for InterpError {}

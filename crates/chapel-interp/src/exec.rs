@@ -1,0 +1,1208 @@
+//! The tree-walking interpreter.
+//!
+//! This is the semantic oracle of the reproduction: every FREERIDE
+//! translation is differentially tested against direct interpretation of
+//! the same Chapel program. It implements Chapel value semantics for
+//! records and arrays (copy on assignment), reference semantics for
+//! class instances, 1-based (declared-bound) array indexing,
+//! short-circuit logical operators, and both built-in and user-defined
+//! (`ReduceScanOp`) reductions.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use chapel_frontend::ast::*;
+use chapel_frontend::token::Span;
+
+use crate::error::InterpError;
+use crate::value::{ObjectData, RtValue};
+
+/// Declaration tables snapshot shared across evaluation.
+#[derive(Debug, Default)]
+pub struct ProgramDecls {
+    /// Records by name.
+    pub records: HashMap<String, RecordDecl>,
+    /// Classes by name.
+    pub classes: HashMap<String, ClassDecl>,
+    /// Functions by name.
+    pub funcs: HashMap<String, FuncDecl>,
+}
+
+/// Control flow result of statement execution.
+enum Flow {
+    Normal,
+    Return(RtValue),
+}
+
+/// One lvalue path step (indices are already evaluated).
+enum Step {
+    Index(Vec<i64>),
+    Field(String),
+}
+
+/// The interpreter. Create one, [`Interpreter::run`] a program, then
+/// inspect [`Interpreter::global`] values and [`Interpreter::output`].
+#[derive(Debug)]
+pub struct Interpreter {
+    decls: Rc<ProgramDecls>,
+    /// Call frames; each frame is a stack of lexical scopes. Frame 0,
+    /// scope 0 holds the globals.
+    frames: Vec<Vec<HashMap<String, RtValue>>>,
+    /// `self` objects of active method calls.
+    self_stack: Vec<Rc<RefCell<ObjectData>>>,
+    output: Vec<String>,
+    steps: u64,
+    step_limit: u64,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Interpreter::new()
+    }
+}
+
+impl Interpreter {
+    /// A fresh interpreter with the default step limit (2^33 ≈ 8.6e9
+    /// evaluation steps — enough for the bench-scale kernels, finite so
+    /// runaway loops fail loudly).
+    pub fn new() -> Interpreter {
+        Interpreter {
+            decls: Rc::new(ProgramDecls::default()),
+            frames: vec![vec![HashMap::new()]],
+            self_stack: Vec::new(),
+            output: Vec::new(),
+            steps: 0,
+            step_limit: 1 << 33,
+        }
+    }
+
+    /// Override the evaluation step limit.
+    pub fn with_step_limit(mut self, limit: u64) -> Interpreter {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Parse and run a source string.
+    pub fn run_source(src: &str) -> Result<Interpreter, InterpError> {
+        let program = chapel_frontend::parse(src)
+            .map_err(|e| InterpError::new(Span::default(), e.to_string()))?;
+        let mut interp = Interpreter::new();
+        interp.run(&program)?;
+        Ok(interp)
+    }
+
+    /// Execute a program's top-level statements.
+    pub fn run(&mut self, program: &Program) -> Result<(), InterpError> {
+        self.prepare(program);
+        for item in &program.items {
+            if let Item::Stmt(s) = item {
+                if let Flow::Return(_) = self.exec_stmt(s)? {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Load a program's declarations (records, classes, functions)
+    /// without executing its statements. Used by drivers that interleave
+    /// interpretation with translated execution.
+    pub fn prepare(&mut self, program: &Program) {
+        let mut decls = ProgramDecls::default();
+        for item in &program.items {
+            match item {
+                Item::Record(r) => {
+                    decls.records.insert(r.name.clone(), r.clone());
+                }
+                Item::Class(c) => {
+                    decls.classes.insert(c.name.clone(), c.clone());
+                }
+                Item::Func(f) => {
+                    decls.funcs.insert(f.name.clone(), f.clone());
+                }
+                Item::Stmt(_) => {}
+            }
+        }
+        self.decls = Rc::new(decls);
+    }
+
+    /// Execute one top-level statement (after [`Interpreter::prepare`]).
+    pub fn exec_top(&mut self, s: &Stmt) -> Result<(), InterpError> {
+        self.exec_stmt(s).map(|_| ())
+    }
+
+    /// Look up a global variable after a run.
+    pub fn global(&self, name: &str) -> Option<&RtValue> {
+        self.frames[0][0].get(name)
+    }
+
+    /// Overwrite (or create) a global variable — used by the translator
+    /// to write FREERIDE results back into the Chapel world.
+    pub fn set_global(&mut self, name: &str, value: RtValue) {
+        self.frames[0][0].insert(name.to_string(), value);
+    }
+
+    /// Lines printed by `writeln`.
+    pub fn output(&self) -> &[String] {
+        &self.output
+    }
+
+    /// Simulate FREERIDE-style parallel execution of a user-defined
+    /// reduction class: split `items` into `threads` chunks, run
+    /// `accumulate` on a private instance per chunk, `combine` the
+    /// instances pairwise, then `generate`. Differentially tests the
+    /// user's `combine` against sequential accumulation.
+    pub fn user_reduce_parallel(
+        &mut self,
+        class: &str,
+        items: &[RtValue],
+        threads: usize,
+    ) -> Result<RtValue, InterpError> {
+        let threads = threads.max(1);
+        let chunk = items.len().div_ceil(threads).max(1);
+        let mut instances = Vec::new();
+        for part in items.chunks(chunk) {
+            let obj = self.instantiate(class, Span::default())?;
+            for item in part {
+                self.call_method(&obj, "accumulate", vec![item.clone()], Span::default())?;
+            }
+            instances.push(obj);
+        }
+        let first = instances.remove(0);
+        for other in instances {
+            self.call_method(&first, "combine", vec![RtValue::Object(other)], Span::default())?;
+        }
+        self.call_method(&first, "generate", vec![], Span::default())
+    }
+
+    // ---------- statements ----------
+
+    fn tick(&mut self, span: Span) -> Result<(), InterpError> {
+        self.steps += 1;
+        if self.steps > self.step_limit {
+            return Err(InterpError::new(span, "evaluation step limit exceeded"));
+        }
+        Ok(())
+    }
+
+    fn scope_mut(&mut self) -> &mut HashMap<String, RtValue> {
+        self.frames.last_mut().expect("frame").last_mut().expect("scope")
+    }
+
+    fn exec_block(&mut self, b: &Block) -> Result<Flow, InterpError> {
+        self.frames.last_mut().expect("frame").push(HashMap::new());
+        let mut flow = Flow::Normal;
+        for s in &b.stmts {
+            flow = self.exec_stmt(s)?;
+            if matches!(flow, Flow::Return(_)) {
+                break;
+            }
+        }
+        self.frames.last_mut().expect("frame").pop();
+        Ok(flow)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt) -> Result<Flow, InterpError> {
+        match s {
+            Stmt::Var(v) => {
+                self.tick(v.span)?;
+                let value = match (&v.init, &v.ty) {
+                    (Some(init), _) => {
+                        let val = self.eval(init)?;
+                        // Respect a declared numeric type: `var x: real = 1`
+                        // stores 1.0.
+                        match (&v.ty, &val) {
+                            (Some(TypeExpr::Real), RtValue::Int(i)) => RtValue::Real(*i as f64),
+                            _ => val,
+                        }
+                    }
+                    (None, Some(ty)) => self.default_value(ty, v.span)?,
+                    (None, None) => {
+                        return Err(InterpError::new(
+                            v.span,
+                            format!("`{}` has neither type nor initializer", v.name),
+                        ));
+                    }
+                };
+                self.scope_mut().insert(v.name.clone(), value);
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign { lhs, op, rhs, span } => {
+                self.tick(*span)?;
+                let rval = self.eval(rhs)?;
+                let newval = match op {
+                    AssignOp::Set => rval,
+                    _ => {
+                        let cur = self.eval(lhs)?;
+                        let bop = match op {
+                            AssignOp::Add => BinOp::Add,
+                            AssignOp::Sub => BinOp::Sub,
+                            AssignOp::Mul => BinOp::Mul,
+                            AssignOp::Div => BinOp::Div,
+                            AssignOp::Set => unreachable!(),
+                        };
+                        binary_op(bop, &cur, &rval, *span)?
+                    }
+                };
+                self.store(lhs, newval)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr(e) => {
+                self.eval(e)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::For { index, iter, body, span, .. } => {
+                self.tick(*span)?;
+                let iterable = self.eval(iter)?;
+                let items: Vec<RtValue> = match iterable {
+                    RtValue::Range(lo, hi) => (lo..=hi).map(RtValue::Int).collect(),
+                    RtValue::Array { items, .. } => items,
+                    other => {
+                        return Err(InterpError::new(
+                            *span,
+                            format!("cannot iterate over {}", other.kind()),
+                        ));
+                    }
+                };
+                for item in items {
+                    self.tick(*span)?;
+                    self.frames
+                        .last_mut()
+                        .expect("frame")
+                        .push(HashMap::from([(index.clone(), item)]));
+                    let mut flow = Flow::Normal;
+                    for st in &body.stmts {
+                        flow = self.exec_stmt(st)?;
+                        if matches!(flow, Flow::Return(_)) {
+                            break;
+                        }
+                    }
+                    self.frames.last_mut().expect("frame").pop();
+                    if let Flow::Return(v) = flow {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::While { cond, body, span } => {
+                loop {
+                    self.tick(*span)?;
+                    if !self.eval(cond)?.as_bool().map_err(|e| e.with_span(*span))? {
+                        break;
+                    }
+                    if let Flow::Return(v) = self.exec_block(body)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::If { cond, then, els, span } => {
+                self.tick(*span)?;
+                if self.eval(cond)?.as_bool().map_err(|e| e.with_span(*span))? {
+                    self.exec_block(then)
+                } else if let Some(e) = els {
+                    self.exec_block(e)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            Stmt::Return { value, span } => {
+                self.tick(*span)?;
+                let v = match value {
+                    Some(e) => self.eval(e)?,
+                    None => RtValue::Nil,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Writeln { args, span } => {
+                self.tick(*span)?;
+                let mut line = String::new();
+                for a in args {
+                    line.push_str(&self.eval(a)?.to_string());
+                }
+                self.output.push(line);
+                Ok(Flow::Normal)
+            }
+            Stmt::Block(b) => self.exec_block(b),
+        }
+    }
+
+    // ---------- values and defaults ----------
+
+    /// Default-construct a value of a syntactic type, evaluating array
+    /// bounds in the current environment (they may be runtime values).
+    fn default_value(&mut self, ty: &TypeExpr, span: Span) -> Result<RtValue, InterpError> {
+        match ty {
+            TypeExpr::Int => Ok(RtValue::Int(0)),
+            TypeExpr::Real => Ok(RtValue::Real(0.0)),
+            TypeExpr::Bool => Ok(RtValue::Bool(false)),
+            TypeExpr::String => Ok(RtValue::Str(String::new())),
+            TypeExpr::Named(name) => {
+                if self.decls.records.contains_key(name) {
+                    self.default_record(name, span)
+                } else if self.decls.classes.contains_key(name) {
+                    // Class variables default to an uninitialised object.
+                    let obj = self.instantiate(name, span)?;
+                    Ok(RtValue::Object(obj))
+                } else {
+                    Err(InterpError::new(span, format!("unknown type `{name}`")))
+                }
+            }
+            TypeExpr::Array { dims, elem } => {
+                // Evaluate all dimension bounds, then build nested
+                // arrays, first dimension outermost.
+                let mut bounds = Vec::with_capacity(dims.len());
+                for d in dims {
+                    let lo = self.eval(&d.lo)?.as_i64().map_err(|e| e.with_span(d.span))?;
+                    let hi = self.eval(&d.hi)?.as_i64().map_err(|e| e.with_span(d.span))?;
+                    if hi < lo {
+                        return Err(InterpError::new(d.span, format!("empty range {lo}..{hi}")));
+                    }
+                    bounds.push((lo, hi));
+                }
+                let mut value = self.default_value(elem, span)?;
+                for &(lo, hi) in bounds.iter().rev() {
+                    let len = (hi - lo + 1) as usize;
+                    value = RtValue::Array { lo, items: vec![value; len] };
+                }
+                Ok(value)
+            }
+        }
+    }
+
+    fn default_record(&mut self, name: &str, span: Span) -> Result<RtValue, InterpError> {
+        let decl = self
+            .decls
+            .records
+            .get(name)
+            .cloned()
+            .ok_or_else(|| InterpError::new(span, format!("unknown record `{name}`")))?;
+        let mut fields = Vec::with_capacity(decl.fields.len());
+        for f in &decl.fields {
+            let v = match (&f.init, &f.ty) {
+                (Some(init), _) => self.eval(init)?,
+                (None, Some(ty)) => self.default_value(ty, f.span)?,
+                (None, None) => RtValue::Nil,
+            };
+            fields.push(v);
+        }
+        Ok(RtValue::Record { name: name.to_string(), fields })
+    }
+
+    /// Instantiate a class with default-valued fields (type-parameter
+    /// constructor arguments, as in `new SumOp(real)`, are accepted and
+    /// ignored — the subset is dynamically typed at runtime).
+    fn instantiate(&mut self, class: &str, span: Span) -> Result<Rc<RefCell<ObjectData>>, InterpError> {
+        let decl = self
+            .decls
+            .classes
+            .get(class)
+            .cloned()
+            .ok_or_else(|| InterpError::new(span, format!("unknown class `{class}`")))?;
+        let mut fields = HashMap::new();
+        for f in &decl.fields {
+            let v = match (&f.init, &f.ty) {
+                (Some(init), _) => self.eval(init)?,
+                (None, Some(ty)) => match self.default_value(ty, f.span) {
+                    Ok(v) => v,
+                    // Fields of a generic `type` parameter default to 0.0.
+                    Err(_) if matches!(&f.ty, Some(TypeExpr::Named(n))
+                        if decl.type_params.contains(n)) =>
+                    {
+                        RtValue::Real(0.0)
+                    }
+                    Err(e) => return Err(e),
+                },
+                (None, None) => RtValue::Real(0.0),
+            };
+            fields.insert(f.name.clone(), v);
+        }
+        Ok(Rc::new(RefCell::new(ObjectData { class: class.to_string(), fields })))
+    }
+
+    // ---------- name resolution ----------
+
+    fn lookup(&self, name: &str) -> Option<RtValue> {
+        let frame = self.frames.last().expect("frame");
+        for scope in frame.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Some(v.clone());
+            }
+        }
+        if let Some(obj) = self.self_stack.last() {
+            if let Some(v) = obj.borrow().fields.get(name) {
+                return Some(v.clone());
+            }
+        }
+        // Globals (frame 0 scope 0), unless we *are* the global frame
+        // (already searched).
+        if self.frames.len() > 1 {
+            if let Some(v) = self.frames[0][0].get(name) {
+                return Some(v.clone());
+            }
+        }
+        None
+    }
+
+    // ---------- assignment ----------
+
+    /// Store `value` at the location denoted by `lhs`.
+    fn store(&mut self, lhs: &Expr, value: RtValue) -> Result<(), InterpError> {
+        // Flatten the access path, evaluating indices eagerly.
+        let mut steps: Vec<Step> = Vec::new();
+        let mut cur = lhs;
+        let root = loop {
+            match cur {
+                Expr::Ident(name, _) => break name.clone(),
+                Expr::Index { base, indices, span } => {
+                    let mut idx = Vec::with_capacity(indices.len());
+                    for i in indices {
+                        idx.push(self.eval(i)?.as_i64().map_err(|e| e.with_span(*span))?);
+                    }
+                    steps.push(Step::Index(idx));
+                    cur = base;
+                }
+                Expr::Field { base, field, .. } => {
+                    steps.push(Step::Field(field.clone()));
+                    cur = base;
+                }
+                other => {
+                    return Err(InterpError::new(
+                        other.span(),
+                        "left side of assignment is not assignable",
+                    ));
+                }
+            }
+        };
+        steps.reverse();
+        let span = lhs.span();
+        let decls = self.decls.clone();
+
+        // Locate the root slot: current frame scopes, then self fields,
+        // then globals.
+        let frame_idx = self.frames.len() - 1;
+        let scope_idx = self.frames[frame_idx]
+            .iter()
+            .rposition(|s| s.contains_key(&root));
+        if let Some(si) = scope_idx {
+            let slot = self.frames[frame_idx][si].get_mut(&root).expect("checked");
+            let target = navigate(slot, &steps, &decls, span)?;
+            assign_preserving_kind(target, value, span)?;
+            return Ok(());
+        }
+        if let Some(obj) = self.self_stack.last().cloned() {
+            let mut data = obj.borrow_mut();
+            if let Some(slot) = data.fields.get_mut(&root) {
+                let target = navigate(slot, &steps, &decls, span)?;
+                assign_preserving_kind(target, value, span)?;
+                return Ok(());
+            }
+        }
+        if self.frames.len() > 1 {
+            if let Some(slot) = self.frames[0][0].get_mut(&root) {
+                let target = navigate(slot, &steps, &decls, span)?;
+                assign_preserving_kind(target, value, span)?;
+                return Ok(());
+            }
+        }
+        Err(InterpError::new(span, format!("unknown identifier `{root}`")))
+    }
+
+    // ---------- expressions ----------
+
+    fn eval(&mut self, e: &Expr) -> Result<RtValue, InterpError> {
+        self.tick(e.span())?;
+        match e {
+            Expr::Int(v, _) => Ok(RtValue::Int(*v)),
+            Expr::Real(v, _) => Ok(RtValue::Real(*v)),
+            Expr::Bool(v, _) => Ok(RtValue::Bool(*v)),
+            Expr::Str(s, _) => Ok(RtValue::Str(s.clone())),
+            Expr::Ident(name, span) => self
+                .lookup(name)
+                .ok_or_else(|| InterpError::new(*span, format!("unknown identifier `{name}`"))),
+            Expr::Range(r) => {
+                let lo = self.eval(&r.lo)?.as_i64().map_err(|e| e.with_span(r.span))?;
+                let hi = self.eval(&r.hi)?.as_i64().map_err(|e| e.with_span(r.span))?;
+                Ok(RtValue::Range(lo, hi))
+            }
+            Expr::Unary { op, e: inner, span } => {
+                let v = self.eval(inner)?;
+                match op {
+                    UnOp::Neg => match v {
+                        RtValue::Int(x) => Ok(RtValue::Int(-x)),
+                        RtValue::Real(x) => Ok(RtValue::Real(-x)),
+                        other => Err(InterpError::new(
+                            *span,
+                            format!("cannot negate {}", other.kind()),
+                        )),
+                    },
+                    UnOp::Not => Ok(RtValue::Bool(!v.as_bool().map_err(|e| e.with_span(*span))?)),
+                }
+            }
+            Expr::Binary { op, l, r, span } => {
+                // Short-circuit logical operators.
+                match op {
+                    BinOp::And => {
+                        let lv = self.eval(l)?.as_bool().map_err(|e| e.with_span(*span))?;
+                        if !lv {
+                            return Ok(RtValue::Bool(false));
+                        }
+                        let rv = self.eval(r)?.as_bool().map_err(|e| e.with_span(*span))?;
+                        return Ok(RtValue::Bool(rv));
+                    }
+                    BinOp::Or => {
+                        let lv = self.eval(l)?.as_bool().map_err(|e| e.with_span(*span))?;
+                        if lv {
+                            return Ok(RtValue::Bool(true));
+                        }
+                        let rv = self.eval(r)?.as_bool().map_err(|e| e.with_span(*span))?;
+                        return Ok(RtValue::Bool(rv));
+                    }
+                    _ => {}
+                }
+                let lv = self.eval(l)?;
+                let rv = self.eval(r)?;
+                binary_op(*op, &lv, &rv, *span)
+            }
+            Expr::Index { base, indices, span } => {
+                let b = self.eval(base)?;
+                let mut idx = Vec::with_capacity(indices.len());
+                for i in indices {
+                    idx.push(self.eval(i)?.as_i64().map_err(|e| e.with_span(*span))?);
+                }
+                index_value(&b, &idx, *span)
+            }
+            Expr::Field { base, field, span } => {
+                let b = self.eval(base)?;
+                field_value(&b, field, &self.decls, *span)
+            }
+            Expr::Call { callee, args, span } => self.eval_call(callee, args, *span),
+            Expr::Reduce { op, expr, span } => self.eval_reduce(op, expr, *span),
+            Expr::Scan { op, expr, span } => self.eval_scan(op, expr, *span),
+            Expr::New { class, args, span } => {
+                // Type-parameter arguments (e.g. `new Op(real)`) are
+                // accepted; runtime values are ignored by the subset's
+                // default constructor.
+                let _ = args;
+                let obj = self.instantiate(class, *span)?;
+                Ok(RtValue::Object(obj))
+            }
+        }
+    }
+
+    fn eval_call(
+        &mut self,
+        callee: &Expr,
+        args: &[Expr],
+        span: Span,
+    ) -> Result<RtValue, InterpError> {
+        // Method call?
+        if let Expr::Field { base, field, .. } = callee {
+            let obj = self.eval(base)?;
+            let RtValue::Object(obj) = obj else {
+                return Err(InterpError::new(
+                    span,
+                    format!("cannot call method `{field}` on {}", obj.kind()),
+                ));
+            };
+            let mut argv = Vec::with_capacity(args.len());
+            for a in args {
+                argv.push(self.eval(a)?);
+            }
+            return self.call_method(&obj, field, argv, span);
+        }
+
+        let Some(name) = callee.as_ident() else {
+            return Err(InterpError::new(span, "only named functions can be called"));
+        };
+        let name = name.to_string();
+
+        // Builtins (casts and math).
+        if let Some(v) = self.try_builtin(&name, args, span)? {
+            return Ok(v);
+        }
+
+        // User functions.
+        if let Some(f) = self.decls.funcs.get(&name).cloned() {
+            let mut argv = Vec::with_capacity(args.len());
+            for a in args {
+                argv.push(self.eval(a)?);
+            }
+            if argv.len() != f.params.len() {
+                return Err(InterpError::new(
+                    span,
+                    format!("`{name}` takes {} arguments, got {}", f.params.len(), argv.len()),
+                ));
+            }
+            let mut scope = HashMap::new();
+            for (p, v) in f.params.iter().zip(argv) {
+                scope.insert(p.name.clone(), v);
+            }
+            self.frames.push(vec![scope]);
+            let mut result = RtValue::Nil;
+            for s in &f.body.stmts {
+                if let Flow::Return(v) = self.exec_stmt(s)? {
+                    result = v;
+                    break;
+                }
+            }
+            self.frames.pop();
+            return Ok(result);
+        }
+
+        // Call-style array indexing: `A(i, j)`.
+        if let Some(v) = self.lookup(&name) {
+            if matches!(v, RtValue::Array { .. }) {
+                let mut idx = Vec::with_capacity(args.len());
+                for a in args {
+                    idx.push(self.eval(a)?.as_i64().map_err(|e| e.with_span(span))?);
+                }
+                return index_value(&v, &idx, span);
+            }
+        }
+
+        Err(InterpError::new(span, format!("unknown function `{name}`")))
+    }
+
+    fn try_builtin(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        span: Span,
+    ) -> Result<Option<RtValue>, InterpError> {
+        let unary_f64 = |interp: &mut Interpreter, args: &[Expr]| -> Result<f64, InterpError> {
+            if args.len() != 1 {
+                return Err(InterpError::new(span, format!("`{name}` takes 1 argument")));
+            }
+            interp.eval(&args[0])?.as_f64().map_err(|e| e.with_span(span))
+        };
+        let v = match name {
+            "int" | "floor" => RtValue::Int(unary_f64(self, args)?.floor() as i64),
+            "ceil" => RtValue::Int(unary_f64(self, args)?.ceil() as i64),
+            "round" => RtValue::Int(unary_f64(self, args)?.round() as i64),
+            "real" => RtValue::Real(unary_f64(self, args)?),
+            "sqrt" => RtValue::Real(unary_f64(self, args)?.sqrt()),
+            "sin" => RtValue::Real(unary_f64(self, args)?.sin()),
+            "cos" => RtValue::Real(unary_f64(self, args)?.cos()),
+            "exp" => RtValue::Real(unary_f64(self, args)?.exp()),
+            "log" => RtValue::Real(unary_f64(self, args)?.ln()),
+            "abs" => {
+                if args.len() != 1 {
+                    return Err(InterpError::new(span, "`abs` takes 1 argument"));
+                }
+                match self.eval(&args[0])? {
+                    RtValue::Int(x) => RtValue::Int(x.abs()),
+                    RtValue::Real(x) => RtValue::Real(x.abs()),
+                    other => {
+                        return Err(InterpError::new(
+                            span,
+                            format!("cannot `abs` {}", other.kind()),
+                        ));
+                    }
+                }
+            }
+            "min" | "max" => {
+                if args.len() == 1 {
+                    // `max(int)` / `min(real)` — the type's extreme.
+                    let v = match (name, args[0].as_ident()) {
+                        ("max", Some("int")) => RtValue::Int(i64::MAX),
+                        ("min", Some("int")) => RtValue::Int(i64::MIN),
+                        ("max", Some("real")) => RtValue::Real(f64::INFINITY),
+                        ("min", Some("real")) => RtValue::Real(f64::NEG_INFINITY),
+                        _ => {
+                            return Err(InterpError::new(
+                                span,
+                                format!("`{name}` with one argument expects a type name"),
+                            ));
+                        }
+                    };
+                    return Ok(Some(v));
+                }
+                if args.len() != 2 {
+                    return Err(InterpError::new(span, format!("`{name}` takes 2 arguments")));
+                }
+                let a = self.eval(&args[0])?;
+                let b = self.eval(&args[1])?;
+                match (&a, &b) {
+                    (RtValue::Int(x), RtValue::Int(y)) => {
+                        let v = if name == "min" { *x.min(y) } else { *x.max(y) };
+                        RtValue::Int(v)
+                    }
+                    _ => {
+                        let x = a.as_f64().map_err(|e| e.with_span(span))?;
+                        let y = b.as_f64().map_err(|e| e.with_span(span))?;
+                        RtValue::Real(if name == "min" { x.min(y) } else { x.max(y) })
+                    }
+                }
+            }
+            _ => return Ok(None),
+        };
+        Ok(Some(v))
+    }
+
+    /// Instantiate a class with default-valued fields (public for the
+    /// translator's user-defined-reduction bridge).
+    pub fn instantiate_object(
+        &mut self,
+        class: &str,
+    ) -> Result<Rc<RefCell<ObjectData>>, InterpError> {
+        self.instantiate(class, Span::default())
+    }
+
+    /// Call a method on a class instance, binding `self` fields.
+    pub fn call_method(
+        &mut self,
+        obj: &Rc<RefCell<ObjectData>>,
+        method: &str,
+        args: Vec<RtValue>,
+        span: Span,
+    ) -> Result<RtValue, InterpError> {
+        let class = obj.borrow().class.clone();
+        let decl = self
+            .decls
+            .classes
+            .get(&class)
+            .cloned()
+            .ok_or_else(|| InterpError::new(span, format!("unknown class `{class}`")))?;
+        let m = decl
+            .method(method)
+            .cloned()
+            .ok_or_else(|| InterpError::new(span, format!("`{class}` has no method `{method}`")))?;
+        if args.len() != m.params.len() {
+            return Err(InterpError::new(
+                span,
+                format!("`{class}.{method}` takes {} arguments, got {}", m.params.len(), args.len()),
+            ));
+        }
+        let mut scope = HashMap::new();
+        for (p, v) in m.params.iter().zip(args) {
+            scope.insert(p.name.clone(), v);
+        }
+        self.frames.push(vec![scope]);
+        self.self_stack.push(obj.clone());
+        let mut result = RtValue::Nil;
+        let mut err = None;
+        for s in &m.body.stmts {
+            match self.exec_stmt(s) {
+                Ok(Flow::Return(v)) => {
+                    result = v;
+                    break;
+                }
+                Ok(Flow::Normal) => {}
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        self.self_stack.pop();
+        self.frames.pop();
+        match err {
+            Some(e) => Err(e),
+            None => Ok(result),
+        }
+    }
+
+    // ---------- reductions ----------
+
+    /// Inclusive prefix scan with a built-in operator: element `i` of
+    /// the result folds elements `1..=i` of the operand.
+    fn eval_scan(
+        &mut self,
+        op: &ReduceOp,
+        expr: &Expr,
+        span: Span,
+    ) -> Result<RtValue, InterpError> {
+        let operand = self.eval(expr)?;
+        let (lo, items): (i64, Vec<RtValue>) = match operand {
+            RtValue::Array { lo, items } => (lo, items),
+            RtValue::Range(a, b) => (1, (a..=b).map(RtValue::Int).collect()),
+            other => {
+                return Err(InterpError::new(
+                    span,
+                    format!("cannot scan over {}", other.kind()),
+                ));
+            }
+        };
+        let bop = match op {
+            ReduceOp::Sum => BinOp::Add,
+            ReduceOp::Product => BinOp::Mul,
+            ReduceOp::Min | ReduceOp::Max | ReduceOp::LogicalAnd | ReduceOp::LogicalOr => {
+                // Folded inline below.
+                BinOp::Add
+            }
+            ReduceOp::UserDefined(_) => {
+                return Err(InterpError::new(
+                    span,
+                    "user-defined scans are not supported by the subset",
+                ));
+            }
+        };
+        let mut out = Vec::with_capacity(items.len());
+        let mut acc: Option<RtValue> = None;
+        for v in items {
+            let next = match (&acc, op) {
+                (None, _) => v,
+                (Some(a), ReduceOp::Min) => {
+                    if v.as_f64().map_err(|e| e.with_span(span))?
+                        < a.as_f64().map_err(|e| e.with_span(span))?
+                    {
+                        v
+                    } else {
+                        a.clone()
+                    }
+                }
+                (Some(a), ReduceOp::Max) => {
+                    if v.as_f64().map_err(|e| e.with_span(span))?
+                        > a.as_f64().map_err(|e| e.with_span(span))?
+                    {
+                        v
+                    } else {
+                        a.clone()
+                    }
+                }
+                (Some(a), ReduceOp::LogicalAnd) => RtValue::Bool(
+                    a.as_bool().map_err(|e| e.with_span(span))?
+                        && v.as_bool().map_err(|e| e.with_span(span))?,
+                ),
+                (Some(a), ReduceOp::LogicalOr) => RtValue::Bool(
+                    a.as_bool().map_err(|e| e.with_span(span))?
+                        || v.as_bool().map_err(|e| e.with_span(span))?,
+                ),
+                (Some(a), _) => binary_op(bop, a, &v, span)?,
+            };
+            out.push(next.clone());
+            acc = Some(next);
+        }
+        Ok(RtValue::Array { lo, items: out })
+    }
+
+    fn eval_reduce(
+        &mut self,
+        op: &ReduceOp,
+        expr: &Expr,
+        span: Span,
+    ) -> Result<RtValue, InterpError> {
+        let operand = self.eval(expr)?;
+        let items: Vec<RtValue> = match operand {
+            RtValue::Array { items, .. } => items,
+            RtValue::Range(lo, hi) => (lo..=hi).map(RtValue::Int).collect(),
+            other => {
+                return Err(InterpError::new(
+                    span,
+                    format!("cannot reduce over {}", other.kind()),
+                ));
+            }
+        };
+        if items.is_empty() {
+            return Err(InterpError::new(span, "reduction over an empty collection"));
+        }
+        match op {
+            ReduceOp::Sum => fold_binop(BinOp::Add, items, span),
+            ReduceOp::Product => fold_binop(BinOp::Mul, items, span),
+            ReduceOp::Min => fold_minmax(items, true, span),
+            ReduceOp::Max => fold_minmax(items, false, span),
+            ReduceOp::LogicalAnd => {
+                let mut acc = true;
+                for v in items {
+                    acc = acc && v.as_bool().map_err(|e| e.with_span(span))?;
+                }
+                Ok(RtValue::Bool(acc))
+            }
+            ReduceOp::LogicalOr => {
+                let mut acc = false;
+                for v in items {
+                    acc = acc || v.as_bool().map_err(|e| e.with_span(span))?;
+                }
+                Ok(RtValue::Bool(acc))
+            }
+            ReduceOp::UserDefined(class) => {
+                let obj = self.instantiate(class, span)?;
+                for item in items {
+                    self.call_method(&obj, "accumulate", vec![item], span)?;
+                }
+                self.call_method(&obj, "generate", vec![], span)
+            }
+        }
+    }
+}
+
+// ---------- free helpers ----------
+
+fn fold_binop(op: BinOp, items: Vec<RtValue>, span: Span) -> Result<RtValue, InterpError> {
+    let mut it = items.into_iter();
+    let mut acc = it.next().expect("non-empty");
+    for v in it {
+        acc = binary_op(op, &acc, &v, span)?;
+    }
+    Ok(acc)
+}
+
+fn fold_minmax(items: Vec<RtValue>, is_min: bool, span: Span) -> Result<RtValue, InterpError> {
+    let mut it = items.into_iter();
+    let mut acc = it.next().expect("non-empty");
+    for v in it {
+        let take = match (&acc, &v) {
+            (RtValue::Int(a), RtValue::Int(b)) => {
+                if is_min {
+                    b < a
+                } else {
+                    b > a
+                }
+            }
+            _ => {
+                let a = acc.as_f64().map_err(|e| e.with_span(span))?;
+                let b = v.as_f64().map_err(|e| e.with_span(span))?;
+                if is_min {
+                    b < a
+                } else {
+                    b > a
+                }
+            }
+        };
+        if take {
+            acc = v;
+        }
+    }
+    Ok(acc)
+}
+
+/// Apply a binary operator. Int×Int stays Int (Chapel truncating `/`);
+/// anything mixed with Real widens; arrays combine elementwise for the
+/// arithmetic operators (Chapel promoted expressions like `A + B`).
+fn binary_op(op: BinOp, l: &RtValue, r: &RtValue, span: Span) -> Result<RtValue, InterpError> {
+    use BinOp::*;
+    // Elementwise promotion over arrays.
+    if matches!(op, Add | Sub | Mul | Div) {
+        match (l, r) {
+            (RtValue::Array { lo, items: li }, RtValue::Array { items: ri, .. }) => {
+                if li.len() != ri.len() {
+                    return Err(InterpError::new(span, "elementwise arrays differ in length"));
+                }
+                let items: Result<Vec<RtValue>, InterpError> =
+                    li.iter().zip(ri).map(|(a, b)| binary_op(op, a, b, span)).collect();
+                return Ok(RtValue::Array { lo: *lo, items: items? });
+            }
+            (RtValue::Array { lo, items }, scalar) if !matches!(scalar, RtValue::Array { .. }) => {
+                let items: Result<Vec<RtValue>, InterpError> =
+                    items.iter().map(|a| binary_op(op, a, scalar, span)).collect();
+                return Ok(RtValue::Array { lo: *lo, items: items? });
+            }
+            (scalar, RtValue::Array { lo, items }) if !matches!(scalar, RtValue::Array { .. }) => {
+                let items: Result<Vec<RtValue>, InterpError> =
+                    items.iter().map(|b| binary_op(op, scalar, b, span)).collect();
+                return Ok(RtValue::Array { lo: *lo, items: items? });
+            }
+            _ => {}
+        }
+    }
+
+    match op {
+        Add | Sub | Mul | Div | Mod | Pow => match (l, r) {
+            (RtValue::Int(a), RtValue::Int(b)) => {
+                let v = match op {
+                    Add => a.wrapping_add(*b),
+                    Sub => a.wrapping_sub(*b),
+                    Mul => a.wrapping_mul(*b),
+                    Div => {
+                        if *b == 0 {
+                            return Err(InterpError::new(span, "integer division by zero"));
+                        }
+                        a / b
+                    }
+                    Mod => {
+                        if *b == 0 {
+                            return Err(InterpError::new(span, "integer modulo by zero"));
+                        }
+                        a % b
+                    }
+                    Pow => {
+                        if *b >= 0 {
+                            a.pow((*b).min(63) as u32)
+                        } else {
+                            return Ok(RtValue::Real((*a as f64).powi(*b as i32)));
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+                Ok(RtValue::Int(v))
+            }
+            _ => {
+                let a = l.as_f64().map_err(|e| e.with_span(span))?;
+                let b = r.as_f64().map_err(|e| e.with_span(span))?;
+                let v = match op {
+                    Add => a + b,
+                    Sub => a - b,
+                    Mul => a * b,
+                    Div => a / b,
+                    Mod => a % b,
+                    Pow => a.powf(b),
+                    _ => unreachable!(),
+                };
+                Ok(RtValue::Real(v))
+            }
+        },
+        Eq | Ne => {
+            let eq = match (l, r) {
+                (RtValue::Str(a), RtValue::Str(b)) => a == b,
+                (RtValue::Bool(a), RtValue::Bool(b)) => a == b,
+                _ => {
+                    l.as_f64().map_err(|e| e.with_span(span))?
+                        == r.as_f64().map_err(|e| e.with_span(span))?
+                }
+            };
+            Ok(RtValue::Bool(if matches!(op, Eq) { eq } else { !eq }))
+        }
+        Lt | Le | Gt | Ge => {
+            let a = l.as_f64().map_err(|e| e.with_span(span))?;
+            let b = r.as_f64().map_err(|e| e.with_span(span))?;
+            let v = match op {
+                Lt => a < b,
+                Le => a <= b,
+                Gt => a > b,
+                Ge => a >= b,
+                _ => unreachable!(),
+            };
+            Ok(RtValue::Bool(v))
+        }
+        And | Or => unreachable!("short-circuited in eval"),
+    }
+}
+
+/// Index into an array value, applying one index per nesting level.
+fn index_value(base: &RtValue, idx: &[i64], span: Span) -> Result<RtValue, InterpError> {
+    let mut cur = base;
+    for &i in idx {
+        match cur {
+            RtValue::Array { lo, items } => {
+                let off = i - lo;
+                if off < 0 || off as usize >= items.len() {
+                    return Err(InterpError::new(
+                        span,
+                        format!("index {i} out of bounds {}..{}", lo, *lo + items.len() as i64 - 1),
+                    ));
+                }
+                cur = &items[off as usize];
+            }
+            other => {
+                return Err(InterpError::new(span, format!("cannot index {}", other.kind())));
+            }
+        }
+    }
+    Ok(cur.clone())
+}
+
+/// Read a field of a record or object.
+fn field_value(
+    base: &RtValue,
+    field: &str,
+    decls: &ProgramDecls,
+    span: Span,
+) -> Result<RtValue, InterpError> {
+    match base {
+        RtValue::Record { name, fields } => {
+            let decl = decls
+                .records
+                .get(name)
+                .ok_or_else(|| InterpError::new(span, format!("unknown record `{name}`")))?;
+            let pos = decl
+                .fields
+                .iter()
+                .position(|f| f.name == field)
+                .ok_or_else(|| InterpError::new(span, format!("`{name}` has no field `{field}`")))?;
+            Ok(fields[pos].clone())
+        }
+        RtValue::Object(obj) => obj
+            .borrow()
+            .fields
+            .get(field)
+            .cloned()
+            .ok_or_else(|| InterpError::new(span, format!("object has no field `{field}`"))),
+        other => Err(InterpError::new(span, format!("{} has no fields", other.kind()))),
+    }
+}
+
+/// Navigate an lvalue path to the target slot.
+fn navigate<'a>(
+    mut slot: &'a mut RtValue,
+    steps: &[Step],
+    decls: &ProgramDecls,
+    span: Span,
+) -> Result<&'a mut RtValue, InterpError> {
+    for step in steps {
+        match step {
+            Step::Index(idx) => {
+                for &i in idx {
+                    match slot {
+                        RtValue::Array { lo, items } => {
+                            let off = i - *lo;
+                            if off < 0 || off as usize >= items.len() {
+                                return Err(InterpError::new(
+                                    span,
+                                    format!(
+                                        "index {i} out of bounds {}..{}",
+                                        lo,
+                                        *lo + items.len() as i64 - 1
+                                    ),
+                                ));
+                            }
+                            slot = &mut items[off as usize];
+                        }
+                        other => {
+                            return Err(InterpError::new(
+                                span,
+                                format!("cannot index {}", other.kind()),
+                            ));
+                        }
+                    }
+                }
+            }
+            Step::Field(name) => match slot {
+                RtValue::Record { name: rname, fields } => {
+                    let decl = decls.records.get(rname).ok_or_else(|| {
+                        InterpError::new(span, format!("unknown record `{rname}`"))
+                    })?;
+                    let pos = decl.fields.iter().position(|f| f.name == *name).ok_or_else(
+                        || InterpError::new(span, format!("`{rname}` has no field `{name}`")),
+                    )?;
+                    slot = &mut fields[pos];
+                }
+                other => {
+                    return Err(InterpError::new(
+                        span,
+                        format!("{} has no fields", other.kind()),
+                    ));
+                }
+            },
+        }
+    }
+    Ok(slot)
+}
+
+/// Assign into a slot, preserving an `int` slot's kind when the value is
+/// a whole-number real (mirrors Chapel's typed variables under our
+/// dynamically-typed execution).
+fn assign_preserving_kind(slot: &mut RtValue, value: RtValue, span: Span) -> Result<(), InterpError> {
+    match (&*slot, &value) {
+        (RtValue::Int(_), RtValue::Real(x)) => {
+            if x.fract() == 0.0 {
+                *slot = RtValue::Int(*x as i64);
+                Ok(())
+            } else {
+                Err(InterpError::new(
+                    span,
+                    format!("cannot store non-integer {x} into an int variable"),
+                ))
+            }
+        }
+        (RtValue::Real(_), RtValue::Int(x)) => {
+            *slot = RtValue::Real(*x as f64);
+            Ok(())
+        }
+        _ => {
+            *slot = value;
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,919 @@
+//! The type checker.
+//!
+//! Strictness policy: the checker is strict wherever types are known
+//! (indexing non-arrays, unknown fields, arity mismatches, assigning
+//! `real` to `int`, non-constant array bounds) and lenient where the
+//! paper's Chapel is generic (unannotated method parameters such as
+//! `accumulate(x)` are `Unknown` and compatible with everything).
+
+use std::collections::HashMap;
+
+use chapel_frontend::ast::*;
+
+use crate::error::SemaError;
+use crate::types::{ClassInfo, DeclTable, FuncSig, RecordInfo, Ty};
+
+/// The result of semantic analysis: declaration tables plus (on
+/// success) no diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// Declaration tables and the constant environment.
+    pub decls: DeclTable,
+}
+
+/// Analyze a program: build tables, resolve types, and type-check every
+/// statement. All errors are accumulated.
+pub fn analyze(program: &Program) -> Result<Analysis, Vec<SemaError>> {
+    let mut cx = Checker::default();
+    cx.collect_names(program);
+    cx.resolve_decls(program);
+    cx.check_top_level(program);
+    cx.check_functions(program);
+    if cx.errors.is_empty() {
+        Ok(Analysis { decls: cx.decls })
+    } else {
+        Err(cx.errors)
+    }
+}
+
+#[derive(Default)]
+struct Checker {
+    decls: DeclTable,
+    errors: Vec<SemaError>,
+    /// Lexical scopes for local variables (innermost last).
+    scopes: Vec<HashMap<String, Ty>>,
+}
+
+impl Checker {
+    fn error(&mut self, span: chapel_frontend::token::Span, msg: impl Into<String>) {
+        self.errors.push(SemaError::new(span, msg));
+    }
+
+    // ---------- passes ----------
+
+    /// Pass 1a: register record/class/function names so forward
+    /// references resolve.
+    fn collect_names(&mut self, program: &Program) {
+        for item in &program.items {
+            match item {
+                Item::Record(r) => {
+                    if self
+                        .decls
+                        .records
+                        .insert(r.name.clone(), RecordInfo { fields: Vec::new(), decl: r.clone() })
+                        .is_some()
+                    {
+                        self.error(r.span, format!("duplicate record `{}`", r.name));
+                    }
+                }
+                Item::Class(c) => {
+                    if self
+                        .decls
+                        .classes
+                        .insert(c.name.clone(), ClassInfo { fields: Vec::new(), decl: c.clone() })
+                        .is_some()
+                    {
+                        self.error(c.span, format!("duplicate class `{}`", c.name));
+                    }
+                }
+                Item::Func(f) => {
+                    let sig = FuncSig {
+                        params: vec![Ty::Unknown; f.params.len()],
+                        ret: Ty::Unknown,
+                        decl: f.clone(),
+                    };
+                    if self.decls.funcs.insert(f.name.clone(), sig).is_some() {
+                        self.error(f.span, format!("duplicate function `{}`", f.name));
+                    }
+                }
+                Item::Stmt(_) => {}
+            }
+        }
+    }
+
+    /// Pass 1b: resolve field and signature types now that names exist.
+    fn resolve_decls(&mut self, program: &Program) {
+        for item in &program.items {
+            match item {
+                Item::Record(r) => {
+                    let mut fields = Vec::new();
+                    for f in &r.fields {
+                        match f.ty.as_ref().map(|t| self.decls.resolve_type(t)) {
+                            Some(Ok(ty)) => fields.push((f.name.clone(), ty)),
+                            Some(Err(e)) => self.errors.push(e.at(f.span)),
+                            None => self.error(f.span, "record fields need a type"),
+                        }
+                    }
+                    self.decls.records.get_mut(&r.name).expect("registered").fields = fields;
+                }
+                Item::Class(c) => {
+                    // ReduceScanOp subclasses must provide the trio.
+                    if c.is_reduce_op() {
+                        for required in ["accumulate", "combine", "generate"] {
+                            if c.method(required).is_none() {
+                                self.error(
+                                    c.span,
+                                    format!(
+                                        "reduction class `{}` is missing `{required}`",
+                                        c.name
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                    let mut fields = Vec::new();
+                    for f in &c.fields {
+                        let ty = match f.ty.as_ref() {
+                            Some(t) => match self.decls.resolve_type(t) {
+                                Ok(ty) => ty,
+                                Err(_) if c.type_params.iter().any(|tp| {
+                                    matches!(t, TypeExpr::Named(n) if n == tp)
+                                }) =>
+                                {
+                                    // Field of a generic `type` parameter.
+                                    Ty::Unknown
+                                }
+                                Err(e) => {
+                                    self.errors.push(e.at(f.span));
+                                    Ty::Unknown
+                                }
+                            },
+                            None => Ty::Unknown,
+                        };
+                        fields.push((f.name.clone(), ty));
+                    }
+                    self.decls.classes.get_mut(&c.name).expect("registered").fields = fields;
+                }
+                Item::Func(f) => {
+                    let params: Vec<Ty> = f
+                        .params
+                        .iter()
+                        .map(|p| match &p.ty {
+                            Some(t) => self.decls.resolve_type(t).unwrap_or(Ty::Unknown),
+                            None => Ty::Unknown,
+                        })
+                        .collect();
+                    let ret = match &f.ret {
+                        Some(t) => self.decls.resolve_type(t).unwrap_or(Ty::Unknown),
+                        None => Ty::Unknown,
+                    };
+                    let sig = self.decls.funcs.get_mut(&f.name).expect("registered");
+                    sig.params = params;
+                    sig.ret = ret;
+                }
+                Item::Stmt(_) => {}
+            }
+        }
+    }
+
+    /// Pass 2: globals and top-level statements, in order.
+    fn check_top_level(&mut self, program: &Program) {
+        self.scopes.push(HashMap::new());
+        for item in &program.items {
+            if let Item::Stmt(s) = item {
+                self.check_global_stmt(s);
+            }
+        }
+        self.scopes.pop();
+    }
+
+    fn check_global_stmt(&mut self, s: &Stmt) {
+        if let Stmt::Var(v) = s {
+            self.decls.note_const(v);
+            let ty = self.var_decl_type(v);
+            self.decls.globals.insert(v.name.clone(), ty.clone());
+            self.decls.global_order.push(v.name.clone());
+            // Also visible as a "local" so lookup() finds it.
+            self.scopes.last_mut().expect("scope").insert(v.name.clone(), ty);
+        } else {
+            self.check_stmt(s);
+        }
+    }
+
+    /// Pass 3: function and method bodies.
+    fn check_functions(&mut self, program: &Program) {
+        for item in &program.items {
+            match item {
+                Item::Func(f) => self.check_func_body(f, None),
+                Item::Class(c) => {
+                    for m in &c.methods {
+                        self.check_func_body(m, Some(&c.name.clone()));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn check_func_body(&mut self, f: &FuncDecl, class: Option<&str>) {
+        let mut scope = HashMap::new();
+        if let Some(cname) = class {
+            // Class fields are in scope inside methods.
+            if let Some(info) = self.decls.classes.get(cname) {
+                for (n, t) in &info.fields {
+                    scope.insert(n.clone(), t.clone());
+                }
+            }
+        }
+        for p in &f.params {
+            let ty = match &p.ty {
+                Some(t) => self.decls.resolve_type(t).unwrap_or(Ty::Unknown),
+                None => Ty::Unknown,
+            };
+            scope.insert(p.name.clone(), ty);
+        }
+        self.scopes.push(scope);
+        for s in &f.body.stmts {
+            self.check_stmt(s);
+        }
+        self.scopes.pop();
+    }
+
+    // ---------- statements ----------
+
+    fn var_decl_type(&mut self, v: &VarDecl) -> Ty {
+        let declared = v.ty.as_ref().map(|t| match self.decls.resolve_type(t) {
+            Ok(ty) => ty,
+            Err(e) => {
+                self.errors.push(e.at(v.span));
+                Ty::Unknown
+            }
+        });
+        let inferred = v.init.as_ref().map(|e| self.type_of(e));
+        match (declared, inferred) {
+            (Some(d), Some(i)) => {
+                if !d.accepts(&i) {
+                    self.error(
+                        v.span,
+                        format!(
+                            "cannot initialise `{}` of type {} from {}",
+                            v.name,
+                            d.describe(),
+                            i.describe()
+                        ),
+                    );
+                }
+                d
+            }
+            (Some(d), None) => d,
+            (None, Some(i)) => i,
+            (None, None) => {
+                self.error(v.span, format!("`{}` needs a type or an initializer", v.name));
+                Ty::Unknown
+            }
+        }
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Var(v) => {
+                self.decls.note_const(v);
+                let ty = self.var_decl_type(v);
+                self.scopes.last_mut().expect("scope").insert(v.name.clone(), ty);
+            }
+            Stmt::Assign { lhs, op, rhs, span } => {
+                if !is_lvalue(lhs) {
+                    self.error(*span, "left side of assignment is not assignable");
+                }
+                let lt = self.type_of(lhs);
+                let rt = self.type_of(rhs);
+                match op {
+                    AssignOp::Set => {
+                        if !lt.accepts(&rt) {
+                            self.error(
+                                *span,
+                                format!("cannot assign {} to {}", rt.describe(), lt.describe()),
+                            );
+                        }
+                    }
+                    _ => {
+                        // Compound ops need numerics on both sides.
+                        if !lt.is_numeric() || !rt.is_numeric() {
+                            self.error(
+                                *span,
+                                format!(
+                                    "compound assignment needs numeric operands, got {} and {}",
+                                    lt.describe(),
+                                    rt.describe()
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            Stmt::Expr(e) => {
+                self.type_of(e);
+            }
+            Stmt::For { index, iter, body, span, .. } => {
+                let ity = self.type_of(iter);
+                let idx_ty = match ity {
+                    Ty::Range => Ty::Int,
+                    Ty::Array { elem, .. } => *elem,
+                    Ty::Unknown => Ty::Unknown,
+                    other => {
+                        self.error(
+                            *span,
+                            format!("cannot iterate over {}", other.describe()),
+                        );
+                        Ty::Unknown
+                    }
+                };
+                self.scopes.push(HashMap::from([(index.clone(), idx_ty)]));
+                for st in &body.stmts {
+                    self.check_stmt(st);
+                }
+                self.scopes.pop();
+            }
+            Stmt::While { cond, body, span } => {
+                let ct = self.type_of(cond);
+                if !matches!(ct, Ty::Bool | Ty::Unknown) {
+                    self.error(*span, format!("while condition is {}", ct.describe()));
+                }
+                self.scopes.push(HashMap::new());
+                for st in &body.stmts {
+                    self.check_stmt(st);
+                }
+                self.scopes.pop();
+            }
+            Stmt::If { cond, then, els, span } => {
+                let ct = self.type_of(cond);
+                if !matches!(ct, Ty::Bool | Ty::Unknown) {
+                    self.error(*span, format!("if condition is {}", ct.describe()));
+                }
+                self.scopes.push(HashMap::new());
+                for st in &then.stmts {
+                    self.check_stmt(st);
+                }
+                self.scopes.pop();
+                if let Some(e) = els {
+                    self.scopes.push(HashMap::new());
+                    for st in &e.stmts {
+                        self.check_stmt(st);
+                    }
+                    self.scopes.pop();
+                }
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    self.type_of(v);
+                }
+            }
+            Stmt::Writeln { args, .. } => {
+                for a in args {
+                    self.type_of(a);
+                }
+            }
+            Stmt::Block(b) => {
+                self.scopes.push(HashMap::new());
+                for st in &b.stmts {
+                    self.check_stmt(st);
+                }
+                self.scopes.pop();
+            }
+        }
+    }
+
+    // ---------- expressions ----------
+
+    fn lookup(&self, name: &str) -> Option<Ty> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(t) = scope.get(name) {
+                return Some(t.clone());
+            }
+        }
+        self.decls.globals.get(name).cloned()
+    }
+
+    fn type_of(&mut self, e: &Expr) -> Ty {
+        match e {
+            Expr::Int(..) => Ty::Int,
+            Expr::Real(..) => Ty::Real,
+            Expr::Bool(..) => Ty::Bool,
+            Expr::Str(..) => Ty::String,
+            Expr::Range(r) => {
+                let lt = self.type_of(&r.lo);
+                let ht = self.type_of(&r.hi);
+                if !matches!(lt, Ty::Int | Ty::Unknown) || !matches!(ht, Ty::Int | Ty::Unknown) {
+                    self.error(r.span, "range bounds must be integers");
+                }
+                Ty::Range
+            }
+            Expr::Ident(n, span) => match self.lookup(n) {
+                Some(t) => t,
+                None => {
+                    self.error(*span, format!("unknown identifier `{n}`"));
+                    Ty::Unknown
+                }
+            },
+            Expr::Unary { op, e, span } => {
+                let t = self.type_of(e);
+                match op {
+                    UnOp::Neg => {
+                        if !t.is_numeric() {
+                            self.error(*span, format!("cannot negate {}", t.describe()));
+                        }
+                        t
+                    }
+                    UnOp::Not => {
+                        if !matches!(t, Ty::Bool | Ty::Unknown) {
+                            self.error(*span, format!("cannot `!` {}", t.describe()));
+                        }
+                        Ty::Bool
+                    }
+                }
+            }
+            Expr::Binary { op, l, r, span } => {
+                let lt = self.type_of(l);
+                let rt = self.type_of(r);
+                self.binary_type(*op, &lt, &rt, *span)
+            }
+            Expr::Index { base, indices, span } => {
+                let bt = self.type_of(base);
+                for i in indices {
+                    let it = self.type_of(i);
+                    if !matches!(it, Ty::Int | Ty::Unknown) {
+                        self.error(i.span(), format!("index is {}", it.describe()));
+                    }
+                }
+                match bt {
+                    Ty::Array { dims, elem } => {
+                        if indices.len() == dims.len() {
+                            *elem
+                        } else if indices.len() < dims.len() {
+                            Ty::Array {
+                                dims: dims[indices.len()..].to_vec(),
+                                elem,
+                            }
+                        } else {
+                            self.error(
+                                *span,
+                                format!(
+                                    "{} indices on a {}-dimensional array",
+                                    indices.len(),
+                                    dims.len()
+                                ),
+                            );
+                            Ty::Unknown
+                        }
+                    }
+                    Ty::Unknown => Ty::Unknown,
+                    other => {
+                        self.error(*span, format!("cannot index {}", other.describe()));
+                        Ty::Unknown
+                    }
+                }
+            }
+            Expr::Field { base, field, span } => {
+                let bt = self.type_of(base);
+                match bt {
+                    Ty::Record(name) => match self
+                        .decls
+                        .records
+                        .get(&name)
+                        .and_then(|r| r.field(field))
+                    {
+                        Some((_, t)) => t.clone(),
+                        None => {
+                            self.error(
+                                *span,
+                                format!("record `{name}` has no field `{field}`"),
+                            );
+                            Ty::Unknown
+                        }
+                    },
+                    Ty::Class(name) => {
+                        let found = self
+                            .decls
+                            .classes
+                            .get(&name)
+                            .and_then(|c| c.fields.iter().find(|(n, _)| n == field))
+                            .map(|(_, t)| t.clone());
+                        match found {
+                            Some(t) => t,
+                            None => {
+                                self.error(
+                                    *span,
+                                    format!("class `{name}` has no field `{field}`"),
+                                );
+                                Ty::Unknown
+                            }
+                        }
+                    }
+                    Ty::Unknown => Ty::Unknown,
+                    other => {
+                        self.error(
+                            *span,
+                            format!("{} has no fields", other.describe()),
+                        );
+                        Ty::Unknown
+                    }
+                }
+            }
+            Expr::Call { callee, args, span } => self.call_type(callee, args, *span),
+            Expr::Reduce { op, expr, span } => self.reduce_type(op, expr, *span),
+            Expr::Scan { op, expr, span } => {
+                // An inclusive scan yields an array of the operand's
+                // extent with the reduction's element type.
+                let et = self.type_of(expr);
+                let elem = self.reduce_type(op, expr, *span);
+                match et {
+                    Ty::Array { dims, .. } => Ty::Array { dims, elem: Box::new(elem) },
+                    Ty::Range => Ty::Array {
+                        // Extent unknown without const bounds; ranges
+                        // scan to arrays starting at 1 in the subset.
+                        dims: vec![(1, 1)],
+                        elem: Box::new(elem),
+                    },
+                    _ => Ty::Unknown,
+                }
+            }
+            Expr::New { class, args, span } => {
+                if !self.decls.classes.contains_key(class) {
+                    self.error(*span, format!("unknown class `{class}`"));
+                }
+                for a in args {
+                    // Constructor args: the subset allows type arguments
+                    // like `new Op(real)`; idents naming types are fine.
+                    if let Expr::Ident(n, _) = a {
+                        if n == "int" || n == "real" || self.lookup(n).is_some() {
+                            continue;
+                        }
+                    }
+                    self.type_of(a);
+                }
+                Ty::Class(class.clone())
+            }
+        }
+    }
+
+    fn binary_type(
+        &mut self,
+        op: BinOp,
+        lt: &Ty,
+        rt: &Ty,
+        span: chapel_frontend::token::Span,
+    ) -> Ty {
+        use BinOp::*;
+        // Elementwise array arithmetic: [n] T op [n] T.
+        if let (Ty::Array { dims: d1, elem: e1 }, Ty::Array { dims: d2, elem: e2 }) = (lt, rt) {
+            if matches!(op, Add | Sub | Mul | Div) {
+                if d1.iter().zip(d2).all(|(a, b)| a.1 - a.0 == b.1 - b.0) && d1.len() == d2.len() {
+                    let elem = self.binary_type(op, e1, e2, span);
+                    return Ty::Array { dims: d1.clone(), elem: Box::new(elem) };
+                }
+                self.error(span, "elementwise operation on arrays of different extents");
+                return Ty::Unknown;
+            }
+        }
+        match op {
+            Add | Sub | Mul | Div | Mod | Pow => {
+                if !lt.is_numeric() || !rt.is_numeric() {
+                    self.error(
+                        span,
+                        format!(
+                            "arithmetic needs numbers, got {} and {}",
+                            lt.describe(),
+                            rt.describe()
+                        ),
+                    );
+                    return Ty::Unknown;
+                }
+                if matches!(op, Div) {
+                    // Chapel `/` on ints yields int; our subset follows.
+                    if *lt == Ty::Int && *rt == Ty::Int {
+                        return Ty::Int;
+                    }
+                    return Ty::Real;
+                }
+                if *lt == Ty::Real || *rt == Ty::Real {
+                    Ty::Real
+                } else if *lt == Ty::Unknown || *rt == Ty::Unknown {
+                    Ty::Unknown
+                } else {
+                    Ty::Int
+                }
+            }
+            Eq | Ne | Lt | Le | Gt | Ge => {
+                if (lt.is_numeric() && rt.is_numeric())
+                    || lt == rt
+                    || matches!(lt, Ty::Unknown)
+                    || matches!(rt, Ty::Unknown)
+                {
+                    Ty::Bool
+                } else {
+                    self.error(
+                        span,
+                        format!("cannot compare {} with {}", lt.describe(), rt.describe()),
+                    );
+                    Ty::Bool
+                }
+            }
+            And | Or => {
+                if !matches!(lt, Ty::Bool | Ty::Unknown) || !matches!(rt, Ty::Bool | Ty::Unknown) {
+                    self.error(span, "logical operators need booleans");
+                }
+                Ty::Bool
+            }
+        }
+    }
+
+    fn call_type(
+        &mut self,
+        callee: &Expr,
+        args: &[Expr],
+        span: chapel_frontend::token::Span,
+    ) -> Ty {
+        // Method call: obj.method(args).
+        if let Expr::Field { base, field, .. } = callee {
+            let bt = self.type_of(base);
+            for a in args {
+                self.type_of(a);
+            }
+            if let Ty::Class(name) = &bt {
+                let has = self
+                    .decls
+                    .classes
+                    .get(name)
+                    .map(|c| c.decl.method(field).is_some())
+                    .unwrap_or(false);
+                if !has {
+                    self.error(span, format!("class `{name}` has no method `{field}`"));
+                }
+            }
+            return Ty::Unknown;
+        }
+
+        let Some(name) = callee.as_ident() else {
+            self.error(span, "only named functions can be called");
+            return Ty::Unknown;
+        };
+        let name = name.to_string();
+
+        // Builtins.
+        match name.as_str() {
+            "int" | "floor" | "ceil" | "round" => {
+                self.expect_args(&name, args, 1, span);
+                return Ty::Int;
+            }
+            "real" | "sqrt" | "abs" | "sin" | "cos" | "exp" | "log" => {
+                self.expect_args(&name, args, 1, span);
+                return if name == "abs" {
+                    let t = args.first().map(|a| self.type_of(a)).unwrap_or(Ty::Unknown);
+                    t
+                } else {
+                    for a in args {
+                        self.type_of(a);
+                    }
+                    Ty::Real
+                };
+            }
+            "min" | "max" => {
+                if args.len() == 1 {
+                    // `max(int)` / `min(real)`: the type's extreme value.
+                    return match args[0].as_ident() {
+                        Some("int") => Ty::Int,
+                        Some("real") => Ty::Real,
+                        _ => {
+                            self.type_of(&args[0]);
+                            Ty::Unknown
+                        }
+                    };
+                }
+                self.expect_args(&name, args, 2, span);
+                let mut ty = Ty::Int;
+                for a in args {
+                    if self.type_of(a) == Ty::Real {
+                        ty = Ty::Real;
+                    }
+                }
+                return ty;
+            }
+            _ => {}
+        }
+
+        // User function?
+        if let Some(sig) = self.decls.funcs.get(&name).cloned() {
+            if sig.params.len() != args.len() {
+                self.error(
+                    span,
+                    format!(
+                        "`{name}` takes {} arguments, got {}",
+                        sig.params.len(),
+                        args.len()
+                    ),
+                );
+            }
+            for (a, pt) in args.iter().zip(&sig.params) {
+                let at = self.type_of(a);
+                if !pt.accepts(&at) {
+                    self.error(
+                        a.span(),
+                        format!("argument is {}, expected {}", at.describe(), pt.describe()),
+                    );
+                }
+            }
+            return sig.ret;
+        }
+
+        // Call-style indexing `A(i)` on an array variable.
+        if let Some(Ty::Array { dims, elem }) = self.lookup(&name) {
+            for a in args {
+                self.type_of(a);
+            }
+            if args.len() == dims.len() {
+                return *elem;
+            }
+            self.error(span, "wrong number of indices");
+            return Ty::Unknown;
+        }
+
+        self.error(span, format!("unknown function `{name}`"));
+        Ty::Unknown
+    }
+
+    fn expect_args(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        n: usize,
+        span: chapel_frontend::token::Span,
+    ) {
+        if args.len() != n {
+            self.error(span, format!("`{name}` takes {n} argument(s), got {}", args.len()));
+        }
+        for a in args {
+            self.type_of(a);
+        }
+    }
+
+    fn reduce_type(
+        &mut self,
+        op: &ReduceOp,
+        expr: &Expr,
+        span: chapel_frontend::token::Span,
+    ) -> Ty {
+        let et = self.type_of(expr);
+        let elem = match &et {
+            Ty::Array { elem, .. } => (**elem).clone(),
+            Ty::Range => Ty::Int,
+            Ty::Unknown => Ty::Unknown,
+            other => {
+                self.error(
+                    span,
+                    format!("cannot reduce over {}", other.describe()),
+                );
+                Ty::Unknown
+            }
+        };
+        match op {
+            ReduceOp::Sum | ReduceOp::Product | ReduceOp::Min | ReduceOp::Max => {
+                if !elem.is_numeric() {
+                    self.error(span, format!("numeric reduction over {}", elem.describe()));
+                }
+                elem
+            }
+            ReduceOp::LogicalAnd | ReduceOp::LogicalOr => {
+                if !matches!(elem, Ty::Bool | Ty::Unknown) {
+                    self.error(span, "logical reduction needs boolean elements");
+                }
+                Ty::Bool
+            }
+            ReduceOp::UserDefined(name) => {
+                match self.decls.classes.get(name) {
+                    Some(info) if info.decl.is_reduce_op() => {}
+                    Some(_) => {
+                        self.error(
+                            span,
+                            format!("`{name}` is not a ReduceScanOp subclass"),
+                        );
+                    }
+                    None => {
+                        self.error(span, format!("unknown reduction class `{name}`"));
+                    }
+                }
+                Ty::Unknown
+            }
+        }
+    }
+}
+
+/// Can this expression be assigned to?
+fn is_lvalue(e: &Expr) -> bool {
+    match e {
+        Expr::Ident(..) => true,
+        Expr::Index { base, .. } | Expr::Field { base, .. } => is_lvalue(base),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod check_tests {
+    use super::*;
+    use chapel_frontend::{parse, programs};
+
+    fn ok(src: &str) -> Analysis {
+        analyze(&parse(src).unwrap()).unwrap_or_else(|e| panic!("sema failed: {e:?}\nfor {src}"))
+    }
+
+    fn errs(src: &str) -> Vec<SemaError> {
+        analyze(&parse(src).unwrap()).expect_err("expected errors")
+    }
+
+    #[test]
+    fn all_canned_programs_check() {
+        ok(programs::FIG2_SUM_REDUCE_CLASS);
+        ok(&programs::fig8_nested_sum(2, 3, 4));
+        ok(&programs::sum_reduce(10));
+        ok(&programs::min_reduce_sum_expr(10));
+        ok(&programs::kmeans(20, 3, 2));
+        ok(&programs::pca(4, 6));
+        ok(&programs::histogram(50, 8));
+        ok(&programs::linear_regression(30));
+        ok(&programs::knn(20, 2, 3));
+    }
+
+    #[test]
+    fn global_types_inferred() {
+        let a = ok("var x = 1; var y = 2.5; var z = x < 2;");
+        assert_eq!(a.decls.globals["x"], Ty::Int);
+        assert_eq!(a.decls.globals["y"], Ty::Real);
+        assert_eq!(a.decls.globals["z"], Ty::Bool);
+    }
+
+    #[test]
+    fn rejects_bad_assignment() {
+        let e = errs("var x: int = 1; x = 2.5;");
+        assert!(e[0].message.contains("cannot assign"));
+    }
+
+    #[test]
+    fn rejects_unknown_identifiers_and_fields() {
+        assert!(errs("var x = y + 1;")[0].message.contains("unknown identifier"));
+        let e = errs("record R { a: int; } var r: R; var q = r.b;");
+        assert!(e[0].message.contains("no field `b`"));
+    }
+
+    #[test]
+    fn rejects_indexing_nonarrays() {
+        let e = errs("var x: int = 1; var y = x[2];");
+        assert!(e[0].message.contains("cannot index"));
+    }
+
+    #[test]
+    fn index_dimensionality() {
+        ok("var M: [1..2, 1..3] real; var x = M[1, 2];");
+        let e = errs("var M: [1..2, 1..3] real; var x = M[1, 2, 3];");
+        assert!(e[0].message.contains("indices"));
+    }
+
+    #[test]
+    fn partial_indexing_yields_array() {
+        let a = ok("var M: [1..2, 1..3] real; var row = M[1];");
+        match &a.decls.globals["row"] {
+            Ty::Array { dims, .. } => assert_eq!(dims.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reduce_typing() {
+        let a = ok("var A: [1..5] real; var s = + reduce A;");
+        assert_eq!(a.decls.globals["s"], Ty::Real);
+        let a = ok("var A: [1..5] real; var B: [1..5] real; var m = min reduce (A + B);");
+        assert_eq!(a.decls.globals["m"], Ty::Real);
+        let e = errs("var s = + reduce 3;");
+        assert!(e[0].message.contains("cannot reduce"));
+    }
+
+    #[test]
+    fn user_reduce_class_must_exist_and_be_complete() {
+        let e = errs("var A: [1..5] real; var s = NoSuchOp reduce A;");
+        assert!(e[0].message.contains("unknown reduction class"));
+        let e = errs(
+            "class Half: ReduceScanOp { var value: real; def accumulate(x) { } } \
+             var A: [1..3] real; var s = Half reduce A;",
+        );
+        assert!(e.iter().any(|d| d.message.contains("missing `combine`")));
+    }
+
+    #[test]
+    fn method_and_function_arity() {
+        let e = errs("def f(x: int) { return x; } var y = f(1, 2);");
+        assert!(e[0].message.contains("takes 1 arguments"));
+        ok("def f(x: int): int { return x + 1; } var y = f(1);");
+    }
+
+    #[test]
+    fn elementwise_extent_mismatch() {
+        let e = errs("var A: [1..4] real; var B: [1..5] real; var s = min reduce (A + B);");
+        assert!(e[0].message.contains("different extents"));
+    }
+
+    #[test]
+    fn loop_index_typed_from_iterand() {
+        ok("var A: [1..4] real; for x in A { var y: real = x; }");
+        ok("for i in 1..4 { var y: int = i; }");
+        let e = errs("for i in 1..4 { var y: real = i; var z: int = y; }");
+        assert!(e[0].message.contains("cannot initialise"));
+    }
+}

@@ -1,0 +1,38 @@
+//! Semantic diagnostics.
+
+use std::fmt;
+
+use chapel_frontend::token::Span;
+
+/// One semantic error with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemaError {
+    /// Source location.
+    pub span: Span,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl SemaError {
+    /// Construct an error.
+    pub fn new(span: Span, message: impl Into<String>) -> SemaError {
+        SemaError { span, message: message.into() }
+    }
+
+    /// Re-anchor an error at a more precise span (used when a type
+    /// resolution error is reported at its use site).
+    pub fn at(mut self, span: Span) -> SemaError {
+        if self.span == Span::default() {
+            self.span = span;
+        }
+        self
+    }
+}
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "semantic error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for SemaError {}

@@ -1,0 +1,24 @@
+//! Semantic analysis for the Chapel subset: declaration tables, type
+//! checking, compile-time constant evaluation, and layout derivation
+//! (mapping Chapel types to [`linearize::Shape`], the structural
+//! information the paper's Figure 6 collects during linearization).
+//!
+//! ```
+//! use chapel_frontend::parse;
+//! use chapel_sema::analyze;
+//!
+//! let program = parse("record P { x: real; y: real; } var pts: [1..10] P;").unwrap();
+//! let analysis = analyze(&program).unwrap();
+//! let shape = analysis.decls.shape_of_global("pts").unwrap();
+//! assert_eq!(shape.slot_count(), 20);
+//! ```
+
+#![warn(missing_docs)]
+
+mod check;
+mod error;
+mod types;
+
+pub use check::{analyze, Analysis};
+pub use error::SemaError;
+pub use types::{ClassInfo, DeclTable, FuncSig, RecordInfo, Ty};

@@ -1,0 +1,314 @@
+//! Semantic types, declaration tables, constant evaluation, and layout
+//! (shape) derivation.
+//!
+//! Layout derivation is the frontend half of the paper's Figure 6: once
+//! every array bound is a compile-time constant, a Chapel type maps to a
+//! [`linearize::Shape`], from which the linearizer collects `unitSize[]`
+//! and `unitOffset[][]`.
+
+use std::collections::HashMap;
+
+use chapel_frontend::ast::{ClassDecl, Expr, FuncDecl, RecordDecl, TypeExpr, VarDecl};
+use linearize::Shape;
+
+use crate::error::SemaError;
+
+/// A resolved semantic type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ty {
+    /// `int`
+    Int,
+    /// `real`
+    Real,
+    /// `bool`
+    Bool,
+    /// `string`
+    String,
+    /// A range value (`1..n`).
+    Range,
+    /// A rectangular array with static bounds.
+    Array {
+        /// Per-dimension `(lo, hi)` inclusive bounds.
+        dims: Vec<(i64, i64)>,
+        /// Element type.
+        elem: Box<Ty>,
+    },
+    /// A record by name.
+    Record(String),
+    /// A class instance by name.
+    Class(String),
+    /// Unknown (generic method parameters etc.); compatible with
+    /// everything — the checker is strict only where types are known.
+    Unknown,
+}
+
+impl Ty {
+    /// Numeric types coerce among themselves (`int` widens to `real`).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Ty::Int | Ty::Real | Ty::Unknown)
+    }
+
+    /// Can a value of `self` be assigned from a value of `other`?
+    pub fn accepts(&self, other: &Ty) -> bool {
+        match (self, other) {
+            (Ty::Unknown, _) | (_, Ty::Unknown) => true,
+            (Ty::Real, Ty::Int) => true, // widening
+            (Ty::Array { dims: d1, elem: e1 }, Ty::Array { dims: d2, elem: e2 }) => {
+                d1.len() == d2.len()
+                    && d1
+                        .iter()
+                        .zip(d2)
+                        .all(|(a, b)| (a.1 - a.0) == (b.1 - b.0))
+                    && e1.accepts(e2)
+            }
+            (a, b) => a == b,
+        }
+    }
+
+    /// Human-readable type name for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            Ty::Int => "int".into(),
+            Ty::Real => "real".into(),
+            Ty::Bool => "bool".into(),
+            Ty::String => "string".into(),
+            Ty::Range => "range".into(),
+            Ty::Array { dims, elem } => {
+                let ds: Vec<String> =
+                    dims.iter().map(|(l, h)| format!("{l}..{h}")).collect();
+                format!("[{}] {}", ds.join(", "), elem.describe())
+            }
+            Ty::Record(n) => format!("record {n}"),
+            Ty::Class(n) => format!("class {n}"),
+            Ty::Unknown => "<unknown>".into(),
+        }
+    }
+}
+
+/// A record declaration with resolved field types.
+#[derive(Debug, Clone)]
+pub struct RecordInfo {
+    /// Field `(name, type)` pairs in declaration order.
+    pub fields: Vec<(String, Ty)>,
+    /// The original AST node.
+    pub decl: RecordDecl,
+}
+
+impl RecordInfo {
+    /// Position and type of a field.
+    pub fn field(&self, name: &str) -> Option<(usize, &Ty)> {
+        self.fields
+            .iter()
+            .enumerate()
+            .find(|(_, (n, _))| n == name)
+            .map(|(i, (_, t))| (i, t))
+    }
+}
+
+/// A class declaration with resolved field types.
+#[derive(Debug, Clone)]
+pub struct ClassInfo {
+    /// Value fields (name, type).
+    pub fields: Vec<(String, Ty)>,
+    /// The original AST node (methods live here).
+    pub decl: ClassDecl,
+}
+
+/// A function signature.
+#[derive(Debug, Clone)]
+pub struct FuncSig {
+    /// Parameter types (`Unknown` when unannotated).
+    pub params: Vec<Ty>,
+    /// Return type (`Unknown` when unannotated).
+    pub ret: Ty,
+    /// The original AST node.
+    pub decl: FuncDecl,
+}
+
+/// Declaration tables plus the compile-time constant environment.
+#[derive(Debug, Clone, Default)]
+pub struct DeclTable {
+    /// Records by name.
+    pub records: HashMap<String, RecordInfo>,
+    /// Classes by name.
+    pub classes: HashMap<String, ClassInfo>,
+    /// Free functions by name.
+    pub funcs: HashMap<String, FuncSig>,
+    /// Global variables by name with their resolved type.
+    pub globals: HashMap<String, Ty>,
+    /// Global declaration order (for deterministic iteration).
+    pub global_order: Vec<String>,
+    /// Compile-time integer constants (`param`s and literal-initialised
+    /// `const`s), used to resolve array bounds.
+    pub consts: HashMap<String, i64>,
+}
+
+impl DeclTable {
+    /// Resolve a syntactic type to a semantic type, using the constant
+    /// environment for array bounds.
+    pub fn resolve_type(&self, te: &TypeExpr) -> Result<Ty, SemaError> {
+        match te {
+            TypeExpr::Int => Ok(Ty::Int),
+            TypeExpr::Real => Ok(Ty::Real),
+            TypeExpr::Bool => Ok(Ty::Bool),
+            TypeExpr::String => Ok(Ty::String),
+            TypeExpr::Named(n) => {
+                if self.records.contains_key(n) {
+                    Ok(Ty::Record(n.clone()))
+                } else if self.classes.contains_key(n) {
+                    Ok(Ty::Class(n.clone()))
+                } else {
+                    Err(SemaError::new(
+                        Default::default(),
+                        format!("unknown type `{n}`"),
+                    ))
+                }
+            }
+            TypeExpr::Array { dims, elem } => {
+                let mut out = Vec::with_capacity(dims.len());
+                for d in dims {
+                    let lo = self.const_eval(&d.lo).ok_or_else(|| {
+                        SemaError::new(d.span, "array bound is not a compile-time constant")
+                    })?;
+                    let hi = self.const_eval(&d.hi).ok_or_else(|| {
+                        SemaError::new(d.span, "array bound is not a compile-time constant")
+                    })?;
+                    if hi < lo {
+                        return Err(SemaError::new(d.span, format!("empty range {lo}..{hi}")));
+                    }
+                    out.push((lo, hi));
+                }
+                Ok(Ty::Array { dims: out, elem: Box::new(self.resolve_type(elem)?) })
+            }
+        }
+    }
+
+    /// Evaluate an integer constant expression (`param`s, literals, and
+    /// arithmetic over them). `None` if not compile-time evaluable.
+    pub fn const_eval(&self, e: &Expr) -> Option<i64> {
+        use chapel_frontend::ast::BinOp;
+        match e {
+            Expr::Int(v, _) => Some(*v),
+            Expr::Ident(n, _) => self.consts.get(n).copied(),
+            Expr::Unary { op: chapel_frontend::ast::UnOp::Neg, e, .. } => {
+                Some(-self.const_eval(e)?)
+            }
+            Expr::Binary { op, l, r, .. } => {
+                let a = self.const_eval(l)?;
+                let b = self.const_eval(r)?;
+                Some(match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a.checked_div(b)?,
+                    BinOp::Mod => a.checked_rem(b)?,
+                    _ => return None,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Register a global declaration's constant value if it is a
+    /// compile-time integer (`param x = 4;` or `const n = 100;`).
+    pub fn note_const(&mut self, decl: &VarDecl) {
+        use chapel_frontend::ast::VarKind;
+        if matches!(decl.kind, VarKind::Param | VarKind::Const) {
+            if let Some(init) = &decl.init {
+                if let Some(v) = self.const_eval(init) {
+                    self.consts.insert(decl.name.clone(), v);
+                }
+            }
+        }
+    }
+
+    /// Derive the linearization [`Shape`] of a semantic type — the
+    /// structural information Figure 6 collects. `None` for types with
+    /// no dense layout (strings, classes, ranges, unknowns).
+    pub fn shape_of(&self, ty: &Ty) -> Option<Shape> {
+        match ty {
+            Ty::Int => Some(Shape::Int),
+            Ty::Real => Some(Shape::Real),
+            Ty::Bool => Some(Shape::Bool),
+            Ty::Array { dims, elem } => {
+                let mut shape = self.shape_of(elem)?;
+                // Row-major: the first dimension is outermost.
+                for &(lo, hi) in dims.iter().rev() {
+                    shape = Shape::array(shape, (hi - lo + 1) as usize);
+                }
+                Some(shape)
+            }
+            Ty::Record(name) => {
+                let info = self.records.get(name)?;
+                let fields: Option<Vec<(String, Shape)>> = info
+                    .fields
+                    .iter()
+                    .map(|(n, t)| Some((n.clone(), self.shape_of(t)?)))
+                    .collect();
+                Some(Shape::Record { fields: fields? })
+            }
+            Ty::String | Ty::Class(_) | Ty::Range | Ty::Unknown => None,
+        }
+    }
+
+    /// Shape of a global variable.
+    pub fn shape_of_global(&self, name: &str) -> Option<Shape> {
+        self.shape_of(self.globals.get(name)?)
+    }
+}
+
+#[cfg(test)]
+mod types_tests {
+    use super::*;
+    use crate::analyze;
+    use chapel_frontend::parse;
+
+    #[test]
+    fn accepts_and_widening() {
+        assert!(Ty::Real.accepts(&Ty::Int));
+        assert!(!Ty::Int.accepts(&Ty::Real));
+        assert!(Ty::Unknown.accepts(&Ty::Record("X".into())));
+        let a = Ty::Array { dims: vec![(1, 5)], elem: Box::new(Ty::Real) };
+        let b = Ty::Array { dims: vec![(0, 4)], elem: Box::new(Ty::Real) };
+        assert!(a.accepts(&b), "same extent, different bounds");
+    }
+
+    #[test]
+    fn shape_of_fig6() {
+        let p = parse(&chapel_frontend::programs::fig6_records(2, 4, 3)).unwrap();
+        let a = analyze(&p).unwrap();
+        let shape = a.decls.shape_of_global("data").unwrap();
+        assert_eq!(shape.slot_count(), 2 * (4 * (3 + 1) + 1));
+        assert_eq!(shape.nesting_levels(), 3);
+    }
+
+    #[test]
+    fn multidim_arrays_are_row_major() {
+        let p = parse("var M: [1..2, 1..3] real;").unwrap();
+        let a = analyze(&p).unwrap();
+        let shape = a.decls.shape_of_global("M").unwrap();
+        // Outer dim 2, inner dim 3.
+        let (elem, len) = shape.array_parts().unwrap();
+        assert_eq!(len, 2);
+        let (inner, ilen) = elem.array_parts().unwrap();
+        assert_eq!(ilen, 3);
+        assert!(inner.is_prim());
+    }
+
+    #[test]
+    fn const_eval_params() {
+        let p = parse("param n: int = 4; var A: [1..n*2] real;").unwrap();
+        let a = analyze(&p).unwrap();
+        match a.decls.globals.get("A").unwrap() {
+            Ty::Array { dims, .. } => assert_eq!(dims[0], (1, 8)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dynamic_bounds_rejected() {
+        let p = parse("var n: int = 4; var A: [1..n] real;").unwrap();
+        // `n` is `var`, not a compile-time constant.
+        assert!(analyze(&p).is_err());
+    }
+}

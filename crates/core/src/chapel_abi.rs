@@ -1,0 +1,175 @@
+//! Cost-faithful emulation of 2010-era Chapel's generated data-access
+//! code.
+//!
+//! The paper's third overhead — "accesses to complex Chapel structures"
+//! — dominated its k-means runtime (removing it is what gives opt-2 its
+//! ~8× gain). In the Chapel compiler of that era, every array element
+//! access in the generated C went through a non-inlined runtime call
+//! chain: a *wide reference* (locale id + address) was tested for
+//! locality, the array descriptor's dope vector (origin, per-dimension
+//! `blk` factors, bounds) was loaded and used to compute the element
+//! offset with a bounds check, and record fields were reached through
+//! heap pointer chases.
+//!
+//! The [`linearize::Value`] tree already has the same *pointer
+//! structure* as those heap objects; the functions here reproduce the
+//! *instruction structure* around each step: one non-inlined call per
+//! level, the locale test, the dope-vector arithmetic, and the bounds
+//! branch. `std::hint::black_box` pins the descriptor loads so the
+//! optimizer cannot collapse the emulation (which a 2010 C compiler
+//! could not either — the calls were in a separate runtime TU).
+//!
+//! The flat-access path (`computeIndex`) is likewise a real non-inlined
+//! recursive call ([`compute_index_call`]), exactly the function the
+//! paper's opt-1 hoists out of inner loops.
+
+use std::hint::black_box;
+
+use linearize::{PathMeta, Value};
+
+/// A "wide reference" as the 2010 runtime passed around: a locale id
+/// plus the local address. Single-locale executions still paid the
+/// locality test on every dereference.
+struct WideRef<'a> {
+    locale: u32,
+    addr: &'a Value,
+}
+
+#[inline(always)]
+fn wide<'a>(v: &'a Value) -> WideRef<'a> {
+    WideRef { locale: 0, addr: v }
+}
+
+#[inline(always)]
+fn narrow<'a>(w: WideRef<'a>) -> &'a Value {
+    // The locality test every wide-ref deref performed.
+    if black_box(w.locale) != 0 {
+        // Remote path: never taken on one locale, but the branch (and
+        // the locale load feeding it) is real.
+        unreachable!("remote access on a single-locale execution");
+    }
+    w.addr
+}
+
+/// One Chapel array-element access: locale test, dope-vector offset
+/// computation (`origin + (i - lo) * blk`), bounds check, element load.
+#[inline(never)]
+pub fn chpl_array_index<'a>(v: &'a Value, i: usize) -> &'a Value {
+    let w = wide(v);
+    let v = narrow(w);
+    match v {
+        Value::Array(items) => {
+            // Dope-vector fields; black_box models the descriptor loads
+            // the generated C performed from the `_array` object.
+            let lo = black_box(0usize);
+            let blk = black_box(1usize);
+            let origin = black_box(0usize);
+            let off = origin + (i - lo) * blk;
+            // The runtime bounds check (`halt` on failure).
+            if off >= items.len() {
+                chpl_halt(off, items.len());
+            }
+            &items[off]
+        }
+        _ => chpl_type_halt(),
+    }
+}
+
+/// One Chapel record-field access: locale test plus the member load
+/// through the (possibly heap-allocated) record pointer.
+#[inline(never)]
+pub fn chpl_record_field<'a>(v: &'a Value, f: usize) -> &'a Value {
+    let w = wide(v);
+    let v = narrow(w);
+    match v {
+        Value::Record(fields) => {
+            let off = black_box(f);
+            if off >= fields.len() {
+                chpl_halt(off, fields.len());
+            }
+            &fields[off]
+        }
+        _ => chpl_type_halt(),
+    }
+}
+
+/// Read the numeric payload of a leaf (the final load of the chain).
+#[inline(never)]
+pub fn chpl_read_scalar(v: &Value) -> f64 {
+    match narrow(wide(v)) {
+        Value::Real(x) => *x,
+        Value::Int(x) => *x as f64,
+        Value::Bool(b) => f64::from(*b),
+        _ => chpl_type_halt(),
+    }
+}
+
+/// `computeIndex` as the generated code called it: a non-inlined
+/// recursive function over the linearization metadata (Algorithm 3).
+/// This is the call opt-1's strength reduction removes from inner
+/// loops.
+#[inline(never)]
+pub fn compute_index_call(meta: &PathMeta, idx: &[usize]) -> usize {
+    fn rec(meta: &PathMeta, idx: &[usize], i: usize) -> usize {
+        if i + 1 < meta.levels {
+            meta.unit_size[i] * idx[i] + meta.level_offset[i] + rec(meta, idx, i + 1)
+        } else {
+            meta.unit_size[i] * idx[i] + meta.terminal_offset
+        }
+    }
+    rec(black_box(meta), black_box(idx), 0)
+}
+
+#[cold]
+#[inline(never)]
+fn chpl_halt(off: usize, len: usize) -> ! {
+    panic!("Chapel runtime halt: index {off} out of bounds (size {len})");
+}
+
+#[cold]
+#[inline(never)]
+fn chpl_type_halt() -> ! {
+    panic!("Chapel runtime halt: dynamic type mismatch in access chain");
+}
+
+#[cfg(test)]
+mod abi_tests {
+    use super::*;
+    use linearize::{AccessPath, LinearMeta, Shape};
+
+    #[test]
+    fn access_chain_reads_correct_values() {
+        let shape = Shape::array(
+            Shape::record(vec![("xs", Shape::array(Shape::Real, 3)), ("n", Shape::Int)]),
+            2,
+        );
+        let v = Value::from_fn(&shape, |i| i as f64);
+        // v[1].xs[2] == slot 6
+        let e = chpl_array_index(&v, 1);
+        let f = chpl_record_field(e, 0);
+        let x = chpl_array_index(f, 2);
+        assert_eq!(chpl_read_scalar(x), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bounds_halt() {
+        let v = Value::Array(vec![Value::Real(0.0); 2]);
+        let _ = chpl_array_index(&v, 5);
+    }
+
+    #[test]
+    fn compute_index_call_matches_fast_path() {
+        let a = Shape::record(vec![("a1", Shape::array(Shape::Real, 3)), ("a2", Shape::Int)]);
+        let shape = Shape::array(a, 4);
+        let pm = LinearMeta::new(&shape).for_path(&AccessPath::fields(&[0])).unwrap();
+        for i in 0..4 {
+            for k in 0..3 {
+                assert_eq!(
+                    compute_index_call(&pm, &[i, k]),
+                    linearize::compute_index(&pm, &[i, k])
+                );
+            }
+        }
+    }
+}

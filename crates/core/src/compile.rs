@@ -1,0 +1,1476 @@
+//! The kernel compiler: Chapel loop bodies → kernel IR.
+//!
+//! This is the reproduction's equivalent of the paper's modified Chapel
+//! code generator. Given a detected reduction loop, it emits a
+//! per-data-element kernel whose *access instructions* depend on the
+//! optimization level:
+//!
+//! * [`OptLevel::Generated`] — dataset reads call `computeIndex` on
+//!   every access; state reads walk nested structures.
+//! * [`OptLevel::Opt1`] — strength reduction: `computeIndex` is hoisted
+//!   out of loops whose last index is the loop variable and whose outer
+//!   indices are loop-invariant; the innermost level walks by stride.
+//! * [`OptLevel::Opt2`] — additionally, state variables are linearized
+//!   and accessed through the mapping (no nested walks remain).
+
+use std::collections::{BTreeSet, HashMap};
+
+use chapel_frontend::ast::*;
+use chapel_frontend::pretty::print_expr;
+use chapel_sema::{Analysis, Ty};
+use linearize::{AccessPath, LinearMeta, PathMeta, Shape};
+
+use crate::detect::{ExprReduction, LoopReduction};
+use crate::error::CoreError;
+use crate::kernel_ir::*;
+
+/// The three code-generation strategies of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptLevel {
+    /// Naive translation (the paper's *generated*).
+    #[default]
+    Generated,
+    /// Strength reduction (*opt-1*).
+    Opt1,
+    /// Strength reduction + selective linearization of state (*opt-2*).
+    Opt2,
+}
+
+/// One dataset variable's slot range within the zipped row.
+#[derive(Debug, Clone)]
+pub struct DatasetVar {
+    /// Variable name.
+    pub name: String,
+    /// Shape of one element (one row's contribution).
+    pub elem_shape: Shape,
+    /// Lower bound of the Chapel array.
+    pub lo: i64,
+    /// Base slot offset within the zipped row.
+    pub base: usize,
+}
+
+/// The zipped dataset layout handed to FREERIDE's 2-D view.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Constituent arrays, in first-use order.
+    pub vars: Vec<DatasetVar>,
+    /// Slots per (zipped) row.
+    pub unit: usize,
+    /// Number of rows.
+    pub rows: usize,
+    /// The virtual shape of the zipped dataset (an array of records with
+    /// one field per constituent variable) — paths resolve against it.
+    pub zip_shape: Shape,
+}
+
+/// A state variable used by the kernel.
+#[derive(Debug, Clone)]
+pub struct StateSpec {
+    /// Variable name.
+    pub name: String,
+    /// Its dense shape.
+    pub shape: Shape,
+}
+
+/// An output variable — one reduction-object group.
+#[derive(Debug, Clone)]
+pub struct OutSpec {
+    /// Variable name.
+    pub name: String,
+    /// Its dense shape.
+    pub shape: Shape,
+    /// Number of reduction-object cells (`shape.slot_count()`).
+    pub cells: usize,
+}
+
+/// A fully compiled reduction loop, ready for the execution bridge.
+#[derive(Debug, Clone)]
+pub struct CompiledLoop {
+    /// The per-element kernel.
+    pub kernel: Kernel,
+    /// Dataset layout.
+    pub dataset: DatasetSpec,
+    /// State variables (order matches `StateId`s in the kernel).
+    pub states: Vec<StateSpec>,
+    /// Output variables (order matches `GroupId`s).
+    pub outputs: Vec<OutSpec>,
+    /// Loop lower bound (the Chapel value of the first row).
+    pub lo: i64,
+    /// Loop upper bound.
+    pub hi: i64,
+}
+
+/// Register 0 always holds the local (0-based) row index.
+const REG_LOCAL_ROW: Reg = 0;
+/// Register 1 always holds the Chapel loop-variable value.
+const REG_CHAPEL_ROW: Reg = 1;
+
+/// Compile a detected reduction loop at the given optimization level.
+pub fn compile_loop(
+    program: &Program,
+    analysis: &Analysis,
+    red: &LoopReduction,
+    opt: OptLevel,
+) -> Result<CompiledLoop, CoreError> {
+    let Item::Stmt(Stmt::For { index, body, .. }) = &program.items[red.stmt_index] else {
+        return Err(CoreError::translate("detected statement is not a loop"));
+    };
+
+    // Build the zipped dataset layout.
+    let mut vars = Vec::new();
+    let mut unit = 0usize;
+    let mut zip_fields = Vec::new();
+    for name in &red.dataset {
+        let Some(Ty::Array { dims, elem }) = analysis.decls.globals.get(name) else {
+            return Err(CoreError::translate(format!("dataset `{name}` is not an array")));
+        };
+        let elem_shape = analysis
+            .decls
+            .shape_of(elem)
+            .ok_or_else(|| CoreError::translate(format!("dataset `{name}` has no layout")))?;
+        vars.push(DatasetVar {
+            name: name.clone(),
+            elem_shape: elem_shape.clone(),
+            lo: dims[0].0,
+            base: unit,
+        });
+        unit += elem_shape.slot_count();
+        zip_fields.push((name.clone(), elem_shape));
+    }
+    let rows = (red.hi - red.lo + 1) as usize;
+    let zip_shape = Shape::array(Shape::Record { fields: zip_fields }, rows);
+    let dataset = DatasetSpec { vars, unit, rows, zip_shape };
+
+    let states: Vec<StateSpec> = red
+        .state
+        .iter()
+        .map(|name| {
+            let shape = analysis
+                .decls
+                .shape_of_global(name)
+                .ok_or_else(|| CoreError::translate(format!("state `{name}` has no layout")))?;
+            Ok(StateSpec { name: name.clone(), shape })
+        })
+        .collect::<Result<_, CoreError>>()?;
+    let outputs: Vec<OutSpec> = red
+        .outputs
+        .iter()
+        .map(|name| {
+            let shape = analysis
+                .decls
+                .shape_of_global(name)
+                .ok_or_else(|| CoreError::translate(format!("output `{name}` has no layout")))?;
+            let cells = shape.slot_count();
+            Ok(OutSpec { name: name.clone(), shape, cells })
+        })
+        .collect::<Result<_, CoreError>>()?;
+
+    let mut c = Compiler {
+        analysis,
+        opt,
+        loop_var: index.clone(),
+        dataset: &dataset,
+        states: &states,
+        outputs: &outputs,
+        code: Vec::new(),
+        preamble: Vec::new(),
+        next_reg: 2,
+        scopes: vec![HashMap::new()],
+        paths: Vec::new(),
+        path_keys: HashMap::new(),
+        const_regs: HashMap::new(),
+        hoists: Vec::new(),
+        user_fields: HashMap::new(),
+    };
+    for s in &body.stmts {
+        c.stmt(s)?;
+    }
+    c.code.push(Instr::Halt);
+    let (code, entry) = c.link();
+    let kernel = Kernel {
+        code,
+        entry,
+        regs: c.next_reg as usize,
+        paths: c.paths,
+        state_names: states.iter().map(|s| s.name.clone()).collect(),
+        out_names: outputs.iter().map(|o| o.name.clone()).collect(),
+    };
+    Ok(CompiledLoop { kernel, dataset, states, outputs, lo: red.lo, hi: red.hi })
+}
+
+/// Compile a built-in reduce expression (`+ reduce A`, `min reduce
+/// (A+B)`) into a one-cell kernel.
+pub fn compile_reduce_expr(
+    analysis: &Analysis,
+    red: &ExprReduction,
+) -> Result<CompiledLoop, CoreError> {
+    // The leaves zip into the dataset; the operand is evaluated per row.
+    let mut vars = Vec::new();
+    let mut unit = 0usize;
+    let mut zip_fields = Vec::new();
+    let mut lo = 1i64;
+    let mut hi = red.rows as i64;
+    for name in &red.leaves {
+        let Some(Ty::Array { dims, elem }) = analysis.decls.globals.get(name) else {
+            return Err(CoreError::translate(format!("`{name}` is not an array")));
+        };
+        let elem_shape = analysis
+            .decls
+            .shape_of(elem)
+            .ok_or_else(|| CoreError::translate(format!("`{name}` has no layout")))?;
+        lo = dims[0].0;
+        hi = dims[0].1;
+        vars.push(DatasetVar {
+            name: name.clone(),
+            elem_shape: elem_shape.clone(),
+            lo: dims[0].0,
+            base: unit,
+        });
+        unit += elem_shape.slot_count();
+        zip_fields.push((name.clone(), elem_shape));
+    }
+    let zip_shape = Shape::array(Shape::Record { fields: zip_fields }, red.rows);
+    let dataset = DatasetSpec { vars, unit, rows: red.rows, zip_shape };
+    let outputs = vec![OutSpec { name: red.target.clone(), shape: Shape::Real, cells: 1 }];
+
+    let mut c = Compiler {
+        analysis,
+        opt: OptLevel::Generated,
+        loop_var: String::new(),
+        dataset: &dataset,
+        states: &[],
+        outputs: &outputs,
+        code: Vec::new(),
+        preamble: Vec::new(),
+        next_reg: 2,
+        scopes: vec![HashMap::new()],
+        paths: Vec::new(),
+        path_keys: HashMap::new(),
+        const_regs: HashMap::new(),
+        hoists: Vec::new(),
+        user_fields: HashMap::new(),
+    };
+    // Evaluate the operand with every leaf ident meaning "this row's
+    // element of that leaf".
+    let val = c.reduce_operand(&red.operand)?;
+    let cell = c.const_reg(0.0);
+    c.code.push(Instr::Accumulate { group: 0, cell, val });
+    c.code.push(Instr::Halt);
+    let (code, entry) = c.link();
+    let kernel = Kernel {
+        code,
+        entry,
+        regs: c.next_reg as usize,
+        paths: c.paths,
+        state_names: Vec::new(),
+        out_names: vec![red.target.clone()],
+    };
+    Ok(CompiledLoop { kernel, dataset, states: Vec::new(), outputs, lo, hi })
+}
+
+/// Compile a user-defined `ReduceScanOp` reduction (`MyOp reduce A`):
+/// the class's scalar fields become one-cell reduction-object groups and
+/// its `accumulate` body becomes the kernel, with the parameter bound to
+/// the current data element. (`combine` was validated to be the pairwise
+/// field sum, so the default cell-wise merge implements it; `generate`
+/// runs on the interpreter after the job — see the translator.)
+pub fn compile_user_reduce(
+    analysis: &Analysis,
+    red: &ExprReduction,
+    class: &chapel_frontend::ast::ClassDecl,
+) -> Result<CompiledLoop, CoreError> {
+    // Dataset: identical to a built-in reduce expression.
+    let mut vars = Vec::new();
+    let mut unit = 0usize;
+    let mut zip_fields = Vec::new();
+    let mut lo = 1i64;
+    let mut hi = red.rows as i64;
+    for name in &red.leaves {
+        let Some(Ty::Array { dims, elem }) = analysis.decls.globals.get(name) else {
+            return Err(CoreError::translate(format!("`{name}` is not an array")));
+        };
+        let elem_shape = analysis
+            .decls
+            .shape_of(elem)
+            .ok_or_else(|| CoreError::translate(format!("`{name}` has no layout")))?;
+        lo = dims[0].0;
+        hi = dims[0].1;
+        vars.push(DatasetVar {
+            name: name.clone(),
+            elem_shape: elem_shape.clone(),
+            lo: dims[0].0,
+            base: unit,
+        });
+        unit += elem_shape.slot_count();
+        zip_fields.push((name.clone(), elem_shape));
+    }
+    let zip_shape = Shape::array(Shape::Record { fields: zip_fields }, red.rows);
+    let dataset = DatasetSpec { vars, unit, rows: red.rows, zip_shape };
+
+    // One one-cell Sum group per class field.
+    let outputs: Vec<OutSpec> = class
+        .fields
+        .iter()
+        .map(|f| OutSpec { name: f.name.clone(), shape: Shape::Real, cells: 1 })
+        .collect();
+    let accumulate = class
+        .method("accumulate")
+        .ok_or_else(|| CoreError::translate("class has no accumulate"))?;
+    let param = accumulate
+        .params
+        .first()
+        .map(|p| p.name.clone())
+        .ok_or_else(|| CoreError::translate("accumulate takes no argument"))?;
+
+    let mut c = Compiler {
+        analysis,
+        opt: OptLevel::Generated,
+        loop_var: String::new(),
+        dataset: &dataset,
+        states: &[],
+        outputs: &outputs,
+        code: Vec::new(),
+        preamble: Vec::new(),
+        next_reg: 2,
+        scopes: vec![HashMap::new()],
+        paths: Vec::new(),
+        path_keys: HashMap::new(),
+        const_regs: HashMap::new(),
+        hoists: Vec::new(),
+        user_fields: class
+            .fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), i as GroupId))
+            .collect(),
+    };
+    // Bind the accumulate parameter to this row's element value.
+    let x = c.reduce_operand(&red.operand)?;
+    c.scopes.last_mut().expect("scope").insert(param, x);
+    for s in &accumulate.body.stmts {
+        c.stmt(s)?;
+    }
+    c.code.push(Instr::Halt);
+    let (code, entry) = c.link();
+    let kernel = Kernel {
+        code,
+        entry,
+        regs: c.next_reg as usize,
+        paths: c.paths,
+        state_names: Vec::new(),
+        out_names: outputs.iter().map(|o| o.name.clone()).collect(),
+    };
+    Ok(CompiledLoop { kernel, dataset, states: Vec::new(), outputs, lo, hi })
+}
+
+// ---------- the compiler ----------
+
+enum Space {
+    Data,
+    State(StateId),
+    Out(GroupId),
+}
+
+/// Resolved pieces of an access chain, before index compilation.
+struct AccessParts<'e> {
+    space: Space,
+    path: PathId,
+    /// Index expressions, one per level (outermost first). When
+    /// `row_first` is set, the first entry is the dataset row index
+    /// (compiled to the pre-adjusted local-row register, not evaluated).
+    idx_exprs: Vec<&'e Expr>,
+    /// Chapel lower bound of each indexed level (for 0-basing).
+    lo_adjust: Vec<i64>,
+    /// Level 0 is the dataset row (use `REG_LOCAL_ROW`).
+    row_first: bool,
+}
+
+struct HoistEntry {
+    base: Reg,
+    stride: usize,
+    /// Register holding the 0-based innermost index, refreshed once per
+    /// iteration at the loop-body head.
+    k_reg: Reg,
+}
+
+struct HoistFrame {
+    entries: HashMap<String, HoistEntry>,
+    /// `(lo, reg)` pairs: registers to refresh with `var - lo` at the
+    /// body head.
+    k_regs: Vec<(i64, Reg)>,
+}
+
+struct Compiler<'a> {
+    analysis: &'a Analysis,
+    opt: OptLevel,
+    loop_var: String,
+    dataset: &'a DatasetSpec,
+    states: &'a [StateSpec],
+    outputs: &'a [OutSpec],
+    code: Vec<Instr>,
+    preamble: Vec<Instr>,
+    next_reg: u16,
+    scopes: Vec<HashMap<String, Reg>>,
+    paths: Vec<PathMeta>,
+    path_keys: HashMap<String, PathId>,
+    const_regs: HashMap<u64, Reg>,
+    hoists: Vec<HoistFrame>,
+    /// Reduction-object fields of a user-defined ReduceScanOp kernel
+    /// (accumulate-body compilation): field name → group.
+    user_fields: HashMap<String, GroupId>,
+}
+
+impl<'a> Compiler<'a> {
+    fn alloc(&mut self) -> Reg {
+        let r = self.next_reg;
+        self.next_reg = self
+            .next_reg
+            .checked_add(1)
+            .expect("kernel register file overflow");
+        r
+    }
+
+    /// Constants live in the preamble, executed once per split — both
+    /// faster and safe against first use inside a skipped branch.
+    fn const_reg(&mut self, val: f64) -> Reg {
+        if let Some(&r) = self.const_regs.get(&val.to_bits()) {
+            return r;
+        }
+        let r = self.alloc();
+        self.preamble.push(Instr::Const { dst: r, val });
+        self.const_regs.insert(val.to_bits(), r);
+        r
+    }
+
+    /// Concatenate preamble and body, shifting body jump targets.
+    fn link(&mut self) -> (Vec<Instr>, usize) {
+        let entry = self.preamble.len();
+        let mut code = std::mem::take(&mut self.preamble);
+        code.extend(self.code.drain(..).map(|ins| match ins {
+            Instr::Jump { target } => Instr::Jump { target: target + entry },
+            Instr::JumpIfZero { cond, target } => {
+                Instr::JumpIfZero { cond, target: target + entry }
+            }
+            Instr::IncRangeJump { var, hi, target } => {
+                Instr::IncRangeJump { var, hi, target: target + entry }
+            }
+            other => other,
+        }));
+        (code, entry)
+    }
+
+    fn lookup_local(&self, name: &str) -> Option<Reg> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&r) = scope.get(name) {
+                return Some(r);
+            }
+        }
+        None
+    }
+
+    fn dataset_var(&self, name: &str) -> Option<(usize, &DatasetVar)> {
+        self.dataset.vars.iter().enumerate().find(|(_, v)| v.name == name)
+    }
+
+    fn state_id(&self, name: &str) -> Option<StateId> {
+        self.states.iter().position(|s| s.name == name).map(|i| i as StateId)
+    }
+
+    fn out_id(&self, name: &str) -> Option<GroupId> {
+        self.outputs.iter().position(|o| o.name == name).map(|i| i as GroupId)
+    }
+
+    fn intern_path(&mut self, key: String, meta: PathMeta) -> PathId {
+        if let Some(&id) = self.path_keys.get(&key) {
+            return id;
+        }
+        let id = self.paths.len() as PathId;
+        self.paths.push(meta);
+        self.path_keys.insert(key, id);
+        id
+    }
+
+    // ---------- statements ----------
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CoreError> {
+        match s {
+            Stmt::Var(v) => {
+                let reg = self.alloc();
+                match &v.init {
+                    Some(init) => {
+                        let src = self.expr(init)?;
+                        self.code.push(Instr::Mov { dst: reg, src });
+                    }
+                    None => {
+                        // Default-initialise; mirror the interpreter's
+                        // zero defaults for scalars.
+                        self.code.push(Instr::Const { dst: reg, val: 0.0 });
+                    }
+                }
+                if v.ty.as_ref().is_some_and(|t| matches!(t, TypeExpr::Array { .. } | TypeExpr::Named(_))) {
+                    return Err(CoreError::translate(format!(
+                        "local `{}` is not a scalar; kernel locals must be scalars",
+                        v.name
+                    )));
+                }
+                self.scopes.last_mut().expect("scope").insert(v.name.clone(), reg);
+                Ok(())
+            }
+            Stmt::Assign { lhs, op, rhs, .. } => self.assign(lhs, *op, rhs),
+            Stmt::Expr(_) => Err(CoreError::translate(
+                "expression statements are not supported in kernels",
+            )),
+            Stmt::For { index, iter, body, .. } => self.for_loop(index, iter, body),
+            Stmt::While { cond, body, .. } => {
+                let start = self.code.len();
+                let c = self.expr(cond)?;
+                let jz = self.code.len();
+                self.code.push(Instr::JumpIfZero { cond: c, target: usize::MAX });
+                self.scopes.push(HashMap::new());
+                for st in &body.stmts {
+                    self.stmt(st)?;
+                }
+                self.scopes.pop();
+                self.code.push(Instr::Jump { target: start });
+                let end = self.code.len();
+                self.patch(jz, end);
+                Ok(())
+            }
+            Stmt::If { cond, then, els, .. } => {
+                let c = self.expr(cond)?;
+                let jz = self.code.len();
+                self.code.push(Instr::JumpIfZero { cond: c, target: usize::MAX });
+                self.scopes.push(HashMap::new());
+                for st in &then.stmts {
+                    self.stmt(st)?;
+                }
+                self.scopes.pop();
+                if let Some(e) = els {
+                    let jend = self.code.len();
+                    self.code.push(Instr::Jump { target: usize::MAX });
+                    let else_start = self.code.len();
+                    self.patch(jz, else_start);
+                    self.scopes.push(HashMap::new());
+                    for st in &e.stmts {
+                        self.stmt(st)?;
+                    }
+                    self.scopes.pop();
+                    let end = self.code.len();
+                    self.patch(jend, end);
+                } else {
+                    let end = self.code.len();
+                    self.patch(jz, end);
+                }
+                Ok(())
+            }
+            Stmt::Return { .. } => Err(CoreError::translate("`return` inside a kernel")),
+            Stmt::Writeln { .. } => Err(CoreError::translate("`writeln` inside a kernel")),
+            Stmt::Block(b) => {
+                self.scopes.push(HashMap::new());
+                for st in &b.stmts {
+                    self.stmt(st)?;
+                }
+                self.scopes.pop();
+                Ok(())
+            }
+        }
+    }
+
+    fn patch(&mut self, at: usize, target: usize) {
+        match &mut self.code[at] {
+            Instr::Jump { target: t } | Instr::JumpIfZero { target: t, .. } => *t = target,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn assign(&mut self, lhs: &Expr, op: AssignOp, rhs: &Expr) -> Result<(), CoreError> {
+        // Local scalar?
+        if let Some(name) = lhs.as_ident() {
+            if let Some(reg) = self.lookup_local(name) {
+                // Peephole: `x += a * b` fuses to a multiply-accumulate,
+                // as any C compiler would emit.
+                if op == AssignOp::Add {
+                    if let Expr::Binary { op: BinOp::Mul, l, r, .. } = rhs {
+                        let a = self.expr(l)?;
+                        let b = self.expr(r)?;
+                        self.code.push(Instr::Fma { dst: reg, a, b });
+                        return Ok(());
+                    }
+                }
+                let val = self.expr(rhs)?;
+                match op {
+                    AssignOp::Set => self.code.push(Instr::Mov { dst: reg, src: val }),
+                    AssignOp::Add => self.code.push(Instr::Bin {
+                        op: ArithOp::Add,
+                        dst: reg,
+                        a: reg,
+                        b: val,
+                    }),
+                    AssignOp::Sub => self.code.push(Instr::Bin {
+                        op: ArithOp::Sub,
+                        dst: reg,
+                        a: reg,
+                        b: val,
+                    }),
+                    AssignOp::Mul => self.code.push(Instr::Bin {
+                        op: ArithOp::Mul,
+                        dst: reg,
+                        a: reg,
+                        b: val,
+                    }),
+                    AssignOp::Div => self.code.push(Instr::Bin {
+                        op: ArithOp::Div,
+                        dst: reg,
+                        a: reg,
+                        b: val,
+                    }),
+                }
+                return Ok(());
+            }
+        }
+        // User-defined reduction field (accumulate-body kernels):
+        // `f += e` or the Figure 2 idiom `f = f + e`.
+        if let Some(name) = lhs.as_ident() {
+            if let Some(&group) = self.user_fields.get(name) {
+                let contribution: &Expr = match op {
+                    AssignOp::Add => rhs,
+                    AssignOp::Set => match rhs {
+                        Expr::Binary { op: BinOp::Add, l, r, .. }
+                            if l.as_ident() == Some(name) =>
+                        {
+                            r
+                        }
+                        Expr::Binary { op: BinOp::Add, l, r, .. }
+                            if r.as_ident() == Some(name) =>
+                        {
+                            l
+                        }
+                        _ => {
+                            return Err(CoreError::translate(format!(
+                                "field `{name}` must be accumulated (`{name} += e` or \
+                                 `{name} = {name} + e`)"
+                            )));
+                        }
+                    },
+                    _ => {
+                        return Err(CoreError::translate(format!(
+                            "field `{name}` must be accumulated with addition"
+                        )));
+                    }
+                };
+                let val = self.expr(contribution)?;
+                let cell = self.const_reg(0.0);
+                self.code.push(Instr::Accumulate { group, cell, val });
+                return Ok(());
+            }
+        }
+        // Output accumulation.
+        let root = crate::detect::root_ident(lhs)
+            .ok_or_else(|| CoreError::translate("unassignable left-hand side"))?
+            .to_string();
+        if self.out_id(&root).is_some() {
+            if op != AssignOp::Add {
+                return Err(CoreError::translate(format!(
+                    "output `{root}` must be accumulated with `+=`"
+                )));
+            }
+            let val = self.expr(rhs)?;
+            let (group, cell) = self.out_cell(lhs)?;
+            self.code.push(Instr::Accumulate { group, cell, val });
+            return Ok(());
+        }
+        Err(CoreError::translate(format!(
+            "assignment to `{root}`, which is neither a kernel local nor an output"
+        )))
+    }
+
+    /// Compile the cell index of an output access.
+    fn out_cell(&mut self, lhs: &Expr) -> Result<(GroupId, Reg), CoreError> {
+        let parts = self
+            .access_parts(lhs)?
+            .ok_or_else(|| CoreError::translate("output access is not an access chain"))?;
+        let Space::Out(group) = parts.space else {
+            return Err(CoreError::translate("expected an output access"));
+        };
+        if parts.idx_exprs.is_empty() {
+            // Scalar output: cell 0.
+            let cell = self.const_reg(0.0);
+            return Ok((group, cell));
+        }
+        // Hoisted?
+        let key = print_expr(lhs);
+        if let Some((base, stride, k)) = self.hoisted(&key)? {
+            let cell = self.emit_base_plus_k(base, k, stride);
+            return Ok((group, cell));
+        }
+        let idx = self.compile_access_indices(&parts, parts.idx_exprs.len())?;
+        let dst = self.alloc();
+        self.code.push(Instr::OutIndex { dst, path: parts.path, idx });
+        Ok((group, dst))
+    }
+
+    fn for_loop(&mut self, index: &str, iter: &Expr, body: &Block) -> Result<(), CoreError> {
+        let Expr::Range(range) = iter else {
+            return Err(CoreError::translate("kernel loops must iterate over ranges"));
+        };
+        // The range is evaluated once; copy the bounds into fresh
+        // registers so body writes to their source variables cannot
+        // change the trip count mid-flight.
+        let lo_src = self.expr(&range.lo)?;
+        let hi_src = self.expr(&range.hi)?;
+        let hi = self.alloc();
+        self.code.push(Instr::Mov { dst: hi, src: hi_src });
+        let var = self.alloc();
+        self.code.push(Instr::Mov { dst: var, src: lo_src });
+        self.scopes.push(HashMap::from([(index.to_string(), var)]));
+
+        // Strength reduction: pre-compute bases of eligible accesses.
+        let frame = if self.opt != OptLevel::Generated {
+            self.build_hoist_frame(index, var, body)?
+        } else {
+            HoistFrame { entries: HashMap::new(), k_regs: Vec::new() }
+        };
+        let k_regs = frame.k_regs.clone();
+        self.hoists.push(frame);
+
+        // Pre-test once; the back edge is a fused inc-compare-jump.
+        let cond = self.alloc();
+        self.code.push(Instr::Cmp { op: CmpOp::Le, dst: cond, a: var, b: hi });
+        let jz = self.code.len();
+        self.code.push(Instr::JumpIfZero { cond, target: usize::MAX });
+        let body_start = self.code.len();
+        // Per-iteration 0-based index registers shared by every hoisted
+        // access of this loop (k = var - lo).
+        for &(lo_val, k_reg) in &k_regs {
+            if lo_val == 0 {
+                self.code.push(Instr::Mov { dst: k_reg, src: var });
+            } else {
+                let lo_reg = self.const_reg(lo_val as f64);
+                self.code.push(Instr::Bin { op: ArithOp::Sub, dst: k_reg, a: var, b: lo_reg });
+            }
+        }
+        for st in &body.stmts {
+            self.stmt(st)?;
+        }
+        self.code.push(Instr::IncRangeJump { var, hi, target: body_start });
+        let end = self.code.len();
+        self.patch(jz, end);
+
+        self.hoists.pop();
+        self.scopes.pop();
+        Ok(())
+    }
+
+    /// Scan a loop body for accesses whose innermost index is exactly the
+    /// loop variable and whose outer indices are loop-invariant; emit
+    /// their base computations (the single remaining `computeIndex` call
+    /// of opt-1) before the loop.
+    fn build_hoist_frame(
+        &mut self,
+        loop_var: &str,
+        _var_reg: Reg,
+        body: &Block,
+    ) -> Result<HoistFrame, CoreError> {
+        // Names assigned or declared inside the body (these invalidate
+        // outer-index invariance).
+        let mut tainted: BTreeSet<String> = BTreeSet::new();
+        tainted.insert(loop_var.to_string());
+        for s in &body.stmts {
+            walk_stmt(
+                s,
+                &mut |st| match st {
+                    Stmt::Var(v) => {
+                        tainted.insert(v.name.clone());
+                    }
+                    Stmt::For { index, .. } => {
+                        tainted.insert(index.clone());
+                    }
+                    Stmt::Assign { lhs, .. } => {
+                        if let Some(r) = crate::detect::root_ident(lhs) {
+                            tainted.insert(r.to_string());
+                        }
+                    }
+                    _ => {}
+                },
+                &mut |_| {},
+            );
+        }
+
+        // Collect candidate access expressions.
+        let mut candidates: Vec<Expr> = Vec::new();
+        for s in &body.stmts {
+            walk_stmt(s, &mut |_| {}, &mut |e| {
+                if matches!(e, Expr::Index { .. }) {
+                    candidates.push(e.clone());
+                }
+            });
+            // Assignment lhs chains are also accesses (output writes).
+            walk_stmt(
+                s,
+                &mut |st| {
+                    if let Stmt::Assign { lhs, .. } = st {
+                        if matches!(lhs, Expr::Index { .. } | Expr::Field { .. }) {
+                            candidates.push(lhs.clone());
+                        }
+                    }
+                },
+                &mut |_| {},
+            );
+        }
+
+        let mut entries = HashMap::new();
+        let mut k_regs: Vec<(i64, Reg)> = Vec::new();
+        for cand in candidates {
+            let key = print_expr(&cand);
+            if entries.contains_key(&key) {
+                continue;
+            }
+            let Some(parts) = self.access_parts(&cand)? else { continue };
+            // Eligible spaces: dataset and outputs always (their storage
+            // is flat in every version); state only at opt-2 (it is
+            // nested before that).
+            let state_ok = matches!(self.opt, OptLevel::Opt2);
+            if matches!(parts.space, Space::State(_)) && !state_ok {
+                continue;
+            }
+            let n = parts.idx_exprs.len();
+            if n == 0 {
+                continue;
+            }
+            // Innermost index must be exactly the loop variable.
+            if !matches!(parts.idx_exprs[n - 1], Expr::Ident(name, _) if name == loop_var) {
+                continue;
+            }
+            // Outer indices must not mention tainted names.
+            let mut invariant = true;
+            for outer in &parts.idx_exprs[..n - 1] {
+                walk_expr(outer, &mut |e| {
+                    if let Expr::Ident(name, _) = e {
+                        if tainted.contains(name) {
+                            invariant = false;
+                        }
+                    }
+                });
+            }
+            if !invariant {
+                continue;
+            }
+
+            // Emit the base computation now (pre-loop).
+            let outer_regs = self.compile_access_indices(&parts, n - 1)?;
+            let meta = &self.paths[parts.path as usize];
+            let stride = meta.innermost_stride();
+            let base = self.alloc();
+            match &parts.space {
+                Space::Data => {
+                    self.code.push(Instr::DataBase { dst: base, path: parts.path, outer: outer_regs });
+                }
+                Space::State(id) => {
+                    self.code.push(Instr::StateBase {
+                        dst: base,
+                        state: *id,
+                        path: parts.path,
+                        outer: outer_regs,
+                    });
+                }
+                Space::Out(_) => {
+                    // Base cell index of the output run: computeIndex
+                    // with innermost index 0.
+                    let zero = self.const_reg(0.0);
+                    let mut idx = outer_regs;
+                    idx.push(zero);
+                    self.code.push(Instr::OutIndex { dst: base, path: parts.path, idx });
+                }
+            }
+            let k_lo = parts.lo_adjust[n - 1];
+            let k_reg = match k_regs.iter().find(|(lo, _)| *lo == k_lo) {
+                Some(&(_, r)) => r,
+                None => {
+                    let r = self.alloc();
+                    k_regs.push((k_lo, r));
+                    r
+                }
+            };
+            entries.insert(key, HoistEntry { base, stride, k_reg });
+        }
+        Ok(HoistFrame { entries, k_regs })
+    }
+
+    /// Look up a hoisted access in any enclosing loop; returns
+    /// `(base, stride, k_reg)`. The k register is refreshed at the
+    /// owning loop's body head, so the use site emits nothing.
+    fn hoisted(&mut self, key: &str) -> Result<Option<(Reg, usize, Reg)>, CoreError> {
+        for frame in self.hoists.iter().rev() {
+            if let Some(entry) = frame.entries.get(key) {
+                return Ok(Some((entry.base, entry.stride, entry.k_reg)));
+            }
+        }
+        Ok(None)
+    }
+
+    fn emit_base_plus_k(&mut self, base: Reg, k: Reg, stride: usize) -> Reg {
+        if stride == 1 {
+            let dst = self.alloc();
+            self.code.push(Instr::Bin { op: ArithOp::Add, dst, a: base, b: k });
+            return dst;
+        }
+        let s = self.const_reg(stride as f64);
+        let t = self.alloc();
+        self.code.push(Instr::Bin { op: ArithOp::Mul, dst: t, a: k, b: s });
+        let dst = self.alloc();
+        self.code.push(Instr::Bin { op: ArithOp::Add, dst, a: base, b: t });
+        dst
+    }
+
+    // ---------- access chains ----------
+
+    /// Decompose an expression into an access chain over the dataset, a
+    /// state variable, or an output. Returns `None` when the expression
+    /// is not an access chain (e.g. arithmetic).
+    fn access_parts<'e>(&mut self, e: &'e Expr) -> Result<Option<AccessParts<'e>>, CoreError> {
+        // Unroll the chain, outermost-last.
+        let mut elems: Vec<&'e Expr> = Vec::new();
+        let mut cur = e;
+        let root = loop {
+            match cur {
+                Expr::Ident(name, _) => break name.clone(),
+                Expr::Index { base, .. } | Expr::Field { base, .. } => {
+                    elems.push(cur);
+                    cur = base;
+                }
+                _ => return Ok(None),
+            }
+        };
+        elems.reverse();
+
+        // Dataset access: `root[loop_var]` then deeper selections.
+        if let Some((vpos, _)) = self.dataset_var(&root) {
+            if elems.is_empty() {
+                return Err(CoreError::translate(format!(
+                    "dataset `{root}` used without an index"
+                )));
+            }
+            let Expr::Index { indices, .. } = elems[0] else {
+                return Err(CoreError::translate(format!(
+                    "dataset `{root}` must be indexed by the loop variable first"
+                )));
+            };
+            if indices.len() != 1 {
+                return Err(CoreError::translate("dataset arrays are one-dimensional"));
+            }
+            // Level 0 of the zipped shape: select this variable's field.
+            let elem_ty = match self.analysis.decls.globals.get(&root) {
+                Some(Ty::Array { elem, .. }) => (**elem).clone(),
+                _ => return Err(CoreError::translate("dataset type vanished")),
+            };
+            let (chains, idx_exprs, lo_adjust, key_suffix) =
+                self.chain_tail(&elems[1..], &elem_ty, false)?;
+            let mut full_chains = vec![Vec::new(); chains.len() + 1];
+            full_chains[0].push(vpos);
+            if let Some(first) = chains.first() {
+                full_chains[0].extend(first.iter().copied());
+            }
+            for (i, c) in chains.iter().enumerate().skip(1) {
+                full_chains[i] = c.clone();
+            }
+            // idx: local row (register 0, no lo adjustment needed — the
+            // VM provides it 0-based) plus the deeper indices.
+            let mut all_idx: Vec<&'e Expr> = vec![&indices[0]];
+            all_idx.extend(idx_exprs);
+            let mut all_lo = vec![0i64]; // row reg is pre-adjusted
+            all_lo.extend(lo_adjust);
+
+            let key = format!("data:{root}:{key_suffix}");
+            let meta = LinearMeta::new(&self.dataset.zip_shape)
+                .for_path(&AccessPath::new(full_chains))
+                .map_err(|e| CoreError::translate(format!("path resolution: {e}")))?;
+            let path = self.intern_path(key, meta);
+            return Ok(Some(AccessParts {
+                space: Space::Data,
+                path,
+                idx_exprs: all_idx,
+                lo_adjust: all_lo,
+                row_first: true,
+            }));
+        }
+
+        // State or output access.
+        let (space, var_ty) = if let Some(id) = self.state_id(&root) {
+            (Space::State(id), self.analysis.decls.globals.get(&root).cloned())
+        } else if let Some(id) = self.out_id(&root) {
+            (Space::Out(id), self.analysis.decls.globals.get(&root).cloned())
+        } else {
+            return Ok(None);
+        };
+        let Some(ty) = var_ty else {
+            return Err(CoreError::translate(format!("`{root}` has no type")));
+        };
+        let shape = self
+            .analysis
+            .decls
+            .shape_of(&ty)
+            .ok_or_else(|| CoreError::translate(format!("`{root}` has no layout")))?;
+        let (chains, idx_exprs, lo_adjust, key_suffix) = self.chain_tail(&elems, &ty, true)?;
+        let prefix = match space {
+            Space::State(_) => "state",
+            Space::Out(_) => "out",
+            Space::Data => unreachable!(),
+        };
+        let key = format!("{prefix}:{root}:{key_suffix}");
+        if idx_exprs.is_empty() {
+            // Scalar (or whole-variable) access: no path needed.
+            let meta = PathMeta {
+                levels: 0,
+                unit_size: Vec::new(),
+                unit_offset: Vec::new(),
+                position: Vec::new(),
+                level_offset: Vec::new(),
+                terminal_offset: 0,
+            };
+            let path = self.intern_path(key, meta);
+            return Ok(Some(AccessParts { space, path, idx_exprs, lo_adjust, row_first: false }));
+        }
+        let meta = LinearMeta::new(&shape)
+            .for_path(&AccessPath::new(chains))
+            .map_err(|e| CoreError::translate(format!("path resolution: {e}")))?;
+        let path = self.intern_path(key, meta);
+        Ok(Some(AccessParts { space, path, idx_exprs, lo_adjust, row_first: false }))
+    }
+
+    /// Convert syntactic chain elements into per-level field chains plus
+    /// the index expressions and their lower-bound adjustments, tracking
+    /// the semantic type as we descend.
+    #[allow(clippy::type_complexity)]
+    fn chain_tail<'e>(
+        &self,
+        elems: &[&'e Expr],
+        root_ty: &Ty,
+        reject_pre_index_fields: bool,
+    ) -> Result<(Vec<Vec<usize>>, Vec<&'e Expr>, Vec<i64>, String), CoreError> {
+        let mut chains: Vec<Vec<usize>> = Vec::new();
+        let mut idx_exprs: Vec<&'e Expr> = Vec::new();
+        let mut lo_adjust: Vec<i64> = Vec::new();
+        let mut cur_chain: Vec<usize> = Vec::new();
+        // For dataset tails the level-0 index was already consumed, so
+        // leading fields belong to the level-0 chain; for state/output
+        // chains leading fields would need pre-index offset folding,
+        // which the subset does not support.
+        let mut pre_index = reject_pre_index_fields;
+        let mut ty = root_ty.clone();
+        let mut key = String::new();
+
+        for elem in elems {
+            match elem {
+                Expr::Field { field, .. } => {
+                    let Ty::Record(rname) = &ty else {
+                        return Err(CoreError::translate(format!(
+                            "field `{field}` on non-record"
+                        )));
+                    };
+                    let info = self
+                        .analysis
+                        .decls
+                        .records
+                        .get(rname)
+                        .ok_or_else(|| CoreError::translate(format!("unknown record `{rname}`")))?;
+                    let (pos, fty) = info.field(field).ok_or_else(|| {
+                        CoreError::translate(format!("`{rname}` has no field `{field}`"))
+                    })?;
+                    if pre_index {
+                        return Err(CoreError::translate(
+                            "record selection before the first index is not supported",
+                        ));
+                    }
+                    cur_chain.push(pos);
+                    key.push_str(&format!(".{pos}"));
+                    ty = fty.clone();
+                }
+                Expr::Index { indices, .. } => {
+                    let Ty::Array { dims, elem } = &ty else {
+                        return Err(CoreError::translate("indexing a non-array"));
+                    };
+                    if indices.len() != dims.len() {
+                        return Err(CoreError::translate(format!(
+                            "{} indices on a {}-dimensional array",
+                            indices.len(),
+                            dims.len()
+                        )));
+                    }
+                    // Close the pending field chain at the boundary
+                    // *before* this index group.
+                    if !pre_index {
+                        chains.push(std::mem::take(&mut cur_chain));
+                    }
+                    pre_index = false;
+                    for (i, idx) in indices.iter().enumerate() {
+                        idx_exprs.push(idx);
+                        lo_adjust.push(dims[i].0);
+                        key.push_str("[i]");
+                        if i + 1 < indices.len() {
+                            chains.push(Vec::new());
+                        }
+                    }
+                    ty = (**elem).clone();
+                }
+                other => {
+                    return Err(CoreError::translate(format!(
+                        "unsupported chain element {other:?}"
+                    )));
+                }
+            }
+        }
+        if !cur_chain.is_empty() {
+            chains.push(cur_chain);
+        }
+        Ok((chains, idx_exprs, lo_adjust, key))
+    }
+
+    /// Compile the first `count` index registers of an access, mapping a
+    /// dataset row index to the pre-adjusted local-row register.
+    fn compile_access_indices(
+        &mut self,
+        parts: &AccessParts<'_>,
+        count: usize,
+    ) -> Result<Vec<Reg>, CoreError> {
+        let mut regs = Vec::with_capacity(count);
+        let start = if parts.row_first && count > 0 {
+            regs.push(REG_LOCAL_ROW);
+            1
+        } else {
+            0
+        };
+        for i in start..count {
+            let r = self.compile_indices(
+                &parts.idx_exprs[i..=i],
+                &parts.lo_adjust[i..=i],
+            )?;
+            regs.push(r[0]);
+        }
+        Ok(regs)
+    }
+
+    fn compile_indices(
+        &mut self,
+        exprs: &[&Expr],
+        lo_adjust: &[i64],
+    ) -> Result<Vec<Reg>, CoreError> {
+        let mut regs = Vec::with_capacity(exprs.len());
+        for (e, &lo) in exprs.iter().zip(lo_adjust) {
+            let raw = self.expr(e)?;
+            if lo == 0 {
+                regs.push(raw);
+            } else {
+                let lo_reg = self.const_reg(lo as f64);
+                let dst = self.alloc();
+                self.code.push(Instr::Bin { op: ArithOp::Sub, dst, a: raw, b: lo_reg });
+                regs.push(dst);
+            }
+        }
+        Ok(regs)
+    }
+
+    /// Emit the load for a resolved access.
+    fn emit_load(&mut self, e: &Expr) -> Result<Option<Reg>, CoreError> {
+        let key = print_expr(e);
+        let Some(parts) = self.access_parts(e)? else { return Ok(None) };
+        match parts.space {
+            Space::Data => {
+                if let Some((base, stride, k)) = self.hoisted(&key)? {
+                    let dst = self.alloc();
+                    self.code.push(Instr::LoadDataAt { dst, base, k, stride });
+                    return Ok(Some(dst));
+                }
+                let idx = self.compile_access_indices(&parts, parts.idx_exprs.len())?;
+                let dst = self.alloc();
+                self.code.push(Instr::LoadData { dst, path: parts.path, idx });
+                Ok(Some(dst))
+            }
+            Space::State(state) => {
+                if self.opt == OptLevel::Opt2 {
+                    if let Some((base, stride, k)) = self.hoisted(&key)? {
+                        let dst = self.alloc();
+                        self.code.push(Instr::LoadStateAt { dst, state, base, k, stride });
+                        return Ok(Some(dst));
+                    }
+                    let idx = self.compile_access_indices(&parts, parts.idx_exprs.len())?;
+                    let dst = self.alloc();
+                    if idx.is_empty() {
+                        // Scalar state: nested walk with no steps is a
+                        // direct read either way.
+                        self.code.push(Instr::LoadStateNested { dst, state, steps: Vec::new() });
+                    } else {
+                        self.code.push(Instr::LoadStateFlat { dst, state, path: parts.path, idx });
+                    }
+                    return Ok(Some(dst));
+                }
+                // generated / opt-1: nested walk, one step per selector.
+                let steps = self.nested_steps(e)?;
+                let dst = self.alloc();
+                self.code.push(Instr::LoadStateNested { dst, state, steps });
+                Ok(Some(dst))
+            }
+            Space::Out(_) => Err(CoreError::translate(
+                "outputs cannot be read inside a kernel",
+            )),
+        }
+    }
+
+    /// Build the nested navigation steps for a state access
+    /// (generated/opt-1 path).
+    fn nested_steps(&mut self, e: &Expr) -> Result<Vec<NavStep>, CoreError> {
+        let mut elems: Vec<&Expr> = Vec::new();
+        let mut cur = e;
+        let root_ty = loop {
+            match cur {
+                Expr::Ident(name, _) => {
+                    break self
+                        .analysis
+                        .decls
+                        .globals
+                        .get(name)
+                        .cloned()
+                        .ok_or_else(|| CoreError::translate(format!("`{name}` untyped")))?;
+                }
+                Expr::Index { base, .. } | Expr::Field { base, .. } => {
+                    elems.push(cur);
+                    cur = base;
+                }
+                other => {
+                    return Err(CoreError::translate(format!("bad chain element {other:?}")));
+                }
+            }
+        };
+        elems.reverse();
+        let mut ty = root_ty;
+        let mut steps = Vec::new();
+        for elem in elems {
+            match elem {
+                Expr::Field { field, .. } => {
+                    let Ty::Record(rname) = &ty else {
+                        return Err(CoreError::translate("field on non-record"));
+                    };
+                    let info = self.analysis.decls.records.get(rname).ok_or_else(|| {
+                        CoreError::translate(format!("unknown record `{rname}`"))
+                    })?;
+                    let (pos, fty) = info
+                        .field(field)
+                        .ok_or_else(|| CoreError::translate(format!("no field `{field}`")))?;
+                    steps.push(NavStep::Field(pos));
+                    ty = fty.clone();
+                }
+                Expr::Index { indices, .. } => {
+                    let Ty::Array { dims, elem: ety } = &ty.clone() else {
+                        return Err(CoreError::translate("indexing non-array"));
+                    };
+                    for (i, idx) in indices.iter().enumerate() {
+                        let regs = self.compile_indices(&[idx], &[dims[i].0])?;
+                        steps.push(NavStep::Index(regs[0]));
+                    }
+                    ty = (**ety).clone();
+                }
+                _ => unreachable!("chain elements are Index/Field"),
+            }
+        }
+        Ok(steps)
+    }
+
+    // ---------- expressions ----------
+
+    /// Compile a reduce-expression operand: leaf idents denote "this
+    /// row's element of that array".
+    fn reduce_operand(&mut self, e: &Expr) -> Result<Reg, CoreError> {
+        match e {
+            Expr::Ident(name, _) => {
+                let (vpos, _) = self
+                    .dataset_var(name)
+                    .ok_or_else(|| CoreError::translate(format!("`{name}` is not a leaf")))?;
+                let key = format!("leaf:{name}");
+                let meta = LinearMeta::new(&self.dataset.zip_shape)
+                    .for_path(&AccessPath::new(vec![vec![vpos]]))
+                    .map_err(|e| CoreError::translate(format!("leaf path: {e}")))?;
+                let path = self.intern_path(key, meta);
+                let dst = self.alloc();
+                self.code.push(Instr::LoadData { dst, path, idx: vec![REG_LOCAL_ROW] });
+                Ok(dst)
+            }
+            Expr::Int(v, _) => Ok(self.const_reg(*v as f64)),
+            Expr::Real(v, _) => Ok(self.const_reg(*v)),
+            Expr::Binary { op, l, r, .. } => {
+                let a = self.reduce_operand(l)?;
+                let b = self.reduce_operand(r)?;
+                let aop = match op {
+                    BinOp::Add => ArithOp::Add,
+                    BinOp::Sub => ArithOp::Sub,
+                    BinOp::Mul => ArithOp::Mul,
+                    BinOp::Div => ArithOp::Div,
+                    other => {
+                        return Err(CoreError::translate(format!(
+                            "operator {other:?} in reduce operand"
+                        )));
+                    }
+                };
+                let dst = self.alloc();
+                self.code.push(Instr::Bin { op: aop, dst, a, b });
+                Ok(dst)
+            }
+            Expr::Unary { op: UnOp::Neg, e, .. } => {
+                let src = self.reduce_operand(e)?;
+                let dst = self.alloc();
+                self.code.push(Instr::Neg { dst, src });
+                Ok(dst)
+            }
+            other => Err(CoreError::translate(format!(
+                "unsupported reduce operand {other:?}"
+            ))),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Reg, CoreError> {
+        match e {
+            Expr::Int(v, _) => Ok(self.const_reg(*v as f64)),
+            Expr::Real(v, _) => Ok(self.const_reg(*v)),
+            Expr::Bool(b, _) => Ok(self.const_reg(if *b { 1.0 } else { 0.0 })),
+            Expr::Ident(name, _) => {
+                if let Some(r) = self.lookup_local(name) {
+                    return Ok(r);
+                }
+                if self.user_fields.contains_key(name) {
+                    return Err(CoreError::translate(format!(
+                        "reduction field `{name}` cannot be read inside accumulate \
+                         (the result must be order-independent)"
+                    )));
+                }
+                if name == &self.loop_var {
+                    return Ok(REG_CHAPEL_ROW);
+                }
+                if let Some(v) = self.analysis.decls.consts.get(name) {
+                    return Ok(self.const_reg(*v as f64));
+                }
+                // Scalar state global.
+                if let Some(state) = self.state_id(name) {
+                    let dst = self.alloc();
+                    self.code.push(Instr::LoadStateNested { dst, state, steps: Vec::new() });
+                    return Ok(dst);
+                }
+                Err(CoreError::translate(format!("unknown name `{name}` in kernel")))
+            }
+            Expr::Index { .. } | Expr::Field { .. } => self
+                .emit_load(e)?
+                .ok_or_else(|| CoreError::translate("unsupported access in kernel")),
+            Expr::Unary { op, e: inner, .. } => {
+                let src = self.expr(inner)?;
+                let dst = self.alloc();
+                match op {
+                    UnOp::Neg => self.code.push(Instr::Neg { dst, src }),
+                    UnOp::Not => self.code.push(Instr::Not { dst, src }),
+                }
+                Ok(dst)
+            }
+            Expr::Binary { op, l, r, .. } => {
+                // Short-circuit && / || compile to branches (the kernel
+                // must not index out of bounds on the skipped side).
+                match op {
+                    BinOp::And | BinOp::Or => {
+                        let dst = self.alloc();
+                        let a = self.expr(l)?;
+                        self.code.push(Instr::Mov { dst, src: a });
+                        let jump_at = self.code.len();
+                        if matches!(op, BinOp::And) {
+                            self.code.push(Instr::JumpIfZero { cond: a, target: usize::MAX });
+                        } else {
+                            // Skip rhs when lhs is true: jump if !lhs==0,
+                            // i.e. invert then test.
+                            let inv = self.alloc();
+                            self.code.push(Instr::Not { dst: inv, src: a });
+                            self.code.push(Instr::JumpIfZero { cond: inv, target: usize::MAX });
+                        }
+                        let b = self.expr(r)?;
+                        let nz = self.alloc();
+                        let zero = self.const_reg(0.0);
+                        self.code.push(Instr::Cmp { op: CmpOp::Ne, dst: nz, a: b, b: zero });
+                        self.code.push(Instr::Mov { dst, src: nz });
+                        let end = self.code.len();
+                        // Patch the conditional jump (for Or it is the
+                        // instruction after the Not).
+                        let at = if matches!(op, BinOp::And) { jump_at } else { jump_at + 1 };
+                        self.patch(at, end);
+                        return Ok(dst);
+                    }
+                    _ => {}
+                }
+                let a = self.expr(l)?;
+                let b = self.expr(r)?;
+                let dst = self.alloc();
+                let ins = match op {
+                    BinOp::Add => Instr::Bin { op: ArithOp::Add, dst, a, b },
+                    BinOp::Sub => Instr::Bin { op: ArithOp::Sub, dst, a, b },
+                    BinOp::Mul => Instr::Bin { op: ArithOp::Mul, dst, a, b },
+                    BinOp::Div => Instr::Bin { op: ArithOp::Div, dst, a, b },
+                    BinOp::Mod => Instr::Bin { op: ArithOp::Mod, dst, a, b },
+                    BinOp::Pow => Instr::Bin { op: ArithOp::Pow, dst, a, b },
+                    BinOp::Eq => Instr::Cmp { op: CmpOp::Eq, dst, a, b },
+                    BinOp::Ne => Instr::Cmp { op: CmpOp::Ne, dst, a, b },
+                    BinOp::Lt => Instr::Cmp { op: CmpOp::Lt, dst, a, b },
+                    BinOp::Le => Instr::Cmp { op: CmpOp::Le, dst, a, b },
+                    BinOp::Gt => Instr::Cmp { op: CmpOp::Gt, dst, a, b },
+                    BinOp::Ge => Instr::Cmp { op: CmpOp::Ge, dst, a, b },
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                };
+                self.code.push(ins);
+                Ok(dst)
+            }
+            Expr::Call { callee, args, .. } => {
+                let Some(name) = callee.as_ident() else {
+                    return Err(CoreError::translate("unsupported call in kernel"));
+                };
+                match (name, args.len()) {
+                    ("int" | "floor", 1) => {
+                        let src = self.expr(&args[0])?;
+                        let dst = self.alloc();
+                        self.code.push(Instr::Floor { dst, src });
+                        Ok(dst)
+                    }
+                    ("real", 1) => self.expr(&args[0]),
+                    ("sqrt", 1) => {
+                        let src = self.expr(&args[0])?;
+                        let dst = self.alloc();
+                        self.code.push(Instr::Sqrt { dst, src });
+                        Ok(dst)
+                    }
+                    ("abs", 1) => {
+                        let src = self.expr(&args[0])?;
+                        let dst = self.alloc();
+                        self.code.push(Instr::Abs { dst, src });
+                        Ok(dst)
+                    }
+                    ("min", 2) | ("max", 2) => {
+                        let a = self.expr(&args[0])?;
+                        let b = self.expr(&args[1])?;
+                        let dst = self.alloc();
+                        let op = if name == "min" { ArithOp::Min } else { ArithOp::Max };
+                        self.code.push(Instr::Bin { op, dst, a, b });
+                        Ok(dst)
+                    }
+                    ("max", 1) if args[0].as_ident() == Some("int") => {
+                        Ok(self.const_reg(i64::MAX as f64))
+                    }
+                    ("min", 1) if args[0].as_ident() == Some("int") => {
+                        Ok(self.const_reg(i64::MIN as f64))
+                    }
+                    ("max", 1) if args[0].as_ident() == Some("real") => {
+                        Ok(self.const_reg(f64::INFINITY))
+                    }
+                    ("min", 1) if args[0].as_ident() == Some("real") => {
+                        Ok(self.const_reg(f64::NEG_INFINITY))
+                    }
+                    _ => Err(CoreError::translate(format!(
+                        "function `{name}` is not available in kernels"
+                    ))),
+                }
+            }
+            other => Err(CoreError::translate(format!(
+                "unsupported kernel expression {other:?}"
+            ))),
+        }
+    }
+}

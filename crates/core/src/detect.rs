@@ -1,0 +1,769 @@
+//! Reduction detection: find the statements a FREERIDE-targeting Chapel
+//! compiler can offload.
+//!
+//! Two shapes are recognised:
+//!
+//! 1. **Reduction loops** — `for i in 1..N { ... }` where every write to
+//!    a global is an associative, commutative accumulation (`+=`) into a
+//!    variable that is never read in the loop, and the input dataset is
+//!    indexed by the loop variable at its first level. This is the
+//!    paper's *generalized reduction* structure (Figure 4): the result
+//!    must be independent of the order in which data instances are
+//!    processed.
+//! 2. **Reduce expressions** — `var s = + reduce A;` /
+//!    `min reduce (A + B)` over global arrays of primitives, the
+//!    global-view abstraction of Section II.
+//!
+//! Anything else (e.g. the kNN insertion-sort kernel, whose global
+//! writes are order-dependent `=` assignments) is *rejected* and stays
+//! on the interpreter — detection must be sound, not just eager.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use chapel_frontend::ast::*;
+use chapel_sema::{Analysis, Ty};
+
+/// A top-level statement the translator can offload.
+#[derive(Debug, Clone)]
+pub enum Detected {
+    /// A generalized reduction loop.
+    Loop(LoopReduction),
+    /// A built-in `reduce` expression over arrays.
+    Expr(ExprReduction),
+}
+
+/// A detected reduction loop.
+#[derive(Debug, Clone)]
+pub struct LoopReduction {
+    /// Index of the statement in `program.items`.
+    pub stmt_index: usize,
+    /// The loop variable (one data instance per value).
+    pub loop_var: String,
+    /// Constant loop bounds (inclusive).
+    pub lo: i64,
+    /// Upper bound.
+    pub hi: i64,
+    /// Globals read as `var[loop_var]...` — the dataset, in first-use
+    /// order. These are linearized and handed to FREERIDE.
+    pub dataset: Vec<String>,
+    /// Globals read without the loop index — read-only state
+    /// (e.g. centroids). opt-2 linearizes these.
+    pub state: Vec<String>,
+    /// Globals accumulated with `+=` — they become reduction-object
+    /// groups.
+    pub outputs: Vec<String>,
+}
+
+/// A detected built-in reduce expression.
+#[derive(Debug, Clone)]
+pub struct ExprReduction {
+    /// Index of the statement in `program.items`.
+    pub stmt_index: usize,
+    /// The variable receiving the result.
+    pub target: String,
+    /// Whether the statement declares the target (`var s = ...`).
+    pub declares: bool,
+    /// The built-in reduction operator.
+    pub op: ReduceOp,
+    /// The reduced operand (leaves are global arrays).
+    pub operand: Expr,
+    /// The leaf arrays, in first-use order.
+    pub leaves: Vec<String>,
+    /// Rows of the (zipped) dataset.
+    pub rows: usize,
+}
+
+/// Why a statement was not offloaded (diagnostics for the report).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejection {
+    /// Statement index.
+    pub stmt_index: usize,
+    /// Explanation.
+    pub reason: String,
+}
+
+/// Detection result for a whole program.
+#[derive(Debug, Clone, Default)]
+pub struct Detection {
+    /// Offloadable statements by index.
+    pub detected: BTreeMap<usize, Detected>,
+    /// Loops/reduces that *looked* like candidates but were rejected,
+    /// with reasons.
+    pub rejections: Vec<Rejection>,
+}
+
+/// Run detection over every top-level statement.
+pub fn detect(program: &Program, analysis: &Analysis) -> Detection {
+    let mut out = Detection::default();
+    for (i, item) in program.items.iter().enumerate() {
+        let Item::Stmt(stmt) = item else { continue };
+        match stmt {
+            Stmt::For { parallel: _, .. } => match detect_loop(i, stmt, analysis) {
+                Ok(Some(l)) => {
+                    out.detected.insert(i, Detected::Loop(l));
+                }
+                Ok(None) => {}
+                Err(reason) => out.rejections.push(Rejection { stmt_index: i, reason }),
+            },
+            Stmt::Var(v) => {
+                if let Some(Expr::Reduce { op, expr, .. }) = &v.init {
+                    match detect_expr(i, &v.name, true, op, expr, analysis) {
+                        Ok(e) => {
+                            out.detected.insert(i, Detected::Expr(e));
+                        }
+                        Err(reason) => out.rejections.push(Rejection { stmt_index: i, reason }),
+                    }
+                }
+            }
+            Stmt::Assign { lhs, op: AssignOp::Set, rhs, .. } => {
+                if let (Some(name), Expr::Reduce { op, expr, .. }) = (lhs.as_ident(), rhs) {
+                    match detect_expr(i, name, false, op, expr, analysis) {
+                        Ok(e) => {
+                            out.detected.insert(i, Detected::Expr(e));
+                        }
+                        Err(reason) => out.rejections.push(Rejection { stmt_index: i, reason }),
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+// ---------- reduction loops ----------
+
+/// `Ok(None)`: not a candidate at all (e.g. loop over non-range).
+/// `Err(reason)`: a candidate that violates the reduction contract.
+fn detect_loop(
+    stmt_index: usize,
+    stmt: &Stmt,
+    analysis: &Analysis,
+) -> Result<Option<LoopReduction>, String> {
+    let Stmt::For { index, iter, body, .. } = stmt else { return Ok(None) };
+    let Expr::Range(range) = iter else {
+        return Ok(None); // `for x in A` direct iteration: not handled yet
+    };
+    let (Some(lo), Some(hi)) = (
+        analysis.decls.const_eval(&range.lo),
+        analysis.decls.const_eval(&range.hi),
+    ) else {
+        return Err("loop bounds are not compile-time constants".into());
+    };
+
+    // Names assigned or declared anywhere in the body (locals, inner
+    // loop vars) — globals are what remain.
+    let mut locals: BTreeSet<String> = BTreeSet::new();
+    locals.insert(index.clone());
+    collect_locals(body, &mut locals);
+
+    let is_global = |name: &str| -> bool {
+        !locals.contains(name) && analysis.decls.globals.contains_key(name)
+    };
+
+    // Classify global writes.
+    let mut outputs: Vec<String> = Vec::new();
+    let mut bad: Option<String> = None;
+    visit_stmts(body, &mut |s| {
+        if let Stmt::Assign { lhs, op, .. } = s {
+            if let Some(root) = root_ident(lhs) {
+                if is_global(root) {
+                    match op {
+                        AssignOp::Add => {
+                            if !outputs.iter().any(|o| o == root) {
+                                outputs.push(root.to_string());
+                            }
+                        }
+                        other => {
+                            bad = Some(format!(
+                                "global `{root}` written with {other:?}; only `+=` \
+                                 accumulations are order-independent"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    });
+    if let Some(reason) = bad {
+        return Err(reason);
+    }
+    if outputs.is_empty() {
+        return Ok(None); // a plain loop, nothing to reduce
+    }
+
+    // Classify global reads and find the dataset.
+    let mut dataset: Vec<String> = Vec::new();
+    let mut state: Vec<String> = Vec::new();
+    let mut violation: Option<String> = None;
+    visit_exprs(body, &mut |e| {
+        // A dataset access is `g[loop_var]` — record the *pattern*.
+        if let Expr::Index { base, indices, .. } = e {
+            if let Some(g) = base.as_ident() {
+                if is_global(g)
+                    && indices.len() == 1
+                    && matches!(&indices[0], Expr::Ident(n, _) if n == index)
+                    && !outputs.iter().any(|o| o == g)
+                {
+                    if !dataset.iter().any(|d| d == g) {
+                        dataset.push(g.to_string());
+                    }
+                }
+            }
+        }
+    });
+    // Second pass: every *other* appearance of a global classifies it as
+    // state — unless it's a dataset var appearing outside the
+    // `g[loop_var]` pattern, which is a violation.
+    visit_exprs(body, &mut |e| {
+        if let Expr::Ident(name, _) = e {
+            if name == index || !is_global(name) {
+                return;
+            }
+            if outputs.iter().any(|o| o == name) || dataset.iter().any(|d| d == name) {
+                return;
+            }
+            if !state.iter().any(|s| s == name) {
+                state.push(name.clone());
+            }
+        }
+    });
+    // Reads of outputs inside the loop break order-independence.
+    visit_exprs_reads_only(body, &mut |e| {
+        if let Expr::Ident(name, _) = e {
+            if outputs.iter().any(|o| o == name) {
+                violation = Some(format!(
+                    "output `{name}` is also read in the loop body (loop-carried dependence)"
+                ));
+            }
+        }
+    });
+    if let Some(reason) = violation {
+        return Err(reason);
+    }
+    if dataset.is_empty() {
+        return Err("no dataset access of the form `var[loop_index]` found".into());
+    }
+
+    // Dataset vars must be 1-D arrays whose extent matches the loop.
+    for d in &dataset {
+        match analysis.decls.globals.get(d) {
+            Some(Ty::Array { dims, .. }) if dims.len() == 1 => {
+                let (alo, ahi) = dims[0];
+                if lo < alo || hi > ahi {
+                    return Err(format!(
+                        "loop {lo}..{hi} exceeds dataset `{d}` bounds {alo}..{ahi}"
+                    ));
+                }
+            }
+            _ => {
+                return Err(format!("dataset `{d}` is not a one-dimensional array"));
+            }
+        }
+    }
+    // Dataset and state must have dense layouts.
+    for v in dataset.iter().chain(&state) {
+        if analysis.decls.shape_of_global(v).is_none() {
+            return Err(format!("`{v}` has no dense layout (cannot linearize)"));
+        }
+    }
+    for o in &outputs {
+        if analysis.decls.shape_of_global(o).is_none() {
+            return Err(format!("output `{o}` has no dense layout"));
+        }
+    }
+
+    Ok(Some(LoopReduction {
+        stmt_index,
+        loop_var: index.clone(),
+        lo,
+        hi,
+        dataset,
+        state,
+        outputs,
+    }))
+}
+
+// ---------- reduce expressions ----------
+
+fn detect_expr(
+    stmt_index: usize,
+    target: &str,
+    declares: bool,
+    op: &ReduceOp,
+    operand: &Expr,
+    analysis: &Analysis,
+) -> Result<ExprReduction, String> {
+    if matches!(op, ReduceOp::LogicalAnd | ReduceOp::LogicalOr) {
+        return Err(format!(
+            "reduce operator {op:?} is not offloaded (runs on the interpreter)"
+        ));
+    }
+    // User-defined ReduceScanOp classes offload when their structure is
+    // FREERIDE-compatible: scalar zero-default fields, a `combine` that
+    // sums fields pairwise (so the cell-wise Sum merge is exactly the
+    // user's combine), and an `accumulate` the kernel compiler can take
+    // (checked later, with interpreter fallback).
+    if let ReduceOp::UserDefined(class) = op {
+        validate_user_reduce_class(class, analysis)?;
+    }
+    // Collect leaf arrays; the operand may combine them elementwise with
+    // scalar literals.
+    let mut leaves: Vec<String> = Vec::new();
+    let mut extent: Option<(i64, i64)> = None;
+    let mut err: Option<String> = None;
+    walk_expr(operand, &mut |e| {
+        if let Expr::Ident(name, _) = e {
+            match analysis.decls.globals.get(name) {
+                Some(Ty::Array { dims, elem }) => {
+                    if dims.len() != 1 || !matches!(**elem, Ty::Real | Ty::Int) {
+                        err = Some(format!(
+                            "`{name}` must be a one-dimensional array of numbers"
+                        ));
+                        return;
+                    }
+                    match extent {
+                        None => extent = Some(dims[0]),
+                        Some(x) if x.1 - x.0 == dims[0].1 - dims[0].0 => {}
+                        Some(_) => {
+                            err = Some("reduced arrays differ in extent".into());
+                            return;
+                        }
+                    }
+                    if !leaves.iter().any(|l| l == name) {
+                        leaves.push(name.clone());
+                    }
+                }
+                Some(_) => {
+                    err = Some(format!("`{name}` is not an array"));
+                }
+                None => {
+                    err = Some(format!("`{name}` is not a global (local state not supported)"));
+                }
+            }
+        }
+    });
+    if let Some(reason) = err {
+        return Err(reason);
+    }
+    if leaves.is_empty() {
+        return Err("reduce operand has no array leaves".into());
+    }
+    // Structural check: the operand is built from leaves and literals
+    // with elementwise arithmetic only.
+    if !elementwise_ok(operand) {
+        return Err("reduce operand is not an elementwise arithmetic expression".into());
+    }
+    let (lo, hi) = extent.expect("at least one leaf");
+    Ok(ExprReduction {
+        stmt_index,
+        target: target.to_string(),
+        declares,
+        op: op.clone(),
+        operand: operand.clone(),
+        leaves,
+        rows: (hi - lo + 1) as usize,
+    })
+}
+
+/// Check that a `ReduceScanOp` subclass fits FREERIDE's reduction-object
+/// model: every field is a scalar with a zero default, and `combine(x)`
+/// is exactly a pairwise field sum (`f += x.f` / `f = f + x.f` /
+/// `f = x.f + f`), so the middleware's default cell-wise Sum combination
+/// implements the user's combine.
+pub fn validate_user_reduce_class(class: &str, analysis: &Analysis) -> Result<(), String> {
+    let info = analysis
+        .decls
+        .classes
+        .get(class)
+        .ok_or_else(|| format!("unknown reduction class `{class}`"))?;
+    if !info.decl.is_reduce_op() {
+        return Err(format!("`{class}` is not a ReduceScanOp subclass"));
+    }
+    for f in &info.decl.fields {
+        let scalar_ty = matches!(
+            f.ty,
+            None | Some(chapel_frontend::ast::TypeExpr::Real)
+                | Some(chapel_frontend::ast::TypeExpr::Int)
+        ) || matches!(&f.ty, Some(chapel_frontend::ast::TypeExpr::Named(n))
+                if info.decl.type_params.contains(n));
+        if !scalar_ty {
+            return Err(format!(
+                "field `{}` of `{class}` is not a scalar; only scalar reduction \
+                 objects offload",
+                f.name
+            ));
+        }
+        let zero_default = match &f.init {
+            None => true,
+            Some(Expr::Int(0, _)) => true,
+            Some(Expr::Real(x, _)) if *x == 0.0 => true,
+            _ => false,
+        };
+        if !zero_default {
+            return Err(format!(
+                "field `{}` of `{class}` has a nonzero default; the Sum identity \
+                 would double-count it across threads",
+                f.name
+            ));
+        }
+    }
+    let combine = info
+        .decl
+        .method("combine")
+        .ok_or_else(|| format!("`{class}` has no combine method"))?;
+    let param = combine
+        .params
+        .first()
+        .map(|p| p.name.clone())
+        .ok_or_else(|| format!("`{class}.combine` takes no argument"))?;
+    let mut combined: Vec<&str> = Vec::new();
+    for s in &combine.body.stmts {
+        let Stmt::Assign { lhs, op, rhs, .. } = s else {
+            return Err(format!("`{class}.combine` must only combine fields"));
+        };
+        let Some(field) = lhs.as_ident() else {
+            return Err(format!("`{class}.combine` writes a non-field"));
+        };
+        let is_other_field = |e: &Expr| {
+            matches!(e, Expr::Field { base, field: f2, .. }
+                if base.as_ident() == Some(param.as_str()) && f2 == field)
+        };
+        let sums = match op {
+            AssignOp::Add => is_other_field(rhs),
+            AssignOp::Set => matches!(rhs, Expr::Binary { op: BinOp::Add, l, r, .. }
+                if (l.as_ident() == Some(field) && is_other_field(r))
+                    || (r.as_ident() == Some(field) && is_other_field(l))),
+            _ => false,
+        };
+        if !sums {
+            return Err(format!(
+                "`{class}.combine` is not a pairwise field sum (found a \
+                 non-`f += x.f` statement for `{field}`); the cell-wise merge \
+                 cannot implement it"
+            ));
+        }
+        combined.push(field);
+    }
+    for (name, _) in &info.fields {
+        if !combined.iter().any(|f| f == name) {
+            return Err(format!(
+                "`{class}.combine` never merges field `{name}`"
+            ));
+        }
+    }
+    if info.decl.method("accumulate").is_none() || info.decl.method("generate").is_none() {
+        return Err(format!("`{class}` is missing accumulate/generate"));
+    }
+    Ok(())
+}
+
+fn elementwise_ok(e: &Expr) -> bool {
+    match e {
+        Expr::Ident(..) | Expr::Int(..) | Expr::Real(..) => true,
+        Expr::Binary { op, l, r, .. } => {
+            matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div)
+                && elementwise_ok(l)
+                && elementwise_ok(r)
+        }
+        Expr::Unary { op: UnOp::Neg, e, .. } => elementwise_ok(e),
+        _ => false,
+    }
+}
+
+// ---------- AST helpers ----------
+
+/// The root identifier of an access chain (`data[i].b1[j]` → `data`).
+pub fn root_ident(e: &Expr) -> Option<&str> {
+    match e {
+        Expr::Ident(n, _) => Some(n),
+        Expr::Index { base, .. } | Expr::Field { base, .. } => root_ident(base),
+        _ => None,
+    }
+}
+
+fn collect_locals(b: &Block, locals: &mut BTreeSet<String>) {
+    visit_stmts(b, &mut |s| match s {
+        Stmt::Var(v) => {
+            locals.insert(v.name.clone());
+        }
+        Stmt::For { index, .. } => {
+            locals.insert(index.clone());
+        }
+        _ => {}
+    });
+}
+
+fn visit_stmts(b: &Block, f: &mut impl FnMut(&Stmt)) {
+    for s in &b.stmts {
+        walk_stmt(s, f, &mut |_| {});
+    }
+}
+
+fn visit_exprs(b: &Block, f: &mut impl FnMut(&Expr)) {
+    for s in &b.stmts {
+        walk_stmt(s, &mut |_| {}, f);
+    }
+}
+
+/// Visit expressions in *read* position only: the left-hand sides of
+/// assignments contribute their index expressions (reads) but not the
+/// target chain itself.
+fn visit_exprs_reads_only(b: &Block, f: &mut impl FnMut(&Expr)) {
+    fn go(s: &Stmt, f: &mut impl FnMut(&Expr)) {
+        match s {
+            Stmt::Assign { lhs, rhs, .. } => {
+                // Index expressions within the lhs are reads.
+                lhs_index_reads(lhs, f);
+                walk_expr(rhs, f);
+            }
+            Stmt::Var(v) => {
+                if let Some(init) = &v.init {
+                    walk_expr(init, f);
+                }
+            }
+            Stmt::Expr(e) => walk_expr(e, f),
+            Stmt::For { iter, body, .. } => {
+                walk_expr(iter, f);
+                body.stmts.iter().for_each(|s| go(s, f));
+            }
+            Stmt::While { cond, body, .. } => {
+                walk_expr(cond, f);
+                body.stmts.iter().for_each(|s| go(s, f));
+            }
+            Stmt::If { cond, then, els, .. } => {
+                walk_expr(cond, f);
+                then.stmts.iter().for_each(|s| go(s, f));
+                if let Some(e) = els {
+                    e.stmts.iter().for_each(|s| go(s, f));
+                }
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    walk_expr(v, f);
+                }
+            }
+            Stmt::Writeln { args, .. } => args.iter().for_each(|a| walk_expr(a, f)),
+            Stmt::Block(b) => b.stmts.iter().for_each(|s| go(s, f)),
+        }
+    }
+    for s in &b.stmts {
+        go(s, f);
+    }
+}
+
+fn lhs_index_reads(lhs: &Expr, f: &mut impl FnMut(&Expr)) {
+    match lhs {
+        Expr::Index { base, indices, .. } => {
+            indices.iter().for_each(|i| walk_expr(i, f));
+            lhs_index_reads(base, f);
+        }
+        Expr::Field { base, .. } => lhs_index_reads(base, f),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod detect_tests {
+    use super::*;
+    use chapel_frontend::{parse, programs};
+    use chapel_sema::analyze;
+
+    fn detect_src(src: &str) -> Detection {
+        let p = parse(src).unwrap();
+        let a = analyze(&p).unwrap();
+        detect(&p, &a)
+    }
+
+    #[test]
+    fn kmeans_loop_detected_with_correct_classification() {
+        let d = detect_src(&programs::kmeans(50, 4, 3));
+        let loops: Vec<&LoopReduction> = d
+            .detected
+            .values()
+            .filter_map(|x| match x {
+                Detected::Loop(l) => Some(l),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(loops.len(), 1, "rejections: {:?}", d.rejections);
+        let l = loops[0];
+        assert_eq!(l.dataset, vec!["data"]);
+        assert_eq!(l.state, vec!["centroids"]);
+        assert_eq!(l.outputs, vec!["newCent"]);
+        assert_eq!((l.lo, l.hi), (1, 50));
+    }
+
+    #[test]
+    fn pca_has_two_reduction_loops() {
+        let d = detect_src(&programs::pca(3, 7));
+        let loops: Vec<&LoopReduction> = d
+            .detected
+            .values()
+            .filter_map(|x| match x {
+                Detected::Loop(l) => Some(l),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(loops.len(), 2, "rejections: {:?}", d.rejections);
+        // Phase 1: mean. Phase 2: covariance with mean as state.
+        assert_eq!(loops[0].outputs, vec!["mean"]);
+        assert!(loops[0].state.is_empty());
+        assert_eq!(loops[1].outputs, vec!["cov"]);
+        assert_eq!(loops[1].state, vec!["mean"]);
+    }
+
+    #[test]
+    fn histogram_detected() {
+        let d = detect_src(&programs::histogram(100, 8));
+        let loops: Vec<_> = d
+            .detected
+            .values()
+            .filter(|x| matches!(x, Detected::Loop(_)))
+            .collect();
+        assert_eq!(loops.len(), 1, "rejections: {:?}", d.rejections);
+    }
+
+    #[test]
+    fn linreg_zips_two_dataset_arrays() {
+        let d = detect_src(&programs::linear_regression(40));
+        let loops: Vec<&LoopReduction> = d
+            .detected
+            .values()
+            .filter_map(|x| match x {
+                Detected::Loop(l) => Some(l),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].dataset, vec!["xs", "ys"]);
+        assert_eq!(loops[0].outputs, vec!["sx", "sy", "sxx", "sxy"]);
+    }
+
+    #[test]
+    fn knn_rejected_for_order_dependent_writes() {
+        let d = detect_src(&programs::knn(30, 2, 3));
+        assert!(d.detected.values().all(|x| !matches!(x, Detected::Loop(_))));
+        assert!(
+            d.rejections.iter().any(|r| r.reason.contains("only `+=`")),
+            "rejections: {:?}",
+            d.rejections
+        );
+    }
+
+    #[test]
+    fn output_read_in_loop_rejected() {
+        let d = detect_src(
+            "var data: [1..10] real; var acc: real = 0.0; \
+             for i in 1..10 { acc += data[i] * acc; }",
+        );
+        assert!(d.detected.is_empty());
+        assert!(d.rejections[0].reason.contains("also read"));
+    }
+
+    #[test]
+    fn init_loops_are_not_reductions() {
+        // `data[i] = ...` writes the dataset — a Set write, rejected (it
+        // is simply not a reduction; it stays on the interpreter).
+        let d = detect_src("var data: [1..10] real; for i in 1..10 { data[i] = i; }");
+        assert!(d.detected.is_empty());
+    }
+
+    #[test]
+    fn sum_reduce_expression_detected() {
+        let d = detect_src(&programs::sum_reduce(12));
+        let exprs: Vec<&ExprReduction> = d
+            .detected
+            .values()
+            .filter_map(|x| match x {
+                Detected::Expr(e) => Some(e),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(exprs.len(), 1, "rejections: {:?}", d.rejections);
+        assert_eq!(exprs[0].target, "total");
+        assert_eq!(exprs[0].leaves, vec!["A"]);
+        assert_eq!(exprs[0].rows, 12);
+        assert!(matches!(exprs[0].op, ReduceOp::Sum));
+    }
+
+    #[test]
+    fn min_reduce_over_elementwise_sum_detected() {
+        let d = detect_src(&programs::min_reduce_sum_expr(9));
+        let exprs: Vec<&ExprReduction> = d
+            .detected
+            .values()
+            .filter_map(|x| match x {
+                Detected::Expr(e) => Some(e),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(exprs.len(), 1);
+        assert_eq!(exprs[0].leaves, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn fig2_user_reduce_class_is_offloadable() {
+        // The Figure 2 sum class passes the FREERIDE-compatibility
+        // validation: scalar zero-default field, pairwise-sum combine.
+        let src = format!(
+            "{}\nvar A: [1..5] real;\nvar s = SumReduceScanOp reduce A;",
+            programs::FIG2_SUM_REDUCE_CLASS
+        );
+        let d = detect_src(&src);
+        assert_eq!(d.detected.len(), 1, "rejections: {:?}", d.rejections);
+        match d.detected.values().next().unwrap() {
+            Detected::Expr(e) => assert!(matches!(&e.op, ReduceOp::UserDefined(n) if n == "SumReduceScanOp")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn user_reduce_with_non_sum_combine_stays_on_interpreter() {
+        // A max-style combine is not a pairwise field sum, so the
+        // cell-wise Sum merge cannot implement it — rejected.
+        let src = "
+            class MaxOp: ReduceScanOp {
+                var value: real;
+                def accumulate(x) { value = max(value, x); }
+                def combine(x) { value = max(value, x.value); }
+                def generate() { return value; }
+            }
+            var A: [1..5] real;
+            var s = MaxOp reduce A;
+        ";
+        let d = detect_src(src);
+        assert!(d.detected.is_empty());
+        assert!(
+            d.rejections[0].reason.contains("pairwise field sum"),
+            "{:?}",
+            d.rejections
+        );
+    }
+
+    #[test]
+    fn user_reduce_with_nonzero_default_rejected() {
+        let src = "
+            class Biased: ReduceScanOp {
+                var value: real = 10.0;
+                def accumulate(x) { value += x; }
+                def combine(x) { value += x.value; }
+                def generate() { return value; }
+            }
+            var A: [1..5] real;
+            var s = Biased reduce A;
+        ";
+        let d = detect_src(src);
+        assert!(d.detected.is_empty());
+        assert!(d.rejections[0].reason.contains("nonzero default"), "{:?}", d.rejections);
+    }
+
+    #[test]
+    fn loop_bound_mismatch_rejected() {
+        let d = detect_src(
+            "var data: [1..5] real; var s: real = 0.0; \
+             for i in 1..10 { s += data[i]; }",
+        );
+        assert!(d.rejections[0].reason.contains("exceeds dataset"));
+    }
+}

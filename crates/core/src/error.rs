@@ -1,0 +1,78 @@
+//! Errors of the translation pipeline.
+
+use std::fmt;
+
+/// Anything that can go wrong while translating and running a program.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Lexing/parsing failed.
+    Frontend(chapel_frontend::FrontendError),
+    /// Type checking failed.
+    Sema(Vec<chapel_sema::SemaError>),
+    /// Interpretation (of non-offloaded statements) failed.
+    Interp(chapel_interp::InterpError),
+    /// The FREERIDE runtime reported an error.
+    Freeride(freeride::FreerideError),
+    /// Linearization failed.
+    Linearize(linearize::LinearizeError),
+    /// The kernel compiler could not translate a construct.
+    Translate(String),
+}
+
+impl CoreError {
+    /// A kernel-compiler limitation.
+    pub fn translate(msg: impl Into<String>) -> CoreError {
+        CoreError::Translate(msg.into())
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Frontend(e) => write!(f, "{e}"),
+            CoreError::Sema(errs) => {
+                writeln!(f, "{} semantic error(s):", errs.len())?;
+                for e in errs {
+                    writeln!(f, "  {e}")?;
+                }
+                Ok(())
+            }
+            CoreError::Interp(e) => write!(f, "{e}"),
+            CoreError::Freeride(e) => write!(f, "{e}"),
+            CoreError::Linearize(e) => write!(f, "{e}"),
+            CoreError::Translate(msg) => write!(f, "translation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<chapel_frontend::FrontendError> for CoreError {
+    fn from(e: chapel_frontend::FrontendError) -> Self {
+        CoreError::Frontend(e)
+    }
+}
+
+impl From<Vec<chapel_sema::SemaError>> for CoreError {
+    fn from(e: Vec<chapel_sema::SemaError>) -> Self {
+        CoreError::Sema(e)
+    }
+}
+
+impl From<chapel_interp::InterpError> for CoreError {
+    fn from(e: chapel_interp::InterpError) -> Self {
+        CoreError::Interp(e)
+    }
+}
+
+impl From<freeride::FreerideError> for CoreError {
+    fn from(e: freeride::FreerideError) -> Self {
+        CoreError::Freeride(e)
+    }
+}
+
+impl From<linearize::LinearizeError> for CoreError {
+    fn from(e: linearize::LinearizeError) -> Self {
+        CoreError::Linearize(e)
+    }
+}

@@ -1,0 +1,210 @@
+//! The kernel VM: executes compiled kernels over FREERIDE splits.
+//!
+//! One `KernelRuntime` is built per translated job; it is `Sync`, so the
+//! FREERIDE engine can run it from many worker threads. Per-row
+//! execution walks the instruction stream; the cost profile of each
+//! access instruction mirrors the paper's generated C code (see
+//! `kernel_ir.rs`).
+
+use freeride::{RObjHandle, Split};
+use linearize::Value;
+
+use crate::chapel_abi::{
+    chpl_array_index, chpl_read_scalar, chpl_record_field, compute_index_call,
+};
+use crate::kernel_ir::{ArithOp, CmpOp, Instr, Kernel, NavStep};
+
+/// Everything the kernel needs at run time besides the split itself.
+pub struct KernelRuntime {
+    /// The compiled kernel.
+    pub kernel: Kernel,
+    /// Nested state values (generated / opt-1). Indexed by `StateId`.
+    pub nested_state: Vec<Value>,
+    /// Linearized state buffers (opt-2). Indexed by `StateId`.
+    pub flat_state: Vec<Vec<f64>>,
+    /// Chapel value of the loop variable for row 0 (the loop's lower
+    /// bound).
+    pub row_lo: i64,
+}
+
+impl KernelRuntime {
+    /// Process one split: for every row, run the kernel with register 0
+    /// holding the local row index and register 1 the Chapel loop value.
+    ///
+    /// This is the `reduction_t` FREERIDE calls through its function
+    /// pointer.
+    pub fn run_split(&self, split: &Split<'_>, robj: &mut dyn RObjHandle) {
+        // The dispatch loop uses unchecked register access; validation
+        // establishes the invariants it relies on.
+        self.kernel
+            .validate(
+                self.nested_state.len().max(self.flat_state.len()),
+                usize::MAX, // group count is checked by the robj layout
+            )
+            .expect("kernel failed validation");
+        let mut regs = vec![0.0f64; self.kernel.regs];
+        // Constant preamble, once per split.
+        for ins in &self.kernel.code[..self.kernel.entry] {
+            match ins {
+                Instr::Const { dst, val } => regs[*dst as usize] = *val,
+                other => unreachable!("non-constant in preamble: {other:?}"),
+            }
+        }
+        for local in 0..split.row_count {
+            regs[0] = local as f64;
+            regs[1] = (self.row_lo + (split.first_row + local) as i64) as f64;
+            self.run_row(split, &mut regs, robj);
+        }
+    }
+
+    #[inline]
+    fn run_row(&self, split: &Split<'_>, regs: &mut [f64], robj: &mut dyn RObjHandle) {
+        let code = &self.kernel.code;
+        let paths = &self.kernel.paths;
+        let data = split.rows;
+        let mut idx_buf: Vec<usize> = Vec::with_capacity(8);
+        let mut pc = self.kernel.entry;
+        loop {
+            match &code[pc] {
+                Instr::Const { dst, val } => (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = *val,
+                Instr::Mov { dst, src } => (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = unsafe { *regs.get_unchecked(*src as usize) },
+                Instr::Bin { op, dst, a, b } => {
+                    let x = unsafe { *regs.get_unchecked(*a as usize) };
+                    let y = unsafe { *regs.get_unchecked(*b as usize) };
+                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = match op {
+                        ArithOp::Add => x + y,
+                        ArithOp::Sub => x - y,
+                        ArithOp::Mul => x * y,
+                        ArithOp::Div => x / y,
+                        ArithOp::Mod => x % y,
+                        ArithOp::Pow => x.powf(y),
+                        ArithOp::Min => x.min(y),
+                        ArithOp::Max => x.max(y),
+                    };
+                }
+                Instr::Cmp { op, dst, a, b } => {
+                    let x = unsafe { *regs.get_unchecked(*a as usize) };
+                    let y = unsafe { *regs.get_unchecked(*b as usize) };
+                    let v = match op {
+                        CmpOp::Eq => x == y,
+                        CmpOp::Ne => x != y,
+                        CmpOp::Lt => x < y,
+                        CmpOp::Le => x <= y,
+                        CmpOp::Gt => x > y,
+                        CmpOp::Ge => x >= y,
+                    };
+                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = if v { 1.0 } else { 0.0 };
+                }
+                Instr::Not { dst, src } => {
+                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = if (*unsafe { regs.get_unchecked_mut(*src as usize) }) == 0.0 { 1.0 } else { 0.0 };
+                }
+                Instr::Neg { dst, src } => (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = -(*unsafe { regs.get_unchecked_mut(*src as usize) }),
+                Instr::Floor { dst, src } => (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = (*unsafe { regs.get_unchecked_mut(*src as usize) }).floor(),
+                Instr::Sqrt { dst, src } => (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = (*unsafe { regs.get_unchecked_mut(*src as usize) }).sqrt(),
+                Instr::Abs { dst, src } => (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = (*unsafe { regs.get_unchecked_mut(*src as usize) }).abs(),
+                Instr::Jump { target } => {
+                    pc = *target;
+                    continue;
+                }
+                Instr::JumpIfZero { cond, target } => {
+                    if (*unsafe { regs.get_unchecked_mut(*cond as usize) }) == 0.0 {
+                        pc = *target;
+                        continue;
+                    }
+                }
+                Instr::LoadRow { dst } => (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = regs[1],
+                Instr::IncRangeJump { var, hi, target } => {
+                    let v = (*unsafe { regs.get_unchecked_mut(*var as usize) }) + 1.0;
+                    (*unsafe { regs.get_unchecked_mut(*var as usize) }) = v;
+                    if v <= (*unsafe { regs.get_unchecked_mut(*hi as usize) }) {
+                        pc = *target;
+                        continue;
+                    }
+                }
+                Instr::Fma { dst, a, b } => {
+                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) += (*unsafe { regs.get_unchecked_mut(*a as usize) }) * (*unsafe { regs.get_unchecked_mut(*b as usize) });
+                }
+                Instr::LoadData { dst, path, idx } => {
+                    // The full Algorithm-3 mapping, executed as a real
+                    // (non-inlined, recursive) call per access — the
+                    // *generated* version's cost.
+                    idx_buf.clear();
+                    idx_buf.extend(idx.iter().map(|r| (*unsafe { regs.get_unchecked_mut(*r as usize) }) as usize));
+                    let off = compute_index_call(&paths[*path as usize], &idx_buf);
+                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = data[off];
+                }
+                Instr::DataBase { dst, path, outer } => {
+                    // opt-1: the one remaining computeIndex call per loop.
+                    idx_buf.clear();
+                    idx_buf.extend(outer.iter().map(|r| (*unsafe { regs.get_unchecked_mut(*r as usize) }) as usize));
+                    idx_buf.push(0);
+                    let off = compute_index_call(&paths[*path as usize], &idx_buf);
+                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = off as f64;
+                }
+                Instr::LoadDataAt { dst, base, k, stride } => {
+                    let off =
+                        (*unsafe { regs.get_unchecked_mut(*base as usize) }) as usize + (*unsafe { regs.get_unchecked_mut(*k as usize) }) as usize * stride;
+                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = data[off];
+                }
+                Instr::LoadStateNested { dst, state, steps } => {
+                    // The nested-structure walk through the emulated
+                    // Chapel runtime calls (wide-reference test, dope
+                    // vector, bounds check per level) — the "accesses to
+                    // complex Chapel structures" cost that opt-2
+                    // eliminates.
+                    let mut cur = &self.nested_state[*state as usize];
+                    for step in steps {
+                        cur = match step {
+                            NavStep::Field(pos) => chpl_record_field(cur, *pos),
+                            NavStep::Index(r) => {
+                                chpl_array_index(cur, (*unsafe { regs.get_unchecked_mut(*r as usize) }) as usize)
+                            }
+                        };
+                    }
+                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = chpl_read_scalar(cur);
+                }
+                Instr::LoadStateFlat { dst, state, path, idx } => {
+                    idx_buf.clear();
+                    idx_buf.extend(idx.iter().map(|r| (*unsafe { regs.get_unchecked_mut(*r as usize) }) as usize));
+                    let off = compute_index_call(&paths[*path as usize], &idx_buf);
+                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = self.flat_state[*state as usize][off];
+                }
+                Instr::StateBase { dst, state: _, path, outer } => {
+                    idx_buf.clear();
+                    idx_buf.extend(outer.iter().map(|r| (*unsafe { regs.get_unchecked_mut(*r as usize) }) as usize));
+                    idx_buf.push(0);
+                    let off = compute_index_call(&paths[*path as usize], &idx_buf);
+                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = off as f64;
+                }
+                Instr::LoadStateAt { dst, state, base, k, stride } => {
+                    let off =
+                        (*unsafe { regs.get_unchecked_mut(*base as usize) }) as usize + (*unsafe { regs.get_unchecked_mut(*k as usize) }) as usize * stride;
+                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = self.flat_state[*state as usize][off];
+                }
+                Instr::OutIndex { dst, path, idx } => {
+                    idx_buf.clear();
+                    idx_buf.extend(idx.iter().map(|r| (*unsafe { regs.get_unchecked_mut(*r as usize) }) as usize));
+                    let off = compute_index_call(&paths[*path as usize], &idx_buf);
+                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = off as f64;
+                }
+                Instr::Accumulate { group, cell, val } => {
+                    robj.accumulate(
+                        *group as usize,
+                        (*unsafe { regs.get_unchecked_mut(*cell as usize) }) as usize,
+                        unsafe { *regs.get_unchecked(*val as usize) },
+                    );
+                }
+                Instr::Halt => return,
+            }
+            pc += 1;
+        }
+    }
+}
+
+// SAFETY-free Sync: all fields are plain data.
+// (KernelRuntime derives Sync automatically; this assertion documents
+// the requirement — the FREERIDE engine shares it across workers.)
+const _: fn() = || {
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<KernelRuntime>();
+};

@@ -1,0 +1,408 @@
+//! The kernel IR — the "generated C code" of the reproduction.
+//!
+//! The paper's modified Chapel compiler emits C code that FREERIDE calls
+//! through function pointers. We emit a small register bytecode instead;
+//! the three code-generation strategies differ only in which *access
+//! instructions* they use:
+//!
+//! * **generated** — every dataset/state access executes the full
+//!   `computeIndex` mapping ([`Instr::LoadData`] /
+//!   [`Instr::LoadStateFlat`] with per-access index math), and state
+//!   variables are *nested* values walked per access
+//!   ([`Instr::LoadStateNested`]).
+//! * **opt-1** — strength reduction: [`Instr::DataBase`] computes the
+//!   innermost base once per loop, [`Instr::LoadDataAt`] walks it by
+//!   stride.
+//! * **opt-2** — state is linearized too, so [`Instr::LoadStateNested`]
+//!   disappears in favour of flat loads (plus the opt-1 shapes).
+//!
+//! All arithmetic runs on f64 registers (ints ride in the payload, as in
+//! the linearized buffers).
+
+use linearize::PathMeta;
+
+/// A register index.
+pub type Reg = u16;
+
+/// Index of a resolved access path in the kernel's path table.
+pub type PathId = u16;
+
+/// Index of a state variable.
+pub type StateId = u16;
+
+/// Index of a reduction-object group (one per output variable).
+pub type GroupId = u16;
+
+/// Arithmetic operations on f64 registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `a / b`
+    Div,
+    /// `a % b` (f64 remainder; exact for integer payloads)
+    Mod,
+    /// `a.powf(b)`
+    Pow,
+    /// `a.min(b)`
+    Min,
+    /// `a.max(b)`
+    Max,
+}
+
+/// Comparisons producing 0.0 / 1.0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `a == b`
+    Eq,
+    /// `a != b`
+    Ne,
+    /// `a < b`
+    Lt,
+    /// `a <= b`
+    Le,
+    /// `a > b`
+    Gt,
+    /// `a >= b`
+    Ge,
+}
+
+/// One navigation step through a nested state value (generated/opt-1
+/// state access).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NavStep {
+    /// Select a record field by position.
+    Field(usize),
+    /// Index an array level; the register holds the already-0-based
+    /// index.
+    Index(Reg),
+}
+
+/// Kernel instructions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `dst = val`
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate.
+        val: f64,
+    },
+    /// `dst = src`
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst = a op b`
+    Bin {
+        /// Operation.
+        op: ArithOp,
+        /// Destination.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// `dst = (a cmp b) ? 1.0 : 0.0`
+    Cmp {
+        /// Comparison.
+        op: CmpOp,
+        /// Destination.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// `dst = (src == 0.0) ? 1.0 : 0.0`
+    Not {
+        /// Destination.
+        dst: Reg,
+        /// Source.
+        src: Reg,
+    },
+    /// `dst = -src`
+    Neg {
+        /// Destination.
+        dst: Reg,
+        /// Source.
+        src: Reg,
+    },
+    /// `dst = floor(src)` (the `int()` cast)
+    Floor {
+        /// Destination.
+        dst: Reg,
+        /// Source.
+        src: Reg,
+    },
+    /// `dst = sqrt(src)`
+    Sqrt {
+        /// Destination.
+        dst: Reg,
+        /// Source.
+        src: Reg,
+    },
+    /// `dst = abs(src)`
+    Abs {
+        /// Destination.
+        dst: Reg,
+        /// Source.
+        src: Reg,
+    },
+    /// Unconditional jump to an instruction index.
+    Jump {
+        /// Target pc.
+        target: usize,
+    },
+    /// Jump when the register is 0.0.
+    JumpIfZero {
+        /// Condition register.
+        cond: Reg,
+        /// Target pc.
+        target: usize,
+    },
+    /// `dst = <current global row index>` (the Chapel loop variable's
+    /// value, 1-based by the loop's lower bound).
+    LoadRow {
+        /// Destination.
+        dst: Reg,
+    },
+    /// **generated**: full `computeIndex` per access. `idx[0]` is the
+    /// *local row register* implicitly (level 0); deeper indices come
+    /// from registers (already 0-based).
+    LoadData {
+        /// Destination.
+        dst: Reg,
+        /// Path-table entry.
+        path: PathId,
+        /// One 0-based index register per level.
+        idx: Vec<Reg>,
+    },
+    /// **opt-1**: compute the flat base address of the innermost run:
+    /// `dst = computeIndex(path, outer..., 0)`.
+    DataBase {
+        /// Destination (holds a flat slot address).
+        dst: Reg,
+        /// Path-table entry.
+        path: PathId,
+        /// 0-based index registers of all levels but the innermost.
+        outer: Vec<Reg>,
+    },
+    /// **opt-1**: `dst = buffer[base + k * stride]`.
+    LoadDataAt {
+        /// Destination.
+        dst: Reg,
+        /// Register holding the base address.
+        base: Reg,
+        /// Register holding the innermost (0-based) index.
+        k: Reg,
+        /// Stride in slots.
+        stride: usize,
+    },
+    /// **generated/opt-1**: walk a nested state value (tag dispatch per
+    /// step — the "accesses to complex Chapel structures" cost).
+    LoadStateNested {
+        /// Destination.
+        dst: Reg,
+        /// Which state variable.
+        state: StateId,
+        /// Navigation steps from the root.
+        steps: Vec<NavStep>,
+    },
+    /// **opt-2**: state is linearized; full `computeIndex` per access.
+    LoadStateFlat {
+        /// Destination.
+        dst: Reg,
+        /// Which state variable.
+        state: StateId,
+        /// Path within the state variable.
+        path: PathId,
+        /// 0-based index registers, one per level.
+        idx: Vec<Reg>,
+    },
+    /// **opt-2 + strength reduction**: base address into a state buffer.
+    StateBase {
+        /// Destination (flat address).
+        dst: Reg,
+        /// State variable.
+        state: StateId,
+        /// Path within the state variable.
+        path: PathId,
+        /// Outer 0-based index registers.
+        outer: Vec<Reg>,
+    },
+    /// **opt-2 + strength reduction**: `dst = state[base + k*stride]`.
+    LoadStateAt {
+        /// Destination.
+        dst: Reg,
+        /// State variable.
+        state: StateId,
+        /// Base-address register.
+        base: Reg,
+        /// Innermost index register (0-based).
+        k: Reg,
+        /// Stride in slots.
+        stride: usize,
+    },
+    /// Compute a reduction-object cell index: `dst = computeIndex(path,
+    /// idx...)` over the *output* variable's layout.
+    OutIndex {
+        /// Destination (cell index).
+        dst: Reg,
+        /// Path within the output variable.
+        path: PathId,
+        /// 0-based index registers, one per level (empty for scalars).
+        idx: Vec<Reg>,
+    },
+    /// Fused loop back-edge: `var += 1; if var <= hi { goto target }` —
+    /// the loop bookkeeping a C compiler folds into one compare-and-
+    /// branch.
+    IncRangeJump {
+        /// Loop variable register.
+        var: Reg,
+        /// Register holding the (inclusive) upper bound.
+        hi: Reg,
+        /// Body start pc.
+        target: usize,
+    },
+    /// `dst += a * b` — fused multiply-accumulate.
+    Fma {
+        /// Accumulator register.
+        dst: Reg,
+        /// Left factor.
+        a: Reg,
+        /// Right factor.
+        b: Reg,
+    },
+    /// `accumulate(group, cell, val)` — the FREERIDE update.
+    Accumulate {
+        /// Reduction-object group (one per output variable).
+        group: GroupId,
+        /// Register holding the cell index.
+        cell: Reg,
+        /// Register holding the value.
+        val: Reg,
+    },
+    /// End of the per-element kernel.
+    Halt,
+}
+
+/// A compiled kernel: code plus its tables.
+#[derive(Debug, Clone, Default)]
+pub struct Kernel {
+    /// The instruction stream: `code[..entry]` is the constant preamble
+    /// (executed once per split), `code[entry..]` the per-element body.
+    pub code: Vec<Instr>,
+    /// First pc of the per-element body.
+    pub entry: usize,
+    /// Register file size.
+    pub regs: usize,
+    /// Resolved access paths (dataset paths use the *zipped* dataset
+    /// unit at level 0; state/out paths are variable-local).
+    pub paths: Vec<PathMeta>,
+    /// Human-readable names of state variables (diagnostics).
+    pub state_names: Vec<String>,
+    /// Human-readable names of output variables/groups (diagnostics).
+    pub out_names: Vec<String>,
+}
+
+impl Kernel {
+    /// Validate structural invariants: every register operand addresses
+    /// the register file, every path id addresses the path table, every
+    /// jump target lands inside the code. The VM relies on this to use
+    /// unchecked register access in its dispatch loop.
+    pub fn validate(&self, states: usize, groups: usize) -> Result<(), String> {
+        let reg_ok = |r: &Reg| (*r as usize) < self.regs;
+        let regs_ok = |rs: &[Reg]| rs.iter().all(reg_ok);
+        let path_ok = |p: &PathId| (*p as usize) < self.paths.len();
+        for (pc, ins) in self.code.iter().enumerate() {
+            let ok = match ins {
+                Instr::Const { dst, .. } => reg_ok(dst),
+                Instr::Mov { dst, src }
+                | Instr::Not { dst, src }
+                | Instr::Neg { dst, src }
+                | Instr::Floor { dst, src }
+                | Instr::Sqrt { dst, src }
+                | Instr::Abs { dst, src } => reg_ok(dst) && reg_ok(src),
+                Instr::Bin { dst, a, b, .. }
+                | Instr::Cmp { dst, a, b, .. } => reg_ok(dst) && reg_ok(a) && reg_ok(b),
+                Instr::Fma { dst, a, b } => reg_ok(dst) && reg_ok(a) && reg_ok(b),
+                Instr::Jump { target } => *target < self.code.len(),
+                Instr::JumpIfZero { cond, target } => {
+                    reg_ok(cond) && *target < self.code.len()
+                }
+                Instr::IncRangeJump { var, hi, target } => {
+                    reg_ok(var) && reg_ok(hi) && *target < self.code.len()
+                }
+                Instr::LoadRow { dst } => reg_ok(dst),
+                Instr::LoadData { dst, path, idx } => {
+                    reg_ok(dst) && path_ok(path) && regs_ok(idx)
+                }
+                Instr::DataBase { dst, path, outer } => {
+                    reg_ok(dst) && path_ok(path) && regs_ok(outer)
+                }
+                Instr::LoadDataAt { dst, base, k, .. } => {
+                    reg_ok(dst) && reg_ok(base) && reg_ok(k)
+                }
+                Instr::LoadStateNested { dst, state, steps } => {
+                    reg_ok(dst)
+                        && (*state as usize) < states
+                        && steps.iter().all(|s| match s {
+                            NavStep::Index(r) => reg_ok(r),
+                            NavStep::Field(_) => true,
+                        })
+                }
+                Instr::LoadStateFlat { dst, state, path, idx } => {
+                    reg_ok(dst) && (*state as usize) < states && path_ok(path) && regs_ok(idx)
+                }
+                Instr::StateBase { dst, state, path, outer } => {
+                    reg_ok(dst) && (*state as usize) < states && path_ok(path) && regs_ok(outer)
+                }
+                Instr::LoadStateAt { dst, state, base, k, .. } => {
+                    reg_ok(dst) && (*state as usize) < states && reg_ok(base) && reg_ok(k)
+                }
+                Instr::OutIndex { dst, path, idx } => {
+                    reg_ok(dst) && path_ok(path) && regs_ok(idx)
+                }
+                Instr::Accumulate { group, cell, val } => {
+                    (*group as usize) < groups && reg_ok(cell) && reg_ok(val)
+                }
+                Instr::Halt => true,
+            };
+            if !ok {
+                return Err(format!("invalid operand at pc {pc}: {ins:?}"));
+            }
+        }
+        if self.entry > self.code.len() {
+            return Err("entry beyond code".into());
+        }
+        match self.code.last() {
+            Some(Instr::Halt) => Ok(()),
+            _ => Err("kernel does not end in Halt".into()),
+        }
+    }
+
+    /// Render the kernel as pseudo-assembly (diagnostics and golden
+    /// tests of the code generator).
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (pc, ins) in self.code.iter().enumerate() {
+            let _ = writeln!(out, "{pc:4}: {ins:?}");
+        }
+        out
+    }
+
+    /// Count instructions of a particular shape (used by tests to prove
+    /// opt-1 really removed per-access `computeIndex` calls).
+    pub fn count_matching(&self, f: impl Fn(&Instr) -> bool) -> usize {
+        self.code.iter().filter(|i| f(i)).count()
+    }
+}

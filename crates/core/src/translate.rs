@@ -1,0 +1,381 @@
+//! The translation driver: interleaves interpretation with FREERIDE
+//! offloading.
+//!
+//! This is the reproduction of the paper's modified Chapel compiler as a
+//! whole: a program's top-level statements execute in order; statements
+//! detected as generalized reductions are compiled to kernels and run on
+//! the FREERIDE engine (with the dataset — and, at opt-2, the hot state —
+//! linearized first), and their results are written back into the Chapel
+//! world; everything else runs on the interpreter.
+
+use std::time::Instant;
+
+use chapel_frontend::ast::{Item, ReduceOp};
+use chapel_interp::{Interpreter, RtValue};
+use chapel_sema::analyze;
+use freeride::{
+    CombineOp, DataView, Engine, GroupSpec, JobConfig, RObjLayout, RunStats, Split,
+};
+use linearize::{delinearize, Linearizer, Value};
+
+use crate::compile::{compile_loop, compile_reduce_expr, CompiledLoop, OptLevel};
+use crate::detect::{detect, Detected, Rejection};
+use crate::error::CoreError;
+use crate::exec_kernel::KernelRuntime;
+
+/// The Chapel-with-FREERIDE "compiler" configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Translator {
+    /// Code-generation strategy (generated / opt-1 / opt-2).
+    pub opt: OptLevel,
+    /// FREERIDE job configuration (threads, sync scheme, splitter,
+    /// execution mode).
+    pub config: JobConfig,
+    /// Linearize the dataset in parallel (the paper's stated future
+    /// work; an ablation in this reproduction).
+    pub parallel_linearize: bool,
+}
+
+impl Translator {
+    /// A translator at `opt` with `threads` FREERIDE threads.
+    pub fn new(opt: OptLevel, threads: usize) -> Translator {
+        Translator {
+            opt,
+            config: JobConfig::with_threads(threads),
+            parallel_linearize: false,
+        }
+    }
+
+    /// Parse, analyze, and execute a program, offloading detected
+    /// reductions to FREERIDE.
+    pub fn run_program(&self, src: &str) -> Result<TranslatedRun, CoreError> {
+        let program = chapel_frontend::parse(src)?;
+        let analysis = analyze(&program)?;
+        let detection = detect(&program, &analysis);
+
+        let mut interp = Interpreter::new();
+        interp.prepare(&program);
+        let mut jobs = Vec::new();
+        let mut skipped: Vec<Rejection> = detection.rejections.clone();
+
+        for (i, item) in program.items.iter().enumerate() {
+            let Item::Stmt(stmt) = item else { continue };
+            let compiled = match detection.detected.get(&i) {
+                Some(Detected::Loop(red)) => {
+                    match compile_loop(&program, &analysis, red, self.opt) {
+                        Ok(c) => Some((c, format!("loop → {}", red.outputs.join(", ")), None)),
+                        Err(CoreError::Translate(reason)) => {
+                            skipped.push(Rejection { stmt_index: i, reason });
+                            None
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Some(Detected::Expr(red)) => {
+                    let compiled = match &red.op {
+                        ReduceOp::UserDefined(class) => {
+                            let decl = analysis
+                                .decls
+                                .classes
+                                .get(class)
+                                .map(|c| c.decl.clone())
+                                .ok_or_else(|| {
+                                    CoreError::translate(format!("unknown class `{class}`"))
+                                })?;
+                            crate::compile::compile_user_reduce(&analysis, red, &decl)
+                        }
+                        _ => compile_reduce_expr(&analysis, red),
+                    };
+                    match compiled {
+                        Ok(c) => Some((
+                            c,
+                            format!("reduce → {}", red.target),
+                            Some((red.target.clone(), red.op.clone())),
+                        )),
+                        Err(CoreError::Translate(reason)) => {
+                            skipped.push(Rejection { stmt_index: i, reason });
+                            None
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                None => None,
+            };
+
+            match compiled {
+                Some((c, kind, expr_target)) => {
+                    let report = self.execute_job(&c, &mut interp, expr_target)?;
+                    jobs.push(JobReport { stmt_index: i, kind, ..report });
+                }
+                None => interp.exec_top(stmt)?,
+            }
+        }
+
+        Ok(TranslatedRun { interp, jobs, skipped })
+    }
+
+    /// Linearize inputs, run the FREERIDE job, write results back.
+    fn execute_job(
+        &self,
+        c: &CompiledLoop,
+        interp: &mut Interpreter,
+        expr_target: Option<(String, ReduceOp)>,
+    ) -> Result<JobReport, CoreError> {
+        let wall_start = Instant::now();
+
+        // ---- Linearization (the paper's first overhead; sequential by
+        // default, parallel as the future-work ablation). ----
+        let lin_start = Instant::now();
+        let mut elem_values: Vec<Value> = Vec::with_capacity(c.dataset.vars.len());
+        for var in &c.dataset.vars {
+            let rt = interp
+                .global(&var.name)
+                .ok_or_else(|| CoreError::translate(format!("`{}` missing at run time", var.name)))?;
+            let v = rt
+                .to_linear()
+                .ok_or_else(|| CoreError::translate(format!("`{}` not linearizable", var.name)))?;
+            elem_values.push(v);
+        }
+        let buffer = zip_linearize(
+            &elem_values,
+            c.dataset.rows,
+            c.dataset.unit,
+            self.parallel_linearize,
+            self.config.threads,
+        )?;
+
+        // State: nested values (generated/opt-1) or linearized (opt-2).
+        let mut nested_state = Vec::new();
+        let mut flat_state = Vec::new();
+        for s in &c.states {
+            let rt = interp
+                .global(&s.name)
+                .ok_or_else(|| CoreError::translate(format!("state `{}` missing", s.name)))?;
+            let v = rt
+                .to_linear()
+                .ok_or_else(|| CoreError::translate(format!("state `{}` not linearizable", s.name)))?;
+            if self.opt == OptLevel::Opt2 {
+                let lin = Linearizer::new(&s.shape).linearize(&v)?;
+                flat_state.push(lin.buffer);
+                // Scalar state reads still go through the nested slot
+                // (a direct read either way), so keep the value too.
+                nested_state.push(v);
+            } else {
+                nested_state.push(v);
+                flat_state.push(Vec::new());
+            }
+        }
+        let linearize_ns = lin_start.elapsed().as_nanos() as u64;
+
+        // ---- Reduction object + engine run. ----
+        let combine = match &expr_target {
+            Some((_, op)) => match op {
+                ReduceOp::Sum => CombineOp::Sum,
+                ReduceOp::Product => CombineOp::Product,
+                ReduceOp::Min => CombineOp::Min,
+                ReduceOp::Max => CombineOp::Max,
+                // User classes passed validation: their combine is the
+                // pairwise field sum, which the Sum merge implements.
+                ReduceOp::UserDefined(_) => CombineOp::Sum,
+                other => {
+                    return Err(CoreError::translate(format!("unsupported reduce op {other:?}")));
+                }
+            },
+            None => CombineOp::Sum,
+        };
+        let groups: Vec<GroupSpec> = c
+            .outputs
+            .iter()
+            .map(|o| GroupSpec::new(&o.name, o.cells, combine.clone()))
+            .collect();
+        let layout = RObjLayout::new(groups);
+
+        let runtime = KernelRuntime {
+            kernel: c.kernel.clone(),
+            nested_state,
+            flat_state,
+            row_lo: c.lo,
+        };
+        let view = DataView::new(&buffer, c.dataset.unit)?;
+        let engine = Engine::new(self.config.clone());
+        let kernel_fn = |split: &Split<'_>, robj: &mut dyn freeride::RObjHandle| {
+            runtime.run_split(split, robj);
+        };
+        let outcome = engine.run(view, &layout, &kernel_fn);
+
+        // ---- Write-back. ----
+        match &expr_target {
+            Some((target, ReduceOp::UserDefined(class))) => {
+                // Materialise the combined reduction object as a class
+                // instance and let the interpreter run `generate` — the
+                // paper's post-processing step.
+                let obj = interp.instantiate_object(class)?;
+                for (g, out) in c.outputs.iter().enumerate() {
+                    obj.borrow_mut()
+                        .fields
+                        .insert(out.name.clone(), RtValue::Real(outcome.robj.get(g, 0)));
+                }
+                let result = interp.call_method(
+                    &obj,
+                    "generate",
+                    Vec::new(),
+                    chapel_frontend::token::Span::default(),
+                )?;
+                interp.set_global(target, result);
+            }
+            Some((target, _)) => {
+                let v = outcome.robj.get(0, 0);
+                interp.set_global(target, RtValue::Real(v));
+            }
+            None => {
+                for (g, out) in c.outputs.iter().enumerate() {
+                    let cur = interp
+                        .global(&out.name)
+                        .ok_or_else(|| CoreError::translate(format!("output `{}` missing", out.name)))?
+                        .clone();
+                    let cur_lin = cur
+                        .to_linear()
+                        .ok_or_else(|| CoreError::translate("output not linearizable"))?;
+                    let mut cells = Linearizer::new(&out.shape).linearize(&cur_lin)?.buffer;
+                    for (cell, add) in cells.iter_mut().zip(outcome.robj.group_slice(g)) {
+                        *cell += add;
+                    }
+                    let merged = delinearize(&cells, &out.shape)?;
+                    interp.set_global(&out.name, RtValue::from_linear(&merged, Some(&cur)));
+                }
+            }
+        }
+
+        Ok(JobReport {
+            stmt_index: 0,
+            kind: String::new(),
+            linearize_ns,
+            stats: outcome.stats,
+            wall_ns: wall_start.elapsed().as_nanos() as u64,
+        })
+    }
+}
+
+/// Zip-linearize dataset variables row-by-row into one dense buffer
+/// (Algorithm 2 over the zipped shape). The parallel variant splits the
+/// row range across threads — the paper's proposed fix for sequential
+/// linearization limiting scalability.
+///
+/// Public so application drivers (which run FREERIDE's outer sequential
+/// loop themselves) can linearize once and reuse the buffer across
+/// iterations.
+pub fn zip_linearize(
+    elem_values: &[Value],
+    rows: usize,
+    unit: usize,
+    parallel: bool,
+    threads: usize,
+) -> Result<Vec<f64>, CoreError> {
+    // Per-variable element lists.
+    let mut items: Vec<&[Value]> = Vec::with_capacity(elem_values.len());
+    for v in elem_values {
+        match v {
+            Value::Array(xs) => {
+                if xs.len() < rows {
+                    return Err(CoreError::translate("dataset shorter than loop range"));
+                }
+                items.push(xs);
+            }
+            _ => return Err(CoreError::translate("dataset variable is not an array")),
+        }
+    }
+
+    let mut buffer = vec![0.0f64; rows * unit];
+    let fill_rows = |chunk: &mut [f64], first_row: usize| {
+        let mut pos = 0usize;
+        let n = chunk.len() / unit;
+        for r in first_row..first_row + n {
+            for var_items in &items {
+                var_items[r].for_each_slot(&mut |x| {
+                    chunk[pos] = x;
+                    pos += 1;
+                });
+            }
+        }
+    };
+
+    if parallel && threads > 1 && rows > 1 {
+        let chunk_rows = rows.div_ceil(threads);
+        crossbeam_scope_fill(&mut buffer, unit, chunk_rows, &fill_rows);
+    } else {
+        fill_rows(&mut buffer, 0);
+    }
+    Ok(buffer)
+}
+
+/// Split the buffer into row-aligned chunks and fill them concurrently.
+fn crossbeam_scope_fill(
+    buffer: &mut [f64],
+    unit: usize,
+    chunk_rows: usize,
+    fill: &(dyn Fn(&mut [f64], usize) + Sync),
+) {
+    let chunk_slots = chunk_rows * unit;
+    crossbeam::thread::scope(|scope| {
+        for (i, chunk) in buffer.chunks_mut(chunk_slots).enumerate() {
+            scope.spawn(move |_| fill(chunk, i * chunk_rows));
+        }
+    })
+    .expect("linearization worker panicked");
+}
+
+/// Timing and provenance of one offloaded job.
+#[derive(Debug, Clone, Default)]
+pub struct JobReport {
+    /// Which top-level statement this job came from.
+    pub stmt_index: usize,
+    /// Human-readable description.
+    pub kind: String,
+    /// Sequential (or parallel) linearization time, ns — the paper's
+    /// first overhead.
+    pub linearize_ns: u64,
+    /// FREERIDE engine statistics (per-split times, combination,
+    /// finalize).
+    pub stats: RunStats,
+    /// Wall time of the whole job including linearization and
+    /// write-back, ns.
+    pub wall_ns: u64,
+}
+
+impl JobReport {
+    /// Modeled parallel time for `threads` logical threads: sequential
+    /// linearization + reduce makespan + combination (DESIGN.md §5).
+    /// With `parallel_linearize`, divide the linearization term by the
+    /// thread count before calling this.
+    pub fn modeled_parallel_ns(&self, threads: usize) -> u64 {
+        self.linearize_ns + self.stats.modeled_parallel_ns(threads)
+    }
+}
+
+/// The result of running a program under translation.
+#[derive(Debug)]
+pub struct TranslatedRun {
+    /// Final interpreter state (globals, output).
+    pub interp: Interpreter,
+    /// One report per offloaded job, in execution order.
+    pub jobs: Vec<JobReport>,
+    /// Candidates that stayed on the interpreter, with reasons.
+    pub skipped: Vec<Rejection>,
+}
+
+impl TranslatedRun {
+    /// Look up a global after the run.
+    pub fn global(&self, name: &str) -> Option<&RtValue> {
+        self.interp.global(name)
+    }
+
+    /// Total linearization time across all jobs, ns.
+    pub fn total_linearize_ns(&self) -> u64 {
+        self.jobs.iter().map(|j| j.linearize_ns).sum()
+    }
+
+    /// Total modeled parallel time across all jobs, ns.
+    pub fn total_modeled_ns(&self, threads: usize) -> u64 {
+        self.jobs.iter().map(|j| j.modeled_parallel_ns(threads)).sum()
+    }
+}

@@ -1,0 +1,214 @@
+//! cfr-datagen — seeded synthetic dataset generators and helpers around
+//! the on-disk dataset format.
+//!
+//! The paper evaluates on a 12 MB and a 1.2 GB k-means file and on
+//! 1000×10,000 / 1000×100,000 PCA matrices; those exact files are not
+//! available, so this crate generates statistically equivalent synthetic
+//! datasets: clustered Gaussian point clouds for k-means and dense
+//! value matrices for PCA, all reproducible from a seed, plus writers
+//! and readers for the `freeride::source` binary format so experiments
+//! can stream from disk like the original middleware.
+
+#![warn(missing_docs)]
+
+use std::path::Path;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use freeride::source::{write_dataset, FileDataset};
+use freeride::FreerideError;
+
+/// A generated dataset: a flat row-major buffer plus its row width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// The slots, row-major.
+    pub data: Vec<f64>,
+    /// Slots per row.
+    pub unit: usize,
+}
+
+impl Dataset {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.data.len() / self.unit
+    }
+
+    /// Size in bytes (as stored on disk, payload only).
+    pub fn bytes(&self) -> usize {
+        self.data.len() * 8
+    }
+
+    /// One row.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.unit..(r + 1) * self.unit]
+    }
+
+    /// Persist in the FREERIDE binary format.
+    pub fn write(&self, path: &Path) -> Result<(), FreerideError> {
+        write_dataset(path, self.unit, &self.data)
+    }
+
+    /// Load a dataset previously written with [`Dataset::write`].
+    pub fn read(path: &Path) -> Result<Dataset, FreerideError> {
+        let ds = FileDataset::open(path)?;
+        Ok(Dataset { data: ds.read_all()?, unit: ds.unit() })
+    }
+}
+
+/// Gaussian point cloud around `k` well-separated centres — the k-means
+/// workload. Returns the dataset and the true centres (`k × d`).
+pub fn clustered_points(n: usize, d: usize, k: usize, spread: f64, seed: u64) -> (Dataset, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = k.max(1);
+    // Spread centres uniformly in a [0, 100)^d box.
+    let centres: Vec<f64> = (0..k * d).map(|_| rng.gen_range(0.0..100.0)).collect();
+    let mut data = Vec::with_capacity(n * d);
+    for i in 0..n {
+        let c = i % k;
+        for j in 0..d {
+            data.push(centres[c * d + j] + gaussian(&mut rng) * spread);
+        }
+    }
+    (Dataset { data, unit: d }, centres)
+}
+
+/// A k-means dataset sized to approximately `megabytes` MB of payload
+/// with dimensionality `d` — the paper's "12 MB" / "1.2 GB" datasets.
+pub fn kmeans_sized(megabytes: usize, d: usize, k: usize, seed: u64) -> (Dataset, Vec<f64>) {
+    let n = (megabytes * 1024 * 1024 / 8 / d).max(k);
+    clustered_points(n, d, k, 2.5, seed)
+}
+
+/// Dense PCA matrix: `cols` samples of dimensionality `rows`, each
+/// dimension with a distinct mean and variance so the covariance matrix
+/// has structure. Row-major sample layout (unit = `rows`).
+pub fn pca_matrix(rows: usize, cols: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let means: Vec<f64> = (0..rows).map(|a| (a % 17) as f64).collect();
+    let scales: Vec<f64> = (0..rows).map(|a| 0.5 + (a % 5) as f64 * 0.25).collect();
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..cols {
+        for a in 0..rows {
+            data.push(means[a] + scales[a] * gaussian(&mut rng));
+        }
+    }
+    Dataset { data, unit: rows }
+}
+
+/// Uniform scalar samples in `[0, 1)` (histogram workload; unit 1).
+pub fn uniform_scalars(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Dataset { data: (0..n).map(|_| rng.gen_range(0.0..1.0)).collect(), unit: 1 }
+}
+
+/// Noisy points on a line `y = slope·x + intercept` (regression
+/// workload; unit 2: x then y).
+pub fn noisy_line(n: usize, slope: f64, intercept: f64, noise: f64, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(n * 2);
+    for i in 0..n {
+        let x = i as f64 / n as f64 * 100.0;
+        data.push(x);
+        data.push(slope * x + intercept + gaussian(&mut rng) * noise);
+    }
+    Dataset { data, unit: 2 }
+}
+
+/// Standard-normal sample via the Box–Muller transform (`rand` provides
+/// only uniform generation without the `rand_distr` crate, which this
+/// workspace deliberately avoids).
+pub fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustered_points_shape_and_determinism() {
+        let (a, centres) = clustered_points(300, 4, 5, 1.0, 7);
+        assert_eq!(a.rows(), 300);
+        assert_eq!(a.unit, 4);
+        assert_eq!(centres.len(), 20);
+        let (b, _) = clustered_points(300, 4, 5, 1.0, 7);
+        assert_eq!(a, b);
+        let (c, _) = clustered_points(300, 4, 5, 1.0, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn points_cluster_near_their_centres() {
+        let (ds, centres) = clustered_points(1000, 3, 4, 0.5, 42);
+        let mut total_err = 0.0;
+        for i in 0..ds.rows() {
+            let c = i % 4;
+            let row = ds.row(i);
+            for j in 0..3 {
+                total_err += (row[j] - centres[c * 3 + j]).abs();
+            }
+        }
+        // Mean absolute deviation per coordinate ≈ spread·√(2/π) ≈ 0.4.
+        let mad = total_err / (1000.0 * 3.0);
+        assert!(mad < 1.0, "points too far from centres: {mad}");
+    }
+
+    #[test]
+    fn kmeans_sized_hits_target() {
+        let (ds, _) = kmeans_sized(12, 8, 10, 1);
+        let mb = ds.bytes() as f64 / (1024.0 * 1024.0);
+        assert!((mb - 12.0).abs() < 0.1, "{mb} MB");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn pca_matrix_means_match_spec() {
+        let ds = pca_matrix(4, 5000, 9);
+        for a in 0..4 {
+            let mean: f64 =
+                (0..5000).map(|i| ds.data[i * 4 + a]).sum::<f64>() / 5000.0;
+            assert!((mean - (a % 17) as f64).abs() < 0.1, "dim {a}: {mean}");
+        }
+    }
+
+    #[test]
+    fn noisy_line_fits() {
+        let ds = noisy_line(2000, 2.5, -1.0, 0.01, 4);
+        // Quick least squares.
+        let n = ds.rows() as f64;
+        let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+        for i in 0..ds.rows() {
+            let (x, y) = (ds.data[i * 2], ds.data[i * 2 + 1]);
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            sxy += x * y;
+        }
+        let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        assert!((slope - 2.5).abs() < 0.01, "slope {slope}");
+    }
+
+    #[test]
+    fn disk_roundtrip() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("datagen-{}.frds", std::process::id()));
+        let ds = uniform_scalars(64, 3);
+        ds.write(&path).unwrap();
+        let back = Dataset::read(&path).unwrap();
+        assert_eq!(ds, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

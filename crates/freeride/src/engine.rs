@@ -1,0 +1,708 @@
+//! The FREERIDE execution engine.
+//!
+//! Implements the processing structure of the paper's Figure 4 (left):
+//!
+//! ```text
+//! {* Outer Sequential Loop *}
+//! While() {
+//!    {* Reduction Loop *}
+//!    Foreach(element e) {
+//!       (i, val) = Process(e);
+//!       RObj(i) = Reduce(RObj(i), val);
+//!    }
+//!    Global Reduction to Combine RObj
+//! }
+//! ```
+//!
+//! Each data element is processed *and reduced* before the next — there
+//! is no intermediate (key, value) storage, no sort/group/shuffle. The
+//! engine splits the 2-D data view across worker threads, hands each
+//! worker a reduction-object handle appropriate to the configured
+//! [`SyncScheme`], then runs the (local + global) combination phase and
+//! the optional finalize step. The outer sequential loop is driven by
+//! the caller (see `run` in a loop, or [`Engine::run_iterations`]).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::robj::{RObjLayout, ReductionObject};
+use crate::split::{DataView, Split, Splitter};
+use crate::stats::{PhaseTimes, RunStats, SplitStat};
+use crate::sync::{RObjHandle, SharedCells, SharedHandle, SyncScheme};
+
+/// Pairwise reduction-object combination (the paper's `combination_t`).
+/// `None` selects the default combine (cell-wise group ops).
+pub type CombinationFn = Arc<dyn Fn(&mut ReductionObject, &ReductionObject) + Send + Sync>;
+
+/// Post-processing of the merged reduction object (`finalize_t`).
+pub type FinalizeFn = Arc<dyn Fn(&mut ReductionObject) + Send + Sync>;
+
+/// How worker execution is realised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Spawn one OS thread per logical thread (real parallel execution).
+    Threads,
+    /// Execute every split on the calling thread, recording per-split
+    /// busy times for the modeled-scalability harness (DESIGN.md §5).
+    /// Semantics are identical to `Threads`.
+    Sequential,
+}
+
+/// Configuration of one reduction job.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Logical thread count (`req_units` passed to the splitter).
+    pub threads: usize,
+    /// Shared-memory technique for reduction-object updates.
+    pub scheme: SyncScheme,
+    /// Work decomposition policy.
+    pub splitter: Splitter,
+    /// Real threads or instrumented sequential execution.
+    pub exec: ExecMode,
+    /// Cell-count threshold above which the combination phase uses a
+    /// parallel tree merge ("if the size of the reduction object is
+    /// large, both local and global combination phases perform a
+    /// parallel merge").
+    pub parallel_merge_threshold: usize,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig {
+            threads: 1,
+            scheme: SyncScheme::FullReplication,
+            splitter: Splitter::Default,
+            exec: ExecMode::Threads,
+            parallel_merge_threshold: 1 << 16,
+        }
+    }
+}
+
+impl JobConfig {
+    /// A full-replication job with `threads` real threads.
+    pub fn with_threads(threads: usize) -> JobConfig {
+        JobConfig { threads, ..Default::default() }
+    }
+
+    /// Instrumented sequential execution with `threads` *logical*
+    /// threads (for modeled scalability).
+    pub fn modeled(threads: usize) -> JobConfig {
+        JobConfig { threads, exec: ExecMode::Sequential, ..Default::default() }
+    }
+}
+
+/// Result of one engine run: the merged, finalized reduction object plus
+/// instrumentation.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The combined reduction object after finalize.
+    pub robj: ReductionObject,
+    /// Timing instrumentation.
+    pub stats: RunStats,
+}
+
+/// The FREERIDE engine. Cheap to construct; holds only configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    /// Job configuration used by [`Engine::run`].
+    pub config: JobConfig,
+}
+
+impl Engine {
+    /// Create an engine with the given configuration.
+    pub fn new(config: JobConfig) -> Engine {
+        Engine { config }
+    }
+
+    /// Run one reduction loop over `view` with the default combination.
+    pub fn run<K>(&self, view: DataView<'_>, layout: &Arc<RObjLayout>, kernel: &K) -> JobOutcome
+    where
+        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+    {
+        self.run_with(view, layout, kernel, None, None)
+    }
+
+    /// Run one reduction loop with optional custom combination and
+    /// finalize functions (the paper's `combination_t` / `finalize_t`).
+    pub fn run_with<K>(
+        &self,
+        view: DataView<'_>,
+        layout: &Arc<RObjLayout>,
+        kernel: &K,
+        combination: Option<&CombinationFn>,
+        finalize: Option<&FinalizeFn>,
+    ) -> JobOutcome
+    where
+        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+    {
+        let wall_start = Instant::now();
+        let threads = self.config.threads.max(1);
+        let ranges = self.config.splitter.ranges(view.rows(), threads);
+
+        let (mut copies, mut splits, shared) = match self.config.exec {
+            ExecMode::Sequential => self.run_sequential(view, layout, kernel, &ranges),
+            ExecMode::Threads => self.run_threads(view, layout, kernel, &ranges),
+        };
+
+        // Combination phase (local combination across thread copies, or
+        // snapshotting the shared backend).
+        let combine_start = Instant::now();
+        let mut robj = if let Some(backend) = shared {
+            backend.snapshot()
+        } else if copies.is_empty() {
+            ReductionObject::alloc(layout.clone())
+        } else if layout.total_cells() >= self.config.parallel_merge_threshold
+            && copies.len() > 2
+            && matches!(self.config.exec, ExecMode::Threads)
+        {
+            parallel_tree_merge(copies, combination)
+        } else {
+            let mut acc = copies.remove(0);
+            for c in &copies {
+                match combination {
+                    Some(f) => f(&mut acc, c),
+                    None => acc.merge_from(c),
+                }
+            }
+            acc
+        };
+        let combine_ns = combine_start.elapsed().as_nanos() as u64;
+
+        // Finalize.
+        let finalize_start = Instant::now();
+        if let Some(f) = finalize {
+            f(&mut robj);
+        }
+        let finalize_ns = finalize_start.elapsed().as_nanos() as u64;
+
+        splits.sort_by_key(|s| s.split);
+        JobOutcome {
+            robj,
+            stats: RunStats {
+                splits,
+                phases: PhaseTimes {
+                    combine_ns,
+                    finalize_ns,
+                    wall_ns: wall_start.elapsed().as_nanos() as u64,
+                },
+                logical_threads: threads,
+            },
+        }
+    }
+
+    /// Run one reduction loop over a **disk-resident** dataset: each
+    /// worker opens its own handle and reads exactly its splits — "the
+    /// order in which data instances are read from the disks is
+    /// determined by the runtime system". Per-split timings include the
+    /// read, so modeled scaling accounts for I/O.
+    pub fn run_file<K>(
+        &self,
+        file: &crate::source::FileDataset,
+        layout: &Arc<RObjLayout>,
+        kernel: &K,
+    ) -> Result<JobOutcome, crate::FreerideError>
+    where
+        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+    {
+        let wall_start = Instant::now();
+        let threads = self.config.threads.max(1);
+        let ranges = self.config.splitter.ranges(file.rows(), threads);
+        let unit = file.unit();
+
+        let shared = SharedCells::for_scheme(self.config.scheme, layout);
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<ReductionObject>> = Mutex::new(Vec::with_capacity(threads));
+        let stats: Mutex<Vec<SplitStat>> = Mutex::new(Vec::with_capacity(ranges.len()));
+        let io_error: Mutex<Option<crate::FreerideError>> = Mutex::new(None);
+
+        crossbeam::thread::scope(|scope| {
+            for w in 0..threads {
+                let next = &next;
+                let collected = &collected;
+                let stats = &stats;
+                let io_error = &io_error;
+                let ranges = &ranges;
+                let shared = shared.as_ref();
+                let layout = layout.clone();
+                let file = file.clone();
+                scope.spawn(move |_| {
+                    let mut local: Option<ReductionObject> = if shared.is_none() {
+                        Some(ReductionObject::alloc(layout))
+                    } else {
+                        None
+                    };
+                    let mut my_stats = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= ranges.len() {
+                            break;
+                        }
+                        let (first, count) = ranges[i];
+                        let t0 = Instant::now();
+                        let rows = match file.read_rows(first, count) {
+                            Ok(rows) => rows,
+                            Err(e) => {
+                                *io_error.lock() = Some(e);
+                                break;
+                            }
+                        };
+                        let split = Split {
+                            rows: &rows,
+                            unit,
+                            first_row: first,
+                            row_count: count,
+                        };
+                        match (&mut local, shared) {
+                            (Some(robj), _) => kernel(&split, robj),
+                            (None, Some(backend)) => {
+                                let mut handle = SharedHandle::new(backend);
+                                kernel(&split, &mut handle);
+                            }
+                            (None, None) => unreachable!("no reduction target"),
+                        }
+                        my_stats.push(SplitStat {
+                            split: i,
+                            first_row: first,
+                            rows: count,
+                            nanos: t0.elapsed().as_nanos() as u64,
+                            worker: w,
+                        });
+                    }
+                    if let Some(robj) = local {
+                        collected.lock().push(robj);
+                    }
+                    stats.lock().extend(my_stats);
+                });
+            }
+        })
+        .expect("worker thread panicked");
+
+        if let Some(e) = io_error.into_inner() {
+            return Err(e);
+        }
+        let mut copies = collected.into_inner();
+        let mut splits = stats.into_inner();
+
+        let combine_start = Instant::now();
+        let robj = if let Some(backend) = shared {
+            backend.snapshot()
+        } else if copies.is_empty() {
+            ReductionObject::alloc(layout.clone())
+        } else {
+            let mut acc = copies.remove(0);
+            for c in &copies {
+                acc.merge_from(c);
+            }
+            acc
+        };
+        let combine_ns = combine_start.elapsed().as_nanos() as u64;
+
+        splits.sort_by_key(|s| s.split);
+        Ok(JobOutcome {
+            robj,
+            stats: RunStats {
+                splits,
+                phases: PhaseTimes {
+                    combine_ns,
+                    finalize_ns: 0,
+                    wall_ns: wall_start.elapsed().as_nanos() as u64,
+                },
+                logical_threads: threads,
+            },
+        })
+    }
+
+    /// The outer sequential loop: run `iters` reduction passes; after
+    /// each pass, `step` inspects the combined object and may mutate
+    /// shared state for the next pass (e.g. new centroids). Returns the
+    /// last outcome with stats accumulated across all passes.
+    pub fn run_iterations<K>(
+        &self,
+        view: DataView<'_>,
+        layout: &Arc<RObjLayout>,
+        iters: usize,
+        kernel: &K,
+        mut step: impl FnMut(usize, &ReductionObject) -> bool,
+    ) -> JobOutcome
+    where
+        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+    {
+        let mut total = RunStats { logical_threads: self.config.threads, ..Default::default() };
+        let mut last: Option<JobOutcome> = None;
+        for it in 0..iters.max(1) {
+            let outcome = self.run(view, layout, kernel);
+            total.absorb(&outcome.stats);
+            let stop = !step(it, &outcome.robj);
+            last = Some(outcome);
+            if stop {
+                break;
+            }
+        }
+        let mut out = last.expect("at least one iteration");
+        out.stats = total;
+        out
+    }
+
+    fn run_sequential<K>(
+        &self,
+        view: DataView<'_>,
+        layout: &Arc<RObjLayout>,
+        kernel: &K,
+        ranges: &[(usize, usize)],
+    ) -> (Vec<ReductionObject>, Vec<SplitStat>, Option<SharedCells>)
+    where
+        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+    {
+        let threads = self.config.threads.max(1);
+        let shared = SharedCells::for_scheme(self.config.scheme, layout);
+        let mut splits = Vec::with_capacity(ranges.len());
+
+        if let Some(backend) = &shared {
+            for (i, &(first, count)) in ranges.iter().enumerate() {
+                let split = view.split(first, count);
+                let mut handle = SharedHandle::new(backend);
+                let t0 = Instant::now();
+                kernel(&split, &mut handle);
+                splits.push(SplitStat {
+                    split: i,
+                    first_row: first,
+                    rows: count,
+                    nanos: t0.elapsed().as_nanos() as u64,
+                    worker: i % threads,
+                });
+            }
+            (Vec::new(), splits, shared)
+        } else {
+            // Full replication: one private copy per logical thread so
+            // the later (timed) merge reflects the real combination cost
+            // at this thread count.
+            let mut copies: Vec<ReductionObject> =
+                (0..threads).map(|_| ReductionObject::alloc(layout.clone())).collect();
+            for (i, &(first, count)) in ranges.iter().enumerate() {
+                let split = view.split(first, count);
+                let worker = i % threads;
+                let t0 = Instant::now();
+                kernel(&split, &mut copies[worker]);
+                splits.push(SplitStat {
+                    split: i,
+                    first_row: first,
+                    rows: count,
+                    nanos: t0.elapsed().as_nanos() as u64,
+                    worker,
+                });
+            }
+            (copies, splits, None)
+        }
+    }
+
+    fn run_threads<K>(
+        &self,
+        view: DataView<'_>,
+        layout: &Arc<RObjLayout>,
+        kernel: &K,
+        ranges: &[(usize, usize)],
+    ) -> (Vec<ReductionObject>, Vec<SplitStat>, Option<SharedCells>)
+    where
+        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+    {
+        let threads = self.config.threads.max(1);
+        let shared = SharedCells::for_scheme(self.config.scheme, layout);
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<ReductionObject>> = Mutex::new(Vec::with_capacity(threads));
+        let stats: Mutex<Vec<SplitStat>> = Mutex::new(Vec::with_capacity(ranges.len()));
+
+        crossbeam::thread::scope(|scope| {
+            for w in 0..threads {
+                let next = &next;
+                let collected = &collected;
+                let stats = &stats;
+                let shared = shared.as_ref();
+                let layout = layout.clone();
+                scope.spawn(move |_| {
+                    let mut local: Option<ReductionObject> = if shared.is_none() {
+                        Some(ReductionObject::alloc(layout))
+                    } else {
+                        None
+                    };
+                    let mut my_stats = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= ranges.len() {
+                            break;
+                        }
+                        let (first, count) = ranges[i];
+                        let split = view.split(first, count);
+                        let t0 = Instant::now();
+                        match (&mut local, shared) {
+                            (Some(robj), _) => kernel(&split, robj),
+                            (None, Some(backend)) => {
+                                let mut handle = SharedHandle::new(backend);
+                                kernel(&split, &mut handle);
+                            }
+                            (None, None) => unreachable!("no reduction target"),
+                        }
+                        my_stats.push(SplitStat {
+                            split: i,
+                            first_row: first,
+                            rows: count,
+                            nanos: t0.elapsed().as_nanos() as u64,
+                            worker: w,
+                        });
+                    }
+                    if let Some(robj) = local {
+                        collected.lock().push(robj);
+                    }
+                    stats.lock().extend(my_stats);
+                });
+            }
+        })
+        .expect("worker thread panicked");
+
+        (collected.into_inner(), stats.into_inner(), shared)
+    }
+}
+
+/// Parallel tree merge of reduction-object copies: pairs are merged
+/// concurrently until one remains. Used when the object is large.
+fn parallel_tree_merge(
+    mut copies: Vec<ReductionObject>,
+    combination: Option<&CombinationFn>,
+) -> ReductionObject {
+    while copies.len() > 1 {
+        let mut next_round: Vec<ReductionObject> = Vec::with_capacity(copies.len().div_ceil(2));
+        let odd = if copies.len() % 2 == 1 { copies.pop() } else { None };
+        let pairs: Vec<(ReductionObject, ReductionObject)> = {
+            let mut it = copies.into_iter();
+            let mut v = Vec::new();
+            while let (Some(a), Some(b)) = (it.next(), it.next()) {
+                v.push((a, b));
+            }
+            v
+        };
+        let merged: Mutex<Vec<ReductionObject>> = Mutex::new(Vec::with_capacity(pairs.len()));
+        crossbeam::thread::scope(|scope| {
+            for (mut a, b) in pairs {
+                let merged = &merged;
+                scope.spawn(move |_| {
+                    match combination {
+                        Some(f) => f(&mut a, &b),
+                        None => a.merge_from(&b),
+                    }
+                    merged.lock().push(a);
+                });
+            }
+        })
+        .expect("merge thread panicked");
+        next_round.extend(merged.into_inner());
+        next_round.extend(odd);
+        copies = next_round;
+    }
+    copies.pop().expect("non-empty copies")
+}
+
+#[cfg(test)]
+mod engine_tests {
+    use super::*;
+    use crate::robj::{CombineOp, GroupSpec};
+
+    fn sum_layout() -> Arc<RObjLayout> {
+        RObjLayout::new(vec![GroupSpec::new("sum", 1, CombineOp::Sum)])
+    }
+
+    /// Kernel: sum all slots of every row into cell (0,0).
+    fn sum_kernel(split: &Split<'_>, robj: &mut dyn RObjHandle) {
+        for row in split.iter_rows() {
+            let s: f64 = row.iter().sum();
+            robj.accumulate(0, 0, s);
+        }
+    }
+
+    fn data(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn sums_match_sequential_all_schemes_and_modes() {
+        let raw = data(1000);
+        let expect: f64 = raw.iter().sum();
+        let view = DataView::new(&raw, 4).unwrap();
+        for scheme in [
+            SyncScheme::FullReplication,
+            SyncScheme::FullLocking,
+            SyncScheme::BucketLocking { stripes: 4 },
+            SyncScheme::Atomic,
+        ] {
+            for exec in [ExecMode::Threads, ExecMode::Sequential] {
+                for threads in [1usize, 3, 8] {
+                    let engine = Engine::new(JobConfig {
+                        threads,
+                        scheme,
+                        exec,
+                        ..Default::default()
+                    });
+                    let out = engine.run(view, &sum_layout(), &sum_kernel);
+                    assert_eq!(
+                        out.robj.get(0, 0),
+                        expect,
+                        "{scheme:?} {exec:?} t={threads}"
+                    );
+                    assert_eq!(out.stats.logical_threads, threads);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_identity() {
+        let raw: Vec<f64> = Vec::new();
+        let view = DataView::new(&raw, 4).unwrap();
+        let engine = Engine::new(JobConfig::with_threads(4));
+        let out = engine.run(view, &sum_layout(), &sum_kernel);
+        assert_eq!(out.robj.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn chunked_splitter_records_all_splits() {
+        let raw = data(400);
+        let view = DataView::new(&raw, 4).unwrap();
+        let engine = Engine::new(JobConfig {
+            threads: 2,
+            splitter: Splitter::Chunked { rows_per_chunk: 10 },
+            ..Default::default()
+        });
+        let out = engine.run(view, &sum_layout(), &sum_kernel);
+        assert_eq!(out.stats.splits.len(), 10);
+        assert_eq!(out.robj.get(0, 0), raw.iter().sum::<f64>());
+        let rows: usize = out.stats.splits.iter().map(|s| s.rows).sum();
+        assert_eq!(rows, 100);
+    }
+
+    #[test]
+    fn custom_combination_is_used() {
+        // A "count the merges" combination: default merge plus a marker
+        // cell increment, detectable in the result.
+        let layout = RObjLayout::new(vec![
+            GroupSpec::new("sum", 1, CombineOp::Sum),
+            GroupSpec::new("merges", 1, CombineOp::Sum),
+        ]);
+        let raw = data(100);
+        let view = DataView::new(&raw, 4).unwrap();
+        let comb: CombinationFn = Arc::new(|a, b| {
+            a.merge_from(b);
+            let m = a.get(1, 0);
+            a.set(1, 0, m + 1.0);
+        });
+        let engine = Engine::new(JobConfig::with_threads(4));
+        let out = engine.run_with(view, &layout, &sum_kernel, Some(&comb), None);
+        assert_eq!(out.robj.get(0, 0), raw.iter().sum::<f64>());
+        assert_eq!(out.robj.get(1, 0), 3.0); // 4 copies -> 3 pairwise merges
+    }
+
+    #[test]
+    fn finalize_runs_after_combination() {
+        let raw = data(100);
+        let view = DataView::new(&raw, 4).unwrap();
+        let fin: FinalizeFn = Arc::new(|r| {
+            let s = r.get(0, 0);
+            r.set(0, 0, s / 25.0); // average per row
+        });
+        let engine = Engine::new(JobConfig::with_threads(2));
+        let out = engine.run_with(view, &sum_layout(), &sum_kernel, None, Some(&fin));
+        assert_eq!(out.robj.get(0, 0), raw.iter().sum::<f64>() / 25.0);
+        assert!(out.stats.phases.wall_ns > 0);
+    }
+
+    #[test]
+    fn parallel_merge_large_object() {
+        // Large reduction object to trip the parallel-merge path.
+        let cells = 1 << 17;
+        let layout = RObjLayout::new(vec![GroupSpec::new("big", cells, CombineOp::Sum)]);
+        let raw = data(64);
+        let view = DataView::new(&raw, 4).unwrap();
+        let kernel = |split: &Split<'_>, robj: &mut dyn RObjHandle| {
+            for row in split.iter_rows() {
+                robj.accumulate(0, (row[0] as usize) % cells, 1.0);
+            }
+        };
+        let engine = Engine::new(JobConfig {
+            threads: 4,
+            parallel_merge_threshold: 1 << 16,
+            ..Default::default()
+        });
+        let out = engine.run(view, &layout, &kernel);
+        let total: f64 = out.robj.cells().iter().sum();
+        assert_eq!(total, 16.0);
+    }
+
+    #[test]
+    fn run_file_streams_splits_from_disk() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("freeride-engine-{}.frds", std::process::id()));
+        let raw = data(4000);
+        crate::source::write_dataset(&path, 4, &raw).unwrap();
+        let file = crate::source::FileDataset::open(&path).unwrap();
+
+        for scheme in [SyncScheme::FullReplication, SyncScheme::Atomic] {
+            let engine = Engine::new(JobConfig { threads: 3, scheme, ..Default::default() });
+            let out = engine.run_file(&file, &sum_layout(), &sum_kernel).unwrap();
+            assert_eq!(out.robj.get(0, 0), raw.iter().sum::<f64>(), "{scheme:?}");
+            assert_eq!(out.stats.splits.len(), 3);
+            let rows: usize = out.stats.splits.iter().map(|s| s.rows).sum();
+            assert_eq!(rows, 1000);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_file_matches_in_memory_run() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("freeride-engine-cmp-{}.frds", std::process::id()));
+        let raw: Vec<f64> = (0..600).map(|i| (i as f64).cos()).collect();
+        crate::source::write_dataset(&path, 2, &raw).unwrap();
+        let file = crate::source::FileDataset::open(&path).unwrap();
+
+        let engine = Engine::new(JobConfig::with_threads(2));
+        let from_disk = engine.run_file(&file, &sum_layout(), &sum_kernel).unwrap();
+        let view = DataView::new(&raw, 2).unwrap();
+        let from_mem = engine.run(view, &sum_layout(), &sum_kernel);
+        assert!(
+            (from_disk.robj.get(0, 0) - from_mem.robj.get(0, 0)).abs() < 1e-12,
+            "disk and memory runs disagree"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_iterations_accumulates_stats() {
+        let raw = data(100);
+        let view = DataView::new(&raw, 4).unwrap();
+        let engine = Engine::new(JobConfig::with_threads(2));
+        let out = engine.run_iterations(view, &sum_layout(), 5, &sum_kernel, |_, _| true);
+        // 5 iterations × 2 splits each.
+        assert_eq!(out.stats.splits.len(), 10);
+    }
+
+    #[test]
+    fn run_iterations_early_stop() {
+        let raw = data(100);
+        let view = DataView::new(&raw, 4).unwrap();
+        let engine = Engine::new(JobConfig::with_threads(2));
+        let out = engine.run_iterations(view, &sum_layout(), 10, &sum_kernel, |it, _| it < 2);
+        assert_eq!(out.stats.splits.len(), 6); // iterations 0, 1, 2
+    }
+
+    #[test]
+    fn modeled_time_is_consistent_with_split_times() {
+        let raw = data(8000);
+        let view = DataView::new(&raw, 4).unwrap();
+        let engine = Engine::new(JobConfig::modeled(4));
+        let out = engine.run(view, &sum_layout(), &sum_kernel);
+        assert_eq!(out.stats.splits.len(), 4);
+        let m1 = out.stats.modeled_parallel_ns(1);
+        let m4 = out.stats.modeled_parallel_ns(4);
+        assert!(m4 <= m1, "modeled time must not grow with threads");
+    }
+}

@@ -1,0 +1,62 @@
+//! Errors surfaced by the FREERIDE runtime.
+
+use std::fmt;
+
+/// Runtime errors.
+#[derive(Debug)]
+pub enum FreerideError {
+    /// A flat buffer could not be viewed as rows of `unit` slots.
+    BadUnit {
+        /// Requested row width.
+        unit: usize,
+        /// Buffer length in slots.
+        len: usize,
+    },
+    /// An I/O error from a file-backed data source.
+    Io(std::io::Error),
+    /// A file-backed dataset had an invalid header or truncated payload.
+    BadDataset {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FreerideError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FreerideError::BadUnit { unit, len } => {
+                write!(f, "buffer of {len} slots cannot be viewed as rows of {unit}")
+            }
+            FreerideError::Io(e) => write!(f, "dataset I/O error: {e}"),
+            FreerideError::BadDataset { reason } => write!(f, "bad dataset: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FreerideError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FreerideError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FreerideError {
+    fn from(e: std::io::Error) -> Self {
+        FreerideError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod error_tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = FreerideError::BadUnit { unit: 3, len: 10 };
+        assert!(e.to_string().contains("10 slots"));
+        let e = FreerideError::BadDataset { reason: "short read".into() };
+        assert!(e.to_string().contains("short read"));
+    }
+}

@@ -1,0 +1,402 @@
+//! The **reduction object** — FREERIDE's central abstraction.
+//!
+//! Unlike Hadoop/Map-Reduce, FREERIDE lets the programmer *explicitly
+//! declare* a reduction object and update its elements directly while
+//! processing each data instance (map and reduce are fused). The object
+//! is organised as named **groups** of cells; `reduction_object_alloc`
+//! assigns every element a unique `(group, index)` ID, and
+//! [`ReductionObject::accumulate`] applies the group's associative,
+//! commutative combine operation.
+
+use std::sync::Arc;
+
+/// An associative + commutative combine operation for one group of cells.
+///
+/// The result of a local reduction "must be independent of the order in
+/// which data instances are processed", so every op here is commutative
+/// and associative over `f64` (up to floating-point rounding).
+#[derive(Clone)]
+pub enum CombineOp {
+    /// `a + b` — sums, counts, dot products.
+    Sum,
+    /// `min(a, b)`.
+    Min,
+    /// `max(a, b)`.
+    Max,
+    /// `a * b` — products (e.g. log-likelihood accumulation).
+    Product,
+    /// A user-supplied associative, commutative function.
+    Custom(Arc<dyn Fn(f64, f64) -> f64 + Send + Sync>),
+}
+
+impl std::fmt::Debug for CombineOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CombineOp::Sum => write!(f, "Sum"),
+            CombineOp::Min => write!(f, "Min"),
+            CombineOp::Max => write!(f, "Max"),
+            CombineOp::Product => write!(f, "Product"),
+            CombineOp::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+impl CombineOp {
+    /// Apply the operation.
+    #[inline]
+    pub fn apply(&self, a: f64, b: f64) -> f64 {
+        match self {
+            CombineOp::Sum => a + b,
+            CombineOp::Min => a.min(b),
+            CombineOp::Max => a.max(b),
+            CombineOp::Product => a * b,
+            CombineOp::Custom(f) => f(a, b),
+        }
+    }
+
+    /// The identity element: `op.apply(identity, x) == x`.
+    #[inline]
+    pub fn identity(&self) -> f64 {
+        match self {
+            CombineOp::Sum => 0.0,
+            CombineOp::Min => f64::INFINITY,
+            CombineOp::Max => f64::NEG_INFINITY,
+            CombineOp::Product => 1.0,
+            // Custom ops must treat 0.0 as their identity (documented
+            // contract); use `GroupSpec::with_identity` otherwise.
+            CombineOp::Custom(_) => 0.0,
+        }
+    }
+}
+
+/// Specification of one group of reduction cells.
+#[derive(Debug, Clone)]
+pub struct GroupSpec {
+    /// Group name (diagnostics only).
+    pub name: String,
+    /// Number of cells in the group.
+    pub len: usize,
+    /// The combine operation applied by `accumulate` and by merges.
+    pub op: CombineOp,
+    /// Initial value of every cell (defaults to `op.identity()`).
+    pub init: f64,
+}
+
+impl GroupSpec {
+    /// A group of `len` cells combined with `op`, initialised to the
+    /// op's identity.
+    pub fn new(name: &str, len: usize, op: CombineOp) -> GroupSpec {
+        let init = op.identity();
+        GroupSpec { name: name.to_string(), len, op, init }
+    }
+
+    /// Override the initial cell value (for custom ops whose identity is
+    /// not 0.0).
+    pub fn with_identity(mut self, init: f64) -> GroupSpec {
+        self.init = init;
+        self
+    }
+}
+
+/// Immutable layout shared by all copies of a reduction object.
+#[derive(Debug, Clone)]
+pub struct RObjLayout {
+    groups: Vec<GroupSpec>,
+    offsets: Vec<usize>,
+    total: usize,
+}
+
+impl RObjLayout {
+    /// Build a layout from group specifications.
+    pub fn new(groups: Vec<GroupSpec>) -> Arc<RObjLayout> {
+        let mut offsets = Vec::with_capacity(groups.len());
+        let mut total = 0usize;
+        for g in &groups {
+            offsets.push(total);
+            total += g.len;
+        }
+        Arc::new(RObjLayout { groups, offsets, total })
+    }
+
+    /// Total number of cells across all groups.
+    pub fn total_cells(&self) -> usize {
+        self.total
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The spec of group `g`.
+    pub fn group(&self, g: usize) -> &GroupSpec {
+        &self.groups[g]
+    }
+
+    /// Flat cell id of `(group, index)` — the "unique ID for each element
+    /// of the reduction object" assigned at allocation.
+    #[inline]
+    pub fn cell_id(&self, group: usize, index: usize) -> usize {
+        debug_assert!(group < self.groups.len(), "group {group} out of range");
+        debug_assert!(
+            index < self.groups[group].len,
+            "index {index} out of range for group {group} (len {})",
+            self.groups[group].len
+        );
+        self.offsets[group] + index
+    }
+
+    /// Inverse of [`RObjLayout::cell_id`].
+    pub fn cell_of(&self, id: usize) -> (usize, usize) {
+        debug_assert!(id < self.total);
+        // Groups are few; linear scan is fine and branch-predictable.
+        let mut g = 0;
+        while g + 1 < self.offsets.len() && self.offsets[g + 1] <= id {
+            g += 1;
+        }
+        (g, id - self.offsets[g])
+    }
+
+    /// The combine op owning flat cell `id`.
+    #[inline]
+    pub fn op_of(&self, id: usize) -> &CombineOp {
+        let (g, _) = self.cell_of(id);
+        &self.groups[g].op
+    }
+
+    /// Initial cell values, flattened.
+    pub fn initial_cells(&self) -> Vec<f64> {
+        let mut cells = Vec::with_capacity(self.total);
+        for g in &self.groups {
+            cells.extend(std::iter::repeat(g.init).take(g.len));
+        }
+        cells
+    }
+}
+
+/// A concrete (per-thread or merged) copy of the reduction object.
+///
+/// This is the object a FREERIDE *local reduction* updates. Maintained in
+/// main memory throughout execution; copies are merged by
+/// [`ReductionObject::merge_from`] during local/global combination.
+#[derive(Debug, Clone)]
+pub struct ReductionObject {
+    layout: Arc<RObjLayout>,
+    cells: Vec<f64>,
+}
+
+impl ReductionObject {
+    /// `reduction_object_alloc`: initialise the reduction object, every
+    /// cell at its group's identity.
+    pub fn alloc(layout: Arc<RObjLayout>) -> ReductionObject {
+        let cells = layout.initial_cells();
+        ReductionObject { layout, cells }
+    }
+
+    /// The shared layout.
+    pub fn layout(&self) -> &Arc<RObjLayout> {
+        &self.layout
+    }
+
+    /// `accumulate(group, index, value)`: fold `value` into one cell
+    /// using the group's combine op.
+    #[inline]
+    pub fn accumulate(&mut self, group: usize, index: usize, value: f64) {
+        let id = self.layout.cell_id(group, index);
+        let op = &self.layout.groups[group].op;
+        self.cells[id] = op.apply(self.cells[id], value);
+    }
+
+    /// `get_intermediate_result(group, index)`: read one cell.
+    #[inline]
+    pub fn get(&self, group: usize, index: usize) -> f64 {
+        self.cells[self.layout.cell_id(group, index)]
+    }
+
+    /// Overwrite one cell (used by `finalize` post-processing, not by
+    /// local reductions).
+    #[inline]
+    pub fn set(&mut self, group: usize, index: usize, value: f64) {
+        let id = self.layout.cell_id(group, index);
+        self.cells[id] = value;
+    }
+
+    /// All cells of one group as a slice.
+    pub fn group_slice(&self, group: usize) -> &[f64] {
+        let start = self.layout.offsets[group];
+        &self.cells[start..start + self.layout.groups[group].len]
+    }
+
+    /// All cells of one group, mutably (for finalize).
+    pub fn group_slice_mut(&mut self, group: usize) -> &mut [f64] {
+        let start = self.layout.offsets[group];
+        let len = self.layout.groups[group].len;
+        &mut self.cells[start..start + len]
+    }
+
+    /// Raw flat cells (for the combination phase and tests).
+    pub fn cells(&self) -> &[f64] {
+        &self.cells
+    }
+
+    /// Raw flat cells, mutable (for the shared-memory backends that
+    /// materialise their state into a `ReductionObject`).
+    pub(crate) fn cells_mut(&mut self) -> &mut [f64] {
+        &mut self.cells
+    }
+
+    /// Combine another copy into this one, cell-wise, using each group's
+    /// op — one step of the (local or global) combination phase.
+    pub fn merge_from(&mut self, other: &ReductionObject) {
+        assert!(
+            Arc::ptr_eq(&self.layout, &other.layout)
+                || self.layout.total == other.layout.total,
+            "merging reduction objects with different layouts"
+        );
+        let mut id = 0usize;
+        for g in &self.layout.groups {
+            for _ in 0..g.len {
+                self.cells[id] = g.op.apply(self.cells[id], other.cells[id]);
+                id += 1;
+            }
+        }
+    }
+
+    /// Reset every cell to its group identity (between outer-loop
+    /// iterations).
+    pub fn reset(&mut self) {
+        let mut id = 0usize;
+        for g in &self.layout.groups {
+            for _ in 0..g.len {
+                self.cells[id] = g.init;
+                id += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod robj_tests {
+    use super::*;
+
+    fn layout2() -> Arc<RObjLayout> {
+        RObjLayout::new(vec![
+            GroupSpec::new("sums", 4, CombineOp::Sum),
+            GroupSpec::new("mins", 2, CombineOp::Min),
+        ])
+    }
+
+    #[test]
+    fn alloc_initialises_identities() {
+        let r = ReductionObject::alloc(layout2());
+        assert_eq!(r.get(0, 0), 0.0);
+        assert_eq!(r.get(1, 0), f64::INFINITY);
+        assert_eq!(r.cells().len(), 6);
+    }
+
+    #[test]
+    fn cell_ids_unique_and_invertible() {
+        let l = layout2();
+        let mut seen = std::collections::HashSet::new();
+        for g in 0..l.group_count() {
+            for i in 0..l.group(g).len {
+                let id = l.cell_id(g, i);
+                assert!(seen.insert(id));
+                assert_eq!(l.cell_of(id), (g, i));
+            }
+        }
+        assert_eq!(seen.len(), l.total_cells());
+    }
+
+    #[test]
+    fn accumulate_uses_group_op() {
+        let mut r = ReductionObject::alloc(layout2());
+        r.accumulate(0, 1, 2.0);
+        r.accumulate(0, 1, 3.0);
+        assert_eq!(r.get(0, 1), 5.0);
+        r.accumulate(1, 0, 7.0);
+        r.accumulate(1, 0, 4.0);
+        assert_eq!(r.get(1, 0), 4.0); // min
+    }
+
+    #[test]
+    fn merge_combines_cellwise() {
+        let l = layout2();
+        let mut a = ReductionObject::alloc(l.clone());
+        let mut b = ReductionObject::alloc(l);
+        a.accumulate(0, 0, 1.0);
+        b.accumulate(0, 0, 2.0);
+        a.accumulate(1, 1, 5.0);
+        b.accumulate(1, 1, 3.0);
+        a.merge_from(&b);
+        assert_eq!(a.get(0, 0), 3.0);
+        assert_eq!(a.get(1, 1), 3.0);
+    }
+
+    #[test]
+    fn merge_order_independent() {
+        let l = layout2();
+        let mk = |vals: &[(usize, usize, f64)]| {
+            let mut r = ReductionObject::alloc(l.clone());
+            for &(g, i, v) in vals {
+                r.accumulate(g, i, v);
+            }
+            r
+        };
+        let a = mk(&[(0, 0, 1.0), (1, 0, 9.0)]);
+        let b = mk(&[(0, 0, 2.0), (1, 0, 2.0)]);
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        assert_eq!(ab.cells(), ba.cells());
+    }
+
+    #[test]
+    fn reset_restores_identities() {
+        let mut r = ReductionObject::alloc(layout2());
+        r.accumulate(0, 0, 5.0);
+        r.accumulate(1, 1, -2.0);
+        r.reset();
+        assert_eq!(r.get(0, 0), 0.0);
+        assert_eq!(r.get(1, 1), f64::INFINITY);
+    }
+
+    #[test]
+    fn group_slices() {
+        let mut r = ReductionObject::alloc(layout2());
+        r.accumulate(0, 3, 8.0);
+        assert_eq!(r.group_slice(0), &[0.0, 0.0, 0.0, 8.0]);
+        r.group_slice_mut(1)[0] = 42.0;
+        assert_eq!(r.get(1, 0), 42.0);
+    }
+
+    #[test]
+    fn custom_op_with_identity() {
+        // absolute-max with identity 0
+        let op = CombineOp::Custom(Arc::new(|a: f64, b: f64| if b.abs() > a.abs() { b } else { a }));
+        let l = RObjLayout::new(vec![GroupSpec::new("absmax", 1, op).with_identity(0.0)]);
+        let mut r = ReductionObject::alloc(l);
+        r.accumulate(0, 0, -5.0);
+        r.accumulate(0, 0, 3.0);
+        assert_eq!(r.get(0, 0), -5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn debug_bounds_check() {
+        let l = layout2();
+        // debug_assert fires in test profile
+        let _ = l.cell_id(0, 99);
+    }
+
+    #[test]
+    fn product_op() {
+        let l = RObjLayout::new(vec![GroupSpec::new("prod", 1, CombineOp::Product)]);
+        let mut r = ReductionObject::alloc(l);
+        assert_eq!(r.get(0, 0), 1.0);
+        r.accumulate(0, 0, 3.0);
+        r.accumulate(0, 0, 4.0);
+        assert_eq!(r.get(0, 0), 12.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Disk-backed datasets.
+//!
+//! "The order in which data instances are read from the disks is
+//! determined by the runtime system" — FREERIDE streams input from disk
+//! in splits. This module defines the on-disk format shared with the
+//! `cfr-datagen` crate and a reader that serves row ranges on demand, so
+//! each worker can read exactly its split.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic  b"FRDS"          4 bytes
+//! version u32             currently 1
+//! rows   u64
+//! unit   u32              slots per row
+//! payload rows*unit f64
+//! ```
+
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, BytesMut};
+
+use crate::FreerideError;
+
+const MAGIC: &[u8; 4] = b"FRDS";
+const VERSION: u32 = 1;
+const HEADER_LEN: u64 = 4 + 4 + 8 + 4;
+
+/// Write a dataset of `unit`-slot rows to `path`.
+pub fn write_dataset(path: &Path, unit: usize, data: &[f64]) -> Result<(), FreerideError> {
+    if unit == 0 || data.len() % unit != 0 {
+        return Err(FreerideError::BadUnit { unit, len: data.len() });
+    }
+    let rows = (data.len() / unit) as u64;
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&rows.to_le_bytes())?;
+    w.write_all(&(unit as u32).to_le_bytes())?;
+    for x in data {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// A disk-resident dataset serving row ranges on demand.
+#[derive(Debug, Clone)]
+pub struct FileDataset {
+    path: PathBuf,
+    rows: u64,
+    unit: u32,
+}
+
+impl FileDataset {
+    /// Open and validate a dataset file.
+    pub fn open(path: &Path) -> Result<FileDataset, FreerideError> {
+        let mut f = File::open(path)?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        f.read_exact(&mut header).map_err(|_| FreerideError::BadDataset {
+            reason: "file shorter than header".into(),
+        })?;
+        let mut buf = BytesMut::from(&header[..]);
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(FreerideError::BadDataset { reason: "bad magic".into() });
+        }
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(FreerideError::BadDataset {
+                reason: format!("unsupported version {version}"),
+            });
+        }
+        let rows = buf.get_u64_le();
+        let unit = buf.get_u32_le();
+        if unit == 0 {
+            return Err(FreerideError::BadDataset { reason: "zero unit".into() });
+        }
+        let expected = HEADER_LEN + rows * unit as u64 * 8;
+        let actual = f.metadata()?.len();
+        if actual < expected {
+            return Err(FreerideError::BadDataset {
+                reason: format!("payload truncated: {actual} < {expected} bytes"),
+            });
+        }
+        Ok(FileDataset { path: path.to_path_buf(), rows, unit })
+    }
+
+    /// Number of rows (data instances).
+    pub fn rows(&self) -> usize {
+        self.rows as usize
+    }
+
+    /// Slots per row.
+    pub fn unit(&self) -> usize {
+        self.unit as usize
+    }
+
+    /// Read a contiguous row range into memory. Each worker opens its
+    /// own file handle, so splits can be read concurrently.
+    pub fn read_rows(&self, first_row: usize, count: usize) -> Result<Vec<f64>, FreerideError> {
+        if first_row + count > self.rows() {
+            return Err(FreerideError::BadDataset {
+                reason: format!(
+                    "row range {first_row}..{} exceeds {} rows",
+                    first_row + count,
+                    self.rows
+                ),
+            });
+        }
+        let mut f = File::open(&self.path)?;
+        let offset = HEADER_LEN + (first_row as u64) * (self.unit as u64) * 8;
+        f.seek(SeekFrom::Start(offset))?;
+        let slots = count * self.unit as usize;
+        let mut raw = BytesMut::zeroed(slots * 8);
+        f.read_exact(&mut raw)?;
+        let mut out = Vec::with_capacity(slots);
+        let mut buf = raw.freeze();
+        for _ in 0..slots {
+            out.push(buf.get_f64_le());
+        }
+        Ok(out)
+    }
+
+    /// Read the whole payload.
+    pub fn read_all(&self) -> Result<Vec<f64>, FreerideError> {
+        self.read_rows(0, self.rows())
+    }
+
+    /// Stream the dataset in chunks of `chunk_rows`, invoking `f` with
+    /// each chunk's slots and its first row index — the runtime-driven
+    /// read order of the paper.
+    pub fn stream_chunks(
+        &self,
+        chunk_rows: usize,
+        mut f: impl FnMut(&[f64], usize),
+    ) -> Result<(), FreerideError> {
+        let chunk_rows = chunk_rows.max(1);
+        let mut first = 0usize;
+        while first < self.rows() {
+            let count = chunk_rows.min(self.rows() - first);
+            let chunk = self.read_rows(first, count)?;
+            f(&chunk, first);
+            first += count;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod source_tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("freeride-test-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = tmp("roundtrip.frds");
+        let data: Vec<f64> = (0..24).map(|i| i as f64 * 0.5).collect();
+        write_dataset(&path, 4, &data).unwrap();
+        let ds = FileDataset::open(&path).unwrap();
+        assert_eq!(ds.rows(), 6);
+        assert_eq!(ds.unit(), 4);
+        assert_eq!(ds.read_all().unwrap(), data);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn partial_reads() {
+        let path = tmp("partial.frds");
+        let data: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        write_dataset(&path, 2, &data).unwrap();
+        let ds = FileDataset::open(&path).unwrap();
+        let rows = ds.read_rows(3, 2).unwrap();
+        assert_eq!(rows, vec![6.0, 7.0, 8.0, 9.0]);
+        assert!(ds.read_rows(19, 2).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_covers_everything_in_order() {
+        let path = tmp("stream.frds");
+        let data: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        write_dataset(&path, 3, &data).unwrap();
+        let ds = FileDataset::open(&path).unwrap();
+        let mut seen: Vec<f64> = Vec::new();
+        let mut firsts = Vec::new();
+        ds.stream_chunks(4, |chunk, first| {
+            seen.extend_from_slice(chunk);
+            firsts.push(first);
+        })
+        .unwrap();
+        assert_eq!(seen, data);
+        assert_eq!(firsts, vec![0, 4, 8]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_corrupt_files() {
+        let path = tmp("corrupt.frds");
+        std::fs::write(&path, b"NOPE").unwrap();
+        assert!(FileDataset::open(&path).is_err());
+        // Valid magic but truncated payload.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&100u64.to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(FileDataset::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_write() {
+        let path = tmp("badwrite.frds");
+        assert!(write_dataset(&path, 0, &[1.0]).is_err());
+        assert!(write_dataset(&path, 3, &[1.0; 10]).is_err());
+    }
+}

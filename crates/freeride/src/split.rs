@@ -1,0 +1,239 @@
+//! FREERIDE's 2-D data view and the splitter.
+//!
+//! FREERIDE is "based on a simple 2-D array view of the input dataset":
+//! a dense buffer of fixed-width rows (data instances). This simple view
+//! is what lets the runtime partition work between threads — and is
+//! precisely why the Chapel compiler must *linearize* nested structures
+//! before invoking the runtime.
+//!
+//! The default splitter divides the rows evenly among the requested
+//! number of units, matching the paper's
+//! `int (*splitter_t)(void*, int, reduction_args_t*)` with its "default
+//! splitter". Custom splitters are supported via [`Splitter::Custom`].
+
+use std::sync::Arc;
+
+use crate::FreerideError;
+
+/// A borrowed 2-D view: `rows() = data.len() / unit` rows of `unit`
+/// contiguous `f64` slots each.
+#[derive(Debug, Clone, Copy)]
+pub struct DataView<'a> {
+    data: &'a [f64],
+    unit: usize,
+}
+
+impl<'a> DataView<'a> {
+    /// Wrap a flat buffer as rows of `unit` slots. Errors if the buffer
+    /// length is not a multiple of `unit` or `unit` is zero.
+    pub fn new(data: &'a [f64], unit: usize) -> Result<DataView<'a>, FreerideError> {
+        if unit == 0 {
+            return Err(FreerideError::BadUnit { unit, len: data.len() });
+        }
+        if data.len() % unit != 0 {
+            return Err(FreerideError::BadUnit { unit, len: data.len() });
+        }
+        Ok(DataView { data, unit })
+    }
+
+    /// Number of rows (data instances).
+    pub fn rows(&self) -> usize {
+        self.data.len() / self.unit
+    }
+
+    /// Slots per row.
+    pub fn unit(&self) -> usize {
+        self.unit
+    }
+
+    /// The whole flat buffer.
+    pub fn slots(&self) -> &'a [f64] {
+        self.data
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &'a [f64] {
+        &self.data[r * self.unit..(r + 1) * self.unit]
+    }
+
+    /// A contiguous range of rows as a [`Split`].
+    pub fn split(&self, first_row: usize, row_count: usize) -> Split<'a> {
+        let start = first_row * self.unit;
+        let end = (first_row + row_count) * self.unit;
+        Split {
+            rows: &self.data[start..end],
+            unit: self.unit,
+            first_row,
+            row_count,
+        }
+    }
+}
+
+/// One unit of work: a contiguous block of rows handed to a local
+/// reduction (the paper's `reduction_args_t`).
+#[derive(Debug, Clone, Copy)]
+pub struct Split<'a> {
+    /// The rows, flattened (`row_count * unit` slots).
+    pub rows: &'a [f64],
+    /// Slots per row.
+    pub unit: usize,
+    /// Global index of the first row in this split.
+    pub first_row: usize,
+    /// Number of rows in this split.
+    pub row_count: usize,
+}
+
+impl<'a> Split<'a> {
+    /// One row of the split (0-based within the split).
+    #[inline]
+    pub fn row(&self, i: usize) -> &'a [f64] {
+        &self.rows[i * self.unit..(i + 1) * self.unit]
+    }
+
+    /// Iterate over the rows of the split.
+    #[inline]
+    pub fn iter_rows(&self) -> impl Iterator<Item = &'a [f64]> + '_ {
+        self.rows.chunks_exact(self.unit)
+    }
+}
+
+/// How the input is divided into work units.
+#[derive(Clone)]
+pub enum Splitter {
+    /// The default splitter: divide the rows as evenly as possible into
+    /// `req_units` contiguous blocks (block `i` gets the remainder rows
+    /// first, matching the classical static decomposition).
+    Default,
+    /// Divide into fixed-size chunks of `rows_per_chunk` rows; workers
+    /// pull chunks dynamically from a shared queue (load balancing at
+    /// the cost of queue traffic).
+    Chunked {
+        /// Rows per work unit.
+        rows_per_chunk: usize,
+    },
+    /// User-provided splitter: given the total row count and the
+    /// requested number of units, return the row ranges
+    /// `(first_row, row_count)` of each unit.
+    Custom(Arc<dyn Fn(usize, usize) -> Vec<(usize, usize)> + Send + Sync>),
+}
+
+impl std::fmt::Debug for Splitter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Splitter::Default => write!(f, "Default"),
+            Splitter::Chunked { rows_per_chunk } => {
+                write!(f, "Chunked({rows_per_chunk})")
+            }
+            Splitter::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+impl Splitter {
+    /// Compute the row ranges of every work unit for `rows` rows and
+    /// `req_units` requested units.
+    pub fn ranges(&self, rows: usize, req_units: usize) -> Vec<(usize, usize)> {
+        match self {
+            Splitter::Default => default_ranges(rows, req_units),
+            Splitter::Chunked { rows_per_chunk } => {
+                let chunk = (*rows_per_chunk).max(1);
+                let mut out = Vec::with_capacity(rows.div_ceil(chunk));
+                let mut first = 0usize;
+                while first < rows {
+                    let count = chunk.min(rows - first);
+                    out.push((first, count));
+                    first += count;
+                }
+                out
+            }
+            Splitter::Custom(f) => f(rows, req_units),
+        }
+    }
+}
+
+/// Evenly divide `rows` into `units` contiguous ranges.
+fn default_ranges(rows: usize, units: usize) -> Vec<(usize, usize)> {
+    let units = units.max(1);
+    let base = rows / units;
+    let extra = rows % units;
+    let mut out = Vec::with_capacity(units);
+    let mut first = 0usize;
+    for u in 0..units {
+        let count = base + usize::from(u < extra);
+        if count > 0 {
+            out.push((first, count));
+        }
+        first += count;
+    }
+    out
+}
+
+#[cfg(test)]
+mod split_tests {
+    use super::*;
+
+    #[test]
+    fn data_view_rows() {
+        let data: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let v = DataView::new(&data, 3).unwrap();
+        assert_eq!(v.rows(), 4);
+        assert_eq!(v.row(2), &[6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn data_view_rejects_bad_unit() {
+        let data = [0.0; 10];
+        assert!(DataView::new(&data, 0).is_err());
+        assert!(DataView::new(&data, 3).is_err());
+        assert!(DataView::new(&data, 5).is_ok());
+    }
+
+    #[test]
+    fn default_splitter_covers_all_rows_evenly() {
+        for rows in [0usize, 1, 7, 8, 100, 101] {
+            for units in [1usize, 2, 3, 8] {
+                let ranges = Splitter::Default.ranges(rows, units);
+                let total: usize = ranges.iter().map(|&(_, c)| c).sum();
+                assert_eq!(total, rows, "rows={rows} units={units}");
+                // Contiguous and ordered.
+                let mut next = 0usize;
+                for &(first, count) in &ranges {
+                    assert_eq!(first, next);
+                    assert!(count > 0);
+                    next = first + count;
+                }
+                // Balanced within 1 row.
+                if !ranges.is_empty() {
+                    let max = ranges.iter().map(|&(_, c)| c).max().unwrap();
+                    let min = ranges.iter().map(|&(_, c)| c).min().unwrap();
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_splitter() {
+        let ranges = Splitter::Chunked { rows_per_chunk: 4 }.ranges(10, 3);
+        assert_eq!(ranges, vec![(0, 4), (4, 4), (8, 2)]);
+    }
+
+    #[test]
+    fn custom_splitter() {
+        let s = Splitter::Custom(Arc::new(|rows, _| vec![(0, rows / 2), (rows / 2, rows - rows / 2)]));
+        assert_eq!(s.ranges(9, 4), vec![(0, 4), (4, 5)]);
+    }
+
+    #[test]
+    fn split_row_iteration() {
+        let data: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let v = DataView::new(&data, 2).unwrap();
+        let s = v.split(3, 4);
+        assert_eq!(s.first_row, 3);
+        assert_eq!(s.row_count, 4);
+        assert_eq!(s.row(0), &[6.0, 7.0]);
+        let sums: Vec<f64> = s.iter_rows().map(|r| r.iter().sum()).collect();
+        assert_eq!(sums, vec![13.0, 17.0, 21.0, 25.0]);
+    }
+}

@@ -1,0 +1,416 @@
+//! Shared-memory parallelization techniques for the reduction object.
+//!
+//! The FREERIDE line of work evaluates several ways for threads on one
+//! node to update the reduction object; the paper says local results "are
+//! combined locally depending on the shared memory technique chosen by
+//! the application developer". We implement the four classical ones:
+//!
+//! * [`SyncScheme::FullReplication`] — every thread owns a private copy
+//!   of the reduction object; copies are merged in the local combination
+//!   phase. No synchronisation in the hot loop; memory grows with the
+//!   thread count.
+//! * [`SyncScheme::FullLocking`] — one shared copy, one lock per cell.
+//! * [`SyncScheme::BucketLocking`] — one shared copy, a fixed pool of
+//!   striped locks (`cell id mod stripes`); trades contention for memory.
+//! * [`SyncScheme::Atomic`] — one shared copy updated with per-cell
+//!   compare-and-swap loops on the f64 bit pattern.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+
+use crate::robj::{RObjLayout, ReductionObject};
+
+/// Which shared-memory technique the job uses for reduction-object
+/// updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncScheme {
+    /// Per-thread private copies merged during local combination.
+    FullReplication,
+    /// A lock per reduction-object cell.
+    FullLocking,
+    /// A fixed pool of striped locks shared by all cells.
+    BucketLocking {
+        /// Number of lock stripes.
+        stripes: usize,
+    },
+    /// Lock-free compare-and-swap updates.
+    Atomic,
+}
+
+impl Default for SyncScheme {
+    fn default() -> Self {
+        SyncScheme::FullReplication
+    }
+}
+
+/// The view of the reduction object handed to a local-reduction function.
+///
+/// `accumulate` is the paper's `accumulate(int, int, void* value)`;
+/// `get` is `get_intermediate_result`. A single trait lets the same user
+/// kernel run unchanged under every [`SyncScheme`].
+pub trait RObjHandle {
+    /// Fold `value` into cell `(group, index)` with the group's op.
+    fn accumulate(&mut self, group: usize, index: usize, value: f64);
+    /// Read cell `(group, index)`. Under shared schemes this is a racy
+    /// snapshot (each cell read is individually atomic/locked).
+    fn get(&self, group: usize, index: usize) -> f64;
+}
+
+impl RObjHandle for ReductionObject {
+    #[inline]
+    fn accumulate(&mut self, group: usize, index: usize, value: f64) {
+        ReductionObject::accumulate(self, group, index, value);
+    }
+    #[inline]
+    fn get(&self, group: usize, index: usize) -> f64 {
+        ReductionObject::get(self, group, index)
+    }
+}
+
+/// Full-locking backend: one mutex-wrapped cell per element, cache-padded
+/// to avoid false sharing between adjacent cells.
+pub struct LockedCells {
+    layout: Arc<RObjLayout>,
+    cells: Vec<CachePadded<Mutex<f64>>>,
+}
+
+impl LockedCells {
+    /// Allocate with every cell at its group identity.
+    pub fn alloc(layout: Arc<RObjLayout>) -> LockedCells {
+        let cells = layout
+            .initial_cells()
+            .into_iter()
+            .map(|x| CachePadded::new(Mutex::new(x)))
+            .collect();
+        LockedCells { layout, cells }
+    }
+
+    /// Apply the group op to one cell under its lock.
+    #[inline]
+    pub fn accumulate(&self, group: usize, index: usize, value: f64) {
+        let id = self.layout.cell_id(group, index);
+        let op = &self.layout.group(group).op;
+        let mut cell = self.cells[id].lock();
+        *cell = op.apply(*cell, value);
+    }
+
+    /// Read one cell under its lock.
+    #[inline]
+    pub fn get(&self, group: usize, index: usize) -> f64 {
+        *self.cells[self.layout.cell_id(group, index)].lock()
+    }
+
+    /// Materialise the shared state into a plain [`ReductionObject`].
+    pub fn snapshot(&self) -> ReductionObject {
+        let mut out = ReductionObject::alloc(self.layout.clone());
+        for (id, cell) in self.cells.iter().enumerate() {
+            out.cells_mut()[id] = *cell.lock();
+        }
+        out
+    }
+}
+
+/// Bucket-locking backend: cells live in an `UnsafeCell` array guarded by
+/// `stripes` mutexes; the lock for cell `id` is `locks[id % stripes]`.
+///
+/// # Safety invariant
+///
+/// A cell `id` is only read or written while `locks[id % stripes]` is
+/// held, so no two threads ever access the same `UnsafeCell`
+/// concurrently. `snapshot` takes every stripe lock before reading.
+pub struct StripedCells {
+    layout: Arc<RObjLayout>,
+    locks: Vec<CachePadded<Mutex<()>>>,
+    cells: Vec<UnsafeCell<f64>>,
+}
+
+// SAFETY: all access to `cells` is mediated by the stripe locks (see the
+// type-level invariant above).
+unsafe impl Sync for StripedCells {}
+unsafe impl Send for StripedCells {}
+
+impl StripedCells {
+    /// Allocate with `stripes` lock stripes (clamped to ≥ 1).
+    pub fn alloc(layout: Arc<RObjLayout>, stripes: usize) -> StripedCells {
+        let stripes = stripes.max(1);
+        let cells = layout.initial_cells().into_iter().map(UnsafeCell::new).collect();
+        let locks = (0..stripes).map(|_| CachePadded::new(Mutex::new(()))).collect();
+        StripedCells { layout, locks, cells }
+    }
+
+    #[inline]
+    fn stripe(&self, id: usize) -> &Mutex<()> {
+        &self.locks[id % self.locks.len()]
+    }
+
+    /// Apply the group op to one cell under its stripe lock.
+    #[inline]
+    pub fn accumulate(&self, group: usize, index: usize, value: f64) {
+        let id = self.layout.cell_id(group, index);
+        let op = &self.layout.group(group).op;
+        let _guard = self.stripe(id).lock();
+        // SAFETY: stripe lock held (invariant above).
+        unsafe {
+            let cell = &mut *self.cells[id].get();
+            *cell = op.apply(*cell, value);
+        }
+    }
+
+    /// Read one cell under its stripe lock.
+    #[inline]
+    pub fn get(&self, group: usize, index: usize) -> f64 {
+        let id = self.layout.cell_id(group, index);
+        let _guard = self.stripe(id).lock();
+        // SAFETY: stripe lock held.
+        unsafe { *self.cells[id].get() }
+    }
+
+    /// Materialise the shared state into a plain [`ReductionObject`].
+    pub fn snapshot(&self) -> ReductionObject {
+        // Hold every stripe lock for a consistent snapshot.
+        let guards: Vec<_> = self.locks.iter().map(|l| l.lock()).collect();
+        let mut out = ReductionObject::alloc(self.layout.clone());
+        for id in 0..self.cells.len() {
+            // SAFETY: all stripe locks held.
+            out.cells_mut()[id] = unsafe { *self.cells[id].get() };
+        }
+        drop(guards);
+        out
+    }
+}
+
+/// Lock-free backend: each cell is an `AtomicU64` holding f64 bits;
+/// updates are compare-and-swap loops applying the group op.
+pub struct AtomicCells {
+    layout: Arc<RObjLayout>,
+    cells: Vec<AtomicU64>,
+}
+
+impl AtomicCells {
+    /// Allocate with every cell at its group identity.
+    pub fn alloc(layout: Arc<RObjLayout>) -> AtomicCells {
+        let cells = layout
+            .initial_cells()
+            .into_iter()
+            .map(|x| AtomicU64::new(x.to_bits()))
+            .collect();
+        AtomicCells { layout, cells }
+    }
+
+    /// CAS-loop the group op into one cell.
+    #[inline]
+    pub fn accumulate(&self, group: usize, index: usize, value: f64) {
+        let id = self.layout.cell_id(group, index);
+        let op = &self.layout.group(group).op;
+        let cell = &self.cells[id];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let new = op.apply(f64::from_bits(cur), value).to_bits();
+            match cell.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Atomically read one cell.
+    #[inline]
+    pub fn get(&self, group: usize, index: usize) -> f64 {
+        f64::from_bits(self.cells[self.layout.cell_id(group, index)].load(Ordering::Acquire))
+    }
+
+    /// Materialise the shared state into a plain [`ReductionObject`].
+    pub fn snapshot(&self) -> ReductionObject {
+        let mut out = ReductionObject::alloc(self.layout.clone());
+        for (id, cell) in self.cells.iter().enumerate() {
+            out.cells_mut()[id] = f64::from_bits(cell.load(Ordering::Acquire));
+        }
+        out
+    }
+}
+
+/// Type-erased shared backend selected by the engine from the
+/// [`SyncScheme`]. (Full replication does not appear here: it hands each
+/// worker a private [`ReductionObject`] instead.)
+pub enum SharedCells {
+    /// One lock per cell.
+    Locked(LockedCells),
+    /// Striped locks.
+    Striped(StripedCells),
+    /// CAS updates.
+    Atomic(AtomicCells),
+}
+
+impl SharedCells {
+    /// Allocate the backend matching `scheme`. Returns `None` for
+    /// [`SyncScheme::FullReplication`], which uses private copies.
+    pub fn for_scheme(scheme: SyncScheme, layout: &Arc<RObjLayout>) -> Option<SharedCells> {
+        match scheme {
+            SyncScheme::FullReplication => None,
+            SyncScheme::FullLocking => Some(SharedCells::Locked(LockedCells::alloc(layout.clone()))),
+            SyncScheme::BucketLocking { stripes } => {
+                Some(SharedCells::Striped(StripedCells::alloc(layout.clone(), stripes)))
+            }
+            SyncScheme::Atomic => Some(SharedCells::Atomic(AtomicCells::alloc(layout.clone()))),
+        }
+    }
+
+    /// Fold a value into one cell.
+    #[inline]
+    pub fn accumulate(&self, group: usize, index: usize, value: f64) {
+        match self {
+            SharedCells::Locked(c) => c.accumulate(group, index, value),
+            SharedCells::Striped(c) => c.accumulate(group, index, value),
+            SharedCells::Atomic(c) => c.accumulate(group, index, value),
+        }
+    }
+
+    /// Read one cell.
+    #[inline]
+    pub fn get(&self, group: usize, index: usize) -> f64 {
+        match self {
+            SharedCells::Locked(c) => c.get(group, index),
+            SharedCells::Striped(c) => c.get(group, index),
+            SharedCells::Atomic(c) => c.get(group, index),
+        }
+    }
+
+    /// Materialise into a plain [`ReductionObject`].
+    pub fn snapshot(&self) -> ReductionObject {
+        match self {
+            SharedCells::Locked(c) => c.snapshot(),
+            SharedCells::Striped(c) => c.snapshot(),
+            SharedCells::Atomic(c) => c.snapshot(),
+        }
+    }
+}
+
+/// A handle over a shared backend, so user kernels written against
+/// [`RObjHandle`] run unchanged under shared schemes.
+pub struct SharedHandle<'a> {
+    backend: &'a SharedCells,
+}
+
+impl<'a> SharedHandle<'a> {
+    /// Wrap a shared backend.
+    pub fn new(backend: &'a SharedCells) -> SharedHandle<'a> {
+        SharedHandle { backend }
+    }
+}
+
+impl RObjHandle for SharedHandle<'_> {
+    #[inline]
+    fn accumulate(&mut self, group: usize, index: usize, value: f64) {
+        self.backend.accumulate(group, index, value);
+    }
+    #[inline]
+    fn get(&self, group: usize, index: usize) -> f64 {
+        self.backend.get(group, index)
+    }
+}
+
+#[cfg(test)]
+mod sync_tests {
+    use super::*;
+    use crate::robj::{CombineOp, GroupSpec};
+
+    fn layout() -> Arc<RObjLayout> {
+        RObjLayout::new(vec![
+            GroupSpec::new("sum", 8, CombineOp::Sum),
+            GroupSpec::new("min", 8, CombineOp::Min),
+        ])
+    }
+
+    fn hammer(backend: &SharedCells, threads: usize, per_thread: usize) {
+        crossbeam::thread::scope(|s| {
+            for t in 0..threads {
+                let backend = &backend;
+                s.spawn(move |_| {
+                    for i in 0..per_thread {
+                        backend.accumulate(0, (t + i) % 8, 1.0);
+                        backend.accumulate(1, i % 8, (t * per_thread + i) as f64);
+                    }
+                });
+            }
+        })
+        .unwrap();
+    }
+
+    fn check_counts(snap: &ReductionObject, threads: usize, per_thread: usize) {
+        let total: f64 = snap.group_slice(0).iter().sum();
+        assert_eq!(total, (threads * per_thread) as f64);
+        // Min group: the global minimum over all accumulated values is 0
+        // (thread 0, i = 0 hits index 0).
+        assert_eq!(snap.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn full_locking_concurrent_sums() {
+        let b = SharedCells::for_scheme(SyncScheme::FullLocking, &layout()).unwrap();
+        hammer(&b, 4, 1000);
+        check_counts(&b.snapshot(), 4, 1000);
+    }
+
+    #[test]
+    fn bucket_locking_concurrent_sums() {
+        let b =
+            SharedCells::for_scheme(SyncScheme::BucketLocking { stripes: 3 }, &layout()).unwrap();
+        hammer(&b, 4, 1000);
+        check_counts(&b.snapshot(), 4, 1000);
+    }
+
+    #[test]
+    fn atomic_concurrent_sums() {
+        let b = SharedCells::for_scheme(SyncScheme::Atomic, &layout()).unwrap();
+        hammer(&b, 4, 1000);
+        check_counts(&b.snapshot(), 4, 1000);
+    }
+
+    #[test]
+    fn full_replication_returns_no_backend() {
+        assert!(SharedCells::for_scheme(SyncScheme::FullReplication, &layout()).is_none());
+    }
+
+    #[test]
+    fn all_schemes_agree_with_sequential() {
+        let seq = {
+            let mut r = ReductionObject::alloc(layout());
+            for t in 0..4usize {
+                for i in 0..500usize {
+                    r.accumulate(0, (t + i) % 8, 1.0);
+                    r.accumulate(1, i % 8, (t * 500 + i) as f64);
+                }
+            }
+            r
+        };
+        for scheme in [
+            SyncScheme::FullLocking,
+            SyncScheme::BucketLocking { stripes: 5 },
+            SyncScheme::Atomic,
+        ] {
+            let b = SharedCells::for_scheme(scheme, &layout()).unwrap();
+            hammer(&b, 4, 500);
+            let snap = b.snapshot();
+            assert_eq!(snap.cells(), seq.cells(), "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn shared_handle_is_an_robj_handle() {
+        let b = SharedCells::for_scheme(SyncScheme::Atomic, &layout()).unwrap();
+        let mut h = SharedHandle::new(&b);
+        h.accumulate(0, 0, 2.5);
+        assert_eq!(h.get(0, 0), 2.5);
+    }
+
+    #[test]
+    fn striped_single_stripe_still_correct() {
+        let b = SharedCells::for_scheme(SyncScheme::BucketLocking { stripes: 1 }, &layout()).unwrap();
+        hammer(&b, 2, 200);
+        check_counts(&b.snapshot(), 2, 200);
+    }
+}

@@ -1,0 +1,255 @@
+//! Access strategies over linearized buffers.
+//!
+//! The three accessors correspond to the three code-generation strategies
+//! the paper evaluates:
+//!
+//! * [`FlatAccessor`] — the *generated* version: every access calls
+//!   `computeIndex` (Algorithm 3).
+//! * [`StridedCursor`] — *opt-1* (strength reduction): `computeIndex` is
+//!   hoisted out of the innermost loop; the cursor walks the contiguous
+//!   innermost level by unit stride.
+//! * [`MappedAccessor`] — *opt-2* support: output/temporary structures
+//!   are themselves linearized and accessed through the mapping, so hot
+//!   loops never traverse nested [`crate::Value`] trees.
+
+use crate::algorithms::compute_index;
+use crate::meta::{AccessPath, LinearMeta, PathMeta};
+use crate::shape::Shape;
+use crate::value::Value;
+use crate::writeback::delinearize;
+use crate::LinearizeError;
+
+/// Read-only accessor that recomputes the full index mapping on every
+/// access — the paper's unoptimized *generated* code path.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatAccessor<'a> {
+    buf: &'a [f64],
+    meta: &'a PathMeta,
+}
+
+impl<'a> FlatAccessor<'a> {
+    /// Wrap a buffer with the path metadata for one access expression.
+    pub fn new(buf: &'a [f64], meta: &'a PathMeta) -> Self {
+        FlatAccessor { buf, meta }
+    }
+
+    /// Read the slot addressed by the multi-level index vector.
+    #[inline]
+    pub fn get(&self, my_index: &[usize]) -> f64 {
+        self.buf[compute_index(self.meta, my_index)]
+    }
+
+    /// The flat offset for a multi-level index (exposed for testing and
+    /// for the translator's codegen).
+    #[inline]
+    pub fn offset(&self, my_index: &[usize]) -> usize {
+        compute_index(self.meta, my_index)
+    }
+}
+
+/// Strength-reduced cursor (the paper's *opt-1*).
+///
+/// "Since the inner-most level of the data is continuous, we can move the
+/// `computeIndex` function outside of the k loop, and only calculate the
+/// address of the first element in the inner-most level. Other addresses
+/// can be obtained by increasing the first index gradually one by one."
+#[derive(Debug, Clone, Copy)]
+pub struct StridedCursor<'a> {
+    buf: &'a [f64],
+    base: usize,
+    stride: usize,
+}
+
+impl<'a> StridedCursor<'a> {
+    /// Position the cursor at the start of the innermost run selected by
+    /// the outer indices (`outer.len() == meta.levels - 1`). This is the
+    /// single `computeIndex` call that remains after strength reduction.
+    pub fn at(buf: &'a [f64], meta: &PathMeta, outer: &[usize]) -> StridedCursor<'a> {
+        debug_assert_eq!(outer.len(), meta.levels - 1);
+        debug_assert!(meta.is_innermost_contiguous());
+        let mut my_index: Vec<usize> = outer.to_vec();
+        my_index.push(0);
+        let base = compute_index(meta, &my_index);
+        StridedCursor { buf, base, stride: meta.innermost_stride() }
+    }
+
+    /// Read the `k`-th innermost element of the run.
+    #[inline]
+    pub fn get(&self, k: usize) -> f64 {
+        self.buf[self.base + k * self.stride]
+    }
+
+    /// The contiguous innermost run of length `len` as a slice, when the
+    /// stride is 1 — lets the hot loop vectorize exactly like the
+    /// hand-written FREERIDE code.
+    #[inline]
+    pub fn run(&self, len: usize) -> Option<&'a [f64]> {
+        if self.stride == 1 {
+            Some(&self.buf[self.base..self.base + len])
+        } else {
+            None
+        }
+    }
+
+    /// Base flat offset of the run.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Stride between innermost elements, in slots.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+}
+
+/// Mutable linearized view of an output/temporary structure (the paper's
+/// *opt-2*: "the frequently accessed output or temporary variables are
+/// only linearized, and are accessed through the mapping algorithm").
+#[derive(Debug, Clone)]
+pub struct MappedAccessor {
+    buffer: Vec<f64>,
+    meta: LinearMeta,
+}
+
+impl MappedAccessor {
+    /// Linearize `value` (of `shape`) into a mutable flat buffer.
+    pub fn linearize(shape: &Shape, value: &Value) -> Result<MappedAccessor, LinearizeError> {
+        let lin = crate::algorithms::Linearizer::new(shape).linearize(value)?;
+        Ok(MappedAccessor { buffer: lin.buffer, meta: lin.meta })
+    }
+
+    /// A zero-initialized mapped structure of `shape`.
+    pub fn zeroed(shape: &Shape) -> MappedAccessor {
+        MappedAccessor {
+            buffer: vec![0.0; shape.slot_count()],
+            meta: LinearMeta::new(shape),
+        }
+    }
+
+    /// Resolve an access path against the underlying shape.
+    pub fn path(&self, path: &AccessPath) -> Result<PathMeta, LinearizeError> {
+        self.meta.for_path(path)
+    }
+
+    /// Read through a resolved path.
+    #[inline]
+    pub fn get(&self, pm: &PathMeta, my_index: &[usize]) -> f64 {
+        self.buffer[compute_index(pm, my_index)]
+    }
+
+    /// Write through a resolved path.
+    #[inline]
+    pub fn set(&mut self, pm: &PathMeta, my_index: &[usize], x: f64) {
+        self.buffer[compute_index(pm, my_index)] = x;
+    }
+
+    /// Accumulate (add) through a resolved path — the common reduction
+    /// update.
+    #[inline]
+    pub fn add(&mut self, pm: &PathMeta, my_index: &[usize], x: f64) {
+        self.buffer[compute_index(pm, my_index)] += x;
+    }
+
+    /// Direct slot access for strength-reduced hot loops.
+    #[inline]
+    pub fn slots(&self) -> &[f64] {
+        &self.buffer
+    }
+
+    /// Direct mutable slot access for strength-reduced hot loops.
+    #[inline]
+    pub fn slots_mut(&mut self) -> &mut [f64] {
+        &mut self.buffer
+    }
+
+    /// Reconstruct the nested value (write-back after the reduction).
+    pub fn into_value(self) -> Result<Value, LinearizeError> {
+        delinearize(&self.buffer, &self.meta.root)
+    }
+
+    /// Reconstruct the nested value without consuming the accessor.
+    pub fn to_value(&self) -> Result<Value, LinearizeError> {
+        delinearize(&self.buffer, &self.meta.root)
+    }
+
+    /// The shape of the mapped structure.
+    pub fn shape(&self) -> &Shape {
+        &self.meta.root
+    }
+}
+
+#[cfg(test)]
+mod cursor_tests {
+    use super::*;
+    use crate::algorithms::Linearizer;
+
+    fn matrix_shape(rows: usize, cols: usize) -> Shape {
+        Shape::array(Shape::array(Shape::Real, cols), rows)
+    }
+
+    #[test]
+    fn flat_accessor_reads_matrix() {
+        let shape = matrix_shape(3, 4);
+        let v = Value::from_fn(&shape, |i| i as f64);
+        let lin = Linearizer::new(&shape).linearize(&v).unwrap();
+        let pm = lin.meta.for_path(&AccessPath::direct(1)).unwrap();
+        let acc = FlatAccessor::new(&lin.buffer, &pm);
+        assert_eq!(acc.get(&[0, 0]), 0.0);
+        assert_eq!(acc.get(&[2, 3]), 11.0);
+        assert_eq!(acc.offset(&[1, 2]), 6);
+    }
+
+    #[test]
+    fn strided_cursor_matches_flat_accessor() {
+        let rec = Shape::record(vec![
+            ("skip", Shape::Int),
+            ("xs", Shape::array(Shape::Real, 5)),
+        ]);
+        let shape = Shape::array(rec, 4);
+        let v = Value::from_fn(&shape, |i| (i * 3) as f64);
+        let lin = Linearizer::new(&shape).linearize(&v).unwrap();
+        let pm = lin.meta.for_path(&AccessPath::fields(&[1])).unwrap();
+        let acc = FlatAccessor::new(&lin.buffer, &pm);
+        for i in 0..4 {
+            let cur = StridedCursor::at(&lin.buffer, &pm, &[i]);
+            for k in 0..5 {
+                assert_eq!(cur.get(k), acc.get(&[i, k]), "({i},{k})");
+            }
+            let run = cur.run(5).expect("unit stride");
+            assert_eq!(run[4], acc.get(&[i, 4]));
+        }
+    }
+
+    #[test]
+    fn mapped_accessor_roundtrip() {
+        // Centroid-like structure: [k] record { pos: [d] real, count: int }
+        let cent = Shape::record(vec![
+            ("pos", Shape::array(Shape::Real, 3)),
+            ("count", Shape::Int),
+        ]);
+        let shape = Shape::array(cent, 2);
+        let mut acc = MappedAccessor::zeroed(&shape);
+        let pos = acc.path(&AccessPath::fields(&[0])).unwrap();
+        let count = acc.path(&AccessPath::fields(&[1])).unwrap();
+
+        acc.add(&pos, &[1, 2], 5.5);
+        acc.add(&count, &[1], 1.0);
+        acc.add(&count, &[1], 1.0);
+
+        let v = acc.into_value().unwrap();
+        let c1 = v.index(1).unwrap();
+        assert_eq!(c1.field(0).unwrap().index(2).unwrap().as_f64(), Some(5.5));
+        assert_eq!(*c1.field(1).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn mapped_accessor_from_existing_value() {
+        let shape = Shape::array(Shape::Real, 4);
+        let v = Value::from_fn(&shape, |i| i as f64 + 1.0);
+        let mut acc = MappedAccessor::linearize(&shape, &v).unwrap();
+        let pm = acc.path(&AccessPath::direct(0)).unwrap();
+        assert_eq!(acc.get(&pm, &[3]), 4.0);
+        acc.set(&pm, &[0], -1.0);
+        assert_eq!(acc.to_value().unwrap().index(0).unwrap().as_f64(), Some(-1.0));
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: write a Chapel program, run it three ways, and watch the
+//! translator offload its reductions to FREERIDE.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use chapel_freeride::{Interpreter, OptLevel, Translator};
+
+fn main() {
+    // A small Chapel program in the supported subset: two global-view
+    // reductions over arrays (the second over an elementwise
+    // expression, the paper's `min reduce (A + B)` example).
+    let src = "
+        var A: [1..10000] real;
+        var B: [1..10000] real;
+        for i in 1..10000 {
+            A[i] = i;
+            B[i] = 10000 - i;
+        }
+        var total: real = + reduce A;
+        var closest: real = min reduce (A + B);
+        writeln(\"total=\", total);
+        writeln(\"closest=\", closest);
+    ";
+
+    // 1. Pure interpretation — the semantic oracle.
+    let oracle = Interpreter::run_source(src).expect("interpreter");
+    println!("interpreter output:");
+    for line in oracle.output() {
+        println!("  {line}");
+    }
+
+    // 2. Translated execution: reductions are detected, the arrays are
+    //    linearized, and FREERIDE runs the kernels.
+    for opt in [OptLevel::Generated, OptLevel::Opt2] {
+        let run = Translator::new(opt, 4).run_program(src).expect("translated run");
+        println!("\n{opt:?}: {} FREERIDE job(s) ran", run.jobs.len());
+        for job in &run.jobs {
+            println!(
+                "  job `{}`: linearize {:.3} ms, reduce {:.3} ms across {} split(s)",
+                job.kind,
+                job.linearize_ns as f64 / 1e6,
+                job.stats.total_reduce_ns() as f64 / 1e6,
+                job.stats.splits.len(),
+            );
+        }
+        let total = run.global("total").unwrap().as_f64().unwrap();
+        let closest = run.global("closest").unwrap().as_f64().unwrap();
+        println!("  total={total} closest={closest}");
+        assert_eq!(total, 50_005_000.0);
+        assert_eq!(closest, 10_000.0);
+    }
+
+    println!("\ninterpreter and FREERIDE agree ✓");
+}

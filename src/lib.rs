@@ -1,0 +1,67 @@
+//! # chapel-freeride
+//!
+//! A from-scratch Rust reproduction of
+//!
+//! > Bin Ren, Gagan Agrawal, Brad Chamberlain, Steve Deitz.
+//! > *"Translating Chapel to Use FREERIDE: A Case Study in Using an HPC
+//! > Language for Data-Intensive Computing."* IPPS/IPDPS Workshops 2011.
+//!
+//! The paper modifies the Chapel compiler so that generalized-reduction
+//! computations (k-means, PCA, ...) written in Chapel are offloaded to
+//! FREERIDE, a shared-memory map-reduce-style middleware, via three
+//! transformations: *linearization* of nested data structures,
+//! *index mapping* (`computeIndex`), and two optimizations —
+//! *strength reduction* (opt-1) and *selective linearization of hot
+//! state* (opt-2).
+//!
+//! This workspace rebuilds every layer:
+//!
+//! | Layer | Crate |
+//! |---|---|
+//! | Chapel subset frontend (lexer/parser/AST) | [`chapel_frontend`] |
+//! | Semantic analysis + layout (Figure 6)     | [`chapel_sema`]     |
+//! | Interpreter (semantic oracle)             | [`chapel_interp`]   |
+//! | Linearization + mapping (Algorithms 1–3)  | [`linearize`]       |
+//! | The FREERIDE middleware (Table I API)     | [`freeride`]        |
+//! | The translator (detection, opt-1/2, VM)   | [`cfr_core`]        |
+//! | Applications in all four versions         | [`cfr_apps`]        |
+//! | Synthetic dataset generators              | [`cfr_datagen`]     |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use chapel_freeride::{OptLevel, Translator};
+//!
+//! // A Chapel program whose reduction is offloaded to FREERIDE.
+//! let src = "
+//!     var A: [1..1000] real;
+//!     for i in 1..1000 { A[i] = i; }
+//!     var total: real = + reduce A;
+//! ";
+//! let run = Translator::new(OptLevel::Opt2, 4).run_program(src).unwrap();
+//! assert_eq!(run.global("total").unwrap().as_f64().unwrap(), 500500.0);
+//! assert_eq!(run.jobs.len(), 1); // one FREERIDE job ran
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and the
+//! `cfr-bench` crate (`repro` binary) for the paper's figures.
+
+pub use cfr_apps;
+pub use cfr_core;
+pub use cfr_datagen;
+pub use chapel_frontend;
+pub use chapel_interp;
+pub use chapel_sema;
+pub use freeride;
+pub use linearize;
+
+// The most common entry points, re-exported flat.
+pub use cfr_apps::{histogram, kmeans, knn, linreg, pca, AppTiming, Version};
+pub use cfr_core::{detect, Detected, OptLevel, TranslatedRun, Translator};
+pub use chapel_frontend::{parse, programs};
+pub use chapel_interp::{Interpreter, RtValue};
+pub use freeride::{
+    Application, CombineOp, DataView, Engine, GroupSpec, JobConfig, RObjHandle, RObjLayout,
+    ReductionObject, Runtime, Split, Splitter, SyncScheme,
+};
+pub use linearize::{AccessPath, Linearizer, Shape, Value};
