@@ -1,0 +1,11 @@
+#!/bin/sh
+# Local CI: exactly what a PR must pass.
+#   ./ci.sh          — build, test, lint
+# Tier-1 (ROADMAP.md) is `cargo build --release && cargo test -q`;
+# clippy is held to zero warnings across the workspace.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo test --workspace -q
+cargo clippy --workspace -- -D warnings

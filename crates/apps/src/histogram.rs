@@ -82,12 +82,7 @@ fn run_translated(params: &HistogramParams, opt: OptLevel) -> Result<HistogramRe
     let layout = RObjLayout::new(vec![GroupSpec::new("hist", buckets, CombineOp::Sum)]);
     let engine = Engine::new(params.config.clone());
     let view = DataView::new(&buffer, 1)?;
-    let runtime = KernelRuntime {
-        kernel: compiled.kernel.clone(),
-        nested_state: Vec::new(),
-        flat_state: Vec::new(),
-        row_lo: compiled.lo,
-    };
+    let runtime = KernelRuntime::new(compiled.kernel.clone(), Vec::new(), Vec::new(), compiled.lo)?;
     let kernel_fn = |split: &Split<'_>, robj: &mut dyn RObjHandle| {
         runtime.run_split(split, robj);
     };

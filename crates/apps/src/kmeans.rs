@@ -154,12 +154,8 @@ fn run_translated(params: &KmeansParams, opt: OptLevel) -> Result<KmeansResult, 
         } else {
             (vec![nested], vec![Vec::new()])
         };
-        let runtime = KernelRuntime {
-            kernel: compiled.kernel.clone(),
-            nested_state,
-            flat_state,
-            row_lo: compiled.lo,
-        };
+        let runtime =
+            KernelRuntime::new(compiled.kernel.clone(), nested_state, flat_state, compiled.lo)?;
         let kernel_fn = |split: &Split<'_>, robj: &mut dyn RObjHandle| {
             runtime.run_split(split, robj);
         };
@@ -227,8 +223,8 @@ fn run_manual(params: &KmeansParams) -> KmeansResult {
                         best = c;
                     }
                 }
-                for j in 0..d {
-                    robj.accumulate(0, best * (d + 1) + j, row[j]);
+                for (j, &x) in row.iter().enumerate().take(d) {
+                    robj.accumulate(0, best * (d + 1) + j, x);
                 }
                 robj.accumulate(0, best * (d + 1) + d, 1.0);
             }

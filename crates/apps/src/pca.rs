@@ -113,12 +113,7 @@ fn run_translated(params: &PcaParams, opt: OptLevel) -> Result<PcaResult, AppErr
 
     // ---- Phase 1: mean vector. ----
     let mean_layout = RObjLayout::new(vec![GroupSpec::new("mean", rows, CombineOp::Sum)]);
-    let runtime = KernelRuntime {
-        kernel: mean_loop.kernel.clone(),
-        nested_state: Vec::new(),
-        flat_state: Vec::new(),
-        row_lo: mean_loop.lo,
-    };
+    let runtime = KernelRuntime::new(mean_loop.kernel.clone(), Vec::new(), Vec::new(), mean_loop.lo)?;
     let kernel_fn = |split: &Split<'_>, robj: &mut dyn RObjHandle| {
         runtime.run_split(split, robj);
     };
@@ -142,12 +137,7 @@ fn run_translated(params: &PcaParams, opt: OptLevel) -> Result<PcaResult, AppErr
         (vec![mean_value], vec![Vec::new()])
     };
     let cov_layout = RObjLayout::new(vec![GroupSpec::new("cov", rows * rows, CombineOp::Sum)]);
-    let runtime = KernelRuntime {
-        kernel: cov_loop.kernel.clone(),
-        nested_state,
-        flat_state,
-        row_lo: cov_loop.lo,
-    };
+    let runtime = KernelRuntime::new(cov_loop.kernel.clone(), nested_state, flat_state, cov_loop.lo)?;
     let kernel_fn = |split: &Split<'_>, robj: &mut dyn RObjHandle| {
         runtime.run_split(split, robj);
     };

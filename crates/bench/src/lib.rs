@@ -109,7 +109,9 @@ pub struct Harness {
     /// Thread counts to report (the paper uses 1, 2, 4, 8).
     pub threads: Vec<usize>,
     /// `Sequential` → modeled scaling (single-core hosts);
-    /// `Threads` → real wall-clock per thread count.
+    /// `Threads` → real wall-clock per thread count on the persistent
+    /// worker pool; `ScopedThreads` → real wall-clock with the legacy
+    /// spawn-per-pass path (for measuring what the pool saves).
     pub exec: ExecMode,
 }
 
@@ -157,10 +159,11 @@ fn kmeans_figure(h: &Harness, id: &str, mb: usize, k: usize, iters: usize) -> Fi
                 }
             }
         }
-        ExecMode::Threads => {
+        ExecMode::Threads | ExecMode::ScopedThreads => {
             for v in Version::ALL {
                 for &t in &h.threads {
-                    let params = kmeans::KmeansParams::new(n, d, k, iters).threads(t);
+                    let mut params = kmeans::KmeansParams::new(n, d, k, iters).threads(t);
+                    params.config.exec = h.exec;
                     let r = kmeans::run(&params, v).expect("kmeans version");
                     rows.push(FigureRow {
                         series: v.label().to_string(),
@@ -221,10 +224,11 @@ fn pca_figure(h: &Harness, id: &str, rows_full: usize, cols_full: usize) -> Figu
                 }
             }
         }
-        ExecMode::Threads => {
+        ExecMode::Threads | ExecMode::ScopedThreads => {
             for v in versions {
                 for &t in &h.threads {
-                    let params = pca::PcaParams::new(rows_n, cols_n).threads(t);
+                    let mut params = pca::PcaParams::new(rows_n, cols_n).threads(t);
+                    params.config.exec = h.exec;
                     let r = pca::run(&params, v).expect("pca version");
                     out_rows.push(FigureRow {
                         series: v.label().to_string(),

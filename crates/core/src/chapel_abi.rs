@@ -54,7 +54,7 @@ fn narrow<'a>(w: WideRef<'a>) -> &'a Value {
 /// One Chapel array-element access: locale test, dope-vector offset
 /// computation (`origin + (i - lo) * blk`), bounds check, element load.
 #[inline(never)]
-pub fn chpl_array_index<'a>(v: &'a Value, i: usize) -> &'a Value {
+pub fn chpl_array_index(v: &Value, i: usize) -> &Value {
     let w = wide(v);
     let v = narrow(w);
     match v {
@@ -78,7 +78,7 @@ pub fn chpl_array_index<'a>(v: &'a Value, i: usize) -> &'a Value {
 /// One Chapel record-field access: locale test plus the member load
 /// through the (possibly heap-allocated) record pointer.
 #[inline(never)]
-pub fn chpl_record_field<'a>(v: &'a Value, f: usize) -> &'a Value {
+pub fn chpl_record_field(v: &Value, f: usize) -> &Value {
     let w = wide(v);
     let v = narrow(w);
     match v {

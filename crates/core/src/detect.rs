@@ -204,11 +204,9 @@ fn detect_loop(
                     && indices.len() == 1
                     && matches!(&indices[0], Expr::Ident(n, _) if n == index)
                     && !outputs.iter().any(|o| o == g)
-                {
-                    if !dataset.iter().any(|d| d == g) {
+                    && !dataset.iter().any(|d| d == g) {
                         dataset.push(g.to_string());
                     }
-                }
             }
         }
     });

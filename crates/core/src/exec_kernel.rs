@@ -12,36 +12,55 @@ use linearize::Value;
 use crate::chapel_abi::{
     chpl_array_index, chpl_read_scalar, chpl_record_field, compute_index_call,
 };
+use crate::error::CoreError;
 use crate::kernel_ir::{ArithOp, CmpOp, Instr, Kernel, NavStep};
 
 /// Everything the kernel needs at run time besides the split itself.
+///
+/// Fields are private: the only way to obtain a `KernelRuntime` is
+/// [`KernelRuntime::new`], which validates the kernel **once**. The
+/// dispatch loop relies on that invariant for its unchecked register
+/// accesses, so re-validating per split (as the engine calls `run_split`
+/// once per split, per iteration) would pay an O(code) scan on every
+/// split for nothing.
 pub struct KernelRuntime {
-    /// The compiled kernel.
-    pub kernel: Kernel,
+    /// The compiled kernel. Invariant: passed `Kernel::validate` against
+    /// the state count below.
+    kernel: Kernel,
     /// Nested state values (generated / opt-1). Indexed by `StateId`.
-    pub nested_state: Vec<Value>,
+    nested_state: Vec<Value>,
     /// Linearized state buffers (opt-2). Indexed by `StateId`.
-    pub flat_state: Vec<Vec<f64>>,
+    flat_state: Vec<Vec<f64>>,
     /// Chapel value of the loop variable for row 0 (the loop's lower
     /// bound).
-    pub row_lo: i64,
+    row_lo: i64,
 }
 
 impl KernelRuntime {
+    /// Build a runtime for one translated job, validating the kernel
+    /// once. All unchecked register/path accesses in the dispatch loop
+    /// are justified by this validation.
+    pub fn new(
+        kernel: Kernel,
+        nested_state: Vec<Value>,
+        flat_state: Vec<Vec<f64>>,
+        row_lo: i64,
+    ) -> Result<KernelRuntime, CoreError> {
+        kernel
+            .validate(
+                nested_state.len().max(flat_state.len()),
+                usize::MAX, // group count is checked by the robj layout
+            )
+            .map_err(CoreError::translate)?;
+        Ok(KernelRuntime { kernel, nested_state, flat_state, row_lo })
+    }
+
     /// Process one split: for every row, run the kernel with register 0
     /// holding the local row index and register 1 the Chapel loop value.
     ///
     /// This is the `reduction_t` FREERIDE calls through its function
     /// pointer.
     pub fn run_split(&self, split: &Split<'_>, robj: &mut dyn RObjHandle) {
-        // The dispatch loop uses unchecked register access; validation
-        // establishes the invariants it relies on.
-        self.kernel
-            .validate(
-                self.nested_state.len().max(self.flat_state.len()),
-                usize::MAX, // group count is checked by the robj layout
-            )
-            .expect("kernel failed validation");
         let mut regs = vec![0.0f64; self.kernel.regs];
         // Constant preamble, once per split.
         for ins in &self.kernel.code[..self.kernel.entry] {
@@ -96,18 +115,19 @@ impl KernelRuntime {
                     (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = if v { 1.0 } else { 0.0 };
                 }
                 Instr::Not { dst, src } => {
-                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = if (*unsafe { regs.get_unchecked_mut(*src as usize) }) == 0.0 { 1.0 } else { 0.0 };
+                    let v = if unsafe { *regs.get_unchecked(*src as usize) } == 0.0 { 1.0 } else { 0.0 };
+                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = v;
                 }
-                Instr::Neg { dst, src } => (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = -(*unsafe { regs.get_unchecked_mut(*src as usize) }),
-                Instr::Floor { dst, src } => (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = (*unsafe { regs.get_unchecked_mut(*src as usize) }).floor(),
-                Instr::Sqrt { dst, src } => (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = (*unsafe { regs.get_unchecked_mut(*src as usize) }).sqrt(),
-                Instr::Abs { dst, src } => (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = (*unsafe { regs.get_unchecked_mut(*src as usize) }).abs(),
+                Instr::Neg { dst, src } => (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = -unsafe { *regs.get_unchecked(*src as usize) },
+                Instr::Floor { dst, src } => (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = unsafe { *regs.get_unchecked(*src as usize) }.floor(),
+                Instr::Sqrt { dst, src } => (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = unsafe { *regs.get_unchecked(*src as usize) }.sqrt(),
+                Instr::Abs { dst, src } => (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = unsafe { *regs.get_unchecked(*src as usize) }.abs(),
                 Instr::Jump { target } => {
                     pc = *target;
                     continue;
                 }
                 Instr::JumpIfZero { cond, target } => {
-                    if (*unsafe { regs.get_unchecked_mut(*cond as usize) }) == 0.0 {
+                    if unsafe { *regs.get_unchecked(*cond as usize) } == 0.0 {
                         pc = *target;
                         continue;
                     }
@@ -116,7 +136,7 @@ impl KernelRuntime {
                 Instr::IncRangeJump { var, hi, target } => {
                     let v = (*unsafe { regs.get_unchecked_mut(*var as usize) }) + 1.0;
                     (*unsafe { regs.get_unchecked_mut(*var as usize) }) = v;
-                    if v <= (*unsafe { regs.get_unchecked_mut(*hi as usize) }) {
+                    if v <= unsafe { *regs.get_unchecked(*hi as usize) } {
                         pc = *target;
                         continue;
                     }

@@ -190,12 +190,7 @@ impl Translator {
             .collect();
         let layout = RObjLayout::new(groups);
 
-        let runtime = KernelRuntime {
-            kernel: c.kernel.clone(),
-            nested_state,
-            flat_state,
-            row_lo: c.lo,
-        };
+        let runtime = KernelRuntime::new(c.kernel.clone(), nested_state, flat_state, c.lo)?;
         let view = DataView::new(&buffer, c.dataset.unit)?;
         let engine = Engine::new(self.config.clone());
         let kernel_fn = |split: &Split<'_>, robj: &mut dyn freeride::RObjHandle| {

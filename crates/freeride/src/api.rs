@@ -149,30 +149,15 @@ impl Runtime {
         let layout = self.layout.as_ref().expect("reduction object not allocated");
         let view = DataView::new(data, unit)?;
         let kernel = app.reduction.as_ref();
-
-        let mut total = crate::stats::RunStats {
-            logical_threads: self.engine.config.threads,
-            ..Default::default()
-        };
-        let mut last: Option<JobOutcome> = None;
-        for it in 0..iters.max(1) {
-            let outcome = self.engine.run_with(
-                view,
-                layout,
-                &kernel,
-                app.combination.as_ref(),
-                app.finalize.as_ref(),
-            );
-            total.absorb(&outcome.stats);
-            let cont = step(it, &outcome.robj);
-            last = Some(outcome);
-            if !cont {
-                break;
-            }
-        }
-        let mut out = last.expect("at least one iteration");
-        out.stats = total;
-        Ok(out)
+        Ok(self.engine.run_iterations_with(
+            view,
+            layout,
+            iters,
+            &kernel,
+            app.combination.as_ref(),
+            app.finalize.as_ref(),
+            |it, robj| step(it, robj),
+        ))
     }
 }
 

@@ -21,13 +21,19 @@
 //! [`SyncScheme`], then runs the (local + global) combination phase and
 //! the optional finalize step. The outer sequential loop is driven by
 //! the caller (see `run` in a loop, or [`Engine::run_iterations`]).
+//!
+//! Like the original FREERIDE middleware's persistent pthreads, worker
+//! threads are created once per [`Engine`] and parked between reduction
+//! passes (see [`crate::pool`]); iterative jobs pay the spawn cost only
+//! on the first pass.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
+use crate::pool::WorkerPool;
 use crate::robj::{RObjLayout, ReductionObject};
 use crate::split::{DataView, Split, Splitter};
 use crate::stats::{PhaseTimes, RunStats, SplitStat};
@@ -43,11 +49,17 @@ pub type FinalizeFn = Arc<dyn Fn(&mut ReductionObject) + Send + Sync>;
 /// How worker execution is realised.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
-    /// Spawn one OS thread per logical thread (real parallel execution).
+    /// Run on the engine's persistent worker pool (real parallel
+    /// execution; workers are spawned once and reused across passes).
     Threads,
+    /// Spawn one scoped OS thread per logical thread *per pass* — the
+    /// pre-pool execution path, kept for measuring what the pool saves
+    /// and as an independent oracle for pool correctness tests.
+    ScopedThreads,
     /// Execute every split on the calling thread, recording per-split
     /// busy times for the modeled-scalability harness (DESIGN.md §5).
-    /// Semantics are identical to `Threads`.
+    /// Semantics are identical to `Threads`; the pool is bypassed
+    /// entirely (no OS threads are ever spawned).
     Sequential,
 }
 
@@ -104,17 +116,63 @@ pub struct JobOutcome {
     pub stats: RunStats,
 }
 
-/// The FREERIDE engine. Cheap to construct; holds only configuration.
+/// The FREERIDE engine. Holds the configuration plus a lazily grown
+/// persistent [`WorkerPool`]; clones share the pool, so cloning an
+/// engine per pass still spawns each worker exactly once.
 #[derive(Debug, Clone, Default)]
 pub struct Engine {
     /// Job configuration used by [`Engine::run`].
     pub config: JobConfig,
+    pool: Arc<WorkerPool>,
+}
+
+/// Per-run thread-accounting deltas against the shared pool's counters.
+struct PoolCounters {
+    spawned0: usize,
+    dispatches0: usize,
+    /// Threads spawned outside the pool (`ExecMode::ScopedThreads`).
+    scoped_spawned: usize,
+}
+
+impl PoolCounters {
+    fn start(pool: &WorkerPool) -> PoolCounters {
+        PoolCounters {
+            spawned0: pool.total_spawned(),
+            dispatches0: pool.total_dispatches(),
+            scoped_spawned: 0,
+        }
+    }
+
+    /// `(threads_spawned, pool_reuses)` for the run that began at
+    /// `start`. A dispatch counts as a reuse when it required no new
+    /// OS threads.
+    fn finish(self, pool: &WorkerPool) -> (usize, usize) {
+        let spawned = pool.total_spawned() - self.spawned0;
+        let dispatches = pool.total_dispatches() - self.dispatches0;
+        let reuses = dispatches - usize::from(spawned > 0).min(dispatches);
+        (spawned + self.scoped_spawned, reuses)
+    }
 }
 
 impl Engine {
-    /// Create an engine with the given configuration.
+    /// Create an engine with the given configuration. No worker threads
+    /// are spawned until the first pooled run (or [`Engine::warmup`]).
     pub fn new(config: JobConfig) -> Engine {
-        Engine { config }
+        Engine { config, pool: Arc::new(WorkerPool::new()) }
+    }
+
+    /// Pre-spawn the pool's workers so the first pass does not pay the
+    /// spawn cost inside its measurement. No-op unless the engine runs
+    /// in [`ExecMode::Threads`].
+    pub fn warmup(&self) {
+        if matches!(self.config.exec, ExecMode::Threads) {
+            self.pool.ensure_workers(self.config.threads.max(1));
+        }
+    }
+
+    /// The engine's persistent worker pool (shared across clones).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
     }
 
     /// Run one reduction loop over `view` with the default combination.
@@ -141,44 +199,22 @@ impl Engine {
         let wall_start = Instant::now();
         let threads = self.config.threads.max(1);
         let ranges = self.config.splitter.ranges(view.rows(), threads);
+        let mut counters = PoolCounters::start(&self.pool);
 
-        let (mut copies, mut splits, shared) = match self.config.exec {
+        let (copies, mut splits, shared) = match self.config.exec {
             ExecMode::Sequential => self.run_sequential(view, layout, kernel, &ranges),
-            ExecMode::Threads => self.run_threads(view, layout, kernel, &ranges),
-        };
-
-        // Combination phase (local combination across thread copies, or
-        // snapshotting the shared backend).
-        let combine_start = Instant::now();
-        let mut robj = if let Some(backend) = shared {
-            backend.snapshot()
-        } else if copies.is_empty() {
-            ReductionObject::alloc(layout.clone())
-        } else if layout.total_cells() >= self.config.parallel_merge_threshold
-            && copies.len() > 2
-            && matches!(self.config.exec, ExecMode::Threads)
-        {
-            parallel_tree_merge(copies, combination)
-        } else {
-            let mut acc = copies.remove(0);
-            for c in &copies {
-                match combination {
-                    Some(f) => f(&mut acc, c),
-                    None => acc.merge_from(c),
-                }
+            ExecMode::Threads => self.run_pooled(view, layout, kernel, &ranges),
+            ExecMode::ScopedThreads => {
+                counters.scoped_spawned += threads;
+                self.run_scoped(view, layout, kernel, &ranges)
             }
-            acc
         };
-        let combine_ns = combine_start.elapsed().as_nanos() as u64;
 
-        // Finalize.
-        let finalize_start = Instant::now();
-        if let Some(f) = finalize {
-            f(&mut robj);
-        }
-        let finalize_ns = finalize_start.elapsed().as_nanos() as u64;
+        let (robj, combine_ns, finalize_ns) =
+            self.combine_and_finalize(copies, shared, layout, combination, finalize, &mut counters);
 
         splits.sort_by_key(|s| s.split);
+        let (threads_spawned, pool_reuses) = counters.finish(&self.pool);
         JobOutcome {
             robj,
             stats: RunStats {
@@ -189,15 +225,14 @@ impl Engine {
                     wall_ns: wall_start.elapsed().as_nanos() as u64,
                 },
                 logical_threads: threads,
+                threads_spawned,
+                pool_reuses,
             },
         }
     }
 
-    /// Run one reduction loop over a **disk-resident** dataset: each
-    /// worker opens its own handle and reads exactly its splits — "the
-    /// order in which data instances are read from the disks is
-    /// determined by the runtime system". Per-split timings include the
-    /// read, so modeled scaling accounts for I/O.
+    /// Run one reduction loop over a **disk-resident** dataset with the
+    /// default combination — see [`Engine::run_file_with`].
     pub fn run_file<K>(
         &self,
         file: &crate::source::FileDataset,
@@ -207,110 +242,140 @@ impl Engine {
     where
         K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
     {
+        self.run_file_with(file, layout, kernel, None, None)
+    }
+
+    /// Run one reduction loop over a **disk-resident** dataset: each
+    /// worker opens its own handle and reads exactly its splits — "the
+    /// order in which data instances are read from the disks is
+    /// determined by the runtime system". Per-split timings include the
+    /// read, so modeled scaling accounts for I/O.
+    ///
+    /// The combination phase is identical to the in-memory path
+    /// ([`Engine::run_with`]): custom combination, finalize, and the
+    /// parallel tree merge for large objects all apply. On an I/O error
+    /// every worker stops pulling splits (a shared abort flag) and the
+    /// *first* error is returned.
+    pub fn run_file_with<K>(
+        &self,
+        file: &crate::source::FileDataset,
+        layout: &Arc<RObjLayout>,
+        kernel: &K,
+        combination: Option<&CombinationFn>,
+        finalize: Option<&FinalizeFn>,
+    ) -> Result<JobOutcome, crate::FreerideError>
+    where
+        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+    {
         let wall_start = Instant::now();
         let threads = self.config.threads.max(1);
         let ranges = self.config.splitter.ranges(file.rows(), threads);
         let unit = file.unit();
+        let mut counters = PoolCounters::start(&self.pool);
 
         let shared = SharedCells::for_scheme(self.config.scheme, layout);
         let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
         let collected: Mutex<Vec<ReductionObject>> = Mutex::new(Vec::with_capacity(threads));
         let stats: Mutex<Vec<SplitStat>> = Mutex::new(Vec::with_capacity(ranges.len()));
         let io_error: Mutex<Option<crate::FreerideError>> = Mutex::new(None);
 
-        crossbeam::thread::scope(|scope| {
-            for w in 0..threads {
-                let next = &next;
-                let collected = &collected;
-                let stats = &stats;
-                let io_error = &io_error;
-                let ranges = &ranges;
-                let shared = shared.as_ref();
-                let layout = layout.clone();
-                let file = file.clone();
-                scope.spawn(move |_| {
-                    let mut local: Option<ReductionObject> = if shared.is_none() {
-                        Some(ReductionObject::alloc(layout))
-                    } else {
-                        None
-                    };
-                    let mut my_stats = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= ranges.len() {
-                            break;
+        let worker_body = |w: usize| {
+            let shared = shared.as_ref();
+            let mut local: Option<ReductionObject> =
+                if shared.is_none() { Some(ReductionObject::alloc(layout.clone())) } else { None };
+            let mut my_stats = Vec::new();
+            loop {
+                // A sibling hit an I/O error: stop pulling splits.
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= ranges.len() {
+                    break;
+                }
+                let (first, count) = ranges[i];
+                let t0 = Instant::now();
+                let rows = match file.read_rows(first, count) {
+                    Ok(rows) => rows,
+                    Err(e) => {
+                        abort.store(true, Ordering::Relaxed);
+                        let mut slot = io_error.lock();
+                        // First error wins; later ones are dropped.
+                        if slot.is_none() {
+                            *slot = Some(e);
                         }
-                        let (first, count) = ranges[i];
-                        let t0 = Instant::now();
-                        let rows = match file.read_rows(first, count) {
-                            Ok(rows) => rows,
-                            Err(e) => {
-                                *io_error.lock() = Some(e);
-                                break;
-                            }
-                        };
-                        let split = Split {
-                            rows: &rows,
-                            unit,
-                            first_row: first,
-                            row_count: count,
-                        };
-                        match (&mut local, shared) {
-                            (Some(robj), _) => kernel(&split, robj),
-                            (None, Some(backend)) => {
-                                let mut handle = SharedHandle::new(backend);
-                                kernel(&split, &mut handle);
-                            }
-                            (None, None) => unreachable!("no reduction target"),
-                        }
-                        my_stats.push(SplitStat {
-                            split: i,
-                            first_row: first,
-                            rows: count,
-                            nanos: t0.elapsed().as_nanos() as u64,
-                            worker: w,
-                        });
+                        break;
                     }
-                    if let Some(robj) = local {
-                        collected.lock().push(robj);
+                };
+                let split = Split { rows: &rows, unit, first_row: first, row_count: count };
+                match (&mut local, shared) {
+                    (Some(robj), _) => kernel(&split, robj),
+                    (None, Some(backend)) => {
+                        let mut handle = SharedHandle::new(backend);
+                        kernel(&split, &mut handle);
                     }
-                    stats.lock().extend(my_stats);
+                    (None, None) => unreachable!("no reduction target"),
+                }
+                my_stats.push(SplitStat {
+                    split: i,
+                    first_row: first,
+                    rows: count,
+                    nanos: t0.elapsed().as_nanos() as u64,
+                    worker: w,
                 });
             }
-        })
-        .expect("worker thread panicked");
+            if let Some(robj) = local {
+                collected.lock().push(robj);
+            }
+            stats.lock().extend(my_stats);
+        };
+
+        match self.config.exec {
+            ExecMode::Threads => {
+                self.pool.ensure_workers(threads);
+                self.pool.dispatch(threads, &worker_body);
+            }
+            ExecMode::ScopedThreads => {
+                counters.scoped_spawned += threads;
+                crossbeam::thread::scope(|scope| {
+                    for w in 0..threads {
+                        let body = &worker_body;
+                        scope.spawn(move |_| body(w));
+                    }
+                })
+                .expect("worker thread panicked");
+            }
+            ExecMode::Sequential => {
+                for w in 0..threads {
+                    worker_body(w);
+                }
+            }
+        }
 
         if let Some(e) = io_error.into_inner() {
             return Err(e);
         }
-        let mut copies = collected.into_inner();
+        let copies = collected.into_inner();
         let mut splits = stats.into_inner();
 
-        let combine_start = Instant::now();
-        let robj = if let Some(backend) = shared {
-            backend.snapshot()
-        } else if copies.is_empty() {
-            ReductionObject::alloc(layout.clone())
-        } else {
-            let mut acc = copies.remove(0);
-            for c in &copies {
-                acc.merge_from(c);
-            }
-            acc
-        };
-        let combine_ns = combine_start.elapsed().as_nanos() as u64;
+        let (robj, combine_ns, finalize_ns) =
+            self.combine_and_finalize(copies, shared, layout, combination, finalize, &mut counters);
 
         splits.sort_by_key(|s| s.split);
+        let (threads_spawned, pool_reuses) = counters.finish(&self.pool);
         Ok(JobOutcome {
             robj,
             stats: RunStats {
                 splits,
                 phases: PhaseTimes {
                     combine_ns,
-                    finalize_ns: 0,
+                    finalize_ns,
                     wall_ns: wall_start.elapsed().as_nanos() as u64,
                 },
                 logical_threads: threads,
+                threads_spawned,
+                pool_reuses,
             },
         })
     }
@@ -325,6 +390,26 @@ impl Engine {
         layout: &Arc<RObjLayout>,
         iters: usize,
         kernel: &K,
+        step: impl FnMut(usize, &ReductionObject) -> bool,
+    ) -> JobOutcome
+    where
+        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+    {
+        self.run_iterations_with(view, layout, iters, kernel, None, None, step)
+    }
+
+    /// [`Engine::run_iterations`] with custom combination / finalize
+    /// functions, applied on **every** pass (each pass routes through
+    /// [`Engine::run_with`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_iterations_with<K>(
+        &self,
+        view: DataView<'_>,
+        layout: &Arc<RObjLayout>,
+        iters: usize,
+        kernel: &K,
+        combination: Option<&CombinationFn>,
+        finalize: Option<&FinalizeFn>,
         mut step: impl FnMut(usize, &ReductionObject) -> bool,
     ) -> JobOutcome
     where
@@ -333,7 +418,7 @@ impl Engine {
         let mut total = RunStats { logical_threads: self.config.threads, ..Default::default() };
         let mut last: Option<JobOutcome> = None;
         for it in 0..iters.max(1) {
-            let outcome = self.run(view, layout, kernel);
+            let outcome = self.run_with(view, layout, kernel, combination, finalize);
             total.absorb(&outcome.stats);
             let stop = !step(it, &outcome.robj);
             last = Some(outcome);
@@ -344,6 +429,46 @@ impl Engine {
         let mut out = last.expect("at least one iteration");
         out.stats = total;
         out
+    }
+
+    /// Combination + finalize, shared verbatim by the in-memory and
+    /// disk paths so both combine identically.
+    fn combine_and_finalize(
+        &self,
+        copies: Vec<ReductionObject>,
+        shared: Option<SharedCells>,
+        layout: &Arc<RObjLayout>,
+        combination: Option<&CombinationFn>,
+        finalize: Option<&FinalizeFn>,
+        counters: &mut PoolCounters,
+    ) -> (ReductionObject, u64, u64) {
+        let combine_start = Instant::now();
+        let mut robj = if let Some(backend) = shared {
+            backend.snapshot()
+        } else if copies.is_empty() {
+            ReductionObject::alloc(layout.clone())
+        } else if layout.total_cells() >= self.config.parallel_merge_threshold && copies.len() > 2
+        {
+            match self.config.exec {
+                ExecMode::Threads => self.pooled_tree_merge(copies, combination),
+                ExecMode::ScopedThreads => {
+                    let (merged, spawned) = scoped_tree_merge(copies, combination);
+                    counters.scoped_spawned += spawned;
+                    merged
+                }
+                ExecMode::Sequential => sequential_merge(copies, combination),
+            }
+        } else {
+            sequential_merge(copies, combination)
+        };
+        let combine_ns = combine_start.elapsed().as_nanos() as u64;
+
+        let finalize_start = Instant::now();
+        if let Some(f) = finalize {
+            f(&mut robj);
+        }
+        let finalize_ns = finalize_start.elapsed().as_nanos() as u64;
+        (robj, combine_ns, finalize_ns)
     }
 
     fn run_sequential<K>(
@@ -398,7 +523,70 @@ impl Engine {
         }
     }
 
-    fn run_threads<K>(
+    /// One reduction pass on the persistent pool: a single dispatch;
+    /// workers pull splits off the shared queue until it drains.
+    fn run_pooled<K>(
+        &self,
+        view: DataView<'_>,
+        layout: &Arc<RObjLayout>,
+        kernel: &K,
+        ranges: &[(usize, usize)],
+    ) -> (Vec<ReductionObject>, Vec<SplitStat>, Option<SharedCells>)
+    where
+        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+    {
+        let threads = self.config.threads.max(1);
+        self.pool.ensure_workers(threads);
+        let shared = SharedCells::for_scheme(self.config.scheme, layout);
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<ReductionObject>> = Mutex::new(Vec::with_capacity(threads));
+        let stats: Mutex<Vec<SplitStat>> = Mutex::new(Vec::with_capacity(ranges.len()));
+
+        {
+            let shared = shared.as_ref();
+            self.pool.dispatch(threads, &|w| {
+                // Per-dispatch handle/copy construction: a pool worker
+                // serves many passes over its lifetime, so per-pass
+                // state cannot be tied to thread birth.
+                let mut local: Option<ReductionObject> =
+                    if shared.is_none() { Some(ReductionObject::alloc(layout.clone())) } else { None };
+                let mut my_stats = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= ranges.len() {
+                        break;
+                    }
+                    let (first, count) = ranges[i];
+                    let split = view.split(first, count);
+                    let t0 = Instant::now();
+                    match (&mut local, shared) {
+                        (Some(robj), _) => kernel(&split, robj),
+                        (None, Some(backend)) => {
+                            let mut handle = SharedHandle::new(backend);
+                            kernel(&split, &mut handle);
+                        }
+                        (None, None) => unreachable!("no reduction target"),
+                    }
+                    my_stats.push(SplitStat {
+                        split: i,
+                        first_row: first,
+                        rows: count,
+                        nanos: t0.elapsed().as_nanos() as u64,
+                        worker: w,
+                    });
+                }
+                if let Some(robj) = local {
+                    collected.lock().push(robj);
+                }
+                stats.lock().extend(my_stats);
+            });
+        }
+
+        (collected.into_inner(), stats.into_inner(), shared)
+    }
+
+    /// The pre-pool path: spawn scoped threads for this pass only.
+    fn run_scoped<K>(
         &self,
         view: DataView<'_>,
         layout: &Arc<RObjLayout>,
@@ -463,14 +651,73 @@ impl Engine {
 
         (collected.into_inner(), stats.into_inner(), shared)
     }
+
+    /// Parallel tree merge on the persistent pool: each round merges
+    /// pairs concurrently via one pool dispatch (no extra threads, in
+    /// contrast to the scoped variant which used to spawn one thread
+    /// per pair per round).
+    fn pooled_tree_merge(
+        &self,
+        mut copies: Vec<ReductionObject>,
+        combination: Option<&CombinationFn>,
+    ) -> ReductionObject {
+        let workers = self.pool.workers().max(1);
+        while copies.len() > 1 {
+            let odd = if copies.len() % 2 == 1 { copies.pop() } else { None };
+            let pairs: Vec<Mutex<Option<(ReductionObject, ReductionObject)>>> = {
+                let mut it = copies.into_iter();
+                let mut v = Vec::new();
+                while let (Some(a), Some(b)) = (it.next(), it.next()) {
+                    v.push(Mutex::new(Some((a, b))));
+                }
+                v
+            };
+            let merged: Mutex<Vec<ReductionObject>> = Mutex::new(Vec::with_capacity(pairs.len()));
+            let next = AtomicUsize::new(0);
+            let active = workers.min(pairs.len());
+            self.pool.dispatch(active, &|_w| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= pairs.len() {
+                    break;
+                }
+                let (mut a, b) = pairs[i].lock().take().expect("pair claimed once");
+                match combination {
+                    Some(f) => f(&mut a, &b),
+                    None => a.merge_from(&b),
+                }
+                merged.lock().push(a);
+            });
+            let mut round = merged.into_inner();
+            round.extend(odd);
+            copies = round;
+        }
+        copies.pop().expect("non-empty copies")
+    }
 }
 
-/// Parallel tree merge of reduction-object copies: pairs are merged
-/// concurrently until one remains. Used when the object is large.
-fn parallel_tree_merge(
+/// All-to-one merge on the calling thread.
+fn sequential_merge(
     mut copies: Vec<ReductionObject>,
     combination: Option<&CombinationFn>,
 ) -> ReductionObject {
+    let mut acc = copies.remove(0);
+    for c in &copies {
+        match combination {
+            Some(f) => f(&mut acc, c),
+            None => acc.merge_from(c),
+        }
+    }
+    acc
+}
+
+/// Parallel tree merge with scoped threads (one per pair per round) —
+/// the pre-pool implementation, used by [`ExecMode::ScopedThreads`].
+/// Returns the merged object and how many threads were spawned.
+fn scoped_tree_merge(
+    mut copies: Vec<ReductionObject>,
+    combination: Option<&CombinationFn>,
+) -> (ReductionObject, usize) {
+    let mut spawned = 0usize;
     while copies.len() > 1 {
         let mut next_round: Vec<ReductionObject> = Vec::with_capacity(copies.len().div_ceil(2));
         let odd = if copies.len() % 2 == 1 { copies.pop() } else { None };
@@ -482,6 +729,7 @@ fn parallel_tree_merge(
             }
             v
         };
+        spawned += pairs.len();
         let merged: Mutex<Vec<ReductionObject>> = Mutex::new(Vec::with_capacity(pairs.len()));
         crossbeam::thread::scope(|scope| {
             for (mut a, b) in pairs {
@@ -500,7 +748,7 @@ fn parallel_tree_merge(
         next_round.extend(odd);
         copies = next_round;
     }
-    copies.pop().expect("non-empty copies")
+    (copies.pop().expect("non-empty copies"), spawned)
 }
 
 #[cfg(test)]
@@ -535,7 +783,7 @@ mod engine_tests {
             SyncScheme::BucketLocking { stripes: 4 },
             SyncScheme::Atomic,
         ] {
-            for exec in [ExecMode::Threads, ExecMode::Sequential] {
+            for exec in [ExecMode::Threads, ExecMode::ScopedThreads, ExecMode::Sequential] {
                 for threads in [1usize, 3, 8] {
                     let engine = Engine::new(JobConfig {
                         threads,
@@ -553,6 +801,130 @@ mod engine_tests {
                 }
             }
         }
+    }
+
+    /// Pool correctness sweep: the pooled engine must agree with the
+    /// scoped-thread oracle for every scheme × splitter × thread count.
+    #[test]
+    fn pooled_matches_scoped_oracle_sweep() {
+        let raw = data(1200);
+        let view = DataView::new(&raw, 4).unwrap();
+        let layout = RObjLayout::new(vec![
+            GroupSpec::new("sum", 1, CombineOp::Sum),
+            GroupSpec::new("hist", 8, CombineOp::Sum),
+        ]);
+        let kernel = |split: &Split<'_>, robj: &mut dyn RObjHandle| {
+            for row in split.iter_rows() {
+                robj.accumulate(0, 0, row.iter().sum());
+                robj.accumulate(1, (row[0] as usize) % 8, 1.0);
+            }
+        };
+        for scheme in [
+            SyncScheme::FullReplication,
+            SyncScheme::FullLocking,
+            SyncScheme::BucketLocking { stripes: 4 },
+            SyncScheme::Atomic,
+        ] {
+            for splitter in [Splitter::Default, Splitter::Chunked { rows_per_chunk: 17 }] {
+                for threads in [1usize, 3, 8] {
+                    let config = JobConfig {
+                        threads,
+                        scheme,
+                        splitter: splitter.clone(),
+                        ..Default::default()
+                    };
+                    let pooled = Engine::new(config.clone());
+                    let scoped = Engine::new(JobConfig {
+                        exec: ExecMode::ScopedThreads,
+                        ..config
+                    });
+                    let a = pooled.run(view, &layout, &kernel);
+                    let b = scoped.run(view, &layout, &kernel);
+                    assert_eq!(
+                        a.robj.cells(),
+                        b.robj.cells(),
+                        "{scheme:?} {splitter:?} t={threads}"
+                    );
+                    assert_eq!(a.stats.splits.len(), b.stats.splits.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_spawns_once_across_runs() {
+        let raw = data(400);
+        let view = DataView::new(&raw, 4).unwrap();
+        let engine = Engine::new(JobConfig::with_threads(3));
+        let first = engine.run(view, &sum_layout(), &sum_kernel);
+        let second = engine.run(view, &sum_layout(), &sum_kernel);
+        // Two consecutive runs spawn config.threads threads in total.
+        assert_eq!(first.stats.threads_spawned + second.stats.threads_spawned, 3);
+        assert_eq!(first.stats.threads_spawned, 3);
+        assert_eq!(second.stats.threads_spawned, 0);
+        assert_eq!(second.stats.pool_reuses, 1);
+    }
+
+    #[test]
+    fn pool_spawns_once_across_iterations() {
+        let raw = data(400);
+        let view = DataView::new(&raw, 4).unwrap();
+        let engine = Engine::new(JobConfig::with_threads(3));
+        let out = engine.run_iterations(view, &sum_layout(), 10, &sum_kernel, |_, _| true);
+        // 10 passes spawn config.threads threads in total...
+        assert_eq!(out.stats.threads_spawned, 3);
+        // ...and the 9 warm passes are all pool reuses.
+        assert_eq!(out.stats.pool_reuses, 9);
+    }
+
+    #[test]
+    fn warm_pool_spawns_nothing_in_fifty_iterations() {
+        let raw = data(4000);
+        let view = DataView::new(&raw, 4).unwrap();
+        let engine = Engine::new(JobConfig::with_threads(8));
+        engine.warmup();
+        let out = engine.run_iterations(view, &sum_layout(), 50, &sum_kernel, |_, _| true);
+        assert_eq!(out.stats.threads_spawned, 0, "warm pool must not respawn");
+        assert_eq!(out.stats.pool_reuses, 50);
+        assert_eq!(engine.pool().total_spawned(), 8);
+    }
+
+    #[test]
+    fn scoped_mode_respawns_every_run() {
+        let raw = data(400);
+        let view = DataView::new(&raw, 4).unwrap();
+        let engine = Engine::new(JobConfig {
+            threads: 3,
+            exec: ExecMode::ScopedThreads,
+            ..Default::default()
+        });
+        let first = engine.run(view, &sum_layout(), &sum_kernel);
+        let second = engine.run(view, &sum_layout(), &sum_kernel);
+        assert_eq!(first.stats.threads_spawned, 3);
+        assert_eq!(second.stats.threads_spawned, 3);
+        assert_eq!(second.stats.pool_reuses, 0);
+    }
+
+    #[test]
+    fn sequential_mode_bypasses_the_pool() {
+        let raw = data(400);
+        let view = DataView::new(&raw, 4).unwrap();
+        let engine = Engine::new(JobConfig::modeled(4));
+        let out = engine.run(view, &sum_layout(), &sum_kernel);
+        assert_eq!(out.stats.threads_spawned, 0);
+        assert_eq!(out.stats.pool_reuses, 0);
+        assert_eq!(engine.pool().workers(), 0);
+    }
+
+    #[test]
+    fn cloned_engines_share_one_pool() {
+        let raw = data(400);
+        let view = DataView::new(&raw, 4).unwrap();
+        let engine = Engine::new(JobConfig::with_threads(2));
+        engine.run(view, &sum_layout(), &sum_kernel);
+        let clone = engine.clone();
+        let out = clone.run(view, &sum_layout(), &sum_kernel);
+        assert_eq!(out.stats.threads_spawned, 0, "clone reuses the shared pool");
     }
 
     #[test]
@@ -601,6 +973,47 @@ mod engine_tests {
         assert_eq!(out.robj.get(1, 0), 3.0); // 4 copies -> 3 pairwise merges
     }
 
+    /// Regression: `run_iterations` used to route through `run`, which
+    /// silently dropped custom combination/finalize. The marker cell
+    /// must count 3 merges on *every* iteration.
+    #[test]
+    fn iterations_apply_custom_combination_every_pass() {
+        let layout = RObjLayout::new(vec![
+            GroupSpec::new("sum", 1, CombineOp::Sum),
+            GroupSpec::new("merges", 1, CombineOp::Sum),
+        ]);
+        let raw = data(100);
+        let view = DataView::new(&raw, 4).unwrap();
+        let comb: CombinationFn = Arc::new(|a, b| {
+            a.merge_from(b);
+            let m = a.get(1, 0);
+            a.set(1, 0, m + 1.0);
+        });
+        let fin: FinalizeFn = Arc::new(|r| {
+            let v = r.get(0, 0);
+            r.set(0, 0, v * 2.0);
+        });
+        let engine = Engine::new(JobConfig::with_threads(4));
+        let mut marker_seen = Vec::new();
+        let out = engine.run_iterations_with(
+            view,
+            &layout,
+            5,
+            &sum_kernel,
+            Some(&comb),
+            Some(&fin),
+            |_, robj| {
+                marker_seen.push(robj.get(1, 0));
+                true
+            },
+        );
+        // Every pass merged 4 copies -> 3 merges, and finalize doubled
+        // the sum on every pass.
+        assert_eq!(marker_seen, vec![3.0; 5]);
+        assert_eq!(out.robj.get(0, 0), raw.iter().sum::<f64>() * 2.0);
+        assert_eq!(out.robj.get(1, 0), 3.0);
+    }
+
     #[test]
     fn finalize_runs_after_combination() {
         let raw = data(100);
@@ -627,14 +1040,42 @@ mod engine_tests {
                 robj.accumulate(0, (row[0] as usize) % cells, 1.0);
             }
         };
+        for exec in [ExecMode::Threads, ExecMode::ScopedThreads] {
+            let engine = Engine::new(JobConfig {
+                threads: 4,
+                parallel_merge_threshold: 1 << 16,
+                exec,
+                ..Default::default()
+            });
+            let out = engine.run(view, &layout, &kernel);
+            let total: f64 = out.robj.cells().iter().sum();
+            assert_eq!(total, 16.0, "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn pooled_merge_reuses_the_pool() {
+        let cells = 1 << 17;
+        let layout = RObjLayout::new(vec![GroupSpec::new("big", cells, CombineOp::Sum)]);
+        let raw = data(64);
+        let view = DataView::new(&raw, 4).unwrap();
+        let kernel = |split: &Split<'_>, robj: &mut dyn RObjHandle| {
+            for row in split.iter_rows() {
+                robj.accumulate(0, (row[0] as usize) % cells, 1.0);
+            }
+        };
         let engine = Engine::new(JobConfig {
             threads: 4,
             parallel_merge_threshold: 1 << 16,
             ..Default::default()
         });
+        engine.warmup();
         let out = engine.run(view, &layout, &kernel);
-        let total: f64 = out.robj.cells().iter().sum();
-        assert_eq!(total, 16.0);
+        // 4 copies -> two merge rounds -> reduce dispatch + 2 merge
+        // dispatches, all on the warm pool.
+        assert_eq!(out.stats.threads_spawned, 0);
+        assert_eq!(out.stats.pool_reuses, 3);
+        assert_eq!(engine.pool().total_spawned(), 4);
     }
 
     #[test]
@@ -671,6 +1112,67 @@ mod engine_tests {
         assert!(
             (from_disk.robj.get(0, 0) - from_mem.robj.get(0, 0)).abs() < 1e-12,
             "disk and memory runs disagree"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The disk path now honours custom combination and finalize,
+    /// exactly like the in-memory path.
+    #[test]
+    fn run_file_with_combination_and_finalize() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("freeride-engine-comb-{}.frds", std::process::id()));
+        let raw = data(800);
+        crate::source::write_dataset(&path, 4, &raw).unwrap();
+        let file = crate::source::FileDataset::open(&path).unwrap();
+
+        let layout = RObjLayout::new(vec![
+            GroupSpec::new("sum", 1, CombineOp::Sum),
+            GroupSpec::new("merges", 1, CombineOp::Sum),
+        ]);
+        let comb: CombinationFn = Arc::new(|a, b| {
+            a.merge_from(b);
+            let m = a.get(1, 0);
+            a.set(1, 0, m + 1.0);
+        });
+        let fin: FinalizeFn = Arc::new(|r| {
+            let v = r.get(0, 0);
+            r.set(0, 0, v + 0.5);
+        });
+        let engine = Engine::new(JobConfig::with_threads(4));
+        let out = engine
+            .run_file_with(&file, &layout, &sum_kernel, Some(&comb), Some(&fin))
+            .unwrap();
+        assert_eq!(out.robj.get(0, 0), raw.iter().sum::<f64>() + 0.5);
+        assert_eq!(out.robj.get(1, 0), 3.0); // 4 copies -> 3 merges
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// On an I/O error, all workers stop pulling splits and the *first*
+    /// error is returned.
+    #[test]
+    fn run_file_aborts_all_workers_on_first_error() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("freeride-engine-abort-{}.frds", std::process::id()));
+        let raw = data(4000);
+        crate::source::write_dataset(&path, 4, &raw).unwrap();
+        let file = crate::source::FileDataset::open(&path).unwrap();
+        // Truncate the payload after the header so every read fails.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..24]).unwrap();
+
+        let engine = Engine::new(JobConfig {
+            threads: 4,
+            splitter: Splitter::Chunked { rows_per_chunk: 10 },
+            ..Default::default()
+        });
+        let err = engine.run_file(&file, &sum_layout(), &sum_kernel).unwrap_err();
+        // 100 splits were queued; with the abort flag the queue drains
+        // almost immediately. The exact pull count is racy, but the
+        // returned error must be an I/O error (first one wins).
+        assert!(
+            matches!(err, crate::FreerideError::Io(_)),
+            "expected the first worker's I/O error, got {err:?}"
         );
         std::fs::remove_file(&path).ok();
     }

@@ -36,6 +36,7 @@ mod api;
 mod engine;
 mod error;
 pub mod mapreduce;
+pub mod pool;
 mod robj;
 pub mod source;
 mod split;
@@ -45,8 +46,9 @@ mod sync;
 pub use api::{Application, ReductionFn, Runtime};
 pub use engine::{CombinationFn, Engine, ExecMode, FinalizeFn, JobConfig, JobOutcome};
 pub use error::FreerideError;
+pub use pool::WorkerPool;
 pub use robj::{CombineOp, GroupSpec, RObjLayout, ReductionObject};
-pub use split::{DataView, Split, Splitter};
+pub use split::{DataView, Split, Splitter, SplitterFn};
 pub use stats::{PhaseTimes, RunStats, SplitStat};
 pub use sync::{
     AtomicCells, LockedCells, RObjHandle, SharedCells, SharedHandle, StripedCells, SyncScheme,

@@ -168,7 +168,7 @@ impl RObjLayout {
     pub fn initial_cells(&self) -> Vec<f64> {
         let mut cells = Vec::with_capacity(self.total);
         for g in &self.groups {
-            cells.extend(std::iter::repeat(g.init).take(g.len));
+            cells.extend(std::iter::repeat_n(g.init, g.len));
         }
         cells
     }

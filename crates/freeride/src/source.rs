@@ -30,7 +30,7 @@ const HEADER_LEN: u64 = 4 + 4 + 8 + 4;
 
 /// Write a dataset of `unit`-slot rows to `path`.
 pub fn write_dataset(path: &Path, unit: usize, data: &[f64]) -> Result<(), FreerideError> {
-    if unit == 0 || data.len() % unit != 0 {
+    if unit == 0 || !data.len().is_multiple_of(unit) {
         return Err(FreerideError::BadUnit { unit, len: data.len() });
     }
     let rows = (data.len() / unit) as u64;

@@ -30,7 +30,7 @@ impl<'a> DataView<'a> {
         if unit == 0 {
             return Err(FreerideError::BadUnit { unit, len: data.len() });
         }
-        if data.len() % unit != 0 {
+        if !data.len().is_multiple_of(unit) {
             return Err(FreerideError::BadUnit { unit, len: data.len() });
         }
         Ok(DataView { data, unit })
@@ -98,6 +98,10 @@ impl<'a> Split<'a> {
     }
 }
 
+/// A user-provided splitter function: `(total_rows, req_units)` →
+/// `(first_row, row_count)` per work unit.
+pub type SplitterFn = Arc<dyn Fn(usize, usize) -> Vec<(usize, usize)> + Send + Sync>;
+
 /// How the input is divided into work units.
 #[derive(Clone)]
 pub enum Splitter {
@@ -115,7 +119,7 @@ pub enum Splitter {
     /// User-provided splitter: given the total row count and the
     /// requested number of units, return the row ranges
     /// `(first_row, row_count)` of each unit.
-    Custom(Arc<dyn Fn(usize, usize) -> Vec<(usize, usize)> + Send + Sync>),
+    Custom(SplitterFn),
 }
 
 impl std::fmt::Debug for Splitter {

@@ -47,6 +47,14 @@ pub struct RunStats {
     pub phases: PhaseTimes,
     /// Logical thread count the job was configured with.
     pub logical_threads: usize,
+    /// OS threads created during this run: new pool workers in
+    /// `ExecMode::Threads` (0 once the pool is warm), every scoped
+    /// thread (incl. tree-merge helpers) in `ExecMode::ScopedThreads`,
+    /// always 0 in `ExecMode::Sequential`.
+    pub threads_spawned: usize,
+    /// Reduction/merge passes served by already-running pool workers
+    /// (dispatches that required no new OS threads).
+    pub pool_reuses: usize,
 }
 
 impl RunStats {
@@ -98,6 +106,8 @@ impl RunStats {
         self.phases.finalize_ns += other.phases.finalize_ns;
         self.phases.wall_ns += other.phases.wall_ns;
         self.logical_threads = self.logical_threads.max(other.logical_threads);
+        self.threads_spawned += other.threads_spawned;
+        self.pool_reuses += other.pool_reuses;
     }
 }
 
@@ -147,6 +157,7 @@ mod stats_tests {
             splits: vec![stat(0, 100), stat(1, 100)],
             phases: PhaseTimes { combine_ns: 40, finalize_ns: 5, wall_ns: 0 },
             logical_threads: 2,
+            ..Default::default()
         };
         // 2 threads: makespan 100 + combine 40 + finalize 5.
         assert_eq!(s.modeled_parallel_ns(2), 145);
@@ -160,16 +171,22 @@ mod stats_tests {
             splits: vec![stat(0, 10)],
             phases: PhaseTimes { combine_ns: 1, finalize_ns: 2, wall_ns: 3 },
             logical_threads: 2,
+            threads_spawned: 2,
+            pool_reuses: 1,
         };
         let b = RunStats {
             splits: vec![stat(0, 20)],
             phases: PhaseTimes { combine_ns: 10, finalize_ns: 20, wall_ns: 30 },
             logical_threads: 4,
+            threads_spawned: 0,
+            pool_reuses: 1,
         };
         a.absorb(&b);
         assert_eq!(a.splits.len(), 2);
         assert_eq!(a.splits[1].split, 1);
         assert_eq!(a.phases.wall_ns, 33);
         assert_eq!(a.logical_threads, 4);
+        assert_eq!(a.threads_spawned, 2);
+        assert_eq!(a.pool_reuses, 2);
     }
 }

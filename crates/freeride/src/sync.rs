@@ -27,8 +27,10 @@ use crate::robj::{RObjLayout, ReductionObject};
 /// Which shared-memory technique the job uses for reduction-object
 /// updates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
 pub enum SyncScheme {
     /// Per-thread private copies merged during local combination.
+    #[default]
     FullReplication,
     /// A lock per reduction-object cell.
     FullLocking,
@@ -41,11 +43,6 @@ pub enum SyncScheme {
     Atomic,
 }
 
-impl Default for SyncScheme {
-    fn default() -> Self {
-        SyncScheme::FullReplication
-    }
-}
 
 /// The view of the reduction object handed to a local-reduction function.
 ///

@@ -167,8 +167,8 @@ pub fn compute_index_recursive(
 pub fn compute_index(meta: &PathMeta, my_index: &[usize]) -> usize {
     debug_assert_eq!(my_index.len(), meta.levels, "one index per level");
     let mut idx = 0usize;
-    for i in 0..meta.levels - 1 {
-        idx += meta.unit_size[i] * my_index[i] + meta.level_offset[i];
+    for (i, &ix) in my_index.iter().enumerate().take(meta.levels - 1) {
+        idx += meta.unit_size[i] * ix + meta.level_offset[i];
     }
     idx + meta.unit_size[meta.levels - 1] * my_index[meta.levels - 1] + meta.terminal_offset
 }

@@ -51,8 +51,8 @@ fn main() {
     file.stream_chunks(8_192, |chunk, first_row| {
         let view = DataView::new(chunk, d).expect("chunk view");
         let outcome = engine.run(view, &layout, &kernel);
-        for j in 0..d {
-            totals[j] += outcome.robj.get(0, j);
+        for (j, t) in totals.iter_mut().enumerate() {
+            *t += outcome.robj.get(0, j);
         }
         count += outcome.robj.get(1, 0);
         if first_row == 0 {

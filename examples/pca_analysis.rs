@@ -38,9 +38,9 @@ fn main() {
     let mut v = vec![1.0f64; rows];
     for _ in 0..100 {
         let mut next = vec![0.0; rows];
-        for a in 0..rows {
-            for b in 0..rows {
-                next[a] += manual.cov[a * rows + b] * v[b];
+        for (a, slot) in next.iter_mut().enumerate() {
+            for (b, x) in v.iter().enumerate() {
+                *slot += manual.cov[a * rows + b] * x;
             }
         }
         let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
@@ -51,9 +51,9 @@ fn main() {
     }
     let eigenvalue: f64 = {
         let mut av = vec![0.0; rows];
-        for a in 0..rows {
-            for b in 0..rows {
-                av[a] += manual.cov[a * rows + b] * v[b];
+        for (a, slot) in av.iter_mut().enumerate() {
+            for (b, x) in v.iter().enumerate() {
+                *slot += manual.cov[a * rows + b] * x;
             }
         }
         av.iter().zip(&v).map(|(x, y)| x * y).sum()

@@ -1,0 +1,141 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Runs each benchmark closure a small fixed number of times and prints
+//! the median wall time — no statistics engine, no HTML reports. The
+//! point is that `cargo bench`/`cargo test` build and execute the bench
+//! targets unchanged, and relative comparisons (pooled vs scoped engine,
+//! opt levels) remain readable from the printed table.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// How many timed repetitions each `Bencher::iter` performs.
+const REPS: usize = 3;
+
+/// Re-export of the standard optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { _c: self, name }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, f);
+        self
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub always runs [`REPS`]
+    /// repetitions.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.0), |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id that is just the parameter's display form.
+    pub fn from_parameter(p: impl Display) -> BenchmarkId {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id composed of a function name and a parameter.
+    pub fn new(name: impl Display, p: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the workload.
+pub struct Bencher {
+    best_ns: u128,
+}
+
+impl Bencher {
+    /// Time `f`, keeping the fastest of [`REPS`] runs.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut best = u128::MAX;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            black_box(f());
+            best = best.min(t0.elapsed().as_nanos());
+        }
+        self.best_ns = best;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut b = Bencher { best_ns: 0 };
+    f(&mut b);
+    println!("  {label}: {} ns", b.best_ns);
+}
+
+/// Declare a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

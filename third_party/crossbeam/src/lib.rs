@@ -1,0 +1,91 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the workspace vendors minimal std-only implementations of the small
+//! API surface it actually uses (see the workspace `third_party/`
+//! README). This crate covers `crossbeam::thread::scope` (backed by
+//! `std::thread::scope`) and `crossbeam::utils::CachePadded`.
+
+pub mod thread {
+    //! Scoped threads, API-compatible with `crossbeam::thread`.
+
+    /// Result of a scope: `Err` would carry the payload of a panicked
+    /// child. The std backend propagates child panics by panicking in
+    /// `scope` itself, so this is always `Ok` when it returns.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope handle. Spawned closures receive `&Scope` like the real
+    /// crossbeam API; nested spawning from inside a worker closure is
+    /// not supported by this stand-in (no call site uses it).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: Option<&'scope std::thread::Scope<'scope, 'env>>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure's `&Scope` argument exists
+        /// for API compatibility.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self
+                .inner
+                .expect("crossbeam stub: spawning from inside a worker closure is unsupported");
+            inner.spawn(move || f(&Scope { inner: None }))
+        }
+    }
+
+    /// Create a scope: all threads spawned within it are joined before
+    /// `scope` returns. If a child panics, the panic is propagated when
+    /// the scope joins (the caller's `.expect(...)` fires either way).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: Some(s) })))
+    }
+}
+
+pub mod utils {
+    //! Utilities, API-compatible with `crossbeam::utils`.
+
+    /// Pads and aligns a value to 128 bytes so neighbouring values do
+    /// not share a cache line (false-sharing avoidance).
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Pad `value`.
+        pub const fn new(value: T) -> CachePadded<T> {
+            CachePadded { value }
+        }
+
+        /// Unwrap the padded value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> std::ops::Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> std::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> CachePadded<T> {
+            CachePadded::new(value)
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`,
+//! range / tuple / `Just` / collection / one-of / string strategies, the
+//! `proptest!` macro, and `prop_assert*`. Differences from the real
+//! crate, deliberately accepted for an offline build:
+//!
+//! * **No shrinking** — a failing case reports the panic message with
+//!   the generated inputs Debug-printed by the assertion itself.
+//! * **Deterministic seeding** — each test's RNG is seeded from the test
+//!   name, so runs are reproducible without a persistence file.
+//! * **String strategies ignore the regex syntax** except for a trailing
+//!   `{m,n}` repetition count; they generate printable character soup,
+//!   which is exactly what the robustness tests feed the lexer.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude::*`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The harness RNG (splitmix64), seeded deterministically per test.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test name (FNV-1a of the bytes).
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A generator of values for property tests.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// directly produces one sample.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one sample.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F, O>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f, _out: std::marker::PhantomData }
+    }
+
+    /// Generate an intermediate value, then generate from a strategy
+    /// derived from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F, S>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f, _out: std::marker::PhantomData }
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F, O> {
+    inner: S,
+    f: F,
+    _out: std::marker::PhantomData<fn() -> O>,
+}
+
+impl<S, F, O> Strategy for Map<S, F, O>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F, S2> {
+    inner: S,
+    f: F,
+    _out: std::marker::PhantomData<fn() -> S2>,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F, S2>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, usize, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// String strategy from a pattern literal. Only the trailing `{m,n}`
+/// repetition is honoured; the class itself becomes "printable soup".
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_repetition(self).unwrap_or((0, 64));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            // Mostly printable ASCII, occasionally multibyte, to reach
+            // the lexer's non-ASCII paths too.
+            let c = match rng.below(16) {
+                0 => ['é', 'λ', '→', '𝛼', '中'][rng.below(5) as usize],
+                _ => (0x20u8 + rng.below(0x5F) as u8) as char,
+            };
+            out.push(c);
+        }
+        out
+    }
+}
+
+fn parse_repetition(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_suffix('}')?;
+    let (_, counts) = body.rsplit_once('{')?;
+    match counts.split_once(',') {
+        Some((m, n)) => Some((m.trim().parse().ok()?, n.trim().parse().ok()?)),
+        None => {
+            let m = counts.trim().parse().ok()?;
+            Some((m, m))
+        }
+    }
+}
+
+/// Chooses uniformly among boxed alternative strategies
+/// (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Build from alternatives; must be non-empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Box a strategy for [`Union`]; used by the `prop_oneof!` expansion.
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Size specification for [`collection::vec`].
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Generates `Vec`s of `element` samples with a length drawn from
+    /// `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` strategy (mirrors `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest! { ... }`: wraps `fn name(arg in strategy, ...) { body }`
+/// items into plain test functions that loop over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::TestRng::from_name(stringify!($name));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                // Bodies may `return Ok(())` early, like real proptest.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<(), ::std::convert::Infallible> =
+                    (|| {
+                        $body
+                        Ok(())
+                    })();
+                let _ = __outcome;
+            }
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}
+
+/// `prop_assert!`: plain `assert!` (no shrinking to report).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `prop_assert_eq!`: plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `prop_assert_ne!`: plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod proptest_stub_tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..10, k in 1usize..=4) {
+            prop_assert!((3..10).contains(&n));
+            prop_assert!((1..=4).contains(&k));
+        }
+
+        #[test]
+        fn oneof_and_vec_compose(
+            words in crate::collection::vec(
+                prop_oneof![Just("a"), Just("bb"), Just("ccc")],
+                0..8,
+            )
+        ) {
+            prop_assert!(words.len() < 8);
+            prop_assert!(words.iter().all(|w| ["a", "bb", "ccc"].contains(w)));
+        }
+    }
+
+    #[test]
+    fn string_pattern_honours_repetition() {
+        let mut rng = TestRng::from_name("string_pattern");
+        for _ in 0..100 {
+            let s = Strategy::generate(&"\\PC{0,20}", &mut rng);
+            assert!(s.chars().count() <= 20);
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_intermediate_values() {
+        let mut rng = TestRng::from_name("flat_map");
+        let strat = (1usize..4).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(0usize..5, n))
+        });
+        for _ in 0..50 {
+            let (n, v) = Strategy::generate(&strat, &mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+}

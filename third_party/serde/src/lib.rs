@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` on AST and
+//! metadata types — nothing actually serializes through a data format
+//! yet. This stub provides the two marker traits with blanket impls and
+//! re-exports no-op derive macros, so the annotations compile unchanged
+//! and a future PR can swap in the real crate without touching call
+//! sites.
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
