@@ -9,3 +9,10 @@ cargo build --release
 cargo test -q
 cargo test --workspace -q
 cargo clippy --workspace -- -D warnings
+
+# Observability: a traced run must export a Chrome trace that
+# trace-check accepts, with engine spans present (DESIGN.md §8).
+cargo run --release -p bench --bin bench -- kmeans \
+  --n 2000 --d 4 --k 4 --iters 2 --trace-out target/ci-trace.json
+cargo run --release -p obs --bin trace-check -- target/ci-trace.json \
+  --expect split --expect combine --expect finalize --expect pass

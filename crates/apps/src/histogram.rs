@@ -92,7 +92,7 @@ fn run_translated(params: &HistogramParams, opt: OptLevel) -> Result<HistogramRe
 
     Ok(HistogramResult {
         hist: outcome.robj.group_slice(0).to_vec(),
-        timing: AppTiming { linearize_ns, stats, wall_ns: wall.elapsed().as_nanos() as u64 },
+        timing: AppTiming { linearize_ns, stats, wall_ns: wall.elapsed().as_nanos() as u64, trace: None },
     })
 }
 
@@ -118,7 +118,7 @@ fn run_manual(params: &HistogramParams) -> HistogramResult {
     stats.absorb(&outcome.stats);
     HistogramResult {
         hist: outcome.robj.group_slice(0).to_vec(),
-        timing: AppTiming { linearize_ns: 0, stats, wall_ns: wall.elapsed().as_nanos() as u64 },
+        timing: AppTiming { linearize_ns: 0, stats, wall_ns: wall.elapsed().as_nanos() as u64, trace: None },
     }
 }
 

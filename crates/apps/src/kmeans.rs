@@ -15,14 +15,15 @@
 //! reused, which is why the single-iteration run of Figure 11 shows the
 //! highest relative linearization overhead.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use cfr_core::{compile_loop, detect, zip_linearize, Detected, KernelRuntime, OptLevel};
 use chapel_frontend::programs;
-use chapel_sema::analyze;
 use freeride::{
     CombineOp, DataView, Engine, GroupSpec, JobConfig, RObjHandle, RObjLayout, RunStats, Split,
 };
+use obs::{AttrValue, Recorder, TraceLevel};
 use linearize::{Linearizer, Value};
 
 use crate::data;
@@ -106,12 +107,27 @@ fn update_centroids(cells: &[f64], old: &[f64], k: usize, d: usize) -> (Vec<f64>
 fn run_translated(params: &KmeansParams, opt: OptLevel) -> Result<KmeansResult, AppError> {
     let wall = Instant::now();
     let (n, d, k) = (params.n, params.d, params.k);
+    let rec = Arc::new(Recorder::new(params.config.trace));
 
     // Compile the Chapel reduction loop once.
     let src = programs::kmeans(n, k, d);
-    let program = chapel_frontend::parse(&src)?;
-    let analysis = analyze(&program).map_err(cfr_core::CoreError::from)?;
+    let program = chapel_frontend::parse_traced(&src, &rec)?;
+    let analysis =
+        chapel_sema::analyze_traced(&program, &rec).map_err(cfr_core::CoreError::from)?;
+    let detect_start = Instant::now();
     let detection = detect(&program, &analysis);
+    rec.push_complete(
+        TraceLevel::Phases,
+        "core.detect",
+        "pipeline",
+        0,
+        rec.offset_ns(detect_start),
+        detect_start.elapsed().as_nanos() as u64,
+        vec![
+            ("detected", AttrValue::Int(detection.detected.len() as i64)),
+            ("rejections", AttrValue::Int(detection.rejections.len() as i64)),
+        ],
+    );
     let red = detection
         .detected
         .values()
@@ -120,7 +136,17 @@ fn run_translated(params: &KmeansParams, opt: OptLevel) -> Result<KmeansResult, 
             _ => None,
         })
         .ok_or_else(|| AppError::new("k-means reduction loop not detected"))?;
+    let compile_start = Instant::now();
     let compiled = compile_loop(&program, &analysis, &red, opt)?;
+    rec.push_complete(
+        TraceLevel::Phases,
+        "core.compile",
+        "pipeline",
+        0,
+        rec.offset_ns(compile_start),
+        compile_start.elapsed().as_nanos() as u64,
+        vec![("instrs", AttrValue::Int(compiled.kernel.code.len() as i64))],
+    );
 
     // The Chapel data structures, then linearization (timed, once).
     let nested_points = data::kmeans_points_nested(n, d);
@@ -133,9 +159,21 @@ fn run_translated(params: &KmeansParams, opt: OptLevel) -> Result<KmeansResult, 
         params.config.threads,
     )?;
     let mut linearize_ns = lin_start.elapsed().as_nanos() as u64;
+    rec.push_complete(
+        TraceLevel::Phases,
+        "linearize",
+        "pipeline",
+        0,
+        rec.offset_ns(lin_start),
+        linearize_ns,
+        vec![
+            ("rows", AttrValue::Int(n as i64)),
+            ("unit", AttrValue::Int(compiled.dataset.unit as i64)),
+        ],
+    );
 
     let layout = robj_layout(k, d);
-    let engine = Engine::new(params.config.clone());
+    let engine = Engine::with_recorder(params.config.clone(), rec.clone());
     let view = DataView::new(&buffer, compiled.dataset.unit)?;
     let cent_shape = data::kmeans_centroid_shape(k, d);
 
@@ -149,7 +187,19 @@ fn run_translated(params: &KmeansParams, opt: OptLevel) -> Result<KmeansResult, 
         let (nested_state, flat_state) = if opt == OptLevel::Opt2 {
             let t0 = Instant::now();
             let flat = Linearizer::new(&cent_shape).linearize(&nested)?.buffer;
-            linearize_ns += t0.elapsed().as_nanos() as u64;
+            let state_lin_ns = t0.elapsed().as_nanos() as u64;
+            linearize_ns += state_lin_ns;
+            if rec.enabled(TraceLevel::Phases) {
+                rec.push_complete(
+                    TraceLevel::Phases,
+                    "linearize",
+                    "pipeline",
+                    0,
+                    rec.offset_ns(t0),
+                    state_lin_ns,
+                    vec![("state_cells", AttrValue::Int(flat.len() as i64))],
+                );
+            }
             (vec![nested], vec![flat])
         } else {
             (vec![nested], vec![Vec::new()])
@@ -173,6 +223,7 @@ fn run_translated(params: &KmeansParams, opt: OptLevel) -> Result<KmeansResult, 
             linearize_ns,
             stats,
             wall_ns: wall.elapsed().as_nanos() as u64,
+            trace: (rec.level() != TraceLevel::Off).then(|| rec.drain()),
         },
     })
 }
@@ -198,7 +249,8 @@ fn run_manual(params: &KmeansParams) -> KmeansResult {
     let (n, d, k) = (params.n, params.d, params.k);
     let buffer = data::kmeans_points_flat(n, d);
     let layout = robj_layout(k, d);
-    let engine = Engine::new(params.config.clone());
+    let rec = Arc::new(Recorder::new(params.config.trace));
+    let engine = Engine::with_recorder(params.config.clone(), rec.clone());
     let view = DataView::new(&buffer, d).expect("n*d buffer");
 
     let mut centroids = data::kmeans_centroids_flat(k, d);
@@ -243,6 +295,7 @@ fn run_manual(params: &KmeansParams) -> KmeansResult {
             linearize_ns: 0,
             stats,
             wall_ns: wall.elapsed().as_nanos() as u64,
+            trace: (rec.level() != TraceLevel::Off).then(|| rec.drain()),
         },
     }
 }

@@ -120,7 +120,7 @@ fn run_translated(params: &LinregParams, opt: OptLevel) -> Result<LinregResult, 
         slope,
         intercept,
         sums: [sx, sy, sxx, sxy],
-        timing: AppTiming { linearize_ns, stats, wall_ns: wall.elapsed().as_nanos() as u64 },
+        timing: AppTiming { linearize_ns, stats, wall_ns: wall.elapsed().as_nanos() as u64, trace: None },
     })
 }
 
@@ -152,7 +152,7 @@ fn run_manual(params: &LinregParams) -> LinregResult {
         slope,
         intercept,
         sums: [sx, sy, sxx, sxy],
-        timing: AppTiming { linearize_ns: 0, stats, wall_ns: wall.elapsed().as_nanos() as u64 },
+        timing: AppTiming { linearize_ns: 0, stats, wall_ns: wall.elapsed().as_nanos() as u64, trace: None },
     }
 }
 

@@ -11,14 +11,15 @@
 //! four versions (generated/opt-1 exist, they are just not interesting —
 //! exactly the paper's observation).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use cfr_core::{compile_loop, detect, zip_linearize, Detected, KernelRuntime, OptLevel};
 use chapel_frontend::programs;
-use chapel_sema::analyze;
 use freeride::{
     CombineOp, DataView, Engine, GroupSpec, JobConfig, RObjHandle, RObjLayout, RunStats, Split,
 };
+use obs::{AttrValue, Recorder, TraceLevel};
 use linearize::{Shape, Value};
 
 use crate::data;
@@ -74,10 +75,25 @@ fn run_translated(params: &PcaParams, opt: OptLevel) -> Result<PcaResult, AppErr
     let wall = Instant::now();
     let (rows, cols) = (params.rows, params.cols);
 
+    let rec = Arc::new(Recorder::new(params.config.trace));
     let src = programs::pca(rows, cols);
-    let program = chapel_frontend::parse(&src)?;
-    let analysis = analyze(&program).map_err(cfr_core::CoreError::from)?;
+    let program = chapel_frontend::parse_traced(&src, &rec)?;
+    let analysis =
+        chapel_sema::analyze_traced(&program, &rec).map_err(cfr_core::CoreError::from)?;
+    let detect_start = Instant::now();
     let detection = detect(&program, &analysis);
+    rec.push_complete(
+        TraceLevel::Phases,
+        "core.detect",
+        "pipeline",
+        0,
+        rec.offset_ns(detect_start),
+        detect_start.elapsed().as_nanos() as u64,
+        vec![
+            ("detected", AttrValue::Int(detection.detected.len() as i64)),
+            ("rejections", AttrValue::Int(detection.rejections.len() as i64)),
+        ],
+    );
     let loops: Vec<_> = detection
         .detected
         .values()
@@ -92,8 +108,21 @@ fn run_translated(params: &PcaParams, opt: OptLevel) -> Result<PcaResult, AppErr
             loops.len()
         )));
     }
+    let compile_start = Instant::now();
     let mean_loop = compile_loop(&program, &analysis, &loops[0], opt)?;
     let cov_loop = compile_loop(&program, &analysis, &loops[1], opt)?;
+    rec.push_complete(
+        TraceLevel::Phases,
+        "core.compile",
+        "pipeline",
+        0,
+        rec.offset_ns(compile_start),
+        compile_start.elapsed().as_nanos() as u64,
+        vec![(
+            "instrs",
+            AttrValue::Int((mean_loop.kernel.code.len() + cov_loop.kernel.code.len()) as i64),
+        )],
+    );
 
     // Linearize the matrix once; both phases share it.
     let nested = data::pca_matrix_nested(rows, cols);
@@ -106,8 +135,20 @@ fn run_translated(params: &PcaParams, opt: OptLevel) -> Result<PcaResult, AppErr
         params.config.threads,
     )?;
     let mut linearize_ns = lin_start.elapsed().as_nanos() as u64;
+    rec.push_complete(
+        TraceLevel::Phases,
+        "linearize",
+        "pipeline",
+        0,
+        rec.offset_ns(lin_start),
+        linearize_ns,
+        vec![
+            ("rows", AttrValue::Int(cols as i64)),
+            ("unit", AttrValue::Int(mean_loop.dataset.unit as i64)),
+        ],
+    );
 
-    let engine = Engine::new(params.config.clone());
+    let engine = Engine::with_recorder(params.config.clone(), rec.clone());
     let view = DataView::new(&buffer, mean_loop.dataset.unit)?;
     let mut stats = RunStats { logical_threads: params.config.threads, ..Default::default() };
 
@@ -131,7 +172,19 @@ fn run_translated(params: &PcaParams, opt: OptLevel) -> Result<PcaResult, AppErr
         let flat = linearize::Linearizer::new(&Shape::array(Shape::Real, rows))
             .linearize(&mean_value)?
             .buffer;
-        linearize_ns += t0.elapsed().as_nanos() as u64;
+        let state_lin_ns = t0.elapsed().as_nanos() as u64;
+        linearize_ns += state_lin_ns;
+        if rec.enabled(TraceLevel::Phases) {
+            rec.push_complete(
+                TraceLevel::Phases,
+                "linearize",
+                "pipeline",
+                0,
+                rec.offset_ns(t0),
+                state_lin_ns,
+                vec![("state_cells", AttrValue::Int(flat.len() as i64))],
+            );
+        }
         (vec![mean_value], vec![flat])
     } else {
         (vec![mean_value], vec![Vec::new()])
@@ -152,6 +205,7 @@ fn run_translated(params: &PcaParams, opt: OptLevel) -> Result<PcaResult, AppErr
             linearize_ns,
             stats,
             wall_ns: wall.elapsed().as_nanos() as u64,
+            trace: (rec.level() != TraceLevel::Off).then(|| rec.drain()),
         },
     })
 }
@@ -161,7 +215,8 @@ fn run_manual(params: &PcaParams) -> PcaResult {
     let wall = Instant::now();
     let (rows, cols) = (params.rows, params.cols);
     let buffer = data::pca_matrix_flat(rows, cols);
-    let engine = Engine::new(params.config.clone());
+    let rec = Arc::new(Recorder::new(params.config.trace));
+    let engine = Engine::with_recorder(params.config.clone(), rec.clone());
     let view = DataView::new(&buffer, rows).expect("cols*rows buffer");
     let mut stats = RunStats { logical_threads: params.config.threads, ..Default::default() };
 
@@ -202,7 +257,12 @@ fn run_manual(params: &PcaParams) -> PcaResult {
     PcaResult {
         mean,
         cov,
-        timing: AppTiming { linearize_ns: 0, stats, wall_ns: wall.elapsed().as_nanos() as u64 },
+        timing: AppTiming {
+            linearize_ns: 0,
+            stats,
+            wall_ns: wall.elapsed().as_nanos() as u64,
+            trace: (rec.level() != TraceLevel::Off).then(|| rec.drain()),
+        },
     }
 }
 

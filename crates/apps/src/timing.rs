@@ -52,6 +52,10 @@ pub struct AppTiming {
     pub stats: RunStats,
     /// Wall time of the whole run, ns.
     pub wall_ns: u64,
+    /// Drained span trace of the run; `Some` when the job config asked
+    /// for tracing ([`freeride::TraceLevel`] above `Off`), `None`
+    /// otherwise.
+    pub trace: Option<obs::Trace>,
 }
 
 impl AppTiming {

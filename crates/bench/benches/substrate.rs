@@ -149,6 +149,48 @@ fn pool_vs_scoped(c: &mut Criterion) {
     group.finish();
 }
 
+/// Recorder overhead: one pass per [`TraceLevel`] on the instrumented
+/// sequential exec mode — the same recorder code path the threaded
+/// modes take (per-split stats, post-pass span synthesis) without
+/// thread-scheduling noise drowning the signal. DESIGN.md budgets
+/// `Phases` at <2% over `Off`; the measured numbers live in
+/// EXPERIMENTS.md. The per-iteration `drain_trace` keeps the recorder's
+/// shards from growing across Criterion iterations and charges the
+/// traced levels their full record-and-drain cost.
+fn trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(40);
+    let data: Vec<f64> = (0..100_000).map(|i| (i % 1000) as f64).collect();
+    let layout = RObjLayout::new(vec![GroupSpec::new("sum", 16, CombineOp::Sum)]);
+    let kernel = |split: &Split<'_>, robj: &mut dyn RObjHandle| {
+        for row in split.iter_rows() {
+            robj.accumulate(0, row[0] as usize % 16, row[0]);
+        }
+    };
+    for (name, level) in [
+        ("off", freeride::TraceLevel::Off),
+        ("phases", freeride::TraceLevel::Phases),
+        ("splits", freeride::TraceLevel::Splits),
+    ] {
+        let engine = Engine::new(JobConfig {
+            threads: 2,
+            trace: level,
+            exec: ExecMode::Sequential,
+            splitter: Splitter::Chunked { rows_per_chunk: 1024 },
+            ..Default::default()
+        });
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let view = DataView::new(&data, 1).expect("unit 1");
+                let outcome = engine.run(view, &layout, &kernel);
+                let trace = engine.drain_trace();
+                (outcome, trace)
+            });
+        });
+    }
+    group.finish();
+}
+
 /// Frontend: parse + typecheck the k-means program.
 fn frontend(c: &mut Criterion) {
     let mut group = c.benchmark_group("frontend");
@@ -169,6 +211,7 @@ criterion_group!(
     mapping_strategies,
     engine_overhead,
     pool_vs_scoped,
+    trace_overhead,
     frontend
 );
 criterion_main!(benches);

@@ -1,0 +1,219 @@
+//! bench — traced single-run driver for the k-means and PCA
+//! applications.
+//!
+//! Runs one application in every relevant version (generated / opt-1 /
+//! opt-2 / manual FR) with the engine + pipeline recorder enabled, then
+//! exports the merged timeline:
+//!
+//! * `--trace-out PATH` — Chrome `trace_event` JSON, loadable in
+//!   Perfetto / `chrome://tracing`; each version gets its own process
+//!   track (`pid`), each OS worker its own thread track (`tid`).
+//! * `--metrics-out PATH` — flat metrics JSON (counters, gauges,
+//!   per-span totals).
+//! * `--report` — an aligned per-phase table comparing the versions,
+//!   the paper's phase breakdown (linearization / compute / combine).
+//!
+//! Example:
+//!
+//! ```text
+//! cargo run -p bench --release -- kmeans --trace-out trace.json --report
+//! ```
+
+use std::process::ExitCode;
+
+use cfr_apps::kmeans::KmeansParams;
+use cfr_apps::pca::PcaParams;
+use cfr_apps::{kmeans, pca, Version};
+use obs::{render_comparison, Trace, TraceLevel, TraceReport};
+
+/// Pipeline + engine phases in execution order, as shown by `--report`.
+const PHASES: &[&str] = &[
+    "frontend.lex",
+    "frontend.parse",
+    "sema.analyze",
+    "core.detect",
+    "core.compile",
+    "linearize",
+    "split",
+    "split.read",
+    "combine",
+    "finalize",
+    "pass",
+];
+
+struct Opts {
+    app: String,
+    n: usize,
+    d: usize,
+    k: usize,
+    iters: usize,
+    rows: usize,
+    cols: usize,
+    threads: usize,
+    level: TraceLevel,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    report: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Opts {
+        Opts {
+            app: String::new(),
+            n: 20_000,
+            d: 8,
+            k: 16,
+            iters: 3,
+            rows: 16,
+            cols: 20_000,
+            threads: 2,
+            level: TraceLevel::Splits,
+            trace_out: None,
+            metrics_out: None,
+            report: false,
+        }
+    }
+}
+
+const USAGE: &str = "usage: bench <kmeans|pca> [options]
+  --n N            k-means: number of points        (default 20000)
+  --d D            k-means: point dimensionality    (default 8)
+  --k K            k-means: centroid count          (default 16)
+  --iters I        k-means: outer-loop iterations   (default 3)
+  --rows R         pca: sample dimensionality       (default 16)
+  --cols C         pca: number of samples           (default 20000)
+  --threads T      FREERIDE thread count            (default 2)
+  --level L        phases | splits | verbose        (default splits)
+  --trace-out P    write merged Chrome trace JSON to P
+  --metrics-out P  write flat metrics JSON to P
+  --report         print the per-phase comparison table";
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts::default();
+    let mut it = args.iter();
+    opts.app = it.next().cloned().ok_or("missing application name")?;
+    if opts.app != "kmeans" && opts.app != "pca" {
+        return Err(format!("unknown application `{}`", opts.app));
+    }
+    while let Some(flag) = it.next() {
+        if flag == "--report" {
+            opts.report = true;
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        let num = || {
+            value
+                .parse::<usize>()
+                .map_err(|_| format!("{flag}: `{value}` is not a number"))
+        };
+        match flag.as_str() {
+            "--n" => opts.n = num()?,
+            "--d" => opts.d = num()?,
+            "--k" => opts.k = num()?,
+            "--iters" => opts.iters = num()?,
+            "--rows" => opts.rows = num()?,
+            "--cols" => opts.cols = num()?,
+            "--threads" => opts.threads = num()?,
+            "--level" => {
+                opts.level = TraceLevel::parse(value)
+                    .ok_or_else(|| format!("--level: unknown level `{value}`"))?;
+                if opts.level == TraceLevel::Off {
+                    return Err("--level off records nothing; pick phases|splits|verbose".into());
+                }
+            }
+            "--trace-out" => opts.trace_out = Some(value.clone()),
+            "--metrics-out" => opts.metrics_out = Some(value.clone()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Run one version of the selected app, returning its drained trace.
+fn run_version(opts: &Opts, version: Version) -> Result<Trace, String> {
+    let trace = match opts.app.as_str() {
+        "kmeans" => {
+            let mut params = KmeansParams::new(opts.n, opts.d, opts.k, opts.iters);
+            params.config.threads = opts.threads;
+            params.config.trace = opts.level;
+            kmeans::run(&params, version)
+                .map_err(|e| format!("{} failed: {e}", version.label()))?
+                .timing
+                .trace
+        }
+        _ => {
+            let mut params = PcaParams::new(opts.rows, opts.cols);
+            params.config.threads = opts.threads;
+            params.config.trace = opts.level;
+            pca::run(&params, version)
+                .map_err(|e| format!("{} failed: {e}", version.label()))?
+                .timing
+                .trace
+        }
+    };
+    trace.ok_or_else(|| format!("{}: no trace captured", version.label()))
+}
+
+fn run(opts: &Opts) -> Result<(), String> {
+    // The paper compares all four k-means versions; for PCA it compares
+    // only opt-2 against manual ("PCA does not use complex or nested
+    // data structures").
+    let versions: &[Version] = match opts.app.as_str() {
+        "kmeans" => &Version::ALL,
+        _ => &[Version::Opt2, Version::Manual],
+    };
+
+    let mut merged = Trace::default();
+    let mut columns: Vec<(String, TraceReport)> = Vec::new();
+    for (pid, version) in versions.iter().enumerate() {
+        let trace = run_version(opts, *version)?;
+        println!(
+            "pid {pid}: {:<10} {} spans, {} counters",
+            version.label(),
+            trace.spans.len(),
+            trace.counters.len()
+        );
+        columns.push((version.label().to_string(), TraceReport::from_trace(&trace)));
+        merged.merge_as(pid, trace);
+    }
+
+    if let Some(path) = &opts.trace_out {
+        let json = merged.chrome_json();
+        obs::validate_chrome_trace(&json).map_err(|e| format!("internal: bad trace: {e}"))?;
+        std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote Chrome trace ({} events) to {path}", merged.spans.len());
+    }
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, merged.metrics_json()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote metrics to {path}");
+    }
+    if opts.report {
+        println!();
+        print!("{}", render_comparison(PHASES, &columns));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("bench: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

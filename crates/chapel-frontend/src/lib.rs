@@ -28,4 +28,42 @@ pub mod token;
 
 pub use error::{FrontendError, Stage};
 pub use lexer::lex;
-pub use parser::{parse, parse_expr};
+pub use parser::{parse, parse_expr, parse_tokens};
+
+/// [`parse`] with pipeline tracing: emits a `frontend.lex` span (with
+/// the token count) and a `frontend.parse` span (with the top-level
+/// item count) into `recorder` at [`obs::TraceLevel::Phases`] and
+/// above. With tracing disabled this is exactly [`parse`] — no extra
+/// clock reads or allocations.
+pub fn parse_traced(
+    src: &str,
+    recorder: &obs::Recorder,
+) -> Result<ast::Program, FrontendError> {
+    use obs::{AttrValue, TraceLevel};
+    if !recorder.enabled(TraceLevel::Phases) {
+        return parse(src);
+    }
+    let lex_start = std::time::Instant::now();
+    let tokens = lex(src)?;
+    recorder.push_complete(
+        TraceLevel::Phases,
+        "frontend.lex",
+        "pipeline",
+        0,
+        recorder.offset_ns(lex_start),
+        lex_start.elapsed().as_nanos() as u64,
+        vec![("tokens", AttrValue::Int(tokens.len() as i64))],
+    );
+    let parse_start = std::time::Instant::now();
+    let program = parse_tokens(tokens)?;
+    recorder.push_complete(
+        TraceLevel::Phases,
+        "frontend.parse",
+        "pipeline",
+        0,
+        recorder.offset_ns(parse_start),
+        parse_start.elapsed().as_nanos() as u64,
+        vec![("items", AttrValue::Int(program.items.len() as i64))],
+    );
+    Ok(program)
+}

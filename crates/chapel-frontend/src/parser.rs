@@ -29,7 +29,12 @@ use crate::token::{Keyword, Span, Token, TokenKind};
 
 /// Parse a full program.
 pub fn parse(src: &str) -> Result<Program, FrontendError> {
-    let tokens = lex(src)?;
+    parse_tokens(lex(src)?)
+}
+
+/// Parse a pre-lexed token stream — lets `parse_traced` time the lex
+/// and parse phases separately without lexing twice.
+pub fn parse_tokens(tokens: Vec<Token>) -> Result<Program, FrontendError> {
     Parser { tokens, pos: 0, depth: 0 }.program()
 }
 

@@ -22,3 +22,39 @@ mod types;
 pub use check::{analyze, Analysis};
 pub use error::SemaError;
 pub use types::{ClassInfo, DeclTable, FuncSig, RecordInfo, Ty};
+
+/// [`analyze`] with pipeline tracing: emits a `sema.analyze` span with
+/// declaration-table counts into `recorder` at
+/// [`obs::TraceLevel::Phases`] and above. With tracing disabled this
+/// is exactly [`analyze`].
+pub fn analyze_traced(
+    program: &chapel_frontend::ast::Program,
+    recorder: &obs::Recorder,
+) -> Result<Analysis, Vec<SemaError>> {
+    use obs::{AttrValue, TraceLevel};
+    if !recorder.enabled(TraceLevel::Phases) {
+        return analyze(program);
+    }
+    let start = std::time::Instant::now();
+    let result = analyze(program);
+    let dur_ns = start.elapsed().as_nanos() as u64;
+    let attrs = match &result {
+        Ok(analysis) => vec![
+            ("records", AttrValue::Int(analysis.decls.records.len() as i64)),
+            ("classes", AttrValue::Int(analysis.decls.classes.len() as i64)),
+            ("funcs", AttrValue::Int(analysis.decls.funcs.len() as i64)),
+            ("globals", AttrValue::Int(analysis.decls.globals.len() as i64)),
+        ],
+        Err(errors) => vec![("errors", AttrValue::Int(errors.len() as i64))],
+    };
+    recorder.push_complete(
+        TraceLevel::Phases,
+        "sema.analyze",
+        "pipeline",
+        0,
+        recorder.offset_ns(start),
+        dur_ns,
+        attrs,
+    );
+    result
+}

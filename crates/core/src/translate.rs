@@ -8,6 +8,7 @@
 //! linearized first), and their results are written back into the Chapel
 //! world; everything else runs on the interpreter.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use chapel_frontend::ast::{Item, ReduceOp};
@@ -16,6 +17,7 @@ use chapel_sema::analyze;
 use freeride::{
     CombineOp, DataView, Engine, GroupSpec, JobConfig, RObjLayout, RunStats, Split,
 };
+use obs::{AttrValue, Recorder, TraceLevel};
 use linearize::{delinearize, Linearizer, Value};
 
 use crate::compile::{compile_loop, compile_reduce_expr, CompiledLoop, OptLevel};
@@ -34,6 +36,10 @@ pub struct Translator {
     /// Linearize the dataset in parallel (the paper's stated future
     /// work; an ablation in this reproduction).
     pub parallel_linearize: bool,
+    /// Span recorder for the compiler pipeline; when set, every stage
+    /// (`frontend.lex` … `core.writeback`) and every FREERIDE engine
+    /// run lands on one shared timeline.
+    pub recorder: Option<Arc<Recorder>>,
 }
 
 impl Translator {
@@ -43,15 +49,46 @@ impl Translator {
             opt,
             config: JobConfig::with_threads(threads),
             parallel_linearize: false,
+            recorder: None,
         }
+    }
+
+    /// This translator recording pipeline + engine spans into
+    /// `recorder` (whose level also becomes the engine trace level).
+    pub fn traced(mut self, recorder: Arc<Recorder>) -> Translator {
+        self.config.trace = recorder.level();
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Parse, analyze, and execute a program, offloading detected
     /// reductions to FREERIDE.
     pub fn run_program(&self, src: &str) -> Result<TranslatedRun, CoreError> {
-        let program = chapel_frontend::parse(src)?;
-        let analysis = analyze(&program)?;
+        let rec = self.recorder.as_deref();
+        let program = match rec {
+            Some(r) => chapel_frontend::parse_traced(src, r)?,
+            None => chapel_frontend::parse(src)?,
+        };
+        let analysis = match rec {
+            Some(r) => chapel_sema::analyze_traced(&program, r)?,
+            None => analyze(&program)?,
+        };
+        let detect_start = Instant::now();
         let detection = detect(&program, &analysis);
+        if let Some(r) = rec {
+            r.push_complete(
+                TraceLevel::Phases,
+                "core.detect",
+                "pipeline",
+                0,
+                r.offset_ns(detect_start),
+                detect_start.elapsed().as_nanos() as u64,
+                vec![
+                    ("detected", AttrValue::Int(detection.detected.len() as i64)),
+                    ("rejections", AttrValue::Int(detection.rejections.len() as i64)),
+                ],
+            );
+        }
 
         let mut interp = Interpreter::new();
         interp.prepare(&program);
@@ -60,6 +97,7 @@ impl Translator {
 
         for (i, item) in program.items.iter().enumerate() {
             let Item::Stmt(stmt) = item else { continue };
+            let compile_start = Instant::now();
             let compiled = match detection.detected.get(&i) {
                 Some(Detected::Loop(red)) => {
                     match compile_loop(&program, &analysis, red, self.opt) {
@@ -101,6 +139,21 @@ impl Translator {
                 }
                 None => None,
             };
+            if let (Some(r), Some(_)) = (rec, detection.detected.get(&i)) {
+                let instrs = compiled.as_ref().map_or(0, |(c, _, _)| c.kernel.code.len());
+                r.push_complete(
+                    TraceLevel::Phases,
+                    "core.compile",
+                    "pipeline",
+                    0,
+                    r.offset_ns(compile_start),
+                    compile_start.elapsed().as_nanos() as u64,
+                    vec![
+                        ("stmt", AttrValue::Int(i as i64)),
+                        ("instrs", AttrValue::Int(instrs as i64)),
+                    ],
+                );
+            }
 
             match compiled {
                 Some((c, kind, expr_target)) => {
@@ -166,6 +219,20 @@ impl Translator {
             }
         }
         let linearize_ns = lin_start.elapsed().as_nanos() as u64;
+        if let Some(r) = self.recorder.as_deref() {
+            r.push_complete(
+                TraceLevel::Phases,
+                "linearize",
+                "pipeline",
+                0,
+                r.offset_ns(lin_start),
+                linearize_ns,
+                vec![
+                    ("rows", AttrValue::Int(c.dataset.rows as i64)),
+                    ("unit", AttrValue::Int(c.dataset.unit as i64)),
+                ],
+            );
+        }
 
         // ---- Reduction object + engine run. ----
         let combine = match &expr_target {
@@ -192,13 +259,17 @@ impl Translator {
 
         let runtime = KernelRuntime::new(c.kernel.clone(), nested_state, flat_state, c.lo)?;
         let view = DataView::new(&buffer, c.dataset.unit)?;
-        let engine = Engine::new(self.config.clone());
+        let engine = match &self.recorder {
+            Some(rec) => Engine::with_recorder(self.config.clone(), rec.clone()),
+            None => Engine::new(self.config.clone()),
+        };
         let kernel_fn = |split: &Split<'_>, robj: &mut dyn freeride::RObjHandle| {
             runtime.run_split(split, robj);
         };
         let outcome = engine.run(view, &layout, &kernel_fn);
 
         // ---- Write-back. ----
+        let writeback_start = Instant::now();
         match &expr_target {
             Some((target, ReduceOp::UserDefined(class))) => {
                 // Materialise the combined reduction object as a class
@@ -239,6 +310,17 @@ impl Translator {
                     interp.set_global(&out.name, RtValue::from_linear(&merged, Some(&cur)));
                 }
             }
+        }
+        if let Some(r) = self.recorder.as_deref() {
+            r.push_complete(
+                TraceLevel::Phases,
+                "core.writeback",
+                "pipeline",
+                0,
+                r.offset_ns(writeback_start),
+                writeback_start.elapsed().as_nanos() as u64,
+                vec![("outputs", AttrValue::Int(c.outputs.len() as i64))],
+            );
         }
 
         Ok(JobReport {

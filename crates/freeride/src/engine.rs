@@ -31,6 +31,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use obs::{AttrValue, Recorder, Trace, TraceLevel};
 use parking_lot::Mutex;
 
 use crate::pool::WorkerPool;
@@ -79,6 +80,12 @@ pub struct JobConfig {
     /// large, both local and global combination phases perform a
     /// parallel merge").
     pub parallel_merge_threshold: usize,
+    /// Tracing detail captured by the engine's [`Recorder`]:
+    /// [`TraceLevel::Off`] records nothing (and the hot loop performs
+    /// no extra clock reads), `Phases` records pass/combine/finalize
+    /// spans and pool counters, `Splits` adds one span per split on its
+    /// worker's track, `Verbose` reserves room for future detail.
+    pub trace: TraceLevel,
 }
 
 impl Default for JobConfig {
@@ -89,6 +96,7 @@ impl Default for JobConfig {
             splitter: Splitter::Default,
             exec: ExecMode::Threads,
             parallel_merge_threshold: 1 << 16,
+            trace: TraceLevel::Off,
         }
     }
 }
@@ -104,6 +112,11 @@ impl JobConfig {
     pub fn modeled(threads: usize) -> JobConfig {
         JobConfig { threads, exec: ExecMode::Sequential, ..Default::default() }
     }
+
+    /// This configuration with tracing at `level`.
+    pub fn traced(self, level: TraceLevel) -> JobConfig {
+        JobConfig { trace: level, ..self }
+    }
 }
 
 /// Result of one engine run: the merged, finalized reduction object plus
@@ -117,21 +130,34 @@ pub struct JobOutcome {
 }
 
 /// The FREERIDE engine. Holds the configuration plus a lazily grown
-/// persistent [`WorkerPool`]; clones share the pool, so cloning an
-/// engine per pass still spawns each worker exactly once.
+/// persistent [`WorkerPool`] and a span [`Recorder`]; clones share
+/// both, so cloning an engine per pass still spawns each worker exactly
+/// once and all passes land in one trace.
 #[derive(Debug, Clone, Default)]
 pub struct Engine {
     /// Job configuration used by [`Engine::run`].
     pub config: JobConfig,
     pool: Arc<WorkerPool>,
+    recorder: Arc<Recorder>,
 }
 
 /// Per-run thread-accounting deltas against the shared pool's counters.
 struct PoolCounters {
     spawned0: usize,
     dispatches0: usize,
+    parks0: usize,
+    wakes0: usize,
     /// Threads spawned outside the pool (`ExecMode::ScopedThreads`).
     scoped_spawned: usize,
+}
+
+/// What one run consumed from the pool, for stats and trace counters.
+struct PoolDelta {
+    spawned: usize,
+    reuses: usize,
+    dispatches: usize,
+    parks: usize,
+    wakes: usize,
 }
 
 impl PoolCounters {
@@ -139,40 +165,84 @@ impl PoolCounters {
         PoolCounters {
             spawned0: pool.total_spawned(),
             dispatches0: pool.total_dispatches(),
+            parks0: pool.total_parks(),
+            wakes0: pool.total_wakes(),
             scoped_spawned: 0,
         }
     }
 
-    /// `(threads_spawned, pool_reuses)` for the run that began at
-    /// `start`. A dispatch counts as a reuse when it required no new
-    /// OS threads.
-    fn finish(self, pool: &WorkerPool) -> (usize, usize) {
+    /// Pool-usage delta for the run that began at `start`. A dispatch
+    /// counts as a reuse when it required no new OS threads.
+    fn finish(self, pool: &WorkerPool) -> PoolDelta {
         let spawned = pool.total_spawned() - self.spawned0;
         let dispatches = pool.total_dispatches() - self.dispatches0;
         let reuses = dispatches - usize::from(spawned > 0).min(dispatches);
-        (spawned + self.scoped_spawned, reuses)
+        PoolDelta {
+            spawned: spawned + self.scoped_spawned,
+            reuses,
+            dispatches,
+            parks: pool.total_parks() - self.parks0,
+            wakes: pool.total_wakes() - self.wakes0,
+        }
     }
 }
 
 impl Engine {
     /// Create an engine with the given configuration. No worker threads
     /// are spawned until the first pooled run (or [`Engine::warmup`]).
+    /// The engine owns a fresh [`Recorder`] at `config.trace`.
     pub fn new(config: JobConfig) -> Engine {
-        Engine { config, pool: Arc::new(WorkerPool::new()) }
+        let recorder = Arc::new(Recorder::new(config.trace));
+        Engine { config, pool: Arc::new(WorkerPool::new()), recorder }
+    }
+
+    /// Create an engine that records into a caller-supplied recorder —
+    /// used by the translation pipeline so compiler-stage spans and
+    /// engine spans share one timeline. The recorder's level wins over
+    /// `config.trace`.
+    pub fn with_recorder(mut config: JobConfig, recorder: Arc<Recorder>) -> Engine {
+        config.trace = recorder.level();
+        Engine { config, pool: Arc::new(WorkerPool::new()), recorder }
     }
 
     /// Pre-spawn the pool's workers so the first pass does not pay the
     /// spawn cost inside its measurement. No-op unless the engine runs
-    /// in [`ExecMode::Threads`].
-    pub fn warmup(&self) {
-        if matches!(self.config.exec, ExecMode::Threads) {
-            self.pool.ensure_workers(self.config.threads.max(1));
+    /// in [`ExecMode::Threads`]. Returns how many OS threads this call
+    /// spawned (0 once warm) and emits a `pool.grow` event when that is
+    /// non-zero.
+    pub fn warmup(&self) -> usize {
+        if !matches!(self.config.exec, ExecMode::Threads) {
+            return 0;
         }
+        let newly = self.pool.ensure_workers(self.config.threads.max(1));
+        if newly > 0 {
+            self.recorder.instant(
+                TraceLevel::Phases,
+                "pool.grow",
+                "pool",
+                0,
+                vec![("threads_spawned", AttrValue::Int(newly as i64))],
+            );
+            self.recorder.add_counter("pool.threads_spawned", newly as i64);
+        }
+        newly
     }
 
     /// The engine's persistent worker pool (shared across clones).
     pub fn pool(&self) -> &WorkerPool {
         &self.pool
+    }
+
+    /// The engine's span recorder (shared across clones).
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// Take everything recorded so far as a [`Trace`] (empty at
+    /// [`TraceLevel::Off`]). Later runs keep recording on the same
+    /// timeline.
+    pub fn drain_trace(&self) -> Trace {
+        self.recorder.drain()
     }
 
     /// Run one reduction loop over `view` with the default combination.
@@ -214,19 +284,17 @@ impl Engine {
             self.combine_and_finalize(copies, shared, layout, combination, finalize, &mut counters);
 
         splits.sort_by_key(|s| s.split);
-        let (threads_spawned, pool_reuses) = counters.finish(&self.pool);
+        let delta = counters.finish(&self.pool);
+        let wall_ns = wall_start.elapsed().as_nanos() as u64;
+        self.record_pass_trace(wall_start, &splits, &delta, wall_ns, threads);
         JobOutcome {
             robj,
             stats: RunStats {
                 splits,
-                phases: PhaseTimes {
-                    combine_ns,
-                    finalize_ns,
-                    wall_ns: wall_start.elapsed().as_nanos() as u64,
-                },
+                phases: PhaseTimes { combine_ns, finalize_ns, wall_ns },
                 logical_threads: threads,
-                threads_spawned,
-                pool_reuses,
+                threads_spawned: delta.spawned,
+                pool_reuses: delta.reuses,
             },
         }
     }
@@ -279,6 +347,8 @@ impl Engine {
         let collected: Mutex<Vec<ReductionObject>> = Mutex::new(Vec::with_capacity(threads));
         let stats: Mutex<Vec<SplitStat>> = Mutex::new(Vec::with_capacity(ranges.len()));
         let io_error: Mutex<Option<crate::FreerideError>> = Mutex::new(None);
+        let rec = &*self.recorder;
+        let splits_on = rec.enabled(TraceLevel::Splits);
 
         let worker_body = |w: usize| {
             let shared = shared.as_ref();
@@ -308,6 +378,7 @@ impl Engine {
                         break;
                     }
                 };
+                let read_ns = t0.elapsed().as_nanos() as u64;
                 let split = Split { rows: &rows, unit, first_row: first, row_count: count };
                 match (&mut local, shared) {
                     (Some(robj), _) => kernel(&split, robj),
@@ -322,7 +393,10 @@ impl Engine {
                     first_row: first,
                     rows: count,
                     nanos: t0.elapsed().as_nanos() as u64,
-                    worker: w,
+                    read_ns,
+                    start_ns: if splits_on { rec.offset_ns(t0) } else { 0 },
+                    os_worker: w,
+                    logical_thread: w,
                 });
             }
             if let Some(robj) = local {
@@ -363,19 +437,17 @@ impl Engine {
             self.combine_and_finalize(copies, shared, layout, combination, finalize, &mut counters);
 
         splits.sort_by_key(|s| s.split);
-        let (threads_spawned, pool_reuses) = counters.finish(&self.pool);
+        let delta = counters.finish(&self.pool);
+        let wall_ns = wall_start.elapsed().as_nanos() as u64;
+        self.record_pass_trace(wall_start, &splits, &delta, wall_ns, threads);
         Ok(JobOutcome {
             robj,
             stats: RunStats {
                 splits,
-                phases: PhaseTimes {
-                    combine_ns,
-                    finalize_ns,
-                    wall_ns: wall_start.elapsed().as_nanos() as u64,
-                },
+                phases: PhaseTimes { combine_ns, finalize_ns, wall_ns },
                 logical_threads: threads,
-                threads_spawned,
-                pool_reuses,
+                threads_spawned: delta.spawned,
+                pool_reuses: delta.reuses,
             },
         })
     }
@@ -431,6 +503,85 @@ impl Engine {
         out
     }
 
+    /// Emit the trace events for one finished pass. The hot loops never
+    /// touch the recorder: split spans are synthesized *post hoc* from
+    /// the [`SplitStat`]s the workers recorded anyway (plus the
+    /// `start_ns` stamp they take only when `Splits` tracing is on), so
+    /// reconstruction via [`RunStats::from_trace`] is exact and a
+    /// disabled trace costs the hot path nothing.
+    fn record_pass_trace(
+        &self,
+        wall_start: Instant,
+        splits: &[SplitStat],
+        delta: &PoolDelta,
+        wall_ns: u64,
+        threads: usize,
+    ) {
+        let rec = &*self.recorder;
+        if !rec.enabled(TraceLevel::Phases) {
+            return;
+        }
+        if rec.enabled(TraceLevel::Splits) {
+            for s in splits {
+                if s.read_ns > 0 {
+                    rec.push_complete(
+                        TraceLevel::Splits,
+                        "split.read",
+                        "io",
+                        s.os_worker,
+                        s.start_ns,
+                        s.read_ns,
+                        vec![
+                            ("split", AttrValue::Int(s.split as i64)),
+                            ("rows", AttrValue::Int(s.rows as i64)),
+                        ],
+                    );
+                }
+                rec.push_complete(
+                    TraceLevel::Splits,
+                    "split",
+                    "engine",
+                    s.os_worker,
+                    s.start_ns + s.read_ns,
+                    s.nanos - s.read_ns,
+                    vec![
+                        ("split", AttrValue::Int(s.split as i64)),
+                        ("first_row", AttrValue::Int(s.first_row as i64)),
+                        ("rows", AttrValue::Int(s.rows as i64)),
+                        ("logical_thread", AttrValue::Int(s.logical_thread as i64)),
+                        ("read_ns", AttrValue::Int(s.read_ns as i64)),
+                    ],
+                );
+            }
+        }
+        rec.push_complete(
+            TraceLevel::Phases,
+            "pass",
+            "engine",
+            0,
+            rec.offset_ns(wall_start),
+            wall_ns,
+            vec![
+                ("splits", AttrValue::Int(splits.len() as i64)),
+                ("threads", AttrValue::Int(threads as i64)),
+            ],
+        );
+        if delta.spawned > 0 && matches!(self.config.exec, ExecMode::Threads) {
+            rec.instant(
+                TraceLevel::Phases,
+                "pool.grow",
+                "pool",
+                0,
+                vec![("threads_spawned", AttrValue::Int(delta.spawned as i64))],
+            );
+        }
+        rec.add_counter("pool.threads_spawned", delta.spawned as i64);
+        rec.add_counter("pool.dispatches", delta.dispatches as i64);
+        rec.add_counter("pool.reuses", delta.reuses as i64);
+        rec.add_counter("pool.parks", delta.parks as i64);
+        rec.add_counter("pool.wakes", delta.wakes as i64);
+    }
+
     /// Combination + finalize, shared verbatim by the in-memory and
     /// disk paths so both combine identically.
     fn combine_and_finalize(
@@ -442,6 +593,7 @@ impl Engine {
         finalize: Option<&FinalizeFn>,
         counters: &mut PoolCounters,
     ) -> (ReductionObject, u64, u64) {
+        let merged_copies = copies.len();
         let combine_start = Instant::now();
         let mut robj = if let Some(backend) = shared {
             backend.snapshot()
@@ -468,6 +620,31 @@ impl Engine {
             f(&mut robj);
         }
         let finalize_ns = finalize_start.elapsed().as_nanos() as u64;
+
+        // Span timestamps reuse the Instants already taken for the
+        // stats, so trace and RunStats agree to the nanosecond.
+        let rec = &*self.recorder;
+        if !rec.enabled(TraceLevel::Phases) {
+            return (robj, combine_ns, finalize_ns);
+        }
+        rec.push_complete(
+            TraceLevel::Phases,
+            "combine",
+            "engine",
+            0,
+            rec.offset_ns(combine_start),
+            combine_ns,
+            vec![("copies", AttrValue::Int(merged_copies as i64))],
+        );
+        rec.push_complete(
+            TraceLevel::Phases,
+            "finalize",
+            "engine",
+            0,
+            rec.offset_ns(finalize_start),
+            finalize_ns,
+            Vec::new(),
+        );
         (robj, combine_ns, finalize_ns)
     }
 
@@ -484,6 +661,8 @@ impl Engine {
         let threads = self.config.threads.max(1);
         let shared = SharedCells::for_scheme(self.config.scheme, layout);
         let mut splits = Vec::with_capacity(ranges.len());
+        let rec = &*self.recorder;
+        let splits_on = rec.enabled(TraceLevel::Splits);
 
         if let Some(backend) = &shared {
             for (i, &(first, count)) in ranges.iter().enumerate() {
@@ -496,7 +675,10 @@ impl Engine {
                     first_row: first,
                     rows: count,
                     nanos: t0.elapsed().as_nanos() as u64,
-                    worker: i % threads,
+                    read_ns: 0,
+                    start_ns: if splits_on { rec.offset_ns(t0) } else { 0 },
+                    os_worker: 0,
+                    logical_thread: i % threads,
                 });
             }
             (Vec::new(), splits, shared)
@@ -516,7 +698,10 @@ impl Engine {
                     first_row: first,
                     rows: count,
                     nanos: t0.elapsed().as_nanos() as u64,
-                    worker,
+                    read_ns: 0,
+                    start_ns: if splits_on { rec.offset_ns(t0) } else { 0 },
+                    os_worker: 0,
+                    logical_thread: worker,
                 });
             }
             (copies, splits, None)
@@ -541,6 +726,8 @@ impl Engine {
         let next = AtomicUsize::new(0);
         let collected: Mutex<Vec<ReductionObject>> = Mutex::new(Vec::with_capacity(threads));
         let stats: Mutex<Vec<SplitStat>> = Mutex::new(Vec::with_capacity(ranges.len()));
+        let rec = &*self.recorder;
+        let splits_on = rec.enabled(TraceLevel::Splits);
 
         {
             let shared = shared.as_ref();
@@ -572,7 +759,10 @@ impl Engine {
                         first_row: first,
                         rows: count,
                         nanos: t0.elapsed().as_nanos() as u64,
-                        worker: w,
+                        read_ns: 0,
+                        start_ns: if splits_on { rec.offset_ns(t0) } else { 0 },
+                        os_worker: w,
+                        logical_thread: w,
                     });
                 }
                 if let Some(robj) = local {
@@ -602,6 +792,8 @@ impl Engine {
         let collected: Mutex<Vec<ReductionObject>> = Mutex::new(Vec::with_capacity(threads));
         let stats: Mutex<Vec<SplitStat>> = Mutex::new(Vec::with_capacity(ranges.len()));
 
+        let rec = &*self.recorder;
+        let splits_on = rec.enabled(TraceLevel::Splits);
         crossbeam::thread::scope(|scope| {
             for w in 0..threads {
                 let next = &next;
@@ -637,7 +829,10 @@ impl Engine {
                             first_row: first,
                             rows: count,
                             nanos: t0.elapsed().as_nanos() as u64,
-                            worker: w,
+                            read_ns: 0,
+                            start_ns: if splits_on { rec.offset_ns(t0) } else { 0 },
+                            os_worker: w,
+                            logical_thread: w,
                         });
                     }
                     if let Some(robj) = local {
@@ -1194,6 +1389,122 @@ mod engine_tests {
         let engine = Engine::new(JobConfig::with_threads(2));
         let out = engine.run_iterations(view, &sum_layout(), 10, &sum_kernel, |it, _| it < 2);
         assert_eq!(out.stats.splits.len(), 6); // iterations 0, 1, 2
+    }
+
+    /// Satellite: a traced `run_iterations_with` must emit exactly
+    /// `iters × splits` split spans and one combine + one finalize span
+    /// per pass, at every `ExecMode`.
+    #[test]
+    fn traced_iterations_emit_expected_spans_every_exec_mode() {
+        let raw = data(1200);
+        let view = DataView::new(&raw, 4).unwrap();
+        let (threads, iters) = (3usize, 4usize);
+        for exec in [ExecMode::Threads, ExecMode::ScopedThreads, ExecMode::Sequential] {
+            let engine = Engine::new(
+                JobConfig { threads, exec, ..Default::default() }.traced(TraceLevel::Splits),
+            );
+            let out =
+                engine.run_iterations(view, &sum_layout(), iters, &sum_kernel, |_, _| true);
+            assert_eq!(out.robj.get(0, 0), raw.iter().sum::<f64>(), "{exec:?}");
+            let trace = engine.drain_trace();
+            assert_eq!(trace.count("split"), iters * threads, "{exec:?}");
+            assert_eq!(trace.count("combine"), iters, "{exec:?}");
+            assert_eq!(trace.count("finalize"), iters, "{exec:?}");
+            assert_eq!(trace.count("pass"), iters, "{exec:?}");
+            assert_eq!(trace.count("split.read"), 0, "in-memory run has no reads");
+        }
+    }
+
+    /// Satellite: `TraceLevel::Off` allocates nothing — the recorder
+    /// buffer stays empty through a full iterative run.
+    #[test]
+    fn trace_off_records_nothing() {
+        let raw = data(400);
+        let view = DataView::new(&raw, 4).unwrap();
+        let engine = Engine::new(JobConfig::with_threads(2)); // trace: Off
+        engine.run_iterations(view, &sum_layout(), 5, &sum_kernel, |_, _| true);
+        assert_eq!(engine.recorder().event_count(), 0);
+        let trace = engine.drain_trace();
+        assert!(trace.spans.is_empty());
+        assert!(trace.counters.is_empty());
+        assert!(trace.gauges.is_empty());
+    }
+
+    /// Satellite: `Engine::warmup` growth is now observable — it
+    /// returns the spawn count and emits a `pool.grow` event.
+    #[test]
+    fn warmup_emits_pool_growth_event_once() {
+        let engine =
+            Engine::new(JobConfig::with_threads(3).traced(TraceLevel::Phases));
+        assert_eq!(engine.warmup(), 3, "cold warmup spawns the full pool");
+        assert_eq!(engine.warmup(), 0, "warm warmup spawns nothing");
+        let trace = engine.drain_trace();
+        assert_eq!(trace.count("pool.grow"), 1);
+        assert_eq!(trace.counters.get("pool.threads_spawned"), Some(&3));
+        // Sequential engines never touch the pool.
+        let seq = Engine::new(JobConfig::modeled(4).traced(TraceLevel::Phases));
+        assert_eq!(seq.warmup(), 0);
+        assert_eq!(seq.pool().workers(), 0);
+    }
+
+    /// Trace-derived stats must reproduce the directly returned stats
+    /// for a single pass (the `stats.rs`-as-consumer contract).
+    #[test]
+    fn run_stats_reconstructible_from_trace() {
+        let raw = data(2000);
+        let view = DataView::new(&raw, 4).unwrap();
+        for exec in [ExecMode::Threads, ExecMode::Sequential] {
+            let engine = Engine::new(
+                JobConfig { threads: 3, exec, ..Default::default() }
+                    .traced(TraceLevel::Splits),
+            );
+            let out = engine.run(view, &sum_layout(), &sum_kernel);
+            let rebuilt = RunStats::from_trace(&engine.drain_trace());
+            let mut sorted = rebuilt.splits.clone();
+            sorted.sort_by_key(|s| s.split);
+            assert_eq!(sorted, out.stats.splits, "{exec:?}");
+            assert_eq!(rebuilt.phases.combine_ns, out.stats.phases.combine_ns, "{exec:?}");
+            assert_eq!(rebuilt.phases.finalize_ns, out.stats.phases.finalize_ns, "{exec:?}");
+            assert_eq!(rebuilt.phases.wall_ns, out.stats.phases.wall_ns, "{exec:?}");
+            assert_eq!(rebuilt.logical_threads, out.stats.logical_threads, "{exec:?}");
+            assert_eq!(rebuilt.threads_spawned, out.stats.threads_spawned, "{exec:?}");
+            assert_eq!(rebuilt.pool_reuses, out.stats.pool_reuses, "{exec:?}");
+        }
+    }
+
+    /// Disk runs split each split span into a `split.read` I/O span and
+    /// the reduce-only `split` span.
+    #[test]
+    fn file_run_emits_read_spans() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("freeride-engine-trace-{}.frds", std::process::id()));
+        let raw = data(3000);
+        crate::source::write_dataset(&path, 4, &raw).unwrap();
+        let file = crate::source::FileDataset::open(&path).unwrap();
+
+        let engine = Engine::new(JobConfig::with_threads(3).traced(TraceLevel::Splits));
+        let out = engine.run_file(&file, &sum_layout(), &sum_kernel).unwrap();
+        assert_eq!(out.robj.get(0, 0), raw.iter().sum::<f64>());
+        let trace = engine.drain_trace();
+        assert_eq!(trace.count("split"), 3);
+        assert_eq!(trace.count("split.read"), 3, "one read span per split");
+        assert!(out.stats.splits.iter().all(|s| s.read_ns > 0 && s.read_ns <= s.nanos));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Phase-level tracing stays coarse: no per-split spans.
+    #[test]
+    fn phase_level_omits_split_spans() {
+        let raw = data(400);
+        let view = DataView::new(&raw, 4).unwrap();
+        let engine = Engine::new(JobConfig::with_threads(2).traced(TraceLevel::Phases));
+        engine.run(view, &sum_layout(), &sum_kernel);
+        let trace = engine.drain_trace();
+        assert_eq!(trace.count("split"), 0);
+        assert_eq!(trace.count("pass"), 1);
+        assert_eq!(trace.count("combine"), 1);
+        // Splits were not traced, so their start stamps stay zero.
+        assert_eq!(trace.counters.get("pool.dispatches"), Some(&1));
     }
 
     #[test]

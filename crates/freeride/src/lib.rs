@@ -50,6 +50,9 @@ pub use pool::WorkerPool;
 pub use robj::{CombineOp, GroupSpec, RObjLayout, ReductionObject};
 pub use split::{DataView, Split, Splitter, SplitterFn};
 pub use stats::{PhaseTimes, RunStats, SplitStat};
+// Re-export the tracing substrate so engine users configure trace
+// levels and drain traces without naming the `obs` crate directly.
+pub use obs::{Recorder, Trace, TraceLevel};
 pub use sync::{
     AtomicCells, LockedCells, RObjHandle, SharedCells, SharedHandle, StripedCells, SyncScheme,
 };

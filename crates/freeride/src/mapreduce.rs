@@ -17,8 +17,10 @@
 //! for intermediate pairs. The `ablation_mapreduce` bench measures both
 //! engines on the same kernel.
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use obs::{AttrValue, Recorder, TraceLevel};
 use parking_lot::Mutex;
 
 use crate::robj::CombineOp;
@@ -49,16 +51,23 @@ pub struct MapReduceOutcome {
 }
 
 /// The map-sort-reduce engine.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct MapReduceEngine {
     /// Worker thread count for the map phase.
     pub threads: usize,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl MapReduceEngine {
     /// Create an engine with `threads` map workers.
     pub fn new(threads: usize) -> MapReduceEngine {
-        MapReduceEngine { threads: threads.max(1) }
+        MapReduceEngine { threads: threads.max(1), recorder: None }
+    }
+
+    /// This engine recording `mr.map` / `mr.sort` / `mr.reduce` spans
+    /// into `recorder` (at [`TraceLevel::Phases`] and above).
+    pub fn traced(self, recorder: Arc<Recorder>) -> MapReduceEngine {
+        MapReduceEngine { recorder: Some(recorder), ..self }
     }
 
     /// Run: `map` emits `(key, value)` pairs for each row; values of
@@ -105,6 +114,38 @@ impl MapReduceEngine {
             }
         }
         let reduce_ns = reduce_start.elapsed().as_nanos() as u64;
+
+        if let Some(rec) = self.recorder.as_deref() {
+            if rec.enabled(TraceLevel::Phases) {
+                rec.push_complete(
+                    TraceLevel::Phases,
+                    "mr.map",
+                    "mapreduce",
+                    0,
+                    rec.offset_ns(map_start),
+                    map_ns,
+                    vec![("intermediate_pairs", AttrValue::Int(intermediate_pairs as i64))],
+                );
+                rec.push_complete(
+                    TraceLevel::Phases,
+                    "mr.sort",
+                    "mapreduce",
+                    0,
+                    rec.offset_ns(sort_start),
+                    sort_ns,
+                    Vec::new(),
+                );
+                rec.push_complete(
+                    TraceLevel::Phases,
+                    "mr.reduce",
+                    "mapreduce",
+                    0,
+                    rec.offset_ns(reduce_start),
+                    reduce_ns,
+                    Vec::new(),
+                );
+            }
+        }
 
         MapReduceOutcome {
             reduced,
@@ -177,6 +218,26 @@ mod mapreduce_tests {
         let out = MapReduceEngine::new(2).run(view, |_, _| {}, &CombineOp::Sum);
         assert!(out.reduced.is_empty());
         assert_eq!(out.stats.intermediate_pairs, 0);
+    }
+
+    #[test]
+    fn traced_run_emits_phase_spans_matching_stats() {
+        let rec = Arc::new(Recorder::new(TraceLevel::Phases));
+        let data: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let view = DataView::new(&data, 1).unwrap();
+        let out = MapReduceEngine::new(2).traced(rec.clone()).run(
+            view,
+            |row, emit| emit.push((row[0] as usize % 2, 1.0)),
+            &CombineOp::Sum,
+        );
+        let trace = rec.drain();
+        assert_eq!(trace.count("mr.map"), 1);
+        assert_eq!(trace.count("mr.sort"), 1);
+        assert_eq!(trace.count("mr.reduce"), 1);
+        // Span durations are the very same measurements as the stats.
+        assert_eq!(trace.total_ns("mr.map"), out.stats.map_ns);
+        assert_eq!(trace.total_ns("mr.sort"), out.stats.sort_ns);
+        assert_eq!(trace.total_ns("mr.reduce"), out.stats.reduce_ns);
     }
 
     #[test]

@@ -70,6 +70,11 @@ struct PoolShared {
     done_cv: Condvar,
     /// A worker panicked during the current epoch.
     panicked: AtomicBool,
+    /// Parking episodes: a worker blocking on `work_cv` counts once per
+    /// episode, however many spurious wakeups it absorbs.
+    parks_total: AtomicUsize,
+    /// Parked workers woken into a job they participate in.
+    wakes_total: AtomicUsize,
 }
 
 /// A persistent pool of parked OS worker threads (see module docs).
@@ -109,6 +114,8 @@ impl WorkerPool {
                 work_cv: Condvar::new(),
                 done_cv: Condvar::new(),
                 panicked: AtomicBool::new(false),
+                parks_total: AtomicUsize::new(0),
+                wakes_total: AtomicUsize::new(0),
             }),
             handles: Mutex::new(Vec::new()),
             dispatch_lock: Mutex::new(()),
@@ -152,6 +159,17 @@ impl WorkerPool {
     /// Reduction passes dispatched over the pool's lifetime.
     pub fn total_dispatches(&self) -> usize {
         self.dispatches_total.load(Ordering::Relaxed)
+    }
+
+    /// Worker parking episodes over the pool's lifetime (one per stretch
+    /// a worker spends blocked on the work condvar).
+    pub fn total_parks(&self) -> usize {
+        self.shared.parks_total.load(Ordering::Relaxed)
+    }
+
+    /// Times a parked worker was woken into a pass it participated in.
+    pub fn total_wakes(&self) -> usize {
+        self.shared.wakes_total.load(Ordering::Relaxed)
     }
 
     /// Run `job(worker_index)` on workers `0..active` and block until
@@ -218,6 +236,7 @@ fn worker_loop(index: usize, shared: Arc<PoolShared>) {
     loop {
         let job = {
             let mut st = shared.state.lock();
+            let mut parked = false;
             loop {
                 if st.shutdown {
                     return;
@@ -228,9 +247,16 @@ fn worker_loop(index: usize, shared: Arc<PoolShared>) {
                         // The job is present for the whole epoch: it is
                         // cleared only after `remaining` hits 0, and we
                         // have not decremented yet.
+                        if parked {
+                            shared.wakes_total.fetch_add(1, Ordering::Relaxed);
+                        }
                         break st.job.expect("job present for live epoch");
                     }
                     // Not a participant this pass; park again.
+                }
+                if !parked {
+                    parked = true;
+                    shared.parks_total.fetch_add(1, Ordering::Relaxed);
                 }
                 shared.work_cv.wait(&mut st);
             }
@@ -321,6 +347,17 @@ mod pool_tests {
             ok.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ok.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn parks_and_wakes_are_counted() {
+        let pool = WorkerPool::new();
+        pool.ensure_workers(2);
+        // Give both workers time to park before the first dispatch.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(pool.total_parks() >= 2, "idle workers must park");
+        pool.dispatch(2, &|_| {});
+        assert!(pool.total_wakes() >= 2, "parked workers woken into the pass");
     }
 
     #[test]

@@ -10,9 +10,17 @@
 //! the measured serial phases (combination, finalize). FREERIDE's local
 //! reduction is embarrassingly parallel under full replication, so the
 //! makespan is an accurate first-order model — see DESIGN.md §5.
+//!
+//! Since the observability layer landed (`crates/obs`), `RunStats` is
+//! one *consumer* of the span recorder rather than a parallel bespoke
+//! system: [`RunStats::from_trace`] rebuilds the full statistics from
+//! the `split` / `combine` / `finalize` / `pass` spans the engine emits
+//! at [`obs::TraceLevel::Splits`], byte-for-byte equal to the stats the
+//! engine returned directly (single-pass runs; multi-pass traces
+//! reconstruct the absorbed aggregate).
 
 /// Timing of one executed split.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SplitStat {
     /// Sequence number of the split in submission order.
     pub split: usize,
@@ -20,11 +28,23 @@ pub struct SplitStat {
     pub first_row: usize,
     /// Rows processed.
     pub rows: usize,
-    /// Busy time spent reducing the split, in nanoseconds.
+    /// Busy time spent on the split (read + reduce), in nanoseconds.
     pub nanos: u64,
-    /// OS worker that executed the split (real mode) or the logical
-    /// thread it was pre-assigned to (sequential mode).
-    pub worker: usize,
+    /// Portion of `nanos` spent reading the split from disk
+    /// (`run_file`); 0 for in-memory runs.
+    pub read_ns: u64,
+    /// Start of the split relative to the recorder epoch, ns. Stamped
+    /// only when the engine traces at `TraceLevel::Splits` or above
+    /// (0 otherwise) — the hot loop pays for a clock read only when a
+    /// trace is being captured.
+    pub start_ns: u64,
+    /// OS worker that executed the split. In `ExecMode::Sequential`
+    /// everything runs on the caller, so this is always 0.
+    pub os_worker: usize,
+    /// Logical thread the split was assigned to: equal to `os_worker`
+    /// in the real-thread modes, the round-robin pre-assignment
+    /// (`split % threads`) in `ExecMode::Sequential`.
+    pub logical_thread: usize,
 }
 
 /// Phase breakdown of one engine run.
@@ -76,6 +96,18 @@ impl RunStats {
         load.into_iter().max().unwrap_or(0)
     }
 
+    /// Makespan under the assignment the run *actually used* (each
+    /// split charged to its recorded `logical_thread`), ns. Compare
+    /// with [`RunStats::makespan_ns`] to see how far the real
+    /// round-robin/queue placement is from greedy list scheduling.
+    pub fn assigned_makespan_ns(&self) -> u64 {
+        let mut load = std::collections::BTreeMap::<usize, u64>::new();
+        for s in &self.splits {
+            *load.entry(s.logical_thread).or_insert(0) += s.nanos;
+        }
+        load.into_values().max().unwrap_or(0)
+    }
+
     /// Modeled parallel wall time for `threads` logical threads:
     /// reduce makespan + measured combination + finalize, ns.
     ///
@@ -92,6 +124,49 @@ impl RunStats {
             self.phases.combine_ns
         };
         self.makespan_ns(threads) + combine + self.phases.finalize_ns
+    }
+
+    /// Rebuild run statistics from the spans the engine emitted into
+    /// `trace`. Requires a trace captured at `TraceLevel::Splits` (the
+    /// level at which per-split spans exist); phase-only traces yield
+    /// empty `splits`.
+    ///
+    /// For a trace that covers one `Engine::run*` call this reproduces
+    /// the directly returned [`RunStats`] exactly; a trace spanning
+    /// several passes reproduces the [`RunStats::absorb`]ed aggregate
+    /// except that `splits[i].split` keeps its per-pass numbering.
+    pub fn from_trace(trace: &obs::Trace) -> RunStats {
+        let mut stats = RunStats::default();
+        for span in &trace.spans {
+            match span.name {
+                "split" => {
+                    let read_ns = span.attr_i64("read_ns").unwrap_or(0) as u64;
+                    stats.splits.push(SplitStat {
+                        split: span.attr_i64("split").unwrap_or(0) as usize,
+                        first_row: span.attr_i64("first_row").unwrap_or(0) as usize,
+                        rows: span.attr_i64("rows").unwrap_or(0) as usize,
+                        nanos: span.dur_ns + read_ns,
+                        read_ns,
+                        start_ns: span.start_ns.saturating_sub(read_ns),
+                        os_worker: span.tid,
+                        logical_thread: span.attr_i64("logical_thread").unwrap_or(span.tid as i64)
+                            as usize,
+                    });
+                }
+                "combine" => stats.phases.combine_ns += span.dur_ns,
+                "finalize" => stats.phases.finalize_ns += span.dur_ns,
+                "pass" => {
+                    stats.phases.wall_ns += span.dur_ns;
+                    let threads = span.attr_i64("threads").unwrap_or(0) as usize;
+                    stats.logical_threads = stats.logical_threads.max(threads);
+                }
+                _ => {}
+            }
+        }
+        stats.threads_spawned =
+            trace.counters.get("pool.threads_spawned").copied().unwrap_or(0).max(0) as usize;
+        stats.pool_reuses = trace.counters.get("pool.reuses").copied().unwrap_or(0).max(0) as usize;
+        stats
     }
 
     /// Merge the stats of a second run (e.g. another outer-loop
@@ -116,7 +191,7 @@ mod stats_tests {
     use super::*;
 
     fn stat(split: usize, nanos: u64) -> SplitStat {
-        SplitStat { split, first_row: 0, rows: 1, nanos, worker: 0 }
+        SplitStat { split, rows: 1, nanos, ..Default::default() }
     }
 
     #[test]
@@ -148,6 +223,25 @@ mod stats_tests {
             splits: vec![stat(0, 100), stat(1, 10), stat(2, 10), stat(3, 10)],
             ..Default::default()
         };
+        assert_eq!(s.makespan_ns(2), 100);
+    }
+
+    #[test]
+    fn assigned_makespan_follows_recorded_assignment() {
+        // Greedy list scheduling would balance to 60/60; the recorded
+        // round-robin assignment piles 100+10 onto logical thread 0.
+        let mk = |split: usize, nanos: u64, lt: usize| SplitStat {
+            split,
+            rows: 1,
+            nanos,
+            logical_thread: lt,
+            ..Default::default()
+        };
+        let s = RunStats {
+            splits: vec![mk(0, 100, 0), mk(1, 50, 1), mk(2, 10, 0), mk(3, 10, 1)],
+            ..Default::default()
+        };
+        assert_eq!(s.assigned_makespan_ns(), 110);
         assert_eq!(s.makespan_ns(2), 100);
     }
 
@@ -188,5 +282,54 @@ mod stats_tests {
         assert_eq!(a.logical_threads, 4);
         assert_eq!(a.threads_spawned, 2);
         assert_eq!(a.pool_reuses, 2);
+    }
+
+    #[test]
+    fn from_trace_rebuilds_phase_and_counter_stats() {
+        use obs::{AttrValue, Recorder, TraceLevel};
+        let rec = Recorder::new(TraceLevel::Splits);
+        rec.push_complete(
+            TraceLevel::Splits,
+            "split",
+            "engine",
+            1,
+            150, // start after a 50 ns read
+            900,
+            vec![
+                ("split", AttrValue::Int(0)),
+                ("first_row", AttrValue::Int(0)),
+                ("rows", AttrValue::Int(25)),
+                ("logical_thread", AttrValue::Int(1)),
+                ("read_ns", AttrValue::Int(50)),
+            ],
+        );
+        rec.push_complete(TraceLevel::Phases, "combine", "engine", 0, 1100, 40, Vec::new());
+        rec.push_complete(TraceLevel::Phases, "finalize", "engine", 0, 1150, 7, Vec::new());
+        rec.push_complete(
+            TraceLevel::Phases,
+            "pass",
+            "engine",
+            0,
+            0,
+            1200,
+            vec![("splits", AttrValue::Int(1)), ("threads", AttrValue::Int(2))],
+        );
+        rec.add_counter("pool.threads_spawned", 2);
+        rec.add_counter("pool.reuses", 3);
+        let stats = RunStats::from_trace(&rec.drain());
+        assert_eq!(stats.splits.len(), 1);
+        let s = stats.splits[0];
+        assert_eq!(s.rows, 25);
+        assert_eq!(s.nanos, 950);
+        assert_eq!(s.read_ns, 50);
+        assert_eq!(s.start_ns, 100);
+        assert_eq!(s.os_worker, 1);
+        assert_eq!(s.logical_thread, 1);
+        assert_eq!(stats.phases.combine_ns, 40);
+        assert_eq!(stats.phases.finalize_ns, 7);
+        assert_eq!(stats.phases.wall_ns, 1200);
+        assert_eq!(stats.logical_threads, 2);
+        assert_eq!(stats.threads_spawned, 2);
+        assert_eq!(stats.pool_reuses, 3);
     }
 }

@@ -1,0 +1,75 @@
+//! CI schema checker for exported Chrome traces.
+//!
+//! Usage: `trace-check <trace.json> [--expect <span-name>]...`
+//!
+//! Exits non-zero if the file is not a valid Chrome `trace_event`
+//! document in the shape this workspace exports, or if any `--expect`ed
+//! span name is absent.
+
+use std::process::ExitCode;
+
+use obs::validate_chrome_trace;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut path: Option<String> = None;
+    let mut expected: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--expect" => match args.next() {
+                Some(name) => expected.push(name),
+                None => {
+                    eprintln!("trace-check: --expect requires a span name");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: trace-check <trace.json> [--expect <span-name>]...");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("trace-check: unexpected argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: trace-check <trace.json> [--expect <span-name>]...");
+        return ExitCode::FAILURE;
+    };
+
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace-check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = match validate_chrome_trace(&src) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace-check: {path}: schema violation: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ok = true;
+    for name in &expected {
+        if !summary.names.iter().any(|n| n == name) {
+            eprintln!("trace-check: {path}: expected span `{name}` not found");
+            ok = false;
+        }
+    }
+    println!(
+        "trace-check: {path}: {} events, {} worker tracks, {} process tracks, spans: {}",
+        summary.events,
+        summary.tids,
+        summary.pids,
+        summary.names.join(", ")
+    );
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

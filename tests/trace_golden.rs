@@ -1,0 +1,80 @@
+//! Golden-file test for the Chrome trace exporter: a fixed 2-thread
+//! k-means run must produce exactly the span population recorded in
+//! `tests/golden/kmeans_trace_shape.txt`, and the exported JSON must
+//! have the `trace_event` shape Perfetto expects (`name`/`ph`/`ts`/
+//! `dur`/`pid`/`tid` on every event).
+
+use cfr_apps::kmeans::{self, KmeansParams};
+use cfr_apps::Version;
+use obs::{parse_json, validate_chrome_trace, Trace, TraceLevel};
+
+/// The fixed configuration the golden file was recorded against:
+/// 2 threads × 2 iterations of manual k-means ⇒ per pass 2 splits,
+/// 1 combine, 1 finalize; one pool-growth event on the first pass.
+fn golden_run() -> Trace {
+    let mut params = KmeansParams::new(200, 4, 3, 2).threads(2);
+    params.config.trace = TraceLevel::Splits;
+    let result = kmeans::run(&params, Version::Manual).expect("manual k-means");
+    result.timing.trace.expect("trace requested but not captured")
+}
+
+/// Sorted `name count` lines — the golden file's format.
+fn span_population(trace: &Trace) -> String {
+    let mut counts = std::collections::BTreeMap::new();
+    for span in &trace.spans {
+        *counts.entry(span.name).or_insert(0usize) += 1;
+    }
+    let mut out = String::new();
+    for (name, count) in counts {
+        out.push_str(&format!("{name} {count}\n"));
+    }
+    out
+}
+
+#[test]
+fn kmeans_trace_matches_golden_shape() {
+    let trace = golden_run();
+    let expected = include_str!("golden/kmeans_trace_shape.txt");
+    assert_eq!(span_population(&trace), expected, "span population drifted from golden file");
+}
+
+#[test]
+fn chrome_export_has_trace_event_shape() {
+    let trace = golden_run();
+    let json = trace.chrome_json();
+
+    let summary = validate_chrome_trace(&json).expect("exporter must emit a valid Chrome trace");
+    assert_eq!(summary.events, trace.spans.len());
+    // Two worker tracks (tid 0 hosts the phase spans and worker 0).
+    assert_eq!(summary.tids, 2, "expected the two OS worker tracks");
+
+    // Belt and braces beyond the validator: every event carries the
+    // exact keys Perfetto's importer reads.
+    let doc = parse_json(&json).expect("exporter output parses");
+    let events = doc.get("traceEvents").and_then(|v| v.as_arr()).expect("traceEvents array");
+    assert!(!events.is_empty());
+    for ev in events {
+        for key in ["name", "ph", "ts", "dur", "pid", "tid"] {
+            assert!(ev.get(key).is_some(), "event missing key `{key}`");
+        }
+        assert_eq!(ev.get("ph").and_then(|v| v.as_str()), Some("X"));
+    }
+    assert_eq!(doc.get("displayTimeUnit").and_then(|v| v.as_str()), Some("ms"));
+}
+
+#[test]
+fn translated_run_emits_pipeline_spans() {
+    let mut params = KmeansParams::new(200, 4, 3, 2).threads(2);
+    params.config.trace = TraceLevel::Phases;
+    let result = kmeans::run(&params, Version::Opt2).expect("opt-2 k-means");
+    let trace = result.timing.trace.expect("trace requested but not captured");
+
+    for name in
+        ["frontend.lex", "frontend.parse", "sema.analyze", "core.detect", "core.compile", "linearize"]
+    {
+        assert!(trace.count(name) >= 1, "missing pipeline span `{name}`");
+    }
+    // Phases level: engine phase spans but no per-split spans.
+    assert_eq!(trace.count("split"), 0);
+    assert_eq!(trace.count("pass"), 2);
+}
