@@ -9,6 +9,8 @@ cargo build --release
 cargo test -q
 cargo test --workspace -q
 cargo clippy --workspace -- -D warnings
+# New crates are held rustfmt-clean (older crates predate the gate).
+cargo fmt -p freeride-dist --check
 
 # Observability: a traced run must export a Chrome trace that
 # trace-check accepts, with engine spans present (DESIGN.md §8).
@@ -16,3 +18,28 @@ cargo run --release -p bench --bin bench -- kmeans \
   --n 2000 --d 4 --k 4 --iters 2 --trace-out target/ci-trace.json
 cargo run --release -p obs --bin trace-check -- target/ci-trace.json \
   --expect split --expect combine --expect finalize --expect pass
+
+# Distributed engine: a real 2-process cfr-node cluster must run
+# k-means end to end and ship a trace with one process track per node
+# plus the coordinator (DESIGN.md §9).
+cargo build --release -p freeride-dist
+rm -f target/ci-node1.addr target/ci-node2.addr
+target/release/cfr-node --listen 127.0.0.1:0 --port-file target/ci-node1.addr &
+NODE1=$!
+target/release/cfr-node --listen 127.0.0.1:0 --port-file target/ci-node2.addr &
+NODE2=$!
+for f in target/ci-node1.addr target/ci-node2.addr; do
+  i=0
+  until [ -s "$f" ]; do
+    i=$((i + 1)); [ "$i" -gt 100 ] && { echo "cfr-node never wrote $f" >&2; exit 1; }
+    sleep 0.1
+  done
+done
+cargo run --release -p bench --bin bench -- kmeans \
+  --n 2000 --d 4 --k 4 --iters 2 \
+  --node-addr "$(cat target/ci-node1.addr)" \
+  --node-addr "$(cat target/ci-node2.addr)" \
+  --trace-out target/ci-cluster-trace.json
+wait "$NODE1" "$NODE2"
+cargo run --release -p obs --bin trace-check -- target/ci-cluster-trace.json \
+  --min-pids 3 --expect node.pass --expect cluster.round --expect cluster.combine

@@ -1,0 +1,221 @@
+//! Cluster drivers: the paper's applications on the distributed
+//! engine (`freeride-dist`).
+//!
+//! Each driver materializes the same synthetic dataset the
+//! single-process drivers use into a shared `.frds` file, runs it
+//! through an in-process loopback cluster (or any set of `cfr-node`
+//! addresses), and returns results in the same shape as the
+//! single-process versions — which is what makes the differential
+//! tests (`N`-node cluster vs [`crate::kmeans::run`] vs the
+//! `chapel-interp` oracle) direct slice comparisons.
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+
+use freeride_dist::Coordinator;
+use obs::Trace;
+
+// Re-exported so callers of the cluster drivers don't need a direct
+// freeride-dist dependency for the common types.
+pub use freeride_dist::{ClusterConfig, ClusterOutcome, ClusterStats, DistError};
+
+use crate::data;
+use crate::error::AppError;
+use crate::kmeans::KmeansParams;
+use crate::pca::PcaParams;
+
+/// Where a cluster job runs.
+#[derive(Debug, Clone)]
+pub enum Nodes {
+    /// Spawn this many in-process loopback node agents per job.
+    Loopback(usize),
+    /// Connect to externally launched `cfr-node` agents. Each must be
+    /// willing to serve as many sessions as the driver runs jobs
+    /// (k-means runs one, PCA runs two — `cfr-node --sessions 2`).
+    External(Vec<SocketAddr>),
+}
+
+impl Nodes {
+    /// Number of nodes this placement provides.
+    pub fn count(&self) -> usize {
+        match self {
+            Nodes::Loopback(n) => *n,
+            Nodes::External(addrs) => addrs.len(),
+        }
+    }
+}
+
+/// Result of a distributed k-means run.
+#[derive(Debug, Clone)]
+pub struct ClusterKmeansResult {
+    /// Final centroid coordinates, row-major `k × d`.
+    pub centroids: Vec<f64>,
+    /// Final per-centroid point counts.
+    pub counts: Vec<f64>,
+    /// Aggregated cluster statistics.
+    pub stats: ClusterStats,
+    /// Merged multi-`pid` trace, when tracing was requested.
+    pub trace: Option<Trace>,
+}
+
+/// Result of a distributed PCA run.
+#[derive(Debug, Clone)]
+pub struct ClusterPcaResult {
+    /// The mean vector (`rows` entries).
+    pub mean: Vec<f64>,
+    /// The scatter matrix, row-major `rows × rows`.
+    pub cov: Vec<f64>,
+    /// Statistics of the two jobs (mean phase, then cov phase).
+    pub stats: Vec<ClusterStats>,
+    /// Merged traces of the two jobs, when tracing was requested.
+    pub traces: Vec<Trace>,
+}
+
+fn scratch_file(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let mut path = std::env::temp_dir();
+    // Unique per (process, call): concurrent tests don't collide.
+    path.push(format!(
+        "cfr-cluster-{tag}-{}-{}.frds",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    path
+}
+
+fn run_job(config: ClusterConfig, nodes: &Nodes) -> Result<freeride_dist::ClusterOutcome, AppError> {
+    let outcome = match nodes {
+        Nodes::Loopback(n) => freeride_dist::run_loopback(config, *n),
+        Nodes::External(addrs) => Coordinator::new(config).run(addrs),
+    };
+    outcome.map_err(|e| AppError::new(format!("cluster run failed: {e}")))
+}
+
+/// Run k-means on a cluster: the dataset of `params` is written to a
+/// shared file, sharded by rows across the nodes, and refined for
+/// `params.iters` rounds with the centroid state broadcast each round.
+pub fn kmeans_cluster(params: &KmeansParams, nodes: &Nodes) -> Result<ClusterKmeansResult, AppError> {
+    let (n, d) = (params.n, params.d);
+    let path = scratch_file("kmeans");
+    freeride::source::write_dataset(&path, d, &data::kmeans_points_flat(n, d))
+        .map_err(|e| AppError::new(format!("cannot write cluster dataset: {e}")))?;
+    let result = kmeans_cluster_on_file(params, &path, nodes);
+    std::fs::remove_file(&path).ok();
+    result
+}
+
+/// [`kmeans_cluster`] over an existing `.frds` file (the file's rows
+/// must be `d`-wide points).
+pub fn kmeans_cluster_on_file(
+    params: &KmeansParams,
+    dataset: &Path,
+    nodes: &Nodes,
+) -> Result<ClusterKmeansResult, AppError> {
+    let (d, k) = (params.d, params.k);
+    let mut config = ClusterConfig::new("kmeans", dataset);
+    config.params = vec![k as i64, d as i64];
+    config.init_state = data::kmeans_centroids_flat(k, d);
+    config.rounds = params.iters.max(1);
+    config.threads_per_node = params.config.threads.max(1);
+    config.trace = params.config.trace;
+    let outcome = run_job(config, nodes)?;
+    let cells = outcome.robj.group_slice(0);
+    let counts: Vec<f64> = (0..k).map(|c| cells[c * (d + 1) + d]).collect();
+    Ok(ClusterKmeansResult {
+        centroids: outcome.state,
+        counts,
+        stats: outcome.stats,
+        trace: outcome.trace,
+    })
+}
+
+/// Run PCA on a cluster: two sequential distributed reductions over the
+/// same shared file — the mean vector, then the scatter matrix with the
+/// mean broadcast as state (exactly the two phases of the
+/// single-process driver).
+pub fn pca_cluster(params: &PcaParams, nodes: &Nodes) -> Result<ClusterPcaResult, AppError> {
+    let (rows, cols) = (params.rows, params.cols);
+    let path = scratch_file("pca");
+    freeride::source::write_dataset(&path, rows, &data::pca_matrix_flat(rows, cols))
+        .map_err(|e| AppError::new(format!("cannot write cluster dataset: {e}")))?;
+
+    let mut stats = Vec::new();
+    let mut traces = Vec::new();
+
+    // ---- Phase 1: mean vector. ----
+    let mut config = ClusterConfig::new("pca.mean", &path);
+    config.params = vec![rows as i64];
+    config.threads_per_node = params.config.threads.max(1);
+    config.trace = params.config.trace;
+    let outcome = match run_job(config, nodes) {
+        Ok(o) => o,
+        Err(e) => {
+            std::fs::remove_file(&path).ok();
+            return Err(e);
+        }
+    };
+    let mut mean: Vec<f64> = outcome.robj.group_slice(0).to_vec();
+    for m in &mut mean {
+        *m /= cols as f64;
+    }
+    stats.push(outcome.stats);
+    traces.extend(outcome.trace);
+
+    // ---- Phase 2: scatter matrix, mean as broadcast state. ----
+    let mut config = ClusterConfig::new("pca.cov", &path);
+    config.params = vec![rows as i64];
+    config.init_state = mean.clone();
+    config.threads_per_node = params.config.threads.max(1);
+    config.trace = params.config.trace;
+    let outcome = match run_job(config, nodes) {
+        Ok(o) => o,
+        Err(e) => {
+            std::fs::remove_file(&path).ok();
+            return Err(e);
+        }
+    };
+    let cov = outcome.robj.group_slice(0).to_vec();
+    stats.push(outcome.stats);
+    traces.extend(outcome.trace);
+    std::fs::remove_file(&path).ok();
+
+    Ok(ClusterPcaResult { mean, cov, stats, traces })
+}
+
+/// Spawn loopback agents able to serve `sessions` sequential jobs each
+/// (PCA needs 2), returning their addresses and the cluster handle.
+pub fn spawn_multi_session_loopback(
+    n: usize,
+    sessions: usize,
+) -> Result<(Vec<SocketAddr>, Vec<std::thread::JoinHandle<()>>), AppError> {
+    // LoopbackCluster serves exactly one session per node, so PCA's
+    // two-phase driver respawns; for external-style reuse, spawn plain
+    // threads that loop.
+    let mut addrs = Vec::with_capacity(n);
+    let mut handles = Vec::with_capacity(n);
+    for _ in 0..n {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| AppError::new(format!("bind: {e}")))?;
+        addrs.push(listener.local_addr().map_err(|e| AppError::new(format!("addr: {e}")))?);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..sessions {
+                if freeride_dist::node::serve(&listener).is_err() {
+                    break;
+                }
+            }
+        }));
+    }
+    Ok((addrs, handles))
+}
+
+#[cfg(test)]
+mod cluster_tests {
+    use super::*;
+
+    #[test]
+    fn nodes_count() {
+        assert_eq!(Nodes::Loopback(4).count(), 4);
+        assert_eq!(Nodes::External(vec![]).count(), 0);
+    }
+}

@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod data;
 mod error;
 pub mod histogram;

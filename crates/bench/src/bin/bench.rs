@@ -21,6 +21,7 @@
 
 use std::process::ExitCode;
 
+use cfr_apps::cluster::{kmeans_cluster, pca_cluster, Nodes};
 use cfr_apps::kmeans::KmeansParams;
 use cfr_apps::pca::PcaParams;
 use cfr_apps::{kmeans, pca, Version};
@@ -54,6 +55,12 @@ struct Opts {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     report: bool,
+    /// Loopback cluster sizes to sweep (`--nodes 1,2,4`); non-empty
+    /// switches to the distributed engine.
+    nodes: Vec<usize>,
+    /// Externally launched `cfr-node` addresses (`--node-addr`,
+    /// repeatable); non-empty switches to the distributed engine.
+    node_addrs: Vec<std::net::SocketAddr>,
 }
 
 impl Default for Opts {
@@ -71,6 +78,8 @@ impl Default for Opts {
             trace_out: None,
             metrics_out: None,
             report: false,
+            nodes: Vec::new(),
+            node_addrs: Vec::new(),
         }
     }
 }
@@ -86,7 +95,12 @@ const USAGE: &str = "usage: bench <kmeans|pca> [options]
   --level L        phases | splits | verbose        (default splits)
   --trace-out P    write merged Chrome trace JSON to P
   --metrics-out P  write flat metrics JSON to P
-  --report         print the per-phase comparison table";
+  --report         print the per-phase comparison table
+  --nodes LIST     run on the distributed engine instead: sweep
+                   loopback cluster sizes, e.g. --nodes 1,2,4
+  --node-addr A    connect to an externally launched cfr-node at A
+                   (host:port; repeatable — k-means needs 1 session
+                   per agent, pca needs 2: cfr-node --sessions 2)";
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts::default();
@@ -125,6 +139,24 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             }
             "--trace-out" => opts.trace_out = Some(value.clone()),
             "--metrics-out" => opts.metrics_out = Some(value.clone()),
+            "--nodes" => {
+                opts.nodes = value
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("--nodes: `{s}` is not a positive number"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--node-addr" => {
+                let addr = value
+                    .parse()
+                    .map_err(|_| format!("--node-addr: `{value}` is not host:port"))?;
+                opts.node_addrs.push(addr);
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -156,7 +188,87 @@ fn run_version(opts: &Opts, version: Version) -> Result<Trace, String> {
     trace.ok_or_else(|| format!("{}: no trace captured", version.label()))
 }
 
+/// Run the selected app on the distributed engine, one run per
+/// requested cluster size (or one run against the external agents).
+fn run_cluster(opts: &Opts) -> Result<(), String> {
+    use cfr_bench::{render_cluster_table, ClusterPoint};
+
+    let placements: Vec<Nodes> = if opts.node_addrs.is_empty() {
+        opts.nodes.iter().map(|&n| Nodes::Loopback(n)).collect()
+    } else if opts.nodes.is_empty() {
+        vec![Nodes::External(opts.node_addrs.clone())]
+    } else {
+        return Err("--nodes and --node-addr are mutually exclusive".into());
+    };
+
+    let mut points: Vec<ClusterPoint> = Vec::new();
+    let mut last_trace: Option<Trace> = None;
+    for nodes in &placements {
+        let (stats, trace) = match opts.app.as_str() {
+            "kmeans" => {
+                let mut params = KmeansParams::new(opts.n, opts.d, opts.k, opts.iters);
+                params.config.threads = opts.threads;
+                params.config.trace = opts.level;
+                let r = kmeans_cluster(&params, nodes).map_err(|e| e.to_string())?;
+                (vec![r.stats], r.trace)
+            }
+            _ => {
+                let mut params = PcaParams::new(opts.rows, opts.cols);
+                params.config.threads = opts.threads;
+                params.config.trace = opts.level;
+                let r = pca_cluster(&params, nodes).map_err(|e| e.to_string())?;
+                (r.stats, r.traces.into_iter().last())
+            }
+        };
+        for s in &stats {
+            println!(
+                "nodes {:>2}: rounds {:<3} wall {:>8.4} s  sent {:>9} B  recv {:>9} B  slowest node {:>8.4} s",
+                s.nodes,
+                s.rounds,
+                s.wall_ns as f64 / 1e9,
+                s.bytes_sent,
+                s.bytes_recv,
+                s.slowest_node_ns() as f64 / 1e9
+            );
+            points.push(ClusterPoint {
+                nodes: s.nodes,
+                wall_s: s.wall_ns as f64 / 1e9,
+                slowest_node_s: s.slowest_node_ns() as f64 / 1e9,
+                wire_bytes: s.bytes_sent + s.bytes_recv,
+                rounds: s.rounds,
+            });
+        }
+        if trace.is_some() {
+            last_trace = trace;
+        }
+    }
+
+    // The coordinator already merged the shipped node traces (pid 0 =
+    // coordinator, pid i+1 = node i); write the last run's trace as-is —
+    // running it through merge_as would squash the node tracks.
+    if let Some(path) = &opts.trace_out {
+        let trace = last_trace.as_ref().ok_or("no cluster trace was captured")?;
+        let json = trace.chrome_json();
+        obs::validate_chrome_trace(&json).map_err(|e| format!("internal: bad trace: {e}"))?;
+        std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote Chrome trace ({} events) to {path}", trace.spans.len());
+    }
+    if let Some(path) = &opts.metrics_out {
+        let trace = last_trace.as_ref().ok_or("no cluster trace was captured")?;
+        std::fs::write(path, trace.metrics_json()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote metrics to {path}");
+    }
+    if opts.report {
+        println!();
+        print!("{}", render_cluster_table(&opts.app, &points));
+    }
+    Ok(())
+}
+
 fn run(opts: &Opts) -> Result<(), String> {
+    if !opts.nodes.is_empty() || !opts.node_addrs.is_empty() {
+        return run_cluster(opts);
+    }
     // The paper compares all four k-means versions; for PCA it compares
     // only opt-2 against manual ("PCA does not use complex or nested
     // data structures").

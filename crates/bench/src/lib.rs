@@ -449,6 +449,73 @@ pub fn extension_apps(n: usize, threads: usize) -> Figure {
     }
 }
 
+// ---------------------------------------------------------------------
+// Cluster scaling (the distributed engine)
+// ---------------------------------------------------------------------
+
+/// One measured point of a cluster sweep.
+#[derive(Debug, Clone)]
+pub struct ClusterPoint {
+    /// Node count of this run.
+    pub nodes: usize,
+    /// End-to-end wall time, seconds.
+    pub wall_s: f64,
+    /// The slowest node's reduce makespan (from shipped traces),
+    /// seconds — the modeled lower bound on per-round latency.
+    pub slowest_node_s: f64,
+    /// Coordinator-side wire bytes (sent + received) — the combine
+    /// traffic the paper's global-combination phase pays.
+    pub wire_bytes: u64,
+    /// Rounds executed.
+    pub rounds: usize,
+}
+
+/// Sweep k-means over loopback cluster sizes, aggregating per-node
+/// [`freeride::RunStats`] out of the shipped traces.
+pub fn cluster_scaling_kmeans(
+    params: &cfr_apps::kmeans::KmeansParams,
+    node_counts: &[usize],
+) -> Result<Vec<ClusterPoint>, String> {
+    use cfr_apps::cluster::{kmeans_cluster, Nodes};
+    let mut params = params.clone();
+    if params.config.trace == obs::TraceLevel::Off {
+        // node_stats need shipped traces.
+        params.config.trace = obs::TraceLevel::Splits;
+    }
+    let mut points = Vec::new();
+    for &n in node_counts {
+        let r = kmeans_cluster(&params, &Nodes::Loopback(n)).map_err(|e| e.to_string())?;
+        points.push(ClusterPoint {
+            nodes: n,
+            wall_s: r.stats.wall_ns as f64 / 1e9,
+            slowest_node_s: r.stats.slowest_node_ns() as f64 / 1e9,
+            wire_bytes: r.stats.bytes_sent + r.stats.bytes_recv,
+            rounds: r.stats.rounds,
+        });
+    }
+    Ok(points)
+}
+
+/// Render a cluster sweep as an aligned table (the EXPERIMENTS.md
+/// cluster-scaling shape).
+pub fn render_cluster_table(app: &str, points: &[ClusterPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "cluster scaling — {app}");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>9} {:>16} {:>12} {:>7}",
+        "nodes", "wall s", "slowest node s", "wire bytes", "rounds"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>9.4} {:>16.4} {:>12} {:>7}",
+            p.nodes, p.wall_s, p.slowest_node_s, p.wire_bytes, p.rounds
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod harness_tests {
     use super::*;
@@ -524,5 +591,20 @@ mod harness_tests {
     fn extension_apps_run() {
         let f = extension_apps(500, 2);
         assert_eq!(f.rows.len(), 6);
+    }
+
+    #[test]
+    fn cluster_scaling_sweep_aggregates_node_stats() {
+        let params = cfr_apps::kmeans::KmeansParams::new(300, 2, 3, 2);
+        let points = cluster_scaling_kmeans(&params, &[1, 2]).unwrap();
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert_eq!(p.rounds, 2);
+            assert!(p.wire_bytes > 0);
+            assert!(p.slowest_node_s > 0.0, "node traces should carry split timings");
+        }
+        let table = render_cluster_table("kmeans", &points);
+        assert!(table.contains("nodes"));
+        assert!(table.lines().count() == 4);
     }
 }

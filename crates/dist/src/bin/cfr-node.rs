@@ -1,0 +1,89 @@
+//! cfr-node — a FREERIDE cluster node agent.
+//!
+//! Listens for a coordinator, then runs local reductions over its
+//! assigned shard of a shared dataset file via the shared-memory
+//! engine. One process serves one coordinator session by default;
+//! `--sessions N` serves N in sequence (0 = forever).
+//!
+//! ```text
+//! cfr-node [--listen ADDR] [--port-file PATH] [--sessions N]
+//!   --listen ADDR     bind address (default 127.0.0.1:0)
+//!   --port-file PATH  write the bound address to PATH once listening
+//!                     (lets scripts use an ephemeral port)
+//!   --sessions N      coordinator sessions to serve (default 1, 0 = forever)
+//! ```
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use freeride_dist::node;
+
+const USAGE: &str = "usage: cfr-node [--listen ADDR] [--port-file PATH] [--sessions N]";
+
+fn main() -> ExitCode {
+    let mut listen = String::from("127.0.0.1:0");
+    let mut port_file: Option<String> = None;
+    let mut sessions: usize = 1;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => match args.next() {
+                Some(a) => listen = a,
+                None => return usage_error("--listen requires an address"),
+            },
+            "--port-file" => match args.next() {
+                Some(p) => port_file = Some(p),
+                None => return usage_error("--port-file requires a path"),
+            },
+            "--sessions" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => sessions = n,
+                None => return usage_error("--sessions requires a count"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unexpected argument `{other}`")),
+        }
+    }
+
+    let listener = match TcpListener::bind(&listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cfr-node: cannot bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bound = match listener.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cfr-node: cannot read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &port_file {
+        if let Err(e) = std::fs::write(path, bound.to_string()) {
+            eprintln!("cfr-node: cannot write port file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("cfr-node: listening on {bound}");
+
+    let mut served = 0usize;
+    loop {
+        if let Err(e) = node::serve(&listener) {
+            eprintln!("cfr-node: session failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        served += 1;
+        if sessions != 0 && served >= sessions {
+            return ExitCode::SUCCESS;
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("cfr-node: {msg}\n{USAGE}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,410 @@
+//! The coordinator: shard assignment, round broadcast, global
+//! combination, and trace collection.
+//!
+//! The processing structure is the paper's generalized reduction lifted
+//! across processes: every round each node runs a **local reduction**
+//! over its shard (itself parallel, via the shared-memory engine), the
+//! coordinator performs **global combination** of the shipped
+//! reduction objects with the same [`CombineOp`](freeride::CombineOp)
+//! machinery (`merge_from`), applies the task's outer-loop `step`
+//! (e.g. centroid refinement), and broadcasts the next state. A node
+//! that drops its connection or hangs surfaces as a typed
+//! [`DistError`] via the configured read timeout — never a hang.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use freeride::{ReductionObject, RunStats};
+use obs::{AttrValue, Recorder, Trace, TraceLevel};
+
+use crate::error::DistError;
+use crate::node;
+use crate::proto::{read_message, write_message, Message};
+use crate::tasks;
+
+/// Configuration of one distributed job.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Registered task name (see [`crate::tasks`]).
+    pub task: String,
+    /// Job-constant integer parameters.
+    pub params: Vec<i64>,
+    /// Initial per-round state (e.g. starting centroids).
+    pub init_state: Vec<f64>,
+    /// Number of rounds (the outer sequential loop; 1 for single-pass
+    /// reductions).
+    pub rounds: usize,
+    /// Path of the shared `.frds` dataset file.
+    pub dataset: PathBuf,
+    /// Worker threads per node.
+    pub threads_per_node: usize,
+    /// Tracing level for the coordinator and every node.
+    pub trace: TraceLevel,
+    /// Read timeout on every node socket; a node silent for this long
+    /// fails the run with [`DistError::Timeout`].
+    pub read_timeout: Duration,
+}
+
+impl ClusterConfig {
+    /// A single-pass job with sane defaults (1 thread per node, 10 s
+    /// timeout, tracing off).
+    pub fn new(task: &str, dataset: impl Into<PathBuf>) -> ClusterConfig {
+        ClusterConfig {
+            task: task.to_string(),
+            params: Vec::new(),
+            init_state: Vec::new(),
+            rounds: 1,
+            dataset: dataset.into(),
+            threads_per_node: 1,
+            trace: TraceLevel::Off,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Aggregated statistics of one cluster run.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterStats {
+    /// Number of nodes that participated.
+    pub nodes: usize,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Bytes the coordinator put on the wire (all nodes).
+    pub bytes_sent: u64,
+    /// Bytes the coordinator took off the wire (all nodes).
+    pub bytes_recv: u64,
+    /// Per-node engine statistics, reconstructed from the shipped
+    /// traces ([`RunStats::from_trace`]); empty when tracing is off.
+    pub node_stats: Vec<RunStats>,
+    /// Wall time of the whole run, nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl ClusterStats {
+    /// The modeled cluster makespan: slowest node's split work per
+    /// round, as seen in the shipped traces. 0 when tracing was off.
+    pub fn slowest_node_ns(&self) -> u64 {
+        self.node_stats
+            .iter()
+            .map(|s| s.makespan_ns(s.logical_threads.max(1)))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Result of [`Coordinator::run`].
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// The globally combined reduction object of the final round.
+    pub robj: ReductionObject,
+    /// The final state after the last `step` (e.g. final centroids).
+    pub state: Vec<f64>,
+    /// Aggregated run statistics.
+    pub stats: ClusterStats,
+    /// Merged trace — coordinator spans on `pid` 0, node `i`'s spans on
+    /// `pid` `i + 1`. `None` when tracing is off.
+    pub trace: Option<Trace>,
+}
+
+struct NodeConn {
+    stream: TcpStream,
+    id: usize,
+}
+
+impl NodeConn {
+    fn send(&mut self, msg: &Message, stats: &mut ClusterStats) -> Result<(), DistError> {
+        let n =
+            write_message(&mut self.stream, msg).map_err(|e| self.annotate(e, msg.kind_name()))?;
+        stats.bytes_sent += n as u64;
+        Ok(())
+    }
+
+    fn recv(&mut self, expect: &str, stats: &mut ClusterStats) -> Result<Message, DistError> {
+        let (msg, n) = read_message(&mut self.stream).map_err(|e| self.annotate(e, expect))?;
+        stats.bytes_recv += n as u64;
+        if let Message::Error { message } = msg {
+            return Err(DistError::Node {
+                node: self.id,
+                message,
+            });
+        }
+        Ok(msg)
+    }
+
+    /// Turn socket-level failures into cluster-level diagnoses: a read
+    /// timeout or a peer reset is reported as which node failed and
+    /// what the coordinator was waiting for.
+    fn annotate(&self, e: DistError, waiting_for: &str) -> DistError {
+        match e {
+            DistError::Io(io) => match io.kind() {
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                    DistError::Timeout {
+                        node: self.id,
+                        waiting_for: waiting_for.to_string(),
+                    }
+                }
+                _ => DistError::Node {
+                    node: self.id,
+                    message: format!("connection failed while waiting for {waiting_for}: {io}"),
+                },
+            },
+            other => other,
+        }
+    }
+}
+
+/// Drives a distributed job across a set of node agents.
+pub struct Coordinator {
+    config: ClusterConfig,
+    recorder: Arc<Recorder>,
+}
+
+impl Coordinator {
+    /// Create a coordinator for `config`.
+    pub fn new(config: ClusterConfig) -> Coordinator {
+        let recorder = Arc::new(Recorder::new(config.trace));
+        Coordinator { config, recorder }
+    }
+
+    /// Run the job against node agents listening on `addrs`. Shards are
+    /// contiguous row ranges: node `i` of `n` gets
+    /// `[i·rows/n, (i+1)·rows/n)`, a disjoint cover of the file.
+    pub fn run(&self, addrs: &[SocketAddr]) -> Result<ClusterOutcome, DistError> {
+        if addrs.is_empty() {
+            return Err(DistError::BadTask {
+                reason: "cluster has no nodes".into(),
+            });
+        }
+        let wall = Instant::now();
+        let cfg = &self.config;
+        let rec = &self.recorder;
+        let mut stats = ClusterStats {
+            nodes: addrs.len(),
+            ..ClusterStats::default()
+        };
+
+        let layout = tasks::layout(&cfg.task, &cfg.params)?;
+        let layout_frame = layout.encode()?;
+        // Shard assignment needs the row count; headers only, no payload read.
+        let rows = freeride::source::FileDataset::open(&cfg.dataset)?.rows();
+        let dataset = cfg.dataset.to_string_lossy().into_owned();
+
+        // ---- Connect + handshake + job setup. ----
+        let mut conns = Vec::with_capacity(addrs.len());
+        {
+            let mut span = rec.span(TraceLevel::Phases, "cluster.setup", "dist", 0);
+            span.attr_int("nodes", addrs.len() as i64);
+            for (id, addr) in addrs.iter().enumerate() {
+                let stream = TcpStream::connect_timeout(addr, cfg.read_timeout)?;
+                stream.set_read_timeout(Some(cfg.read_timeout))?;
+                stream.set_nodelay(true).ok();
+                let mut conn = NodeConn { stream, id };
+                conn.send(&Message::Hello { node_id: id as u32 }, &mut stats)?;
+                match conn.recv("HelloAck", &mut stats)? {
+                    Message::HelloAck { node_id } if node_id as usize == id => {}
+                    other => {
+                        return Err(DistError::Protocol {
+                            reason: format!(
+                                "node {id}: expected HelloAck, got {}",
+                                other.kind_name()
+                            ),
+                        })
+                    }
+                }
+                let first = id * rows / addrs.len();
+                let count = (id + 1) * rows / addrs.len() - first;
+                conn.send(
+                    &Message::Job {
+                        task: cfg.task.clone(),
+                        params: cfg.params.clone(),
+                        layout: layout_frame.clone(),
+                        dataset: dataset.clone(),
+                        shard_first: first as u64,
+                        shard_rows: count as u64,
+                        threads: cfg.threads_per_node.max(1) as u32,
+                        trace_level: node::trace_level_ordinal(cfg.trace),
+                    },
+                    &mut stats,
+                )?;
+                conns.push(conn);
+            }
+        }
+
+        // ---- The outer sequential loop. ----
+        let mut state = cfg.init_state.clone();
+        let mut merged = ReductionObject::alloc(layout.clone());
+        for round in 0..cfg.rounds.max(1) {
+            let mut span = rec.span(TraceLevel::Phases, "cluster.round", "dist", 0);
+            span.attr_int("round", round as i64);
+            for conn in &mut conns {
+                conn.send(
+                    &Message::Round {
+                        round: round as u32,
+                        state: state.clone(),
+                    },
+                    &mut stats,
+                )?;
+            }
+            // Global combination: decode each shard's cells and merge
+            // with the layout's CombineOps.
+            merged.reset();
+            {
+                let mut cspan = rec.span(TraceLevel::Phases, "cluster.combine", "dist", 0);
+                cspan.attr_int("round", round as i64);
+                for conn in &mut conns {
+                    let msg = conn.recv("RoundResult", &mut stats)?;
+                    let Message::RoundResult { round: got, cells } = msg else {
+                        return Err(DistError::Protocol {
+                            reason: format!(
+                                "node {}: expected RoundResult, got {}",
+                                conn.id,
+                                msg.kind_name()
+                            ),
+                        });
+                    };
+                    if got as usize != round {
+                        return Err(DistError::Protocol {
+                            reason: format!(
+                                "node {}: RoundResult for round {got}, expected {round}",
+                                conn.id
+                            ),
+                        });
+                    }
+                    let shard = ReductionObject::decode_cells(&layout, &cells)?;
+                    merged.merge_from(&shard);
+                }
+            }
+            if let Some(next) = tasks::step(&cfg.task, &cfg.params, &state, &merged)? {
+                state = next;
+            }
+            rec.add_counter("dist.rounds", 1);
+            stats.rounds += 1;
+        }
+
+        // ---- Teardown: collect traces, shut nodes down. ----
+        let mut node_traces = Vec::new();
+        for conn in &mut conns {
+            conn.send(&Message::EndJob, &mut stats)?;
+            let msg = conn.recv("JobDone", &mut stats)?;
+            let Message::JobDone { trace } = msg else {
+                return Err(DistError::Protocol {
+                    reason: format!(
+                        "node {}: expected JobDone, got {}",
+                        conn.id,
+                        msg.kind_name()
+                    ),
+                });
+            };
+            if !trace.is_empty() {
+                node_traces.push((conn.id, Trace::decode_bin(&trace)?));
+            }
+            conn.send(&Message::Shutdown, &mut stats)?;
+        }
+
+        rec.add_counter("dist.bytes_sent", stats.bytes_sent as i64);
+        rec.add_counter("dist.bytes_recv", stats.bytes_recv as i64);
+        rec.instant(
+            TraceLevel::Phases,
+            "cluster.done",
+            "dist",
+            0,
+            vec![
+                ("nodes", AttrValue::Int(stats.nodes as i64)),
+                ("rounds", AttrValue::Int(stats.rounds as i64)),
+            ],
+        );
+
+        stats.wall_ns = wall.elapsed().as_nanos() as u64;
+        let trace = if cfg.trace != TraceLevel::Off {
+            let mut merged_trace = Trace::default();
+            merged_trace.merge_as(0, rec.drain());
+            for (id, t) in node_traces {
+                stats.node_stats.push(RunStats::from_trace(&t));
+                merged_trace.merge_as(id + 1, t);
+            }
+            Some(merged_trace)
+        } else {
+            None
+        };
+
+        Ok(ClusterOutcome {
+            robj: merged,
+            state,
+            stats,
+            trace,
+        })
+    }
+}
+
+/// An in-process loopback cluster: each node agent runs on its own
+/// thread with a real TCP socket on `127.0.0.1`, giving deterministic
+/// multi-node tests without spawning processes.
+pub struct LoopbackCluster {
+    addrs: Vec<SocketAddr>,
+    handles: Vec<std::thread::JoinHandle<Result<(), DistError>>>,
+}
+
+impl LoopbackCluster {
+    /// Spawn `n` loopback node agents, each serving one session.
+    pub fn spawn(n: usize) -> Result<LoopbackCluster, DistError> {
+        let mut addrs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for _ in 0..n {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            addrs.push(listener.local_addr()?);
+            handles.push(std::thread::spawn(move || node::serve(&listener)));
+        }
+        Ok(LoopbackCluster { addrs, handles })
+    }
+
+    /// The node addresses, in node-id order.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Join every agent thread, returning the first node error (if the
+    /// coordinator failed mid-run, agents may legitimately error too).
+    pub fn join(self) -> Result<(), DistError> {
+        let mut first_err = None;
+        for h in self.handles {
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                Err(_) => {
+                    first_err = first_err.or(Some(DistError::Protocol {
+                        reason: "node agent thread panicked".into(),
+                    }))
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+/// Convenience: run `config` on an `n`-node loopback cluster and join
+/// the agents.
+pub fn run_loopback(config: ClusterConfig, n: usize) -> Result<ClusterOutcome, DistError> {
+    let cluster = LoopbackCluster::spawn(n)?;
+    let outcome = Coordinator::new(config).run(cluster.addrs());
+    match outcome {
+        Ok(out) => {
+            cluster.join()?;
+            Ok(out)
+        }
+        Err(e) => {
+            // If the run failed before ever connecting, agents are
+            // still blocked in accept(); poke each with an empty
+            // connection so they fail out and the join cannot hang.
+            for addr in cluster.addrs().to_vec() {
+                let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+            }
+            let _ = cluster.join();
+            Err(e)
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The node side of the cluster: accept one coordinator session and run
+//! local reductions over the assigned shard.
+//!
+//! A node is deliberately thin: all parallelism inside the node is the
+//! existing shared-memory [`freeride::Engine`] (persistent pool,
+//! `run_file` shard streaming); the agent only speaks the wire protocol
+//! around it. One agent serves one coordinator session ([`serve`]) —
+//! the `cfr-node` binary can loop over sessions with `--sessions`.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use freeride::{Engine, JobConfig, RObjLayout, ReductionObject};
+use obs::{AttrValue, Recorder, TraceLevel};
+
+use crate::error::DistError;
+use crate::proto::{read_message, write_message, Message};
+use crate::tasks;
+
+/// Per-job context built from a [`Message::Job`].
+struct JobContext {
+    task: String,
+    params: Vec<i64>,
+    layout: Arc<RObjLayout>,
+    file: freeride::source::FileDataset,
+    shard_first: usize,
+    shard_rows: usize,
+    engine: Engine,
+    recorder: Arc<Recorder>,
+}
+
+fn trace_level_from_ordinal(b: u8) -> TraceLevel {
+    match b {
+        0 => TraceLevel::Off,
+        1 => TraceLevel::Phases,
+        2 => TraceLevel::Splits,
+        _ => TraceLevel::Verbose,
+    }
+}
+
+/// The ordinal shipped in [`Message::Job::trace_level`].
+pub fn trace_level_ordinal(level: TraceLevel) -> u8 {
+    match level {
+        TraceLevel::Off => 0,
+        TraceLevel::Phases => 1,
+        TraceLevel::Splits => 2,
+        TraceLevel::Verbose => 3,
+    }
+}
+
+fn build_job(msg: Message) -> Result<JobContext, DistError> {
+    let Message::Job {
+        task,
+        params,
+        layout,
+        dataset,
+        shard_first,
+        shard_rows,
+        threads,
+        trace_level,
+    } = msg
+    else {
+        return Err(DistError::Protocol {
+            reason: format!("expected Job, got {}", msg.kind_name()),
+        });
+    };
+    // The coordinator ships the layout it will combine with; decode it
+    // and check it against this build's own task registry, so a
+    // version-skewed node fails loudly instead of mis-merging cells.
+    let shipped = RObjLayout::decode(&layout)?;
+    let local = tasks::layout(&task, &params)?;
+    if shipped.total_cells() != local.total_cells() {
+        return Err(DistError::BadTask {
+            reason: format!(
+                "task `{task}`: coordinator layout has {} cells, this node's registry says {}",
+                shipped.total_cells(),
+                local.total_cells()
+            ),
+        });
+    }
+    let file = freeride::source::FileDataset::open(std::path::Path::new(&dataset))?;
+    let rows = file.rows() as u64;
+    if shard_first
+        .checked_add(shard_rows)
+        .is_none_or(|end| end > rows)
+    {
+        return Err(DistError::BadTask {
+            reason: format!("shard {shard_first}+{shard_rows} exceeds {rows} dataset rows"),
+        });
+    }
+    let mut config = JobConfig::with_threads(threads.max(1) as usize);
+    config.trace = trace_level_from_ordinal(trace_level);
+    let recorder = Arc::new(Recorder::new(config.trace));
+    let engine = Engine::with_recorder(config, recorder.clone());
+    Ok(JobContext {
+        task,
+        params,
+        layout: local,
+        file,
+        shard_first: shard_first as usize,
+        shard_rows: shard_rows as usize,
+        engine,
+        recorder,
+    })
+}
+
+fn run_round(job: &JobContext, round: u32, state: &[f64]) -> Result<ReductionObject, DistError> {
+    let kernel = tasks::kernel(&job.task, &job.params, state)?;
+    let pass_start = std::time::Instant::now();
+    let outcome = job.engine.run_file_shard(
+        &job.file,
+        job.shard_first,
+        job.shard_rows,
+        &job.layout,
+        &kernel,
+    )?;
+    job.recorder.push_complete(
+        TraceLevel::Phases,
+        "node.pass",
+        "dist",
+        0,
+        job.recorder.offset_ns(pass_start),
+        pass_start.elapsed().as_nanos() as u64,
+        vec![
+            ("round", AttrValue::Int(round as i64)),
+            ("shard_first", AttrValue::Int(job.shard_first as i64)),
+            ("shard_rows", AttrValue::Int(job.shard_rows as i64)),
+        ],
+    );
+    Ok(outcome.robj)
+}
+
+/// Handle one coordinator session on an accepted stream. Returns when
+/// the coordinator sends [`Message::Shutdown`] or the connection drops.
+pub fn handle_session(stream: TcpStream) -> Result<(), DistError> {
+    let mut stream = stream;
+    stream.set_nodelay(true).ok();
+
+    let (hello, _) = read_message(&mut stream)?;
+    let Message::Hello { node_id } = hello else {
+        return Err(DistError::Protocol {
+            reason: format!("expected Hello, got {}", hello.kind_name()),
+        });
+    };
+    write_message(&mut stream, &Message::HelloAck { node_id })?;
+
+    let mut job: Option<JobContext> = None;
+    loop {
+        let (msg, _) = read_message(&mut stream)?;
+        match msg {
+            Message::Job { .. } => match build_job(msg) {
+                Ok(ctx) => job = Some(ctx),
+                Err(e) => {
+                    write_message(
+                        &mut stream,
+                        &Message::Error {
+                            message: e.to_string(),
+                        },
+                    )?;
+                    return Err(e);
+                }
+            },
+            Message::Round { round, state } => {
+                let Some(ctx) = job.as_ref() else {
+                    let e = DistError::Protocol {
+                        reason: "Round before Job".into(),
+                    };
+                    write_message(
+                        &mut stream,
+                        &Message::Error {
+                            message: e.to_string(),
+                        },
+                    )?;
+                    return Err(e);
+                };
+                match run_round(ctx, round, &state) {
+                    Ok(robj) => {
+                        ctx.recorder.add_counter("dist.rounds", 1);
+                        write_message(
+                            &mut stream,
+                            &Message::RoundResult {
+                                round,
+                                cells: robj.encode_cells(),
+                            },
+                        )?;
+                    }
+                    Err(e) => {
+                        write_message(
+                            &mut stream,
+                            &Message::Error {
+                                message: e.to_string(),
+                            },
+                        )?;
+                        return Err(e);
+                    }
+                }
+            }
+            Message::EndJob => {
+                let trace = match job.as_ref() {
+                    Some(ctx) if ctx.recorder.level() != TraceLevel::Off => {
+                        ctx.recorder.drain().encode_bin()
+                    }
+                    _ => Vec::new(),
+                };
+                job = None;
+                write_message(&mut stream, &Message::JobDone { trace })?;
+            }
+            Message::Shutdown => return Ok(()),
+            Message::Error { message } => {
+                return Err(DistError::Node {
+                    node: node_id as usize,
+                    message,
+                });
+            }
+            other => {
+                let e = DistError::Protocol {
+                    reason: format!("unexpected {} from coordinator", other.kind_name()),
+                };
+                write_message(
+                    &mut stream,
+                    &Message::Error {
+                        message: e.to_string(),
+                    },
+                )?;
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// Accept one coordinator connection on `listener` and serve the
+/// session to completion.
+pub fn serve(listener: &TcpListener) -> Result<(), DistError> {
+    let (stream, _peer) = listener.accept()?;
+    handle_session(stream)
+}
+
+#[cfg(test)]
+mod node_tests {
+    use super::*;
+
+    #[test]
+    fn trace_level_ordinals_round_trip() {
+        for l in [
+            TraceLevel::Off,
+            TraceLevel::Phases,
+            TraceLevel::Splits,
+            TraceLevel::Verbose,
+        ] {
+            assert_eq!(trace_level_from_ordinal(trace_level_ordinal(l)), l);
+        }
+    }
+
+    #[test]
+    fn session_rejects_round_before_job() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || serve(&listener));
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_message(&mut stream, &Message::Hello { node_id: 0 }).unwrap();
+        let (ack, _) = read_message(&mut stream).unwrap();
+        assert_eq!(ack, Message::HelloAck { node_id: 0 });
+        write_message(
+            &mut stream,
+            &Message::Round {
+                round: 0,
+                state: vec![],
+            },
+        )
+        .unwrap();
+        let (reply, _) = read_message(&mut stream).unwrap();
+        assert!(matches!(reply, Message::Error { .. }), "{reply:?}");
+        assert!(server.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn session_rejects_non_hello_opening() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || serve(&listener));
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_message(&mut stream, &Message::EndJob).unwrap();
+        let err = server.join().unwrap().unwrap_err();
+        assert!(matches!(err, DistError::Protocol { .. }), "{err}");
+    }
+}

@@ -1,0 +1,534 @@
+//! The coordinator ↔ node wire protocol.
+//!
+//! Every message is one length-prefixed frame:
+//!
+//! ```text
+//! magic  b"FRDM"   4 bytes
+//! version u8       1 byte   (WIRE_VERSION; mismatch is a typed error)
+//! type    u8       1 byte   (message discriminant)
+//! len     u32 LE   4 bytes  (payload length, bounded by MAX_FRAME_LEN)
+//! payload          len bytes
+//! ```
+//!
+//! Payload fields are little-endian with `u32` length prefixes on
+//! strings and arrays. Reduction-object cells travel as the `freeride`
+//! robj codec's frames, node traces as the `obs` trace codec's frames —
+//! both nested opaquely inside `payload`, each with its own version.
+//! Decoding never panics on malformed input; every failure is a
+//! [`DistError::Protocol`] (or [`DistError::Io`] for socket errors).
+
+use std::io::{Read, Write};
+
+use crate::error::DistError;
+
+/// Frame magic.
+pub const WIRE_MAGIC: &[u8; 4] = b"FRDM";
+/// Protocol version; both sides must match exactly.
+pub const WIRE_VERSION: u8 = 1;
+/// Upper bound on a frame payload (64 MiB): a corrupt length field
+/// fails fast instead of triggering a giant allocation.
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+const TYPE_HELLO: u8 = 1;
+const TYPE_HELLO_ACK: u8 = 2;
+const TYPE_JOB: u8 = 3;
+const TYPE_ROUND: u8 = 4;
+const TYPE_ROUND_RESULT: u8 = 5;
+const TYPE_END_JOB: u8 = 6;
+const TYPE_JOB_DONE: u8 = 7;
+const TYPE_SHUTDOWN: u8 = 8;
+const TYPE_ERROR: u8 = 9;
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Coordinator → node: open a session, assigning the node its
+    /// cluster index.
+    Hello {
+        /// Index of this node in the cluster (also its trace `pid` - 1).
+        node_id: u32,
+    },
+    /// Node → coordinator: session accepted.
+    HelloAck {
+        /// Echo of the assigned index.
+        node_id: u32,
+    },
+    /// Coordinator → node: job setup for the following rounds.
+    Job {
+        /// Registered task name (see `crate::tasks`).
+        task: String,
+        /// Job-constant integer parameters (e.g. `[k, d]` for k-means).
+        params: Vec<i64>,
+        /// The reduction-object layout, as a `freeride` robj codec
+        /// layout frame (checked against the task's own layout).
+        layout: Vec<u8>,
+        /// Path of the shared dataset file (`.frds`), readable by the
+        /// node.
+        dataset: String,
+        /// First row of this node's shard.
+        shard_first: u64,
+        /// Row count of this node's shard.
+        shard_rows: u64,
+        /// Worker threads for the node's local engine.
+        threads: u32,
+        /// `obs::TraceLevel` ordinal for the node's recorder.
+        trace_level: u8,
+    },
+    /// Coordinator → node: run one local reduction pass over the shard
+    /// with this round's broadcast state (e.g. current centroids).
+    Round {
+        /// Round number, starting at 0.
+        round: u32,
+        /// Per-round state vector.
+        state: Vec<f64>,
+    },
+    /// Node → coordinator: the shard's local reduction result, as a
+    /// robj codec cells frame.
+    RoundResult {
+        /// Echo of the round number.
+        round: u32,
+        /// Cells frame (`ReductionObject::encode_cells`).
+        cells: Vec<u8>,
+    },
+    /// Coordinator → node: no more rounds; ship the trace.
+    EndJob,
+    /// Node → coordinator: job teardown, carrying the node's drained
+    /// trace as an `obs` trace codec frame (empty when tracing is off).
+    JobDone {
+        /// Trace frame (`Trace::encode_bin`), possibly empty.
+        trace: Vec<u8>,
+    },
+    /// Coordinator → node: close the session; the agent exits its
+    /// serve loop.
+    Shutdown,
+    /// Either direction: abort with a description. The receiver
+    /// surfaces it as [`DistError::Node`] (coordinator side) or ends
+    /// the session (node side).
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+fn perr<T>(reason: impl Into<String>) -> Result<T, DistError> {
+    Err(DistError::Protocol {
+        reason: reason.into(),
+    })
+}
+
+// ---- payload writers -------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn put_i64s(out: &mut Vec<u8>, xs: &[i64]) {
+    out.extend_from_slice(&(xs.len() as u32).to_le_bytes());
+    for x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn put_f64s(out: &mut Vec<u8>, xs: &[f64]) {
+    out.extend_from_slice(&(xs.len() as u32).to_le_bytes());
+    for x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+// ---- payload reader --------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], DistError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(())
+            .or_else(|_| perr(format!("truncated payload: {what}")))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, DistError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, DistError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, DistError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn len(&mut self, what: &str) -> Result<usize, DistError> {
+        let n = self.u32(what)?;
+        if n > MAX_FRAME_LEN {
+            return perr(format!("implausible {what} {n}"));
+        }
+        Ok(n as usize)
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, DistError> {
+        let n = self.len(what)?;
+        match std::str::from_utf8(self.take(n, what)?) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => perr(format!("{what} is not UTF-8")),
+        }
+    }
+
+    fn bytes(&mut self, what: &str) -> Result<Vec<u8>, DistError> {
+        let n = self.len(what)?;
+        Ok(self.take(n, what)?.to_vec())
+    }
+
+    fn i64s(&mut self, what: &str) -> Result<Vec<i64>, DistError> {
+        let n = self.len(what)?;
+        if self.buf.len() - self.pos < n * 8 {
+            return perr(format!("truncated payload: {what}"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(i64::from_le_bytes(
+                self.take(8, what)?.try_into().expect("8 bytes"),
+            ));
+        }
+        Ok(out)
+    }
+
+    fn f64s(&mut self, what: &str) -> Result<Vec<f64>, DistError> {
+        let n = self.len(what)?;
+        if self.buf.len() - self.pos < n * 8 {
+            return perr(format!("truncated payload: {what}"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(f64::from_le_bytes(
+                self.take(8, what)?.try_into().expect("8 bytes"),
+            ));
+        }
+        Ok(out)
+    }
+
+    fn finish(self, what: &str) -> Result<(), DistError> {
+        if self.pos != self.buf.len() {
+            return perr(format!(
+                "{} trailing bytes in {what}",
+                self.buf.len() - self.pos
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Message {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => TYPE_HELLO,
+            Message::HelloAck { .. } => TYPE_HELLO_ACK,
+            Message::Job { .. } => TYPE_JOB,
+            Message::Round { .. } => TYPE_ROUND,
+            Message::RoundResult { .. } => TYPE_ROUND_RESULT,
+            Message::EndJob => TYPE_END_JOB,
+            Message::JobDone { .. } => TYPE_JOB_DONE,
+            Message::Shutdown => TYPE_SHUTDOWN,
+            Message::Error { .. } => TYPE_ERROR,
+        }
+    }
+
+    /// A short name for "waiting for X" diagnostics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Message::Hello { .. } => "Hello",
+            Message::HelloAck { .. } => "HelloAck",
+            Message::Job { .. } => "Job",
+            Message::Round { .. } => "Round",
+            Message::RoundResult { .. } => "RoundResult",
+            Message::EndJob => "EndJob",
+            Message::JobDone { .. } => "JobDone",
+            Message::Shutdown => "Shutdown",
+            Message::Error { .. } => "Error",
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Message::Hello { node_id } | Message::HelloAck { node_id } => {
+                out.extend_from_slice(&node_id.to_le_bytes());
+            }
+            Message::Job {
+                task,
+                params,
+                layout,
+                dataset,
+                shard_first,
+                shard_rows,
+                threads,
+                trace_level,
+            } => {
+                put_str(&mut out, task);
+                put_i64s(&mut out, params);
+                put_bytes(&mut out, layout);
+                put_str(&mut out, dataset);
+                out.extend_from_slice(&shard_first.to_le_bytes());
+                out.extend_from_slice(&shard_rows.to_le_bytes());
+                out.extend_from_slice(&threads.to_le_bytes());
+                out.push(*trace_level);
+            }
+            Message::Round { round, state } => {
+                out.extend_from_slice(&round.to_le_bytes());
+                put_f64s(&mut out, state);
+            }
+            Message::RoundResult { round, cells } => {
+                out.extend_from_slice(&round.to_le_bytes());
+                put_bytes(&mut out, cells);
+            }
+            Message::EndJob | Message::Shutdown => {}
+            Message::JobDone { trace } => put_bytes(&mut out, trace),
+            Message::Error { message } => put_str(&mut out, message),
+        }
+        out
+    }
+
+    /// Serialize the full frame (header + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = self.payload();
+        let mut out = Vec::with_capacity(10 + payload.len());
+        out.extend_from_slice(WIRE_MAGIC);
+        out.push(WIRE_VERSION);
+        out.push(self.type_byte());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decode a payload of the given frame type.
+    fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Message, DistError> {
+        let mut r = Reader {
+            buf: payload,
+            pos: 0,
+        };
+        let msg = match type_byte {
+            TYPE_HELLO => Message::Hello {
+                node_id: r.u32("node_id")?,
+            },
+            TYPE_HELLO_ACK => Message::HelloAck {
+                node_id: r.u32("node_id")?,
+            },
+            TYPE_JOB => Message::Job {
+                task: r.string("task")?,
+                params: r.i64s("params")?,
+                layout: r.bytes("layout")?,
+                dataset: r.string("dataset")?,
+                shard_first: r.u64("shard_first")?,
+                shard_rows: r.u64("shard_rows")?,
+                threads: r.u32("threads")?,
+                trace_level: r.u8("trace_level")?,
+            },
+            TYPE_ROUND => Message::Round {
+                round: r.u32("round")?,
+                state: r.f64s("state")?,
+            },
+            TYPE_ROUND_RESULT => Message::RoundResult {
+                round: r.u32("round")?,
+                cells: r.bytes("cells")?,
+            },
+            TYPE_END_JOB => Message::EndJob,
+            TYPE_JOB_DONE => Message::JobDone {
+                trace: r.bytes("trace")?,
+            },
+            TYPE_SHUTDOWN => Message::Shutdown,
+            TYPE_ERROR => Message::Error {
+                message: r.string("message")?,
+            },
+            other => return perr(format!("unknown message type {other}")),
+        };
+        r.finish(msg.kind_name())?;
+        Ok(msg)
+    }
+}
+
+/// Write one frame, returning the number of bytes put on the wire.
+pub fn write_message(w: &mut impl Write, msg: &Message) -> Result<usize, DistError> {
+    let frame = msg.encode();
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(frame.len())
+}
+
+/// Read one frame, returning the message and the number of bytes taken
+/// off the wire. Malformed headers and payloads are
+/// [`DistError::Protocol`]; socket failures (including read timeouts,
+/// as `WouldBlock`/`TimedOut`) are [`DistError::Io`].
+pub fn read_message(r: &mut impl Read) -> Result<(Message, usize), DistError> {
+    let mut header = [0u8; 10];
+    r.read_exact(&mut header)?;
+    if &header[0..4] != WIRE_MAGIC {
+        return perr("bad frame magic");
+    }
+    if header[4] != WIRE_VERSION {
+        return perr(format!(
+            "unsupported wire version {} (expected {WIRE_VERSION})",
+            header[4]
+        ));
+    }
+    let type_byte = header[5];
+    let len = u32::from_le_bytes(header[6..10].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_LEN {
+        return perr(format!("frame length {len} exceeds limit {MAX_FRAME_LEN}"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let msg = Message::decode_payload(type_byte, &payload)?;
+    Ok((msg, 10 + len as usize))
+}
+
+#[cfg(test)]
+mod proto_tests {
+    use super::*;
+
+    fn samples() -> Vec<Message> {
+        vec![
+            Message::Hello { node_id: 3 },
+            Message::HelloAck { node_id: 3 },
+            Message::Job {
+                task: "kmeans".into(),
+                params: vec![4, 2],
+                layout: vec![1, 2, 3],
+                dataset: "/tmp/points.frds".into(),
+                shard_first: 100,
+                shard_rows: 50,
+                threads: 2,
+                trace_level: 1,
+            },
+            Message::Round {
+                round: 7,
+                state: vec![1.5, -2.0],
+            },
+            Message::RoundResult {
+                round: 7,
+                cells: vec![9, 8, 7],
+            },
+            Message::EndJob,
+            Message::JobDone { trace: vec![4, 5] },
+            Message::Shutdown,
+            Message::Error {
+                message: "disk on fire".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_over_a_buffer() {
+        let msgs = samples();
+        let mut wire = Vec::new();
+        let mut sent = 0;
+        for m in &msgs {
+            sent += write_message(&mut wire, m).unwrap();
+        }
+        assert_eq!(sent, wire.len());
+        let mut cursor = &wire[..];
+        let mut recv = 0;
+        for m in &msgs {
+            let (back, n) = read_message(&mut cursor).unwrap();
+            assert_eq!(&back, m);
+            recv += n;
+        }
+        assert_eq!(recv, wire.len());
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut frame = Message::EndJob.encode();
+        frame[0] = b'X';
+        let err = read_message(&mut &frame[..]).unwrap_err();
+        assert!(matches!(err, DistError::Protocol { .. }), "{err}");
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut frame = Message::EndJob.encode();
+        frame[4] = 42;
+        let err = read_message(&mut &frame[..]).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut frame = Message::EndJob.encode();
+        frame[5] = 200;
+        assert!(matches!(
+            read_message(&mut &frame[..]),
+            Err(DistError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocating() {
+        let mut frame = Message::EndJob.encode();
+        frame[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_message(&mut &frame[..]).unwrap_err();
+        assert!(err.to_string().contains("exceeds limit"), "{err}");
+    }
+
+    #[test]
+    fn truncated_frames_are_io_or_protocol_never_panic() {
+        for msg in samples() {
+            let frame = msg.encode();
+            for n in 0..frame.len() {
+                assert!(
+                    read_message(&mut &frame[..n]).is_err(),
+                    "{}[..{n}]",
+                    msg.kind_name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_payload_bytes_rejected() {
+        let mut frame = Message::Hello { node_id: 1 }.encode();
+        // Grow the payload by one byte and fix up the length field.
+        frame.push(0);
+        let len = (frame.len() - 10) as u32;
+        frame[6..10].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(
+            read_message(&mut &frame[..]),
+            Err(DistError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_inner_array_length_rejected() {
+        let msg = Message::Round {
+            round: 1,
+            state: vec![1.0, 2.0],
+        };
+        let mut frame = msg.encode();
+        // The state length field sits right after header(10) + round(4).
+        frame[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_message(&mut &frame[..]),
+            Err(DistError::Protocol { .. })
+        ));
+    }
+}

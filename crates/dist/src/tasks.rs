@@ -1,0 +1,282 @@
+//! The cluster task registry.
+//!
+//! Closures cannot cross a process boundary, so distributed jobs name a
+//! **task** from this registry instead; the `cfr-node` binary carries
+//! the same registry, making nodes self-contained. A task is
+//! parameterized by job-constant integers (`params`, e.g. `[k, d]` for
+//! k-means) and a per-round broadcast `state` vector (e.g. the current
+//! centroids), and provides:
+//!
+//! * the reduction-object layout,
+//! * the local-reduction kernel for one round, and
+//! * the coordinator-side `step` that folds the globally combined
+//!   object into the next round's state (the FREERIDE outer loop).
+//!
+//! Built-in tasks: `"sum"`, `"kmeans"`, `"pca.mean"`, `"pca.cov"` —
+//! mirroring the kernels in `cfr-apps` so cluster results are
+//! differentially testable against the single-process drivers.
+
+use std::sync::Arc;
+
+use freeride::{CombineOp, GroupSpec, RObjHandle, RObjLayout, ReductionObject, Split};
+
+use crate::error::DistError;
+
+/// A per-round kernel closure, boxed for storage in a task instance.
+pub type TaskKernel = Box<dyn Fn(&Split<'_>, &mut dyn RObjHandle) + Sync + Send>;
+
+/// The names of all built-in tasks.
+pub const BUILTIN_TASKS: &[&str] = &["sum", "kmeans", "pca.mean", "pca.cov"];
+
+fn bad<T>(reason: impl Into<String>) -> Result<T, DistError> {
+    Err(DistError::BadTask {
+        reason: reason.into(),
+    })
+}
+
+fn param(params: &[i64], i: usize, task: &str, what: &str) -> Result<usize, DistError> {
+    match params.get(i) {
+        Some(&v) if v > 0 => Ok(v as usize),
+        Some(&v) => bad(format!("{task}: {what} must be positive, got {v}")),
+        None => bad(format!("{task}: missing param {i} ({what})")),
+    }
+}
+
+/// The reduction-object layout for `task` with `params`.
+pub fn layout(task: &str, params: &[i64]) -> Result<Arc<RObjLayout>, DistError> {
+    match task {
+        "sum" => Ok(RObjLayout::new(vec![GroupSpec::new(
+            "sum",
+            1,
+            CombineOp::Sum,
+        )])),
+        "kmeans" => {
+            let k = param(params, 0, task, "k")?;
+            let d = param(params, 1, task, "d")?;
+            Ok(RObjLayout::new(vec![GroupSpec::new(
+                "newCent",
+                k * (d + 1),
+                CombineOp::Sum,
+            )]))
+        }
+        "pca.mean" => {
+            let rows = param(params, 0, task, "rows")?;
+            Ok(RObjLayout::new(vec![GroupSpec::new(
+                "mean",
+                rows,
+                CombineOp::Sum,
+            )]))
+        }
+        "pca.cov" => {
+            let rows = param(params, 0, task, "rows")?;
+            Ok(RObjLayout::new(vec![GroupSpec::new(
+                "cov",
+                rows * rows,
+                CombineOp::Sum,
+            )]))
+        }
+        other => bad(format!(
+            "unknown task `{other}` (built-ins: {BUILTIN_TASKS:?})"
+        )),
+    }
+}
+
+/// Build the local-reduction kernel for one round of `task`, capturing
+/// this round's broadcast `state`. State length is validated against
+/// `params`.
+pub fn kernel(task: &str, params: &[i64], state: &[f64]) -> Result<TaskKernel, DistError> {
+    match task {
+        "sum" => Ok(Box::new(|split: &Split<'_>, robj: &mut dyn RObjHandle| {
+            for row in split.iter_rows() {
+                for &x in row {
+                    robj.accumulate(0, 0, x);
+                }
+            }
+        })),
+        "kmeans" => {
+            let k = param(params, 0, task, "k")?;
+            let d = param(params, 1, task, "d")?;
+            if state.len() != k * d {
+                return bad(format!(
+                    "kmeans: state holds {} values, expected k*d = {}",
+                    state.len(),
+                    k * d
+                ));
+            }
+            let cents = state.to_vec();
+            Ok(Box::new(
+                move |split: &Split<'_>, robj: &mut dyn RObjHandle| {
+                    for row in split.iter_rows() {
+                        let mut best = 0usize;
+                        let mut best_dist = f64::INFINITY;
+                        for c in 0..k {
+                            let centre = &cents[c * d..(c + 1) * d];
+                            let mut dist = 0.0;
+                            for j in 0..d {
+                                let diff = row[j] - centre[j];
+                                dist += diff * diff;
+                            }
+                            if dist < best_dist {
+                                best_dist = dist;
+                                best = c;
+                            }
+                        }
+                        for (j, &x) in row.iter().enumerate().take(d) {
+                            robj.accumulate(0, best * (d + 1) + j, x);
+                        }
+                        robj.accumulate(0, best * (d + 1) + d, 1.0);
+                    }
+                },
+            ))
+        }
+        "pca.mean" => {
+            let rows = param(params, 0, task, "rows")?;
+            Ok(Box::new(
+                move |split: &Split<'_>, robj: &mut dyn RObjHandle| {
+                    for row in split.iter_rows() {
+                        for (a, &x) in row.iter().enumerate().take(rows) {
+                            robj.accumulate(0, a, x);
+                        }
+                    }
+                },
+            ))
+        }
+        "pca.cov" => {
+            let rows = param(params, 0, task, "rows")?;
+            if state.len() != rows {
+                return bad(format!(
+                    "pca.cov: state holds {} values, expected rows = {rows}",
+                    state.len()
+                ));
+            }
+            let mean = state.to_vec();
+            Ok(Box::new(
+                move |split: &Split<'_>, robj: &mut dyn RObjHandle| {
+                    for row in split.iter_rows() {
+                        for a in 0..rows {
+                            let da = row[a] - mean[a];
+                            for b in 0..rows {
+                                let db = row[b] - mean[b];
+                                robj.accumulate(0, a * rows + b, da * db);
+                            }
+                        }
+                    }
+                },
+            ))
+        }
+        other => bad(format!(
+            "unknown task `{other}` (built-ins: {BUILTIN_TASKS:?})"
+        )),
+    }
+}
+
+/// Coordinator-side outer-loop step: fold the globally combined object
+/// into the next round's state. Returns `None` when the task carries no
+/// iterative state (the state is rebroadcast unchanged).
+pub fn step(
+    task: &str,
+    params: &[i64],
+    state: &[f64],
+    merged: &ReductionObject,
+) -> Result<Option<Vec<f64>>, DistError> {
+    match task {
+        "kmeans" => {
+            let k = param(params, 0, task, "k")?;
+            let d = param(params, 1, task, "d")?;
+            let cells = merged.group_slice(0);
+            let mut next = state.to_vec();
+            for c in 0..k {
+                let count = cells[c * (d + 1) + d];
+                if count > 0.0 {
+                    for j in 0..d {
+                        next[c * d + j] = cells[c * (d + 1) + j] / count;
+                    }
+                }
+            }
+            Ok(Some(next))
+        }
+        "sum" | "pca.mean" | "pca.cov" => Ok(None),
+        other => bad(format!(
+            "unknown task `{other}` (built-ins: {BUILTIN_TASKS:?})"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tasks_tests {
+    use super::*;
+    use freeride::DataView;
+
+    fn run_local(
+        task: &str,
+        params: &[i64],
+        state: &[f64],
+        data: &[f64],
+        unit: usize,
+    ) -> ReductionObject {
+        let l = layout(task, params).unwrap();
+        let k = kernel(task, params, state).unwrap();
+        let mut robj = ReductionObject::alloc(l);
+        let view = DataView::new(data, unit).unwrap();
+        let split = view.split(0, view.rows());
+        k(&split, &mut robj);
+        robj
+    }
+
+    #[test]
+    fn sum_task_sums_everything() {
+        let robj = run_local("sum", &[], &[], &[1.0, 2.0, 3.0, 4.0], 2);
+        assert_eq!(robj.get(0, 0), 10.0);
+    }
+
+    #[test]
+    fn kmeans_task_counts_every_point_once() {
+        let (k, d) = (2usize, 2usize);
+        let data = vec![0.0, 0.0, 0.1, 0.1, 5.0, 5.0, 5.1, 4.9];
+        let cents = vec![0.0, 0.0, 5.0, 5.0];
+        let robj = run_local("kmeans", &[k as i64, d as i64], &cents, &data, d);
+        let cells = robj.group_slice(0);
+        assert_eq!(cells[d] + cells[(d + 1) + d], 4.0); // counts sum to n
+        assert_eq!(cells[d], 2.0);
+        // step averages the sums
+        let next = step("kmeans", &[2, 2], &cents, &robj).unwrap().unwrap();
+        assert!((next[0] - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pca_tasks_match_manual_formulas() {
+        let rows = 2usize;
+        let data = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 3 samples
+        let mean_robj = run_local("pca.mean", &[rows as i64], &[], &data, rows);
+        assert_eq!(mean_robj.group_slice(0), &[9.0, 12.0]);
+        let mean: Vec<f64> = mean_robj.group_slice(0).iter().map(|s| s / 3.0).collect();
+        let cov = run_local("pca.cov", &[rows as i64], &mean, &data, rows);
+        // scatter[0][0] = sum (x0 - 3)^2 = 4 + 0 + 4 = 8
+        assert_eq!(cov.get(0, 0), 8.0);
+        assert_eq!(step("pca.cov", &[rows as i64], &mean, &cov).unwrap(), None);
+    }
+
+    #[test]
+    fn bad_tasks_and_state_are_typed_errors() {
+        assert!(matches!(
+            layout("nope", &[]),
+            Err(DistError::BadTask { .. })
+        ));
+        assert!(matches!(
+            kernel("kmeans", &[2], &[]),
+            Err(DistError::BadTask { .. })
+        ));
+        assert!(matches!(
+            kernel("kmeans", &[2, 2], &[0.0]),
+            Err(DistError::BadTask { .. })
+        ));
+        assert!(matches!(
+            kernel("kmeans", &[0, 2], &[]),
+            Err(DistError::BadTask { .. })
+        ));
+        assert!(matches!(
+            kernel("pca.cov", &[3], &[0.0]),
+            Err(DistError::BadTask { .. })
+        ));
+    }
+}

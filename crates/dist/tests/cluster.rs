@@ -1,0 +1,211 @@
+//! End-to-end loopback cluster tests: coordinator + node agents over
+//! real TCP sockets on 127.0.0.1, in-process for determinism.
+
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use freeride_dist::proto::{read_message, write_message, Message};
+use freeride_dist::{run_loopback, ClusterConfig, Coordinator, DistError, LoopbackCluster};
+use obs::TraceLevel;
+
+fn dataset(tag: &str, unit: usize, data: &[f64]) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("freeride-dist-{tag}-{}.frds", std::process::id()));
+    freeride::source::write_dataset(&path, unit, data).unwrap();
+    path
+}
+
+#[test]
+fn sum_task_matches_direct_sum_at_every_cluster_size() {
+    let data: Vec<f64> = (0..1200).map(|i| (i as f64 * 0.13).sin()).collect();
+    let expected: f64 = data.iter().sum();
+    let path = dataset("sum", 4, &data);
+    for nodes in [1usize, 2, 4] {
+        let cfg = ClusterConfig::new("sum", &path);
+        let out = run_loopback(cfg, nodes).unwrap();
+        assert!(
+            (out.robj.get(0, 0) - expected).abs() < 1e-9,
+            "{nodes} nodes: {} != {expected}",
+            out.robj.get(0, 0)
+        );
+        assert_eq!(out.stats.nodes, nodes);
+        assert_eq!(out.stats.rounds, 1);
+        assert!(out.stats.bytes_sent > 0 && out.stats.bytes_recv > 0);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn traced_run_merges_nodes_as_separate_pids() {
+    let data: Vec<f64> = (0..400).map(|i| i as f64).collect();
+    let path = dataset("trace", 2, &data);
+    let mut cfg = ClusterConfig::new("sum", &path);
+    cfg.trace = TraceLevel::Phases;
+    cfg.rounds = 2;
+    let out = run_loopback(cfg, 2).unwrap();
+    let trace = out.trace.expect("tracing was on");
+    // Coordinator on pid 0, nodes on pids 1 and 2.
+    let pids: std::collections::BTreeSet<usize> = trace.spans.iter().map(|s| s.pid).collect();
+    assert_eq!(pids, [0usize, 1, 2].into_iter().collect());
+    // node.pass per node per round, cluster spans on the coordinator.
+    assert_eq!(trace.count("node.pass"), 4);
+    assert!(trace.count("cluster.round") == 2);
+    assert!(trace.count("cluster.combine") == 2);
+    assert_eq!(trace.counters["dist.rounds"], 2 + 4); // coordinator 2, 2 per node
+    assert!(trace.counters["dist.bytes_sent"] > 0);
+    assert!(trace.counters["dist.bytes_recv"] > 0);
+    // Per-node engine stats were reconstructed from shipped traces.
+    assert_eq!(out.stats.node_stats.len(), 2);
+    // The exported Chrome trace passes the validator with 3 pid tracks.
+    let summary = obs::validate_chrome_trace(&trace.chrome_json()).unwrap();
+    assert_eq!(summary.pids, 3);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn unknown_task_is_a_typed_error() {
+    let data = vec![1.0; 16];
+    let path = dataset("badtask", 2, &data);
+    let err = run_loopback(ClusterConfig::new("no-such-task", &path), 1).unwrap_err();
+    assert!(matches!(err, DistError::BadTask { .. }), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_dataset_is_a_typed_error() {
+    let err = run_loopback(ClusterConfig::new("sum", "/nonexistent/nowhere.frds"), 1).unwrap_err();
+    assert!(
+        matches!(err, DistError::Engine(_) | DistError::Io(_)),
+        "{err}"
+    );
+}
+
+/// A "node" that handshakes, accepts the job, then drops the connection
+/// mid-round. The coordinator must surface a clean typed error — the
+/// read timeout path — not hang.
+#[test]
+fn node_dropping_mid_round_surfaces_clean_error_not_hang() {
+    let data = vec![1.0; 64];
+    let path = dataset("drop", 2, &data);
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let saboteur = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let (hello, _) = read_message(&mut stream).unwrap();
+        let Message::Hello { node_id } = hello else {
+            panic!("expected Hello")
+        };
+        write_message(&mut stream, &Message::HelloAck { node_id }).unwrap();
+        let _job = read_message(&mut stream).unwrap();
+        let _round = read_message(&mut stream).unwrap();
+        // Drop the stream without answering the round.
+        drop(stream);
+    });
+
+    let mut cfg = ClusterConfig::new("sum", &path);
+    cfg.read_timeout = Duration::from_millis(500);
+    let start = std::time::Instant::now();
+    let err = Coordinator::new(cfg).run(&[addr]).unwrap_err();
+    saboteur.join().unwrap();
+    // A dropped connection surfaces as a node/timeout error quickly;
+    // never as a hang (generous bound for slow CI).
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "took {:?}",
+        start.elapsed()
+    );
+    assert!(
+        matches!(
+            err,
+            DistError::Node { node: 0, .. } | DistError::Timeout { node: 0, .. }
+        ),
+        "{err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// A node that hangs (connected but silent) trips the read timeout.
+#[test]
+fn silent_node_trips_read_timeout() {
+    let data = vec![1.0; 64];
+    let path = dataset("silent", 2, &data);
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+    let hanger = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        // Hold the socket open but never speak.
+        release_rx.recv().ok();
+        drop(stream);
+    });
+
+    let mut cfg = ClusterConfig::new("sum", &path);
+    cfg.read_timeout = Duration::from_millis(300);
+    let err = Coordinator::new(cfg).run(&[addr]).unwrap_err();
+    assert!(err.is_timeout(), "{err}");
+    assert!(err.to_string().contains("HelloAck"), "{err}");
+    release_tx.send(()).ok();
+    hanger.join().unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+/// Version-skewed frames are rejected with a protocol error, end to end
+/// over a real socket.
+#[test]
+fn version_mismatched_frame_rejected_over_socket() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || freeride_dist::node::serve(&listener));
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut frame = Message::Hello { node_id: 0 }.encode();
+    frame[4] = 99; // wire version byte
+    use std::io::Write;
+    stream.write_all(&frame).unwrap();
+    let err = server.join().unwrap().unwrap_err();
+    assert!(err.to_string().contains("version"), "{err}");
+}
+
+/// Iterative state broadcast: with 2 rounds of k-means the centroids
+/// move, and the loopback cluster stays in lockstep.
+#[test]
+fn kmeans_two_rounds_update_state() {
+    let (n, d, k) = (60usize, 2usize, 2usize);
+    let data: Vec<f64> = (0..n)
+        .flat_map(|i| {
+            let base = if i % 2 == 0 { 0.0 } else { 10.0 };
+            [base + (i as f64 * 0.01), base - (i as f64 * 0.01)]
+        })
+        .collect();
+    let path = dataset("kmeans2", d, &data);
+    let mut cfg = ClusterConfig::new("kmeans", &path);
+    cfg.params = vec![k as i64, d as i64];
+    cfg.init_state = vec![1.0, 1.0, 9.0, 9.0];
+    cfg.rounds = 2;
+    let out = run_loopback(cfg, 2).unwrap();
+    assert_eq!(out.state.len(), k * d);
+    assert_ne!(out.state, vec![1.0, 1.0, 9.0, 9.0], "centroids should move");
+    // Counts cover every point exactly once.
+    let cells = out.robj.group_slice(0);
+    let total: f64 = (0..k).map(|c| cells[c * (d + 1) + d]).sum();
+    assert_eq!(total, n as f64);
+    std::fs::remove_file(&path).ok();
+}
+
+/// LoopbackCluster::spawn + explicit Coordinator composition (the
+/// pieces `run_loopback` glues together).
+#[test]
+fn explicit_cluster_composition() {
+    let data = vec![2.0; 100];
+    let path = dataset("explicit", 2, &data);
+    let cluster = LoopbackCluster::spawn(3).unwrap();
+    assert_eq!(cluster.addrs().len(), 3);
+    let out = Coordinator::new(ClusterConfig::new("sum", &path))
+        .run(cluster.addrs())
+        .unwrap();
+    cluster.join().unwrap();
+    assert_eq!(out.robj.get(0, 0), 200.0);
+    std::fs::remove_file(&path).ok();
+}

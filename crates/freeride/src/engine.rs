@@ -335,9 +335,63 @@ impl Engine {
     where
         K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
     {
+        self.run_file_shard_with(file, 0, file.rows(), layout, kernel, combination, finalize)
+    }
+
+    /// Run one reduction loop over a `first_row .. first_row + row_count`
+    /// **shard** of a disk-resident dataset with the default combination
+    /// — see [`Engine::run_file_shard_with`].
+    pub fn run_file_shard<K>(
+        &self,
+        file: &crate::source::FileDataset,
+        first_row: usize,
+        row_count: usize,
+        layout: &Arc<RObjLayout>,
+        kernel: &K,
+    ) -> Result<JobOutcome, crate::FreerideError>
+    where
+        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+    {
+        self.run_file_shard_with(file, first_row, row_count, layout, kernel, None, None)
+    }
+
+    /// Run one reduction loop over a sub-range of a shared dataset file,
+    /// so a cluster node processes only its shard without copying the
+    /// file. Splits are cut from the shard (not the whole file) and
+    /// their `first_row` is absolute, so kernels that use row indices
+    /// behave identically whether they see the shard or the whole file.
+    /// Shard results from a disjoint cover of the file combine (via
+    /// [`ReductionObject::merge_from`] or the distributed coordinator)
+    /// to the full-file result.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_file_shard_with<K>(
+        &self,
+        file: &crate::source::FileDataset,
+        shard_first: usize,
+        shard_rows: usize,
+        layout: &Arc<RObjLayout>,
+        kernel: &K,
+        combination: Option<&CombinationFn>,
+        finalize: Option<&FinalizeFn>,
+    ) -> Result<JobOutcome, crate::FreerideError>
+    where
+        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+    {
+        if shard_first.checked_add(shard_rows).is_none_or(|end| end > file.rows()) {
+            return Err(crate::FreerideError::BadDataset {
+                reason: format!(
+                    "shard {shard_first}..{} exceeds {} rows",
+                    shard_first.saturating_add(shard_rows),
+                    file.rows()
+                ),
+            });
+        }
         let wall_start = Instant::now();
         let threads = self.config.threads.max(1);
-        let ranges = self.config.splitter.ranges(file.rows(), threads);
+        let mut ranges = self.config.splitter.ranges(shard_rows, threads);
+        for r in &mut ranges {
+            r.0 += shard_first;
+        }
         let unit = file.unit();
         let mut counters = PoolCounters::start(&self.pool);
 
@@ -1308,6 +1362,61 @@ mod engine_tests {
             (from_disk.robj.get(0, 0) - from_mem.robj.get(0, 0)).abs() < 1e-12,
             "disk and memory runs disagree"
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Disjoint shard runs merge to exactly the full-file result — the
+    /// invariant the distributed coordinator relies on.
+    #[test]
+    fn shard_results_combine_to_full_file_result() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("freeride-engine-shard-{}.frds", std::process::id()));
+        let raw: Vec<f64> = (0..900).map(|i| (i as f64 * 0.37).sin()).collect();
+        crate::source::write_dataset(&path, 3, &raw).unwrap();
+        let file = crate::source::FileDataset::open(&path).unwrap();
+        let engine = Engine::new(JobConfig::with_threads(2));
+
+        let full = engine.run_file(&file, &sum_layout(), &sum_kernel).unwrap();
+        for nodes in [1usize, 2, 3, 4] {
+            let mut merged = ReductionObject::alloc(sum_layout());
+            let mut covered = 0;
+            for n in 0..nodes {
+                let first = n * file.rows() / nodes;
+                let count = (n + 1) * file.rows() / nodes - first;
+                let out =
+                    engine.run_file_shard(&file, first, count, &sum_layout(), &sum_kernel).unwrap();
+                merged.merge_from(&out.robj);
+                covered += count;
+            }
+            assert_eq!(covered, file.rows());
+            assert!(
+                (merged.get(0, 0) - full.robj.get(0, 0)).abs() < 1e-9,
+                "{nodes}-shard merge {} != full {}",
+                merged.get(0, 0),
+                full.robj.get(0, 0)
+            );
+        }
+
+        // Splits carry absolute row indices, so index-dependent kernels
+        // are shard-invariant.
+        let idx_kernel = |split: &Split<'_>, robj: &mut dyn RObjHandle| {
+            for r in 0..split.row_count {
+                let row = split.row(r);
+                robj.accumulate(0, 0, row[0] * (split.first_row + r) as f64);
+            }
+        };
+        let full = engine.run_file(&file, &sum_layout(), &idx_kernel).unwrap();
+        let a = engine.run_file_shard(&file, 0, 100, &sum_layout(), &idx_kernel).unwrap();
+        let b = engine.run_file_shard(&file, 100, 200, &sum_layout(), &idx_kernel).unwrap();
+        let mut merged = a.robj;
+        merged.merge_from(&b.robj);
+        assert!((merged.get(0, 0) - full.robj.get(0, 0)).abs() < 1e-9);
+
+        // Out-of-range shards are a typed error, not a panic.
+        assert!(matches!(
+            engine.run_file_shard(&file, 200, 200, &sum_layout(), &sum_kernel),
+            Err(crate::FreerideError::BadDataset { .. })
+        ));
         std::fs::remove_file(&path).ok();
     }
 

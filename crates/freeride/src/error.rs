@@ -19,6 +19,12 @@ pub enum FreerideError {
         /// Description of the problem.
         reason: String,
     },
+    /// A serialized reduction-object frame was malformed, truncated, or
+    /// of an unsupported version (see [`crate::robj`]'s codec).
+    Codec {
+        /// Description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FreerideError {
@@ -29,6 +35,7 @@ impl fmt::Display for FreerideError {
             }
             FreerideError::Io(e) => write!(f, "dataset I/O error: {e}"),
             FreerideError::BadDataset { reason } => write!(f, "bad dataset: {reason}"),
+            FreerideError::Codec { reason } => write!(f, "bad reduction-object frame: {reason}"),
         }
     }
 }
@@ -58,5 +65,7 @@ mod error_tests {
         assert!(e.to_string().contains("10 slots"));
         let e = FreerideError::BadDataset { reason: "short read".into() };
         assert!(e.to_string().contains("short read"));
+        let e = FreerideError::Codec { reason: "truncated frame".into() };
+        assert!(e.to_string().contains("truncated frame"));
     }
 }

@@ -7,8 +7,17 @@
 //! assigns every element a unique `(group, index)` ID, and
 //! [`ReductionObject::accumulate`] applies the group's associative,
 //! commutative combine operation.
+//!
+//! The module also defines the **versioned binary codec** for layouts
+//! and cell snapshots ([`RObjLayout::encode`],
+//! [`ReductionObject::encode_cells`], …) shared by the distributed
+//! engine's wire protocol (`crates/dist`) and future checkpointing.
+//! Decoding untrusted bytes never panics: malformed, truncated, or
+//! version-mismatched frames return [`FreerideError::Codec`].
 
 use std::sync::Arc;
+
+use crate::FreerideError;
 
 /// An associative + commutative combine operation for one group of cells.
 ///
@@ -275,6 +284,268 @@ impl ReductionObject {
     }
 }
 
+// ---------------------------------------------------------------------
+// Versioned binary codec (wire protocol + checkpointing)
+// ---------------------------------------------------------------------
+
+/// Frame magic of every serialized reduction-object frame.
+const CODEC_MAGIC: &[u8; 4] = b"FRRO";
+/// Codec version; bumped on any incompatible format change. Decoders
+/// reject frames of any other version with a typed error.
+const CODEC_VERSION: u16 = 1;
+const KIND_LAYOUT: u8 = 1;
+const KIND_CELLS: u8 = 2;
+const KIND_SNAPSHOT: u8 = 3;
+/// Sanity bounds on untrusted length fields, so a corrupt frame cannot
+/// trigger a huge allocation before the truncation check fires.
+const MAX_GROUPS: u32 = 1 << 20;
+const MAX_NAME_LEN: u32 = 1 << 16;
+
+fn codec_err(reason: impl Into<String>) -> FreerideError {
+    FreerideError::Codec { reason: reason.into() }
+}
+
+/// Checked little-endian reader over an untrusted frame.
+struct FrameReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameReader<'a> {
+    fn new(buf: &'a [u8]) -> FrameReader<'a> {
+        FrameReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], FreerideError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| codec_err(format!("truncated frame: {what}")))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, FreerideError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, FreerideError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, FreerideError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, FreerideError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, FreerideError> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn finish(self) -> Result<(), FreerideError> {
+        if self.pos != self.buf.len() {
+            return Err(codec_err(format!("{} trailing bytes after frame", self.remaining())));
+        }
+        Ok(())
+    }
+
+    /// Validate magic + version and return the frame kind.
+    fn header(&mut self) -> Result<u8, FreerideError> {
+        let magic = self.take(4, "magic")?;
+        if magic != CODEC_MAGIC {
+            return Err(codec_err("bad magic"));
+        }
+        let version = self.u16("version")?;
+        if version != CODEC_VERSION {
+            return Err(codec_err(format!(
+                "unsupported codec version {version} (expected {CODEC_VERSION})"
+            )));
+        }
+        self.u8("kind")
+    }
+}
+
+fn put_header(out: &mut Vec<u8>, kind: u8) {
+    out.extend_from_slice(CODEC_MAGIC);
+    out.extend_from_slice(&CODEC_VERSION.to_le_bytes());
+    out.push(kind);
+}
+
+impl CombineOp {
+    fn tag(&self) -> Result<u8, FreerideError> {
+        match self {
+            CombineOp::Sum => Ok(0),
+            CombineOp::Min => Ok(1),
+            CombineOp::Max => Ok(2),
+            CombineOp::Product => Ok(3),
+            // A closure cannot cross a process boundary; distributed
+            // jobs must use the built-in ops (or a registered task that
+            // reconstructs its custom op on the node side).
+            CombineOp::Custom(_) => {
+                Err(codec_err("CombineOp::Custom is not serializable"))
+            }
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<CombineOp, FreerideError> {
+        match tag {
+            0 => Ok(CombineOp::Sum),
+            1 => Ok(CombineOp::Min),
+            2 => Ok(CombineOp::Max),
+            3 => Ok(CombineOp::Product),
+            other => Err(codec_err(format!("unknown combine-op tag {other}"))),
+        }
+    }
+}
+
+impl RObjLayout {
+    fn encode_body(&self, out: &mut Vec<u8>) -> Result<(), FreerideError> {
+        out.extend_from_slice(&(self.groups.len() as u32).to_le_bytes());
+        for g in &self.groups {
+            let name = g.name.as_bytes();
+            if name.len() > MAX_NAME_LEN as usize {
+                return Err(codec_err(format!("group name of {} bytes too long", name.len())));
+            }
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name);
+            out.extend_from_slice(&(g.len as u64).to_le_bytes());
+            out.push(g.op.tag()?);
+            out.extend_from_slice(&g.init.to_le_bytes());
+        }
+        Ok(())
+    }
+
+    fn decode_body(r: &mut FrameReader<'_>) -> Result<Arc<RObjLayout>, FreerideError> {
+        let count = r.u32("group count")?;
+        if count > MAX_GROUPS {
+            return Err(codec_err(format!("implausible group count {count}")));
+        }
+        let mut groups = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let name_len = r.u32("group name length")?;
+            if name_len > MAX_NAME_LEN {
+                return Err(codec_err(format!("implausible name length {name_len}")));
+            }
+            let name = std::str::from_utf8(r.take(name_len as usize, "group name")?)
+                .map_err(|_| codec_err("group name is not UTF-8"))?
+                .to_string();
+            let len = r.u64("group length")?;
+            let op = CombineOp::from_tag(r.u8("combine-op tag")?)?;
+            let init = r.f64("group init")?;
+            groups.push(GroupSpec { name, len: len as usize, op, init });
+        }
+        Ok(RObjLayout::new(groups))
+    }
+
+    /// Serialize the layout as a versioned binary frame (built-in
+    /// combine ops only; [`CombineOp::Custom`] returns a typed error).
+    pub fn encode(&self) -> Result<Vec<u8>, FreerideError> {
+        let mut out = Vec::with_capacity(16 + self.groups.len() * 32);
+        put_header(&mut out, KIND_LAYOUT);
+        self.encode_body(&mut out)?;
+        Ok(out)
+    }
+
+    /// Decode a layout frame produced by [`RObjLayout::encode`]. Never
+    /// panics on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Arc<RObjLayout>, FreerideError> {
+        let mut r = FrameReader::new(bytes);
+        if r.header()? != KIND_LAYOUT {
+            return Err(codec_err("frame is not a layout frame"));
+        }
+        let layout = RObjLayout::decode_body(&mut r)?;
+        r.finish()?;
+        Ok(layout)
+    }
+}
+
+fn encode_cells_body(out: &mut Vec<u8>, cells: &[f64]) {
+    out.extend_from_slice(&(cells.len() as u64).to_le_bytes());
+    for x in cells {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn decode_cells_body(
+    r: &mut FrameReader<'_>,
+    expected: usize,
+) -> Result<Vec<f64>, FreerideError> {
+    let count = r.u64("cell count")?;
+    if count != expected as u64 {
+        return Err(codec_err(format!(
+            "cell count {count} does not match layout's {expected} cells"
+        )));
+    }
+    if r.remaining() < expected * 8 {
+        return Err(codec_err("truncated frame: cell payload"));
+    }
+    let mut cells = Vec::with_capacity(expected);
+    for _ in 0..expected {
+        cells.push(r.f64("cell")?);
+    }
+    Ok(cells)
+}
+
+impl ReductionObject {
+    /// Serialize this object's cell values as a versioned binary frame.
+    /// The layout is *not* included — both sides of a wire exchange
+    /// share it from the job setup; see
+    /// [`ReductionObject::encode_snapshot`] for a self-contained frame.
+    pub fn encode_cells(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.cells.len() * 8);
+        put_header(&mut out, KIND_CELLS);
+        encode_cells_body(&mut out, &self.cells);
+        out
+    }
+
+    /// Decode a cells frame against a known layout. The frame's cell
+    /// count must match the layout exactly.
+    pub fn decode_cells(
+        layout: &Arc<RObjLayout>,
+        bytes: &[u8],
+    ) -> Result<ReductionObject, FreerideError> {
+        let mut r = FrameReader::new(bytes);
+        if r.header()? != KIND_CELLS {
+            return Err(codec_err("frame is not a cells frame"));
+        }
+        let cells = decode_cells_body(&mut r, layout.total_cells())?;
+        r.finish()?;
+        Ok(ReductionObject { layout: layout.clone(), cells })
+    }
+
+    /// Serialize layout *and* cells as one self-contained frame (the
+    /// checkpointing format).
+    pub fn encode_snapshot(&self) -> Result<Vec<u8>, FreerideError> {
+        let mut out = Vec::with_capacity(32 + self.cells.len() * 8);
+        put_header(&mut out, KIND_SNAPSHOT);
+        self.layout.encode_body(&mut out)?;
+        encode_cells_body(&mut out, &self.cells);
+        Ok(out)
+    }
+
+    /// Decode a self-contained snapshot frame produced by
+    /// [`ReductionObject::encode_snapshot`].
+    pub fn decode_snapshot(bytes: &[u8]) -> Result<ReductionObject, FreerideError> {
+        let mut r = FrameReader::new(bytes);
+        if r.header()? != KIND_SNAPSHOT {
+            return Err(codec_err("frame is not a snapshot frame"));
+        }
+        let layout = RObjLayout::decode_body(&mut r)?;
+        let cells = decode_cells_body(&mut r, layout.total_cells())?;
+        r.finish()?;
+        Ok(ReductionObject { layout, cells })
+    }
+}
+
 #[cfg(test)]
 mod robj_tests {
     use super::*;
@@ -398,5 +669,207 @@ mod robj_tests {
         r.accumulate(0, 0, 3.0);
         r.accumulate(0, 0, 4.0);
         assert_eq!(r.get(0, 0), 12.0);
+    }
+}
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_codec_err<T: std::fmt::Debug>(res: Result<T, FreerideError>) {
+        match res {
+            Err(FreerideError::Codec { .. }) => {}
+            other => panic!("expected Codec error, got {other:?}"),
+        }
+    }
+
+    fn layout2() -> Arc<RObjLayout> {
+        RObjLayout::new(vec![
+            GroupSpec::new("sums", 4, CombineOp::Sum),
+            GroupSpec::new("mins", 2, CombineOp::Min),
+        ])
+    }
+
+    #[test]
+    fn layout_round_trip() {
+        let l = RObjLayout::new(vec![
+            GroupSpec::new("a", 3, CombineOp::Sum),
+            GroupSpec::new("b", 1, CombineOp::Max).with_identity(-1.5),
+            GroupSpec::new("prod", 2, CombineOp::Product),
+        ]);
+        let back = RObjLayout::decode(&l.encode().unwrap()).unwrap();
+        assert_eq!(back.group_count(), 3);
+        for g in 0..3 {
+            assert_eq!(back.group(g).name, l.group(g).name);
+            assert_eq!(back.group(g).len, l.group(g).len);
+            assert_eq!(back.group(g).init, l.group(g).init);
+        }
+        assert_eq!(back.total_cells(), l.total_cells());
+    }
+
+    #[test]
+    fn cells_round_trip() {
+        let l = layout2();
+        let mut r = ReductionObject::alloc(l.clone());
+        r.accumulate(0, 2, 7.5);
+        r.accumulate(1, 0, -3.0);
+        let back = ReductionObject::decode_cells(&l, &r.encode_cells()).unwrap();
+        assert_eq!(back.cells(), r.cells());
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let mut r = ReductionObject::alloc(layout2());
+        r.accumulate(0, 0, 1.25);
+        r.accumulate(1, 1, f64::NEG_INFINITY);
+        let back = ReductionObject::decode_snapshot(&r.encode_snapshot().unwrap()).unwrap();
+        assert_eq!(back.cells(), r.cells());
+        assert_eq!(back.layout().group(0).name, "sums");
+    }
+
+    #[test]
+    fn custom_op_not_serializable() {
+        let op = CombineOp::Custom(Arc::new(f64::max));
+        let l = RObjLayout::new(vec![GroupSpec::new("c", 1, op)]);
+        assert_codec_err(l.encode());
+        assert_codec_err(ReductionObject::alloc(l).encode_snapshot());
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_an_error() {
+        let full = ReductionObject::alloc(layout2()).encode_snapshot().unwrap();
+        for n in 0..full.len() {
+            assert_codec_err(ReductionObject::decode_snapshot(&full[..n]));
+        }
+        let full = layout2().encode().unwrap();
+        for n in 0..full.len() {
+            assert_codec_err(RObjLayout::decode(&full[..n]));
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = layout2().encode().unwrap();
+        bytes.push(0);
+        assert_codec_err(RObjLayout::decode(&bytes));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = layout2().encode().unwrap();
+        bytes[0] = b'X';
+        assert_codec_err(RObjLayout::decode(&bytes));
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut bytes = layout2().encode().unwrap();
+        bytes[4] = 99; // version low byte
+        let err = RObjLayout::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version"), "got: {err}");
+    }
+
+    #[test]
+    fn wrong_kind_rejected() {
+        let layout = layout2().encode().unwrap();
+        assert_codec_err(ReductionObject::decode_snapshot(&layout));
+        let l = layout2();
+        let cells = ReductionObject::alloc(l.clone()).encode_cells();
+        assert_codec_err(RObjLayout::decode(&cells));
+        assert_codec_err(ReductionObject::decode_cells(&l, &layout));
+    }
+
+    #[test]
+    fn unknown_op_tag_rejected() {
+        let l = RObjLayout::new(vec![GroupSpec::new("a", 1, CombineOp::Sum)]);
+        let mut bytes = l.encode().unwrap();
+        // group record: u32 name_len + name + u64 len + u8 tag + f64 init;
+        // the tag byte sits 9 bytes before the end.
+        let tag_at = bytes.len() - 9;
+        bytes[tag_at] = 200;
+        assert_codec_err(RObjLayout::decode(&bytes));
+    }
+
+    #[test]
+    fn cell_count_mismatch_rejected() {
+        let l = layout2();
+        let small = RObjLayout::new(vec![GroupSpec::new("x", 1, CombineOp::Sum)]);
+        let frame = ReductionObject::alloc(small).encode_cells();
+        assert_codec_err(ReductionObject::decode_cells(&l, &frame));
+    }
+
+    #[test]
+    fn implausible_lengths_rejected_before_allocating() {
+        // Layout frame claiming u32::MAX groups: must fail fast, not OOM.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(CODEC_MAGIC);
+        bytes.extend_from_slice(&CODEC_VERSION.to_le_bytes());
+        bytes.push(KIND_LAYOUT);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_codec_err(RObjLayout::decode(&bytes));
+        // Cells frame claiming u64::MAX cells against a small layout.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(CODEC_MAGIC);
+        bytes.extend_from_slice(&CODEC_VERSION.to_le_bytes());
+        bytes.push(KIND_CELLS);
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert_codec_err(ReductionObject::decode_cells(&layout2(), &bytes));
+    }
+
+    fn arb_op() -> impl Strategy<Value = CombineOp> {
+        prop_oneof![
+            Just(CombineOp::Sum),
+            Just(CombineOp::Min),
+            Just(CombineOp::Max),
+            Just(CombineOp::Product),
+        ]
+    }
+
+    fn arb_layout() -> impl Strategy<Value = Arc<RObjLayout>> {
+        proptest::collection::vec((1usize..9, arb_op(), -4.0f64..4.0), 1..5).prop_map(|specs| {
+            RObjLayout::new(
+                specs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (len, op, init))| {
+                        GroupSpec::new(&format!("g{i}"), len, op).with_identity(init)
+                    })
+                    .collect(),
+            )
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_snapshot_round_trip(layout in arb_layout(), seed in 0u32..1000) {
+            let seed = seed as u64;
+            let mut r = ReductionObject::alloc(layout);
+            let n = r.cells().len();
+            for i in 0..n {
+                let v = ((seed.wrapping_mul(i as u64 + 1) % 97) as f64) - 48.0;
+                r.set(r.layout().cell_of(i).0, r.layout().cell_of(i).1, v);
+            }
+            let back = ReductionObject::decode_snapshot(&r.encode_snapshot().unwrap()).unwrap();
+            prop_assert_eq!(back.cells(), r.cells());
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..128)) {
+            // Any byte soup must yield Ok or a typed error, never a panic.
+            let _ = RObjLayout::decode(&bytes);
+            let _ = ReductionObject::decode_snapshot(&bytes);
+            let _ = ReductionObject::decode_cells(&layout2(), &bytes);
+        }
+
+        #[test]
+        fn prop_truncated_never_ok(layout in arb_layout(), cut in 0usize..64) {
+            let full = ReductionObject::alloc(layout).encode_snapshot().unwrap();
+            if cut < full.len() {
+                prop_assert!(ReductionObject::decode_snapshot(&full[..cut]).is_err());
+            }
+        }
     }
 }

@@ -1,19 +1,24 @@
 //! CI schema checker for exported Chrome traces.
 //!
-//! Usage: `trace-check <trace.json> [--expect <span-name>]...`
+//! Usage: `trace-check <trace.json> [--expect <span-name>]... [--min-pids <n>]`
 //!
 //! Exits non-zero if the file is not a valid Chrome `trace_event`
-//! document in the shape this workspace exports, or if any `--expect`ed
-//! span name is absent.
+//! document in the shape this workspace exports, if any `--expect`ed
+//! span name is absent, or if the trace has fewer than `--min-pids`
+//! process tracks (multi-node cluster traces merge each node as its own
+//! `pid` track).
 
 use std::process::ExitCode;
 
 use obs::validate_chrome_trace;
 
+const USAGE: &str = "usage: trace-check <trace.json> [--expect <span-name>]... [--min-pids <n>]";
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut path: Option<String> = None;
     let mut expected: Vec<String> = Vec::new();
+    let mut min_pids: usize = 0;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--expect" => match args.next() {
@@ -23,8 +28,15 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--min-pids" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => min_pids = n,
+                None => {
+                    eprintln!("trace-check: --min-pids requires a count");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: trace-check <trace.json> [--expect <span-name>]...");
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other if path.is_none() => path = Some(other.to_string()),
@@ -35,7 +47,7 @@ fn main() -> ExitCode {
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: trace-check <trace.json> [--expect <span-name>]...");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
 
@@ -59,6 +71,13 @@ fn main() -> ExitCode {
             eprintln!("trace-check: {path}: expected span `{name}` not found");
             ok = false;
         }
+    }
+    if summary.pids < min_pids {
+        eprintln!(
+            "trace-check: {path}: expected at least {min_pids} process tracks, found {}",
+            summary.pids
+        );
+        ok = false;
     }
     println!(
         "trace-check: {path}: {} events, {} worker tracks, {} process tracks, spans: {}",

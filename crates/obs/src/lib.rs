@@ -41,10 +41,12 @@
 mod chrome;
 mod json;
 mod report;
+mod wire;
 
 pub use chrome::{validate_chrome_trace, ChromeTraceSummary};
 pub use json::{parse_json, JsonValue};
 pub use report::{render_comparison, PhaseRow, TraceReport};
+pub use wire::{intern, TraceDecodeError};
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;

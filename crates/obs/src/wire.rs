@@ -1,0 +1,300 @@
+//! Binary wire codec for [`Trace`] — lets a cluster node ship its
+//! drained trace to the coordinator, which merges it as a separate
+//! Chrome `pid` track ([`Trace::merge_as`]).
+//!
+//! Format: magic `b"FRTR"`, version `u16`, then length-prefixed span /
+//! counter / gauge sections, all little-endian. Decoding untrusted
+//! bytes never panics: malformed, truncated, or version-mismatched
+//! frames return [`TraceDecodeError`]. Span `name`/`cat` are
+//! `&'static str` in [`SpanRecord`], so the decoder interns incoming
+//! strings ([`intern`]) — the deduplicated set leaks by design (span
+//! names are a small closed vocabulary per build).
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+use crate::{AttrValue, SpanRecord, Trace};
+
+const MAGIC: &[u8; 4] = b"FRTR";
+const VERSION: u16 = 1;
+/// Bounds on untrusted length fields so a corrupt frame cannot trigger
+/// a huge allocation before the truncation check fires.
+const MAX_STR_LEN: u32 = 1 << 16;
+const MAX_ITEMS: u32 = 1 << 24;
+
+/// Error decoding a serialized trace frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDecodeError {
+    /// Description of the problem.
+    pub reason: String,
+}
+
+impl std::fmt::Display for TraceDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad trace frame: {}", self.reason)
+    }
+}
+
+impl std::error::Error for TraceDecodeError {}
+
+fn err<T>(reason: impl Into<String>) -> Result<T, TraceDecodeError> {
+    Err(TraceDecodeError { reason: reason.into() })
+}
+
+/// Intern a string, returning a `&'static str` that is pointer-stable
+/// for the process lifetime. Repeated calls with the same content
+/// return the same leaked allocation.
+pub fn intern(s: &str) -> &'static str {
+    static POOL: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(existing) = pool.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], TraceDecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(())
+            .or_else(|_| err(format!("truncated: {what}")))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, TraceDecodeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, TraceDecodeError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, TraceDecodeError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, TraceDecodeError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    fn i64(&mut self, what: &str) -> Result<i64, TraceDecodeError> {
+        Ok(i64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, TraceDecodeError> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, TraceDecodeError> {
+        let len = self.u32(what)?;
+        if len > MAX_STR_LEN {
+            return err(format!("implausible string length {len} in {what}"));
+        }
+        match std::str::from_utf8(self.take(len as usize, what)?) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => err(format!("{what} is not UTF-8")),
+        }
+    }
+
+    fn count(&mut self, what: &str) -> Result<u32, TraceDecodeError> {
+        let n = self.u32(what)?;
+        if n > MAX_ITEMS {
+            return err(format!("implausible {what} {n}"));
+        }
+        Ok(n)
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+impl Trace {
+    /// Serialize the full trace (spans, counters, gauges) as a
+    /// versioned binary frame for shipping across a process boundary.
+    pub fn encode_bin(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.spans.len() * 48);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.spans.len() as u32).to_le_bytes());
+        for s in &self.spans {
+            put_str(&mut out, s.name);
+            put_str(&mut out, s.cat);
+            out.extend_from_slice(&(s.pid as u32).to_le_bytes());
+            out.extend_from_slice(&(s.tid as u32).to_le_bytes());
+            out.extend_from_slice(&s.start_ns.to_le_bytes());
+            out.extend_from_slice(&s.dur_ns.to_le_bytes());
+            out.extend_from_slice(&(s.attrs.len() as u32).to_le_bytes());
+            for (k, v) in &s.attrs {
+                put_str(&mut out, k);
+                match v {
+                    AttrValue::Int(x) => {
+                        out.push(0);
+                        out.extend_from_slice(&x.to_le_bytes());
+                    }
+                    AttrValue::Float(x) => {
+                        out.push(1);
+                        out.extend_from_slice(&x.to_le_bytes());
+                    }
+                    AttrValue::Str(x) => {
+                        out.push(2);
+                        put_str(&mut out, x);
+                    }
+                }
+            }
+        }
+        out.extend_from_slice(&(self.counters.len() as u32).to_le_bytes());
+        for (k, v) in &self.counters {
+            put_str(&mut out, k);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.gauges.len() as u32).to_le_bytes());
+        for (k, v) in &self.gauges {
+            put_str(&mut out, k);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode a frame produced by [`Trace::encode_bin`]. Never panics
+    /// on malformed input; span names/cats/attr keys are interned.
+    pub fn decode_bin(bytes: &[u8]) -> Result<Trace, TraceDecodeError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.take(4, "magic")? != MAGIC {
+            return err("bad magic");
+        }
+        let version = r.u16("version")?;
+        if version != VERSION {
+            return err(format!("unsupported trace codec version {version} (expected {VERSION})"));
+        }
+        let span_count = r.count("span count")?;
+        let mut trace = Trace::default();
+        trace.spans.reserve(span_count.min(4096) as usize);
+        for _ in 0..span_count {
+            let name = intern(&r.string("span name")?);
+            let cat = intern(&r.string("span cat")?);
+            let pid = r.u32("span pid")? as usize;
+            let tid = r.u32("span tid")? as usize;
+            let start_ns = r.u64("span start")?;
+            let dur_ns = r.u64("span dur")?;
+            let attr_count = r.count("attr count")?;
+            let mut attrs = Vec::with_capacity(attr_count.min(64) as usize);
+            for _ in 0..attr_count {
+                let key = intern(&r.string("attr key")?);
+                let value = match r.u8("attr tag")? {
+                    0 => AttrValue::Int(r.i64("attr int")?),
+                    1 => AttrValue::Float(r.f64("attr float")?),
+                    2 => AttrValue::Str(r.string("attr str")?),
+                    t => return err(format!("unknown attr tag {t}")),
+                };
+                attrs.push((key, value));
+            }
+            trace.spans.push(SpanRecord { name, cat, pid, tid, start_ns, dur_ns, attrs });
+        }
+        let counter_count = r.count("counter count")?;
+        for _ in 0..counter_count {
+            let k = r.string("counter name")?;
+            let v = r.i64("counter value")?;
+            trace.counters.insert(k, v);
+        }
+        let gauge_count = r.count("gauge count")?;
+        for _ in 0..gauge_count {
+            let k = r.string("gauge name")?;
+            let v = r.f64("gauge value")?;
+            trace.gauges.insert(k, v);
+        }
+        if r.pos != r.buf.len() {
+            return err(format!("{} trailing bytes after frame", r.buf.len() - r.pos));
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod wire_tests {
+    use super::*;
+    use crate::{Recorder, TraceLevel};
+
+    fn sample() -> Trace {
+        let rec = Recorder::new(TraceLevel::Splits);
+        {
+            let mut span = rec.span(TraceLevel::Phases, "pass", "engine", 0);
+            span.attr_int("splits", 4);
+            span.attr_f64("ratio", 0.5);
+            span.attr_str("mode", "threads");
+        }
+        rec.push_complete(TraceLevel::Splits, "split", "engine", 3, 100, 50, Vec::new());
+        rec.add_counter("dist.bytes_sent", 123);
+        rec.set_gauge("threads", 4.0);
+        rec.drain()
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = sample();
+        let back = Trace::decode_bin(&t.encode_bin()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn intern_dedups() {
+        let a = intern("node.pass");
+        let b = intern(&String::from("node.pass"));
+        assert!(std::ptr::eq(a, b));
+        assert_ne!(intern("x") as *const str, intern("y") as *const str);
+    }
+
+    #[test]
+    fn truncation_is_error_at_every_length() {
+        let full = sample().encode_bin();
+        for n in 0..full.len() {
+            assert!(Trace::decode_bin(&full[..n]).is_err(), "prefix of {n} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_and_trailing_rejected() {
+        let mut b = sample().encode_bin();
+        b[0] = b'X';
+        assert!(Trace::decode_bin(&b).is_err());
+        let mut b = sample().encode_bin();
+        b[4] = 9;
+        let e = Trace::decode_bin(&b).unwrap_err();
+        assert!(e.to_string().contains("version"), "got: {e}");
+        let mut b = sample().encode_bin();
+        b.push(0);
+        assert!(Trace::decode_bin(&b).is_err());
+    }
+
+    #[test]
+    fn implausible_counts_rejected_before_allocating() {
+        let mut b = Vec::new();
+        b.extend_from_slice(MAGIC);
+        b.extend_from_slice(&VERSION.to_le_bytes());
+        b.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Trace::decode_bin(&b).is_err());
+    }
+
+    #[test]
+    fn merged_decoded_trace_keeps_pid_reassignment() {
+        let mut merged = Trace::default();
+        merged.merge_as(0, sample());
+        let shipped = Trace::decode_bin(&sample().encode_bin()).unwrap();
+        merged.merge_as(1, shipped);
+        assert_eq!(merged.spans.iter().filter(|s| s.pid == 1).count(), 2);
+        assert_eq!(merged.counters["dist.bytes_sent"], 246);
+    }
+}

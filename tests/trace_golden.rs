@@ -62,6 +62,40 @@ fn chrome_export_has_trace_event_shape() {
     assert_eq!(doc.get("displayTimeUnit").and_then(|v| v.as_str()), Some("ms"));
 }
 
+/// The fixed distributed configuration the cluster golden file was
+/// recorded against: a 2-node loopback cluster, 1 engine thread per
+/// node, 2 rounds of k-means ⇒ per node 2 `node.pass` spans each
+/// wrapping a 1-split engine pass; the coordinator contributes one
+/// `cluster.setup` plus per-round `cluster.round`/`cluster.combine`.
+fn golden_cluster_run() -> Trace {
+    use cfr_apps::cluster::{kmeans_cluster, Nodes};
+    let mut params = KmeansParams::new(200, 4, 3, 2).threads(1);
+    params.config.trace = TraceLevel::Splits;
+    let result = kmeans_cluster(&params, &Nodes::Loopback(2)).expect("cluster k-means");
+    result.trace.expect("trace requested but not captured")
+}
+
+#[test]
+fn cluster_trace_matches_golden_shape() {
+    let trace = golden_cluster_run();
+    let expected = include_str!("golden/cluster_trace_shape.txt");
+    assert_eq!(
+        span_population(&trace),
+        expected,
+        "cluster span population drifted from golden file"
+    );
+}
+
+#[test]
+fn cluster_chrome_export_has_multi_node_shape() {
+    let trace = golden_cluster_run();
+    let json = trace.chrome_json();
+    let summary = validate_chrome_trace(&json).expect("cluster trace must validate");
+    assert_eq!(summary.events, trace.spans.len());
+    // Coordinator (pid 0) plus one process track per node.
+    assert_eq!(summary.pids, 3, "expected coordinator + 2 node tracks");
+}
+
 #[test]
 fn translated_run_emits_pipeline_spans() {
     let mut params = KmeansParams::new(200, 4, 3, 2).threads(2);
