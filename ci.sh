@@ -19,6 +19,16 @@ cargo run --release -p bench --bin bench -- kmeans \
 cargo run --release -p obs --bin trace-check -- target/ci-trace.json \
   --expect split --expect combine --expect finalize --expect pass
 
+# Out-of-core streaming I/O: a cfr-datagen dataset larger than the
+# streaming memory budget must run k-means through the bounded chunk
+# pipeline, with reader-track io.read spans in the exported trace
+# (DESIGN.md §10).
+cargo run --release -p bench --bin bench -- io \
+  --size-mb 8 --budget-mib 2 --threads-list 1,2 --iters 1 \
+  --trace-out target/ci-io-trace.json
+cargo run --release -p obs --bin trace-check -- target/ci-io-trace.json \
+  --expect io.read --expect split --expect pass
+
 # Distributed engine: a real 2-process cfr-node cluster must run
 # k-means end to end and ship a trace with one process track per node
 # plus the coordinator (DESIGN.md §9).

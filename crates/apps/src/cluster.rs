@@ -119,6 +119,7 @@ pub fn kmeans_cluster_on_file(
     config.rounds = params.iters.max(1);
     config.threads_per_node = params.config.threads.max(1);
     config.trace = params.config.trace;
+    config.io = params.config.io;
     let outcome = run_job(config, nodes)?;
     let cells = outcome.robj.group_slice(0);
     let counts: Vec<f64> = (0..k).map(|c| cells[c * (d + 1) + d]).collect();
@@ -148,6 +149,7 @@ pub fn pca_cluster(params: &PcaParams, nodes: &Nodes) -> Result<ClusterPcaResult
     config.params = vec![rows as i64];
     config.threads_per_node = params.config.threads.max(1);
     config.trace = params.config.trace;
+    config.io = params.config.io;
     let outcome = match run_job(config, nodes) {
         Ok(o) => o,
         Err(e) => {
@@ -168,6 +170,7 @@ pub fn pca_cluster(params: &PcaParams, nodes: &Nodes) -> Result<ClusterPcaResult
     config.init_state = mean.clone();
     config.threads_per_node = params.config.threads.max(1);
     config.trace = params.config.trace;
+    config.io = params.config.io;
     let outcome = match run_job(config, nodes) {
         Ok(o) => o,
         Err(e) => {

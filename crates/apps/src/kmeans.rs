@@ -228,6 +228,76 @@ fn run_translated(params: &KmeansParams, opt: OptLevel) -> Result<KmeansResult, 
     })
 }
 
+/// The manual FREERIDE version over a **disk-resident** `.frds` dataset
+/// of `d`-wide points — the out-of-core k-means driver. With
+/// `params.config.io` set to [`freeride::IoMode::Streaming`] the engine
+/// prefetches chunks through the bounded recycled-buffer pool instead
+/// of reading splits synchronously; `params.n` is ignored in favour of
+/// the file's row count.
+pub fn run_manual_on_file(
+    params: &KmeansParams,
+    dataset: &std::path::Path,
+) -> Result<KmeansResult, AppError> {
+    let wall = Instant::now();
+    let (d, k) = (params.d, params.k);
+    let file = freeride::source::FileDataset::open(dataset)?;
+    if file.unit() != d {
+        return Err(AppError::new(format!(
+            "dataset rows are {}-wide, k-means wants d={d}",
+            file.unit()
+        )));
+    }
+    let layout = robj_layout(k, d);
+    let rec = Arc::new(Recorder::new(params.config.trace));
+    let engine = Engine::with_recorder(params.config.clone(), rec.clone());
+
+    let mut centroids = data::kmeans_centroids_flat(k, d);
+    let mut counts = vec![0.0; k];
+    let mut stats = RunStats { logical_threads: params.config.threads, ..Default::default() };
+
+    for _ in 0..params.iters.max(1) {
+        let cents = &centroids;
+        let kernel = move |split: &Split<'_>, robj: &mut dyn RObjHandle| {
+            for row in split.iter_rows() {
+                let mut best = 0usize;
+                let mut best_dist = f64::INFINITY;
+                for c in 0..k {
+                    let mut dist = 0.0;
+                    let centre = &cents[c * d..(c + 1) * d];
+                    for j in 0..d {
+                        let diff = row[j] - centre[j];
+                        dist += diff * diff;
+                    }
+                    if dist < best_dist {
+                        best_dist = dist;
+                        best = c;
+                    }
+                }
+                for (j, &x) in row.iter().enumerate().take(d) {
+                    robj.accumulate(0, best * (d + 1) + j, x);
+                }
+                robj.accumulate(0, best * (d + 1) + d, 1.0);
+            }
+        };
+        let outcome = engine.run_file(&file, &layout, &kernel)?;
+        stats.absorb(&outcome.stats);
+        let (next, cnt) = update_centroids(outcome.robj.group_slice(0), &centroids, k, d);
+        centroids = next;
+        counts = cnt;
+    }
+
+    Ok(KmeansResult {
+        centroids,
+        counts,
+        timing: AppTiming {
+            linearize_ns: 0,
+            stats,
+            wall_ns: wall.elapsed().as_nanos() as u64,
+            trace: (rec.level() != TraceLevel::Off).then(|| rec.drain()),
+        },
+    })
+}
+
 /// Rebuild the nested centroid structure from flat coordinates (counts
 /// reset to zero, as in the Chapel program's fresh `newCent`).
 fn centroids_value(flat: &[f64], k: usize, d: usize) -> Value {

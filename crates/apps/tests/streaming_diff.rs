@@ -1,0 +1,83 @@
+//! Differential tests for the out-of-core streaming I/O path on the
+//! paper's applications: `IoMode::Streaming` must be **bit-identical**
+//! to `IoMode::Sync` for k-means and PCA, single-process and on a
+//! loopback cluster.
+//!
+//! Exactness is by construction: the synthetic generators emit small
+//! integers, and the PCA shape uses a power-of-two column count, so
+//! every accumulated f64 is exact and the sums are associative — chunk
+//! arrival order cannot perturb the result.
+
+use std::path::PathBuf;
+
+use cfr_apps::cluster::{kmeans_cluster, pca_cluster, Nodes};
+use cfr_apps::kmeans::{self, KmeansParams};
+use cfr_apps::pca::PcaParams;
+use cfr_apps::data;
+use freeride::IoMode;
+
+fn dataset(tag: &str, unit: usize, data: &[f64]) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("cfr-streaming-diff-{tag}-{}.frds", std::process::id()));
+    freeride::source::write_dataset(&path, unit, data).unwrap();
+    path
+}
+
+#[test]
+fn file_kmeans_streaming_matches_sync_at_every_thread_count() {
+    let (n, d, k, iters) = (5000usize, 4usize, 6usize, 3usize);
+    let path = dataset("kmeans", d, &data::kmeans_points_flat(n, d));
+
+    let baseline = kmeans::run_manual_on_file(&KmeansParams::new(n, d, k, iters), &path).unwrap();
+    for threads in [1usize, 2, 4, 8] {
+        let mut params = KmeansParams::new(n, d, k, iters).threads(threads);
+        let sync = kmeans::run_manual_on_file(&params, &path).unwrap();
+        assert_eq!(sync.centroids, baseline.centroids, "sync t={threads}");
+
+        // Chunk sizes that don't divide n, and one bigger than the file.
+        for chunk_rows in [97usize, 640, 8192] {
+            params.config.io = IoMode::Streaming { chunk_rows, buffers: 4, readers: 2 };
+            let stream = kmeans::run_manual_on_file(&params, &path).unwrap();
+            assert_eq!(
+                stream.centroids, baseline.centroids,
+                "t={threads} chunk_rows={chunk_rows}"
+            );
+            assert_eq!(stream.counts, baseline.counts);
+            // Every pass streamed the whole file.
+            assert_eq!(
+                stream.timing.stats.io.bytes_read as usize,
+                iters * n * d * 8,
+                "t={threads} chunk_rows={chunk_rows}"
+            );
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn cluster_kmeans_streaming_matches_sync() {
+    let params = KmeansParams::new(2400, 3, 4, 3).threads(2);
+    let sync = kmeans_cluster(&params, &Nodes::Loopback(2)).unwrap();
+    let mut streaming = params.clone();
+    streaming.config.io = IoMode::Streaming { chunk_rows: 128, buffers: 3, readers: 2 };
+    for nodes in [1usize, 2, 4] {
+        let out = kmeans_cluster(&streaming, &Nodes::Loopback(nodes)).unwrap();
+        assert_eq!(out.centroids, sync.centroids, "{nodes} nodes");
+        assert_eq!(out.counts, sync.counts, "{nodes} nodes");
+    }
+}
+
+#[test]
+fn cluster_pca_streaming_matches_sync() {
+    // cols is a power of two, so the broadcast mean (sum/cols) is exact
+    // and the scatter products stay exactly representable.
+    let params = PcaParams::new(24, 64).threads(2);
+    let sync = pca_cluster(&params, &Nodes::Loopback(2)).unwrap();
+    let mut streaming = params.clone();
+    streaming.config.io = IoMode::Streaming { chunk_rows: 5, buffers: 3, readers: 2 };
+    for nodes in [1usize, 2] {
+        let out = pca_cluster(&streaming, &Nodes::Loopback(nodes)).unwrap();
+        assert_eq!(out.mean, sync.mean, "{nodes} nodes mean");
+        assert_eq!(out.cov, sync.cov, "{nodes} nodes cov");
+    }
+}

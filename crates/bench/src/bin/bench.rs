@@ -55,6 +55,12 @@ struct Opts {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     report: bool,
+    /// `io` app: on-disk dataset size in MB.
+    size_mb: usize,
+    /// `io` app: streaming chunk-pool budget in MiB.
+    budget_mib: usize,
+    /// `io` app: thread counts to sweep.
+    threads_list: Vec<usize>,
     /// Loopback cluster sizes to sweep (`--nodes 1,2,4`); non-empty
     /// switches to the distributed engine.
     nodes: Vec<usize>,
@@ -78,13 +84,16 @@ impl Default for Opts {
             trace_out: None,
             metrics_out: None,
             report: false,
+            size_mb: 64,
+            budget_mib: 16,
+            threads_list: vec![1, 2, 4, 8],
             nodes: Vec::new(),
             node_addrs: Vec::new(),
         }
     }
 }
 
-const USAGE: &str = "usage: bench <kmeans|pca> [options]
+const USAGE: &str = "usage: bench <kmeans|pca|io> [options]
   --n N            k-means: number of points        (default 20000)
   --d D            k-means: point dimensionality    (default 8)
   --k K            k-means: centroid count          (default 16)
@@ -92,6 +101,9 @@ const USAGE: &str = "usage: bench <kmeans|pca> [options]
   --rows R         pca: sample dimensionality       (default 16)
   --cols C         pca: number of samples           (default 20000)
   --threads T      FREERIDE thread count            (default 2)
+  --size-mb M      io: on-disk dataset size in MB   (default 64)
+  --budget-mib B   io: streaming memory budget MiB  (default 16)
+  --threads-list L io: thread counts to sweep       (default 1,2,4,8)
   --level L        phases | splits | verbose        (default splits)
   --trace-out P    write merged Chrome trace JSON to P
   --metrics-out P  write flat metrics JSON to P
@@ -106,7 +118,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts::default();
     let mut it = args.iter();
     opts.app = it.next().cloned().ok_or("missing application name")?;
-    if opts.app != "kmeans" && opts.app != "pca" {
+    if opts.app != "kmeans" && opts.app != "pca" && opts.app != "io" {
         return Err(format!("unknown application `{}`", opts.app));
     }
     while let Some(flag) = it.next() {
@@ -130,6 +142,22 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             "--rows" => opts.rows = num()?,
             "--cols" => opts.cols = num()?,
             "--threads" => opts.threads = num()?,
+            "--size-mb" => opts.size_mb = num()?,
+            "--budget-mib" => opts.budget_mib = num()?,
+            "--threads-list" => {
+                opts.threads_list = value
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| {
+                                format!("--threads-list: `{s}` is not a positive number")
+                            })
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
             "--level" => {
                 opts.level = TraceLevel::parse(value)
                     .ok_or_else(|| format!("--level: unknown level `{value}`"))?;
@@ -265,7 +293,54 @@ fn run_cluster(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// The out-of-core I/O sweep: sync vs streaming reads at each thread
+/// count on a dataset written to disk by cfr-datagen, with the
+/// streaming pipeline held to `--budget-mib` of chunk buffers. With
+/// `--trace-out` an extra traced streaming run exports the reader-track
+/// timeline (`io.read` spans, `io.*` counters).
+fn run_io(opts: &Opts) -> Result<(), String> {
+    let sweep = cfr_bench::io_overlap(opts.size_mb, opts.budget_mib, &opts.threads_list, opts.k, opts.iters)?;
+    print!("{}", cfr_bench::render_io_table(&sweep));
+
+    if opts.trace_out.is_some() || opts.metrics_out.is_some() {
+        // One more streaming run, traced, for the exported timeline.
+        let d = 8usize;
+        let (ds, _) = cfr_datagen::kmeans_sized(opts.size_mb.min(8), d, opts.k, 42);
+        let mut path = std::env::temp_dir();
+        path.push(format!("cfr-io-trace-{}.frds", std::process::id()));
+        ds.write(&path).map_err(|e| format!("write {}: {e}", path.display()))?;
+        let rows = ds.rows();
+        drop(ds);
+        let mut params = KmeansParams::new(rows, d, opts.k, opts.iters)
+            .threads(*opts.threads_list.iter().max().unwrap_or(&2));
+        params.config.trace = opts.level;
+        params.config.io =
+            freeride::IoMode::streaming_within(freeride::MemoryBudget::mib(opts.budget_mib), d, 2);
+        let r = kmeans::run_manual_on_file(&params, &path);
+        std::fs::remove_file(&path).ok();
+        let trace = r
+            .map_err(|e| format!("traced streaming run failed: {e}"))?
+            .timing
+            .trace
+            .ok_or("no trace captured")?;
+        if let Some(path) = &opts.trace_out {
+            let json = trace.chrome_json();
+            obs::validate_chrome_trace(&json).map_err(|e| format!("internal: bad trace: {e}"))?;
+            std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+            println!("wrote Chrome trace ({} events) to {path}", trace.spans.len());
+        }
+        if let Some(path) = &opts.metrics_out {
+            std::fs::write(path, trace.metrics_json()).map_err(|e| format!("write {path}: {e}"))?;
+            println!("wrote metrics to {path}");
+        }
+    }
+    Ok(())
+}
+
 fn run(opts: &Opts) -> Result<(), String> {
+    if opts.app == "io" {
+        return run_io(opts);
+    }
     if !opts.nodes.is_empty() || !opts.node_addrs.is_empty() {
         return run_cluster(opts);
     }

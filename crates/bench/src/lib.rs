@@ -450,6 +450,136 @@ pub fn extension_apps(n: usize, threads: usize) -> Figure {
 }
 
 // ---------------------------------------------------------------------
+// Out-of-core I/O: Sync vs Streaming (the `freeride-io` pipeline)
+// ---------------------------------------------------------------------
+
+/// One measured point of the Sync-vs-Streaming out-of-core I/O sweep.
+#[derive(Debug, Clone)]
+pub struct IoPoint {
+    /// `"sync"` or `"streaming"`.
+    pub mode: &'static str,
+    /// Compute-worker thread count.
+    pub threads: usize,
+    /// End-to-end wall time, seconds (all iterations).
+    pub wall_s: f64,
+    /// Total time spent in disk reads, seconds — on the worker threads
+    /// for sync (inside split timing), on the reader threads for
+    /// streaming (off the critical path when overlap works).
+    pub read_s: f64,
+    /// Streaming only: worker time blocked waiting for a filled chunk.
+    pub stall_s: f64,
+    /// Streaming only: reader time blocked waiting for a free buffer.
+    pub backpressure_s: f64,
+    /// Streaming only: resident chunk-pool bytes (the bounded-memory
+    /// footprint of the pipeline).
+    pub pool_bytes: usize,
+    /// Payload bytes consumed per wall second, MiB/s.
+    pub throughput_mib_s: f64,
+}
+
+/// A completed Sync-vs-Streaming sweep.
+#[derive(Debug, Clone)]
+pub struct IoSweep {
+    /// On-disk dataset size, MB.
+    pub dataset_mb: usize,
+    /// Streaming memory budget, MiB.
+    pub budget_mib: usize,
+    /// Rows in the generated dataset.
+    pub rows: usize,
+    /// The measured points, sync and streaming per thread count.
+    pub points: Vec<IoPoint>,
+}
+
+/// Sweep out-of-core k-means over Sync vs Streaming I/O at each thread
+/// count: a `dataset_mb`-MB file (cfr-datagen clustered points, d=8) is
+/// reduced for `iters` rounds, with the streaming pipeline sized to a
+/// `budget_mib`-MiB chunk pool. Pick `dataset_mb >= 4 * budget_mib` so
+/// the runs are genuinely out-of-core relative to the pipeline budget.
+pub fn io_overlap(
+    dataset_mb: usize,
+    budget_mib: usize,
+    threads: &[usize],
+    k: usize,
+    iters: usize,
+) -> Result<IoSweep, String> {
+    let d = 8usize;
+    let (ds, _centroids) = cfr_datagen::kmeans_sized(dataset_mb, d, k, 42);
+    let rows = ds.rows();
+    let mut path = std::env::temp_dir();
+    path.push(format!("cfr-io-overlap-{}.frds", std::process::id()));
+    ds.write(&path).map_err(|e| format!("write {}: {e}", path.display()))?;
+    drop(ds); // the point is reading from disk, not from this buffer
+
+    let budget = freeride::MemoryBudget::mib(budget_mib);
+    let payload_bytes = (iters.max(1) * rows * d * 8) as f64;
+    let mut points = Vec::new();
+    for &t in threads {
+        let modes: [(&'static str, freeride::IoMode); 2] = [
+            ("sync", freeride::IoMode::Sync),
+            ("streaming", freeride::IoMode::streaming_within(budget, d, 2)),
+        ];
+        for (mode, io) in modes {
+            let mut params = kmeans::KmeansParams::new(rows, d, k, iters).threads(t);
+            params.config.exec = ExecMode::Threads;
+            params.config.io = io;
+            let r = kmeans::run_manual_on_file(&params, &path)
+                .map_err(|e| format!("{mode} t={t}: {e}"))?;
+            let stats = &r.timing.stats;
+            // Sync reads happen inside the splits; streaming reads on
+            // the reader tracks.
+            let read_ns: u64 = match io {
+                freeride::IoMode::Sync => stats.splits.iter().map(|s| s.read_ns).sum(),
+                freeride::IoMode::Streaming { .. } => stats.io.read_ns,
+            };
+            let wall_s = r.timing.wall_ns as f64 / 1e9;
+            points.push(IoPoint {
+                mode,
+                threads: t,
+                wall_s,
+                read_s: read_ns as f64 / 1e9,
+                stall_s: stats.io.stall_ns as f64 / 1e9,
+                backpressure_s: stats.io.backpressure_ns as f64 / 1e9,
+                pool_bytes: stats.io.pool_bytes,
+                throughput_mib_s: payload_bytes / (1024.0 * 1024.0) / wall_s.max(1e-9),
+            });
+        }
+    }
+    std::fs::remove_file(&path).ok();
+    Ok(IoSweep { dataset_mb, budget_mib, rows, points })
+}
+
+/// Render an I/O sweep as an aligned table (the EXPERIMENTS.md
+/// `io_overlap` shape).
+pub fn render_io_table(sweep: &IoSweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "io_overlap — k-means, {} MB dataset ({} rows, d=8), streaming budget {} MiB",
+        sweep.dataset_mb, sweep.rows, sweep.budget_mib
+    );
+    let _ = writeln!(
+        out,
+        "{:>7} {:>10} {:>9} {:>9} {:>9} {:>13} {:>10} {:>11}",
+        "threads", "mode", "wall s", "read s", "stall s", "backpress s", "pool KiB", "MiB/s"
+    );
+    for p in &sweep.points {
+        let _ = writeln!(
+            out,
+            "{:>7} {:>10} {:>9.4} {:>9.4} {:>9.4} {:>13.4} {:>10} {:>11.1}",
+            p.threads,
+            p.mode,
+            p.wall_s,
+            p.read_s,
+            p.stall_s,
+            p.backpressure_s,
+            p.pool_bytes / 1024,
+            p.throughput_mib_s
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
 // Cluster scaling (the distributed engine)
 // ---------------------------------------------------------------------
 
@@ -522,6 +652,22 @@ mod harness_tests {
 
     fn tiny() -> Harness {
         Harness { scale: 0.0004, threads: vec![1, 2, 4], exec: ExecMode::Sequential }
+    }
+
+    #[test]
+    fn io_overlap_sweep_measures_both_modes() {
+        let sweep = io_overlap(1, 1, &[1, 2], 4, 1).unwrap();
+        assert_eq!(sweep.points.len(), 4); // 2 modes × 2 thread counts
+        for p in &sweep.points {
+            assert!(p.wall_s > 0.0, "{} t={}", p.mode, p.threads);
+            assert!(p.throughput_mib_s > 0.0);
+        }
+        for p in sweep.points.iter().filter(|p| p.mode == "streaming") {
+            assert!(p.pool_bytes > 0, "streaming should report its pool");
+            assert!(p.pool_bytes <= 1 << 20, "pool exceeds 1 MiB budget");
+        }
+        let table = render_io_table(&sweep);
+        assert!(table.contains("streaming") && table.contains("sync"));
     }
 
     #[test]

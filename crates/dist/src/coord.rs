@@ -42,6 +42,9 @@ pub struct ClusterConfig {
     pub threads_per_node: usize,
     /// Tracing level for the coordinator and every node.
     pub trace: TraceLevel,
+    /// Shard I/O path on every node: synchronous split reads or the
+    /// out-of-core streaming chunk pipeline ([`freeride::IoMode`]).
+    pub io: freeride::IoMode,
     /// Read timeout on every node socket; a node silent for this long
     /// fails the run with [`DistError::Timeout`].
     pub read_timeout: Duration,
@@ -59,6 +62,7 @@ impl ClusterConfig {
             dataset: dataset.into(),
             threads_per_node: 1,
             trace: TraceLevel::Off,
+            io: freeride::IoMode::Sync,
             read_timeout: Duration::from_secs(10),
         }
     }
@@ -215,6 +219,8 @@ impl Coordinator {
                 }
                 let first = id * rows / addrs.len();
                 let count = (id + 1) * rows / addrs.len() - first;
+                let (io_mode, chunk_rows, buffers, readers) =
+                    crate::proto::io_mode_to_wire(&cfg.io);
                 conn.send(
                     &Message::Job {
                         task: cfg.task.clone(),
@@ -225,6 +231,10 @@ impl Coordinator {
                         shard_rows: count as u64,
                         threads: cfg.threads_per_node.max(1) as u32,
                         trace_level: node::trace_level_ordinal(cfg.trace),
+                        io_mode,
+                        chunk_rows,
+                        buffers,
+                        readers,
                     },
                     &mut stats,
                 )?;

@@ -58,6 +58,10 @@ fn build_job(msg: Message) -> Result<JobContext, DistError> {
         shard_rows,
         threads,
         trace_level,
+        io_mode,
+        chunk_rows,
+        buffers,
+        readers,
     } = msg
     else {
         return Err(DistError::Protocol {
@@ -90,6 +94,7 @@ fn build_job(msg: Message) -> Result<JobContext, DistError> {
     }
     let mut config = JobConfig::with_threads(threads.max(1) as usize);
     config.trace = trace_level_from_ordinal(trace_level);
+    config.io = crate::proto::io_mode_from_wire(io_mode, chunk_rows, buffers, readers);
     let recorder = Arc::new(Recorder::new(config.trace));
     let engine = Engine::with_recorder(config, recorder.clone());
     Ok(JobContext {

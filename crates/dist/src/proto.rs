@@ -73,6 +73,15 @@ pub enum Message {
         threads: u32,
         /// `obs::TraceLevel` ordinal for the node's recorder.
         trace_level: u8,
+        /// Shard I/O path: 0 = synchronous split reads, 1 = streaming
+        /// chunk pipeline shaped by the three fields below.
+        io_mode: u8,
+        /// Rows per streamed chunk (ignored when `io_mode` is 0).
+        chunk_rows: u64,
+        /// Chunk buffers in the recycled pool (ignored when sync).
+        buffers: u32,
+        /// Prefetching reader threads (ignored when sync).
+        readers: u32,
     },
     /// Coordinator → node: run one local reduction pass over the shard
     /// with this round's broadcast state (e.g. current centroids).
@@ -283,6 +292,10 @@ impl Message {
                 shard_rows,
                 threads,
                 trace_level,
+                io_mode,
+                chunk_rows,
+                buffers,
+                readers,
             } => {
                 put_str(&mut out, task);
                 put_i64s(&mut out, params);
@@ -292,6 +305,10 @@ impl Message {
                 out.extend_from_slice(&shard_rows.to_le_bytes());
                 out.extend_from_slice(&threads.to_le_bytes());
                 out.push(*trace_level);
+                out.push(*io_mode);
+                out.extend_from_slice(&chunk_rows.to_le_bytes());
+                out.extend_from_slice(&buffers.to_le_bytes());
+                out.extend_from_slice(&readers.to_le_bytes());
             }
             Message::Round { round, state } => {
                 out.extend_from_slice(&round.to_le_bytes());
@@ -342,6 +359,10 @@ impl Message {
                 shard_rows: r.u64("shard_rows")?,
                 threads: r.u32("threads")?,
                 trace_level: r.u8("trace_level")?,
+                io_mode: r.u8("io_mode")?,
+                chunk_rows: r.u64("chunk_rows")?,
+                buffers: r.u32("buffers")?,
+                readers: r.u32("readers")?,
             },
             TYPE_ROUND => Message::Round {
                 round: r.u32("round")?,
@@ -372,6 +393,39 @@ pub fn write_message(w: &mut impl Write, msg: &Message) -> Result<usize, DistErr
     w.write_all(&frame)?;
     w.flush()?;
     Ok(frame.len())
+}
+
+/// Flatten an engine [`freeride::IoMode`] into the [`Message::Job`]
+/// wire fields `(io_mode, chunk_rows, buffers, readers)`.
+pub fn io_mode_to_wire(io: &freeride::IoMode) -> (u8, u64, u32, u32) {
+    match *io {
+        freeride::IoMode::Sync => (0, 0, 0, 0),
+        freeride::IoMode::Streaming {
+            chunk_rows,
+            buffers,
+            readers,
+        } => (1, chunk_rows as u64, buffers as u32, readers as u32),
+    }
+}
+
+/// Rebuild an [`freeride::IoMode`] from [`Message::Job`] wire fields.
+/// Unknown mode bytes fall back to the sync path, which is always
+/// correct (just unoverlapped).
+pub fn io_mode_from_wire(
+    io_mode: u8,
+    chunk_rows: u64,
+    buffers: u32,
+    readers: u32,
+) -> freeride::IoMode {
+    if io_mode == 1 {
+        freeride::IoMode::Streaming {
+            chunk_rows: chunk_rows as usize,
+            buffers: buffers as usize,
+            readers: readers as usize,
+        }
+    } else {
+        freeride::IoMode::Sync
+    }
 }
 
 /// Read one frame, returning the message and the number of bytes taken
@@ -418,6 +472,10 @@ mod proto_tests {
                 shard_rows: 50,
                 threads: 2,
                 trace_level: 1,
+                io_mode: 1,
+                chunk_rows: 4096,
+                buffers: 3,
+                readers: 2,
             },
             Message::Round {
                 round: 7,

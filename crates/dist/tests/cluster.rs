@@ -194,6 +194,130 @@ fn kmeans_two_rounds_update_state() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Nodes running the streaming chunk pipeline must produce exactly the
+/// result of the sync shard path — same cells, every cluster size —
+/// and ship their `io.*` activity home in the trace.
+#[test]
+fn streaming_io_matches_sync_over_loopback() {
+    // Small-integer data: sums are exact in f64, so "identical" means
+    // bit-identical, not within-epsilon.
+    let data: Vec<f64> = (0..8000).map(|i| ((i * 13 + 5) % 91) as f64).collect();
+    let path = dataset("stream-diff", 4, &data);
+    let rows = data.len() / 4;
+
+    let sync = run_loopback(ClusterConfig::new("sum", &path), 2).unwrap();
+    for nodes in [1usize, 2, 4] {
+        let mut cfg = ClusterConfig::new("sum", &path);
+        cfg.threads_per_node = 2;
+        cfg.trace = TraceLevel::Phases;
+        cfg.io = freeride::IoMode::Streaming {
+            chunk_rows: 64,
+            buffers: 3,
+            readers: 2,
+        };
+        let out = run_loopback(cfg, nodes).unwrap();
+        assert_eq!(out.robj.cells(), sync.robj.cells(), "{nodes} nodes");
+        // Each node reconstructs its streaming activity from the
+        // shipped trace; together they read the whole payload.
+        let total_chunks: usize = out.stats.node_stats.iter().map(|s| s.io.chunks).sum();
+        let total_bytes: u64 = out.stats.node_stats.iter().map(|s| s.io.bytes_read).sum();
+        assert!(
+            total_chunks >= rows.div_ceil(64),
+            "{nodes} nodes: {total_chunks} chunks"
+        );
+        assert_eq!(total_bytes as usize, data.len() * 8, "{nodes} nodes");
+    }
+
+    // Iterative job: two k-means rounds stay in lockstep under
+    // streaming I/O.
+    let (d, k) = (4usize, 3usize);
+    let mut sync_cfg = ClusterConfig::new("kmeans", &path);
+    sync_cfg.params = vec![k as i64, d as i64];
+    sync_cfg.init_state = vec![
+        0.0, 0.0, 0.0, 0.0, 30.0, 30.0, 30.0, 30.0, 60.0, 60.0, 60.0, 60.0,
+    ];
+    sync_cfg.rounds = 2;
+    let mut stream_cfg = sync_cfg.clone();
+    stream_cfg.io = freeride::IoMode::Streaming {
+        chunk_rows: 100,
+        buffers: 4,
+        readers: 2,
+    };
+    let a = run_loopback(sync_cfg, 2).unwrap();
+    let b = run_loopback(stream_cfg, 2).unwrap();
+    assert_eq!(a.state, b.state, "streaming k-means diverged from sync");
+    assert_eq!(a.robj.cells(), b.robj.cells());
+    std::fs::remove_file(&path).ok();
+}
+
+/// A dataset truncated mid-run (after the node validated it at Job
+/// time) fails a streaming round with a typed [`DistError::Node`] at
+/// the coordinator — never a hang. A frame-aware proxy sits between the
+/// coordinator and a real node agent and truncates the file in the gap
+/// between forwarding `Job` and `Round`.
+#[test]
+fn streaming_truncation_mid_run_surfaces_as_node_error() {
+    let data: Vec<f64> = (0..40_000).map(|i| i as f64).collect();
+    let path = dataset("stream-trunc", 2, &data);
+
+    let cluster = LoopbackCluster::spawn(1).unwrap();
+    let node_addr = cluster.addrs()[0];
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let proxy_addr = listener.local_addr().unwrap();
+    let trunc_path = path.clone();
+    let proxy = std::thread::spawn(move || {
+        let (mut from_coord, _) = listener.accept().unwrap();
+        let mut to_node = TcpStream::connect(node_addr).unwrap();
+        let mut node_reply = to_node.try_clone().unwrap();
+        let mut coord_reply = from_coord.try_clone().unwrap();
+        let backward = std::thread::spawn(move || {
+            while let Ok((msg, _)) = read_message(&mut node_reply) {
+                if write_message(&mut coord_reply, &msg).is_err() {
+                    break;
+                }
+            }
+        });
+        while let Ok((msg, _)) = read_message(&mut from_coord) {
+            let was_job = matches!(msg, Message::Job { .. });
+            if write_message(&mut to_node, &msg).is_err() {
+                break;
+            }
+            if was_job {
+                // Give the node time to validate the intact file, then
+                // cut the payload in half before the Round goes out.
+                std::thread::sleep(Duration::from_millis(300));
+                let f = std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&trunc_path)
+                    .unwrap();
+                let len = f.metadata().unwrap().len();
+                f.set_len(len / 2).unwrap();
+            }
+        }
+        drop(to_node);
+        backward.join().ok();
+    });
+
+    let mut cfg = ClusterConfig::new("sum", &path);
+    cfg.io = freeride::IoMode::Streaming {
+        chunk_rows: 512,
+        buffers: 3,
+        readers: 2,
+    };
+    let start = std::time::Instant::now();
+    let err = Coordinator::new(cfg).run(&[proxy_addr]).unwrap_err();
+    assert!(matches!(err, DistError::Node { .. }), "{err}");
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "took {:?}",
+        start.elapsed()
+    );
+    proxy.join().unwrap();
+    // The node session legitimately ended in the I/O error it reported.
+    assert!(cluster.join().is_err());
+    std::fs::remove_file(&path).ok();
+}
+
 /// LoopbackCluster::spawn + explicit Coordinator composition (the
 /// pieces `run_loopback` glues together).
 #[test]

@@ -37,7 +37,7 @@ use parking_lot::Mutex;
 use crate::pool::WorkerPool;
 use crate::robj::{RObjLayout, ReductionObject};
 use crate::split::{DataView, Split, Splitter};
-use crate::stats::{PhaseTimes, RunStats, SplitStat};
+use crate::stats::{IoActivity, PhaseTimes, RunStats, SplitStat};
 use crate::sync::{RObjHandle, SharedCells, SharedHandle, SyncScheme};
 
 /// Pairwise reduction-object combination (the paper's `combination_t`).
@@ -64,6 +64,61 @@ pub enum ExecMode {
     Sequential,
 }
 
+/// How the engine reads disk-resident datasets (`run_file*` paths).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum IoMode {
+    /// Each worker synchronously reads its own statically cut split
+    /// before reducing it — reads and reduction never overlap, and peak
+    /// memory is one split per worker.
+    #[default]
+    Sync,
+    /// Out-of-core pipeline (see the `freeride-io` crate): dedicated
+    /// reader threads prefetch fixed-size row chunks into a recycled
+    /// buffer pool while the workers reduce. Chunks are handed out
+    /// dynamically in completion order (no static range partitioning),
+    /// resident payload memory is exactly
+    /// `buffers × chunk_rows × unit × 8` bytes, and the configured
+    /// [`Splitter`] is bypassed (the chunk size *is* the split size).
+    Streaming {
+        /// Rows per chunk.
+        chunk_rows: usize,
+        /// Buffers in the recycled pool (2+ for read/compute overlap).
+        buffers: usize,
+        /// Reader threads issuing positioned reads.
+        readers: usize,
+    },
+}
+
+impl IoMode {
+    /// Streaming with the `freeride-io` default shape (triple-buffered
+    /// 4096-row chunks, two readers).
+    pub fn streaming() -> IoMode {
+        IoMode::from(freeride_io::StreamConfig::default())
+    }
+
+    /// Streaming sized to keep the resident chunk-buffer pool within
+    /// `budget` for rows of `unit` slots, with `readers` reader threads.
+    pub fn streaming_within(budget: freeride_io::MemoryBudget, unit: usize, readers: usize) -> IoMode {
+        IoMode::from(freeride_io::config_within(budget, unit, readers))
+    }
+
+    /// The pipeline shape, when this mode streams.
+    pub fn stream_config(&self) -> Option<freeride_io::StreamConfig> {
+        match *self {
+            IoMode::Sync => None,
+            IoMode::Streaming { chunk_rows, buffers, readers } => {
+                Some(freeride_io::StreamConfig { chunk_rows, buffers, readers })
+            }
+        }
+    }
+}
+
+impl From<freeride_io::StreamConfig> for IoMode {
+    fn from(c: freeride_io::StreamConfig) -> IoMode {
+        IoMode::Streaming { chunk_rows: c.chunk_rows, buffers: c.buffers, readers: c.readers }
+    }
+}
+
 /// Configuration of one reduction job.
 #[derive(Debug, Clone)]
 pub struct JobConfig {
@@ -86,6 +141,9 @@ pub struct JobConfig {
     /// spans and pool counters, `Splits` adds one span per split on its
     /// worker's track, `Verbose` reserves room for future detail.
     pub trace: TraceLevel,
+    /// How disk-resident datasets are read (`run_file*` paths only;
+    /// in-memory runs ignore it).
+    pub io: IoMode,
 }
 
 impl Default for JobConfig {
@@ -97,6 +155,7 @@ impl Default for JobConfig {
             exec: ExecMode::Threads,
             parallel_merge_threshold: 1 << 16,
             trace: TraceLevel::Off,
+            io: IoMode::Sync,
         }
     }
 }
@@ -295,6 +354,7 @@ impl Engine {
                 logical_threads: threads,
                 threads_spawned: delta.spawned,
                 pool_reuses: delta.reuses,
+                io: IoActivity::default(),
             },
         }
     }
@@ -386,6 +446,17 @@ impl Engine {
                 ),
             });
         }
+        if self.config.io.stream_config().is_some() {
+            return self.run_source_shard_with(
+                &file.row_source(),
+                shard_first,
+                shard_rows,
+                layout,
+                kernel,
+                combination,
+                finalize,
+            );
+        }
         let wall_start = Instant::now();
         let threads = self.config.threads.max(1);
         let mut ranges = self.config.splitter.ranges(shard_rows, threads);
@@ -409,6 +480,9 @@ impl Engine {
             let mut local: Option<ReductionObject> =
                 if shared.is_none() { Some(ReductionObject::alloc(layout.clone())) } else { None };
             let mut my_stats = Vec::new();
+            // One read buffer per worker, reused across every split it
+            // pulls — no per-split allocation churn.
+            let mut rows_buf: Vec<f64> = Vec::new();
             loop {
                 // A sibling hit an I/O error: stop pulling splits.
                 if abort.load(Ordering::Relaxed) {
@@ -420,20 +494,17 @@ impl Engine {
                 }
                 let (first, count) = ranges[i];
                 let t0 = Instant::now();
-                let rows = match file.read_rows(first, count) {
-                    Ok(rows) => rows,
-                    Err(e) => {
-                        abort.store(true, Ordering::Relaxed);
-                        let mut slot = io_error.lock();
-                        // First error wins; later ones are dropped.
-                        if slot.is_none() {
-                            *slot = Some(e);
-                        }
-                        break;
+                if let Err(e) = file.read_rows_into(first, count, &mut rows_buf) {
+                    abort.store(true, Ordering::Relaxed);
+                    let mut slot = io_error.lock();
+                    // First error wins; later ones are dropped.
+                    if slot.is_none() {
+                        *slot = Some(e);
                     }
-                };
+                    break;
+                }
                 let read_ns = t0.elapsed().as_nanos() as u64;
-                let split = Split { rows: &rows, unit, first_row: first, row_count: count };
+                let split = Split { rows: &rows_buf, unit, first_row: first, row_count: count };
                 match (&mut local, shared) {
                     (Some(robj), _) => kernel(&split, robj),
                     (None, Some(backend)) => {
@@ -502,6 +573,168 @@ impl Engine {
                 logical_threads: threads,
                 threads_spawned: delta.spawned,
                 pool_reuses: delta.reuses,
+                io: IoActivity::default(),
+            },
+        })
+    }
+
+    /// Run one reduction loop over any [`freeride_io::RowSource`]
+    /// through the streaming chunk pipeline — the out-of-core path
+    /// behind [`IoMode::Streaming`], callable directly for non-`.frds`
+    /// sources. Reader threads prefetch chunks into a recycled buffer
+    /// pool while the workers reduce; chunks are handed to workers
+    /// dynamically in completion order, so a slow read cannot straggle
+    /// the pass. Splits carry absolute `first_row`, matching the sync
+    /// shard path. The pipeline shape comes from `config.io` (or the
+    /// `freeride-io` defaults when the config says `Sync`).
+    ///
+    /// Errors propagate, never hang: the first failed read (or a dead
+    /// reader thread) closes the pipeline, every worker drains and
+    /// stops, and the typed error is returned in bounded time.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_source_shard_with<K>(
+        &self,
+        source: &Arc<dyn freeride_io::RowSource>,
+        shard_first: usize,
+        shard_rows: usize,
+        layout: &Arc<RObjLayout>,
+        kernel: &K,
+        combination: Option<&CombinationFn>,
+        finalize: Option<&FinalizeFn>,
+    ) -> Result<JobOutcome, crate::FreerideError>
+    where
+        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+    {
+        if shard_first.checked_add(shard_rows).is_none_or(|end| end > source.rows()) {
+            return Err(crate::FreerideError::BadDataset {
+                reason: format!(
+                    "shard {shard_first}..{} exceeds {} rows",
+                    shard_first.saturating_add(shard_rows),
+                    source.rows()
+                ),
+            });
+        }
+        let wall_start = Instant::now();
+        let threads = self.config.threads.max(1);
+        let unit = source.unit();
+        let stream = self.config.io.stream_config().unwrap_or_default();
+        let mut counters = PoolCounters::start(&self.pool);
+        let rec = &*self.recorder;
+        let splits_on = rec.enabled(TraceLevel::Splits);
+
+        // Reader tracks sit past the worker tracks in the trace; spans
+        // are only recorded at Splits level, matching `split` spans.
+        let reader = freeride_io::ChunkReader::spawn(
+            source.clone(),
+            shard_first,
+            shard_rows,
+            stream,
+            splits_on.then(|| self.recorder.clone()),
+            threads,
+        );
+
+        let shared = SharedCells::for_scheme(self.config.scheme, layout);
+        let collected: Mutex<Vec<ReductionObject>> = Mutex::new(Vec::with_capacity(threads));
+        let stats: Mutex<Vec<SplitStat>> = Mutex::new(Vec::new());
+
+        let worker_body = |w: usize| {
+            let shared = shared.as_ref();
+            let mut local: Option<ReductionObject> =
+                if shared.is_none() { Some(ReductionObject::alloc(layout.clone())) } else { None };
+            let mut my_stats = Vec::new();
+            // `recv` returns None when the shard is exhausted *or* the
+            // pipeline aborted — either way the worker just drains out.
+            while let Some(chunk) = reader.recv() {
+                let t0 = Instant::now();
+                let split = Split {
+                    rows: &chunk.data,
+                    unit,
+                    first_row: chunk.first_row,
+                    row_count: chunk.rows,
+                };
+                match (&mut local, shared) {
+                    (Some(robj), _) => kernel(&split, robj),
+                    (None, Some(backend)) => {
+                        let mut handle = SharedHandle::new(backend);
+                        kernel(&split, &mut handle);
+                    }
+                    (None, None) => unreachable!("no reduction target"),
+                }
+                my_stats.push(SplitStat {
+                    split: chunk.seq,
+                    first_row: chunk.first_row,
+                    rows: chunk.rows,
+                    nanos: t0.elapsed().as_nanos() as u64,
+                    // The read happened on a reader track (`io.read`
+                    // span); the split span is pure reduce time.
+                    read_ns: 0,
+                    start_ns: if splits_on { rec.offset_ns(t0) } else { 0 },
+                    os_worker: w,
+                    logical_thread: w,
+                });
+                reader.recycle(chunk);
+            }
+            if let Some(robj) = local {
+                collected.lock().push(robj);
+            }
+            stats.lock().extend(my_stats);
+        };
+
+        match self.config.exec {
+            ExecMode::Threads => {
+                self.pool.ensure_workers(threads);
+                self.pool.dispatch(threads, &worker_body);
+            }
+            ExecMode::ScopedThreads => {
+                counters.scoped_spawned += threads;
+                crossbeam::thread::scope(|scope| {
+                    for w in 0..threads {
+                        let body = &worker_body;
+                        scope.spawn(move |_| body(w));
+                    }
+                })
+                .expect("worker thread panicked");
+            }
+            // Sequential is still *correct* with the pipeline (a single
+            // consumer drains it), it just overlaps nothing.
+            ExecMode::Sequential => worker_body(0),
+        }
+
+        let io = reader.finish().map_err(crate::FreerideError::from)?;
+        let copies = collected.into_inner();
+        let mut splits = stats.into_inner();
+
+        let (robj, combine_ns, finalize_ns) =
+            self.combine_and_finalize(copies, shared, layout, combination, finalize, &mut counters);
+
+        splits.sort_by_key(|s| s.split);
+        let delta = counters.finish(&self.pool);
+        let wall_ns = wall_start.elapsed().as_nanos() as u64;
+        self.record_pass_trace(wall_start, &splits, &delta, wall_ns, threads);
+        if rec.enabled(TraceLevel::Phases) {
+            rec.add_counter("io.chunks", io.chunks as i64);
+            rec.add_counter("io.bytes_read", io.bytes_read as i64);
+            rec.add_counter("io.read_ns", io.read_ns as i64);
+            rec.add_counter("io.stall_ns", io.stall_ns as i64);
+            rec.add_counter("io.backpressure_ns", io.backpressure_ns as i64);
+            rec.set_gauge("io.pool_bytes", io.pool_bytes as f64);
+        }
+        Ok(JobOutcome {
+            robj,
+            stats: RunStats {
+                splits,
+                phases: PhaseTimes { combine_ns, finalize_ns, wall_ns },
+                logical_threads: threads,
+                threads_spawned: delta.spawned,
+                pool_reuses: delta.reuses,
+                io: IoActivity {
+                    chunks: io.chunks,
+                    bytes_read: io.bytes_read,
+                    read_ns: io.read_ns,
+                    stall_ns: io.stall_ns,
+                    backpressure_ns: io.backpressure_ns,
+                    pool_bytes: io.pool_bytes,
+                },
             },
         })
     }

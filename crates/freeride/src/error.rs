@@ -25,6 +25,12 @@ pub enum FreerideError {
         /// Description of the problem.
         reason: String,
     },
+    /// The streaming I/O pipeline failed structurally (e.g. a reader
+    /// thread died mid-run) rather than on a specific read.
+    Stream {
+        /// Description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FreerideError {
@@ -36,6 +42,7 @@ impl fmt::Display for FreerideError {
             FreerideError::Io(e) => write!(f, "dataset I/O error: {e}"),
             FreerideError::BadDataset { reason } => write!(f, "bad dataset: {reason}"),
             FreerideError::Codec { reason } => write!(f, "bad reduction-object frame: {reason}"),
+            FreerideError::Stream { reason } => write!(f, "streaming I/O failed: {reason}"),
         }
     }
 }
@@ -55,6 +62,25 @@ impl From<std::io::Error> for FreerideError {
     }
 }
 
+impl From<freeride_io::IoError> for FreerideError {
+    fn from(e: freeride_io::IoError) -> Self {
+        match e {
+            freeride_io::IoError::Io(e) => FreerideError::Io(e),
+            freeride_io::IoError::OutOfRange { first_row, count, rows } => {
+                FreerideError::BadDataset {
+                    reason: format!(
+                        "row range {first_row}..{} exceeds {rows} rows",
+                        first_row + count
+                    ),
+                }
+            }
+            freeride_io::IoError::ReaderPanicked => {
+                FreerideError::Stream { reason: "I/O reader thread died mid-run".into() }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod error_tests {
     use super::*;
@@ -67,5 +93,22 @@ mod error_tests {
         assert!(e.to_string().contains("short read"));
         let e = FreerideError::Codec { reason: "truncated frame".into() };
         assert!(e.to_string().contains("truncated frame"));
+        let e = FreerideError::Stream { reason: "reader died".into() };
+        assert!(e.to_string().contains("reader died"));
+    }
+
+    #[test]
+    fn io_layer_errors_convert_to_typed_variants() {
+        let e: FreerideError =
+            FreerideError::from(freeride_io::IoError::Io(std::io::Error::other("disk")));
+        assert!(matches!(e, FreerideError::Io(_)), "{e}");
+        let e = FreerideError::from(freeride_io::IoError::OutOfRange {
+            first_row: 5,
+            count: 10,
+            rows: 8,
+        });
+        assert!(matches!(e, FreerideError::BadDataset { .. }), "{e}");
+        let e = FreerideError::from(freeride_io::IoError::ReaderPanicked);
+        assert!(matches!(e, FreerideError::Stream { .. }), "{e}");
     }
 }

@@ -25,7 +25,9 @@
 //!   large objects) and a **finalize** step, both transparent to the
 //!   local reduction.
 //! * An **outer sequential loop** for iterative algorithms (k-means).
-//! * **Disk-resident datasets** served split-by-split ([`source`]).
+//! * **Disk-resident datasets** served split-by-split ([`source`]),
+//!   with an optional out-of-core streaming pipeline ([`IoMode`]) that
+//!   prefetches chunks through a bounded recycled-buffer pool.
 //!
 //! Start with [`Runtime`] (the Table I facade) or the lower-level
 //! [`Engine`].
@@ -44,12 +46,15 @@ mod stats;
 mod sync;
 
 pub use api::{Application, ReductionFn, Runtime};
-pub use engine::{CombinationFn, Engine, ExecMode, FinalizeFn, JobConfig, JobOutcome};
+pub use engine::{CombinationFn, Engine, ExecMode, FinalizeFn, IoMode, JobConfig, JobOutcome};
 pub use error::FreerideError;
 pub use pool::WorkerPool;
 pub use robj::{CombineOp, GroupSpec, RObjLayout, ReductionObject};
 pub use split::{DataView, Split, Splitter, SplitterFn};
-pub use stats::{PhaseTimes, RunStats, SplitStat};
+pub use stats::{IoActivity, PhaseTimes, RunStats, SplitStat};
+// Re-export the streaming-I/O substrate likewise: `IoMode::Streaming`
+// users size pipelines with these without naming `freeride-io`.
+pub use freeride_io::{IoStats, MemoryBudget, RowReader, RowSource, StreamConfig};
 // Re-export the tracing substrate so engine users configure trace
 // levels and drain traces without naming the `obs` crate directly.
 pub use obs::{Recorder, Trace, TraceLevel};

@@ -17,8 +17,9 @@
 //! ```
 
 use std::fs::File;
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use bytes::{Buf, BytesMut};
 
@@ -47,11 +48,17 @@ pub fn write_dataset(path: &Path, unit: usize, data: &[f64]) -> Result<(), Freer
 }
 
 /// A disk-resident dataset serving row ranges on demand.
+///
+/// Holds one persistent handle opened at validation time; row reads are
+/// *positioned* (`read_exact_at` on unix), so any number of workers can
+/// read their splits concurrently through the shared handle without a
+/// seek-cursor race and without paying an open/close per split.
 #[derive(Debug, Clone)]
 pub struct FileDataset {
     path: PathBuf,
     rows: u64,
     unit: u32,
+    file: Arc<File>,
 }
 
 impl FileDataset {
@@ -86,7 +93,7 @@ impl FileDataset {
                 reason: format!("payload truncated: {actual} < {expected} bytes"),
             });
         }
-        Ok(FileDataset { path: path.to_path_buf(), rows, unit })
+        Ok(FileDataset { path: path.to_path_buf(), rows, unit, file: Arc::new(f) })
     }
 
     /// Number of rows (data instances).
@@ -99,30 +106,55 @@ impl FileDataset {
         self.unit as usize
     }
 
-    /// Read a contiguous row range into memory. Each worker opens its
-    /// own file handle, so splits can be read concurrently.
+    /// Read a contiguous row range into a fresh buffer — see
+    /// [`FileDataset::read_rows_into`] for the allocation-reusing form.
     pub fn read_rows(&self, first_row: usize, count: usize) -> Result<Vec<f64>, FreerideError> {
-        if first_row + count > self.rows() {
+        let mut out = Vec::new();
+        self.read_rows_into(first_row, count, &mut out)?;
+        Ok(out)
+    }
+
+    /// Read a contiguous row range into `out` (cleared first; capacity
+    /// is reused across calls). Reads are positioned on the dataset's
+    /// persistent handle, so concurrent callers neither race a seek
+    /// cursor nor open a file per call.
+    pub fn read_rows_into(
+        &self,
+        first_row: usize,
+        count: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), FreerideError> {
+        if first_row.checked_add(count).is_none_or(|end| end > self.rows()) {
             return Err(FreerideError::BadDataset {
                 reason: format!(
                     "row range {first_row}..{} exceeds {} rows",
-                    first_row + count,
+                    first_row.saturating_add(count),
                     self.rows
                 ),
             });
         }
-        let mut f = File::open(&self.path)?;
         let offset = HEADER_LEN + (first_row as u64) * (self.unit as u64) * 8;
-        f.seek(SeekFrom::Start(offset))?;
         let slots = count * self.unit as usize;
-        let mut raw = BytesMut::zeroed(slots * 8);
-        f.read_exact(&mut raw)?;
-        let mut out = Vec::with_capacity(slots);
-        let mut buf = raw.freeze();
-        for _ in 0..slots {
-            out.push(buf.get_f64_le());
-        }
-        Ok(out)
+        #[cfg(unix)]
+        let file = &*self.file;
+        // Positioned reads need the handle's cursor untouched; without
+        // them a shared handle would race, so open per call instead.
+        #[cfg(not(unix))]
+        let file = &File::open(&self.path)?;
+        freeride_io::read_f64s_at(file, offset, slots, out)?;
+        Ok(())
+    }
+
+    /// A [`freeride_io::RowSource`] view of the payload region for the
+    /// streaming chunk pipeline: each reader thread opens its own
+    /// handle and issues positioned reads.
+    pub fn row_source(&self) -> Arc<dyn freeride_io::RowSource> {
+        Arc::new(freeride_io::FileSlice::new(
+            self.path.clone(),
+            HEADER_LEN,
+            self.rows(),
+            self.unit(),
+        ))
     }
 
     /// Read the whole payload.
@@ -199,6 +231,40 @@ mod source_tests {
         .unwrap();
         assert_eq!(seen, data);
         assert_eq!(firsts, vec![0, 4, 8]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_rows_into_reuses_the_buffer() {
+        let path = tmp("reuse.frds");
+        let data: Vec<f64> = (0..60).map(|i| i as f64).collect();
+        write_dataset(&path, 3, &data).unwrap();
+        let ds = FileDataset::open(&path).unwrap();
+        let mut buf = Vec::new();
+        ds.read_rows_into(0, 10, &mut buf).unwrap();
+        assert_eq!(buf.len(), 30);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        ds.read_rows_into(10, 10, &mut buf).unwrap();
+        assert_eq!(buf[0], 30.0);
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf.as_ptr(), ptr, "second read should reuse the allocation");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn row_source_serves_the_payload() {
+        let path = tmp("rowsource.frds");
+        let data: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        write_dataset(&path, 2, &data).unwrap();
+        let ds = FileDataset::open(&path).unwrap();
+        let src = ds.row_source();
+        assert_eq!(src.rows(), 10);
+        assert_eq!(src.unit(), 2);
+        let mut reader = src.open_reader().unwrap();
+        let mut out = Vec::new();
+        reader.read_rows_into(3, 2, &mut out).unwrap();
+        assert_eq!(out, vec![6.0, 7.0, 8.0, 9.0]);
         std::fs::remove_file(&path).ok();
     }
 

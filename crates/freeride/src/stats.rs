@@ -58,6 +58,41 @@ pub struct PhaseTimes {
     pub wall_ns: u64,
 }
 
+/// Streaming-I/O activity of one engine run (all zeros for in-memory
+/// runs and for `IoMode::Sync` file runs, whose read time lives in
+/// [`SplitStat::read_ns`] instead).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoActivity {
+    /// Chunks delivered by the streaming pipeline.
+    pub chunks: usize,
+    /// Payload bytes read.
+    pub bytes_read: u64,
+    /// Total reader-thread time spent inside reads, ns.
+    pub read_ns: u64,
+    /// Total worker time blocked waiting for a filled chunk (compute
+    /// starved by the disk), ns.
+    pub stall_ns: u64,
+    /// Total reader time blocked waiting for a free buffer (disk
+    /// throttled by compute — the memory budget at work), ns.
+    pub backpressure_ns: u64,
+    /// Resident chunk-buffer memory of the pipeline, bytes (max across
+    /// absorbed passes).
+    pub pool_bytes: usize,
+}
+
+impl IoActivity {
+    /// Fold another pass's activity into this one (counters add, the
+    /// resident pool takes the max — buffers are recycled, not stacked).
+    pub fn absorb(&mut self, other: &IoActivity) {
+        self.chunks += other.chunks;
+        self.bytes_read += other.bytes_read;
+        self.read_ns += other.read_ns;
+        self.stall_ns += other.stall_ns;
+        self.backpressure_ns += other.backpressure_ns;
+        self.pool_bytes = self.pool_bytes.max(other.pool_bytes);
+    }
+}
+
 /// Statistics of one engine run.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
@@ -75,6 +110,8 @@ pub struct RunStats {
     /// Reduction/merge passes served by already-running pool workers
     /// (dispatches that required no new OS threads).
     pub pool_reuses: usize,
+    /// Streaming-I/O activity (`IoMode::Streaming` file runs only).
+    pub io: IoActivity,
 }
 
 impl RunStats {
@@ -166,6 +203,16 @@ impl RunStats {
         stats.threads_spawned =
             trace.counters.get("pool.threads_spawned").copied().unwrap_or(0).max(0) as usize;
         stats.pool_reuses = trace.counters.get("pool.reuses").copied().unwrap_or(0).max(0) as usize;
+        let counter = |name: &str| trace.counters.get(name).copied().unwrap_or(0).max(0) as u64;
+        stats.io = IoActivity {
+            chunks: counter("io.chunks") as usize,
+            bytes_read: counter("io.bytes_read"),
+            read_ns: counter("io.read_ns"),
+            stall_ns: counter("io.stall_ns"),
+            backpressure_ns: counter("io.backpressure_ns"),
+            pool_bytes: trace.gauges.get("io.pool_bytes").copied().unwrap_or(0.0).max(0.0)
+                as usize,
+        };
         stats
     }
 
@@ -183,6 +230,7 @@ impl RunStats {
         self.logical_threads = self.logical_threads.max(other.logical_threads);
         self.threads_spawned += other.threads_spawned;
         self.pool_reuses += other.pool_reuses;
+        self.io.absorb(&other.io);
     }
 }
 
@@ -267,6 +315,7 @@ mod stats_tests {
             logical_threads: 2,
             threads_spawned: 2,
             pool_reuses: 1,
+            io: IoActivity { chunks: 2, bytes_read: 64, pool_bytes: 256, ..Default::default() },
         };
         let b = RunStats {
             splits: vec![stat(0, 20)],
@@ -274,6 +323,7 @@ mod stats_tests {
             logical_threads: 4,
             threads_spawned: 0,
             pool_reuses: 1,
+            io: IoActivity { chunks: 3, bytes_read: 96, pool_bytes: 128, ..Default::default() },
         };
         a.absorb(&b);
         assert_eq!(a.splits.len(), 2);
@@ -282,6 +332,10 @@ mod stats_tests {
         assert_eq!(a.logical_threads, 4);
         assert_eq!(a.threads_spawned, 2);
         assert_eq!(a.pool_reuses, 2);
+        assert_eq!(a.io.chunks, 5);
+        assert_eq!(a.io.bytes_read, 160);
+        // Recycled buffers don't stack across passes: the pool is a max.
+        assert_eq!(a.io.pool_bytes, 256);
     }
 
     #[test]

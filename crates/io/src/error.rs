@@ -1,0 +1,69 @@
+//! Typed errors for the streaming I/O layer.
+//!
+//! Every failure mode of the chunk pipeline — a bad positioned read, a
+//! row range outside the source, a reader thread dying mid-run — maps
+//! to one of these variants. The pipeline guarantees errors *propagate*
+//! rather than hang: see `ChunkReader` in [`crate::reader`].
+
+use std::fmt;
+
+/// Errors surfaced by the streaming chunk pipeline.
+#[derive(Debug)]
+pub enum IoError {
+    /// An operating-system I/O error from a positioned read (including
+    /// `UnexpectedEof` when a file is truncated under the pipeline).
+    Io(std::io::Error),
+    /// A requested row range fell outside the source.
+    OutOfRange {
+        /// First row of the rejected range.
+        first_row: usize,
+        /// Row count of the rejected range.
+        count: usize,
+        /// Rows the source actually has.
+        rows: usize,
+    },
+    /// A reader thread panicked mid-run; the pipeline shut down without
+    /// delivering every chunk.
+    ReaderPanicked,
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "chunk read failed: {e}"),
+            IoError::OutOfRange { first_row, count, rows } => {
+                write!(f, "row range {first_row}..{} exceeds {rows} rows", first_row + count)
+            }
+            IoError::ReaderPanicked => write!(f, "I/O reader thread died mid-run"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod error_tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = IoError::OutOfRange { first_row: 10, count: 5, rows: 12 };
+        assert!(e.to_string().contains("10..15"), "{e}");
+        assert!(IoError::ReaderPanicked.to_string().contains("died"));
+        let e = IoError::from(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof"));
+        assert!(e.to_string().contains("eof"));
+    }
+}

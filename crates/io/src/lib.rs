@@ -1,0 +1,111 @@
+//! Out-of-core streaming I/O for FREERIDE.
+//!
+//! FREERIDE's defining capability is processing *disk-resident*
+//! datasets: "the order in which data instances are read from the disks
+//! is determined by the runtime system", with asynchronous I/O
+//! overlapping reads and reduction. This crate is that runtime layer: a
+//! bounded-memory pipeline that turns any row-addressable source into a
+//! stream of reusable row-chunk buffers.
+//!
+//! The pieces:
+//!
+//! * [`RowSource`] / [`RowReader`] — format-agnostic positioned row
+//!   access; [`FileSlice`] serves a region of a file (one handle per
+//!   reader thread), [`MemSource`] is the in-memory double.
+//! * [`ChunkReader`] — N reader threads prefetching chunks into a fixed
+//!   pool of recycled buffers, with a dynamic chunk scheduler
+//!   (completion-order delivery to any number of consumers),
+//!   backpressure, and typed error propagation ([`IoError`]) that
+//!   never hangs — reader panics included.
+//! * [`MemoryBudget`] / [`StreamConfig`] / [`config_within`] — sizing:
+//!   the pool is the *only* resident payload memory, so a 1 GB dataset
+//!   streams under a 64 MB budget.
+//!
+//! `freeride` wires this into its engine behind `IoMode::Streaming`;
+//! `freeride-dist` nodes use it so cluster shards also stream. Like
+//! `obs`, the crate has no external dependencies.
+
+#![warn(missing_docs)]
+
+mod error;
+mod queue;
+pub mod reader;
+pub mod source;
+
+pub use error::IoError;
+pub use reader::{config_within, for_each_chunk, Chunk, ChunkReader, IoStats};
+pub use source::{read_f64s_at, FileSlice, MemSource, RowReader, RowSource};
+
+/// A cap on resident chunk-buffer memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MemoryBudget {
+    bytes: usize,
+}
+
+impl MemoryBudget {
+    /// A budget of `bytes` bytes (at least one row's worth is always
+    /// allocated regardless — the pipeline cannot run on zero buffers).
+    pub const fn bytes(bytes: usize) -> MemoryBudget {
+        MemoryBudget { bytes }
+    }
+
+    /// A budget of `mib` MiB.
+    pub const fn mib(mib: usize) -> MemoryBudget {
+        MemoryBudget { bytes: mib << 20 }
+    }
+
+    /// The budget in bytes.
+    pub const fn get(&self) -> usize {
+        self.bytes
+    }
+
+    /// How many `chunk_bytes`-sized buffers fit (at least 1).
+    pub const fn max_buffers(&self, chunk_bytes: usize) -> usize {
+        if chunk_bytes == 0 {
+            return 1;
+        }
+        let n = self.bytes / chunk_bytes;
+        if n == 0 {
+            1
+        } else {
+            n
+        }
+    }
+}
+
+/// Shape of one streaming pipeline: how big the chunks are, how many
+/// buffers circulate, how many reader threads fill them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Rows per chunk (clamped to at least 1).
+    pub chunk_rows: usize,
+    /// Buffers in the recycled pool (clamped to at least 1; 2+ for any
+    /// read/compute overlap). Resident payload memory is
+    /// `buffers × chunk_rows × unit × 8` bytes.
+    pub buffers: usize,
+    /// Reader threads issuing positioned reads (clamped to at least 1).
+    pub readers: usize,
+}
+
+impl Default for StreamConfig {
+    /// Triple buffering of 4096-row chunks filled by two readers —
+    /// 128 KiB resident per buffer at unit 4.
+    fn default() -> StreamConfig {
+        StreamConfig { chunk_rows: 4096, buffers: 3, readers: 2 }
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+
+    #[test]
+    fn budget_arithmetic() {
+        let b = MemoryBudget::mib(1);
+        assert_eq!(b.get(), 1 << 20);
+        assert_eq!(b.max_buffers(1 << 19), 2);
+        assert_eq!(b.max_buffers(1 << 22), 1);
+        assert_eq!(b.max_buffers(0), 1);
+        assert_eq!(MemoryBudget::bytes(12).get(), 12);
+    }
+}

@@ -1,0 +1,143 @@
+//! A minimal blocking MPMC channel on `Mutex` + `Condvar`.
+//!
+//! `std::sync::mpsc` is single-consumer, but the chunk pipeline needs
+//! many readers pushing filled chunks to many compute workers *and*
+//! many workers recycling buffers back to many readers. The channel is
+//! unbounded as a queue; boundedness of the pipeline comes from the
+//! fixed buffer pool circulating through it (a reader cannot fill more
+//! chunks than there are buffers — that *is* the backpressure).
+//!
+//! `close()` is the shutdown primitive: it wakes every blocked `pop`,
+//! which then drains the remaining items and returns `None` — so an
+//! aborting pipeline never strands a thread in a wait.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+pub(crate) struct Channel<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Ignore mutex poisoning: the channel is also the *error path* of the
+/// pipeline, so it must keep working after a sibling thread panicked.
+fn lock<T>(m: &Mutex<State<T>>) -> MutexGuard<'_, State<T>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl<T> Channel<T> {
+    pub fn new() -> Channel<T> {
+        Channel {
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Push an item; returns `false` (dropping the item) once closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut s = lock(&self.state);
+        if s.closed {
+            return false;
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Pop an item, blocking while the channel is empty but open.
+    /// Returns `None` once the channel is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = lock(&self.state);
+        loop {
+            if let Some(x) = s.items.pop_front() {
+                return Some(x);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.ready.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Close the channel, waking every blocked `pop`. Items already
+    /// queued remain poppable; further pushes are refused.
+    pub fn close(&self) {
+        lock(&self.state).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod queue_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_drain_after_close() {
+        let ch = Channel::new();
+        assert!(ch.push(1));
+        assert!(ch.push(2));
+        ch.close();
+        assert!(!ch.push(3), "push after close must be refused");
+        assert_eq!(ch.pop(), Some(1));
+        assert_eq!(ch.pop(), Some(2));
+        assert_eq!(ch.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let ch: Arc<Channel<i32>> = Arc::new(Channel::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let ch = ch.clone();
+            handles.push(std::thread::spawn(move || ch.pop()));
+        }
+        // Give the consumers a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        ch.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn many_producers_many_consumers_cover_everything() {
+        let ch: Arc<Channel<usize>> = Arc::new(Channel::new());
+        let n = 1000usize;
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let ch = ch.clone();
+                std::thread::spawn(move || {
+                    for i in 0..n / 4 {
+                        assert!(ch.push(p * (n / 4) + i));
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let ch = ch.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(x) = ch.pop() {
+                        got.push(x);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        ch.close();
+        let mut all: Vec<usize> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,674 @@
+//! The streaming chunk pipeline: reader threads, a recycled buffer
+//! pool, and the dynamic chunk scheduler.
+//!
+//! ```text
+//!            free buffers (bounded pool = the memory budget)
+//!      ┌───────────────◄─────────── recycle() ◄───────────────┐
+//!      ▼                                                      │
+//!  reader threads ── read_rows_into ──► filled chunks ──► recv() ──► workers
+//!  (claim chunk indices from an atomic counter;               (reduce, then
+//!   block on an empty pool = backpressure)                     recycle)
+//! ```
+//!
+//! * **Scheduling** is dynamic: readers claim the next unread chunk
+//!   index from a shared atomic counter, and workers take filled chunks
+//!   in completion order off a channel — no static range partitioning,
+//!   so a slow read or a slow split cannot straggle the pass.
+//! * **Memory** is bounded by construction: exactly `buffers` chunk
+//!   buffers are ever allocated; readers that outpace compute block on
+//!   the empty free-pool (`backpressure_ns`), workers that outpace the
+//!   disk block on the empty filled-channel (`stall_ns`).
+//! * **Errors propagate, never hang**: the first failed read (or a
+//!   reader panic, caught by a drop guard) records the error, raises
+//!   the abort flag, and closes both channels — every blocked thread
+//!   wakes, the last reader out closes the filled channel, and
+//!   [`ChunkReader::finish`] returns the error after joining.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use obs::{AttrValue, Recorder, TraceLevel};
+
+use crate::error::IoError;
+use crate::queue::Channel;
+use crate::source::RowSource;
+use crate::{MemoryBudget, StreamConfig};
+
+/// One filled chunk of rows, owning its buffer until recycled.
+#[derive(Debug)]
+pub struct Chunk {
+    /// Chunk sequence number (position in the shard's chunk order).
+    pub seq: usize,
+    /// Absolute first row of the chunk.
+    pub first_row: usize,
+    /// Rows in the chunk.
+    pub rows: usize,
+    /// The row data, `rows * unit` slots.
+    pub data: Vec<f64>,
+    /// Time the reader spent filling this chunk, ns.
+    pub read_ns: u64,
+}
+
+/// Aggregate I/O measurements of one finished pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Chunks delivered.
+    pub chunks: usize,
+    /// Payload bytes read from the source.
+    pub bytes_read: u64,
+    /// Total time reader threads spent inside reads, ns.
+    pub read_ns: u64,
+    /// Total time consumers spent blocked waiting for a filled chunk
+    /// (compute starved by the disk), ns.
+    pub stall_ns: u64,
+    /// Total time readers spent blocked waiting for a free buffer
+    /// (disk throttled by compute — the memory budget at work), ns.
+    pub backpressure_ns: u64,
+    /// Resident chunk-buffer memory: `buffers × chunk_rows × unit × 8`.
+    pub pool_bytes: usize,
+    /// Buffers actually allocated.
+    pub buffers: usize,
+    /// Reader threads spawned.
+    pub readers: usize,
+}
+
+struct Shared {
+    free: Channel<Vec<f64>>,
+    filled: Channel<Chunk>,
+    abort: AtomicBool,
+    error: Mutex<Option<IoError>>,
+    next_chunk: AtomicUsize,
+    live_readers: AtomicUsize,
+    bytes_read: AtomicU64,
+    read_ns: AtomicU64,
+    stall_ns: AtomicU64,
+    backpressure_ns: AtomicU64,
+    chunks_read: AtomicUsize,
+}
+
+impl Shared {
+    /// Record the first error, raise abort, and wake everything. Chunks
+    /// already filled stay deliverable; nothing new is produced.
+    fn fail(&self, e: IoError) {
+        {
+            let mut slot = self.error.lock().unwrap_or_else(|p| p.into_inner());
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        }
+        self.abort.store(true, Ordering::Relaxed);
+        // Wake sibling readers blocked on the buffer pool; they observe
+        // `None`, break, and the last one out closes `filled`.
+        self.free.close();
+    }
+}
+
+/// Decrements the live-reader count when a reader exits — *however* it
+/// exits. A panicking reader is converted into a typed error so the
+/// consumer side shuts down instead of hanging, and the last reader out
+/// closes the filled channel (the consumers' end-of-stream signal).
+struct ReaderGuard {
+    shared: Arc<Shared>,
+}
+
+impl Drop for ReaderGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.shared.fail(IoError::ReaderPanicked);
+        }
+        if self.shared.live_readers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.shared.filled.close();
+        }
+    }
+}
+
+/// The streaming pipeline over one shard of a [`RowSource`]: spawn it,
+/// then `recv`/`recycle` chunks from any number of consumer threads,
+/// and `finish` to join the readers and collect [`IoStats`].
+pub struct ChunkReader {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    chunk_rows: usize,
+    unit: usize,
+    buffers: usize,
+    readers: usize,
+}
+
+impl ChunkReader {
+    /// Spawn reader threads over rows `first_row .. first_row + row_count`
+    /// of `source`. When `recorder` is given, each chunk read is pushed
+    /// as an `io.read` span (at [`TraceLevel::Splits`]) on track
+    /// `track_base + reader_index`, keeping reader tracks disjoint from
+    /// the engine's worker tracks.
+    pub fn spawn(
+        source: Arc<dyn RowSource>,
+        first_row: usize,
+        row_count: usize,
+        config: StreamConfig,
+        recorder: Option<Arc<Recorder>>,
+        track_base: usize,
+    ) -> ChunkReader {
+        let unit = source.unit().max(1);
+        let chunk_rows = config.chunk_rows.max(1);
+        let total_chunks = row_count.div_ceil(chunk_rows);
+        // Never allocate more buffers than there are chunks to fill.
+        let buffers = config.buffers.max(1).min(total_chunks.max(1));
+        let readers = config.readers.max(1).min(total_chunks.max(1));
+
+        let shared = Arc::new(Shared {
+            free: Channel::new(),
+            filled: Channel::new(),
+            abort: AtomicBool::new(false),
+            error: Mutex::new(None),
+            next_chunk: AtomicUsize::new(0),
+            live_readers: AtomicUsize::new(readers),
+            bytes_read: AtomicU64::new(0),
+            read_ns: AtomicU64::new(0),
+            stall_ns: AtomicU64::new(0),
+            backpressure_ns: AtomicU64::new(0),
+            chunks_read: AtomicUsize::new(0),
+        });
+        for _ in 0..buffers {
+            shared.free.push(Vec::with_capacity(chunk_rows * unit));
+        }
+
+        let mut handles = Vec::with_capacity(readers);
+        for r in 0..readers {
+            let shared = shared.clone();
+            let source = source.clone();
+            let recorder = recorder.clone();
+            handles.push(std::thread::spawn(move || {
+                reader_main(
+                    ReaderArgs {
+                        shared,
+                        source,
+                        first_row,
+                        row_count,
+                        chunk_rows,
+                        total_chunks,
+                        unit,
+                        recorder,
+                        track: track_base + r,
+                    },
+                );
+            }));
+        }
+        ChunkReader { shared, handles, chunk_rows, unit, buffers, readers }
+    }
+
+    /// Take the next filled chunk, blocking until one is ready. Returns
+    /// `None` when the shard is exhausted *or* the pipeline aborted —
+    /// consumers then return and the caller checks [`ChunkReader::finish`].
+    pub fn recv(&self) -> Option<Chunk> {
+        let t0 = Instant::now();
+        let chunk = self.shared.filled.pop();
+        self.shared.stall_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        chunk
+    }
+
+    /// Return a processed chunk's buffer to the pool for the readers to
+    /// refill. Skipping this starves (then, on close, stops) the
+    /// readers — always recycle.
+    pub fn recycle(&self, chunk: Chunk) {
+        let mut data = chunk.data;
+        data.clear();
+        self.shared.free.push(data);
+    }
+
+    /// Abort the pipeline early: readers stop claiming chunks and wake
+    /// from any wait; pending `recv` calls drain and return `None`.
+    pub fn cancel(&self) {
+        self.shared.abort.store(true, Ordering::Relaxed);
+        self.shared.free.close();
+    }
+
+    /// Resident chunk-buffer memory of this pipeline, bytes.
+    pub fn pool_bytes(&self) -> usize {
+        self.buffers * self.chunk_rows * self.unit * 8
+    }
+
+    /// Join the reader threads and return the run's [`IoStats`], or the
+    /// first error the pipeline hit. Call after consumers have drained
+    /// `recv` to `None`; returns in bounded time even on error or
+    /// cancel, because every blocking point wakes on channel close.
+    pub fn finish(mut self) -> Result<IoStats, IoError> {
+        for h in self.handles.drain(..) {
+            // A panicked reader already recorded ReaderPanicked via its
+            // drop guard; the join error itself carries no more detail.
+            let _ = h.join();
+        }
+        let err = self.shared.error.lock().unwrap_or_else(|p| p.into_inner()).take();
+        match err {
+            Some(e) => Err(e),
+            None => Ok(IoStats {
+                chunks: self.shared.chunks_read.load(Ordering::Relaxed),
+                bytes_read: self.shared.bytes_read.load(Ordering::Relaxed),
+                read_ns: self.shared.read_ns.load(Ordering::Relaxed),
+                stall_ns: self.shared.stall_ns.load(Ordering::Relaxed),
+                backpressure_ns: self.shared.backpressure_ns.load(Ordering::Relaxed),
+                pool_bytes: self.pool_bytes(),
+                buffers: self.buffers,
+                readers: self.readers,
+            }),
+        }
+    }
+}
+
+impl Drop for ChunkReader {
+    /// A dropped (not finished) pipeline shuts down cleanly: abort,
+    /// wake everything, join the readers.
+    fn drop(&mut self) {
+        self.shared.abort.store(true, Ordering::Relaxed);
+        self.shared.free.close();
+        self.shared.filled.close();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+struct ReaderArgs {
+    shared: Arc<Shared>,
+    source: Arc<dyn RowSource>,
+    first_row: usize,
+    row_count: usize,
+    chunk_rows: usize,
+    total_chunks: usize,
+    unit: usize,
+    recorder: Option<Arc<Recorder>>,
+    track: usize,
+}
+
+fn reader_main(args: ReaderArgs) {
+    let ReaderArgs {
+        shared,
+        source,
+        first_row,
+        row_count,
+        chunk_rows,
+        total_chunks,
+        unit,
+        recorder,
+        track,
+    } = args;
+    let _guard = ReaderGuard { shared: shared.clone() };
+    let mut rd = match source.open_reader() {
+        Ok(rd) => rd,
+        Err(e) => {
+            shared.fail(e);
+            return;
+        }
+    };
+    loop {
+        if shared.abort.load(Ordering::Relaxed) {
+            break;
+        }
+        let i = shared.next_chunk.fetch_add(1, Ordering::Relaxed);
+        if i >= total_chunks {
+            break;
+        }
+        let first = first_row + i * chunk_rows;
+        let count = chunk_rows.min(first_row + row_count - first);
+
+        let t_wait = Instant::now();
+        let Some(mut buf) = shared.free.pop() else {
+            break; // pool closed: abort or cancel
+        };
+        shared.backpressure_ns.fetch_add(t_wait.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        let t_read = Instant::now();
+        match rd.read_rows_into(first, count, &mut buf) {
+            Ok(()) => {
+                let read_ns = t_read.elapsed().as_nanos() as u64;
+                shared.read_ns.fetch_add(read_ns, Ordering::Relaxed);
+                shared.bytes_read.fetch_add((count * unit * 8) as u64, Ordering::Relaxed);
+                shared.chunks_read.fetch_add(1, Ordering::Relaxed);
+                if let Some(rec) = &recorder {
+                    rec.push_complete(
+                        TraceLevel::Splits,
+                        "io.read",
+                        "io",
+                        track,
+                        rec.offset_ns(t_read),
+                        read_ns,
+                        vec![
+                            ("chunk", AttrValue::Int(i as i64)),
+                            ("first_row", AttrValue::Int(first as i64)),
+                            ("rows", AttrValue::Int(count as i64)),
+                        ],
+                    );
+                }
+                if !shared
+                    .filled
+                    .push(Chunk { seq: i, first_row: first, rows: count, data: buf, read_ns })
+                {
+                    break; // consumers gone
+                }
+            }
+            Err(e) => {
+                shared.fail(e);
+                break;
+            }
+        }
+    }
+}
+
+/// Convenience: stream a whole source through the pipeline on the
+/// calling thread, applying `f` to every chunk (arrival order). Mostly
+/// for tests and small tools; the engine drives [`ChunkReader`]
+/// directly from its worker pool.
+pub fn for_each_chunk(
+    source: Arc<dyn RowSource>,
+    config: StreamConfig,
+    mut f: impl FnMut(&Chunk),
+) -> Result<IoStats, IoError> {
+    let rows = source.rows();
+    let reader = ChunkReader::spawn(source, 0, rows, config, None, 0);
+    while let Some(chunk) = reader.recv() {
+        f(&chunk);
+        reader.recycle(chunk);
+    }
+    reader.finish()
+}
+
+/// Pick a [`StreamConfig`] whose buffer pool fits in `budget` for rows
+/// of `unit` slots: keeps at least double buffering and shrinks the
+/// chunk size (never below one row) to respect the cap.
+pub fn config_within(budget: MemoryBudget, unit: usize, readers: usize) -> StreamConfig {
+    let unit_bytes = unit.max(1) * 8;
+    let readers = readers.max(1);
+    let mut buffers = (2 * readers).clamp(3, 8);
+    // Largest chunk such that `buffers` of them fit in the budget.
+    let mut chunk_rows = (budget.get() / (buffers * unit_bytes)).max(1);
+    // Tiny budgets: trade buffers for staying under the cap, down to
+    // double buffering (below that the pipeline cannot overlap at all).
+    while buffers > 2 && buffers * chunk_rows * unit_bytes > budget.get() {
+        buffers -= 1;
+        chunk_rows = (budget.get() / (buffers * unit_bytes)).max(1);
+    }
+    StreamConfig { chunk_rows, buffers, readers }
+}
+
+#[cfg(test)]
+mod reader_tests {
+    use super::*;
+    use crate::source::{MemSource, RowReader};
+
+    fn mem(rows: usize, unit: usize) -> Arc<dyn RowSource> {
+        Arc::new(MemSource::new((0..rows * unit).map(|i| i as f64).collect(), unit).unwrap())
+    }
+
+    /// Every row is delivered exactly once, whatever the chunking.
+    fn assert_covers(rows: usize, unit: usize, config: StreamConfig) {
+        let src = mem(rows, unit);
+        let mut seen = vec![0u32; rows];
+        let stats = for_each_chunk(src, config, |c| {
+            assert_eq!(c.data.len(), c.rows * unit);
+            for r in 0..c.rows {
+                let row = c.first_row + r;
+                seen[row] += 1;
+                assert_eq!(c.data[r * unit], (row * unit) as f64, "row {row} content");
+            }
+        })
+        .unwrap();
+        assert!(seen.iter().all(|&n| n == 1), "rows={rows} config={config:?}: {seen:?}");
+        assert_eq!(stats.bytes_read, (rows * unit * 8) as u64);
+    }
+
+    #[test]
+    fn covers_every_row_exactly_once() {
+        for &(rows, unit) in &[(0usize, 3usize), (1, 1), (7, 3), (64, 4), (1000, 2)] {
+            for &chunk_rows in &[1usize, 3, 7, 64, 2048] {
+                for &readers in &[1usize, 2, 4] {
+                    assert_covers(
+                        rows,
+                        unit,
+                        StreamConfig { chunk_rows, buffers: 3, readers },
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rows_finishes_immediately() {
+        let stats = for_each_chunk(mem(0, 4), StreamConfig::default(), |_| {
+            panic!("no chunks expected")
+        })
+        .unwrap();
+        assert_eq!(stats.chunks, 0);
+        assert_eq!(stats.bytes_read, 0);
+    }
+
+    #[test]
+    fn shard_covers_only_its_rows() {
+        let src = mem(100, 2);
+        let reader = ChunkReader::spawn(
+            src,
+            40,
+            25,
+            StreamConfig { chunk_rows: 4, buffers: 3, readers: 2 },
+            None,
+            0,
+        );
+        let mut rows = Vec::new();
+        while let Some(c) = reader.recv() {
+            for r in 0..c.rows {
+                rows.push(c.first_row + r);
+            }
+            reader.recycle(c);
+        }
+        reader.finish().unwrap();
+        rows.sort_unstable();
+        assert_eq!(rows, (40..65).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_never_exceeds_configured_buffers() {
+        // One consumer that never lets more than `buffers` chunks exist:
+        // structurally guaranteed, but verify pool_bytes accounting.
+        let src = mem(64, 4);
+        let reader = ChunkReader::spawn(
+            src,
+            0,
+            64,
+            StreamConfig { chunk_rows: 8, buffers: 2, readers: 2 },
+            None,
+            0,
+        );
+        assert_eq!(reader.pool_bytes(), 2 * 8 * 4 * 8);
+        let mut n = 0;
+        while let Some(c) = reader.recv() {
+            n += 1;
+            reader.recycle(c);
+        }
+        let stats = reader.finish().unwrap();
+        assert_eq!(n, 8);
+        assert_eq!(stats.buffers, 2);
+        assert_eq!(stats.pool_bytes, 2 * 8 * 4 * 8);
+    }
+
+    /// A source whose reads fail past a point: the error must surface
+    /// from finish() and recv() must terminate (no hang).
+    #[derive(Debug)]
+    struct FailingSource {
+        rows: usize,
+        fail_from: usize,
+    }
+
+    impl RowSource for FailingSource {
+        fn rows(&self) -> usize {
+            self.rows
+        }
+        fn unit(&self) -> usize {
+            1
+        }
+        fn open_reader(&self) -> Result<Box<dyn RowReader + Send>, IoError> {
+            let fail_from = self.fail_from;
+            struct R {
+                fail_from: usize,
+            }
+            impl RowReader for R {
+                fn read_rows_into(
+                    &mut self,
+                    first_row: usize,
+                    count: usize,
+                    out: &mut Vec<f64>,
+                ) -> Result<(), IoError> {
+                    if first_row + count > self.fail_from {
+                        return Err(IoError::Io(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "synthetic EOF",
+                        )));
+                    }
+                    out.clear();
+                    out.resize(count, 0.0);
+                    Ok(())
+                }
+            }
+            Ok(Box::new(R { fail_from }))
+        }
+    }
+
+    #[test]
+    fn read_error_surfaces_without_hanging() {
+        let src: Arc<dyn RowSource> = Arc::new(FailingSource { rows: 100, fail_from: 40 });
+        let err = for_each_chunk(
+            src,
+            StreamConfig { chunk_rows: 8, buffers: 3, readers: 2 },
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(matches!(err, IoError::Io(_)), "{err}");
+    }
+
+    /// A source whose reader panics mid-run: the drop guard must turn
+    /// the panic into ReaderPanicked and shut the pipeline down.
+    #[derive(Debug)]
+    struct PanickingSource {
+        rows: usize,
+        panic_from: usize,
+    }
+
+    impl RowSource for PanickingSource {
+        fn rows(&self) -> usize {
+            self.rows
+        }
+        fn unit(&self) -> usize {
+            1
+        }
+        fn open_reader(&self) -> Result<Box<dyn RowReader + Send>, IoError> {
+            struct R {
+                panic_from: usize,
+            }
+            impl RowReader for R {
+                fn read_rows_into(
+                    &mut self,
+                    first_row: usize,
+                    count: usize,
+                    out: &mut Vec<f64>,
+                ) -> Result<(), IoError> {
+                    assert!(first_row + count <= self.panic_from, "reader killed mid-run");
+                    out.clear();
+                    out.resize(count, 1.0);
+                    Ok(())
+                }
+            }
+            Ok(Box::new(R { panic_from: self.panic_from }))
+        }
+    }
+
+    #[test]
+    fn reader_death_surfaces_as_typed_error() {
+        let src: Arc<dyn RowSource> = Arc::new(PanickingSource { rows: 64, panic_from: 24 });
+        let err = for_each_chunk(
+            src,
+            StreamConfig { chunk_rows: 8, buffers: 2, readers: 2 },
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(matches!(err, IoError::ReaderPanicked), "{err}");
+    }
+
+    #[test]
+    fn cancel_stops_readers_promptly() {
+        let src = mem(10_000, 4);
+        let reader = ChunkReader::spawn(
+            src,
+            0,
+            10_000,
+            StreamConfig { chunk_rows: 16, buffers: 3, readers: 2 },
+            None,
+            0,
+        );
+        let first = reader.recv().expect("at least one chunk");
+        reader.recycle(first);
+        reader.cancel();
+        while let Some(c) = reader.recv() {
+            reader.recycle(c);
+        }
+        // Cancel is not an error; the stats cover what was delivered.
+        let stats = reader.finish().unwrap();
+        assert!(stats.chunks < 10_000 / 16, "cancel should cut the run short");
+    }
+
+    #[test]
+    fn dropping_reader_mid_run_joins_cleanly() {
+        let src = mem(10_000, 2);
+        let reader = ChunkReader::spawn(
+            src,
+            0,
+            10_000,
+            StreamConfig { chunk_rows: 4, buffers: 3, readers: 3 },
+            None,
+            0,
+        );
+        let c = reader.recv().unwrap();
+        reader.recycle(c);
+        drop(reader); // must not hang or leak threads
+    }
+
+    #[test]
+    fn budget_config_stays_under_cap() {
+        for &(mib, unit, readers) in
+            &[(64usize, 4usize, 2usize), (1, 1, 1), (4, 1024, 4), (16, 33, 3)]
+        {
+            let budget = MemoryBudget::mib(mib);
+            let cfg = config_within(budget, unit, readers);
+            let pool = cfg.buffers * cfg.chunk_rows * unit * 8;
+            assert!(
+                pool <= budget.get() || cfg.chunk_rows == 1,
+                "{mib} MiB unit={unit}: pool {pool} vs budget {}",
+                budget.get()
+            );
+            assert!(cfg.buffers >= 2);
+        }
+    }
+
+    #[test]
+    fn io_read_spans_land_on_reader_tracks() {
+        let rec = Arc::new(Recorder::new(TraceLevel::Splits));
+        let src = mem(64, 2);
+        let reader = ChunkReader::spawn(
+            src,
+            0,
+            64,
+            StreamConfig { chunk_rows: 8, buffers: 3, readers: 2 },
+            Some(rec.clone()),
+            10,
+        );
+        while let Some(c) = reader.recv() {
+            reader.recycle(c);
+        }
+        reader.finish().unwrap();
+        let trace = rec.drain();
+        assert_eq!(trace.count("io.read"), 8);
+        for span in &trace.spans {
+            if span.name == "io.read" {
+                assert!(span.tid >= 10 && span.tid < 12, "tid {}", span.tid);
+            }
+        }
+    }
+}

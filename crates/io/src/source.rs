@@ -1,0 +1,282 @@
+//! Row sources: what the chunk pipeline reads from.
+//!
+//! The pipeline is format-agnostic: anything that can serve `unit`-slot
+//! `f64` rows by absolute row index is a [`RowSource`]. Each reader
+//! thread gets its *own* [`RowReader`] (its own file handle, its own
+//! scratch state), so N readers issue positioned reads concurrently
+//! without sharing a seek cursor.
+
+use std::fs::File;
+use std::path::PathBuf;
+
+use crate::error::IoError;
+
+/// A dataset the chunk pipeline can stream: `rows` rows of `unit`
+/// `f64` slots, randomly addressable by row index.
+pub trait RowSource: Send + Sync {
+    /// Total number of rows.
+    fn rows(&self) -> usize;
+    /// Slots per row.
+    fn unit(&self) -> usize;
+    /// Open a per-thread reader. Called once per reader thread, so a
+    /// file-backed source hands out one handle per reader.
+    fn open_reader(&self) -> Result<Box<dyn RowReader + Send>, IoError>;
+}
+
+/// One reader thread's view of a [`RowSource`].
+pub trait RowReader {
+    /// Read `count` rows starting at absolute row `first_row` into
+    /// `out` (cleared first; capacity is reused across calls).
+    fn read_rows_into(
+        &mut self,
+        first_row: usize,
+        count: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), IoError>;
+}
+
+/// Decode `slots` little-endian `f64` values starting at byte `offset`
+/// of `file` into `out` (cleared first). Uses positioned reads
+/// (`read_exact_at`) on unix — the shared handle's cursor is never
+/// touched, so concurrent callers don't race — and seek + read
+/// elsewhere. A fixed stack buffer keeps the hot path allocation-free
+/// beyond `out` itself.
+pub fn read_f64s_at(
+    file: &File,
+    offset: u64,
+    slots: usize,
+    out: &mut Vec<f64>,
+) -> Result<(), IoError> {
+    out.clear();
+    out.reserve(slots);
+    let mut buf = [0u8; 16 * 1024]; // multiple of 8
+    let mut off = offset;
+    let mut left = slots;
+    while left > 0 {
+        let n = left.min(buf.len() / 8);
+        let bytes = &mut buf[..n * 8];
+        read_exact_at(file, bytes, off)?;
+        for b in bytes.chunks_exact(8) {
+            out.push(f64::from_le_bytes(b.try_into().expect("8 bytes")));
+        }
+        off += (n * 8) as u64;
+        left -= n;
+    }
+    Ok(())
+}
+
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(not(unix))]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    // &File implements Seek/Read; the caller must not share the handle
+    // across threads on non-unix (FileSlice opens one per reader).
+    let mut f = file;
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(buf)
+}
+
+/// A region of a file holding `rows × unit` little-endian `f64` values
+/// starting at `payload_offset` — e.g. the payload of a `.frds` dataset
+/// past its header. Each reader opens its own handle on `path`.
+#[derive(Debug, Clone)]
+pub struct FileSlice {
+    path: PathBuf,
+    payload_offset: u64,
+    rows: usize,
+    unit: usize,
+}
+
+impl FileSlice {
+    /// Describe the payload region. No file is opened until a reader is.
+    pub fn new(path: impl Into<PathBuf>, payload_offset: u64, rows: usize, unit: usize) -> FileSlice {
+        FileSlice { path: path.into(), payload_offset, rows, unit }
+    }
+}
+
+impl RowSource for FileSlice {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn unit(&self) -> usize {
+        self.unit
+    }
+
+    fn open_reader(&self) -> Result<Box<dyn RowReader + Send>, IoError> {
+        Ok(Box::new(FileSliceReader {
+            file: File::open(&self.path)?,
+            payload_offset: self.payload_offset,
+            rows: self.rows,
+            unit: self.unit,
+        }))
+    }
+}
+
+struct FileSliceReader {
+    file: File,
+    payload_offset: u64,
+    rows: usize,
+    unit: usize,
+}
+
+impl RowReader for FileSliceReader {
+    fn read_rows_into(
+        &mut self,
+        first_row: usize,
+        count: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), IoError> {
+        if first_row.checked_add(count).is_none_or(|end| end > self.rows) {
+            return Err(IoError::OutOfRange { first_row, count, rows: self.rows });
+        }
+        let offset = self.payload_offset + (first_row * self.unit * 8) as u64;
+        read_f64s_at(&self.file, offset, count * self.unit, out)
+    }
+}
+
+/// An in-memory [`RowSource`] — the test double for the pipeline (and a
+/// way to stream data that is already resident, e.g. for differential
+/// checks against file-backed runs).
+#[derive(Debug, Clone)]
+pub struct MemSource {
+    data: std::sync::Arc<Vec<f64>>,
+    unit: usize,
+}
+
+impl MemSource {
+    /// Wrap a flat row-major buffer of `unit`-slot rows. The buffer
+    /// length must be a multiple of `unit`.
+    pub fn new(data: Vec<f64>, unit: usize) -> Result<MemSource, IoError> {
+        let unit = unit.max(1);
+        if !data.len().is_multiple_of(unit) {
+            return Err(IoError::OutOfRange { first_row: 0, count: data.len(), rows: 0 });
+        }
+        Ok(MemSource { data: std::sync::Arc::new(data), unit })
+    }
+}
+
+struct MemReader {
+    data: std::sync::Arc<Vec<f64>>,
+    unit: usize,
+}
+
+impl RowSource for MemSource {
+    fn rows(&self) -> usize {
+        self.data.len() / self.unit
+    }
+
+    fn unit(&self) -> usize {
+        self.unit
+    }
+
+    fn open_reader(&self) -> Result<Box<dyn RowReader + Send>, IoError> {
+        Ok(Box::new(MemReader { data: self.data.clone(), unit: self.unit }))
+    }
+}
+
+impl RowReader for MemReader {
+    fn read_rows_into(
+        &mut self,
+        first_row: usize,
+        count: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), IoError> {
+        let rows = self.data.len() / self.unit;
+        if first_row.checked_add(count).is_none_or(|end| end > rows) {
+            return Err(IoError::OutOfRange { first_row, count, rows });
+        }
+        out.clear();
+        out.extend_from_slice(&self.data[first_row * self.unit..(first_row + count) * self.unit]);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod source_tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("freeride-io-test-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn file_slice_positioned_reads() {
+        let path = tmp("slice.bin");
+        let mut f = File::create(&path).unwrap();
+        // 3-byte junk "header", then 10 rows of 2 slots.
+        f.write_all(b"HDR").unwrap();
+        for i in 0..20 {
+            f.write_all(&(i as f64).to_le_bytes()).unwrap();
+        }
+        drop(f);
+        let src = FileSlice::new(&path, 3, 10, 2);
+        let mut rd = src.open_reader().unwrap();
+        let mut out = Vec::new();
+        rd.read_rows_into(3, 2, &mut out).unwrap();
+        assert_eq!(out, vec![6.0, 7.0, 8.0, 9.0]);
+        // Reuse the same buffer for a second, larger read.
+        rd.read_rows_into(0, 10, &mut out).unwrap();
+        assert_eq!(out.len(), 20);
+        assert_eq!(out[19], 19.0);
+        assert!(matches!(
+            rd.read_rows_into(9, 2, &mut out),
+            Err(IoError::OutOfRange { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_slice_surfaces_truncation_as_io_error() {
+        let path = tmp("trunc.bin");
+        let mut f = File::create(&path).unwrap();
+        for i in 0..8 {
+            f.write_all(&(i as f64).to_le_bytes()).unwrap();
+        }
+        drop(f);
+        // Claim 10 rows; the file only has 8 slots of 1.
+        let src = FileSlice::new(&path, 0, 10, 1);
+        let mut rd = src.open_reader().unwrap();
+        let mut out = Vec::new();
+        assert!(matches!(rd.read_rows_into(4, 6, &mut out), Err(IoError::Io(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mem_source_round_trips() {
+        let src = MemSource::new((0..12).map(|i| i as f64).collect(), 3).unwrap();
+        assert_eq!(src.rows(), 4);
+        assert_eq!(src.unit(), 3);
+        let mut rd = src.open_reader().unwrap();
+        let mut out = Vec::new();
+        rd.read_rows_into(1, 2, &mut out).unwrap();
+        assert_eq!(out, vec![3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert!(rd.read_rows_into(3, 2, &mut out).is_err());
+        assert!(MemSource::new(vec![1.0; 10], 3).is_err());
+    }
+
+    #[test]
+    fn read_f64s_spanning_multiple_stack_buffers() {
+        let path = tmp("big.bin");
+        let slots = 5000usize; // 40 000 bytes > the 16 KiB stack buffer
+        let mut f = File::create(&path).unwrap();
+        for i in 0..slots {
+            f.write_all(&(i as f64).to_le_bytes()).unwrap();
+        }
+        drop(f);
+        let f = File::open(&path).unwrap();
+        let mut out = Vec::new();
+        read_f64s_at(&f, 0, slots, &mut out).unwrap();
+        assert_eq!(out.len(), slots);
+        assert!(out.iter().enumerate().all(|(i, &x)| x == i as f64));
+        std::fs::remove_file(&path).ok();
+    }
+}
