@@ -9,8 +9,8 @@ cargo build --release
 cargo test -q
 cargo test --workspace -q
 cargo clippy --workspace -- -D warnings
-# New crates are held rustfmt-clean (older crates predate the gate).
-cargo fmt -p freeride-dist --check
+# The whole workspace is held rustfmt-clean.
+cargo fmt --all --check
 
 # Observability: a traced run must export a Chrome trace that
 # trace-check accepts, with engine spans present (DESIGN.md §8).
@@ -53,3 +53,33 @@ cargo run --release -p bench --bin bench -- kmeans \
 wait "$NODE1" "$NODE2"
 cargo run --release -p obs --bin trace-check -- target/ci-cluster-trace.json \
   --min-pids 3 --expect node.pass --expect cluster.round --expect cluster.combine
+
+# Fault tolerance: a real 2-process cluster where one cfr-node kills
+# itself mid-round must recover by shard reassignment, checkpoint every
+# round, and finish with ft.recover/ft.checkpoint in the trace
+# (DESIGN.md §11). The chaos node aborts by design; its exit status is
+# expected to be nonzero.
+rm -rf target/ci-ft-ckpt target/ci-chaos.addr target/ci-surv.addr
+target/release/cfr-node --listen 127.0.0.1:0 --port-file target/ci-chaos.addr \
+  --chaos-kill-after-rounds 1 &
+CHAOS=$!
+target/release/cfr-node --listen 127.0.0.1:0 --port-file target/ci-surv.addr &
+SURV=$!
+for f in target/ci-chaos.addr target/ci-surv.addr; do
+  i=0
+  until [ -s "$f" ]; do
+    i=$((i + 1)); [ "$i" -gt 100 ] && { echo "cfr-node never wrote $f" >&2; exit 1; }
+    sleep 0.1
+  done
+done
+cargo run --release -p bench --bin bench -- kmeans \
+  --n 2000 --d 4 --k 4 --iters 3 \
+  --node-addr "$(cat target/ci-chaos.addr)" \
+  --node-addr "$(cat target/ci-surv.addr)" \
+  --checkpoint-dir target/ci-ft-ckpt \
+  --trace-out target/ci-ft-trace.json
+wait "$CHAOS" || true
+wait "$SURV"
+cargo run --release -p obs --bin trace-check -- target/ci-ft-trace.json \
+  --expect ft.recover --expect ft.checkpoint --expect cluster.round --expect node.pass
+rm -rf target/ci-ft-ckpt

@@ -17,7 +17,7 @@ use obs::Trace;
 
 // Re-exported so callers of the cluster drivers don't need a direct
 // freeride-dist dependency for the common types.
-pub use freeride_dist::{ClusterConfig, ClusterOutcome, ClusterStats, DistError};
+pub use freeride_dist::{ClusterConfig, ClusterOutcome, ClusterStats, DistError, FtPolicy};
 
 use crate::data;
 use crate::error::AppError;
@@ -84,7 +84,51 @@ fn scratch_file(tag: &str) -> PathBuf {
     path
 }
 
-fn run_job(config: ClusterConfig, nodes: &Nodes) -> Result<freeride_dist::ClusterOutcome, AppError> {
+/// Fault-tolerance options for the cluster drivers: where to checkpoint,
+/// whether to resume, and the node-failure recovery policy.
+#[derive(Debug, Clone, Default)]
+pub struct FtOptions {
+    /// Directory for round checkpoints; `None` disables checkpointing
+    /// (and makes `resume` a no-op). PCA's two-phase driver uses
+    /// `mean/` and `cov/` subdirectories of it.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from the newest checkpoint in `checkpoint_dir`; when the
+    /// directory holds no checkpoint yet the job starts fresh (so one
+    /// flag serves "run, and pick up where a crashed run left off").
+    pub resume: bool,
+    /// Node-failure recovery policy passed through to the coordinator.
+    pub policy: FtPolicy,
+}
+
+impl FtOptions {
+    /// Checkpoint into (and resume from) `dir`.
+    pub fn with_dir(dir: impl Into<PathBuf>) -> FtOptions {
+        FtOptions {
+            checkpoint_dir: Some(dir.into()),
+            ..FtOptions::default()
+        }
+    }
+
+    /// Set the resume flag.
+    pub fn resume(mut self, yes: bool) -> FtOptions {
+        self.resume = yes;
+        self
+    }
+
+    /// Options scoped to a phase subdirectory (PCA's `mean` / `cov`).
+    fn phase(&self, name: &str) -> FtOptions {
+        FtOptions {
+            checkpoint_dir: self.checkpoint_dir.as_ref().map(|d| d.join(name)),
+            resume: self.resume,
+            policy: self.policy.clone(),
+        }
+    }
+}
+
+fn run_job(
+    config: ClusterConfig,
+    nodes: &Nodes,
+) -> Result<freeride_dist::ClusterOutcome, AppError> {
     let outcome = match nodes {
         Nodes::Loopback(n) => freeride_dist::run_loopback(config, *n),
         Nodes::External(addrs) => Coordinator::new(config).run(addrs),
@@ -92,15 +136,51 @@ fn run_job(config: ClusterConfig, nodes: &Nodes) -> Result<freeride_dist::Cluste
     outcome.map_err(|e| AppError::new(format!("cluster run failed: {e}")))
 }
 
+fn run_job_ft(
+    mut config: ClusterConfig,
+    nodes: &Nodes,
+    ft: &FtOptions,
+) -> Result<freeride_dist::ClusterOutcome, AppError> {
+    config.ft = ft.policy.clone();
+    config.checkpoint_dir = ft.checkpoint_dir.clone();
+    if ft.resume && config.checkpoint_dir.is_some() {
+        let resumed = match nodes {
+            Nodes::Loopback(n) => freeride_dist::resume_loopback(config.clone(), *n),
+            Nodes::External(addrs) => Coordinator::new(config.clone()).resume_from(addrs),
+        };
+        match resumed {
+            // Nothing to resume yet — fall through to a fresh run.
+            Err(DistError::Ft(freeride_ft::FtError::NoCheckpoint { .. })) => {}
+            other => {
+                return other.map_err(|e| AppError::new(format!("cluster resume failed: {e}")))
+            }
+        }
+    }
+    run_job(config, nodes)
+}
+
 /// Run k-means on a cluster: the dataset of `params` is written to a
 /// shared file, sharded by rows across the nodes, and refined for
 /// `params.iters` rounds with the centroid state broadcast each round.
-pub fn kmeans_cluster(params: &KmeansParams, nodes: &Nodes) -> Result<ClusterKmeansResult, AppError> {
+pub fn kmeans_cluster(
+    params: &KmeansParams,
+    nodes: &Nodes,
+) -> Result<ClusterKmeansResult, AppError> {
+    kmeans_cluster_ft(params, nodes, &FtOptions::default())
+}
+
+/// [`kmeans_cluster`] with fault tolerance: round checkpoints into
+/// `ft.checkpoint_dir`, optional resume, node-failure recovery policy.
+pub fn kmeans_cluster_ft(
+    params: &KmeansParams,
+    nodes: &Nodes,
+    ft: &FtOptions,
+) -> Result<ClusterKmeansResult, AppError> {
     let (n, d) = (params.n, params.d);
     let path = scratch_file("kmeans");
     freeride::source::write_dataset(&path, d, &data::kmeans_points_flat(n, d))
         .map_err(|e| AppError::new(format!("cannot write cluster dataset: {e}")))?;
-    let result = kmeans_cluster_on_file(params, &path, nodes);
+    let result = kmeans_cluster_on_file_ft(params, &path, nodes, ft);
     std::fs::remove_file(&path).ok();
     result
 }
@@ -112,6 +192,16 @@ pub fn kmeans_cluster_on_file(
     dataset: &Path,
     nodes: &Nodes,
 ) -> Result<ClusterKmeansResult, AppError> {
+    kmeans_cluster_on_file_ft(params, dataset, nodes, &FtOptions::default())
+}
+
+/// [`kmeans_cluster_on_file`] with fault tolerance.
+pub fn kmeans_cluster_on_file_ft(
+    params: &KmeansParams,
+    dataset: &Path,
+    nodes: &Nodes,
+    ft: &FtOptions,
+) -> Result<ClusterKmeansResult, AppError> {
     let (d, k) = (params.d, params.k);
     let mut config = ClusterConfig::new("kmeans", dataset);
     config.params = vec![k as i64, d as i64];
@@ -120,7 +210,7 @@ pub fn kmeans_cluster_on_file(
     config.threads_per_node = params.config.threads.max(1);
     config.trace = params.config.trace;
     config.io = params.config.io;
-    let outcome = run_job(config, nodes)?;
+    let outcome = run_job_ft(config, nodes, ft)?;
     let cells = outcome.robj.group_slice(0);
     let counts: Vec<f64> = (0..k).map(|c| cells[c * (d + 1) + d]).collect();
     Ok(ClusterKmeansResult {
@@ -136,6 +226,18 @@ pub fn kmeans_cluster_on_file(
 /// mean broadcast as state (exactly the two phases of the
 /// single-process driver).
 pub fn pca_cluster(params: &PcaParams, nodes: &Nodes) -> Result<ClusterPcaResult, AppError> {
+    pca_cluster_ft(params, nodes, &FtOptions::default())
+}
+
+/// [`pca_cluster`] with fault tolerance. Each phase checkpoints into
+/// its own subdirectory (`mean/`, `cov/`) of `ft.checkpoint_dir`, so a
+/// resume skips a completed mean phase entirely and picks the cov phase
+/// up from its newest checkpoint.
+pub fn pca_cluster_ft(
+    params: &PcaParams,
+    nodes: &Nodes,
+    ft: &FtOptions,
+) -> Result<ClusterPcaResult, AppError> {
     let (rows, cols) = (params.rows, params.cols);
     let path = scratch_file("pca");
     freeride::source::write_dataset(&path, rows, &data::pca_matrix_flat(rows, cols))
@@ -150,7 +252,7 @@ pub fn pca_cluster(params: &PcaParams, nodes: &Nodes) -> Result<ClusterPcaResult
     config.threads_per_node = params.config.threads.max(1);
     config.trace = params.config.trace;
     config.io = params.config.io;
-    let outcome = match run_job(config, nodes) {
+    let outcome = match run_job_ft(config, nodes, &ft.phase("mean")) {
         Ok(o) => o,
         Err(e) => {
             std::fs::remove_file(&path).ok();
@@ -171,7 +273,7 @@ pub fn pca_cluster(params: &PcaParams, nodes: &Nodes) -> Result<ClusterPcaResult
     config.threads_per_node = params.config.threads.max(1);
     config.trace = params.config.trace;
     config.io = params.config.io;
-    let outcome = match run_job(config, nodes) {
+    let outcome = match run_job_ft(config, nodes, &ft.phase("cov")) {
         Ok(o) => o,
         Err(e) => {
             std::fs::remove_file(&path).ok();
@@ -183,7 +285,12 @@ pub fn pca_cluster(params: &PcaParams, nodes: &Nodes) -> Result<ClusterPcaResult
     traces.extend(outcome.trace);
     std::fs::remove_file(&path).ok();
 
-    Ok(ClusterPcaResult { mean, cov, stats, traces })
+    Ok(ClusterPcaResult {
+        mean,
+        cov,
+        stats,
+        traces,
+    })
 }
 
 /// Spawn loopback agents able to serve `sessions` sequential jobs each
@@ -200,7 +307,11 @@ pub fn spawn_multi_session_loopback(
     for _ in 0..n {
         let listener = std::net::TcpListener::bind("127.0.0.1:0")
             .map_err(|e| AppError::new(format!("bind: {e}")))?;
-        addrs.push(listener.local_addr().map_err(|e| AppError::new(format!("addr: {e}")))?);
+        addrs.push(
+            listener
+                .local_addr()
+                .map_err(|e| AppError::new(format!("addr: {e}")))?,
+        );
         handles.push(std::thread::spawn(move || {
             for _ in 0..sessions {
                 if freeride_dist::node::serve(&listener).is_err() {

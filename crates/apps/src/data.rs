@@ -68,7 +68,11 @@ pub fn kmeans_centroids_nested(k: usize, d: usize) -> Value {
         (1..=k)
             .map(|c| {
                 Value::Record(vec![
-                    Value::Array((1..=d).map(|j| Value::Real(kmeans_centroid(c, j))).collect()),
+                    Value::Array(
+                        (1..=d)
+                            .map(|j| Value::Real(kmeans_centroid(c, j)))
+                            .collect(),
+                    ),
                     Value::Int(0),
                 ])
             })
@@ -96,7 +100,10 @@ pub fn kmeans_point_shape(d: usize) -> Shape {
 /// Chapel program).
 pub fn kmeans_centroid_shape(k: usize, d: usize) -> Shape {
     Shape::array(
-        Shape::record(vec![("pos", Shape::array(Shape::Real, d)), ("count", Shape::Int)]),
+        Shape::record(vec![
+            ("pos", Shape::array(Shape::Real, d)),
+            ("count", Shape::Int),
+        ]),
         k,
     )
 }

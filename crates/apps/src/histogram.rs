@@ -29,7 +29,11 @@ pub struct HistogramParams {
 impl HistogramParams {
     /// Construct with defaults.
     pub fn new(n: usize, buckets: usize) -> HistogramParams {
-        HistogramParams { n, buckets, config: JobConfig::with_threads(1) }
+        HistogramParams {
+            n,
+            buckets,
+            config: JobConfig::with_threads(1),
+        }
     }
 
     /// Set the thread count.
@@ -76,7 +80,13 @@ fn run_translated(params: &HistogramParams, opt: OptLevel) -> Result<HistogramRe
 
     let nested = data::histogram_nested(n);
     let lin_start = Instant::now();
-    let buffer = zip_linearize(std::slice::from_ref(&nested), n, 1, false, params.config.threads)?;
+    let buffer = zip_linearize(
+        std::slice::from_ref(&nested),
+        n,
+        1,
+        false,
+        params.config.threads,
+    )?;
     let linearize_ns = lin_start.elapsed().as_nanos() as u64;
 
     let layout = RObjLayout::new(vec![GroupSpec::new("hist", buckets, CombineOp::Sum)]);
@@ -87,12 +97,20 @@ fn run_translated(params: &HistogramParams, opt: OptLevel) -> Result<HistogramRe
         runtime.run_split(split, robj);
     };
     let outcome = engine.run(view, &layout, &kernel_fn);
-    let mut stats = RunStats { logical_threads: params.config.threads, ..Default::default() };
+    let mut stats = RunStats {
+        logical_threads: params.config.threads,
+        ..Default::default()
+    };
     stats.absorb(&outcome.stats);
 
     Ok(HistogramResult {
         hist: outcome.robj.group_slice(0).to_vec(),
-        timing: AppTiming { linearize_ns, stats, wall_ns: wall.elapsed().as_nanos() as u64, trace: None },
+        timing: AppTiming {
+            linearize_ns,
+            stats,
+            wall_ns: wall.elapsed().as_nanos() as u64,
+            trace: None,
+        },
     })
 }
 
@@ -114,11 +132,19 @@ fn run_manual(params: &HistogramParams) -> HistogramResult {
         }
     };
     let outcome = engine.run(view, &layout, &kernel);
-    let mut stats = RunStats { logical_threads: params.config.threads, ..Default::default() };
+    let mut stats = RunStats {
+        logical_threads: params.config.threads,
+        ..Default::default()
+    };
     stats.absorb(&outcome.stats);
     HistogramResult {
         hist: outcome.robj.group_slice(0).to_vec(),
-        timing: AppTiming { linearize_ns: 0, stats, wall_ns: wall.elapsed().as_nanos() as u64, trace: None },
+        timing: AppTiming {
+            linearize_ns: 0,
+            stats,
+            wall_ns: wall.elapsed().as_nanos() as u64,
+            trace: None,
+        },
     }
 }
 
@@ -140,16 +166,12 @@ mod histogram_tests {
     #[test]
     fn matches_interpreter_oracle() {
         let (n, b) = (120usize, 5usize);
-        let interp =
-            chapel_interp::Interpreter::run_source(&programs::histogram(n, b)).unwrap();
+        let interp = chapel_interp::Interpreter::run_source(&programs::histogram(n, b)).unwrap();
         let oracle = interp.global("hist").unwrap().to_linear().unwrap();
-        let oracle = linearize::Linearizer::new(&linearize::Shape::array(
-            linearize::Shape::Int,
-            b,
-        ))
-        .linearize(&oracle)
-        .unwrap()
-        .buffer;
+        let oracle = linearize::Linearizer::new(&linearize::Shape::array(linearize::Shape::Int, b))
+            .linearize(&oracle)
+            .unwrap()
+            .buffer;
         let r = run(&HistogramParams::new(n, b), Version::Generated).unwrap();
         assert_eq!(r.hist, oracle);
     }

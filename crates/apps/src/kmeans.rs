@@ -23,8 +23,8 @@ use chapel_frontend::programs;
 use freeride::{
     CombineOp, DataView, Engine, GroupSpec, JobConfig, RObjHandle, RObjLayout, RunStats, Split,
 };
-use obs::{AttrValue, Recorder, TraceLevel};
 use linearize::{Linearizer, Value};
+use obs::{AttrValue, Recorder, TraceLevel};
 
 use crate::data;
 use crate::error::AppError;
@@ -48,7 +48,13 @@ pub struct KmeansParams {
 impl KmeansParams {
     /// A small default configuration.
     pub fn new(n: usize, d: usize, k: usize, iters: usize) -> KmeansParams {
-        KmeansParams { n, d, k, iters, config: JobConfig::with_threads(1) }
+        KmeansParams {
+            n,
+            d,
+            k,
+            iters,
+            config: JobConfig::with_threads(1),
+        }
     }
 
     /// Set the thread count.
@@ -125,7 +131,10 @@ fn run_translated(params: &KmeansParams, opt: OptLevel) -> Result<KmeansResult, 
         detect_start.elapsed().as_nanos() as u64,
         vec![
             ("detected", AttrValue::Int(detection.detected.len() as i64)),
-            ("rejections", AttrValue::Int(detection.rejections.len() as i64)),
+            (
+                "rejections",
+                AttrValue::Int(detection.rejections.len() as i64),
+            ),
         ],
     );
     let red = detection
@@ -179,7 +188,10 @@ fn run_translated(params: &KmeansParams, opt: OptLevel) -> Result<KmeansResult, 
 
     let mut centroids = data::kmeans_centroids_flat(k, d);
     let mut counts = vec![0.0; k];
-    let mut stats = RunStats { logical_threads: params.config.threads, ..Default::default() };
+    let mut stats = RunStats {
+        logical_threads: params.config.threads,
+        ..Default::default()
+    };
 
     for _ in 0..params.iters.max(1) {
         // Rebuild the state in the representation this opt level uses.
@@ -204,8 +216,12 @@ fn run_translated(params: &KmeansParams, opt: OptLevel) -> Result<KmeansResult, 
         } else {
             (vec![nested], vec![Vec::new()])
         };
-        let runtime =
-            KernelRuntime::new(compiled.kernel.clone(), nested_state, flat_state, compiled.lo)?;
+        let runtime = KernelRuntime::new(
+            compiled.kernel.clone(),
+            nested_state,
+            flat_state,
+            compiled.lo,
+        )?;
         let kernel_fn = |split: &Split<'_>, robj: &mut dyn RObjHandle| {
             runtime.run_split(split, robj);
         };
@@ -253,7 +269,10 @@ pub fn run_manual_on_file(
 
     let mut centroids = data::kmeans_centroids_flat(k, d);
     let mut counts = vec![0.0; k];
-    let mut stats = RunStats { logical_threads: params.config.threads, ..Default::default() };
+    let mut stats = RunStats {
+        logical_threads: params.config.threads,
+        ..Default::default()
+    };
 
     for _ in 0..params.iters.max(1) {
         let cents = &centroids;
@@ -325,7 +344,10 @@ fn run_manual(params: &KmeansParams) -> KmeansResult {
 
     let mut centroids = data::kmeans_centroids_flat(k, d);
     let mut counts = vec![0.0; k];
-    let mut stats = RunStats { logical_threads: params.config.threads, ..Default::default() };
+    let mut stats = RunStats {
+        logical_threads: params.config.threads,
+        ..Default::default()
+    };
 
     for _ in 0..params.iters.max(1) {
         let cents = &centroids;
@@ -377,7 +399,10 @@ mod kmeans_tests {
     fn assert_slices_close(a: &[f64], b: &[f64], tol: f64, what: &str) {
         assert_eq!(a.len(), b.len(), "{what} length");
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!((x - y).abs() <= tol * x.abs().max(y.abs()).max(1.0), "{what}[{i}]: {x} vs {y}");
+            assert!(
+                (x - y).abs() <= tol * x.abs().max(y.abs()).max(1.0),
+                "{what}[{i}]: {x} vs {y}"
+            );
         }
     }
 
@@ -400,8 +425,7 @@ mod kmeans_tests {
         // One pass of the Chapel program on the interpreter gives the
         // raw sums; the driver divides by counts, so compare sums.
         let (n, k, d) = (40usize, 3usize, 2usize);
-        let interp =
-            chapel_interp::Interpreter::run_source(&programs::kmeans(n, k, d)).unwrap();
+        let interp = chapel_interp::Interpreter::run_source(&programs::kmeans(n, k, d)).unwrap();
         let new_cent = interp.global("newCent").unwrap().to_linear().unwrap();
         let oracle = Linearizer::new(&data::kmeans_centroid_shape(k, d))
             .linearize(&new_cent)
@@ -440,7 +464,14 @@ mod kmeans_tests {
         // Centroid movement between consecutive iterations shrinks.
         let params = KmeansParams::new(200, 2, 3, 1);
         let one = run(&params, Version::Manual).unwrap();
-        let five = run(&KmeansParams { iters: 6, ..params.clone() }, Version::Manual).unwrap();
+        let five = run(
+            &KmeansParams {
+                iters: 6,
+                ..params.clone()
+            },
+            Version::Manual,
+        )
+        .unwrap();
         let six = run(&KmeansParams { iters: 7, ..params }, Version::Manual).unwrap();
         let drift_early: f64 = one
             .centroids

@@ -33,7 +33,12 @@ pub struct KnnParams {
 impl KnnParams {
     /// Construct with defaults.
     pub fn new(n: usize, d: usize, k: usize) -> KnnParams {
-        KnnParams { n, d, k, config: JobConfig::with_threads(1) }
+        KnnParams {
+            n,
+            d,
+            k,
+            config: JobConfig::with_threads(1),
+        }
     }
 
     /// Set the thread count.
@@ -105,29 +110,33 @@ pub fn run_manual(params: &KnnParams) -> Result<KnnResult, AppError> {
 
     let qref = q.clone();
     rt.register(
-        Application::new(Arc::new(move |split: &Split<'_>, robj: &mut dyn RObjHandle| {
-            for row in split.iter_rows() {
-                let mut dist = 0.0;
-                for j in 0..qref.len() {
-                    let diff = row[j] - qref[j];
-                    dist += diff * diff;
+        Application::new(Arc::new(
+            move |split: &Split<'_>, robj: &mut dyn RObjHandle| {
+                for row in split.iter_rows() {
+                    let mut dist = 0.0;
+                    for j in 0..qref.len() {
+                        let diff = row[j] - qref[j];
+                        dist += diff * diff;
+                    }
+                    insert(robj, k, dist, row[qref.len()]);
                 }
-                insert(robj, k, dist, row[qref.len()]);
-            }
-        }))
-        .with_combination(Arc::new(move |a: &mut ReductionObject, b: &ReductionObject| {
-            // Merge two sorted top-k lists.
-            let mut merged: Vec<(f64, f64)> = Vec::with_capacity(2 * k);
-            for i in 0..k {
-                merged.push((a.get(0, i), a.get(1, i)));
-                merged.push((b.get(0, i), b.get(1, i)));
-            }
-            merged.sort_by(|x, y| x.0.total_cmp(&y.0));
-            for (i, (dist, label)) in merged.into_iter().take(k).enumerate() {
-                a.set(0, i, dist);
-                a.set(1, i, label);
-            }
-        })),
+            },
+        ))
+        .with_combination(Arc::new(
+            move |a: &mut ReductionObject, b: &ReductionObject| {
+                // Merge two sorted top-k lists.
+                let mut merged: Vec<(f64, f64)> = Vec::with_capacity(2 * k);
+                for i in 0..k {
+                    merged.push((a.get(0, i), a.get(1, i)));
+                    merged.push((b.get(0, i), b.get(1, i)));
+                }
+                merged.sort_by(|x, y| x.0.total_cmp(&y.0));
+                for (i, (dist, label)) in merged.into_iter().take(k).enumerate() {
+                    a.set(0, i, dist);
+                    a.set(1, i, label);
+                }
+            },
+        )),
     );
 
     let outcome = rt.execute(&buffer, d + 1)?;
@@ -177,7 +186,10 @@ pub fn run_oracle(params: &KnnParams) -> KnnResult {
     KnnResult {
         dists: all.iter().map(|x| x.0).collect(),
         labels: all.iter().map(|x| x.1).collect(),
-        timing: AppTiming { wall_ns: wall.elapsed().as_nanos() as u64, ..Default::default() },
+        timing: AppTiming {
+            wall_ns: wall.elapsed().as_nanos() as u64,
+            ..Default::default()
+        },
     }
 }
 

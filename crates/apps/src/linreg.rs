@@ -28,7 +28,10 @@ pub struct LinregParams {
 impl LinregParams {
     /// Construct with defaults.
     pub fn new(n: usize) -> LinregParams {
-        LinregParams { n, config: JobConfig::with_threads(1) }
+        LinregParams {
+            n,
+            config: JobConfig::with_threads(1),
+        }
     }
 
     /// Set the thread count.
@@ -88,7 +91,13 @@ fn run_translated(params: &LinregParams, opt: OptLevel) -> Result<LinregResult, 
     let xs = Value::Array((1..=n).map(|i| Value::Real(i as f64)).collect());
     let ys = Value::Array((1..=n).map(|i| Value::Real(3.0 * i as f64 + 1.0)).collect());
     let lin_start = Instant::now();
-    let buffer = zip_linearize(&[xs, ys], n, compiled.dataset.unit, false, params.config.threads)?;
+    let buffer = zip_linearize(
+        &[xs, ys],
+        n,
+        compiled.dataset.unit,
+        false,
+        params.config.threads,
+    )?;
     let linearize_ns = lin_start.elapsed().as_nanos() as u64;
     assert_eq!(compiled.dataset.unit, 2, "xs+ys zip to two slots per row");
 
@@ -106,7 +115,10 @@ fn run_translated(params: &LinregParams, opt: OptLevel) -> Result<LinregResult, 
         runtime.run_split(split, robj);
     };
     let outcome = engine.run(view, &layout, &kernel_fn);
-    let mut stats = RunStats { logical_threads: params.config.threads, ..Default::default() };
+    let mut stats = RunStats {
+        logical_threads: params.config.threads,
+        ..Default::default()
+    };
     stats.absorb(&outcome.stats);
 
     // Outputs are in detection order: sx, sy, sxx, sxy.
@@ -120,7 +132,12 @@ fn run_translated(params: &LinregParams, opt: OptLevel) -> Result<LinregResult, 
         slope,
         intercept,
         sums: [sx, sy, sxx, sxy],
-        timing: AppTiming { linearize_ns, stats, wall_ns: wall.elapsed().as_nanos() as u64, trace: None },
+        timing: AppTiming {
+            linearize_ns,
+            stats,
+            wall_ns: wall.elapsed().as_nanos() as u64,
+            trace: None,
+        },
     })
 }
 
@@ -141,7 +158,10 @@ fn run_manual(params: &LinregParams) -> LinregResult {
         }
     };
     let outcome = engine.run(view, &layout, &kernel);
-    let mut stats = RunStats { logical_threads: params.config.threads, ..Default::default() };
+    let mut stats = RunStats {
+        logical_threads: params.config.threads,
+        ..Default::default()
+    };
     stats.absorb(&outcome.stats);
     let sx = outcome.robj.get(0, 0);
     let sy = outcome.robj.get(0, 1);
@@ -152,7 +172,12 @@ fn run_manual(params: &LinregParams) -> LinregResult {
         slope,
         intercept,
         sums: [sx, sy, sxx, sxy],
-        timing: AppTiming { linearize_ns: 0, stats, wall_ns: wall.elapsed().as_nanos() as u64, trace: None },
+        timing: AppTiming {
+            linearize_ns: 0,
+            stats,
+            wall_ns: wall.elapsed().as_nanos() as u64,
+            trace: None,
+        },
     }
 }
 
@@ -165,8 +190,18 @@ mod linreg_tests {
         let params = LinregParams::new(200).threads(2);
         for v in Version::ALL {
             let r = run(&params, v).unwrap();
-            assert!((r.slope - 3.0).abs() < 1e-9, "{}: slope {}", v.label(), r.slope);
-            assert!((r.intercept - 1.0).abs() < 1e-6, "{}: intercept {}", v.label(), r.intercept);
+            assert!(
+                (r.slope - 3.0).abs() < 1e-9,
+                "{}: slope {}",
+                v.label(),
+                r.slope
+            );
+            assert!(
+                (r.intercept - 1.0).abs() < 1e-6,
+                "{}: intercept {}",
+                v.label(),
+                r.intercept
+            );
         }
     }
 

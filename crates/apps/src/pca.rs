@@ -19,8 +19,8 @@ use chapel_frontend::programs;
 use freeride::{
     CombineOp, DataView, Engine, GroupSpec, JobConfig, RObjHandle, RObjLayout, RunStats, Split,
 };
-use obs::{AttrValue, Recorder, TraceLevel};
 use linearize::{Shape, Value};
+use obs::{AttrValue, Recorder, TraceLevel};
 
 use crate::data;
 use crate::error::AppError;
@@ -41,7 +41,11 @@ pub struct PcaParams {
 impl PcaParams {
     /// Construct with a thread count.
     pub fn new(rows: usize, cols: usize) -> PcaParams {
-        PcaParams { rows, cols, config: JobConfig::with_threads(1) }
+        PcaParams {
+            rows,
+            cols,
+            config: JobConfig::with_threads(1),
+        }
     }
 
     /// Set the thread count.
@@ -91,7 +95,10 @@ fn run_translated(params: &PcaParams, opt: OptLevel) -> Result<PcaResult, AppErr
         detect_start.elapsed().as_nanos() as u64,
         vec![
             ("detected", AttrValue::Int(detection.detected.len() as i64)),
-            ("rejections", AttrValue::Int(detection.rejections.len() as i64)),
+            (
+                "rejections",
+                AttrValue::Int(detection.rejections.len() as i64),
+            ),
         ],
     );
     let loops: Vec<_> = detection
@@ -150,11 +157,19 @@ fn run_translated(params: &PcaParams, opt: OptLevel) -> Result<PcaResult, AppErr
 
     let engine = Engine::with_recorder(params.config.clone(), rec.clone());
     let view = DataView::new(&buffer, mean_loop.dataset.unit)?;
-    let mut stats = RunStats { logical_threads: params.config.threads, ..Default::default() };
+    let mut stats = RunStats {
+        logical_threads: params.config.threads,
+        ..Default::default()
+    };
 
     // ---- Phase 1: mean vector. ----
     let mean_layout = RObjLayout::new(vec![GroupSpec::new("mean", rows, CombineOp::Sum)]);
-    let runtime = KernelRuntime::new(mean_loop.kernel.clone(), Vec::new(), Vec::new(), mean_loop.lo)?;
+    let runtime = KernelRuntime::new(
+        mean_loop.kernel.clone(),
+        Vec::new(),
+        Vec::new(),
+        mean_loop.lo,
+    )?;
     let kernel_fn = |split: &Split<'_>, robj: &mut dyn RObjHandle| {
         runtime.run_split(split, robj);
     };
@@ -190,7 +205,12 @@ fn run_translated(params: &PcaParams, opt: OptLevel) -> Result<PcaResult, AppErr
         (vec![mean_value], vec![Vec::new()])
     };
     let cov_layout = RObjLayout::new(vec![GroupSpec::new("cov", rows * rows, CombineOp::Sum)]);
-    let runtime = KernelRuntime::new(cov_loop.kernel.clone(), nested_state, flat_state, cov_loop.lo)?;
+    let runtime = KernelRuntime::new(
+        cov_loop.kernel.clone(),
+        nested_state,
+        flat_state,
+        cov_loop.lo,
+    )?;
     let kernel_fn = |split: &Split<'_>, robj: &mut dyn RObjHandle| {
         runtime.run_split(split, robj);
     };
@@ -218,7 +238,10 @@ fn run_manual(params: &PcaParams) -> PcaResult {
     let rec = Arc::new(Recorder::new(params.config.trace));
     let engine = Engine::with_recorder(params.config.clone(), rec.clone());
     let view = DataView::new(&buffer, rows).expect("cols*rows buffer");
-    let mut stats = RunStats { logical_threads: params.config.threads, ..Default::default() };
+    let mut stats = RunStats {
+        logical_threads: params.config.threads,
+        ..Default::default()
+    };
 
     // Phase 1: mean.
     let mean_layout = RObjLayout::new(vec![GroupSpec::new("mean", rows, CombineOp::Sum)]);
@@ -301,13 +324,11 @@ mod pca_tests {
             .unwrap()
             .buffer;
         let oracle_cov = interp.global("cov").unwrap().to_linear().unwrap();
-        let oracle_cov = linearize::Linearizer::new(&Shape::array(
-            Shape::array(Shape::Real, rows),
-            rows,
-        ))
-        .linearize(&oracle_cov)
-        .unwrap()
-        .buffer;
+        let oracle_cov =
+            linearize::Linearizer::new(&Shape::array(Shape::array(Shape::Real, rows), rows))
+                .linearize(&oracle_cov)
+                .unwrap()
+                .buffer;
 
         let r = run(&PcaParams::new(rows, cols), Version::Opt2).unwrap();
         close(&r.mean, &oracle_mean, 1e-12, "mean");
@@ -320,7 +341,10 @@ mod pca_tests {
         for a in 0..5 {
             assert!(r.cov[a * 5 + a] >= 0.0, "diagonal");
             for b in 0..5 {
-                assert!((r.cov[a * 5 + b] - r.cov[b * 5 + a]).abs() < 1e-9, "symmetry");
+                assert!(
+                    (r.cov[a * 5 + b] - r.cov[b * 5 + a]).abs() < 1e-9,
+                    "symmetry"
+                );
             }
         }
     }

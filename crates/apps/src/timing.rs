@@ -38,8 +38,12 @@ impl Version {
     }
 
     /// All four versions in the paper's plotting order.
-    pub const ALL: [Version; 4] =
-        [Version::Generated, Version::Opt1, Version::Opt2, Version::Manual];
+    pub const ALL: [Version; 4] = [
+        Version::Generated,
+        Version::Opt1,
+        Version::Opt2,
+        Version::Manual,
+    ];
 }
 
 /// Timing of one application run (possibly many engine iterations).

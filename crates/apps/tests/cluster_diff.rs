@@ -35,7 +35,12 @@ fn cluster_kmeans_matches_single_process_engine() {
             1e-9,
             &format!("{nodes}-node centroids"),
         );
-        close(&cluster.counts, &single.counts, 0.0, &format!("{nodes}-node counts"));
+        close(
+            &cluster.counts,
+            &single.counts,
+            0.0,
+            &format!("{nodes}-node counts"),
+        );
         assert_eq!(cluster.stats.nodes, nodes);
         assert_eq!(cluster.stats.rounds, 3);
     }
@@ -48,7 +53,12 @@ fn cluster_kmeans_paper_config_matches_single_process() {
     let params = KmeansParams::new(2000, 8, 100, 10).threads(2);
     let single = kmeans::run(&params, Version::Manual).unwrap();
     let cluster = kmeans_cluster(&params, &Nodes::Loopback(2)).unwrap();
-    close(&cluster.centroids, &single.centroids, 1e-9, "k=100 centroids");
+    close(
+        &cluster.centroids,
+        &single.centroids,
+        1e-9,
+        "k=100 centroids",
+    );
     close(&cluster.counts, &single.counts, 0.0, "k=100 counts");
     assert_eq!(cluster.stats.rounds, 10);
 }
@@ -86,8 +96,18 @@ fn cluster_pca_matches_single_process_engine() {
     let single = pca::run(&params, Version::Manual).unwrap();
     for nodes in [1usize, 2, 4] {
         let cluster = pca_cluster(&params, &Nodes::Loopback(nodes)).unwrap();
-        close(&cluster.mean, &single.mean, 1e-9, &format!("{nodes}-node mean"));
-        close(&cluster.cov, &single.cov, 1e-9, &format!("{nodes}-node cov"));
+        close(
+            &cluster.mean,
+            &single.mean,
+            1e-9,
+            &format!("{nodes}-node mean"),
+        );
+        close(
+            &cluster.cov,
+            &single.cov,
+            1e-9,
+            &format!("{nodes}-node cov"),
+        );
         assert_eq!(cluster.stats.len(), 2, "mean job + cov job");
     }
 }
@@ -97,8 +117,10 @@ fn cluster_pca_matches_interpreter_oracle() {
     let (rows, cols) = (3usize, 8usize);
     let interp = chapel_interp::Interpreter::run_source(&programs::pca(rows, cols)).unwrap();
     let oracle_mean = interp.global("mean").unwrap().to_linear().unwrap();
-    let oracle_mean =
-        Linearizer::new(&Shape::array(Shape::Real, rows)).linearize(&oracle_mean).unwrap().buffer;
+    let oracle_mean = Linearizer::new(&Shape::array(Shape::Real, rows))
+        .linearize(&oracle_mean)
+        .unwrap()
+        .buffer;
     let oracle_cov = interp.global("cov").unwrap().to_linear().unwrap();
     let oracle_cov = Linearizer::new(&Shape::array(Shape::array(Shape::Real, rows), rows))
         .linearize(&oracle_cov)

@@ -11,14 +11,17 @@
 use std::path::PathBuf;
 
 use cfr_apps::cluster::{kmeans_cluster, pca_cluster, Nodes};
+use cfr_apps::data;
 use cfr_apps::kmeans::{self, KmeansParams};
 use cfr_apps::pca::PcaParams;
-use cfr_apps::data;
 use freeride::IoMode;
 
 fn dataset(tag: &str, unit: usize, data: &[f64]) -> PathBuf {
     let mut path = std::env::temp_dir();
-    path.push(format!("cfr-streaming-diff-{tag}-{}.frds", std::process::id()));
+    path.push(format!(
+        "cfr-streaming-diff-{tag}-{}.frds",
+        std::process::id()
+    ));
     freeride::source::write_dataset(&path, unit, data).unwrap();
     path
 }
@@ -36,7 +39,11 @@ fn file_kmeans_streaming_matches_sync_at_every_thread_count() {
 
         // Chunk sizes that don't divide n, and one bigger than the file.
         for chunk_rows in [97usize, 640, 8192] {
-            params.config.io = IoMode::Streaming { chunk_rows, buffers: 4, readers: 2 };
+            params.config.io = IoMode::Streaming {
+                chunk_rows,
+                buffers: 4,
+                readers: 2,
+            };
             let stream = kmeans::run_manual_on_file(&params, &path).unwrap();
             assert_eq!(
                 stream.centroids, baseline.centroids,
@@ -59,7 +66,11 @@ fn cluster_kmeans_streaming_matches_sync() {
     let params = KmeansParams::new(2400, 3, 4, 3).threads(2);
     let sync = kmeans_cluster(&params, &Nodes::Loopback(2)).unwrap();
     let mut streaming = params.clone();
-    streaming.config.io = IoMode::Streaming { chunk_rows: 128, buffers: 3, readers: 2 };
+    streaming.config.io = IoMode::Streaming {
+        chunk_rows: 128,
+        buffers: 3,
+        readers: 2,
+    };
     for nodes in [1usize, 2, 4] {
         let out = kmeans_cluster(&streaming, &Nodes::Loopback(nodes)).unwrap();
         assert_eq!(out.centroids, sync.centroids, "{nodes} nodes");
@@ -74,7 +85,11 @@ fn cluster_pca_streaming_matches_sync() {
     let params = PcaParams::new(24, 64).threads(2);
     let sync = pca_cluster(&params, &Nodes::Loopback(2)).unwrap();
     let mut streaming = params.clone();
-    streaming.config.io = IoMode::Streaming { chunk_rows: 5, buffers: 3, readers: 2 };
+    streaming.config.io = IoMode::Streaming {
+        chunk_rows: 5,
+        buffers: 3,
+        readers: 2,
+    };
     for nodes in [1usize, 2] {
         let out = pca_cluster(&streaming, &Nodes::Loopback(nodes)).unwrap();
         assert_eq!(out.mean, sync.mean, "{nodes} nodes mean");

@@ -46,12 +46,16 @@ fn fused_vs_mapreduce(c: &mut Criterion) {
         let engine = Engine::new(JobConfig::with_threads(2));
         b.iter(|| {
             let view = DataView::new(&data, 1).expect("unit 1");
-            engine.run(view, &layout, &|split: &Split<'_>, robj: &mut dyn RObjHandle| {
-                for row in split.iter_rows() {
-                    let bkt = ((row[0] * buckets as f64) as usize).min(buckets - 1);
-                    robj.accumulate(0, bkt, 1.0);
-                }
-            })
+            engine.run(
+                view,
+                &layout,
+                &|split: &Split<'_>, robj: &mut dyn RObjHandle| {
+                    for row in split.iter_rows() {
+                        let bkt = ((row[0] * buckets as f64) as usize).min(buckets - 1);
+                        robj.accumulate(0, bkt, 1.0);
+                    }
+                },
+            )
         });
     });
     group.bench_function("map-sort-reduce", |b| {
@@ -103,19 +107,28 @@ fn splitters(c: &mut Criterion) {
     };
     for (name, splitter) in [
         ("static", Splitter::Default),
-        ("dynamic", Splitter::Chunked { rows_per_chunk: 1024 }),
+        (
+            "dynamic",
+            Splitter::Chunked {
+                rows_per_chunk: 1024,
+            },
+        ),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &splitter, |b, splitter| {
-            let engine = Engine::new(JobConfig {
-                threads: 2,
-                splitter: splitter.clone(),
-                ..Default::default()
-            });
-            b.iter(|| {
-                let view = DataView::new(&data, 1).expect("unit 1");
-                engine.run(view, &layout, &kernel)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &splitter,
+            |b, splitter| {
+                let engine = Engine::new(JobConfig {
+                    threads: 2,
+                    splitter: splitter.clone(),
+                    ..Default::default()
+                });
+                b.iter(|| {
+                    let view = DataView::new(&data, 1).expect("unit 1");
+                    engine.run(view, &layout, &kernel)
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -128,12 +141,16 @@ fn linearization(c: &mut Criterion) {
     let d = 8usize;
     let nested = cfr_apps::data::kmeans_points_nested(n, d);
     for (name, parallel) in [("sequential", false), ("parallel", true)] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &parallel, |b, &parallel| {
-            b.iter(|| {
-                cfr_core::zip_linearize(std::slice::from_ref(&nested), n, d, parallel, 4)
-                    .expect("linearize")
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &parallel,
+            |b, &parallel| {
+                b.iter(|| {
+                    cfr_core::zip_linearize(std::slice::from_ref(&nested), n, d, parallel, 4)
+                        .expect("linearize")
+                });
+            },
+        );
     }
     group.finish();
 }

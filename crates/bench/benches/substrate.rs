@@ -8,12 +8,13 @@ use freeride::{
     CombineOp, DataView, Engine, ExecMode, GroupSpec, JobConfig, RObjHandle, RObjLayout, Split,
     Splitter,
 };
-use linearize::{
-    compute_index, AccessPath, FlatAccessor, Linearizer, Shape, StridedCursor, Value,
-};
+use linearize::{compute_index, AccessPath, FlatAccessor, Linearizer, Shape, StridedCursor, Value};
 
 fn fig6_shape(t: usize, n: usize, m: usize) -> Shape {
-    let a = Shape::record(vec![("a1", Shape::array(Shape::Real, m)), ("a2", Shape::Int)]);
+    let a = Shape::record(vec![
+        ("a1", Shape::array(Shape::Real, m)),
+        ("a2", Shape::Int),
+    ]);
     let b = Shape::record(vec![("b1", Shape::array(a, n)), ("b2", Shape::Int)]);
     Shape::array(b, t)
 }
@@ -40,8 +41,13 @@ fn mapping_strategies(c: &mut Criterion) {
     let (t, n, m) = (128usize, 16usize, 32usize);
     let shape = fig6_shape(t, n, m);
     let value = Value::from_fn(&shape, |i| (i % 97) as f64);
-    let lin = Linearizer::new(&shape).linearize(&value).expect("linearize");
-    let pm = lin.meta.for_path(&AccessPath::fields(&[0, 0])).expect("path");
+    let lin = Linearizer::new(&shape)
+        .linearize(&value)
+        .expect("linearize");
+    let pm = lin
+        .meta
+        .for_path(&AccessPath::fields(&[0, 0]))
+        .expect("path");
 
     group.bench_function("computeIndex-per-access", |b| {
         let acc = FlatAccessor::new(&lin.buffer, &pm);
@@ -104,7 +110,11 @@ fn engine_overhead(c: &mut Criterion) {
         ("atomic", freeride::SyncScheme::Atomic),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, &scheme| {
-            let engine = Engine::new(JobConfig { threads: 1, scheme, ..Default::default() });
+            let engine = Engine::new(JobConfig {
+                threads: 1,
+                scheme,
+                ..Default::default()
+            });
             b.iter(|| {
                 let view = DataView::new(&data, 1).expect("unit 1");
                 engine.run(view, &layout, &kernel)
@@ -130,11 +140,16 @@ fn pool_vs_scoped(c: &mut Criterion) {
         }
     };
     for threads in [1usize, 2, 4, 8] {
-        for (name, exec) in [("pooled", ExecMode::Threads), ("scoped", ExecMode::ScopedThreads)] {
+        for (name, exec) in [
+            ("pooled", ExecMode::Threads),
+            ("scoped", ExecMode::ScopedThreads),
+        ] {
             let engine = Engine::new(JobConfig {
                 threads,
                 exec,
-                splitter: Splitter::Chunked { rows_per_chunk: 256 },
+                splitter: Splitter::Chunked {
+                    rows_per_chunk: 256,
+                },
                 ..Default::default()
             });
             engine.warmup();
@@ -176,7 +191,9 @@ fn trace_overhead(c: &mut Criterion) {
             threads: 2,
             trace: level,
             exec: ExecMode::Sequential,
-            splitter: Splitter::Chunked { rows_per_chunk: 1024 },
+            splitter: Splitter::Chunked {
+                rows_per_chunk: 1024,
+            },
             ..Default::default()
         });
         group.bench_function(BenchmarkId::from_parameter(name), |b| {

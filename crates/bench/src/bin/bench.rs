@@ -21,7 +21,7 @@
 
 use std::process::ExitCode;
 
-use cfr_apps::cluster::{kmeans_cluster, pca_cluster, Nodes};
+use cfr_apps::cluster::{kmeans_cluster_ft, pca_cluster_ft, FtOptions, Nodes};
 use cfr_apps::kmeans::KmeansParams;
 use cfr_apps::pca::PcaParams;
 use cfr_apps::{kmeans, pca, Version};
@@ -67,6 +67,14 @@ struct Opts {
     /// Externally launched `cfr-node` addresses (`--node-addr`,
     /// repeatable); non-empty switches to the distributed engine.
     node_addrs: Vec<std::net::SocketAddr>,
+    /// Cluster mode: round-checkpoint directory (enables fault
+    /// tolerance persistence).
+    checkpoint_dir: Option<String>,
+    /// Cluster mode: checkpoint every N completed rounds.
+    checkpoint_every: usize,
+    /// Cluster mode: resume from the newest checkpoint in
+    /// `--checkpoint-dir` instead of starting over.
+    resume: bool,
 }
 
 impl Default for Opts {
@@ -89,11 +97,14 @@ impl Default for Opts {
             threads_list: vec![1, 2, 4, 8],
             nodes: Vec::new(),
             node_addrs: Vec::new(),
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            resume: false,
         }
     }
 }
 
-const USAGE: &str = "usage: bench <kmeans|pca|io> [options]
+const USAGE: &str = "usage: bench <kmeans|pca|io|ft> [options]
   --n N            k-means: number of points        (default 20000)
   --d D            k-means: point dimensionality    (default 8)
   --k K            k-means: centroid count          (default 16)
@@ -112,18 +123,30 @@ const USAGE: &str = "usage: bench <kmeans|pca|io> [options]
                    loopback cluster sizes, e.g. --nodes 1,2,4
   --node-addr A    connect to an externally launched cfr-node at A
                    (host:port; repeatable — k-means needs 1 session
-                   per agent, pca needs 2: cfr-node --sessions 2)";
+                   per agent, pca needs 2: cfr-node --sessions 2)
+  --checkpoint-dir P   cluster: persist round checkpoints under P
+  --checkpoint-every N cluster: checkpoint every N rounds (default 1)
+  --resume         cluster: resume from the newest checkpoint in
+                   --checkpoint-dir (fresh start if none exists)
+  ft               fault-tolerance sweep: checkpoint overhead at
+                   every=1/2/never plus recovery latency after an
+                   injected mid-round node kill (uses --n/--d/--k/
+                   --iters and the first --nodes entry, default 2)";
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts::default();
     let mut it = args.iter();
     opts.app = it.next().cloned().ok_or("missing application name")?;
-    if opts.app != "kmeans" && opts.app != "pca" && opts.app != "io" {
+    if opts.app != "kmeans" && opts.app != "pca" && opts.app != "io" && opts.app != "ft" {
         return Err(format!("unknown application `{}`", opts.app));
     }
     while let Some(flag) = it.next() {
         if flag == "--report" {
             opts.report = true;
+            continue;
+        }
+        if flag == "--resume" {
+            opts.resume = true;
             continue;
         }
         let value = it
@@ -185,6 +208,13 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                     .map_err(|_| format!("--node-addr: `{value}` is not host:port"))?;
                 opts.node_addrs.push(addr);
             }
+            "--checkpoint-dir" => opts.checkpoint_dir = Some(value.clone()),
+            "--checkpoint-every" => {
+                opts.checkpoint_every = num()?;
+                if opts.checkpoint_every == 0 {
+                    return Err("--checkpoint-every must be positive".into());
+                }
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -229,6 +259,16 @@ fn run_cluster(opts: &Opts) -> Result<(), String> {
         return Err("--nodes and --node-addr are mutually exclusive".into());
     };
 
+    if opts.resume && opts.checkpoint_dir.is_none() {
+        return Err("--resume requires --checkpoint-dir".into());
+    }
+    let mut ft = FtOptions {
+        checkpoint_dir: opts.checkpoint_dir.clone().map(Into::into),
+        resume: opts.resume,
+        ..FtOptions::default()
+    };
+    ft.policy.checkpoint_every = opts.checkpoint_every;
+
     let mut points: Vec<ClusterPoint> = Vec::new();
     let mut last_trace: Option<Trace> = None;
     for nodes in &placements {
@@ -237,14 +277,14 @@ fn run_cluster(opts: &Opts) -> Result<(), String> {
                 let mut params = KmeansParams::new(opts.n, opts.d, opts.k, opts.iters);
                 params.config.threads = opts.threads;
                 params.config.trace = opts.level;
-                let r = kmeans_cluster(&params, nodes).map_err(|e| e.to_string())?;
+                let r = kmeans_cluster_ft(&params, nodes, &ft).map_err(|e| e.to_string())?;
                 (vec![r.stats], r.trace)
             }
             _ => {
                 let mut params = PcaParams::new(opts.rows, opts.cols);
                 params.config.threads = opts.threads;
                 params.config.trace = opts.level;
-                let r = pca_cluster(&params, nodes).map_err(|e| e.to_string())?;
+                let r = pca_cluster_ft(&params, nodes, &ft).map_err(|e| e.to_string())?;
                 (r.stats, r.traces.into_iter().last())
             }
         };
@@ -258,6 +298,15 @@ fn run_cluster(opts: &Opts) -> Result<(), String> {
                 s.bytes_recv,
                 s.slowest_node_ns() as f64 / 1e9
             );
+            if ft.checkpoint_dir.is_some() || s.recoveries > 0 {
+                println!(
+                    "          ft: {} checkpoints ({} KiB), {} recoveries, {} shards reassigned",
+                    s.checkpoints_written,
+                    s.checkpoint_bytes / 1024,
+                    s.recoveries,
+                    s.shards_reassigned
+                );
+            }
             points.push(ClusterPoint {
                 nodes: s.nodes,
                 wall_s: s.wall_ns as f64 / 1e9,
@@ -279,7 +328,10 @@ fn run_cluster(opts: &Opts) -> Result<(), String> {
         let json = trace.chrome_json();
         obs::validate_chrome_trace(&json).map_err(|e| format!("internal: bad trace: {e}"))?;
         std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
-        println!("wrote Chrome trace ({} events) to {path}", trace.spans.len());
+        println!(
+            "wrote Chrome trace ({} events) to {path}",
+            trace.spans.len()
+        );
     }
     if let Some(path) = &opts.metrics_out {
         let trace = last_trace.as_ref().ok_or("no cluster trace was captured")?;
@@ -299,7 +351,13 @@ fn run_cluster(opts: &Opts) -> Result<(), String> {
 /// `--trace-out` an extra traced streaming run exports the reader-track
 /// timeline (`io.read` spans, `io.*` counters).
 fn run_io(opts: &Opts) -> Result<(), String> {
-    let sweep = cfr_bench::io_overlap(opts.size_mb, opts.budget_mib, &opts.threads_list, opts.k, opts.iters)?;
+    let sweep = cfr_bench::io_overlap(
+        opts.size_mb,
+        opts.budget_mib,
+        &opts.threads_list,
+        opts.k,
+        opts.iters,
+    )?;
     print!("{}", cfr_bench::render_io_table(&sweep));
 
     if opts.trace_out.is_some() || opts.metrics_out.is_some() {
@@ -308,7 +366,8 @@ fn run_io(opts: &Opts) -> Result<(), String> {
         let (ds, _) = cfr_datagen::kmeans_sized(opts.size_mb.min(8), d, opts.k, 42);
         let mut path = std::env::temp_dir();
         path.push(format!("cfr-io-trace-{}.frds", std::process::id()));
-        ds.write(&path).map_err(|e| format!("write {}: {e}", path.display()))?;
+        ds.write(&path)
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
         let rows = ds.rows();
         drop(ds);
         let mut params = KmeansParams::new(rows, d, opts.k, opts.iters)
@@ -327,7 +386,10 @@ fn run_io(opts: &Opts) -> Result<(), String> {
             let json = trace.chrome_json();
             obs::validate_chrome_trace(&json).map_err(|e| format!("internal: bad trace: {e}"))?;
             std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
-            println!("wrote Chrome trace ({} events) to {path}", trace.spans.len());
+            println!(
+                "wrote Chrome trace ({} events) to {path}",
+                trace.spans.len()
+            );
         }
         if let Some(path) = &opts.metrics_out {
             std::fs::write(path, trace.metrics_json()).map_err(|e| format!("write {path}: {e}"))?;
@@ -337,9 +399,31 @@ fn run_io(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// The fault-tolerance sweep: checkpoint overhead at every=1/2/never
+/// plus recovery latency after an injected mid-round node kill.
+fn run_ft(opts: &Opts) -> Result<(), String> {
+    let nodes = opts.nodes.first().copied().unwrap_or(2).max(2);
+    let mut params = KmeansParams::new(opts.n, opts.d, opts.k, opts.iters);
+    params.config.threads = opts.threads;
+    let dir = match &opts.checkpoint_dir {
+        Some(d) => std::path::PathBuf::from(d),
+        None => {
+            let mut d = std::env::temp_dir();
+            d.push(format!("cfr-bench-ft-{}", std::process::id()));
+            d
+        }
+    };
+    let sweep = cfr_bench::ft_overhead_kmeans(&params, nodes, &dir)?;
+    print!("{}", cfr_bench::render_ft_table("kmeans", &sweep));
+    Ok(())
+}
+
 fn run(opts: &Opts) -> Result<(), String> {
     if opts.app == "io" {
         return run_io(opts);
+    }
+    if opts.app == "ft" {
+        return run_ft(opts);
     }
     if !opts.nodes.is_empty() || !opts.node_addrs.is_empty() {
         return run_cluster(opts);
@@ -370,7 +454,10 @@ fn run(opts: &Opts) -> Result<(), String> {
         let json = merged.chrome_json();
         obs::validate_chrome_trace(&json).map_err(|e| format!("internal: bad trace: {e}"))?;
         std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
-        println!("wrote Chrome trace ({} events) to {path}", merged.spans.len());
+        println!(
+            "wrote Chrome trace ({} events) to {path}",
+            merged.spans.len()
+        );
     }
     if let Some(path) = &opts.metrics_out {
         std::fs::write(path, merged.metrics_json()).map_err(|e| format!("write {path}: {e}"))?;

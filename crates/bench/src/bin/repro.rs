@@ -44,10 +44,17 @@ fn parse_args() -> Result<Options, String> {
             "--ablation" => {
                 let v = args.next().ok_or("--ablation needs a value")?;
                 if v == "all" {
-                    ablations = ["sync", "mapreduce", "strength", "splitter", "linearize", "apps"]
-                        .iter()
-                        .map(|s| s.to_string())
-                        .collect();
+                    ablations = [
+                        "sync",
+                        "mapreduce",
+                        "strength",
+                        "splitter",
+                        "linearize",
+                        "apps",
+                    ]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
                 } else {
                     ablations.push(v);
                 }
@@ -84,7 +91,12 @@ fn parse_args() -> Result<Options, String> {
     if figs.is_empty() && ablations.is_empty() {
         figs = vec![9, 10, 11, 12, 13];
     }
-    Ok(Options { figs, ablations, harness, csv })
+    Ok(Options {
+        figs,
+        ablations,
+        harness,
+        csv,
+    })
 }
 
 fn main() {

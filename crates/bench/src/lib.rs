@@ -95,7 +95,11 @@ impl Figure {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("figure,series,threads,seconds\n");
         for r in &self.rows {
-            let _ = writeln!(out, "{},{},{},{:.6}", self.id, r.series, r.threads, r.seconds);
+            let _ = writeln!(
+                out,
+                "{},{},{},{:.6}",
+                self.id, r.series, r.threads, r.seconds
+            );
         }
         out
     }
@@ -117,14 +121,21 @@ pub struct Harness {
 
 impl Default for Harness {
     fn default() -> Self {
-        Harness { scale: 0.01, threads: vec![1, 2, 4, 8], exec: ExecMode::Sequential }
+        Harness {
+            scale: 0.01,
+            threads: vec![1, 2, 4, 8],
+            exec: ExecMode::Sequential,
+        }
     }
 }
 
 impl Harness {
     /// A harness at `scale` with default threads.
     pub fn at_scale(scale: f64) -> Harness {
-        Harness { scale, ..Default::default() }
+        Harness {
+            scale,
+            ..Default::default()
+        }
     }
 
     fn max_threads(&self) -> usize {
@@ -174,7 +185,11 @@ fn kmeans_figure(h: &Harness, id: &str, mb: usize, k: usize, iters: usize) -> Fi
             }
         }
     }
-    Figure { id: id.to_string(), title, rows }
+    Figure {
+        id: id.to_string(),
+        title,
+        rows,
+    }
 }
 
 /// Figure 9: k-means, 12 MB dataset, k = 100, i = 10.
@@ -239,7 +254,11 @@ fn pca_figure(h: &Harness, id: &str, rows_full: usize, cols_full: usize) -> Figu
             }
         }
     }
-    Figure { id: id.to_string(), title, rows: out_rows }
+    Figure {
+        id: id.to_string(),
+        title,
+        rows: out_rows,
+    }
 }
 
 /// Figure 12: PCA, 1000 rows × 10,000 columns.
@@ -276,7 +295,11 @@ pub fn ablation_sync(n: usize, k: usize, threads: usize) -> Figure {
         let r = kmeans::run(&params, Version::Manual).expect("manual kmeans");
         let secs = t0.elapsed().as_secs_f64();
         let _ = r;
-        rows.push(FigureRow { series: name.to_string(), threads, seconds: secs });
+        rows.push(FigureRow {
+            series: name.to_string(),
+            threads,
+            seconds: secs,
+        });
     }
     Figure {
         id: "ablation_sync".into(),
@@ -296,12 +319,16 @@ pub fn ablation_mapreduce(n: usize, buckets: usize, threads: usize) -> Figure {
     let layout = RObjLayout::new(vec![GroupSpec::new("hist", buckets, CombineOp::Sum)]);
     let engine = Engine::new(JobConfig::with_threads(threads));
     let t0 = std::time::Instant::now();
-    let fused = engine.run(view, &layout, &|split: &Split<'_>, robj: &mut dyn RObjHandle| {
-        for row in split.iter_rows() {
-            let b = ((row[0] * buckets as f64) as usize).min(buckets - 1);
-            robj.accumulate(0, b, 1.0);
-        }
-    });
+    let fused = engine.run(
+        view,
+        &layout,
+        &|split: &Split<'_>, robj: &mut dyn RObjHandle| {
+            for row in split.iter_rows() {
+                let b = ((row[0] * buckets as f64) as usize).min(buckets - 1);
+                robj.accumulate(0, b, 1.0);
+            }
+        },
+    );
     let fused_secs = t0.elapsed().as_secs_f64();
 
     // Phoenix-style map-sort-reduce.
@@ -351,7 +378,9 @@ pub fn ablation_strength(n: usize, k: usize) -> Figure {
     }
     Figure {
         id: "ablation_strength".into(),
-        title: format!("strength reduction & selective linearization, k-means n={n} k={k}, 1 thread"),
+        title: format!(
+            "strength reduction & selective linearization, k-means n={n} k={k}, 1 thread"
+        ),
         rows,
     }
 }
@@ -376,7 +405,12 @@ pub fn ablation_splitter(rows_n: usize, threads: usize) -> Figure {
     let mut out = Vec::new();
     for (name, splitter) in [
         ("static", Splitter::Default),
-        ("dynamic", Splitter::Chunked { rows_per_chunk: (rows_n / (threads * 16)).max(1) }),
+        (
+            "dynamic",
+            Splitter::Chunked {
+                rows_per_chunk: (rows_n / (threads * 16)).max(1),
+            },
+        ),
     ] {
         let engine = Engine::new(JobConfig {
             threads,
@@ -387,7 +421,11 @@ pub fn ablation_splitter(rows_n: usize, threads: usize) -> Figure {
         let outcome = engine.run(view, &layout, &kernel);
         let secs = t0.elapsed().as_secs_f64();
         assert!(outcome.robj.get(0, 0) > 0.0);
-        out.push(FigureRow { series: name.into(), threads, seconds: secs });
+        out.push(FigureRow {
+            series: name.into(),
+            threads,
+            seconds: secs,
+        });
     }
     Figure {
         id: "ablation_splitter".into(),
@@ -413,8 +451,16 @@ pub fn ablation_par_linearize(n: usize, threads: usize) -> Figure {
         id: "ablation_par_linearize".into(),
         title: format!("sequential vs parallel linearization, {n} points × {d} dims"),
         rows: vec![
-            FigureRow { series: "sequential".into(), threads: 1, seconds: seq_secs },
-            FigureRow { series: "parallel".into(), threads, seconds: par_secs },
+            FigureRow {
+                series: "sequential".into(),
+                threads: 1,
+                seconds: seq_secs,
+            },
+            FigureRow {
+                series: "parallel".into(),
+                threads,
+                seconds: par_secs,
+            },
         ],
     }
 }
@@ -507,7 +553,8 @@ pub fn io_overlap(
     let rows = ds.rows();
     let mut path = std::env::temp_dir();
     path.push(format!("cfr-io-overlap-{}.frds", std::process::id()));
-    ds.write(&path).map_err(|e| format!("write {}: {e}", path.display()))?;
+    ds.write(&path)
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
     drop(ds); // the point is reading from disk, not from this buffer
 
     let budget = freeride::MemoryBudget::mib(budget_mib);
@@ -516,7 +563,10 @@ pub fn io_overlap(
     for &t in threads {
         let modes: [(&'static str, freeride::IoMode); 2] = [
             ("sync", freeride::IoMode::Sync),
-            ("streaming", freeride::IoMode::streaming_within(budget, d, 2)),
+            (
+                "streaming",
+                freeride::IoMode::streaming_within(budget, d, 2),
+            ),
         ];
         for (mode, io) in modes {
             let mut params = kmeans::KmeansParams::new(rows, d, k, iters).threads(t);
@@ -545,7 +595,12 @@ pub fn io_overlap(
         }
     }
     std::fs::remove_file(&path).ok();
-    Ok(IoSweep { dataset_mb, budget_mib, rows, points })
+    Ok(IoSweep {
+        dataset_mb,
+        budget_mib,
+        rows,
+        points,
+    })
 }
 
 /// Render an I/O sweep as an aligned table (the EXPERIMENTS.md
@@ -646,12 +701,171 @@ pub fn render_cluster_table(app: &str, points: &[ClusterPoint]) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// Fault tolerance: checkpoint overhead and recovery latency
+// ---------------------------------------------------------------------
+
+/// One measured point of the fault-tolerance sweep.
+#[derive(Debug, Clone)]
+pub struct FtPoint {
+    /// Configuration label (`no-ckpt`, `every=1`, `every=2`,
+    /// `kill+recover`).
+    pub label: String,
+    /// End-to-end wall time, seconds.
+    pub wall_s: f64,
+    /// Overhead over the `no-ckpt` baseline, percent (the recovery row
+    /// reports its added latency here too).
+    pub overhead_pct: f64,
+    /// Checkpoints written during the run.
+    pub checkpoints: usize,
+    /// Total checkpoint bytes, KiB.
+    pub checkpoint_kib: u64,
+    /// Node failures recovered.
+    pub recoveries: usize,
+}
+
+/// A completed fault-tolerance sweep.
+#[derive(Debug, Clone)]
+pub struct FtSweep {
+    /// Cluster size of every run.
+    pub nodes: usize,
+    /// Rounds per run.
+    pub rounds: usize,
+    /// The measured points.
+    pub points: Vec<FtPoint>,
+}
+
+/// External-style node agents for fault injection: node `kill_node`
+/// answers `kill_after` rounds then severs its connection mid-round;
+/// the rest serve one session.
+fn chaos_cluster(
+    n: usize,
+    kill_node: usize,
+    kill_after: usize,
+) -> (Vec<std::net::SocketAddr>, Vec<std::thread::JoinHandle<()>>) {
+    let mut addrs = Vec::with_capacity(n);
+    let mut handles = Vec::with_capacity(n);
+    for id in 0..n {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        addrs.push(listener.local_addr().expect("local addr"));
+        handles.push(std::thread::spawn(move || {
+            if id == kill_node {
+                freeride_dist::node::serve_dropping(&listener, kill_after).ok();
+            } else {
+                freeride_dist::node::serve(&listener).ok();
+            }
+        }));
+    }
+    (addrs, handles)
+}
+
+/// Measure what fault tolerance costs on a loopback k-means cluster:
+/// wall time without checkpointing, with a checkpoint every round and
+/// every other round (overhead %), and with a node killed mid-round
+/// (recovery latency over the undisturbed baseline).
+pub fn ft_overhead_kmeans(
+    params: &cfr_apps::kmeans::KmeansParams,
+    nodes: usize,
+    dir: &std::path::Path,
+) -> Result<FtSweep, String> {
+    use cfr_apps::cluster::{kmeans_cluster, kmeans_cluster_ft, FtOptions, Nodes};
+    std::fs::remove_dir_all(dir).ok();
+    let mut points = Vec::new();
+
+    let t0 = std::time::Instant::now();
+    let base = kmeans_cluster(params, &Nodes::Loopback(nodes)).map_err(|e| e.to_string())?;
+    let base_s = t0.elapsed().as_secs_f64();
+    points.push(FtPoint {
+        label: "no-ckpt".into(),
+        wall_s: base_s,
+        overhead_pct: 0.0,
+        checkpoints: 0,
+        checkpoint_kib: 0,
+        recoveries: 0,
+    });
+
+    for every in [1usize, 2] {
+        let mut ft = FtOptions::with_dir(dir.join(format!("every-{every}")));
+        ft.policy.checkpoint_every = every;
+        let t0 = std::time::Instant::now();
+        let r =
+            kmeans_cluster_ft(params, &Nodes::Loopback(nodes), &ft).map_err(|e| e.to_string())?;
+        let wall_s = t0.elapsed().as_secs_f64();
+        points.push(FtPoint {
+            label: format!("every={every}"),
+            wall_s,
+            overhead_pct: (wall_s / base_s.max(1e-9) - 1.0) * 100.0,
+            checkpoints: r.stats.checkpoints_written,
+            checkpoint_kib: r.stats.checkpoint_bytes / 1024,
+            recoveries: 0,
+        });
+    }
+
+    // Recovery latency: one node dies mid-round after its first answered
+    // round; the survivors absorb its shard and finish.
+    let (addrs, handles) = chaos_cluster(nodes, nodes - 1, 1);
+    let mut ft = FtOptions::with_dir(dir.join("recover"));
+    ft.policy.backoff = std::time::Duration::from_millis(1);
+    let t0 = std::time::Instant::now();
+    let r = kmeans_cluster_ft(params, &Nodes::External(addrs), &ft).map_err(|e| e.to_string())?;
+    let wall_s = t0.elapsed().as_secs_f64();
+    for h in handles {
+        h.join().ok();
+    }
+    if r.centroids != base.centroids {
+        return Err("recovered centroids diverged from the undisturbed run".into());
+    }
+    points.push(FtPoint {
+        label: "kill+recover".into(),
+        wall_s,
+        overhead_pct: (wall_s / base_s.max(1e-9) - 1.0) * 100.0,
+        checkpoints: r.stats.checkpoints_written,
+        checkpoint_kib: r.stats.checkpoint_bytes / 1024,
+        recoveries: r.stats.recoveries,
+    });
+
+    std::fs::remove_dir_all(dir).ok();
+    Ok(FtSweep {
+        nodes,
+        rounds: params.iters.max(1),
+        points,
+    })
+}
+
+/// Render a fault-tolerance sweep as an aligned table (the
+/// EXPERIMENTS.md `ft_overhead` shape).
+pub fn render_ft_table(app: &str, sweep: &FtSweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ft_overhead — {app}, {} nodes, {} rounds",
+        sweep.nodes, sweep.rounds
+    );
+    let _ = writeln!(
+        out,
+        "{:>14} {:>9} {:>10} {:>12} {:>9} {:>10}",
+        "config", "wall s", "overhead", "checkpoints", "ckpt KiB", "recovered"
+    );
+    for p in &sweep.points {
+        let _ = writeln!(
+            out,
+            "{:>14} {:>9.4} {:>9.1}% {:>12} {:>9} {:>10}",
+            p.label, p.wall_s, p.overhead_pct, p.checkpoints, p.checkpoint_kib, p.recoveries
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod harness_tests {
     use super::*;
 
     fn tiny() -> Harness {
-        Harness { scale: 0.0004, threads: vec![1, 2, 4], exec: ExecMode::Sequential }
+        Harness {
+            scale: 0.0004,
+            threads: vec![1, 2, 4],
+            exec: ExecMode::Sequential,
+        }
     }
 
     #[test]
@@ -697,7 +911,11 @@ mod harness_tests {
 
     #[test]
     fn fig12_has_two_series() {
-        let f = fig12(&Harness { scale: 0.0001, threads: vec![1, 2], exec: ExecMode::Sequential });
+        let f = fig12(&Harness {
+            scale: 0.0001,
+            threads: vec![1, 2],
+            exec: ExecMode::Sequential,
+        });
         assert!(f.get("opt-2", 1).is_some());
         assert!(f.get("manual FR", 2).is_some());
         assert!(f.get("generated", 1).is_none());
@@ -709,8 +927,16 @@ mod harness_tests {
             id: "t".into(),
             title: "demo".into(),
             rows: vec![
-                FigureRow { series: "a".into(), threads: 1, seconds: 0.5 },
-                FigureRow { series: "a".into(), threads: 2, seconds: 0.25 },
+                FigureRow {
+                    series: "a".into(),
+                    threads: 1,
+                    seconds: 0.5,
+                },
+                FigureRow {
+                    series: "a".into(),
+                    threads: 2,
+                    seconds: 0.25,
+                },
             ],
         };
         let txt = f.render();
@@ -740,6 +966,30 @@ mod harness_tests {
     }
 
     #[test]
+    fn ft_overhead_sweep_measures_all_configs() {
+        let params = cfr_apps::kmeans::KmeansParams::new(300, 2, 3, 3);
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("cfr-bench-ft-{}", std::process::id()));
+        let sweep = ft_overhead_kmeans(&params, 2, &dir).unwrap();
+        assert_eq!(sweep.points.len(), 4);
+        assert_eq!(sweep.points[0].label, "no-ckpt");
+        assert_eq!(
+            sweep.points[1].checkpoints, 3,
+            "every=1 checkpoints each round"
+        );
+        assert_eq!(
+            sweep.points[2].checkpoints, 2,
+            "every=2 checkpoints rounds 1 and final"
+        );
+        assert_eq!(
+            sweep.points[3].recoveries, 1,
+            "the injected kill was recovered"
+        );
+        let table = render_ft_table("kmeans", &sweep);
+        assert!(table.contains("kill+recover") && table.contains("overhead"));
+    }
+
+    #[test]
     fn cluster_scaling_sweep_aggregates_node_stats() {
         let params = cfr_apps::kmeans::KmeansParams::new(300, 2, 3, 2);
         let points = cluster_scaling_kmeans(&params, &[1, 2]).unwrap();
@@ -747,7 +997,10 @@ mod harness_tests {
         for p in &points {
             assert_eq!(p.rounds, 2);
             assert!(p.wire_bytes > 0);
-            assert!(p.slowest_node_s > 0.0, "node traces should carry split timings");
+            assert!(
+                p.slowest_node_s > 0.0,
+                "node traces should carry split timings"
+            );
         }
         let table = render_cluster_table("kmeans", &points);
         assert!(table.contains("nodes"));

@@ -60,7 +60,10 @@ pub struct ClassDecl {
 impl ClassDecl {
     /// Is this a `ReduceScanOp` subclass (a user-defined reduction)?
     pub fn is_reduce_op(&self) -> bool {
-        matches!(self.parent.as_deref(), Some("ReduceScanOp" | "ReductionScanOp"))
+        matches!(
+            self.parent.as_deref(),
+            Some("ReduceScanOp" | "ReductionScanOp")
+        )
     }
 
     /// Find a method by name.
@@ -484,7 +487,9 @@ pub fn walk_stmt(s: &Stmt, sf: &mut impl FnMut(&Stmt), ef: &mut impl FnMut(&Expr
             walk_expr(cond, ef);
             body.stmts.iter().for_each(|st| walk_stmt(st, sf, ef));
         }
-        Stmt::If { cond, then, els, .. } => {
+        Stmt::If {
+            cond, then, els, ..
+        } => {
             walk_expr(cond, ef);
             then.stmts.iter().for_each(|st| walk_stmt(st, sf, ef));
             if let Some(els) = els {
@@ -520,10 +525,16 @@ mod ast_tests {
             span: sp(),
         };
         assert!(c.is_reduce_op());
-        let c2 = ClassDecl { parent: Some("Other".into()), ..c.clone() };
+        let c2 = ClassDecl {
+            parent: Some("Other".into()),
+            ..c.clone()
+        };
         assert!(!c2.is_reduce_op());
         // The paper's Figure 3 spells it `ReductionScanOp`; accept both.
-        let c3 = ClassDecl { parent: Some("ReductionScanOp".into()), ..c };
+        let c3 = ClassDecl {
+            parent: Some("ReductionScanOp".into()),
+            ..c
+        };
         assert!(c3.is_reduce_op());
     }
 
@@ -559,10 +570,16 @@ mod ast_tests {
 
     #[test]
     fn stmt_walk_reaches_nested_blocks() {
-        let inner = Stmt::Return { value: Some(Expr::Int(1, sp())), span: sp() };
+        let inner = Stmt::Return {
+            value: Some(Expr::Int(1, sp())),
+            span: sp(),
+        };
         let s = Stmt::If {
             cond: Expr::Bool(true, sp()),
-            then: Block { stmts: vec![inner], span: sp() },
+            then: Block {
+                stmts: vec![inner],
+                span: sp(),
+            },
             els: None,
             span: sp(),
         };

@@ -27,12 +27,20 @@ pub enum Stage {
 impl FrontendError {
     /// A lexer error.
     pub fn lex(span: Span, message: impl Into<String>) -> FrontendError {
-        FrontendError { stage: Stage::Lex, span, message: message.into() }
+        FrontendError {
+            stage: Stage::Lex,
+            span,
+            message: message.into(),
+        }
     }
 
     /// A parser error.
     pub fn parse(span: Span, message: impl Into<String>) -> FrontendError {
-        FrontendError { stage: Stage::Parse, span, message: message.into() }
+        FrontendError {
+            stage: Stage::Parse,
+            span,
+            message: message.into(),
+        }
     }
 }
 
@@ -54,7 +62,15 @@ mod error_tests {
 
     #[test]
     fn display_includes_location() {
-        let e = FrontendError::parse(Span { start: 0, end: 1, line: 3, col: 7 }, "expected `;`");
+        let e = FrontendError::parse(
+            Span {
+                start: 0,
+                end: 1,
+                line: 3,
+                col: 7,
+            },
+            "expected `;`",
+        );
         assert_eq!(e.to_string(), "parse error at 3:7: expected `;`");
     }
 }

@@ -25,7 +25,14 @@ struct Lexer<'s> {
 
 impl<'s> Lexer<'s> {
     fn new(src: &'s str) -> Lexer<'s> {
-        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1, tokens: Vec::new() }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
     }
 
     fn run(mut self) -> Result<Vec<Token>, FrontendError> {
@@ -46,7 +53,12 @@ impl<'s> Lexer<'s> {
     }
 
     fn here(&self) -> Span {
-        Span { start: self.pos, end: self.pos, line: self.line, col: self.col }
+        Span {
+            start: self.pos,
+            end: self.pos,
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -70,7 +82,12 @@ impl<'s> Lexer<'s> {
     }
 
     fn emit(&mut self, kind: TokenKind, start: Span) {
-        let span = Span { start: start.start, end: self.pos, line: start.line, col: start.col };
+        let span = Span {
+            start: start.start,
+            end: self.pos,
+            line: start.line,
+            col: start.col,
+        };
         self.tokens.push(Token { kind, span });
     }
 
@@ -158,9 +175,9 @@ impl<'s> Lexer<'s> {
                 .map_err(|_| FrontendError::lex(start, format!("bad real literal `{text}`")))?;
             self.emit(TokenKind::RealLit(v), start);
         } else {
-            let v: i64 = text
-                .parse()
-                .map_err(|_| FrontendError::lex(start, format!("integer literal `{text}` out of range")))?;
+            let v: i64 = text.parse().map_err(|_| {
+                FrontendError::lex(start, format!("integer literal `{text}` out of range"))
+            })?;
             self.emit(TokenKind::IntLit(v), start);
         }
         Ok(())
@@ -195,7 +212,10 @@ impl<'s> Lexer<'s> {
     }
 
     fn ident(&mut self, start: Span) {
-        while matches!(self.peek(), Some(b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9')) {
+        while matches!(
+            self.peek(),
+            Some(b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9')
+        ) {
             self.bump();
         }
         let text = &self.src[start.start..self.pos];
@@ -365,7 +385,10 @@ mod lexer_tests {
     #[test]
     fn strings_with_escapes() {
         let ks = kinds(r#""hello\n\"world\"""#);
-        assert_eq!(ks, vec![TokenKind::StrLit("hello\n\"world\"".into()), TokenKind::Eof]);
+        assert_eq!(
+            ks,
+            vec![TokenKind::StrLit("hello\n\"world\"".into()), TokenKind::Eof]
+        );
     }
 
     #[test]
@@ -395,6 +418,8 @@ mod lexer_tests {
         "#;
         let toks = lex(src).unwrap();
         assert!(toks.iter().any(|t| t.kind == TokenKind::Kw(Keyword::Class)));
-        assert!(toks.iter().any(|t| t.kind == TokenKind::Ident("ReduceScanOp".into())));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident("ReduceScanOp".into())));
     }
 }

@@ -35,10 +35,7 @@ pub use parser::{parse, parse_expr, parse_tokens};
 /// item count) into `recorder` at [`obs::TraceLevel::Phases`] and
 /// above. With tracing disabled this is exactly [`parse`] — no extra
 /// clock reads or allocations.
-pub fn parse_traced(
-    src: &str,
-    recorder: &obs::Recorder,
-) -> Result<ast::Program, FrontendError> {
+pub fn parse_traced(src: &str, recorder: &obs::Recorder) -> Result<ast::Program, FrontendError> {
     use obs::{AttrValue, TraceLevel};
     if !recorder.enabled(TraceLevel::Phases) {
         return parse(src);

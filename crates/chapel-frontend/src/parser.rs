@@ -35,13 +35,22 @@ pub fn parse(src: &str) -> Result<Program, FrontendError> {
 /// Parse a pre-lexed token stream — lets `parse_traced` time the lex
 /// and parse phases separately without lexing twice.
 pub fn parse_tokens(tokens: Vec<Token>) -> Result<Program, FrontendError> {
-    Parser { tokens, pos: 0, depth: 0 }.program()
+    Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    }
+    .program()
 }
 
 /// Parse a single expression (used by tests and the REPL-style tools).
 pub fn parse_expr(src: &str) -> Result<Expr, FrontendError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0, depth: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let e = p.expr()?;
     p.expect_eof()?;
     Ok(e)
@@ -156,7 +165,11 @@ impl Parser {
         while !self.eat(&TokenKind::RBrace) {
             fields.push(self.field_decl()?);
         }
-        Ok(RecordDecl { name, fields, span: start.to(self.prev_span()) })
+        Ok(RecordDecl {
+            name,
+            fields,
+            span: start.to(self.prev_span()),
+        })
     }
 
     fn class_decl(&mut self) -> Result<ClassDecl, FrontendError> {
@@ -208,9 +221,19 @@ impl Parser {
         let (name, _) = self.expect_ident()?;
         self.expect(&TokenKind::Colon)?;
         let ty = self.type_expr()?;
-        let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         self.expect(&TokenKind::Semi)?;
-        Ok(VarDecl { kind, name, ty: Some(ty), init, span: start.to(self.prev_span()) })
+        Ok(VarDecl {
+            kind,
+            name,
+            ty: Some(ty),
+            init,
+            span: start.to(self.prev_span()),
+        })
     }
 
     fn func_decl(&mut self) -> Result<FuncDecl, FrontendError> {
@@ -223,17 +246,35 @@ impl Parser {
             loop {
                 let pstart = self.span();
                 let (pname, _) = self.expect_ident()?;
-                let ty = if self.eat(&TokenKind::Colon) { Some(self.type_expr()?) } else { None };
-                params.push(Param { name: pname, ty, span: pstart.to(self.prev_span()) });
+                let ty = if self.eat(&TokenKind::Colon) {
+                    Some(self.type_expr()?)
+                } else {
+                    None
+                };
+                params.push(Param {
+                    name: pname,
+                    ty,
+                    span: pstart.to(self.prev_span()),
+                });
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
             }
             self.expect(&TokenKind::RParen)?;
         }
-        let ret = if self.eat(&TokenKind::Colon) { Some(self.type_expr()?) } else { None };
+        let ret = if self.eat(&TokenKind::Colon) {
+            Some(self.type_expr()?)
+        } else {
+            None
+        };
         let body = self.block()?;
-        Ok(FuncDecl { name, params, ret, body, span: start.to(self.prev_span()) })
+        Ok(FuncDecl {
+            name,
+            params,
+            ret,
+            body,
+            span: start.to(self.prev_span()),
+        })
     }
 
     // ---------- types ----------
@@ -268,9 +309,15 @@ impl Parser {
                 }
                 self.expect(&TokenKind::RBracket)?;
                 let elem = self.type_expr()?;
-                Ok(TypeExpr::Array { dims, elem: Box::new(elem) })
+                Ok(TypeExpr::Array {
+                    dims,
+                    elem: Box::new(elem),
+                })
             }
-            other => Err(FrontendError::parse(self.span(), format!("expected a type, found {other}"))),
+            other => Err(FrontendError::parse(
+                self.span(),
+                format!("expected a type, found {other}"),
+            )),
         }
     }
 
@@ -279,7 +326,11 @@ impl Parser {
         let lo = self.additive()?;
         self.expect(&TokenKind::DotDot)?;
         let hi = self.additive()?;
-        Ok(RangeExpr { lo: Box::new(lo), hi: Box::new(hi), span: start.to(self.prev_span()) })
+        Ok(RangeExpr {
+            lo: Box::new(lo),
+            hi: Box::new(hi),
+            span: start.to(self.prev_span()),
+        })
     }
 
     // ---------- statements ----------
@@ -291,7 +342,10 @@ impl Parser {
         while !self.eat(&TokenKind::RBrace) {
             stmts.push(self.stmt()?);
         }
-        Ok(Block { stmts, span: start.to(self.prev_span()) })
+        Ok(Block {
+            stmts,
+            span: start.to(self.prev_span()),
+        })
     }
 
     /// A block, or a single statement after `do`/`then` sugar.
@@ -300,7 +354,10 @@ impl Parser {
             if self.eat_kw(kw) {
                 let start = self.span();
                 let s = self.stmt()?;
-                return Ok(Block { stmts: vec![s], span: start.to(self.prev_span()) });
+                return Ok(Block {
+                    stmts: vec![s],
+                    span: start.to(self.prev_span()),
+                });
             }
         }
         self.block()
@@ -318,7 +375,11 @@ impl Parser {
                 self.bump();
                 let cond = self.expr()?;
                 let body = self.block_or_single(Some(Keyword::Do))?;
-                Ok(Stmt::While { cond, body, span: start })
+                Ok(Stmt::While {
+                    cond,
+                    body,
+                    span: start,
+                })
             }
             TokenKind::Kw(Keyword::If) => {
                 let start = self.span();
@@ -333,18 +394,29 @@ impl Parser {
                         // become a single-statement block.
                         let s = self.stmt()?;
                         let sp = self.prev_span();
-                        Some(Block { stmts: vec![s], span: sp })
+                        Some(Block {
+                            stmts: vec![s],
+                            span: sp,
+                        })
                     }
                 } else {
                     None
                 };
-                Ok(Stmt::If { cond, then, els, span: start })
+                Ok(Stmt::If {
+                    cond,
+                    then,
+                    els,
+                    span: start,
+                })
             }
             TokenKind::Kw(Keyword::Return) => {
                 let start = self.span();
                 self.bump();
                 let value = if self.eat(&TokenKind::Semi) {
-                    return Ok(Stmt::Return { value: None, span: start });
+                    return Ok(Stmt::Return {
+                        value: None,
+                        span: start,
+                    });
                 } else {
                     Some(self.expr()?)
                 };
@@ -382,8 +454,16 @@ impl Parser {
             _ => unreachable!("caller checked"),
         };
         let (name, _) = self.expect_ident()?;
-        let ty = if self.eat(&TokenKind::Colon) { Some(self.type_expr()?) } else { None };
-        let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+        let ty = if self.eat(&TokenKind::Colon) {
+            Some(self.type_expr()?)
+        } else {
+            None
+        };
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         if ty.is_none() && init.is_none() {
             return Err(FrontendError::parse(
                 start,
@@ -391,7 +471,13 @@ impl Parser {
             ));
         }
         self.expect(&TokenKind::Semi)?;
-        Ok(VarDecl { kind, name, ty, init, span: start.to(self.prev_span()) })
+        Ok(VarDecl {
+            kind,
+            name,
+            ty,
+            init,
+            span: start.to(self.prev_span()),
+        })
     }
 
     fn for_stmt(&mut self, parallel: bool) -> Result<Stmt, FrontendError> {
@@ -401,7 +487,13 @@ impl Parser {
         self.expect(&TokenKind::Kw(Keyword::In))?;
         let iter = self.expr()?;
         let body = self.block_or_single(Some(Keyword::Do))?;
-        Ok(Stmt::For { index, iter, body, parallel, span: start })
+        Ok(Stmt::For {
+            index,
+            iter,
+            body,
+            parallel,
+            span: start,
+        })
     }
 
     fn assign_or_expr(&mut self) -> Result<Stmt, FrontendError> {
@@ -419,7 +511,12 @@ impl Parser {
             self.bump();
             let rhs = self.expr()?;
             self.expect(&TokenKind::Semi)?;
-            Ok(Stmt::Assign { lhs, op, rhs, span: start.to(self.prev_span()) })
+            Ok(Stmt::Assign {
+                lhs,
+                op,
+                rhs,
+                span: start.to(self.prev_span()),
+            })
         } else {
             self.expect(&TokenKind::Semi)?;
             Ok(Stmt::Expr(lhs))
@@ -456,9 +553,17 @@ impl Parser {
             let operand = self.expr()?;
             let span = start.to(self.prev_span());
             return Ok(if is_scan {
-                Expr::Scan { op, expr: Box::new(operand), span }
+                Expr::Scan {
+                    op,
+                    expr: Box::new(operand),
+                    span,
+                }
             } else {
-                Expr::Reduce { op, expr: Box::new(operand), span }
+                Expr::Reduce {
+                    op,
+                    expr: Box::new(operand),
+                    span,
+                }
             });
         }
         self.or_expr()
@@ -491,7 +596,12 @@ impl Parser {
         while self.eat(&TokenKind::OrOr) {
             let r = self.and_expr()?;
             let span = l.span().to(r.span());
-            l = Expr::Binary { op: BinOp::Or, l: Box::new(l), r: Box::new(r), span };
+            l = Expr::Binary {
+                op: BinOp::Or,
+                l: Box::new(l),
+                r: Box::new(r),
+                span,
+            };
         }
         Ok(l)
     }
@@ -501,7 +611,12 @@ impl Parser {
         while self.eat(&TokenKind::AndAnd) {
             let r = self.equality()?;
             let span = l.span().to(r.span());
-            l = Expr::Binary { op: BinOp::And, l: Box::new(l), r: Box::new(r), span };
+            l = Expr::Binary {
+                op: BinOp::And,
+                l: Box::new(l),
+                r: Box::new(r),
+                span,
+            };
         }
         Ok(l)
     }
@@ -517,7 +632,12 @@ impl Parser {
             self.bump();
             let r = self.relational()?;
             let span = l.span().to(r.span());
-            l = Expr::Binary { op, l: Box::new(l), r: Box::new(r), span };
+            l = Expr::Binary {
+                op,
+                l: Box::new(l),
+                r: Box::new(r),
+                span,
+            };
         }
         Ok(l)
     }
@@ -535,7 +655,12 @@ impl Parser {
             self.bump();
             let r = self.range_or_additive()?;
             let span = l.span().to(r.span());
-            l = Expr::Binary { op, l: Box::new(l), r: Box::new(r), span };
+            l = Expr::Binary {
+                op,
+                l: Box::new(l),
+                r: Box::new(r),
+                span,
+            };
         }
         Ok(l)
     }
@@ -546,7 +671,11 @@ impl Parser {
         if self.eat(&TokenKind::DotDot) {
             let hi = self.additive()?;
             let span = lo.span().to(hi.span());
-            return Ok(Expr::Range(RangeExpr { lo: Box::new(lo), hi: Box::new(hi), span }));
+            return Ok(Expr::Range(RangeExpr {
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                span,
+            }));
         }
         Ok(lo)
     }
@@ -562,7 +691,12 @@ impl Parser {
             self.bump();
             let r = self.multiplicative()?;
             let span = l.span().to(r.span());
-            l = Expr::Binary { op, l: Box::new(l), r: Box::new(r), span };
+            l = Expr::Binary {
+                op,
+                l: Box::new(l),
+                r: Box::new(r),
+                span,
+            };
         }
         Ok(l)
     }
@@ -579,7 +713,12 @@ impl Parser {
             self.bump();
             let r = self.power()?;
             let span = l.span().to(r.span());
-            l = Expr::Binary { op, l: Box::new(l), r: Box::new(r), span };
+            l = Expr::Binary {
+                op,
+                l: Box::new(l),
+                r: Box::new(r),
+                span,
+            };
         }
         Ok(l)
     }
@@ -590,7 +729,12 @@ impl Parser {
         if self.eat(&TokenKind::StarStar) {
             let exp = self.power()?;
             let span = base.span().to(exp.span());
-            return Ok(Expr::Binary { op: BinOp::Pow, l: Box::new(base), r: Box::new(exp), span });
+            return Ok(Expr::Binary {
+                op: BinOp::Pow,
+                l: Box::new(base),
+                r: Box::new(exp),
+                span,
+            });
         }
         Ok(base)
     }
@@ -600,12 +744,20 @@ impl Parser {
         if self.eat(&TokenKind::Minus) {
             let e = self.unary()?;
             let span = start.to(e.span());
-            return Ok(Expr::Unary { op: UnOp::Neg, e: Box::new(e), span });
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                e: Box::new(e),
+                span,
+            });
         }
         if self.eat(&TokenKind::Bang) {
             let e = self.unary()?;
             let span = start.to(e.span());
-            return Ok(Expr::Unary { op: UnOp::Not, e: Box::new(e), span });
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                e: Box::new(e),
+                span,
+            });
         }
         self.postfix()
     }
@@ -632,7 +784,11 @@ impl Parser {
                             span,
                         };
                     } else {
-                        e = Expr::Field { base: Box::new(e), field, span };
+                        e = Expr::Field {
+                            base: Box::new(e),
+                            field,
+                            span,
+                        };
                     }
                 }
                 TokenKind::LBracket => {
@@ -643,13 +799,21 @@ impl Parser {
                     }
                     let end = self.expect(&TokenKind::RBracket)?;
                     let span = e.span().to(end);
-                    e = Expr::Index { base: Box::new(e), indices, span };
+                    e = Expr::Index {
+                        base: Box::new(e),
+                        indices,
+                        span,
+                    };
                 }
                 TokenKind::LParen => {
                     self.bump();
                     let args = self.call_args()?;
                     let span = e.span().to(self.prev_span());
-                    e = Expr::Call { callee: Box::new(e), args, span };
+                    e = Expr::Call {
+                        callee: Box::new(e),
+                        args,
+                        span,
+                    };
                 }
                 _ => return Ok(e),
             }
@@ -700,7 +864,11 @@ impl Parser {
                 let (class, _) = self.expect_ident()?;
                 self.expect(&TokenKind::LParen)?;
                 let args = self.call_args()?;
-                Ok(Expr::New { class, args, span: span.to(self.prev_span()) })
+                Ok(Expr::New {
+                    class,
+                    args,
+                    span: span.to(self.prev_span()),
+                })
             }
             TokenKind::Ident(name) => {
                 self.bump();
@@ -831,17 +999,26 @@ mod parser_tests {
     #[test]
     fn reduce_expressions() {
         match parse_expr("+ reduce A").unwrap() {
-            Expr::Reduce { op: ReduceOp::Sum, .. } => {}
+            Expr::Reduce {
+                op: ReduceOp::Sum, ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
         match parse_expr("min reduce (A + B)").unwrap() {
-            Expr::Reduce { op: ReduceOp::Min, expr, .. } => {
+            Expr::Reduce {
+                op: ReduceOp::Min,
+                expr,
+                ..
+            } => {
                 assert!(matches!(*expr, Expr::Binary { op: BinOp::Add, .. }));
             }
             other => panic!("unexpected {other:?}"),
         }
         match parse_expr("kmeansReduction reduce data").unwrap() {
-            Expr::Reduce { op: ReduceOp::UserDefined(n), .. } => {
+            Expr::Reduce {
+                op: ReduceOp::UserDefined(n),
+                ..
+            } => {
                 assert_eq!(n, "kmeansReduction");
             }
             other => panic!("unexpected {other:?}"),
@@ -860,16 +1037,27 @@ mod parser_tests {
     fn loops_and_sugar() {
         let p = parse("for i in 1..n { s += data[i]; }").unwrap();
         match &p.items[0] {
-            Item::Stmt(Stmt::For { index, parallel: false, body, .. }) => {
+            Item::Stmt(Stmt::For {
+                index,
+                parallel: false,
+                body,
+                ..
+            }) => {
                 assert_eq!(index, "i");
                 assert_eq!(body.stmts.len(), 1);
             }
             other => panic!("unexpected {other:?}"),
         }
         let p = parse("forall i in A do s += i;").unwrap();
-        assert!(matches!(&p.items[0], Item::Stmt(Stmt::For { parallel: true, .. })));
+        assert!(matches!(
+            &p.items[0],
+            Item::Stmt(Stmt::For { parallel: true, .. })
+        ));
         let p = parse("if x < 3 then y = 1; else y = 2;").unwrap();
-        assert!(matches!(&p.items[0], Item::Stmt(Stmt::If { els: Some(_), .. })));
+        assert!(matches!(
+            &p.items[0],
+            Item::Stmt(Stmt::If { els: Some(_), .. })
+        ));
     }
 
     #[test]
@@ -904,7 +1092,9 @@ mod parser_tests {
         // 1 + 2 * 3 == 7, not 9
         let e = parse_expr("1 + 2 * 3").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Add, r, .. } => {
+            Expr::Binary {
+                op: BinOp::Add, r, ..
+            } => {
                 assert!(matches!(*r, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -912,7 +1102,9 @@ mod parser_tests {
         // 2 ** 3 ** 2 is right-assoc: 2 ** (3 ** 2)
         let e = parse_expr("2 ** 3 ** 2").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Pow, r, .. } => {
+            Expr::Binary {
+                op: BinOp::Pow, r, ..
+            } => {
                 assert!(matches!(*r, Expr::Binary { op: BinOp::Pow, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -955,11 +1147,15 @@ mod parser_tests {
     #[test]
     fn scan_expressions_parse() {
         match parse_expr("+ scan A").unwrap() {
-            Expr::Scan { op: ReduceOp::Sum, .. } => {}
+            Expr::Scan {
+                op: ReduceOp::Sum, ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
         match parse_expr("min scan (A + B)").unwrap() {
-            Expr::Scan { op: ReduceOp::Min, .. } => {}
+            Expr::Scan {
+                op: ReduceOp::Min, ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
     }

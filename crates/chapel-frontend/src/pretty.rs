@@ -164,7 +164,13 @@ fn stmt(s: &Stmt, depth: usize, out: &mut String) {
             expr(e, out);
             out.push_str(";\n");
         }
-        Stmt::For { index, iter, body, parallel, .. } => {
+        Stmt::For {
+            index,
+            iter,
+            body,
+            parallel,
+            ..
+        } => {
             indent(depth, out);
             let kw = if *parallel { "forall" } else { "for" };
             let _ = write!(out, "{kw} {index} in ");
@@ -187,7 +193,9 @@ fn stmt(s: &Stmt, depth: usize, out: &mut String) {
             indent(depth, out);
             out.push_str("}\n");
         }
-        Stmt::If { cond, then, els, .. } => {
+        Stmt::If {
+            cond, then, els, ..
+        } => {
             indent(depth, out);
             out.push_str("if ");
             expr(cond, out);
@@ -320,7 +328,9 @@ fn expr(e: &Expr, out: &mut String) {
             }
             out.push(')');
         }
-        Expr::Scan { op, expr: inner, .. } => {
+        Expr::Scan {
+            op, expr: inner, ..
+        } => {
             let name = match op {
                 ReduceOp::Sum => "+",
                 ReduceOp::Product => "*",
@@ -334,7 +344,9 @@ fn expr(e: &Expr, out: &mut String) {
             out.push_str(" scan ");
             expr(inner, out);
         }
-        Expr::Reduce { op, expr: inner, .. } => {
+        Expr::Reduce {
+            op, expr: inner, ..
+        } => {
             out.push_str(match op {
                 ReduceOp::Sum => "+ reduce ",
                 ReduceOp::Product => "* reduce ",

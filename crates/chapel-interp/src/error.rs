@@ -16,12 +16,18 @@ pub struct InterpError {
 impl InterpError {
     /// Construct an error.
     pub fn new(span: Span, message: impl Into<String>) -> InterpError {
-        InterpError { span, message: message.into() }
+        InterpError {
+            span,
+            message: message.into(),
+        }
     }
 
     /// A type error without a location yet.
     pub fn type_error(message: impl Into<String>) -> InterpError {
-        InterpError { span: Span::default(), message: message.into() }
+        InterpError {
+            span: Span::default(),
+            message: message.into(),
+        }
     }
 
     /// Attach a location if none was recorded.

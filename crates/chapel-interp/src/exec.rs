@@ -171,7 +171,12 @@ impl Interpreter {
         }
         let first = instances.remove(0);
         for other in instances {
-            self.call_method(&first, "combine", vec![RtValue::Object(other)], Span::default())?;
+            self.call_method(
+                &first,
+                "combine",
+                vec![RtValue::Object(other)],
+                Span::default(),
+            )?;
         }
         self.call_method(&first, "generate", vec![], Span::default())
     }
@@ -187,7 +192,11 @@ impl Interpreter {
     }
 
     fn scope_mut(&mut self) -> &mut HashMap<String, RtValue> {
-        self.frames.last_mut().expect("frame").last_mut().expect("scope")
+        self.frames
+            .last_mut()
+            .expect("frame")
+            .last_mut()
+            .expect("scope")
     }
 
     fn exec_block(&mut self, b: &Block) -> Result<Flow, InterpError> {
@@ -252,7 +261,13 @@ impl Interpreter {
                 self.eval(e)?;
                 Ok(Flow::Normal)
             }
-            Stmt::For { index, iter, body, span, .. } => {
+            Stmt::For {
+                index,
+                iter,
+                body,
+                span,
+                ..
+            } => {
                 self.tick(*span)?;
                 let iterable = self.eval(iter)?;
                 let items: Vec<RtValue> = match iterable {
@@ -297,7 +312,12 @@ impl Interpreter {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::If { cond, then, els, span } => {
+            Stmt::If {
+                cond,
+                then,
+                els,
+                span,
+            } => {
                 self.tick(*span)?;
                 if self.eval(cond)?.as_bool().map_err(|e| e.with_span(*span))? {
                     self.exec_block(then)
@@ -354,8 +374,14 @@ impl Interpreter {
                 // arrays, first dimension outermost.
                 let mut bounds = Vec::with_capacity(dims.len());
                 for d in dims {
-                    let lo = self.eval(&d.lo)?.as_i64().map_err(|e| e.with_span(d.span))?;
-                    let hi = self.eval(&d.hi)?.as_i64().map_err(|e| e.with_span(d.span))?;
+                    let lo = self
+                        .eval(&d.lo)?
+                        .as_i64()
+                        .map_err(|e| e.with_span(d.span))?;
+                    let hi = self
+                        .eval(&d.hi)?
+                        .as_i64()
+                        .map_err(|e| e.with_span(d.span))?;
                     if hi < lo {
                         return Err(InterpError::new(d.span, format!("empty range {lo}..{hi}")));
                     }
@@ -364,7 +390,10 @@ impl Interpreter {
                 let mut value = self.default_value(elem, span)?;
                 for &(lo, hi) in bounds.iter().rev() {
                     let len = (hi - lo + 1) as usize;
-                    value = RtValue::Array { lo, items: vec![value; len] };
+                    value = RtValue::Array {
+                        lo,
+                        items: vec![value; len],
+                    };
                 }
                 Ok(value)
             }
@@ -387,13 +416,20 @@ impl Interpreter {
             };
             fields.push(v);
         }
-        Ok(RtValue::Record { name: name.to_string(), fields })
+        Ok(RtValue::Record {
+            name: name.to_string(),
+            fields,
+        })
     }
 
     /// Instantiate a class with default-valued fields (type-parameter
     /// constructor arguments, as in `new SumOp(real)`, are accepted and
     /// ignored — the subset is dynamically typed at runtime).
-    fn instantiate(&mut self, class: &str, span: Span) -> Result<Rc<RefCell<ObjectData>>, InterpError> {
+    fn instantiate(
+        &mut self,
+        class: &str,
+        span: Span,
+    ) -> Result<Rc<RefCell<ObjectData>>, InterpError> {
         let decl = self
             .decls
             .classes
@@ -407,7 +443,8 @@ impl Interpreter {
                 (None, Some(ty)) => match self.default_value(ty, f.span) {
                     Ok(v) => v,
                     // Fields of a generic `type` parameter default to 0.0.
-                    Err(_) if matches!(&f.ty, Some(TypeExpr::Named(n))
+                    Err(_)
+                        if matches!(&f.ty, Some(TypeExpr::Named(n))
                         if decl.type_params.contains(n)) =>
                     {
                         RtValue::Real(0.0)
@@ -418,7 +455,10 @@ impl Interpreter {
             };
             fields.insert(f.name.clone(), v);
         }
-        Ok(Rc::new(RefCell::new(ObjectData { class: class.to_string(), fields })))
+        Ok(Rc::new(RefCell::new(ObjectData {
+            class: class.to_string(),
+            fields,
+        })))
     }
 
     // ---------- name resolution ----------
@@ -455,7 +495,11 @@ impl Interpreter {
         let root = loop {
             match cur {
                 Expr::Ident(name, _) => break name.clone(),
-                Expr::Index { base, indices, span } => {
+                Expr::Index {
+                    base,
+                    indices,
+                    span,
+                } => {
                     let mut idx = Vec::with_capacity(indices.len());
                     for i in indices {
                         idx.push(self.eval(i)?.as_i64().map_err(|e| e.with_span(*span))?);
@@ -506,7 +550,10 @@ impl Interpreter {
                 return Ok(());
             }
         }
-        Err(InterpError::new(span, format!("unknown identifier `{root}`")))
+        Err(InterpError::new(
+            span,
+            format!("unknown identifier `{root}`"),
+        ))
     }
 
     // ---------- expressions ----------
@@ -522,8 +569,14 @@ impl Interpreter {
                 .lookup(name)
                 .ok_or_else(|| InterpError::new(*span, format!("unknown identifier `{name}`"))),
             Expr::Range(r) => {
-                let lo = self.eval(&r.lo)?.as_i64().map_err(|e| e.with_span(r.span))?;
-                let hi = self.eval(&r.hi)?.as_i64().map_err(|e| e.with_span(r.span))?;
+                let lo = self
+                    .eval(&r.lo)?
+                    .as_i64()
+                    .map_err(|e| e.with_span(r.span))?;
+                let hi = self
+                    .eval(&r.hi)?
+                    .as_i64()
+                    .map_err(|e| e.with_span(r.span))?;
                 Ok(RtValue::Range(lo, hi))
             }
             Expr::Unary { op, e: inner, span } => {
@@ -565,7 +618,11 @@ impl Interpreter {
                 let rv = self.eval(r)?;
                 binary_op(*op, &lv, &rv, *span)
             }
-            Expr::Index { base, indices, span } => {
+            Expr::Index {
+                base,
+                indices,
+                span,
+            } => {
                 let b = self.eval(base)?;
                 let mut idx = Vec::with_capacity(indices.len());
                 for i in indices {
@@ -632,7 +689,11 @@ impl Interpreter {
             if argv.len() != f.params.len() {
                 return Err(InterpError::new(
                     span,
-                    format!("`{name}` takes {} arguments, got {}", f.params.len(), argv.len()),
+                    format!(
+                        "`{name}` takes {} arguments, got {}",
+                        f.params.len(),
+                        argv.len()
+                    ),
                 ));
             }
             let mut scope = HashMap::new();
@@ -675,7 +736,10 @@ impl Interpreter {
             if args.len() != 1 {
                 return Err(InterpError::new(span, format!("`{name}` takes 1 argument")));
             }
-            interp.eval(&args[0])?.as_f64().map_err(|e| e.with_span(span))
+            interp
+                .eval(&args[0])?
+                .as_f64()
+                .map_err(|e| e.with_span(span))
         };
         let v = match name {
             "int" | "floor" => RtValue::Int(unary_f64(self, args)?.floor() as i64),
@@ -720,7 +784,10 @@ impl Interpreter {
                     return Ok(Some(v));
                 }
                 if args.len() != 2 {
-                    return Err(InterpError::new(span, format!("`{name}` takes 2 arguments")));
+                    return Err(InterpError::new(
+                        span,
+                        format!("`{name}` takes 2 arguments"),
+                    ));
                 }
                 let a = self.eval(&args[0])?;
                 let b = self.eval(&args[1])?;
@@ -772,7 +839,11 @@ impl Interpreter {
         if args.len() != m.params.len() {
             return Err(InterpError::new(
                 span,
-                format!("`{class}.{method}` takes {} arguments, got {}", m.params.len(), args.len()),
+                format!(
+                    "`{class}.{method}` takes {} arguments, got {}",
+                    m.params.len(),
+                    args.len()
+                ),
             ));
         }
         let mut scope = HashMap::new();
@@ -978,21 +1049,40 @@ fn binary_op(op: BinOp, l: &RtValue, r: &RtValue, span: Span) -> Result<RtValue,
         match (l, r) {
             (RtValue::Array { lo, items: li }, RtValue::Array { items: ri, .. }) => {
                 if li.len() != ri.len() {
-                    return Err(InterpError::new(span, "elementwise arrays differ in length"));
+                    return Err(InterpError::new(
+                        span,
+                        "elementwise arrays differ in length",
+                    ));
                 }
-                let items: Result<Vec<RtValue>, InterpError> =
-                    li.iter().zip(ri).map(|(a, b)| binary_op(op, a, b, span)).collect();
-                return Ok(RtValue::Array { lo: *lo, items: items? });
+                let items: Result<Vec<RtValue>, InterpError> = li
+                    .iter()
+                    .zip(ri)
+                    .map(|(a, b)| binary_op(op, a, b, span))
+                    .collect();
+                return Ok(RtValue::Array {
+                    lo: *lo,
+                    items: items?,
+                });
             }
             (RtValue::Array { lo, items }, scalar) if !matches!(scalar, RtValue::Array { .. }) => {
-                let items: Result<Vec<RtValue>, InterpError> =
-                    items.iter().map(|a| binary_op(op, a, scalar, span)).collect();
-                return Ok(RtValue::Array { lo: *lo, items: items? });
+                let items: Result<Vec<RtValue>, InterpError> = items
+                    .iter()
+                    .map(|a| binary_op(op, a, scalar, span))
+                    .collect();
+                return Ok(RtValue::Array {
+                    lo: *lo,
+                    items: items?,
+                });
             }
             (scalar, RtValue::Array { lo, items }) if !matches!(scalar, RtValue::Array { .. }) => {
-                let items: Result<Vec<RtValue>, InterpError> =
-                    items.iter().map(|b| binary_op(op, scalar, b, span)).collect();
-                return Ok(RtValue::Array { lo: *lo, items: items? });
+                let items: Result<Vec<RtValue>, InterpError> = items
+                    .iter()
+                    .map(|b| binary_op(op, scalar, b, span))
+                    .collect();
+                return Ok(RtValue::Array {
+                    lo: *lo,
+                    items: items?,
+                });
             }
             _ => {}
         }
@@ -1080,13 +1170,20 @@ fn index_value(base: &RtValue, idx: &[i64], span: Span) -> Result<RtValue, Inter
                 if off < 0 || off as usize >= items.len() {
                     return Err(InterpError::new(
                         span,
-                        format!("index {i} out of bounds {}..{}", lo, *lo + items.len() as i64 - 1),
+                        format!(
+                            "index {i} out of bounds {}..{}",
+                            lo,
+                            *lo + items.len() as i64 - 1
+                        ),
                     ));
                 }
                 cur = &items[off as usize];
             }
             other => {
-                return Err(InterpError::new(span, format!("cannot index {}", other.kind())));
+                return Err(InterpError::new(
+                    span,
+                    format!("cannot index {}", other.kind()),
+                ));
             }
         }
     }
@@ -1110,7 +1207,9 @@ fn field_value(
                 .fields
                 .iter()
                 .position(|f| f.name == field)
-                .ok_or_else(|| InterpError::new(span, format!("`{name}` has no field `{field}`")))?;
+                .ok_or_else(|| {
+                    InterpError::new(span, format!("`{name}` has no field `{field}`"))
+                })?;
             Ok(fields[pos].clone())
         }
         RtValue::Object(obj) => obj
@@ -1119,7 +1218,10 @@ fn field_value(
             .get(field)
             .cloned()
             .ok_or_else(|| InterpError::new(span, format!("object has no field `{field}`"))),
-        other => Err(InterpError::new(span, format!("{} has no fields", other.kind()))),
+        other => Err(InterpError::new(
+            span,
+            format!("{} has no fields", other.kind()),
+        )),
     }
 }
 
@@ -1159,13 +1261,20 @@ fn navigate<'a>(
                 }
             }
             Step::Field(name) => match slot {
-                RtValue::Record { name: rname, fields } => {
+                RtValue::Record {
+                    name: rname,
+                    fields,
+                } => {
                     let decl = decls.records.get(rname).ok_or_else(|| {
                         InterpError::new(span, format!("unknown record `{rname}`"))
                     })?;
-                    let pos = decl.fields.iter().position(|f| f.name == *name).ok_or_else(
-                        || InterpError::new(span, format!("`{rname}` has no field `{name}`")),
-                    )?;
+                    let pos = decl
+                        .fields
+                        .iter()
+                        .position(|f| f.name == *name)
+                        .ok_or_else(|| {
+                            InterpError::new(span, format!("`{rname}` has no field `{name}`"))
+                        })?;
                     slot = &mut fields[pos];
                 }
                 other => {
@@ -1183,7 +1292,11 @@ fn navigate<'a>(
 /// Assign into a slot, preserving an `int` slot's kind when the value is
 /// a whole-number real (mirrors Chapel's typed variables under our
 /// dynamically-typed execution).
-fn assign_preserving_kind(slot: &mut RtValue, value: RtValue, span: Span) -> Result<(), InterpError> {
+fn assign_preserving_kind(
+    slot: &mut RtValue,
+    value: RtValue,
+    span: Span,
+) -> Result<(), InterpError> {
     match (&*slot, &value) {
         (RtValue::Int(_), RtValue::Real(x)) => {
             if x.fract() == 0.0 {

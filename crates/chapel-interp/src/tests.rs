@@ -17,7 +17,8 @@ fn real(i: &Interpreter, name: &str) -> f64 {
 
 #[test]
 fn arithmetic_and_types() {
-    let i = run("var a = 2 + 3 * 4; var b = 7 / 2; var c = 7.0 / 2; var d = 2 ** 10; var e = 7 % 3;");
+    let i =
+        run("var a = 2 + 3 * 4; var b = 7 / 2; var c = 7.0 / 2; var d = 2 ** 10; var e = 7 % 3;");
     assert!(i.global("a").unwrap().deep_eq(&RtValue::Int(14)));
     assert!(i.global("b").unwrap().deep_eq(&RtValue::Int(3))); // truncating
     assert!(i.global("c").unwrap().deep_eq(&RtValue::Real(3.5)));
@@ -27,14 +28,12 @@ fn arithmetic_and_types() {
 
 #[test]
 fn control_flow() {
-    let i = run(
-        "var x = 0; \
+    let i = run("var x = 0; \
          for i in 1..10 { x += i; } \
          var y = 0; \
          while y < 5 { y += 2; } \
          var z = 0; \
-         if x > 50 { z = 1; } else { z = 2; }",
-    );
+         if x > 50 { z = 1; } else { z = 2; }");
     assert_eq!(real(&i, "x"), 55.0);
     assert_eq!(real(&i, "y"), 6.0);
     assert_eq!(real(&i, "z"), 1.0);
@@ -56,22 +55,18 @@ fn out_of_bounds_is_an_error() {
 
 #[test]
 fn multidim_arrays() {
-    let i = run(
-        "var M: [1..2, 1..3] real; \
+    let i = run("var M: [1..2, 1..3] real; \
          for a in 1..2 { for b in 1..3 { M[a, b] = a * 10 + b; } } \
-         var s = M[2, 3] + M[1, 1];",
-    );
+         var s = M[2, 3] + M[1, 1];");
     assert_eq!(real(&i, "s"), 34.0);
 }
 
 #[test]
 fn records_are_value_types() {
-    let i = run(
-        "record P { x: real; y: real; } \
+    let i = run("record P { x: real; y: real; } \
          var p: P; p.x = 1.0; \
          var q = p; q.x = 99.0; \
-         var keep = p.x;",
-    );
+         var keep = p.x;");
     assert_eq!(real(&i, "keep"), 1.0, "assignment must copy records");
 }
 
@@ -150,12 +145,16 @@ fn builtin_reduce_expressions() {
 #[test]
 fn scan_expressions() {
     let i = run("var A: [1..5] real; for i in 1..5 { A[i] = i; } var S = + scan A;");
-    let RtValue::Array { items, .. } = i.global("S").unwrap() else { panic!() };
+    let RtValue::Array { items, .. } = i.global("S").unwrap() else {
+        panic!()
+    };
     let got: Vec<f64> = items.iter().map(|v| v.as_f64().unwrap()).collect();
     assert_eq!(got, vec![1.0, 3.0, 6.0, 10.0, 15.0]);
 
     let i = run("var S = + scan (1..4);");
-    let RtValue::Array { items, .. } = i.global("S").unwrap() else { panic!() };
+    let RtValue::Array { items, .. } = i.global("S").unwrap() else {
+        panic!()
+    };
     let got: Vec<f64> = items.iter().map(|v| v.as_f64().unwrap()).collect();
     assert_eq!(got, vec![1.0, 3.0, 6.0, 10.0]);
 
@@ -163,7 +162,9 @@ fn scan_expressions() {
         "var A: [1..4] real; A[1] = 5.0; A[2] = 2.0; A[3] = 7.0; A[4] = 1.0; \
          var M = min scan A;",
     );
-    let RtValue::Array { items, .. } = i.global("M").unwrap() else { panic!() };
+    let RtValue::Array { items, .. } = i.global("M").unwrap() else {
+        panic!()
+    };
     let got: Vec<f64> = items.iter().map(|v| v.as_f64().unwrap()).collect();
     assert_eq!(got, vec![5.0, 2.0, 2.0, 1.0]);
 }
@@ -171,10 +172,8 @@ fn scan_expressions() {
 #[test]
 fn scan_reduce_duality() {
     // The last element of an inclusive scan equals the reduction.
-    let i = run(
-        "var A: [1..9] real; for i in 1..9 { A[i] = i * 1.5; } \
-         var S = + scan A; var r = + reduce A; var last = S[9];",
-    );
+    let i = run("var A: [1..9] real; for i in 1..9 { A[i] = i * 1.5; } \
+         var S = + scan A; var r = + reduce A; var last = S[9];");
     assert_eq!(real(&i, "last"), real(&i, "r"));
 }
 
@@ -195,7 +194,9 @@ fn user_reduce_parallel_combine() {
     let mut i = run(programs::FIG2_SUM_REDUCE_CLASS);
     let items: Vec<RtValue> = (1..=100).map(|x| RtValue::Real(x as f64)).collect();
     for threads in [1usize, 2, 3, 8] {
-        let out = i.user_reduce_parallel("SumReduceScanOp", &items, threads).unwrap();
+        let out = i
+            .user_reduce_parallel("SumReduceScanOp", &items, threads)
+            .unwrap();
         assert!(out.deep_eq(&RtValue::Real(5050.0)), "threads={threads}");
     }
 }
@@ -232,8 +233,7 @@ fn pca_program_mean_is_exact() {
         panic!("mean not an array");
     };
     // data[i].val[a] = (i*17 + a*3) % 19 — check mean[1] directly.
-    let expect: f64 =
-        (1..=cols).map(|i| ((i * 17 + 3) % 19) as f64).sum::<f64>() / cols as f64;
+    let expect: f64 = (1..=cols).map(|i| ((i * 17 + 3) % 19) as f64).sum::<f64>() / cols as f64;
     assert!((items[0].as_f64().unwrap() - expect).abs() < 1e-12);
     // Covariance matrix must be symmetric.
     let RtValue::Array { items: cov, .. } = i.global("cov").unwrap() else {
@@ -241,8 +241,12 @@ fn pca_program_mean_is_exact() {
     };
     for a in 0..rows {
         for b in 0..rows {
-            let RtValue::Array { items: row_a, .. } = &cov[a] else { panic!() };
-            let RtValue::Array { items: row_b, .. } = &cov[b] else { panic!() };
+            let RtValue::Array { items: row_a, .. } = &cov[a] else {
+                panic!()
+            };
+            let RtValue::Array { items: row_b, .. } = &cov[b] else {
+                panic!()
+            };
             assert!(
                 (row_a[b].as_f64().unwrap() - row_b[a].as_f64().unwrap()).abs() < 1e-9,
                 "cov[{a}][{b}] asymmetric"

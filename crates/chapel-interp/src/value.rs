@@ -118,8 +118,14 @@ impl RtValue {
                 l1 == l2 && i1.len() == i2.len() && i1.iter().zip(i2).all(|(a, b)| a.deep_eq(b))
             }
             (
-                RtValue::Record { name: n1, fields: f1 },
-                RtValue::Record { name: n2, fields: f2 },
+                RtValue::Record {
+                    name: n1,
+                    fields: f1,
+                },
+                RtValue::Record {
+                    name: n2,
+                    fields: f2,
+                },
             ) => n1 == n2 && f1.len() == f2.len() && f1.iter().zip(f2).all(|(a, b)| a.deep_eq(b)),
             (RtValue::Object(a), RtValue::Object(b)) => Rc::ptr_eq(a, b),
             (RtValue::Nil, RtValue::Nil) => true,
@@ -136,10 +142,16 @@ impl RtValue {
             RtValue::Int(x) => Some(linearize::Value::Int(*x)),
             RtValue::Bool(b) => Some(linearize::Value::Bool(*b)),
             RtValue::Array { items, .. } => Some(linearize::Value::Array(
-                items.iter().map(|v| v.to_linear()).collect::<Option<Vec<_>>>()?,
+                items
+                    .iter()
+                    .map(|v| v.to_linear())
+                    .collect::<Option<Vec<_>>>()?,
             )),
             RtValue::Record { fields, .. } => Some(linearize::Value::Record(
-                fields.iter().map(|v| v.to_linear()).collect::<Option<Vec<_>>>()?,
+                fields
+                    .iter()
+                    .map(|v| v.to_linear())
+                    .collect::<Option<Vec<_>>>()?,
             )),
             _ => None,
         }
@@ -159,7 +171,10 @@ impl RtValue {
                 };
                 RtValue::Array {
                     lo,
-                    items: items.iter().map(|x| RtValue::from_linear(x, inner_t)).collect(),
+                    items: items
+                        .iter()
+                        .map(|x| RtValue::from_linear(x, inner_t))
+                        .collect(),
                 }
             }
             linearize::Value::Record(fields) => {
@@ -253,9 +268,15 @@ mod value_tests {
 
     #[test]
     fn display_forms() {
-        let v = RtValue::Array { lo: 1, items: vec![RtValue::Int(1), RtValue::Int(2)] };
+        let v = RtValue::Array {
+            lo: 1,
+            items: vec![RtValue::Int(1), RtValue::Int(2)],
+        };
         assert_eq!(v.to_string(), "[1, 2]");
-        let r = RtValue::Record { name: "P".into(), fields: vec![RtValue::Real(0.5)] };
+        let r = RtValue::Record {
+            name: "P".into(),
+            fields: vec![RtValue::Real(0.5)],
+        };
         assert_eq!(r.to_string(), "P(0.5)");
     }
 }

@@ -60,7 +60,13 @@ impl Checker {
                     if self
                         .decls
                         .records
-                        .insert(r.name.clone(), RecordInfo { fields: Vec::new(), decl: r.clone() })
+                        .insert(
+                            r.name.clone(),
+                            RecordInfo {
+                                fields: Vec::new(),
+                                decl: r.clone(),
+                            },
+                        )
                         .is_some()
                     {
                         self.error(r.span, format!("duplicate record `{}`", r.name));
@@ -70,7 +76,13 @@ impl Checker {
                     if self
                         .decls
                         .classes
-                        .insert(c.name.clone(), ClassInfo { fields: Vec::new(), decl: c.clone() })
+                        .insert(
+                            c.name.clone(),
+                            ClassInfo {
+                                fields: Vec::new(),
+                                decl: c.clone(),
+                            },
+                        )
                         .is_some()
                     {
                         self.error(c.span, format!("duplicate class `{}`", c.name));
@@ -104,7 +116,11 @@ impl Checker {
                             None => self.error(f.span, "record fields need a type"),
                         }
                     }
-                    self.decls.records.get_mut(&r.name).expect("registered").fields = fields;
+                    self.decls
+                        .records
+                        .get_mut(&r.name)
+                        .expect("registered")
+                        .fields = fields;
                 }
                 Item::Class(c) => {
                     // ReduceScanOp subclasses must provide the trio.
@@ -113,10 +129,7 @@ impl Checker {
                             if c.method(required).is_none() {
                                 self.error(
                                     c.span,
-                                    format!(
-                                        "reduction class `{}` is missing `{required}`",
-                                        c.name
-                                    ),
+                                    format!("reduction class `{}` is missing `{required}`", c.name),
                                 );
                             }
                         }
@@ -126,9 +139,10 @@ impl Checker {
                         let ty = match f.ty.as_ref() {
                             Some(t) => match self.decls.resolve_type(t) {
                                 Ok(ty) => ty,
-                                Err(_) if c.type_params.iter().any(|tp| {
-                                    matches!(t, TypeExpr::Named(n) if n == tp)
-                                }) =>
+                                Err(_)
+                                    if c.type_params
+                                        .iter()
+                                        .any(|tp| matches!(t, TypeExpr::Named(n) if n == tp)) =>
                                 {
                                     // Field of a generic `type` parameter.
                                     Ty::Unknown
@@ -142,7 +156,11 @@ impl Checker {
                         };
                         fields.push((f.name.clone(), ty));
                     }
-                    self.decls.classes.get_mut(&c.name).expect("registered").fields = fields;
+                    self.decls
+                        .classes
+                        .get_mut(&c.name)
+                        .expect("registered")
+                        .fields = fields;
                 }
                 Item::Func(f) => {
                     let params: Vec<Ty> = f
@@ -184,7 +202,10 @@ impl Checker {
             self.decls.globals.insert(v.name.clone(), ty.clone());
             self.decls.global_order.push(v.name.clone());
             // Also visible as a "local" so lookup() finds it.
-            self.scopes.last_mut().expect("scope").insert(v.name.clone(), ty);
+            self.scopes
+                .last_mut()
+                .expect("scope")
+                .insert(v.name.clone(), ty);
         } else {
             self.check_stmt(s);
         }
@@ -258,7 +279,10 @@ impl Checker {
             (Some(d), None) => d,
             (None, Some(i)) => i,
             (None, None) => {
-                self.error(v.span, format!("`{}` needs a type or an initializer", v.name));
+                self.error(
+                    v.span,
+                    format!("`{}` needs a type or an initializer", v.name),
+                );
                 Ty::Unknown
             }
         }
@@ -269,7 +293,10 @@ impl Checker {
             Stmt::Var(v) => {
                 self.decls.note_const(v);
                 let ty = self.var_decl_type(v);
-                self.scopes.last_mut().expect("scope").insert(v.name.clone(), ty);
+                self.scopes
+                    .last_mut()
+                    .expect("scope")
+                    .insert(v.name.clone(), ty);
             }
             Stmt::Assign { lhs, op, rhs, span } => {
                 if !is_lvalue(lhs) {
@@ -304,17 +331,20 @@ impl Checker {
             Stmt::Expr(e) => {
                 self.type_of(e);
             }
-            Stmt::For { index, iter, body, span, .. } => {
+            Stmt::For {
+                index,
+                iter,
+                body,
+                span,
+                ..
+            } => {
                 let ity = self.type_of(iter);
                 let idx_ty = match ity {
                     Ty::Range => Ty::Int,
                     Ty::Array { elem, .. } => *elem,
                     Ty::Unknown => Ty::Unknown,
                     other => {
-                        self.error(
-                            *span,
-                            format!("cannot iterate over {}", other.describe()),
-                        );
+                        self.error(*span, format!("cannot iterate over {}", other.describe()));
                         Ty::Unknown
                     }
                 };
@@ -335,7 +365,12 @@ impl Checker {
                 }
                 self.scopes.pop();
             }
-            Stmt::If { cond, then, els, span } => {
+            Stmt::If {
+                cond,
+                then,
+                els,
+                span,
+            } => {
                 let ct = self.type_of(cond);
                 if !matches!(ct, Ty::Bool | Ty::Unknown) {
                     self.error(*span, format!("if condition is {}", ct.describe()));
@@ -427,7 +462,11 @@ impl Checker {
                 let rt = self.type_of(r);
                 self.binary_type(*op, &lt, &rt, *span)
             }
-            Expr::Index { base, indices, span } => {
+            Expr::Index {
+                base,
+                indices,
+                span,
+            } => {
                 let bt = self.type_of(base);
                 for i in indices {
                     let it = self.type_of(i);
@@ -466,21 +505,18 @@ impl Checker {
             Expr::Field { base, field, span } => {
                 let bt = self.type_of(base);
                 match bt {
-                    Ty::Record(name) => match self
-                        .decls
-                        .records
-                        .get(&name)
-                        .and_then(|r| r.field(field))
-                    {
-                        Some((_, t)) => t.clone(),
-                        None => {
-                            self.error(
-                                *span,
-                                format!("record `{name}` has no field `{field}`"),
-                            );
-                            Ty::Unknown
+                    Ty::Record(name) => {
+                        match self.decls.records.get(&name).and_then(|r| r.field(field)) {
+                            Some((_, t)) => t.clone(),
+                            None => {
+                                self.error(
+                                    *span,
+                                    format!("record `{name}` has no field `{field}`"),
+                                );
+                                Ty::Unknown
+                            }
                         }
-                    },
+                    }
                     Ty::Class(name) => {
                         let found = self
                             .decls
@@ -491,20 +527,14 @@ impl Checker {
                         match found {
                             Some(t) => t,
                             None => {
-                                self.error(
-                                    *span,
-                                    format!("class `{name}` has no field `{field}`"),
-                                );
+                                self.error(*span, format!("class `{name}` has no field `{field}`"));
                                 Ty::Unknown
                             }
                         }
                     }
                     Ty::Unknown => Ty::Unknown,
                     other => {
-                        self.error(
-                            *span,
-                            format!("{} has no fields", other.describe()),
-                        );
+                        self.error(*span, format!("{} has no fields", other.describe()));
                         Ty::Unknown
                     }
                 }
@@ -517,7 +547,10 @@ impl Checker {
                 let et = self.type_of(expr);
                 let elem = self.reduce_type(op, expr, *span);
                 match et {
-                    Ty::Array { dims, .. } => Ty::Array { dims, elem: Box::new(elem) },
+                    Ty::Array { dims, .. } => Ty::Array {
+                        dims,
+                        elem: Box::new(elem),
+                    },
                     Ty::Range => Ty::Array {
                         // Extent unknown without const bounds; ranges
                         // scan to arrays starting at 1 in the subset.
@@ -559,7 +592,10 @@ impl Checker {
             if matches!(op, Add | Sub | Mul | Div) {
                 if d1.iter().zip(d2).all(|(a, b)| a.1 - a.0 == b.1 - b.0) && d1.len() == d2.len() {
                     let elem = self.binary_type(op, e1, e2, span);
-                    return Ty::Array { dims: d1.clone(), elem: Box::new(elem) };
+                    return Ty::Array {
+                        dims: d1.clone(),
+                        elem: Box::new(elem),
+                    };
                 }
                 self.error(span, "elementwise operation on arrays of different extents");
                 return Ty::Unknown;
@@ -739,7 +775,10 @@ impl Checker {
         span: chapel_frontend::token::Span,
     ) {
         if args.len() != n {
-            self.error(span, format!("`{name}` takes {n} argument(s), got {}", args.len()));
+            self.error(
+                span,
+                format!("`{name}` takes {n} argument(s), got {}", args.len()),
+            );
         }
         for a in args {
             self.type_of(a);
@@ -758,10 +797,7 @@ impl Checker {
             Ty::Range => Ty::Int,
             Ty::Unknown => Ty::Unknown,
             other => {
-                self.error(
-                    span,
-                    format!("cannot reduce over {}", other.describe()),
-                );
+                self.error(span, format!("cannot reduce over {}", other.describe()));
                 Ty::Unknown
             }
         };
@@ -782,10 +818,7 @@ impl Checker {
                 match self.decls.classes.get(name) {
                     Some(info) if info.decl.is_reduce_op() => {}
                     Some(_) => {
-                        self.error(
-                            span,
-                            format!("`{name}` is not a ReduceScanOp subclass"),
-                        );
+                        self.error(span, format!("`{name}` is not a ReduceScanOp subclass"));
                     }
                     None => {
                         self.error(span, format!("unknown reduction class `{name}`"));
@@ -848,7 +881,9 @@ mod check_tests {
 
     #[test]
     fn rejects_unknown_identifiers_and_fields() {
-        assert!(errs("var x = y + 1;")[0].message.contains("unknown identifier"));
+        assert!(errs("var x = y + 1;")[0]
+            .message
+            .contains("unknown identifier"));
         let e = errs("record R { a: int; } var r: R; var q = r.b;");
         assert!(e[0].message.contains("no field `b`"));
     }

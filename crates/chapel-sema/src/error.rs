@@ -16,7 +16,10 @@ pub struct SemaError {
 impl SemaError {
     /// Construct an error.
     pub fn new(span: Span, message: impl Into<String>) -> SemaError {
-        SemaError { span, message: message.into() }
+        SemaError {
+            span,
+            message: message.into(),
+        }
     }
 
     /// Re-anchor an error at a more precise span (used when a type

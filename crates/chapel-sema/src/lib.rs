@@ -40,10 +40,19 @@ pub fn analyze_traced(
     let dur_ns = start.elapsed().as_nanos() as u64;
     let attrs = match &result {
         Ok(analysis) => vec![
-            ("records", AttrValue::Int(analysis.decls.records.len() as i64)),
-            ("classes", AttrValue::Int(analysis.decls.classes.len() as i64)),
+            (
+                "records",
+                AttrValue::Int(analysis.decls.records.len() as i64),
+            ),
+            (
+                "classes",
+                AttrValue::Int(analysis.decls.classes.len() as i64),
+            ),
             ("funcs", AttrValue::Int(analysis.decls.funcs.len() as i64)),
-            ("globals", AttrValue::Int(analysis.decls.globals.len() as i64)),
+            (
+                "globals",
+                AttrValue::Int(analysis.decls.globals.len() as i64),
+            ),
         ],
         Err(errors) => vec![("errors", AttrValue::Int(errors.len() as i64))],
     };

@@ -55,10 +55,7 @@ impl Ty {
             (Ty::Real, Ty::Int) => true, // widening
             (Ty::Array { dims: d1, elem: e1 }, Ty::Array { dims: d2, elem: e2 }) => {
                 d1.len() == d2.len()
-                    && d1
-                        .iter()
-                        .zip(d2)
-                        .all(|(a, b)| (a.1 - a.0) == (b.1 - b.0))
+                    && d1.iter().zip(d2).all(|(a, b)| (a.1 - a.0) == (b.1 - b.0))
                     && e1.accepts(e2)
             }
             (a, b) => a == b,
@@ -74,8 +71,7 @@ impl Ty {
             Ty::String => "string".into(),
             Ty::Range => "range".into(),
             Ty::Array { dims, elem } => {
-                let ds: Vec<String> =
-                    dims.iter().map(|(l, h)| format!("{l}..{h}")).collect();
+                let ds: Vec<String> = dims.iter().map(|(l, h)| format!("{l}..{h}")).collect();
                 format!("[{}] {}", ds.join(", "), elem.describe())
             }
             Ty::Record(n) => format!("record {n}"),
@@ -178,7 +174,10 @@ impl DeclTable {
                     }
                     out.push((lo, hi));
                 }
-                Ok(Ty::Array { dims: out, elem: Box::new(self.resolve_type(elem)?) })
+                Ok(Ty::Array {
+                    dims: out,
+                    elem: Box::new(self.resolve_type(elem)?),
+                })
             }
         }
     }
@@ -190,9 +189,11 @@ impl DeclTable {
         match e {
             Expr::Int(v, _) => Some(*v),
             Expr::Ident(n, _) => self.consts.get(n).copied(),
-            Expr::Unary { op: chapel_frontend::ast::UnOp::Neg, e, .. } => {
-                Some(-self.const_eval(e)?)
-            }
+            Expr::Unary {
+                op: chapel_frontend::ast::UnOp::Neg,
+                e,
+                ..
+            } => Some(-self.const_eval(e)?),
             Expr::Binary { op, l, r, .. } => {
                 let a = self.const_eval(l)?;
                 let b = self.const_eval(r)?;
@@ -268,8 +269,14 @@ mod types_tests {
         assert!(Ty::Real.accepts(&Ty::Int));
         assert!(!Ty::Int.accepts(&Ty::Real));
         assert!(Ty::Unknown.accepts(&Ty::Record("X".into())));
-        let a = Ty::Array { dims: vec![(1, 5)], elem: Box::new(Ty::Real) };
-        let b = Ty::Array { dims: vec![(0, 4)], elem: Box::new(Ty::Real) };
+        let a = Ty::Array {
+            dims: vec![(1, 5)],
+            elem: Box::new(Ty::Real),
+        };
+        let b = Ty::Array {
+            dims: vec![(0, 4)],
+            elem: Box::new(Ty::Real),
+        };
         assert!(a.accepts(&b), "same extent, different bounds");
     }
 

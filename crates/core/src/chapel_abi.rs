@@ -140,7 +140,10 @@ mod abi_tests {
     #[test]
     fn access_chain_reads_correct_values() {
         let shape = Shape::array(
-            Shape::record(vec![("xs", Shape::array(Shape::Real, 3)), ("n", Shape::Int)]),
+            Shape::record(vec![
+                ("xs", Shape::array(Shape::Real, 3)),
+                ("n", Shape::Int),
+            ]),
             2,
         );
         let v = Value::from_fn(&shape, |i| i as f64);
@@ -160,9 +163,14 @@ mod abi_tests {
 
     #[test]
     fn compute_index_call_matches_fast_path() {
-        let a = Shape::record(vec![("a1", Shape::array(Shape::Real, 3)), ("a2", Shape::Int)]);
+        let a = Shape::record(vec![
+            ("a1", Shape::array(Shape::Real, 3)),
+            ("a2", Shape::Int),
+        ]);
         let shape = Shape::array(a, 4);
-        let pm = LinearMeta::new(&shape).for_path(&AccessPath::fields(&[0])).unwrap();
+        let pm = LinearMeta::new(&shape)
+            .for_path(&AccessPath::fields(&[0]))
+            .unwrap();
         for i in 0..4 {
             for k in 0..3 {
                 assert_eq!(

@@ -122,7 +122,9 @@ pub fn compile_loop(
     let mut zip_fields = Vec::new();
     for name in &red.dataset {
         let Some(Ty::Array { dims, elem }) = analysis.decls.globals.get(name) else {
-            return Err(CoreError::translate(format!("dataset `{name}` is not an array")));
+            return Err(CoreError::translate(format!(
+                "dataset `{name}` is not an array"
+            )));
         };
         let elem_shape = analysis
             .decls
@@ -139,7 +141,12 @@ pub fn compile_loop(
     }
     let rows = (red.hi - red.lo + 1) as usize;
     let zip_shape = Shape::array(Shape::Record { fields: zip_fields }, rows);
-    let dataset = DatasetSpec { vars, unit, rows, zip_shape };
+    let dataset = DatasetSpec {
+        vars,
+        unit,
+        rows,
+        zip_shape,
+    };
 
     let states: Vec<StateSpec> = red
         .state
@@ -149,21 +156,27 @@ pub fn compile_loop(
                 .decls
                 .shape_of_global(name)
                 .ok_or_else(|| CoreError::translate(format!("state `{name}` has no layout")))?;
-            Ok(StateSpec { name: name.clone(), shape })
+            Ok(StateSpec {
+                name: name.clone(),
+                shape,
+            })
         })
         .collect::<Result<_, CoreError>>()?;
-    let outputs: Vec<OutSpec> = red
-        .outputs
-        .iter()
-        .map(|name| {
-            let shape = analysis
-                .decls
-                .shape_of_global(name)
-                .ok_or_else(|| CoreError::translate(format!("output `{name}` has no layout")))?;
-            let cells = shape.slot_count();
-            Ok(OutSpec { name: name.clone(), shape, cells })
-        })
-        .collect::<Result<_, CoreError>>()?;
+    let outputs: Vec<OutSpec> =
+        red.outputs
+            .iter()
+            .map(|name| {
+                let shape = analysis.decls.shape_of_global(name).ok_or_else(|| {
+                    CoreError::translate(format!("output `{name}` has no layout"))
+                })?;
+                let cells = shape.slot_count();
+                Ok(OutSpec {
+                    name: name.clone(),
+                    shape,
+                    cells,
+                })
+            })
+            .collect::<Result<_, CoreError>>()?;
 
     let mut c = Compiler {
         analysis,
@@ -195,7 +208,14 @@ pub fn compile_loop(
         state_names: states.iter().map(|s| s.name.clone()).collect(),
         out_names: outputs.iter().map(|o| o.name.clone()).collect(),
     };
-    Ok(CompiledLoop { kernel, dataset, states, outputs, lo: red.lo, hi: red.hi })
+    Ok(CompiledLoop {
+        kernel,
+        dataset,
+        states,
+        outputs,
+        lo: red.lo,
+        hi: red.hi,
+    })
 }
 
 /// Compile a built-in reduce expression (`+ reduce A`, `min reduce
@@ -230,8 +250,17 @@ pub fn compile_reduce_expr(
         zip_fields.push((name.clone(), elem_shape));
     }
     let zip_shape = Shape::array(Shape::Record { fields: zip_fields }, red.rows);
-    let dataset = DatasetSpec { vars, unit, rows: red.rows, zip_shape };
-    let outputs = vec![OutSpec { name: red.target.clone(), shape: Shape::Real, cells: 1 }];
+    let dataset = DatasetSpec {
+        vars,
+        unit,
+        rows: red.rows,
+        zip_shape,
+    };
+    let outputs = vec![OutSpec {
+        name: red.target.clone(),
+        shape: Shape::Real,
+        cells: 1,
+    }];
 
     let mut c = Compiler {
         analysis,
@@ -254,7 +283,11 @@ pub fn compile_reduce_expr(
     // element of that leaf".
     let val = c.reduce_operand(&red.operand)?;
     let cell = c.const_reg(0.0);
-    c.code.push(Instr::Accumulate { group: 0, cell, val });
+    c.code.push(Instr::Accumulate {
+        group: 0,
+        cell,
+        val,
+    });
     c.code.push(Instr::Halt);
     let (code, entry) = c.link();
     let kernel = Kernel {
@@ -265,7 +298,14 @@ pub fn compile_reduce_expr(
         state_names: Vec::new(),
         out_names: vec![red.target.clone()],
     };
-    Ok(CompiledLoop { kernel, dataset, states: Vec::new(), outputs, lo, hi })
+    Ok(CompiledLoop {
+        kernel,
+        dataset,
+        states: Vec::new(),
+        outputs,
+        lo,
+        hi,
+    })
 }
 
 /// Compile a user-defined `ReduceScanOp` reduction (`MyOp reduce A`):
@@ -305,13 +345,22 @@ pub fn compile_user_reduce(
         zip_fields.push((name.clone(), elem_shape));
     }
     let zip_shape = Shape::array(Shape::Record { fields: zip_fields }, red.rows);
-    let dataset = DatasetSpec { vars, unit, rows: red.rows, zip_shape };
+    let dataset = DatasetSpec {
+        vars,
+        unit,
+        rows: red.rows,
+        zip_shape,
+    };
 
     // One one-cell Sum group per class field.
     let outputs: Vec<OutSpec> = class
         .fields
         .iter()
-        .map(|f| OutSpec { name: f.name.clone(), shape: Shape::Real, cells: 1 })
+        .map(|f| OutSpec {
+            name: f.name.clone(),
+            shape: Shape::Real,
+            cells: 1,
+        })
         .collect();
     let accumulate = class
         .method("accumulate")
@@ -360,7 +409,14 @@ pub fn compile_user_reduce(
         state_names: Vec::new(),
         out_names: outputs.iter().map(|o| o.name.clone()).collect(),
     };
-    Ok(CompiledLoop { kernel, dataset, states: Vec::new(), outputs, lo, hi })
+    Ok(CompiledLoop {
+        kernel,
+        dataset,
+        states: Vec::new(),
+        outputs,
+        lo,
+        hi,
+    })
 }
 
 // ---------- the compiler ----------
@@ -447,13 +503,18 @@ impl<'a> Compiler<'a> {
         let entry = self.preamble.len();
         let mut code = std::mem::take(&mut self.preamble);
         code.extend(self.code.drain(..).map(|ins| match ins {
-            Instr::Jump { target } => Instr::Jump { target: target + entry },
-            Instr::JumpIfZero { cond, target } => {
-                Instr::JumpIfZero { cond, target: target + entry }
-            }
-            Instr::IncRangeJump { var, hi, target } => {
-                Instr::IncRangeJump { var, hi, target: target + entry }
-            }
+            Instr::Jump { target } => Instr::Jump {
+                target: target + entry,
+            },
+            Instr::JumpIfZero { cond, target } => Instr::JumpIfZero {
+                cond,
+                target: target + entry,
+            },
+            Instr::IncRangeJump { var, hi, target } => Instr::IncRangeJump {
+                var,
+                hi,
+                target: target + entry,
+            },
             other => other,
         }));
         (code, entry)
@@ -469,15 +530,25 @@ impl<'a> Compiler<'a> {
     }
 
     fn dataset_var(&self, name: &str) -> Option<(usize, &DatasetVar)> {
-        self.dataset.vars.iter().enumerate().find(|(_, v)| v.name == name)
+        self.dataset
+            .vars
+            .iter()
+            .enumerate()
+            .find(|(_, v)| v.name == name)
     }
 
     fn state_id(&self, name: &str) -> Option<StateId> {
-        self.states.iter().position(|s| s.name == name).map(|i| i as StateId)
+        self.states
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| i as StateId)
     }
 
     fn out_id(&self, name: &str) -> Option<GroupId> {
-        self.outputs.iter().position(|o| o.name == name).map(|i| i as GroupId)
+        self.outputs
+            .iter()
+            .position(|o| o.name == name)
+            .map(|i| i as GroupId)
     }
 
     fn intern_path(&mut self, key: String, meta: PathMeta) -> PathId {
@@ -507,25 +578,36 @@ impl<'a> Compiler<'a> {
                         self.code.push(Instr::Const { dst: reg, val: 0.0 });
                     }
                 }
-                if v.ty.as_ref().is_some_and(|t| matches!(t, TypeExpr::Array { .. } | TypeExpr::Named(_))) {
+                if v.ty
+                    .as_ref()
+                    .is_some_and(|t| matches!(t, TypeExpr::Array { .. } | TypeExpr::Named(_)))
+                {
                     return Err(CoreError::translate(format!(
                         "local `{}` is not a scalar; kernel locals must be scalars",
                         v.name
                     )));
                 }
-                self.scopes.last_mut().expect("scope").insert(v.name.clone(), reg);
+                self.scopes
+                    .last_mut()
+                    .expect("scope")
+                    .insert(v.name.clone(), reg);
                 Ok(())
             }
             Stmt::Assign { lhs, op, rhs, .. } => self.assign(lhs, *op, rhs),
             Stmt::Expr(_) => Err(CoreError::translate(
                 "expression statements are not supported in kernels",
             )),
-            Stmt::For { index, iter, body, .. } => self.for_loop(index, iter, body),
+            Stmt::For {
+                index, iter, body, ..
+            } => self.for_loop(index, iter, body),
             Stmt::While { cond, body, .. } => {
                 let start = self.code.len();
                 let c = self.expr(cond)?;
                 let jz = self.code.len();
-                self.code.push(Instr::JumpIfZero { cond: c, target: usize::MAX });
+                self.code.push(Instr::JumpIfZero {
+                    cond: c,
+                    target: usize::MAX,
+                });
                 self.scopes.push(HashMap::new());
                 for st in &body.stmts {
                     self.stmt(st)?;
@@ -536,10 +618,15 @@ impl<'a> Compiler<'a> {
                 self.patch(jz, end);
                 Ok(())
             }
-            Stmt::If { cond, then, els, .. } => {
+            Stmt::If {
+                cond, then, els, ..
+            } => {
                 let c = self.expr(cond)?;
                 let jz = self.code.len();
-                self.code.push(Instr::JumpIfZero { cond: c, target: usize::MAX });
+                self.code.push(Instr::JumpIfZero {
+                    cond: c,
+                    target: usize::MAX,
+                });
                 self.scopes.push(HashMap::new());
                 for st in &then.stmts {
                     self.stmt(st)?;
@@ -590,7 +677,13 @@ impl<'a> Compiler<'a> {
                 // Peephole: `x += a * b` fuses to a multiply-accumulate,
                 // as any C compiler would emit.
                 if op == AssignOp::Add {
-                    if let Expr::Binary { op: BinOp::Mul, l, r, .. } = rhs {
+                    if let Expr::Binary {
+                        op: BinOp::Mul,
+                        l,
+                        r,
+                        ..
+                    } = rhs
+                    {
                         let a = self.expr(l)?;
                         let b = self.expr(r)?;
                         self.code.push(Instr::Fma { dst: reg, a, b });
@@ -635,16 +728,18 @@ impl<'a> Compiler<'a> {
                 let contribution: &Expr = match op {
                     AssignOp::Add => rhs,
                     AssignOp::Set => match rhs {
-                        Expr::Binary { op: BinOp::Add, l, r, .. }
-                            if l.as_ident() == Some(name) =>
-                        {
-                            r
-                        }
-                        Expr::Binary { op: BinOp::Add, l, r, .. }
-                            if r.as_ident() == Some(name) =>
-                        {
-                            l
-                        }
+                        Expr::Binary {
+                            op: BinOp::Add,
+                            l,
+                            r,
+                            ..
+                        } if l.as_ident() == Some(name) => r,
+                        Expr::Binary {
+                            op: BinOp::Add,
+                            l,
+                            r,
+                            ..
+                        } if r.as_ident() == Some(name) => l,
                         _ => {
                             return Err(CoreError::translate(format!(
                                 "field `{name}` must be accumulated (`{name} += e` or \
@@ -705,13 +800,19 @@ impl<'a> Compiler<'a> {
         }
         let idx = self.compile_access_indices(&parts, parts.idx_exprs.len())?;
         let dst = self.alloc();
-        self.code.push(Instr::OutIndex { dst, path: parts.path, idx });
+        self.code.push(Instr::OutIndex {
+            dst,
+            path: parts.path,
+            idx,
+        });
         Ok((group, dst))
     }
 
     fn for_loop(&mut self, index: &str, iter: &Expr, body: &Block) -> Result<(), CoreError> {
         let Expr::Range(range) = iter else {
-            return Err(CoreError::translate("kernel loops must iterate over ranges"));
+            return Err(CoreError::translate(
+                "kernel loops must iterate over ranges",
+            ));
         };
         // The range is evaluated once; copy the bounds into fresh
         // registers so body writes to their source variables cannot
@@ -719,40 +820,69 @@ impl<'a> Compiler<'a> {
         let lo_src = self.expr(&range.lo)?;
         let hi_src = self.expr(&range.hi)?;
         let hi = self.alloc();
-        self.code.push(Instr::Mov { dst: hi, src: hi_src });
+        self.code.push(Instr::Mov {
+            dst: hi,
+            src: hi_src,
+        });
         let var = self.alloc();
-        self.code.push(Instr::Mov { dst: var, src: lo_src });
+        self.code.push(Instr::Mov {
+            dst: var,
+            src: lo_src,
+        });
         self.scopes.push(HashMap::from([(index.to_string(), var)]));
 
         // Strength reduction: pre-compute bases of eligible accesses.
         let frame = if self.opt != OptLevel::Generated {
             self.build_hoist_frame(index, var, body)?
         } else {
-            HoistFrame { entries: HashMap::new(), k_regs: Vec::new() }
+            HoistFrame {
+                entries: HashMap::new(),
+                k_regs: Vec::new(),
+            }
         };
         let k_regs = frame.k_regs.clone();
         self.hoists.push(frame);
 
         // Pre-test once; the back edge is a fused inc-compare-jump.
         let cond = self.alloc();
-        self.code.push(Instr::Cmp { op: CmpOp::Le, dst: cond, a: var, b: hi });
+        self.code.push(Instr::Cmp {
+            op: CmpOp::Le,
+            dst: cond,
+            a: var,
+            b: hi,
+        });
         let jz = self.code.len();
-        self.code.push(Instr::JumpIfZero { cond, target: usize::MAX });
+        self.code.push(Instr::JumpIfZero {
+            cond,
+            target: usize::MAX,
+        });
         let body_start = self.code.len();
         // Per-iteration 0-based index registers shared by every hoisted
         // access of this loop (k = var - lo).
         for &(lo_val, k_reg) in &k_regs {
             if lo_val == 0 {
-                self.code.push(Instr::Mov { dst: k_reg, src: var });
+                self.code.push(Instr::Mov {
+                    dst: k_reg,
+                    src: var,
+                });
             } else {
                 let lo_reg = self.const_reg(lo_val as f64);
-                self.code.push(Instr::Bin { op: ArithOp::Sub, dst: k_reg, a: var, b: lo_reg });
+                self.code.push(Instr::Bin {
+                    op: ArithOp::Sub,
+                    dst: k_reg,
+                    a: var,
+                    b: lo_reg,
+                });
             }
         }
         for st in &body.stmts {
             self.stmt(st)?;
         }
-        self.code.push(Instr::IncRangeJump { var, hi, target: body_start });
+        self.code.push(Instr::IncRangeJump {
+            var,
+            hi,
+            target: body_start,
+        });
         let end = self.code.len();
         self.patch(jz, end);
 
@@ -825,7 +955,9 @@ impl<'a> Compiler<'a> {
             if entries.contains_key(&key) {
                 continue;
             }
-            let Some(parts) = self.access_parts(&cand)? else { continue };
+            let Some(parts) = self.access_parts(&cand)? else {
+                continue;
+            };
             // Eligible spaces: dataset and outputs always (their storage
             // is flat in every version); state only at opt-2 (it is
             // nested before that).
@@ -863,7 +995,11 @@ impl<'a> Compiler<'a> {
             let base = self.alloc();
             match &parts.space {
                 Space::Data => {
-                    self.code.push(Instr::DataBase { dst: base, path: parts.path, outer: outer_regs });
+                    self.code.push(Instr::DataBase {
+                        dst: base,
+                        path: parts.path,
+                        outer: outer_regs,
+                    });
                 }
                 Space::State(id) => {
                     self.code.push(Instr::StateBase {
@@ -879,7 +1015,11 @@ impl<'a> Compiler<'a> {
                     let zero = self.const_reg(0.0);
                     let mut idx = outer_regs;
                     idx.push(zero);
-                    self.code.push(Instr::OutIndex { dst: base, path: parts.path, idx });
+                    self.code.push(Instr::OutIndex {
+                        dst: base,
+                        path: parts.path,
+                        idx,
+                    });
                 }
             }
             let k_lo = parts.lo_adjust[n - 1];
@@ -891,7 +1031,14 @@ impl<'a> Compiler<'a> {
                     r
                 }
             };
-            entries.insert(key, HoistEntry { base, stride, k_reg });
+            entries.insert(
+                key,
+                HoistEntry {
+                    base,
+                    stride,
+                    k_reg,
+                },
+            );
         }
         Ok(HoistFrame { entries, k_regs })
     }
@@ -911,14 +1058,29 @@ impl<'a> Compiler<'a> {
     fn emit_base_plus_k(&mut self, base: Reg, k: Reg, stride: usize) -> Reg {
         if stride == 1 {
             let dst = self.alloc();
-            self.code.push(Instr::Bin { op: ArithOp::Add, dst, a: base, b: k });
+            self.code.push(Instr::Bin {
+                op: ArithOp::Add,
+                dst,
+                a: base,
+                b: k,
+            });
             return dst;
         }
         let s = self.const_reg(stride as f64);
         let t = self.alloc();
-        self.code.push(Instr::Bin { op: ArithOp::Mul, dst: t, a: k, b: s });
+        self.code.push(Instr::Bin {
+            op: ArithOp::Mul,
+            dst: t,
+            a: k,
+            b: s,
+        });
         let dst = self.alloc();
-        self.code.push(Instr::Bin { op: ArithOp::Add, dst, a: base, b: t });
+        self.code.push(Instr::Bin {
+            op: ArithOp::Add,
+            dst,
+            a: base,
+            b: t,
+        });
         dst
     }
 
@@ -996,9 +1158,15 @@ impl<'a> Compiler<'a> {
 
         // State or output access.
         let (space, var_ty) = if let Some(id) = self.state_id(&root) {
-            (Space::State(id), self.analysis.decls.globals.get(&root).cloned())
+            (
+                Space::State(id),
+                self.analysis.decls.globals.get(&root).cloned(),
+            )
         } else if let Some(id) = self.out_id(&root) {
-            (Space::Out(id), self.analysis.decls.globals.get(&root).cloned())
+            (
+                Space::Out(id),
+                self.analysis.decls.globals.get(&root).cloned(),
+            )
         } else {
             return Ok(None);
         };
@@ -1028,13 +1196,25 @@ impl<'a> Compiler<'a> {
                 terminal_offset: 0,
             };
             let path = self.intern_path(key, meta);
-            return Ok(Some(AccessParts { space, path, idx_exprs, lo_adjust, row_first: false }));
+            return Ok(Some(AccessParts {
+                space,
+                path,
+                idx_exprs,
+                lo_adjust,
+                row_first: false,
+            }));
         }
         let meta = LinearMeta::new(&shape)
             .for_path(&AccessPath::new(chains))
             .map_err(|e| CoreError::translate(format!("path resolution: {e}")))?;
         let path = self.intern_path(key, meta);
-        Ok(Some(AccessParts { space, path, idx_exprs, lo_adjust, row_first: false }))
+        Ok(Some(AccessParts {
+            space,
+            path,
+            idx_exprs,
+            lo_adjust,
+            row_first: false,
+        }))
     }
 
     /// Convert syntactic chain elements into per-level field chains plus
@@ -1067,12 +1247,10 @@ impl<'a> Compiler<'a> {
                             "field `{field}` on non-record"
                         )));
                     };
-                    let info = self
-                        .analysis
-                        .decls
-                        .records
-                        .get(rname)
-                        .ok_or_else(|| CoreError::translate(format!("unknown record `{rname}`")))?;
+                    let info =
+                        self.analysis.decls.records.get(rname).ok_or_else(|| {
+                            CoreError::translate(format!("unknown record `{rname}`"))
+                        })?;
                     let (pos, fty) = info.field(field).ok_or_else(|| {
                         CoreError::translate(format!("`{rname}` has no field `{field}`"))
                     })?;
@@ -1140,10 +1318,7 @@ impl<'a> Compiler<'a> {
             0
         };
         for i in start..count {
-            let r = self.compile_indices(
-                &parts.idx_exprs[i..=i],
-                &parts.lo_adjust[i..=i],
-            )?;
+            let r = self.compile_indices(&parts.idx_exprs[i..=i], &parts.lo_adjust[i..=i])?;
             regs.push(r[0]);
         }
         Ok(regs)
@@ -1162,7 +1337,12 @@ impl<'a> Compiler<'a> {
             } else {
                 let lo_reg = self.const_reg(lo as f64);
                 let dst = self.alloc();
-                self.code.push(Instr::Bin { op: ArithOp::Sub, dst, a: raw, b: lo_reg });
+                self.code.push(Instr::Bin {
+                    op: ArithOp::Sub,
+                    dst,
+                    a: raw,
+                    b: lo_reg,
+                });
                 regs.push(dst);
             }
         }
@@ -1172,24 +1352,41 @@ impl<'a> Compiler<'a> {
     /// Emit the load for a resolved access.
     fn emit_load(&mut self, e: &Expr) -> Result<Option<Reg>, CoreError> {
         let key = print_expr(e);
-        let Some(parts) = self.access_parts(e)? else { return Ok(None) };
+        let Some(parts) = self.access_parts(e)? else {
+            return Ok(None);
+        };
         match parts.space {
             Space::Data => {
                 if let Some((base, stride, k)) = self.hoisted(&key)? {
                     let dst = self.alloc();
-                    self.code.push(Instr::LoadDataAt { dst, base, k, stride });
+                    self.code.push(Instr::LoadDataAt {
+                        dst,
+                        base,
+                        k,
+                        stride,
+                    });
                     return Ok(Some(dst));
                 }
                 let idx = self.compile_access_indices(&parts, parts.idx_exprs.len())?;
                 let dst = self.alloc();
-                self.code.push(Instr::LoadData { dst, path: parts.path, idx });
+                self.code.push(Instr::LoadData {
+                    dst,
+                    path: parts.path,
+                    idx,
+                });
                 Ok(Some(dst))
             }
             Space::State(state) => {
                 if self.opt == OptLevel::Opt2 {
                     if let Some((base, stride, k)) = self.hoisted(&key)? {
                         let dst = self.alloc();
-                        self.code.push(Instr::LoadStateAt { dst, state, base, k, stride });
+                        self.code.push(Instr::LoadStateAt {
+                            dst,
+                            state,
+                            base,
+                            k,
+                            stride,
+                        });
                         return Ok(Some(dst));
                     }
                     let idx = self.compile_access_indices(&parts, parts.idx_exprs.len())?;
@@ -1197,9 +1394,18 @@ impl<'a> Compiler<'a> {
                     if idx.is_empty() {
                         // Scalar state: nested walk with no steps is a
                         // direct read either way.
-                        self.code.push(Instr::LoadStateNested { dst, state, steps: Vec::new() });
+                        self.code.push(Instr::LoadStateNested {
+                            dst,
+                            state,
+                            steps: Vec::new(),
+                        });
                     } else {
-                        self.code.push(Instr::LoadStateFlat { dst, state, path: parts.path, idx });
+                        self.code.push(Instr::LoadStateFlat {
+                            dst,
+                            state,
+                            path: parts.path,
+                            idx,
+                        });
                     }
                     return Ok(Some(dst));
                 }
@@ -1249,9 +1455,10 @@ impl<'a> Compiler<'a> {
                     let Ty::Record(rname) = &ty else {
                         return Err(CoreError::translate("field on non-record"));
                     };
-                    let info = self.analysis.decls.records.get(rname).ok_or_else(|| {
-                        CoreError::translate(format!("unknown record `{rname}`"))
-                    })?;
+                    let info =
+                        self.analysis.decls.records.get(rname).ok_or_else(|| {
+                            CoreError::translate(format!("unknown record `{rname}`"))
+                        })?;
                     let (pos, fty) = info
                         .field(field)
                         .ok_or_else(|| CoreError::translate(format!("no field `{field}`")))?;
@@ -1290,7 +1497,11 @@ impl<'a> Compiler<'a> {
                     .map_err(|e| CoreError::translate(format!("leaf path: {e}")))?;
                 let path = self.intern_path(key, meta);
                 let dst = self.alloc();
-                self.code.push(Instr::LoadData { dst, path, idx: vec![REG_LOCAL_ROW] });
+                self.code.push(Instr::LoadData {
+                    dst,
+                    path,
+                    idx: vec![REG_LOCAL_ROW],
+                });
                 Ok(dst)
             }
             Expr::Int(v, _) => Ok(self.const_reg(*v as f64)),
@@ -1313,7 +1524,9 @@ impl<'a> Compiler<'a> {
                 self.code.push(Instr::Bin { op: aop, dst, a, b });
                 Ok(dst)
             }
-            Expr::Unary { op: UnOp::Neg, e, .. } => {
+            Expr::Unary {
+                op: UnOp::Neg, e, ..
+            } => {
                 let src = self.reduce_operand(e)?;
                 let dst = self.alloc();
                 self.code.push(Instr::Neg { dst, src });
@@ -1349,10 +1562,16 @@ impl<'a> Compiler<'a> {
                 // Scalar state global.
                 if let Some(state) = self.state_id(name) {
                     let dst = self.alloc();
-                    self.code.push(Instr::LoadStateNested { dst, state, steps: Vec::new() });
+                    self.code.push(Instr::LoadStateNested {
+                        dst,
+                        state,
+                        steps: Vec::new(),
+                    });
                     return Ok(dst);
                 }
-                Err(CoreError::translate(format!("unknown name `{name}` in kernel")))
+                Err(CoreError::translate(format!(
+                    "unknown name `{name}` in kernel"
+                )))
             }
             Expr::Index { .. } | Expr::Field { .. } => self
                 .emit_load(e)?
@@ -1376,23 +1595,38 @@ impl<'a> Compiler<'a> {
                         self.code.push(Instr::Mov { dst, src: a });
                         let jump_at = self.code.len();
                         if matches!(op, BinOp::And) {
-                            self.code.push(Instr::JumpIfZero { cond: a, target: usize::MAX });
+                            self.code.push(Instr::JumpIfZero {
+                                cond: a,
+                                target: usize::MAX,
+                            });
                         } else {
                             // Skip rhs when lhs is true: jump if !lhs==0,
                             // i.e. invert then test.
                             let inv = self.alloc();
                             self.code.push(Instr::Not { dst: inv, src: a });
-                            self.code.push(Instr::JumpIfZero { cond: inv, target: usize::MAX });
+                            self.code.push(Instr::JumpIfZero {
+                                cond: inv,
+                                target: usize::MAX,
+                            });
                         }
                         let b = self.expr(r)?;
                         let nz = self.alloc();
                         let zero = self.const_reg(0.0);
-                        self.code.push(Instr::Cmp { op: CmpOp::Ne, dst: nz, a: b, b: zero });
+                        self.code.push(Instr::Cmp {
+                            op: CmpOp::Ne,
+                            dst: nz,
+                            a: b,
+                            b: zero,
+                        });
                         self.code.push(Instr::Mov { dst, src: nz });
                         let end = self.code.len();
                         // Patch the conditional jump (for Or it is the
                         // instruction after the Not).
-                        let at = if matches!(op, BinOp::And) { jump_at } else { jump_at + 1 };
+                        let at = if matches!(op, BinOp::And) {
+                            jump_at
+                        } else {
+                            jump_at + 1
+                        };
                         self.patch(at, end);
                         return Ok(dst);
                     }
@@ -1402,18 +1636,78 @@ impl<'a> Compiler<'a> {
                 let b = self.expr(r)?;
                 let dst = self.alloc();
                 let ins = match op {
-                    BinOp::Add => Instr::Bin { op: ArithOp::Add, dst, a, b },
-                    BinOp::Sub => Instr::Bin { op: ArithOp::Sub, dst, a, b },
-                    BinOp::Mul => Instr::Bin { op: ArithOp::Mul, dst, a, b },
-                    BinOp::Div => Instr::Bin { op: ArithOp::Div, dst, a, b },
-                    BinOp::Mod => Instr::Bin { op: ArithOp::Mod, dst, a, b },
-                    BinOp::Pow => Instr::Bin { op: ArithOp::Pow, dst, a, b },
-                    BinOp::Eq => Instr::Cmp { op: CmpOp::Eq, dst, a, b },
-                    BinOp::Ne => Instr::Cmp { op: CmpOp::Ne, dst, a, b },
-                    BinOp::Lt => Instr::Cmp { op: CmpOp::Lt, dst, a, b },
-                    BinOp::Le => Instr::Cmp { op: CmpOp::Le, dst, a, b },
-                    BinOp::Gt => Instr::Cmp { op: CmpOp::Gt, dst, a, b },
-                    BinOp::Ge => Instr::Cmp { op: CmpOp::Ge, dst, a, b },
+                    BinOp::Add => Instr::Bin {
+                        op: ArithOp::Add,
+                        dst,
+                        a,
+                        b,
+                    },
+                    BinOp::Sub => Instr::Bin {
+                        op: ArithOp::Sub,
+                        dst,
+                        a,
+                        b,
+                    },
+                    BinOp::Mul => Instr::Bin {
+                        op: ArithOp::Mul,
+                        dst,
+                        a,
+                        b,
+                    },
+                    BinOp::Div => Instr::Bin {
+                        op: ArithOp::Div,
+                        dst,
+                        a,
+                        b,
+                    },
+                    BinOp::Mod => Instr::Bin {
+                        op: ArithOp::Mod,
+                        dst,
+                        a,
+                        b,
+                    },
+                    BinOp::Pow => Instr::Bin {
+                        op: ArithOp::Pow,
+                        dst,
+                        a,
+                        b,
+                    },
+                    BinOp::Eq => Instr::Cmp {
+                        op: CmpOp::Eq,
+                        dst,
+                        a,
+                        b,
+                    },
+                    BinOp::Ne => Instr::Cmp {
+                        op: CmpOp::Ne,
+                        dst,
+                        a,
+                        b,
+                    },
+                    BinOp::Lt => Instr::Cmp {
+                        op: CmpOp::Lt,
+                        dst,
+                        a,
+                        b,
+                    },
+                    BinOp::Le => Instr::Cmp {
+                        op: CmpOp::Le,
+                        dst,
+                        a,
+                        b,
+                    },
+                    BinOp::Gt => Instr::Cmp {
+                        op: CmpOp::Gt,
+                        dst,
+                        a,
+                        b,
+                    },
+                    BinOp::Ge => Instr::Cmp {
+                        op: CmpOp::Ge,
+                        dst,
+                        a,
+                        b,
+                    },
                     BinOp::And | BinOp::Or => unreachable!("handled above"),
                 };
                 self.code.push(ins);
@@ -1447,7 +1741,11 @@ impl<'a> Compiler<'a> {
                         let a = self.expr(&args[0])?;
                         let b = self.expr(&args[1])?;
                         let dst = self.alloc();
-                        let op = if name == "min" { ArithOp::Min } else { ArithOp::Max };
+                        let op = if name == "min" {
+                            ArithOp::Min
+                        } else {
+                            ArithOp::Max
+                        };
                         self.code.push(Instr::Bin { op, dst, a, b });
                         Ok(dst)
                     }

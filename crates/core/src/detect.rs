@@ -103,7 +103,10 @@ pub fn detect(program: &Program, analysis: &Analysis) -> Detection {
                     out.detected.insert(i, Detected::Loop(l));
                 }
                 Ok(None) => {}
-                Err(reason) => out.rejections.push(Rejection { stmt_index: i, reason }),
+                Err(reason) => out.rejections.push(Rejection {
+                    stmt_index: i,
+                    reason,
+                }),
             },
             Stmt::Var(v) => {
                 if let Some(Expr::Reduce { op, expr, .. }) = &v.init {
@@ -111,17 +114,28 @@ pub fn detect(program: &Program, analysis: &Analysis) -> Detection {
                         Ok(e) => {
                             out.detected.insert(i, Detected::Expr(e));
                         }
-                        Err(reason) => out.rejections.push(Rejection { stmt_index: i, reason }),
+                        Err(reason) => out.rejections.push(Rejection {
+                            stmt_index: i,
+                            reason,
+                        }),
                     }
                 }
             }
-            Stmt::Assign { lhs, op: AssignOp::Set, rhs, .. } => {
+            Stmt::Assign {
+                lhs,
+                op: AssignOp::Set,
+                rhs,
+                ..
+            } => {
                 if let (Some(name), Expr::Reduce { op, expr, .. }) = (lhs.as_ident(), rhs) {
                     match detect_expr(i, name, false, op, expr, analysis) {
                         Ok(e) => {
                             out.detected.insert(i, Detected::Expr(e));
                         }
-                        Err(reason) => out.rejections.push(Rejection { stmt_index: i, reason }),
+                        Err(reason) => out.rejections.push(Rejection {
+                            stmt_index: i,
+                            reason,
+                        }),
                     }
                 }
             }
@@ -140,7 +154,12 @@ fn detect_loop(
     stmt: &Stmt,
     analysis: &Analysis,
 ) -> Result<Option<LoopReduction>, String> {
-    let Stmt::For { index, iter, body, .. } = stmt else { return Ok(None) };
+    let Stmt::For {
+        index, iter, body, ..
+    } = stmt
+    else {
+        return Ok(None);
+    };
     let Expr::Range(range) = iter else {
         return Ok(None); // `for x in A` direct iteration: not handled yet
     };
@@ -204,9 +223,10 @@ fn detect_loop(
                     && indices.len() == 1
                     && matches!(&indices[0], Expr::Ident(n, _) if n == index)
                     && !outputs.iter().any(|o| o == g)
-                    && !dataset.iter().any(|d| d == g) {
-                        dataset.push(g.to_string());
-                    }
+                    && !dataset.iter().any(|d| d == g)
+                {
+                    dataset.push(g.to_string());
+                }
             }
         }
     });
@@ -336,7 +356,9 @@ fn detect_expr(
                     err = Some(format!("`{name}` is not an array"));
                 }
                 None => {
-                    err = Some(format!("`{name}` is not a global (local state not supported)"));
+                    err = Some(format!(
+                        "`{name}` is not a global (local state not supported)"
+                    ));
                 }
             }
         }
@@ -445,9 +467,7 @@ pub fn validate_user_reduce_class(class: &str, analysis: &Analysis) -> Result<()
     }
     for (name, _) in &info.fields {
         if !combined.iter().any(|f| f == name) {
-            return Err(format!(
-                "`{class}.combine` never merges field `{name}`"
-            ));
+            return Err(format!("`{class}.combine` never merges field `{name}`"));
         }
     }
     if info.decl.method("accumulate").is_none() || info.decl.method("generate").is_none() {
@@ -464,7 +484,9 @@ fn elementwise_ok(e: &Expr) -> bool {
                 && elementwise_ok(l)
                 && elementwise_ok(r)
         }
-        Expr::Unary { op: UnOp::Neg, e, .. } => elementwise_ok(e),
+        Expr::Unary {
+            op: UnOp::Neg, e, ..
+        } => elementwise_ok(e),
         _ => false,
     }
 }
@@ -529,7 +551,9 @@ fn visit_exprs_reads_only(b: &Block, f: &mut impl FnMut(&Expr)) {
                 walk_expr(cond, f);
                 body.stmts.iter().for_each(|s| go(s, f));
             }
-            Stmt::If { cond, then, els, .. } => {
+            Stmt::If {
+                cond, then, els, ..
+            } => {
                 walk_expr(cond, f);
                 then.stmts.iter().for_each(|s| go(s, f));
                 if let Some(e) = els {
@@ -711,7 +735,9 @@ mod detect_tests {
         let d = detect_src(&src);
         assert_eq!(d.detected.len(), 1, "rejections: {:?}", d.rejections);
         match d.detected.values().next().unwrap() {
-            Detected::Expr(e) => assert!(matches!(&e.op, ReduceOp::UserDefined(n) if n == "SumReduceScanOp")),
+            Detected::Expr(e) => {
+                assert!(matches!(&e.op, ReduceOp::UserDefined(n) if n == "SumReduceScanOp"))
+            }
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -753,7 +779,11 @@ mod detect_tests {
         ";
         let d = detect_src(src);
         assert!(d.detected.is_empty());
-        assert!(d.rejections[0].reason.contains("nonzero default"), "{:?}", d.rejections);
+        assert!(
+            d.rejections[0].reason.contains("nonzero default"),
+            "{:?}",
+            d.rejections
+        );
     }
 
     #[test]

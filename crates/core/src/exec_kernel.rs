@@ -52,7 +52,12 @@ impl KernelRuntime {
                 usize::MAX, // group count is checked by the robj layout
             )
             .map_err(CoreError::translate)?;
-        Ok(KernelRuntime { kernel, nested_state, flat_state, row_lo })
+        Ok(KernelRuntime {
+            kernel,
+            nested_state,
+            flat_state,
+            row_lo,
+        })
     }
 
     /// Process one split: for every row, run the kernel with register 0
@@ -85,8 +90,13 @@ impl KernelRuntime {
         let mut pc = self.kernel.entry;
         loop {
             match &code[pc] {
-                Instr::Const { dst, val } => (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = *val,
-                Instr::Mov { dst, src } => (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = unsafe { *regs.get_unchecked(*src as usize) },
+                Instr::Const { dst, val } => {
+                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = *val
+                }
+                Instr::Mov { dst, src } => {
+                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) =
+                        unsafe { *regs.get_unchecked(*src as usize) }
+                }
                 Instr::Bin { op, dst, a, b } => {
                     let x = unsafe { *regs.get_unchecked(*a as usize) };
                     let y = unsafe { *regs.get_unchecked(*b as usize) };
@@ -115,13 +125,29 @@ impl KernelRuntime {
                     (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = if v { 1.0 } else { 0.0 };
                 }
                 Instr::Not { dst, src } => {
-                    let v = if unsafe { *regs.get_unchecked(*src as usize) } == 0.0 { 1.0 } else { 0.0 };
+                    let v = if unsafe { *regs.get_unchecked(*src as usize) } == 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    };
                     (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = v;
                 }
-                Instr::Neg { dst, src } => (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = -unsafe { *regs.get_unchecked(*src as usize) },
-                Instr::Floor { dst, src } => (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = unsafe { *regs.get_unchecked(*src as usize) }.floor(),
-                Instr::Sqrt { dst, src } => (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = unsafe { *regs.get_unchecked(*src as usize) }.sqrt(),
-                Instr::Abs { dst, src } => (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = unsafe { *regs.get_unchecked(*src as usize) }.abs(),
+                Instr::Neg { dst, src } => {
+                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) =
+                        -unsafe { *regs.get_unchecked(*src as usize) }
+                }
+                Instr::Floor { dst, src } => {
+                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) =
+                        unsafe { *regs.get_unchecked(*src as usize) }.floor()
+                }
+                Instr::Sqrt { dst, src } => {
+                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) =
+                        unsafe { *regs.get_unchecked(*src as usize) }.sqrt()
+                }
+                Instr::Abs { dst, src } => {
+                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) =
+                        unsafe { *regs.get_unchecked(*src as usize) }.abs()
+                }
                 Instr::Jump { target } => {
                     pc = *target;
                     continue;
@@ -132,7 +158,9 @@ impl KernelRuntime {
                         continue;
                     }
                 }
-                Instr::LoadRow { dst } => (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = regs[1],
+                Instr::LoadRow { dst } => {
+                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = regs[1]
+                }
                 Instr::IncRangeJump { var, hi, target } => {
                     let v = (*unsafe { regs.get_unchecked_mut(*var as usize) }) + 1.0;
                     (*unsafe { regs.get_unchecked_mut(*var as usize) }) = v;
@@ -142,28 +170,42 @@ impl KernelRuntime {
                     }
                 }
                 Instr::Fma { dst, a, b } => {
-                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) += (*unsafe { regs.get_unchecked_mut(*a as usize) }) * (*unsafe { regs.get_unchecked_mut(*b as usize) });
+                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) +=
+                        (*unsafe { regs.get_unchecked_mut(*a as usize) })
+                            * (*unsafe { regs.get_unchecked_mut(*b as usize) });
                 }
                 Instr::LoadData { dst, path, idx } => {
                     // The full Algorithm-3 mapping, executed as a real
                     // (non-inlined, recursive) call per access — the
                     // *generated* version's cost.
                     idx_buf.clear();
-                    idx_buf.extend(idx.iter().map(|r| (*unsafe { regs.get_unchecked_mut(*r as usize) }) as usize));
+                    idx_buf.extend(
+                        idx.iter()
+                            .map(|r| (*unsafe { regs.get_unchecked_mut(*r as usize) }) as usize),
+                    );
                     let off = compute_index_call(&paths[*path as usize], &idx_buf);
                     (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = data[off];
                 }
                 Instr::DataBase { dst, path, outer } => {
                     // opt-1: the one remaining computeIndex call per loop.
                     idx_buf.clear();
-                    idx_buf.extend(outer.iter().map(|r| (*unsafe { regs.get_unchecked_mut(*r as usize) }) as usize));
+                    idx_buf.extend(
+                        outer
+                            .iter()
+                            .map(|r| (*unsafe { regs.get_unchecked_mut(*r as usize) }) as usize),
+                    );
                     idx_buf.push(0);
                     let off = compute_index_call(&paths[*path as usize], &idx_buf);
                     (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = off as f64;
                 }
-                Instr::LoadDataAt { dst, base, k, stride } => {
-                    let off =
-                        (*unsafe { regs.get_unchecked_mut(*base as usize) }) as usize + (*unsafe { regs.get_unchecked_mut(*k as usize) }) as usize * stride;
+                Instr::LoadDataAt {
+                    dst,
+                    base,
+                    k,
+                    stride,
+                } => {
+                    let off = (*unsafe { regs.get_unchecked_mut(*base as usize) }) as usize
+                        + (*unsafe { regs.get_unchecked_mut(*k as usize) }) as usize * stride;
                     (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = data[off];
                 }
                 Instr::LoadStateNested { dst, state, steps } => {
@@ -176,34 +218,63 @@ impl KernelRuntime {
                     for step in steps {
                         cur = match step {
                             NavStep::Field(pos) => chpl_record_field(cur, *pos),
-                            NavStep::Index(r) => {
-                                chpl_array_index(cur, (*unsafe { regs.get_unchecked_mut(*r as usize) }) as usize)
-                            }
+                            NavStep::Index(r) => chpl_array_index(
+                                cur,
+                                (*unsafe { regs.get_unchecked_mut(*r as usize) }) as usize,
+                            ),
                         };
                     }
                     (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = chpl_read_scalar(cur);
                 }
-                Instr::LoadStateFlat { dst, state, path, idx } => {
+                Instr::LoadStateFlat {
+                    dst,
+                    state,
+                    path,
+                    idx,
+                } => {
                     idx_buf.clear();
-                    idx_buf.extend(idx.iter().map(|r| (*unsafe { regs.get_unchecked_mut(*r as usize) }) as usize));
+                    idx_buf.extend(
+                        idx.iter()
+                            .map(|r| (*unsafe { regs.get_unchecked_mut(*r as usize) }) as usize),
+                    );
                     let off = compute_index_call(&paths[*path as usize], &idx_buf);
-                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = self.flat_state[*state as usize][off];
+                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) =
+                        self.flat_state[*state as usize][off];
                 }
-                Instr::StateBase { dst, state: _, path, outer } => {
+                Instr::StateBase {
+                    dst,
+                    state: _,
+                    path,
+                    outer,
+                } => {
                     idx_buf.clear();
-                    idx_buf.extend(outer.iter().map(|r| (*unsafe { regs.get_unchecked_mut(*r as usize) }) as usize));
+                    idx_buf.extend(
+                        outer
+                            .iter()
+                            .map(|r| (*unsafe { regs.get_unchecked_mut(*r as usize) }) as usize),
+                    );
                     idx_buf.push(0);
                     let off = compute_index_call(&paths[*path as usize], &idx_buf);
                     (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = off as f64;
                 }
-                Instr::LoadStateAt { dst, state, base, k, stride } => {
-                    let off =
-                        (*unsafe { regs.get_unchecked_mut(*base as usize) }) as usize + (*unsafe { regs.get_unchecked_mut(*k as usize) }) as usize * stride;
-                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = self.flat_state[*state as usize][off];
+                Instr::LoadStateAt {
+                    dst,
+                    state,
+                    base,
+                    k,
+                    stride,
+                } => {
+                    let off = (*unsafe { regs.get_unchecked_mut(*base as usize) }) as usize
+                        + (*unsafe { regs.get_unchecked_mut(*k as usize) }) as usize * stride;
+                    (*unsafe { regs.get_unchecked_mut(*dst as usize) }) =
+                        self.flat_state[*state as usize][off];
                 }
                 Instr::OutIndex { dst, path, idx } => {
                     idx_buf.clear();
-                    idx_buf.extend(idx.iter().map(|r| (*unsafe { regs.get_unchecked_mut(*r as usize) }) as usize));
+                    idx_buf.extend(
+                        idx.iter()
+                            .map(|r| (*unsafe { regs.get_unchecked_mut(*r as usize) }) as usize),
+                    );
                     let off = compute_index_call(&paths[*path as usize], &idx_buf);
                     (*unsafe { regs.get_unchecked_mut(*dst as usize) }) = off as f64;
                 }

@@ -331,26 +331,21 @@ impl Kernel {
                 | Instr::Floor { dst, src }
                 | Instr::Sqrt { dst, src }
                 | Instr::Abs { dst, src } => reg_ok(dst) && reg_ok(src),
-                Instr::Bin { dst, a, b, .. }
-                | Instr::Cmp { dst, a, b, .. } => reg_ok(dst) && reg_ok(a) && reg_ok(b),
+                Instr::Bin { dst, a, b, .. } | Instr::Cmp { dst, a, b, .. } => {
+                    reg_ok(dst) && reg_ok(a) && reg_ok(b)
+                }
                 Instr::Fma { dst, a, b } => reg_ok(dst) && reg_ok(a) && reg_ok(b),
                 Instr::Jump { target } => *target < self.code.len(),
-                Instr::JumpIfZero { cond, target } => {
-                    reg_ok(cond) && *target < self.code.len()
-                }
+                Instr::JumpIfZero { cond, target } => reg_ok(cond) && *target < self.code.len(),
                 Instr::IncRangeJump { var, hi, target } => {
                     reg_ok(var) && reg_ok(hi) && *target < self.code.len()
                 }
                 Instr::LoadRow { dst } => reg_ok(dst),
-                Instr::LoadData { dst, path, idx } => {
-                    reg_ok(dst) && path_ok(path) && regs_ok(idx)
-                }
+                Instr::LoadData { dst, path, idx } => reg_ok(dst) && path_ok(path) && regs_ok(idx),
                 Instr::DataBase { dst, path, outer } => {
                     reg_ok(dst) && path_ok(path) && regs_ok(outer)
                 }
-                Instr::LoadDataAt { dst, base, k, .. } => {
-                    reg_ok(dst) && reg_ok(base) && reg_ok(k)
-                }
+                Instr::LoadDataAt { dst, base, k, .. } => reg_ok(dst) && reg_ok(base) && reg_ok(k),
                 Instr::LoadStateNested { dst, state, steps } => {
                     reg_ok(dst)
                         && (*state as usize) < states
@@ -359,18 +354,26 @@ impl Kernel {
                             NavStep::Field(_) => true,
                         })
                 }
-                Instr::LoadStateFlat { dst, state, path, idx } => {
-                    reg_ok(dst) && (*state as usize) < states && path_ok(path) && regs_ok(idx)
-                }
-                Instr::StateBase { dst, state, path, outer } => {
-                    reg_ok(dst) && (*state as usize) < states && path_ok(path) && regs_ok(outer)
-                }
-                Instr::LoadStateAt { dst, state, base, k, .. } => {
-                    reg_ok(dst) && (*state as usize) < states && reg_ok(base) && reg_ok(k)
-                }
-                Instr::OutIndex { dst, path, idx } => {
-                    reg_ok(dst) && path_ok(path) && regs_ok(idx)
-                }
+                Instr::LoadStateFlat {
+                    dst,
+                    state,
+                    path,
+                    idx,
+                } => reg_ok(dst) && (*state as usize) < states && path_ok(path) && regs_ok(idx),
+                Instr::StateBase {
+                    dst,
+                    state,
+                    path,
+                    outer,
+                } => reg_ok(dst) && (*state as usize) < states && path_ok(path) && regs_ok(outer),
+                Instr::LoadStateAt {
+                    dst,
+                    state,
+                    base,
+                    k,
+                    ..
+                } => reg_ok(dst) && (*state as usize) < states && reg_ok(base) && reg_ok(k),
+                Instr::OutIndex { dst, path, idx } => reg_ok(dst) && path_ok(path) && regs_ok(idx),
                 Instr::Accumulate { group, cell, val } => {
                     (*group as usize) < groups && reg_ok(cell) && reg_ok(val)
                 }

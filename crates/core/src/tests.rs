@@ -28,8 +28,12 @@ fn assert_close(a: &RtValue, b: &RtValue, tol: f64, path: &str) {
             }
         }
         _ => {
-            let x = a.as_f64().unwrap_or_else(|_| panic!("non-numeric at {path}: {a:?}"));
-            let y = b.as_f64().unwrap_or_else(|_| panic!("non-numeric at {path}: {b:?}"));
+            let x = a
+                .as_f64()
+                .unwrap_or_else(|_| panic!("non-numeric at {path}: {a:?}"));
+            let y = b
+                .as_f64()
+                .unwrap_or_else(|_| panic!("non-numeric at {path}: {b:?}"));
             let scale = x.abs().max(y.abs()).max(1.0);
             assert!(
                 (x - y).abs() <= tol * scale,
@@ -55,7 +59,9 @@ fn differential(src: &str, globals: &[&str], expect_jobs: usize) {
                 run.skipped
             );
             for g in globals {
-                let a = oracle.global(g).unwrap_or_else(|| panic!("oracle lacks {g}"));
+                let a = oracle
+                    .global(g)
+                    .unwrap_or_else(|| panic!("oracle lacks {g}"));
                 let b = run
                     .global(g)
                     .unwrap_or_else(|| panic!("{opt:?} t={threads}: translated lacks {g}"));
@@ -157,7 +163,10 @@ fn user_reduce_reading_fields_falls_back() {
     ";
     let oracle = Interpreter::run_source(src).unwrap();
     let run = Translator::new(OptLevel::Opt2, 2).run_program(src).unwrap();
-    assert!(run.jobs.is_empty(), "field-reading accumulate must not offload");
+    assert!(
+        run.jobs.is_empty(),
+        "field-reading accumulate must not offload"
+    );
     assert!(run
         .skipped
         .iter()
@@ -174,7 +183,9 @@ fn user_reduce_reading_fields_falls_back() {
 fn knn_falls_back_to_interpreter_and_still_agrees() {
     let src = programs::knn(30, 2, 4);
     let oracle = Interpreter::run_source(&src).unwrap();
-    let run = Translator::new(OptLevel::Opt2, 2).run_program(&src).unwrap();
+    let run = Translator::new(OptLevel::Opt2, 2)
+        .run_program(&src)
+        .unwrap();
     assert!(run.jobs.is_empty(), "knn must not be offloaded");
     assert!(!run.skipped.is_empty());
     assert_close(
@@ -230,15 +241,27 @@ fn opt1_removes_computeindex_from_inner_loop() {
     let opt1 = compile_loop(&p, &a, &red, OptLevel::Opt1).unwrap();
 
     // Generated: per-access LoadData, no bases.
-    let gen_full = gen.kernel.count_matching(|i| matches!(i, Instr::LoadData { .. }));
-    let gen_based = gen.kernel.count_matching(|i| matches!(i, Instr::LoadDataAt { .. }));
+    let gen_full = gen
+        .kernel
+        .count_matching(|i| matches!(i, Instr::LoadData { .. }));
+    let gen_based = gen
+        .kernel
+        .count_matching(|i| matches!(i, Instr::LoadDataAt { .. }));
     assert!(gen_full > 0);
     assert_eq!(gen_based, 0);
 
     // Opt-1: data reads in the distance loop go through hoisted bases.
-    let o1_based = opt1.kernel.count_matching(|i| matches!(i, Instr::LoadDataAt { .. }));
-    let o1_bases = opt1.kernel.count_matching(|i| matches!(i, Instr::DataBase { .. }));
-    assert!(o1_based > 0, "opt-1 must emit strided loads:\n{}", opt1.kernel.disassemble());
+    let o1_based = opt1
+        .kernel
+        .count_matching(|i| matches!(i, Instr::LoadDataAt { .. }));
+    let o1_bases = opt1
+        .kernel
+        .count_matching(|i| matches!(i, Instr::DataBase { .. }));
+    assert!(
+        o1_based > 0,
+        "opt-1 must emit strided loads:\n{}",
+        opt1.kernel.disassemble()
+    );
     assert!(o1_bases > 0);
 }
 
@@ -274,9 +297,9 @@ fn opt2_eliminates_nested_state_walks() {
         "opt-2 must not walk nested state:\n{}",
         opt2.kernel.disassemble()
     );
-    let o2_flat = opt2.kernel.count_matching(|i| {
-        matches!(i, Instr::LoadStateFlat { .. } | Instr::LoadStateAt { .. })
-    });
+    let o2_flat = opt2
+        .kernel
+        .count_matching(|i| matches!(i, Instr::LoadStateFlat { .. } | Instr::LoadStateAt { .. }));
     assert!(o2_flat > 0);
 }
 

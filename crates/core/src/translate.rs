@@ -14,11 +14,9 @@ use std::time::Instant;
 use chapel_frontend::ast::{Item, ReduceOp};
 use chapel_interp::{Interpreter, RtValue};
 use chapel_sema::analyze;
-use freeride::{
-    CombineOp, DataView, Engine, GroupSpec, JobConfig, RObjLayout, RunStats, Split,
-};
-use obs::{AttrValue, Recorder, TraceLevel};
+use freeride::{CombineOp, DataView, Engine, GroupSpec, JobConfig, RObjLayout, RunStats, Split};
 use linearize::{delinearize, Linearizer, Value};
+use obs::{AttrValue, Recorder, TraceLevel};
 
 use crate::compile::{compile_loop, compile_reduce_expr, CompiledLoop, OptLevel};
 use crate::detect::{detect, Detected, Rejection};
@@ -85,7 +83,10 @@ impl Translator {
                 detect_start.elapsed().as_nanos() as u64,
                 vec![
                     ("detected", AttrValue::Int(detection.detected.len() as i64)),
-                    ("rejections", AttrValue::Int(detection.rejections.len() as i64)),
+                    (
+                        "rejections",
+                        AttrValue::Int(detection.rejections.len() as i64),
+                    ),
                 ],
             );
         }
@@ -103,7 +104,10 @@ impl Translator {
                     match compile_loop(&program, &analysis, red, self.opt) {
                         Ok(c) => Some((c, format!("loop → {}", red.outputs.join(", ")), None)),
                         Err(CoreError::Translate(reason)) => {
-                            skipped.push(Rejection { stmt_index: i, reason });
+                            skipped.push(Rejection {
+                                stmt_index: i,
+                                reason,
+                            });
                             None
                         }
                         Err(e) => return Err(e),
@@ -131,7 +135,10 @@ impl Translator {
                             Some((red.target.clone(), red.op.clone())),
                         )),
                         Err(CoreError::Translate(reason)) => {
-                            skipped.push(Rejection { stmt_index: i, reason });
+                            skipped.push(Rejection {
+                                stmt_index: i,
+                                reason,
+                            });
                             None
                         }
                         Err(e) => return Err(e),
@@ -158,13 +165,21 @@ impl Translator {
             match compiled {
                 Some((c, kind, expr_target)) => {
                     let report = self.execute_job(&c, &mut interp, expr_target)?;
-                    jobs.push(JobReport { stmt_index: i, kind, ..report });
+                    jobs.push(JobReport {
+                        stmt_index: i,
+                        kind,
+                        ..report
+                    });
                 }
                 None => interp.exec_top(stmt)?,
             }
         }
 
-        Ok(TranslatedRun { interp, jobs, skipped })
+        Ok(TranslatedRun {
+            interp,
+            jobs,
+            skipped,
+        })
     }
 
     /// Linearize inputs, run the FREERIDE job, write results back.
@@ -181,9 +196,9 @@ impl Translator {
         let lin_start = Instant::now();
         let mut elem_values: Vec<Value> = Vec::with_capacity(c.dataset.vars.len());
         for var in &c.dataset.vars {
-            let rt = interp
-                .global(&var.name)
-                .ok_or_else(|| CoreError::translate(format!("`{}` missing at run time", var.name)))?;
+            let rt = interp.global(&var.name).ok_or_else(|| {
+                CoreError::translate(format!("`{}` missing at run time", var.name))
+            })?;
             let v = rt
                 .to_linear()
                 .ok_or_else(|| CoreError::translate(format!("`{}` not linearizable", var.name)))?;
@@ -204,9 +219,9 @@ impl Translator {
             let rt = interp
                 .global(&s.name)
                 .ok_or_else(|| CoreError::translate(format!("state `{}` missing", s.name)))?;
-            let v = rt
-                .to_linear()
-                .ok_or_else(|| CoreError::translate(format!("state `{}` not linearizable", s.name)))?;
+            let v = rt.to_linear().ok_or_else(|| {
+                CoreError::translate(format!("state `{}` not linearizable", s.name))
+            })?;
             if self.opt == OptLevel::Opt2 {
                 let lin = Linearizer::new(&s.shape).linearize(&v)?;
                 flat_state.push(lin.buffer);
@@ -245,7 +260,9 @@ impl Translator {
                 // pairwise field sum, which the Sum merge implements.
                 ReduceOp::UserDefined(_) => CombineOp::Sum,
                 other => {
-                    return Err(CoreError::translate(format!("unsupported reduce op {other:?}")));
+                    return Err(CoreError::translate(format!(
+                        "unsupported reduce op {other:?}"
+                    )));
                 }
             },
             None => CombineOp::Sum,
@@ -297,7 +314,9 @@ impl Translator {
                 for (g, out) in c.outputs.iter().enumerate() {
                     let cur = interp
                         .global(&out.name)
-                        .ok_or_else(|| CoreError::translate(format!("output `{}` missing", out.name)))?
+                        .ok_or_else(|| {
+                            CoreError::translate(format!("output `{}` missing", out.name))
+                        })?
                         .clone();
                     let cur_lin = cur
                         .to_linear()
@@ -453,6 +472,9 @@ impl TranslatedRun {
 
     /// Total modeled parallel time across all jobs, ns.
     pub fn total_modeled_ns(&self, threads: usize) -> u64 {
-        self.jobs.iter().map(|j| j.modeled_parallel_ns(threads)).sum()
+        self.jobs
+            .iter()
+            .map(|j| j.modeled_parallel_ns(threads))
+            .sum()
     }
 }

@@ -52,13 +52,22 @@ impl Dataset {
     /// Load a dataset previously written with [`Dataset::write`].
     pub fn read(path: &Path) -> Result<Dataset, FreerideError> {
         let ds = FileDataset::open(path)?;
-        Ok(Dataset { data: ds.read_all()?, unit: ds.unit() })
+        Ok(Dataset {
+            data: ds.read_all()?,
+            unit: ds.unit(),
+        })
     }
 }
 
 /// Gaussian point cloud around `k` well-separated centres — the k-means
 /// workload. Returns the dataset and the true centres (`k × d`).
-pub fn clustered_points(n: usize, d: usize, k: usize, spread: f64, seed: u64) -> (Dataset, Vec<f64>) {
+pub fn clustered_points(
+    n: usize,
+    d: usize,
+    k: usize,
+    spread: f64,
+    seed: u64,
+) -> (Dataset, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let k = k.max(1);
     // Spread centres uniformly in a [0, 100)^d box.
@@ -99,7 +108,10 @@ pub fn pca_matrix(rows: usize, cols: usize, seed: u64) -> Dataset {
 /// Uniform scalar samples in `[0, 1)` (histogram workload; unit 1).
 pub fn uniform_scalars(n: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
-    Dataset { data: (0..n).map(|_| rng.gen_range(0.0..1.0)).collect(), unit: 1 }
+    Dataset {
+        data: (0..n).map(|_| rng.gen_range(0.0..1.0)).collect(),
+        unit: 1,
+    }
 }
 
 /// Noisy points on a line `y = slope·x + intercept` (regression
@@ -178,8 +190,7 @@ mod tests {
     fn pca_matrix_means_match_spec() {
         let ds = pca_matrix(4, 5000, 9);
         for a in 0..4 {
-            let mean: f64 =
-                (0..5000).map(|i| ds.data[i * 4 + a]).sum::<f64>() / 5000.0;
+            let mean: f64 = (0..5000).map(|i| ds.data[i * 4 + a]).sum::<f64>() / 5000.0;
             assert!((mean - (a % 17) as f64).abs() < 0.1, "dim {a}: {mean}");
         }
     }

@@ -5,12 +5,21 @@
 //! engine. One process serves one coordinator session by default;
 //! `--sessions N` serves N in sequence (0 = forever).
 //!
+//! Every failure exits nonzero with a single `cfr-node: error: ...`
+//! line carrying the typed error, so scripts and supervisors can grep
+//! one predictable shape.
+//!
 //! ```text
 //! cfr-node [--listen ADDR] [--port-file PATH] [--sessions N]
+//!          [--chaos-kill-after-rounds N]
 //!   --listen ADDR     bind address (default 127.0.0.1:0)
 //!   --port-file PATH  write the bound address to PATH once listening
 //!                     (lets scripts use an ephemeral port)
 //!   --sessions N      coordinator sessions to serve (default 1, 0 = forever)
+//!   --chaos-kill-after-rounds N
+//!                     fault-injection: answer N rounds, then abort the
+//!                     whole process mid-round (deterministic stand-in
+//!                     for SIGKILL in recovery smoke tests)
 //! ```
 
 use std::net::TcpListener;
@@ -18,12 +27,14 @@ use std::process::ExitCode;
 
 use freeride_dist::node;
 
-const USAGE: &str = "usage: cfr-node [--listen ADDR] [--port-file PATH] [--sessions N]";
+const USAGE: &str = "usage: cfr-node [--listen ADDR] [--port-file PATH] [--sessions N] \
+                     [--chaos-kill-after-rounds N]";
 
 fn main() -> ExitCode {
     let mut listen = String::from("127.0.0.1:0");
     let mut port_file: Option<String> = None;
     let mut sessions: usize = 1;
+    let mut chaos_rounds: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -40,6 +51,10 @@ fn main() -> ExitCode {
                 Some(n) => sessions = n,
                 None => return usage_error("--sessions requires a count"),
             },
+            "--chaos-kill-after-rounds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => chaos_rounds = Some(n),
+                None => return usage_error("--chaos-kill-after-rounds requires a count"),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -50,37 +65,51 @@ fn main() -> ExitCode {
 
     let listener = match TcpListener::bind(&listen) {
         Ok(l) => l,
-        Err(e) => {
-            eprintln!("cfr-node: cannot bind {listen}: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(&format!("cannot bind {listen}: cluster I/O error: {e}")),
     };
     let bound = match listener.local_addr() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("cfr-node: cannot read bound address: {e}");
-            return ExitCode::FAILURE;
+            return fail(&format!(
+                "cannot read bound address: cluster I/O error: {e}"
+            ))
         }
     };
     if let Some(path) = &port_file {
         if let Err(e) = std::fs::write(path, bound.to_string()) {
-            eprintln!("cfr-node: cannot write port file {path}: {e}");
-            return ExitCode::FAILURE;
+            return fail(&format!("cannot write port file {path}: {e}"));
         }
     }
     eprintln!("cfr-node: listening on {bound}");
 
+    if let Some(rounds) = chaos_rounds {
+        // Fault injection: answer `rounds` rounds of the first session,
+        // then die abruptly — abort() takes the whole process down with
+        // the socket mid-round, exactly like a SIGKILL.
+        match node::serve_dropping(&listener, rounds) {
+            Ok(()) => {
+                eprintln!("cfr-node: chaos kill after {rounds} rounds");
+                std::process::abort();
+            }
+            Err(e) => return fail(&e.to_string()),
+        }
+    }
+
     let mut served = 0usize;
     loop {
         if let Err(e) = node::serve(&listener) {
-            eprintln!("cfr-node: session failed: {e}");
-            return ExitCode::FAILURE;
+            return fail(&e.to_string());
         }
         served += 1;
         if sessions != 0 && served >= sessions {
             return ExitCode::SUCCESS;
         }
     }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("cfr-node: error: {msg}");
+    ExitCode::FAILURE
 }
 
 fn usage_error(msg: &str) -> ExitCode {

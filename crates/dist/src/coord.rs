@@ -1,28 +1,82 @@
 //! The coordinator: shard assignment, round broadcast, global
-//! combination, and trace collection.
+//! combination, fault recovery, and trace collection.
 //!
 //! The processing structure is the paper's generalized reduction lifted
 //! across processes: every round each node runs a **local reduction**
-//! over its shard (itself parallel, via the shared-memory engine), the
+//! over its shards (itself parallel, via the shared-memory engine), the
 //! coordinator performs **global combination** of the shipped
 //! reduction objects with the same [`CombineOp`](freeride::CombineOp)
 //! machinery (`merge_from`), applies the task's outer-loop `step`
 //! (e.g. centroid refinement), and broadcasts the next state. A node
 //! that drops its connection or hangs surfaces as a typed
 //! [`DistError`] via the configured read timeout — never a hang.
+//!
+//! # Fault tolerance
+//!
+//! Because all inter-node state is the small reduction object plus the
+//! broadcast state vector, recovery is cheap and exact:
+//!
+//! * **Node failure** ([`FtPolicy`]): when a node dies mid-round the
+//!   coordinator reassigns its row-range shards to the surviving
+//!   nodes, backs off exponentially, and re-runs the round under a
+//!   higher `attempt` (stale results from the aborted attempt are
+//!   drained by the `(round, attempt)` echo). Nodes ship one cells
+//!   frame **per shard** and the coordinator merges all shards in
+//!   ascending `first_row` order, so the global combination performs
+//!   the identical floating-point fold no matter which node computed
+//!   which shard — a recovered run is bit-identical to an undisturbed
+//!   run of the same cluster shape.
+//! * **Coordinator failure**: with [`ClusterConfig::checkpoint_dir`]
+//!   set, the merged object and post-`step` state are persisted after
+//!   each checkpointed round (atomic b"FRCK" files via
+//!   [`freeride_ft::CheckpointStore`]);
+//!   [`Coordinator::resume_from`] restarts from the newest valid
+//!   checkpoint and, with the same node count, finishes bit-identical
+//!   to an uninterrupted run.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use freeride::{ReductionObject, RunStats};
+use freeride::{RObjLayout, ReductionObject, RunStats};
+use freeride_ft::{Checkpoint, CheckpointStore};
 use obs::{AttrValue, Recorder, Trace, TraceLevel};
 
 use crate::error::DistError;
 use crate::node;
 use crate::proto::{read_message, write_message, Message};
 use crate::tasks;
+
+/// Node-failure recovery policy (the `ft` part of [`ClusterConfig`]).
+#[derive(Debug, Clone)]
+pub struct FtPolicy {
+    /// Persist a checkpoint every `checkpoint_every` completed rounds
+    /// (the final round is always checkpointed). Only takes effect
+    /// when [`ClusterConfig::checkpoint_dir`] is set. Default 1.
+    pub checkpoint_every: usize,
+    /// How many node failures the run may absorb before giving up with
+    /// [`DistError::RetriesExhausted`]. Default 2.
+    pub max_retries: usize,
+    /// Base backoff before re-running a failed round; doubles per
+    /// recovery (exponential). Default 50 ms.
+    pub backoff: Duration,
+    /// Whether to reassign a dead node's shards to survivors at all;
+    /// `false` restores the fail-fast behaviour (first node failure
+    /// aborts the run). Default `true`.
+    pub reassign: bool,
+}
+
+impl Default for FtPolicy {
+    fn default() -> FtPolicy {
+        FtPolicy {
+            checkpoint_every: 1,
+            max_retries: 2,
+            backoff: Duration::from_millis(50),
+            reassign: true,
+        }
+    }
+}
 
 /// Configuration of one distributed job.
 #[derive(Debug, Clone)]
@@ -46,13 +100,19 @@ pub struct ClusterConfig {
     /// out-of-core streaming chunk pipeline ([`freeride::IoMode`]).
     pub io: freeride::IoMode,
     /// Read timeout on every node socket; a node silent for this long
-    /// fails the run with [`DistError::Timeout`].
+    /// fails the round with [`DistError::Timeout`] (and triggers
+    /// recovery under [`FtPolicy::reassign`]).
     pub read_timeout: Duration,
+    /// Node-failure recovery policy.
+    pub ft: FtPolicy,
+    /// Directory for round checkpoints; `None` disables checkpointing
+    /// (and [`Coordinator::resume_from`]).
+    pub checkpoint_dir: Option<PathBuf>,
 }
 
 impl ClusterConfig {
     /// A single-pass job with sane defaults (1 thread per node, 10 s
-    /// timeout, tracing off).
+    /// timeout, tracing off, recovery on, checkpointing off).
     pub fn new(task: &str, dataset: impl Into<PathBuf>) -> ClusterConfig {
         ClusterConfig {
             task: task.to_string(),
@@ -64,6 +124,8 @@ impl ClusterConfig {
             trace: TraceLevel::Off,
             io: freeride::IoMode::Sync,
             read_timeout: Duration::from_secs(10),
+            ft: FtPolicy::default(),
+            checkpoint_dir: None,
         }
     }
 }
@@ -71,9 +133,10 @@ impl ClusterConfig {
 /// Aggregated statistics of one cluster run.
 #[derive(Debug, Clone, Default)]
 pub struct ClusterStats {
-    /// Number of nodes that participated.
+    /// Number of nodes that participated at the start of the run.
     pub nodes: usize,
-    /// Rounds executed.
+    /// Rounds executed by this process (a resumed run counts only the
+    /// rounds it ran itself).
     pub rounds: usize,
     /// Bytes the coordinator put on the wire (all nodes).
     pub bytes_sent: u64,
@@ -84,6 +147,17 @@ pub struct ClusterStats {
     pub node_stats: Vec<RunStats>,
     /// Wall time of the whole run, nanoseconds.
     pub wall_ns: u64,
+    /// Node failures recovered by shard reassignment (plus 1 for a
+    /// coordinator resume).
+    pub recoveries: usize,
+    /// Shards moved off dead nodes onto survivors.
+    pub shards_reassigned: usize,
+    /// Round re-runs forced by node failures.
+    pub retries: usize,
+    /// Checkpoints written.
+    pub checkpoints_written: usize,
+    /// Total bytes of checkpoint frames written.
+    pub checkpoint_bytes: u64,
 }
 
 impl ClusterStats {
@@ -95,6 +169,32 @@ impl ClusterStats {
             .map(|s| s.makespan_ns(s.logical_threads.max(1)))
             .max()
             .unwrap_or(0)
+    }
+
+    /// Rebuild the cluster-level statistics from a merged trace (the
+    /// inverse of the recording in [`Coordinator::run`], in the same
+    /// spirit as [`RunStats::from_trace`]): node/round totals from the
+    /// `cluster.done` instant, wire and recovery totals from the
+    /// `dist.*` / `ft.*` counters. Per-node engine stats and wall time
+    /// are not reconstructible from the merged view and are left
+    /// empty.
+    pub fn from_trace(trace: &Trace) -> ClusterStats {
+        let mut stats = ClusterStats::default();
+        for span in &trace.spans {
+            if span.name == "cluster.done" {
+                stats.nodes = span.attr_i64("nodes").unwrap_or(0) as usize;
+                stats.rounds = span.attr_i64("rounds").unwrap_or(0) as usize;
+            }
+        }
+        let counter = |name: &str| trace.counters.get(name).copied().unwrap_or(0);
+        stats.bytes_sent = counter("dist.bytes_sent") as u64;
+        stats.bytes_recv = counter("dist.bytes_recv") as u64;
+        stats.recoveries = counter("ft.recoveries") as usize;
+        stats.shards_reassigned = counter("ft.shards_reassigned") as usize;
+        stats.retries = counter("ft.retries") as usize;
+        stats.checkpoints_written = counter("ft.checkpoints_written") as usize;
+        stats.checkpoint_bytes = counter("ft.checkpoint_bytes") as u64;
+        stats
     }
 }
 
@@ -159,6 +259,13 @@ impl NodeConn {
     }
 }
 
+/// One live node: its connection plus the shards currently assigned to
+/// it (grows beyond one entry only after recoveries).
+struct LiveNode {
+    conn: NodeConn,
+    shards: Vec<(u64, u64)>,
+}
+
 /// Drives a distributed job across a set of node agents.
 pub struct Coordinator {
     config: ClusterConfig,
@@ -176,6 +283,74 @@ impl Coordinator {
     /// contiguous row ranges: node `i` of `n` gets
     /// `[i·rows/n, (i+1)·rows/n)`, a disjoint cover of the file.
     pub fn run(&self, addrs: &[SocketAddr]) -> Result<ClusterOutcome, DistError> {
+        let state = self.config.init_state.clone();
+        self.run_rounds(addrs, 0, state, None)
+    }
+
+    /// Resume a job from the newest valid checkpoint in
+    /// [`ClusterConfig::checkpoint_dir`] — the coordinator-crash
+    /// recovery path. The checkpoint's task and params must match the
+    /// config; remaining rounds are re-sharded across `addrs` (use the
+    /// same node count for bit-identical results). If the checkpoint
+    /// already covers every round, the job completes without touching
+    /// the cluster.
+    pub fn resume_from(&self, addrs: &[SocketAddr]) -> Result<ClusterOutcome, DistError> {
+        let cfg = &self.config;
+        let dir = cfg
+            .checkpoint_dir
+            .as_ref()
+            .ok_or_else(|| DistError::BadTask {
+                reason: "resume requires ClusterConfig::checkpoint_dir".into(),
+            })?;
+        let store = CheckpointStore::open(dir).map_err(DistError::Ft)?;
+        let ckpt = store.latest_required().map_err(DistError::Ft)?;
+        ckpt.validate_for(&cfg.task, &cfg.params)
+            .map_err(DistError::Ft)?;
+        let next_round = ckpt.round as usize + 1;
+        if next_round >= cfg.rounds.max(1) {
+            // Everything was already done; rebuild the outcome from the
+            // checkpoint alone.
+            let rec = &self.recorder;
+            rec.instant(
+                TraceLevel::Phases,
+                "ft.recover",
+                "ft",
+                0,
+                vec![
+                    ("resumed_round", AttrValue::Int(ckpt.round as i64)),
+                    ("remaining_rounds", AttrValue::Int(0)),
+                ],
+            );
+            rec.add_counter("ft.recoveries", 1);
+            let stats = ClusterStats {
+                recoveries: 1,
+                ..ClusterStats::default()
+            };
+            let trace = (cfg.trace != TraceLevel::Off).then(|| {
+                let mut t = Trace::default();
+                t.merge_as(0, rec.drain());
+                t
+            });
+            return Ok(ClusterOutcome {
+                robj: ckpt.robj,
+                state: ckpt.state,
+                stats,
+                trace,
+            });
+        }
+        self.run_rounds(addrs, next_round, ckpt.state.clone(), Some(ckpt))
+    }
+
+    /// The shared body of [`Coordinator::run`] and
+    /// [`Coordinator::resume_from`]: run rounds `first_round..rounds`
+    /// starting from `state`.
+    fn run_rounds(
+        &self,
+        addrs: &[SocketAddr],
+        first_round: usize,
+        mut state: Vec<f64>,
+        resumed_from: Option<Checkpoint>,
+    ) -> Result<ClusterOutcome, DistError> {
         if addrs.is_empty() {
             return Err(DistError::BadTask {
                 reason: "cluster has no nodes".into(),
@@ -189,6 +364,28 @@ impl Coordinator {
             ..ClusterStats::default()
         };
 
+        let store = match &cfg.checkpoint_dir {
+            Some(dir) => Some(CheckpointStore::open(dir).map_err(DistError::Ft)?),
+            None => None,
+        };
+        if let Some(ckpt) = &resumed_from {
+            rec.instant(
+                TraceLevel::Phases,
+                "ft.recover",
+                "ft",
+                0,
+                vec![
+                    ("resumed_round", AttrValue::Int(ckpt.round as i64)),
+                    (
+                        "remaining_rounds",
+                        AttrValue::Int((cfg.rounds.max(1) - first_round) as i64),
+                    ),
+                ],
+            );
+            rec.add_counter("ft.recoveries", 1);
+            stats.recoveries += 1;
+        }
+
         let layout = tasks::layout(&cfg.task, &cfg.params)?;
         let layout_frame = layout.encode()?;
         // Shard assignment needs the row count; headers only, no payload read.
@@ -196,7 +393,7 @@ impl Coordinator {
         let dataset = cfg.dataset.to_string_lossy().into_owned();
 
         // ---- Connect + handshake + job setup. ----
-        let mut conns = Vec::with_capacity(addrs.len());
+        let mut nodes: Vec<LiveNode> = Vec::with_capacity(addrs.len());
         {
             let mut span = rec.span(TraceLevel::Phases, "cluster.setup", "dist", 0);
             span.attr_int("nodes", addrs.len() as i64);
@@ -238,52 +435,77 @@ impl Coordinator {
                     },
                     &mut stats,
                 )?;
-                conns.push(conn);
+                nodes.push(LiveNode {
+                    conn,
+                    shards: vec![(first as u64, count as u64)],
+                });
             }
         }
 
-        // ---- The outer sequential loop. ----
-        let mut state = cfg.init_state.clone();
+        // ---- The outer sequential loop, with per-round recovery. ----
+        let rounds = cfg.rounds.max(1);
         let mut merged = ReductionObject::alloc(layout.clone());
-        for round in 0..cfg.rounds.max(1) {
-            let mut span = rec.span(TraceLevel::Phases, "cluster.round", "dist", 0);
-            span.attr_int("round", round as i64);
-            for conn in &mut conns {
-                conn.send(
-                    &Message::Round {
-                        round: round as u32,
-                        state: state.clone(),
-                    },
+        let mut attempt: u32 = 0;
+        let mut retries_used = 0usize;
+        for round in first_round..rounds {
+            loop {
+                match self.try_round(
+                    &mut nodes,
+                    &layout,
+                    round,
+                    attempt,
+                    &state,
+                    &mut merged,
                     &mut stats,
-                )?;
-            }
-            // Global combination: decode each shard's cells and merge
-            // with the layout's CombineOps.
-            merged.reset();
-            {
-                let mut cspan = rec.span(TraceLevel::Phases, "cluster.combine", "dist", 0);
-                cspan.attr_int("round", round as i64);
-                for conn in &mut conns {
-                    let msg = conn.recv("RoundResult", &mut stats)?;
-                    let Message::RoundResult { round: got, cells } = msg else {
-                        return Err(DistError::Protocol {
-                            reason: format!(
-                                "node {}: expected RoundResult, got {}",
-                                conn.id,
-                                msg.kind_name()
-                            ),
-                        });
-                    };
-                    if got as usize != round {
-                        return Err(DistError::Protocol {
-                            reason: format!(
-                                "node {}: RoundResult for round {got}, expected {round}",
-                                conn.id
-                            ),
-                        });
+                ) {
+                    Ok(()) => break,
+                    Err((idx, err)) => {
+                        let recoverable =
+                            cfg.ft.reassign && nodes.len() > 1 && retries_used < cfg.ft.max_retries;
+                        if !recoverable {
+                            return Err(if retries_used > 0 {
+                                DistError::RetriesExhausted {
+                                    retries: retries_used,
+                                    last: Box::new(err),
+                                }
+                            } else {
+                                err
+                            });
+                        }
+                        retries_used += 1;
+                        attempt += 1;
+                        let mut rspan = rec.span(TraceLevel::Phases, "ft.recover", "ft", 0);
+                        let dead = nodes.remove(idx);
+                        let moved = dead.shards.len();
+                        rspan.attr_int("node", dead.conn.id as i64);
+                        rspan.attr_int("round", round as i64);
+                        rspan.attr_int("attempt", attempt as i64);
+                        rspan.attr_int("shards_reassigned", moved as i64);
+                        // Reassign orphaned shards to the least-loaded
+                        // survivors. Per-shard results keep the global
+                        // combination order independent of placement,
+                        // so balance is the only concern here.
+                        for sh in dead.shards {
+                            let tgt = (0..nodes.len())
+                                .min_by_key(|&i| nodes[i].shards.len())
+                                .expect("at least one survivor");
+                            nodes[tgt].shards.push(sh);
+                        }
+                        for n in nodes.iter_mut() {
+                            n.shards.sort_unstable();
+                        }
+                        rec.add_counter("ft.recoveries", 1);
+                        rec.add_counter("ft.shards_reassigned", moved as i64);
+                        rec.add_counter("ft.retries", 1);
+                        stats.recoveries += 1;
+                        stats.shards_reassigned += moved;
+                        stats.retries += 1;
+                        let backoff = cfg
+                            .ft
+                            .backoff
+                            .saturating_mul(1u32 << (retries_used - 1).min(16) as u32);
+                        std::thread::sleep(backoff);
                     }
-                    let shard = ReductionObject::decode_cells(&layout, &cells)?;
-                    merged.merge_from(&shard);
                 }
             }
             if let Some(next) = tasks::step(&cfg.task, &cfg.params, &state, &merged)? {
@@ -291,26 +513,56 @@ impl Coordinator {
             }
             rec.add_counter("dist.rounds", 1);
             stats.rounds += 1;
+
+            if let Some(store) = &store {
+                let every = cfg.ft.checkpoint_every.max(1);
+                if (round + 1) % every == 0 || round + 1 == rounds {
+                    let mut cspan = rec.span(TraceLevel::Phases, "ft.checkpoint", "ft", 0);
+                    let mut shard_map: Vec<(u64, u64)> = nodes
+                        .iter()
+                        .flat_map(|n| n.shards.iter().copied())
+                        .collect();
+                    shard_map.sort_unstable();
+                    let saved = store
+                        .save(&Checkpoint {
+                            task: cfg.task.clone(),
+                            params: cfg.params.clone(),
+                            round: round as u32,
+                            rounds_total: rounds as u32,
+                            state: state.clone(),
+                            shards: shard_map,
+                            robj: merged.clone(),
+                        })
+                        .map_err(DistError::Ft)?;
+                    cspan.attr_int("round", round as i64);
+                    cspan.attr_int("bytes", saved.bytes as i64);
+                    rec.add_counter("ft.checkpoints_written", 1);
+                    rec.add_counter("ft.checkpoint_bytes", saved.bytes as i64);
+                    stats.checkpoints_written += 1;
+                    stats.checkpoint_bytes += saved.bytes;
+                }
+            }
         }
 
-        // ---- Teardown: collect traces, shut nodes down. ----
+        // ---- Teardown: collect traces from the *live* nodes (a dead
+        // node's trace died with it), shut them down. ----
         let mut node_traces = Vec::new();
-        for conn in &mut conns {
-            conn.send(&Message::EndJob, &mut stats)?;
-            let msg = conn.recv("JobDone", &mut stats)?;
+        for n in &mut nodes {
+            n.conn.send(&Message::EndJob, &mut stats)?;
+            let msg = n.conn.recv("JobDone", &mut stats)?;
             let Message::JobDone { trace } = msg else {
                 return Err(DistError::Protocol {
                     reason: format!(
                         "node {}: expected JobDone, got {}",
-                        conn.id,
+                        n.conn.id,
                         msg.kind_name()
                     ),
                 });
             };
             if !trace.is_empty() {
-                node_traces.push((conn.id, Trace::decode_bin(&trace)?));
+                node_traces.push((n.conn.id, Trace::decode_bin(&trace)?));
             }
-            conn.send(&Message::Shutdown, &mut stats)?;
+            n.conn.send(&Message::Shutdown, &mut stats)?;
         }
 
         rec.add_counter("dist.bytes_sent", stats.bytes_sent as i64);
@@ -346,6 +598,107 @@ impl Coordinator {
             trace,
         })
     }
+
+    /// One delivery attempt of one round: broadcast `Round` to every
+    /// live node, gather per-shard results, and merge them **in
+    /// ascending `first_row` order** into `merged`. On failure returns
+    /// the index (into `nodes`) of the node that failed, for the
+    /// recovery loop to remove and reassign.
+    #[allow(clippy::too_many_arguments)]
+    fn try_round(
+        &self,
+        nodes: &mut [LiveNode],
+        layout: &Arc<RObjLayout>,
+        round: usize,
+        attempt: u32,
+        state: &[f64],
+        merged: &mut ReductionObject,
+        stats: &mut ClusterStats,
+    ) -> Result<(), (usize, DistError)> {
+        let rec = &self.recorder;
+        let mut span = rec.span(TraceLevel::Phases, "cluster.round", "dist", 0);
+        span.attr_int("round", round as i64);
+        span.attr_int("attempt", attempt as i64);
+        for (i, n) in nodes.iter_mut().enumerate() {
+            n.conn
+                .send(
+                    &Message::Round {
+                        round: round as u32,
+                        attempt,
+                        state: state.to_vec(),
+                        shards: n.shards.clone(),
+                    },
+                    stats,
+                )
+                .map_err(|e| (i, e))?;
+        }
+        merged.reset();
+        let mut cspan = rec.span(TraceLevel::Phases, "cluster.combine", "dist", 0);
+        cspan.attr_int("round", round as i64);
+        let mut all: Vec<(u64, Vec<u8>, usize)> = Vec::new();
+        for (i, n) in nodes.iter_mut().enumerate() {
+            let results = Self::recv_round_result(&mut n.conn, round as u32, attempt, stats)
+                .map_err(|e| (i, e))?;
+            for (first, cells) in results {
+                all.push((first, cells, i));
+            }
+        }
+        // Global combination in ascending row order: the fold sequence
+        // over shards is a pure function of the shard set, not of the
+        // shard → node placement, which makes recovered runs
+        // bit-identical to undisturbed ones.
+        all.sort_by_key(|&(first, _, _)| first);
+        for (_, cells, from) in &all {
+            let shard =
+                ReductionObject::decode_cells(layout, cells).map_err(|e| (*from, e.into()))?;
+            merged.merge_from(&shard);
+        }
+        Ok(())
+    }
+
+    /// Receive the `(round, attempt)` result from one node, draining
+    /// stale results of aborted earlier attempts.
+    fn recv_round_result(
+        conn: &mut NodeConn,
+        round: u32,
+        attempt: u32,
+        stats: &mut ClusterStats,
+    ) -> Result<Vec<(u64, Vec<u8>)>, DistError> {
+        loop {
+            let msg = conn.recv("RoundResult", stats)?;
+            let Message::RoundResult {
+                round: got_round,
+                attempt: got_attempt,
+                shards,
+            } = msg
+            else {
+                return Err(DistError::Protocol {
+                    reason: format!(
+                        "node {}: expected RoundResult, got {}",
+                        conn.id,
+                        msg.kind_name()
+                    ),
+                });
+            };
+            if (got_round, got_attempt) == (round, attempt) {
+                return Ok(shards);
+            }
+            // A result for the same round under a lower attempt (or an
+            // already-completed round) is a leftover from an attempt a
+            // failure aborted — the node had already computed it when
+            // the coordinator moved on. Discard and keep reading.
+            let stale = got_round < round || (got_round == round && got_attempt < attempt);
+            if !stale {
+                return Err(DistError::Protocol {
+                    reason: format!(
+                        "node {}: RoundResult for round {got_round} attempt {got_attempt}, \
+                         expected {round}/{attempt}",
+                        conn.id
+                    ),
+                });
+            }
+        }
+    }
 }
 
 /// An in-process loopback cluster: each node agent runs on its own
@@ -359,12 +712,30 @@ pub struct LoopbackCluster {
 impl LoopbackCluster {
     /// Spawn `n` loopback node agents, each serving one session.
     pub fn spawn(n: usize) -> Result<LoopbackCluster, DistError> {
+        LoopbackCluster::spawn_with_chaos(n, &[])
+    }
+
+    /// Spawn `n` loopback agents where `die_after[i]` (if present)
+    /// makes node `i` a chaos agent that severs its connection
+    /// mid-round after answering that many rounds
+    /// ([`node::serve_dropping`]).
+    pub fn spawn_with_chaos(
+        n: usize,
+        die_after: &[(usize, usize)],
+    ) -> Result<LoopbackCluster, DistError> {
         let mut addrs = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
-        for _ in 0..n {
+        for id in 0..n {
             let listener = TcpListener::bind("127.0.0.1:0")?;
             addrs.push(listener.local_addr()?);
-            handles.push(std::thread::spawn(move || node::serve(&listener)));
+            let chaos = die_after
+                .iter()
+                .find(|&&(node, _)| node == id)
+                .map(|&(_, r)| r);
+            handles.push(std::thread::spawn(move || match chaos {
+                Some(rounds) => node::serve_dropping(&listener, rounds),
+                None => node::serve(&listener),
+            }));
         }
         Ok(LoopbackCluster { addrs, handles })
     }
@@ -401,6 +772,35 @@ impl LoopbackCluster {
 pub fn run_loopback(config: ClusterConfig, n: usize) -> Result<ClusterOutcome, DistError> {
     let cluster = LoopbackCluster::spawn(n)?;
     let outcome = Coordinator::new(config).run(cluster.addrs());
+    finish_loopback(cluster, outcome)
+}
+
+/// Convenience: resume `config` from its checkpoint directory on an
+/// `n`-node loopback cluster and join the agents.
+pub fn resume_loopback(config: ClusterConfig, n: usize) -> Result<ClusterOutcome, DistError> {
+    // A resume whose checkpoint already covers every round never dials
+    // out; don't spawn agents that would wait in accept() forever.
+    let dir = config
+        .checkpoint_dir
+        .clone()
+        .ok_or_else(|| DistError::BadTask {
+            reason: "resume requires ClusterConfig::checkpoint_dir".into(),
+        })?;
+    let ckpt = CheckpointStore::open(&dir)
+        .and_then(|s| s.latest_required())
+        .map_err(DistError::Ft)?;
+    if ckpt.round as usize + 1 >= config.rounds.max(1) {
+        return Coordinator::new(config).resume_from(&[]);
+    }
+    let cluster = LoopbackCluster::spawn(n)?;
+    let outcome = Coordinator::new(config).resume_from(cluster.addrs());
+    finish_loopback(cluster, outcome)
+}
+
+fn finish_loopback(
+    cluster: LoopbackCluster,
+    outcome: Result<ClusterOutcome, DistError>,
+) -> Result<ClusterOutcome, DistError> {
     match outcome {
         Ok(out) => {
             cluster.join()?;

@@ -31,6 +31,17 @@ pub enum DistError {
     /// An error from the underlying shared-memory engine or the
     /// reduction-object codec.
     Engine(freeride::FreerideError),
+    /// An error from the checkpoint store (writing, or loading on
+    /// resume).
+    Ft(freeride_ft::FtError),
+    /// Node failures exhausted the recovery budget
+    /// ([`crate::FtPolicy::max_retries`]); the last failure is inside.
+    RetriesExhausted {
+        /// Recovery attempts that were made before giving up.
+        retries: usize,
+        /// The failure that broke the budget.
+        last: Box<DistError>,
+    },
     /// The requested task name is not in the registry, or its
     /// params/state are inconsistent.
     BadTask {
@@ -49,6 +60,13 @@ impl fmt::Display for DistError {
             }
             DistError::Node { node, message } => write!(f, "node {node} failed: {message}"),
             DistError::Engine(e) => write!(f, "engine error: {e}"),
+            DistError::Ft(e) => write!(f, "fault-tolerance error: {e}"),
+            DistError::RetriesExhausted { retries, last } => {
+                write!(
+                    f,
+                    "recovery budget exhausted after {retries} retries: {last}"
+                )
+            }
             DistError::BadTask { reason } => write!(f, "bad task: {reason}"),
         }
     }
@@ -59,6 +77,8 @@ impl std::error::Error for DistError {
         match self {
             DistError::Io(e) => Some(e),
             DistError::Engine(e) => Some(e),
+            DistError::Ft(e) => Some(e),
+            DistError::RetriesExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -73,6 +93,12 @@ impl From<std::io::Error> for DistError {
 impl From<freeride::FreerideError> for DistError {
     fn from(e: freeride::FreerideError) -> DistError {
         DistError::Engine(e)
+    }
+}
+
+impl From<freeride_ft::FtError> for DistError {
+    fn from(e: freeride_ft::FtError) -> DistError {
+        DistError::Ft(e)
     }
 }
 

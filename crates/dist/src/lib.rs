@@ -31,6 +31,7 @@ pub mod tasks;
 pub mod node;
 
 pub use coord::{
-    run_loopback, ClusterConfig, ClusterOutcome, ClusterStats, Coordinator, LoopbackCluster,
+    resume_loopback, run_loopback, ClusterConfig, ClusterOutcome, ClusterStats, Coordinator,
+    FtPolicy, LoopbackCluster,
 };
 pub use error::DistError;

@@ -10,7 +10,7 @@
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 
-use freeride::{Engine, JobConfig, RObjLayout, ReductionObject};
+use freeride::{Engine, JobConfig, RObjLayout};
 use obs::{AttrValue, Recorder, TraceLevel};
 
 use crate::error::DistError;
@@ -109,30 +109,57 @@ fn build_job(msg: Message) -> Result<JobContext, DistError> {
     })
 }
 
-fn run_round(job: &JobContext, round: u32, state: &[f64]) -> Result<ReductionObject, DistError> {
+/// Run one round over the given shard list (empty = the Job-time
+/// shard), returning one `(first_row, cells)` result per shard. Shards
+/// are reduced independently so the coordinator can merge all results
+/// in global row order regardless of which node computed which shard.
+fn run_round(
+    job: &JobContext,
+    round: u32,
+    attempt: u32,
+    state: &[f64],
+    shards: &[(u64, u64)],
+) -> Result<Vec<(u64, Vec<u8>)>, DistError> {
     let kernel = tasks::kernel(&job.task, &job.params, state)?;
-    let pass_start = std::time::Instant::now();
-    let outcome = job.engine.run_file_shard(
-        &job.file,
-        job.shard_first,
-        job.shard_rows,
-        &job.layout,
-        &kernel,
-    )?;
-    job.recorder.push_complete(
-        TraceLevel::Phases,
-        "node.pass",
-        "dist",
-        0,
-        job.recorder.offset_ns(pass_start),
-        pass_start.elapsed().as_nanos() as u64,
-        vec![
-            ("round", AttrValue::Int(round as i64)),
-            ("shard_first", AttrValue::Int(job.shard_first as i64)),
-            ("shard_rows", AttrValue::Int(job.shard_rows as i64)),
-        ],
-    );
-    Ok(outcome.robj)
+    let job_shard = [(job.shard_first as u64, job.shard_rows as u64)];
+    let shards: &[(u64, u64)] = if shards.is_empty() {
+        &job_shard
+    } else {
+        shards
+    };
+    let rows = job.file.rows() as u64;
+    let mut results = Vec::with_capacity(shards.len());
+    for &(first, count) in shards {
+        if first.checked_add(count).is_none_or(|end| end > rows) {
+            return Err(DistError::BadTask {
+                reason: format!("shard {first}+{count} exceeds {rows} dataset rows"),
+            });
+        }
+        let pass_start = std::time::Instant::now();
+        let outcome = job.engine.run_file_shard(
+            &job.file,
+            first as usize,
+            count as usize,
+            &job.layout,
+            &kernel,
+        )?;
+        job.recorder.push_complete(
+            TraceLevel::Phases,
+            "node.pass",
+            "dist",
+            0,
+            job.recorder.offset_ns(pass_start),
+            pass_start.elapsed().as_nanos() as u64,
+            vec![
+                ("round", AttrValue::Int(round as i64)),
+                ("attempt", AttrValue::Int(attempt as i64)),
+                ("shard_first", AttrValue::Int(first as i64)),
+                ("shard_rows", AttrValue::Int(count as i64)),
+            ],
+        );
+        results.push((first, outcome.robj.encode_cells()));
+    }
+    Ok(results)
 }
 
 /// Handle one coordinator session on an accepted stream. Returns when
@@ -165,7 +192,12 @@ pub fn handle_session(stream: TcpStream) -> Result<(), DistError> {
                     return Err(e);
                 }
             },
-            Message::Round { round, state } => {
+            Message::Round {
+                round,
+                attempt,
+                state,
+                shards,
+            } => {
                 let Some(ctx) = job.as_ref() else {
                     let e = DistError::Protocol {
                         reason: "Round before Job".into(),
@@ -178,14 +210,15 @@ pub fn handle_session(stream: TcpStream) -> Result<(), DistError> {
                     )?;
                     return Err(e);
                 };
-                match run_round(ctx, round, &state) {
-                    Ok(robj) => {
+                match run_round(ctx, round, attempt, &state, &shards) {
+                    Ok(results) => {
                         ctx.recorder.add_counter("dist.rounds", 1);
                         write_message(
                             &mut stream,
                             &Message::RoundResult {
                                 round,
-                                cells: robj.encode_cells(),
+                                attempt,
+                                shards: results,
                             },
                         )?;
                     }
@@ -240,6 +273,64 @@ pub fn serve(listener: &TcpListener) -> Result<(), DistError> {
     handle_session(stream)
 }
 
+/// Chaos-testing agent: behaves like [`serve`], but severs the
+/// connection without a protocol goodbye after answering
+/// `rounds_before_death` Round messages — on the next Round it simply
+/// drops the socket mid-round, exactly what a node killed by the OS
+/// looks like from the coordinator's side. Returns `Ok(())` when it
+/// died on schedule.
+pub fn serve_dropping(listener: &TcpListener, rounds_before_death: usize) -> Result<(), DistError> {
+    let (mut stream, _peer) = listener.accept()?;
+    stream.set_nodelay(true).ok();
+    let (hello, _) = read_message(&mut stream)?;
+    let Message::Hello { node_id } = hello else {
+        return Err(DistError::Protocol {
+            reason: format!("expected Hello, got {}", hello.kind_name()),
+        });
+    };
+    write_message(&mut stream, &Message::HelloAck { node_id })?;
+    let mut job: Option<JobContext> = None;
+    let mut answered = 0usize;
+    loop {
+        let (msg, _) = read_message(&mut stream)?;
+        match msg {
+            Message::Job { .. } => job = Some(build_job(msg)?),
+            Message::Round {
+                round,
+                attempt,
+                state,
+                shards,
+            } => {
+                if answered == rounds_before_death {
+                    // Die mid-round: the Round was received, no
+                    // RoundResult will ever come. Dropping the stream
+                    // resets the connection.
+                    return Ok(());
+                }
+                let ctx = job.as_ref().ok_or_else(|| DistError::Protocol {
+                    reason: "Round before Job".into(),
+                })?;
+                let results = run_round(ctx, round, attempt, &state, &shards)?;
+                write_message(
+                    &mut stream,
+                    &Message::RoundResult {
+                        round,
+                        attempt,
+                        shards: results,
+                    },
+                )?;
+                answered += 1;
+            }
+            Message::Shutdown => return Ok(()),
+            other => {
+                return Err(DistError::Protocol {
+                    reason: format!("unexpected {} from coordinator", other.kind_name()),
+                });
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod node_tests {
     use super::*;
@@ -269,7 +360,9 @@ mod node_tests {
             &mut stream,
             &Message::Round {
                 round: 0,
+                attempt: 0,
                 state: vec![],
+                shards: vec![],
             },
         )
         .unwrap();

@@ -23,8 +23,10 @@ use crate::error::DistError;
 
 /// Frame magic.
 pub const WIRE_MAGIC: &[u8; 4] = b"FRDM";
-/// Protocol version; both sides must match exactly.
-pub const WIRE_VERSION: u8 = 1;
+/// Protocol version; both sides must match exactly. Version 2 added
+/// round `attempt` counters and explicit per-round shard lists for
+/// fault-tolerant shard reassignment.
+pub const WIRE_VERSION: u8 = 2;
 /// Upper bound on a frame payload (64 MiB): a corrupt length field
 /// fails fast instead of triggering a giant allocation.
 pub const MAX_FRAME_LEN: u32 = 64 << 20;
@@ -83,21 +85,39 @@ pub enum Message {
         /// Prefetching reader threads (ignored when sync).
         readers: u32,
     },
-    /// Coordinator → node: run one local reduction pass over the shard
-    /// with this round's broadcast state (e.g. current centroids).
+    /// Coordinator → node: run one local reduction pass over the
+    /// node's shards with this round's broadcast state (e.g. current
+    /// centroids).
     Round {
         /// Round number, starting at 0.
         round: u32,
+        /// Monotonic delivery attempt. After a node failure the
+        /// coordinator re-runs the round under a higher attempt;
+        /// results from an aborted attempt are drained and discarded
+        /// by the `(round, attempt)` echo.
+        attempt: u32,
         /// Per-round state vector.
         state: Vec<f64>,
+        /// Absolute `(first_row, rows)` shard ranges to reduce this
+        /// round. Empty means "the single shard assigned at Job time";
+        /// non-empty lists carry reassigned shards of dead nodes.
+        shards: Vec<(u64, u64)>,
     },
-    /// Node → coordinator: the shard's local reduction result, as a
-    /// robj codec cells frame.
+    /// Node → coordinator: the local reduction results, one cells
+    /// frame per shard the node ran. Shipping shards separately lets
+    /// the coordinator always merge in ascending `first_row` order —
+    /// the global combination sequence (and hence every floating-point
+    /// rounding) is identical no matter which node computed which
+    /// shard, which is what makes failure recovery bit-identical to an
+    /// undisturbed run.
     RoundResult {
         /// Echo of the round number.
         round: u32,
-        /// Cells frame (`ReductionObject::encode_cells`).
-        cells: Vec<u8>,
+        /// Echo of the delivery attempt.
+        attempt: u32,
+        /// Per-shard results: `(first_row, cells frame)` in the order
+        /// the shards were assigned.
+        shards: Vec<(u64, Vec<u8>)>,
     },
     /// Coordinator → node: no more rounds; ship the trace.
     EndJob,
@@ -148,6 +168,14 @@ fn put_f64s(out: &mut Vec<u8>, xs: &[f64]) {
     out.extend_from_slice(&(xs.len() as u32).to_le_bytes());
     for x in xs {
         out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn put_u64_pairs(out: &mut Vec<u8>, xs: &[(u64, u64)]) {
+    out.extend_from_slice(&(xs.len() as u32).to_le_bytes());
+    for (a, b) in xs {
+        out.extend_from_slice(&a.to_le_bytes());
+        out.extend_from_slice(&b.to_le_bytes());
     }
 }
 
@@ -236,6 +264,18 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
+    fn u64_pairs(&mut self, what: &str) -> Result<Vec<(u64, u64)>, DistError> {
+        let n = self.len(what)?;
+        if self.buf.len() - self.pos < n * 16 {
+            return perr(format!("truncated payload: {what}"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push((self.u64(what)?, self.u64(what)?));
+        }
+        Ok(out)
+    }
+
     fn finish(self, what: &str) -> Result<(), DistError> {
         if self.pos != self.buf.len() {
             return perr(format!(
@@ -310,13 +350,29 @@ impl Message {
                 out.extend_from_slice(&buffers.to_le_bytes());
                 out.extend_from_slice(&readers.to_le_bytes());
             }
-            Message::Round { round, state } => {
+            Message::Round {
+                round,
+                attempt,
+                state,
+                shards,
+            } => {
                 out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&attempt.to_le_bytes());
                 put_f64s(&mut out, state);
+                put_u64_pairs(&mut out, shards);
             }
-            Message::RoundResult { round, cells } => {
+            Message::RoundResult {
+                round,
+                attempt,
+                shards,
+            } => {
                 out.extend_from_slice(&round.to_le_bytes());
-                put_bytes(&mut out, cells);
+                out.extend_from_slice(&attempt.to_le_bytes());
+                out.extend_from_slice(&(shards.len() as u32).to_le_bytes());
+                for (first, cells) in shards {
+                    out.extend_from_slice(&first.to_le_bytes());
+                    put_bytes(&mut out, cells);
+                }
             }
             Message::EndJob | Message::Shutdown => {}
             Message::JobDone { trace } => put_bytes(&mut out, trace),
@@ -366,12 +422,26 @@ impl Message {
             },
             TYPE_ROUND => Message::Round {
                 round: r.u32("round")?,
+                attempt: r.u32("attempt")?,
                 state: r.f64s("state")?,
+                shards: r.u64_pairs("shards")?,
             },
-            TYPE_ROUND_RESULT => Message::RoundResult {
-                round: r.u32("round")?,
-                cells: r.bytes("cells")?,
-            },
+            TYPE_ROUND_RESULT => {
+                let round = r.u32("round")?;
+                let attempt = r.u32("attempt")?;
+                let n = r.len("shard results")?;
+                let mut shards = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    let first = r.u64("shard first_row")?;
+                    let cells = r.bytes("shard cells")?;
+                    shards.push((first, cells));
+                }
+                Message::RoundResult {
+                    round,
+                    attempt,
+                    shards,
+                }
+            }
             TYPE_END_JOB => Message::EndJob,
             TYPE_JOB_DONE => Message::JobDone {
                 trace: r.bytes("trace")?,
@@ -479,11 +549,14 @@ mod proto_tests {
             },
             Message::Round {
                 round: 7,
+                attempt: 2,
                 state: vec![1.5, -2.0],
+                shards: vec![(0, 100), (300, 50)],
             },
             Message::RoundResult {
                 round: 7,
-                cells: vec![9, 8, 7],
+                attempt: 2,
+                shards: vec![(0, vec![9, 8, 7]), (300, vec![1])],
             },
             Message::EndJob,
             Message::JobDone { trace: vec![4, 5] },
@@ -579,11 +652,14 @@ mod proto_tests {
     fn corrupt_inner_array_length_rejected() {
         let msg = Message::Round {
             round: 1,
+            attempt: 0,
             state: vec![1.0, 2.0],
+            shards: vec![],
         };
         let mut frame = msg.encode();
-        // The state length field sits right after header(10) + round(4).
-        frame[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+        // The state length field sits right after header(10) + round(4)
+        // + attempt(4).
+        frame[18..22].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             read_message(&mut &frame[..]),
             Err(DistError::Protocol { .. })

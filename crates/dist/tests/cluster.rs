@@ -6,7 +6,9 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use freeride_dist::proto::{read_message, write_message, Message};
-use freeride_dist::{run_loopback, ClusterConfig, Coordinator, DistError, LoopbackCluster};
+use freeride_dist::{
+    resume_loopback, run_loopback, ClusterConfig, Coordinator, DistError, LoopbackCluster,
+};
 use obs::TraceLevel;
 
 fn dataset(tag: &str, unit: usize, data: &[f64]) -> PathBuf {
@@ -331,5 +333,299 @@ fn explicit_cluster_composition() {
         .unwrap();
     cluster.join().unwrap();
     assert_eq!(out.robj.get(0, 0), 200.0);
+    std::fs::remove_file(&path).ok();
+}
+
+// ---------------------------------------------------------------------
+// Fault tolerance: node-failure recovery and resume-from-checkpoint.
+// ---------------------------------------------------------------------
+
+fn ckpt_dir(tag: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("freeride-ckpt-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn kmeans_cfg(path: &PathBuf, rounds: usize) -> ClusterConfig {
+    let mut cfg = ClusterConfig::new("kmeans", path);
+    cfg.params = vec![3, 2];
+    cfg.init_state = vec![0.0, 0.0, 5.0, 5.0, 11.0, 9.0];
+    cfg.rounds = rounds;
+    cfg.read_timeout = Duration::from_secs(5);
+    cfg
+}
+
+fn kmeans_data() -> Vec<f64> {
+    (0..300)
+        .flat_map(|i| {
+            let base = (i % 3) as f64 * 5.0;
+            [
+                base + (i as f64 * 0.017).sin(),
+                base + (i as f64 * 0.031).cos(),
+            ]
+        })
+        .collect()
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// The tentpole acceptance gate: kill a real node agent mid-round and
+/// the recovered run is **bit-identical** to an undisturbed run of the
+/// same cluster shape — per-shard results merged in global row order
+/// make the combination fold independent of shard placement.
+#[test]
+fn killed_node_recovery_is_bit_identical_for_kmeans() {
+    let data = kmeans_data();
+    for nodes in [2usize, 4] {
+        let path = dataset(&format!("ft-kmeans-{nodes}"), 2, &data);
+        let baseline = run_loopback(kmeans_cfg(&path, 3), nodes).unwrap();
+
+        // Node 1 answers one round, then severs its connection
+        // mid-round — what a SIGKILLed process looks like on the wire.
+        let cluster = LoopbackCluster::spawn_with_chaos(nodes, &[(1, 1)]).unwrap();
+        let mut cfg = kmeans_cfg(&path, 3);
+        cfg.trace = TraceLevel::Phases;
+        let out = Coordinator::new(cfg).run(cluster.addrs()).unwrap();
+        cluster.join().unwrap();
+
+        assert_eq!(
+            bits(&out.state),
+            bits(&baseline.state),
+            "{nodes} nodes: recovered centroids differ"
+        );
+        assert_eq!(
+            bits(out.robj.cells()),
+            bits(baseline.robj.cells()),
+            "{nodes} nodes: recovered reduction object differs"
+        );
+        assert_eq!(out.stats.recoveries, 1);
+        assert_eq!(out.stats.retries, 1);
+        assert_eq!(out.stats.shards_reassigned, 1);
+        let trace = out.trace.expect("tracing was on");
+        assert_eq!(trace.count("ft.recover"), 1);
+        assert_eq!(trace.counters["ft.recoveries"], 1);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Same gate for a single-pass reduction: the dead node's shard lands on
+/// a survivor and the sum is bit-identical.
+#[test]
+fn killed_node_recovery_is_bit_identical_for_sum() {
+    let data: Vec<f64> = (0..900).map(|i| (i as f64 * 0.21).sin()).collect();
+    let path = dataset("ft-sum", 4, &data);
+    let baseline = run_loopback(ClusterConfig::new("sum", &path), 4).unwrap();
+
+    let cluster = LoopbackCluster::spawn_with_chaos(4, &[(2, 0)]).unwrap();
+    let mut cfg = ClusterConfig::new("sum", &path);
+    cfg.read_timeout = Duration::from_secs(5);
+    let out = Coordinator::new(cfg).run(cluster.addrs()).unwrap();
+    cluster.join().unwrap();
+    assert_eq!(bits(out.robj.cells()), bits(baseline.robj.cells()));
+    assert_eq!(out.stats.recoveries, 1);
+    std::fs::remove_file(&path).ok();
+}
+
+/// With one node there is no survivor to reassign to: a kill surfaces
+/// the underlying typed error, fast.
+#[test]
+fn killed_node_with_no_survivors_is_typed_error() {
+    let data = vec![1.0; 64];
+    let path = dataset("ft-lonely", 2, &data);
+    let cluster = LoopbackCluster::spawn_with_chaos(1, &[(0, 0)]).unwrap();
+    let mut cfg = ClusterConfig::new("sum", &path);
+    cfg.read_timeout = Duration::from_millis(500);
+    let start = std::time::Instant::now();
+    let err = Coordinator::new(cfg).run(cluster.addrs()).unwrap_err();
+    assert!(
+        matches!(err, DistError::Node { .. } | DistError::Timeout { .. }),
+        "{err}"
+    );
+    assert!(start.elapsed() < Duration::from_secs(5));
+    cluster.join().unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+/// Failures beyond `max_retries` surface as `RetriesExhausted` wrapping
+/// the last failure.
+#[test]
+fn retry_budget_exhaustion_is_typed() {
+    let data = vec![1.0; 120];
+    let path = dataset("ft-budget", 2, &data);
+    // Two of three nodes die on their first round; budget allows one
+    // recovery.
+    let cluster = LoopbackCluster::spawn_with_chaos(3, &[(1, 0), (2, 0)]).unwrap();
+    let mut cfg = ClusterConfig::new("sum", &path);
+    cfg.read_timeout = Duration::from_millis(500);
+    cfg.ft.max_retries = 1;
+    cfg.ft.backoff = Duration::from_millis(1);
+    let err = Coordinator::new(cfg).run(cluster.addrs()).unwrap_err();
+    match err {
+        DistError::RetriesExhausted { retries, .. } => assert_eq!(retries, 1),
+        other => panic!("expected RetriesExhausted, got {other}"),
+    }
+    let _ = cluster.join();
+    std::fs::remove_file(&path).ok();
+}
+
+/// `reassign: false` restores fail-fast: the first failure aborts the
+/// run with the plain underlying error even with survivors available.
+#[test]
+fn reassign_false_fails_fast() {
+    let data = vec![1.0; 120];
+    let path = dataset("ft-failfast", 2, &data);
+    let cluster = LoopbackCluster::spawn_with_chaos(2, &[(0, 0)]).unwrap();
+    let mut cfg = ClusterConfig::new("sum", &path);
+    cfg.read_timeout = Duration::from_millis(500);
+    cfg.ft.reassign = false;
+    let err = Coordinator::new(cfg).run(cluster.addrs()).unwrap_err();
+    assert!(
+        matches!(err, DistError::Node { .. } | DistError::Timeout { .. }),
+        "{err}"
+    );
+    let _ = cluster.join();
+    std::fs::remove_file(&path).ok();
+}
+
+/// Checkpointing an undisturbed run must not perturb the results, and
+/// the retention policy keeps the directory bounded.
+#[test]
+fn checkpointing_does_not_perturb_and_prunes() {
+    let data = kmeans_data();
+    let path = dataset("ft-ckpt-clean", 2, &data);
+    let dir = ckpt_dir("clean");
+    let plain = run_loopback(kmeans_cfg(&path, 6), 2).unwrap();
+    let mut cfg = kmeans_cfg(&path, 6);
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.trace = TraceLevel::Phases;
+    let out = run_loopback(cfg, 2).unwrap();
+    assert_eq!(bits(&out.state), bits(&plain.state));
+    assert_eq!(bits(out.robj.cells()), bits(plain.robj.cells()));
+    assert_eq!(out.stats.checkpoints_written, 6);
+    assert!(out.stats.checkpoint_bytes > 0);
+    // Default retention keeps the newest 4 of the 6 written rounds.
+    let store = freeride_ft::CheckpointStore::open(&dir).unwrap();
+    assert_eq!(store.rounds().unwrap(), vec![2, 3, 4, 5]);
+    let latest = store.latest().unwrap().unwrap();
+    assert_eq!(latest.round, 5);
+    assert_eq!(bits(&latest.state), bits(&out.state));
+    // The merged trace alone reconstructs the cluster-level stats.
+    let trace = out.trace.expect("tracing was on");
+    assert_eq!(trace.count("ft.checkpoint"), 6);
+    let rebuilt = freeride_dist::ClusterStats::from_trace(&trace);
+    assert_eq!(rebuilt.nodes, out.stats.nodes);
+    assert_eq!(rebuilt.rounds, out.stats.rounds);
+    assert_eq!(rebuilt.bytes_sent, out.stats.bytes_sent);
+    assert_eq!(rebuilt.bytes_recv, out.stats.bytes_recv);
+    assert_eq!(rebuilt.checkpoints_written, out.stats.checkpoints_written);
+    assert_eq!(rebuilt.checkpoint_bytes, out.stats.checkpoint_bytes);
+    assert_eq!(rebuilt.recoveries, 0);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&path).ok();
+}
+
+/// Coordinator-crash recovery: a run that dies mid-job leaves
+/// checkpoints behind; `resume_from` on a fresh cluster of the same
+/// shape finishes **bit-identical** to a run that never crashed.
+#[test]
+fn resume_after_coordinator_crash_is_bit_identical() {
+    let data = kmeans_data();
+    let path = dataset("ft-resume", 2, &data);
+    let dir = ckpt_dir("resume");
+    let baseline = run_loopback(kmeans_cfg(&path, 5), 2).unwrap();
+
+    // The "crashing" run: recovery disabled so the node kill after two
+    // answered rounds aborts the job, leaving checkpoints 0 and 1.
+    let cluster = LoopbackCluster::spawn_with_chaos(2, &[(0, 2)]).unwrap();
+    let mut cfg = kmeans_cfg(&path, 5);
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.ft.reassign = false;
+    cfg.read_timeout = Duration::from_millis(500);
+    Coordinator::new(cfg.clone())
+        .run(cluster.addrs())
+        .unwrap_err();
+    let _ = cluster.join();
+
+    // Resume on a fresh, healthy cluster of the same node count.
+    cfg.ft.reassign = true;
+    cfg.trace = TraceLevel::Phases;
+    let resumed = resume_loopback(cfg, 2).unwrap();
+    assert_eq!(bits(&resumed.state), bits(&baseline.state));
+    assert_eq!(bits(resumed.robj.cells()), bits(baseline.robj.cells()));
+    // The resumed process itself ran only the remaining rounds.
+    assert_eq!(resumed.stats.rounds, 3);
+    assert_eq!(resumed.stats.recoveries, 1);
+    let trace = resumed.trace.expect("tracing was on");
+    assert_eq!(trace.count("ft.recover"), 1);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&path).ok();
+}
+
+/// Resuming when every round is already checkpointed completes without
+/// touching the cluster (and without needing one).
+#[test]
+fn resume_with_nothing_left_uses_checkpoint_only() {
+    let data = kmeans_data();
+    let path = dataset("ft-resume-done", 2, &data);
+    let dir = ckpt_dir("resume-done");
+    let mut cfg = kmeans_cfg(&path, 3);
+    cfg.checkpoint_dir = Some(dir.clone());
+    let full = run_loopback(cfg.clone(), 2).unwrap();
+    // No cluster at all: resume straight from the final checkpoint.
+    let resumed = Coordinator::new(cfg).resume_from(&[]).unwrap();
+    assert_eq!(bits(&resumed.state), bits(&full.state));
+    assert_eq!(bits(resumed.robj.cells()), bits(full.robj.cells()));
+    assert_eq!(resumed.stats.rounds, 0);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&path).ok();
+}
+
+/// Resume without a checkpoint directory (or with an empty one) is a
+/// typed error, not a panic or a silent fresh start.
+#[test]
+fn resume_without_checkpoints_is_typed_error() {
+    let data = vec![1.0; 32];
+    let path = dataset("ft-resume-none", 2, &data);
+    let err = Coordinator::new(ClusterConfig::new("sum", &path))
+        .resume_from(&[])
+        .unwrap_err();
+    assert!(matches!(err, DistError::BadTask { .. }), "{err}");
+    let dir = ckpt_dir("resume-none");
+    let mut cfg = ClusterConfig::new("sum", &path);
+    cfg.checkpoint_dir = Some(dir.clone());
+    let err = Coordinator::new(cfg).resume_from(&[]).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            DistError::Ft(freeride_ft::FtError::NoCheckpoint { .. })
+        ),
+        "{err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&path).ok();
+}
+
+/// A checkpoint from a different job (task or params) is refused on
+/// resume with a typed mismatch error.
+#[test]
+fn resume_rejects_mismatched_job() {
+    let data = kmeans_data();
+    let path = dataset("ft-resume-skew", 2, &data);
+    let dir = ckpt_dir("resume-skew");
+    let mut cfg = kmeans_cfg(&path, 2);
+    cfg.checkpoint_dir = Some(dir.clone());
+    run_loopback(cfg.clone(), 2).unwrap();
+    let mut skewed = cfg.clone();
+    skewed.task = "sum".into();
+    skewed.params = vec![];
+    let err = Coordinator::new(skewed).resume_from(&[]).unwrap_err();
+    assert!(
+        matches!(err, DistError::Ft(freeride_ft::FtError::Mismatch { .. })),
+        "{err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
     std::fs::remove_file(&path).ok();
 }

@@ -63,7 +63,11 @@ impl Application {
     /// An application with only a local reduction (default combination,
     /// no finalize).
     pub fn new(reduction: ReductionFn) -> Application {
-        Application { reduction, combination: None, finalize: None }
+        Application {
+            reduction,
+            combination: None,
+            finalize: None,
+        }
     }
 
     /// Attach a custom combination function.
@@ -92,7 +96,11 @@ impl Runtime {
     /// initialization of the reduction dataset and the reduction
     /// object").
     pub fn initialize(config: JobConfig) -> Runtime {
-        Runtime { engine: Engine::new(config), layout: None, app: None }
+        Runtime {
+            engine: Engine::new(config),
+            layout: None,
+            app: None,
+        }
     }
 
     /// `reduction_object_alloc`: declare the reduction object's groups;
@@ -123,7 +131,10 @@ impl Runtime {
     /// slots.
     pub fn execute(&self, data: &[f64], unit: usize) -> Result<JobOutcome, FreerideError> {
         let app = self.app.as_ref().expect("no application registered");
-        let layout = self.layout.as_ref().expect("reduction object not allocated");
+        let layout = self
+            .layout
+            .as_ref()
+            .expect("reduction object not allocated");
         let view = DataView::new(data, unit)?;
         let kernel = app.reduction.as_ref();
         Ok(self.engine.run_with(
@@ -146,7 +157,10 @@ impl Runtime {
         mut step: impl FnMut(usize, &ReductionObject) -> bool,
     ) -> Result<JobOutcome, FreerideError> {
         let app = self.app.as_ref().expect("no application registered");
-        let layout = self.layout.as_ref().expect("reduction object not allocated");
+        let layout = self
+            .layout
+            .as_ref()
+            .expect("reduction object not allocated");
         let view = DataView::new(data, unit)?;
         let kernel = app.reduction.as_ref();
         Ok(self.engine.run_iterations_with(

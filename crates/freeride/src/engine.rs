@@ -98,7 +98,11 @@ impl IoMode {
 
     /// Streaming sized to keep the resident chunk-buffer pool within
     /// `budget` for rows of `unit` slots, with `readers` reader threads.
-    pub fn streaming_within(budget: freeride_io::MemoryBudget, unit: usize, readers: usize) -> IoMode {
+    pub fn streaming_within(
+        budget: freeride_io::MemoryBudget,
+        unit: usize,
+        readers: usize,
+    ) -> IoMode {
         IoMode::from(freeride_io::config_within(budget, unit, readers))
     }
 
@@ -106,16 +110,26 @@ impl IoMode {
     pub fn stream_config(&self) -> Option<freeride_io::StreamConfig> {
         match *self {
             IoMode::Sync => None,
-            IoMode::Streaming { chunk_rows, buffers, readers } => {
-                Some(freeride_io::StreamConfig { chunk_rows, buffers, readers })
-            }
+            IoMode::Streaming {
+                chunk_rows,
+                buffers,
+                readers,
+            } => Some(freeride_io::StreamConfig {
+                chunk_rows,
+                buffers,
+                readers,
+            }),
         }
     }
 }
 
 impl From<freeride_io::StreamConfig> for IoMode {
     fn from(c: freeride_io::StreamConfig) -> IoMode {
-        IoMode::Streaming { chunk_rows: c.chunk_rows, buffers: c.buffers, readers: c.readers }
+        IoMode::Streaming {
+            chunk_rows: c.chunk_rows,
+            buffers: c.buffers,
+            readers: c.readers,
+        }
     }
 }
 
@@ -163,18 +177,28 @@ impl Default for JobConfig {
 impl JobConfig {
     /// A full-replication job with `threads` real threads.
     pub fn with_threads(threads: usize) -> JobConfig {
-        JobConfig { threads, ..Default::default() }
+        JobConfig {
+            threads,
+            ..Default::default()
+        }
     }
 
     /// Instrumented sequential execution with `threads` *logical*
     /// threads (for modeled scalability).
     pub fn modeled(threads: usize) -> JobConfig {
-        JobConfig { threads, exec: ExecMode::Sequential, ..Default::default() }
+        JobConfig {
+            threads,
+            exec: ExecMode::Sequential,
+            ..Default::default()
+        }
     }
 
     /// This configuration with tracing at `level`.
     pub fn traced(self, level: TraceLevel) -> JobConfig {
-        JobConfig { trace: level, ..self }
+        JobConfig {
+            trace: level,
+            ..self
+        }
     }
 }
 
@@ -252,7 +276,11 @@ impl Engine {
     /// The engine owns a fresh [`Recorder`] at `config.trace`.
     pub fn new(config: JobConfig) -> Engine {
         let recorder = Arc::new(Recorder::new(config.trace));
-        Engine { config, pool: Arc::new(WorkerPool::new()), recorder }
+        Engine {
+            config,
+            pool: Arc::new(WorkerPool::new()),
+            recorder,
+        }
     }
 
     /// Create an engine that records into a caller-supplied recorder —
@@ -261,7 +289,11 @@ impl Engine {
     /// `config.trace`.
     pub fn with_recorder(mut config: JobConfig, recorder: Arc<Recorder>) -> Engine {
         config.trace = recorder.level();
-        Engine { config, pool: Arc::new(WorkerPool::new()), recorder }
+        Engine {
+            config,
+            pool: Arc::new(WorkerPool::new()),
+            recorder,
+        }
     }
 
     /// Pre-spawn the pool's workers so the first pass does not pay the
@@ -282,7 +314,8 @@ impl Engine {
                 0,
                 vec![("threads_spawned", AttrValue::Int(newly as i64))],
             );
-            self.recorder.add_counter("pool.threads_spawned", newly as i64);
+            self.recorder
+                .add_counter("pool.threads_spawned", newly as i64);
         }
         newly
     }
@@ -350,7 +383,11 @@ impl Engine {
             robj,
             stats: RunStats {
                 splits,
-                phases: PhaseTimes { combine_ns, finalize_ns, wall_ns },
+                phases: PhaseTimes {
+                    combine_ns,
+                    finalize_ns,
+                    wall_ns,
+                },
                 logical_threads: threads,
                 threads_spawned: delta.spawned,
                 pool_reuses: delta.reuses,
@@ -437,7 +474,10 @@ impl Engine {
     where
         K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
     {
-        if shard_first.checked_add(shard_rows).is_none_or(|end| end > file.rows()) {
+        if shard_first
+            .checked_add(shard_rows)
+            .is_none_or(|end| end > file.rows())
+        {
             return Err(crate::FreerideError::BadDataset {
                 reason: format!(
                     "shard {shard_first}..{} exceeds {} rows",
@@ -477,8 +517,11 @@ impl Engine {
 
         let worker_body = |w: usize| {
             let shared = shared.as_ref();
-            let mut local: Option<ReductionObject> =
-                if shared.is_none() { Some(ReductionObject::alloc(layout.clone())) } else { None };
+            let mut local: Option<ReductionObject> = if shared.is_none() {
+                Some(ReductionObject::alloc(layout.clone()))
+            } else {
+                None
+            };
             let mut my_stats = Vec::new();
             // One read buffer per worker, reused across every split it
             // pulls — no per-split allocation churn.
@@ -504,7 +547,12 @@ impl Engine {
                     break;
                 }
                 let read_ns = t0.elapsed().as_nanos() as u64;
-                let split = Split { rows: &rows_buf, unit, first_row: first, row_count: count };
+                let split = Split {
+                    rows: &rows_buf,
+                    unit,
+                    first_row: first,
+                    row_count: count,
+                };
                 match (&mut local, shared) {
                     (Some(robj), _) => kernel(&split, robj),
                     (None, Some(backend)) => {
@@ -569,7 +617,11 @@ impl Engine {
             robj,
             stats: RunStats {
                 splits,
-                phases: PhaseTimes { combine_ns, finalize_ns, wall_ns },
+                phases: PhaseTimes {
+                    combine_ns,
+                    finalize_ns,
+                    wall_ns,
+                },
                 logical_threads: threads,
                 threads_spawned: delta.spawned,
                 pool_reuses: delta.reuses,
@@ -605,7 +657,10 @@ impl Engine {
     where
         K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
     {
-        if shard_first.checked_add(shard_rows).is_none_or(|end| end > source.rows()) {
+        if shard_first
+            .checked_add(shard_rows)
+            .is_none_or(|end| end > source.rows())
+        {
             return Err(crate::FreerideError::BadDataset {
                 reason: format!(
                     "shard {shard_first}..{} exceeds {} rows",
@@ -639,8 +694,11 @@ impl Engine {
 
         let worker_body = |w: usize| {
             let shared = shared.as_ref();
-            let mut local: Option<ReductionObject> =
-                if shared.is_none() { Some(ReductionObject::alloc(layout.clone())) } else { None };
+            let mut local: Option<ReductionObject> = if shared.is_none() {
+                Some(ReductionObject::alloc(layout.clone()))
+            } else {
+                None
+            };
             let mut my_stats = Vec::new();
             // `recv` returns None when the shard is exhausted *or* the
             // pipeline aborted — either way the worker just drains out.
@@ -723,7 +781,11 @@ impl Engine {
             robj,
             stats: RunStats {
                 splits,
-                phases: PhaseTimes { combine_ns, finalize_ns, wall_ns },
+                phases: PhaseTimes {
+                    combine_ns,
+                    finalize_ns,
+                    wall_ns,
+                },
                 logical_threads: threads,
                 threads_spawned: delta.spawned,
                 pool_reuses: delta.reuses,
@@ -769,17 +831,66 @@ impl Engine {
         kernel: &K,
         combination: Option<&CombinationFn>,
         finalize: Option<&FinalizeFn>,
-        mut step: impl FnMut(usize, &ReductionObject) -> bool,
+        step: impl FnMut(usize, &ReductionObject) -> bool,
     ) -> JobOutcome
     where
         K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
     {
-        let mut total = RunStats { logical_threads: self.config.threads, ..Default::default() };
+        self.run_iterations_resumable(
+            view,
+            layout,
+            0,
+            iters,
+            kernel,
+            combination,
+            finalize,
+            step,
+            |_, _| {},
+        )
+    }
+
+    /// The resumable form of [`Engine::run_iterations_with`]: the outer
+    /// loop starts at `first_iter` (0 for a fresh run; `c + 1` to resume
+    /// after a checkpoint of completed pass `c`), and after each pass's
+    /// `step` the `checkpoint` hook sees the pass index and combined
+    /// object — the place to persist a
+    /// recovery point (e.g. via `freeride-ft`'s `CheckpointStore`).
+    /// Iteration is deterministic, so a resumed run recomputes exactly
+    /// the passes the interrupted run would have — the caller must
+    /// restore its own `step` state (e.g. centroids) from the same
+    /// checkpoint. `first_iter` must be less than `iters.max(1)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_iterations_resumable<K>(
+        &self,
+        view: DataView<'_>,
+        layout: &Arc<RObjLayout>,
+        first_iter: usize,
+        iters: usize,
+        kernel: &K,
+        combination: Option<&CombinationFn>,
+        finalize: Option<&FinalizeFn>,
+        mut step: impl FnMut(usize, &ReductionObject) -> bool,
+        mut checkpoint: impl FnMut(usize, &ReductionObject),
+    ) -> JobOutcome
+    where
+        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+    {
+        let iters = iters.max(1);
+        assert!(
+            first_iter < iters,
+            "resume pass {first_iter} is past the last pass {}",
+            iters - 1
+        );
+        let mut total = RunStats {
+            logical_threads: self.config.threads,
+            ..Default::default()
+        };
         let mut last: Option<JobOutcome> = None;
-        for it in 0..iters.max(1) {
+        for it in first_iter..iters {
             let outcome = self.run_with(view, layout, kernel, combination, finalize);
             total.absorb(&outcome.stats);
             let stop = !step(it, &outcome.robj);
+            checkpoint(it, &outcome.robj);
             last = Some(outcome);
             if stop {
                 break;
@@ -886,8 +997,7 @@ impl Engine {
             backend.snapshot()
         } else if copies.is_empty() {
             ReductionObject::alloc(layout.clone())
-        } else if layout.total_cells() >= self.config.parallel_merge_threshold && copies.len() > 2
-        {
+        } else if layout.total_cells() >= self.config.parallel_merge_threshold && copies.len() > 2 {
             match self.config.exec {
                 ExecMode::Threads => self.pooled_tree_merge(copies, combination),
                 ExecMode::ScopedThreads => {
@@ -973,8 +1083,9 @@ impl Engine {
             // Full replication: one private copy per logical thread so
             // the later (timed) merge reflects the real combination cost
             // at this thread count.
-            let mut copies: Vec<ReductionObject> =
-                (0..threads).map(|_| ReductionObject::alloc(layout.clone())).collect();
+            let mut copies: Vec<ReductionObject> = (0..threads)
+                .map(|_| ReductionObject::alloc(layout.clone()))
+                .collect();
             for (i, &(first, count)) in ranges.iter().enumerate() {
                 let split = view.split(first, count);
                 let worker = i % threads;
@@ -1022,8 +1133,11 @@ impl Engine {
                 // Per-dispatch handle/copy construction: a pool worker
                 // serves many passes over its lifetime, so per-pass
                 // state cannot be tied to thread birth.
-                let mut local: Option<ReductionObject> =
-                    if shared.is_none() { Some(ReductionObject::alloc(layout.clone())) } else { None };
+                let mut local: Option<ReductionObject> = if shared.is_none() {
+                    Some(ReductionObject::alloc(layout.clone()))
+                } else {
+                    None
+                };
                 let mut my_stats = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -1145,7 +1259,11 @@ impl Engine {
     ) -> ReductionObject {
         let workers = self.pool.workers().max(1);
         while copies.len() > 1 {
-            let odd = if copies.len() % 2 == 1 { copies.pop() } else { None };
+            let odd = if copies.len() % 2 == 1 {
+                copies.pop()
+            } else {
+                None
+            };
             let pairs: Vec<Mutex<Option<(ReductionObject, ReductionObject)>>> = {
                 let mut it = copies.into_iter();
                 let mut v = Vec::new();
@@ -1202,7 +1320,11 @@ fn scoped_tree_merge(
     let mut spawned = 0usize;
     while copies.len() > 1 {
         let mut next_round: Vec<ReductionObject> = Vec::with_capacity(copies.len().div_ceil(2));
-        let odd = if copies.len() % 2 == 1 { copies.pop() } else { None };
+        let odd = if copies.len() % 2 == 1 {
+            copies.pop()
+        } else {
+            None
+        };
         let pairs: Vec<(ReductionObject, ReductionObject)> = {
             let mut it = copies.into_iter();
             let mut v = Vec::new();
@@ -1265,7 +1387,11 @@ mod engine_tests {
             SyncScheme::BucketLocking { stripes: 4 },
             SyncScheme::Atomic,
         ] {
-            for exec in [ExecMode::Threads, ExecMode::ScopedThreads, ExecMode::Sequential] {
+            for exec in [
+                ExecMode::Threads,
+                ExecMode::ScopedThreads,
+                ExecMode::Sequential,
+            ] {
                 for threads in [1usize, 3, 8] {
                     let engine = Engine::new(JobConfig {
                         threads,
@@ -1341,7 +1467,10 @@ mod engine_tests {
         let first = engine.run(view, &sum_layout(), &sum_kernel);
         let second = engine.run(view, &sum_layout(), &sum_kernel);
         // Two consecutive runs spawn config.threads threads in total.
-        assert_eq!(first.stats.threads_spawned + second.stats.threads_spawned, 3);
+        assert_eq!(
+            first.stats.threads_spawned + second.stats.threads_spawned,
+            3
+        );
         assert_eq!(first.stats.threads_spawned, 3);
         assert_eq!(second.stats.threads_spawned, 0);
         assert_eq!(second.stats.pool_reuses, 1);
@@ -1569,7 +1698,11 @@ mod engine_tests {
         let file = crate::source::FileDataset::open(&path).unwrap();
 
         for scheme in [SyncScheme::FullReplication, SyncScheme::Atomic] {
-            let engine = Engine::new(JobConfig { threads: 3, scheme, ..Default::default() });
+            let engine = Engine::new(JobConfig {
+                threads: 3,
+                scheme,
+                ..Default::default()
+            });
             let out = engine.run_file(&file, &sum_layout(), &sum_kernel).unwrap();
             assert_eq!(out.robj.get(0, 0), raw.iter().sum::<f64>(), "{scheme:?}");
             assert_eq!(out.stats.splits.len(), 3);
@@ -1616,8 +1749,9 @@ mod engine_tests {
             for n in 0..nodes {
                 let first = n * file.rows() / nodes;
                 let count = (n + 1) * file.rows() / nodes - first;
-                let out =
-                    engine.run_file_shard(&file, first, count, &sum_layout(), &sum_kernel).unwrap();
+                let out = engine
+                    .run_file_shard(&file, first, count, &sum_layout(), &sum_kernel)
+                    .unwrap();
                 merged.merge_from(&out.robj);
                 covered += count;
             }
@@ -1639,8 +1773,12 @@ mod engine_tests {
             }
         };
         let full = engine.run_file(&file, &sum_layout(), &idx_kernel).unwrap();
-        let a = engine.run_file_shard(&file, 0, 100, &sum_layout(), &idx_kernel).unwrap();
-        let b = engine.run_file_shard(&file, 100, 200, &sum_layout(), &idx_kernel).unwrap();
+        let a = engine
+            .run_file_shard(&file, 0, 100, &sum_layout(), &idx_kernel)
+            .unwrap();
+        let b = engine
+            .run_file_shard(&file, 100, 200, &sum_layout(), &idx_kernel)
+            .unwrap();
         let mut merged = a.robj;
         merged.merge_from(&b.robj);
         assert!((merged.get(0, 0) - full.robj.get(0, 0)).abs() < 1e-9);
@@ -1703,7 +1841,9 @@ mod engine_tests {
             splitter: Splitter::Chunked { rows_per_chunk: 10 },
             ..Default::default()
         });
-        let err = engine.run_file(&file, &sum_layout(), &sum_kernel).unwrap_err();
+        let err = engine
+            .run_file(&file, &sum_layout(), &sum_kernel)
+            .unwrap_err();
         // 100 splits were queued; with the abort flag the queue drains
         // almost immediately. The exact pull count is racy, but the
         // returned error must be an I/O error (first one wins).
@@ -1741,12 +1881,20 @@ mod engine_tests {
         let raw = data(1200);
         let view = DataView::new(&raw, 4).unwrap();
         let (threads, iters) = (3usize, 4usize);
-        for exec in [ExecMode::Threads, ExecMode::ScopedThreads, ExecMode::Sequential] {
+        for exec in [
+            ExecMode::Threads,
+            ExecMode::ScopedThreads,
+            ExecMode::Sequential,
+        ] {
             let engine = Engine::new(
-                JobConfig { threads, exec, ..Default::default() }.traced(TraceLevel::Splits),
+                JobConfig {
+                    threads,
+                    exec,
+                    ..Default::default()
+                }
+                .traced(TraceLevel::Splits),
             );
-            let out =
-                engine.run_iterations(view, &sum_layout(), iters, &sum_kernel, |_, _| true);
+            let out = engine.run_iterations(view, &sum_layout(), iters, &sum_kernel, |_, _| true);
             assert_eq!(out.robj.get(0, 0), raw.iter().sum::<f64>(), "{exec:?}");
             let trace = engine.drain_trace();
             assert_eq!(trace.count("split"), iters * threads, "{exec:?}");
@@ -1776,8 +1924,7 @@ mod engine_tests {
     /// returns the spawn count and emits a `pool.grow` event.
     #[test]
     fn warmup_emits_pool_growth_event_once() {
-        let engine =
-            Engine::new(JobConfig::with_threads(3).traced(TraceLevel::Phases));
+        let engine = Engine::new(JobConfig::with_threads(3).traced(TraceLevel::Phases));
         assert_eq!(engine.warmup(), 3, "cold warmup spawns the full pool");
         assert_eq!(engine.warmup(), 0, "warm warmup spawns nothing");
         let trace = engine.drain_trace();
@@ -1797,19 +1944,35 @@ mod engine_tests {
         let view = DataView::new(&raw, 4).unwrap();
         for exec in [ExecMode::Threads, ExecMode::Sequential] {
             let engine = Engine::new(
-                JobConfig { threads: 3, exec, ..Default::default() }
-                    .traced(TraceLevel::Splits),
+                JobConfig {
+                    threads: 3,
+                    exec,
+                    ..Default::default()
+                }
+                .traced(TraceLevel::Splits),
             );
             let out = engine.run(view, &sum_layout(), &sum_kernel);
             let rebuilt = RunStats::from_trace(&engine.drain_trace());
             let mut sorted = rebuilt.splits.clone();
             sorted.sort_by_key(|s| s.split);
             assert_eq!(sorted, out.stats.splits, "{exec:?}");
-            assert_eq!(rebuilt.phases.combine_ns, out.stats.phases.combine_ns, "{exec:?}");
-            assert_eq!(rebuilt.phases.finalize_ns, out.stats.phases.finalize_ns, "{exec:?}");
+            assert_eq!(
+                rebuilt.phases.combine_ns, out.stats.phases.combine_ns,
+                "{exec:?}"
+            );
+            assert_eq!(
+                rebuilt.phases.finalize_ns, out.stats.phases.finalize_ns,
+                "{exec:?}"
+            );
             assert_eq!(rebuilt.phases.wall_ns, out.stats.phases.wall_ns, "{exec:?}");
-            assert_eq!(rebuilt.logical_threads, out.stats.logical_threads, "{exec:?}");
-            assert_eq!(rebuilt.threads_spawned, out.stats.threads_spawned, "{exec:?}");
+            assert_eq!(
+                rebuilt.logical_threads, out.stats.logical_threads,
+                "{exec:?}"
+            );
+            assert_eq!(
+                rebuilt.threads_spawned, out.stats.threads_spawned,
+                "{exec:?}"
+            );
             assert_eq!(rebuilt.pool_reuses, out.stats.pool_reuses, "{exec:?}");
         }
     }
@@ -1830,7 +1993,11 @@ mod engine_tests {
         let trace = engine.drain_trace();
         assert_eq!(trace.count("split"), 3);
         assert_eq!(trace.count("split.read"), 3, "one read span per split");
-        assert!(out.stats.splits.iter().all(|s| s.read_ns > 0 && s.read_ns <= s.nanos));
+        assert!(out
+            .stats
+            .splits
+            .iter()
+            .all(|s| s.read_ns > 0 && s.read_ns <= s.nanos));
         std::fs::remove_file(&path).ok();
     }
 

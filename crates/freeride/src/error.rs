@@ -37,7 +37,10 @@ impl fmt::Display for FreerideError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FreerideError::BadUnit { unit, len } => {
-                write!(f, "buffer of {len} slots cannot be viewed as rows of {unit}")
+                write!(
+                    f,
+                    "buffer of {len} slots cannot be viewed as rows of {unit}"
+                )
             }
             FreerideError::Io(e) => write!(f, "dataset I/O error: {e}"),
             FreerideError::BadDataset { reason } => write!(f, "bad dataset: {reason}"),
@@ -66,17 +69,19 @@ impl From<freeride_io::IoError> for FreerideError {
     fn from(e: freeride_io::IoError) -> Self {
         match e {
             freeride_io::IoError::Io(e) => FreerideError::Io(e),
-            freeride_io::IoError::OutOfRange { first_row, count, rows } => {
-                FreerideError::BadDataset {
-                    reason: format!(
-                        "row range {first_row}..{} exceeds {rows} rows",
-                        first_row + count
-                    ),
-                }
-            }
-            freeride_io::IoError::ReaderPanicked => {
-                FreerideError::Stream { reason: "I/O reader thread died mid-run".into() }
-            }
+            freeride_io::IoError::OutOfRange {
+                first_row,
+                count,
+                rows,
+            } => FreerideError::BadDataset {
+                reason: format!(
+                    "row range {first_row}..{} exceeds {rows} rows",
+                    first_row + count
+                ),
+            },
+            freeride_io::IoError::ReaderPanicked => FreerideError::Stream {
+                reason: "I/O reader thread died mid-run".into(),
+            },
         }
     }
 }
@@ -89,11 +94,17 @@ mod error_tests {
     fn display() {
         let e = FreerideError::BadUnit { unit: 3, len: 10 };
         assert!(e.to_string().contains("10 slots"));
-        let e = FreerideError::BadDataset { reason: "short read".into() };
+        let e = FreerideError::BadDataset {
+            reason: "short read".into(),
+        };
         assert!(e.to_string().contains("short read"));
-        let e = FreerideError::Codec { reason: "truncated frame".into() };
+        let e = FreerideError::Codec {
+            reason: "truncated frame".into(),
+        };
         assert!(e.to_string().contains("truncated frame"));
-        let e = FreerideError::Stream { reason: "reader died".into() };
+        let e = FreerideError::Stream {
+            reason: "reader died".into(),
+        };
         assert!(e.to_string().contains("reader died"));
     }
 

@@ -61,13 +61,19 @@ pub struct MapReduceEngine {
 impl MapReduceEngine {
     /// Create an engine with `threads` map workers.
     pub fn new(threads: usize) -> MapReduceEngine {
-        MapReduceEngine { threads: threads.max(1), recorder: None }
+        MapReduceEngine {
+            threads: threads.max(1),
+            recorder: None,
+        }
     }
 
     /// This engine recording `mr.map` / `mr.sort` / `mr.reduce` spans
     /// into `recorder` (at [`TraceLevel::Phases`] and above).
     pub fn traced(self, recorder: Arc<Recorder>) -> MapReduceEngine {
-        MapReduceEngine { recorder: Some(recorder), ..self }
+        MapReduceEngine {
+            recorder: Some(recorder),
+            ..self
+        }
     }
 
     /// Run: `map` emits `(key, value)` pairs for each row; values of
@@ -124,7 +130,10 @@ impl MapReduceEngine {
                     0,
                     rec.offset_ns(map_start),
                     map_ns,
-                    vec![("intermediate_pairs", AttrValue::Int(intermediate_pairs as i64))],
+                    vec![(
+                        "intermediate_pairs",
+                        AttrValue::Int(intermediate_pairs as i64),
+                    )],
                 );
                 rec.push_complete(
                     TraceLevel::Phases,
@@ -149,7 +158,12 @@ impl MapReduceEngine {
 
         MapReduceOutcome {
             reduced,
-            stats: MapReduceStats { map_ns, sort_ns, reduce_ns, intermediate_pairs },
+            stats: MapReduceStats {
+                map_ns,
+                sort_ns,
+                reduce_ns,
+                intermediate_pairs,
+            },
         }
     }
 }
@@ -168,7 +182,10 @@ mod mapreduce_tests {
             |row, emit| emit.push((row[0] as usize % 4, 1.0)),
             &CombineOp::Sum,
         );
-        assert_eq!(out.reduced, vec![(0, 25.0), (1, 25.0), (2, 25.0), (3, 25.0)]);
+        assert_eq!(
+            out.reduced,
+            vec![(0, 25.0), (1, 25.0), (2, 25.0), (3, 25.0)]
+        );
         assert_eq!(out.stats.intermediate_pairs, 100);
     }
 
@@ -195,12 +212,16 @@ mod mapreduce_tests {
         // Fused FREERIDE path with the same logic.
         let layout = RObjLayout::new(vec![GroupSpec::new("h", buckets, CombineOp::Sum)]);
         let engine = Engine::new(JobConfig::with_threads(2));
-        let out = engine.run(view, &layout, &|split: &Split<'_>, robj: &mut dyn RObjHandle| {
-            for row in split.iter_rows() {
-                let key = ((row[0].abs() * buckets as f64) as usize).min(buckets - 1);
-                robj.accumulate(0, key, row[1]);
-            }
-        });
+        let out = engine.run(
+            view,
+            &layout,
+            &|split: &Split<'_>, robj: &mut dyn RObjHandle| {
+                for row in split.iter_rows() {
+                    let key = ((row[0].abs() * buckets as f64) as usize).min(buckets - 1);
+                    robj.accumulate(0, key, row[1]);
+                }
+            },
+        );
 
         for (k, v) in &mr.reduced {
             assert!(
@@ -244,11 +265,8 @@ mod mapreduce_tests {
     fn min_reduction() {
         let data: Vec<f64> = vec![5.0, 3.0, 8.0, 1.0, 9.0, 2.0];
         let view = DataView::new(&data, 1).unwrap();
-        let out = MapReduceEngine::new(2).run(
-            view,
-            |row, emit| emit.push((0, row[0])),
-            &CombineOp::Min,
-        );
+        let out =
+            MapReduceEngine::new(2).run(view, |row, emit| emit.push((0, row[0])), &CombineOp::Min);
         assert_eq!(out.reduced, vec![(0, 1.0)]);
     }
 }

@@ -298,7 +298,10 @@ mod pool_tests {
             mask.lock()[w] = true;
         });
         assert_eq!(hits.load(Ordering::SeqCst), 3);
-        assert_eq!(&*mask.lock(), &[true, true, true, false, false, false, false, false]);
+        assert_eq!(
+            &*mask.lock(),
+            &[true, true, true, false, false, false, false, false]
+        );
     }
 
     #[test]
@@ -357,7 +360,10 @@ mod pool_tests {
         std::thread::sleep(std::time::Duration::from_millis(50));
         assert!(pool.total_parks() >= 2, "idle workers must park");
         pool.dispatch(2, &|_| {});
-        assert!(pool.total_wakes() >= 2, "parked workers woken into the pass");
+        assert!(
+            pool.total_wakes() >= 2,
+            "parked workers woken into the pass"
+        );
     }
 
     #[test]

@@ -96,7 +96,12 @@ impl GroupSpec {
     /// op's identity.
     pub fn new(name: &str, len: usize, op: CombineOp) -> GroupSpec {
         let init = op.identity();
-        GroupSpec { name: name.to_string(), len, op, init }
+        GroupSpec {
+            name: name.to_string(),
+            len,
+            op,
+            init,
+        }
     }
 
     /// Override the initial cell value (for custom ops whose identity is
@@ -124,7 +129,11 @@ impl RObjLayout {
             offsets.push(total);
             total += g.len;
         }
-        Arc::new(RObjLayout { groups, offsets, total })
+        Arc::new(RObjLayout {
+            groups,
+            offsets,
+            total,
+        })
     }
 
     /// Total number of cells across all groups.
@@ -258,8 +267,7 @@ impl ReductionObject {
     /// op — one step of the (local or global) combination phase.
     pub fn merge_from(&mut self, other: &ReductionObject) {
         assert!(
-            Arc::ptr_eq(&self.layout, &other.layout)
-                || self.layout.total == other.layout.total,
+            Arc::ptr_eq(&self.layout, &other.layout) || self.layout.total == other.layout.total,
             "merging reduction objects with different layouts"
         );
         let mut id = 0usize;
@@ -269,6 +277,21 @@ impl ReductionObject {
                 id += 1;
             }
         }
+    }
+
+    /// FNV-1a 64-bit hash of the raw cell bytes — a cheap content
+    /// fingerprint for checkpointing and cross-run comparison. Two
+    /// objects hash equal iff their cells are bit-identical (layout
+    /// names/ops are not included; those are checked structurally).
+    pub fn content_checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in &self.cells {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
     }
 
     /// Reset every cell to its group identity (between outer-loop
@@ -302,7 +325,9 @@ const MAX_GROUPS: u32 = 1 << 20;
 const MAX_NAME_LEN: u32 = 1 << 16;
 
 fn codec_err(reason: impl Into<String>) -> FreerideError {
-    FreerideError::Codec { reason: reason.into() }
+    FreerideError::Codec {
+        reason: reason.into(),
+    }
 }
 
 /// Checked little-endian reader over an untrusted frame.
@@ -332,19 +357,27 @@ impl<'a> FrameReader<'a> {
     }
 
     fn u16(&mut self, what: &str) -> Result<u16, FreerideError> {
-        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().expect("2 bytes"),
+        ))
     }
 
     fn u32(&mut self, what: &str) -> Result<u32, FreerideError> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self, what: &str) -> Result<u64, FreerideError> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn f64(&mut self, what: &str) -> Result<f64, FreerideError> {
-        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn remaining(&self) -> usize {
@@ -353,7 +386,10 @@ impl<'a> FrameReader<'a> {
 
     fn finish(self) -> Result<(), FreerideError> {
         if self.pos != self.buf.len() {
-            return Err(codec_err(format!("{} trailing bytes after frame", self.remaining())));
+            return Err(codec_err(format!(
+                "{} trailing bytes after frame",
+                self.remaining()
+            )));
         }
         Ok(())
     }
@@ -390,9 +426,7 @@ impl CombineOp {
             // A closure cannot cross a process boundary; distributed
             // jobs must use the built-in ops (or a registered task that
             // reconstructs its custom op on the node side).
-            CombineOp::Custom(_) => {
-                Err(codec_err("CombineOp::Custom is not serializable"))
-            }
+            CombineOp::Custom(_) => Err(codec_err("CombineOp::Custom is not serializable")),
         }
     }
 
@@ -413,7 +447,10 @@ impl RObjLayout {
         for g in &self.groups {
             let name = g.name.as_bytes();
             if name.len() > MAX_NAME_LEN as usize {
-                return Err(codec_err(format!("group name of {} bytes too long", name.len())));
+                return Err(codec_err(format!(
+                    "group name of {} bytes too long",
+                    name.len()
+                )));
             }
             out.extend_from_slice(&(name.len() as u32).to_le_bytes());
             out.extend_from_slice(name);
@@ -441,7 +478,12 @@ impl RObjLayout {
             let len = r.u64("group length")?;
             let op = CombineOp::from_tag(r.u8("combine-op tag")?)?;
             let init = r.f64("group init")?;
-            groups.push(GroupSpec { name, len: len as usize, op, init });
+            groups.push(GroupSpec {
+                name,
+                len: len as usize,
+                op,
+                init,
+            });
         }
         Ok(RObjLayout::new(groups))
     }
@@ -475,10 +517,7 @@ fn encode_cells_body(out: &mut Vec<u8>, cells: &[f64]) {
     }
 }
 
-fn decode_cells_body(
-    r: &mut FrameReader<'_>,
-    expected: usize,
-) -> Result<Vec<f64>, FreerideError> {
+fn decode_cells_body(r: &mut FrameReader<'_>, expected: usize) -> Result<Vec<f64>, FreerideError> {
     let count = r.u64("cell count")?;
     if count != expected as u64 {
         return Err(codec_err(format!(
@@ -519,7 +558,10 @@ impl ReductionObject {
         }
         let cells = decode_cells_body(&mut r, layout.total_cells())?;
         r.finish()?;
-        Ok(ReductionObject { layout: layout.clone(), cells })
+        Ok(ReductionObject {
+            layout: layout.clone(),
+            cells,
+        })
     }
 
     /// Serialize layout *and* cells as one self-contained frame (the
@@ -555,6 +597,17 @@ mod robj_tests {
             GroupSpec::new("sums", 4, CombineOp::Sum),
             GroupSpec::new("mins", 2, CombineOp::Min),
         ])
+    }
+
+    #[test]
+    fn content_checksum_tracks_cell_bits() {
+        let mut a = ReductionObject::alloc(layout2());
+        let mut b = ReductionObject::alloc(layout2());
+        assert_eq!(a.content_checksum(), b.content_checksum());
+        a.accumulate(0, 1, 2.5);
+        assert_ne!(a.content_checksum(), b.content_checksum());
+        b.accumulate(0, 1, 2.5);
+        assert_eq!(a.content_checksum(), b.content_checksum());
     }
 
     #[test]
@@ -645,7 +698,9 @@ mod robj_tests {
     #[test]
     fn custom_op_with_identity() {
         // absolute-max with identity 0
-        let op = CombineOp::Custom(Arc::new(|a: f64, b: f64| if b.abs() > a.abs() { b } else { a }));
+        let op = CombineOp::Custom(Arc::new(
+            |a: f64, b: f64| if b.abs() > a.abs() { b } else { a },
+        ));
         let l = RObjLayout::new(vec![GroupSpec::new("absmax", 1, op).with_identity(0.0)]);
         let mut r = ReductionObject::alloc(l);
         r.accumulate(0, 0, -5.0);

@@ -32,7 +32,10 @@ const HEADER_LEN: u64 = 4 + 4 + 8 + 4;
 /// Write a dataset of `unit`-slot rows to `path`.
 pub fn write_dataset(path: &Path, unit: usize, data: &[f64]) -> Result<(), FreerideError> {
     if unit == 0 || !data.len().is_multiple_of(unit) {
-        return Err(FreerideError::BadUnit { unit, len: data.len() });
+        return Err(FreerideError::BadUnit {
+            unit,
+            len: data.len(),
+        });
     }
     let rows = (data.len() / unit) as u64;
     let mut w = BufWriter::new(File::create(path)?);
@@ -66,14 +69,17 @@ impl FileDataset {
     pub fn open(path: &Path) -> Result<FileDataset, FreerideError> {
         let mut f = File::open(path)?;
         let mut header = [0u8; HEADER_LEN as usize];
-        f.read_exact(&mut header).map_err(|_| FreerideError::BadDataset {
-            reason: "file shorter than header".into(),
-        })?;
+        f.read_exact(&mut header)
+            .map_err(|_| FreerideError::BadDataset {
+                reason: "file shorter than header".into(),
+            })?;
         let mut buf = BytesMut::from(&header[..]);
         let mut magic = [0u8; 4];
         buf.copy_to_slice(&mut magic);
         if &magic != MAGIC {
-            return Err(FreerideError::BadDataset { reason: "bad magic".into() });
+            return Err(FreerideError::BadDataset {
+                reason: "bad magic".into(),
+            });
         }
         let version = buf.get_u32_le();
         if version != VERSION {
@@ -84,7 +90,9 @@ impl FileDataset {
         let rows = buf.get_u64_le();
         let unit = buf.get_u32_le();
         if unit == 0 {
-            return Err(FreerideError::BadDataset { reason: "zero unit".into() });
+            return Err(FreerideError::BadDataset {
+                reason: "zero unit".into(),
+            });
         }
         let expected = HEADER_LEN + rows * unit as u64 * 8;
         let actual = f.metadata()?.len();
@@ -93,7 +101,12 @@ impl FileDataset {
                 reason: format!("payload truncated: {actual} < {expected} bytes"),
             });
         }
-        Ok(FileDataset { path: path.to_path_buf(), rows, unit, file: Arc::new(f) })
+        Ok(FileDataset {
+            path: path.to_path_buf(),
+            rows,
+            unit,
+            file: Arc::new(f),
+        })
     }
 
     /// Number of rows (data instances).
@@ -124,7 +137,10 @@ impl FileDataset {
         count: usize,
         out: &mut Vec<f64>,
     ) -> Result<(), FreerideError> {
-        if first_row.checked_add(count).is_none_or(|end| end > self.rows()) {
+        if first_row
+            .checked_add(count)
+            .is_none_or(|end| end > self.rows())
+        {
             return Err(FreerideError::BadDataset {
                 reason: format!(
                     "row range {first_row}..{} exceeds {} rows",

@@ -28,10 +28,16 @@ impl<'a> DataView<'a> {
     /// length is not a multiple of `unit` or `unit` is zero.
     pub fn new(data: &'a [f64], unit: usize) -> Result<DataView<'a>, FreerideError> {
         if unit == 0 {
-            return Err(FreerideError::BadUnit { unit, len: data.len() });
+            return Err(FreerideError::BadUnit {
+                unit,
+                len: data.len(),
+            });
         }
         if !data.len().is_multiple_of(unit) {
-            return Err(FreerideError::BadUnit { unit, len: data.len() });
+            return Err(FreerideError::BadUnit {
+                unit,
+                len: data.len(),
+            });
         }
         Ok(DataView { data, unit })
     }
@@ -225,7 +231,9 @@ mod split_tests {
 
     #[test]
     fn custom_splitter() {
-        let s = Splitter::Custom(Arc::new(|rows, _| vec![(0, rows / 2), (rows / 2, rows - rows / 2)]));
+        let s = Splitter::Custom(Arc::new(|rows, _| {
+            vec![(0, rows / 2), (rows / 2, rows - rows / 2)]
+        }));
         assert_eq!(s.ranges(9, 4), vec![(0, 4), (4, 5)]);
     }
 

@@ -200,9 +200,18 @@ impl RunStats {
                 _ => {}
             }
         }
-        stats.threads_spawned =
-            trace.counters.get("pool.threads_spawned").copied().unwrap_or(0).max(0) as usize;
-        stats.pool_reuses = trace.counters.get("pool.reuses").copied().unwrap_or(0).max(0) as usize;
+        stats.threads_spawned = trace
+            .counters
+            .get("pool.threads_spawned")
+            .copied()
+            .unwrap_or(0)
+            .max(0) as usize;
+        stats.pool_reuses = trace
+            .counters
+            .get("pool.reuses")
+            .copied()
+            .unwrap_or(0)
+            .max(0) as usize;
         let counter = |name: &str| trace.counters.get(name).copied().unwrap_or(0).max(0) as u64;
         stats.io = IoActivity {
             chunks: counter("io.chunks") as usize,
@@ -210,8 +219,12 @@ impl RunStats {
             read_ns: counter("io.read_ns"),
             stall_ns: counter("io.stall_ns"),
             backpressure_ns: counter("io.backpressure_ns"),
-            pool_bytes: trace.gauges.get("io.pool_bytes").copied().unwrap_or(0.0).max(0.0)
-                as usize,
+            pool_bytes: trace
+                .gauges
+                .get("io.pool_bytes")
+                .copied()
+                .unwrap_or(0.0)
+                .max(0.0) as usize,
         };
         stats
     }
@@ -220,10 +233,11 @@ impl RunStats {
     /// iteration) into this one.
     pub fn absorb(&mut self, other: &RunStats) {
         let base = self.splits.len();
-        self.splits.extend(other.splits.iter().enumerate().map(|(i, s)| SplitStat {
-            split: base + i,
-            ..*s
-        }));
+        self.splits
+            .extend(other.splits.iter().enumerate().map(|(i, s)| SplitStat {
+                split: base + i,
+                ..*s
+            }));
         self.phases.combine_ns += other.phases.combine_ns;
         self.phases.finalize_ns += other.phases.finalize_ns;
         self.phases.wall_ns += other.phases.wall_ns;
@@ -239,7 +253,12 @@ mod stats_tests {
     use super::*;
 
     fn stat(split: usize, nanos: u64) -> SplitStat {
-        SplitStat { split, rows: 1, nanos, ..Default::default() }
+        SplitStat {
+            split,
+            rows: 1,
+            nanos,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -297,7 +316,11 @@ mod stats_tests {
     fn modeled_time_scales_combine() {
         let s = RunStats {
             splits: vec![stat(0, 100), stat(1, 100)],
-            phases: PhaseTimes { combine_ns: 40, finalize_ns: 5, wall_ns: 0 },
+            phases: PhaseTimes {
+                combine_ns: 40,
+                finalize_ns: 5,
+                wall_ns: 0,
+            },
             logical_threads: 2,
             ..Default::default()
         };
@@ -311,19 +334,37 @@ mod stats_tests {
     fn absorb_accumulates() {
         let mut a = RunStats {
             splits: vec![stat(0, 10)],
-            phases: PhaseTimes { combine_ns: 1, finalize_ns: 2, wall_ns: 3 },
+            phases: PhaseTimes {
+                combine_ns: 1,
+                finalize_ns: 2,
+                wall_ns: 3,
+            },
             logical_threads: 2,
             threads_spawned: 2,
             pool_reuses: 1,
-            io: IoActivity { chunks: 2, bytes_read: 64, pool_bytes: 256, ..Default::default() },
+            io: IoActivity {
+                chunks: 2,
+                bytes_read: 64,
+                pool_bytes: 256,
+                ..Default::default()
+            },
         };
         let b = RunStats {
             splits: vec![stat(0, 20)],
-            phases: PhaseTimes { combine_ns: 10, finalize_ns: 20, wall_ns: 30 },
+            phases: PhaseTimes {
+                combine_ns: 10,
+                finalize_ns: 20,
+                wall_ns: 30,
+            },
             logical_threads: 4,
             threads_spawned: 0,
             pool_reuses: 1,
-            io: IoActivity { chunks: 3, bytes_read: 96, pool_bytes: 128, ..Default::default() },
+            io: IoActivity {
+                chunks: 3,
+                bytes_read: 96,
+                pool_bytes: 128,
+                ..Default::default()
+            },
         };
         a.absorb(&b);
         assert_eq!(a.splits.len(), 2);
@@ -357,8 +398,24 @@ mod stats_tests {
                 ("read_ns", AttrValue::Int(50)),
             ],
         );
-        rec.push_complete(TraceLevel::Phases, "combine", "engine", 0, 1100, 40, Vec::new());
-        rec.push_complete(TraceLevel::Phases, "finalize", "engine", 0, 1150, 7, Vec::new());
+        rec.push_complete(
+            TraceLevel::Phases,
+            "combine",
+            "engine",
+            0,
+            1100,
+            40,
+            Vec::new(),
+        );
+        rec.push_complete(
+            TraceLevel::Phases,
+            "finalize",
+            "engine",
+            0,
+            1150,
+            7,
+            Vec::new(),
+        );
         rec.push_complete(
             TraceLevel::Phases,
             "pass",
@@ -366,7 +423,10 @@ mod stats_tests {
             0,
             0,
             1200,
-            vec![("splits", AttrValue::Int(1)), ("threads", AttrValue::Int(2))],
+            vec![
+                ("splits", AttrValue::Int(1)),
+                ("threads", AttrValue::Int(2)),
+            ],
         );
         rec.add_counter("pool.threads_spawned", 2);
         rec.add_counter("pool.reuses", 3);

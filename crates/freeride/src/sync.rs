@@ -26,8 +26,7 @@ use crate::robj::{RObjLayout, ReductionObject};
 
 /// Which shared-memory technique the job uses for reduction-object
 /// updates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SyncScheme {
     /// Per-thread private copies merged during local combination.
     #[default]
@@ -42,7 +41,6 @@ pub enum SyncScheme {
     /// Lock-free compare-and-swap updates.
     Atomic,
 }
-
 
 /// The view of the reduction object handed to a local-reduction function.
 ///
@@ -134,9 +132,19 @@ impl StripedCells {
     /// Allocate with `stripes` lock stripes (clamped to ≥ 1).
     pub fn alloc(layout: Arc<RObjLayout>, stripes: usize) -> StripedCells {
         let stripes = stripes.max(1);
-        let cells = layout.initial_cells().into_iter().map(UnsafeCell::new).collect();
-        let locks = (0..stripes).map(|_| CachePadded::new(Mutex::new(()))).collect();
-        StripedCells { layout, locks, cells }
+        let cells = layout
+            .initial_cells()
+            .into_iter()
+            .map(UnsafeCell::new)
+            .collect();
+        let locks = (0..stripes)
+            .map(|_| CachePadded::new(Mutex::new(())))
+            .collect();
+        StripedCells {
+            layout,
+            locks,
+            cells,
+        }
     }
 
     #[inline]
@@ -248,10 +256,12 @@ impl SharedCells {
     pub fn for_scheme(scheme: SyncScheme, layout: &Arc<RObjLayout>) -> Option<SharedCells> {
         match scheme {
             SyncScheme::FullReplication => None,
-            SyncScheme::FullLocking => Some(SharedCells::Locked(LockedCells::alloc(layout.clone()))),
-            SyncScheme::BucketLocking { stripes } => {
-                Some(SharedCells::Striped(StripedCells::alloc(layout.clone(), stripes)))
+            SyncScheme::FullLocking => {
+                Some(SharedCells::Locked(LockedCells::alloc(layout.clone())))
             }
+            SyncScheme::BucketLocking { stripes } => Some(SharedCells::Striped(
+                StripedCells::alloc(layout.clone(), stripes),
+            )),
             SyncScheme::Atomic => Some(SharedCells::Atomic(AtomicCells::alloc(layout.clone()))),
         }
     }
@@ -406,7 +416,8 @@ mod sync_tests {
 
     #[test]
     fn striped_single_stripe_still_correct() {
-        let b = SharedCells::for_scheme(SyncScheme::BucketLocking { stripes: 1 }, &layout()).unwrap();
+        let b =
+            SharedCells::for_scheme(SyncScheme::BucketLocking { stripes: 1 }, &layout()).unwrap();
         hammer(&b, 2, 200);
         check_counts(&b.snapshot(), 2, 200);
     }

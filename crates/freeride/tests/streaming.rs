@@ -10,22 +10,28 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use freeride::source::{write_dataset, FileDataset};
+use freeride::{CombineOp, GroupSpec};
 use freeride::{
     Engine, ExecMode, FreerideError, IoMode, JobConfig, MemoryBudget, RObjHandle, RObjLayout,
     Split, StreamConfig, SyncScheme, TraceLevel,
 };
-use freeride::{CombineOp, GroupSpec};
 
 fn tmp(name: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
-    p.push(format!("freeride-streaming-{}-{}", std::process::id(), name));
+    p.push(format!(
+        "freeride-streaming-{}-{}",
+        std::process::id(),
+        name
+    ));
     p
 }
 
 /// Small-integer data: f64 sums are exact, so streaming (arbitrary
 /// chunk arrival order) must be bit-identical to the sync path.
 fn int_data(rows: usize, unit: usize) -> Vec<f64> {
-    (0..rows * unit).map(|i| ((i * 31 + 7) % 97) as f64).collect()
+    (0..rows * unit)
+        .map(|i| ((i * 31 + 7) % 97) as f64)
+        .collect()
 }
 
 fn layout() -> Arc<RObjLayout> {
@@ -63,7 +69,11 @@ fn streaming_is_bit_identical_to_sync_across_threads() {
         for chunk_rows in [64usize, 1000, 1013, 20_000] {
             let out = Engine::new(JobConfig {
                 threads,
-                io: IoMode::Streaming { chunk_rows, buffers: 4, readers: 2 },
+                io: IoMode::Streaming {
+                    chunk_rows,
+                    buffers: 4,
+                    readers: 2,
+                },
                 ..Default::default()
             })
             .run_file(&ds, &layout(), &kernel)
@@ -95,18 +105,30 @@ fn streaming_matches_sync_for_every_scheme_and_shard() {
         SyncScheme::Atomic,
     ] {
         for (first, count) in [(0usize, rows), (512, 2048), (4000, 96)] {
-            let sync = Engine::new(JobConfig { threads: 4, scheme, ..Default::default() })
-                .run_file_shard(&ds, first, count, &layout(), &kernel)
-                .unwrap();
-            let stream = Engine::new(JobConfig {
+            let sync = Engine::new(JobConfig {
                 threads: 4,
                 scheme,
-                io: IoMode::Streaming { chunk_rows: 100, buffers: 3, readers: 2 },
                 ..Default::default()
             })
             .run_file_shard(&ds, first, count, &layout(), &kernel)
             .unwrap();
-            assert_eq!(stream.robj.cells(), sync.robj.cells(), "{scheme:?} shard {first}+{count}");
+            let stream = Engine::new(JobConfig {
+                threads: 4,
+                scheme,
+                io: IoMode::Streaming {
+                    chunk_rows: 100,
+                    buffers: 3,
+                    readers: 2,
+                },
+                ..Default::default()
+            })
+            .run_file_shard(&ds, first, count, &layout(), &kernel)
+            .unwrap();
+            assert_eq!(
+                stream.robj.cells(),
+                sync.robj.cells(),
+                "{scheme:?} shard {first}+{count}"
+            );
         }
     }
     std::fs::remove_file(&path).ok();
@@ -123,7 +145,9 @@ fn streaming_respects_the_memory_budget_out_of_core() {
     write_dataset(&path, unit, &int_data(rows, unit)).unwrap();
     let ds = FileDataset::open(&path).unwrap();
 
-    let expect = Engine::new(JobConfig::with_threads(1)).run_file(&ds, &layout(), &kernel).unwrap();
+    let expect = Engine::new(JobConfig::with_threads(1))
+        .run_file(&ds, &layout(), &kernel)
+        .unwrap();
     let out = Engine::new(JobConfig {
         threads: 4,
         io: IoMode::streaming_within(budget, unit, 2),
@@ -151,19 +175,31 @@ fn streaming_emits_io_read_spans_and_counters() {
     write_dataset(&path, 2, &int_data(rows, 2)).unwrap();
     let ds = FileDataset::open(&path).unwrap();
 
-    let engine = Engine::new(JobConfig {
-        threads: 2,
-        io: IoMode::Streaming { chunk_rows: 100, buffers: 3, readers: 2 },
-        ..Default::default()
-    }
-    .traced(TraceLevel::Splits));
+    let engine = Engine::new(
+        JobConfig {
+            threads: 2,
+            io: IoMode::Streaming {
+                chunk_rows: 100,
+                buffers: 3,
+                readers: 2,
+            },
+            ..Default::default()
+        }
+        .traced(TraceLevel::Splits),
+    );
     engine.run_file(&ds, &layout(), &kernel).unwrap();
     let trace = engine.drain_trace();
 
     assert_eq!(trace.count("io.read"), rows.div_ceil(100));
     assert!(trace.count("split") >= rows.div_ceil(100));
-    assert_eq!(trace.counters.get("io.chunks").copied(), Some(rows.div_ceil(100) as i64));
-    assert_eq!(trace.counters.get("io.bytes_read").copied(), Some((rows * 2 * 8) as i64));
+    assert_eq!(
+        trace.counters.get("io.chunks").copied(),
+        Some(rows.div_ceil(100) as i64)
+    );
+    assert_eq!(
+        trace.counters.get("io.bytes_read").copied(),
+        Some((rows * 2 * 8) as i64)
+    );
     assert!(trace.counters.contains_key("io.stall_ns"));
     assert!(trace.counters.contains_key("io.backpressure_ns"));
     assert!(trace.gauges.contains_key("io.pool_bytes"));
@@ -175,7 +211,10 @@ fn streaming_emits_io_read_spans_and_counters() {
         .filter(|s| s.name == "io.read")
         .map(|s| s.tid)
         .collect();
-    assert!(io_tracks.iter().all(|&t| t >= 2), "reader tracks overlap workers: {io_tracks:?}");
+    assert!(
+        io_tracks.iter().all(|&t| t >= 2),
+        "reader tracks overlap workers: {io_tracks:?}"
+    );
     std::fs::remove_file(&path).ok();
 }
 
@@ -186,7 +225,8 @@ fn bounded<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'static)
     std::thread::spawn(move || {
         tx.send(f()).ok();
     });
-    rx.recv_timeout(Duration::from_secs(secs)).expect("streaming run hung instead of erroring")
+    rx.recv_timeout(Duration::from_secs(secs))
+        .expect("streaming run hung instead of erroring")
 }
 
 #[test]
@@ -209,13 +249,20 @@ fn truncated_payload_surfaces_typed_error_not_a_hang() {
     let err = bounded(30, move || {
         Engine::new(JobConfig {
             threads: 4,
-            io: IoMode::Streaming { chunk_rows: 256, buffers: 3, readers: 2 },
+            io: IoMode::Streaming {
+                chunk_rows: 256,
+                buffers: 3,
+                readers: 2,
+            },
             ..Default::default()
         })
         .run_file(&ds, &layout(), &kernel)
         .unwrap_err()
     });
-    assert!(matches!(err, FreerideError::Io(_)), "unexpected error: {err}");
+    assert!(
+        matches!(err, FreerideError::Io(_)),
+        "unexpected error: {err}"
+    );
     std::fs::remove_file(&path).ok();
 }
 
@@ -262,17 +309,26 @@ impl freeride_io::RowReader for DyingReader {
 #[test]
 fn dead_reader_thread_surfaces_stream_error() {
     let err = bounded(30, || {
-        let source: Arc<dyn freeride_io::RowSource> =
-            Arc::new(DyingSource { rows: 100_000, unit: 2 });
+        let source: Arc<dyn freeride_io::RowSource> = Arc::new(DyingSource {
+            rows: 100_000,
+            unit: 2,
+        });
         Engine::new(JobConfig {
             threads: 4,
-            io: IoMode::Streaming { chunk_rows: 500, buffers: 3, readers: 2 },
+            io: IoMode::Streaming {
+                chunk_rows: 500,
+                buffers: 3,
+                readers: 2,
+            },
             ..Default::default()
         })
         .run_source_shard_with(&source, 0, 100_000, &layout(), &kernel, None, None)
         .unwrap_err()
     });
-    assert!(matches!(err, FreerideError::Stream { .. }), "unexpected error: {err}");
+    assert!(
+        matches!(err, FreerideError::Stream { .. }),
+        "unexpected error: {err}"
+    );
 }
 
 #[test]
@@ -281,12 +337,22 @@ fn sequential_and_scoped_exec_modes_stream_correctly() {
     let rows = 777;
     write_dataset(&path, 2, &int_data(rows, 2)).unwrap();
     let ds = FileDataset::open(&path).unwrap();
-    let expect = Engine::new(JobConfig::with_threads(1)).run_file(&ds, &layout(), &kernel).unwrap();
-    for exec in [ExecMode::Sequential, ExecMode::ScopedThreads, ExecMode::Threads] {
+    let expect = Engine::new(JobConfig::with_threads(1))
+        .run_file(&ds, &layout(), &kernel)
+        .unwrap();
+    for exec in [
+        ExecMode::Sequential,
+        ExecMode::ScopedThreads,
+        ExecMode::Threads,
+    ] {
         let out = Engine::new(JobConfig {
             threads: 3,
             exec,
-            io: IoMode::Streaming { chunk_rows: 50, buffers: 3, readers: 2 },
+            io: IoMode::Streaming {
+                chunk_rows: 50,
+                buffers: 3,
+                readers: 2,
+            },
             ..Default::default()
         })
         .run_file(&ds, &layout(), &kernel)
@@ -330,7 +396,11 @@ mod coverage_props {
         let mut hits = vec![0u32; rows];
         let stats = freeride_io::for_each_chunk(
             source,
-            StreamConfig { chunk_rows, buffers: 3, readers },
+            StreamConfig {
+                chunk_rows,
+                buffers: 3,
+                readers,
+            },
             |chunk| {
                 assert_eq!(chunk.data.len(), chunk.rows * unit);
                 for r in 0..chunk.rows {
@@ -342,7 +412,10 @@ mod coverage_props {
             },
         )
         .unwrap();
-        assert!(hits.iter().all(|&h| h == 1), "coverage holes/dups: {hits:?}");
+        assert!(
+            hits.iter().all(|&h| h == 1),
+            "coverage holes/dups: {hits:?}"
+        );
         assert_eq!(stats.chunks, rows.div_ceil(chunk_rows.max(1)));
     }
 

@@ -31,8 +31,16 @@ impl fmt::Display for IoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IoError::Io(e) => write!(f, "chunk read failed: {e}"),
-            IoError::OutOfRange { first_row, count, rows } => {
-                write!(f, "row range {first_row}..{} exceeds {rows} rows", first_row + count)
+            IoError::OutOfRange {
+                first_row,
+                count,
+                rows,
+            } => {
+                write!(
+                    f,
+                    "row range {first_row}..{} exceeds {rows} rows",
+                    first_row + count
+                )
             }
             IoError::ReaderPanicked => write!(f, "I/O reader thread died mid-run"),
         }
@@ -60,10 +68,17 @@ mod error_tests {
 
     #[test]
     fn display() {
-        let e = IoError::OutOfRange { first_row: 10, count: 5, rows: 12 };
+        let e = IoError::OutOfRange {
+            first_row: 10,
+            count: 5,
+            rows: 12,
+        };
         assert!(e.to_string().contains("10..15"), "{e}");
         assert!(IoError::ReaderPanicked.to_string().contains("died"));
-        let e = IoError::from(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof"));
+        let e = IoError::from(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "eof",
+        ));
         assert!(e.to_string().contains("eof"));
     }
 }

@@ -91,7 +91,11 @@ impl Default for StreamConfig {
     /// Triple buffering of 4096-row chunks filled by two readers —
     /// 128 KiB resident per buffer at unit 4.
     fn default() -> StreamConfig {
-        StreamConfig { chunk_rows: 4096, buffers: 3, readers: 2 }
+        StreamConfig {
+            chunk_rows: 4096,
+            buffers: 3,
+            readers: 2,
+        }
     }
 }
 

@@ -33,7 +33,10 @@ fn lock<T>(m: &Mutex<State<T>>) -> MutexGuard<'_, State<T>> {
 impl<T> Channel<T> {
     pub fn new() -> Channel<T> {
         Channel {
-            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
             ready: Condvar::new(),
         }
     }
@@ -136,7 +139,10 @@ mod queue_tests {
             p.join().unwrap();
         }
         ch.close();
-        let mut all: Vec<usize> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..n).collect::<Vec<_>>());
     }

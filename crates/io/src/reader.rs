@@ -180,22 +180,27 @@ impl ChunkReader {
             let source = source.clone();
             let recorder = recorder.clone();
             handles.push(std::thread::spawn(move || {
-                reader_main(
-                    ReaderArgs {
-                        shared,
-                        source,
-                        first_row,
-                        row_count,
-                        chunk_rows,
-                        total_chunks,
-                        unit,
-                        recorder,
-                        track: track_base + r,
-                    },
-                );
+                reader_main(ReaderArgs {
+                    shared,
+                    source,
+                    first_row,
+                    row_count,
+                    chunk_rows,
+                    total_chunks,
+                    unit,
+                    recorder,
+                    track: track_base + r,
+                });
             }));
         }
-        ChunkReader { shared, handles, chunk_rows, unit, buffers, readers }
+        ChunkReader {
+            shared,
+            handles,
+            chunk_rows,
+            unit,
+            buffers,
+            readers,
+        }
     }
 
     /// Take the next filled chunk, blocking until one is ready. Returns
@@ -204,7 +209,9 @@ impl ChunkReader {
     pub fn recv(&self) -> Option<Chunk> {
         let t0 = Instant::now();
         let chunk = self.shared.filled.pop();
-        self.shared.stall_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.shared
+            .stall_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         chunk
     }
 
@@ -239,7 +246,12 @@ impl ChunkReader {
             // drop guard; the join error itself carries no more detail.
             let _ = h.join();
         }
-        let err = self.shared.error.lock().unwrap_or_else(|p| p.into_inner()).take();
+        let err = self
+            .shared
+            .error
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take();
         match err {
             Some(e) => Err(e),
             None => Ok(IoStats {
@@ -293,7 +305,9 @@ fn reader_main(args: ReaderArgs) {
         recorder,
         track,
     } = args;
-    let _guard = ReaderGuard { shared: shared.clone() };
+    let _guard = ReaderGuard {
+        shared: shared.clone(),
+    };
     let mut rd = match source.open_reader() {
         Ok(rd) => rd,
         Err(e) => {
@@ -316,14 +330,18 @@ fn reader_main(args: ReaderArgs) {
         let Some(mut buf) = shared.free.pop() else {
             break; // pool closed: abort or cancel
         };
-        shared.backpressure_ns.fetch_add(t_wait.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        shared
+            .backpressure_ns
+            .fetch_add(t_wait.elapsed().as_nanos() as u64, Ordering::Relaxed);
 
         let t_read = Instant::now();
         match rd.read_rows_into(first, count, &mut buf) {
             Ok(()) => {
                 let read_ns = t_read.elapsed().as_nanos() as u64;
                 shared.read_ns.fetch_add(read_ns, Ordering::Relaxed);
-                shared.bytes_read.fetch_add((count * unit * 8) as u64, Ordering::Relaxed);
+                shared
+                    .bytes_read
+                    .fetch_add((count * unit * 8) as u64, Ordering::Relaxed);
                 shared.chunks_read.fetch_add(1, Ordering::Relaxed);
                 if let Some(rec) = &recorder {
                     rec.push_complete(
@@ -340,10 +358,13 @@ fn reader_main(args: ReaderArgs) {
                         ],
                     );
                 }
-                if !shared
-                    .filled
-                    .push(Chunk { seq: i, first_row: first, rows: count, data: buf, read_ns })
-                {
+                if !shared.filled.push(Chunk {
+                    seq: i,
+                    first_row: first,
+                    rows: count,
+                    data: buf,
+                    read_ns,
+                }) {
                     break; // consumers gone
                 }
             }
@@ -388,7 +409,11 @@ pub fn config_within(budget: MemoryBudget, unit: usize, readers: usize) -> Strea
         buffers -= 1;
         chunk_rows = (budget.get() / (buffers * unit_bytes)).max(1);
     }
-    StreamConfig { chunk_rows, buffers, readers }
+    StreamConfig {
+        chunk_rows,
+        buffers,
+        readers,
+    }
 }
 
 #[cfg(test)]
@@ -413,7 +438,10 @@ mod reader_tests {
             }
         })
         .unwrap();
-        assert!(seen.iter().all(|&n| n == 1), "rows={rows} config={config:?}: {seen:?}");
+        assert!(
+            seen.iter().all(|&n| n == 1),
+            "rows={rows} config={config:?}: {seen:?}"
+        );
         assert_eq!(stats.bytes_read, (rows * unit * 8) as u64);
     }
 
@@ -425,7 +453,11 @@ mod reader_tests {
                     assert_covers(
                         rows,
                         unit,
-                        StreamConfig { chunk_rows, buffers: 3, readers },
+                        StreamConfig {
+                            chunk_rows,
+                            buffers: 3,
+                            readers,
+                        },
                     );
                 }
             }
@@ -449,7 +481,11 @@ mod reader_tests {
             src,
             40,
             25,
-            StreamConfig { chunk_rows: 4, buffers: 3, readers: 2 },
+            StreamConfig {
+                chunk_rows: 4,
+                buffers: 3,
+                readers: 2,
+            },
             None,
             0,
         );
@@ -474,7 +510,11 @@ mod reader_tests {
             src,
             0,
             64,
-            StreamConfig { chunk_rows: 8, buffers: 2, readers: 2 },
+            StreamConfig {
+                chunk_rows: 8,
+                buffers: 2,
+                readers: 2,
+            },
             None,
             0,
         );
@@ -534,10 +574,17 @@ mod reader_tests {
 
     #[test]
     fn read_error_surfaces_without_hanging() {
-        let src: Arc<dyn RowSource> = Arc::new(FailingSource { rows: 100, fail_from: 40 });
+        let src: Arc<dyn RowSource> = Arc::new(FailingSource {
+            rows: 100,
+            fail_from: 40,
+        });
         let err = for_each_chunk(
             src,
-            StreamConfig { chunk_rows: 8, buffers: 3, readers: 2 },
+            StreamConfig {
+                chunk_rows: 8,
+                buffers: 3,
+                readers: 2,
+            },
             |_| {},
         )
         .unwrap_err();
@@ -570,22 +617,34 @@ mod reader_tests {
                     count: usize,
                     out: &mut Vec<f64>,
                 ) -> Result<(), IoError> {
-                    assert!(first_row + count <= self.panic_from, "reader killed mid-run");
+                    assert!(
+                        first_row + count <= self.panic_from,
+                        "reader killed mid-run"
+                    );
                     out.clear();
                     out.resize(count, 1.0);
                     Ok(())
                 }
             }
-            Ok(Box::new(R { panic_from: self.panic_from }))
+            Ok(Box::new(R {
+                panic_from: self.panic_from,
+            }))
         }
     }
 
     #[test]
     fn reader_death_surfaces_as_typed_error() {
-        let src: Arc<dyn RowSource> = Arc::new(PanickingSource { rows: 64, panic_from: 24 });
+        let src: Arc<dyn RowSource> = Arc::new(PanickingSource {
+            rows: 64,
+            panic_from: 24,
+        });
         let err = for_each_chunk(
             src,
-            StreamConfig { chunk_rows: 8, buffers: 2, readers: 2 },
+            StreamConfig {
+                chunk_rows: 8,
+                buffers: 2,
+                readers: 2,
+            },
             |_| {},
         )
         .unwrap_err();
@@ -599,7 +658,11 @@ mod reader_tests {
             src,
             0,
             10_000,
-            StreamConfig { chunk_rows: 16, buffers: 3, readers: 2 },
+            StreamConfig {
+                chunk_rows: 16,
+                buffers: 3,
+                readers: 2,
+            },
             None,
             0,
         );
@@ -611,7 +674,10 @@ mod reader_tests {
         }
         // Cancel is not an error; the stats cover what was delivered.
         let stats = reader.finish().unwrap();
-        assert!(stats.chunks < 10_000 / 16, "cancel should cut the run short");
+        assert!(
+            stats.chunks < 10_000 / 16,
+            "cancel should cut the run short"
+        );
     }
 
     #[test]
@@ -621,7 +687,11 @@ mod reader_tests {
             src,
             0,
             10_000,
-            StreamConfig { chunk_rows: 4, buffers: 3, readers: 3 },
+            StreamConfig {
+                chunk_rows: 4,
+                buffers: 3,
+                readers: 3,
+            },
             None,
             0,
         );
@@ -632,9 +702,12 @@ mod reader_tests {
 
     #[test]
     fn budget_config_stays_under_cap() {
-        for &(mib, unit, readers) in
-            &[(64usize, 4usize, 2usize), (1, 1, 1), (4, 1024, 4), (16, 33, 3)]
-        {
+        for &(mib, unit, readers) in &[
+            (64usize, 4usize, 2usize),
+            (1, 1, 1),
+            (4, 1024, 4),
+            (16, 33, 3),
+        ] {
             let budget = MemoryBudget::mib(mib);
             let cfg = config_within(budget, unit, readers);
             let pool = cfg.buffers * cfg.chunk_rows * unit * 8;
@@ -655,7 +728,11 @@ mod reader_tests {
             src,
             0,
             64,
-            StreamConfig { chunk_rows: 8, buffers: 3, readers: 2 },
+            StreamConfig {
+                chunk_rows: 8,
+                buffers: 3,
+                readers: 2,
+            },
             Some(rec.clone()),
             10,
         );

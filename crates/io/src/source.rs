@@ -94,8 +94,18 @@ pub struct FileSlice {
 
 impl FileSlice {
     /// Describe the payload region. No file is opened until a reader is.
-    pub fn new(path: impl Into<PathBuf>, payload_offset: u64, rows: usize, unit: usize) -> FileSlice {
-        FileSlice { path: path.into(), payload_offset, rows, unit }
+    pub fn new(
+        path: impl Into<PathBuf>,
+        payload_offset: u64,
+        rows: usize,
+        unit: usize,
+    ) -> FileSlice {
+        FileSlice {
+            path: path.into(),
+            payload_offset,
+            rows,
+            unit,
+        }
     }
 }
 
@@ -132,8 +142,15 @@ impl RowReader for FileSliceReader {
         count: usize,
         out: &mut Vec<f64>,
     ) -> Result<(), IoError> {
-        if first_row.checked_add(count).is_none_or(|end| end > self.rows) {
-            return Err(IoError::OutOfRange { first_row, count, rows: self.rows });
+        if first_row
+            .checked_add(count)
+            .is_none_or(|end| end > self.rows)
+        {
+            return Err(IoError::OutOfRange {
+                first_row,
+                count,
+                rows: self.rows,
+            });
         }
         let offset = self.payload_offset + (first_row * self.unit * 8) as u64;
         read_f64s_at(&self.file, offset, count * self.unit, out)
@@ -155,9 +172,16 @@ impl MemSource {
     pub fn new(data: Vec<f64>, unit: usize) -> Result<MemSource, IoError> {
         let unit = unit.max(1);
         if !data.len().is_multiple_of(unit) {
-            return Err(IoError::OutOfRange { first_row: 0, count: data.len(), rows: 0 });
+            return Err(IoError::OutOfRange {
+                first_row: 0,
+                count: data.len(),
+                rows: 0,
+            });
         }
-        Ok(MemSource { data: std::sync::Arc::new(data), unit })
+        Ok(MemSource {
+            data: std::sync::Arc::new(data),
+            unit,
+        })
     }
 }
 
@@ -176,7 +200,10 @@ impl RowSource for MemSource {
     }
 
     fn open_reader(&self) -> Result<Box<dyn RowReader + Send>, IoError> {
-        Ok(Box::new(MemReader { data: self.data.clone(), unit: self.unit }))
+        Ok(Box::new(MemReader {
+            data: self.data.clone(),
+            unit: self.unit,
+        }))
     }
 }
 
@@ -189,7 +216,11 @@ impl RowReader for MemReader {
     ) -> Result<(), IoError> {
         let rows = self.data.len() / self.unit;
         if first_row.checked_add(count).is_none_or(|end| end > rows) {
-            return Err(IoError::OutOfRange { first_row, count, rows });
+            return Err(IoError::OutOfRange {
+                first_row,
+                count,
+                rows,
+            });
         }
         out.clear();
         out.extend_from_slice(&self.data[first_row * self.unit..(first_row + count) * self.unit]);
@@ -246,7 +277,10 @@ mod source_tests {
         let src = FileSlice::new(&path, 0, 10, 1);
         let mut rd = src.open_reader().unwrap();
         let mut out = Vec::new();
-        assert!(matches!(rd.read_rows_into(4, 6, &mut out), Err(IoError::Io(_))));
+        assert!(matches!(
+            rd.read_rows_into(4, 6, &mut out),
+            Err(IoError::Io(_))
+        ));
         std::fs::remove_file(&path).ok();
     }
 

@@ -83,7 +83,9 @@ pub struct Linearizer {
 impl Linearizer {
     /// Create a linearizer for values of `shape`.
     pub fn new(shape: &Shape) -> Linearizer {
-        Linearizer { shape: shape.clone() }
+        Linearizer {
+            shape: shape.clone(),
+        }
     }
 
     /// Linearize `value`, checking it structurally matches the shape.
@@ -95,7 +97,10 @@ impl Linearizer {
         }
         let mut buffer = Vec::with_capacity(self.shape.slot_count());
         value.for_each_slot(&mut |x| buffer.push(x));
-        Ok(Linearized { buffer, meta: LinearMeta::new(&self.shape) })
+        Ok(Linearized {
+            buffer,
+            meta: LinearMeta::new(&self.shape),
+        })
     }
 
     /// Linearize a sequence of values of this shape into one buffer —
@@ -109,13 +114,18 @@ impl Linearizer {
         let mut count = 0usize;
         for v in values {
             if !v.matches(&self.shape) {
-                return Err(LinearizeError::ShapeMismatch { shape: self.shape.describe() });
+                return Err(LinearizeError::ShapeMismatch {
+                    shape: self.shape.describe(),
+                });
             }
             v.for_each_slot(&mut |x| buffer.push(x));
             count += 1;
         }
         let stream_shape = Shape::array(self.shape.clone(), count);
-        Ok(Linearized { buffer, meta: LinearMeta::new(&stream_shape) })
+        Ok(Linearized {
+            buffer,
+            meta: LinearMeta::new(&stream_shape),
+        })
     }
 
     /// The shape this linearizer accepts.
@@ -179,7 +189,10 @@ mod alg_tests {
     use crate::meta::AccessPath;
 
     fn fig6_shape(t: usize, n: usize, m: usize) -> Shape {
-        let a = Shape::record(vec![("a1", Shape::array(Shape::Real, m)), ("a2", Shape::Int)]);
+        let a = Shape::record(vec![
+            ("a1", Shape::array(Shape::Real, m)),
+            ("a2", Shape::Int),
+        ]);
         let b = Shape::record(vec![("b1", Shape::array(a, n)), ("b2", Shape::Int)]);
         Shape::array(b, t)
     }
@@ -206,8 +219,12 @@ mod alg_tests {
     fn linearizer_validates_shape() {
         let shape = Shape::array(Shape::Real, 3);
         let lin = Linearizer::new(&shape);
-        assert!(lin.linearize(&Value::Array(vec![Value::Real(0.0); 2])).is_err());
-        let ok = lin.linearize(&Value::Array(vec![Value::Real(7.0); 3])).unwrap();
+        assert!(lin
+            .linearize(&Value::Array(vec![Value::Real(0.0); 2]))
+            .is_err());
+        let ok = lin
+            .linearize(&Value::Array(vec![Value::Real(7.0); 3]))
+            .unwrap();
         assert_eq!(ok.buffer, vec![7.0; 3]);
     }
 

@@ -70,7 +70,11 @@ impl<'a> StridedCursor<'a> {
         let mut my_index: Vec<usize> = outer.to_vec();
         my_index.push(0);
         let base = compute_index(meta, &my_index);
-        StridedCursor { buf, base, stride: meta.innermost_stride() }
+        StridedCursor {
+            buf,
+            base,
+            stride: meta.innermost_stride(),
+        }
     }
 
     /// Read the `k`-th innermost element of the run.
@@ -115,7 +119,10 @@ impl MappedAccessor {
     /// Linearize `value` (of `shape`) into a mutable flat buffer.
     pub fn linearize(shape: &Shape, value: &Value) -> Result<MappedAccessor, LinearizeError> {
         let lin = crate::algorithms::Linearizer::new(shape).linearize(value)?;
-        Ok(MappedAccessor { buffer: lin.buffer, meta: lin.meta })
+        Ok(MappedAccessor {
+            buffer: lin.buffer,
+            meta: lin.meta,
+        })
     }
 
     /// A zero-initialized mapped structure of `shape`.
@@ -250,6 +257,9 @@ mod cursor_tests {
         let pm = acc.path(&AccessPath::direct(0)).unwrap();
         assert_eq!(acc.get(&pm, &[3]), 4.0);
         acc.set(&pm, &[0], -1.0);
-        assert_eq!(acc.to_value().unwrap().index(0).unwrap().as_f64(), Some(-1.0));
+        assert_eq!(
+            acc.to_value().unwrap().index(0).unwrap().as_f64(),
+            Some(-1.0)
+        );
     }
 }

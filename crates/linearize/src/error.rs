@@ -48,7 +48,11 @@ impl fmt::Display for LinearizeError {
             LinearizeError::ShapeMismatch { shape } => {
                 write!(f, "value does not match shape {shape}")
             }
-            LinearizeError::PathMismatch { level, found, expected } => write!(
+            LinearizeError::PathMismatch {
+                level,
+                found,
+                expected,
+            } => write!(
                 f,
                 "access path mismatch at level {level}: found {found}, expected {expected}"
             ),
@@ -75,7 +79,10 @@ mod error_tests {
     fn display_messages() {
         let e = LinearizeError::IndexOutOfBounds { index: 5, len: 3 };
         assert_eq!(e.to_string(), "index 5 out of bounds for length 3");
-        let e = LinearizeError::BufferSize { expected: 10, found: 9 };
+        let e = LinearizeError::BufferSize {
+            expected: 10,
+            found: 9,
+        };
         assert!(e.to_string().contains("9 slots"));
     }
 }

@@ -48,24 +48,24 @@
 //! assert_eq!(lin.buffer[idx], value.slot(6).unwrap());
 //! ```
 
-mod shape;
-mod value;
-mod meta;
 mod algorithms;
 mod cursor;
-mod writeback;
 mod error;
+mod meta;
+mod shape;
+mod value;
+mod writeback;
 
-pub use shape::{PrimType, Shape};
-pub use value::Value;
-pub use meta::{AccessPath, LinearMeta, PathMeta};
 pub use algorithms::{
     compute_index, compute_index_recursive, compute_linearize_size, linearize_it, Linearized,
     Linearizer,
 };
 pub use cursor::{FlatAccessor, MappedAccessor, StridedCursor};
-pub use writeback::delinearize;
 pub use error::LinearizeError;
+pub use meta::{AccessPath, LinearMeta, PathMeta};
+pub use shape::{PrimType, Shape};
+pub use value::Value;
+pub use writeback::delinearize;
 
 #[cfg(test)]
 mod tests;

@@ -26,7 +26,10 @@ pub struct LinearMeta {
 impl LinearMeta {
     /// Construct metadata for a shape.
     pub fn new(root: &Shape) -> LinearMeta {
-        LinearMeta { root: root.clone(), total_slots: root.slot_count() }
+        LinearMeta {
+            root: root.clone(),
+            total_slots: root.slot_count(),
+        }
     }
 
     /// Resolve the per-level tables for a particular access path.
@@ -58,13 +61,17 @@ impl AccessPath {
 
     /// Convenience: one single-field selection per level.
     pub fn fields(per_level: &[usize]) -> AccessPath {
-        AccessPath { chains: per_level.iter().map(|&f| vec![f]).collect() }
+        AccessPath {
+            chains: per_level.iter().map(|&f| vec![f]).collect(),
+        }
     }
 
     /// The empty path: the value is an array (possibly of arrays) of
     /// primitives with no record selections.
     pub fn direct(levels_minus_one: usize) -> AccessPath {
-        AccessPath { chains: vec![Vec::new(); levels_minus_one] }
+        AccessPath {
+            chains: vec![Vec::new(); levels_minus_one],
+        }
     }
 }
 
@@ -124,9 +131,9 @@ impl PathMeta {
             // Record *all* field offsets at this level (paper collects the
             // full unitOffset table) if the element is a record.
             let offsets_here = match elem {
-                Shape::Record { fields } => {
-                    (0..fields.len()).map(|i| elem.field_offset(i).unwrap()).collect()
-                }
+                Shape::Record { fields } => (0..fields.len())
+                    .map(|i| elem.field_offset(i).unwrap())
+                    .collect(),
                 _ => Vec::new(),
             };
             unit_offset.push(offsets_here);
@@ -136,13 +143,13 @@ impl PathMeta {
             let mut sel = elem;
             let mut off = 0usize;
             for &fidx in &chain {
-                let field_off = sel.field_offset(fidx).ok_or_else(|| {
-                    LinearizeError::PathMismatch {
-                        level,
-                        found: sel.describe(),
-                        expected: format!("record with ≥{} fields", fidx + 1),
-                    }
-                })?;
+                let field_off =
+                    sel.field_offset(fidx)
+                        .ok_or_else(|| LinearizeError::PathMismatch {
+                            level,
+                            found: sel.describe(),
+                            expected: format!("record with ≥{} fields", fidx + 1),
+                        })?;
                 off += field_off;
                 sel = sel.field_shape(fidx).expect("offset implies field exists");
             }
@@ -196,7 +203,10 @@ mod meta_tests {
     use crate::shape::Shape;
 
     fn fig6_shape(t: usize, n: usize, m: usize) -> Shape {
-        let a = Shape::record(vec![("a1", Shape::array(Shape::Real, m)), ("a2", Shape::Int)]);
+        let a = Shape::record(vec![
+            ("a1", Shape::array(Shape::Real, m)),
+            ("a2", Shape::Int),
+        ]);
         let b = Shape::record(vec![("b1", Shape::array(a, n)), ("b2", Shape::Int)]);
         Shape::array(b, t)
     }
@@ -241,7 +251,9 @@ mod meta_tests {
     #[test]
     fn direct_path_on_plain_matrix() {
         let shape = Shape::array(Shape::array(Shape::Real, 7), 3);
-        let pm = LinearMeta::new(&shape).for_path(&AccessPath::direct(1)).unwrap();
+        let pm = LinearMeta::new(&shape)
+            .for_path(&AccessPath::direct(1))
+            .unwrap();
         assert_eq!(pm.levels, 2);
         assert_eq!(pm.unit_size, vec![7, 1]);
         assert_eq!(pm.level_offset, vec![0]);
@@ -250,7 +262,10 @@ mod meta_tests {
     #[test]
     fn chained_record_selection() {
         // record Outer { inner: record Inner { pad: int, xs: [2] real } }
-        let inner = Shape::record(vec![("pad", Shape::Int), ("xs", Shape::array(Shape::Real, 2))]);
+        let inner = Shape::record(vec![
+            ("pad", Shape::Int),
+            ("xs", Shape::array(Shape::Real, 2)),
+        ]);
         let outer = Shape::record(vec![("inner", inner)]);
         let shape = Shape::array(outer, 3);
         let pm = LinearMeta::new(&shape)

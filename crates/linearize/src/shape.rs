@@ -50,13 +50,19 @@ impl Shape {
 
     /// Build an array shape.
     pub fn array(elem: Shape, len: usize) -> Shape {
-        Shape::Array { elem: Box::new(elem), len }
+        Shape::Array {
+            elem: Box::new(elem),
+            len,
+        }
     }
 
     /// Build a record shape from `(name, shape)` pairs.
     pub fn record(fields: Vec<(&str, Shape)>) -> Shape {
         Shape::Record {
-            fields: fields.into_iter().map(|(n, s)| (n.to_string(), s)).collect(),
+            fields: fields
+                .into_iter()
+                .map(|(n, s)| (n.to_string(), s))
+                .collect(),
         }
     }
 
@@ -171,7 +177,10 @@ mod shape_tests {
         // record A { a1: [1..m] real; a2: int; }  (m = 3)
         // record B { b1: [1..n] A;    b2: int; }  (n = 4)
         // data: [1..t] B;                         (t = 2)
-        let a = Shape::record(vec![("a1", Shape::array(Shape::Real, 3)), ("a2", Shape::Int)]);
+        let a = Shape::record(vec![
+            ("a1", Shape::array(Shape::Real, 3)),
+            ("a2", Shape::Int),
+        ]);
         let b = Shape::record(vec![("b1", Shape::array(a, 4)), ("b2", Shape::Int)]);
         Shape::array(b, 2)
     }
@@ -185,7 +194,10 @@ mod shape_tests {
 
     #[test]
     fn field_offsets() {
-        let a = Shape::record(vec![("a1", Shape::array(Shape::Real, 3)), ("a2", Shape::Int)]);
+        let a = Shape::record(vec![
+            ("a1", Shape::array(Shape::Real, 3)),
+            ("a2", Shape::Int),
+        ]);
         assert_eq!(a.field_offset(0), Some(0));
         assert_eq!(a.field_offset(1), Some(3));
         assert_eq!(a.field_offset(2), None);
@@ -194,7 +206,10 @@ mod shape_tests {
 
     #[test]
     fn field_lookup_by_name() {
-        let a = Shape::record(vec![("a1", Shape::array(Shape::Real, 3)), ("a2", Shape::Int)]);
+        let a = Shape::record(vec![
+            ("a1", Shape::array(Shape::Real, 3)),
+            ("a2", Shape::Int),
+        ]);
         let (idx, sh) = a.field_named("a2").unwrap();
         assert_eq!(idx, 1);
         assert_eq!(*sh, Shape::Int);

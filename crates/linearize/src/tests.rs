@@ -153,7 +153,10 @@ proptest! {
 #[test]
 fn distinct_indices_map_to_distinct_offsets() {
     // Determinism/injectivity smoke test on the Figure 6 structure.
-    let a = Shape::record(vec![("a1", Shape::array(Shape::Real, 3)), ("a2", Shape::Int)]);
+    let a = Shape::record(vec![
+        ("a1", Shape::array(Shape::Real, 3)),
+        ("a2", Shape::Int),
+    ]);
     let b = Shape::record(vec![("b1", Shape::array(a, 4)), ("b2", Shape::Int)]);
     let shape = Shape::array(b, 5);
     let pm = crate::LinearMeta::new(&shape)

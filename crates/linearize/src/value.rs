@@ -128,9 +128,10 @@ impl Value {
     /// Index into an array value (0-based).
     pub fn index(&self, i: usize) -> Result<&Value, LinearizeError> {
         match self {
-            Value::Array(items) => items
-                .get(i)
-                .ok_or(LinearizeError::IndexOutOfBounds { index: i, len: items.len() }),
+            Value::Array(items) => items.get(i).ok_or(LinearizeError::IndexOutOfBounds {
+                index: i,
+                len: items.len(),
+            }),
             _ => Err(LinearizeError::NotAnArray),
         }
     }
@@ -151,9 +152,10 @@ impl Value {
     /// Select a record field by position.
     pub fn field(&self, i: usize) -> Result<&Value, LinearizeError> {
         match self {
-            Value::Record(vals) => vals
-                .get(i)
-                .ok_or(LinearizeError::IndexOutOfBounds { index: i, len: vals.len() }),
+            Value::Record(vals) => vals.get(i).ok_or(LinearizeError::IndexOutOfBounds {
+                index: i,
+                len: vals.len(),
+            }),
             _ => Err(LinearizeError::NotARecord),
         }
     }
@@ -200,7 +202,10 @@ mod value_tests {
 
     #[test]
     fn zero_matches_shape() {
-        let s = Shape::record(vec![("xs", Shape::array(Shape::Real, 4)), ("n", Shape::Int)]);
+        let s = Shape::record(vec![
+            ("xs", Shape::array(Shape::Real, 4)),
+            ("n", Shape::Int),
+        ]);
         let v = Value::zero(&s);
         assert!(v.matches(&s));
         assert_eq!(v.slot_count(), 5);
@@ -208,7 +213,10 @@ mod value_tests {
 
     #[test]
     fn from_fn_fills_in_linearization_order() {
-        let s = Shape::record(vec![("xs", Shape::array(Shape::Real, 3)), ("n", Shape::Int)]);
+        let s = Shape::record(vec![
+            ("xs", Shape::array(Shape::Real, 3)),
+            ("n", Shape::Int),
+        ]);
         let v = Value::from_fn(&s, |i| i as f64 * 10.0);
         assert_eq!(v.slot(0), Some(0.0));
         assert_eq!(v.slot(2), Some(20.0));

@@ -51,7 +51,10 @@ mod writeback_tests {
 
     #[test]
     fn roundtrip_nested() {
-        let a = Shape::record(vec![("a1", Shape::array(Shape::Real, 3)), ("a2", Shape::Int)]);
+        let a = Shape::record(vec![
+            ("a1", Shape::array(Shape::Real, 3)),
+            ("a2", Shape::Int),
+        ]);
         let shape = Shape::array(a, 4);
         let v = Value::from_fn(&shape, |i| i as f64 * 1.5);
         let lin = Linearizer::new(&shape).linearize(&v).unwrap();

@@ -109,7 +109,11 @@ pub(crate) fn metrics_json(trace: &Trace) -> String {
             out.push(',');
         }
         json_str(&mut out, &row.name);
-        let _ = write!(out, ":{{\"count\":{},\"total_ns\":{}}}", row.count, row.total_ns);
+        let _ = write!(
+            out,
+            ":{{\"count\":{},\"total_ns\":{}}}",
+            row.count, row.total_ns
+        );
     }
     out.push_str("}}");
     out
@@ -157,7 +161,9 @@ pub fn validate_chrome_trace(src: &str) -> Result<ChromeTraceSummary, String> {
             .and_then(JsonValue::as_str)
             .ok_or_else(|| format!("event {i}: missing string `ph`"))?;
         if ph != "X" {
-            return Err(format!("event {i}: `ph` is `{ph}`, expected complete event `X`"));
+            return Err(format!(
+                "event {i}: `ph` is `{ph}`, expected complete event `X`"
+            ));
         }
         for key in ["ts", "dur", "pid", "tid"] {
             let v = ev
@@ -165,7 +171,9 @@ pub fn validate_chrome_trace(src: &str) -> Result<ChromeTraceSummary, String> {
                 .and_then(JsonValue::as_num)
                 .ok_or_else(|| format!("event {i}: missing numeric `{key}`"))?;
             if !v.is_finite() || v < 0.0 {
-                return Err(format!("event {i}: `{key}` = {v} is not a non-negative number"));
+                return Err(format!(
+                    "event {i}: `{key}` = {v} is not a non-negative number"
+                ));
             }
         }
         if let Some(args) = ev.get("args") {
@@ -205,7 +213,15 @@ mod tests {
                 ("frac", AttrValue::Float(0.5)),
             ],
         );
-        rec.push_complete(TraceLevel::Phases, "combine", "engine", 0, 6_000, 2_000, Vec::new());
+        rec.push_complete(
+            TraceLevel::Phases,
+            "combine",
+            "engine",
+            0,
+            6_000,
+            2_000,
+            Vec::new(),
+        );
         rec.add_counter("pool.dispatches", 2);
         rec.set_gauge("threads", 2.0);
         rec.drain()
@@ -218,7 +234,10 @@ mod tests {
         let summary = validate_chrome_trace(&json).unwrap();
         assert_eq!(summary.events, 2);
         assert_eq!(summary.tids, 2);
-        assert_eq!(summary.names, vec!["combine".to_string(), "split".to_string()]);
+        assert_eq!(
+            summary.names,
+            vec!["combine".to_string(), "split".to_string()]
+        );
     }
 
     #[test]
@@ -226,13 +245,22 @@ mod tests {
         let trace = sample_trace();
         let doc = parse_json(&trace.chrome_json()).unwrap();
         let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
-        let split = events.iter().find(|e| e.get("name").unwrap().as_str() == Some("split")).unwrap();
+        let split = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("split"))
+            .unwrap();
         // 100 ns → 0.1 µs, 5000 ns → 5 µs.
         assert_eq!(split.get("ts").unwrap().as_num(), Some(0.1));
         assert_eq!(split.get("dur").unwrap().as_num(), Some(5.0));
         assert_eq!(split.get("tid").unwrap().as_num(), Some(1.0));
-        assert_eq!(split.get("args").unwrap().get("rows").unwrap().as_num(), Some(250.0));
-        assert_eq!(split.get("args").unwrap().get("label").unwrap().as_str(), Some("a\"b"));
+        assert_eq!(
+            split.get("args").unwrap().get("rows").unwrap().as_num(),
+            Some(250.0)
+        );
+        assert_eq!(
+            split.get("args").unwrap().get("label").unwrap().as_str(),
+            Some("a\"b")
+        );
     }
 
     #[test]
@@ -240,18 +268,24 @@ mod tests {
         assert!(validate_chrome_trace("[]").is_err(), "array root");
         assert!(validate_chrome_trace("{}").is_err(), "no traceEvents");
         assert!(
-            validate_chrome_trace(r#"{"traceEvents":[{"name":"x","ph":"X","ts":1,"dur":1,"pid":0}]}"#)
-                .is_err(),
+            validate_chrome_trace(
+                r#"{"traceEvents":[{"name":"x","ph":"X","ts":1,"dur":1,"pid":0}]}"#
+            )
+            .is_err(),
             "missing tid"
         );
         assert!(
-            validate_chrome_trace(r#"{"traceEvents":[{"name":"x","ph":"B","ts":1,"dur":1,"pid":0,"tid":0}]}"#)
-                .is_err(),
+            validate_chrome_trace(
+                r#"{"traceEvents":[{"name":"x","ph":"B","ts":1,"dur":1,"pid":0,"tid":0}]}"#
+            )
+            .is_err(),
             "wrong ph"
         );
         assert!(
-            validate_chrome_trace(r#"{"traceEvents":[{"name":"x","ph":"X","ts":-4,"dur":1,"pid":0,"tid":0}]}"#)
-                .is_err(),
+            validate_chrome_trace(
+                r#"{"traceEvents":[{"name":"x","ph":"X","ts":-4,"dur":1,"pid":0,"tid":0}]}"#
+            )
+            .is_err(),
             "negative ts"
         );
     }
@@ -260,8 +294,18 @@ mod tests {
     fn metrics_json_is_valid_json_with_aggregates() {
         let trace = sample_trace();
         let doc = parse_json(&trace.metrics_json()).unwrap();
-        assert_eq!(doc.get("counters").unwrap().get("pool.dispatches").unwrap().as_num(), Some(2.0));
-        assert_eq!(doc.get("gauges").unwrap().get("threads").unwrap().as_num(), Some(2.0));
+        assert_eq!(
+            doc.get("counters")
+                .unwrap()
+                .get("pool.dispatches")
+                .unwrap()
+                .as_num(),
+            Some(2.0)
+        );
+        assert_eq!(
+            doc.get("gauges").unwrap().get("threads").unwrap().as_num(),
+            Some(2.0)
+        );
         let split = doc.get("spans").unwrap().get("split").unwrap();
         assert_eq!(split.get("count").unwrap().as_num(), Some(1.0));
         assert_eq!(split.get("total_ns").unwrap().as_num(), Some(5000.0));

@@ -225,7 +225,10 @@ mod tests {
         assert_eq!(parse_json("null").unwrap(), JsonValue::Null);
         assert_eq!(parse_json("true").unwrap(), JsonValue::Bool(true));
         assert_eq!(parse_json("-12.5e2").unwrap(), JsonValue::Num(-1250.0));
-        assert_eq!(parse_json(r#""a\"b\n""#).unwrap(), JsonValue::Str("a\"b\n".into()));
+        assert_eq!(
+            parse_json(r#""a\"b\n""#).unwrap(),
+            JsonValue::Str("a\"b\n".into())
+        );
     }
 
     #[test]

@@ -129,11 +129,14 @@ impl SpanRecord {
     /// Look up an integer attribute by name (`Float` values truncate,
     /// strings are `None`).
     pub fn attr_i64(&self, key: &str) -> Option<i64> {
-        self.attrs.iter().find(|(k, _)| *k == key).and_then(|(_, v)| match v {
-            AttrValue::Int(x) => Some(*x),
-            AttrValue::Float(x) => Some(*x as i64),
-            AttrValue::Str(_) => None,
-        })
+        self.attrs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .and_then(|(_, v)| match v {
+                AttrValue::Int(x) => Some(*x),
+                AttrValue::Float(x) => Some(*x as i64),
+                AttrValue::Str(_) => None,
+            })
     }
 }
 
@@ -208,7 +211,13 @@ impl Recorder {
     /// Start a span at level `at` on track `tid`; it records itself when
     /// dropped (or via [`Span::finish`]). Disabled spans cost one branch
     /// and allocate nothing.
-    pub fn span(&self, at: TraceLevel, name: &'static str, cat: &'static str, tid: usize) -> Span<'_> {
+    pub fn span(
+        &self,
+        at: TraceLevel,
+        name: &'static str,
+        cat: &'static str,
+        tid: usize,
+    ) -> Span<'_> {
         if !self.enabled(at) {
             return Span { inner: None };
         }
@@ -243,7 +252,15 @@ impl Recorder {
         if !self.enabled(at) {
             return;
         }
-        self.push(SpanRecord { name, cat, pid: 0, tid, start_ns, dur_ns, attrs });
+        self.push(SpanRecord {
+            name,
+            cat,
+            pid: 0,
+            tid,
+            start_ns,
+            dur_ns,
+            attrs,
+        });
     }
 
     /// Record an instant event (exported as a zero-duration span with an
@@ -261,7 +278,15 @@ impl Recorder {
         }
         attrs.push(("instant", AttrValue::Int(1)));
         let now = self.now_ns();
-        self.push(SpanRecord { name, cat, pid: 0, tid, start_ns: now, dur_ns: 0, attrs });
+        self.push(SpanRecord {
+            name,
+            cat,
+            pid: 0,
+            tid,
+            start_ns: now,
+            dur_ns: 0,
+            attrs,
+        });
     }
 
     fn push(&self, record: SpanRecord) {
@@ -406,7 +431,11 @@ impl Trace {
 
     /// Total duration of all spans named `name`, ns.
     pub fn total_ns(&self, name: &str) -> u64 {
-        self.spans.iter().filter(|s| s.name == name).map(|s| s.dur_ns).sum()
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.dur_ns)
+            .sum()
     }
 
     /// Number of spans named `name`.
@@ -466,7 +495,12 @@ mod tests {
 
     #[test]
     fn level_parse_round_trips() {
-        for l in [TraceLevel::Off, TraceLevel::Phases, TraceLevel::Splits, TraceLevel::Verbose] {
+        for l in [
+            TraceLevel::Off,
+            TraceLevel::Phases,
+            TraceLevel::Splits,
+            TraceLevel::Verbose,
+        ] {
             assert_eq!(TraceLevel::parse(l.name()), Some(l));
         }
         assert_eq!(TraceLevel::parse("bogus"), None);
@@ -504,11 +538,19 @@ mod tests {
     #[test]
     fn instant_events_are_zero_duration_marked() {
         let rec = Recorder::new(TraceLevel::Phases);
-        rec.instant(TraceLevel::Phases, "pool.grow", "pool", 0, vec![("threads", AttrValue::Int(3))]);
+        rec.instant(
+            TraceLevel::Phases,
+            "pool.grow",
+            "pool",
+            0,
+            vec![("threads", AttrValue::Int(3))],
+        );
         let trace = rec.drain();
         assert_eq!(trace.spans.len(), 1);
         assert_eq!(trace.spans[0].dur_ns, 0);
-        assert!(trace.spans[0].attrs.contains(&("instant", AttrValue::Int(1))));
+        assert!(trace.spans[0]
+            .attrs
+            .contains(&("instant", AttrValue::Int(1))));
     }
 
     #[test]

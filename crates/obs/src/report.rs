@@ -37,25 +37,38 @@ impl TraceReport {
         TraceReport {
             rows: by_name
                 .into_iter()
-                .map(|(name, (count, total_ns))| PhaseRow { name: name.to_string(), count, total_ns })
+                .map(|(name, (count, total_ns))| PhaseRow {
+                    name: name.to_string(),
+                    count,
+                    total_ns,
+                })
                 .collect(),
         }
     }
 
     /// Summed duration of all spans named `name`, in nanoseconds.
     pub fn total_ns(&self, name: &str) -> u64 {
-        self.rows.iter().find(|r| r.name == name).map_or(0, |r| r.total_ns)
+        self.rows
+            .iter()
+            .find(|r| r.name == name)
+            .map_or(0, |r| r.total_ns)
     }
 
     /// Number of spans named `name`.
     pub fn count(&self, name: &str) -> usize {
-        self.rows.iter().find(|r| r.name == name).map_or(0, |r| r.count)
+        self.rows
+            .iter()
+            .find(|r| r.name == name)
+            .map_or(0, |r| r.count)
     }
 
     /// Render a simple two-column table (`phase`, `count`, `total ms`).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("{:<18} {:>7} {:>12}\n", "phase", "count", "total ms"));
+        out.push_str(&format!(
+            "{:<18} {:>7} {:>12}\n",
+            "phase", "count", "total ms"
+        ));
         for row in &self.rows {
             out.push_str(&format!(
                 "{:<18} {:>7} {:>12.3}\n",
@@ -108,14 +121,23 @@ mod tests {
     fn trace_with(spans: &[(&'static str, u64)]) -> Trace {
         let rec = Recorder::new(TraceLevel::Verbose);
         for (i, &(name, dur)) in spans.iter().enumerate() {
-            rec.push_complete(TraceLevel::Phases, name, "t", 0, i as u64 * 10, dur, Vec::new());
+            rec.push_complete(
+                TraceLevel::Phases,
+                name,
+                "t",
+                0,
+                i as u64 * 10,
+                dur,
+                Vec::new(),
+            );
         }
         rec.drain()
     }
 
     #[test]
     fn aggregates_by_name() {
-        let rep = TraceReport::from_trace(&trace_with(&[("split", 5), ("split", 7), ("combine", 3)]));
+        let rep =
+            TraceReport::from_trace(&trace_with(&[("split", 5), ("split", 7), ("combine", 3)]));
         assert_eq!(rep.count("split"), 2);
         assert_eq!(rep.total_ns("split"), 12);
         assert_eq!(rep.total_ns("combine"), 3);
@@ -125,7 +147,8 @@ mod tests {
 
     #[test]
     fn render_lists_every_row() {
-        let rep = TraceReport::from_trace(&trace_with(&[("split", 2_000_000), ("combine", 1_000_000)]));
+        let rep =
+            TraceReport::from_trace(&trace_with(&[("split", 2_000_000), ("combine", 1_000_000)]));
         let table = rep.render();
         assert!(table.contains("split"));
         assert!(table.contains("combine"));
@@ -139,7 +162,10 @@ mod tests {
         let cols = vec![("generated".to_string(), a), ("opt-2".to_string(), b)];
         let table = render_comparison(&["split", "combine"], &cols);
         assert!(table.contains("split"));
-        assert!(!table.contains("combine"), "all-zero phase must be dropped:\n{table}");
+        assert!(
+            !table.contains("combine"),
+            "all-zero phase must be dropped:\n{table}"
+        );
         assert!(table.contains("(-50.0%)"), "missing delta:\n{table}");
     }
 }

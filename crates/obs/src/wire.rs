@@ -38,7 +38,9 @@ impl std::fmt::Display for TraceDecodeError {
 impl std::error::Error for TraceDecodeError {}
 
 fn err<T>(reason: impl Into<String>) -> Result<T, TraceDecodeError> {
-    Err(TraceDecodeError { reason: reason.into() })
+    Err(TraceDecodeError {
+        reason: reason.into(),
+    })
 }
 
 /// Intern a string, returning a `&'static str` that is pointer-stable
@@ -78,23 +80,33 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self, what: &str) -> Result<u16, TraceDecodeError> {
-        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().expect("2 bytes"),
+        ))
     }
 
     fn u32(&mut self, what: &str) -> Result<u32, TraceDecodeError> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self, what: &str) -> Result<u64, TraceDecodeError> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn i64(&mut self, what: &str) -> Result<i64, TraceDecodeError> {
-        Ok(i64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+        Ok(i64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn f64(&mut self, what: &str) -> Result<f64, TraceDecodeError> {
-        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn string(&mut self, what: &str) -> Result<String, TraceDecodeError> {
@@ -178,7 +190,9 @@ impl Trace {
         }
         let version = r.u16("version")?;
         if version != VERSION {
-            return err(format!("unsupported trace codec version {version} (expected {VERSION})"));
+            return err(format!(
+                "unsupported trace codec version {version} (expected {VERSION})"
+            ));
         }
         let span_count = r.count("span count")?;
         let mut trace = Trace::default();
@@ -202,7 +216,15 @@ impl Trace {
                 };
                 attrs.push((key, value));
             }
-            trace.spans.push(SpanRecord { name, cat, pid, tid, start_ns, dur_ns, attrs });
+            trace.spans.push(SpanRecord {
+                name,
+                cat,
+                pid,
+                tid,
+                start_ns,
+                dur_ns,
+                attrs,
+            });
         }
         let counter_count = r.count("counter count")?;
         for _ in 0..counter_count {
@@ -217,7 +239,10 @@ impl Trace {
             trace.gauges.insert(k, v);
         }
         if r.pos != r.buf.len() {
-            return err(format!("{} trailing bytes after frame", r.buf.len() - r.pos));
+            return err(format!(
+                "{} trailing bytes after frame",
+                r.buf.len() - r.pos
+            ));
         }
         Ok(trace)
     }
@@ -236,7 +261,15 @@ mod wire_tests {
             span.attr_f64("ratio", 0.5);
             span.attr_str("mode", "threads");
         }
-        rec.push_complete(TraceLevel::Splits, "split", "engine", 3, 100, 50, Vec::new());
+        rec.push_complete(
+            TraceLevel::Splits,
+            "split",
+            "engine",
+            3,
+            100,
+            50,
+            Vec::new(),
+        );
         rec.add_counter("dist.bytes_sent", 123);
         rec.set_gauge("threads", 4.0);
         rec.drain()
@@ -261,7 +294,10 @@ mod wire_tests {
     fn truncation_is_error_at_every_length() {
         let full = sample().encode_bin();
         for n in 0..full.len() {
-            assert!(Trace::decode_bin(&full[..n]).is_err(), "prefix of {n} bytes decoded");
+            assert!(
+                Trace::decode_bin(&full[..n]).is_err(),
+                "prefix of {n} bytes decoded"
+            );
         }
     }
 

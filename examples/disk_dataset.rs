@@ -15,7 +15,10 @@ use chapel_freeride::{
 
 fn main() {
     let dir = std::env::temp_dir();
-    let path = dir.join(format!("chapel-freeride-example-{}.frds", std::process::id()));
+    let path = dir.join(format!(
+        "chapel-freeride-example-{}.frds",
+        std::process::id()
+    ));
 
     // 1. Generate and persist a clustered dataset (seeded Gaussian).
     let (ds, centres) = cfr_datagen::clustered_points(50_000, 4, 6, 2.0, 2024);

@@ -41,7 +41,10 @@ fn main() {
         }
     }
     for r in &detection.rejections {
-        println!("stmt {}: stays on the interpreter ({})", r.stmt_index, r.reason);
+        println!(
+            "stmt {}: stays on the interpreter ({})",
+            r.stmt_index, r.reason
+        );
     }
 
     // The kernels at each optimization level.

@@ -49,7 +49,11 @@ fn main() {
         let coords: Vec<String> = (0..4)
             .map(|j| format!("{:7.2}", manual.centroids[c * params.d + j]))
             .collect();
-        println!("  #{c}: [{} ...]  ({} points)", coords.join(", "), manual.counts[c]);
+        println!(
+            "  #{c}: [{} ...]  ({} points)",
+            coords.join(", "),
+            manual.counts[c]
+        );
     }
     println!("\nall four versions agree ✓");
 }

@@ -63,7 +63,10 @@ fn main() {
     println!("leading eigenvalue of the scatter matrix: {eigenvalue:.2}");
     println!(
         "leading component (first 6 dims): {:?}",
-        v[..6.min(rows)].iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>()
+        v[..6.min(rows)]
+            .iter()
+            .map(|x| (x * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     );
     println!("\nopt-2 and manual agree ✓");
 }

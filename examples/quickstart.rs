@@ -34,7 +34,9 @@ fn main() {
     // 2. Translated execution: reductions are detected, the arrays are
     //    linearized, and FREERIDE runs the kernels.
     for opt in [OptLevel::Generated, OptLevel::Opt2] {
-        let run = Translator::new(opt, 4).run_program(src).expect("translated run");
+        let run = Translator::new(opt, 4)
+            .run_program(src)
+            .expect("translated run");
         println!("\n{opt:?}: {} FREERIDE job(s) ran", run.jobs.len());
         for job in &run.jobs {
             println!(

@@ -117,7 +117,10 @@ fn main() -> ExitCode {
                     }
                 }
                 if opts.explain {
-                    eprintln!("\n--- translation report ({:?}, {} threads) ---", opts.opt, opts.threads);
+                    eprintln!(
+                        "\n--- translation report ({:?}, {} threads) ---",
+                        opts.opt, opts.threads
+                    );
                     for job in &run.jobs {
                         eprintln!(
                             "offloaded stmt {}: {} (linearize {:.3} ms, reduce {:.3} ms, {} splits)",

@@ -2,9 +2,7 @@
 //! through detection, linearization, FREERIDE execution, and write-back
 //! — exercised through the public facade.
 
-use chapel_freeride::{
-    kmeans, parse, pca, programs, Interpreter, OptLevel, Translator, Version,
-};
+use chapel_freeride::{kmeans, parse, pca, programs, Interpreter, OptLevel, Translator, Version};
 
 #[test]
 fn fig2_class_parses_checks_and_reduces() {
@@ -46,7 +44,9 @@ fn fig8_loop_offloads_and_matches() {
     let oracle = Interpreter::run_source(&src).expect("interp");
     let expect = oracle.global("sum").unwrap().as_f64().unwrap();
     for opt in [OptLevel::Generated, OptLevel::Opt1, OptLevel::Opt2] {
-        let run = Translator::new(opt, 2).run_program(&src).expect("translate");
+        let run = Translator::new(opt, 2)
+            .run_program(&src)
+            .expect("translate");
         assert_eq!(run.jobs.len(), 1, "{opt:?}");
         let got = run.global("sum").unwrap().as_f64().unwrap();
         assert!((got - expect).abs() < 1e-9, "{opt:?}: {got} vs {expect}");
@@ -59,22 +59,20 @@ fn whole_kmeans_program_via_translator() {
     // reduction loop offloaded), compared against pure interpretation.
     let src = programs::kmeans(60, 4, 3);
     let oracle = Interpreter::run_source(&src).expect("interp");
-    let run = Translator::new(OptLevel::Opt2, 3).run_program(&src).expect("translate");
+    let run = Translator::new(OptLevel::Opt2, 3)
+        .run_program(&src)
+        .expect("translate");
     assert_eq!(run.jobs.len(), 1);
     let a = oracle.global("newCent").unwrap().to_linear().unwrap();
     let b = run.global("newCent").unwrap().to_linear().unwrap();
-    let la = chapel_freeride::Linearizer::new(
-        &cfr_apps::data::kmeans_centroid_shape(4, 3),
-    )
-    .linearize(&a)
-    .unwrap()
-    .buffer;
-    let lb = chapel_freeride::Linearizer::new(
-        &cfr_apps::data::kmeans_centroid_shape(4, 3),
-    )
-    .linearize(&b)
-    .unwrap()
-    .buffer;
+    let la = chapel_freeride::Linearizer::new(&cfr_apps::data::kmeans_centroid_shape(4, 3))
+        .linearize(&a)
+        .unwrap()
+        .buffer;
+    let lb = chapel_freeride::Linearizer::new(&cfr_apps::data::kmeans_centroid_shape(4, 3))
+        .linearize(&b)
+        .unwrap()
+        .buffer;
     for (x, y) in la.iter().zip(&lb) {
         assert!((x - y).abs() < 1e-9, "{x} vs {y}");
     }
@@ -147,7 +145,9 @@ fn table1_api_surface_end_to_end() {
 #[test]
 fn translator_reports_are_complete() {
     let src = programs::pca(3, 12);
-    let run = Translator::new(OptLevel::Opt1, 2).run_program(&src).expect("translate");
+    let run = Translator::new(OptLevel::Opt1, 2)
+        .run_program(&src)
+        .expect("translate");
     assert_eq!(run.jobs.len(), 2, "both PCA phases offloaded");
     for job in &run.jobs {
         assert!(job.wall_ns > 0);
@@ -167,7 +167,9 @@ fn facade_reexports_cover_the_workflow() {
     };
     let shape = Shape::array(Shape::Real, 4);
     let value = Value::from_fn(&shape, |i| i as f64);
-    let lin = chapel_freeride::Linearizer::new(&shape).linearize(&value).unwrap();
+    let lin = chapel_freeride::Linearizer::new(&shape)
+        .linearize(&value)
+        .unwrap();
     let pm = lin.meta.for_path(&AccessPath::direct(0)).unwrap();
     assert_eq!(lin.buffer[linearize::compute_index(&pm, &[2])], 2.0);
 
@@ -178,11 +180,14 @@ fn facade_reexports_cover_the_workflow() {
         ..Default::default()
     });
     let view = DataView::new(&lin.buffer, 1).unwrap();
-    let out = engine.run(view, &layout, &|split: &chapel_freeride::Split<'_>,
-                                           robj: &mut dyn chapel_freeride::RObjHandle| {
-        for row in split.iter_rows() {
-            robj.accumulate(0, 0, row[0]);
-        }
-    });
+    let out = engine.run(
+        view,
+        &layout,
+        &|split: &chapel_freeride::Split<'_>, robj: &mut dyn chapel_freeride::RObjHandle| {
+            for row in split.iter_rows() {
+                robj.accumulate(0, 0, row[0]);
+            }
+        },
+    );
     assert_eq!(out.robj.get(0, 0), 6.0);
 }

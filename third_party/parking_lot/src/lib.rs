@@ -17,7 +17,9 @@ pub struct Mutex<T: ?Sized> {
 impl<T> Mutex<T> {
     /// Create a mutex.
     pub const fn new(value: T) -> Mutex<T> {
-        Mutex { inner: StdMutex::new(value) }
+        Mutex {
+            inner: StdMutex::new(value),
+        }
     }
 
     /// Consume the mutex, returning the inner value.
@@ -72,13 +74,17 @@ pub struct MutexGuard<'a, T: ?Sized> {
 impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.guard.as_ref().expect("guard present outside Condvar::wait")
+        self.guard
+            .as_ref()
+            .expect("guard present outside Condvar::wait")
     }
 }
 
 impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.guard.as_mut().expect("guard present outside Condvar::wait")
+        self.guard
+            .as_mut()
+            .expect("guard present outside Condvar::wait")
     }
 }
 
@@ -90,7 +96,9 @@ pub struct Condvar {
 impl Condvar {
     /// Create a condition variable.
     pub const fn new() -> Condvar {
-        Condvar { inner: StdCondvar::new() }
+        Condvar {
+            inner: StdCondvar::new(),
+        }
     }
 
     /// Wake one waiter.

@@ -93,7 +93,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(Self::Value) -> O,
     {
-        Map { inner: self, f, _out: std::marker::PhantomData }
+        Map {
+            inner: self,
+            f,
+            _out: std::marker::PhantomData,
+        }
     }
 
     /// Generate an intermediate value, then generate from a strategy
@@ -104,7 +108,11 @@ pub trait Strategy {
         S: Strategy,
         F: Fn(Self::Value) -> S,
     {
-        FlatMap { inner: self, f, _out: std::marker::PhantomData }
+        FlatMap {
+            inner: self,
+            f,
+            _out: std::marker::PhantomData,
+        }
     }
 }
 
@@ -178,7 +186,7 @@ macro_rules! impl_int_strategy {
     )*};
 }
 
-impl_int_strategy!(u8, u16, u32, usize, i64);
+impl_int_strategy!(u8, u16, u32, u64, usize, i64);
 
 impl Strategy for Range<f64> {
     type Value = f64;
@@ -249,7 +257,10 @@ pub struct Union<T> {
 impl<T> Union<T> {
     /// Build from alternatives; must be non-empty.
     pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
-        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
         Union { options }
     }
 }
@@ -286,13 +297,19 @@ impl From<usize> for SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> SizeRange {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { lo: r.start, hi: r.end - 1 }
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> SizeRange {
-        SizeRange { lo: *r.start(), hi: *r.end() }
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
     }
 }
 
@@ -309,7 +326,10 @@ pub mod collection {
 
     /// A `Vec` strategy (mirrors `proptest::collection::vec`).
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -428,9 +448,7 @@ mod proptest_stub_tests {
     #[test]
     fn flat_map_threads_intermediate_values() {
         let mut rng = TestRng::from_name("flat_map");
-        let strat = (1usize..4).prop_flat_map(|n| {
-            (Just(n), crate::collection::vec(0usize..5, n))
-        });
+        let strat = (1usize..4).prop_flat_map(|n| (Just(n), crate::collection::vec(0usize..5, n)));
         for _ in 0..50 {
             let (n, v) = Strategy::generate(&strat, &mut rng);
             assert_eq!(v.len(), n);
