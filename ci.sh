@@ -5,6 +5,15 @@
 # clippy is held to zero warnings across the workspace.
 set -eux
 
+# Every backgrounded daemon registers here; the trap reaps them even
+# when `set -e` aborts the script mid-smoke, so a failed run never
+# leaks cfr-node/cfr-serve processes.
+PIDS=""
+cleanup() {
+  for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+}
+trap cleanup EXIT INT TERM
+
 cargo build --release
 cargo test -q
 cargo test --workspace -q
@@ -36,8 +45,10 @@ cargo build --release -p freeride-dist
 rm -f target/ci-node1.addr target/ci-node2.addr
 target/release/cfr-node --listen 127.0.0.1:0 --port-file target/ci-node1.addr &
 NODE1=$!
+PIDS="$PIDS $NODE1"
 target/release/cfr-node --listen 127.0.0.1:0 --port-file target/ci-node2.addr &
 NODE2=$!
+PIDS="$PIDS $NODE2"
 for f in target/ci-node1.addr target/ci-node2.addr; do
   i=0
   until [ -s "$f" ]; do
@@ -63,8 +74,10 @@ rm -rf target/ci-ft-ckpt target/ci-chaos.addr target/ci-surv.addr
 target/release/cfr-node --listen 127.0.0.1:0 --port-file target/ci-chaos.addr \
   --chaos-kill-after-rounds 1 &
 CHAOS=$!
+PIDS="$PIDS $CHAOS"
 target/release/cfr-node --listen 127.0.0.1:0 --port-file target/ci-surv.addr &
 SURV=$!
+PIDS="$PIDS $SURV"
 for f in target/ci-chaos.addr target/ci-surv.addr; do
   i=0
   until [ -s "$f" ]; do
@@ -83,3 +96,75 @@ wait "$SURV"
 cargo run --release -p obs --bin trace-check -- target/ci-ft-trace.json \
   --expect ft.recover --expect ft.checkpoint --expect cluster.round --expect node.pass
 rm -rf target/ci-ft-ckpt
+
+# FREERIDE as a service: a persistent cfr-serve daemon over a shared
+# 2-node fleet must run two concurrent tenant submissions, ship a server
+# trace laying the jobs side by side (pid 0 = server, one pid per job),
+# and serve a repeated Chapel submission from the compiled-program cache
+# — the repeat's job trace must carry no frontend or compile spans at
+# all (DESIGN.md §12).
+cargo build --release -p cfr-serve -p cfr-datagen
+rm -f target/ci-snode1.addr target/ci-snode2.addr target/ci-serve.addr
+target/release/cfr-datagen --out target/ci-serve-data.frds --rows 2000 --dims 4
+target/release/cfr-node --listen 127.0.0.1:0 --port-file target/ci-snode1.addr \
+  --concurrent --sessions 2 &
+SNODE1=$!
+PIDS="$PIDS $SNODE1"
+target/release/cfr-node --listen 127.0.0.1:0 --port-file target/ci-snode2.addr \
+  --concurrent --sessions 2 &
+SNODE2=$!
+PIDS="$PIDS $SNODE2"
+for f in target/ci-snode1.addr target/ci-snode2.addr; do
+  i=0
+  until [ -s "$f" ]; do
+    i=$((i + 1)); [ "$i" -gt 100 ] && { echo "cfr-node never wrote $f" >&2; exit 1; }
+    sleep 0.1
+  done
+done
+target/release/cfr-serve --listen 127.0.0.1:0 --port-file target/ci-serve.addr \
+  --node-addr "$(cat target/ci-snode1.addr)" \
+  --node-addr "$(cat target/ci-snode2.addr)" \
+  --max-concurrent 2 --trace phases &
+SERVE=$!
+PIDS="$PIDS $SERVE"
+i=0
+until [ -s target/ci-serve.addr ]; do
+  i=$((i + 1)); [ "$i" -gt 100 ] && { echo "cfr-serve never wrote its port file" >&2; exit 1; }
+  sleep 0.1
+done
+SERVE_ADDR=$(cat target/ci-serve.addr)
+# Two concurrent k-means submissions from distinct tenants onto the
+# shared fleet.
+target/release/cfr-submit --server "$SERVE_ADDR" --tenant alice \
+  --task kmeans --dataset target/ci-serve-data.frds \
+  --params 2,4 --init 0,1,2,3,8,9,10,11 --rounds 2 &
+SUB1=$!
+target/release/cfr-submit --server "$SERVE_ADDR" --tenant bob \
+  --task kmeans --dataset target/ci-serve-data.frds \
+  --params 2,4 --init 0,1,2,3,8,9,10,11 --rounds 2 &
+SUB2=$!
+wait "$SUB1" "$SUB2"
+wait "$SNODE1" "$SNODE2"
+# The same Chapel program twice: the first run compiles, the repeat is a
+# program-cache hit whose trace has no frontend/compile spans.
+cat > target/ci-sum.chpl <<'EOF'
+var A: [1..500] real;
+for i in 1..500 { A[i] = i; }
+var total: real = + reduce A;
+EOF
+target/release/cfr-submit --server "$SERVE_ADDR" --tenant alice \
+  --chapel target/ci-sum.chpl --global total \
+  --job-trace-out target/ci-serve-job1.json
+target/release/cfr-submit --server "$SERVE_ADDR" --tenant alice \
+  --chapel target/ci-sum.chpl --global total \
+  --job-trace-out target/ci-serve-job2.json
+cargo run --release -p obs --bin trace-check -- target/ci-serve-job1.json \
+  --expect core.compile --expect frontend.parse
+cargo run --release -p obs --bin trace-check -- target/ci-serve-job2.json \
+  --forbid core.compile --forbid frontend.parse --forbid sema.analyze
+target/release/cfr-submit --server "$SERVE_ADDR" --status \
+  --dump-server-trace target/ci-serve-trace.json --stop
+wait "$SERVE"
+cargo run --release -p obs --bin trace-check -- target/ci-serve-trace.json \
+  --min-pids 3 --expect serve.submit --expect serve.job_done
+rm -f target/ci-serve-data.frds target/ci-sum.chpl

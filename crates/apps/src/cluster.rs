@@ -98,6 +98,13 @@ pub struct FtOptions {
     pub resume: bool,
     /// Node-failure recovery policy passed through to the coordinator.
     pub policy: FtPolicy,
+    /// Job tag namespacing the checkpoints (`job-<tag>` subdirectory of
+    /// `checkpoint_dir`). Empty = unscoped: the legacy layout, owning
+    /// the directory alone. Set a tag whenever several jobs may share
+    /// one checkpoint directory — concurrent jobs then neither prune
+    /// each other's rounds nor cross-resume (a mismatch is the typed
+    /// `FtError::JobMismatch`).
+    pub job_tag: String,
 }
 
 impl FtOptions {
@@ -115,12 +122,19 @@ impl FtOptions {
         self
     }
 
+    /// Namespace the checkpoints under a job tag.
+    pub fn tag(mut self, tag: impl Into<String>) -> FtOptions {
+        self.job_tag = tag.into();
+        self
+    }
+
     /// Options scoped to a phase subdirectory (PCA's `mean` / `cov`).
     fn phase(&self, name: &str) -> FtOptions {
         FtOptions {
             checkpoint_dir: self.checkpoint_dir.as_ref().map(|d| d.join(name)),
             resume: self.resume,
             policy: self.policy.clone(),
+            job_tag: self.job_tag.clone(),
         }
     }
 }
@@ -143,6 +157,7 @@ fn run_job_ft(
 ) -> Result<freeride_dist::ClusterOutcome, AppError> {
     config.ft = ft.policy.clone();
     config.checkpoint_dir = ft.checkpoint_dir.clone();
+    config.job_tag = ft.job_tag.clone();
     if ft.resume && config.checkpoint_dir.is_some() {
         let resumed = match nodes {
             Nodes::Loopback(n) => freeride_dist::resume_loopback(config.clone(), *n),

@@ -75,6 +75,10 @@ struct Opts {
     /// Cluster mode: resume from the newest checkpoint in
     /// `--checkpoint-dir` instead of starting over.
     resume: bool,
+    /// `serve` app: tenant counts to sweep.
+    tenants_list: Vec<usize>,
+    /// `serve` app: jobs each tenant submits back-to-back.
+    jobs_per_tenant: usize,
 }
 
 impl Default for Opts {
@@ -100,11 +104,13 @@ impl Default for Opts {
             checkpoint_dir: None,
             checkpoint_every: 1,
             resume: false,
+            tenants_list: vec![1, 2, 4],
+            jobs_per_tenant: 2,
         }
     }
 }
 
-const USAGE: &str = "usage: bench <kmeans|pca|io|ft> [options]
+const USAGE: &str = "usage: bench <kmeans|pca|io|ft|serve> [options]
   --n N            k-means: number of points        (default 20000)
   --d D            k-means: point dimensionality    (default 8)
   --k K            k-means: centroid count          (default 16)
@@ -131,13 +137,19 @@ const USAGE: &str = "usage: bench <kmeans|pca|io|ft> [options]
   ft               fault-tolerance sweep: checkpoint overhead at
                    every=1/2/never plus recovery latency after an
                    injected mid-round node kill (uses --n/--d/--k/
-                   --iters and the first --nodes entry, default 2)";
+                   --iters and the first --nodes entry, default 2)
+  serve            job-server throughput sweep: an in-process
+                   cfr-serve over a shared loopback fleet, k-means
+                   jobs from 1..N concurrent tenants (uses --n/--d/
+                   --k/--iters and the first --nodes entry, default 2)
+  --tenants L      serve: tenant counts to sweep (default 1,2,4)
+  --jobs-per-tenant N  serve: jobs per tenant (default 2)";
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts::default();
     let mut it = args.iter();
     opts.app = it.next().cloned().ok_or("missing application name")?;
-    if opts.app != "kmeans" && opts.app != "pca" && opts.app != "io" && opts.app != "ft" {
+    if !["kmeans", "pca", "io", "ft", "serve"].contains(&opts.app.as_str()) {
         return Err(format!("unknown application `{}`", opts.app));
     }
     while let Some(flag) = it.next() {
@@ -207,6 +219,24 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|_| format!("--node-addr: `{value}` is not host:port"))?;
                 opts.node_addrs.push(addr);
+            }
+            "--tenants" => {
+                opts.tenants_list = value
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("--tenants: `{s}` is not a positive number"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--jobs-per-tenant" => {
+                opts.jobs_per_tenant = num()?;
+                if opts.jobs_per_tenant == 0 {
+                    return Err("--jobs-per-tenant must be positive".into());
+                }
             }
             "--checkpoint-dir" => opts.checkpoint_dir = Some(value.clone()),
             "--checkpoint-every" => {
@@ -418,12 +448,28 @@ fn run_ft(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// The job-server throughput sweep: an in-process `cfr-serve` over a
+/// shared loopback fleet, k-means jobs submitted by 1..N concurrent
+/// tenants, reported as jobs/second per tenant count.
+fn run_serve(opts: &Opts) -> Result<(), String> {
+    let nodes = opts.nodes.first().copied().unwrap_or(2).max(1);
+    let mut params = KmeansParams::new(opts.n, opts.d, opts.k, opts.iters);
+    params.config.threads = opts.threads;
+    let sweep =
+        cfr_bench::serve_throughput(&params, nodes, &opts.tenants_list, opts.jobs_per_tenant)?;
+    print!("{}", cfr_bench::render_serve_table(&sweep));
+    Ok(())
+}
+
 fn run(opts: &Opts) -> Result<(), String> {
     if opts.app == "io" {
         return run_io(opts);
     }
     if opts.app == "ft" {
         return run_ft(opts);
+    }
+    if opts.app == "serve" {
+        return run_serve(opts);
     }
     if !opts.nodes.is_empty() || !opts.node_addrs.is_empty() {
         return run_cluster(opts);

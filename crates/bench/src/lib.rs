@@ -856,6 +856,152 @@ pub fn render_ft_table(app: &str, sweep: &FtSweep) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// Job-server throughput: concurrent tenants on a shared fleet
+// ---------------------------------------------------------------------
+
+/// One measured point of the job-server throughput sweep.
+#[derive(Debug, Clone)]
+pub struct ServePoint {
+    /// Concurrent tenants submitting in this run.
+    pub tenants: usize,
+    /// Total jobs completed.
+    pub jobs: usize,
+    /// End-to-end wall time, seconds.
+    pub wall_s: f64,
+    /// Service throughput, jobs per second.
+    pub jobs_per_s: f64,
+}
+
+/// A completed job-server throughput sweep.
+#[derive(Debug, Clone)]
+pub struct ServeSweep {
+    /// Fleet size every run shared.
+    pub nodes: usize,
+    /// Rounds per job.
+    pub rounds: usize,
+    /// Jobs each tenant submitted back-to-back.
+    pub jobs_per_tenant: usize,
+    /// The measured points, one per tenant count.
+    pub points: Vec<ServePoint>,
+}
+
+/// Measure `cfr-serve` throughput: an in-process server over a shared
+/// loopback fleet, swept across tenant counts. Each tenant opens one
+/// session and submits `jobs_per_tenant` identical k-means jobs
+/// back-to-back; the point of the sweep is how job throughput scales as
+/// concurrent tenants multiplex onto the same nodes. Every job's final
+/// state is checked bit-identical to the first — concurrency must not
+/// perturb results.
+pub fn serve_throughput(
+    params: &cfr_apps::kmeans::KmeansParams,
+    nodes: usize,
+    tenants_list: &[usize],
+    jobs_per_tenant: usize,
+) -> Result<ServeSweep, String> {
+    use cfr_serve::{Client, JobSpec, ServeConfig, Server};
+
+    let (n, d, k) = (params.n, params.d, params.k);
+    let rounds = params.iters.max(1);
+    let data = cfr_apps::data::kmeans_points_flat(n, d);
+    let mut dataset = std::env::temp_dir();
+    dataset.push(format!("cfr-bench-serve-{}.frds", std::process::id()));
+    freeride::source::write_dataset(&dataset, d, &data)
+        .map_err(|e| format!("write {}: {e}", dataset.display()))?;
+    let spec = JobSpec::Task {
+        task: "kmeans".into(),
+        params: vec![k as i64, d as i64],
+        init_state: data[..k * d].to_vec(),
+        rounds: rounds as u32,
+        dataset: dataset.to_string_lossy().into_owned(),
+        threads_per_node: params.config.threads.max(1) as u32,
+    };
+
+    let mut points = Vec::new();
+    let mut reference: Option<Vec<u64>> = None;
+    for &tenants in tenants_list {
+        let total = tenants * jobs_per_tenant;
+        let fleet = freeride_dist::LoopbackCluster::spawn_concurrent(nodes, total)
+            .map_err(|e| e.to_string())?;
+        let mut cfg = ServeConfig::new(fleet.addrs().to_vec());
+        cfg.max_concurrent = tenants;
+        let handle = Server::start(cfg, "127.0.0.1:0").map_err(|e| e.to_string())?;
+        let addr = handle.addr();
+
+        let t0 = std::time::Instant::now();
+        let clients: Vec<_> = (0..tenants)
+            .map(|t| {
+                let spec = spec.clone();
+                std::thread::spawn(move || -> Result<Vec<Vec<u64>>, String> {
+                    let mut client = Client::connect(addr, &format!("tenant{t}"), "")
+                        .map_err(|e| e.to_string())?;
+                    let mut states = Vec::with_capacity(jobs_per_tenant);
+                    for _ in 0..jobs_per_tenant {
+                        let out = client.run(spec.clone()).map_err(|e| e.to_string())?;
+                        states.push(out.state.iter().map(|x| x.to_bits()).collect());
+                    }
+                    client.bye().ok();
+                    Ok(states)
+                })
+            })
+            .collect();
+        for c in clients {
+            for state in c.join().map_err(|_| "tenant thread panicked")?? {
+                match &reference {
+                    None => reference = Some(state),
+                    Some(r) => {
+                        if *r != state {
+                            return Err(format!(
+                                "{tenants}-tenant run diverged from the first job's state"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        let wall_s = t0.elapsed().as_secs_f64();
+        handle.stop();
+        fleet.join().map_err(|e| e.to_string())?;
+        points.push(ServePoint {
+            tenants,
+            jobs: total,
+            wall_s,
+            jobs_per_s: total as f64 / wall_s.max(1e-9),
+        });
+    }
+    std::fs::remove_file(&dataset).ok();
+    Ok(ServeSweep {
+        nodes,
+        rounds,
+        jobs_per_tenant,
+        points,
+    })
+}
+
+/// Render a job-server throughput sweep as an aligned table (the
+/// EXPERIMENTS.md `serve_throughput` shape).
+pub fn render_serve_table(sweep: &ServeSweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve_throughput — k-means, {} nodes, {} rounds, {} jobs/tenant",
+        sweep.nodes, sweep.rounds, sweep.jobs_per_tenant
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>6} {:>9} {:>9}",
+        "tenants", "jobs", "wall s", "jobs/s"
+    );
+    for p in &sweep.points {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>6} {:>9.4} {:>9.2}",
+            p.tenants, p.jobs, p.wall_s, p.jobs_per_s
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod harness_tests {
     use super::*;

@@ -46,7 +46,7 @@ pub use detect::{detect, Detected, Detection, ExprReduction, LoopReduction, Reje
 pub use error::CoreError;
 pub use exec_kernel::KernelRuntime;
 pub use kernel_ir::{ArithOp, CmpOp, Instr, Kernel, NavStep};
-pub use translate::{zip_linearize, JobReport, TranslatedRun, Translator};
+pub use translate::{zip_linearize, CompiledProgram, JobReport, TranslatedRun, Translator};
 
 #[cfg(test)]
 mod tests;

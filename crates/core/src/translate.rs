@@ -60,8 +60,23 @@ impl Translator {
     }
 
     /// Parse, analyze, and execute a program, offloading detected
-    /// reductions to FREERIDE.
+    /// reductions to FREERIDE. Equivalent to
+    /// [`Translator::compile_program`] followed by
+    /// [`Translator::run_compiled`].
     pub fn run_program(&self, src: &str) -> Result<TranslatedRun, CoreError> {
+        let compiled = self.compile_program(src)?;
+        self.run_compiled(&compiled)
+    }
+
+    /// The compile half of the pipeline: parse, analyze, detect, and
+    /// compile every offloadable statement to a kernel — everything
+    /// that depends only on the *source text* and the opt level, none
+    /// of it on run-time data. The result is a reusable
+    /// [`CompiledProgram`]: a job server caches it by source hash so a
+    /// repeat submission of the same program skips straight to
+    /// [`Translator::run_compiled`] (no `frontend.*`, `sema.*`, or
+    /// `core.compile` spans on the repeat run's trace).
+    pub fn compile_program(&self, src: &str) -> Result<CompiledProgram, CoreError> {
         let rec = self.recorder.as_deref();
         let program = match rec {
             Some(r) => chapel_frontend::parse_traced(src, r)?,
@@ -91,13 +106,14 @@ impl Translator {
             );
         }
 
-        let mut interp = Interpreter::new();
-        interp.prepare(&program);
-        let mut jobs = Vec::new();
+        let mut plans = Vec::with_capacity(program.items.len());
         let mut skipped: Vec<Rejection> = detection.rejections.clone();
 
         for (i, item) in program.items.iter().enumerate() {
-            let Item::Stmt(stmt) = item else { continue };
+            if !matches!(item, Item::Stmt(_)) {
+                plans.push(StmtPlan::Decl);
+                continue;
+            }
             let compile_start = Instant::now();
             let compiled = match detection.detected.get(&i) {
                 Some(Detected::Loop(red)) => {
@@ -161,24 +177,57 @@ impl Translator {
                     ],
                 );
             }
+            plans.push(match compiled {
+                Some((c, kind, expr_target)) => StmtPlan::Offload {
+                    compiled: Box::new(c),
+                    kind,
+                    expr_target,
+                },
+                None => StmtPlan::Interp,
+            });
+        }
 
-            match compiled {
-                Some((c, kind, expr_target)) => {
-                    let report = self.execute_job(&c, &mut interp, expr_target)?;
+        Ok(CompiledProgram {
+            program,
+            plans,
+            skipped,
+        })
+    }
+
+    /// The execute half of the pipeline: run a [`CompiledProgram`]
+    /// against fresh interpreter state, offloading the planned
+    /// statements to FREERIDE. Repeatable — each call is an independent
+    /// run (this is the cache-hit path of a job server, and the only
+    /// phase that appears on a repeat submission's trace).
+    pub fn run_compiled(&self, compiled: &CompiledProgram) -> Result<TranslatedRun, CoreError> {
+        let mut interp = Interpreter::new();
+        interp.prepare(&compiled.program);
+        let mut jobs = Vec::new();
+
+        for (i, item) in compiled.program.items.iter().enumerate() {
+            let Item::Stmt(stmt) = item else { continue };
+            match &compiled.plans[i] {
+                StmtPlan::Offload {
+                    compiled: c,
+                    kind,
+                    expr_target,
+                } => {
+                    let report = self.execute_job(c, &mut interp, expr_target.clone())?;
                     jobs.push(JobReport {
                         stmt_index: i,
-                        kind,
+                        kind: kind.clone(),
                         ..report
                     });
                 }
-                None => interp.exec_top(stmt)?,
+                StmtPlan::Interp => interp.exec_top(stmt)?,
+                StmtPlan::Decl => unreachable!("Decl plan recorded for a Stmt item"),
             }
         }
 
         Ok(TranslatedRun {
             interp,
             jobs,
-            skipped,
+            skipped: compiled.skipped.clone(),
         })
     }
 
@@ -446,6 +495,48 @@ impl JobReport {
     pub fn modeled_parallel_ns(&self, threads: usize) -> u64 {
         self.linearize_ns + self.stats.modeled_parallel_ns(threads)
     }
+}
+
+/// A program after the compile half of the pipeline: the parsed AST
+/// plus, per top-level item, the execution plan (offload to FREERIDE
+/// with a compiled kernel, or fall back to the interpreter).
+///
+/// Everything here is derived from the source text and the opt level
+/// alone, so the value is safely reusable across runs — wrap it in an
+/// `Arc` and hand it to [`Translator::run_compiled`] as many times as
+/// needed (each call gets fresh interpreter state).
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    program: chapel_frontend::ast::Program,
+    /// One plan per `program.items` entry, index-aligned.
+    plans: Vec<StmtPlan>,
+    /// Candidates that will stay on the interpreter, with reasons.
+    pub skipped: Vec<Rejection>,
+}
+
+impl CompiledProgram {
+    /// Number of statements planned for FREERIDE offload.
+    pub fn offloads(&self) -> usize {
+        self.plans
+            .iter()
+            .filter(|p| matches!(p, StmtPlan::Offload { .. }))
+            .count()
+    }
+}
+
+/// Per-item execution plan inside a [`CompiledProgram`].
+#[derive(Debug, Clone)]
+enum StmtPlan {
+    /// Detected reduction, compiled to a kernel: run on FREERIDE.
+    Offload {
+        compiled: Box<CompiledLoop>,
+        kind: String,
+        expr_target: Option<(String, ReduceOp)>,
+    },
+    /// Ordinary statement: execute on the interpreter.
+    Interp,
+    /// Non-statement item (declaration); handled by `prepare`.
+    Decl,
 }
 
 /// The result of running a program under translation.

@@ -1,0 +1,88 @@
+//! cfr-datagen — write a seeded synthetic dataset to a `.frds` file.
+//!
+//! ```text
+//! cfr-datagen --out PATH --rows N [--dims D] [--clusters K]
+//!             [--spread S] [--seed SEED]
+//! ```
+//!
+//! Generates the same clustered point cloud as
+//! [`cfr_datagen::clustered_points`]: identical flags produce a
+//! byte-identical file, so scripts (and CI) can stage deterministic
+//! disk-resident inputs for `cfr-submit` / `bench` without a compile
+//! step of their own.
+
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cfr-datagen --out PATH --rows N [--dims D] [--clusters K] \
+                     [--spread S] [--seed SEED]";
+
+fn main() -> ExitCode {
+    let mut out: Option<String> = None;
+    let mut rows: Option<usize> = None;
+    let mut dims = 4usize;
+    let mut clusters = 4usize;
+    let mut spread = 2.0f64;
+    let mut seed = 2024u64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out = Some(p),
+                None => return usage_error("--out requires a path"),
+            },
+            "--rows" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => rows = Some(n),
+                None => return usage_error("--rows requires a count"),
+            },
+            "--dims" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => dims = n,
+                None => return usage_error("--dims requires a count"),
+            },
+            "--clusters" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => clusters = n,
+                None => return usage_error("--clusters requires a count"),
+            },
+            "--spread" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => spread = s,
+                None => return usage_error("--spread requires a number"),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage_error("--seed requires a number"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(out) = out else {
+        return usage_error("--out is required");
+    };
+    let Some(rows) = rows else {
+        return usage_error("--rows is required");
+    };
+    if rows == 0 || dims == 0 || clusters == 0 {
+        return usage_error("--rows, --dims, and --clusters must be positive");
+    }
+
+    let (ds, _) = cfr_datagen::clustered_points(rows, dims, clusters, spread, seed);
+    if let Err(e) = ds.write(std::path::Path::new(&out)) {
+        eprintln!("cfr-datagen: error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "cfr-datagen: wrote {} rows x {} dims ({} bytes) to {out}",
+        ds.rows(),
+        ds.unit,
+        ds.bytes()
+    );
+    ExitCode::SUCCESS
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("cfr-datagen: {msg}\n{USAGE}");
+    ExitCode::FAILURE
+}

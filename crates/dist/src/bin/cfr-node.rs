@@ -10,12 +10,17 @@
 //! one predictable shape.
 //!
 //! ```text
-//! cfr-node [--listen ADDR] [--port-file PATH] [--sessions N]
+//! cfr-node [--listen ADDR] [--port-file PATH] [--sessions N] [--concurrent]
 //!          [--chaos-kill-after-rounds N]
 //!   --listen ADDR     bind address (default 127.0.0.1:0)
 //!   --port-file PATH  write the bound address to PATH once listening
-//!                     (lets scripts use an ephemeral port)
+//!                     (atomic temp+rename, so pollers never read a
+//!                     partial address; lets scripts use an ephemeral port)
 //!   --sessions N      coordinator sessions to serve (default 1, 0 = forever)
+//!   --concurrent      serve sessions concurrently (thread per
+//!                     connection) instead of sequentially — required
+//!                     when a cfr-serve daemon multiplexes jobs onto
+//!                     this node
 //!   --chaos-kill-after-rounds N
 //!                     fault-injection: answer N rounds, then abort the
 //!                     whole process mid-round (deterministic stand-in
@@ -28,12 +33,13 @@ use std::process::ExitCode;
 use freeride_dist::node;
 
 const USAGE: &str = "usage: cfr-node [--listen ADDR] [--port-file PATH] [--sessions N] \
-                     [--chaos-kill-after-rounds N]";
+                     [--concurrent] [--chaos-kill-after-rounds N]";
 
 fn main() -> ExitCode {
     let mut listen = String::from("127.0.0.1:0");
     let mut port_file: Option<String> = None;
     let mut sessions: usize = 1;
+    let mut concurrent = false;
     let mut chaos_rounds: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
@@ -51,6 +57,7 @@ fn main() -> ExitCode {
                 Some(n) => sessions = n,
                 None => return usage_error("--sessions requires a count"),
             },
+            "--concurrent" => concurrent = true,
             "--chaos-kill-after-rounds" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => chaos_rounds = Some(n),
                 None => return usage_error("--chaos-kill-after-rounds requires a count"),
@@ -76,7 +83,7 @@ fn main() -> ExitCode {
         }
     };
     if let Some(path) = &port_file {
-        if let Err(e) = std::fs::write(path, bound.to_string()) {
+        if let Err(e) = write_port_file(path, &bound.to_string()) {
             return fail(&format!("cannot write port file {path}: {e}"));
         }
     }
@@ -95,6 +102,13 @@ fn main() -> ExitCode {
         }
     }
 
+    if concurrent {
+        return match node::serve_concurrent(&listener, sessions) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e.to_string()),
+        };
+    }
+
     let mut served = 0usize;
     loop {
         if let Err(e) = node::serve(&listener) {
@@ -105,6 +119,21 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
     }
+}
+
+/// Write the bound address atomically: temp file in the same directory,
+/// `sync_all`, rename into place (the `crates/ft` checkpoint pattern).
+/// A plain `fs::write` lets a poller doing `[ -s "$f" ] && cat "$f"`
+/// read a partially written address.
+fn write_port_file(path: &str, addr: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let tmp = format!("{path}.{}.tmp", std::process::id());
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(addr.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
 }
 
 fn fail(msg: &str) -> ExitCode {

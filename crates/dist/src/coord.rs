@@ -1,5 +1,5 @@
-//! The coordinator: shard assignment, round broadcast, global
-//! combination, fault recovery, and trace collection.
+//! The coordinator: configuration, statistics, and the one-shot
+//! drivers over the scheduling core ([`crate::sched`]).
 //!
 //! The processing structure is the paper's generalized reduction lifted
 //! across processes: every round each node runs a **local reduction**
@@ -10,6 +10,12 @@
 //! (e.g. centroid refinement), and broadcasts the next state. A node
 //! that drops its connection or hangs surfaces as a typed
 //! [`DistError`] via the configured read timeout — never a hang.
+//!
+//! The round loop itself lives in [`crate::sched`] as a reusable
+//! scheduling core ([`Fleet`](crate::Fleet) +
+//! [`JobDriver`](crate::JobDriver)), shared between these one-shot
+//! drivers and the persistent `cfr-serve` daemon; [`Coordinator`] is
+//! the one-job convenience wrapper around it.
 //!
 //! # Fault tolerance
 //!
@@ -33,20 +39,24 @@
 //!   [`Coordinator::resume_from`] restarts from the newest valid
 //!   checkpoint and, with the same node count, finishes bit-identical
 //!   to an uninterrupted run.
+//! * **Shared checkpoint roots**: a non-empty
+//!   [`ClusterConfig::job_tag`] namespaces checkpoints into a per-job
+//!   subdirectory and stamps the tag into every b"FRCK" frame, so
+//!   concurrent jobs (the `cfr-serve` case) neither prune each other's
+//!   files nor resume from each other's state — a cross-job resume is
+//!   the typed [`freeride_ft::FtError::JobMismatch`].
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use freeride::{RObjLayout, ReductionObject, RunStats};
-use freeride_ft::{Checkpoint, CheckpointStore};
-use obs::{AttrValue, Recorder, Trace, TraceLevel};
+use freeride::{ReductionObject, RunStats};
+use obs::{Recorder, Trace, TraceLevel};
 
 use crate::error::DistError;
 use crate::node;
-use crate::proto::{read_message, write_message, Message};
-use crate::tasks;
+use crate::sched::{self, JobDriver};
 
 /// Node-failure recovery policy (the `ft` part of [`ClusterConfig`]).
 #[derive(Debug, Clone)]
@@ -108,6 +118,13 @@ pub struct ClusterConfig {
     /// Directory for round checkpoints; `None` disables checkpointing
     /// (and [`Coordinator::resume_from`]).
     pub checkpoint_dir: Option<PathBuf>,
+    /// Identity of this job for checkpoint namespacing. Empty (the
+    /// default, and the behaviour of all single-job CLI paths) stores
+    /// checkpoints directly in [`ClusterConfig::checkpoint_dir`];
+    /// non-empty (one tag per server job) stores them in a per-job
+    /// subdirectory and stamps the tag into the frame, so jobs sharing
+    /// a checkpoint root cannot collide or cross-resume.
+    pub job_tag: String,
 }
 
 impl ClusterConfig {
@@ -126,6 +143,7 @@ impl ClusterConfig {
             read_timeout: Duration::from_secs(10),
             ft: FtPolicy::default(),
             checkpoint_dir: None,
+            job_tag: String::new(),
         }
     }
 }
@@ -212,61 +230,8 @@ pub struct ClusterOutcome {
     pub trace: Option<Trace>,
 }
 
-struct NodeConn {
-    stream: TcpStream,
-    id: usize,
-}
-
-impl NodeConn {
-    fn send(&mut self, msg: &Message, stats: &mut ClusterStats) -> Result<(), DistError> {
-        let n =
-            write_message(&mut self.stream, msg).map_err(|e| self.annotate(e, msg.kind_name()))?;
-        stats.bytes_sent += n as u64;
-        Ok(())
-    }
-
-    fn recv(&mut self, expect: &str, stats: &mut ClusterStats) -> Result<Message, DistError> {
-        let (msg, n) = read_message(&mut self.stream).map_err(|e| self.annotate(e, expect))?;
-        stats.bytes_recv += n as u64;
-        if let Message::Error { message } = msg {
-            return Err(DistError::Node {
-                node: self.id,
-                message,
-            });
-        }
-        Ok(msg)
-    }
-
-    /// Turn socket-level failures into cluster-level diagnoses: a read
-    /// timeout or a peer reset is reported as which node failed and
-    /// what the coordinator was waiting for.
-    fn annotate(&self, e: DistError, waiting_for: &str) -> DistError {
-        match e {
-            DistError::Io(io) => match io.kind() {
-                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
-                    DistError::Timeout {
-                        node: self.id,
-                        waiting_for: waiting_for.to_string(),
-                    }
-                }
-                _ => DistError::Node {
-                    node: self.id,
-                    message: format!("connection failed while waiting for {waiting_for}: {io}"),
-                },
-            },
-            other => other,
-        }
-    }
-}
-
-/// One live node: its connection plus the shards currently assigned to
-/// it (grows beyond one entry only after recoveries).
-struct LiveNode {
-    conn: NodeConn,
-    shards: Vec<(u64, u64)>,
-}
-
-/// Drives a distributed job across a set of node agents.
+/// Drives one distributed job across a set of node agents: the
+/// one-shot convenience wrapper around [`JobDriver`].
 pub struct Coordinator {
     config: ClusterConfig,
     recorder: Arc<Recorder>,
@@ -283,421 +248,18 @@ impl Coordinator {
     /// contiguous row ranges: node `i` of `n` gets
     /// `[i·rows/n, (i+1)·rows/n)`, a disjoint cover of the file.
     pub fn run(&self, addrs: &[SocketAddr]) -> Result<ClusterOutcome, DistError> {
-        let state = self.config.init_state.clone();
-        self.run_rounds(addrs, 0, state, None)
+        JobDriver::new(&self.config, &self.recorder).run(addrs)
     }
 
     /// Resume a job from the newest valid checkpoint in
     /// [`ClusterConfig::checkpoint_dir`] — the coordinator-crash
-    /// recovery path. The checkpoint's task and params must match the
-    /// config; remaining rounds are re-sharded across `addrs` (use the
-    /// same node count for bit-identical results). If the checkpoint
-    /// already covers every round, the job completes without touching
-    /// the cluster.
+    /// recovery path. The checkpoint's task, params, and owning
+    /// [`ClusterConfig::job_tag`] must match the config; remaining
+    /// rounds are re-sharded across `addrs` (use the same node count
+    /// for bit-identical results). If the checkpoint already covers
+    /// every round, the job completes without touching the cluster.
     pub fn resume_from(&self, addrs: &[SocketAddr]) -> Result<ClusterOutcome, DistError> {
-        let cfg = &self.config;
-        let dir = cfg
-            .checkpoint_dir
-            .as_ref()
-            .ok_or_else(|| DistError::BadTask {
-                reason: "resume requires ClusterConfig::checkpoint_dir".into(),
-            })?;
-        let store = CheckpointStore::open(dir).map_err(DistError::Ft)?;
-        let ckpt = store.latest_required().map_err(DistError::Ft)?;
-        ckpt.validate_for(&cfg.task, &cfg.params)
-            .map_err(DistError::Ft)?;
-        let next_round = ckpt.round as usize + 1;
-        if next_round >= cfg.rounds.max(1) {
-            // Everything was already done; rebuild the outcome from the
-            // checkpoint alone.
-            let rec = &self.recorder;
-            rec.instant(
-                TraceLevel::Phases,
-                "ft.recover",
-                "ft",
-                0,
-                vec![
-                    ("resumed_round", AttrValue::Int(ckpt.round as i64)),
-                    ("remaining_rounds", AttrValue::Int(0)),
-                ],
-            );
-            rec.add_counter("ft.recoveries", 1);
-            let stats = ClusterStats {
-                recoveries: 1,
-                ..ClusterStats::default()
-            };
-            let trace = (cfg.trace != TraceLevel::Off).then(|| {
-                let mut t = Trace::default();
-                t.merge_as(0, rec.drain());
-                t
-            });
-            return Ok(ClusterOutcome {
-                robj: ckpt.robj,
-                state: ckpt.state,
-                stats,
-                trace,
-            });
-        }
-        self.run_rounds(addrs, next_round, ckpt.state.clone(), Some(ckpt))
-    }
-
-    /// The shared body of [`Coordinator::run`] and
-    /// [`Coordinator::resume_from`]: run rounds `first_round..rounds`
-    /// starting from `state`.
-    fn run_rounds(
-        &self,
-        addrs: &[SocketAddr],
-        first_round: usize,
-        mut state: Vec<f64>,
-        resumed_from: Option<Checkpoint>,
-    ) -> Result<ClusterOutcome, DistError> {
-        if addrs.is_empty() {
-            return Err(DistError::BadTask {
-                reason: "cluster has no nodes".into(),
-            });
-        }
-        let wall = Instant::now();
-        let cfg = &self.config;
-        let rec = &self.recorder;
-        let mut stats = ClusterStats {
-            nodes: addrs.len(),
-            ..ClusterStats::default()
-        };
-
-        let store = match &cfg.checkpoint_dir {
-            Some(dir) => Some(CheckpointStore::open(dir).map_err(DistError::Ft)?),
-            None => None,
-        };
-        if let Some(ckpt) = &resumed_from {
-            rec.instant(
-                TraceLevel::Phases,
-                "ft.recover",
-                "ft",
-                0,
-                vec![
-                    ("resumed_round", AttrValue::Int(ckpt.round as i64)),
-                    (
-                        "remaining_rounds",
-                        AttrValue::Int((cfg.rounds.max(1) - first_round) as i64),
-                    ),
-                ],
-            );
-            rec.add_counter("ft.recoveries", 1);
-            stats.recoveries += 1;
-        }
-
-        let layout = tasks::layout(&cfg.task, &cfg.params)?;
-        let layout_frame = layout.encode()?;
-        // Shard assignment needs the row count; headers only, no payload read.
-        let rows = freeride::source::FileDataset::open(&cfg.dataset)?.rows();
-        let dataset = cfg.dataset.to_string_lossy().into_owned();
-
-        // ---- Connect + handshake + job setup. ----
-        let mut nodes: Vec<LiveNode> = Vec::with_capacity(addrs.len());
-        {
-            let mut span = rec.span(TraceLevel::Phases, "cluster.setup", "dist", 0);
-            span.attr_int("nodes", addrs.len() as i64);
-            for (id, addr) in addrs.iter().enumerate() {
-                let stream = TcpStream::connect_timeout(addr, cfg.read_timeout)?;
-                stream.set_read_timeout(Some(cfg.read_timeout))?;
-                stream.set_nodelay(true).ok();
-                let mut conn = NodeConn { stream, id };
-                conn.send(&Message::Hello { node_id: id as u32 }, &mut stats)?;
-                match conn.recv("HelloAck", &mut stats)? {
-                    Message::HelloAck { node_id } if node_id as usize == id => {}
-                    other => {
-                        return Err(DistError::Protocol {
-                            reason: format!(
-                                "node {id}: expected HelloAck, got {}",
-                                other.kind_name()
-                            ),
-                        })
-                    }
-                }
-                let first = id * rows / addrs.len();
-                let count = (id + 1) * rows / addrs.len() - first;
-                let (io_mode, chunk_rows, buffers, readers) =
-                    crate::proto::io_mode_to_wire(&cfg.io);
-                conn.send(
-                    &Message::Job {
-                        task: cfg.task.clone(),
-                        params: cfg.params.clone(),
-                        layout: layout_frame.clone(),
-                        dataset: dataset.clone(),
-                        shard_first: first as u64,
-                        shard_rows: count as u64,
-                        threads: cfg.threads_per_node.max(1) as u32,
-                        trace_level: node::trace_level_ordinal(cfg.trace),
-                        io_mode,
-                        chunk_rows,
-                        buffers,
-                        readers,
-                    },
-                    &mut stats,
-                )?;
-                nodes.push(LiveNode {
-                    conn,
-                    shards: vec![(first as u64, count as u64)],
-                });
-            }
-        }
-
-        // ---- The outer sequential loop, with per-round recovery. ----
-        let rounds = cfg.rounds.max(1);
-        let mut merged = ReductionObject::alloc(layout.clone());
-        let mut attempt: u32 = 0;
-        let mut retries_used = 0usize;
-        for round in first_round..rounds {
-            loop {
-                match self.try_round(
-                    &mut nodes,
-                    &layout,
-                    round,
-                    attempt,
-                    &state,
-                    &mut merged,
-                    &mut stats,
-                ) {
-                    Ok(()) => break,
-                    Err((idx, err)) => {
-                        let recoverable =
-                            cfg.ft.reassign && nodes.len() > 1 && retries_used < cfg.ft.max_retries;
-                        if !recoverable {
-                            return Err(if retries_used > 0 {
-                                DistError::RetriesExhausted {
-                                    retries: retries_used,
-                                    last: Box::new(err),
-                                }
-                            } else {
-                                err
-                            });
-                        }
-                        retries_used += 1;
-                        attempt += 1;
-                        let mut rspan = rec.span(TraceLevel::Phases, "ft.recover", "ft", 0);
-                        let dead = nodes.remove(idx);
-                        let moved = dead.shards.len();
-                        rspan.attr_int("node", dead.conn.id as i64);
-                        rspan.attr_int("round", round as i64);
-                        rspan.attr_int("attempt", attempt as i64);
-                        rspan.attr_int("shards_reassigned", moved as i64);
-                        // Reassign orphaned shards to the least-loaded
-                        // survivors. Per-shard results keep the global
-                        // combination order independent of placement,
-                        // so balance is the only concern here.
-                        for sh in dead.shards {
-                            let tgt = (0..nodes.len())
-                                .min_by_key(|&i| nodes[i].shards.len())
-                                .expect("at least one survivor");
-                            nodes[tgt].shards.push(sh);
-                        }
-                        for n in nodes.iter_mut() {
-                            n.shards.sort_unstable();
-                        }
-                        rec.add_counter("ft.recoveries", 1);
-                        rec.add_counter("ft.shards_reassigned", moved as i64);
-                        rec.add_counter("ft.retries", 1);
-                        stats.recoveries += 1;
-                        stats.shards_reassigned += moved;
-                        stats.retries += 1;
-                        let backoff = cfg
-                            .ft
-                            .backoff
-                            .saturating_mul(1u32 << (retries_used - 1).min(16) as u32);
-                        std::thread::sleep(backoff);
-                    }
-                }
-            }
-            if let Some(next) = tasks::step(&cfg.task, &cfg.params, &state, &merged)? {
-                state = next;
-            }
-            rec.add_counter("dist.rounds", 1);
-            stats.rounds += 1;
-
-            if let Some(store) = &store {
-                let every = cfg.ft.checkpoint_every.max(1);
-                if (round + 1) % every == 0 || round + 1 == rounds {
-                    let mut cspan = rec.span(TraceLevel::Phases, "ft.checkpoint", "ft", 0);
-                    let mut shard_map: Vec<(u64, u64)> = nodes
-                        .iter()
-                        .flat_map(|n| n.shards.iter().copied())
-                        .collect();
-                    shard_map.sort_unstable();
-                    let saved = store
-                        .save(&Checkpoint {
-                            task: cfg.task.clone(),
-                            params: cfg.params.clone(),
-                            round: round as u32,
-                            rounds_total: rounds as u32,
-                            state: state.clone(),
-                            shards: shard_map,
-                            robj: merged.clone(),
-                        })
-                        .map_err(DistError::Ft)?;
-                    cspan.attr_int("round", round as i64);
-                    cspan.attr_int("bytes", saved.bytes as i64);
-                    rec.add_counter("ft.checkpoints_written", 1);
-                    rec.add_counter("ft.checkpoint_bytes", saved.bytes as i64);
-                    stats.checkpoints_written += 1;
-                    stats.checkpoint_bytes += saved.bytes;
-                }
-            }
-        }
-
-        // ---- Teardown: collect traces from the *live* nodes (a dead
-        // node's trace died with it), shut them down. ----
-        let mut node_traces = Vec::new();
-        for n in &mut nodes {
-            n.conn.send(&Message::EndJob, &mut stats)?;
-            let msg = n.conn.recv("JobDone", &mut stats)?;
-            let Message::JobDone { trace } = msg else {
-                return Err(DistError::Protocol {
-                    reason: format!(
-                        "node {}: expected JobDone, got {}",
-                        n.conn.id,
-                        msg.kind_name()
-                    ),
-                });
-            };
-            if !trace.is_empty() {
-                node_traces.push((n.conn.id, Trace::decode_bin(&trace)?));
-            }
-            n.conn.send(&Message::Shutdown, &mut stats)?;
-        }
-
-        rec.add_counter("dist.bytes_sent", stats.bytes_sent as i64);
-        rec.add_counter("dist.bytes_recv", stats.bytes_recv as i64);
-        rec.instant(
-            TraceLevel::Phases,
-            "cluster.done",
-            "dist",
-            0,
-            vec![
-                ("nodes", AttrValue::Int(stats.nodes as i64)),
-                ("rounds", AttrValue::Int(stats.rounds as i64)),
-            ],
-        );
-
-        stats.wall_ns = wall.elapsed().as_nanos() as u64;
-        let trace = if cfg.trace != TraceLevel::Off {
-            let mut merged_trace = Trace::default();
-            merged_trace.merge_as(0, rec.drain());
-            for (id, t) in node_traces {
-                stats.node_stats.push(RunStats::from_trace(&t));
-                merged_trace.merge_as(id + 1, t);
-            }
-            Some(merged_trace)
-        } else {
-            None
-        };
-
-        Ok(ClusterOutcome {
-            robj: merged,
-            state,
-            stats,
-            trace,
-        })
-    }
-
-    /// One delivery attempt of one round: broadcast `Round` to every
-    /// live node, gather per-shard results, and merge them **in
-    /// ascending `first_row` order** into `merged`. On failure returns
-    /// the index (into `nodes`) of the node that failed, for the
-    /// recovery loop to remove and reassign.
-    #[allow(clippy::too_many_arguments)]
-    fn try_round(
-        &self,
-        nodes: &mut [LiveNode],
-        layout: &Arc<RObjLayout>,
-        round: usize,
-        attempt: u32,
-        state: &[f64],
-        merged: &mut ReductionObject,
-        stats: &mut ClusterStats,
-    ) -> Result<(), (usize, DistError)> {
-        let rec = &self.recorder;
-        let mut span = rec.span(TraceLevel::Phases, "cluster.round", "dist", 0);
-        span.attr_int("round", round as i64);
-        span.attr_int("attempt", attempt as i64);
-        for (i, n) in nodes.iter_mut().enumerate() {
-            n.conn
-                .send(
-                    &Message::Round {
-                        round: round as u32,
-                        attempt,
-                        state: state.to_vec(),
-                        shards: n.shards.clone(),
-                    },
-                    stats,
-                )
-                .map_err(|e| (i, e))?;
-        }
-        merged.reset();
-        let mut cspan = rec.span(TraceLevel::Phases, "cluster.combine", "dist", 0);
-        cspan.attr_int("round", round as i64);
-        let mut all: Vec<(u64, Vec<u8>, usize)> = Vec::new();
-        for (i, n) in nodes.iter_mut().enumerate() {
-            let results = Self::recv_round_result(&mut n.conn, round as u32, attempt, stats)
-                .map_err(|e| (i, e))?;
-            for (first, cells) in results {
-                all.push((first, cells, i));
-            }
-        }
-        // Global combination in ascending row order: the fold sequence
-        // over shards is a pure function of the shard set, not of the
-        // shard → node placement, which makes recovered runs
-        // bit-identical to undisturbed ones.
-        all.sort_by_key(|&(first, _, _)| first);
-        for (_, cells, from) in &all {
-            let shard =
-                ReductionObject::decode_cells(layout, cells).map_err(|e| (*from, e.into()))?;
-            merged.merge_from(&shard);
-        }
-        Ok(())
-    }
-
-    /// Receive the `(round, attempt)` result from one node, draining
-    /// stale results of aborted earlier attempts.
-    fn recv_round_result(
-        conn: &mut NodeConn,
-        round: u32,
-        attempt: u32,
-        stats: &mut ClusterStats,
-    ) -> Result<Vec<(u64, Vec<u8>)>, DistError> {
-        loop {
-            let msg = conn.recv("RoundResult", stats)?;
-            let Message::RoundResult {
-                round: got_round,
-                attempt: got_attempt,
-                shards,
-            } = msg
-            else {
-                return Err(DistError::Protocol {
-                    reason: format!(
-                        "node {}: expected RoundResult, got {}",
-                        conn.id,
-                        msg.kind_name()
-                    ),
-                });
-            };
-            if (got_round, got_attempt) == (round, attempt) {
-                return Ok(shards);
-            }
-            // A result for the same round under a lower attempt (or an
-            // already-completed round) is a leftover from an attempt a
-            // failure aborted — the node had already computed it when
-            // the coordinator moved on. Discard and keep reading.
-            let stale = got_round < round || (got_round == round && got_attempt < attempt);
-            if !stale {
-                return Err(DistError::Protocol {
-                    reason: format!(
-                        "node {}: RoundResult for round {got_round} attempt {got_attempt}, \
-                         expected {round}/{attempt}",
-                        conn.id
-                    ),
-                });
-            }
-        }
+        JobDriver::new(&self.config, &self.recorder).resume(addrs)
     }
 }
 
@@ -713,6 +275,23 @@ impl LoopbackCluster {
     /// Spawn `n` loopback node agents, each serving one session.
     pub fn spawn(n: usize) -> Result<LoopbackCluster, DistError> {
         LoopbackCluster::spawn_with_chaos(n, &[])
+    }
+
+    /// Spawn `n` loopback agents that each serve `sessions` coordinator
+    /// sessions concurrently (thread per accepted connection,
+    /// [`node::serve_concurrent`]; 0 = forever) — the shared-fleet
+    /// shape the `cfr-serve` daemon multiplexes jobs onto.
+    pub fn spawn_concurrent(n: usize, sessions: usize) -> Result<LoopbackCluster, DistError> {
+        let mut addrs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for _ in 0..n {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            addrs.push(listener.local_addr()?);
+            handles.push(std::thread::spawn(move || {
+                node::serve_concurrent(&listener, sessions)
+            }));
+        }
+        Ok(LoopbackCluster { addrs, handles })
     }
 
     /// Spawn `n` loopback agents where `die_after[i]` (if present)
@@ -780,14 +359,8 @@ pub fn run_loopback(config: ClusterConfig, n: usize) -> Result<ClusterOutcome, D
 pub fn resume_loopback(config: ClusterConfig, n: usize) -> Result<ClusterOutcome, DistError> {
     // A resume whose checkpoint already covers every round never dials
     // out; don't spawn agents that would wait in accept() forever.
-    let dir = config
-        .checkpoint_dir
-        .clone()
-        .ok_or_else(|| DistError::BadTask {
-            reason: "resume requires ClusterConfig::checkpoint_dir".into(),
-        })?;
-    let ckpt = CheckpointStore::open(&dir)
-        .and_then(|s| s.latest_required())
+    let ckpt = sched::peek_store(&config)?
+        .latest_required()
         .map_err(DistError::Ft)?;
     if ckpt.round as usize + 1 >= config.rounds.max(1) {
         return Coordinator::new(config).resume_from(&[]);
@@ -810,6 +383,8 @@ fn finish_loopback(
             // If the run failed before ever connecting, agents are
             // still blocked in accept(); poke each with an empty
             // connection so they fail out and the join cannot hang.
+            // (Agents the coordinator did reach were already sent a
+            // Shutdown frame by the fleet's drop-time goodbye.)
             for addr in cluster.addrs().to_vec() {
                 let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
             }

@@ -26,6 +26,7 @@
 mod coord;
 mod error;
 pub mod proto;
+mod sched;
 pub mod tasks;
 
 pub mod node;
@@ -35,3 +36,4 @@ pub use coord::{
     FtPolicy, LoopbackCluster,
 };
 pub use error::DistError;
+pub use sched::{Fleet, JobDriver};

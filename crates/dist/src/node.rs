@@ -273,6 +273,39 @@ pub fn serve(listener: &TcpListener) -> Result<(), DistError> {
     handle_session(stream)
 }
 
+/// Accept `sessions` coordinator connections (0 = forever), serving
+/// each on its own thread so multiple coordinators — e.g. the
+/// `cfr-serve` daemon multiplexing concurrent jobs onto a shared fleet
+/// — can hold sessions simultaneously. A session that fails is
+/// reported on stderr but does not take down the acceptor or other
+/// sessions; only an `accept` failure is fatal. Returns once
+/// `sessions` connections have been accepted and all of them have
+/// completed.
+pub fn serve_concurrent(listener: &TcpListener, sessions: usize) -> Result<(), DistError> {
+    let mut handles = Vec::new();
+    let mut accepted = 0usize;
+    loop {
+        let (stream, _peer) = listener.accept()?;
+        handles.push(std::thread::spawn(move || {
+            if let Err(e) = handle_session(stream) {
+                eprintln!("cfr-node: session error: {e}");
+            }
+        }));
+        accepted += 1;
+        if sessions != 0 && accepted >= sessions {
+            break;
+        }
+    }
+    for h in handles {
+        if h.join().is_err() {
+            return Err(DistError::Protocol {
+                reason: "node session thread panicked".into(),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Chaos-testing agent: behaves like [`serve`], but severs the
 /// connection without a protocol goodbye after answering
 /// `rounds_before_death` Round messages — on the next Round it simply

@@ -1,0 +1,620 @@
+//! The reusable scheduling core: fleet connection ownership and the
+//! round-driving job loop, shared by the one-shot [`Coordinator`]
+//! drivers and the persistent `cfr-serve` daemon.
+//!
+//! [`Coordinator`](crate::Coordinator) used to own all of this
+//! inline; it is split out so that a long-lived server can run many
+//! jobs — each with its own [`JobDriver`] and recorder — multiplexed
+//! onto one shared `cfr-node` fleet, while the CLI paths keep their
+//! exact behaviour.
+//!
+//! Lifecycle contract: a [`Fleet`] owns the node connections of one
+//! job session and **always** says goodbye. The happy path is
+//! [`Fleet::finish`] (EndJob → JobDone trace collection → Shutdown per
+//! node); every other path — a node failure mid-round, a timeout,
+//! retries exhausted, a panic unwinding through the driver — reaches
+//! [`Fleet::shutdown`] via `Drop`, which sends a best-effort Shutdown
+//! frame to every surviving node so agents exit cleanly instead of
+//! hanging on (or erroring out of) a dead coordinator's socket.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use freeride::{RObjLayout, ReductionObject, RunStats};
+use freeride_ft::{Checkpoint, CheckpointStore};
+use obs::{AttrValue, Recorder, Trace, TraceLevel};
+
+use crate::coord::{ClusterConfig, ClusterOutcome, ClusterStats};
+use crate::error::DistError;
+use crate::node;
+use crate::proto::{read_message, write_message, Message};
+use crate::tasks;
+
+pub(crate) struct NodeConn {
+    stream: TcpStream,
+    pub(crate) id: usize,
+}
+
+impl NodeConn {
+    fn send(&mut self, msg: &Message, stats: &mut ClusterStats) -> Result<(), DistError> {
+        let n =
+            write_message(&mut self.stream, msg).map_err(|e| self.annotate(e, msg.kind_name()))?;
+        stats.bytes_sent += n as u64;
+        Ok(())
+    }
+
+    fn recv(&mut self, expect: &str, stats: &mut ClusterStats) -> Result<Message, DistError> {
+        let (msg, n) = read_message(&mut self.stream).map_err(|e| self.annotate(e, expect))?;
+        stats.bytes_recv += n as u64;
+        if let Message::Error { message } = msg {
+            return Err(DistError::Node {
+                node: self.id,
+                message,
+            });
+        }
+        Ok(msg)
+    }
+
+    /// Turn socket-level failures into cluster-level diagnoses: a read
+    /// timeout or a peer reset is reported as which node failed and
+    /// what the coordinator was waiting for.
+    fn annotate(&self, e: DistError, waiting_for: &str) -> DistError {
+        match e {
+            DistError::Io(io) => match io.kind() {
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                    DistError::Timeout {
+                        node: self.id,
+                        waiting_for: waiting_for.to_string(),
+                    }
+                }
+                _ => DistError::Node {
+                    node: self.id,
+                    message: format!("connection failed while waiting for {waiting_for}: {io}"),
+                },
+            },
+            other => other,
+        }
+    }
+}
+
+/// One live node: its connection plus the shards currently assigned to
+/// it (grows beyond one entry only after recoveries).
+pub(crate) struct LiveNode {
+    pub(crate) conn: NodeConn,
+    pub(crate) shards: Vec<(u64, u64)>,
+}
+
+/// The node connections of one job session, with guaranteed goodbye
+/// semantics (see the module docs).
+pub struct Fleet {
+    pub(crate) nodes: Vec<LiveNode>,
+}
+
+impl Fleet {
+    /// Connect to every node agent, handshake, and send the job setup.
+    /// Shards are contiguous row ranges: node `i` of `n` gets
+    /// `[i·rows/n, (i+1)·rows/n)`, a disjoint cover of the file.
+    pub(crate) fn connect(
+        cfg: &ClusterConfig,
+        addrs: &[SocketAddr],
+        layout_frame: &[u8],
+        rows: usize,
+        stats: &mut ClusterStats,
+    ) -> Result<Fleet, DistError> {
+        let dataset = cfg.dataset.to_string_lossy().into_owned();
+        let mut fleet = Fleet {
+            nodes: Vec::with_capacity(addrs.len()),
+        };
+        for (id, addr) in addrs.iter().enumerate() {
+            let stream = TcpStream::connect_timeout(addr, cfg.read_timeout)?;
+            stream.set_read_timeout(Some(cfg.read_timeout))?;
+            stream.set_nodelay(true).ok();
+            let mut conn = NodeConn { stream, id };
+            conn.send(&Message::Hello { node_id: id as u32 }, stats)?;
+            match conn.recv("HelloAck", stats)? {
+                Message::HelloAck { node_id } if node_id as usize == id => {}
+                other => {
+                    return Err(DistError::Protocol {
+                        reason: format!("node {id}: expected HelloAck, got {}", other.kind_name()),
+                    })
+                }
+            }
+            let first = id * rows / addrs.len();
+            let count = (id + 1) * rows / addrs.len() - first;
+            let (io_mode, chunk_rows, buffers, readers) = crate::proto::io_mode_to_wire(&cfg.io);
+            conn.send(
+                &Message::Job {
+                    task: cfg.task.clone(),
+                    params: cfg.params.clone(),
+                    layout: layout_frame.to_vec(),
+                    dataset: dataset.clone(),
+                    shard_first: first as u64,
+                    shard_rows: count as u64,
+                    threads: cfg.threads_per_node.max(1) as u32,
+                    trace_level: node::trace_level_ordinal(cfg.trace),
+                    io_mode,
+                    chunk_rows,
+                    buffers,
+                    readers,
+                },
+                stats,
+            )?;
+            fleet.nodes.push(LiveNode {
+                conn,
+                shards: vec![(first as u64, count as u64)],
+            });
+        }
+        Ok(fleet)
+    }
+
+    /// Live nodes remaining in the fleet.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when no live nodes remain.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The current shard map across all live nodes, as absolute
+    /// `(first_row, rows)` ranges sorted by `first_row`.
+    pub(crate) fn shard_map(&self) -> Vec<(u64, u64)> {
+        let mut map: Vec<(u64, u64)> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.shards.iter().copied())
+            .collect();
+        map.sort_unstable();
+        map
+    }
+
+    /// Remove a failed node, returning it so the caller can reassign
+    /// its shards. Its connection closes on drop; no goodbye is owed to
+    /// a node already diagnosed dead.
+    pub(crate) fn remove(&mut self, idx: usize) -> LiveNode {
+        self.nodes.remove(idx)
+    }
+
+    /// Happy-path teardown: per node, EndJob → collect the shipped
+    /// trace → Shutdown. Nodes are consumed as they complete, so if a
+    /// node fails mid-goodbye the remaining ones still get their
+    /// best-effort Shutdown from `Drop`.
+    pub(crate) fn finish(
+        &mut self,
+        stats: &mut ClusterStats,
+    ) -> Result<Vec<(usize, Trace)>, DistError> {
+        let mut node_traces = Vec::new();
+        while !self.nodes.is_empty() {
+            let mut n = self.nodes.remove(0);
+            n.conn.send(&Message::EndJob, stats)?;
+            let msg = n.conn.recv("JobDone", stats)?;
+            let Message::JobDone { trace } = msg else {
+                return Err(DistError::Protocol {
+                    reason: format!(
+                        "node {}: expected JobDone, got {}",
+                        n.conn.id,
+                        msg.kind_name()
+                    ),
+                });
+            };
+            if !trace.is_empty() {
+                node_traces.push((n.conn.id, Trace::decode_bin(&trace)?));
+            }
+            n.conn.send(&Message::Shutdown, stats)?;
+        }
+        Ok(node_traces)
+    }
+
+    /// Best-effort goodbye to every remaining node: send one Shutdown
+    /// frame each (with a short write timeout so teardown cannot hang),
+    /// ignoring failures — a node that is itself dead no longer cares.
+    /// Idempotent; a fleet that already [`finish`](Fleet::finish)ed has
+    /// nothing left to notify.
+    pub fn shutdown(&mut self) {
+        for n in self.nodes.drain(..) {
+            let mut stream = n.conn.stream;
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+            let _ = write_message(&mut stream, &Message::Shutdown);
+        }
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Open the checkpoint store for `cfg`, honouring the job-tag
+/// namespace: a non-empty [`ClusterConfig::job_tag`] gets its own
+/// `job-<tag>` subdirectory of the checkpoint dir, so concurrent jobs
+/// sharing a root neither prune each other's files nor resume from
+/// each other's state. `Ok(None)` when checkpointing is disabled.
+pub(crate) fn open_store(cfg: &ClusterConfig) -> Result<Option<CheckpointStore>, DistError> {
+    let Some(dir) = &cfg.checkpoint_dir else {
+        return Ok(None);
+    };
+    let store = if cfg.job_tag.is_empty() {
+        CheckpointStore::open(dir)
+    } else {
+        CheckpointStore::open_namespaced(dir, &cfg.job_tag)
+    };
+    Ok(Some(store.map_err(DistError::Ft)?))
+}
+
+/// Drives the rounds of one job over a [`Fleet`]: broadcast, gather,
+/// global combination, the task's `step`, node-failure recovery, and
+/// checkpointing. Borrow-based so a server can run many drivers (each
+/// with its own recorder) against the same config storage.
+pub struct JobDriver<'a> {
+    config: &'a ClusterConfig,
+    recorder: &'a Arc<Recorder>,
+}
+
+impl<'a> JobDriver<'a> {
+    /// A driver for `config`, recording into `recorder`.
+    pub fn new(config: &'a ClusterConfig, recorder: &'a Arc<Recorder>) -> JobDriver<'a> {
+        JobDriver { config, recorder }
+    }
+
+    /// Run the job from round 0 against node agents on `addrs`.
+    pub fn run(&self, addrs: &[SocketAddr]) -> Result<ClusterOutcome, DistError> {
+        let state = self.config.init_state.clone();
+        self.run_rounds(addrs, 0, state, None)
+    }
+
+    /// Resume the job from the newest valid checkpoint in its
+    /// (job-tag-namespaced) checkpoint directory — the
+    /// coordinator-crash recovery path. The checkpoint's task, params,
+    /// and owning job must all match the config; remaining rounds are
+    /// re-sharded across `addrs` (use the same node count for
+    /// bit-identical results). If the checkpoint already covers every
+    /// round, the job completes without touching the cluster.
+    pub fn resume(&self, addrs: &[SocketAddr]) -> Result<ClusterOutcome, DistError> {
+        let cfg = self.config;
+        let store = open_store(cfg)?.ok_or_else(|| DistError::BadTask {
+            reason: "resume requires ClusterConfig::checkpoint_dir".into(),
+        })?;
+        let ckpt = store.latest_required().map_err(DistError::Ft)?;
+        ckpt.validate_for(&cfg.task, &cfg.params)
+            .map_err(DistError::Ft)?;
+        ckpt.validate_job(&cfg.job_tag).map_err(DistError::Ft)?;
+        let next_round = ckpt.round as usize + 1;
+        if next_round >= cfg.rounds.max(1) {
+            // Everything was already done; rebuild the outcome from the
+            // checkpoint alone.
+            let rec = self.recorder;
+            rec.instant(
+                TraceLevel::Phases,
+                "ft.recover",
+                "ft",
+                0,
+                vec![
+                    ("resumed_round", AttrValue::Int(ckpt.round as i64)),
+                    ("remaining_rounds", AttrValue::Int(0)),
+                ],
+            );
+            rec.add_counter("ft.recoveries", 1);
+            let stats = ClusterStats {
+                recoveries: 1,
+                ..ClusterStats::default()
+            };
+            let trace = (cfg.trace != TraceLevel::Off).then(|| {
+                let mut t = Trace::default();
+                t.merge_as(0, rec.drain());
+                t
+            });
+            return Ok(ClusterOutcome {
+                robj: ckpt.robj,
+                state: ckpt.state,
+                stats,
+                trace,
+            });
+        }
+        self.run_rounds(addrs, next_round, ckpt.state.clone(), Some(ckpt))
+    }
+
+    /// The shared body of [`JobDriver::run`] and [`JobDriver::resume`]:
+    /// run rounds `first_round..rounds` starting from `state`.
+    fn run_rounds(
+        &self,
+        addrs: &[SocketAddr],
+        first_round: usize,
+        mut state: Vec<f64>,
+        resumed_from: Option<Checkpoint>,
+    ) -> Result<ClusterOutcome, DistError> {
+        if addrs.is_empty() {
+            return Err(DistError::BadTask {
+                reason: "cluster has no nodes".into(),
+            });
+        }
+        let wall = Instant::now();
+        let cfg = self.config;
+        let rec = self.recorder;
+        let mut stats = ClusterStats {
+            nodes: addrs.len(),
+            ..ClusterStats::default()
+        };
+
+        let store = open_store(cfg)?;
+        if let Some(ckpt) = &resumed_from {
+            rec.instant(
+                TraceLevel::Phases,
+                "ft.recover",
+                "ft",
+                0,
+                vec![
+                    ("resumed_round", AttrValue::Int(ckpt.round as i64)),
+                    (
+                        "remaining_rounds",
+                        AttrValue::Int((cfg.rounds.max(1) - first_round) as i64),
+                    ),
+                ],
+            );
+            rec.add_counter("ft.recoveries", 1);
+            stats.recoveries += 1;
+        }
+
+        let layout = tasks::layout(&cfg.task, &cfg.params)?;
+        let layout_frame = layout.encode()?;
+        // Shard assignment needs the row count; headers only, no payload read.
+        let rows = freeride::source::FileDataset::open(&cfg.dataset)?.rows();
+
+        // ---- Connect + handshake + job setup. From here on the fleet
+        // owns the sockets: any error return (or panic) drops it, which
+        // sends a best-effort Shutdown to every surviving node. ----
+        let mut fleet = {
+            let mut span = rec.span(TraceLevel::Phases, "cluster.setup", "dist", 0);
+            span.attr_int("nodes", addrs.len() as i64);
+            Fleet::connect(cfg, addrs, &layout_frame, rows, &mut stats)?
+        };
+
+        // ---- The outer sequential loop, with per-round recovery. ----
+        let rounds = cfg.rounds.max(1);
+        let mut merged = ReductionObject::alloc(layout.clone());
+        let mut attempt: u32 = 0;
+        let mut retries_used = 0usize;
+        for round in first_round..rounds {
+            loop {
+                match self.try_round(
+                    &mut fleet,
+                    &layout,
+                    round,
+                    attempt,
+                    &state,
+                    &mut merged,
+                    &mut stats,
+                ) {
+                    Ok(()) => break,
+                    Err((idx, err)) => {
+                        let recoverable =
+                            cfg.ft.reassign && fleet.len() > 1 && retries_used < cfg.ft.max_retries;
+                        if !recoverable {
+                            return Err(if retries_used > 0 {
+                                DistError::RetriesExhausted {
+                                    retries: retries_used,
+                                    last: Box::new(err),
+                                }
+                            } else {
+                                err
+                            });
+                        }
+                        retries_used += 1;
+                        attempt += 1;
+                        let mut rspan = rec.span(TraceLevel::Phases, "ft.recover", "ft", 0);
+                        let dead = fleet.remove(idx);
+                        let moved = dead.shards.len();
+                        rspan.attr_int("node", dead.conn.id as i64);
+                        rspan.attr_int("round", round as i64);
+                        rspan.attr_int("attempt", attempt as i64);
+                        rspan.attr_int("shards_reassigned", moved as i64);
+                        // Reassign orphaned shards to the least-loaded
+                        // survivors. Per-shard results keep the global
+                        // combination order independent of placement,
+                        // so balance is the only concern here.
+                        for sh in dead.shards {
+                            let tgt = (0..fleet.nodes.len())
+                                .min_by_key(|&i| fleet.nodes[i].shards.len())
+                                .expect("at least one survivor");
+                            fleet.nodes[tgt].shards.push(sh);
+                        }
+                        for n in fleet.nodes.iter_mut() {
+                            n.shards.sort_unstable();
+                        }
+                        rec.add_counter("ft.recoveries", 1);
+                        rec.add_counter("ft.shards_reassigned", moved as i64);
+                        rec.add_counter("ft.retries", 1);
+                        stats.recoveries += 1;
+                        stats.shards_reassigned += moved;
+                        stats.retries += 1;
+                        let backoff = cfg
+                            .ft
+                            .backoff
+                            .saturating_mul(1u32 << (retries_used - 1).min(16) as u32);
+                        std::thread::sleep(backoff);
+                    }
+                }
+            }
+            if let Some(next) = tasks::step(&cfg.task, &cfg.params, &state, &merged)? {
+                state = next;
+            }
+            rec.add_counter("dist.rounds", 1);
+            stats.rounds += 1;
+
+            if let Some(store) = &store {
+                let every = cfg.ft.checkpoint_every.max(1);
+                if (round + 1) % every == 0 || round + 1 == rounds {
+                    let mut cspan = rec.span(TraceLevel::Phases, "ft.checkpoint", "ft", 0);
+                    let saved = store
+                        .save(&Checkpoint {
+                            task: cfg.task.clone(),
+                            job: cfg.job_tag.clone(),
+                            params: cfg.params.clone(),
+                            round: round as u32,
+                            rounds_total: rounds as u32,
+                            state: state.clone(),
+                            shards: fleet.shard_map(),
+                            robj: merged.clone(),
+                        })
+                        .map_err(DistError::Ft)?;
+                    cspan.attr_int("round", round as i64);
+                    cspan.attr_int("bytes", saved.bytes as i64);
+                    rec.add_counter("ft.checkpoints_written", 1);
+                    rec.add_counter("ft.checkpoint_bytes", saved.bytes as i64);
+                    stats.checkpoints_written += 1;
+                    stats.checkpoint_bytes += saved.bytes;
+                }
+            }
+        }
+
+        // ---- Teardown: collect traces from the *live* nodes (a dead
+        // node's trace died with it), shut them down. ----
+        let node_traces = fleet.finish(&mut stats)?;
+
+        rec.add_counter("dist.bytes_sent", stats.bytes_sent as i64);
+        rec.add_counter("dist.bytes_recv", stats.bytes_recv as i64);
+        rec.instant(
+            TraceLevel::Phases,
+            "cluster.done",
+            "dist",
+            0,
+            vec![
+                ("nodes", AttrValue::Int(stats.nodes as i64)),
+                ("rounds", AttrValue::Int(stats.rounds as i64)),
+            ],
+        );
+
+        stats.wall_ns = wall.elapsed().as_nanos() as u64;
+        let trace = if cfg.trace != TraceLevel::Off {
+            let mut merged_trace = Trace::default();
+            merged_trace.merge_as(0, rec.drain());
+            for (id, t) in node_traces {
+                stats.node_stats.push(RunStats::from_trace(&t));
+                merged_trace.merge_as(id + 1, t);
+            }
+            Some(merged_trace)
+        } else {
+            None
+        };
+
+        Ok(ClusterOutcome {
+            robj: merged,
+            state,
+            stats,
+            trace,
+        })
+    }
+
+    /// One delivery attempt of one round: broadcast `Round` to every
+    /// live node, gather per-shard results, and merge them **in
+    /// ascending `first_row` order** into `merged`. On failure returns
+    /// the index (into the fleet) of the node that failed, for the
+    /// recovery loop to remove and reassign.
+    #[allow(clippy::too_many_arguments)]
+    fn try_round(
+        &self,
+        fleet: &mut Fleet,
+        layout: &Arc<RObjLayout>,
+        round: usize,
+        attempt: u32,
+        state: &[f64],
+        merged: &mut ReductionObject,
+        stats: &mut ClusterStats,
+    ) -> Result<(), (usize, DistError)> {
+        let rec = self.recorder;
+        let mut span = rec.span(TraceLevel::Phases, "cluster.round", "dist", 0);
+        span.attr_int("round", round as i64);
+        span.attr_int("attempt", attempt as i64);
+        for (i, n) in fleet.nodes.iter_mut().enumerate() {
+            n.conn
+                .send(
+                    &Message::Round {
+                        round: round as u32,
+                        attempt,
+                        state: state.to_vec(),
+                        shards: n.shards.clone(),
+                    },
+                    stats,
+                )
+                .map_err(|e| (i, e))?;
+        }
+        merged.reset();
+        let mut cspan = rec.span(TraceLevel::Phases, "cluster.combine", "dist", 0);
+        cspan.attr_int("round", round as i64);
+        let mut all: Vec<(u64, Vec<u8>, usize)> = Vec::new();
+        for (i, n) in fleet.nodes.iter_mut().enumerate() {
+            let results = Self::recv_round_result(&mut n.conn, round as u32, attempt, stats)
+                .map_err(|e| (i, e))?;
+            for (first, cells) in results {
+                all.push((first, cells, i));
+            }
+        }
+        // Global combination in ascending row order: the fold sequence
+        // over shards is a pure function of the shard set, not of the
+        // shard → node placement, which makes recovered runs
+        // bit-identical to undisturbed ones.
+        all.sort_by_key(|&(first, _, _)| first);
+        for (_, cells, from) in &all {
+            let shard =
+                ReductionObject::decode_cells(layout, cells).map_err(|e| (*from, e.into()))?;
+            merged.merge_from(&shard);
+        }
+        Ok(())
+    }
+
+    /// Receive the `(round, attempt)` result from one node, draining
+    /// stale results of aborted earlier attempts.
+    fn recv_round_result(
+        conn: &mut NodeConn,
+        round: u32,
+        attempt: u32,
+        stats: &mut ClusterStats,
+    ) -> Result<Vec<(u64, Vec<u8>)>, DistError> {
+        loop {
+            let msg = conn.recv("RoundResult", stats)?;
+            let Message::RoundResult {
+                round: got_round,
+                attempt: got_attempt,
+                shards,
+            } = msg
+            else {
+                return Err(DistError::Protocol {
+                    reason: format!(
+                        "node {}: expected RoundResult, got {}",
+                        conn.id,
+                        msg.kind_name()
+                    ),
+                });
+            };
+            if (got_round, got_attempt) == (round, attempt) {
+                return Ok(shards);
+            }
+            // A result for the same round under a lower attempt (or an
+            // already-completed round) is a leftover from an attempt a
+            // failure aborted — the node had already computed it when
+            // the coordinator moved on. Discard and keep reading.
+            let stale = got_round < round || (got_round == round && got_attempt < attempt);
+            if !stale {
+                return Err(DistError::Protocol {
+                    reason: format!(
+                        "node {}: RoundResult for round {got_round} attempt {got_attempt}, \
+                         expected {round}/{attempt}",
+                        conn.id
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `CheckpointStore::open` on the path resume would read for `cfg` —
+/// the namespaced subdirectory when a job tag is set. Used by drivers
+/// that need to peek at the checkpoint before deciding whether to dial
+/// out (e.g. [`resume_loopback`](crate::resume_loopback)).
+pub(crate) fn peek_store(cfg: &ClusterConfig) -> Result<CheckpointStore, DistError> {
+    open_store(cfg)?.ok_or_else(|| DistError::BadTask {
+        reason: "resume requires ClusterConfig::checkpoint_dir".into(),
+    })
+}

@@ -467,12 +467,17 @@ fn retry_budget_exhaustion_is_typed() {
         DistError::RetriesExhausted { retries, .. } => assert_eq!(retries, 1),
         other => panic!("expected RetriesExhausted, got {other}"),
     }
-    let _ = cluster.join();
+    // The fleet's drop-time goodbye reached the surviving node, so every
+    // agent (survivor and scheduled chaos deaths alike) exits cleanly.
+    cluster.join().unwrap();
     std::fs::remove_file(&path).ok();
 }
 
 /// `reassign: false` restores fail-fast: the first failure aborts the
 /// run with the plain underlying error even with survivors available.
+/// The abort must not strand the survivor: the fleet's drop-time
+/// goodbye sends it a Shutdown frame, so its agent exits `Ok` instead
+/// of erroring out of (or hanging on) a dead coordinator socket.
 #[test]
 fn reassign_false_fails_fast() {
     let data = vec![1.0; 120];
@@ -486,7 +491,7 @@ fn reassign_false_fails_fast() {
         matches!(err, DistError::Node { .. } | DistError::Timeout { .. }),
         "{err}"
     );
-    let _ = cluster.join();
+    cluster.join().unwrap();
     std::fs::remove_file(&path).ok();
 }
 
@@ -547,7 +552,9 @@ fn resume_after_coordinator_crash_is_bit_identical() {
     Coordinator::new(cfg.clone())
         .run(cluster.addrs())
         .unwrap_err();
-    let _ = cluster.join();
+    // Even the aborted run says goodbye: the surviving node got a
+    // Shutdown frame, so the whole cluster joins cleanly.
+    cluster.join().unwrap();
 
     // Resume on a fresh, healthy cluster of the same node count.
     cfg.ft.reassign = true;
@@ -605,6 +612,74 @@ fn resume_without_checkpoints_is_typed_error() {
         "{err}"
     );
     std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&path).ok();
+}
+
+/// Concurrent coordinator sessions multiplexed onto one shared fleet
+/// ([`node::serve_concurrent`] via `spawn_concurrent`) produce exactly
+/// the results of isolated runs — the shape the `cfr-serve` daemon
+/// relies on.
+#[test]
+fn concurrent_sessions_share_one_fleet() {
+    let data: Vec<f64> = (0..2000).map(|i| ((i * 7 + 3) % 53) as f64).collect();
+    let path = dataset("concurrent-sessions", 4, &data);
+    let baseline = run_loopback(ClusterConfig::new("sum", &path), 2).unwrap();
+
+    // Each of the 2 nodes serves 2 sessions concurrently.
+    let cluster = LoopbackCluster::spawn_concurrent(2, 2).unwrap();
+    let addrs = cluster.addrs().to_vec();
+    let (p2, a2) = (path.clone(), addrs.clone());
+    let second =
+        std::thread::spawn(move || Coordinator::new(ClusterConfig::new("sum", &p2)).run(&a2));
+    let out1 = Coordinator::new(ClusterConfig::new("sum", &path))
+        .run(&addrs)
+        .unwrap();
+    let out2 = second.join().unwrap().unwrap();
+    cluster.join().unwrap();
+    assert_eq!(bits(out1.robj.cells()), bits(baseline.robj.cells()));
+    assert_eq!(bits(out2.robj.cells()), bits(baseline.robj.cells()));
+    std::fs::remove_file(&path).ok();
+}
+
+/// Job tags namespace checkpoints under a shared root — concurrent
+/// jobs neither prune each other's files nor resume from each other's
+/// state — and a resume that reaches another job's checkpoints is
+/// refused with the typed cross-job error.
+#[test]
+fn job_tags_namespace_checkpoints_and_reject_cross_job_resume() {
+    let data = kmeans_data();
+    let path = dataset("ft-jobtag", 2, &data);
+    let root = ckpt_dir("jobtag");
+    let baseline = run_loopback(kmeans_cfg(&path, 3), 2).unwrap();
+
+    // Two tagged jobs share one checkpoint root.
+    let mut a = kmeans_cfg(&path, 3);
+    a.checkpoint_dir = Some(root.clone());
+    a.job_tag = "alpha".into();
+    let mut b = kmeans_cfg(&path, 3);
+    b.checkpoint_dir = Some(root.clone());
+    b.job_tag = "beta".into();
+    let out_a = run_loopback(a.clone(), 2).unwrap();
+    run_loopback(b, 2).unwrap();
+    assert_eq!(bits(&out_a.state), bits(&baseline.state));
+    assert!(root.join("job-alpha").is_dir());
+    assert!(root.join("job-beta").is_dir());
+
+    // Resuming alpha under its own tag reads its own namespace and is
+    // bit-identical (everything already checkpointed → no cluster).
+    let resumed = resume_loopback(a, 2).unwrap();
+    assert_eq!(bits(&resumed.state), bits(&baseline.state));
+
+    // The pre-namespacing hazard: an untagged job pointed straight at
+    // alpha's checkpoints. The frame's job stamp refuses the resume.
+    let mut untagged = kmeans_cfg(&path, 3);
+    untagged.checkpoint_dir = Some(root.join("job-alpha"));
+    let err = Coordinator::new(untagged).resume_from(&[]).unwrap_err();
+    assert!(
+        matches!(err, DistError::Ft(freeride_ft::FtError::JobMismatch { .. })),
+        "{err}"
+    );
+    std::fs::remove_dir_all(&root).ok();
     std::fs::remove_file(&path).ok();
 }
 

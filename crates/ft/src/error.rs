@@ -31,6 +31,15 @@ pub enum FtError {
         /// Description of the problem.
         reason: String,
     },
+    /// A structurally valid checkpoint belongs to a *different job*
+    /// than the one trying to resume from it — the cross-job resume
+    /// hazard of two jobs sharing a checkpoint directory.
+    JobMismatch {
+        /// Job tag recorded in the checkpoint.
+        checkpoint_job: String,
+        /// Job tag of the resume attempt.
+        job: String,
+    },
     /// Resume was requested but the store holds no valid checkpoint.
     NoCheckpoint {
         /// The store directory that was searched.
@@ -45,6 +54,14 @@ impl fmt::Display for FtError {
             FtError::Codec { reason } => write!(f, "checkpoint codec error: {reason}"),
             FtError::Corrupt { reason } => write!(f, "corrupt checkpoint: {reason}"),
             FtError::Mismatch { reason } => write!(f, "checkpoint mismatch: {reason}"),
+            FtError::JobMismatch {
+                checkpoint_job,
+                job,
+            } => write!(
+                f,
+                "checkpoint belongs to job `{checkpoint_job}`, refusing cross-job resume \
+                 as job `{job}`"
+            ),
             FtError::NoCheckpoint { dir } => {
                 write!(f, "no valid checkpoint found in {dir}")
             }
@@ -100,6 +117,13 @@ mod error_tests {
                     reason: "task".into(),
                 },
                 "task",
+            ),
+            (
+                FtError::JobMismatch {
+                    checkpoint_job: "job-1-kmeans".into(),
+                    job: "job-2-kmeans".into(),
+                },
+                "cross-job",
             ),
             (
                 FtError::NoCheckpoint {

@@ -53,6 +53,7 @@ mod store_tests {
         robj.accumulate(1, 0, -3.25);
         Checkpoint {
             task: "kmeans".into(),
+            job: String::new(),
             params: vec![2, 3],
             round,
             rounds_total: 10,
@@ -163,6 +164,54 @@ mod store_tests {
             ckpt.validate_for("kmeans", &[4, 3]),
             Err(FtError::Mismatch { .. })
         ));
+    }
+
+    #[test]
+    fn validate_job_rejects_cross_job_resume() {
+        let mut ckpt = sample(0);
+        ckpt.validate_job("").unwrap();
+        ckpt.job = "job-7".into();
+        ckpt.validate_job("job-7").unwrap();
+        let err = ckpt.validate_job("job-8").unwrap_err();
+        match err {
+            FtError::JobMismatch {
+                checkpoint_job,
+                job,
+            } => {
+                assert_eq!(checkpoint_job, "job-7");
+                assert_eq!(job, "job-8");
+            }
+            other => panic!("expected JobMismatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn job_tag_round_trips_through_the_frame() {
+        let mut ckpt = sample(2);
+        ckpt.job = "job-42-kmeans".into();
+        let back = Checkpoint::decode(&ckpt.encode().unwrap()).unwrap();
+        assert_eq!(back.job, "job-42-kmeans");
+    }
+
+    #[test]
+    fn namespaced_stores_do_not_collide() {
+        let root = tmp_dir("namespaced");
+        let a = CheckpointStore::open_namespaced(&root, "job-1").unwrap();
+        let b = CheckpointStore::open_namespaced(&root, "job-2").unwrap();
+        assert_ne!(a.dir(), b.dir());
+        a.save(&sample(0)).unwrap();
+        a.save(&sample(1)).unwrap();
+        b.save(&sample(5)).unwrap();
+        // Each store sees only its own rounds; pruning in one cannot
+        // touch the other.
+        assert_eq!(a.rounds().unwrap(), vec![0, 1]);
+        assert_eq!(b.rounds().unwrap(), vec![5]);
+        assert_eq!(a.latest().unwrap().unwrap().round, 1);
+        assert_eq!(b.latest().unwrap().unwrap().round, 5);
+        // Hostile tags cannot escape the root.
+        let weird = CheckpointStore::open_namespaced(&root, "../evil/x").unwrap();
+        assert!(weird.dir().starts_with(&root));
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! version  u16 LE            (CKPT_VERSION; mismatch is a typed error)
 //! kind     u8                (1 = checkpoint)
 //! task     u32 len + bytes
+//! job      u32 len + bytes   (owning-job tag; empty = unscoped, v2)
 //! params   u32 n + n × i64 LE
 //! round    u32               (the round that COMPLETED)
 //! rounds   u32               (total rounds the writing job planned)
@@ -46,8 +47,10 @@ use crate::error::FtError;
 /// Frame magic of every checkpoint file.
 pub const CKPT_MAGIC: &[u8; 4] = b"FRCK";
 /// Checkpoint format version; decoders reject any other version with a
-/// typed error instead of misreading the body.
-pub const CKPT_VERSION: u16 = 1;
+/// typed error instead of misreading the body. Version 2 added the
+/// owning-job tag, so two jobs sharing a checkpoint directory can no
+/// longer resume from each other's state.
+pub const CKPT_VERSION: u16 = 2;
 const KIND_CHECKPOINT: u8 = 1;
 /// Sanity bounds on untrusted length fields, so a corrupt frame fails
 /// fast instead of triggering a huge allocation.
@@ -73,6 +76,10 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 pub struct Checkpoint {
     /// Registered task name (e.g. `"kmeans"`).
     pub task: String,
+    /// Tag of the job that wrote this checkpoint (e.g. a server job id).
+    /// Empty means "unscoped" — the single-job CLI paths, where the
+    /// checkpoint directory itself identifies the job.
+    pub job: String,
     /// Job-constant integer parameters.
     pub params: Vec<i64>,
     /// The round that had fully completed (combine + step) when this
@@ -109,6 +116,19 @@ impl Checkpoint {
         Ok(())
     }
 
+    /// Check that this checkpoint belongs to `job` — the guard against
+    /// two jobs sharing a checkpoint directory and resuming from each
+    /// other's state. A mismatch is the typed [`FtError::JobMismatch`].
+    pub fn validate_job(&self, job: &str) -> Result<(), FtError> {
+        if self.job != job {
+            return Err(FtError::JobMismatch {
+                checkpoint_job: self.job.clone(),
+                job: job.to_string(),
+            });
+        }
+        Ok(())
+    }
+
     /// Serialize to one self-checking b"FRCK" frame.
     pub fn encode(&self) -> Result<Vec<u8>, FtError> {
         let snapshot = self.robj.encode_snapshot()?;
@@ -118,6 +138,8 @@ impl Checkpoint {
         out.push(KIND_CHECKPOINT);
         out.extend_from_slice(&(self.task.len() as u32).to_le_bytes());
         out.extend_from_slice(self.task.as_bytes());
+        out.extend_from_slice(&(self.job.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.job.as_bytes());
         out.extend_from_slice(&(self.params.len() as u32).to_le_bytes());
         for p in &self.params {
             out.extend_from_slice(&p.to_le_bytes());
@@ -180,6 +202,7 @@ impl Checkpoint {
             pos: 7,
         };
         let task = r.string("task", MAX_NAME_LEN)?;
+        let job = r.string("job", MAX_NAME_LEN)?;
         let params = r.i64s("params", MAX_VEC_LEN)?;
         let round = r.u32("round")?;
         let rounds_total = r.u32("rounds_total")?;
@@ -203,6 +226,7 @@ impl Checkpoint {
         }
         Ok(Checkpoint {
             task,
+            job,
             params,
             round,
             rounds_total,
@@ -328,6 +352,28 @@ impl CheckpointStore {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         Ok(CheckpointStore { dir, retain: 4 })
+    }
+
+    /// Open a store in a per-job subdirectory of `root`, so jobs that
+    /// share a checkpoint root neither prune each other's files nor
+    /// resume from each other's state. The subdirectory is
+    /// `job-<sanitized tag>`; characters outside `[A-Za-z0-9._-]` are
+    /// replaced with `_`.
+    pub fn open_namespaced(
+        root: impl Into<PathBuf>,
+        job: &str,
+    ) -> Result<CheckpointStore, FtError> {
+        let sanitized: String = job
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        Self::open(root.into().join(format!("job-{sanitized}")))
     }
 
     /// Keep only the `keep` newest checkpoints after each save

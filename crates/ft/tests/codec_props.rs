@@ -50,6 +50,7 @@ fn arb_checkpoint() -> impl Strategy<Value = Checkpoint> {
             }
             Checkpoint {
                 task: format!("task{}", seed % 7),
+                job: format!("job{}", seed % 3),
                 params: vec![seed as i64, round as i64],
                 round,
                 rounds_total: round + 1 + (seed % 5) as u32,
@@ -74,6 +75,7 @@ proptest! {
     fn prop_round_trip(ckpt in arb_checkpoint()) {
         let back = Checkpoint::decode(&ckpt.encode().unwrap()).unwrap();
         prop_assert_eq!(back.task, ckpt.task);
+        prop_assert_eq!(back.job, ckpt.job);
         prop_assert_eq!(back.params, ckpt.params);
         prop_assert_eq!(back.round, ckpt.round);
         prop_assert_eq!(back.rounds_total, ckpt.rounds_total);

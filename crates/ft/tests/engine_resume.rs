@@ -112,6 +112,7 @@ fn run(
                 if let Some(s) = store {
                     s.save(&Checkpoint {
                         task: "kmeans".into(),
+                        job: String::new(),
                         params: vec![K as i64, D as i64],
                         round: pass as u32,
                         rounds_total: ITERS as u32,
@@ -162,6 +163,7 @@ fn resume_matches_uninterrupted_run_bit_for_bit() {
             store
                 .save(&Checkpoint {
                     task: "kmeans".into(),
+                    job: String::new(),
                     params: vec![K as i64, D as i64],
                     round: it as u32,
                     rounds_total: ITERS as u32,

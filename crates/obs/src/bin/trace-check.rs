@@ -1,23 +1,27 @@
 //! CI schema checker for exported Chrome traces.
 //!
-//! Usage: `trace-check <trace.json> [--expect <span-name>]... [--min-pids <n>]`
+//! Usage: `trace-check <trace.json> [--expect <span-name>]...
+//! [--forbid <span-name>]... [--min-pids <n>]`
 //!
 //! Exits non-zero if the file is not a valid Chrome `trace_event`
 //! document in the shape this workspace exports, if any `--expect`ed
-//! span name is absent, or if the trace has fewer than `--min-pids`
-//! process tracks (multi-node cluster traces merge each node as its own
-//! `pid` track).
+//! span name is absent, if any `--forbid`den span name is present
+//! (e.g. a cache-hit trace must carry no `core.compile` span), or if
+//! the trace has fewer than `--min-pids` process tracks (multi-node
+//! cluster traces merge each node as its own `pid` track).
 
 use std::process::ExitCode;
 
 use obs::validate_chrome_trace;
 
-const USAGE: &str = "usage: trace-check <trace.json> [--expect <span-name>]... [--min-pids <n>]";
+const USAGE: &str = "usage: trace-check <trace.json> [--expect <span-name>]... \
+                     [--forbid <span-name>]... [--min-pids <n>]";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut path: Option<String> = None;
     let mut expected: Vec<String> = Vec::new();
+    let mut forbidden: Vec<String> = Vec::new();
     let mut min_pids: usize = 0;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -25,6 +29,13 @@ fn main() -> ExitCode {
                 Some(name) => expected.push(name),
                 None => {
                     eprintln!("trace-check: --expect requires a span name");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--forbid" => match args.next() {
+                Some(name) => forbidden.push(name),
+                None => {
+                    eprintln!("trace-check: --forbid requires a span name");
                     return ExitCode::FAILURE;
                 }
             },
@@ -69,6 +80,12 @@ fn main() -> ExitCode {
     for name in &expected {
         if !summary.names.iter().any(|n| n == name) {
             eprintln!("trace-check: {path}: expected span `{name}` not found");
+            ok = false;
+        }
+    }
+    for name in &forbidden {
+        if summary.names.iter().any(|n| n == name) {
+            eprintln!("trace-check: {path}: forbidden span `{name}` is present");
             ok = false;
         }
     }

@@ -1,0 +1,272 @@
+//! cfr-submit — submit jobs to a running `cfr-serve` daemon.
+//!
+//! ```text
+//! cfr-submit --server ADDR [--tenant NAME] [--token T] <action>
+//!
+//! actions (one per invocation):
+//!   --task NAME --dataset PATH [--params a,b,..] [--init x,y,..]
+//!       [--rounds N] [--threads N]       run a registered cluster task
+//!   --chapel FILE [--opt N] [--threads N] [--global NAME]...
+//!       run a Chapel program ('-' reads source from stdin)
+//!   --status                             print the server counters
+//!   --stop                               stop the server
+//!
+//! options:
+//!   --job-trace-out PATH      write the job's own trace as Chrome JSON
+//!   --dump-server-trace PATH  write the server trace as Chrome JSON
+//!                             (after the action, if any)
+//! ```
+//!
+//! Every failure exits nonzero with a single `cfr-submit: error: ...`
+//! line carrying the typed error.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use cfr_serve::{Client, JobSpec};
+
+const USAGE: &str = "usage: cfr-submit --server ADDR [--tenant NAME] [--token T] \
+                     (--task NAME --dataset PATH [--params a,b] [--init x,y] [--rounds N] \
+                     [--threads N] | --chapel FILE [--opt N] [--threads N] [--global NAME]... \
+                     | --status | --stop) [--job-trace-out PATH] [--dump-server-trace PATH]";
+
+fn main() -> ExitCode {
+    let mut server: Option<String> = None;
+    let mut tenant = String::from("default");
+    let mut token = String::new();
+    let mut task: Option<String> = None;
+    let mut dataset: Option<String> = None;
+    let mut params: Vec<i64> = Vec::new();
+    let mut init: Vec<f64> = Vec::new();
+    let mut rounds: u32 = 1;
+    let mut threads: u32 = 1;
+    let mut chapel: Option<String> = None;
+    let mut opt: u8 = 2;
+    let mut globals: Vec<String> = Vec::new();
+    let mut status = false;
+    let mut stop = false;
+    let mut job_trace_out: Option<String> = None;
+    let mut server_trace_out: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--server" => match args.next() {
+                Some(a) => server = Some(a),
+                None => return usage_error("--server requires host:port"),
+            },
+            "--tenant" => match args.next() {
+                Some(t) => tenant = t,
+                None => return usage_error("--tenant requires a name"),
+            },
+            "--token" => match args.next() {
+                Some(t) => token = t,
+                None => return usage_error("--token requires a value"),
+            },
+            "--task" => match args.next() {
+                Some(t) => task = Some(t),
+                None => return usage_error("--task requires a name"),
+            },
+            "--dataset" => match args.next() {
+                Some(d) => dataset = Some(d),
+                None => return usage_error("--dataset requires a path"),
+            },
+            "--params" => match args.next().map(|v| parse_list::<i64>(&v)) {
+                Some(Ok(p)) => params = p,
+                _ => return usage_error("--params requires a comma-separated integer list"),
+            },
+            "--init" => match args.next().map(|v| parse_list::<f64>(&v)) {
+                Some(Ok(p)) => init = p,
+                _ => return usage_error("--init requires a comma-separated number list"),
+            },
+            "--rounds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => rounds = n,
+                None => return usage_error("--rounds requires a count"),
+            },
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => threads = n,
+                None => return usage_error("--threads requires a count"),
+            },
+            "--chapel" => match args.next() {
+                Some(f) => chapel = Some(f),
+                None => return usage_error("--chapel requires a file (or '-')"),
+            },
+            "--opt" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opt = n,
+                None => return usage_error("--opt requires 0, 1, or 2"),
+            },
+            "--global" => match args.next() {
+                Some(g) => globals.push(g),
+                None => return usage_error("--global requires a name"),
+            },
+            "--status" => status = true,
+            "--stop" => stop = true,
+            "--job-trace-out" => match args.next() {
+                Some(p) => job_trace_out = Some(p),
+                None => return usage_error("--job-trace-out requires a path"),
+            },
+            "--dump-server-trace" => match args.next() {
+                Some(p) => server_trace_out = Some(p),
+                None => return usage_error("--dump-server-trace requires a path"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unexpected argument `{other}`")),
+        }
+    }
+
+    let Some(server) = server else {
+        return usage_error("--server is required");
+    };
+    let addr = match server.parse() {
+        Ok(a) => a,
+        Err(_) => return usage_error(&format!("cannot parse server address `{server}`")),
+    };
+
+    let spec = match (&task, &chapel) {
+        (Some(_), Some(_)) => return usage_error("--task and --chapel are mutually exclusive"),
+        (Some(task), None) => {
+            let Some(dataset) = dataset else {
+                return usage_error("--task requires --dataset");
+            };
+            Some(JobSpec::Task {
+                task: task.clone(),
+                params,
+                init_state: init,
+                rounds,
+                dataset,
+                threads_per_node: threads,
+            })
+        }
+        (None, Some(file)) => {
+            let source = if file == "-" {
+                let mut s = String::new();
+                if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+                    return fail(&format!("cannot read stdin: {e}"));
+                }
+                s
+            } else {
+                match std::fs::read_to_string(file) {
+                    Ok(s) => s,
+                    Err(e) => return fail(&format!("cannot read {file}: {e}")),
+                }
+            };
+            Some(JobSpec::Chapel {
+                source,
+                opt,
+                threads,
+                globals,
+            })
+        }
+        (None, None) => None,
+    };
+    if spec.is_none() && !status && !stop && server_trace_out.is_none() {
+        return usage_error("nothing to do: give --task, --chapel, --status, or --stop");
+    }
+
+    let mut client = match Client::connect(addr, &tenant, &token) {
+        Ok(c) => c,
+        Err(e) => return fail(&e.to_string()),
+    };
+
+    if let Some(spec) = spec {
+        let outcome = match client.run(spec) {
+            Ok(o) => o,
+            Err(e) => return fail(&e.to_string()),
+        };
+        println!("cfr-submit: job {} done", outcome.job_id);
+        if !outcome.state.is_empty() {
+            println!(
+                "  state: [{}]",
+                outcome
+                    .state
+                    .iter()
+                    .map(|x| format!("{x:.6}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+        for (name, values) in &outcome.globals {
+            println!(
+                "  {name} = [{}]",
+                values
+                    .iter()
+                    .map(|x| format!("{x:.6}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+        if let Some(path) = &job_trace_out {
+            if outcome.trace.is_empty() {
+                return fail("no job trace shipped (server tracing is off)");
+            }
+            let trace = match obs::Trace::decode_bin(&outcome.trace) {
+                Ok(t) => t,
+                Err(e) => return fail(&format!("cannot decode job trace: {e}")),
+            };
+            if let Err(e) = std::fs::write(path, trace.chrome_json()) {
+                return fail(&format!("cannot write {path}: {e}"));
+            }
+            println!("  job trace: {path}");
+        }
+    }
+
+    if status {
+        match client.status() {
+            Ok(s) => println!(
+                "cfr-submit: queued {} running {} completed {} failed {} \
+                 program-cache {}/{} dataset-cache {}/{}",
+                s.queued,
+                s.running,
+                s.completed,
+                s.failed,
+                s.program_cache_hits,
+                s.program_cache_hits + s.program_cache_misses,
+                s.dataset_cache_hits,
+                s.dataset_cache_hits + s.dataset_cache_misses,
+            ),
+            Err(e) => return fail(&e.to_string()),
+        }
+    }
+
+    if let Some(path) = &server_trace_out {
+        match client.dump_trace() {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    return fail(&format!("cannot write {path}: {e}"));
+                }
+                println!("cfr-submit: server trace: {path}");
+            }
+            Err(e) => return fail(&e.to_string()),
+        }
+    }
+
+    if stop {
+        if let Err(e) = client.stop_server() {
+            return fail(&e.to_string());
+        }
+        println!("cfr-submit: server stopping");
+    }
+
+    client.bye().ok();
+    ExitCode::SUCCESS
+}
+
+fn parse_list<T: std::str::FromStr>(s: &str) -> Result<Vec<T>, ()> {
+    s.split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| p.trim().parse().map_err(|_| ()))
+        .collect()
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("cfr-submit: error: {msg}");
+    ExitCode::FAILURE
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("cfr-submit: {msg}\n{USAGE}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,44 @@
+//! cfr-serve — FREERIDE as a service.
+//!
+//! The rest of the workspace runs one job per process: a CLI driver
+//! builds a `ClusterConfig` or a Chapel source, drives it to
+//! completion, and exits. This crate makes the middleware *resident*: a
+//! persistent daemon (`cfr-serve`) accepts jobs from many clients over
+//! a length-prefixed versioned wire protocol ([`proto`], magic
+//! `b"FRSV"`), queues them under per-tenant quotas, and multiplexes
+//! them onto one shared `cfr-node` fleet — the deployment shape of the
+//! original FREERIDE middleware, where the cluster is provisioned once
+//! and programs come and go.
+//!
+//! Three properties carry over from the one-shot paths:
+//!
+//! * **Determinism** — each admitted job runs through its own
+//!   [`JobDriver`](freeride_dist::JobDriver), and the global
+//!   combination merges shard results in ascending row order, so a job
+//!   run concurrently with others on the shared fleet is bit-identical
+//!   to a serial one-shot `Coordinator` run of the same config.
+//! * **Fault tolerance** — per-job checkpoint namespaces (`job<id>`
+//!   tags under one shared root) mean concurrent jobs neither prune
+//!   each other's checkpoints nor cross-resume; a failed job retries
+//!   from its own newest checkpoint.
+//! * **Observability** — every job records into its own recorder; the
+//!   server trace lays server spans on `pid` 0 and each job on
+//!   `pid` = job id, one Chrome timeline for the whole service.
+//!
+//! Repeat submissions hit two server-side caches: Chapel programs are
+//! compiled once per `(source hash, opt level)` and reused as
+//! [`CompiledProgram`](cfr_core::CompiledProgram) (a cache hit's trace
+//! has no `core.compile` span), and `.frds` datasets validate once per
+//! `(length, mtime)`.
+
+#![warn(missing_docs)]
+
+mod client;
+mod error;
+pub mod proto;
+mod server;
+
+pub use client::{Client, JobOutcome};
+pub use error::ServeError;
+pub use proto::{JobSpec, ServerStatus};
+pub use server::{ServeConfig, Server, ServerHandle};

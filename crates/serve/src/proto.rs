@@ -1,0 +1,779 @@
+//! The client ↔ server service protocol.
+//!
+//! Same framing discipline as the coordinator ↔ node protocol
+//! (`freeride_dist::proto`), under its own magic so a client dialing
+//! the wrong port fails fast:
+//!
+//! ```text
+//! magic  b"FRSV"   4 bytes
+//! version u8       1 byte   (WIRE_VERSION; mismatch is a typed error)
+//! type    u8       1 byte   (message discriminant)
+//! len     u32 LE   4 bytes  (payload length, bounded by MAX_FRAME_LEN)
+//! payload          len bytes
+//! ```
+//!
+//! Payload fields are little-endian with `u32` length prefixes on
+//! strings and arrays. Job traces travel as `obs` trace codec frames,
+//! reduction objects as the `freeride` robj cells codec's frames — both
+//! nested opaquely, each with its own version. Decoding never panics on
+//! malformed input; every failure is a [`ServeError::Protocol`] (or
+//! [`ServeError::Io`] for socket errors).
+
+use std::io::{Read, Write};
+
+use crate::error::ServeError;
+
+/// Frame magic.
+pub const WIRE_MAGIC: &[u8; 4] = b"FRSV";
+/// Protocol version; both sides must match exactly.
+pub const WIRE_VERSION: u8 = 1;
+/// Upper bound on a frame payload (64 MiB): a corrupt length field
+/// fails fast instead of triggering a giant allocation.
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+const TYPE_CLIENT_HELLO: u8 = 1;
+const TYPE_WELCOME: u8 = 2;
+const TYPE_SUBMIT: u8 = 3;
+const TYPE_SUBMITTED: u8 = 4;
+const TYPE_REJECTED: u8 = 5;
+const TYPE_WAIT: u8 = 6;
+const TYPE_JOB_RESULT: u8 = 7;
+const TYPE_JOB_FAILED: u8 = 8;
+const TYPE_STATUS: u8 = 9;
+const TYPE_STATUS_REPORT: u8 = 10;
+const TYPE_DUMP_TRACE: u8 = 11;
+const TYPE_TRACE_DUMP: u8 = 12;
+const TYPE_STOP_SERVER: u8 = 13;
+const TYPE_STOPPING: u8 = 14;
+const TYPE_BYE: u8 = 15;
+const TYPE_ERROR: u8 = 16;
+
+const SPEC_TASK: u8 = 0;
+const SPEC_CHAPEL: u8 = 1;
+
+/// What a client asks the server to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// A registered cluster task (see `freeride_dist::tasks`) over a
+    /// shared `.frds` dataset, run on the server's node fleet.
+    Task {
+        /// Registered task name (`"sum"`, `"kmeans"`, …).
+        task: String,
+        /// Job-constant integer parameters (e.g. `[k, d]` for k-means).
+        params: Vec<i64>,
+        /// Initial per-round state (e.g. starting centroids).
+        init_state: Vec<f64>,
+        /// Rounds of the outer sequential loop (min 1).
+        rounds: u32,
+        /// Path of the dataset file, readable by every node.
+        dataset: String,
+        /// Worker threads per node.
+        threads_per_node: u32,
+    },
+    /// A Chapel program, translated and run on the server (repeat
+    /// submissions of the same source at the same opt level hit the
+    /// server's compiled-program cache).
+    Chapel {
+        /// Chapel source text.
+        source: String,
+        /// `cfr_core::OptLevel` ordinal (0 generated, 1 opt-1, 2 opt-2).
+        opt: u8,
+        /// FREERIDE engine threads.
+        threads: u32,
+        /// Globals to return from the final interpreter state.
+        globals: Vec<String>,
+    },
+}
+
+/// Counters of [`Message::StatusReport`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServerStatus {
+    /// Jobs waiting in the queue.
+    pub queued: u32,
+    /// Jobs currently running.
+    pub running: u32,
+    /// Jobs finished successfully since start.
+    pub completed: u32,
+    /// Jobs finished in failure since start.
+    pub failed: u32,
+    /// Chapel submissions served from the compiled-program cache.
+    pub program_cache_hits: u32,
+    /// Chapel submissions that had to compile.
+    pub program_cache_misses: u32,
+    /// Dataset validations served from the dataset cache.
+    pub dataset_cache_hits: u32,
+    /// Dataset validations that had to read the file header.
+    pub dataset_cache_misses: u32,
+}
+
+/// One service protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → server: open a session.
+    ClientHello {
+        /// Quota-accounting identity of the submitter.
+        tenant: String,
+        /// Shared-secret token (must match the server's, empty = open).
+        token: String,
+    },
+    /// Server → client: session accepted.
+    Welcome {
+        /// Assigned session id.
+        session: u64,
+    },
+    /// Client → server: submit a job.
+    Submit {
+        /// What to run.
+        spec: JobSpec,
+    },
+    /// Server → client: job admitted and queued.
+    Submitted {
+        /// Assigned job id (also the job's `pid` track in the server
+        /// trace).
+        job_id: u64,
+    },
+    /// Server → client: submission refused (quota, validation,
+    /// stopping). The session stays open.
+    Rejected {
+        /// Why.
+        reason: String,
+    },
+    /// Client → server: block until the job finishes.
+    Wait {
+        /// Job to wait for.
+        job_id: u64,
+    },
+    /// Server → client: the job finished successfully.
+    JobResult {
+        /// Echo of the job id.
+        job_id: u64,
+        /// Final state after the last `step` (task jobs; empty for
+        /// Chapel jobs).
+        state: Vec<f64>,
+        /// Final merged reduction object as a `freeride` cells frame
+        /// (task jobs; empty for Chapel jobs).
+        robj: Vec<u8>,
+        /// Requested globals, each flattened to its numeric values
+        /// (Chapel jobs; empty for task jobs).
+        globals: Vec<(String, Vec<f64>)>,
+        /// The job's own trace as an `obs` trace codec frame (empty
+        /// when tracing is off).
+        trace: Vec<u8>,
+    },
+    /// Server → client: the job ran and failed.
+    JobFailed {
+        /// Echo of the job id.
+        job_id: u64,
+        /// The failure, rendered.
+        message: String,
+    },
+    /// Client → server: ask for queue/cache counters.
+    Status,
+    /// Server → client: the counters.
+    StatusReport {
+        /// Snapshot of the server counters.
+        status: ServerStatus,
+    },
+    /// Client → server: ask for the accumulated server trace.
+    DumpTrace,
+    /// Server → client: the server trace (server spans on `pid` 0, each
+    /// job flattened onto `pid` = job id) as Chrome trace JSON.
+    TraceDump {
+        /// `Trace::chrome_json` output.
+        chrome_json: String,
+    },
+    /// Client → server: stop accepting jobs and shut down once running
+    /// jobs drain.
+    StopServer,
+    /// Server → client: shutdown acknowledged.
+    Stopping,
+    /// Client → server: close this session.
+    Bye,
+    /// Either direction: abort with a description.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+fn perr<T>(reason: impl Into<String>) -> Result<T, ServeError> {
+    Err(ServeError::Protocol {
+        reason: reason.into(),
+    })
+}
+
+// ---- payload writers -------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn put_i64s(out: &mut Vec<u8>, xs: &[i64]) {
+    out.extend_from_slice(&(xs.len() as u32).to_le_bytes());
+    for x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn put_f64s(out: &mut Vec<u8>, xs: &[f64]) {
+    out.extend_from_slice(&(xs.len() as u32).to_le_bytes());
+    for x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn put_spec(out: &mut Vec<u8>, spec: &JobSpec) {
+    match spec {
+        JobSpec::Task {
+            task,
+            params,
+            init_state,
+            rounds,
+            dataset,
+            threads_per_node,
+        } => {
+            out.push(SPEC_TASK);
+            put_str(out, task);
+            put_i64s(out, params);
+            put_f64s(out, init_state);
+            out.extend_from_slice(&rounds.to_le_bytes());
+            put_str(out, dataset);
+            out.extend_from_slice(&threads_per_node.to_le_bytes());
+        }
+        JobSpec::Chapel {
+            source,
+            opt,
+            threads,
+            globals,
+        } => {
+            out.push(SPEC_CHAPEL);
+            put_str(out, source);
+            out.push(*opt);
+            out.extend_from_slice(&threads.to_le_bytes());
+            out.extend_from_slice(&(globals.len() as u32).to_le_bytes());
+            for g in globals {
+                put_str(out, g);
+            }
+        }
+    }
+}
+
+// ---- payload reader --------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ServeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(())
+            .or_else(|_| perr(format!("truncated payload: {what}")))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, ServeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, ServeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, ServeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn len(&mut self, what: &str) -> Result<usize, ServeError> {
+        let n = self.u32(what)?;
+        if n > MAX_FRAME_LEN {
+            return perr(format!("implausible {what} {n}"));
+        }
+        Ok(n as usize)
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, ServeError> {
+        let n = self.len(what)?;
+        match std::str::from_utf8(self.take(n, what)?) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => perr(format!("{what} is not UTF-8")),
+        }
+    }
+
+    fn bytes(&mut self, what: &str) -> Result<Vec<u8>, ServeError> {
+        let n = self.len(what)?;
+        Ok(self.take(n, what)?.to_vec())
+    }
+
+    fn i64s(&mut self, what: &str) -> Result<Vec<i64>, ServeError> {
+        let n = self.len(what)?;
+        if self.buf.len() - self.pos < n * 8 {
+            return perr(format!("truncated payload: {what}"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(i64::from_le_bytes(
+                self.take(8, what)?.try_into().expect("8 bytes"),
+            ));
+        }
+        Ok(out)
+    }
+
+    fn f64s(&mut self, what: &str) -> Result<Vec<f64>, ServeError> {
+        let n = self.len(what)?;
+        if self.buf.len() - self.pos < n * 8 {
+            return perr(format!("truncated payload: {what}"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(f64::from_le_bytes(
+                self.take(8, what)?.try_into().expect("8 bytes"),
+            ));
+        }
+        Ok(out)
+    }
+
+    fn spec(&mut self) -> Result<JobSpec, ServeError> {
+        match self.u8("spec tag")? {
+            SPEC_TASK => Ok(JobSpec::Task {
+                task: self.string("task")?,
+                params: self.i64s("params")?,
+                init_state: self.f64s("init_state")?,
+                rounds: self.u32("rounds")?,
+                dataset: self.string("dataset")?,
+                threads_per_node: self.u32("threads_per_node")?,
+            }),
+            SPEC_CHAPEL => {
+                let source = self.string("source")?;
+                let opt = self.u8("opt")?;
+                let threads = self.u32("threads")?;
+                let n = self.len("globals")?;
+                let mut globals = Vec::with_capacity(n.min(1 << 10));
+                for _ in 0..n {
+                    globals.push(self.string("global name")?);
+                }
+                Ok(JobSpec::Chapel {
+                    source,
+                    opt,
+                    threads,
+                    globals,
+                })
+            }
+            other => perr(format!("unknown job spec tag {other}")),
+        }
+    }
+
+    fn finish(self, what: &str) -> Result<(), ServeError> {
+        if self.pos != self.buf.len() {
+            return perr(format!(
+                "{} trailing bytes in {what}",
+                self.buf.len() - self.pos
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Message {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Message::ClientHello { .. } => TYPE_CLIENT_HELLO,
+            Message::Welcome { .. } => TYPE_WELCOME,
+            Message::Submit { .. } => TYPE_SUBMIT,
+            Message::Submitted { .. } => TYPE_SUBMITTED,
+            Message::Rejected { .. } => TYPE_REJECTED,
+            Message::Wait { .. } => TYPE_WAIT,
+            Message::JobResult { .. } => TYPE_JOB_RESULT,
+            Message::JobFailed { .. } => TYPE_JOB_FAILED,
+            Message::Status => TYPE_STATUS,
+            Message::StatusReport { .. } => TYPE_STATUS_REPORT,
+            Message::DumpTrace => TYPE_DUMP_TRACE,
+            Message::TraceDump { .. } => TYPE_TRACE_DUMP,
+            Message::StopServer => TYPE_STOP_SERVER,
+            Message::Stopping => TYPE_STOPPING,
+            Message::Bye => TYPE_BYE,
+            Message::Error { .. } => TYPE_ERROR,
+        }
+    }
+
+    /// A short name for "waiting for X" diagnostics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Message::ClientHello { .. } => "ClientHello",
+            Message::Welcome { .. } => "Welcome",
+            Message::Submit { .. } => "Submit",
+            Message::Submitted { .. } => "Submitted",
+            Message::Rejected { .. } => "Rejected",
+            Message::Wait { .. } => "Wait",
+            Message::JobResult { .. } => "JobResult",
+            Message::JobFailed { .. } => "JobFailed",
+            Message::Status => "Status",
+            Message::StatusReport { .. } => "StatusReport",
+            Message::DumpTrace => "DumpTrace",
+            Message::TraceDump { .. } => "TraceDump",
+            Message::StopServer => "StopServer",
+            Message::Stopping => "Stopping",
+            Message::Bye => "Bye",
+            Message::Error { .. } => "Error",
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Message::ClientHello { tenant, token } => {
+                put_str(&mut out, tenant);
+                put_str(&mut out, token);
+            }
+            Message::Welcome { session } => out.extend_from_slice(&session.to_le_bytes()),
+            Message::Submit { spec } => put_spec(&mut out, spec),
+            Message::Submitted { job_id } => out.extend_from_slice(&job_id.to_le_bytes()),
+            Message::Rejected { reason } => put_str(&mut out, reason),
+            Message::Wait { job_id } => out.extend_from_slice(&job_id.to_le_bytes()),
+            Message::JobResult {
+                job_id,
+                state,
+                robj,
+                globals,
+                trace,
+            } => {
+                out.extend_from_slice(&job_id.to_le_bytes());
+                put_f64s(&mut out, state);
+                put_bytes(&mut out, robj);
+                out.extend_from_slice(&(globals.len() as u32).to_le_bytes());
+                for (name, values) in globals {
+                    put_str(&mut out, name);
+                    put_f64s(&mut out, values);
+                }
+                put_bytes(&mut out, trace);
+            }
+            Message::JobFailed { job_id, message } => {
+                out.extend_from_slice(&job_id.to_le_bytes());
+                put_str(&mut out, message);
+            }
+            Message::StatusReport { status } => {
+                for v in [
+                    status.queued,
+                    status.running,
+                    status.completed,
+                    status.failed,
+                    status.program_cache_hits,
+                    status.program_cache_misses,
+                    status.dataset_cache_hits,
+                    status.dataset_cache_misses,
+                ] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Message::TraceDump { chrome_json } => put_str(&mut out, chrome_json),
+            Message::Error { message } => put_str(&mut out, message),
+            Message::Status
+            | Message::DumpTrace
+            | Message::StopServer
+            | Message::Stopping
+            | Message::Bye => {}
+        }
+        out
+    }
+
+    /// Serialize the full frame (header + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = self.payload();
+        let mut out = Vec::with_capacity(10 + payload.len());
+        out.extend_from_slice(WIRE_MAGIC);
+        out.push(WIRE_VERSION);
+        out.push(self.type_byte());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Message, ServeError> {
+        let mut r = Reader {
+            buf: payload,
+            pos: 0,
+        };
+        let msg = match type_byte {
+            TYPE_CLIENT_HELLO => Message::ClientHello {
+                tenant: r.string("tenant")?,
+                token: r.string("token")?,
+            },
+            TYPE_WELCOME => Message::Welcome {
+                session: r.u64("session")?,
+            },
+            TYPE_SUBMIT => Message::Submit { spec: r.spec()? },
+            TYPE_SUBMITTED => Message::Submitted {
+                job_id: r.u64("job_id")?,
+            },
+            TYPE_REJECTED => Message::Rejected {
+                reason: r.string("reason")?,
+            },
+            TYPE_WAIT => Message::Wait {
+                job_id: r.u64("job_id")?,
+            },
+            TYPE_JOB_RESULT => {
+                let job_id = r.u64("job_id")?;
+                let state = r.f64s("state")?;
+                let robj = r.bytes("robj")?;
+                let n = r.len("globals")?;
+                let mut globals = Vec::with_capacity(n.min(1 << 10));
+                for _ in 0..n {
+                    let name = r.string("global name")?;
+                    let values = r.f64s("global values")?;
+                    globals.push((name, values));
+                }
+                let trace = r.bytes("trace")?;
+                Message::JobResult {
+                    job_id,
+                    state,
+                    robj,
+                    globals,
+                    trace,
+                }
+            }
+            TYPE_JOB_FAILED => Message::JobFailed {
+                job_id: r.u64("job_id")?,
+                message: r.string("message")?,
+            },
+            TYPE_STATUS => Message::Status,
+            TYPE_STATUS_REPORT => Message::StatusReport {
+                status: ServerStatus {
+                    queued: r.u32("queued")?,
+                    running: r.u32("running")?,
+                    completed: r.u32("completed")?,
+                    failed: r.u32("failed")?,
+                    program_cache_hits: r.u32("program_cache_hits")?,
+                    program_cache_misses: r.u32("program_cache_misses")?,
+                    dataset_cache_hits: r.u32("dataset_cache_hits")?,
+                    dataset_cache_misses: r.u32("dataset_cache_misses")?,
+                },
+            },
+            TYPE_DUMP_TRACE => Message::DumpTrace,
+            TYPE_TRACE_DUMP => Message::TraceDump {
+                chrome_json: r.string("chrome_json")?,
+            },
+            TYPE_STOP_SERVER => Message::StopServer,
+            TYPE_STOPPING => Message::Stopping,
+            TYPE_BYE => Message::Bye,
+            TYPE_ERROR => Message::Error {
+                message: r.string("message")?,
+            },
+            other => return perr(format!("unknown message type {other}")),
+        };
+        r.finish(msg.kind_name())?;
+        Ok(msg)
+    }
+}
+
+/// Write one frame, returning the number of bytes put on the wire.
+pub fn write_message(w: &mut impl Write, msg: &Message) -> Result<usize, ServeError> {
+    let frame = msg.encode();
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(frame.len())
+}
+
+/// Read one frame. Malformed headers and payloads are
+/// [`ServeError::Protocol`]; socket failures are [`ServeError::Io`].
+pub fn read_message(r: &mut impl Read) -> Result<Message, ServeError> {
+    let mut header = [0u8; 10];
+    r.read_exact(&mut header)?;
+    if &header[0..4] != WIRE_MAGIC {
+        return perr("bad frame magic");
+    }
+    if header[4] != WIRE_VERSION {
+        return perr(format!(
+            "unsupported wire version {} (expected {WIRE_VERSION})",
+            header[4]
+        ));
+    }
+    let type_byte = header[5];
+    let len = u32::from_le_bytes(header[6..10].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_LEN {
+        return perr(format!("frame length {len} exceeds limit {MAX_FRAME_LEN}"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Message::decode_payload(type_byte, &payload)
+}
+
+#[cfg(test)]
+mod proto_tests {
+    use super::*;
+
+    fn samples() -> Vec<Message> {
+        vec![
+            Message::ClientHello {
+                tenant: "alice".into(),
+                token: "s3cret".into(),
+            },
+            Message::Welcome { session: 9 },
+            Message::Submit {
+                spec: JobSpec::Task {
+                    task: "kmeans".into(),
+                    params: vec![3, 2],
+                    init_state: vec![0.5, -1.0],
+                    rounds: 4,
+                    dataset: "/tmp/points.frds".into(),
+                    threads_per_node: 2,
+                },
+            },
+            Message::Submit {
+                spec: JobSpec::Chapel {
+                    source: "var total: real = + reduce A;".into(),
+                    opt: 2,
+                    threads: 3,
+                    globals: vec!["total".into()],
+                },
+            },
+            Message::Submitted { job_id: 12 },
+            Message::Rejected {
+                reason: "tenant queue full".into(),
+            },
+            Message::Wait { job_id: 12 },
+            Message::JobResult {
+                job_id: 12,
+                state: vec![1.0, 2.0],
+                robj: vec![7, 8],
+                globals: vec![("total".into(), vec![42.0])],
+                trace: vec![1, 2, 3],
+            },
+            Message::JobFailed {
+                job_id: 12,
+                message: "node 1 died".into(),
+            },
+            Message::Status,
+            Message::StatusReport {
+                status: ServerStatus {
+                    queued: 1,
+                    running: 2,
+                    completed: 3,
+                    failed: 4,
+                    program_cache_hits: 5,
+                    program_cache_misses: 6,
+                    dataset_cache_hits: 7,
+                    dataset_cache_misses: 8,
+                },
+            },
+            Message::DumpTrace,
+            Message::TraceDump {
+                chrome_json: "{\"traceEvents\":[]}".into(),
+            },
+            Message::StopServer,
+            Message::Stopping,
+            Message::Bye,
+            Message::Error {
+                message: "bad hello".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_over_a_buffer() {
+        let msgs = samples();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            write_message(&mut wire, m).unwrap();
+        }
+        let mut cursor = &wire[..];
+        for m in &msgs {
+            let back = read_message(&mut cursor).unwrap();
+            assert_eq!(&back, m);
+        }
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut frame = Message::Status.encode();
+        frame[0] = b'X';
+        let err = read_message(&mut &frame[..]).unwrap_err();
+        assert!(matches!(err, ServeError::Protocol { .. }), "{err}");
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut frame = Message::Status.encode();
+        frame[4] = 42;
+        let err = read_message(&mut &frame[..]).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut frame = Message::Status.encode();
+        frame[5] = 200;
+        assert!(matches!(
+            read_message(&mut &frame[..]),
+            Err(ServeError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocating() {
+        let mut frame = Message::Status.encode();
+        frame[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_message(&mut &frame[..]).unwrap_err();
+        assert!(err.to_string().contains("exceeds limit"), "{err}");
+    }
+
+    #[test]
+    fn truncated_frames_never_panic() {
+        for msg in samples() {
+            let frame = msg.encode();
+            for n in 0..frame.len() {
+                assert!(
+                    read_message(&mut &frame[..n]).is_err(),
+                    "{}[..{n}]",
+                    msg.kind_name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_payload_bytes_rejected() {
+        let mut frame = Message::Welcome { session: 1 }.encode();
+        frame.push(0);
+        let len = (frame.len() - 10) as u32;
+        frame[6..10].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(
+            read_message(&mut &frame[..]),
+            Err(ServeError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_spec_tag_rejected() {
+        let msg = Message::Submit {
+            spec: JobSpec::Chapel {
+                source: "x".into(),
+                opt: 0,
+                threads: 1,
+                globals: vec![],
+            },
+        };
+        let mut frame = msg.encode();
+        frame[10] = 99; // the spec tag is the first payload byte
+        assert!(matches!(
+            read_message(&mut &frame[..]),
+            Err(ServeError::Protocol { .. })
+        ));
+    }
+}
