@@ -121,18 +121,21 @@ for f in target/ci-snode1.addr target/ci-snode2.addr; do
     sleep 0.1
   done
 done
+rm -f target/ci-metrics.addr
 target/release/cfr-serve --listen 127.0.0.1:0 --port-file target/ci-serve.addr \
   --node-addr "$(cat target/ci-snode1.addr)" \
   --node-addr "$(cat target/ci-snode2.addr)" \
-  --max-concurrent 2 --trace phases &
+  --max-concurrent 2 --trace phases \
+  --metrics-listen 127.0.0.1:0 --metrics-port-file target/ci-metrics.addr &
 SERVE=$!
 PIDS="$PIDS $SERVE"
 i=0
-until [ -s target/ci-serve.addr ]; do
-  i=$((i + 1)); [ "$i" -gt 100 ] && { echo "cfr-serve never wrote its port file" >&2; exit 1; }
+until [ -s target/ci-serve.addr ] && [ -s target/ci-metrics.addr ]; do
+  i=$((i + 1)); [ "$i" -gt 100 ] && { echo "cfr-serve never wrote its port files" >&2; exit 1; }
   sleep 0.1
 done
 SERVE_ADDR=$(cat target/ci-serve.addr)
+METRICS_ADDR=$(cat target/ci-metrics.addr)
 # Two concurrent k-means submissions from distinct tenants onto the
 # shared fleet.
 target/release/cfr-submit --server "$SERVE_ADDR" --tenant alice \
@@ -162,9 +165,22 @@ cargo run --release -p obs --bin trace-check -- target/ci-serve-job1.json \
   --expect core.compile --expect frontend.parse
 cargo run --release -p obs --bin trace-check -- target/ci-serve-job2.json \
   --forbid core.compile --forbid frontend.parse --forbid sema.analyze
+# Telemetry (DESIGN.md §13): the daemon's HTTP endpoint must answer
+# /healthz, and its /metrics exposition must carry the fleet counters —
+# 4 jobs completed (2 k-means + 2 Chapel) and the k-means rounds the
+# nodes executed. cfr-top exercises both the scrape path and the Top
+# protocol round-trip.
+[ "$(target/release/cfr-top --scrape "$METRICS_ADDR" --path /healthz)" = ok ]
+target/release/cfr-top --scrape "$METRICS_ADDR" > target/ci-metrics.prom
+cargo run --release -p obs --bin trace-check -- target/ci-metrics.prom \
+  --expect-counter cfr_serve_jobs_completed=4 \
+  --expect-counter cfr_serve_jobs_submitted=4 \
+  --expect-counter cfr_fleet_rounds=4 \
+  --expect-counter cfr_serve_program_cache_hits=1
+target/release/cfr-top --server "$SERVE_ADDR"
 target/release/cfr-submit --server "$SERVE_ADDR" --status \
   --dump-server-trace target/ci-serve-trace.json --stop
 wait "$SERVE"
 cargo run --release -p obs --bin trace-check -- target/ci-serve-trace.json \
   --min-pids 3 --expect serve.submit --expect serve.job_done
-rm -f target/ci-serve-data.frds target/ci-sum.chpl
+rm -f target/ci-serve-data.frds target/ci-sum.chpl target/ci-metrics.prom

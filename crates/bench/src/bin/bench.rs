@@ -79,6 +79,11 @@ struct Opts {
     tenants_list: Vec<usize>,
     /// `serve` app: jobs each tenant submits back-to-back.
     jobs_per_tenant: usize,
+    /// `telemetry` app: timed repetitions per configuration.
+    repeats: usize,
+    /// Sweep apps (`io`/`serve`/`telemetry`): also write the sweep as a
+    /// machine-readable `BENCH_*.json` document.
+    json_out: Option<String>,
 }
 
 impl Default for Opts {
@@ -106,6 +111,8 @@ impl Default for Opts {
             resume: false,
             tenants_list: vec![1, 2, 4],
             jobs_per_tenant: 2,
+            repeats: 3,
+            json_out: None,
         }
     }
 }
@@ -143,13 +150,18 @@ const USAGE: &str = "usage: bench <kmeans|pca|io|ft|serve> [options]
                    jobs from 1..N concurrent tenants (uses --n/--d/
                    --k/--iters and the first --nodes entry, default 2)
   --tenants L      serve: tenant counts to sweep (default 1,2,4)
-  --jobs-per-tenant N  serve: jobs per tenant (default 2)";
+  --jobs-per-tenant N  serve: jobs per tenant (default 2)
+  telemetry        live-metrics overhead sweep: manual k-means with the
+                   MetricsHub disabled vs enabled (tracing off in both),
+                   per --threads-list entry; bit-identity enforced
+  --repeats N      telemetry: timed repetitions, best kept (default 3)
+  --json-out P     io|serve|telemetry: also write the sweep as JSON to P";
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts::default();
     let mut it = args.iter();
     opts.app = it.next().cloned().ok_or("missing application name")?;
-    if !["kmeans", "pca", "io", "ft", "serve"].contains(&opts.app.as_str()) {
+    if !["kmeans", "pca", "io", "ft", "serve", "telemetry"].contains(&opts.app.as_str()) {
         return Err(format!("unknown application `{}`", opts.app));
     }
     while let Some(flag) = it.next() {
@@ -238,6 +250,13 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                     return Err("--jobs-per-tenant must be positive".into());
                 }
             }
+            "--repeats" => {
+                opts.repeats = num()?;
+                if opts.repeats == 0 {
+                    return Err("--repeats must be positive".into());
+                }
+            }
+            "--json-out" => opts.json_out = Some(value.clone()),
             "--checkpoint-dir" => opts.checkpoint_dir = Some(value.clone()),
             "--checkpoint-every" => {
                 opts.checkpoint_every = num()?;
@@ -389,6 +408,11 @@ fn run_io(opts: &Opts) -> Result<(), String> {
         opts.iters,
     )?;
     print!("{}", cfr_bench::render_io_table(&sweep));
+    if let Some(path) = &opts.json_out {
+        std::fs::write(path, cfr_bench::io_json(&sweep))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote sweep JSON to {path}");
+    }
 
     if opts.trace_out.is_some() || opts.metrics_out.is_some() {
         // One more streaming run, traced, for the exported timeline.
@@ -458,6 +482,33 @@ fn run_serve(opts: &Opts) -> Result<(), String> {
     let sweep =
         cfr_bench::serve_throughput(&params, nodes, &opts.tenants_list, opts.jobs_per_tenant)?;
     print!("{}", cfr_bench::render_serve_table(&sweep));
+    if let Some(path) = &opts.json_out {
+        std::fs::write(path, cfr_bench::serve_json(&sweep))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote sweep JSON to {path}");
+    }
+    Ok(())
+}
+
+/// The live-telemetry overhead sweep: manual k-means with tracing off,
+/// `MetricsHub` disabled vs enabled, per thread count. The acceptance
+/// bar for the telemetry layer is ≤2% here; the sweep also enforces
+/// that enabling metrics leaves results bit-identical.
+fn run_telemetry(opts: &Opts) -> Result<(), String> {
+    let sweep = cfr_bench::telemetry_overhead(
+        opts.n,
+        opts.d,
+        opts.k,
+        opts.iters,
+        &opts.threads_list,
+        opts.repeats,
+    )?;
+    print!("{}", cfr_bench::render_telemetry_table(&sweep));
+    if let Some(path) = &opts.json_out {
+        std::fs::write(path, cfr_bench::telemetry_json(&sweep))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote sweep JSON to {path}");
+    }
     Ok(())
 }
 
@@ -470,6 +521,9 @@ fn run(opts: &Opts) -> Result<(), String> {
     }
     if opts.app == "serve" {
         return run_serve(opts);
+    }
+    if opts.app == "telemetry" {
+        return run_telemetry(opts);
     }
     if !opts.nodes.is_empty() || !opts.node_addrs.is_empty() {
         return run_cluster(opts);

@@ -978,6 +978,276 @@ pub fn serve_throughput(
     })
 }
 
+// ---------------------------------------------------------------------
+// Telemetry overhead: the live MetricsHub, off vs on
+// ---------------------------------------------------------------------
+
+/// One measured point of the telemetry-overhead sweep.
+#[derive(Debug, Clone)]
+pub struct TelemetryPoint {
+    /// Compute-thread count of this point.
+    pub threads: usize,
+    /// Best wall time with the hub disabled, seconds.
+    pub off_s: f64,
+    /// Best wall time with the hub enabled, seconds.
+    pub on_s: f64,
+    /// Relative cost of the enabled hub, percent (negative = noise).
+    pub overhead_pct: f64,
+    /// Counters the enabled hub recorded (sanity: the mirror fired).
+    pub hub_counters: usize,
+}
+
+/// A completed telemetry-overhead sweep.
+#[derive(Debug, Clone)]
+pub struct TelemetrySweep {
+    /// Points reduced per run.
+    pub n: usize,
+    /// Point dimensionality.
+    pub d: usize,
+    /// Centroid count.
+    pub k: usize,
+    /// Reduction rounds per run.
+    pub iters: usize,
+    /// Timed repetitions per configuration (the best is kept).
+    pub repeats: usize,
+    /// The measured points, one per thread count.
+    pub points: Vec<TelemetryPoint>,
+}
+
+/// One manual k-means run with tracing off and the live [`obs::MetricsHub`]
+/// either enabled or disabled; returns wall seconds, the final centroid
+/// bit pattern, and the counter count the hub saw.
+fn kmeans_hub_run(
+    buffer: &[f64],
+    d: usize,
+    k: usize,
+    iters: usize,
+    threads: usize,
+    hub_on: bool,
+) -> Result<(f64, Vec<u64>, usize), String> {
+    let rec = std::sync::Arc::new(freeride::Recorder::new(obs::TraceLevel::Off));
+    rec.hub().set_enabled(hub_on);
+    let engine = Engine::with_recorder(JobConfig::with_threads(threads), rec.clone());
+    let view = DataView::new(buffer, d).map_err(|e| e.to_string())?;
+    let layout = RObjLayout::new(vec![GroupSpec::new("newCent", k * (d + 1), CombineOp::Sum)]);
+    let mut centroids = cfr_apps::data::kmeans_centroids_flat(k, d);
+
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters.max(1) {
+        let cents = &centroids;
+        let kernel = move |split: &Split<'_>, robj: &mut dyn RObjHandle| {
+            for row in split.iter_rows() {
+                let mut best = 0usize;
+                let mut best_dist = f64::INFINITY;
+                for c in 0..k {
+                    let mut dist = 0.0;
+                    let centre = &cents[c * d..(c + 1) * d];
+                    for j in 0..d {
+                        let diff = row[j] - centre[j];
+                        dist += diff * diff;
+                    }
+                    if dist < best_dist {
+                        best_dist = dist;
+                        best = c;
+                    }
+                }
+                for (j, &x) in row.iter().enumerate().take(d) {
+                    robj.accumulate(0, best * (d + 1) + j, x);
+                }
+                robj.accumulate(0, best * (d + 1) + d, 1.0);
+            }
+        };
+        let outcome = engine.run(view, &layout, &kernel);
+        let cells = outcome.robj.group_slice(0);
+        for c in 0..k {
+            let count = cells[c * (d + 1) + d];
+            if count > 0.0 {
+                for j in 0..d {
+                    centroids[c * d + j] = cells[c * (d + 1) + j] / count;
+                }
+            }
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let counters = rec.hub().snapshot().counters.len();
+    Ok((
+        wall_s,
+        centroids.iter().map(|x| x.to_bits()).collect(),
+        counters,
+    ))
+}
+
+/// Measure what the live metrics hub costs: manual k-means with tracing
+/// off, hub disabled vs enabled, at each thread count. Runs are
+/// interleaved and repeated `repeats` times per configuration with the
+/// best wall time kept (minimum is the right estimator for a fixed
+/// workload — everything above it is scheduling noise). The enabled run
+/// must produce bit-identical centroids; telemetry that perturbs
+/// results would be worse than no telemetry.
+pub fn telemetry_overhead(
+    n: usize,
+    d: usize,
+    k: usize,
+    iters: usize,
+    threads: &[usize],
+    repeats: usize,
+) -> Result<TelemetrySweep, String> {
+    let buffer = cfr_apps::data::kmeans_points_flat(n, d);
+    let repeats = repeats.max(1);
+    let mut points = Vec::new();
+    for &t in threads {
+        let mut off_s = f64::INFINITY;
+        let mut on_s = f64::INFINITY;
+        let mut off_bits: Option<Vec<u64>> = None;
+        let mut hub_counters = 0usize;
+        // Warm up caches and the worker pool before anything is timed.
+        kmeans_hub_run(&buffer, d, k, iters, t, false)?;
+        for _ in 0..repeats {
+            let (w, bits, _) = kmeans_hub_run(&buffer, d, k, iters, t, false)?;
+            off_s = off_s.min(w);
+            off_bits.get_or_insert(bits);
+            let (w, bits, counters) = kmeans_hub_run(&buffer, d, k, iters, t, true)?;
+            on_s = on_s.min(w);
+            hub_counters = counters;
+            if off_bits.as_deref() != Some(&bits[..]) {
+                return Err(format!(
+                    "t={t}: enabling the metrics hub changed the centroids"
+                ));
+            }
+        }
+        if hub_counters == 0 {
+            return Err(format!("t={t}: the enabled hub recorded no counters"));
+        }
+        points.push(TelemetryPoint {
+            threads: t,
+            off_s,
+            on_s,
+            overhead_pct: (on_s / off_s.max(1e-9) - 1.0) * 100.0,
+            hub_counters,
+        });
+    }
+    Ok(TelemetrySweep {
+        n,
+        d,
+        k,
+        iters,
+        repeats,
+        points,
+    })
+}
+
+/// Render a telemetry-overhead sweep as an aligned table (the
+/// EXPERIMENTS.md `telemetry_overhead` shape).
+pub fn render_telemetry_table(sweep: &TelemetrySweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "telemetry_overhead — manual k-means, n={} d={} k={} iters={}, best of {}",
+        sweep.n, sweep.d, sweep.k, sweep.iters, sweep.repeats
+    );
+    let _ = writeln!(
+        out,
+        "{:>7} {:>12} {:>12} {:>9} {:>9}",
+        "threads", "hub off s", "hub on s", "overhead", "counters"
+    );
+    for p in &sweep.points {
+        let _ = writeln!(
+            out,
+            "{:>7} {:>12.4} {:>12.4} {:>8.2}% {:>9}",
+            p.threads, p.off_s, p.on_s, p.overhead_pct, p.hub_counters
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// JSON emitters (BENCH_*.json) — hand-rolled, the workspace carries no
+// serde
+// ---------------------------------------------------------------------
+
+/// A telemetry-overhead sweep as a `BENCH_telemetry.json` document.
+pub fn telemetry_json(sweep: &TelemetrySweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"telemetry_overhead\",");
+    let _ = writeln!(out, "  \"app\": \"kmeans-manual\",");
+    let _ = writeln!(
+        out,
+        "  \"n\": {}, \"d\": {}, \"k\": {}, \"iters\": {}, \"repeats\": {},",
+        sweep.n, sweep.d, sweep.k, sweep.iters, sweep.repeats
+    );
+    let _ = writeln!(out, "  \"points\": [");
+    for (i, p) in sweep.points.iter().enumerate() {
+        let comma = if i + 1 < sweep.points.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"threads\": {}, \"metrics_off_s\": {:.6}, \"metrics_on_s\": {:.6}, \
+             \"overhead_pct\": {:.3}, \"hub_counters\": {}}}{comma}",
+            p.threads, p.off_s, p.on_s, p.overhead_pct, p.hub_counters
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// An I/O sweep as a `BENCH_io.json` document.
+pub fn io_json(sweep: &IoSweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"io_overlap\",");
+    let _ = writeln!(
+        out,
+        "  \"dataset_mb\": {}, \"budget_mib\": {}, \"rows\": {},",
+        sweep.dataset_mb, sweep.budget_mib, sweep.rows
+    );
+    let _ = writeln!(out, "  \"points\": [");
+    for (i, p) in sweep.points.iter().enumerate() {
+        let comma = if i + 1 < sweep.points.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"wall_s\": {:.6}, \"read_s\": {:.6}, \
+             \"stall_s\": {:.6}, \"backpressure_s\": {:.6}, \"pool_bytes\": {}, \
+             \"throughput_mib_s\": {:.3}}}{comma}",
+            p.mode,
+            p.threads,
+            p.wall_s,
+            p.read_s,
+            p.stall_s,
+            p.backpressure_s,
+            p.pool_bytes,
+            p.throughput_mib_s
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// A job-server throughput sweep as a `BENCH_serve.json` document.
+pub fn serve_json(sweep: &ServeSweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"serve_throughput\",");
+    let _ = writeln!(
+        out,
+        "  \"nodes\": {}, \"rounds\": {}, \"jobs_per_tenant\": {},",
+        sweep.nodes, sweep.rounds, sweep.jobs_per_tenant
+    );
+    let _ = writeln!(out, "  \"points\": [");
+    for (i, p) in sweep.points.iter().enumerate() {
+        let comma = if i + 1 < sweep.points.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"tenants\": {}, \"jobs\": {}, \"wall_s\": {:.6}, \"jobs_per_s\": {:.3}}}{comma}",
+            p.tenants, p.jobs, p.wall_s, p.jobs_per_s
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
 /// Render a job-server throughput sweep as an aligned table (the
 /// EXPERIMENTS.md `serve_throughput` shape).
 pub fn render_serve_table(sweep: &ServeSweep) -> String {
@@ -1109,6 +1379,70 @@ mod harness_tests {
     fn extension_apps_run() {
         let f = extension_apps(500, 2);
         assert_eq!(f.rows.len(), 6);
+    }
+
+    #[test]
+    fn telemetry_overhead_sweep_is_bit_identical_and_counts() {
+        let sweep = telemetry_overhead(2_000, 4, 4, 2, &[1, 2], 1).unwrap();
+        assert_eq!(sweep.points.len(), 2);
+        for p in &sweep.points {
+            assert!(p.off_s > 0.0 && p.on_s > 0.0, "t={}", p.threads);
+            assert!(
+                p.hub_counters >= 2,
+                "enabled hub should mirror engine.passes and engine.splits"
+            );
+        }
+        let table = render_telemetry_table(&sweep);
+        assert!(table.contains("hub off s") && table.contains("overhead"));
+        let json = telemetry_json(&sweep);
+        assert!(json.contains("\"bench\": \"telemetry_overhead\""));
+        assert!(json.contains("\"threads\": 2"));
+        // Balanced braces/brackets — the emitter is hand-rolled.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_emitters_cover_io_and_serve_shapes() {
+        let io = IoSweep {
+            dataset_mb: 2,
+            budget_mib: 1,
+            rows: 1000,
+            points: vec![IoPoint {
+                mode: "streaming",
+                threads: 2,
+                wall_s: 0.5,
+                read_s: 0.1,
+                stall_s: 0.01,
+                backpressure_s: 0.0,
+                pool_bytes: 1 << 20,
+                throughput_mib_s: 12.5,
+            }],
+        };
+        let j = io_json(&io);
+        assert!(j.contains("\"bench\": \"io_overlap\""));
+        assert!(j.contains("\"mode\": \"streaming\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+
+        let serve = ServeSweep {
+            nodes: 2,
+            rounds: 3,
+            jobs_per_tenant: 2,
+            points: vec![ServePoint {
+                tenants: 4,
+                jobs: 8,
+                wall_s: 1.25,
+                jobs_per_s: 6.4,
+            }],
+        };
+        let j = serve_json(&serve);
+        assert!(j.contains("\"bench\": \"serve_throughput\""));
+        assert!(j.contains("\"tenants\": 4"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //!
 //! ```text
 //! cfr-node [--listen ADDR] [--port-file PATH] [--sessions N] [--concurrent]
-//!          [--chaos-kill-after-rounds N]
+//!          [--chaos-kill-after-rounds N] [--slow-ms N]
 //!   --listen ADDR     bind address (default 127.0.0.1:0)
 //!   --port-file PATH  write the bound address to PATH once listening
 //!                     (atomic temp+rename, so pollers never read a
@@ -25,6 +25,9 @@
 //!                     fault-injection: answer N rounds, then abort the
 //!                     whole process mid-round (deterministic stand-in
 //!                     for SIGKILL in recovery smoke tests)
+//!   --slow-ms N       fault-injection: sleep N ms before every round,
+//!                     turning this node into a deterministic straggler
+//!                     for the coordinator's latency detection
 //! ```
 
 use std::net::TcpListener;
@@ -33,7 +36,7 @@ use std::process::ExitCode;
 use freeride_dist::node;
 
 const USAGE: &str = "usage: cfr-node [--listen ADDR] [--port-file PATH] [--sessions N] \
-                     [--concurrent] [--chaos-kill-after-rounds N]";
+                     [--concurrent] [--chaos-kill-after-rounds N] [--slow-ms N]";
 
 fn main() -> ExitCode {
     let mut listen = String::from("127.0.0.1:0");
@@ -41,6 +44,7 @@ fn main() -> ExitCode {
     let mut sessions: usize = 1;
     let mut concurrent = false;
     let mut chaos_rounds: Option<usize> = None;
+    let mut slow_ms: u64 = 0;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -61,6 +65,10 @@ fn main() -> ExitCode {
             "--chaos-kill-after-rounds" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => chaos_rounds = Some(n),
                 None => return usage_error("--chaos-kill-after-rounds requires a count"),
+            },
+            "--slow-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => slow_ms = n,
+                None => return usage_error("--slow-ms requires a count"),
             },
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -103,7 +111,7 @@ fn main() -> ExitCode {
     }
 
     if concurrent {
-        return match node::serve_concurrent(&listener, sessions) {
+        return match node::serve_concurrent_slow(&listener, sessions, slow_ms) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => fail(&e.to_string()),
         };
@@ -111,7 +119,12 @@ fn main() -> ExitCode {
 
     let mut served = 0usize;
     loop {
-        if let Err(e) = node::serve(&listener) {
+        let result = if slow_ms > 0 {
+            node::serve_slow(&listener, slow_ms)
+        } else {
+            node::serve(&listener)
+        };
+        if let Err(e) = result {
             return fail(&e.to_string());
         }
         served += 1;

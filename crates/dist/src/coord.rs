@@ -52,7 +52,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use freeride::{ReductionObject, RunStats};
-use obs::{Recorder, Trace, TraceLevel};
+use obs::{FlightRecorder, MetricsSnapshot, Recorder, Trace, TraceLevel};
 
 use crate::error::DistError;
 use crate::node;
@@ -84,6 +84,45 @@ impl Default for FtPolicy {
             max_retries: 2,
             backoff: Duration::from_millis(50),
             reassign: true,
+        }
+    }
+}
+
+/// Live-telemetry policy (the `telemetry` part of [`ClusterConfig`]):
+/// periodic in-band stats pushes from the nodes and latency-based
+/// straggler detection on the coordinator.
+#[derive(Debug, Clone)]
+pub struct TelemetryPolicy {
+    /// Every `stats_every` rounds each node pushes a
+    /// [`MetricsSnapshot`] frame ahead of its `RoundResult`, so the
+    /// coordinator's live view (and, through it, `cfr-serve`'s
+    /// `/metrics` endpoint) includes node-side counters even while the
+    /// job is still running — and retains them for nodes that later
+    /// die without ever reaching `JobDone`. 0 disables the pushes.
+    /// Default 4.
+    pub stats_every: u32,
+    /// A node whose node-measured round time exceeds
+    /// `straggler_multiplier ×` the fleet median is flagged as a
+    /// straggler (counter + `sched.straggler` instant span + optional
+    /// warning). Detection only; shards are not migrated. Default 4.0.
+    pub straggler_multiplier: f64,
+    /// Rounds faster than this (median comparison floor) never flag
+    /// stragglers, so microsecond-scale test rounds don't trip on
+    /// scheduling jitter. Default 10 ms.
+    pub straggler_min_ns: u64,
+    /// Print health warnings (straggler flags, node failures) to
+    /// stderr as they happen. Default `false` (library callers opt in;
+    /// the CLIs and `cfr-serve` turn it on).
+    pub warn: bool,
+}
+
+impl Default for TelemetryPolicy {
+    fn default() -> TelemetryPolicy {
+        TelemetryPolicy {
+            stats_every: 4,
+            straggler_multiplier: 4.0,
+            straggler_min_ns: 10_000_000,
+            warn: false,
         }
     }
 }
@@ -125,6 +164,9 @@ pub struct ClusterConfig {
     /// subdirectory and stamps the tag into the frame, so jobs sharing
     /// a checkpoint root cannot collide or cross-resume.
     pub job_tag: String,
+    /// Live-telemetry policy: node stats pushes and straggler
+    /// detection.
+    pub telemetry: TelemetryPolicy,
 }
 
 impl ClusterConfig {
@@ -144,6 +186,7 @@ impl ClusterConfig {
             ft: FtPolicy::default(),
             checkpoint_dir: None,
             job_tag: String::new(),
+            telemetry: TelemetryPolicy::default(),
         }
     }
 }
@@ -176,6 +219,10 @@ pub struct ClusterStats {
     pub checkpoints_written: usize,
     /// Total bytes of checkpoint frames written.
     pub checkpoint_bytes: u64,
+    /// Rounds in which some node was flagged as a straggler (node
+    /// round time beyond [`TelemetryPolicy::straggler_multiplier`] ×
+    /// the fleet median).
+    pub stragglers: usize,
 }
 
 impl ClusterStats {
@@ -212,6 +259,7 @@ impl ClusterStats {
         stats.retries = counter("ft.retries") as usize;
         stats.checkpoints_written = counter("ft.checkpoints_written") as usize;
         stats.checkpoint_bytes = counter("ft.checkpoint_bytes") as u64;
+        stats.stragglers = counter("sched.stragglers") as usize;
         stats
     }
 }
@@ -228,6 +276,11 @@ pub struct ClusterOutcome {
     /// Merged trace — coordinator spans on `pid` 0, node `i`'s spans on
     /// `pid` `i + 1`. `None` when tracing is off.
     pub trace: Option<Trace>,
+    /// Fleet-aggregated live metrics: the coordinator's own hub merged
+    /// with every node's final `JobDone` snapshot (and, for nodes that
+    /// died mid-run, their last periodic stats push). `None` when the
+    /// metrics hub is disabled (tracing off).
+    pub telemetry: Option<MetricsSnapshot>,
 }
 
 /// Drives one distributed job across a set of node agents: the
@@ -238,10 +291,24 @@ pub struct Coordinator {
 }
 
 impl Coordinator {
-    /// Create a coordinator for `config`.
+    /// Create a coordinator for `config`. When tracing is on the
+    /// recorder carries a bounded flight recorder, so a failed run can
+    /// dump its most recent spans next to the typed error.
     pub fn new(config: ClusterConfig) -> Coordinator {
-        let recorder = Arc::new(Recorder::new(config.trace));
+        let recorder = if config.trace != TraceLevel::Off {
+            Arc::new(Recorder::with_flight(
+                config.trace,
+                Arc::new(FlightRecorder::default()),
+            ))
+        } else {
+            Arc::new(Recorder::new(config.trace))
+        };
         Coordinator { config, recorder }
+    }
+
+    /// The coordinator's recorder (live metrics hub, flight recorder).
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
     }
 
     /// Run the job against node agents listening on `addrs`. Shards are
@@ -289,6 +356,28 @@ impl LoopbackCluster {
             addrs.push(listener.local_addr()?);
             handles.push(std::thread::spawn(move || {
                 node::serve_concurrent(&listener, sessions)
+            }));
+        }
+        Ok(LoopbackCluster { addrs, handles })
+    }
+
+    /// Spawn `n` loopback agents where `slow[i]` (if present) makes
+    /// node `i` sleep that many milliseconds before every round
+    /// ([`node::serve_slow`]) — a deterministic straggler for
+    /// exercising the coordinator's latency-based detection.
+    pub fn spawn_with_slow(n: usize, slow: &[(usize, u64)]) -> Result<LoopbackCluster, DistError> {
+        let mut addrs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for id in 0..n {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            addrs.push(listener.local_addr()?);
+            let slow_ms = slow
+                .iter()
+                .find(|&&(node, _)| node == id)
+                .map(|&(_, ms)| ms);
+            handles.push(std::thread::spawn(move || match slow_ms {
+                Some(ms) => node::serve_slow(&listener, ms),
+                None => node::serve(&listener),
             }));
         }
         Ok(LoopbackCluster { addrs, handles })

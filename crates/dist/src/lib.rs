@@ -33,7 +33,7 @@ pub mod node;
 
 pub use coord::{
     resume_loopback, run_loopback, ClusterConfig, ClusterOutcome, ClusterStats, Coordinator,
-    FtPolicy, LoopbackCluster,
+    FtPolicy, LoopbackCluster, TelemetryPolicy,
 };
 pub use error::DistError;
 pub use sched::{Fleet, JobDriver};

@@ -27,6 +27,11 @@ struct JobContext {
     shard_rows: usize,
     engine: Engine,
     recorder: Arc<Recorder>,
+    /// Push a `Stats` frame ahead of every Nth `RoundResult` (0 = off).
+    stats_every: u32,
+    /// Rounds answered so far (drives the periodic `Stats` cadence;
+    /// sessions are single-threaded, hence the plain `Cell`).
+    rounds_handled: std::cell::Cell<u32>,
 }
 
 fn trace_level_from_ordinal(b: u8) -> TraceLevel {
@@ -62,6 +67,7 @@ fn build_job(msg: Message) -> Result<JobContext, DistError> {
         chunk_rows,
         buffers,
         readers,
+        stats_every,
     } = msg
     else {
         return Err(DistError::Protocol {
@@ -106,6 +112,8 @@ fn build_job(msg: Message) -> Result<JobContext, DistError> {
         shard_rows: shard_rows as usize,
         engine,
         recorder,
+        stats_every,
+        rounds_handled: std::cell::Cell::new(0),
     })
 }
 
@@ -157,6 +165,11 @@ fn run_round(
                 ("shard_rows", AttrValue::Int(count as i64)),
             ],
         );
+        let hub = job.recorder.hub();
+        if hub.is_enabled() {
+            hub.add("node.shards", 1);
+            hub.observe("node.shard_ns", pass_start.elapsed().as_nanos() as u64);
+        }
         results.push((first, outcome.robj.encode_cells()));
     }
     Ok(results)
@@ -165,6 +178,18 @@ fn run_round(
 /// Handle one coordinator session on an accepted stream. Returns when
 /// the coordinator sends [`Message::Shutdown`] or the connection drops.
 pub fn handle_session(stream: TcpStream) -> Result<(), DistError> {
+    session_loop(stream, std::time::Duration::ZERO)
+}
+
+/// Chaos-testing variant of [`handle_session`]: sleeps `slow_ms` before
+/// every round, turning this node into a deliberate straggler so the
+/// coordinator's latency-based straggler detection can be exercised
+/// without relying on machine-dependent scheduling jitter.
+pub fn handle_session_slow(stream: TcpStream, slow_ms: u64) -> Result<(), DistError> {
+    session_loop(stream, std::time::Duration::from_millis(slow_ms))
+}
+
+fn session_loop(stream: TcpStream, slow: std::time::Duration) -> Result<(), DistError> {
     let mut stream = stream;
     stream.set_nodelay(true).ok();
 
@@ -210,14 +235,40 @@ pub fn handle_session(stream: TcpStream) -> Result<(), DistError> {
                     )?;
                     return Err(e);
                 };
+                let round_start = std::time::Instant::now();
+                if !slow.is_zero() {
+                    std::thread::sleep(slow);
+                }
                 match run_round(ctx, round, attempt, &state, &shards) {
                     Ok(results) => {
                         ctx.recorder.add_counter("dist.rounds", 1);
+                        // elapsed_ns is measured here, on the node, so
+                        // the coordinator's straggler detection sees
+                        // compute time rather than its own (serialised,
+                        // blocking) receive order.
+                        let elapsed_ns = round_start.elapsed().as_nanos() as u64;
+                        let hub = ctx.recorder.hub();
+                        if hub.is_enabled() {
+                            hub.add("node.rounds", 1);
+                            hub.observe("node.round_ns", elapsed_ns);
+                        }
+                        let n = ctx.rounds_handled.get().wrapping_add(1);
+                        ctx.rounds_handled.set(n);
+                        if ctx.stats_every > 0 && n % ctx.stats_every == 0 && hub.is_enabled() {
+                            write_message(
+                                &mut stream,
+                                &Message::Stats {
+                                    round,
+                                    metrics: hub.snapshot().encode_bin(),
+                                },
+                            )?;
+                        }
                         write_message(
                             &mut stream,
                             &Message::RoundResult {
                                 round,
                                 attempt,
+                                elapsed_ns,
                                 shards: results,
                             },
                         )?;
@@ -240,8 +291,19 @@ pub fn handle_session(stream: TcpStream) -> Result<(), DistError> {
                     }
                     _ => Vec::new(),
                 };
+                let metrics = match job.as_ref() {
+                    Some(ctx) if ctx.recorder.hub().is_enabled() => {
+                        let snap = ctx.recorder.hub().snapshot();
+                        if snap.is_empty() {
+                            Vec::new()
+                        } else {
+                            snap.encode_bin()
+                        }
+                    }
+                    _ => Vec::new(),
+                };
                 job = None;
-                write_message(&mut stream, &Message::JobDone { trace })?;
+                write_message(&mut stream, &Message::JobDone { trace, metrics })?;
             }
             Message::Shutdown => return Ok(()),
             Message::Error { message } => {
@@ -282,12 +344,23 @@ pub fn serve(listener: &TcpListener) -> Result<(), DistError> {
 /// `sessions` connections have been accepted and all of them have
 /// completed.
 pub fn serve_concurrent(listener: &TcpListener, sessions: usize) -> Result<(), DistError> {
+    serve_concurrent_slow(listener, sessions, 0)
+}
+
+/// [`serve_concurrent`] with an artificial per-round delay on every
+/// session (see [`handle_session_slow`]) — a shared-fleet node that is
+/// a deliberate straggler for every coordinator it serves.
+pub fn serve_concurrent_slow(
+    listener: &TcpListener,
+    sessions: usize,
+    slow_ms: u64,
+) -> Result<(), DistError> {
     let mut handles = Vec::new();
     let mut accepted = 0usize;
     loop {
         let (stream, _peer) = listener.accept()?;
         handles.push(std::thread::spawn(move || {
-            if let Err(e) = handle_session(stream) {
+            if let Err(e) = handle_session_slow(stream, slow_ms) {
                 eprintln!("cfr-node: session error: {e}");
             }
         }));
@@ -304,6 +377,13 @@ pub fn serve_concurrent(listener: &TcpListener, sessions: usize) -> Result<(), D
         }
     }
     Ok(())
+}
+
+/// Accept one coordinator connection and serve it with an artificial
+/// per-round delay (see [`handle_session_slow`]).
+pub fn serve_slow(listener: &TcpListener, slow_ms: u64) -> Result<(), DistError> {
+    let (stream, _peer) = listener.accept()?;
+    handle_session_slow(stream, slow_ms)
 }
 
 /// Chaos-testing agent: behaves like [`serve`], but severs the
@@ -343,12 +423,33 @@ pub fn serve_dropping(listener: &TcpListener, rounds_before_death: usize) -> Res
                 let ctx = job.as_ref().ok_or_else(|| DistError::Protocol {
                     reason: "Round before Job".into(),
                 })?;
+                let round_start = std::time::Instant::now();
                 let results = run_round(ctx, round, attempt, &state, &shards)?;
+                // Same periodic stats cadence as a healthy node: the
+                // push preceding this node's death is all the telemetry
+                // the coordinator gets to keep from it.
+                let n = ctx.rounds_handled.get().wrapping_add(1);
+                ctx.rounds_handled.set(n);
+                let hub = ctx.recorder.hub();
+                if hub.is_enabled() {
+                    hub.add("node.rounds", 1);
+                    hub.observe("node.round_ns", round_start.elapsed().as_nanos() as u64);
+                }
+                if ctx.stats_every > 0 && n % ctx.stats_every == 0 && hub.is_enabled() {
+                    write_message(
+                        &mut stream,
+                        &Message::Stats {
+                            round,
+                            metrics: hub.snapshot().encode_bin(),
+                        },
+                    )?;
+                }
                 write_message(
                     &mut stream,
                     &Message::RoundResult {
                         round,
                         attempt,
+                        elapsed_ns: round_start.elapsed().as_nanos() as u64,
                         shards: results,
                     },
                 )?;

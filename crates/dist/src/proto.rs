@@ -25,8 +25,11 @@ use crate::error::DistError;
 pub const WIRE_MAGIC: &[u8; 4] = b"FRDM";
 /// Protocol version; both sides must match exactly. Version 2 added
 /// round `attempt` counters and explicit per-round shard lists for
-/// fault-tolerant shard reassignment.
-pub const WIRE_VERSION: u8 = 2;
+/// fault-tolerant shard reassignment. Version 3 added live telemetry:
+/// node-measured `elapsed_ns` on `RoundResult` (the straggler signal),
+/// periodic `Stats` metrics frames, a `stats_every` job knob, and the
+/// node's final metrics snapshot on `JobDone`.
+pub const WIRE_VERSION: u8 = 3;
 /// Upper bound on a frame payload (64 MiB): a corrupt length field
 /// fails fast instead of triggering a giant allocation.
 pub const MAX_FRAME_LEN: u32 = 64 << 20;
@@ -40,6 +43,7 @@ const TYPE_END_JOB: u8 = 6;
 const TYPE_JOB_DONE: u8 = 7;
 const TYPE_SHUTDOWN: u8 = 8;
 const TYPE_ERROR: u8 = 9;
+const TYPE_STATS: u8 = 10;
 
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +88,10 @@ pub enum Message {
         buffers: u32,
         /// Prefetching reader threads (ignored when sync).
         readers: u32,
+        /// Push a `Stats` metrics frame ahead of every Nth
+        /// `RoundResult` (0 disables periodic pushes; the final
+        /// snapshot still arrives on `JobDone`).
+        stats_every: u32,
     },
     /// Coordinator → node: run one local reduction pass over the
     /// node's shards with this round's broadcast state (e.g. current
@@ -118,6 +126,12 @@ pub enum Message {
         /// Per-shard results: `(first_row, cells frame)` in the order
         /// the shards were assigned.
         shards: Vec<(u64, Vec<u8>)>,
+        /// Node-measured wall time of the local reduction work for
+        /// this round, nanoseconds. Placement-independent (unlike a
+        /// coordinator-side receive timestamp, which is skewed by the
+        /// sequential recv order), so it is the straggler-detection
+        /// signal.
+        elapsed_ns: u64,
     },
     /// Coordinator → node: no more rounds; ship the trace.
     EndJob,
@@ -126,6 +140,19 @@ pub enum Message {
     JobDone {
         /// Trace frame (`Trace::encode_bin`), possibly empty.
         trace: Vec<u8>,
+        /// Final `FRMT` metrics frame (`MetricsSnapshot::encode_bin`)
+        /// of the node's live hub, possibly empty.
+        metrics: Vec<u8>,
+    },
+    /// Node → coordinator: periodic live-telemetry push, sent
+    /// immediately before the `RoundResult` of every `stats_every`th
+    /// round. The coordinator folds it into the fleet view; it never
+    /// affects scheduling correctness.
+    Stats {
+        /// Round the snapshot was taken after.
+        round: u32,
+        /// `FRMT` metrics frame of the node's hub at that point.
+        metrics: Vec<u8>,
     },
     /// Coordinator → node: close the session; the agent exits its
     /// serve loop.
@@ -299,6 +326,7 @@ impl Message {
             Message::JobDone { .. } => TYPE_JOB_DONE,
             Message::Shutdown => TYPE_SHUTDOWN,
             Message::Error { .. } => TYPE_ERROR,
+            Message::Stats { .. } => TYPE_STATS,
         }
     }
 
@@ -314,6 +342,7 @@ impl Message {
             Message::JobDone { .. } => "JobDone",
             Message::Shutdown => "Shutdown",
             Message::Error { .. } => "Error",
+            Message::Stats { .. } => "Stats",
         }
     }
 
@@ -336,6 +365,7 @@ impl Message {
                 chunk_rows,
                 buffers,
                 readers,
+                stats_every,
             } => {
                 put_str(&mut out, task);
                 put_i64s(&mut out, params);
@@ -349,6 +379,7 @@ impl Message {
                 out.extend_from_slice(&chunk_rows.to_le_bytes());
                 out.extend_from_slice(&buffers.to_le_bytes());
                 out.extend_from_slice(&readers.to_le_bytes());
+                out.extend_from_slice(&stats_every.to_le_bytes());
             }
             Message::Round {
                 round,
@@ -365,9 +396,11 @@ impl Message {
                 round,
                 attempt,
                 shards,
+                elapsed_ns,
             } => {
                 out.extend_from_slice(&round.to_le_bytes());
                 out.extend_from_slice(&attempt.to_le_bytes());
+                out.extend_from_slice(&elapsed_ns.to_le_bytes());
                 out.extend_from_slice(&(shards.len() as u32).to_le_bytes());
                 for (first, cells) in shards {
                     out.extend_from_slice(&first.to_le_bytes());
@@ -375,7 +408,14 @@ impl Message {
                 }
             }
             Message::EndJob | Message::Shutdown => {}
-            Message::JobDone { trace } => put_bytes(&mut out, trace),
+            Message::JobDone { trace, metrics } => {
+                put_bytes(&mut out, trace);
+                put_bytes(&mut out, metrics);
+            }
+            Message::Stats { round, metrics } => {
+                out.extend_from_slice(&round.to_le_bytes());
+                put_bytes(&mut out, metrics);
+            }
             Message::Error { message } => put_str(&mut out, message),
         }
         out
@@ -419,6 +459,7 @@ impl Message {
                 chunk_rows: r.u64("chunk_rows")?,
                 buffers: r.u32("buffers")?,
                 readers: r.u32("readers")?,
+                stats_every: r.u32("stats_every")?,
             },
             TYPE_ROUND => Message::Round {
                 round: r.u32("round")?,
@@ -429,6 +470,7 @@ impl Message {
             TYPE_ROUND_RESULT => {
                 let round = r.u32("round")?;
                 let attempt = r.u32("attempt")?;
+                let elapsed_ns = r.u64("elapsed_ns")?;
                 let n = r.len("shard results")?;
                 let mut shards = Vec::with_capacity(n.min(1 << 12));
                 for _ in 0..n {
@@ -440,15 +482,21 @@ impl Message {
                     round,
                     attempt,
                     shards,
+                    elapsed_ns,
                 }
             }
             TYPE_END_JOB => Message::EndJob,
             TYPE_JOB_DONE => Message::JobDone {
                 trace: r.bytes("trace")?,
+                metrics: r.bytes("metrics")?,
             },
             TYPE_SHUTDOWN => Message::Shutdown,
             TYPE_ERROR => Message::Error {
                 message: r.string("message")?,
+            },
+            TYPE_STATS => Message::Stats {
+                round: r.u32("round")?,
+                metrics: r.bytes("metrics")?,
             },
             other => return perr(format!("unknown message type {other}")),
         };
@@ -546,6 +594,7 @@ mod proto_tests {
                 chunk_rows: 4096,
                 buffers: 3,
                 readers: 2,
+                stats_every: 4,
             },
             Message::Round {
                 round: 7,
@@ -557,12 +606,20 @@ mod proto_tests {
                 round: 7,
                 attempt: 2,
                 shards: vec![(0, vec![9, 8, 7]), (300, vec![1])],
+                elapsed_ns: 123_456_789,
             },
             Message::EndJob,
-            Message::JobDone { trace: vec![4, 5] },
+            Message::JobDone {
+                trace: vec![4, 5],
+                metrics: vec![6, 7, 8],
+            },
             Message::Shutdown,
             Message::Error {
                 message: "disk on fire".into(),
+            },
+            Message::Stats {
+                round: 3,
+                metrics: vec![9, 9, 9],
             },
         ]
     }

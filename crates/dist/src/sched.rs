@@ -23,13 +23,17 @@ use std::time::{Duration, Instant};
 
 use freeride::{RObjLayout, ReductionObject, RunStats};
 use freeride_ft::{Checkpoint, CheckpointStore};
-use obs::{AttrValue, Recorder, Trace, TraceLevel};
+use obs::{metric_name, AttrValue, MetricsSnapshot, Recorder, Trace, TraceLevel};
 
 use crate::coord::{ClusterConfig, ClusterOutcome, ClusterStats};
 use crate::error::DistError;
 use crate::node;
 use crate::proto::{read_message, write_message, Message};
 use crate::tasks;
+
+/// One node's round answer: its `(first_row, cells)` shard payloads
+/// plus the node-measured round time in nanoseconds.
+type RoundShards = (Vec<(u64, Vec<u8>)>, u64);
 
 pub(crate) struct NodeConn {
     stream: TcpStream,
@@ -83,6 +87,11 @@ impl NodeConn {
 pub(crate) struct LiveNode {
     pub(crate) conn: NodeConn,
     pub(crate) shards: Vec<(u64, u64)>,
+    /// The node's most recent periodic stats push (see
+    /// [`TelemetryPolicy::stats_every`](crate::TelemetryPolicy)); kept
+    /// so a node that dies mid-run still contributes its last known
+    /// metrics to the fleet aggregate.
+    pub(crate) last_stats: Option<MetricsSnapshot>,
 }
 
 /// The node connections of one job session, with guaranteed goodbye
@@ -137,12 +146,14 @@ impl Fleet {
                     chunk_rows,
                     buffers,
                     readers,
+                    stats_every: cfg.telemetry.stats_every,
                 },
                 stats,
             )?;
             fleet.nodes.push(LiveNode {
                 conn,
                 shards: vec![(first as u64, count as u64)],
+                last_stats: None,
             });
         }
         Ok(fleet)
@@ -178,19 +189,21 @@ impl Fleet {
     }
 
     /// Happy-path teardown: per node, EndJob → collect the shipped
-    /// trace → Shutdown. Nodes are consumed as they complete, so if a
-    /// node fails mid-goodbye the remaining ones still get their
-    /// best-effort Shutdown from `Drop`.
+    /// trace and final metrics snapshot → Shutdown. Nodes are consumed
+    /// as they complete, so if a node fails mid-goodbye the remaining
+    /// ones still get their best-effort Shutdown from `Drop`.
+    #[allow(clippy::type_complexity)]
     pub(crate) fn finish(
         &mut self,
         stats: &mut ClusterStats,
-    ) -> Result<Vec<(usize, Trace)>, DistError> {
+    ) -> Result<(Vec<(usize, Trace)>, Vec<MetricsSnapshot>), DistError> {
         let mut node_traces = Vec::new();
+        let mut node_metrics = Vec::new();
         while !self.nodes.is_empty() {
             let mut n = self.nodes.remove(0);
             n.conn.send(&Message::EndJob, stats)?;
             let msg = n.conn.recv("JobDone", stats)?;
-            let Message::JobDone { trace } = msg else {
+            let Message::JobDone { trace, metrics } = msg else {
                 return Err(DistError::Protocol {
                     reason: format!(
                         "node {}: expected JobDone, got {}",
@@ -202,9 +215,12 @@ impl Fleet {
             if !trace.is_empty() {
                 node_traces.push((n.conn.id, Trace::decode_bin(&trace)?));
             }
+            if !metrics.is_empty() {
+                node_metrics.push(MetricsSnapshot::decode_bin(&metrics)?);
+            }
             n.conn.send(&Message::Shutdown, stats)?;
         }
-        Ok(node_traces)
+        Ok((node_traces, node_metrics))
     }
 
     /// Best-effort goodbye to every remaining node: send one Shutdown
@@ -297,6 +313,9 @@ impl<'a> JobDriver<'a> {
                 ],
             );
             rec.add_counter("ft.recoveries", 1);
+            if rec.hub().is_enabled() {
+                rec.hub().add("ft.recoveries", 1);
+            }
             let stats = ClusterStats {
                 recoveries: 1,
                 ..ClusterStats::default()
@@ -306,11 +325,13 @@ impl<'a> JobDriver<'a> {
                 t.merge_as(0, rec.drain());
                 t
             });
+            let telemetry = rec.hub().is_enabled().then(|| rec.hub().snapshot());
             return Ok(ClusterOutcome {
                 robj: ckpt.robj,
                 state: ckpt.state,
                 stats,
                 trace,
+                telemetry,
             });
         }
         self.run_rounds(addrs, next_round, ckpt.state.clone(), Some(ckpt))
@@ -354,6 +375,9 @@ impl<'a> JobDriver<'a> {
                 ],
             );
             rec.add_counter("ft.recoveries", 1);
+            if rec.hub().is_enabled() {
+                rec.hub().add("ft.recoveries", 1);
+            }
             stats.recoveries += 1;
         }
 
@@ -376,6 +400,7 @@ impl<'a> JobDriver<'a> {
         let mut merged = ReductionObject::alloc(layout.clone());
         let mut attempt: u32 = 0;
         let mut retries_used = 0usize;
+        let mut dead_stats: Vec<MetricsSnapshot> = Vec::new();
         for round in first_round..rounds {
             loop {
                 match self.try_round(
@@ -405,6 +430,24 @@ impl<'a> JobDriver<'a> {
                         attempt += 1;
                         let mut rspan = rec.span(TraceLevel::Phases, "ft.recover", "ft", 0);
                         let dead = fleet.remove(idx);
+                        if cfg.telemetry.warn {
+                            eprintln!(
+                                "cfr-dist: health: node {} failed in round {round} ({err}); \
+                                 reassigning {} shard(s) to {} survivor(s)",
+                                dead.conn.id,
+                                dead.shards.len(),
+                                fleet.len()
+                            );
+                        }
+                        if rec.hub().is_enabled() {
+                            rec.hub().add("health.node_failures", 1);
+                        }
+                        // A dead node never reaches JobDone; its last
+                        // periodic stats push is all the telemetry
+                        // that survives it.
+                        if let Some(s) = dead.last_stats {
+                            dead_stats.push(s);
+                        }
                         let moved = dead.shards.len();
                         rspan.attr_int("node", dead.conn.id as i64);
                         rspan.attr_int("round", round as i64);
@@ -442,6 +485,9 @@ impl<'a> JobDriver<'a> {
             }
             rec.add_counter("dist.rounds", 1);
             stats.rounds += 1;
+            if rec.hub().is_enabled() {
+                rec.hub().add("fleet.rounds", 1);
+            }
 
             if let Some(store) = &store {
                 let every = cfg.ft.checkpoint_every.max(1);
@@ -463,18 +509,30 @@ impl<'a> JobDriver<'a> {
                     cspan.attr_int("bytes", saved.bytes as i64);
                     rec.add_counter("ft.checkpoints_written", 1);
                     rec.add_counter("ft.checkpoint_bytes", saved.bytes as i64);
+                    let hub = rec.hub();
+                    if hub.is_enabled() {
+                        hub.add("ft.checkpoints_written", 1);
+                        hub.add("ft.checkpoint_bytes", saved.bytes as i64);
+                        hub.observe("ft.checkpoint_ns", saved.elapsed_ns);
+                    }
                     stats.checkpoints_written += 1;
                     stats.checkpoint_bytes += saved.bytes;
                 }
             }
         }
 
-        // ---- Teardown: collect traces from the *live* nodes (a dead
-        // node's trace died with it), shut them down. ----
-        let node_traces = fleet.finish(&mut stats)?;
+        // ---- Teardown: collect traces and final metrics from the
+        // *live* nodes (a dead node's trace died with it; its metrics
+        // survive only as far as its last periodic stats push), shut
+        // them down. ----
+        let (node_traces, node_metrics) = fleet.finish(&mut stats)?;
 
         rec.add_counter("dist.bytes_sent", stats.bytes_sent as i64);
         rec.add_counter("dist.bytes_recv", stats.bytes_recv as i64);
+        if rec.hub().is_enabled() {
+            rec.hub().add("dist.bytes_sent", stats.bytes_sent as i64);
+            rec.hub().add("dist.bytes_recv", stats.bytes_recv as i64);
+        }
         rec.instant(
             TraceLevel::Phases,
             "cluster.done",
@@ -499,11 +557,27 @@ impl<'a> JobDriver<'a> {
             None
         };
 
+        // Fleet aggregation: the coordinator's own live counters merged
+        // with every node's final snapshot (and dead nodes' last
+        // pushes). Histogram merge is per-bucket addition, so fleet
+        // quantiles come out of the same log-linear buckets.
+        let telemetry = rec.hub().is_enabled().then(|| {
+            let mut snap = rec.hub().snapshot();
+            for m in &node_metrics {
+                snap.merge(m);
+            }
+            for m in &dead_stats {
+                snap.merge(m);
+            }
+            snap
+        });
+
         Ok(ClusterOutcome {
             robj: merged,
             state,
             stats,
             trace,
+            telemetry,
         })
     }
 
@@ -544,13 +618,31 @@ impl<'a> JobDriver<'a> {
         let mut cspan = rec.span(TraceLevel::Phases, "cluster.combine", "dist", 0);
         cspan.attr_int("round", round as i64);
         let mut all: Vec<(u64, Vec<u8>, usize)> = Vec::new();
+        // Node-measured round times, for straggler detection: the
+        // coordinator's own receive order is serialised (blocking
+        // recvs node by node), so only the `elapsed_ns` each node
+        // reports is a placement-independent latency signal.
+        let mut elapsed: Vec<(usize, u64)> = Vec::with_capacity(fleet.nodes.len());
+        let hub = rec.hub();
         for (i, n) in fleet.nodes.iter_mut().enumerate() {
-            let results = Self::recv_round_result(&mut n.conn, round as u32, attempt, stats)
-                .map_err(|e| (i, e))?;
+            let recv_before = stats.bytes_recv;
+            let (results, elapsed_ns) =
+                Self::recv_round_result(n, round as u32, attempt, stats).map_err(|e| (i, e))?;
+            elapsed.push((n.conn.id, elapsed_ns));
+            if hub.is_enabled() {
+                let id = n.conn.id;
+                hub.add(metric_name(&format!("node{id}.rounds")), 1);
+                hub.observe(metric_name(&format!("node{id}.round_ns")), elapsed_ns);
+                hub.add(
+                    metric_name(&format!("node{id}.bytes")),
+                    (stats.bytes_recv - recv_before) as i64,
+                );
+            }
             for (first, cells) in results {
                 all.push((first, cells, i));
             }
         }
+        self.flag_stragglers(&elapsed, round, attempt, stats);
         // Global combination in ascending row order: the fold sequence
         // over shards is a pure function of the shard set, not of the
         // shard → node placement, which makes recovered runs
@@ -564,19 +656,88 @@ impl<'a> JobDriver<'a> {
         Ok(())
     }
 
-    /// Receive the `(round, attempt)` result from one node, draining
-    /// stale results of aborted earlier attempts.
+    /// Latency-based straggler detection over one round's node-measured
+    /// times: a node beyond `straggler_multiplier ×` the fleet median
+    /// (and past the `straggler_min_ns` floor) gets a counter bump, a
+    /// `sched.straggler` instant span, and (opt-in) a stderr health
+    /// warning. Detection only — shard placement is untouched, so the
+    /// bit-identity guarantees of recovery and resume are unaffected.
+    fn flag_stragglers(
+        &self,
+        elapsed: &[(usize, u64)],
+        round: usize,
+        attempt: u32,
+        stats: &mut ClusterStats,
+    ) {
+        let tel = &self.config.telemetry;
+        if elapsed.len() < 2 {
+            return;
+        }
+        let mut sorted: Vec<u64> = elapsed.iter().map(|&(_, ns)| ns).collect();
+        sorted.sort_unstable();
+        // Lower median: with two nodes this is the *faster* one, so a
+        // single slow node in a pair is still detectable.
+        let median = sorted[(sorted.len() - 1) / 2];
+        let threshold = (median as f64 * tel.straggler_multiplier).max(tel.straggler_min_ns as f64);
+        let rec = self.recorder;
+        for &(id, ns) in elapsed {
+            if (ns as f64) <= threshold {
+                continue;
+            }
+            rec.add_counter("sched.stragglers", 1);
+            rec.instant(
+                TraceLevel::Phases,
+                "sched.straggler",
+                "dist",
+                0,
+                vec![
+                    ("node", AttrValue::Int(id as i64)),
+                    ("round", AttrValue::Int(round as i64)),
+                    ("attempt", AttrValue::Int(attempt as i64)),
+                    ("elapsed_ns", AttrValue::Int(ns as i64)),
+                    ("median_ns", AttrValue::Int(median as i64)),
+                ],
+            );
+            let hub = rec.hub();
+            if hub.is_enabled() {
+                hub.add("sched.stragglers", 1);
+                hub.add(metric_name(&format!("node{id}.stragglers")), 1);
+            }
+            stats.stragglers += 1;
+            if tel.warn {
+                eprintln!(
+                    "cfr-dist: health: node {id} straggling in round {round}: \
+                     {:.1} ms vs fleet median {:.1} ms",
+                    ns as f64 / 1e6,
+                    median as f64 / 1e6
+                );
+            }
+        }
+    }
+
+    /// Receive the `(round, attempt)` result from one node, absorbing
+    /// in-band periodic stats pushes and draining stale results of
+    /// aborted earlier attempts. Returns the per-shard cells and the
+    /// node-measured round time.
     fn recv_round_result(
-        conn: &mut NodeConn,
+        node: &mut LiveNode,
         round: u32,
         attempt: u32,
         stats: &mut ClusterStats,
-    ) -> Result<Vec<(u64, Vec<u8>)>, DistError> {
+    ) -> Result<RoundShards, DistError> {
+        let conn = &mut node.conn;
         loop {
             let msg = conn.recv("RoundResult", stats)?;
+            if let Message::Stats { metrics, .. } = &msg {
+                // Periodic node push: remember the latest snapshot and
+                // keep waiting for the round result proper.
+                node.last_stats = Some(MetricsSnapshot::decode_bin(metrics)?);
+                continue;
+            }
             let Message::RoundResult {
                 round: got_round,
                 attempt: got_attempt,
+                elapsed_ns,
                 shards,
             } = msg
             else {
@@ -589,7 +750,7 @@ impl<'a> JobDriver<'a> {
                 });
             };
             if (got_round, got_attempt) == (round, attempt) {
-                return Ok(shards);
+                return Ok((shards, elapsed_ns));
             }
             // A result for the same round under a lower attempt (or an
             // already-completed round) is a leftover from an attempt a

@@ -704,3 +704,180 @@ fn resume_rejects_mismatched_job() {
     std::fs::remove_dir_all(&dir).ok();
     std::fs::remove_file(&path).ok();
 }
+
+// ---------------------------------------------------------------------
+// Live telemetry: fleet-aggregated metrics, straggler detection, and
+// the flight recorder.
+// ---------------------------------------------------------------------
+
+/// The differential telemetry gate: the fleet-aggregated live counters
+/// (coordinator hub merged with every node's final snapshot) must
+/// exactly match the post-hoc reconstructions from the shipped trace —
+/// `ClusterStats::from_trace` for cluster-level totals and
+/// `RunStats::from_trace` for node I/O totals — and the aggregate must
+/// survive an FRMT encode/decode round trip bit-identically.
+#[test]
+fn live_counters_bit_match_trace_reconstruction() {
+    let data: Vec<f64> = (0..6000).map(|i| ((i * 11 + 7) % 83) as f64).collect();
+    let path = dataset("telemetry-gate", 4, &data);
+    let dir = ckpt_dir("telemetry-gate");
+    let mut cfg = ClusterConfig::new("sum", &path);
+    cfg.rounds = 4;
+    cfg.trace = TraceLevel::Phases;
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.telemetry.stats_every = 1; // exercise in-band Stats absorption too
+    cfg.io = freeride::IoMode::Streaming {
+        chunk_rows: 128,
+        buffers: 3,
+        readers: 2,
+    };
+    let out = run_loopback(cfg, 2).unwrap();
+    let trace = out.trace.as_ref().expect("tracing was on");
+    let telemetry = out.telemetry.as_ref().expect("hub was enabled");
+
+    let rebuilt = freeride_dist::ClusterStats::from_trace(trace);
+    assert_eq!(telemetry.counter("fleet.rounds"), rebuilt.rounds as i64);
+    assert_eq!(telemetry.counter("fleet.rounds"), out.stats.rounds as i64);
+    assert_eq!(
+        telemetry.counter("ft.checkpoints_written"),
+        rebuilt.checkpoints_written as i64
+    );
+    assert_eq!(
+        telemetry.counter("ft.checkpoint_bytes"),
+        rebuilt.checkpoint_bytes as i64
+    );
+    assert_eq!(
+        telemetry.counter("dist.bytes_sent"),
+        rebuilt.bytes_sent as i64
+    );
+    assert_eq!(
+        telemetry.counter("dist.bytes_recv"),
+        rebuilt.bytes_recv as i64
+    );
+
+    // Node-side I/O counters summed across the fleet equal the per-node
+    // engine stats reconstructed from the shipped traces.
+    let trace_bytes: u64 = out.stats.node_stats.iter().map(|s| s.io.bytes_read).sum();
+    let trace_chunks: usize = out.stats.node_stats.iter().map(|s| s.io.chunks).sum();
+    assert_eq!(telemetry.counter("io.bytes_read"), trace_bytes as i64);
+    assert_eq!(telemetry.counter("io.chunks"), trace_chunks as i64);
+    // One node.pass span per shard pass; the live counter agrees.
+    assert_eq!(
+        telemetry.counter("node.shards"),
+        trace.count("node.pass") as i64
+    );
+
+    // The aggregate survives the FRMT wire codec bit-identically.
+    let decoded = obs::MetricsSnapshot::decode_bin(&telemetry.encode_bin()).unwrap();
+    assert_eq!(&decoded, telemetry);
+
+    // Round latency histograms: one sample per node per round, both
+    // node-measured and coordinator-observed.
+    let hist = telemetry
+        .histograms
+        .get("node.round_ns")
+        .expect("histogram");
+    assert_eq!(hist.count(), (out.stats.rounds * 2) as u64);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&path).ok();
+}
+
+/// A deterministically slow node is flagged as a straggler: counter,
+/// `sched.straggler` instant span, per-node hub counter, and
+/// `ClusterStats::from_trace` reconstruction — while results stay
+/// bit-identical to an all-healthy run (detection only).
+#[test]
+fn slow_node_is_flagged_as_straggler() {
+    let data: Vec<f64> = (0..800).map(|i| (i as f64 * 0.37).cos()).collect();
+    let path = dataset("straggler", 4, &data);
+    let baseline = run_loopback(ClusterConfig::new("sum", &path), 2).unwrap();
+
+    let cluster = LoopbackCluster::spawn_with_slow(2, &[(1, 60)]).unwrap();
+    let mut cfg = ClusterConfig::new("sum", &path);
+    cfg.rounds = 3;
+    cfg.trace = TraceLevel::Phases;
+    cfg.telemetry.straggler_multiplier = 4.0;
+    cfg.telemetry.straggler_min_ns = 1_000_000; // 1 ms floor for test-sized rounds
+    let coord = Coordinator::new(cfg);
+    let out = coord.run(cluster.addrs()).unwrap();
+    cluster.join().unwrap();
+
+    assert_eq!(bits(out.robj.cells()), bits(baseline.robj.cells()));
+    assert_eq!(out.stats.stragglers, 3, "every round flags node 1");
+    let trace = out.trace.as_ref().expect("tracing was on");
+    assert_eq!(trace.count("sched.straggler"), 3);
+    assert_eq!(trace.counters["sched.stragglers"], 3);
+    let rebuilt = freeride_dist::ClusterStats::from_trace(trace);
+    assert_eq!(rebuilt.stragglers, 3);
+    let telemetry = out.telemetry.as_ref().expect("hub was enabled");
+    assert_eq!(telemetry.counter("sched.stragglers"), 3);
+    assert_eq!(telemetry.counter("node1.stragglers"), 3);
+    assert_eq!(telemetry.counter("node0.stragglers"), 0);
+
+    // The coordinator's flight recorder retained recent spans for a
+    // post-failure dump.
+    let flight = coord.recorder().flight().expect("flight attached");
+    assert!(!flight.is_empty());
+    std::fs::remove_file(&path).ok();
+}
+
+/// An all-healthy, same-speed fleet flags nothing: the multiplier and
+/// the minimum floor keep microsecond-scale jitter quiet.
+#[test]
+fn healthy_fleet_flags_no_stragglers() {
+    let data = vec![1.5; 400];
+    let path = dataset("no-straggler", 4, &data);
+    let mut cfg = ClusterConfig::new("sum", &path);
+    cfg.rounds = 3;
+    cfg.trace = TraceLevel::Phases;
+    let out = run_loopback(cfg, 3).unwrap();
+    assert_eq!(out.stats.stragglers, 0);
+    assert_eq!(out.telemetry.unwrap().counter("sched.stragglers"), 0);
+    std::fs::remove_file(&path).ok();
+}
+
+/// A node killed mid-run still contributes telemetry: its last periodic
+/// stats push survives into the fleet aggregate, alongside the
+/// `health.node_failures` counter — and the recovery keeps its
+/// bit-identity guarantee.
+#[test]
+fn dead_node_last_stats_push_survives_into_aggregate() {
+    let data = kmeans_data();
+    let path = dataset("telemetry-chaos", 2, &data);
+    let baseline = run_loopback(kmeans_cfg(&path, 3), 2).unwrap();
+
+    // Node 1 pushes stats every round and dies mid-round after
+    // answering one round.
+    let cluster = LoopbackCluster::spawn_with_chaos(2, &[(1, 1)]).unwrap();
+    let mut cfg = kmeans_cfg(&path, 3);
+    cfg.trace = TraceLevel::Phases;
+    cfg.telemetry.stats_every = 1;
+    let out = Coordinator::new(cfg).run(cluster.addrs()).unwrap();
+    cluster.join().unwrap();
+
+    assert_eq!(bits(&out.state), bits(&baseline.state));
+    let telemetry = out.telemetry.as_ref().expect("hub was enabled");
+    assert_eq!(telemetry.counter("health.node_failures"), 1);
+    assert_eq!(telemetry.counter("fleet.rounds"), 3);
+    // The survivor answers every round (4 passes including the retried
+    // attempt); the dead node's single answered round is visible only
+    // through its retained stats push.
+    assert!(
+        telemetry.counter("node.rounds") > 4,
+        "dead node's push missing: node.rounds = {}",
+        telemetry.counter("node.rounds")
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// Tracing off ⇒ hub off ⇒ no telemetry in the outcome, and the
+/// protocol carries empty metrics frames rather than inventing data.
+#[test]
+fn telemetry_absent_when_tracing_off() {
+    let data = vec![2.0; 64];
+    let path = dataset("telemetry-off", 2, &data);
+    let out = run_loopback(ClusterConfig::new("sum", &path), 2).unwrap();
+    assert!(out.telemetry.is_none());
+    assert!(out.trace.is_none());
+    std::fs::remove_file(&path).ok();
+}

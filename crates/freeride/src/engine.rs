@@ -777,6 +777,21 @@ impl Engine {
             rec.add_counter("io.backpressure_ns", io.backpressure_ns as i64);
             rec.set_gauge("io.pool_bytes", io.pool_bytes as f64);
         }
+        let hub = rec.hub();
+        if hub.is_enabled() {
+            // Mirrored 1:1 with the trace counters above so the
+            // fleet-aggregated live view bit-matches the post-hoc
+            // reconstruction (the differential telemetry gate).
+            hub.add("io.chunks", io.chunks as i64);
+            hub.add("io.bytes_read", io.bytes_read as i64);
+            hub.observe("io.pass_read_ns", io.read_ns);
+            if wall_ns > 0 {
+                hub.gauge(
+                    "io.bytes_per_sec",
+                    io.bytes_read as f64 / (wall_ns as f64 / 1e9),
+                );
+            }
+        }
         Ok(JobOutcome {
             robj,
             stats: RunStats {
@@ -916,6 +931,14 @@ impl Engine {
         threads: usize,
     ) {
         let rec = &*self.recorder;
+        // Live hub mirror: gated independently of the trace level so a
+        // daemon can expose pass latency with span recording off.
+        let hub = rec.hub();
+        if hub.is_enabled() {
+            hub.add("engine.passes", 1);
+            hub.add("engine.splits", splits.len() as i64);
+            hub.observe("engine.pass_ns", wall_ns);
+        }
         if !rec.enabled(TraceLevel::Phases) {
             return;
         }

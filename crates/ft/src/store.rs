@@ -335,6 +335,11 @@ pub struct SavedCheckpoint {
     pub path: PathBuf,
     /// Size of the frame in bytes.
     pub bytes: u64,
+    /// Wall time of the whole save (encode, write, fsync, rename,
+    /// prune), nanoseconds. The scheduler feeds this into its
+    /// checkpoint-write latency histogram — measured here so `ft`
+    /// stays free of the obs dependency.
+    pub elapsed_ns: u64,
 }
 
 /// A directory of round-numbered checkpoint files with atomic writes
@@ -405,6 +410,7 @@ impl CheckpointStore {
     /// Atomically persist `ckpt` as the checkpoint for its round:
     /// write to a temp file, `sync_all`, rename into place, prune.
     pub fn save(&self, ckpt: &Checkpoint) -> Result<SavedCheckpoint, FtError> {
+        let start = std::time::Instant::now();
         let frame = ckpt.encode()?;
         let final_path = self.dir.join(Self::file_name(ckpt.round));
         let tmp_path = self.dir.join(format!(
@@ -422,6 +428,7 @@ impl CheckpointStore {
         Ok(SavedCheckpoint {
             path: final_path,
             bytes: frame.len() as u64,
+            elapsed_ns: start.elapsed().as_nanos() as u64,
         })
     }
 

@@ -357,6 +357,13 @@ fn reader_main(args: ReaderArgs) {
                             ("rows", AttrValue::Int(count as i64)),
                         ],
                     );
+                    // Live per-chunk read latency for /metrics — gated
+                    // on the hub, not the trace level, so a daemon can
+                    // watch disk behavior with span recording off.
+                    let hub = rec.hub();
+                    if hub.is_enabled() {
+                        hub.observe("io.chunk_read_ns", read_ns);
+                    }
                 }
                 if !shared.filled.push(Chunk {
                     seq: i,

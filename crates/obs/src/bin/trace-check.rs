@@ -1,27 +1,82 @@
-//! CI schema checker for exported Chrome traces.
+//! CI schema checker for exported traces and metrics.
 //!
-//! Usage: `trace-check <trace.json> [--expect <span-name>]...
-//! [--forbid <span-name>]... [--min-pids <n>]`
+//! Usage: `trace-check <file> [--expect <span-name>]...
+//! [--forbid <span-name>]... [--min-pids <n>]
+//! [--expect-counter <name>[=min]]...`
 //!
-//! Exits non-zero if the file is not a valid Chrome `trace_event`
-//! document in the shape this workspace exports, if any `--expect`ed
-//! span name is absent, if any `--forbid`den span name is present
-//! (e.g. a cache-hit trace must carry no `core.compile` span), or if
-//! the trace has fewer than `--min-pids` process tracks (multi-node
-//! cluster traces merge each node as its own `pid` track).
+//! The input format is auto-detected:
+//!
+//! * a Chrome `trace_event` document (`{"traceEvents": ...}`) — span
+//!   shape checks (`--expect`/`--forbid`/`--min-pids`) apply; Chrome
+//!   traces carry no counters, so `--expect-counter` rejects them;
+//! * a flat metrics document (`{"counters": ...}`, the `--metrics-out`
+//!   export) — `--expect-counter` checks the `counters` object and
+//!   `--expect`/`--forbid` check the per-span aggregates;
+//! * anything else is treated as a Prometheus plaintext `/metrics`
+//!   body — `--expect-counter` checks the sample families (sanitized
+//!   names, e.g. `cfr_serve_jobs_done`).
+//!
+//! Exits non-zero on a schema violation, a missing/forbidden span, too
+//! few process tracks, or a missing/too-small counter.
 
 use std::process::ExitCode;
 
-use obs::validate_chrome_trace;
+use obs::{parse_json, parse_prometheus_counters, validate_chrome_trace, JsonValue};
 
-const USAGE: &str = "usage: trace-check <trace.json> [--expect <span-name>]... \
-                     [--forbid <span-name>]... [--min-pids <n>]";
+const USAGE: &str = "usage: trace-check <file> [--expect <span-name>]... \
+                     [--forbid <span-name>]... [--min-pids <n>] \
+                     [--expect-counter <name>[=min]]...";
+
+/// A `--expect-counter NAME[=MIN]` expectation.
+struct CounterExpect {
+    name: String,
+    min: f64,
+}
+
+fn parse_counter_expect(raw: &str) -> CounterExpect {
+    match raw.split_once('=') {
+        Some((name, min)) => CounterExpect {
+            name: name.to_string(),
+            min: min.parse().unwrap_or(1.0),
+        },
+        None => CounterExpect {
+            name: raw.to_string(),
+            min: 1.0,
+        },
+    }
+}
+
+/// Check counter expectations against `(name, value)` samples.
+fn check_counters(path: &str, samples: &[(String, f64)], expects: &[CounterExpect]) -> bool {
+    let mut ok = true;
+    for e in expects {
+        match samples.iter().find(|(n, _)| *n == e.name) {
+            None => {
+                eprintln!(
+                    "trace-check: {path}: expected counter `{}` not found",
+                    e.name
+                );
+                ok = false;
+            }
+            Some((_, v)) if *v < e.min => {
+                eprintln!(
+                    "trace-check: {path}: counter `{}` is {v}, expected at least {}",
+                    e.name, e.min
+                );
+                ok = false;
+            }
+            Some(_) => {}
+        }
+    }
+    ok
+}
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut path: Option<String> = None;
     let mut expected: Vec<String> = Vec::new();
     let mut forbidden: Vec<String> = Vec::new();
+    let mut counter_expects: Vec<CounterExpect> = Vec::new();
     let mut min_pids: usize = 0;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -36,6 +91,13 @@ fn main() -> ExitCode {
                 Some(name) => forbidden.push(name),
                 None => {
                     eprintln!("trace-check: --forbid requires a span name");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--expect-counter" => match args.next() {
+                Some(raw) => counter_expects.push(parse_counter_expect(&raw)),
+                None => {
+                    eprintln!("trace-check: --expect-counter requires a name[=min]");
                     return ExitCode::FAILURE;
                 }
             },
@@ -69,40 +131,136 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let summary = match validate_chrome_trace(&src) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("trace-check: {path}: schema violation: {e}");
+
+    // A parseable JSON object is either a Chrome trace or a flat
+    // metrics document; anything else is a Prometheus plaintext body.
+    let doc = parse_json(&src).ok();
+    let is_chrome = doc.as_ref().is_some_and(|d| d.get("traceEvents").is_some());
+    let is_metrics = doc.as_ref().is_some_and(|d| d.get("counters").is_some());
+
+    if is_chrome {
+        let summary = match validate_chrome_trace(&src) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("trace-check: {path}: schema violation: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut ok = true;
+        for name in &expected {
+            if !summary.names.iter().any(|n| n == name) {
+                eprintln!("trace-check: {path}: expected span `{name}` not found");
+                ok = false;
+            }
+        }
+        for name in &forbidden {
+            if summary.names.iter().any(|n| n == name) {
+                eprintln!("trace-check: {path}: forbidden span `{name}` is present");
+                ok = false;
+            }
+        }
+        if summary.pids < min_pids {
+            eprintln!(
+                "trace-check: {path}: expected at least {min_pids} process tracks, found {}",
+                summary.pids
+            );
+            ok = false;
+        }
+        if !counter_expects.is_empty() {
+            eprintln!(
+                "trace-check: {path}: Chrome traces carry no counters; \
+                 point --expect-counter at a --metrics-out file or a /metrics scrape"
+            );
+            ok = false;
+        }
+        println!(
+            "trace-check: {path}: {} events, {} worker tracks, {} process tracks, spans: {}",
+            summary.events,
+            summary.tids,
+            summary.pids,
+            summary.names.join(", ")
+        );
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let mut ok = true;
+    let samples: Vec<(String, f64)>;
+    let mut span_names: Vec<String> = Vec::new();
+    if is_metrics {
+        let doc = doc.expect("checked above");
+        let mut flat = Vec::new();
+        if let Some(JsonValue::Obj(pairs)) = doc.get("counters") {
+            for (k, v) in pairs {
+                if let Some(n) = v.as_num() {
+                    flat.push((k.clone(), n));
+                }
+            }
+        }
+        if let Some(JsonValue::Obj(pairs)) = doc.get("spans") {
+            for (k, v) in pairs {
+                span_names.push(k.clone());
+                // Span aggregates also answer counter expectations as
+                // `<name>.count`, e.g. `pass.count=3`.
+                if let Some(c) = v.get("count").and_then(|c| c.as_num()) {
+                    flat.push((format!("{k}.count"), c));
+                }
+            }
+        }
+        samples = flat;
+        if min_pids > 0 {
+            eprintln!("trace-check: {path}: --min-pids needs a Chrome trace input");
+            ok = false;
+        }
+        for name in &expected {
+            if !span_names.iter().any(|n| n == name) {
+                eprintln!("trace-check: {path}: expected span `{name}` not found");
+                ok = false;
+            }
+        }
+        for name in &forbidden {
+            if span_names.iter().any(|n| n == name) {
+                eprintln!("trace-check: {path}: forbidden span `{name}` is present");
+                ok = false;
+            }
+        }
+        println!(
+            "trace-check: {path}: metrics document, {} counters, {} span aggregates",
+            doc.get("counters")
+                .and_then(|c| match c {
+                    JsonValue::Obj(p) => Some(p.len()),
+                    _ => None,
+                })
+                .unwrap_or(0),
+            span_names.len()
+        );
+    } else {
+        samples = parse_prometheus_counters(&src);
+        if samples.is_empty() {
+            eprintln!(
+                "trace-check: {path}: not a Chrome trace, metrics document, \
+                 or Prometheus exposition body"
+            );
             return ExitCode::FAILURE;
         }
-    };
-    let mut ok = true;
-    for name in &expected {
-        if !summary.names.iter().any(|n| n == name) {
-            eprintln!("trace-check: {path}: expected span `{name}` not found");
+        if min_pids > 0 || !expected.is_empty() || !forbidden.is_empty() {
+            eprintln!(
+                "trace-check: {path}: span checks need a trace input, \
+                 not a Prometheus body"
+            );
             ok = false;
         }
-    }
-    for name in &forbidden {
-        if summary.names.iter().any(|n| n == name) {
-            eprintln!("trace-check: {path}: forbidden span `{name}` is present");
-            ok = false;
-        }
-    }
-    if summary.pids < min_pids {
-        eprintln!(
-            "trace-check: {path}: expected at least {min_pids} process tracks, found {}",
-            summary.pids
+        println!(
+            "trace-check: {path}: Prometheus exposition body, {} samples",
+            samples.len()
         );
+    }
+    if !check_counters(&path, &samples, &counter_expects) {
         ok = false;
     }
-    println!(
-        "trace-check: {path}: {} events, {} worker tracks, {} process tracks, spans: {}",
-        summary.events,
-        summary.tids,
-        summary.pids,
-        summary.names.join(", ")
-    );
     if ok {
         ExitCode::SUCCESS
     } else {

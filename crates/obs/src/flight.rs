@@ -1,0 +1,170 @@
+//! Flight recorder: a bounded ring of the most recent spans, kept live
+//! alongside the normal trace buffer so that when a job fails the
+//! server can dump "the last N seconds" of activity next to the typed
+//! error — without waiting for a drain that may never come.
+//!
+//! The ring is attached to a [`crate::Recorder`] at construction
+//! ([`crate::Recorder::with_flight`]); every span the recorder accepts
+//! is also teed here. Capacity-bounded, so a long-running daemon pays a
+//! small constant memory cost per process.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::SpanRecord;
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A bounded ring of recently recorded spans.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    ring: Mutex<VecDeque<SpanRecord>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new(FlightRecorder::DEFAULT_CAP)
+    }
+}
+
+impl FlightRecorder {
+    /// Default ring capacity used by the coordinator and job server.
+    pub const DEFAULT_CAP: usize = 512;
+
+    /// A ring holding at most `cap` spans (oldest evicted first).
+    pub fn new(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            cap: cap.max(1),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Tee one span into the ring (called by the owning recorder).
+    pub fn record(&self, span: &SpanRecord) {
+        let mut ring = lock(&self.ring);
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(span.clone());
+    }
+
+    /// Spans currently buffered.
+    pub fn len(&self) -> usize {
+        lock(&self.ring).len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.ring).is_empty()
+    }
+
+    /// Copy of the spans whose start lies within `window_ns` of
+    /// `now_ns` (recorder-epoch offsets, oldest first). A `window_ns`
+    /// of `u64::MAX` returns the whole ring.
+    pub fn recent(&self, now_ns: u64, window_ns: u64) -> Vec<SpanRecord> {
+        let cutoff = now_ns.saturating_sub(window_ns);
+        lock(&self.ring)
+            .iter()
+            .filter(|s| s.start_ns >= cutoff)
+            .cloned()
+            .collect()
+    }
+
+    /// Render the recent window as an indented text dump, one line per
+    /// span — what the server writes next to a job failure.
+    pub fn dump_text(&self, now_ns: u64, window_ns: u64) -> String {
+        let spans = self.recent(now_ns, window_ns);
+        let mut out = String::with_capacity(spans.len() * 64 + 64);
+        out.push_str(&format!(
+            "flight recorder: {} spans in the last {:.3}s\n",
+            spans.len(),
+            window_ns.min(now_ns) as f64 / 1e9
+        ));
+        for s in &spans {
+            out.push_str(&format!(
+                "  {:>12.6}s +{:>10.6}s pid {} tid {:<3} {}.{}\n",
+                s.start_ns as f64 / 1e9,
+                s.dur_ns as f64 / 1e9,
+                s.pid,
+                s.tid,
+                s.cat,
+                s.name,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod flight_tests {
+    use super::*;
+    use crate::{Recorder, TraceLevel};
+    use std::sync::Arc;
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let f = FlightRecorder::new(3);
+        for i in 0..10u64 {
+            f.record(&SpanRecord {
+                name: "s",
+                cat: "t",
+                pid: 0,
+                tid: 0,
+                start_ns: i * 100,
+                dur_ns: 1,
+                attrs: Vec::new(),
+            });
+        }
+        assert_eq!(f.len(), 3);
+        let recent = f.recent(1000, u64::MAX);
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].start_ns, 700);
+        assert_eq!(recent[2].start_ns, 900);
+    }
+
+    #[test]
+    fn recent_window_filters_old_spans() {
+        let f = FlightRecorder::new(16);
+        for start in [100u64, 500, 900] {
+            f.record(&SpanRecord {
+                name: "s",
+                cat: "t",
+                pid: 0,
+                tid: 0,
+                start_ns: start,
+                dur_ns: 1,
+                attrs: Vec::new(),
+            });
+        }
+        assert_eq!(f.recent(1000, 200).len(), 1);
+        assert_eq!(f.recent(1000, 600).len(), 2);
+        let dump = f.dump_text(1000, u64::MAX);
+        assert!(dump.contains("3 spans"), "got: {dump}");
+        assert!(dump.contains("t.s"), "got: {dump}");
+    }
+
+    #[test]
+    fn recorder_tees_spans_into_attached_flight() {
+        let flight = Arc::new(FlightRecorder::new(8));
+        let rec = Recorder::with_flight(TraceLevel::Phases, flight.clone());
+        rec.span(TraceLevel::Phases, "combine", "engine", 0)
+            .finish();
+        rec.instant(TraceLevel::Phases, "serve.submit", "serve", 0, Vec::new());
+        assert_eq!(flight.len(), 2);
+        // The main buffer still drains normally.
+        assert_eq!(rec.drain().spans.len(), 2);
+        // ... and the flight ring survives the drain.
+        assert_eq!(flight.len(), 2);
+    }
+
+    #[test]
+    fn off_recorder_tees_nothing() {
+        let flight = Arc::new(FlightRecorder::new(8));
+        let rec = Recorder::with_flight(TraceLevel::Off, flight.clone());
+        rec.span(TraceLevel::Phases, "x", "t", 0).finish();
+        assert!(flight.is_empty());
+    }
+}

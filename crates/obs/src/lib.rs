@@ -39,17 +39,23 @@
 #![warn(missing_docs)]
 
 mod chrome;
+mod expose;
+mod flight;
 mod json;
+mod metrics;
 mod report;
 mod wire;
 
 pub use chrome::{validate_chrome_trace, ChromeTraceSummary};
+pub use expose::{parse_prometheus_counters, render_prometheus};
+pub use flight::FlightRecorder;
 pub use json::{parse_json, JsonValue};
+pub use metrics::{metric_name, Histogram, MetricsHub, MetricsSnapshot, HIST_BUCKETS};
 pub use report::{render_comparison, PhaseRow, TraceReport};
 pub use wire::{intern, TraceDecodeError};
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// How much the recorder captures. Levels are ordered: each level
@@ -153,6 +159,12 @@ pub struct Recorder {
     shards: Vec<Mutex<Vec<SpanRecord>>>,
     counters: Mutex<BTreeMap<&'static str, i64>>,
     gauges: Mutex<BTreeMap<&'static str, f64>>,
+    /// Live metrics hub riding alongside the post-hoc buffers; enabled
+    /// by default whenever the recorder itself records.
+    hub: Arc<MetricsHub>,
+    /// Optional bounded ring teeing every accepted span (set at
+    /// construction via [`Recorder::with_flight`]).
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl std::fmt::Debug for Recorder {
@@ -184,12 +196,34 @@ impl Recorder {
             shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
+            hub: Arc::new(MetricsHub::new(level != TraceLevel::Off)),
+            flight: None,
         }
+    }
+
+    /// Like [`Recorder::new`], additionally teeing every accepted span
+    /// into `flight` (a bounded ring the server dumps on job failure).
+    pub fn with_flight(level: TraceLevel, flight: Arc<FlightRecorder>) -> Recorder {
+        let mut rec = Recorder::new(level);
+        rec.flight = Some(flight);
+        rec
     }
 
     /// The configured capture level.
     pub fn level(&self) -> TraceLevel {
         self.level
+    }
+
+    /// The live metrics hub riding alongside this recorder. Enabled by
+    /// default iff the recorder records; flip independently with
+    /// [`MetricsHub::set_enabled`].
+    pub fn hub(&self) -> &Arc<MetricsHub> {
+        &self.hub
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref()
     }
 
     /// Whether events at `at` are recorded (`false` whenever the
@@ -290,6 +324,9 @@ impl Recorder {
     }
 
     fn push(&self, record: SpanRecord) {
+        if let Some(flight) = &self.flight {
+            flight.record(&record);
+        }
         lock(&self.shards[record.tid % SHARDS]).push(record);
     }
 

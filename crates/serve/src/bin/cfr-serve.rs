@@ -10,6 +10,7 @@
 //!           [--max-concurrent N] [--tenant-max-queued N]
 //!           [--tenant-max-running N] [--trace LEVEL]
 //!           [--checkpoint-root DIR] [--job-retries N]
+//!           [--metrics-listen ADDR] [--metrics-port-file PATH]
 //!   --node-addr ADDR       a cfr-node agent (repeat per node)
 //!   --listen ADDR          bind address (default 127.0.0.1:0)
 //!   --port-file PATH       write the bound address to PATH once
@@ -21,6 +22,11 @@
 //!   --trace LEVEL          off|phases|splits|verbose (default off)
 //!   --checkpoint-root DIR  per-job checkpoint namespaces under DIR
 //!   --job-retries N        retries per failed job (default 1)
+//!   --metrics-listen ADDR  serve /metrics, /healthz, /readyz over
+//!                          HTTP on ADDR (metrics record even with
+//!                          --trace off)
+//!   --metrics-port-file PATH
+//!                          write the bound metrics address to PATH
 //! ```
 
 use std::process::ExitCode;
@@ -31,11 +37,13 @@ use obs::TraceLevel;
 const USAGE: &str = "usage: cfr-serve --node-addr ADDR [--node-addr ADDR]... [--listen ADDR] \
                      [--port-file PATH] [--token T] [--max-concurrent N] \
                      [--tenant-max-queued N] [--tenant-max-running N] [--trace LEVEL] \
-                     [--checkpoint-root DIR] [--job-retries N]";
+                     [--checkpoint-root DIR] [--job-retries N] [--metrics-listen ADDR] \
+                     [--metrics-port-file PATH]";
 
 fn main() -> ExitCode {
     let mut listen = String::from("127.0.0.1:0");
     let mut port_file: Option<String> = None;
+    let mut metrics_port_file: Option<String> = None;
     let mut nodes = Vec::new();
     let mut cfg = ServeConfig::new(Vec::new());
 
@@ -82,6 +90,14 @@ fn main() -> ExitCode {
                 Some(n) => cfg.job_retries = n,
                 None => return usage_error("--job-retries requires a count"),
             },
+            "--metrics-listen" => match args.next() {
+                Some(a) => cfg.metrics_listen = Some(a),
+                None => return usage_error("--metrics-listen requires an address"),
+            },
+            "--metrics-port-file" => match args.next() {
+                Some(p) => metrics_port_file = Some(p),
+                None => return usage_error("--metrics-port-file requires a path"),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -103,6 +119,14 @@ fn main() -> ExitCode {
         if let Err(e) = write_port_file(path, &bound.to_string()) {
             return fail(&format!("cannot write port file {path}: {e}"));
         }
+    }
+    if let Some(metrics) = handle.metrics_addr() {
+        if let Some(path) = &metrics_port_file {
+            if let Err(e) = write_port_file(path, &metrics.to_string()) {
+                return fail(&format!("cannot write metrics port file {path}: {e}"));
+            }
+        }
+        eprintln!("cfr-serve: metrics on http://{metrics}/metrics");
     }
     eprintln!("cfr-serve: listening on {bound}");
     handle.wait();

@@ -215,18 +215,29 @@ fn main() -> ExitCode {
 
     if status {
         match client.status() {
-            Ok(s) => println!(
-                "cfr-submit: queued {} running {} completed {} failed {} \
-                 program-cache {}/{} dataset-cache {}/{}",
-                s.queued,
-                s.running,
-                s.completed,
-                s.failed,
-                s.program_cache_hits,
-                s.program_cache_hits + s.program_cache_misses,
-                s.dataset_cache_hits,
-                s.dataset_cache_hits + s.dataset_cache_misses,
-            ),
+            Ok(s) => {
+                println!(
+                    "cfr-submit: queued {} running {} completed {} failed {} \
+                     program-cache {}/{} dataset-cache {}/{}",
+                    s.queued,
+                    s.running,
+                    s.completed,
+                    s.failed,
+                    s.program_cache_hits,
+                    s.program_cache_hits + s.program_cache_misses,
+                    s.dataset_cache_hits,
+                    s.dataset_cache_hits + s.dataset_cache_misses,
+                );
+                for t in &s.tenants {
+                    println!(
+                        "  tenant {}: {} active, {} running (quota usage)",
+                        t.tenant, t.active, t.running
+                    );
+                }
+                for (pos, job_id) in s.queue.iter().enumerate() {
+                    println!("  queue position {}: job {job_id}", pos + 1);
+                }
+            }
             Err(e) => return fail(&e.to_string()),
         }
     }

@@ -3,8 +3,10 @@
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+use obs::MetricsSnapshot;
+
 use crate::error::ServeError;
-use crate::proto::{read_message, write_message, JobSpec, Message, ServerStatus};
+use crate::proto::{read_message, write_message, JobRow, JobSpec, Message, ServerStatus};
 
 /// What a finished job handed back.
 #[derive(Debug, Clone)]
@@ -22,6 +24,19 @@ pub struct JobOutcome {
     /// The job's own trace as an `obs` trace codec frame (empty when
     /// the server runs untraced; decode with `Trace::decode_bin`).
     pub trace: Vec<u8>,
+}
+
+/// One `Top` round-trip, decoded: server status, the job table, and
+/// the fleet-wide metrics aggregate.
+#[derive(Debug, Clone)]
+pub struct TopSnapshot {
+    /// Queue/cache counters plus per-tenant quota usage.
+    pub status: ServerStatus,
+    /// Every job the server still remembers, in job-id order.
+    pub jobs: Vec<JobRow>,
+    /// Merged fleet metrics: the server's own hub plus every finished
+    /// job's telemetry.
+    pub metrics: MetricsSnapshot,
 }
 
 /// One authenticated session with a job server.
@@ -112,6 +127,36 @@ impl Client {
             Message::Error { message } => Err(ServeError::Server { message }),
             other => Err(ServeError::Protocol {
                 reason: format!("expected StatusReport, got {}", other.kind_name()),
+            }),
+        }
+    }
+
+    /// Fetch the full telemetry view behind `cfr-top`: status, the job
+    /// table, and the decoded fleet metrics aggregate.
+    pub fn top(&mut self) -> Result<TopSnapshot, ServeError> {
+        write_message(&mut self.stream, &Message::Top)?;
+        match read_message(&mut self.stream)? {
+            Message::TopReport {
+                status,
+                jobs,
+                metrics,
+            } => {
+                let metrics = if metrics.is_empty() {
+                    MetricsSnapshot::default()
+                } else {
+                    MetricsSnapshot::decode_bin(&metrics).map_err(|e| ServeError::Protocol {
+                        reason: format!("bad metrics frame in TopReport: {e}"),
+                    })?
+                };
+                Ok(TopSnapshot {
+                    status,
+                    jobs,
+                    metrics,
+                })
+            }
+            Message::Error { message } => Err(ServeError::Server { message }),
+            other => Err(ServeError::Protocol {
+                reason: format!("expected TopReport, got {}", other.kind_name()),
             }),
         }
     }

@@ -1,0 +1,91 @@
+//! Zero-dependency HTTP/1.0 over `std::net` — just enough for the
+//! `/metrics`, `/healthz`, and `/readyz` exposition endpoints, plus the
+//! matching client-side [`get`] that `cfr-top --scrape` and the ci
+//! smoke use (the image does not guarantee `curl`).
+//!
+//! Deliberately not a web server: GET only, one request per connection,
+//! no keep-alive, no TLS. Prometheus scrapers speak this subset.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Per-connection socket deadline, both sides. A stalled peer costs at
+/// most this long, never a hang.
+const HTTP_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Read one request line from `stream` and return the GET path, or
+/// `None` when the peer sent no well-formed GET (including the bare
+/// connect-and-close poke the server uses to unblock its accept loop).
+pub(crate) fn request_path(stream: &mut TcpStream) -> Option<String> {
+    stream.set_read_timeout(Some(HTTP_TIMEOUT)).ok();
+    let mut reader = BufReader::new(&*stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    // Drain the remaining headers up to the blank line: closing a
+    // socket with unread data pending sends RST instead of FIN, which
+    // a client still writing sees as a broken pipe.
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) | Err(_) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => continue,
+        }
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    (method == "GET").then(|| path.to_string())
+}
+
+/// Write a minimal HTTP/1.0 response and let the caller close.
+pub(crate) fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) {
+    // Errors are deliberately dropped: a scraper that went away
+    // mid-response is its problem, not the accept loop's.
+    let head = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// One-shot client GET: fetch `path` from `addr` (e.g.
+/// `"127.0.0.1:9464"`) and return the response body. Any status other
+/// than 200 is an error carrying the status line.
+pub fn get(addr: &str, path: &str) -> std::io::Result<String> {
+    let target = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("cannot resolve {addr}"),
+        )
+    })?;
+    let mut stream = TcpStream::connect_timeout(&target, HTTP_TIMEOUT)?;
+    stream.set_read_timeout(Some(HTTP_TIMEOUT)).ok();
+    write!(
+        stream,
+        "GET {path} HTTP/1.0\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf)?;
+    let (head, body) = buf.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed HTTP response")
+    })?;
+    let status_line = head.lines().next().unwrap_or("");
+    if !status_line.contains(" 200 ") {
+        return Err(std::io::Error::other(format!(
+            "HTTP error from {addr}{path}: {status_line}"
+        )));
+    }
+    Ok(body.to_string())
+}

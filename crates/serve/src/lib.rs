@@ -35,10 +35,11 @@
 
 mod client;
 mod error;
+pub mod http;
 pub mod proto;
 mod server;
 
-pub use client::{Client, JobOutcome};
+pub use client::{Client, JobOutcome, TopSnapshot};
 pub use error::ServeError;
-pub use proto::{JobSpec, ServerStatus};
+pub use proto::{job_state, JobRow, JobSpec, ServerStatus, TenantStatus};
 pub use server::{ServeConfig, Server, ServerHandle};

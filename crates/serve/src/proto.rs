@@ -25,8 +25,12 @@ use crate::error::ServeError;
 
 /// Frame magic.
 pub const WIRE_MAGIC: &[u8; 4] = b"FRSV";
-/// Protocol version; both sides must match exactly.
-pub const WIRE_VERSION: u8 = 1;
+/// Protocol version; both sides must match exactly. v2 extends
+/// [`ServerStatus`] with per-tenant quota rows and the queue order, and
+/// adds the [`Message::Top`] / [`Message::TopReport`] pair carrying
+/// per-job rows plus an `obs` FRMT metrics snapshot (the `cfr-top`
+/// feed).
+pub const WIRE_VERSION: u8 = 2;
 /// Upper bound on a frame payload (64 MiB): a corrupt length field
 /// fails fast instead of triggering a giant allocation.
 pub const MAX_FRAME_LEN: u32 = 64 << 20;
@@ -47,6 +51,8 @@ const TYPE_STOP_SERVER: u8 = 13;
 const TYPE_STOPPING: u8 = 14;
 const TYPE_BYE: u8 = 15;
 const TYPE_ERROR: u8 = 16;
+const TYPE_TOP: u8 = 17;
+const TYPE_TOP_REPORT: u8 = 18;
 
 const SPEC_TASK: u8 = 0;
 const SPEC_CHAPEL: u8 = 1;
@@ -85,6 +91,18 @@ pub enum JobSpec {
     },
 }
 
+/// One tenant's quota usage, as reported in [`ServerStatus`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantStatus {
+    /// Tenant name.
+    pub tenant: String,
+    /// Jobs admitted (queued + running) — counts against
+    /// `tenant_max_queued`.
+    pub active: u32,
+    /// Jobs running right now — counts against `tenant_max_running`.
+    pub running: u32,
+}
+
 /// Counters of [`Message::StatusReport`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServerStatus {
@@ -104,6 +122,45 @@ pub struct ServerStatus {
     pub dataset_cache_hits: u32,
     /// Dataset validations that had to read the file header.
     pub dataset_cache_misses: u32,
+    /// Quota usage of every tenant with admitted jobs (v2).
+    pub tenants: Vec<TenantStatus>,
+    /// Job ids waiting in the queue, in scheduling order (v2) — a
+    /// client finds its own job's queue position by index.
+    pub queue: Vec<u64>,
+}
+
+/// Lifecycle ordinals of [`JobRow::state`].
+pub mod job_state {
+    /// Waiting in the queue.
+    pub const QUEUED: u8 = 0;
+    /// Running on the fleet.
+    pub const RUNNING: u8 = 1;
+    /// Finished successfully.
+    pub const DONE: u8 = 2;
+    /// Finished in failure.
+    pub const FAILED: u8 = 3;
+
+    /// Render an ordinal for tables.
+    pub fn name(state: u8) -> &'static str {
+        match state {
+            QUEUED => "queued",
+            RUNNING => "running",
+            DONE => "done",
+            FAILED => "failed",
+            _ => "?",
+        }
+    }
+}
+
+/// One job's row in a [`Message::TopReport`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobRow {
+    /// Job id.
+    pub job_id: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Lifecycle state (see [`job_state`]).
+    pub state: u8,
 }
 
 /// One service protocol message.
@@ -194,6 +251,22 @@ pub enum Message {
         /// What went wrong.
         message: String,
     },
+    /// Client → server: ask for the live telemetry view (the `cfr-top`
+    /// feed).
+    Top,
+    /// Server → client: the live view.
+    TopReport {
+        /// Queue/cache/tenant counters (as in
+        /// [`Message::StatusReport`]).
+        status: ServerStatus,
+        /// One row per job the server still remembers, in job-id
+        /// order.
+        jobs: Vec<JobRow>,
+        /// The server's aggregated live metrics as an `obs` FRMT
+        /// snapshot frame (`MetricsSnapshot::decode_bin`); empty when
+        /// the metrics hub is disabled.
+        metrics: Vec<u8>,
+    },
 }
 
 fn perr<T>(reason: impl Into<String>) -> Result<T, ServeError> {
@@ -225,6 +298,31 @@ fn put_f64s(out: &mut Vec<u8>, xs: &[f64]) {
     out.extend_from_slice(&(xs.len() as u32).to_le_bytes());
     for x in xs {
         out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn put_status(out: &mut Vec<u8>, status: &ServerStatus) {
+    for v in [
+        status.queued,
+        status.running,
+        status.completed,
+        status.failed,
+        status.program_cache_hits,
+        status.program_cache_misses,
+        status.dataset_cache_hits,
+        status.dataset_cache_misses,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&(status.tenants.len() as u32).to_le_bytes());
+    for t in &status.tenants {
+        put_str(out, &t.tenant);
+        out.extend_from_slice(&t.active.to_le_bytes());
+        out.extend_from_slice(&t.running.to_le_bytes());
+    }
+    out.extend_from_slice(&(status.queue.len() as u32).to_le_bytes());
+    for id in &status.queue {
+        out.extend_from_slice(&id.to_le_bytes());
     }
 }
 
@@ -379,6 +477,37 @@ impl<'a> Reader<'a> {
         }
     }
 
+    fn status(&mut self) -> Result<ServerStatus, ServeError> {
+        let mut status = ServerStatus {
+            queued: self.u32("queued")?,
+            running: self.u32("running")?,
+            completed: self.u32("completed")?,
+            failed: self.u32("failed")?,
+            program_cache_hits: self.u32("program_cache_hits")?,
+            program_cache_misses: self.u32("program_cache_misses")?,
+            dataset_cache_hits: self.u32("dataset_cache_hits")?,
+            dataset_cache_misses: self.u32("dataset_cache_misses")?,
+            tenants: Vec::new(),
+            queue: Vec::new(),
+        };
+        let n = self.len("tenant count")?;
+        for _ in 0..n {
+            status.tenants.push(TenantStatus {
+                tenant: self.string("tenant")?,
+                active: self.u32("tenant active")?,
+                running: self.u32("tenant running")?,
+            });
+        }
+        let n = self.len("queue length")?;
+        if self.buf.len() - self.pos < n * 8 {
+            return perr("truncated payload: queue");
+        }
+        for _ in 0..n {
+            status.queue.push(self.u64("queue entry")?);
+        }
+        Ok(status)
+    }
+
     fn finish(self, what: &str) -> Result<(), ServeError> {
         if self.pos != self.buf.len() {
             return perr(format!(
@@ -409,6 +538,8 @@ impl Message {
             Message::Stopping => TYPE_STOPPING,
             Message::Bye => TYPE_BYE,
             Message::Error { .. } => TYPE_ERROR,
+            Message::Top => TYPE_TOP,
+            Message::TopReport { .. } => TYPE_TOP_REPORT,
         }
     }
 
@@ -431,6 +562,8 @@ impl Message {
             Message::Stopping => "Stopping",
             Message::Bye => "Bye",
             Message::Error { .. } => "Error",
+            Message::Top => "Top",
+            Message::TopReport { .. } => "TopReport",
         }
     }
 
@@ -467,19 +600,20 @@ impl Message {
                 out.extend_from_slice(&job_id.to_le_bytes());
                 put_str(&mut out, message);
             }
-            Message::StatusReport { status } => {
-                for v in [
-                    status.queued,
-                    status.running,
-                    status.completed,
-                    status.failed,
-                    status.program_cache_hits,
-                    status.program_cache_misses,
-                    status.dataset_cache_hits,
-                    status.dataset_cache_misses,
-                ] {
-                    out.extend_from_slice(&v.to_le_bytes());
+            Message::StatusReport { status } => put_status(&mut out, status),
+            Message::TopReport {
+                status,
+                jobs,
+                metrics,
+            } => {
+                put_status(&mut out, status);
+                out.extend_from_slice(&(jobs.len() as u32).to_le_bytes());
+                for j in jobs {
+                    out.extend_from_slice(&j.job_id.to_le_bytes());
+                    put_str(&mut out, &j.tenant);
+                    out.push(j.state);
                 }
+                put_bytes(&mut out, metrics);
             }
             Message::TraceDump { chrome_json } => put_str(&mut out, chrome_json),
             Message::Error { message } => put_str(&mut out, message),
@@ -487,7 +621,8 @@ impl Message {
             | Message::DumpTrace
             | Message::StopServer
             | Message::Stopping
-            | Message::Bye => {}
+            | Message::Bye
+            | Message::Top => {}
         }
         out
     }
@@ -553,17 +688,27 @@ impl Message {
             },
             TYPE_STATUS => Message::Status,
             TYPE_STATUS_REPORT => Message::StatusReport {
-                status: ServerStatus {
-                    queued: r.u32("queued")?,
-                    running: r.u32("running")?,
-                    completed: r.u32("completed")?,
-                    failed: r.u32("failed")?,
-                    program_cache_hits: r.u32("program_cache_hits")?,
-                    program_cache_misses: r.u32("program_cache_misses")?,
-                    dataset_cache_hits: r.u32("dataset_cache_hits")?,
-                    dataset_cache_misses: r.u32("dataset_cache_misses")?,
-                },
+                status: r.status()?,
             },
+            TYPE_TOP => Message::Top,
+            TYPE_TOP_REPORT => {
+                let status = r.status()?;
+                let n = r.len("job rows")?;
+                let mut jobs = Vec::with_capacity(n.min(1 << 10));
+                for _ in 0..n {
+                    jobs.push(JobRow {
+                        job_id: r.u64("job_id")?,
+                        tenant: r.string("tenant")?,
+                        state: r.u8("job state")?,
+                    });
+                }
+                let metrics = r.bytes("metrics")?;
+                Message::TopReport {
+                    status,
+                    jobs,
+                    metrics,
+                }
+            }
             TYPE_DUMP_TRACE => Message::DumpTrace,
             TYPE_TRACE_DUMP => Message::TraceDump {
                 chrome_json: r.string("chrome_json")?,
@@ -669,7 +814,52 @@ mod proto_tests {
                     program_cache_misses: 6,
                     dataset_cache_hits: 7,
                     dataset_cache_misses: 8,
+                    tenants: vec![
+                        TenantStatus {
+                            tenant: "alice".into(),
+                            active: 2,
+                            running: 1,
+                        },
+                        TenantStatus {
+                            tenant: "bob".into(),
+                            active: 1,
+                            running: 0,
+                        },
+                    ],
+                    queue: vec![12, 13],
                 },
+            },
+            Message::Top,
+            Message::TopReport {
+                status: ServerStatus {
+                    queued: 1,
+                    running: 1,
+                    completed: 0,
+                    failed: 0,
+                    program_cache_hits: 0,
+                    program_cache_misses: 1,
+                    dataset_cache_hits: 0,
+                    dataset_cache_misses: 1,
+                    tenants: vec![TenantStatus {
+                        tenant: "alice".into(),
+                        active: 2,
+                        running: 1,
+                    }],
+                    queue: vec![13],
+                },
+                jobs: vec![
+                    JobRow {
+                        job_id: 12,
+                        tenant: "alice".into(),
+                        state: job_state::RUNNING,
+                    },
+                    JobRow {
+                        job_id: 13,
+                        tenant: "alice".into(),
+                        state: job_state::QUEUED,
+                    },
+                ],
+                metrics: vec![b'F', b'R', b'M', b'T', 1],
             },
             Message::DumpTrace,
             Message::TraceDump {

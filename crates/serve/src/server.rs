@@ -29,15 +29,20 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, SystemTime};
+use std::time::{Duration, Instant, SystemTime};
 
 use cfr_core::{CompiledProgram, OptLevel, Translator};
 use chapel_interp::RtValue;
 use freeride_dist::{tasks, ClusterConfig, DistError, JobDriver};
-use obs::{AttrValue, Recorder, Trace, TraceLevel};
+use obs::{
+    render_prometheus, AttrValue, FlightRecorder, MetricsSnapshot, Recorder, Trace, TraceLevel,
+};
 
 use crate::error::ServeError;
-use crate::proto::{read_message, write_message, JobSpec, Message, ServerStatus};
+use crate::http;
+use crate::proto::{
+    job_state, read_message, write_message, JobRow, JobSpec, Message, ServerStatus, TenantStatus,
+};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -68,6 +73,11 @@ pub struct ServeConfig {
     /// How many times a failed task job is retried (resuming from its
     /// newest own checkpoint when one exists). Default 1.
     pub job_retries: usize,
+    /// Bind address for the HTTP telemetry endpoint (`/metrics`,
+    /// `/healthz`, `/readyz`). `None` (the default) disables it. The
+    /// server's metrics hub records regardless of [`ServeConfig::trace`],
+    /// so live telemetry works with span recording off.
+    pub metrics_listen: Option<String>,
 }
 
 impl ServeConfig {
@@ -83,6 +93,7 @@ impl ServeConfig {
             read_timeout: Duration::from_secs(10),
             checkpoint_root: None,
             job_retries: 1,
+            metrics_listen: None,
         }
     }
 }
@@ -108,6 +119,8 @@ struct Job {
     tenant: String,
     spec: JobSpec,
     status: JobStatus,
+    /// Admission instant, for the queue-wait histogram.
+    submitted: Instant,
 }
 
 #[derive(Clone, PartialEq)]
@@ -134,6 +147,11 @@ struct Inner {
     /// Server spans on `pid` 0, finished jobs flattened onto `pid` =
     /// job id.
     server_trace: Trace,
+    /// Fleet-wide metrics aggregate: each finished job's telemetry
+    /// snapshot merges here (counters add, histograms add per bucket),
+    /// so `/metrics` and `Top` see the whole service's history, not
+    /// just the jobs still resident.
+    fleet_metrics: MetricsSnapshot,
     stopping: bool,
 }
 
@@ -158,6 +176,18 @@ impl Server {
         let listener = TcpListener::bind(listen)?;
         let addr = listener.local_addr()?;
         let recorder = Arc::new(Recorder::new(cfg.trace));
+        // The server hub is always on: queue depth, job counters, and
+        // cache hit rates are cheap, and /metrics must work even when
+        // span tracing is off.
+        recorder.hub().set_enabled(true);
+        let metrics_listener = match &cfg.metrics_listen {
+            Some(listen) => Some(TcpListener::bind(listen)?),
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         let workers_n = cfg.max_concurrent.max(1);
         let shared = Arc::new(Shared {
             cfg,
@@ -178,6 +208,7 @@ impl Server {
                 dataset_cache_hits: 0,
                 dataset_cache_misses: 0,
                 server_trace: Trace::default(),
+                fleet_metrics: MetricsSnapshot::default(),
                 stopping: false,
             }),
             work_cv: Condvar::new(),
@@ -189,6 +220,10 @@ impl Server {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || accept_loop(&listener, &shared))
         };
+        let metrics = metrics_listener.map(|listener| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || metrics_loop(&listener, &shared))
+        });
         let workers = (0..workers_n)
             .map(|_| {
                 let shared = Arc::clone(&shared);
@@ -198,8 +233,10 @@ impl Server {
 
         Ok(ServerHandle {
             addr,
+            metrics_addr,
             shared,
             accept: Some(accept),
+            metrics,
             workers,
         })
     }
@@ -211,8 +248,10 @@ impl Server {
 /// before the threads are joined.
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     accept: Option<std::thread::JoinHandle<()>>,
+    metrics: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -220,6 +259,12 @@ impl ServerHandle {
     /// The bound listen address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound HTTP telemetry address, when
+    /// [`ServeConfig::metrics_listen`] asked for one.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Stop admitting jobs, drain the queue, and join the threads.
@@ -247,10 +292,16 @@ impl ServerHandle {
             }
         }
         self.shared.work_cv.notify_all();
-        // The accept loop blocks in accept(); poke it so it observes
-        // the stop flag and exits.
+        // The accept loops block in accept(); poke them so they observe
+        // the stop flag and exit.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
         if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(addr) = self.metrics_addr {
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+        }
+        if let Some(h) = self.metrics.take() {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
@@ -332,6 +383,10 @@ fn handle_session(mut stream: TcpStream, shared: &Shared) -> Result<(), ServeErr
                 let status = status_snapshot(shared);
                 write_message(&mut stream, &Message::StatusReport { status })?;
             }
+            Message::Top => {
+                let report = top_report(shared);
+                write_message(&mut stream, &report)?;
+            }
             Message::DumpTrace => {
                 let chrome_json = {
                     let mut inner = shared.inner.lock().expect("serve lock");
@@ -394,11 +449,16 @@ fn admit(shared: &Shared, tenant: &str, spec: JobSpec) -> Message {
             tenant: tenant.to_string(),
             spec,
             status: JobStatus::Queued,
+            submitted: Instant::now(),
         },
     );
     inner.queue.push_back(job_id);
     *inner.tenant_active.entry(tenant.to_string()).or_insert(0) += 1;
+    let depth = inner.queue.len();
     drop(inner);
+    let hub = shared.recorder.hub();
+    hub.add("serve.jobs_submitted", 1);
+    hub.gauge("serve.queued", depth as f64);
     shared.recorder.instant(
         TraceLevel::Phases,
         "serve.submit",
@@ -446,6 +506,7 @@ fn validate_dataset(shared: &Shared, dataset: &str) -> Result<(), String> {
     if inner.dataset_cache.get(&path) == Some(&meta) {
         inner.dataset_cache_hits += 1;
         shared.recorder.add_counter("serve.dataset_cache_hits", 1);
+        shared.recorder.hub().add("serve.dataset_cache_hits", 1);
         return Ok(());
     }
     freeride::source::FileDataset::open(&path)
@@ -453,6 +514,7 @@ fn validate_dataset(shared: &Shared, dataset: &str) -> Result<(), String> {
     inner.dataset_cache.insert(path, meta);
     inner.dataset_cache_misses += 1;
     shared.recorder.add_counter("serve.dataset_cache_misses", 1);
+    shared.recorder.hub().add("serve.dataset_cache_misses", 1);
     Ok(())
 }
 
@@ -502,6 +564,22 @@ fn wait_for(shared: &Shared, job_id: u64) -> Message {
 
 fn status_snapshot(shared: &Shared) -> ServerStatus {
     let inner = shared.inner.lock().expect("serve lock");
+    status_of(&inner)
+}
+
+fn status_of(inner: &Inner) -> ServerStatus {
+    // Tenants sorted by name, so repeated scrapes render stably.
+    let mut tenants: Vec<TenantStatus> = inner
+        .tenant_active
+        .iter()
+        .filter(|(_, active)| **active > 0)
+        .map(|(tenant, active)| TenantStatus {
+            tenant: tenant.clone(),
+            active: *active as u32,
+            running: inner.tenant_running.get(tenant).copied().unwrap_or(0) as u32,
+        })
+        .collect();
+    tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
     ServerStatus {
         queued: inner.queue.len() as u32,
         running: inner.running as u32,
@@ -511,6 +589,100 @@ fn status_snapshot(shared: &Shared) -> ServerStatus {
         program_cache_misses: inner.program_cache_misses,
         dataset_cache_hits: inner.dataset_cache_hits,
         dataset_cache_misses: inner.dataset_cache_misses,
+        tenants,
+        queue: inner.queue.iter().copied().collect(),
+    }
+}
+
+/// Build a [`Message::TopReport`]: the status snapshot, every resident
+/// job as a row in job-id order, and the fleet-wide metrics aggregate
+/// as an `FRMT` frame.
+fn top_report(shared: &Shared) -> Message {
+    let inner = shared.inner.lock().expect("serve lock");
+    let status = status_of(&inner);
+    let mut ids: Vec<u64> = inner.jobs.keys().copied().collect();
+    ids.sort_unstable();
+    let jobs = ids
+        .iter()
+        .map(|id| {
+            let job = &inner.jobs[id];
+            JobRow {
+                job_id: *id,
+                tenant: job.tenant.clone(),
+                state: match job.status {
+                    JobStatus::Queued => job_state::QUEUED,
+                    JobStatus::Running => job_state::RUNNING,
+                    JobStatus::Done(_) => job_state::DONE,
+                    JobStatus::Failed(_) => job_state::FAILED,
+                },
+            }
+        })
+        .collect();
+    let mut agg = shared.recorder.hub().snapshot();
+    agg.merge(&inner.fleet_metrics);
+    Message::TopReport {
+        status,
+        jobs,
+        metrics: agg.encode_bin(),
+    }
+}
+
+/// The fleet-wide metrics aggregate `/metrics` renders: the server's
+/// own hub plus every finished job's merged telemetry.
+fn aggregate_metrics(shared: &Shared) -> MetricsSnapshot {
+    let mut agg = shared.recorder.hub().snapshot();
+    let inner = shared.inner.lock().expect("serve lock");
+    agg.merge(&inner.fleet_metrics);
+    agg
+}
+
+// ---- HTTP telemetry endpoint ----------------------------------------
+
+/// Accept loop of the `/metrics` endpoint. Requests are served inline
+/// (no thread per connection): a scrape is one snapshot + render, and
+/// scrapers arrive at human cadence. Exits once the server is stopping
+/// and drained — `ServerHandle::shutdown` pokes the listener so the
+/// blocked `accept` observes that.
+fn metrics_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let (mut stream, _peer) = match listener.accept() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let (stopping, drained) = {
+            let inner = shared.inner.lock().expect("serve lock");
+            (inner.stopping, inner.queue.is_empty() && inner.running == 0)
+        };
+        if stopping && drained {
+            return;
+        }
+        if let Some(path) = http::request_path(&mut stream) {
+            route_http(shared, &mut stream, &path, stopping);
+        }
+    }
+}
+
+fn route_http(shared: &Shared, stream: &mut TcpStream, path: &str, stopping: bool) {
+    match path {
+        "/metrics" => {
+            let body = render_prometheus(&aggregate_metrics(shared));
+            http::respond(stream, 200, "OK", "text/plain; version=0.0.4", &body);
+        }
+        "/healthz" => http::respond(stream, 200, "OK", "text/plain", "ok\n"),
+        "/readyz" => {
+            if stopping {
+                http::respond(
+                    stream,
+                    503,
+                    "Service Unavailable",
+                    "text/plain",
+                    "stopping\n",
+                );
+            } else {
+                http::respond(stream, 200, "OK", "text/plain", "ready\n");
+            }
+        }
+        _ => http::respond(stream, 404, "Not Found", "text/plain", "not found\n"),
     }
 }
 
@@ -518,7 +690,7 @@ fn status_snapshot(shared: &Shared) -> ServerStatus {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let (job_id, tenant, spec) = {
+        let (job_id, tenant, spec, waited_ns) = {
             let mut inner = shared.inner.lock().expect("serve lock");
             loop {
                 // FIFO, skipping tenants at their running cap so one
@@ -538,9 +710,13 @@ fn worker_loop(shared: &Shared) {
                     job.status = JobStatus::Running;
                     let tenant = job.tenant.clone();
                     let spec = job.spec.clone();
+                    let waited_ns = job.submitted.elapsed().as_nanos() as u64;
                     inner.running += 1;
                     *inner.tenant_running.entry(tenant.clone()).or_insert(0) += 1;
-                    break (id, tenant, spec);
+                    let hub = shared.recorder.hub();
+                    hub.gauge("serve.queued", inner.queue.len() as f64);
+                    hub.gauge("serve.running", inner.running as f64);
+                    break (id, tenant, spec, waited_ns);
                 }
                 if inner.stopping && inner.queue.is_empty() {
                     return;
@@ -548,25 +724,42 @@ fn worker_loop(shared: &Shared) {
                 inner = shared.work_cv.wait(inner).expect("serve lock");
             }
         };
+        shared
+            .recorder
+            .hub()
+            .observe("serve.queue_wait_ns", waited_ns);
 
+        let run_start = Instant::now();
         let result = run_job(shared, job_id, &spec);
+        let run_ns = run_start.elapsed().as_nanos() as u64;
 
         let mut inner = shared.inner.lock().expect("serve lock");
         match result {
-            Ok((out, trace)) => {
+            Ok((out, trace, telemetry)) => {
                 if let Some(t) = trace {
                     inner.server_trace.merge_as(job_id as usize, t);
                 }
+                if let Some(m) = telemetry {
+                    inner.fleet_metrics.merge(&m);
+                }
                 inner.jobs.get_mut(&job_id).expect("job exists").status = JobStatus::Done(out);
                 inner.completed += 1;
+                shared.recorder.hub().add("serve.jobs_completed", 1);
             }
             Err(message) => {
                 inner.jobs.get_mut(&job_id).expect("job exists").status =
                     JobStatus::Failed(message);
                 inner.failed += 1;
+                shared.recorder.hub().add("serve.jobs_failed", 1);
             }
         }
         inner.running -= 1;
+        {
+            let hub = shared.recorder.hub();
+            hub.observe("serve.job_run_ns", run_ns);
+            hub.gauge("serve.queued", inner.queue.len() as f64);
+            hub.gauge("serve.running", inner.running as f64);
+        }
         if let Some(n) = inner.tenant_running.get_mut(&tenant) {
             *n = n.saturating_sub(1);
         }
@@ -587,14 +780,15 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Run one admitted job, returning its output plus its trace (for the
-/// server-trace track). Every failure is rendered to the message the
-/// client sees.
+/// Run one admitted job, returning its output, its trace (for the
+/// server-trace track), and its telemetry snapshot (for the fleet
+/// aggregate). Every failure is rendered to the message the client
+/// sees.
 fn run_job(
     shared: &Shared,
     job_id: u64,
     spec: &JobSpec,
-) -> Result<(JobOutput, Option<Trace>), String> {
+) -> Result<(JobOutput, Option<Trace>, Option<MetricsSnapshot>), String> {
     match spec {
         JobSpec::Task {
             task,
@@ -627,8 +821,15 @@ fn run_job(
 fn run_task_job(
     shared: &Shared,
     cfg: &ClusterConfig,
-) -> Result<(JobOutput, Option<Trace>), String> {
-    let recorder = Arc::new(Recorder::new(cfg.trace));
+) -> Result<(JobOutput, Option<Trace>, Option<MetricsSnapshot>), String> {
+    // Each job gets its own flight ring: when the job dies, its recent
+    // spans are dumped next to the typed error. The hub stays on even
+    // with tracing off, so the fleet aggregate covers every job.
+    let recorder = Arc::new(Recorder::with_flight(
+        cfg.trace,
+        Arc::new(FlightRecorder::default()),
+    ));
+    recorder.hub().set_enabled(true);
     let driver = JobDriver::new(cfg, &recorder);
     let mut tries = 0;
     let outcome = loop {
@@ -648,7 +849,20 @@ fn run_task_job(
         match result {
             Ok(outcome) => break outcome,
             Err(_) if tries < shared.cfg.job_retries => tries += 1,
-            Err(e) => return Err(e.to_string()),
+            Err(e) => {
+                // Final failure: dump the flight ring so the last spans
+                // before death sit next to the typed error in the log.
+                if let Some(flight) = recorder.flight() {
+                    if !flight.is_empty() {
+                        eprintln!(
+                            "cfr-serve: job `{}` failed: {e}\n{}",
+                            cfg.job_tag,
+                            flight.dump_text(recorder.now_ns(), u64::MAX)
+                        );
+                    }
+                }
+                return Err(e.to_string());
+            }
         }
     };
     let trace_bin = outcome
@@ -664,6 +878,7 @@ fn run_task_job(
             trace_bin,
         },
         outcome.trace,
+        outcome.telemetry,
     ))
 }
 
@@ -673,9 +888,10 @@ fn run_chapel_job(
     opt: u8,
     threads: u32,
     globals: &[String],
-) -> Result<(JobOutput, Option<Trace>), String> {
+) -> Result<(JobOutput, Option<Trace>, Option<MetricsSnapshot>), String> {
     let opt_level = opt_level(opt).ok_or(format!("unknown opt level {opt}"))?;
     let recorder = Arc::new(Recorder::new(shared.cfg.trace));
+    recorder.hub().set_enabled(true);
     let translator =
         Translator::new(opt_level, threads.max(1) as usize).traced(Arc::clone(&recorder));
 
@@ -686,6 +902,7 @@ fn run_chapel_job(
         if hit.is_some() {
             inner.program_cache_hits += 1;
             shared.recorder.add_counter("serve.program_cache_hits", 1);
+            shared.recorder.hub().add("serve.program_cache_hits", 1);
         }
         hit
     };
@@ -699,6 +916,7 @@ fn run_chapel_job(
             );
             let mut inner = shared.inner.lock().expect("serve lock");
             shared.recorder.add_counter("serve.program_cache_misses", 1);
+            shared.recorder.hub().add("serve.program_cache_misses", 1);
             inner.program_cache_misses += 1;
             inner
                 .program_cache
@@ -720,6 +938,7 @@ fn run_chapel_job(
     }
     let trace = (shared.cfg.trace != TraceLevel::Off).then(|| recorder.drain());
     let trace_bin = trace.as_ref().map(|t| t.encode_bin()).unwrap_or_default();
+    let telemetry = recorder.hub().snapshot();
     Ok((
         JobOutput {
             state: Vec::new(),
@@ -728,6 +947,7 @@ fn run_chapel_job(
             trace_bin,
         },
         trace,
+        (!telemetry.counters.is_empty() || !telemetry.histograms.is_empty()).then_some(telemetry),
     ))
 }
 

@@ -333,6 +333,113 @@ fn token_auth_gates_sessions() {
 }
 
 #[test]
+fn top_and_metrics_expose_fleet_telemetry() {
+    let path = dataset("top", 2, &kmeans_data());
+    let fleet = LoopbackCluster::spawn_concurrent(2, 2).unwrap();
+    let mut cfg = ServeConfig::new(fleet.addrs().to_vec());
+    cfg.trace = TraceLevel::Phases;
+    cfg.max_concurrent = 2;
+    cfg.metrics_listen = Some("127.0.0.1:0".into());
+    let handle = Server::start(cfg, "127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+    let metrics_addr = handle.metrics_addr().expect("metrics endpoint bound");
+
+    let mut client = Client::connect(addr, "alice", "").unwrap();
+    for _ in 0..2 {
+        client.run(kmeans_spec(&path, 4)).unwrap();
+    }
+
+    // ---- Top over the service protocol.
+    let top = client.top().unwrap();
+    assert_eq!(top.status.completed, 2);
+    assert_eq!(top.status.failed, 0);
+    assert_eq!(top.jobs.len(), 2);
+    assert!(top
+        .jobs
+        .iter()
+        .all(|j| j.tenant == "alice" && j.state == cfr_serve::job_state::DONE));
+    // Fleet aggregate: both jobs' telemetry merged — 4 coordinator
+    // rounds each — plus the server's own counters.
+    assert_eq!(top.metrics.counter("fleet.rounds"), 8);
+    assert_eq!(top.metrics.counter("serve.jobs_completed"), 2);
+    assert_eq!(top.metrics.counter("serve.jobs_submitted"), 2);
+    assert!(
+        !top.metrics.node_rows().is_empty(),
+        "per-node latency rows reconstruct from the aggregate"
+    );
+    assert!(
+        top.metrics.histograms.contains_key("serve.job_run_ns"),
+        "job runtime histogram present"
+    );
+
+    // ---- The HTTP endpoint, scraped without curl.
+    let metrics_addr = metrics_addr.to_string();
+    let body = cfr_serve::http::get(&metrics_addr, "/metrics").unwrap();
+    let counters = obs::parse_prometheus_counters(&body);
+    let get = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("{name} missing from /metrics:\n{body}"))
+    };
+    assert_eq!(get("cfr_serve_jobs_completed"), 2.0);
+    assert_eq!(get("cfr_fleet_rounds"), 8.0);
+    assert!(get("cfr_serve_job_run_ns_count") >= 2.0);
+    assert_eq!(
+        cfr_serve::http::get(&metrics_addr, "/healthz").unwrap(),
+        "ok\n"
+    );
+    assert_eq!(
+        cfr_serve::http::get(&metrics_addr, "/readyz").unwrap(),
+        "ready\n"
+    );
+    let err = cfr_serve::http::get(&metrics_addr, "/nope").unwrap_err();
+    assert!(err.to_string().contains("404"), "{err}");
+
+    // ---- v2 status carries tenant quota usage.
+    let status = client.status().unwrap();
+    assert!(status.queue.is_empty());
+    assert!(status.tenants.is_empty(), "no job admitted right now");
+
+    client.bye().unwrap();
+    handle.stop();
+    fleet.join().unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn failed_job_counts_and_reports_through_telemetry() {
+    // A fleet address nobody listens on: the job fails at connect, the
+    // worker dumps the job's flight ring to stderr, and the failure
+    // shows up in every telemetry surface.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    };
+    let path = dataset("fail", 2, &kmeans_data());
+    let mut cfg = ServeConfig::new(vec![dead]);
+    cfg.trace = TraceLevel::Phases;
+    cfg.job_retries = 0;
+    let handle = Server::start(cfg, "127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+
+    let mut client = Client::connect(addr, "alice", "").unwrap();
+    let err = client.run(kmeans_spec(&path, 2)).unwrap_err();
+    assert!(matches!(err, ServeError::JobFailed { .. }), "{err}");
+
+    let top = client.top().unwrap();
+    assert_eq!(top.status.failed, 1);
+    assert_eq!(top.metrics.counter("serve.jobs_failed"), 1);
+    assert_eq!(top.jobs.len(), 1);
+    assert_eq!(top.jobs[0].state, cfr_serve::job_state::FAILED);
+
+    client.bye().unwrap();
+    handle.stop();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn stop_drains_queued_jobs_then_rejects_new_ones() {
     let path = dataset("stop", 2, &kmeans_data());
     let fleet = LoopbackCluster::spawn_concurrent(2, 1).unwrap();
