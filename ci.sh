@@ -122,6 +122,12 @@ for f in target/ci-snode1.addr target/ci-snode2.addr; do
   done
 done
 rm -f target/ci-metrics.addr
+# Fresh artifact cache for the native-codegen smoke below: the daemon
+# inherits CFR_CODEGEN_DIR, so its first compiled-backend job is a real
+# cold `rustc` compile, not a leftover artifact from an earlier run.
+rm -rf target/ci-codegen-cache
+CFR_CODEGEN_DIR=$PWD/target/ci-codegen-cache
+export CFR_CODEGEN_DIR
 target/release/cfr-serve --listen 127.0.0.1:0 --port-file target/ci-serve.addr \
   --node-addr "$(cat target/ci-snode1.addr)" \
   --node-addr "$(cat target/ci-snode2.addr)" \
@@ -160,11 +166,39 @@ target/release/cfr-submit --server "$SERVE_ADDR" --tenant alice \
   --job-trace-out target/ci-serve-job1.json
 target/release/cfr-submit --server "$SERVE_ADDR" --tenant alice \
   --chapel target/ci-sum.chpl --global total \
-  --job-trace-out target/ci-serve-job2.json
+  --job-trace-out target/ci-serve-job2.json | tee target/ci-interp.out
 cargo run --release -p obs --bin trace-check -- target/ci-serve-job1.json \
   --expect core.compile --expect frontend.parse
 cargo run --release -p obs --bin trace-check -- target/ci-serve-job2.json \
   --forbid core.compile --forbid frontend.parse --forbid sema.analyze
+# Native codegen escape hatch (DESIGN.md §14): the same program under
+# --backend compiled must really take the native path — a cold
+# codegen.compile in its trace (fresh CFR_CODEGEN_DIR above) — and
+# answer bit-identically to the interpreted runs. The first compiled
+# job is a program-cache *miss* even though the source already ran
+# twice: the cache keys on (source, opt, backend). Its repeat is then a
+# cache hit whose kernel artifact is warm too (no second rustc). Skips
+# cleanly without rustc on PATH, where the compiled backend would fall
+# back to the interpreter and the codegen.compile gate would be
+# vacuous.
+if command -v rustc >/dev/null 2>&1; then
+  target/release/cfr-submit --server "$SERVE_ADDR" --tenant alice \
+    --chapel target/ci-sum.chpl --global total --backend compiled \
+    --job-trace-out target/ci-codegen-job1.json | tee target/ci-compiled.out
+  target/release/cfr-submit --server "$SERVE_ADDR" --tenant alice \
+    --chapel target/ci-sum.chpl --global total --backend compiled \
+    --job-trace-out target/ci-codegen-job2.json
+  cargo run --release -p obs --bin trace-check -- target/ci-codegen-job1.json \
+    --expect codegen.emit --expect codegen.compile --expect codegen.load
+  cargo run --release -p obs --bin trace-check -- target/ci-codegen-job2.json \
+    --forbid core.compile --forbid frontend.parse --forbid codegen.compile
+  # Bit-identity: the compiled backend's answer equals the interpreter's.
+  [ "$(grep 'total = ' target/ci-compiled.out)" = "$(grep 'total = ' target/ci-interp.out)" ]
+  CODEGEN_JOBS=2
+else
+  echo "ci: skipping compiled-kernel smoke (no rustc on PATH)"
+  CODEGEN_JOBS=0
+fi
 # Telemetry (DESIGN.md §13): the daemon's HTTP endpoint must answer
 # /healthz, and its /metrics exposition must carry the fleet counters —
 # 4 jobs completed (2 k-means + 2 Chapel) and the k-means rounds the
@@ -173,14 +207,16 @@ cargo run --release -p obs --bin trace-check -- target/ci-serve-job2.json \
 [ "$(target/release/cfr-top --scrape "$METRICS_ADDR" --path /healthz)" = ok ]
 target/release/cfr-top --scrape "$METRICS_ADDR" > target/ci-metrics.prom
 cargo run --release -p obs --bin trace-check -- target/ci-metrics.prom \
-  --expect-counter cfr_serve_jobs_completed=4 \
-  --expect-counter cfr_serve_jobs_submitted=4 \
+  --expect-counter cfr_serve_jobs_completed=$((4 + CODEGEN_JOBS)) \
+  --expect-counter cfr_serve_jobs_submitted=$((4 + CODEGEN_JOBS)) \
   --expect-counter cfr_fleet_rounds=4 \
-  --expect-counter cfr_serve_program_cache_hits=1
+  --expect-counter cfr_serve_program_cache_hits=$((1 + CODEGEN_JOBS / 2))
 target/release/cfr-top --server "$SERVE_ADDR"
 target/release/cfr-submit --server "$SERVE_ADDR" --status \
   --dump-server-trace target/ci-serve-trace.json --stop
 wait "$SERVE"
 cargo run --release -p obs --bin trace-check -- target/ci-serve-trace.json \
   --min-pids 3 --expect serve.submit --expect serve.job_done
-rm -f target/ci-serve-data.frds target/ci-sum.chpl target/ci-metrics.prom
+rm -f target/ci-serve-data.frds target/ci-sum.chpl target/ci-metrics.prom \
+  target/ci-interp.out target/ci-compiled.out
+rm -rf target/ci-codegen-cache

@@ -4,7 +4,7 @@
 
 use std::time::Instant;
 
-use cfr_core::{compile_loop, detect, zip_linearize, Detected, KernelRuntime, OptLevel};
+use cfr_core::{compile_loop, detect, zip_linearize, Detected, OptLevel};
 use chapel_frontend::programs;
 use chapel_sema::analyze;
 use freeride::{
@@ -92,11 +92,16 @@ fn run_translated(params: &HistogramParams, opt: OptLevel) -> Result<HistogramRe
     let layout = RObjLayout::new(vec![GroupSpec::new("hist", buckets, CombineOp::Sum)]);
     let engine = Engine::new(params.config.clone());
     let view = DataView::new(&buffer, 1)?;
-    let runtime = KernelRuntime::new(compiled.kernel.clone(), Vec::new(), Vec::new(), compiled.lo)?;
-    let kernel_fn = |split: &Split<'_>, robj: &mut dyn RObjHandle| {
-        runtime.run_split(split, robj);
-    };
-    let outcome = engine.run(view, &layout, &kernel_fn);
+    let choice = cfr_core::make_runner(
+        params.config.backend,
+        &compiled.kernel,
+        Vec::new(),
+        Vec::new(),
+        compiled.lo,
+        compiled.opt,
+        None,
+    )?;
+    let outcome = engine.run(view, &layout, choice.runner.as_ref());
     let mut stats = RunStats {
         logical_threads: params.config.threads,
         ..Default::default()

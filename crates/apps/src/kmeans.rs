@@ -18,7 +18,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use cfr_core::{compile_loop, detect, zip_linearize, Detected, KernelRuntime, OptLevel};
+use cfr_core::{compile_loop, detect, zip_linearize, Detected, OptLevel};
 use chapel_frontend::programs;
 use freeride::{
     CombineOp, DataView, Engine, GroupSpec, JobConfig, RObjHandle, RObjLayout, RunStats, Split,
@@ -216,16 +216,16 @@ fn run_translated(params: &KmeansParams, opt: OptLevel) -> Result<KmeansResult, 
         } else {
             (vec![nested], vec![Vec::new()])
         };
-        let runtime = KernelRuntime::new(
-            compiled.kernel.clone(),
+        let choice = cfr_core::make_runner(
+            params.config.backend,
+            &compiled.kernel,
             nested_state,
             flat_state,
             compiled.lo,
+            compiled.opt,
+            Some(&rec),
         )?;
-        let kernel_fn = |split: &Split<'_>, robj: &mut dyn RObjHandle| {
-            runtime.run_split(split, robj);
-        };
-        let outcome = engine.run(view, &layout, &kernel_fn);
+        let outcome = engine.run(view, &layout, choice.runner.as_ref());
         stats.absorb(&outcome.stats);
         let (next, cnt) = update_centroids(outcome.robj.group_slice(0), &centroids, k, d);
         centroids = next;

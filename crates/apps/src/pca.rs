@@ -14,7 +14,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use cfr_core::{compile_loop, detect, zip_linearize, Detected, KernelRuntime, OptLevel};
+use cfr_core::{compile_loop, detect, zip_linearize, Detected, OptLevel};
 use chapel_frontend::programs;
 use freeride::{
     CombineOp, DataView, Engine, GroupSpec, JobConfig, RObjHandle, RObjLayout, RunStats, Split,
@@ -164,16 +164,16 @@ fn run_translated(params: &PcaParams, opt: OptLevel) -> Result<PcaResult, AppErr
 
     // ---- Phase 1: mean vector. ----
     let mean_layout = RObjLayout::new(vec![GroupSpec::new("mean", rows, CombineOp::Sum)]);
-    let runtime = KernelRuntime::new(
-        mean_loop.kernel.clone(),
+    let choice = cfr_core::make_runner(
+        params.config.backend,
+        &mean_loop.kernel,
         Vec::new(),
         Vec::new(),
         mean_loop.lo,
+        mean_loop.opt,
+        Some(&rec),
     )?;
-    let kernel_fn = |split: &Split<'_>, robj: &mut dyn RObjHandle| {
-        runtime.run_split(split, robj);
-    };
-    let outcome = engine.run(view, &mean_layout, &kernel_fn);
+    let outcome = engine.run(view, &mean_layout, choice.runner.as_ref());
     stats.absorb(&outcome.stats);
     let mut mean: Vec<f64> = outcome.robj.group_slice(0).to_vec();
     for m in &mut mean {
@@ -205,16 +205,16 @@ fn run_translated(params: &PcaParams, opt: OptLevel) -> Result<PcaResult, AppErr
         (vec![mean_value], vec![Vec::new()])
     };
     let cov_layout = RObjLayout::new(vec![GroupSpec::new("cov", rows * rows, CombineOp::Sum)]);
-    let runtime = KernelRuntime::new(
-        cov_loop.kernel.clone(),
+    let choice = cfr_core::make_runner(
+        params.config.backend,
+        &cov_loop.kernel,
         nested_state,
         flat_state,
         cov_loop.lo,
+        cov_loop.opt,
+        Some(&rec),
     )?;
-    let kernel_fn = |split: &Split<'_>, robj: &mut dyn RObjHandle| {
-        runtime.run_split(split, robj);
-    };
-    let outcome = engine.run(view, &cov_layout, &kernel_fn);
+    let outcome = engine.run(view, &cov_layout, choice.runner.as_ref());
     stats.absorb(&outcome.stats);
     let cov = outcome.robj.group_slice(0).to_vec();
 

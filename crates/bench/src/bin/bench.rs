@@ -117,7 +117,7 @@ impl Default for Opts {
     }
 }
 
-const USAGE: &str = "usage: bench <kmeans|pca|io|ft|serve> [options]
+const USAGE: &str = "usage: bench <kmeans|pca|io|ft|serve|telemetry|codegen> [options]
   --n N            k-means: number of points        (default 20000)
   --d D            k-means: point dimensionality    (default 8)
   --k K            k-means: centroid count          (default 16)
@@ -154,14 +154,20 @@ const USAGE: &str = "usage: bench <kmeans|pca|io|ft|serve> [options]
   telemetry        live-metrics overhead sweep: manual k-means with the
                    MetricsHub disabled vs enabled (tracing off in both),
                    per --threads-list entry; bit-identity enforced
-  --repeats N      telemetry: timed repetitions, best kept (default 3)
-  --json-out P     io|serve|telemetry: also write the sweep as JSON to P";
+  --repeats N      telemetry|codegen: timed repetitions, best kept (default 3)
+  codegen          kernel-backend sweep: translated k-means under every
+                   strategy, bytecode interpreter vs natively compiled
+                   kernels (cfr-codegen), per --threads-list entry;
+                   bit-identity enforced; without rustc the compiled
+                   column falls back to the interpreter (and says so)
+  --json-out P     io|serve|telemetry|codegen: also write the sweep as JSON to P";
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts::default();
     let mut it = args.iter();
     opts.app = it.next().cloned().ok_or("missing application name")?;
-    if !["kmeans", "pca", "io", "ft", "serve", "telemetry"].contains(&opts.app.as_str()) {
+    if !["kmeans", "pca", "io", "ft", "serve", "telemetry", "codegen"].contains(&opts.app.as_str())
+    {
         return Err(format!("unknown application `{}`", opts.app));
     }
     while let Some(flag) = it.next() {
@@ -512,6 +518,29 @@ fn run_telemetry(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// The kernel-backend sweep: translated k-means, interpreter vs
+/// natively compiled kernels, per strategy and thread count. The table
+/// and `BENCH_codegen.json` carry an interpreted-vs-compiled column
+/// pair; bit identity between the backends is enforced inside the
+/// sweep itself.
+fn run_codegen(opts: &Opts) -> Result<(), String> {
+    let sweep = cfr_bench::codegen_speed(
+        opts.n,
+        opts.d,
+        opts.k,
+        opts.iters,
+        &opts.threads_list,
+        opts.repeats,
+    )?;
+    print!("{}", cfr_bench::render_codegen_table(&sweep));
+    if let Some(path) = &opts.json_out {
+        std::fs::write(path, cfr_bench::codegen_json(&sweep))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote sweep JSON to {path}");
+    }
+    Ok(())
+}
+
 fn run(opts: &Opts) -> Result<(), String> {
     if opts.app == "io" {
         return run_io(opts);
@@ -524,6 +553,9 @@ fn run(opts: &Opts) -> Result<(), String> {
     }
     if opts.app == "telemetry" {
         return run_telemetry(opts);
+    }
+    if opts.app == "codegen" {
+        return run_codegen(opts);
     }
     if !opts.nodes.is_empty() || !opts.node_addrs.is_empty() {
         return run_cluster(opts);

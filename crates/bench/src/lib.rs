@@ -915,6 +915,7 @@ pub fn serve_throughput(
         rounds: rounds as u32,
         dataset: dataset.to_string_lossy().into_owned(),
         threads_per_node: params.config.threads.max(1) as u32,
+        backend: freeride::KernelBackend::Interpreted.to_wire(),
     };
 
     let mut points = Vec::new();
@@ -1161,9 +1162,191 @@ pub fn render_telemetry_table(sweep: &TelemetrySweep) -> String {
 }
 
 // ---------------------------------------------------------------------
+// Codegen backend: interpreted vs natively compiled kernels
+// ---------------------------------------------------------------------
+
+/// One measured codegen point: a translated k-means configuration
+/// under both kernel backends.
+#[derive(Debug, Clone)]
+pub struct CodegenPoint {
+    /// Translation strategy label (`generated` / `opt-1` / `opt-2`).
+    pub version: String,
+    /// Compute-thread count.
+    pub threads: usize,
+    /// Best wall time on the bytecode interpreter, seconds.
+    pub interp_s: f64,
+    /// Best wall time on the compiled backend, seconds.
+    pub compiled_s: f64,
+    /// `interp_s / compiled_s` — above 1.0 means the native kernel won.
+    pub speedup: f64,
+}
+
+/// A completed codegen-backend sweep.
+#[derive(Debug, Clone)]
+pub struct CodegenSweep {
+    /// Points reduced per run.
+    pub n: usize,
+    /// Point dimensionality.
+    pub d: usize,
+    /// Centroid count.
+    pub k: usize,
+    /// Reduction rounds per run.
+    pub iters: usize,
+    /// Timed repetitions per configuration (the best is kept).
+    pub repeats: usize,
+    /// Whether the compiled column really ran native code. `false`
+    /// means no usable `rustc` — the compiled runs fell back to the
+    /// interpreter (still correct, but the columns measure the same
+    /// engine and the speedups are noise around 1.0).
+    pub native: bool,
+    /// The measured points, strategy-major then thread count.
+    pub points: Vec<CodegenPoint>,
+}
+
+/// One translated k-means run on the given backend; returns wall
+/// seconds and the final centroid bit pattern.
+fn kmeans_backend_run(
+    params: &cfr_apps::kmeans::KmeansParams,
+    version: Version,
+    backend: freeride::KernelBackend,
+) -> Result<(f64, Vec<u64>), String> {
+    let mut params = params.clone();
+    params.config.backend = backend;
+    let t0 = std::time::Instant::now();
+    let r = cfr_apps::kmeans::run(&params, version)
+        .map_err(|e| format!("{} on {}: {e}", version.label(), backend.label()))?;
+    let wall_s = t0.elapsed().as_secs_f64();
+    let mut bits: Vec<u64> = r.centroids.iter().map(|x| x.to_bits()).collect();
+    bits.extend(r.counts.iter().map(|x| x.to_bits()));
+    Ok((wall_s, bits))
+}
+
+/// Measure the native-codegen escape hatch: translated k-means under
+/// every strategy, interpreter vs compiled kernels, at each thread
+/// count. The first compiled run of each strategy pays the one-time
+/// `rustc` invocation into the process-wide artifact cache, so a
+/// warm-up run precedes the timed repetitions (what the steady state of
+/// an iterative job sees). Bit identity between the backends is
+/// enforced on every repetition — a compiled kernel that is fast but
+/// different is a bug, not a win.
+pub fn codegen_speed(
+    n: usize,
+    d: usize,
+    k: usize,
+    iters: usize,
+    threads: &[usize],
+    repeats: usize,
+) -> Result<CodegenSweep, String> {
+    cfr_codegen::install();
+    let native = cfr_codegen::rustc_available();
+    let repeats = repeats.max(1);
+    let mut points = Vec::new();
+    for version in [Version::Generated, Version::Opt1, Version::Opt2] {
+        for &t in threads {
+            let params = cfr_apps::kmeans::KmeansParams::new(n, d, k, iters).threads(t);
+            // Warm-up: worker pool, caches, and (first compiled run per
+            // strategy) the rustc artifact.
+            kmeans_backend_run(&params, version, freeride::KernelBackend::Interpreted)?;
+            kmeans_backend_run(&params, version, freeride::KernelBackend::Compiled)?;
+            let mut interp_s = f64::INFINITY;
+            let mut compiled_s = f64::INFINITY;
+            for _ in 0..repeats {
+                let (w, interp_bits) =
+                    kmeans_backend_run(&params, version, freeride::KernelBackend::Interpreted)?;
+                interp_s = interp_s.min(w);
+                let (w, compiled_bits) =
+                    kmeans_backend_run(&params, version, freeride::KernelBackend::Compiled)?;
+                compiled_s = compiled_s.min(w);
+                if interp_bits != compiled_bits {
+                    return Err(format!(
+                        "{} t={t}: compiled backend diverged from the interpreter",
+                        version.label()
+                    ));
+                }
+            }
+            points.push(CodegenPoint {
+                version: version.label().to_string(),
+                threads: t,
+                interp_s,
+                compiled_s,
+                speedup: interp_s / compiled_s.max(1e-9),
+            });
+        }
+    }
+    Ok(CodegenSweep {
+        n,
+        d,
+        k,
+        iters,
+        repeats,
+        native,
+        points,
+    })
+}
+
+/// Render a codegen sweep as an aligned table (the EXPERIMENTS.md
+/// `codegen_speed` shape).
+pub fn render_codegen_table(sweep: &CodegenSweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "codegen_speed — translated k-means, n={} d={} k={} iters={}, best of {}{}",
+        sweep.n,
+        sweep.d,
+        sweep.k,
+        sweep.iters,
+        sweep.repeats,
+        if sweep.native {
+            ""
+        } else {
+            " (NO rustc: compiled column fell back to the interpreter)"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>7} {:>12} {:>12} {:>8}",
+        "version", "threads", "interp s", "compiled s", "speedup"
+    );
+    for p in &sweep.points {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>7} {:>12.4} {:>12.4} {:>7.2}x",
+            p.version, p.threads, p.interp_s, p.compiled_s, p.speedup
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
 // JSON emitters (BENCH_*.json) — hand-rolled, the workspace carries no
 // serde
 // ---------------------------------------------------------------------
+
+/// A codegen sweep as a `BENCH_codegen.json` document.
+pub fn codegen_json(sweep: &CodegenSweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"codegen_speed\",");
+    let _ = writeln!(out, "  \"app\": \"kmeans-translated\",");
+    let _ = writeln!(
+        out,
+        "  \"n\": {}, \"d\": {}, \"k\": {}, \"iters\": {}, \"repeats\": {}, \"native\": {},",
+        sweep.n, sweep.d, sweep.k, sweep.iters, sweep.repeats, sweep.native
+    );
+    let _ = writeln!(out, "  \"points\": [");
+    for (i, p) in sweep.points.iter().enumerate() {
+        let comma = if i + 1 < sweep.points.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"version\": \"{}\", \"threads\": {}, \"interpreted_s\": {:.6}, \
+             \"compiled_s\": {:.6}, \"speedup\": {:.3}}}{comma}",
+            p.version, p.threads, p.interp_s, p.compiled_s, p.speedup
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
 
 /// A telemetry-overhead sweep as a `BENCH_telemetry.json` document.
 pub fn telemetry_json(sweep: &TelemetrySweep) -> String {

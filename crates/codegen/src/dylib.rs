@@ -1,0 +1,94 @@
+//! Minimal `dlopen`/`dlsym` FFI — the zero-dependency loader.
+//!
+//! The repo's offline policy rules out `libloading`; on this target the
+//! loader functions live in the C library the process is already linked
+//! against, so plain `extern "C"` declarations resolve them. Handles
+//! are intentionally **never closed**: a compiled kernel may be running
+//! on worker threads when the last user-visible reference drops, and
+//! the artifacts are tiny, so keeping the mapping for the process
+//! lifetime is the safe (and FREERIDE-faithful: the paper's middleware
+//! loads its generated code once) choice.
+
+use cfr_core::CodegenError;
+use std::ffi::{c_char, c_int, c_void, CString};
+use std::path::Path;
+
+#[cfg(unix)]
+extern "C" {
+    fn dlopen(filename: *const c_char, flags: c_int) -> *mut c_void;
+    fn dlsym(handle: *mut c_void, symbol: *const c_char) -> *mut c_void;
+    fn dlerror() -> *mut c_char;
+}
+
+#[cfg(unix)]
+const RTLD_NOW: c_int = 2;
+
+#[cfg(unix)]
+fn last_dl_error() -> String {
+    unsafe {
+        let msg = dlerror();
+        if msg.is_null() {
+            "unknown dlopen error".to_string()
+        } else {
+            std::ffi::CStr::from_ptr(msg).to_string_lossy().into_owned()
+        }
+    }
+}
+
+/// A loaded shared object, held open for the process lifetime.
+pub struct Dylib {
+    handle: *mut c_void,
+}
+
+// The handle is an opaque token; dlopen/dlsym are thread-safe per POSIX.
+unsafe impl Send for Dylib {}
+unsafe impl Sync for Dylib {}
+
+impl Dylib {
+    /// `dlopen(path, RTLD_NOW)`.
+    #[cfg(unix)]
+    pub fn open(path: &Path) -> Result<Dylib, CodegenError> {
+        let c_path = CString::new(path.as_os_str().as_encoded_bytes())
+            .map_err(|_| CodegenError::Load("artifact path contains NUL".to_string()))?;
+        unsafe { dlerror() }; // clear any stale error
+        let handle = unsafe { dlopen(c_path.as_ptr(), RTLD_NOW) };
+        if handle.is_null() {
+            return Err(CodegenError::Load(format!(
+                "dlopen({}) failed: {}",
+                path.display(),
+                last_dl_error()
+            )));
+        }
+        Ok(Dylib { handle })
+    }
+
+    #[cfg(not(unix))]
+    pub fn open(_path: &Path) -> Result<Dylib, CodegenError> {
+        Err(CodegenError::Load(
+            "dynamic loading is only implemented for unix targets".to_string(),
+        ))
+    }
+
+    /// Resolve an exported symbol as a raw pointer.
+    #[cfg(unix)]
+    pub fn symbol(&self, name: &str) -> Result<*mut c_void, CodegenError> {
+        let c_name = CString::new(name)
+            .map_err(|_| CodegenError::Load("symbol name contains NUL".to_string()))?;
+        unsafe { dlerror() };
+        let ptr = unsafe { dlsym(self.handle, c_name.as_ptr()) };
+        if ptr.is_null() {
+            return Err(CodegenError::Load(format!(
+                "dlsym({name}) failed: {}",
+                last_dl_error()
+            )));
+        }
+        Ok(ptr)
+    }
+
+    #[cfg(not(unix))]
+    pub fn symbol(&self, _name: &str) -> Result<*mut c_void, CodegenError> {
+        Err(CodegenError::Load(
+            "dynamic loading is only implemented for unix targets".to_string(),
+        ))
+    }
+}

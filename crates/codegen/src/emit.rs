@@ -1,0 +1,410 @@
+//! Lowering kernel-IR bytecode to Rust source.
+//!
+//! The emitted translation unit contains one exported function,
+//! `cfr_kernel_split`, that processes a whole FREERIDE split: the
+//! constant preamble runs once, then a row loop executes the
+//! per-element body. Control flow is reconstructed as a **basic-block
+//! state machine** — a `loop { match __blk { … } }` whose arms are the
+//! straight-line blocks of the bytecode, each ending by assigning the
+//! successor block. Block indices are compile-time constants, so LLVM
+//! jump-threads the dispatch into direct branches; unlike a structural
+//! relooper this shape handles *every* control-flow graph the three
+//! strategies emit (whiles, counted loops with fused back-edges,
+//! if/else, short-circuit `&&`/`||`) with no unsupported cases.
+//!
+//! Bit-identity with the interpreter is by construction:
+//!
+//! * every instruction lowers to the *same sequence of f64 operations*
+//!   the interpreter performs — no reassociation, `Fma` stays an
+//!   unfused `dst += a * b`;
+//! * float immediates are emitted as `f64::from_bits(0x…)`, an exact
+//!   round-trip;
+//! * `computeIndex` is baked in from the kernel's [`PathMeta`] table
+//!   with the interpreter's exact formula, index registers cast
+//!   `as usize` exactly as the interpreter casts them;
+//! * data and flat-state loads are *checked* slice indexes, so a
+//!   malformed offset panics just as the interpreter would;
+//! * nested-state walks and reduction-object updates call back into the
+//!   host (so the generated/opt-1 "complex Chapel structure" cost
+//!   profile — the thing opt-2 removes — is preserved even under the
+//!   compiled backend).
+
+use cfr_core::{CodegenError, Instr, Kernel, NavStep};
+use linearize::PathMeta;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// One `LoadStateNested` call site in the emitted code: the compiled
+/// function passes the site id and the index-register values back to
+/// the host, which performs the nested walk (`state` and `steps` are
+/// host-side data the cdylib never sees).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NestedSite {
+    /// Which nested state value to walk.
+    pub state: usize,
+    /// The navigation steps from its root.
+    pub steps: Vec<NavStep>,
+}
+
+/// The result of lowering one kernel.
+pub struct EmittedKernel {
+    /// Complete Rust source of the cdylib.
+    pub source: String,
+    /// Host-side table for the `nested_load` callback, indexed by the
+    /// site id the emitted code passes.
+    pub sites: Vec<NestedSite>,
+}
+
+/// The exported symbol every emitted cdylib defines.
+pub const KERNEL_SYMBOL: &str = "cfr_kernel_split";
+
+fn reg(r: u16) -> String {
+    format!("r{r}")
+}
+
+/// The interpreter's `compute_index_call` formula, constant-folded
+/// against one `PathMeta`:
+/// `Σ_{i<levels-1} (unit_size[i]*idx[i] + level_offset[i])
+///  + unit_size[last]*idx[last] + terminal_offset`.
+fn index_expr(meta: &PathMeta, idx: &[String]) -> Result<String, CodegenError> {
+    if idx.len() != meta.levels || meta.levels == 0 {
+        return Err(CodegenError::Unsupported(format!(
+            "access path arity mismatch: {} index registers for {} levels",
+            idx.len(),
+            meta.levels
+        )));
+    }
+    let mut terms: Vec<String> = Vec::new();
+    for (i, idx_i) in idx.iter().enumerate() {
+        terms.push(format!("{}usize * {}", meta.unit_size[i], idx_i));
+        if i + 1 < meta.levels {
+            terms.push(format!("{}usize", meta.level_offset[i]));
+        } else {
+            terms.push(format!("{}usize", meta.terminal_offset));
+        }
+    }
+    Ok(terms.join(" + "))
+}
+
+fn reg_idx(regs: &[u16]) -> Vec<String> {
+    regs.iter().map(|r| format!("(r{r} as usize)")).collect()
+}
+
+/// Lower `kernel` to Rust source plus its nested-site table.
+///
+/// Errors are [`CodegenError::Unsupported`] naming the construct; the
+/// caller falls back to the interpreter.
+pub fn emit_kernel(kernel: &Kernel) -> Result<EmittedKernel, CodegenError> {
+    let code = &kernel.code;
+    if kernel.entry > code.len() {
+        return Err(CodegenError::Unsupported(format!(
+            "entry {} beyond code length {}",
+            kernel.entry,
+            code.len()
+        )));
+    }
+
+    // ---- Basic blocks of the per-element body (leader algorithm). ----
+    let mut leaders: BTreeSet<usize> = BTreeSet::new();
+    leaders.insert(kernel.entry);
+    for (pc, ins) in code.iter().enumerate().skip(kernel.entry) {
+        match ins {
+            Instr::Jump { target }
+            | Instr::JumpIfZero { target, .. }
+            | Instr::IncRangeJump { target, .. } => {
+                if *target < kernel.entry || *target >= code.len() {
+                    return Err(CodegenError::Unsupported(format!(
+                        "jump at pc {pc} targets {target}, outside the body"
+                    )));
+                }
+                leaders.insert(*target);
+                if pc + 1 < code.len() {
+                    leaders.insert(pc + 1);
+                }
+            }
+            Instr::Halt if pc + 1 < code.len() => {
+                leaders.insert(pc + 1);
+            }
+            _ => {}
+        }
+    }
+    let starts: Vec<usize> = leaders.into_iter().collect();
+    let block_of = |pc: usize| -> Result<usize, CodegenError> {
+        starts.binary_search(&pc).map_err(|_| {
+            CodegenError::Unsupported(format!("jump target {pc} is not a block leader"))
+        })
+    };
+
+    let mut sites: Vec<NestedSite> = Vec::new();
+    let mut body = String::new();
+    for (b, &start) in starts.iter().enumerate() {
+        let end = starts.get(b + 1).copied().unwrap_or(code.len());
+        let _ = writeln!(body, "                {b}usize => {{");
+        let mut terminated = false;
+        for (pc, ins) in code.iter().enumerate().take(end).skip(start) {
+            let line = match ins {
+                // ---- Straight-line instructions. ----
+                Instr::Const { dst, val } => format!(
+                    "{} = f64::from_bits(0x{:016x}u64);",
+                    reg(*dst),
+                    val.to_bits()
+                ),
+                Instr::Mov { dst, src } => format!("{} = {};", reg(*dst), reg(*src)),
+                Instr::Bin { op, dst, a, b } => {
+                    use cfr_core::ArithOp::*;
+                    let (x, y, d) = (reg(*a), reg(*b), reg(*dst));
+                    match op {
+                        Add => format!("{d} = {x} + {y};"),
+                        Sub => format!("{d} = {x} - {y};"),
+                        Mul => format!("{d} = {x} * {y};"),
+                        Div => format!("{d} = {x} / {y};"),
+                        Mod => format!("{d} = {x} % {y};"),
+                        Pow => format!("{d} = {x}.powf({y});"),
+                        Min => format!("{d} = {x}.min({y});"),
+                        Max => format!("{d} = {x}.max({y});"),
+                    }
+                }
+                Instr::Cmp { op, dst, a, b } => {
+                    use cfr_core::CmpOp::*;
+                    let sym = match op {
+                        Eq => "==",
+                        Ne => "!=",
+                        Lt => "<",
+                        Le => "<=",
+                        Gt => ">",
+                        Ge => ">=",
+                    };
+                    format!(
+                        "{} = if {} {sym} {} {{ 1.0f64 }} else {{ 0.0f64 }};",
+                        reg(*dst),
+                        reg(*a),
+                        reg(*b)
+                    )
+                }
+                Instr::Not { dst, src } => format!(
+                    "{} = if {} == 0.0f64 {{ 1.0f64 }} else {{ 0.0f64 }};",
+                    reg(*dst),
+                    reg(*src)
+                ),
+                Instr::Neg { dst, src } => format!("{} = -{};", reg(*dst), reg(*src)),
+                Instr::Floor { dst, src } => format!("{} = {}.floor();", reg(*dst), reg(*src)),
+                Instr::Sqrt { dst, src } => format!("{} = {}.sqrt();", reg(*dst), reg(*src)),
+                Instr::Abs { dst, src } => format!("{} = {}.abs();", reg(*dst), reg(*src)),
+                Instr::LoadRow { dst } => format!("{} = r1;", reg(*dst)),
+                Instr::Fma { dst, a, b } => {
+                    format!("{} += {} * {};", reg(*dst), reg(*a), reg(*b))
+                }
+
+                // ---- Data accesses (computeIndex baked in). ----
+                Instr::LoadData { dst, path, idx } => {
+                    let e = index_expr(&kernel.paths[*path as usize], &reg_idx(idx))?;
+                    format!("{} = data[{e}];", reg(*dst))
+                }
+                Instr::DataBase { dst, path, outer } => {
+                    let mut ix = reg_idx(outer);
+                    ix.push("0usize".to_string());
+                    let e = index_expr(&kernel.paths[*path as usize], &ix)?;
+                    format!("{} = ({e}) as f64;", reg(*dst))
+                }
+                Instr::LoadDataAt {
+                    dst,
+                    base,
+                    k,
+                    stride,
+                } => format!(
+                    "{} = data[({} as usize) + ({} as usize) * {stride}usize];",
+                    reg(*dst),
+                    reg(*base),
+                    reg(*k)
+                ),
+
+                // ---- State accesses. ----
+                Instr::LoadStateNested { dst, state, steps } => {
+                    let site = sites.len();
+                    sites.push(NestedSite {
+                        state: *state as usize,
+                        steps: steps.clone(),
+                    });
+                    let idx_regs: Vec<String> = steps
+                        .iter()
+                        .filter_map(|s| match s {
+                            NavStep::Index(r) => Some(reg(*r)),
+                            NavStep::Field(_) => None,
+                        })
+                        .collect();
+                    if idx_regs.is_empty() {
+                        format!(
+                            "{} = nested_load(ctx, {site}usize, core::ptr::null(), 0usize);",
+                            reg(*dst)
+                        )
+                    } else {
+                        format!(
+                            "{{ let __i: [f64; {n}] = [{list}]; {d} = nested_load(ctx, {site}usize, __i.as_ptr(), {n}usize); }}",
+                            n = idx_regs.len(),
+                            list = idx_regs.join(", "),
+                            d = reg(*dst)
+                        )
+                    }
+                }
+                Instr::LoadStateFlat {
+                    dst,
+                    state,
+                    path,
+                    idx,
+                } => {
+                    let e = index_expr(&kernel.paths[*path as usize], &reg_idx(idx))?;
+                    format!("{} = s{state}[{e}];", reg(*dst))
+                }
+                Instr::StateBase {
+                    dst,
+                    state: _,
+                    path,
+                    outer,
+                } => {
+                    let mut ix = reg_idx(outer);
+                    ix.push("0usize".to_string());
+                    let e = index_expr(&kernel.paths[*path as usize], &ix)?;
+                    format!("{} = ({e}) as f64;", reg(*dst))
+                }
+                Instr::LoadStateAt {
+                    dst,
+                    state,
+                    base,
+                    k,
+                    stride,
+                } => format!(
+                    "{} = s{state}[({} as usize) + ({} as usize) * {stride}usize];",
+                    reg(*dst),
+                    reg(*base),
+                    reg(*k)
+                ),
+                Instr::OutIndex { dst, path, idx } => {
+                    let e = index_expr(&kernel.paths[*path as usize], &reg_idx(idx))?;
+                    format!("{} = ({e}) as f64;", reg(*dst))
+                }
+                Instr::Accumulate { group, cell, val } => format!(
+                    "accumulate(ctx, {}usize, {} as usize, {});",
+                    group,
+                    reg(*cell),
+                    reg(*val)
+                ),
+
+                // ---- Terminators. ----
+                Instr::Jump { target } => {
+                    terminated = true;
+                    format!("__blk = {}usize;", block_of(*target)?)
+                }
+                Instr::JumpIfZero { cond, target } => {
+                    terminated = true;
+                    let bt = block_of(*target)?;
+                    let bn = block_of(pc + 1)?;
+                    format!(
+                        "__blk = if {} == 0.0f64 {{ {bt}usize }} else {{ {bn}usize }};",
+                        reg(*cond)
+                    )
+                }
+                Instr::IncRangeJump { var, hi, target } => {
+                    terminated = true;
+                    let bt = block_of(*target)?;
+                    let bn = block_of(pc + 1)?;
+                    format!(
+                        "{v} = {v} + 1.0f64; __blk = if {v} <= {h} {{ {bt}usize }} else {{ {bn}usize }};",
+                        v = reg(*var),
+                        h = reg(*hi)
+                    )
+                }
+                Instr::Halt => {
+                    terminated = true;
+                    "break;".to_string()
+                }
+            };
+            let _ = writeln!(body, "                    {line}");
+        }
+        if !terminated {
+            // Fall through into the next leader.
+            let _ = writeln!(body, "                    __blk = {}usize;", b + 1);
+        }
+        let _ = writeln!(body, "                }}");
+    }
+
+    // ---- Preamble: constants only, once per split. ----
+    let mut preamble = String::new();
+    for (pc, ins) in code[..kernel.entry].iter().enumerate() {
+        match ins {
+            Instr::Const { dst, val } => {
+                let _ = writeln!(
+                    preamble,
+                    "    {} = f64::from_bits(0x{:016x}u64);",
+                    reg(*dst),
+                    val.to_bits()
+                );
+            }
+            other => {
+                return Err(CodegenError::Unsupported(format!(
+                    "non-constant instruction {other:?} in preamble at pc {pc}"
+                )));
+            }
+        }
+    }
+
+    // ---- Registers and flat-state views. ----
+    let mut decls = String::new();
+    for r in 0..kernel.regs {
+        let _ = writeln!(decls, "    let mut r{r}: f64 = 0.0;");
+    }
+    let mut states = String::new();
+    for s in 0..kernel.state_names.len() {
+        let _ = writeln!(
+            states,
+            "    let s{s}: &[f64] = if {s}usize < n_flat {{ \
+             core::slice::from_raw_parts((*flat.add({s})).ptr, (*flat.add({s})).len) }} \
+             else {{ &[] }};"
+        );
+    }
+
+    let source = format!(
+        r#"//! Generated by cfr-codegen from kernel bytecode — do not edit.
+#![allow(unused_variables, unused_mut, unused_assignments, unused_parens, dead_code, unreachable_code)]
+
+/// A borrowed flat-state buffer (opt-2 linearized state), ABI-stable.
+#[repr(C)]
+pub struct FlatView {{
+    pub ptr: *const f64,
+    pub len: usize,
+}}
+
+/// cfr kernel ABI v1: process one split. `ctx` is an opaque host
+/// pointer threaded back through the `accumulate` (reduction-object
+/// update) and `nested_load` (nested Chapel-state walk) callbacks.
+#[no_mangle]
+pub unsafe extern "C-unwind" fn {KERNEL_SYMBOL}(
+    rows: *const f64,
+    rows_len: usize,
+    row_count: usize,
+    first_row: usize,
+    row_lo: i64,
+    flat: *const FlatView,
+    n_flat: usize,
+    ctx: *mut u8,
+    accumulate: extern "C-unwind" fn(*mut u8, usize, usize, f64),
+    nested_load: extern "C-unwind" fn(*mut u8, usize, *const f64, usize) -> f64,
+) {{
+    let data: &[f64] = core::slice::from_raw_parts(rows, rows_len);
+{states}{decls}{preamble}    let mut __local: usize = 0;
+    while __local < row_count {{
+        r0 = __local as f64;
+        r1 = (row_lo + (first_row + __local) as i64) as f64;
+        let mut __blk: usize = 0;
+        loop {{
+            match __blk {{
+{body}                _ => break,
+            }}
+        }}
+        __local += 1;
+    }}
+}}
+"#
+    );
+
+    Ok(EmittedKernel { source, sites })
+}

@@ -36,6 +36,23 @@ pub enum OptLevel {
     Opt2,
 }
 
+impl OptLevel {
+    /// The paper's series label for this strategy.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OptLevel::Generated => "generated",
+            OptLevel::Opt1 => "opt-1",
+            OptLevel::Opt2 => "opt-2",
+        }
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// One dataset variable's slot range within the zipped row.
 #[derive(Debug, Clone)]
 pub struct DatasetVar {
@@ -98,6 +115,10 @@ pub struct CompiledLoop {
     pub lo: i64,
     /// Loop upper bound.
     pub hi: i64,
+    /// The code-generation strategy this kernel was emitted under
+    /// (diagnostics and codegen-cache context; reduce-expression
+    /// kernels always compile as *generated* — they have no state).
+    pub opt: OptLevel,
 }
 
 /// Register 0 always holds the local (0-based) row index.
@@ -215,6 +236,7 @@ pub fn compile_loop(
         outputs,
         lo: red.lo,
         hi: red.hi,
+        opt,
     })
 }
 
@@ -305,6 +327,7 @@ pub fn compile_reduce_expr(
         outputs,
         lo,
         hi,
+        opt: OptLevel::Generated,
     })
 }
 
@@ -416,6 +439,7 @@ pub fn compile_user_reduce(
         outputs,
         lo,
         hi,
+        opt: OptLevel::Generated,
     })
 }
 

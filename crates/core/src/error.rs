@@ -17,6 +17,10 @@ pub enum CoreError {
     Linearize(linearize::LinearizeError),
     /// The kernel compiler could not translate a construct.
     Translate(String),
+    /// The native-codegen backend failed (the job itself may still have
+    /// run: `Translator` falls back to the interpreter and records the
+    /// error rather than propagating it).
+    Codegen(CodegenError),
 }
 
 impl CoreError {
@@ -41,11 +45,86 @@ impl fmt::Display for CoreError {
             CoreError::Freeride(e) => write!(f, "{e}"),
             CoreError::Linearize(e) => write!(f, "{e}"),
             CoreError::Translate(msg) => write!(f, "translation error: {msg}"),
+            CoreError::Codegen(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for CoreError {}
+
+/// Why a natively compiled kernel could not be produced or loaded.
+///
+/// Every variant is *recoverable by design*: the interpreter is the
+/// always-correct reference path, so the translator treats any
+/// `CodegenError` as "fall back to [`KernelBackend::Interpreted`] and
+/// record what happened" — requesting the compiled backend never fails a
+/// job.
+///
+/// [`KernelBackend::Interpreted`]: freeride::KernelBackend::Interpreted
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// No codegen backend is linked into this binary (the `cfr-codegen`
+    /// crate calls `backend::install_compiler` from binary entry points;
+    /// library users that skip it get this).
+    NotInstalled,
+    /// `rustc` was not found on this host (or could not be invoked).
+    RustcUnavailable(String),
+    /// The kernel uses a bytecode shape the emitter does not lower
+    /// (e.g. irreducible control flow). Names the construct.
+    Unsupported(String),
+    /// `rustc` rejected the emitted source; carries its stderr.
+    Compile {
+        /// Compiler diagnostics, verbatim.
+        stderr: String,
+    },
+    /// The produced cdylib could not be dlopen'd / resolved.
+    Load(String),
+    /// Filesystem trouble around the artifact cache.
+    Io(String),
+}
+
+impl CodegenError {
+    /// Short machine-readable tag (trace attributes, counters).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CodegenError::NotInstalled => "not_installed",
+            CodegenError::RustcUnavailable(_) => "rustc_unavailable",
+            CodegenError::Unsupported(_) => "unsupported",
+            CodegenError::Compile { .. } => "compile",
+            CodegenError::Load(_) => "load",
+            CodegenError::Io(_) => "io",
+        }
+    }
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::NotInstalled => {
+                write!(f, "codegen error: no native-codegen backend installed")
+            }
+            CodegenError::RustcUnavailable(msg) => {
+                write!(f, "codegen error: rustc unavailable: {msg}")
+            }
+            CodegenError::Unsupported(what) => {
+                write!(f, "codegen error: unsupported kernel shape: {what}")
+            }
+            CodegenError::Compile { stderr } => {
+                write!(f, "codegen error: rustc failed:\n{stderr}")
+            }
+            CodegenError::Load(msg) => write!(f, "codegen error: load failed: {msg}"),
+            CodegenError::Io(msg) => write!(f, "codegen error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+impl From<CodegenError> for CoreError {
+    fn from(e: CodegenError) -> Self {
+        CoreError::Codegen(e)
+    }
+}
 
 impl From<chapel_frontend::FrontendError> for CoreError {
     fn from(e: chapel_frontend::FrontendError) -> Self {

@@ -6,12 +6,13 @@
 //! access instruction mirrors the paper's generated C code (see
 //! `kernel_ir.rs`).
 
-use freeride::{RObjHandle, Split};
+use freeride::{RObjHandle, Split, SplitKernel};
 use linearize::Value;
 
 use crate::chapel_abi::{
     chpl_array_index, chpl_read_scalar, chpl_record_field, compute_index_call,
 };
+use crate::compile::OptLevel;
 use crate::error::CoreError;
 use crate::kernel_ir::{ArithOp, CmpOp, Instr, Kernel, NavStep};
 
@@ -40,18 +41,28 @@ impl KernelRuntime {
     /// Build a runtime for one translated job, validating the kernel
     /// once. All unchecked register/path accesses in the dispatch loop
     /// are justified by this validation.
+    /// The `opt` argument is *diagnostic context only*: a malformed
+    /// kernel is reported as e.g. `kernel validation failed (opt-2
+    /// strategy) at pc 7: …`, naming both the offending instruction
+    /// index and the translation strategy that produced it.
     pub fn new(
         kernel: Kernel,
         nested_state: Vec<Value>,
         flat_state: Vec<Vec<f64>>,
         row_lo: i64,
+        opt: OptLevel,
     ) -> Result<KernelRuntime, CoreError> {
         kernel
             .validate(
                 nested_state.len().max(flat_state.len()),
                 usize::MAX, // group count is checked by the robj layout
             )
-            .map_err(CoreError::translate)?;
+            .map_err(|e| {
+                CoreError::translate(format!(
+                    "kernel validation failed ({} strategy) {e}",
+                    opt.label()
+                ))
+            })?;
         Ok(KernelRuntime {
             kernel,
             nested_state,
@@ -289,6 +300,15 @@ impl KernelRuntime {
             }
             pc += 1;
         }
+    }
+}
+
+// The engine dispatches translated jobs through the same seam as
+// manual closures and compiled kernels.
+impl SplitKernel for KernelRuntime {
+    #[inline]
+    fn run_split(&self, split: &Split<'_>, robj: &mut dyn RObjHandle) {
+        KernelRuntime::run_split(self, split, robj)
     }
 }
 

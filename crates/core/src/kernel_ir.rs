@@ -313,12 +313,40 @@ pub struct Kernel {
     pub out_names: Vec<String>,
 }
 
+/// A structural-validation failure of a [`Kernel`], naming the
+/// offending instruction when the failure is instruction-local.
+///
+/// Both the interpreter ([`crate::KernelRuntime`], whose dispatch loop
+/// performs unchecked register reads) and the codegen backend (which
+/// emits unchecked state-slice loads) require a kernel to have passed
+/// [`Kernel::validate`] first; this error is their shared precondition
+/// report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelValidateError {
+    /// Offending instruction index, when instruction-local (`None` for
+    /// whole-kernel failures like a missing terminal `Halt`).
+    pub pc: Option<usize>,
+    /// What was malformed.
+    pub reason: String,
+}
+
+impl std::fmt::Display for KernelValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.pc {
+            Some(pc) => write!(f, "at pc {pc}: {}", self.reason),
+            None => f.write_str(&self.reason),
+        }
+    }
+}
+
+impl std::error::Error for KernelValidateError {}
+
 impl Kernel {
     /// Validate structural invariants: every register operand addresses
     /// the register file, every path id addresses the path table, every
     /// jump target lands inside the code. The VM relies on this to use
     /// unchecked register access in its dispatch loop.
-    pub fn validate(&self, states: usize, groups: usize) -> Result<(), String> {
+    pub fn validate(&self, states: usize, groups: usize) -> Result<(), KernelValidateError> {
         let reg_ok = |r: &Reg| (*r as usize) < self.regs;
         let regs_ok = |rs: &[Reg]| rs.iter().all(reg_ok);
         let path_ok = |p: &PathId| (*p as usize) < self.paths.len();
@@ -380,15 +408,34 @@ impl Kernel {
                 Instr::Halt => true,
             };
             if !ok {
-                return Err(format!("invalid operand at pc {pc}: {ins:?}"));
+                return Err(KernelValidateError {
+                    pc: Some(pc),
+                    reason: format!(
+                        "invalid operand (register ≥ {}, path ≥ {}, state ≥ {states}, \
+                         group ≥ {groups}, or jump target ≥ {}): {ins:?}",
+                        self.regs,
+                        self.paths.len(),
+                        self.code.len()
+                    ),
+                });
             }
         }
         if self.entry > self.code.len() {
-            return Err("entry beyond code".into());
+            return Err(KernelValidateError {
+                pc: None,
+                reason: format!(
+                    "entry {} beyond code length {}",
+                    self.entry,
+                    self.code.len()
+                ),
+            });
         }
         match self.code.last() {
             Some(Instr::Halt) => Ok(()),
-            _ => Err("kernel does not end in Halt".into()),
+            _ => Err(KernelValidateError {
+                pc: None,
+                reason: "kernel does not end in Halt".into(),
+            }),
         }
     }
 

@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod chapel_abi;
 mod compile;
 mod detect;
@@ -38,14 +39,17 @@ mod exec_kernel;
 mod kernel_ir;
 mod translate;
 
+pub use backend::{
+    compiler_installed, install_compiler, make_runner, KernelCompiler, RunnerChoice,
+};
 pub use compile::{
     compile_loop, compile_reduce_expr, CompiledLoop, DatasetSpec, DatasetVar, OptLevel, OutSpec,
     StateSpec,
 };
 pub use detect::{detect, Detected, Detection, ExprReduction, LoopReduction, Rejection};
-pub use error::CoreError;
+pub use error::{CodegenError, CoreError};
 pub use exec_kernel::KernelRuntime;
-pub use kernel_ir::{ArithOp, CmpOp, Instr, Kernel, NavStep};
+pub use kernel_ir::{ArithOp, CmpOp, Instr, Kernel, KernelValidateError, NavStep};
 pub use translate::{zip_linearize, CompiledProgram, JobReport, TranslatedRun, Translator};
 
 #[cfg(test)]

@@ -14,14 +14,13 @@ use std::time::Instant;
 use chapel_frontend::ast::{Item, ReduceOp};
 use chapel_interp::{Interpreter, RtValue};
 use chapel_sema::analyze;
-use freeride::{CombineOp, DataView, Engine, GroupSpec, JobConfig, RObjLayout, RunStats, Split};
+use freeride::{CombineOp, DataView, Engine, GroupSpec, JobConfig, RObjLayout, RunStats};
 use linearize::{delinearize, Linearizer, Value};
 use obs::{AttrValue, Recorder, TraceLevel};
 
 use crate::compile::{compile_loop, compile_reduce_expr, CompiledLoop, OptLevel};
 use crate::detect::{detect, Detected, Rejection};
 use crate::error::CoreError;
-use crate::exec_kernel::KernelRuntime;
 
 /// The Chapel-with-FREERIDE "compiler" configuration.
 #[derive(Debug, Clone, Default)]
@@ -56,6 +55,14 @@ impl Translator {
     pub fn traced(mut self, recorder: Arc<Recorder>) -> Translator {
         self.config.trace = recorder.level();
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// This translator executing offloaded kernels on `backend`. A
+    /// `Compiled` request degrades to the interpreter (with a recorded
+    /// fallback) when no codegen backend is installed or usable.
+    pub fn backend(mut self, backend: freeride::KernelBackend) -> Translator {
+        self.config.backend = backend;
         self
     }
 
@@ -323,16 +330,23 @@ impl Translator {
             .collect();
         let layout = RObjLayout::new(groups);
 
-        let runtime = KernelRuntime::new(c.kernel.clone(), nested_state, flat_state, c.lo)?;
+        // Backend dispatch: compiled when requested *and* possible,
+        // interpreter otherwise (fallback is recorded, never fatal).
+        let choice = crate::backend::make_runner(
+            self.config.backend,
+            &c.kernel,
+            nested_state,
+            flat_state,
+            c.lo,
+            c.opt,
+            self.recorder.as_deref(),
+        )?;
         let view = DataView::new(&buffer, c.dataset.unit)?;
         let engine = match &self.recorder {
             Some(rec) => Engine::with_recorder(self.config.clone(), rec.clone()),
             None => Engine::new(self.config.clone()),
         };
-        let kernel_fn = |split: &Split<'_>, robj: &mut dyn freeride::RObjHandle| {
-            runtime.run_split(split, robj);
-        };
-        let outcome = engine.run(view, &layout, &kernel_fn);
+        let outcome = engine.run(view, &layout, choice.runner.as_ref());
 
         // ---- Write-back. ----
         let writeback_start = Instant::now();

@@ -1,0 +1,354 @@
+//! Property tests: `Kernel::validate` is total — on *arbitrary*
+//! instruction streams it returns a typed [`KernelValidateError`]
+//! (naming the offending pc) or `Ok`, and never panics.
+//!
+//! This matters because both execution backends treat a validated
+//! kernel as a license for unchecked access: the interpreter's dispatch
+//! loop reads registers without bounds checks, and the codegen backend
+//! emits unchecked state-slice loads. `validate` is the single
+//! gatekeeper, so it must hold up against any bytecode a buggy
+//! translation strategy could emit — not just shapes the current
+//! compiler produces.
+
+use cfr_core::{ArithOp, CmpOp, Instr, Kernel, KernelRuntime, NavStep, OptLevel};
+use linearize::PathMeta;
+use proptest::prelude::*;
+
+/// Bound for generated operands, deliberately *larger* than the
+/// register file / tables of the kernels under test so a healthy share
+/// of generated instructions are malformed.
+const OPERAND_BOUND: u16 = 24;
+
+fn arb_arith() -> impl Strategy<Value = ArithOp> {
+    prop_oneof![
+        Just(ArithOp::Add),
+        Just(ArithOp::Sub),
+        Just(ArithOp::Mul),
+        Just(ArithOp::Div),
+        Just(ArithOp::Mod),
+        Just(ArithOp::Pow),
+        Just(ArithOp::Min),
+        Just(ArithOp::Max),
+    ]
+}
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn arb_step() -> impl Strategy<Value = NavStep> {
+    prop_oneof![
+        (0usize..4).prop_map(NavStep::Field),
+        (0..OPERAND_BOUND).prop_map(NavStep::Index),
+    ]
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    let r = || 0..OPERAND_BOUND;
+    let rs = || proptest::collection::vec(0..OPERAND_BOUND, 0..3);
+    prop_oneof![
+        (r(), -4.0..4.0f64).prop_map(|(dst, val)| Instr::Const { dst, val }),
+        (r(), r()).prop_map(|(dst, src)| Instr::Mov { dst, src }),
+        (arb_arith(), r(), r(), r()).prop_map(|(op, dst, a, b)| Instr::Bin { op, dst, a, b }),
+        (arb_cmp(), r(), r(), r()).prop_map(|(op, dst, a, b)| Instr::Cmp { op, dst, a, b }),
+        (r(), r()).prop_map(|(dst, src)| Instr::Not { dst, src }),
+        (r(), r()).prop_map(|(dst, src)| Instr::Neg { dst, src }),
+        (r(), r()).prop_map(|(dst, src)| Instr::Floor { dst, src }),
+        (r(), r()).prop_map(|(dst, src)| Instr::Sqrt { dst, src }),
+        (r(), r()).prop_map(|(dst, src)| Instr::Abs { dst, src }),
+        (0usize..48).prop_map(|target| Instr::Jump { target }),
+        (r(), 0usize..48).prop_map(|(cond, target)| Instr::JumpIfZero { cond, target }),
+        r().prop_map(|dst| Instr::LoadRow { dst }),
+        (r(), 0..OPERAND_BOUND, rs()).prop_map(|(dst, path, idx)| Instr::LoadData {
+            dst,
+            path,
+            idx
+        }),
+        (r(), 0..OPERAND_BOUND, rs()).prop_map(|(dst, path, outer)| Instr::DataBase {
+            dst,
+            path,
+            outer
+        }),
+        (r(), r(), r(), 0usize..8).prop_map(|(dst, base, k, stride)| Instr::LoadDataAt {
+            dst,
+            base,
+            k,
+            stride
+        }),
+        (
+            r(),
+            0..OPERAND_BOUND,
+            proptest::collection::vec(arb_step(), 0..3)
+        )
+            .prop_map(|(dst, state, steps)| Instr::LoadStateNested { dst, state, steps }),
+        (r(), 0..OPERAND_BOUND, 0..OPERAND_BOUND, rs()).prop_map(|(dst, state, path, idx)| {
+            Instr::LoadStateFlat {
+                dst,
+                state,
+                path,
+                idx,
+            }
+        }),
+        (r(), 0..OPERAND_BOUND, 0..OPERAND_BOUND, rs()).prop_map(|(dst, state, path, outer)| {
+            Instr::StateBase {
+                dst,
+                state,
+                path,
+                outer,
+            }
+        }),
+        (r(), 0..OPERAND_BOUND, r(), r(), 0usize..8).prop_map(|(dst, state, base, k, stride)| {
+            Instr::LoadStateAt {
+                dst,
+                state,
+                base,
+                k,
+                stride,
+            }
+        }),
+        (r(), 0..OPERAND_BOUND, rs()).prop_map(|(dst, path, idx)| Instr::OutIndex {
+            dst,
+            path,
+            idx
+        }),
+        (r(), r(), 0usize..48).prop_map(|(var, hi, target)| Instr::IncRangeJump {
+            var,
+            hi,
+            target
+        }),
+        (r(), r(), r()).prop_map(|(dst, a, b)| Instr::Fma { dst, a, b }),
+        (0..OPERAND_BOUND, r(), r()).prop_map(|(group, cell, val)| Instr::Accumulate {
+            group,
+            cell,
+            val
+        }),
+        Just(Instr::Halt),
+    ]
+}
+
+/// A scalar access path: one level, unit size 1 — enough for the path
+/// table to be non-empty without exercising the linearizer here.
+fn scalar_path() -> PathMeta {
+    PathMeta {
+        levels: 1,
+        unit_size: vec![1],
+        unit_offset: vec![Vec::new()],
+        position: vec![Vec::new()],
+        level_offset: Vec::new(),
+        terminal_offset: 0,
+    }
+}
+
+fn arb_kernel() -> impl Strategy<Value = Kernel> {
+    (
+        proptest::collection::vec(arb_instr(), 0..24),
+        0usize..28,
+        0usize..12,
+        0usize..3,
+    )
+        .prop_map(|(code, entry, regs, npaths)| Kernel {
+            code,
+            entry,
+            regs,
+            paths: vec![scalar_path(); npaths],
+            state_names: Vec::new(),
+            out_names: Vec::new(),
+        })
+}
+
+/// The smallest well-formed kernel over the given tables: used as the
+/// baseline that single-instruction mutations are injected into.
+fn trivial_kernel(regs: usize, npaths: usize) -> Kernel {
+    Kernel {
+        code: vec![
+            Instr::Const { dst: 0, val: 0.0 },
+            Instr::LoadRow { dst: 1 },
+            Instr::Halt,
+        ],
+        entry: 1,
+        regs,
+        paths: vec![scalar_path(); npaths],
+        state_names: Vec::new(),
+        out_names: Vec::new(),
+    }
+}
+
+proptest! {
+    /// `validate` is total over arbitrary bytecode: whatever garbage a
+    /// broken translation strategy hands it, the answer is a `Result`,
+    /// never a panic (proptest turns a panic inside the closure into a
+    /// test failure).
+    #[test]
+    fn validate_never_panics_on_arbitrary_bytecode(
+        kernel in arb_kernel(),
+        states in 0usize..4,
+        groups in 0usize..4,
+    ) {
+        let _ = kernel.validate(states, groups);
+    }
+
+    /// `KernelRuntime::new` (the interpreter's front door) shares the
+    /// totality guarantee and reports rejects as typed `CoreError`s
+    /// that name the strategy under which the kernel was produced.
+    #[test]
+    fn runtime_construction_never_panics_on_arbitrary_bytecode(kernel in arb_kernel()) {
+        if let Err(e) = KernelRuntime::new(kernel, Vec::new(), Vec::new(), 1, OptLevel::Opt2) {
+            let msg = e.to_string();
+            prop_assert!(
+                msg.contains("opt-2"),
+                "reject must name the strategy: {msg}"
+            );
+        }
+    }
+
+    /// When `validate` accepts, the acceptance is meaningful: every
+    /// register operand really is inside the register file, every jump
+    /// target inside the code, and the stream ends in `Halt` — checked
+    /// here against an independent re-walk of the instruction stream.
+    #[test]
+    fn validate_ok_implies_every_operand_in_bounds(
+        kernel in arb_kernel(),
+        states in 0usize..4,
+        groups in 0usize..4,
+    ) {
+        if kernel.validate(states, groups).is_err() {
+            return Ok(());
+        }
+        prop_assert!(matches!(kernel.code.last(), Some(Instr::Halt)));
+        prop_assert!(kernel.entry <= kernel.code.len());
+        for ins in &kernel.code {
+            for reg in operand_regs(ins) {
+                prop_assert!((reg as usize) < kernel.regs, "{ins:?} escapes the register file");
+            }
+            for path in operand_paths(ins) {
+                prop_assert!((path as usize) < kernel.paths.len(), "{ins:?} escapes the path table");
+            }
+            if let Some(target) = jump_target(ins) {
+                prop_assert!(target < kernel.code.len(), "{ins:?} jumps outside the code");
+            }
+        }
+    }
+
+    /// Injecting a single out-of-range operand into an otherwise valid
+    /// kernel is always caught, and the error names the exact pc of the
+    /// mutation. This is the property the satellite asks for: malformed
+    /// bytecode is *rejected*, not executed or panicked on.
+    #[test]
+    fn single_bad_operand_is_rejected_at_its_pc(
+        kind in 0usize..5,
+        overshoot in 0u16..8,
+    ) {
+        let regs = 4usize;
+        let states = 2usize;
+        let groups = 2usize;
+        let mut kernel = trivial_kernel(regs, 2);
+        let bad_reg = regs as u16 + overshoot;
+        let bad = match kind {
+            0 => Instr::Mov { dst: bad_reg, src: 0 },
+            1 => Instr::LoadData { dst: 0, path: 2 + overshoot, idx: vec![0] },
+            2 => Instr::LoadStateFlat { dst: 0, state: states as u16 + overshoot, path: 0, idx: vec![] },
+            3 => Instr::Accumulate { group: groups as u16 + overshoot, cell: 0, val: 0 },
+            _ => Instr::Jump { target: 64 + overshoot as usize },
+        };
+        // Splice before the Halt so the stream still terminates.
+        let pc = kernel.code.len() - 1;
+        kernel.code.insert(pc, bad);
+        let err = kernel.validate(states, groups).expect_err("mutation must be rejected");
+        prop_assert_eq!(err.pc, Some(pc), "error must name the mutated pc: {}", err);
+    }
+
+    /// Whole-kernel failures (no terminal `Halt`, entry past the end)
+    /// are rejected with `pc: None` rather than pinned on an innocent
+    /// instruction.
+    #[test]
+    fn truncated_kernels_are_rejected_without_a_pc(extra_entry in 1usize..8) {
+        let mut kernel = trivial_kernel(4, 1);
+        kernel.code.pop(); // drop the Halt
+        let err = kernel.validate(0, 0).expect_err("missing Halt must be rejected");
+        prop_assert_eq!(err.pc, None);
+
+        let mut kernel = trivial_kernel(4, 1);
+        kernel.entry = kernel.code.len() + extra_entry;
+        let err = kernel.validate(0, 0).expect_err("entry past the end must be rejected");
+        prop_assert_eq!(err.pc, None);
+    }
+}
+
+/// Independent enumeration of an instruction's register operands (the
+/// re-walk `validate_ok_implies_every_operand_in_bounds` checks
+/// against). Kept deliberately separate from `validate`'s own match.
+fn operand_regs(ins: &Instr) -> Vec<u16> {
+    match ins {
+        Instr::Const { dst, .. } | Instr::LoadRow { dst } => vec![*dst],
+        Instr::Mov { dst, src }
+        | Instr::Not { dst, src }
+        | Instr::Neg { dst, src }
+        | Instr::Floor { dst, src }
+        | Instr::Sqrt { dst, src }
+        | Instr::Abs { dst, src } => vec![*dst, *src],
+        Instr::Bin { dst, a, b, .. } | Instr::Cmp { dst, a, b, .. } | Instr::Fma { dst, a, b } => {
+            vec![*dst, *a, *b]
+        }
+        Instr::Jump { .. } | Instr::Halt => Vec::new(),
+        Instr::JumpIfZero { cond, .. } => vec![*cond],
+        Instr::IncRangeJump { var, hi, .. } => vec![*var, *hi],
+        Instr::LoadData { dst, idx, .. } | Instr::OutIndex { dst, idx, .. } => {
+            let mut v = vec![*dst];
+            v.extend_from_slice(idx);
+            v
+        }
+        Instr::DataBase { dst, outer, .. } => {
+            let mut v = vec![*dst];
+            v.extend_from_slice(outer);
+            v
+        }
+        Instr::LoadDataAt { dst, base, k, .. } => vec![*dst, *base, *k],
+        Instr::LoadStateNested { dst, steps, .. } => {
+            let mut v = vec![*dst];
+            v.extend(steps.iter().filter_map(|s| match s {
+                NavStep::Index(r) => Some(*r),
+                NavStep::Field(_) => None,
+            }));
+            v
+        }
+        Instr::LoadStateFlat { dst, idx, .. } => {
+            let mut v = vec![*dst];
+            v.extend_from_slice(idx);
+            v
+        }
+        Instr::StateBase { dst, outer, .. } => {
+            let mut v = vec![*dst];
+            v.extend_from_slice(outer);
+            v
+        }
+        Instr::LoadStateAt { dst, base, k, .. } => vec![*dst, *base, *k],
+        Instr::Accumulate { cell, val, .. } => vec![*cell, *val],
+    }
+}
+
+fn operand_paths(ins: &Instr) -> Vec<u16> {
+    match ins {
+        Instr::LoadData { path, .. }
+        | Instr::DataBase { path, .. }
+        | Instr::LoadStateFlat { path, .. }
+        | Instr::StateBase { path, .. }
+        | Instr::OutIndex { path, .. } => vec![*path],
+        _ => Vec::new(),
+    }
+}
+
+fn jump_target(ins: &Instr) -> Option<usize> {
+    match ins {
+        Instr::Jump { target }
+        | Instr::JumpIfZero { target, .. }
+        | Instr::IncRangeJump { target, .. } => Some(*target),
+        _ => None,
+    }
+}

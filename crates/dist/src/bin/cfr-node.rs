@@ -39,6 +39,12 @@ const USAGE: &str = "usage: cfr-node [--listen ADDR] [--port-file PATH] [--sessi
                      [--concurrent] [--chaos-kill-after-rounds N] [--slow-ms N]";
 
 fn main() -> ExitCode {
+    // Register the native codegen backend so jobs requesting
+    // `KernelBackend::Compiled` run natively on this node (without it
+    // they'd still run correctly, via the recorded interpreter
+    // fallback).
+    cfr_codegen::install();
+
     let mut listen = String::from("127.0.0.1:0");
     let mut port_file: Option<String> = None;
     let mut sessions: usize = 1;

@@ -167,6 +167,12 @@ pub struct ClusterConfig {
     /// Live-telemetry policy: node stats pushes and straggler
     /// detection.
     pub telemetry: TelemetryPolicy,
+    /// Kernel backend every node uses for kernel-IR tasks (the
+    /// `chapel.*` family); closure tasks ignore it. A `Compiled`
+    /// request degrades per-node to the interpreter (with a recorded
+    /// fallback) when the node has no codegen backend or no `rustc` —
+    /// results are bit-identical either way, so a mixed fleet is safe.
+    pub backend: freeride::KernelBackend,
 }
 
 impl ClusterConfig {
@@ -187,6 +193,7 @@ impl ClusterConfig {
             checkpoint_dir: None,
             job_tag: String::new(),
             telemetry: TelemetryPolicy::default(),
+            backend: freeride::KernelBackend::Interpreted,
         }
     }
 }

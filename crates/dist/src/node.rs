@@ -21,6 +21,7 @@ use crate::tasks;
 struct JobContext {
     task: String,
     params: Vec<i64>,
+    backend: freeride::KernelBackend,
     layout: Arc<RObjLayout>,
     file: freeride::source::FileDataset,
     shard_first: usize,
@@ -68,6 +69,7 @@ fn build_job(msg: Message) -> Result<JobContext, DistError> {
         buffers,
         readers,
         stats_every,
+        backend,
     } = msg
     else {
         return Err(DistError::Protocol {
@@ -101,11 +103,14 @@ fn build_job(msg: Message) -> Result<JobContext, DistError> {
     let mut config = JobConfig::with_threads(threads.max(1) as usize);
     config.trace = trace_level_from_ordinal(trace_level);
     config.io = crate::proto::io_mode_from_wire(io_mode, chunk_rows, buffers, readers);
+    config.backend = freeride::KernelBackend::from_wire(backend);
     let recorder = Arc::new(Recorder::new(config.trace));
+    let backend = config.backend;
     let engine = Engine::with_recorder(config, recorder.clone());
     Ok(JobContext {
         task,
         params,
+        backend,
         layout: local,
         file,
         shard_first: shard_first as usize,
@@ -128,7 +133,13 @@ fn run_round(
     state: &[f64],
     shards: &[(u64, u64)],
 ) -> Result<Vec<(u64, Vec<u8>)>, DistError> {
-    let kernel = tasks::kernel(&job.task, &job.params, state)?;
+    let kernel = tasks::kernel(
+        &job.task,
+        &job.params,
+        state,
+        job.backend,
+        Some(&job.recorder),
+    )?;
     let job_shard = [(job.shard_first as u64, job.shard_rows as u64)];
     let shards: &[(u64, u64)] = if shards.is_empty() {
         &job_shard

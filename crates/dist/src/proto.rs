@@ -28,8 +28,10 @@ pub const WIRE_MAGIC: &[u8; 4] = b"FRDM";
 /// fault-tolerant shard reassignment. Version 3 added live telemetry:
 /// node-measured `elapsed_ns` on `RoundResult` (the straggler signal),
 /// periodic `Stats` metrics frames, a `stats_every` job knob, and the
-/// node's final metrics snapshot on `JobDone`.
-pub const WIRE_VERSION: u8 = 3;
+/// node's final metrics snapshot on `JobDone`. Version 4 added the
+/// kernel `backend` byte on `Job`, so a coordinator can ask the fleet
+/// to run kernel-IR tasks through the native codegen path.
+pub const WIRE_VERSION: u8 = 4;
 /// Upper bound on a frame payload (64 MiB): a corrupt length field
 /// fails fast instead of triggering a giant allocation.
 pub const MAX_FRAME_LEN: u32 = 64 << 20;
@@ -92,6 +94,11 @@ pub enum Message {
         /// `RoundResult` (0 disables periodic pushes; the final
         /// snapshot still arrives on `JobDone`).
         stats_every: u32,
+        /// Kernel backend for kernel-IR tasks
+        /// ([`freeride::KernelBackend::to_wire`] byte; closure tasks
+        /// ignore it). Decoded with `from_wire`, so an unknown byte
+        /// degrades to the interpreter rather than failing the job.
+        backend: u8,
     },
     /// Coordinator → node: run one local reduction pass over the
     /// node's shards with this round's broadcast state (e.g. current
@@ -366,6 +373,7 @@ impl Message {
                 buffers,
                 readers,
                 stats_every,
+                backend,
             } => {
                 put_str(&mut out, task);
                 put_i64s(&mut out, params);
@@ -380,6 +388,7 @@ impl Message {
                 out.extend_from_slice(&buffers.to_le_bytes());
                 out.extend_from_slice(&readers.to_le_bytes());
                 out.extend_from_slice(&stats_every.to_le_bytes());
+                out.push(*backend);
             }
             Message::Round {
                 round,
@@ -460,6 +469,7 @@ impl Message {
                 buffers: r.u32("buffers")?,
                 readers: r.u32("readers")?,
                 stats_every: r.u32("stats_every")?,
+                backend: r.u8("backend")?,
             },
             TYPE_ROUND => Message::Round {
                 round: r.u32("round")?,
@@ -595,6 +605,7 @@ mod proto_tests {
                 buffers: 3,
                 readers: 2,
                 stats_every: 4,
+                backend: 1,
             },
             Message::Round {
                 round: 7,

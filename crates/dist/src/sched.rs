@@ -147,6 +147,7 @@ impl Fleet {
                     buffers,
                     readers,
                     stats_every: cfg.telemetry.stats_every,
+                    backend: cfg.backend.to_wire(),
                 },
                 stats,
             )?;

@@ -14,11 +14,19 @@
 //!
 //! Built-in tasks: `"sum"`, `"kmeans"`, `"pca.mean"`, `"pca.cov"` —
 //! mirroring the kernels in `cfr-apps` so cluster results are
-//! differentially testable against the single-process drivers.
+//! differentially testable against the single-process drivers — plus
+//! the kernel-IR family `"chapel.kmeans"`, which compiles the canned
+//! Chapel program through the detect→compile pipeline on the node and
+//! dispatches it through `cfr_core::make_runner`, honouring the job's
+//! [`freeride::KernelBackend`] (interpreter or native codegen).
 
 use std::sync::Arc;
 
-use freeride::{CombineOp, GroupSpec, RObjHandle, RObjLayout, ReductionObject, Split};
+use freeride::{
+    CombineOp, GroupSpec, KernelBackend, RObjHandle, RObjLayout, ReductionObject, Split,
+};
+use linearize::{Linearizer, Shape, Value};
+use obs::Recorder;
 
 use crate::error::DistError;
 
@@ -26,7 +34,7 @@ use crate::error::DistError;
 pub type TaskKernel = Box<dyn Fn(&Split<'_>, &mut dyn RObjHandle) + Sync + Send>;
 
 /// The names of all built-in tasks.
-pub const BUILTIN_TASKS: &[&str] = &["sum", "kmeans", "pca.mean", "pca.cov"];
+pub const BUILTIN_TASKS: &[&str] = &["sum", "kmeans", "pca.mean", "pca.cov", "chapel.kmeans"];
 
 fn bad<T>(reason: impl Into<String>) -> Result<T, DistError> {
     Err(DistError::BadTask {
@@ -42,6 +50,18 @@ fn param(params: &[i64], i: usize, task: &str, what: &str) -> Result<usize, Dist
     }
 }
 
+/// The code-generation strategy parameter of the `chapel.*` tasks
+/// (0 = generated, 1 = opt-1, 2 = opt-2).
+fn opt_param(params: &[i64], i: usize, task: &str) -> Result<cfr_core::OptLevel, DistError> {
+    match params.get(i) {
+        Some(0) => Ok(cfr_core::OptLevel::Generated),
+        Some(1) => Ok(cfr_core::OptLevel::Opt1),
+        Some(2) => Ok(cfr_core::OptLevel::Opt2),
+        Some(&v) => bad(format!("{task}: opt level must be 0..=2, got {v}")),
+        None => bad(format!("{task}: missing param {i} (opt level)")),
+    }
+}
+
 /// The reduction-object layout for `task` with `params`.
 pub fn layout(task: &str, params: &[i64]) -> Result<Arc<RObjLayout>, DistError> {
     match task {
@@ -53,6 +73,15 @@ pub fn layout(task: &str, params: &[i64]) -> Result<Arc<RObjLayout>, DistError> 
         "kmeans" => {
             let k = param(params, 0, task, "k")?;
             let d = param(params, 1, task, "d")?;
+            Ok(RObjLayout::new(vec![GroupSpec::new(
+                "newCent",
+                k * (d + 1),
+                CombineOp::Sum,
+            )]))
+        }
+        "chapel.kmeans" => {
+            let k = param(params, 1, task, "k")?;
+            let d = param(params, 2, task, "d")?;
             Ok(RObjLayout::new(vec![GroupSpec::new(
                 "newCent",
                 k * (d + 1),
@@ -83,8 +112,17 @@ pub fn layout(task: &str, params: &[i64]) -> Result<Arc<RObjLayout>, DistError> 
 
 /// Build the local-reduction kernel for one round of `task`, capturing
 /// this round's broadcast `state`. State length is validated against
-/// `params`.
-pub fn kernel(task: &str, params: &[i64], state: &[f64]) -> Result<TaskKernel, DistError> {
+/// `params`. `backend` selects the execution path for kernel-IR tasks
+/// (the `chapel.*` family) — closure tasks ignore it; `recorder` (when
+/// given) receives the codegen spans and fallback instants of that
+/// selection.
+pub fn kernel(
+    task: &str,
+    params: &[i64],
+    state: &[f64],
+    backend: KernelBackend,
+    recorder: Option<&Recorder>,
+) -> Result<TaskKernel, DistError> {
     match task {
         "sum" => Ok(Box::new(|split: &Split<'_>, robj: &mut dyn RObjHandle| {
             for row in split.iter_rows() {
@@ -164,10 +202,115 @@ pub fn kernel(task: &str, params: &[i64], state: &[f64]) -> Result<TaskKernel, D
                 },
             ))
         }
+        "chapel.kmeans" => chapel_kmeans_kernel(params, state, backend, recorder),
         other => bad(format!(
             "unknown task `{other}` (built-ins: {BUILTIN_TASKS:?})"
         )),
     }
+}
+
+/// One round of the translated k-means: compile the canned Chapel
+/// program (`chapel_frontend::programs::kmeans`) through
+/// detect→compile, rebuild this round's centroid state in the
+/// representation the opt level uses, and dispatch through
+/// `cfr_core::make_runner` so the job's [`KernelBackend`] decides
+/// whether the split loop runs on the kernel VM or natively. Params:
+/// `[n, k, d, opt]` (`n` is the Chapel program's declared dataset size;
+/// the kernel itself is shard-invariant). Compilation is pure CPU work
+/// per round; the expensive native `rustc` artifact is cached
+/// process-wide by content hash, so only the first compiled round pays.
+fn chapel_kmeans_kernel(
+    params: &[i64],
+    state: &[f64],
+    backend: KernelBackend,
+    recorder: Option<&Recorder>,
+) -> Result<TaskKernel, DistError> {
+    let task = "chapel.kmeans";
+    let n = param(params, 0, task, "n")?;
+    let k = param(params, 1, task, "k")?;
+    let d = param(params, 2, task, "d")?;
+    let opt = opt_param(params, 3, task)?;
+    if state.len() != k * d {
+        return bad(format!(
+            "{task}: state holds {} values, expected k*d = {}",
+            state.len(),
+            k * d
+        ));
+    }
+
+    let src = chapel_frontend::programs::kmeans(n, k, d);
+    let program = chapel_frontend::parse(&src).map_err(|e| to_bad(task, "parse", &e))?;
+    let analysis = chapel_sema::analyze(&program)
+        .map_err(cfr_core::CoreError::from)
+        .map_err(|e| to_bad(task, "analyze", &e))?;
+    let detection = cfr_core::detect(&program, &analysis);
+    let red = detection
+        .detected
+        .values()
+        .find_map(|x| match x {
+            cfr_core::Detected::Loop(l) => Some(l.clone()),
+            _ => None,
+        })
+        .ok_or_else(|| DistError::BadTask {
+            reason: format!("{task}: reduction loop not detected"),
+        })?;
+    let compiled = cfr_core::compile_loop(&program, &analysis, &red, opt)
+        .map_err(|e| to_bad(task, "compile", &e))?;
+
+    let nested = centroids_value(state, k, d);
+    let (nested_state, flat_state) = if opt == cfr_core::OptLevel::Opt2 {
+        let shape = Shape::array(
+            Shape::record(vec![
+                ("pos", Shape::array(Shape::Real, d)),
+                ("count", Shape::Int),
+            ]),
+            k,
+        );
+        let flat = Linearizer::new(&shape)
+            .linearize(&nested)
+            .map_err(|e| to_bad(task, "linearize state", &e))?
+            .buffer;
+        (vec![nested], vec![flat])
+    } else {
+        (vec![nested], vec![Vec::new()])
+    };
+    let choice = cfr_core::make_runner(
+        backend,
+        &compiled.kernel,
+        nested_state,
+        flat_state,
+        compiled.lo,
+        compiled.opt,
+        recorder,
+    )
+    .map_err(|e| to_bad(task, "instantiate kernel", &e))?;
+    let runner = choice.runner;
+    Ok(Box::new(
+        move |split: &Split<'_>, robj: &mut dyn RObjHandle| runner.run_split(split, robj),
+    ))
+}
+
+fn to_bad(task: &str, stage: &str, e: &impl std::fmt::Display) -> DistError {
+    DistError::BadTask {
+        reason: format!("{task}: {stage}: {e}"),
+    }
+}
+
+/// Rebuild the nested centroid structure the Chapel program reduces
+/// over (`[1..k] record Centroid { pos: [1..d] real; count: int }`)
+/// from the flat broadcast coordinates, counts reset to zero — the same
+/// per-iteration rebuild the single-process `cfr-apps` driver performs.
+fn centroids_value(flat: &[f64], k: usize, d: usize) -> Value {
+    Value::Array(
+        (0..k)
+            .map(|c| {
+                Value::Record(vec![
+                    Value::Array((0..d).map(|j| Value::Real(flat[c * d + j])).collect()),
+                    Value::Int(0),
+                ])
+            })
+            .collect(),
+    )
 }
 
 /// Coordinator-side outer-loop step: fold the globally combined object
@@ -180,9 +323,11 @@ pub fn step(
     merged: &ReductionObject,
 ) -> Result<Option<Vec<f64>>, DistError> {
     match task {
-        "kmeans" => {
-            let k = param(params, 0, task, "k")?;
-            let d = param(params, 1, task, "d")?;
+        "kmeans" | "chapel.kmeans" => {
+            // `chapel.kmeans` carries `n` in slot 0; `k`/`d` follow.
+            let base = if task == "chapel.kmeans" { 1 } else { 0 };
+            let k = param(params, base, task, "k")?;
+            let d = param(params, base + 1, task, "d")?;
             let cells = merged.group_slice(0);
             let mut next = state.to_vec();
             for c in 0..k {
@@ -215,7 +360,7 @@ mod tasks_tests {
         unit: usize,
     ) -> ReductionObject {
         let l = layout(task, params).unwrap();
-        let k = kernel(task, params, state).unwrap();
+        let k = kernel(task, params, state, KernelBackend::Interpreted, None).unwrap();
         let mut robj = ReductionObject::alloc(l);
         let view = DataView::new(data, unit).unwrap();
         let split = view.split(0, view.rows());
@@ -258,25 +403,82 @@ mod tasks_tests {
 
     #[test]
     fn bad_tasks_and_state_are_typed_errors() {
+        let interp = |task: &str, params: &[i64], state: &[f64]| {
+            kernel(task, params, state, KernelBackend::Interpreted, None)
+        };
         assert!(matches!(
             layout("nope", &[]),
             Err(DistError::BadTask { .. })
         ));
         assert!(matches!(
-            kernel("kmeans", &[2], &[]),
+            interp("kmeans", &[2], &[]),
             Err(DistError::BadTask { .. })
         ));
         assert!(matches!(
-            kernel("kmeans", &[2, 2], &[0.0]),
+            interp("kmeans", &[2, 2], &[0.0]),
             Err(DistError::BadTask { .. })
         ));
         assert!(matches!(
-            kernel("kmeans", &[0, 2], &[]),
+            interp("kmeans", &[0, 2], &[]),
             Err(DistError::BadTask { .. })
         ));
         assert!(matches!(
-            kernel("pca.cov", &[3], &[0.0]),
+            interp("pca.cov", &[3], &[0.0]),
             Err(DistError::BadTask { .. })
         ));
+        // chapel.kmeans: bad opt level and short state are typed too.
+        assert!(matches!(
+            interp("chapel.kmeans", &[8, 2, 2, 9], &[0.0; 4]),
+            Err(DistError::BadTask { .. })
+        ));
+        assert!(matches!(
+            interp("chapel.kmeans", &[8, 2, 2, 2], &[0.0]),
+            Err(DistError::BadTask { .. })
+        ));
+    }
+
+    /// The kernel-IR task agrees bitwise with the closure task on the
+    /// same flat dataset, at every opt level (interpreted path — the
+    /// compiled path is covered by the cluster backend-identity test).
+    #[test]
+    fn chapel_kmeans_matches_closure_task() {
+        let (n, k, d) = (24usize, 3usize, 2usize);
+        let mut data = Vec::with_capacity(n * d);
+        for i in 1..=n {
+            for j in 1..=d {
+                data.push(((i * 31 + j * 7) % 97) as f64);
+            }
+        }
+        let cents: Vec<f64> = (1..=k)
+            .flat_map(|c| (1..=d).map(move |j| ((c * 13 + j * 5) % 97) as f64))
+            .collect();
+        let base = run_local("kmeans", &[k as i64, d as i64], &cents, &data, d);
+        for opt in 0..=2i64 {
+            let got = run_local(
+                "chapel.kmeans",
+                &[n as i64, k as i64, d as i64, opt],
+                &cents,
+                &data,
+                d,
+            );
+            let (a, b) = (base.group_slice(0), got.group_slice(0));
+            assert_eq!(a.len(), b.len());
+            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "opt {opt} cell {i}: {x} vs {y}");
+            }
+            // step shares the closure task's centroid refinement.
+            let s1 = step("kmeans", &[k as i64, d as i64], &cents, &base)
+                .unwrap()
+                .unwrap();
+            let s2 = step(
+                "chapel.kmeans",
+                &[n as i64, k as i64, d as i64, opt],
+                &cents,
+                &got,
+            )
+            .unwrap()
+            .unwrap();
+            assert_eq!(s1, s2, "opt {opt} step");
+        }
     }
 }

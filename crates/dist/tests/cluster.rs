@@ -881,3 +881,93 @@ fn telemetry_absent_when_tracing_off() {
     assert!(out.trace.is_none());
     std::fs::remove_file(&path).ok();
 }
+
+// ---------------------------------------------------------------------
+// Kernel backend: the compiled escape hatch over the cluster wire.
+// ---------------------------------------------------------------------
+
+/// Integer-valued k-means points (the `cfr-apps` dataset formula): all
+/// partial sums are exact in f64, so cluster results are bitwise
+/// order-independent and the two backends can be compared to the bit.
+fn chapel_kmeans_data(n: usize, d: usize) -> Vec<f64> {
+    let mut buf = Vec::with_capacity(n * d);
+    for i in 1..=n {
+        for j in 1..=d {
+            buf.push(((i * 31 + j * 7) % 97) as f64);
+        }
+    }
+    buf
+}
+
+fn chapel_kmeans_cfg(path: &PathBuf, n: usize, k: usize, d: usize, opt: i64) -> ClusterConfig {
+    let mut cfg = ClusterConfig::new("chapel.kmeans", path);
+    cfg.params = vec![n as i64, k as i64, d as i64, opt];
+    cfg.init_state = (1..=k)
+        .flat_map(|c| (1..=d).map(move |j| ((c * 13 + j * 5) % 97) as f64))
+        .collect();
+    cfg.rounds = 2;
+    cfg.threads_per_node = 2;
+    cfg.read_timeout = Duration::from_secs(30);
+    cfg
+}
+
+/// The acceptance gate for the codegen escape hatch on the cluster
+/// path: `KernelBackend::Compiled` carried over the wire produces
+/// **bit-identical** state and cells to the interpreter, on 2- and
+/// 4-node loopback clusters, at every codegen strategy.
+#[test]
+fn cluster_backends_bit_identical_for_chapel_kmeans() {
+    cfr_codegen::install();
+    if !cfr_codegen::rustc_available() {
+        eprintln!("skipping: rustc unavailable — compiled backend falls back to interpreter");
+        return;
+    }
+    let (n, k, d) = (240usize, 3usize, 2usize);
+    let path = dataset("chapel-kmeans", d, &chapel_kmeans_data(n, d));
+    for opt in 0..=2i64 {
+        for nodes in [2usize, 4] {
+            let base = run_loopback(chapel_kmeans_cfg(&path, n, k, d, opt), nodes).unwrap();
+            let mut cfg = chapel_kmeans_cfg(&path, n, k, d, opt);
+            cfg.backend = freeride::KernelBackend::Compiled;
+            let compiled = run_loopback(cfg, nodes).unwrap();
+            assert_eq!(
+                bits(&base.state),
+                bits(&compiled.state),
+                "opt {opt}, {nodes} nodes: final centroids diverge"
+            );
+            assert_eq!(
+                bits(base.robj.group_slice(0)),
+                bits(compiled.robj.group_slice(0)),
+                "opt {opt}, {nodes} nodes: final cells diverge"
+            );
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// The nodes really take the native path when asked: a traced compiled
+/// run ships node traces whose merged counters show codegen activity
+/// and zero interpreter jobs (no silent fallback).
+#[test]
+fn cluster_compiled_run_records_codegen_in_node_traces() {
+    cfr_codegen::install();
+    if !cfr_codegen::rustc_available() {
+        eprintln!("skipping: rustc unavailable — compiled backend falls back to interpreter");
+        return;
+    }
+    let (n, k, d) = (120usize, 3usize, 2usize);
+    let path = dataset("chapel-kmeans-trace", d, &chapel_kmeans_data(n, d));
+    let mut cfg = chapel_kmeans_cfg(&path, n, k, d, 2);
+    cfg.backend = freeride::KernelBackend::Compiled;
+    cfg.trace = TraceLevel::Phases;
+    let out = run_loopback(cfg, 2).unwrap();
+    let trace = out.trace.expect("tracing was on");
+    // 2 nodes × 2 rounds of make_runner, all landing on the compiled
+    // backend (codegen.emit spans cache-hit after the first, but the
+    // job counter ticks every selection).
+    assert_eq!(trace.counters.get("core.codegen_jobs"), Some(&4));
+    assert_eq!(trace.counters.get("core.codegen_fallback"), None);
+    assert_eq!(trace.counters.get("core.interp_jobs"), None);
+    assert!(trace.count("codegen.emit") >= 1, "no codegen.emit span");
+    std::fs::remove_file(&path).ok();
+}

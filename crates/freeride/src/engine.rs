@@ -34,11 +34,12 @@ use std::time::Instant;
 use obs::{AttrValue, Recorder, Trace, TraceLevel};
 use parking_lot::Mutex;
 
+use crate::kernel::{KernelBackend, SplitKernel};
 use crate::pool::WorkerPool;
 use crate::robj::{RObjLayout, ReductionObject};
 use crate::split::{DataView, Split, Splitter};
 use crate::stats::{IoActivity, PhaseTimes, RunStats, SplitStat};
-use crate::sync::{RObjHandle, SharedCells, SharedHandle, SyncScheme};
+use crate::sync::{SharedCells, SharedHandle, SyncScheme};
 
 /// Pairwise reduction-object combination (the paper's `combination_t`).
 /// `None` selects the default combine (cell-wise group ops).
@@ -158,6 +159,11 @@ pub struct JobConfig {
     /// How disk-resident datasets are read (`run_file*` paths only;
     /// in-memory runs ignore it).
     pub io: IoMode,
+    /// How *translated* jobs execute their kernel bytecode: the
+    /// interpreted kernel VM (reference) or the native codegen escape
+    /// hatch with automatic interpreter fallback. Manual closure
+    /// kernels ignore it.
+    pub backend: KernelBackend,
 }
 
 impl Default for JobConfig {
@@ -170,6 +176,7 @@ impl Default for JobConfig {
             parallel_merge_threshold: 1 << 16,
             trace: TraceLevel::Off,
             io: IoMode::Sync,
+            backend: KernelBackend::Interpreted,
         }
     }
 }
@@ -340,7 +347,7 @@ impl Engine {
     /// Run one reduction loop over `view` with the default combination.
     pub fn run<K>(&self, view: DataView<'_>, layout: &Arc<RObjLayout>, kernel: &K) -> JobOutcome
     where
-        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+        K: SplitKernel + ?Sized,
     {
         self.run_with(view, layout, kernel, None, None)
     }
@@ -356,7 +363,7 @@ impl Engine {
         finalize: Option<&FinalizeFn>,
     ) -> JobOutcome
     where
-        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+        K: SplitKernel + ?Sized,
     {
         let wall_start = Instant::now();
         let threads = self.config.threads.max(1);
@@ -405,7 +412,7 @@ impl Engine {
         kernel: &K,
     ) -> Result<JobOutcome, crate::FreerideError>
     where
-        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+        K: SplitKernel + ?Sized,
     {
         self.run_file_with(file, layout, kernel, None, None)
     }
@@ -430,7 +437,7 @@ impl Engine {
         finalize: Option<&FinalizeFn>,
     ) -> Result<JobOutcome, crate::FreerideError>
     where
-        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+        K: SplitKernel + ?Sized,
     {
         self.run_file_shard_with(file, 0, file.rows(), layout, kernel, combination, finalize)
     }
@@ -447,7 +454,7 @@ impl Engine {
         kernel: &K,
     ) -> Result<JobOutcome, crate::FreerideError>
     where
-        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+        K: SplitKernel + ?Sized,
     {
         self.run_file_shard_with(file, first_row, row_count, layout, kernel, None, None)
     }
@@ -472,7 +479,7 @@ impl Engine {
         finalize: Option<&FinalizeFn>,
     ) -> Result<JobOutcome, crate::FreerideError>
     where
-        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+        K: SplitKernel + ?Sized,
     {
         if shard_first
             .checked_add(shard_rows)
@@ -554,10 +561,10 @@ impl Engine {
                     row_count: count,
                 };
                 match (&mut local, shared) {
-                    (Some(robj), _) => kernel(&split, robj),
+                    (Some(robj), _) => kernel.run_split(&split, robj),
                     (None, Some(backend)) => {
                         let mut handle = SharedHandle::new(backend);
-                        kernel(&split, &mut handle);
+                        kernel.run_split(&split, &mut handle);
                     }
                     (None, None) => unreachable!("no reduction target"),
                 }
@@ -655,7 +662,7 @@ impl Engine {
         finalize: Option<&FinalizeFn>,
     ) -> Result<JobOutcome, crate::FreerideError>
     where
-        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+        K: SplitKernel + ?Sized,
     {
         if shard_first
             .checked_add(shard_rows)
@@ -711,10 +718,10 @@ impl Engine {
                     row_count: chunk.rows,
                 };
                 match (&mut local, shared) {
-                    (Some(robj), _) => kernel(&split, robj),
+                    (Some(robj), _) => kernel.run_split(&split, robj),
                     (None, Some(backend)) => {
                         let mut handle = SharedHandle::new(backend);
-                        kernel(&split, &mut handle);
+                        kernel.run_split(&split, &mut handle);
                     }
                     (None, None) => unreachable!("no reduction target"),
                 }
@@ -829,7 +836,7 @@ impl Engine {
         step: impl FnMut(usize, &ReductionObject) -> bool,
     ) -> JobOutcome
     where
-        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+        K: SplitKernel + ?Sized,
     {
         self.run_iterations_with(view, layout, iters, kernel, None, None, step)
     }
@@ -849,7 +856,7 @@ impl Engine {
         step: impl FnMut(usize, &ReductionObject) -> bool,
     ) -> JobOutcome
     where
-        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+        K: SplitKernel + ?Sized,
     {
         self.run_iterations_resumable(
             view,
@@ -888,7 +895,7 @@ impl Engine {
         mut checkpoint: impl FnMut(usize, &ReductionObject),
     ) -> JobOutcome
     where
-        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+        K: SplitKernel + ?Sized,
     {
         let iters = iters.max(1);
         assert!(
@@ -1076,7 +1083,7 @@ impl Engine {
         ranges: &[(usize, usize)],
     ) -> (Vec<ReductionObject>, Vec<SplitStat>, Option<SharedCells>)
     where
-        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+        K: SplitKernel + ?Sized,
     {
         let threads = self.config.threads.max(1);
         let shared = SharedCells::for_scheme(self.config.scheme, layout);
@@ -1089,7 +1096,7 @@ impl Engine {
                 let split = view.split(first, count);
                 let mut handle = SharedHandle::new(backend);
                 let t0 = Instant::now();
-                kernel(&split, &mut handle);
+                kernel.run_split(&split, &mut handle);
                 splits.push(SplitStat {
                     split: i,
                     first_row: first,
@@ -1113,7 +1120,7 @@ impl Engine {
                 let split = view.split(first, count);
                 let worker = i % threads;
                 let t0 = Instant::now();
-                kernel(&split, &mut copies[worker]);
+                kernel.run_split(&split, &mut copies[worker]);
                 splits.push(SplitStat {
                     split: i,
                     first_row: first,
@@ -1139,7 +1146,7 @@ impl Engine {
         ranges: &[(usize, usize)],
     ) -> (Vec<ReductionObject>, Vec<SplitStat>, Option<SharedCells>)
     where
-        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+        K: SplitKernel + ?Sized,
     {
         let threads = self.config.threads.max(1);
         self.pool.ensure_workers(threads);
@@ -1171,10 +1178,10 @@ impl Engine {
                     let split = view.split(first, count);
                     let t0 = Instant::now();
                     match (&mut local, shared) {
-                        (Some(robj), _) => kernel(&split, robj),
+                        (Some(robj), _) => kernel.run_split(&split, robj),
                         (None, Some(backend)) => {
                             let mut handle = SharedHandle::new(backend);
-                            kernel(&split, &mut handle);
+                            kernel.run_split(&split, &mut handle);
                         }
                         (None, None) => unreachable!("no reduction target"),
                     }
@@ -1208,7 +1215,7 @@ impl Engine {
         ranges: &[(usize, usize)],
     ) -> (Vec<ReductionObject>, Vec<SplitStat>, Option<SharedCells>)
     where
-        K: Fn(&Split<'_>, &mut dyn RObjHandle) + Sync,
+        K: SplitKernel + ?Sized,
     {
         let threads = self.config.threads.max(1);
         let shared = SharedCells::for_scheme(self.config.scheme, layout);
@@ -1241,10 +1248,10 @@ impl Engine {
                         let split = view.split(first, count);
                         let t0 = Instant::now();
                         match (&mut local, shared) {
-                            (Some(robj), _) => kernel(&split, robj),
+                            (Some(robj), _) => kernel.run_split(&split, robj),
                             (None, Some(backend)) => {
                                 let mut handle = SharedHandle::new(backend);
-                                kernel(&split, &mut handle);
+                                kernel.run_split(&split, &mut handle);
                             }
                             (None, None) => unreachable!("no reduction target"),
                         }
@@ -1382,6 +1389,7 @@ fn scoped_tree_merge(
 mod engine_tests {
     use super::*;
     use crate::robj::{CombineOp, GroupSpec};
+    use crate::sync::RObjHandle;
 
     fn sum_layout() -> Arc<RObjLayout> {
         RObjLayout::new(vec![GroupSpec::new("sum", 1, CombineOp::Sum)])

@@ -37,6 +37,7 @@
 mod api;
 mod engine;
 mod error;
+mod kernel;
 pub mod mapreduce;
 pub mod pool;
 mod robj;
@@ -48,6 +49,7 @@ mod sync;
 pub use api::{Application, ReductionFn, Runtime};
 pub use engine::{CombinationFn, Engine, ExecMode, FinalizeFn, IoMode, JobConfig, JobOutcome};
 pub use error::FreerideError;
+pub use kernel::{KernelBackend, SplitKernel};
 pub use pool::WorkerPool;
 pub use robj::{CombineOp, GroupSpec, RObjLayout, ReductionObject};
 pub use split::{DataView, Split, Splitter, SplitterFn};

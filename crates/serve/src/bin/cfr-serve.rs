@@ -41,6 +41,12 @@ const USAGE: &str = "usage: cfr-serve --node-addr ADDR [--node-addr ADDR]... [--
                      [--metrics-port-file PATH]";
 
 fn main() -> ExitCode {
+    // Register the native codegen backend so in-process Chapel jobs
+    // requesting `KernelBackend::Compiled` run natively (task jobs
+    // forward the backend to the node fleet instead). Without it they
+    // still run correctly via the recorded interpreter fallback.
+    cfr_codegen::install();
+
     let mut listen = String::from("127.0.0.1:0");
     let mut port_file: Option<String> = None;
     let mut metrics_port_file: Option<String> = None;

@@ -5,8 +5,10 @@
 //!
 //! actions (one per invocation):
 //!   --task NAME --dataset PATH [--params a,b,..] [--init x,y,..]
-//!       [--rounds N] [--threads N]       run a registered cluster task
-//!   --chapel FILE [--opt N] [--threads N] [--global NAME]...
+//!       [--rounds N] [--threads N] [--backend interp|compiled]
+//!       run a registered cluster task
+//!   --chapel FILE [--opt N] [--threads N] [--backend interp|compiled]
+//!       [--global NAME]...
 //!       run a Chapel program ('-' reads source from stdin)
 //!   --status                             print the server counters
 //!   --stop                               stop the server
@@ -28,7 +30,8 @@ use cfr_serve::{Client, JobSpec};
 const USAGE: &str = "usage: cfr-submit --server ADDR [--tenant NAME] [--token T] \
                      (--task NAME --dataset PATH [--params a,b] [--init x,y] [--rounds N] \
                      [--threads N] | --chapel FILE [--opt N] [--threads N] [--global NAME]... \
-                     | --status | --stop) [--job-trace-out PATH] [--dump-server-trace PATH]";
+                     | --status | --stop) [--backend interp|compiled] [--job-trace-out PATH] \
+                     [--dump-server-trace PATH]";
 
 fn main() -> ExitCode {
     let mut server: Option<String> = None;
@@ -42,6 +45,7 @@ fn main() -> ExitCode {
     let mut threads: u32 = 1;
     let mut chapel: Option<String> = None;
     let mut opt: u8 = 2;
+    let mut backend = freeride::KernelBackend::Interpreted;
     let mut globals: Vec<String> = Vec::new();
     let mut status = false;
     let mut stop = false;
@@ -95,6 +99,10 @@ fn main() -> ExitCode {
                 Some(n) => opt = n,
                 None => return usage_error("--opt requires 0, 1, or 2"),
             },
+            "--backend" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(b) => backend = b,
+                None => return usage_error("--backend requires `interp` or `compiled`"),
+            },
             "--global" => match args.next() {
                 Some(g) => globals.push(g),
                 None => return usage_error("--global requires a name"),
@@ -138,6 +146,7 @@ fn main() -> ExitCode {
                 rounds,
                 dataset,
                 threads_per_node: threads,
+                backend: backend.to_wire(),
             })
         }
         (None, Some(file)) => {
@@ -158,6 +167,7 @@ fn main() -> ExitCode {
                 opt,
                 threads,
                 globals,
+                backend: backend.to_wire(),
             })
         }
         (None, None) => None,

@@ -29,8 +29,10 @@ pub const WIRE_MAGIC: &[u8; 4] = b"FRSV";
 /// [`ServerStatus`] with per-tenant quota rows and the queue order, and
 /// adds the [`Message::Top`] / [`Message::TopReport`] pair carrying
 /// per-job rows plus an `obs` FRMT metrics snapshot (the `cfr-top`
-/// feed).
-pub const WIRE_VERSION: u8 = 2;
+/// feed). v3 adds the kernel `backend` byte to both job specs, so a
+/// submission can ask for the natively compiled kernel path (and the
+/// compiled-program cache keys on it).
+pub const WIRE_VERSION: u8 = 3;
 /// Upper bound on a frame payload (64 MiB): a corrupt length field
 /// fails fast instead of triggering a giant allocation.
 pub const MAX_FRAME_LEN: u32 = 64 << 20;
@@ -75,6 +77,10 @@ pub enum JobSpec {
         dataset: String,
         /// Worker threads per node.
         threads_per_node: u32,
+        /// Kernel backend for kernel-IR tasks on the fleet
+        /// (`freeride::KernelBackend::to_wire` byte; closure tasks
+        /// ignore it, unknown bytes degrade to the interpreter).
+        backend: u8,
     },
     /// A Chapel program, translated and run on the server (repeat
     /// submissions of the same source at the same opt level hit the
@@ -88,6 +94,10 @@ pub enum JobSpec {
         threads: u32,
         /// Globals to return from the final interpreter state.
         globals: Vec<String>,
+        /// Kernel backend for the offloaded reduction kernels
+        /// (`freeride::KernelBackend::to_wire` byte). Part of the
+        /// server's compiled-program cache key.
+        backend: u8,
     },
 }
 
@@ -335,6 +345,7 @@ fn put_spec(out: &mut Vec<u8>, spec: &JobSpec) {
             rounds,
             dataset,
             threads_per_node,
+            backend,
         } => {
             out.push(SPEC_TASK);
             put_str(out, task);
@@ -343,12 +354,14 @@ fn put_spec(out: &mut Vec<u8>, spec: &JobSpec) {
             out.extend_from_slice(&rounds.to_le_bytes());
             put_str(out, dataset);
             out.extend_from_slice(&threads_per_node.to_le_bytes());
+            out.push(*backend);
         }
         JobSpec::Chapel {
             source,
             opt,
             threads,
             globals,
+            backend,
         } => {
             out.push(SPEC_CHAPEL);
             put_str(out, source);
@@ -358,6 +371,7 @@ fn put_spec(out: &mut Vec<u8>, spec: &JobSpec) {
             for g in globals {
                 put_str(out, g);
             }
+            out.push(*backend);
         }
     }
 }
@@ -456,6 +470,7 @@ impl<'a> Reader<'a> {
                 rounds: self.u32("rounds")?,
                 dataset: self.string("dataset")?,
                 threads_per_node: self.u32("threads_per_node")?,
+                backend: self.u8("backend")?,
             }),
             SPEC_CHAPEL => {
                 let source = self.string("source")?;
@@ -466,11 +481,13 @@ impl<'a> Reader<'a> {
                 for _ in 0..n {
                     globals.push(self.string("global name")?);
                 }
+                let backend = self.u8("backend")?;
                 Ok(JobSpec::Chapel {
                     source,
                     opt,
                     threads,
                     globals,
+                    backend,
                 })
             }
             other => perr(format!("unknown job spec tag {other}")),
@@ -777,6 +794,7 @@ mod proto_tests {
                     rounds: 4,
                     dataset: "/tmp/points.frds".into(),
                     threads_per_node: 2,
+                    backend: 1,
                 },
             },
             Message::Submit {
@@ -785,6 +803,7 @@ mod proto_tests {
                     opt: 2,
                     threads: 3,
                     globals: vec!["total".into()],
+                    backend: 0,
                 },
             },
             Message::Submitted { job_id: 12 },
@@ -957,6 +976,7 @@ mod proto_tests {
                 opt: 0,
                 threads: 1,
                 globals: vec![],
+                backend: 0,
             },
         };
         let mut frame = msg.encode();

@@ -138,7 +138,10 @@ struct Inner {
     tenant_active: HashMap<String, usize>,
     completed: u32,
     failed: u32,
-    program_cache: HashMap<(u64, u8), Arc<CompiledProgram>>,
+    /// Keyed by (source hash, opt level, kernel backend): a compiled
+    /// program bakes its runner choice in, so interpreted and compiled
+    /// requests for the same source must not share an entry.
+    program_cache: HashMap<(u64, u8, u8), Arc<CompiledProgram>>,
     dataset_cache: HashMap<PathBuf, DatasetMeta>,
     program_cache_hits: u32,
     program_cache_misses: u32,
@@ -797,12 +800,14 @@ fn run_job(
             rounds,
             dataset,
             threads_per_node,
+            backend,
         } => {
             let mut cfg = ClusterConfig::new(task, dataset);
             cfg.params = params.clone();
             cfg.init_state = init_state.clone();
             cfg.rounds = (*rounds).max(1) as usize;
             cfg.threads_per_node = (*threads_per_node).max(1) as usize;
+            cfg.backend = freeride::KernelBackend::from_wire(*backend);
             cfg.trace = shared.cfg.trace;
             cfg.read_timeout = shared.cfg.read_timeout;
             cfg.checkpoint_dir = shared.cfg.checkpoint_root.clone();
@@ -814,7 +819,8 @@ fn run_job(
             opt,
             threads,
             globals,
-        } => run_chapel_job(shared, source, *opt, *threads, globals),
+            backend,
+        } => run_chapel_job(shared, source, *opt, *threads, globals, *backend),
     }
 }
 
@@ -888,14 +894,17 @@ fn run_chapel_job(
     opt: u8,
     threads: u32,
     globals: &[String],
+    backend: u8,
 ) -> Result<(JobOutput, Option<Trace>, Option<MetricsSnapshot>), String> {
     let opt_level = opt_level(opt).ok_or(format!("unknown opt level {opt}"))?;
+    let backend = freeride::KernelBackend::from_wire(backend);
     let recorder = Arc::new(Recorder::new(shared.cfg.trace));
     recorder.hub().set_enabled(true);
-    let translator =
-        Translator::new(opt_level, threads.max(1) as usize).traced(Arc::clone(&recorder));
+    let translator = Translator::new(opt_level, threads.max(1) as usize)
+        .traced(Arc::clone(&recorder))
+        .backend(backend);
 
-    let key = (fnv1a64(source.as_bytes()), opt);
+    let key = (fnv1a64(source.as_bytes()), opt, backend.to_wire());
     let cached = {
         let mut inner = shared.inner.lock().expect("serve lock");
         let hit = inner.program_cache.get(&key).cloned();

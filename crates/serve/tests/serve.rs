@@ -36,6 +36,7 @@ fn kmeans_spec(path: &PathBuf, rounds: u32) -> JobSpec {
         rounds,
         dataset: path.to_string_lossy().into_owned(),
         threads_per_node: 1,
+        backend: 0,
     }
 }
 
@@ -83,6 +84,7 @@ fn concurrent_jobs_bit_identical_to_serial_one_shot_runs() {
         rounds: 1,
         dataset: pca_path.to_string_lossy().into_owned(),
         threads_per_node: 1,
+        backend: 0,
     };
     let threads: Vec<_> = [
         ("alice", km_spec.clone()),
@@ -226,6 +228,7 @@ fn chapel_cache_hit_skips_compilation_entirely() {
         opt: 2,
         threads: 2,
         globals: vec!["total".into()],
+        backend: 0,
     };
     let mut client = Client::connect(addr, "alice", "").unwrap();
     let first = client.run(spec.clone()).unwrap();
@@ -253,6 +256,43 @@ fn chapel_cache_hit_skips_compilation_entirely() {
 
     let status = client.status().unwrap();
     assert_eq!(status.program_cache_misses, 1);
+    assert_eq!(status.program_cache_hits, 1);
+    client.bye().unwrap();
+    handle.stop();
+}
+
+#[test]
+fn program_cache_key_separates_kernel_backends() {
+    // A compiled program bakes its runner choice in, so the server's
+    // program cache must key on (source, opt, backend): the same
+    // source at the same opt level submitted under the other backend
+    // is a miss, not a hit. The answers still agree bitwise — the
+    // compiled backend's contract (or, without a usable codegen
+    // backend, its recorded interpreter fallback) guarantees it.
+    cfr_codegen::install();
+    let handle = Server::start(ServeConfig::new(Vec::new()), "127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+
+    let spec = |backend: u8| JobSpec::Chapel {
+        source: chapel_frontend::programs::sum_reduce(300),
+        opt: 2,
+        threads: 2,
+        globals: vec!["total".into()],
+        backend,
+    };
+    let mut client = Client::connect(addr, "alice", "").unwrap();
+    let interp = client.run(spec(0)).unwrap();
+    let compiled = client.run(spec(1)).unwrap();
+    let compiled_again = client.run(spec(1)).unwrap();
+
+    let expected: f64 = (1..=300).map(|i| i as f64).sum();
+    for out in [&interp, &compiled, &compiled_again] {
+        assert_eq!(out.globals[0].1[0].to_bits(), expected.to_bits());
+    }
+
+    // interp: miss; compiled: miss (backend differs); repeat: hit.
+    let status = client.status().unwrap();
+    assert_eq!(status.program_cache_misses, 2);
     assert_eq!(status.program_cache_hits, 1);
     client.bye().unwrap();
     handle.stop();

@@ -1,20 +1,25 @@
 //! `cfr` — run Chapel programs through the FREERIDE-targeting pipeline.
 //!
 //! ```text
-//! cfr <program.chpl> [--opt 0|1|2] [--threads N] [--interp] [--explain] [--print GLOBAL ...]
+//! cfr <program.chpl> [--opt 0|1|2] [--threads N] [--backend interp|compiled]
+//!     [--interp] [--explain] [--print GLOBAL ...]
 //! ```
 //!
 //! `--interp` bypasses translation (pure interpreter); `--explain`
-//! prints what was offloaded and why the rest was not.
+//! prints what was offloaded and why the rest was not;
+//! `--backend compiled` runs offloaded kernels natively through
+//! cfr-codegen (falling back to the kernel interpreter, with a
+//! recorded reason, when no usable rustc is present).
 
 use std::process::ExitCode;
 
-use chapel_freeride::{Interpreter, OptLevel, Translator};
+use chapel_freeride::{Interpreter, KernelBackend, OptLevel, Translator};
 
 struct Options {
     file: String,
     opt: OptLevel,
     threads: usize,
+    backend: KernelBackend,
     interp_only: bool,
     explain: bool,
     print: Vec<String>,
@@ -24,6 +29,7 @@ fn parse_args() -> Result<Options, String> {
     let mut file = None;
     let mut opt = OptLevel::Opt2;
     let mut threads = 1usize;
+    let mut backend = KernelBackend::Interpreted;
     let mut interp_only = false;
     let mut explain = false;
     let mut print = Vec::new();
@@ -44,13 +50,20 @@ fn parse_args() -> Result<Options, String> {
                     .and_then(|t| t.parse().ok())
                     .ok_or("--threads needs a number")?;
             }
+            "--backend" => {
+                backend = args
+                    .next()
+                    .and_then(|b| b.parse().ok())
+                    .ok_or("--backend needs `interp` or `compiled`")?;
+            }
             "--interp" => interp_only = true,
             "--explain" => explain = true,
             "--print" => print.push(args.next().ok_or("--print needs a global name")?),
             "--help" | "-h" => {
                 println!(
                     "cfr — run Chapel programs on the FREERIDE pipeline\n\
-                     usage: cfr <program.chpl> [--opt 0|1|2] [--threads N] [--interp] [--explain] [--print GLOBAL]"
+                     usage: cfr <program.chpl> [--opt 0|1|2] [--threads N] \
+                     [--backend interp|compiled] [--interp] [--explain] [--print GLOBAL]"
                 );
                 std::process::exit(0);
             }
@@ -62,6 +75,7 @@ fn parse_args() -> Result<Options, String> {
         file: file.ok_or("no input file (try --help)")?,
         opt,
         threads,
+        backend,
         interp_only,
         explain,
         print,
@@ -104,7 +118,10 @@ fn main() -> ExitCode {
             }
         }
     } else {
-        let translator = Translator::new(opts.opt, opts.threads);
+        if opts.backend == KernelBackend::Compiled {
+            cfr_codegen::install();
+        }
+        let translator = Translator::new(opts.opt, opts.threads).backend(opts.backend);
         match translator.run_program(&src) {
             Ok(run) => {
                 for line in run.interp.output() {

@@ -47,6 +47,7 @@
 //! `cfr-bench` crate (`repro` binary) for the paper's figures.
 
 pub use cfr_apps;
+pub use cfr_codegen;
 pub use cfr_core;
 pub use cfr_datagen;
 pub use chapel_frontend;
@@ -61,7 +62,7 @@ pub use cfr_core::{detect, Detected, OptLevel, TranslatedRun, Translator};
 pub use chapel_frontend::{parse, programs};
 pub use chapel_interp::{Interpreter, RtValue};
 pub use freeride::{
-    Application, CombineOp, DataView, Engine, GroupSpec, JobConfig, RObjHandle, RObjLayout,
-    ReductionObject, Runtime, Split, Splitter, SyncScheme,
+    Application, CombineOp, DataView, Engine, GroupSpec, JobConfig, KernelBackend, RObjHandle,
+    RObjLayout, ReductionObject, Runtime, Split, Splitter, SyncScheme,
 };
 pub use linearize::{AccessPath, Linearizer, Shape, Value};
