@@ -38,6 +38,19 @@ cargo run --release -p bench --bin bench -- io \
 cargo run --release -p obs --bin trace-check -- target/ci-io-trace.json \
   --expect io.read --expect split --expect pass
 
+# Sparse tier: the MTTKRP skew sweep must run the inspector-planned
+# scheme against every forced scheme bit-identically, and the exported
+# trace must carry the sparse.inspect span with its scheme/reason
+# evidence attributes plus the per-region decisions (DESIGN.md §15).
+cargo run --release -p bench --bin bench -- sparse \
+  --n 2048 --nnz 6000 --skew 16,0 --threads-list 1,2 --repeats 1 \
+  --json-out target/ci-bench-sparse.json \
+  --trace-out target/ci-sparse-trace.json
+cargo run --release -p obs --bin trace-check -- target/ci-sparse-trace.json \
+  --expect sparse.inspect --expect sparse.region \
+  --expect-attr sparse.inspect:scheme --expect-attr sparse.inspect:reason
+rm -f target/ci-bench-sparse.json
+
 # Distributed engine: a real 2-process cfr-node cluster must run
 # k-means end to end and ship a trace with one process track per node
 # plus the coordinator (DESIGN.md §9).

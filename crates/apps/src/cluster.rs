@@ -22,7 +22,9 @@ pub use freeride_dist::{ClusterConfig, ClusterOutcome, ClusterStats, DistError, 
 use crate::data;
 use crate::error::AppError;
 use crate::kmeans::KmeansParams;
+use crate::mttkrp::MttkrpParams;
 use crate::pca::PcaParams;
+use crate::sparse_kmeans::SparseKmeansParams;
 
 /// Where a cluster job runs.
 #[derive(Debug, Clone)]
@@ -305,6 +307,159 @@ pub fn pca_cluster_ft(
         cov,
         stats,
         traces,
+    })
+}
+
+/// Result of a distributed sparse k-means run.
+#[derive(Debug, Clone)]
+pub struct ClusterSparseKmeansResult {
+    /// Final centroid coordinates, row-major `k × cols`.
+    pub centroids: Vec<f64>,
+    /// Final per-centroid point counts.
+    pub counts: Vec<f64>,
+    /// Raw merged reduction cells of the final round (`k × (cols+1)`)
+    /// — exact integer sums, the bitwise differential surface.
+    pub sums: Vec<f64>,
+    /// The coordinator-side inspector's plan, when requested.
+    pub plan: Option<cfr_sparse::SchemePlan>,
+    /// Aggregated cluster statistics.
+    pub stats: ClusterStats,
+    /// Merged multi-`pid` trace, when tracing was requested.
+    pub trace: Option<Trace>,
+}
+
+/// Result of a distributed MTTKRP run.
+#[derive(Debug, Clone)]
+pub struct ClusterMttkrpResult {
+    /// The mode-0 MTTKRP output, row-major `dims[0] × rank`.
+    pub m: Vec<f64>,
+    /// The coordinator-side inspector's plan, when requested.
+    pub plan: Option<cfr_sparse::SchemePlan>,
+    /// Aggregated cluster statistics.
+    pub stats: ClusterStats,
+    /// Merged multi-`pid` trace, when tracing was requested.
+    pub trace: Option<Trace>,
+}
+
+/// Pad an nnz-balanced cut out to exactly `parts` contiguous ranges:
+/// [`cfr_sparse::nnz_balanced_bounds`] drops empty shards, but the
+/// coordinator requires one range per node, so trailing nodes of a
+/// small dataset get explicit zero-row shards (valid, identity work).
+fn padded_bounds(cum: &[u64], parts: usize) -> Vec<(u64, u64)> {
+    let mut bounds = cfr_sparse::nnz_balanced_bounds(cum, parts);
+    let covered = bounds.iter().map(|&(_, n)| n).sum::<u64>();
+    while bounds.len() < parts {
+        bounds.push((covered, 0));
+    }
+    bounds
+}
+
+/// Run sparse k-means on a cluster: the closed-form CSR matrix is
+/// written as a padded `.frds` plus its `.frsp` sidecar, sharded
+/// across nodes by **nonzero count** (not row count), and each node
+/// cuts its thread splits by the same sidecar weights. With
+/// `params.inspect` the coordinator runs the inspector/executor pass
+/// once over the padded buffer and ships the planned sync scheme to
+/// every node.
+pub fn sparse_kmeans_cluster(
+    params: &SparseKmeansParams,
+    nodes: &Nodes,
+) -> Result<ClusterSparseKmeansResult, AppError> {
+    let (k, cols) = (params.k, params.cols);
+    let m = cfr_sparse::synthetic_csr(params.rows, cols, params.w);
+    let path = scratch_file("sparse-kmeans");
+    cfr_sparse::write_csr_dataset(&path, &m)?;
+
+    let mut config = ClusterConfig::new("sparse.kmeans", &path);
+    config.params = vec![k as i64, cols as i64];
+    config.init_state = crate::sparse_kmeans::initial_centroids(k, cols);
+    config.rounds = params.iters.max(1);
+    config.threads_per_node = params.config.threads.max(1);
+    config.trace = params.config.trace;
+    config.io = params.config.io;
+    config.sparse_split = true;
+    let cum = cfr_sparse::weight_prefix(&cfr_sparse::csr_row_weights(&m));
+    config.shard_bounds = Some(padded_bounds(&cum, nodes.count().max(1)));
+    let plan = if params.inspect {
+        let (buf, unit) = cfr_sparse::csr_to_padded(&m)?;
+        let rec = obs::Recorder::new(config.trace);
+        let (_, plan) = cfr_sparse::plan_padded_csr(
+            &buf,
+            unit,
+            cols,
+            &cfr_sparse::PlanParams::new(k * (cols + 1), 1),
+            &rec,
+        );
+        config.scheme = plan.scheme;
+        Some(plan)
+    } else {
+        None
+    };
+
+    let result = run_job(config, nodes);
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(cfr_sparse::sidecar_path(&path)).ok();
+    let outcome = result?;
+    let sums = outcome.robj.group_slice(0).to_vec();
+    let counts: Vec<f64> = (0..k).map(|c| sums[c * (cols + 1) + cols]).collect();
+    Ok(ClusterSparseKmeansResult {
+        centroids: outcome.state,
+        counts,
+        sums,
+        plan,
+        stats: outcome.stats,
+        trace: outcome.trace,
+    })
+}
+
+/// Run a single mode-0 MTTKRP on a cluster: the closed-form COO tensor
+/// is written as a unit-4 quad `.frds` (one engine row per stored
+/// entry, so the equal-row shard cut *is* the nnz-balanced cut) and
+/// reduced in one round. With `params.inspect` the coordinator plans
+/// the sync scheme from the mode-0 scatter and ships it to every node.
+pub fn mttkrp_cluster(
+    params: &MttkrpParams,
+    nodes: &Nodes,
+) -> Result<ClusterMttkrpResult, AppError> {
+    let t = cfr_sparse::synthetic_coo(params.dims, params.nnz, params.hot);
+    let path = scratch_file("mttkrp");
+    cfr_sparse::write_coo_dataset(&path, &t)?;
+
+    let mut config = ClusterConfig::new("sparse.mttkrp", &path);
+    config.params = vec![
+        params.dims[0] as i64,
+        params.dims[1] as i64,
+        params.dims[2] as i64,
+        params.rank as i64,
+    ];
+    config.threads_per_node = params.config.threads.max(1);
+    config.trace = params.config.trace;
+    config.io = params.config.io;
+    let plan = if params.inspect {
+        let quads = cfr_sparse::coo_to_quads(&t)?;
+        let rec = obs::Recorder::new(config.trace);
+        let (_, plan) = cfr_sparse::plan_quads(
+            &quads,
+            0,
+            params.dims[0],
+            &cfr_sparse::PlanParams::new(params.dims[0] * params.rank, params.rank),
+            &rec,
+        );
+        config.scheme = plan.scheme;
+        Some(plan)
+    } else {
+        None
+    };
+
+    let result = run_job(config, nodes);
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(cfr_sparse::sidecar_path(&path)).ok();
+    let outcome = result?;
+    Ok(ClusterMttkrpResult {
+        m: outcome.robj.group_slice(0).to_vec(),
+        plan,
+        stats: outcome.stats,
+        trace: outcome.trace,
     })
 }
 

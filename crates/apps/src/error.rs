@@ -13,6 +13,8 @@ pub enum AppError {
     Linearize(linearize::LinearizeError),
     /// The frontend failed.
     Frontend(chapel_frontend::FrontendError),
+    /// The sparse tier failed (format, lowering, or planning).
+    Sparse(cfr_sparse::SparseError),
     /// A driver-level problem (e.g. detection found nothing).
     Driver(String),
 }
@@ -31,6 +33,7 @@ impl fmt::Display for AppError {
             AppError::Freeride(e) => write!(f, "{e}"),
             AppError::Linearize(e) => write!(f, "{e}"),
             AppError::Frontend(e) => write!(f, "{e}"),
+            AppError::Sparse(e) => write!(f, "{e}"),
             AppError::Driver(msg) => write!(f, "{msg}"),
         }
     }
@@ -59,5 +62,11 @@ impl From<linearize::LinearizeError> for AppError {
 impl From<chapel_frontend::FrontendError> for AppError {
     fn from(e: chapel_frontend::FrontendError) -> Self {
         AppError::Frontend(e)
+    }
+}
+
+impl From<cfr_sparse::SparseError> for AppError {
+    fn from(e: cfr_sparse::SparseError) -> Self {
+        AppError::Sparse(e)
     }
 }

@@ -28,7 +28,9 @@ pub mod histogram;
 pub mod kmeans;
 pub mod knn;
 pub mod linreg;
+pub mod mttkrp;
 pub mod pca;
+pub mod sparse_kmeans;
 mod timing;
 
 pub use error::AppError;

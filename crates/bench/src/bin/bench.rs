@@ -81,6 +81,12 @@ struct Opts {
     jobs_per_tenant: usize,
     /// `telemetry` app: timed repetitions per configuration.
     repeats: usize,
+    /// `sparse` app: stored tensor entries.
+    nnz: usize,
+    /// `sparse` app: CP factor rank.
+    rank: usize,
+    /// `sparse` app: hot-head sizes to sweep (0 = uniform scatter).
+    skews: Vec<usize>,
     /// Sweep apps (`io`/`serve`/`telemetry`): also write the sweep as a
     /// machine-readable `BENCH_*.json` document.
     json_out: Option<String>,
@@ -112,12 +118,15 @@ impl Default for Opts {
             tenants_list: vec![1, 2, 4],
             jobs_per_tenant: 2,
             repeats: 3,
+            nnz: 60_000,
+            rank: 4,
+            skews: vec![16, 0],
             json_out: None,
         }
     }
 }
 
-const USAGE: &str = "usage: bench <kmeans|pca|io|ft|serve|telemetry|codegen> [options]
+const USAGE: &str = "usage: bench <kmeans|pca|io|ft|serve|telemetry|codegen|sparse> [options]
   --n N            k-means: number of points        (default 20000)
   --d D            k-means: point dimensionality    (default 8)
   --k K            k-means: centroid count          (default 16)
@@ -160,13 +169,34 @@ const USAGE: &str = "usage: bench <kmeans|pca|io|ft|serve|telemetry|codegen> [op
                    kernels (cfr-codegen), per --threads-list entry;
                    bit-identity enforced; without rustc the compiled
                    column falls back to the interpreter (and says so)
-  --json-out P     io|serve|telemetry|codegen: also write the sweep as JSON to P";
+  sparse           sparse-tier skew sweep: single-pass MTTKRP over the
+                   closed-form COO tensor at each --skew entry, the
+                   inspector-planned sync scheme timed against every
+                   forced scheme, per --threads-list entry; bit-identity
+                   enforced (--n is the tensor's mode-0 dimension; with
+                   --trace-out an extra inspected run exports the
+                   sparse.inspect span and sparse.* counters)
+  --nnz N          sparse: stored tensor entries    (default 60000)
+  --rank R         sparse: CP factor rank           (default 4)
+  --skew L         sparse: hot-head sizes to sweep; rows [0,hot) soak up
+                   a third of the entries, 0 = uniform (default 16,0)
+  --json-out P     io|serve|telemetry|codegen|sparse: also write the sweep as JSON to P";
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts::default();
     let mut it = args.iter();
     opts.app = it.next().cloned().ok_or("missing application name")?;
-    if !["kmeans", "pca", "io", "ft", "serve", "telemetry", "codegen"].contains(&opts.app.as_str())
+    if ![
+        "kmeans",
+        "pca",
+        "io",
+        "ft",
+        "serve",
+        "telemetry",
+        "codegen",
+        "sparse",
+    ]
+    .contains(&opts.app.as_str())
     {
         return Err(format!("unknown application `{}`", opts.app));
     }
@@ -260,6 +290,33 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 opts.repeats = num()?;
                 if opts.repeats == 0 {
                     return Err("--repeats must be positive".into());
+                }
+            }
+            "--nnz" => {
+                opts.nnz = num()?;
+                if opts.nnz == 0 {
+                    return Err("--nnz must be positive".into());
+                }
+            }
+            "--rank" => {
+                opts.rank = num()?;
+                if opts.rank == 0 {
+                    return Err("--rank must be positive".into());
+                }
+            }
+            "--skew" => {
+                // 0 is meaningful here (uniform scatter), so no
+                // positivity filter.
+                opts.skews = value
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|_| format!("--skew: `{s}` is not a number"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if opts.skews.is_empty() {
+                    return Err("--skew needs at least one entry".into());
                 }
             }
             "--json-out" => opts.json_out = Some(value.clone()),
@@ -541,6 +598,67 @@ fn run_codegen(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// The sparse skew sweep: single-pass MTTKRP at each `--skew` entry,
+/// the inspector-planned sync scheme against every forced scheme. The
+/// headline check: on skewed input the inspector's choice must keep up
+/// with (or beat) the worst forced scheme — a planner that loses to a
+/// blind guess would be pure overhead. With `--trace-out` an extra
+/// inspected run exports the `sparse.inspect` span (scheme, reason,
+/// per-region evidence) and the `sparse.*` counters.
+fn run_sparse(opts: &Opts) -> Result<(), String> {
+    let dims = [opts.n, 32, 32];
+    let sweep = cfr_bench::sparse_scaling(
+        dims,
+        opts.nnz,
+        opts.rank,
+        &opts.skews,
+        &opts.threads_list,
+        opts.repeats,
+    )?;
+    print!("{}", cfr_bench::render_sparse_table(&sweep));
+    for p in &sweep.points {
+        let (worst_name, worst_s) = p.worst_forced();
+        if p.inspect_s > worst_s {
+            println!(
+                "note: hot={} t={}: inspector ({}) ran {:.4}s, slower than the worst \
+                 forced scheme {worst_name} ({worst_s:.4}s)",
+                p.hot, p.threads, p.chosen, p.inspect_s
+            );
+        }
+    }
+    if let Some(path) = &opts.json_out {
+        std::fs::write(path, cfr_bench::sparse_json(&sweep))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote sweep JSON to {path}");
+    }
+
+    if opts.trace_out.is_some() || opts.metrics_out.is_some() {
+        // One more inspected run, traced, for the exported timeline.
+        let hot = sweep.points.first().map(|p| p.hot).unwrap_or(16);
+        let mut params = cfr_apps::mttkrp::MttkrpParams::new(dims, opts.nnz, hot, opts.rank)
+            .threads(*opts.threads_list.iter().max().unwrap_or(&2))
+            .with_inspect();
+        params.config.trace = opts.level;
+        let r =
+            cfr_apps::mttkrp::run(&params).map_err(|e| format!("traced sparse run failed: {e}"))?;
+        let trace = r.timing.trace.ok_or("no trace captured")?;
+        if let Some(path) = &opts.trace_out {
+            let json = trace.chrome_json();
+            obs::validate_chrome_trace(&json).map_err(|e| format!("internal: bad trace: {e}"))?;
+            std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+            println!(
+                "wrote Chrome trace ({} events) to {path}",
+                trace.spans.len()
+            );
+        }
+        if let Some(path) = &opts.metrics_out {
+            std::fs::write(path, trace.metrics_json()).map_err(|e| format!("write {path}: {e}"))?;
+            println!("wrote metrics to {path}");
+        }
+    }
+    Ok(())
+}
+
 fn run(opts: &Opts) -> Result<(), String> {
     if opts.app == "io" {
         return run_io(opts);
@@ -556,6 +674,9 @@ fn run(opts: &Opts) -> Result<(), String> {
     }
     if opts.app == "codegen" {
         return run_codegen(opts);
+    }
+    if opts.app == "sparse" {
+        return run_sparse(opts);
     }
     if !opts.nodes.is_empty() || !opts.node_addrs.is_empty() {
         return run_cluster(opts);

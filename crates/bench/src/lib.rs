@@ -1318,9 +1318,251 @@ pub fn render_codegen_table(sweep: &CodegenSweep) -> String {
 }
 
 // ---------------------------------------------------------------------
+// Sparse tier: inspector-planned vs forced sync schemes under skew
+// ---------------------------------------------------------------------
+
+/// One measured sparse point: a single-pass MTTKRP at one skew level
+/// and thread count, the inspector-planned scheme against every forced
+/// scheme.
+#[derive(Debug, Clone)]
+pub struct SparsePoint {
+    /// Hot-head size: rows `[0, hot)` soak up a third of the stored
+    /// entries (`hot == dims[0]` is uniform scatter).
+    pub hot: usize,
+    /// Compute-thread count.
+    pub threads: usize,
+    /// Scheme the inspector chose (`cfr_sparse::scheme_name`).
+    pub chosen: String,
+    /// Why it chose it (`SchemePlan::reason`).
+    pub reason: String,
+    /// Best wall time with the inspector-planned scheme, seconds —
+    /// includes the inspection scan itself, so the plan has to pay for
+    /// its own analysis.
+    pub inspect_s: f64,
+    /// Best wall time per forced scheme, `(name, seconds)`.
+    pub forced: Vec<(String, f64)>,
+}
+
+impl SparsePoint {
+    /// The slowest forced scheme, `(name, seconds)` — the bar the
+    /// inspector must stay at or under on skewed input.
+    pub fn worst_forced(&self) -> (&str, f64) {
+        self.forced
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(n, s)| (n.as_str(), *s))
+            .unwrap_or(("-", 0.0))
+    }
+
+    /// The fastest forced scheme, `(name, seconds)`.
+    pub fn best_forced(&self) -> (&str, f64) {
+        self.forced
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(n, s)| (n.as_str(), *s))
+            .unwrap_or(("-", 0.0))
+    }
+}
+
+/// A completed sparse skew sweep.
+#[derive(Debug, Clone)]
+pub struct SparseSweep {
+    /// Tensor dimensions (mode 0 is the scatter target).
+    pub dims: [usize; 3],
+    /// Stored tensor entries.
+    pub nnz: usize,
+    /// Factor rank (reduction object is `dims[0] * rank` cells).
+    pub rank: usize,
+    /// Timed repetitions per configuration (the best is kept).
+    pub repeats: usize,
+    /// The measured points, skew-major then thread count.
+    pub points: Vec<SparsePoint>,
+}
+
+/// One timed MTTKRP run; returns wall seconds, the result bit pattern,
+/// and the inspector's plan (when the run was inspected).
+fn mttkrp_timed(
+    params: &cfr_apps::mttkrp::MttkrpParams,
+) -> Result<(f64, Vec<u64>, Option<cfr_sparse::SchemePlan>), String> {
+    let t0 = std::time::Instant::now();
+    let r = cfr_apps::mttkrp::run(params).map_err(|e| e.to_string())?;
+    let wall_s = t0.elapsed().as_secs_f64();
+    let bits = r.m.iter().map(|x| x.to_bits()).collect();
+    Ok((wall_s, bits, r.plan))
+}
+
+/// The sparse skew sweep: a single MTTKRP pass over the closed-form COO
+/// tensor, per skew level (hot-head size; 0 selects uniform scatter)
+/// and thread count, the inspector-planned scheme timed against every
+/// forced sync scheme. Bit identity across all schemes is enforced on
+/// every repetition — a plan may only change synchronization, never
+/// results.
+pub fn sparse_scaling(
+    dims: [usize; 3],
+    nnz: usize,
+    rank: usize,
+    skews: &[usize],
+    threads: &[usize],
+    repeats: usize,
+) -> Result<SparseSweep, String> {
+    let repeats = repeats.max(1);
+    let forced: &[(&str, SyncScheme)] = &[
+        ("full-replication", SyncScheme::FullReplication),
+        ("full-locking", SyncScheme::FullLocking),
+        ("bucket-locking", SyncScheme::BucketLocking { stripes: 64 }),
+        ("atomic", SyncScheme::Atomic),
+    ];
+    let mut points = Vec::new();
+    for &skew in skews {
+        let hot = if skew == 0 {
+            dims[0]
+        } else {
+            skew.min(dims[0])
+        };
+        for &t in threads {
+            let base = cfr_apps::mttkrp::MttkrpParams::new(dims, nnz, hot, rank).threads(t);
+            // Warm up the worker pool and caches, and fix the expected
+            // bit pattern, before anything is timed.
+            mttkrp_timed(&base)?;
+            let (_, want, _) = mttkrp_timed(&base)?;
+            let mut forced_best = Vec::new();
+            for (name, scheme) in forced {
+                let mut p = base.clone();
+                p.config.scheme = *scheme;
+                let mut best = f64::INFINITY;
+                for _ in 0..repeats {
+                    let (w, bits, _) = mttkrp_timed(&p)?;
+                    if bits != want {
+                        return Err(format!("hot={hot} t={t}: scheme {name} changed the result"));
+                    }
+                    best = best.min(w);
+                }
+                forced_best.push((name.to_string(), best));
+            }
+            let p = base.clone().with_inspect();
+            let mut inspect_s = f64::INFINITY;
+            let mut plan = None;
+            for _ in 0..repeats {
+                let (w, bits, pl) = mttkrp_timed(&p)?;
+                if bits != want {
+                    return Err(format!(
+                        "hot={hot} t={t}: the inspector-planned scheme changed the result"
+                    ));
+                }
+                inspect_s = inspect_s.min(w);
+                plan = pl;
+            }
+            let plan = plan.ok_or("inspected run returned no plan")?;
+            points.push(SparsePoint {
+                hot,
+                threads: t,
+                chosen: cfr_sparse::scheme_name(plan.scheme).to_string(),
+                reason: plan.reason.to_string(),
+                inspect_s,
+                forced: forced_best,
+            });
+        }
+    }
+    Ok(SparseSweep {
+        dims,
+        nnz,
+        rank,
+        repeats,
+        points,
+    })
+}
+
+/// Render a sparse skew sweep as an aligned table (the EXPERIMENTS.md
+/// `sparse_scaling` shape).
+pub fn render_sparse_table(sweep: &SparseSweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sparse_scaling — mttkrp pass, dims={}x{}x{} nnz={} rank={}, best of {}",
+        sweep.dims[0], sweep.dims[1], sweep.dims[2], sweep.nnz, sweep.rank, sweep.repeats
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} {:>7} {:<16} {:<15} {:>11} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "hot",
+        "threads",
+        "chosen",
+        "reason",
+        "inspect s",
+        "repl s",
+        "lock s",
+        "bucket s",
+        "atomic s",
+        "worst s"
+    );
+    for p in &sweep.points {
+        let secs = |name: &str| {
+            p.forced
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| *s)
+                .unwrap_or(f64::NAN)
+        };
+        let _ = writeln!(
+            out,
+            "{:>6} {:>7} {:<16} {:<15} {:>11.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4}",
+            p.hot,
+            p.threads,
+            p.chosen,
+            p.reason,
+            p.inspect_s,
+            secs("full-replication"),
+            secs("full-locking"),
+            secs("bucket-locking"),
+            secs("atomic"),
+            p.worst_forced().1
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
 // JSON emitters (BENCH_*.json) — hand-rolled, the workspace carries no
 // serde
 // ---------------------------------------------------------------------
+
+/// A sparse skew sweep as a `BENCH_sparse.json` document.
+pub fn sparse_json(sweep: &SparseSweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"sparse_scaling\",");
+    let _ = writeln!(out, "  \"app\": \"mttkrp\",");
+    let _ = writeln!(
+        out,
+        "  \"dims\": [{}, {}, {}], \"nnz\": {}, \"rank\": {}, \"repeats\": {},",
+        sweep.dims[0], sweep.dims[1], sweep.dims[2], sweep.nnz, sweep.rank, sweep.repeats
+    );
+    let _ = writeln!(out, "  \"points\": [");
+    for (i, p) in sweep.points.iter().enumerate() {
+        let comma = if i + 1 < sweep.points.len() { "," } else { "" };
+        let mut forced = String::new();
+        for (j, (name, s)) in p.forced.iter().enumerate() {
+            if j > 0 {
+                forced.push_str(", ");
+            }
+            let _ = write!(forced, "\"{name}\": {s:.6}");
+        }
+        let _ = writeln!(
+            out,
+            "    {{\"hot\": {}, \"threads\": {}, \"chosen\": \"{}\", \"reason\": \"{}\", \
+             \"inspect_s\": {:.6}, \"forced\": {{{forced}}}, \"worst_forced_s\": {:.6}}}{comma}",
+            p.hot,
+            p.threads,
+            p.chosen,
+            p.reason,
+            p.inspect_s,
+            p.worst_forced().1
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
 
 /// A codegen sweep as a `BENCH_codegen.json` document.
 pub fn codegen_json(sweep: &CodegenSweep) -> String {

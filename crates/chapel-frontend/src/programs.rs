@@ -234,6 +234,115 @@ var intercept: real = (sy - slope * sx) / n;
     )
 }
 
+/// Sparse k-means over the closed-form CSR pattern shared with
+/// `cfr_sparse::synthetic_csr(rows, cols, w)`: row `i0` (0-based)
+/// stores `1 + (i0*i0 + i0) % w` entries at columns `i0 % s + t*s`
+/// (`s = cols / w`) with values `1 + (i0*3 + t*5) % 7`. One assignment
+/// pass accumulates per-centroid column sums and counts into `newCent`
+/// using the expanded distance `cnorm[c] - 2·dot` (the `Σx²` term is
+/// row-constant and cancels in the argmin) — the exact operation order
+/// of the Rust kernel, so integer-valued inputs make the comparison
+/// bitwise.
+pub fn sparse_kmeans(rows: usize, cols: usize, w: usize, k: usize) -> String {
+    assert!(w >= 1 && cols >= w, "need cols >= w >= 1");
+    let s = cols / w;
+    let colsp1 = cols + 1;
+    format!(
+        r#"
+/* Sparse k-means: one assignment pass over a closed-form CSR matrix. */
+var cent: [1..{k}, 1..{cols}] real;
+var cnorm: [1..{k}] real;
+var newCent: [1..{k}, 1..{colsp1}] real;
+
+for c in 1..{k} {{
+    for j in 1..{cols} {{
+        cent[c, j] = (c * 13 + j * 5) % 7;
+    }}
+}}
+for c in 1..{k} {{
+    for j in 1..{cols} {{
+        cnorm[c] += cent[c, j] * cent[c, j];
+    }}
+}}
+
+for i in 1..{rows} {{
+    var i0: int = i - 1;
+    var len: int = 1 + (i0 * i0 + i0) % {w};
+    var best: int = 1;
+    var bestDist: real = 1.0e300;
+    for c in 1..{k} {{
+        var dot: real = 0.0;
+        var t: int = 0;
+        while t < len {{
+            var col: int = i0 % {s} + t * {s};
+            dot += (1 + (i0 * 3 + t * 5) % 7) * cent[c, col + 1];
+            t += 1;
+        }}
+        var dist: real = cnorm[c] - 2.0 * dot;
+        if dist < bestDist {{
+            bestDist = dist;
+            best = c;
+        }}
+    }}
+    var u: int = 0;
+    while u < len {{
+        var col: int = i0 % {s} + u * {s};
+        newCent[best, col + 1] += 1 + (i0 * 3 + u * 5) % 7;
+        u += 1;
+    }}
+    newCent[best, {colsp1}] += 1;
+}}
+"#
+    )
+}
+
+/// Mode-0 MTTKRP over the closed-form COO pattern shared with
+/// `cfr_sparse::synthetic_coo(dims, nnz, hot)` and factors from
+/// `cfr_sparse::synthetic_factor`: for every stored entry `(i, j, k, v)`
+/// accumulate `M[i, r] += v * B[j, r] * C[k, r]`. All inputs are small
+/// integers, so the reduction is exact in f64 and the comparison
+/// against the FREERIDE kernel is bitwise.
+pub fn sparse_mttkrp(dims: [usize; 3], nnz: usize, hot: usize, rank: usize) -> String {
+    assert!(
+        hot >= 1 && hot <= dims[0] && dims.iter().all(|&d| d > 0),
+        "need 1 <= hot <= dims[0] and nonzero dims"
+    );
+    let (im, jm, km) = (dims[0], dims[1], dims[2]);
+    format!(
+        r#"
+/* MTTKRP (mode 0) over a closed-form COO 3-tensor. */
+var M: [1..{im}, 1..{rank}] real;
+var B: [1..{jm}, 1..{rank}] real;
+var C: [1..{km}, 1..{rank}] real;
+
+for x in 1..{jm} {{
+    for r in 1..{rank} {{
+        B[x, r] = 1 + ((x - 1) * 2 + (r - 1) * 3) % 5;
+    }}
+}}
+for x in 1..{km} {{
+    for r in 1..{rank} {{
+        C[x, r] = 1 + ((x - 1) * 2 + (r - 1) * 3) % 5;
+    }}
+}}
+
+for t in 1..{nnz} {{
+    var t0: int = t - 1;
+    var i: int = (t0 * 7 + 3) % {im};
+    if t0 % 3 == 0 {{
+        i = t0 % {hot};
+    }}
+    var j: int = (t0 * 5) % {jm};
+    var k: int = (t0 * 11) % {km};
+    var v: real = 1 + (t0 * t0) % 5;
+    for r in 1..{rank} {{
+        M[i + 1, r] += v * B[j + 1, r] * C[k + 1, r];
+    }}
+}}
+"#
+    )
+}
+
 /// k-nearest-neighbours classification of one query point: a top-k
 /// selection expressed as a generalized reduction (extension app).
 pub fn knn(npoints: usize, d: usize, k: usize) -> String {
@@ -304,6 +413,8 @@ mod program_tests {
         parse(&histogram(50, 8)).unwrap();
         parse(&linear_regression(30)).unwrap();
         parse(&knn(20, 2, 3)).unwrap();
+        parse(&sparse_kmeans(16, 12, 4, 3)).unwrap();
+        parse(&sparse_mttkrp([16, 4, 4], 40, 4, 3)).unwrap();
     }
 
     #[test]

@@ -347,76 +347,115 @@ impl Kernel {
     /// jump target lands inside the code. The VM relies on this to use
     /// unchecked register access in its dispatch loop.
     pub fn validate(&self, states: usize, groups: usize) -> Result<(), KernelValidateError> {
-        let reg_ok = |r: &Reg| (*r as usize) < self.regs;
-        let regs_ok = |rs: &[Reg]| rs.iter().all(reg_ok);
-        let path_ok = |p: &PathId| (*p as usize) < self.paths.len();
+        // Each checker reports the *first* out-of-range operand by name,
+        // so the Display names the actual violated constraint instead of
+        // listing every possible one.
+        let reg = |r: &Reg| {
+            ((*r as usize) >= self.regs).then(|| {
+                format!(
+                    "register r{r} outside the register file (size {})",
+                    self.regs
+                )
+            })
+        };
+        let regs_all = |rs: &[Reg]| rs.iter().find_map(reg);
+        let path = |p: &PathId| {
+            ((*p as usize) >= self.paths.len()).then(|| {
+                format!(
+                    "path #{p} outside the path table (size {})",
+                    self.paths.len()
+                )
+            })
+        };
+        let state_ck = |s: &StateId| {
+            ((*s as usize) >= states).then(|| format!("state #{s} outside {states} state slots"))
+        };
+        let target_ck = |t: &usize| {
+            (*t >= self.code.len()).then(|| {
+                format!(
+                    "jump target {t} outside the code (length {})",
+                    self.code.len()
+                )
+            })
+        };
         for (pc, ins) in self.code.iter().enumerate() {
-            let ok = match ins {
-                Instr::Const { dst, .. } => reg_ok(dst),
+            let fail: Option<String> = match ins {
+                Instr::Const { dst, .. } | Instr::LoadRow { dst } => reg(dst),
                 Instr::Mov { dst, src }
                 | Instr::Not { dst, src }
                 | Instr::Neg { dst, src }
                 | Instr::Floor { dst, src }
                 | Instr::Sqrt { dst, src }
-                | Instr::Abs { dst, src } => reg_ok(dst) && reg_ok(src),
+                | Instr::Abs { dst, src } => reg(dst).or_else(|| reg(src)),
                 Instr::Bin { dst, a, b, .. } | Instr::Cmp { dst, a, b, .. } => {
-                    reg_ok(dst) && reg_ok(a) && reg_ok(b)
+                    reg(dst).or_else(|| reg(a)).or_else(|| reg(b))
                 }
-                Instr::Fma { dst, a, b } => reg_ok(dst) && reg_ok(a) && reg_ok(b),
-                Instr::Jump { target } => *target < self.code.len(),
-                Instr::JumpIfZero { cond, target } => reg_ok(cond) && *target < self.code.len(),
+                Instr::Fma { dst, a, b } => reg(dst).or_else(|| reg(a)).or_else(|| reg(b)),
+                Instr::Jump { target } => target_ck(target),
+                Instr::JumpIfZero { cond, target } => reg(cond).or_else(|| target_ck(target)),
                 Instr::IncRangeJump { var, hi, target } => {
-                    reg_ok(var) && reg_ok(hi) && *target < self.code.len()
+                    reg(var).or_else(|| reg(hi)).or_else(|| target_ck(target))
                 }
-                Instr::LoadRow { dst } => reg_ok(dst),
-                Instr::LoadData { dst, path, idx } => reg_ok(dst) && path_ok(path) && regs_ok(idx),
-                Instr::DataBase { dst, path, outer } => {
-                    reg_ok(dst) && path_ok(path) && regs_ok(outer)
+                Instr::LoadData { dst, path: p, idx } => {
+                    reg(dst).or_else(|| path(p)).or_else(|| regs_all(idx))
                 }
-                Instr::LoadDataAt { dst, base, k, .. } => reg_ok(dst) && reg_ok(base) && reg_ok(k),
+                Instr::DataBase {
+                    dst,
+                    path: p,
+                    outer,
+                } => reg(dst).or_else(|| path(p)).or_else(|| regs_all(outer)),
+                Instr::LoadDataAt { dst, base, k, .. } => {
+                    reg(dst).or_else(|| reg(base)).or_else(|| reg(k))
+                }
                 Instr::LoadStateNested { dst, state, steps } => {
-                    reg_ok(dst)
-                        && (*state as usize) < states
-                        && steps.iter().all(|s| match s {
-                            NavStep::Index(r) => reg_ok(r),
-                            NavStep::Field(_) => true,
+                    reg(dst).or_else(|| state_ck(state)).or_else(|| {
+                        steps.iter().find_map(|s| match s {
+                            NavStep::Index(r) => reg(r),
+                            NavStep::Field(_) => None,
                         })
+                    })
                 }
                 Instr::LoadStateFlat {
                     dst,
                     state,
-                    path,
+                    path: p,
                     idx,
-                } => reg_ok(dst) && (*state as usize) < states && path_ok(path) && regs_ok(idx),
+                } => reg(dst)
+                    .or_else(|| state_ck(state))
+                    .or_else(|| path(p))
+                    .or_else(|| regs_all(idx)),
                 Instr::StateBase {
                     dst,
                     state,
-                    path,
+                    path: p,
                     outer,
-                } => reg_ok(dst) && (*state as usize) < states && path_ok(path) && regs_ok(outer),
+                } => reg(dst)
+                    .or_else(|| state_ck(state))
+                    .or_else(|| path(p))
+                    .or_else(|| regs_all(outer)),
                 Instr::LoadStateAt {
                     dst,
                     state,
                     base,
                     k,
                     ..
-                } => reg_ok(dst) && (*state as usize) < states && reg_ok(base) && reg_ok(k),
-                Instr::OutIndex { dst, path, idx } => reg_ok(dst) && path_ok(path) && regs_ok(idx),
-                Instr::Accumulate { group, cell, val } => {
-                    (*group as usize) < groups && reg_ok(cell) && reg_ok(val)
+                } => reg(dst)
+                    .or_else(|| state_ck(state))
+                    .or_else(|| reg(base))
+                    .or_else(|| reg(k)),
+                Instr::OutIndex { dst, path: p, idx } => {
+                    reg(dst).or_else(|| path(p)).or_else(|| regs_all(idx))
                 }
-                Instr::Halt => true,
+                Instr::Accumulate { group, cell, val } => ((*group as usize) >= groups)
+                    .then(|| format!("group #{group} outside {groups} reduction groups"))
+                    .or_else(|| reg(cell))
+                    .or_else(|| reg(val)),
+                Instr::Halt => None,
             };
-            if !ok {
+            if let Some(what) = fail {
                 return Err(KernelValidateError {
                     pc: Some(pc),
-                    reason: format!(
-                        "invalid operand (register ≥ {}, path ≥ {}, state ≥ {states}, \
-                         group ≥ {groups}, or jump target ≥ {}): {ins:?}",
-                        self.regs,
-                        self.paths.len(),
-                        self.code.len()
-                    ),
+                    reason: format!("{what} in {ins:?}"),
                 });
             }
         }

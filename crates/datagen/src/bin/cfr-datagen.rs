@@ -3,18 +3,28 @@
 //! ```text
 //! cfr-datagen --out PATH --rows N [--dims D] [--clusters K]
 //!             [--spread S] [--seed SEED]
+//! cfr-datagen --out PATH --sparse csr --rows N [--cols C] [--nnz AVG]
+//!             [--skew S] [--seed SEED]
+//! cfr-datagen --out PATH --sparse coo --nnz TOTAL [--modes I,J,K]
+//!             [--skew S] [--seed SEED]
 //! ```
 //!
-//! Generates the same clustered point cloud as
+//! Without `--sparse`, generates the same clustered point cloud as
 //! [`cfr_datagen::clustered_points`]: identical flags produce a
 //! byte-identical file, so scripts (and CI) can stage deterministic
 //! disk-resident inputs for `cfr-submit` / `bench` without a compile
-//! step of their own.
+//! step of their own. With `--sparse`, generates a power-law CSR
+//! matrix or COO 3-tensor and writes the padded `.frds` *plus* its
+//! `.frsp` index sidecar.
 
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: cfr-datagen --out PATH --rows N [--dims D] [--clusters K] \
-                     [--spread S] [--seed SEED]";
+                     [--spread S] [--seed SEED]\n       \
+                     cfr-datagen --out PATH --sparse csr --rows N [--cols C] [--nnz AVG] \
+                     [--skew S] [--seed SEED]\n       \
+                     cfr-datagen --out PATH --sparse coo --nnz TOTAL [--modes I,J,K] \
+                     [--skew S] [--seed SEED]";
 
 fn main() -> ExitCode {
     let mut out: Option<String> = None;
@@ -23,10 +33,41 @@ fn main() -> ExitCode {
     let mut clusters = 4usize;
     let mut spread = 2.0f64;
     let mut seed = 2024u64;
+    let mut sparse: Option<String> = None;
+    let mut cols = 1024usize;
+    let mut nnz: Option<usize> = None;
+    let mut skew = 1.0f64;
+    let mut modes = [256usize, 32, 32];
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--sparse" => match args.next() {
+                Some(m) if m == "csr" || m == "coo" => sparse = Some(m),
+                _ => return usage_error("--sparse requires `csr` or `coo`"),
+            },
+            "--cols" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cols = n,
+                None => return usage_error("--cols requires a count"),
+            },
+            "--nnz" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => nnz = Some(n),
+                None => return usage_error("--nnz requires a count"),
+            },
+            "--skew" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => skew = s,
+                None => return usage_error("--skew requires a number"),
+            },
+            "--modes" => {
+                let parsed: Option<Vec<usize>> = args
+                    .next()
+                    .map(|v| v.split(',').map(|p| p.parse().ok()).collect())
+                    .unwrap_or(None);
+                match parsed.as_deref() {
+                    Some([i, j, k]) => modes = [*i, *j, *k],
+                    _ => return usage_error("--modes requires I,J,K"),
+                }
+            }
             "--out" => match args.next() {
                 Some(p) => out = Some(p),
                 None => return usage_error("--out requires a path"),
@@ -61,6 +102,58 @@ fn main() -> ExitCode {
     let Some(out) = out else {
         return usage_error("--out is required");
     };
+    let path = std::path::Path::new(&out);
+
+    match sparse.as_deref() {
+        Some("csr") => {
+            let Some(rows) = rows else {
+                return usage_error("--sparse csr requires --rows");
+            };
+            if rows == 0 || cols == 0 {
+                return usage_error("--rows and --cols must be positive");
+            }
+            let m = cfr_datagen::sparse_csr(rows, cols, nnz.unwrap_or(16), skew, seed);
+            return match cfr_sparse::write_csr_dataset(path, &m) {
+                Ok(unit) => {
+                    eprintln!(
+                        "cfr-datagen: wrote sparse csr {rows}x{cols}, {} nnz \
+                         (skew {skew}, unit {unit}) to {out} (+ .frsp sidecar)",
+                        m.nnz()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cfr-datagen: error: cannot write {out}: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Some("coo") => {
+            let Some(nnz) = nnz else {
+                return usage_error("--sparse coo requires --nnz");
+            };
+            if modes.contains(&0) {
+                return usage_error("--modes must be positive");
+            }
+            let t = cfr_datagen::sparse_coo(modes, nnz, skew, seed);
+            return match cfr_sparse::write_coo_dataset(path, &t) {
+                Ok(_) => {
+                    eprintln!(
+                        "cfr-datagen: wrote sparse coo {}x{}x{}, {nnz} nnz \
+                         (skew {skew}) to {out} (+ .frsp sidecar)",
+                        modes[0], modes[1], modes[2]
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cfr-datagen: error: cannot write {out}: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        _ => {}
+    }
+
     let Some(rows) = rows else {
         return usage_error("--rows is required");
     };

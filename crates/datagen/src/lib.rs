@@ -127,6 +127,74 @@ pub fn noisy_line(n: usize, slope: f64, intercept: f64, noise: f64, seed: u64) -
     Dataset { data, unit: 2 }
 }
 
+/// Power-law (Zipf-like) sparse matrix in CSR form — the sparse tier's
+/// irregular workload. Row `i`'s nonzero count follows `1/(i+1)^skew`
+/// scaled so the mean is `avg_nnz` (every row keeps at least one entry
+/// when `avg_nnz >= 1`); column positions concentrate toward low
+/// columns with the same skew. `skew = 0` degenerates to a uniform
+/// matrix. Values are integers in `1..=9` so reductions over the
+/// matrix are exact in f64 (bit-identical across accumulation orders).
+pub fn sparse_csr(
+    rows: usize,
+    cols: usize,
+    avg_nnz: usize,
+    skew: f64,
+    seed: u64,
+) -> cfr_sparse::CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cols = cols.max(1);
+    let weights: Vec<f64> = (0..rows).map(|i| (i as f64 + 1.0).powf(-skew)).collect();
+    let total_w: f64 = weights.iter().sum();
+    let target = (rows * avg_nnz) as f64;
+    let mut indptr = vec![0u64];
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for w in weights {
+        let mut len = (target * w / total_w.max(f64::MIN_POSITIVE)).round() as usize;
+        if avg_nnz >= 1 {
+            len = len.max(1);
+        }
+        len = len.min(cols);
+        for _ in 0..len {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            // Inverse-CDF-ish draw: skew > 0 piles columns near 0.
+            let col = (cols as f64 * u.powf(1.0 + skew)) as usize;
+            indices.push(col.min(cols - 1) as u64);
+            values.push(rng.gen_range(1u8..=9) as f64);
+        }
+        indptr.push(indices.len() as u64);
+    }
+    cfr_sparse::CsrMatrix::new(rows as u64, cols as u64, indptr, indices, values)
+        .expect("generated CSR is valid by construction")
+}
+
+/// Power-law sparse 3-mode tensor in COO form. Mode-0 slabs follow the
+/// skew (hot head slabs), modes 1 and 2 are uniform; values are
+/// integers in `1..=9`. Duplicate coordinates are allowed — the
+/// reduction accumulates them like any middleware would.
+pub fn sparse_coo(dims: [usize; 3], nnz: usize, skew: f64, seed: u64) -> cfr_sparse::CooTensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dims = [dims[0].max(1), dims[1].max(1), dims[2].max(1)];
+    let mut coords = Vec::with_capacity(nnz);
+    let mut values = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let i = ((dims[0] as f64 * u.powf(1.0 + skew)) as usize).min(dims[0] - 1);
+        coords.push([
+            i as u64,
+            rng.gen_range(0..dims[1]) as u64,
+            rng.gen_range(0..dims[2]) as u64,
+        ]);
+        values.push(rng.gen_range(1u8..=9) as f64);
+    }
+    cfr_sparse::CooTensor::new(
+        [dims[0] as u64, dims[1] as u64, dims[2] as u64],
+        coords,
+        values,
+    )
+    .expect("generated COO is valid by construction")
+}
+
 /// Standard-normal sample via the Box–Muller transform (`rand` provides
 /// only uniform generation without the `rand_distr` crate, which this
 /// workspace deliberately avoids).
@@ -210,6 +278,38 @@ mod tests {
         }
         let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
         assert!((slope - 2.5).abs() < 0.01, "slope {slope}");
+    }
+
+    #[test]
+    fn sparse_csr_is_seeded_and_skewed() {
+        let a = sparse_csr(64, 256, 8, 1.2, 11);
+        let b = sparse_csr(64, 256, 8, 1.2, 11);
+        assert_eq!(a, b);
+        assert_ne!(a, sparse_csr(64, 256, 8, 1.2, 12));
+        a.validate().unwrap();
+        // Skewed: the first quarter of the rows holds most nonzeros.
+        let head = a.indptr[16];
+        assert!(
+            head * 2 > a.nnz(),
+            "head rows hold {head} of {} nonzeros",
+            a.nnz()
+        );
+        // Integer values for exact reductions.
+        assert!(a.values.iter().all(|&v| v.fract() == 0.0 && v >= 1.0));
+        // skew = 0 is roughly uniform.
+        let u = sparse_csr(64, 256, 8, 0.0, 11);
+        assert!(u.indptr[16] * 5 < u.nnz() * 2, "uniform head too heavy");
+    }
+
+    #[test]
+    fn sparse_coo_is_seeded_and_skewed() {
+        let a = sparse_coo([128, 16, 16], 2000, 1.5, 5);
+        assert_eq!(a, sparse_coo([128, 16, 16], 2000, 1.5, 5));
+        a.validate().unwrap();
+        // The 16 head slabs (1/8 of mode 0) draw far more than their
+        // uniform share of 250 entries.
+        let head = a.coords.iter().filter(|c| c[0] < 16).count();
+        assert!(head > 600, "head slabs got {head} of 2000");
     }
 
     #[test]

@@ -173,6 +173,22 @@ pub struct ClusterConfig {
     /// fallback) when the node has no codegen backend or no `rustc` —
     /// results are bit-identical either way, so a mixed fleet is safe.
     pub backend: freeride::KernelBackend,
+    /// Reduction-object sync scheme every node runs its local engine
+    /// with. Typically left at the default (full replication) or set
+    /// to a coordinator-side inspector's plan
+    /// (`cfr_sparse::plan_padded_csr` / `plan_quads`) — the scheme
+    /// only affects synchronization cost, never results.
+    pub scheme: freeride::SyncScheme,
+    /// Explicit per-node `(first_row, rows)` shard bounds, e.g. the
+    /// nnz-balanced cut of `cfr_sparse::nnz_balanced_bounds`. Must
+    /// contiguously cover `[0, rows)` of the dataset with exactly one
+    /// entry per node; `None` (the default) keeps the equal-row cut.
+    pub shard_bounds: Option<Vec<(u64, u64)>>,
+    /// Ask every node to cut its *thread* splits by the nonzero
+    /// weights in the dataset's `.frsp` sidecar (sparse datasets
+    /// written by `cfr_sparse::write_csr_dataset`). Nodes fail the job
+    /// with a typed error if the sidecar is missing or malformed.
+    pub sparse_split: bool,
 }
 
 impl ClusterConfig {
@@ -194,6 +210,9 @@ impl ClusterConfig {
             job_tag: String::new(),
             telemetry: TelemetryPolicy::default(),
             backend: freeride::KernelBackend::Interpreted,
+            scheme: freeride::SyncScheme::FullReplication,
+            shard_bounds: None,
+            sparse_split: false,
         }
     }
 }

@@ -70,6 +70,11 @@ fn build_job(msg: Message) -> Result<JobContext, DistError> {
         readers,
         stats_every,
         backend,
+        scheme,
+        scheme_stripes,
+        scheme_cells,
+        scheme_mask,
+        splitter,
     } = msg
     else {
         return Err(DistError::Protocol {
@@ -104,6 +109,39 @@ fn build_job(msg: Message) -> Result<JobContext, DistError> {
     config.trace = trace_level_from_ordinal(trace_level);
     config.io = crate::proto::io_mode_from_wire(io_mode, chunk_rows, buffers, readers);
     config.backend = freeride::KernelBackend::from_wire(backend);
+    config.scheme =
+        crate::proto::scheme_from_wire(scheme, scheme_stripes, scheme_cells, scheme_mask);
+    if splitter == 1 {
+        // The coordinator asked for nnz-weighted thread splits: recover
+        // the exact index structure from the dataset's `.frsp` sidecar.
+        let sidecar = cfr_sparse::sidecar_path(std::path::Path::new(&dataset));
+        let m = match cfr_sparse::read_frsp(&sidecar) {
+            Ok(cfr_sparse::SparseData::Csr(m)) => m,
+            Ok(other) => {
+                return Err(DistError::BadTask {
+                    reason: format!(
+                        "weighted splitter needs a CSR sidecar at {}, found {other:?}",
+                        sidecar.display()
+                    ),
+                })
+            }
+            Err(e) => {
+                return Err(DistError::BadTask {
+                    reason: format!("weighted splitter sidecar {}: {e}", sidecar.display()),
+                })
+            }
+        };
+        if m.rows != rows {
+            return Err(DistError::BadTask {
+                reason: format!(
+                    "sidecar {} describes {} rows, dataset has {rows}",
+                    sidecar.display(),
+                    m.rows
+                ),
+            });
+        }
+        config.splitter = cfr_sparse::csr_splitter(&m);
+    }
     let recorder = Arc::new(Recorder::new(config.trace));
     let backend = config.backend;
     let engine = Engine::with_recorder(config, recorder.clone());

@@ -30,8 +30,13 @@ pub const WIRE_MAGIC: &[u8; 4] = b"FRDM";
 /// periodic `Stats` metrics frames, a `stats_every` job knob, and the
 /// node's final metrics snapshot on `JobDone`. Version 4 added the
 /// kernel `backend` byte on `Job`, so a coordinator can ask the fleet
-/// to run kernel-IR tasks through the native codegen path.
-pub const WIRE_VERSION: u8 = 4;
+/// to run kernel-IR tasks through the native codegen path. Version 5
+/// added the sparse-tier plan fields on `Job`: the reduction-object
+/// sync scheme chosen by the coordinator-side inspector (`scheme` +
+/// its three scalar operands) and the `splitter` byte asking the node
+/// to cut thread splits by the nonzero weights in the dataset's
+/// `.frsp` sidecar instead of by row count.
+pub const WIRE_VERSION: u8 = 5;
 /// Upper bound on a frame payload (64 MiB): a corrupt length field
 /// fails fast instead of triggering a giant allocation.
 pub const MAX_FRAME_LEN: u32 = 64 << 20;
@@ -99,6 +104,19 @@ pub enum Message {
         /// ignore it). Decoded with `from_wire`, so an unknown byte
         /// degrades to the interpreter rather than failing the job.
         backend: u8,
+        /// Reduction-object sync scheme discriminant (see
+        /// [`scheme_to_wire`]); an unknown byte degrades to full
+        /// replication, which is always correct.
+        scheme: u8,
+        /// Stripe count operand (bucket locking / hybrid; 0 otherwise).
+        scheme_stripes: u64,
+        /// Hybrid region size in cells (0 for non-hybrid schemes).
+        scheme_cells: u64,
+        /// Hybrid replicated-region bitmask (0 for non-hybrid schemes).
+        scheme_mask: u64,
+        /// Thread-split policy: 0 = engine default (equal rows), 1 =
+        /// nnz-weighted from the dataset's `.frsp` sidecar.
+        splitter: u8,
     },
     /// Coordinator → node: run one local reduction pass over the
     /// node's shards with this round's broadcast state (e.g. current
@@ -374,6 +392,11 @@ impl Message {
                 readers,
                 stats_every,
                 backend,
+                scheme,
+                scheme_stripes,
+                scheme_cells,
+                scheme_mask,
+                splitter,
             } => {
                 put_str(&mut out, task);
                 put_i64s(&mut out, params);
@@ -389,6 +412,11 @@ impl Message {
                 out.extend_from_slice(&readers.to_le_bytes());
                 out.extend_from_slice(&stats_every.to_le_bytes());
                 out.push(*backend);
+                out.push(*scheme);
+                out.extend_from_slice(&scheme_stripes.to_le_bytes());
+                out.extend_from_slice(&scheme_cells.to_le_bytes());
+                out.extend_from_slice(&scheme_mask.to_le_bytes());
+                out.push(*splitter);
             }
             Message::Round {
                 round,
@@ -470,6 +498,11 @@ impl Message {
                 readers: r.u32("readers")?,
                 stats_every: r.u32("stats_every")?,
                 backend: r.u8("backend")?,
+                scheme: r.u8("scheme")?,
+                scheme_stripes: r.u64("scheme_stripes")?,
+                scheme_cells: r.u64("scheme_cells")?,
+                scheme_mask: r.u64("scheme_mask")?,
+                splitter: r.u8("splitter")?,
             },
             TYPE_ROUND => Message::Round {
                 round: r.u32("round")?,
@@ -556,6 +589,42 @@ pub fn io_mode_from_wire(
     }
 }
 
+/// Flatten a [`freeride::SyncScheme`] into the [`Message::Job`] wire
+/// fields `(scheme, stripes, region_cells, replicated_mask)`.
+pub fn scheme_to_wire(s: freeride::SyncScheme) -> (u8, u64, u64, u64) {
+    match s {
+        freeride::SyncScheme::FullReplication => (0, 0, 0, 0),
+        freeride::SyncScheme::FullLocking => (1, 0, 0, 0),
+        freeride::SyncScheme::BucketLocking { stripes } => (2, stripes as u64, 0, 0),
+        freeride::SyncScheme::Atomic => (3, 0, 0, 0),
+        freeride::SyncScheme::Hybrid {
+            region_cells,
+            replicated,
+            stripes,
+        } => (4, stripes as u64, region_cells as u64, replicated),
+    }
+}
+
+/// Rebuild a [`freeride::SyncScheme`] from [`Message::Job`] wire
+/// fields. Unknown discriminants and degenerate operands (zero stripes
+/// or region size) fall back to full replication, which is always
+/// correct — scheme choice only affects synchronization cost.
+pub fn scheme_from_wire(scheme: u8, stripes: u64, cells: u64, mask: u64) -> freeride::SyncScheme {
+    match scheme {
+        1 => freeride::SyncScheme::FullLocking,
+        2 if stripes > 0 => freeride::SyncScheme::BucketLocking {
+            stripes: stripes as usize,
+        },
+        3 => freeride::SyncScheme::Atomic,
+        4 if stripes > 0 && cells > 0 => freeride::SyncScheme::Hybrid {
+            region_cells: cells as usize,
+            replicated: mask,
+            stripes: stripes as usize,
+        },
+        _ => freeride::SyncScheme::FullReplication,
+    }
+}
+
 /// Read one frame, returning the message and the number of bytes taken
 /// off the wire. Malformed headers and payloads are
 /// [`DistError::Protocol`]; socket failures (including read timeouts,
@@ -606,6 +675,11 @@ mod proto_tests {
                 readers: 2,
                 stats_every: 4,
                 backend: 1,
+                scheme: 4,
+                scheme_stripes: 64,
+                scheme_cells: 128,
+                scheme_mask: 0b1011,
+                splitter: 1,
             },
             Message::Round {
                 round: 7,
@@ -653,6 +727,30 @@ mod proto_tests {
         }
         assert_eq!(recv, wire.len());
         assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn scheme_wire_round_trips_and_degrades_safely() {
+        use freeride::SyncScheme;
+        for s in [
+            SyncScheme::FullReplication,
+            SyncScheme::FullLocking,
+            SyncScheme::BucketLocking { stripes: 16 },
+            SyncScheme::Atomic,
+            SyncScheme::Hybrid {
+                region_cells: 128,
+                replicated: 0b101,
+                stripes: 8,
+            },
+        ] {
+            let (b, st, c, m) = scheme_to_wire(s);
+            assert_eq!(scheme_from_wire(b, st, c, m), s);
+        }
+        // Unknown discriminants and degenerate operands degrade to the
+        // always-correct scheme instead of failing the job.
+        assert_eq!(scheme_from_wire(99, 0, 0, 0), SyncScheme::FullReplication);
+        assert_eq!(scheme_from_wire(2, 0, 0, 0), SyncScheme::FullReplication);
+        assert_eq!(scheme_from_wire(4, 8, 0, 1), SyncScheme::FullReplication);
     }
 
     #[test]

@@ -102,8 +102,12 @@ pub struct Fleet {
 
 impl Fleet {
     /// Connect to every node agent, handshake, and send the job setup.
-    /// Shards are contiguous row ranges: node `i` of `n` gets
-    /// `[i·rows/n, (i+1)·rows/n)`, a disjoint cover of the file.
+    /// Shards are contiguous row ranges: by default node `i` of `n`
+    /// gets the equal-row cut `[i·rows/n, (i+1)·rows/n)`; with
+    /// [`ClusterConfig::shard_bounds`] set (e.g. an nnz-balanced cut
+    /// for sparse datasets) the explicit ranges are used instead,
+    /// after validating they contiguously cover the file with one
+    /// range per node.
     pub(crate) fn connect(
         cfg: &ClusterConfig,
         addrs: &[SocketAddr],
@@ -111,7 +115,36 @@ impl Fleet {
         rows: usize,
         stats: &mut ClusterStats,
     ) -> Result<Fleet, DistError> {
+        if let Some(bounds) = &cfg.shard_bounds {
+            if bounds.len() != addrs.len() {
+                return Err(DistError::BadTask {
+                    reason: format!(
+                        "shard_bounds has {} ranges for {} nodes",
+                        bounds.len(),
+                        addrs.len()
+                    ),
+                });
+            }
+            let mut next = 0u64;
+            for &(first, count) in bounds {
+                if first != next {
+                    return Err(DistError::BadTask {
+                        reason: format!(
+                            "shard_bounds not contiguous: expected first_row {next}, got {first}"
+                        ),
+                    });
+                }
+                next = next.saturating_add(count);
+            }
+            if next != rows as u64 {
+                return Err(DistError::BadTask {
+                    reason: format!("shard_bounds cover {next} rows of a {rows}-row dataset"),
+                });
+            }
+        }
         let dataset = cfg.dataset.to_string_lossy().into_owned();
+        let (scheme, scheme_stripes, scheme_cells, scheme_mask) =
+            crate::proto::scheme_to_wire(cfg.scheme);
         let mut fleet = Fleet {
             nodes: Vec::with_capacity(addrs.len()),
         };
@@ -129,8 +162,13 @@ impl Fleet {
                     })
                 }
             }
-            let first = id * rows / addrs.len();
-            let count = (id + 1) * rows / addrs.len() - first;
+            let (first, count) = match &cfg.shard_bounds {
+                Some(bounds) => (bounds[id].0 as usize, bounds[id].1 as usize),
+                None => {
+                    let first = id * rows / addrs.len();
+                    (first, (id + 1) * rows / addrs.len() - first)
+                }
+            };
             let (io_mode, chunk_rows, buffers, readers) = crate::proto::io_mode_to_wire(&cfg.io);
             conn.send(
                 &Message::Job {
@@ -148,6 +186,11 @@ impl Fleet {
                     readers,
                     stats_every: cfg.telemetry.stats_every,
                     backend: cfg.backend.to_wire(),
+                    scheme,
+                    scheme_stripes,
+                    scheme_cells,
+                    scheme_mask,
+                    splitter: cfg.sparse_split as u8,
                 },
                 stats,
             )?;

@@ -34,7 +34,15 @@ use crate::error::DistError;
 pub type TaskKernel = Box<dyn Fn(&Split<'_>, &mut dyn RObjHandle) + Sync + Send>;
 
 /// The names of all built-in tasks.
-pub const BUILTIN_TASKS: &[&str] = &["sum", "kmeans", "pca.mean", "pca.cov", "chapel.kmeans"];
+pub const BUILTIN_TASKS: &[&str] = &[
+    "sum",
+    "kmeans",
+    "pca.mean",
+    "pca.cov",
+    "chapel.kmeans",
+    "sparse.kmeans",
+    "sparse.mttkrp",
+];
 
 fn bad<T>(reason: impl Into<String>) -> Result<T, DistError> {
     Err(DistError::BadTask {
@@ -85,6 +93,24 @@ pub fn layout(task: &str, params: &[i64]) -> Result<Arc<RObjLayout>, DistError> 
             Ok(RObjLayout::new(vec![GroupSpec::new(
                 "newCent",
                 k * (d + 1),
+                CombineOp::Sum,
+            )]))
+        }
+        "sparse.kmeans" => {
+            let k = param(params, 0, task, "k")?;
+            let cols = param(params, 1, task, "cols")?;
+            Ok(RObjLayout::new(vec![GroupSpec::new(
+                "newCent",
+                k * (cols + 1),
+                CombineOp::Sum,
+            )]))
+        }
+        "sparse.mttkrp" => {
+            let im = param(params, 0, task, "dims[0]")?;
+            let rank = param(params, 3, task, "rank")?;
+            Ok(RObjLayout::new(vec![GroupSpec::new(
+                "M",
+                im * rank,
                 CombineOp::Sum,
             )]))
         }
@@ -197,6 +223,87 @@ pub fn kernel(
                                 let db = row[b] - mean[b];
                                 robj.accumulate(0, a * rows + b, da * db);
                             }
+                        }
+                    }
+                },
+            ))
+        }
+        "sparse.kmeans" => {
+            let k = param(params, 0, task, "k")?;
+            let cols = param(params, 1, task, "cols")?;
+            if state.len() != k * cols {
+                return bad(format!(
+                    "sparse.kmeans: state holds {} values, expected k*cols = {}",
+                    state.len(),
+                    k * cols
+                ));
+            }
+            // ‖c‖² once per round in ascending column order — the same
+            // fold as the single-process `cfr_apps::sparse_kmeans`
+            // driver, so cluster and local runs are bit-identical.
+            let cents = state.to_vec();
+            let mut cnorm = vec![0.0f64; k];
+            for c in 0..k {
+                for j in 0..cols {
+                    cnorm[c] += cents[c * cols + j] * cents[c * cols + j];
+                }
+            }
+            Ok(Box::new(
+                move |split: &Split<'_>, robj: &mut dyn RObjHandle| {
+                    for row in split.iter_rows() {
+                        let mut best = 0usize;
+                        let mut best_dist = f64::INFINITY;
+                        for c in 0..k {
+                            let mut dot = 0.0;
+                            for (col, v) in linearize::sparse::padded_row_entries(row) {
+                                if col < cols {
+                                    dot += v * cents[c * cols + col];
+                                }
+                            }
+                            let dist = cnorm[c] - 2.0 * dot;
+                            if dist < best_dist {
+                                best_dist = dist;
+                                best = c;
+                            }
+                        }
+                        for (col, v) in linearize::sparse::padded_row_entries(row) {
+                            if col < cols {
+                                robj.accumulate(0, best * (cols + 1) + col, v);
+                            }
+                        }
+                        robj.accumulate(0, best * (cols + 1) + cols, 1.0);
+                    }
+                },
+            ))
+        }
+        "sparse.mttkrp" => {
+            let im = param(params, 0, task, "dims[0]")?;
+            let jm = param(params, 1, task, "dims[1]")?;
+            let km = param(params, 2, task, "dims[2]")?;
+            let rank = param(params, 3, task, "rank")?;
+            // The closed-form factors are job constants, rebuilt on the
+            // node — only the tensor quads travel through the dataset.
+            let b = cfr_sparse::synthetic_factor(jm, rank);
+            let c = cfr_sparse::synthetic_factor(km, rank);
+            Ok(Box::new(
+                move |split: &Split<'_>, robj: &mut dyn RObjHandle| {
+                    for row in split.iter_rows() {
+                        if row.len() < 4 {
+                            continue;
+                        }
+                        let i = row[0].max(0.0) as usize;
+                        let j = row[1].max(0.0) as usize;
+                        let kk = row[2].max(0.0) as usize;
+                        let v = row[3];
+                        if i >= im || j >= jm || kk >= km {
+                            continue;
+                        }
+                        for r in 0..rank {
+                            robj.accumulate(
+                                0,
+                                i * rank + r,
+                                v * b[j * rank + r] * c[kk * rank + r],
+                            );
                         }
                     }
                 },
@@ -323,8 +430,10 @@ pub fn step(
     merged: &ReductionObject,
 ) -> Result<Option<Vec<f64>>, DistError> {
     match task {
-        "kmeans" | "chapel.kmeans" => {
+        "kmeans" | "chapel.kmeans" | "sparse.kmeans" => {
             // `chapel.kmeans` carries `n` in slot 0; `k`/`d` follow.
+            // `sparse.kmeans` uses `[k, cols]` — same shape as
+            // `kmeans`'s `[k, d]`, and the same centroid refinement.
             let base = if task == "chapel.kmeans" { 1 } else { 0 };
             let k = param(params, base, task, "k")?;
             let d = param(params, base + 1, task, "d")?;
@@ -340,7 +449,7 @@ pub fn step(
             }
             Ok(Some(next))
         }
-        "sum" | "pca.mean" | "pca.cov" => Ok(None),
+        "sum" | "pca.mean" | "pca.cov" | "sparse.mttkrp" => Ok(None),
         other => bad(format!(
             "unknown task `{other}` (built-ins: {BUILTIN_TASKS:?})"
         )),
@@ -399,6 +508,67 @@ mod tasks_tests {
         // scatter[0][0] = sum (x0 - 3)^2 = 4 + 0 + 4 = 8
         assert_eq!(cov.get(0, 0), 8.0);
         assert_eq!(step("pca.cov", &[rows as i64], &mean, &cov).unwrap(), None);
+    }
+
+    #[test]
+    fn sparse_kmeans_task_over_padded_rows() {
+        let (rows, cols, w, k) = (12usize, 8usize, 4usize, 2usize);
+        let m = cfr_sparse::synthetic_csr(rows, cols, w);
+        let (buf, unit) = cfr_sparse::csr_to_padded(&m).unwrap();
+        let cents: Vec<f64> = (1..=k)
+            .flat_map(|c| (1..=cols).map(move |j| ((c * 13 + j * 5) % 7) as f64))
+            .collect();
+        let robj = run_local(
+            "sparse.kmeans",
+            &[k as i64, cols as i64],
+            &cents,
+            &buf,
+            unit,
+        );
+        let cells = robj.group_slice(0);
+        // Every row lands in exactly one cluster.
+        let counts: f64 = (0..k).map(|c| cells[c * (cols + 1) + cols]).sum();
+        assert_eq!(counts, rows as f64);
+        // Coordinate sums total the matrix's value mass.
+        let mass: f64 = m.values.iter().sum();
+        let sums: f64 = (0..k)
+            .flat_map(|c| (0..cols).map(move |j| cells[c * (cols + 1) + j]))
+            .sum();
+        assert_eq!(sums, mass);
+        // step refines centroids exactly like the dense task.
+        let next = step("sparse.kmeans", &[k as i64, cols as i64], &cents, &robj)
+            .unwrap()
+            .unwrap();
+        assert_eq!(next.len(), k * cols);
+    }
+
+    #[test]
+    fn sparse_mttkrp_task_sums_exact_products() {
+        let (dims, nnz, hot, rank) = ([6usize, 3, 3], 20usize, 2usize, 2usize);
+        let t = cfr_sparse::synthetic_coo(dims, nnz, hot);
+        let quads = cfr_sparse::coo_to_quads(&t).unwrap();
+        let params = [dims[0] as i64, dims[1] as i64, dims[2] as i64, rank as i64];
+        let robj = run_local("sparse.mttkrp", &params, &[], &quads, 4);
+        // Reference fold in entry order.
+        let b = cfr_sparse::synthetic_factor(dims[1], rank);
+        let c = cfr_sparse::synthetic_factor(dims[2], rank);
+        let mut want = vec![0.0f64; dims[0] * rank];
+        for (co, &v) in t.coords.iter().zip(&t.values) {
+            for r in 0..rank {
+                want[co[0] as usize * rank + r] +=
+                    v * b[co[1] as usize * rank + r] * c[co[2] as usize * rank + r];
+            }
+        }
+        assert_eq!(robj.group_slice(0), &want[..]);
+        assert_eq!(step("sparse.mttkrp", &params, &[], &robj).unwrap(), None);
+        // Malformed quads (out-of-range coordinates) are skipped, never
+        // a panic or an out-of-bounds accumulate.
+        let junk = vec![99.0, 0.0, 0.0, 5.0, -1.0, 1.0, 1.0, 2.0];
+        let robj = run_local("sparse.mttkrp", &params, &[], &junk, 4);
+        assert!(robj
+            .group_slice(0)
+            .iter()
+            .all(|&x| x == 0.0 || x.is_finite()));
     }
 
     #[test]

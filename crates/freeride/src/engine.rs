@@ -506,7 +506,10 @@ impl Engine {
         }
         let wall_start = Instant::now();
         let threads = self.config.threads.max(1);
-        let mut ranges = self.config.splitter.ranges(shard_rows, threads);
+        let mut ranges = self
+            .config
+            .splitter
+            .ranges_at(shard_first, shard_rows, threads);
         for r in &mut ranges {
             r.0 += shard_first;
         }
@@ -522,13 +525,12 @@ impl Engine {
         let rec = &*self.recorder;
         let splits_on = rec.enabled(TraceLevel::Splits);
 
+        let scheme = self.config.scheme;
         let worker_body = |w: usize| {
             let shared = shared.as_ref();
-            let mut local: Option<ReductionObject> = if shared.is_none() {
-                Some(ReductionObject::alloc(layout.clone()))
-            } else {
-                None
-            };
+            let mut local: Option<ReductionObject> = scheme
+                .worker_private()
+                .then(|| ReductionObject::alloc(layout.clone()));
             let mut my_stats = Vec::new();
             // One read buffer per worker, reused across every split it
             // pulls — no per-split allocation churn.
@@ -560,14 +562,7 @@ impl Engine {
                     first_row: first,
                     row_count: count,
                 };
-                match (&mut local, shared) {
-                    (Some(robj), _) => kernel.run_split(&split, robj),
-                    (None, Some(backend)) => {
-                        let mut handle = SharedHandle::new(backend);
-                        kernel.run_split(&split, &mut handle);
-                    }
-                    (None, None) => unreachable!("no reduction target"),
-                }
+                run_split_on(kernel, &split, local.as_mut(), shared, scheme);
                 my_stats.push(SplitStat {
                     split: i,
                     first_row: first,
@@ -699,13 +694,12 @@ impl Engine {
         let collected: Mutex<Vec<ReductionObject>> = Mutex::new(Vec::with_capacity(threads));
         let stats: Mutex<Vec<SplitStat>> = Mutex::new(Vec::new());
 
+        let scheme = self.config.scheme;
         let worker_body = |w: usize| {
             let shared = shared.as_ref();
-            let mut local: Option<ReductionObject> = if shared.is_none() {
-                Some(ReductionObject::alloc(layout.clone()))
-            } else {
-                None
-            };
+            let mut local: Option<ReductionObject> = scheme
+                .worker_private()
+                .then(|| ReductionObject::alloc(layout.clone()));
             let mut my_stats = Vec::new();
             // `recv` returns None when the shard is exhausted *or* the
             // pipeline aborted — either way the worker just drains out.
@@ -717,14 +711,7 @@ impl Engine {
                     first_row: chunk.first_row,
                     row_count: chunk.rows,
                 };
-                match (&mut local, shared) {
-                    (Some(robj), _) => kernel.run_split(&split, robj),
-                    (None, Some(backend)) => {
-                        let mut handle = SharedHandle::new(backend);
-                        kernel.run_split(&split, &mut handle);
-                    }
-                    (None, None) => unreachable!("no reduction target"),
-                }
+                run_split_on(kernel, &split, local.as_mut(), shared, scheme);
                 my_stats.push(SplitStat {
                     split: chunk.seq,
                     first_row: chunk.first_row,
@@ -1023,9 +1010,15 @@ impl Engine {
     ) -> (ReductionObject, u64, u64) {
         let merged_copies = copies.len();
         let combine_start = Instant::now();
-        let mut robj = if let Some(backend) = shared {
-            backend.snapshot()
-        } else if copies.is_empty() {
+        // Shared schemes contribute a snapshot of the backend; under
+        // `SyncScheme::Hybrid` the workers' private (replicated-region)
+        // copies additionally join the merge — each side left the other
+        // side's regions at their identities, so a plain merge is exact.
+        let mut copies = copies;
+        if let Some(backend) = &shared {
+            copies.insert(0, backend.snapshot());
+        }
+        let mut robj = if copies.is_empty() {
             ReductionObject::alloc(layout.clone())
         } else if layout.total_cells() >= self.config.parallel_merge_threshold && copies.len() > 2 {
             match self.config.exec {
@@ -1091,49 +1084,40 @@ impl Engine {
         let rec = &*self.recorder;
         let splits_on = rec.enabled(TraceLevel::Splits);
 
-        if let Some(backend) = &shared {
-            for (i, &(first, count)) in ranges.iter().enumerate() {
-                let split = view.split(first, count);
-                let mut handle = SharedHandle::new(backend);
-                let t0 = Instant::now();
-                kernel.run_split(&split, &mut handle);
-                splits.push(SplitStat {
-                    split: i,
-                    first_row: first,
-                    rows: count,
-                    nanos: t0.elapsed().as_nanos() as u64,
-                    read_ns: 0,
-                    start_ns: if splits_on { rec.offset_ns(t0) } else { 0 },
-                    os_worker: 0,
-                    logical_thread: i % threads,
-                });
-            }
-            (Vec::new(), splits, shared)
-        } else {
-            // Full replication: one private copy per logical thread so
-            // the later (timed) merge reflects the real combination cost
-            // at this thread count.
-            let mut copies: Vec<ReductionObject> = (0..threads)
+        // Schemes with private copies allocate one per logical thread so
+        // the later (timed) merge reflects the real combination cost at
+        // this thread count.
+        let scheme = self.config.scheme;
+        let mut copies: Vec<ReductionObject> = if scheme.worker_private() {
+            (0..threads)
                 .map(|_| ReductionObject::alloc(layout.clone()))
-                .collect();
-            for (i, &(first, count)) in ranges.iter().enumerate() {
-                let split = view.split(first, count);
-                let worker = i % threads;
-                let t0 = Instant::now();
-                kernel.run_split(&split, &mut copies[worker]);
-                splits.push(SplitStat {
-                    split: i,
-                    first_row: first,
-                    rows: count,
-                    nanos: t0.elapsed().as_nanos() as u64,
-                    read_ns: 0,
-                    start_ns: if splits_on { rec.offset_ns(t0) } else { 0 },
-                    os_worker: 0,
-                    logical_thread: worker,
-                });
-            }
-            (copies, splits, None)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        for (i, &(first, count)) in ranges.iter().enumerate() {
+            let split = view.split(first, count);
+            let worker = i % threads;
+            let t0 = Instant::now();
+            run_split_on(
+                kernel,
+                &split,
+                copies.get_mut(worker),
+                shared.as_ref(),
+                scheme,
+            );
+            splits.push(SplitStat {
+                split: i,
+                first_row: first,
+                rows: count,
+                nanos: t0.elapsed().as_nanos() as u64,
+                read_ns: 0,
+                start_ns: if splits_on { rec.offset_ns(t0) } else { 0 },
+                os_worker: 0,
+                logical_thread: worker,
+            });
         }
+        (copies, splits, shared)
     }
 
     /// One reduction pass on the persistent pool: a single dispatch;
@@ -1159,15 +1143,14 @@ impl Engine {
 
         {
             let shared = shared.as_ref();
+            let scheme = self.config.scheme;
             self.pool.dispatch(threads, &|w| {
                 // Per-dispatch handle/copy construction: a pool worker
                 // serves many passes over its lifetime, so per-pass
                 // state cannot be tied to thread birth.
-                let mut local: Option<ReductionObject> = if shared.is_none() {
-                    Some(ReductionObject::alloc(layout.clone()))
-                } else {
-                    None
-                };
+                let mut local: Option<ReductionObject> = scheme
+                    .worker_private()
+                    .then(|| ReductionObject::alloc(layout.clone()));
                 let mut my_stats = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -1177,14 +1160,7 @@ impl Engine {
                     let (first, count) = ranges[i];
                     let split = view.split(first, count);
                     let t0 = Instant::now();
-                    match (&mut local, shared) {
-                        (Some(robj), _) => kernel.run_split(&split, robj),
-                        (None, Some(backend)) => {
-                            let mut handle = SharedHandle::new(backend);
-                            kernel.run_split(&split, &mut handle);
-                        }
-                        (None, None) => unreachable!("no reduction target"),
-                    }
+                    run_split_on(kernel, &split, local.as_mut(), shared, scheme);
                     my_stats.push(SplitStat {
                         split: i,
                         first_row: first,
@@ -1232,12 +1208,11 @@ impl Engine {
                 let stats = &stats;
                 let shared = shared.as_ref();
                 let layout = layout.clone();
+                let scheme = self.config.scheme;
                 scope.spawn(move |_| {
-                    let mut local: Option<ReductionObject> = if shared.is_none() {
-                        Some(ReductionObject::alloc(layout))
-                    } else {
-                        None
-                    };
+                    let mut local: Option<ReductionObject> = scheme
+                        .worker_private()
+                        .then(|| ReductionObject::alloc(layout));
                     let mut my_stats = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -1247,14 +1222,7 @@ impl Engine {
                         let (first, count) = ranges[i];
                         let split = view.split(first, count);
                         let t0 = Instant::now();
-                        match (&mut local, shared) {
-                            (Some(robj), _) => kernel.run_split(&split, robj),
-                            (None, Some(backend)) => {
-                                let mut handle = SharedHandle::new(backend);
-                                kernel.run_split(&split, &mut handle);
-                            }
-                            (None, None) => unreachable!("no reduction target"),
-                        }
+                        run_split_on(kernel, &split, local.as_mut(), shared, scheme);
                         my_stats.push(SplitStat {
                             split: i,
                             first_row: first,
@@ -1322,6 +1290,33 @@ impl Engine {
             copies = round;
         }
         copies.pop().expect("non-empty copies")
+    }
+}
+
+/// Run one split against the reduction target implied by the worker's
+/// `(private copy, shared backend)` pair: full replication uses the
+/// private copy alone, the locked/atomic schemes the shared backend
+/// alone, and [`SyncScheme::Hybrid`] routes per region through both.
+fn run_split_on<K>(
+    kernel: &K,
+    split: &Split<'_>,
+    local: Option<&mut ReductionObject>,
+    shared: Option<&SharedCells>,
+    scheme: SyncScheme,
+) where
+    K: SplitKernel + ?Sized,
+{
+    match (local, shared) {
+        (Some(robj), None) => kernel.run_split(split, robj),
+        (None, Some(backend)) => {
+            let mut handle = SharedHandle::new(backend);
+            kernel.run_split(split, &mut handle);
+        }
+        (Some(robj), Some(backend)) => {
+            let mut handle = crate::sync::HybridHandle::new(robj, backend, scheme);
+            kernel.run_split(split, &mut handle);
+        }
+        (None, None) => unreachable!("no reduction target"),
     }
 }
 
@@ -1488,6 +1483,101 @@ mod engine_tests {
                 }
             }
         }
+    }
+
+    /// The hybrid (selective-replication) scheme must agree exactly
+    /// with every pure scheme, for region maps that put the hot head,
+    /// the tail, or nothing at all in the replicated half.
+    #[test]
+    fn hybrid_scheme_matches_pure_schemes() {
+        let raw = data(1200);
+        let view = DataView::new(&raw, 4).unwrap();
+        let layout = RObjLayout::new(vec![
+            GroupSpec::new("sum", 1, CombineOp::Sum),
+            GroupSpec::new("hist", 8, CombineOp::Sum),
+        ]);
+        let kernel = |split: &Split<'_>, robj: &mut dyn RObjHandle| {
+            for row in split.iter_rows() {
+                robj.accumulate(0, 0, row.iter().sum());
+                robj.accumulate(1, (row[0] as usize) % 8, 1.0);
+            }
+        };
+        let oracle = Engine::new(JobConfig::with_threads(1))
+            .run(view, &layout, &kernel)
+            .robj;
+        for replicated in [0u64, 0b1, 0b10, 0b101, u64::MAX] {
+            for region_cells in [1usize, 3, 9] {
+                for threads in [1usize, 2, 8] {
+                    let engine = Engine::new(JobConfig {
+                        threads,
+                        scheme: SyncScheme::Hybrid {
+                            region_cells,
+                            replicated,
+                            stripes: 4,
+                        },
+                        ..Default::default()
+                    });
+                    let out = engine.run(view, &layout, &kernel);
+                    assert_eq!(
+                        out.robj.cells(),
+                        oracle.cells(),
+                        "replicated={replicated:#b} region_cells={region_cells} t={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Empty and ragged shards must run to an identity contribution
+    /// (zero-nnz rows and shards smaller than the thread count are the
+    /// normal case for sparse data), never error.
+    #[test]
+    fn empty_and_ragged_shards_run_to_identity() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("freeride-empty-shard-{}.frds", std::process::id()));
+        let raw = data(12);
+        crate::source::write_dataset(&path, 4, &raw).unwrap();
+        let file = crate::source::FileDataset::open(&path).unwrap();
+        for scheme in [
+            SyncScheme::FullReplication,
+            SyncScheme::FullLocking,
+            SyncScheme::BucketLocking { stripes: 2 },
+            SyncScheme::Atomic,
+            SyncScheme::Hybrid {
+                region_cells: 1,
+                replicated: 0b1,
+                stripes: 2,
+            },
+        ] {
+            let engine = Engine::new(JobConfig {
+                threads: 8,
+                scheme,
+                ..Default::default()
+            });
+            // Zero-row shard at both ends of the file.
+            for first in [0usize, 3] {
+                let out = engine
+                    .run_file_shard(&file, first, 0, &sum_layout(), &sum_kernel)
+                    .unwrap_or_else(|e| panic!("empty shard at {first} under {scheme:?}: {e}"));
+                assert_eq!(out.robj.get(0, 0), 0.0, "{scheme:?}");
+            }
+            // Ragged shard: fewer rows than threads still covers all rows.
+            let out = engine
+                .run_file_shard(&file, 1, 2, &sum_layout(), &sum_kernel)
+                .unwrap();
+            let expect: f64 = raw[4..12].iter().sum();
+            assert_eq!(out.robj.get(0, 0), expect, "{scheme:?}");
+        }
+        // An entirely empty dataset (zero rows) opens and runs too.
+        let mut empty = std::env::temp_dir();
+        empty.push(format!("freeride-empty-ds-{}.frds", std::process::id()));
+        crate::source::write_dataset(&empty, 4, &[]).unwrap();
+        let file = crate::source::FileDataset::open(&empty).unwrap();
+        let engine = Engine::new(JobConfig::with_threads(4));
+        let out = engine.run_file(&file, &sum_layout(), &sum_kernel).unwrap();
+        assert_eq!(out.robj.get(0, 0), 0.0);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&empty).ok();
     }
 
     #[test]

@@ -61,5 +61,6 @@ pub use freeride_io::{IoStats, MemoryBudget, RowReader, RowSource, StreamConfig}
 // levels and drain traces without naming the `obs` crate directly.
 pub use obs::{Recorder, Trace, TraceLevel};
 pub use sync::{
-    AtomicCells, LockedCells, RObjHandle, SharedCells, SharedHandle, StripedCells, SyncScheme,
+    AtomicCells, HybridHandle, LockedCells, RObjHandle, SharedCells, SharedHandle, StripedCells,
+    SyncScheme,
 };

@@ -126,6 +126,19 @@ pub enum Splitter {
     /// requested number of units, return the row ranges
     /// `(first_row, row_count)` of each unit.
     Custom(SplitterFn),
+    /// Weight-balanced splitter: cut contiguous ranges so each unit gets
+    /// an approximately equal share of a per-row *weight* (e.g.
+    /// nonzeros per row of a sparse dataset) instead of an equal row
+    /// count. `cum[i]` is the total weight of rows `0..i` over the
+    /// **whole dataset** (`cum.len() == rows + 1`); carrying the global
+    /// prefix lets one splitter serve any shard via
+    /// [`Splitter::ranges_at`]. Falls back to the default splitter when
+    /// the prefix does not cover the requested rows or carries no
+    /// weight.
+    Weighted {
+        /// Inclusive prefix sums of per-row weights over the dataset.
+        cum: Arc<Vec<u64>>,
+    },
 }
 
 impl std::fmt::Debug for Splitter {
@@ -136,6 +149,9 @@ impl std::fmt::Debug for Splitter {
                 write!(f, "Chunked({rows_per_chunk})")
             }
             Splitter::Custom(_) => write!(f, "Custom(..)"),
+            Splitter::Weighted { cum } => {
+                write!(f, "Weighted({} rows)", cum.len().saturating_sub(1))
+            }
         }
     }
 }
@@ -158,8 +174,67 @@ impl Splitter {
                 out
             }
             Splitter::Custom(f) => f(rows, req_units),
+            Splitter::Weighted { cum } => weighted_ranges(cum, 0, rows, req_units),
         }
     }
+
+    /// Like [`Splitter::ranges`], but positioned at `shard_first`: the
+    /// rows being cut are the dataset's rows
+    /// `shard_first .. shard_first + rows`, and the returned ranges are
+    /// **shard-relative** (first element `0` = `shard_first`). Only
+    /// [`Splitter::Weighted`] is position-sensitive; every other
+    /// splitter ignores the offset.
+    pub fn ranges_at(
+        &self,
+        shard_first: usize,
+        rows: usize,
+        req_units: usize,
+    ) -> Vec<(usize, usize)> {
+        match self {
+            Splitter::Weighted { cum } => weighted_ranges(cum, shard_first, rows, req_units),
+            _ => self.ranges(rows, req_units),
+        }
+    }
+}
+
+/// Cut `rows` rows starting at absolute row `shard_first` into at most
+/// `units` shard-relative ranges of approximately equal total weight,
+/// using the global inclusive prefix `cum`. Degenerate inputs (prefix
+/// too short, zero total weight) fall back to the even row split.
+fn weighted_ranges(
+    cum: &[u64],
+    shard_first: usize,
+    rows: usize,
+    units: usize,
+) -> Vec<(usize, usize)> {
+    let units = units.max(1);
+    let end = match shard_first.checked_add(rows) {
+        Some(e) if e < cum.len() => e,
+        _ => return default_ranges(rows, units),
+    };
+    let base = cum[shard_first];
+    let total = cum[end] - base;
+    if total == 0 {
+        return default_ranges(rows, units);
+    }
+    let mut out = Vec::with_capacity(units);
+    let mut first = 0usize;
+    for u in 1..=units {
+        // Smallest boundary whose cumulative weight reaches this unit's
+        // even share; integer arithmetic keeps the cut deterministic.
+        let target = base + (total as u128 * u as u128 / units as u128) as u64;
+        let mut hi = if u == units {
+            rows
+        } else {
+            cum[shard_first..=end].partition_point(|&c| c < target)
+        };
+        hi = hi.clamp(first, rows);
+        if hi > first {
+            out.push((first, hi - first));
+            first = hi;
+        }
+    }
+    out
 }
 
 /// Evenly divide `rows` into `units` contiguous ranges.
@@ -235,6 +310,56 @@ mod split_tests {
             vec![(0, rows / 2), (rows / 2, rows - rows / 2)]
         }));
         assert_eq!(s.ranges(9, 4), vec![(0, 4), (4, 5)]);
+    }
+
+    #[test]
+    fn weighted_splitter_balances_weight_not_rows() {
+        // One heavy head row, seven light rows.
+        let weights = [100u64, 1, 1, 1, 1, 1, 1, 1];
+        let mut cum = vec![0u64];
+        for w in weights {
+            cum.push(cum.last().unwrap() + w);
+        }
+        let s = Splitter::Weighted { cum: Arc::new(cum) };
+        let ranges = s.ranges(8, 2);
+        // The heavy row alone exceeds half the total weight, so unit 0
+        // is exactly row 0 and the rest ride in unit 1.
+        assert_eq!(ranges, vec![(0, 1), (1, 7)]);
+        let total: usize = ranges.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn weighted_splitter_is_shard_positioned() {
+        // Uniform weight of 1 per row over 8 rows; a 4-row shard at
+        // offset 4 must cut evenly inside the shard.
+        let cum: Vec<u64> = (0..=8).collect();
+        let s = Splitter::Weighted { cum: Arc::new(cum) };
+        assert_eq!(s.ranges_at(4, 4, 2), vec![(0, 2), (2, 2)]);
+        // Skewed tail: all the weight in the last row of the shard.
+        let cum2 = vec![0u64, 0, 0, 0, 0, 0, 0, 0, 10];
+        let s2 = Splitter::Weighted {
+            cum: Arc::new(cum2),
+        };
+        let ranges = s2.ranges_at(4, 4, 2);
+        let total: usize = ranges.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn weighted_splitter_degenerate_inputs_fall_back() {
+        // Prefix shorter than the requested rows.
+        let s = Splitter::Weighted {
+            cum: Arc::new(vec![0, 1, 2]),
+        };
+        assert_eq!(s.ranges(10, 2), Splitter::Default.ranges(10, 2));
+        // Zero total weight (an all-empty shard still runs).
+        let s2 = Splitter::Weighted {
+            cum: Arc::new(vec![0; 11]),
+        };
+        assert_eq!(s2.ranges(10, 2), Splitter::Default.ranges(10, 2));
+        // Zero rows: no ranges at all.
+        assert!(s2.ranges(0, 4).is_empty());
     }
 
     #[test]

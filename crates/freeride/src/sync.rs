@@ -14,6 +14,14 @@
 //!   striped locks (`cell id mod stripes`); trades contention for memory.
 //! * [`SyncScheme::Atomic`] — one shared copy updated with per-cell
 //!   compare-and-swap loops on the f64 bit pattern.
+//!
+//! A fifth, planned scheme exists for irregular workloads:
+//! [`SyncScheme::Hybrid`] implements *selective replication* — the flat
+//! cell space is cut into fixed-size regions, and each region is either
+//! replicated into per-worker private copies (hot, frequently-touched
+//! regions) or served by one shared bucket-locked copy (cold or
+//! wide-scatter regions). The sparse inspector (`crates/sparse`) derives
+//! the region map from a one-time scan of a shard's index pattern.
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,6 +48,34 @@ pub enum SyncScheme {
     },
     /// Lock-free compare-and-swap updates.
     Atomic,
+    /// Selective replication over fixed-size cell regions: region `r`
+    /// covers flat cells `r * region_cells ..` (region 63 extends to the
+    /// end of the object). Regions whose bit is set in `replicated`
+    /// accumulate into per-worker private copies merged during local
+    /// combination; all other regions share one bucket-locked copy with
+    /// `stripes` lock stripes.
+    Hybrid {
+        /// Flat cells per region (≥ 1; clamped when 0).
+        region_cells: usize,
+        /// Bit `r` set ⇒ region `r` is replicated (bit 63 covers every
+        /// region past the 63rd).
+        replicated: u64,
+        /// Lock stripes of the shared (non-replicated) backend.
+        stripes: usize,
+    },
+}
+
+impl SyncScheme {
+    /// Whether workers under this scheme hold a private
+    /// [`ReductionObject`] that must be merged during combination
+    /// (full replication, and the replicated regions of
+    /// [`SyncScheme::Hybrid`]).
+    pub fn worker_private(&self) -> bool {
+        matches!(
+            self,
+            SyncScheme::FullReplication | SyncScheme::Hybrid { .. }
+        )
+    }
 }
 
 /// The view of the reduction object handed to a local-reduction function.
@@ -263,6 +299,14 @@ impl SharedCells {
                 StripedCells::alloc(layout.clone(), stripes),
             )),
             SyncScheme::Atomic => Some(SharedCells::Atomic(AtomicCells::alloc(layout.clone()))),
+            // The shared half of a hybrid plan: the backend is allocated
+            // full-size, but workers only route non-replicated regions
+            // here, so replicated regions stay at their identities and
+            // merge as no-ops during combination.
+            SyncScheme::Hybrid { stripes, .. } => Some(SharedCells::Striped(StripedCells::alloc(
+                layout.clone(),
+                stripes,
+            ))),
         }
     }
 
@@ -317,6 +361,72 @@ impl RObjHandle for SharedHandle<'_> {
     #[inline]
     fn get(&self, group: usize, index: usize) -> f64 {
         self.backend.get(group, index)
+    }
+}
+
+/// One worker's view under [`SyncScheme::Hybrid`]: updates to replicated
+/// regions go to the worker's private copy (no synchronisation), updates
+/// to everything else go to the shared bucket-locked backend. The
+/// private copies are merged into the shared snapshot during local
+/// combination; since each side only ever touches its own regions, the
+/// other side's cells stay at their group identities and merge as
+/// no-ops.
+pub struct HybridHandle<'a, 'b> {
+    private: &'a mut ReductionObject,
+    shared: &'b SharedCells,
+    region_cells: usize,
+    replicated: u64,
+}
+
+impl<'a, 'b> HybridHandle<'a, 'b> {
+    /// Wrap a worker's private copy and the shared backend with the
+    /// region map of `scheme`. A non-hybrid scheme yields an all-shared
+    /// routing (correct, just never constructed by the engine).
+    pub fn new(
+        private: &'a mut ReductionObject,
+        shared: &'b SharedCells,
+        scheme: SyncScheme,
+    ) -> HybridHandle<'a, 'b> {
+        let (region_cells, replicated) = match scheme {
+            SyncScheme::Hybrid {
+                region_cells,
+                replicated,
+                ..
+            } => (region_cells.max(1), replicated),
+            _ => (1, 0),
+        };
+        HybridHandle {
+            private,
+            shared,
+            region_cells,
+            replicated,
+        }
+    }
+
+    #[inline]
+    fn is_replicated(&self, group: usize, index: usize) -> bool {
+        let id = self.private.layout().cell_id(group, index);
+        let region = (id / self.region_cells).min(63);
+        (self.replicated >> region) & 1 == 1
+    }
+}
+
+impl RObjHandle for HybridHandle<'_, '_> {
+    #[inline]
+    fn accumulate(&mut self, group: usize, index: usize, value: f64) {
+        if self.is_replicated(group, index) {
+            self.private.accumulate(group, index, value);
+        } else {
+            self.shared.accumulate(group, index, value);
+        }
+    }
+    #[inline]
+    fn get(&self, group: usize, index: usize) -> f64 {
+        if self.is_replicated(group, index) {
+            self.private.get(group, index)
+        } else {
+            self.shared.get(group, index)
+        }
     }
 }
 

@@ -53,6 +53,7 @@ mod cursor;
 mod error;
 mod meta;
 mod shape;
+pub mod sparse;
 mod value;
 mod writeback;
 

@@ -2,7 +2,8 @@
 //!
 //! Usage: `trace-check <file> [--expect <span-name>]...
 //! [--forbid <span-name>]... [--min-pids <n>]
-//! [--expect-counter <name>[=min]]...`
+//! [--expect-counter <name>[=min]]...
+//! [--expect-attr <span-name>:<args-key>]...`
 //!
 //! The input format is auto-detected:
 //!
@@ -25,7 +26,8 @@ use obs::{parse_json, parse_prometheus_counters, validate_chrome_trace, JsonValu
 
 const USAGE: &str = "usage: trace-check <file> [--expect <span-name>]... \
                      [--forbid <span-name>]... [--min-pids <n>] \
-                     [--expect-counter <name>[=min]]...";
+                     [--expect-counter <name>[=min]]... \
+                     [--expect-attr <span-name>:<args-key>]...";
 
 /// A `--expect-counter NAME[=MIN]` expectation.
 struct CounterExpect {
@@ -77,6 +79,7 @@ fn main() -> ExitCode {
     let mut expected: Vec<String> = Vec::new();
     let mut forbidden: Vec<String> = Vec::new();
     let mut counter_expects: Vec<CounterExpect> = Vec::new();
+    let mut attr_expects: Vec<(String, String)> = Vec::new();
     let mut min_pids: usize = 0;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -98,6 +101,16 @@ fn main() -> ExitCode {
                 Some(raw) => counter_expects.push(parse_counter_expect(&raw)),
                 None => {
                     eprintln!("trace-check: --expect-counter requires a name[=min]");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--expect-attr" => match args.next().as_deref().and_then(|raw| {
+                raw.split_once(':')
+                    .map(|(n, k)| (n.to_string(), k.to_string()))
+            }) {
+                Some(pair) if !pair.0.is_empty() && !pair.1.is_empty() => attr_expects.push(pair),
+                _ => {
+                    eprintln!("trace-check: --expect-attr requires <span-name>:<args-key>");
                     return ExitCode::FAILURE;
                 }
             },
@@ -159,6 +172,14 @@ fn main() -> ExitCode {
                 ok = false;
             }
         }
+        for (name, key) in &attr_expects {
+            if !summary.attrs.iter().any(|(n, k)| n == name && k == key) {
+                eprintln!(
+                    "trace-check: {path}: expected attribute `{key}` on span `{name}` not found"
+                );
+                ok = false;
+            }
+        }
         if summary.pids < min_pids {
             eprintln!(
                 "trace-check: {path}: expected at least {min_pids} process tracks, found {}",
@@ -215,6 +236,13 @@ fn main() -> ExitCode {
             eprintln!("trace-check: {path}: --min-pids needs a Chrome trace input");
             ok = false;
         }
+        if !attr_expects.is_empty() {
+            eprintln!(
+                "trace-check: {path}: --expect-attr needs a Chrome trace input \
+                 (span aggregates carry no attributes)"
+            );
+            ok = false;
+        }
         for name in &expected {
             if !span_names.iter().any(|n| n == name) {
                 eprintln!("trace-check: {path}: expected span `{name}` not found");
@@ -246,7 +274,8 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
-        if min_pids > 0 || !expected.is_empty() || !forbidden.is_empty() {
+        if min_pids > 0 || !expected.is_empty() || !forbidden.is_empty() || !attr_expects.is_empty()
+        {
             eprintln!(
                 "trace-check: {path}: span checks need a trace input, \
                  not a Prometheus body"

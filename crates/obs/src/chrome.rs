@@ -130,6 +130,10 @@ pub struct ChromeTraceSummary {
     pub pids: usize,
     /// Distinct event names, sorted.
     pub names: Vec<String>,
+    /// Distinct `(event name, args key)` pairs, sorted — which
+    /// attributes each span family carries (`trace-check
+    /// --expect-attr name:key` checks membership).
+    pub attrs: Vec<(String, String)>,
 }
 
 /// Validate the Chrome `trace_event` JSON shape this crate exports:
@@ -148,6 +152,7 @@ pub fn validate_chrome_trace(src: &str) -> Result<ChromeTraceSummary, String> {
     let mut tids: BTreeSet<u64> = BTreeSet::new();
     let mut pids: BTreeSet<u64> = BTreeSet::new();
     let mut names: BTreeSet<String> = BTreeSet::new();
+    let mut attrs: BTreeSet<(String, String)> = BTreeSet::new();
     for (i, ev) in events.iter().enumerate() {
         if !matches!(ev, JsonValue::Obj(_)) {
             return Err(format!("event {i} is not an object"));
@@ -177,8 +182,11 @@ pub fn validate_chrome_trace(src: &str) -> Result<ChromeTraceSummary, String> {
             }
         }
         if let Some(args) = ev.get("args") {
-            if !matches!(args, JsonValue::Obj(_)) {
+            let JsonValue::Obj(pairs) = args else {
                 return Err(format!("event {i}: `args` is not an object"));
+            };
+            for (k, _) in pairs {
+                attrs.insert((name.to_string(), k.clone()));
             }
         }
         tids.insert(ev.get("tid").and_then(JsonValue::as_num).unwrap_or(0.0) as u64);
@@ -190,6 +198,7 @@ pub fn validate_chrome_trace(src: &str) -> Result<ChromeTraceSummary, String> {
         tids: tids.len(),
         pids: pids.len(),
         names: names.into_iter().collect(),
+        attrs: attrs.into_iter().collect(),
     })
 }
 

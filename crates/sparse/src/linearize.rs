@@ -1,0 +1,207 @@
+//! Lowering sparse structures onto FREERIDE's dense 2-D view, plus the
+//! nnz-aware partitioning hooks.
+//!
+//! A [`CsrMatrix`] becomes a padded-row `.frds` (one engine row per
+//! matrix row, unit `1 + 2 * max_nnz`, see `linearize::sparse`); a
+//! [`CooTensor`] becomes a unit-4 `.frds` of `[i, j, k, v]` quads (one
+//! engine row per nonzero). Both writers also emit the `.frsp` sidecar
+//! so downstream consumers (node-side splitters, the inspector) can
+//! recover the exact index structure without re-parsing padded floats.
+//!
+//! Partitioning is by **weight**, not row count: a skewed CSR matrix
+//! puts most of its nonzeros in a few rows, so equal-row shards leave
+//! most nodes idle. [`csr_splitter`] and [`nnz_balanced_bounds`] cut on
+//! the nonzero prefix sum instead.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use freeride::{FreerideError, Splitter};
+use linearize::sparse::{encode_padded_row, padded_unit};
+
+use crate::error::SparseError;
+use crate::format::{sidecar_path, write_frsp, CooTensor, CsrMatrix, SparseData};
+
+/// Engine unit of a COO quad row: `[i, j, k, value]`.
+pub const COO_UNIT: usize = 4;
+
+/// Linearize a CSR matrix into padded engine rows. Returns the flat
+/// buffer and its unit. A zero-row or all-empty matrix yields unit 1
+/// rows of a single `0.0` length slot — valid identity input.
+pub fn csr_to_padded(m: &CsrMatrix) -> Result<(Vec<f64>, usize), SparseError> {
+    m.validate()?;
+    let unit = padded_unit(m.max_nnz_row());
+    let rows = m.rows as usize;
+    let mut buf = Vec::with_capacity(rows * unit);
+    let mut entries = Vec::new();
+    for i in 0..rows {
+        entries.clear();
+        entries.extend(m.row_entries(i));
+        encode_padded_row(&mut buf, unit, &entries).map_err(|e| SparseError::Invalid {
+            reason: format!("row {i} does not fit the padded unit: {e}"),
+        })?;
+    }
+    Ok((buf, unit))
+}
+
+/// Linearize a COO tensor into unit-4 `[i, j, k, v]` engine rows, one
+/// per stored entry.
+pub fn coo_to_quads(t: &CooTensor) -> Result<Vec<f64>, SparseError> {
+    t.validate()?;
+    let mut buf = Vec::with_capacity(t.coords.len() * COO_UNIT);
+    for (c, &v) in t.coords.iter().zip(&t.values) {
+        buf.push(c[0] as f64);
+        buf.push(c[1] as f64);
+        buf.push(c[2] as f64);
+        buf.push(v);
+    }
+    Ok(buf)
+}
+
+/// Per-engine-row work weights of a padded CSR dataset: `1 + nnz_i`,
+/// so empty rows still carry their fixed scan cost and an all-empty
+/// matrix does not degenerate to zero total weight.
+pub fn csr_row_weights(m: &CsrMatrix) -> Vec<u64> {
+    m.indptr.windows(2).map(|w| 1 + (w[1] - w[0])).collect()
+}
+
+/// Inclusive prefix sum of `weights` (`cum[0] = 0`, `cum[i]` = weight
+/// of rows `< i`), the shape [`Splitter::Weighted`] consumes.
+pub fn weight_prefix(weights: &[u64]) -> Vec<u64> {
+    let mut cum = Vec::with_capacity(weights.len() + 1);
+    let mut acc = 0u64;
+    cum.push(0);
+    for &w in weights {
+        acc = acc.saturating_add(w);
+        cum.push(acc);
+    }
+    cum
+}
+
+/// The weight-balanced splitter for a padded CSR dataset: threads cut
+/// their shard by nonzero count, not row count.
+pub fn csr_splitter(m: &CsrMatrix) -> Splitter {
+    Splitter::Weighted {
+        cum: Arc::new(weight_prefix(&csr_row_weights(m))),
+    }
+}
+
+/// Cut `[0, rows)` into up to `parts` contiguous shards balanced by
+/// the given inclusive weight prefix (`cum.len() == rows + 1`).
+/// Returns `(first, rows)` pairs covering every row exactly once;
+/// empty shards are dropped, so fewer than `parts` pairs may return.
+pub fn nnz_balanced_bounds(cum: &[u64], parts: usize) -> Vec<(u64, u64)> {
+    let rows = cum.len().saturating_sub(1);
+    let s = Splitter::Weighted {
+        cum: Arc::new(cum.to_vec()),
+    };
+    s.ranges_at(0, rows, parts.max(1))
+        .into_iter()
+        .map(|(first, n)| (first as u64, n as u64))
+        .collect()
+}
+
+/// Write a CSR matrix as a padded `.frds` dataset plus its `.frsp`
+/// sidecar. Returns the engine unit.
+pub fn write_csr_dataset(path: &Path, m: &CsrMatrix) -> Result<usize, SparseError> {
+    let (buf, unit) = csr_to_padded(m)?;
+    freeride::source::write_dataset(path, unit, &buf).map_err(io_reason)?;
+    write_frsp(&sidecar_path(path), &SparseData::Csr(m.clone()))?;
+    Ok(unit)
+}
+
+/// Write a COO tensor as a unit-4 `.frds` dataset plus its `.frsp`
+/// sidecar. Returns the engine unit (always [`COO_UNIT`]).
+pub fn write_coo_dataset(path: &Path, t: &CooTensor) -> Result<usize, SparseError> {
+    let buf = coo_to_quads(t)?;
+    freeride::source::write_dataset(path, COO_UNIT, &buf).map_err(io_reason)?;
+    write_frsp(&sidecar_path(path), &SparseData::Coo(t.clone()))?;
+    Ok(COO_UNIT)
+}
+
+fn io_reason(e: FreerideError) -> SparseError {
+    SparseError::Invalid {
+        reason: format!("writing .frds: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linearize::sparse::padded_row_entries;
+
+    fn skewed_csr() -> CsrMatrix {
+        // Row 0 holds 6 of the 8 nonzeros.
+        CsrMatrix::new(
+            4,
+            8,
+            vec![0, 6, 7, 7, 8],
+            vec![0, 1, 2, 3, 4, 5, 6, 7],
+            vec![1.0; 8],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn padded_rows_round_trip_entries() {
+        let m = skewed_csr();
+        let (buf, unit) = csr_to_padded(&m).unwrap();
+        assert_eq!(unit, padded_unit(6));
+        assert_eq!(buf.len(), 4 * unit);
+        for i in 0..4 {
+            let row = &buf[i * unit..(i + 1) * unit];
+            let got: Vec<(u64, f64)> = padded_row_entries(row)
+                .map(|(c, v)| (c as u64, v))
+                .collect();
+            let want: Vec<(u64, f64)> = m.row_entries(i).collect();
+            assert_eq!(got, want, "row {i}");
+        }
+    }
+
+    #[test]
+    fn bounds_balance_nnz_not_rows() {
+        let m = skewed_csr();
+        let cum = weight_prefix(&csr_row_weights(&m));
+        let bounds = nnz_balanced_bounds(&cum, 2);
+        // Equal-row cutting would give (0,2)/(2,2); weight-balancing
+        // isolates the heavy head row.
+        assert_eq!(bounds, vec![(0, 1), (1, 3)]);
+        // Bounds always cover every row exactly once.
+        let covered: u64 = bounds.iter().map(|&(_, n)| n).sum();
+        assert_eq!(covered, m.rows);
+        assert_eq!(bounds[0].0, 0);
+    }
+
+    #[test]
+    fn empty_matrix_still_partitions() {
+        let m = CsrMatrix::new(3, 4, vec![0, 0, 0, 0], vec![], vec![]).unwrap();
+        let (buf, unit) = csr_to_padded(&m).unwrap();
+        assert_eq!(unit, 1);
+        assert_eq!(buf, vec![0.0; 3]);
+        let cum = weight_prefix(&csr_row_weights(&m));
+        let bounds = nnz_balanced_bounds(&cum, 2);
+        let covered: u64 = bounds.iter().map(|&(_, n)| n).sum();
+        assert_eq!(covered, 3);
+    }
+
+    #[test]
+    fn datasets_write_with_sidecar() {
+        let dir = std::env::temp_dir().join("cfr_sparse_lin_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.frds");
+        let unit = write_csr_dataset(&path, &skewed_csr()).unwrap();
+        assert_eq!(unit, padded_unit(6));
+        match crate::format::read_frsp(&sidecar_path(&path)).unwrap() {
+            SparseData::Csr(m) => assert_eq!(m, skewed_csr()),
+            other => panic!("wrong sidecar kind: {other:?}"),
+        }
+        let t = CooTensor::new([2, 2, 2], vec![[0, 1, 0], [1, 0, 1]], vec![3.0, 4.0]).unwrap();
+        let tp = dir.join("t.frds");
+        assert_eq!(write_coo_dataset(&tp, &t).unwrap(), COO_UNIT);
+        assert!(matches!(
+            crate::format::read_frsp(&sidecar_path(&tp)).unwrap(),
+            SparseData::Coo(_)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the FRSP codec: round-trip fidelity, and total
+//! decoding — truncated or mutated bytes must come back as typed
+//! errors, never a panic.
+
+use proptest::prelude::*;
+
+use cfr_sparse::{decode_frsp, encode_frsp, CooTensor, CsrMatrix, SparseData};
+
+/// Build an arbitrary valid CSR matrix from a row/col bound and a seed
+/// of per-row entry counts.
+fn arb_csr() -> impl Strategy<Value = CsrMatrix> {
+    (
+        1usize..12,
+        1u64..16,
+        proptest::collection::vec(0usize..5, 0..12),
+    )
+        .prop_map(|(rows, cols, lens)| {
+            let mut indptr = vec![0u64];
+            let mut indices = Vec::new();
+            let mut values = Vec::new();
+            for i in 0..rows {
+                let len = lens.get(i).copied().unwrap_or(0).min(cols as usize);
+                for t in 0..len {
+                    indices.push((t as u64 * 7 + i as u64) % cols);
+                    values.push((i * 10 + t) as f64 - 3.5);
+                }
+                indptr.push(indices.len() as u64);
+            }
+            CsrMatrix::new(rows as u64, cols, indptr, indices, values).unwrap()
+        })
+}
+
+fn arb_coo() -> impl Strategy<Value = CooTensor> {
+    (1u64..8, 1u64..8, 1u64..8, 0usize..24).prop_map(|(i, j, k, nnz)| {
+        let coords: Vec<[u64; 3]> = (0..nnz)
+            .map(|t| [(t as u64 * 3) % i, (t as u64 * 5) % j, (t as u64 * 7) % k])
+            .collect();
+        let values: Vec<f64> = (0..nnz).map(|t| t as f64 * 0.5 - 2.0).collect();
+        CooTensor::new([i, j, k], coords, values).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_round_trips(m in arb_csr()) {
+        let bytes = encode_frsp(&SparseData::Csr(m.clone())).unwrap();
+        match decode_frsp(&bytes) {
+            Ok(SparseData::Csr(got)) => prop_assert_eq!(got, m),
+            other => prop_assert!(false, "decode failed: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn coo_round_trips(t in arb_coo()) {
+        let bytes = encode_frsp(&SparseData::Coo(t.clone())).unwrap();
+        match decode_frsp(&bytes) {
+            Ok(SparseData::Coo(got)) => prop_assert_eq!(got, t),
+            other => prop_assert!(false, "decode failed: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn every_truncation_errors_not_panics(m in arb_csr(), frac in 0usize..100) {
+        let bytes = encode_frsp(&SparseData::Csr(m)).unwrap();
+        let cut = bytes.len() * frac / 100;
+        if cut < bytes.len() {
+            // Shorter input must yield a typed error (any variant), not
+            // a panic and not a silent success.
+            prop_assert!(decode_frsp(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn mutated_byte_never_panics(m in arb_csr(), pos in 0usize..4096, xor in 1u8..=255) {
+        let mut bytes = encode_frsp(&SparseData::Csr(m)).unwrap();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= xor;
+        // Any outcome is acceptable except a panic: the flip may still
+        // decode (e.g. a value byte) or fail validation.
+        let _ = decode_frsp(&bytes);
+    }
+
+    #[test]
+    fn mutated_coo_byte_never_panics(t in arb_coo(), pos in 0usize..4096, xor in 1u8..=255) {
+        let mut bytes = encode_frsp(&SparseData::Coo(t)).unwrap();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= xor;
+        let _ = decode_frsp(&bytes);
+    }
+}
