@@ -110,6 +110,56 @@ cargo run --release -p obs --bin trace-check -- target/ci-ft-trace.json \
   --expect ft.recover --expect ft.checkpoint --expect cluster.round --expect node.pass
 rm -rf target/ci-ft-ckpt
 
+# Elastic scheduling (DESIGN.md §16): a 2-node cluster where the first
+# node is a forced straggler (--slow-ms per work unit) must see its units
+# stolen by the fast peer, and a third cfr-node joining the membership
+# hub mid-job must be absorbed at a round barrier — sched.steal and
+# sched.join land in the trace, the counters in the metrics export.
+# The joiner retries until the coordinator's hub is up, then serves the
+# rest of the job from the inside and exits 0 when it ends.
+rm -f target/ci-enode1.addr target/ci-enode2.addr
+HUB_PORT=$((20000 + $$ % 20000))
+target/release/cfr-node --listen 127.0.0.1:0 --port-file target/ci-enode1.addr \
+  --slow-ms 40 &
+ENODE1=$!
+PIDS="$PIDS $ENODE1"
+target/release/cfr-node --listen 127.0.0.1:0 --port-file target/ci-enode2.addr &
+ENODE2=$!
+PIDS="$PIDS $ENODE2"
+for f in target/ci-enode1.addr target/ci-enode2.addr; do
+  i=0
+  until [ -s "$f" ]; do
+    i=$((i + 1)); [ "$i" -gt 100 ] && { echo "cfr-node never wrote $f" >&2; exit 1; }
+    sleep 0.1
+  done
+done
+target/release/bench kmeans \
+  --n 2000 --d 4 --k 4 --iters 4 \
+  --node-addr "$(cat target/ci-enode1.addr)" \
+  --node-addr "$(cat target/ci-enode2.addr)" \
+  --steal --grain 100 --join-listen 127.0.0.1:"$HUB_PORT" \
+  --trace-out target/ci-elastic-trace.json \
+  --metrics-out target/ci-elastic-metrics.json &
+EBENCH=$!
+PIDS="$PIDS $EBENCH"
+(
+  i=0
+  until target/release/cfr-node --join 127.0.0.1:"$HUB_PORT" 2>/dev/null; do
+    i=$((i + 1)); [ "$i" -gt 100 ] && exit 1
+    sleep 0.1
+  done
+) &
+EJOINER=$!
+PIDS="$PIDS $EJOINER"
+wait "$EBENCH"
+wait "$EJOINER"
+wait "$ENODE1" "$ENODE2"
+cargo run --release -p obs --bin trace-check -- target/ci-elastic-trace.json \
+  --expect sched.join --expect sched.steal --expect cluster.round --expect node.pass
+cargo run --release -p obs --bin trace-check -- target/ci-elastic-metrics.json \
+  --expect-counter sched.steals=1 --expect-counter sched.joins=1
+rm -f target/ci-elastic-trace.json target/ci-elastic-metrics.json
+
 # FREERIDE as a service: a persistent cfr-serve daemon over a shared
 # 2-node fleet must run two concurrent tenant submissions, ship a server
 # trace laying the jobs side by side (pid 0 = server, one pid per job),

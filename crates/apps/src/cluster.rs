@@ -17,7 +17,9 @@ use obs::Trace;
 
 // Re-exported so callers of the cluster drivers don't need a direct
 // freeride-dist dependency for the common types.
-pub use freeride_dist::{ClusterConfig, ClusterOutcome, ClusterStats, DistError, FtPolicy};
+pub use freeride_dist::{
+    ClusterConfig, ClusterOutcome, ClusterStats, DistError, ElasticPolicy, FtPolicy,
+};
 
 use crate::data;
 use crate::error::AppError;
@@ -107,6 +109,10 @@ pub struct FtOptions {
     /// each other's rounds nor cross-resume (a mismatch is the typed
     /// `FtError::JobMismatch`).
     pub job_tag: String,
+    /// Elastic scheduling policy passed through to the coordinator:
+    /// shard work-stealing, the mid-job membership listener, and the
+    /// declarative placement policy. Default is fully static.
+    pub elastic: ElasticPolicy,
 }
 
 impl FtOptions {
@@ -130,6 +136,12 @@ impl FtOptions {
         self
     }
 
+    /// Set the elastic scheduling policy.
+    pub fn with_elastic(mut self, elastic: ElasticPolicy) -> FtOptions {
+        self.elastic = elastic;
+        self
+    }
+
     /// Options scoped to a phase subdirectory (PCA's `mean` / `cov`).
     fn phase(&self, name: &str) -> FtOptions {
         FtOptions {
@@ -137,6 +149,7 @@ impl FtOptions {
             resume: self.resume,
             policy: self.policy.clone(),
             job_tag: self.job_tag.clone(),
+            elastic: self.elastic.clone(),
         }
     }
 }
@@ -160,6 +173,7 @@ fn run_job_ft(
     config.ft = ft.policy.clone();
     config.checkpoint_dir = ft.checkpoint_dir.clone();
     config.job_tag = ft.job_tag.clone();
+    config.elastic = ft.elastic.clone();
     if ft.resume && config.checkpoint_dir.is_some() {
         let resumed = match nodes {
             Nodes::Loopback(n) => freeride_dist::resume_loopback(config.clone(), *n),
@@ -365,6 +379,19 @@ pub fn sparse_kmeans_cluster(
     params: &SparseKmeansParams,
     nodes: &Nodes,
 ) -> Result<ClusterSparseKmeansResult, AppError> {
+    sparse_kmeans_cluster_ft(params, nodes, &FtOptions::default())
+}
+
+/// [`sparse_kmeans_cluster`] with fault-tolerance and elastic
+/// scheduling options. Work-stealing composes with the nnz-balanced
+/// shard cut: units are grain-sized sub-ranges of the explicit bounds,
+/// so a steal moves whole row ranges (and their sidecar weights) and
+/// the merge fold stays bit-identical.
+pub fn sparse_kmeans_cluster_ft(
+    params: &SparseKmeansParams,
+    nodes: &Nodes,
+    ft: &FtOptions,
+) -> Result<ClusterSparseKmeansResult, AppError> {
     let (k, cols) = (params.k, params.cols);
     let m = cfr_sparse::synthetic_csr(params.rows, cols, params.w);
     let path = scratch_file("sparse-kmeans");
@@ -396,7 +423,7 @@ pub fn sparse_kmeans_cluster(
         None
     };
 
-    let result = run_job(config, nodes);
+    let result = run_job_ft(config, nodes, ft);
     std::fs::remove_file(&path).ok();
     std::fs::remove_file(cfr_sparse::sidecar_path(&path)).ok();
     let outcome = result?;

@@ -90,6 +90,15 @@ struct Opts {
     /// Sweep apps (`io`/`serve`/`telemetry`): also write the sweep as a
     /// machine-readable `BENCH_*.json` document.
     json_out: Option<String>,
+    /// `elastic` app: straggler cost per work unit, milliseconds.
+    slow_ms: u64,
+    /// `elastic` app / cluster mode: rows per work unit.
+    grain: u64,
+    /// Cluster mode: drive rounds through the work-stealing executor.
+    steal: bool,
+    /// Cluster mode: accept mid-job joiners (`cfr-node --join`) on this
+    /// address.
+    join_listen: Option<String>,
 }
 
 impl Default for Opts {
@@ -122,11 +131,16 @@ impl Default for Opts {
             rank: 4,
             skews: vec![16, 0],
             json_out: None,
+            slow_ms: 8,
+            grain: 0,
+            steal: false,
+            join_listen: None,
         }
     }
 }
 
-const USAGE: &str = "usage: bench <kmeans|pca|io|ft|serve|telemetry|codegen|sparse> [options]
+const USAGE: &str =
+    "usage: bench <kmeans|pca|io|ft|serve|telemetry|codegen|sparse|elastic> [options]
   --n N            k-means: number of points        (default 20000)
   --d D            k-means: point dimensionality    (default 8)
   --k K            k-means: centroid count          (default 16)
@@ -148,6 +162,11 @@ const USAGE: &str = "usage: bench <kmeans|pca|io|ft|serve|telemetry|codegen|spar
                    per agent, pca needs 2: cfr-node --sessions 2)
   --checkpoint-dir P   cluster: persist round checkpoints under P
   --checkpoint-every N cluster: checkpoint every N rounds (default 1)
+  --steal          cluster: elastic rounds — shards split into work
+                   units (--grain rows each, 0 = automatic) that idle
+                   nodes steal from stragglers
+  --join-listen A  cluster: accept mid-job joiners (cfr-node --join A)
+                   at round barriers on address A
   --resume         cluster: resume from the newest checkpoint in
                    --checkpoint-dir (fresh start if none exists)
   ft               fault-tolerance sweep: checkpoint overhead at
@@ -176,11 +195,18 @@ const USAGE: &str = "usage: bench <kmeans|pca|io|ft|serve|telemetry|codegen|spar
                    enforced (--n is the tensor's mode-0 dimension; with
                    --trace-out an extra inspected run exports the
                    sparse.inspect span and sparse.* counters)
+  elastic          work-stealing makespan sweep: k-means on a loopback
+                   cluster whose node 0 is a deterministic straggler
+                   (--slow-ms per grain-sized work unit), steal off vs
+                   on, per --nodes entry (default 2,4); the steal-on
+                   run must stay bit-identical across repetitions
+  --slow-ms N      elastic: straggler cost per work unit ms (default 8)
+  --grain N        elastic: rows per work unit (default 0 = automatic)
   --nnz N          sparse: stored tensor entries    (default 60000)
   --rank R         sparse: CP factor rank           (default 4)
   --skew L         sparse: hot-head sizes to sweep; rows [0,hot) soak up
                    a third of the entries, 0 = uniform (default 16,0)
-  --json-out P     io|serve|telemetry|codegen|sparse: also write the sweep as JSON to P";
+  --json-out P     io|serve|telemetry|codegen|sparse|elastic: also write the sweep as JSON to P";
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts::default();
@@ -195,6 +221,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         "telemetry",
         "codegen",
         "sparse",
+        "elastic",
     ]
     .contains(&opts.app.as_str())
     {
@@ -207,6 +234,10 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         }
         if flag == "--resume" {
             opts.resume = true;
+            continue;
+        }
+        if flag == "--steal" {
+            opts.steal = true;
             continue;
         }
         let value = it
@@ -320,6 +351,17 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 }
             }
             "--json-out" => opts.json_out = Some(value.clone()),
+            "--slow-ms" => {
+                opts.slow_ms = value
+                    .parse()
+                    .map_err(|_| format!("--slow-ms: `{value}` is not a number"))?;
+            }
+            "--grain" => {
+                opts.grain = value
+                    .parse()
+                    .map_err(|_| format!("--grain: `{value}` is not a number"))?;
+            }
+            "--join-listen" => opts.join_listen = Some(value.clone()),
             "--checkpoint-dir" => opts.checkpoint_dir = Some(value.clone()),
             "--checkpoint-every" => {
                 opts.checkpoint_every = num()?;
@@ -380,6 +422,9 @@ fn run_cluster(opts: &Opts) -> Result<(), String> {
         ..FtOptions::default()
     };
     ft.policy.checkpoint_every = opts.checkpoint_every;
+    ft.elastic.steal = opts.steal;
+    ft.elastic.steal_grain = opts.grain;
+    ft.elastic.join_listen = opts.join_listen.clone();
 
     let mut points: Vec<ClusterPoint> = Vec::new();
     let mut last_trace: Option<Trace> = None;
@@ -417,6 +462,12 @@ fn run_cluster(opts: &Opts) -> Result<(), String> {
                     s.checkpoint_bytes / 1024,
                     s.recoveries,
                     s.shards_reassigned
+                );
+            }
+            if s.steals + s.joins + s.leaves > 0 {
+                println!(
+                    "          elastic: {} steals, {} joins, {} leaves",
+                    s.steals, s.joins, s.leaves
                 );
             }
             points.push(ClusterPoint {
@@ -659,6 +710,46 @@ fn run_sparse(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// The elastic work-stealing sweep: k-means with node 0 straggling
+/// `--slow-ms` ms per grain-sized work unit, classic rounds (steal
+/// off) vs elastic rounds (steal on), per `--nodes` entry. The sweep
+/// enforces that the steal-on run is bit-identical across repetitions;
+/// the table and `BENCH_elastic.json` carry the makespan pair and the
+/// observed steal count.
+fn run_elastic(opts: &Opts) -> Result<(), String> {
+    let nodes: Vec<usize> = if opts.nodes.is_empty() {
+        vec![2, 4]
+    } else {
+        opts.nodes.clone()
+    };
+    let job = cfr_bench::ElasticJob {
+        n: opts.n,
+        d: opts.d,
+        k: opts.k,
+        iters: opts.iters,
+        slow_ms: opts.slow_ms,
+        grain: opts.grain,
+        repeats: opts.repeats,
+    };
+    let sweep = cfr_bench::elastic_makespan(&job, &nodes)?;
+    print!("{}", cfr_bench::render_elastic_table(&sweep));
+    for p in &sweep.points {
+        if p.on_s >= p.off_s {
+            println!(
+                "note: {} nodes: stealing did not beat the static schedule \
+                 ({:.4}s vs {:.4}s) — straggler too cheap for this workload?",
+                p.nodes, p.on_s, p.off_s
+            );
+        }
+    }
+    if let Some(path) = &opts.json_out {
+        std::fs::write(path, cfr_bench::elastic_json(&sweep))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote sweep JSON to {path}");
+    }
+    Ok(())
+}
+
 fn run(opts: &Opts) -> Result<(), String> {
     if opts.app == "io" {
         return run_io(opts);
@@ -677,6 +768,9 @@ fn run(opts: &Opts) -> Result<(), String> {
     }
     if opts.app == "sparse" {
         return run_sparse(opts);
+    }
+    if opts.app == "elastic" {
+        return run_elastic(opts);
     }
     if !opts.nodes.is_empty() || !opts.node_addrs.is_empty() {
         return run_cluster(opts);

@@ -1697,6 +1697,228 @@ pub fn render_serve_table(sweep: &ServeSweep) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// Elastic scheduling: work-stealing makespan under a straggler
+// ---------------------------------------------------------------------
+
+/// One measured point of the elastic sweep: k-means on a cluster whose
+/// node 0 is a deterministic straggler, steal-off vs steal-on.
+#[derive(Debug, Clone)]
+pub struct ElasticPoint {
+    /// Node count of this run.
+    pub nodes: usize,
+    /// Rows per work unit in the elastic runs.
+    pub grain: u64,
+    /// Work units the straggler owns per round (its shard ÷ grain).
+    pub units: u64,
+    /// Makespan with stealing off (classic rounds), seconds.
+    pub off_s: f64,
+    /// Makespan with stealing on (elastic rounds), seconds.
+    pub on_s: f64,
+    /// `off_s / on_s` — what stealing buys under this straggler.
+    pub speedup: f64,
+    /// Units peers actually stole across the steal-on run.
+    pub steals: usize,
+}
+
+/// A completed elastic-scheduling sweep.
+#[derive(Debug, Clone)]
+pub struct ElasticSweep {
+    /// Points reduced per run.
+    pub n: usize,
+    /// Point dimensionality.
+    pub d: usize,
+    /// Centroid count.
+    pub k: usize,
+    /// Reduction rounds per run.
+    pub iters: usize,
+    /// Straggler cost per work unit, milliseconds.
+    pub slow_ms: u64,
+    /// Timed repetitions per configuration (the best is kept).
+    pub repeats: usize,
+    /// The measured points, one per node count.
+    pub points: Vec<ElasticPoint>,
+}
+
+/// Shape of one elastic sweep: the k-means job to run and the
+/// straggler cost model applied to node 0.
+#[derive(Debug, Clone)]
+pub struct ElasticJob {
+    /// Points reduced per run.
+    pub n: usize,
+    /// Point dimensionality.
+    pub d: usize,
+    /// Centroid count.
+    pub k: usize,
+    /// Reduction rounds per run.
+    pub iters: usize,
+    /// Straggler cost per work unit, milliseconds.
+    pub slow_ms: u64,
+    /// Rows per work unit; 0 picks the driver's auto grain.
+    pub grain: u64,
+    /// Timed repetitions per configuration (the best is kept).
+    pub repeats: usize,
+}
+
+/// Measure what shard work-stealing buys under a straggler: k-means on
+/// a loopback cluster whose node 0 processes work `slow_ms` ms per
+/// grain-sized unit slower than its peers, with stealing off vs on.
+///
+/// Both runs charge the straggler the *same* cost model — `slow_ms`
+/// per unit of work it ends up executing. With stealing off the node
+/// executes its whole shard every round (`units × slow_ms` of excess
+/// latency on the round barrier); with stealing on, fast peers drain
+/// most of its units, so the barrier waits for roughly one unit. The
+/// steal-on run must also be bit-identical across repetitions — the
+/// unit set is a pure function of the shard map and grain, so timing
+/// jitter in who steals what may never reach the merged result.
+pub fn elastic_makespan(job: &ElasticJob, node_counts: &[usize]) -> Result<ElasticSweep, String> {
+    use cfr_apps::cluster::{kmeans_cluster_ft, ElasticPolicy, FtOptions, Nodes};
+    use freeride_dist::LoopbackCluster;
+
+    let &ElasticJob {
+        n,
+        d,
+        k,
+        iters,
+        slow_ms,
+        grain,
+        repeats,
+    } = job;
+    let repeats = repeats.max(1);
+    let mut points = Vec::new();
+    for &nodes in node_counts {
+        let nodes = nodes.max(2);
+        let params = cfr_apps::kmeans::KmeansParams::new(n, d, k, iters);
+        let shard_rows = (n as u64).div_ceil(nodes as u64);
+        // grain 0 = the driver's auto choice (8 units per shard).
+        let grain = if grain > 0 {
+            grain
+        } else {
+            shard_rows.div_ceil(8).max(1)
+        };
+        let units = shard_rows.div_ceil(grain).max(1);
+
+        let mut off_s = f64::INFINITY;
+        let mut on_s = f64::INFINITY;
+        let mut steals = 0usize;
+        let mut on_bits: Option<Vec<u64>> = None;
+        for _ in 0..repeats {
+            // Steal off: classic rounds, one shard message per node.
+            // The straggler pays for its whole shard before answering.
+            let fleet = LoopbackCluster::spawn_elastic(nodes, &[(0, slow_ms * units)], &[])
+                .map_err(|e| e.to_string())?;
+            let t0 = std::time::Instant::now();
+            let r = kmeans_cluster_ft(
+                &params,
+                &Nodes::External(fleet.addrs().to_vec()),
+                &FtOptions::default(),
+            )
+            .map_err(|e| e.to_string())?;
+            off_s = off_s.min(t0.elapsed().as_secs_f64());
+            drop(r);
+
+            // Steal on: the same per-unit cost, but peers may drain the
+            // straggler's queue.
+            let elastic = ElasticPolicy {
+                steal: true,
+                steal_grain: grain,
+                ..ElasticPolicy::default()
+            };
+            let fleet = LoopbackCluster::spawn_elastic(nodes, &[(0, slow_ms)], &[])
+                .map_err(|e| e.to_string())?;
+            let t0 = std::time::Instant::now();
+            let r = kmeans_cluster_ft(
+                &params,
+                &Nodes::External(fleet.addrs().to_vec()),
+                &FtOptions::default().with_elastic(elastic),
+            )
+            .map_err(|e| e.to_string())?;
+            on_s = on_s.min(t0.elapsed().as_secs_f64());
+            steals = steals.max(r.stats.steals);
+            let bits: Vec<u64> = r.centroids.iter().map(|x| x.to_bits()).collect();
+            if let Some(first) = &on_bits {
+                if first != &bits {
+                    return Err(format!(
+                        "{nodes} nodes: steal-on centroids changed across repetitions"
+                    ));
+                }
+            } else {
+                on_bits = Some(bits);
+            }
+        }
+        points.push(ElasticPoint {
+            nodes,
+            grain,
+            units,
+            off_s,
+            on_s,
+            speedup: off_s / on_s.max(1e-9),
+            steals,
+        });
+    }
+    Ok(ElasticSweep {
+        n,
+        d,
+        k,
+        iters,
+        slow_ms,
+        repeats,
+        points,
+    })
+}
+
+/// Render an elastic sweep as an aligned table (the EXPERIMENTS.md
+/// `elastic_scaling` shape).
+pub fn render_elastic_table(sweep: &ElasticSweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "elastic_scaling — k-means, n={} d={} k={} iters={}, straggler {} ms/unit, best of {}",
+        sweep.n, sweep.d, sweep.k, sweep.iters, sweep.slow_ms, sweep.repeats
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} {:>6} {:>6} {:>12} {:>12} {:>8} {:>7}",
+        "nodes", "grain", "units", "steal off s", "steal on s", "speedup", "steals"
+    );
+    for p in &sweep.points {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>6} {:>6} {:>12.4} {:>12.4} {:>7.2}x {:>7}",
+            p.nodes, p.grain, p.units, p.off_s, p.on_s, p.speedup, p.steals
+        );
+    }
+    out
+}
+
+/// An elastic sweep as a `BENCH_elastic.json` document.
+pub fn elastic_json(sweep: &ElasticSweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"elastic_scaling\",");
+    let _ = writeln!(out, "  \"app\": \"kmeans\",");
+    let _ = writeln!(
+        out,
+        "  \"n\": {}, \"d\": {}, \"k\": {}, \"iters\": {}, \"slow_ms\": {}, \"repeats\": {},",
+        sweep.n, sweep.d, sweep.k, sweep.iters, sweep.slow_ms, sweep.repeats
+    );
+    let _ = writeln!(out, "  \"points\": [");
+    for (i, p) in sweep.points.iter().enumerate() {
+        let comma = if i + 1 < sweep.points.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"nodes\": {}, \"grain\": {}, \"units_per_shard\": {}, \
+             \"steal_off_s\": {:.6}, \"steal_on_s\": {:.6}, \"speedup\": {:.3}, \
+             \"steals\": {}}}{comma}",
+            p.nodes, p.grain, p.units, p.off_s, p.on_s, p.speedup, p.steals
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
 #[cfg(test)]
 mod harness_tests {
     use super::*;

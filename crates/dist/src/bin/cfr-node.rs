@@ -12,6 +12,7 @@
 //! ```text
 //! cfr-node [--listen ADDR] [--port-file PATH] [--sessions N] [--concurrent]
 //!          [--chaos-kill-after-rounds N] [--slow-ms N]
+//!          [--join ADDR] [--leave-after-rounds N]
 //!   --listen ADDR     bind address (default 127.0.0.1:0)
 //!   --port-file PATH  write the bound address to PATH once listening
 //!                     (atomic temp+rename, so pollers never read a
@@ -25,9 +26,18 @@
 //!                     fault-injection: answer N rounds, then abort the
 //!                     whole process mid-round (deterministic stand-in
 //!                     for SIGKILL in recovery smoke tests)
-//!   --slow-ms N       fault-injection: sleep N ms before every round,
-//!                     turning this node into a deterministic straggler
-//!                     for the coordinator's latency detection
+//!   --slow-ms N       fault-injection: sleep N ms before every round
+//!                     (or, in elastic rounds, every work unit), turning
+//!                     this node into a deterministic straggler for the
+//!                     coordinator's latency detection and the steal path
+//!   --join ADDR       instead of listening, dial a running coordinator's
+//!                     membership hub (ClusterConfig::elastic.join_listen)
+//!                     and serve that one job as a mid-job joiner; exits 0
+//!                     when the job ends (or when the hub has gone away)
+//!   --leave-after-rounds N
+//!                     announce a voluntary Leave after handling N rounds
+//!                     and exit cleanly — the coordinator reassigns this
+//!                     node's work without burning an FT retry
 //! ```
 
 use std::net::TcpListener;
@@ -36,7 +46,8 @@ use std::process::ExitCode;
 use freeride_dist::node;
 
 const USAGE: &str = "usage: cfr-node [--listen ADDR] [--port-file PATH] [--sessions N] \
-                     [--concurrent] [--chaos-kill-after-rounds N] [--slow-ms N]";
+                     [--concurrent] [--chaos-kill-after-rounds N] [--slow-ms N] \
+                     [--join ADDR] [--leave-after-rounds N]";
 
 fn main() -> ExitCode {
     // Register the native codegen backend so jobs requesting
@@ -51,6 +62,8 @@ fn main() -> ExitCode {
     let mut concurrent = false;
     let mut chaos_rounds: Option<usize> = None;
     let mut slow_ms: u64 = 0;
+    let mut join: Option<String> = None;
+    let mut leave_after: Option<u32> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -76,12 +89,34 @@ fn main() -> ExitCode {
                 Some(n) => slow_ms = n,
                 None => return usage_error("--slow-ms requires a count"),
             },
+            "--join" => match args.next() {
+                Some(a) => join = Some(a),
+                None => return usage_error("--join requires a coordinator hub address"),
+            },
+            "--leave-after-rounds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => leave_after = Some(n),
+                None => return usage_error("--leave-after-rounds requires a count"),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage_error(&format!("unexpected argument `{other}`")),
         }
+    }
+
+    if let Some(hub) = join {
+        // Joiner mode: no listener of our own — dial the coordinator's
+        // membership hub and serve that one job from the inside.
+        let addr = match hub.parse() {
+            Ok(a) => a,
+            Err(e) => return usage_error(&format!("--join: bad address `{hub}`: {e}")),
+        };
+        eprintln!("cfr-node: joining coordinator hub at {addr}");
+        return match node::join(&addr, slow_ms, leave_after) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e.to_string()),
+        };
     }
 
     let listener = match TcpListener::bind(&listen) {
@@ -125,7 +160,9 @@ fn main() -> ExitCode {
 
     let mut served = 0usize;
     loop {
-        let result = if slow_ms > 0 {
+        let result = if let Some(rounds) = leave_after {
+            node::serve_leaving(&listener, rounds)
+        } else if slow_ms > 0 {
             node::serve_slow(&listener, slow_ms)
         } else {
             node::serve(&listener)

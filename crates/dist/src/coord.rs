@@ -189,6 +189,10 @@ pub struct ClusterConfig {
     /// written by `cfr_sparse::write_csr_dataset`). Nodes fail the job
     /// with a typed error if the sidecar is missing or malformed.
     pub sparse_split: bool,
+    /// Elastic scheduling policy: mid-job membership (join listener),
+    /// shard work-stealing, and declarative placement. The default is
+    /// fully static — classic whole-shard rounds, no membership hub.
+    pub elastic: cfr_elastic::ElasticPolicy,
 }
 
 impl ClusterConfig {
@@ -213,6 +217,7 @@ impl ClusterConfig {
             scheme: freeride::SyncScheme::FullReplication,
             shard_bounds: None,
             sparse_split: false,
+            elastic: cfr_elastic::ElasticPolicy::default(),
         }
     }
 }
@@ -249,6 +254,15 @@ pub struct ClusterStats {
     /// round time beyond [`TelemetryPolicy::straggler_multiplier`] ×
     /// the fleet median).
     pub stragglers: usize,
+    /// Work units executed by a node other than the one the planner
+    /// seeded them to (elastic rounds only).
+    pub steals: usize,
+    /// Nodes absorbed mid-job through the membership hub.
+    pub joins: usize,
+    /// Nodes that left the fleet voluntarily mid-job (elastic rounds
+    /// only; distinct from [`ClusterStats::recoveries`], which counts
+    /// hard failures).
+    pub leaves: usize,
 }
 
 impl ClusterStats {
@@ -286,6 +300,9 @@ impl ClusterStats {
         stats.checkpoints_written = counter("ft.checkpoints_written") as usize;
         stats.checkpoint_bytes = counter("ft.checkpoint_bytes") as u64;
         stats.stragglers = counter("sched.stragglers") as usize;
+        stats.steals = counter("sched.steals") as usize;
+        stats.joins = counter("sched.joins") as usize;
+        stats.leaves = counter("sched.leaves") as usize;
         stats
     }
 }
@@ -403,6 +420,36 @@ impl LoopbackCluster {
                 .map(|&(_, ms)| ms);
             handles.push(std::thread::spawn(move || match slow_ms {
                 Some(ms) => node::serve_slow(&listener, ms),
+                None => node::serve(&listener),
+            }));
+        }
+        Ok(LoopbackCluster { addrs, handles })
+    }
+
+    /// Spawn `n` loopback agents for elastic-round tests: `slow[i]`
+    /// (if present) makes node `i` sleep that many milliseconds before
+    /// every *unit* (a deterministic straggler, so some of its planned
+    /// units get stolen), and `leave[i]` makes node `i` announce a
+    /// voluntary [`Message::Leave`](crate::proto::Message) at its
+    /// `leave[i]`-th `RoundStart` ([`node::serve_leaving`]).
+    pub fn spawn_elastic(
+        n: usize,
+        slow: &[(usize, u64)],
+        leave: &[(usize, u32)],
+    ) -> Result<LoopbackCluster, DistError> {
+        let mut addrs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for id in 0..n {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            addrs.push(listener.local_addr()?);
+            let slow_ms = slow
+                .iter()
+                .find(|&&(node, _)| node == id)
+                .map_or(0, |&(_, ms)| ms);
+            let leave_after = leave.iter().find(|&&(node, _)| node == id).map(|&(_, r)| r);
+            handles.push(std::thread::spawn(move || match leave_after {
+                Some(rounds) => node::serve_leaving(&listener, rounds),
+                None if slow_ms > 0 => node::serve_slow(&listener, slow_ms),
                 None => node::serve(&listener),
             }));
         }

@@ -31,6 +31,7 @@ pub mod tasks;
 
 pub mod node;
 
+pub use cfr_elastic::{ElasticPolicy, MembershipHub, PlacementPolicy};
 pub use coord::{
     resume_loopback, run_loopback, ClusterConfig, ClusterOutcome, ClusterStats, Coordinator,
     FtPolicy, LoopbackCluster, TelemetryPolicy,

@@ -7,7 +7,7 @@
 //! around it. One agent serves one coordinator session ([`serve`]) —
 //! the `cfr-node` binary can loop over sessions with `--sessions`.
 
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 
 use freeride::{Engine, JobConfig, RObjLayout};
@@ -239,6 +239,14 @@ pub fn handle_session_slow(stream: TcpStream, slow_ms: u64) -> Result<(), DistEr
 }
 
 fn session_loop(stream: TcpStream, slow: std::time::Duration) -> Result<(), DistError> {
+    session_loop_opts(stream, slow, None)
+}
+
+fn session_loop_opts(
+    stream: TcpStream,
+    slow: std::time::Duration,
+    leave_after: Option<u32>,
+) -> Result<(), DistError> {
     let mut stream = stream;
     stream.set_nodelay(true).ok();
 
@@ -249,8 +257,24 @@ fn session_loop(stream: TcpStream, slow: std::time::Duration) -> Result<(), Dist
         });
     };
     write_message(&mut stream, &Message::HelloAck { node_id })?;
+    serve_frames(stream, node_id, slow, leave_after)
+}
 
+/// The post-handshake frame loop, shared by listening sessions
+/// ([`serve`] and friends) and dial-out joiners ([`join`]). With
+/// `leave_after` set, the node answers the first `RoundStart` after
+/// that many completed rounds with a graceful `Leave` and exits.
+fn serve_frames(
+    mut stream: TcpStream,
+    node_id: u32,
+    slow: std::time::Duration,
+    leave_after: Option<u32>,
+) -> Result<(), DistError> {
     let mut job: Option<JobContext> = None;
+    // The elastic round in progress: the kernel is built once per
+    // `RoundStart` from the broadcast state and reused for every
+    // `Unit` until `RoundEnd`.
+    let mut current: Option<(u32, u32, tasks::TaskKernel)> = None;
     loop {
         let (msg, _) = read_message(&mut stream)?;
         match msg {
@@ -354,6 +378,154 @@ fn session_loop(stream: TcpStream, slow: std::time::Duration) -> Result<(), Dist
                 job = None;
                 write_message(&mut stream, &Message::JobDone { trace, metrics })?;
             }
+            Message::RoundStart {
+                round,
+                attempt,
+                state,
+            } => {
+                let Some(ctx) = job.as_ref() else {
+                    let e = DistError::Protocol {
+                        reason: "RoundStart before Job".into(),
+                    };
+                    write_message(
+                        &mut stream,
+                        &Message::Error {
+                            message: e.to_string(),
+                        },
+                    )?;
+                    return Err(e);
+                };
+                if leave_after.is_some_and(|n| ctx.rounds_handled.get() >= n) {
+                    // Graceful exit: tell the coordinator instead of
+                    // answering, so our rows are reseeded onto the
+                    // survivors without burning a retry. Then *linger*,
+                    // draining (and ignoring) frames until the
+                    // coordinator drops the connection: closing right
+                    // away would RST an in-flight Unit send and could
+                    // discard the buffered Leave on the coordinator's
+                    // side, turning the graceful path into a failure.
+                    write_message(&mut stream, &Message::Leave { node_id })?;
+                    loop {
+                        match read_message(&mut stream) {
+                            Ok((Message::Shutdown, _)) => return Ok(()),
+                            Ok(_) => continue,
+                            Err(DistError::Io(e))
+                                if matches!(
+                                    e.kind(),
+                                    std::io::ErrorKind::UnexpectedEof
+                                        | std::io::ErrorKind::ConnectionReset
+                                        | std::io::ErrorKind::ConnectionAborted
+                                ) =>
+                            {
+                                return Ok(())
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+                match tasks::kernel(
+                    &ctx.task,
+                    &ctx.params,
+                    &state,
+                    ctx.backend,
+                    Some(&ctx.recorder),
+                ) {
+                    Ok(kernel) => current = Some((round, attempt, kernel)),
+                    Err(e) => {
+                        write_message(
+                            &mut stream,
+                            &Message::Error {
+                                message: e.to_string(),
+                            },
+                        )?;
+                        return Err(e);
+                    }
+                }
+            }
+            Message::Unit {
+                round,
+                attempt,
+                first_row,
+                rows,
+            } => {
+                let (Some(ctx), Some((r, a, kernel))) = (job.as_ref(), current.as_ref()) else {
+                    let e = DistError::Protocol {
+                        reason: "Unit before RoundStart".into(),
+                    };
+                    write_message(
+                        &mut stream,
+                        &Message::Error {
+                            message: e.to_string(),
+                        },
+                    )?;
+                    return Err(e);
+                };
+                if (*r, *a) != (round, attempt) {
+                    let e = DistError::Protocol {
+                        reason: format!(
+                            "Unit for round {round}/{attempt}, current round is {r}/{a}"
+                        ),
+                    };
+                    write_message(
+                        &mut stream,
+                        &Message::Error {
+                            message: e.to_string(),
+                        },
+                    )?;
+                    return Err(e);
+                }
+                // The artificial straggler delay applies per unit (and
+                // inside the timed window), so a slow node's units read
+                // as slow and fast peers get the chance to steal.
+                let unit_start = std::time::Instant::now();
+                if !slow.is_zero() {
+                    std::thread::sleep(slow);
+                }
+                match run_unit(ctx, kernel, round, attempt, first_row, rows) {
+                    Ok(cells) => {
+                        write_message(
+                            &mut stream,
+                            &Message::UnitResult {
+                                round,
+                                attempt,
+                                first_row,
+                                elapsed_ns: unit_start.elapsed().as_nanos() as u64,
+                                cells,
+                            },
+                        )?;
+                    }
+                    Err(e) => {
+                        write_message(
+                            &mut stream,
+                            &Message::Error {
+                                message: e.to_string(),
+                            },
+                        )?;
+                        return Err(e);
+                    }
+                }
+            }
+            Message::RoundEnd { round, .. } => {
+                if let Some(ctx) = job.as_ref() {
+                    ctx.recorder.add_counter("dist.rounds", 1);
+                    let n = ctx.rounds_handled.get().wrapping_add(1);
+                    ctx.rounds_handled.set(n);
+                    let hub = ctx.recorder.hub();
+                    if hub.is_enabled() {
+                        hub.add("node.rounds", 1);
+                    }
+                    if ctx.stats_every > 0 && n % ctx.stats_every == 0 && hub.is_enabled() {
+                        write_message(
+                            &mut stream,
+                            &Message::Stats {
+                                round,
+                                metrics: hub.snapshot().encode_bin(),
+                            },
+                        )?;
+                    }
+                }
+                current = None;
+            }
             Message::Shutdown => return Ok(()),
             Message::Error { message } => {
                 return Err(DistError::Node {
@@ -375,6 +547,109 @@ fn session_loop(stream: TcpStream, slow: std::time::Duration) -> Result<(), Dist
             }
         }
     }
+}
+
+/// Run one work unit of the current elastic round, returning the
+/// unit's reduction cells.
+fn run_unit(
+    job: &JobContext,
+    kernel: &tasks::TaskKernel,
+    round: u32,
+    attempt: u32,
+    first: u64,
+    count: u64,
+) -> Result<Vec<u8>, DistError> {
+    let rows = job.file.rows() as u64;
+    if first.checked_add(count).is_none_or(|end| end > rows) {
+        return Err(DistError::BadTask {
+            reason: format!("unit {first}+{count} exceeds {rows} dataset rows"),
+        });
+    }
+    let pass_start = std::time::Instant::now();
+    let outcome = job.engine.run_file_shard(
+        &job.file,
+        first as usize,
+        count as usize,
+        &job.layout,
+        kernel,
+    )?;
+    job.recorder.push_complete(
+        TraceLevel::Phases,
+        "node.pass",
+        "dist",
+        0,
+        job.recorder.offset_ns(pass_start),
+        pass_start.elapsed().as_nanos() as u64,
+        vec![
+            ("round", AttrValue::Int(round as i64)),
+            ("attempt", AttrValue::Int(attempt as i64)),
+            ("shard_first", AttrValue::Int(first as i64)),
+            ("shard_rows", AttrValue::Int(count as i64)),
+        ],
+    );
+    let hub = job.recorder.hub();
+    if hub.is_enabled() {
+        hub.add("node.units", 1);
+        hub.observe("node.unit_ns", pass_start.elapsed().as_nanos() as u64);
+    }
+    Ok(outcome.robj.encode_cells())
+}
+
+/// Dial a coordinator's membership hub and serve the session the
+/// coordinator opens back over the same connection (`cfr-node --join`).
+/// Joiners are absorbed at round barriers, so the `Hello` may lag the
+/// dial by a full round. A `Shutdown` first — or the hub closing the
+/// connection — means the fleet wound down before this node was
+/// admitted: a clean no-op, not an error.
+pub fn join(addr: &SocketAddr, slow_ms: u64, leave_after: Option<u32>) -> Result<(), DistError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    write_message(
+        &mut stream,
+        &Message::Join {
+            token: String::new(),
+        },
+    )?;
+    let hello = match read_message(&mut stream) {
+        Ok((msg, _)) => msg,
+        Err(DistError::Io(e))
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+            ) =>
+        {
+            return Ok(())
+        }
+        Err(e) => return Err(e),
+    };
+    match hello {
+        Message::Shutdown => Ok(()),
+        Message::Hello { node_id } => {
+            write_message(&mut stream, &Message::HelloAck { node_id })?;
+            serve_frames(
+                stream,
+                node_id,
+                std::time::Duration::from_millis(slow_ms),
+                leave_after,
+            )
+        }
+        other => Err(DistError::Protocol {
+            reason: format!(
+                "joiner expected Hello or Shutdown, got {}",
+                other.kind_name()
+            ),
+        }),
+    }
+}
+
+/// Loopback agent that serves one session but exits gracefully: once
+/// it has completed `after_rounds` rounds it answers the next
+/// `RoundStart` with `Leave` instead of working the round.
+pub fn serve_leaving(listener: &TcpListener, after_rounds: u32) -> Result<(), DistError> {
+    let (stream, _peer) = listener.accept()?;
+    session_loop_opts(stream, std::time::Duration::ZERO, Some(after_rounds))
 }
 
 /// Accept one coordinator connection on `listener` and serve the

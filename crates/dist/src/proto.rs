@@ -35,8 +35,13 @@ pub const WIRE_MAGIC: &[u8; 4] = b"FRDM";
 /// sync scheme chosen by the coordinator-side inspector (`scheme` +
 /// its three scalar operands) and the `splitter` byte asking the node
 /// to cut thread splits by the nonzero weights in the dataset's
-/// `.frsp` sidecar instead of by row count.
-pub const WIRE_VERSION: u8 = 5;
+/// `.frsp` sidecar instead of by row count. Version 6 added the
+/// elastic-scheduling surface: the `Join`/`Leave` membership
+/// handshake (`cfr-node --join` dials the coordinator's membership
+/// hub mid-job) and the work-unit round shape
+/// (`RoundStart`/`Unit`/`UnitResult`/`RoundEnd`) that lets fast nodes
+/// steal a straggler's remaining rows one sub-range at a time.
+pub const WIRE_VERSION: u8 = 6;
 /// Upper bound on a frame payload (64 MiB): a corrupt length field
 /// fails fast instead of triggering a giant allocation.
 pub const MAX_FRAME_LEN: u32 = 64 << 20;
@@ -51,6 +56,12 @@ const TYPE_JOB_DONE: u8 = 7;
 const TYPE_SHUTDOWN: u8 = 8;
 const TYPE_ERROR: u8 = 9;
 const TYPE_STATS: u8 = 10;
+const TYPE_JOIN: u8 = 11;
+const TYPE_LEAVE: u8 = 12;
+const TYPE_ROUND_START: u8 = 13;
+const TYPE_UNIT: u8 = 14;
+const TYPE_UNIT_RESULT: u8 = 15;
+const TYPE_ROUND_END: u8 = 16;
 
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -188,6 +199,74 @@ pub enum Message {
     Error {
         /// What went wrong.
         message: String,
+    },
+    /// Joiner → coordinator: first frame on a connection dialed at the
+    /// membership hub (`cfr-node --join`). The coordinator answers
+    /// with the normal `Hello`/`HelloAck`/`Job` session setup at the
+    /// next round barrier, or `Shutdown` when the fleet is winding
+    /// down.
+    Join {
+        /// Free-form admission token (empty today; reserved for auth).
+        token: String,
+    },
+    /// Node → coordinator: graceful exit. Sent instead of a
+    /// `UnitResult` (or in answer to a `RoundStart`); the coordinator
+    /// requeues the node's outstanding unit, reseeds its rows onto
+    /// survivors, and closes the session without burning a retry.
+    Leave {
+        /// Echo of the node's assigned index.
+        node_id: u32,
+    },
+    /// Coordinator → node: open one work-stealing round. The node
+    /// builds the round's kernel from `state` and then answers each
+    /// `Unit` until `RoundEnd`.
+    RoundStart {
+        /// Round number, starting at 0.
+        round: u32,
+        /// Monotonic delivery attempt (same semantics as `Round`).
+        attempt: u32,
+        /// Per-round broadcast state vector.
+        state: Vec<f64>,
+    },
+    /// Coordinator → node: reduce one work unit of the current round.
+    /// Units carry the **absolute** first row, so the coordinator can
+    /// merge all results in ascending `first_row` order and keep the
+    /// global combine fold — and hence every floating-point rounding —
+    /// a pure function of the covered row set, not of which node ran
+    /// what (the elastic extension of the v2 bit-identity argument).
+    Unit {
+        /// Echo of the round number.
+        round: u32,
+        /// Echo of the delivery attempt.
+        attempt: u32,
+        /// Absolute first row of the unit.
+        first_row: u64,
+        /// Rows in the unit.
+        rows: u64,
+    },
+    /// Node → coordinator: the local reduction of one work unit.
+    UnitResult {
+        /// Echo of the round number.
+        round: u32,
+        /// Echo of the delivery attempt.
+        attempt: u32,
+        /// Echo of the unit's absolute first row.
+        first_row: u64,
+        /// Node-measured wall time of this unit's reduction,
+        /// nanoseconds (summed per node per round, it feeds the
+        /// straggler detector).
+        elapsed_ns: u64,
+        /// The unit's reduction cells as a `freeride` robj codec frame.
+        cells: Vec<u8>,
+    },
+    /// Coordinator → node: the current round is drained; flush
+    /// periodic `Stats` if due and await the next `RoundStart` (or
+    /// `EndJob`).
+    RoundEnd {
+        /// Echo of the round number.
+        round: u32,
+        /// Echo of the delivery attempt.
+        attempt: u32,
     },
 }
 
@@ -352,6 +431,12 @@ impl Message {
             Message::Shutdown => TYPE_SHUTDOWN,
             Message::Error { .. } => TYPE_ERROR,
             Message::Stats { .. } => TYPE_STATS,
+            Message::Join { .. } => TYPE_JOIN,
+            Message::Leave { .. } => TYPE_LEAVE,
+            Message::RoundStart { .. } => TYPE_ROUND_START,
+            Message::Unit { .. } => TYPE_UNIT,
+            Message::UnitResult { .. } => TYPE_UNIT_RESULT,
+            Message::RoundEnd { .. } => TYPE_ROUND_END,
         }
     }
 
@@ -368,6 +453,12 @@ impl Message {
             Message::Shutdown => "Shutdown",
             Message::Error { .. } => "Error",
             Message::Stats { .. } => "Stats",
+            Message::Join { .. } => "Join",
+            Message::Leave { .. } => "Leave",
+            Message::RoundStart { .. } => "RoundStart",
+            Message::Unit { .. } => "Unit",
+            Message::UnitResult { .. } => "UnitResult",
+            Message::RoundEnd { .. } => "RoundEnd",
         }
     }
 
@@ -454,6 +545,47 @@ impl Message {
                 put_bytes(&mut out, metrics);
             }
             Message::Error { message } => put_str(&mut out, message),
+            Message::Join { token } => put_str(&mut out, token),
+            Message::Leave { node_id } => {
+                out.extend_from_slice(&node_id.to_le_bytes());
+            }
+            Message::RoundStart {
+                round,
+                attempt,
+                state,
+            } => {
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&attempt.to_le_bytes());
+                put_f64s(&mut out, state);
+            }
+            Message::Unit {
+                round,
+                attempt,
+                first_row,
+                rows,
+            } => {
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&attempt.to_le_bytes());
+                out.extend_from_slice(&first_row.to_le_bytes());
+                out.extend_from_slice(&rows.to_le_bytes());
+            }
+            Message::UnitResult {
+                round,
+                attempt,
+                first_row,
+                elapsed_ns,
+                cells,
+            } => {
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&attempt.to_le_bytes());
+                out.extend_from_slice(&first_row.to_le_bytes());
+                out.extend_from_slice(&elapsed_ns.to_le_bytes());
+                put_bytes(&mut out, cells);
+            }
+            Message::RoundEnd { round, attempt } => {
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&attempt.to_le_bytes());
+            }
         }
         out
     }
@@ -540,6 +672,34 @@ impl Message {
             TYPE_STATS => Message::Stats {
                 round: r.u32("round")?,
                 metrics: r.bytes("metrics")?,
+            },
+            TYPE_JOIN => Message::Join {
+                token: r.string("token")?,
+            },
+            TYPE_LEAVE => Message::Leave {
+                node_id: r.u32("node_id")?,
+            },
+            TYPE_ROUND_START => Message::RoundStart {
+                round: r.u32("round")?,
+                attempt: r.u32("attempt")?,
+                state: r.f64s("state")?,
+            },
+            TYPE_UNIT => Message::Unit {
+                round: r.u32("round")?,
+                attempt: r.u32("attempt")?,
+                first_row: r.u64("first_row")?,
+                rows: r.u64("rows")?,
+            },
+            TYPE_UNIT_RESULT => Message::UnitResult {
+                round: r.u32("round")?,
+                attempt: r.u32("attempt")?,
+                first_row: r.u64("first_row")?,
+                elapsed_ns: r.u64("elapsed_ns")?,
+                cells: r.bytes("cells")?,
+            },
+            TYPE_ROUND_END => Message::RoundEnd {
+                round: r.u32("round")?,
+                attempt: r.u32("attempt")?,
             },
             other => return perr(format!("unknown message type {other}")),
         };
@@ -705,6 +865,32 @@ mod proto_tests {
             Message::Stats {
                 round: 3,
                 metrics: vec![9, 9, 9],
+            },
+            Message::Join {
+                token: "spare-17".into(),
+            },
+            Message::Leave { node_id: 2 },
+            Message::RoundStart {
+                round: 4,
+                attempt: 1,
+                state: vec![0.25, -8.0, 3.5],
+            },
+            Message::Unit {
+                round: 4,
+                attempt: 1,
+                first_row: 1024,
+                rows: 128,
+            },
+            Message::UnitResult {
+                round: 4,
+                attempt: 1,
+                first_row: 1024,
+                elapsed_ns: 987_654,
+                cells: vec![1, 2, 3, 4],
+            },
+            Message::RoundEnd {
+                round: 4,
+                attempt: 1,
             },
         ]
     }

@@ -21,6 +21,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use cfr_elastic::{auto_grain, plan, split_units, MembershipHub, StealQueue};
 use freeride::{RObjLayout, ReductionObject, RunStats};
 use freeride_ft::{Checkpoint, CheckpointStore};
 use obs::{metric_name, AttrValue, MetricsSnapshot, Recorder, Trace, TraceLevel};
@@ -34,6 +35,40 @@ use crate::tasks;
 /// One node's round answer: its `(first_row, cells)` shard payloads
 /// plus the node-measured round time in nanoseconds.
 type RoundShards = (Vec<(u64, Vec<u8>)>, u64);
+
+/// One elastic worker thread's round outcome, folded into the global
+/// stats/telemetry by the coordinator thread after the scope ends —
+/// workers themselves are telemetry-free so trace emission stays
+/// single-threaded and deterministic.
+#[derive(Default)]
+struct WorkerOut {
+    /// This worker's own byte counters (each worker needs a private
+    /// `ClusterStats` because `NodeConn::send`/`recv` count into one).
+    stats: ClusterStats,
+    /// Sum of node-measured per-unit times — the busy-time signal for
+    /// straggler detection (with workers running concurrently, the
+    /// coordinator's own clock says nothing about any one node).
+    busy_ns: u64,
+    /// `(first_row, cells)` per completed unit.
+    results: Vec<(u64, Vec<u8>)>,
+    /// `(first_row, rows, victim_slot)` per unit stolen from a peer.
+    steals: Vec<(u64, u64, usize)>,
+    /// The node announced a voluntary Leave mid-round.
+    left: bool,
+    /// Hard failure; feeds the FT recovery loop as `(slot, err)`.
+    err: Option<DistError>,
+}
+
+impl WorkerOut {
+    fn panicked() -> WorkerOut {
+        WorkerOut {
+            err: Some(DistError::Protocol {
+                reason: "elastic round worker panicked".into(),
+            }),
+            ..WorkerOut::default()
+        }
+    }
+}
 
 pub(crate) struct NodeConn {
     stream: TcpStream,
@@ -98,6 +133,10 @@ pub(crate) struct LiveNode {
 /// semantics (see the module docs).
 pub struct Fleet {
     pub(crate) nodes: Vec<LiveNode>,
+    /// Next node id to hand to a mid-job joiner. Ids are never reused
+    /// (a leaver's or dead node's id stays retired), so per-node
+    /// telemetry and trace pids stay unambiguous across churn.
+    pub(crate) next_id: usize,
 }
 
 impl Fleet {
@@ -142,11 +181,9 @@ impl Fleet {
                 });
             }
         }
-        let dataset = cfg.dataset.to_string_lossy().into_owned();
-        let (scheme, scheme_stripes, scheme_cells, scheme_mask) =
-            crate::proto::scheme_to_wire(cfg.scheme);
         let mut fleet = Fleet {
             nodes: Vec::with_capacity(addrs.len()),
+            next_id: addrs.len(),
         };
         for (id, addr) in addrs.iter().enumerate() {
             let stream = TcpStream::connect_timeout(addr, cfg.read_timeout)?;
@@ -169,29 +206,8 @@ impl Fleet {
                     (first, (id + 1) * rows / addrs.len() - first)
                 }
             };
-            let (io_mode, chunk_rows, buffers, readers) = crate::proto::io_mode_to_wire(&cfg.io);
             conn.send(
-                &Message::Job {
-                    task: cfg.task.clone(),
-                    params: cfg.params.clone(),
-                    layout: layout_frame.to_vec(),
-                    dataset: dataset.clone(),
-                    shard_first: first as u64,
-                    shard_rows: count as u64,
-                    threads: cfg.threads_per_node.max(1) as u32,
-                    trace_level: node::trace_level_ordinal(cfg.trace),
-                    io_mode,
-                    chunk_rows,
-                    buffers,
-                    readers,
-                    stats_every: cfg.telemetry.stats_every,
-                    backend: cfg.backend.to_wire(),
-                    scheme,
-                    scheme_stripes,
-                    scheme_cells,
-                    scheme_mask,
-                    splitter: cfg.sparse_split as u8,
-                },
+                &job_message(cfg, layout_frame, first as u64, count as u64),
                 stats,
             )?;
             fleet.nodes.push(LiveNode {
@@ -201,6 +217,75 @@ impl Fleet {
             });
         }
         Ok(fleet)
+    }
+
+    /// Absorb pending joiner connections from the membership hub:
+    /// Join → Hello/HelloAck → Job, then add the node live with **no
+    /// shards** — work reaches it through unit stealing (elastic
+    /// rounds) or FT reassignment (classic rounds). A broken joiner
+    /// (handshake failure, timeout, garbage) is dropped without
+    /// failing the job; returns the ids actually admitted.
+    pub(crate) fn absorb_joiners(
+        &mut self,
+        hub: &MembershipHub,
+        cfg: &ClusterConfig,
+        layout_frame: &[u8],
+        stats: &mut ClusterStats,
+    ) -> Vec<usize> {
+        let mut joined = Vec::new();
+        for stream in hub.take_pending() {
+            let id = self.next_id;
+            let admitted = (|| -> Result<LiveNode, DistError> {
+                // A joiner that dialed but never speaks must not stall
+                // the round barrier; give the handshake a short fuse.
+                stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+                stream.set_nodelay(true).ok();
+                let mut conn = NodeConn { stream, id };
+                match conn.recv("Join", stats)? {
+                    Message::Join { .. } => {}
+                    other => {
+                        return Err(DistError::Protocol {
+                            reason: format!(
+                                "joiner {id}: expected Join, got {}",
+                                other.kind_name()
+                            ),
+                        })
+                    }
+                }
+                conn.send(&Message::Hello { node_id: id as u32 }, stats)?;
+                match conn.recv("HelloAck", stats)? {
+                    Message::HelloAck { node_id } if node_id as usize == id => {}
+                    other => {
+                        return Err(DistError::Protocol {
+                            reason: format!(
+                                "joiner {id}: expected HelloAck, got {}",
+                                other.kind_name()
+                            ),
+                        })
+                    }
+                }
+                conn.send(&job_message(cfg, layout_frame, 0, 0), stats)?;
+                conn.stream.set_read_timeout(Some(cfg.read_timeout))?;
+                Ok(LiveNode {
+                    conn,
+                    shards: Vec::new(),
+                    last_stats: None,
+                })
+            })();
+            match admitted {
+                Ok(node) => {
+                    self.nodes.push(node);
+                    self.next_id += 1;
+                    joined.push(id);
+                }
+                Err(e) => {
+                    if cfg.telemetry.warn {
+                        eprintln!("cfr-dist: health: dropping broken joiner: {e}");
+                    }
+                }
+            }
+        }
+        joined
     }
 
     /// Live nodes remaining in the fleet.
@@ -246,7 +331,17 @@ impl Fleet {
         while !self.nodes.is_empty() {
             let mut n = self.nodes.remove(0);
             n.conn.send(&Message::EndJob, stats)?;
-            let msg = n.conn.recv("JobDone", stats)?;
+            let msg = loop {
+                let msg = n.conn.recv("JobDone", stats)?;
+                // A periodic stats push from the last elastic round can
+                // land just ahead of JobDone; absorb it like a round
+                // recv would.
+                if let Message::Stats { metrics, .. } = &msg {
+                    n.last_stats = Some(MetricsSnapshot::decode_bin(metrics)?);
+                    continue;
+                }
+                break msg;
+            };
             let Message::JobDone { trace, metrics } = msg else {
                 return Err(DistError::Protocol {
                     reason: format!(
@@ -287,6 +382,37 @@ impl Drop for Fleet {
     }
 }
 
+/// The `Job` setup frame for `cfg`, shared between the initial
+/// connect handshake and mid-job joiner absorption (joiners get the
+/// empty `0/0` shard: their work arrives as stolen units or FT
+/// reassignments, never a Job-time shard).
+fn job_message(cfg: &ClusterConfig, layout_frame: &[u8], first: u64, rows: u64) -> Message {
+    let (io_mode, chunk_rows, buffers, readers) = crate::proto::io_mode_to_wire(&cfg.io);
+    let (scheme, scheme_stripes, scheme_cells, scheme_mask) =
+        crate::proto::scheme_to_wire(cfg.scheme);
+    Message::Job {
+        task: cfg.task.clone(),
+        params: cfg.params.clone(),
+        layout: layout_frame.to_vec(),
+        dataset: cfg.dataset.to_string_lossy().into_owned(),
+        shard_first: first,
+        shard_rows: rows,
+        threads: cfg.threads_per_node.max(1) as u32,
+        trace_level: node::trace_level_ordinal(cfg.trace),
+        io_mode,
+        chunk_rows,
+        buffers,
+        readers,
+        stats_every: cfg.telemetry.stats_every,
+        backend: cfg.backend.to_wire(),
+        scheme,
+        scheme_stripes,
+        scheme_cells,
+        scheme_mask,
+        splitter: cfg.sparse_split as u8,
+    }
+}
+
 /// Open the checkpoint store for `cfg`, honouring the job-tag
 /// namespace: a non-empty [`ClusterConfig::job_tag`] gets its own
 /// `job-<tag>` subdirectory of the checkpoint dir, so concurrent jobs
@@ -319,10 +445,29 @@ impl<'a> JobDriver<'a> {
         JobDriver { config, recorder }
     }
 
-    /// Run the job from round 0 against node agents on `addrs`.
+    /// Run the job from round 0 against node agents on `addrs`. With
+    /// [`ElasticPolicy::join_listen`](cfr_elastic::ElasticPolicy) set,
+    /// a membership hub is bound for the duration of the run so
+    /// `cfr-node --join` peers can be absorbed at round barriers.
     pub fn run(&self, addrs: &[SocketAddr]) -> Result<ClusterOutcome, DistError> {
+        let hub = match &self.config.elastic.join_listen {
+            Some(listen) => Some(MembershipHub::bind(listen)?),
+            None => None,
+        };
         let state = self.config.init_state.clone();
-        self.run_rounds(addrs, 0, state, None)
+        self.run_rounds(addrs, 0, state, None, hub.as_ref())
+    }
+
+    /// [`JobDriver::run`] against a caller-owned membership hub —
+    /// lets the caller learn the hub's address (and park joiners on
+    /// it) before the run starts.
+    pub fn run_with_hub(
+        &self,
+        addrs: &[SocketAddr],
+        hub: &MembershipHub,
+    ) -> Result<ClusterOutcome, DistError> {
+        let state = self.config.init_state.clone();
+        self.run_rounds(addrs, 0, state, None, Some(hub))
     }
 
     /// Resume the job from the newest valid checkpoint in its
@@ -378,7 +523,17 @@ impl<'a> JobDriver<'a> {
                 telemetry,
             });
         }
-        self.run_rounds(addrs, next_round, ckpt.state.clone(), Some(ckpt))
+        let hub = match &cfg.elastic.join_listen {
+            Some(listen) => Some(MembershipHub::bind(listen)?),
+            None => None,
+        };
+        self.run_rounds(
+            addrs,
+            next_round,
+            ckpt.state.clone(),
+            Some(ckpt),
+            hub.as_ref(),
+        )
     }
 
     /// The shared body of [`JobDriver::run`] and [`JobDriver::resume`]:
@@ -389,6 +544,7 @@ impl<'a> JobDriver<'a> {
         first_round: usize,
         mut state: Vec<f64>,
         resumed_from: Option<Checkpoint>,
+        hub: Option<&MembershipHub>,
     ) -> Result<ClusterOutcome, DistError> {
         if addrs.is_empty() {
             return Err(DistError::BadTask {
@@ -439,6 +595,16 @@ impl<'a> JobDriver<'a> {
             Fleet::connect(cfg, addrs, &layout_frame, rows, &mut stats)?
         };
 
+        // The steal grain is fixed from the *initial* fleet size for
+        // the whole run: work units must be a pure function of the
+        // shard map and grain — never of live membership — so that
+        // joins, leaves and steals cannot change the merge fold.
+        let grain = if cfg.elastic.steal_grain > 0 {
+            cfg.elastic.steal_grain
+        } else {
+            auto_grain(rows as u64, addrs.len())
+        };
+
         // ---- The outer sequential loop, with per-round recovery. ----
         let rounds = cfg.rounds.max(1);
         let mut merged = ReductionObject::alloc(layout.clone());
@@ -446,16 +612,58 @@ impl<'a> JobDriver<'a> {
         let mut retries_used = 0usize;
         let mut dead_stats: Vec<MetricsSnapshot> = Vec::new();
         for round in first_round..rounds {
+            // ---- Round barrier: absorb any nodes that dialed the
+            // membership hub since the last round. ----
+            if let Some(hub) = hub {
+                for id in fleet.absorb_joiners(hub, cfg, &layout_frame, &mut stats) {
+                    rec.instant(
+                        TraceLevel::Phases,
+                        "sched.join",
+                        "dist",
+                        0,
+                        vec![
+                            ("node", AttrValue::Int(id as i64)),
+                            ("round", AttrValue::Int(round as i64)),
+                        ],
+                    );
+                    rec.add_counter("sched.joins", 1);
+                    if rec.hub().is_enabled() {
+                        rec.hub().add("sched.joins", 1);
+                        rec.hub().add(metric_name(&format!("node{id}.joins")), 1);
+                    }
+                    stats.joins += 1;
+                    if cfg.telemetry.warn {
+                        eprintln!(
+                            "cfr-dist: health: node {id} joined at the round {round} barrier"
+                        );
+                    }
+                }
+            }
             loop {
-                match self.try_round(
-                    &mut fleet,
-                    &layout,
-                    round,
-                    attempt,
-                    &state,
-                    &mut merged,
-                    &mut stats,
-                ) {
+                let outcome = if cfg.elastic.steal {
+                    self.try_round_elastic(
+                        &mut fleet,
+                        &layout,
+                        round,
+                        attempt,
+                        &state,
+                        &mut merged,
+                        &mut stats,
+                        grain,
+                        &mut dead_stats,
+                    )
+                } else {
+                    self.try_round(
+                        &mut fleet,
+                        &layout,
+                        round,
+                        attempt,
+                        &state,
+                        &mut merged,
+                        &mut stats,
+                    )
+                };
+                match outcome {
                     Ok(()) => break,
                     Err((idx, err)) => {
                         let recoverable =
@@ -646,6 +854,12 @@ impl<'a> JobDriver<'a> {
         span.attr_int("round", round as i64);
         span.attr_int("attempt", attempt as i64);
         for (i, n) in fleet.nodes.iter_mut().enumerate() {
+            // A mid-job joiner holds no shards until an FT reassignment
+            // gives it some; classic rounds leave it idle rather than
+            // folding in an empty shard result.
+            if n.shards.is_empty() {
+                continue;
+            }
             n.conn
                 .send(
                     &Message::Round {
@@ -669,6 +883,9 @@ impl<'a> JobDriver<'a> {
         let mut elapsed: Vec<(usize, u64)> = Vec::with_capacity(fleet.nodes.len());
         let hub = rec.hub();
         for (i, n) in fleet.nodes.iter_mut().enumerate() {
+            if n.shards.is_empty() {
+                continue;
+            }
             let recv_before = stats.bytes_recv;
             let (results, elapsed_ns) =
                 Self::recv_round_result(n, round as u32, attempt, stats).map_err(|e| (i, e))?;
@@ -698,6 +915,354 @@ impl<'a> JobDriver<'a> {
             merged.merge_from(&shard);
         }
         Ok(())
+    }
+
+    /// One delivery attempt of one elastic round: shards are split into
+    /// grain-sized work units, planned onto the live nodes by the
+    /// placement policy, and drained concurrently through a
+    /// [`StealQueue`] — one coordinator worker thread per node, so an
+    /// idle node steals from the back of a straggler's queue instead of
+    /// waiting at the barrier.
+    ///
+    /// Bit-identity survives all of this because the unit set is a pure
+    /// function of the shard map and the (run-fixed) grain — never of
+    /// live membership — and the global combination below folds the
+    /// unit results in ascending `first_row` order exactly like the
+    /// classic path folds shards. Who computed a unit, and in what
+    /// order results arrived, cannot reach the FP fold.
+    ///
+    /// Nodes that announce [`Message::Leave`] mid-round hand their
+    /// units back to the queue, are merged normally, and are removed
+    /// from the fleet *after* the merge — a voluntary leave burns no
+    /// retry. Hard failures return `Err((slot, err))` into the same
+    /// recovery loop as classic rounds.
+    #[allow(clippy::too_many_arguments)]
+    fn try_round_elastic(
+        &self,
+        fleet: &mut Fleet,
+        layout: &Arc<RObjLayout>,
+        round: usize,
+        attempt: u32,
+        state: &[f64],
+        merged: &mut ReductionObject,
+        stats: &mut ClusterStats,
+        grain: u64,
+        dead_stats: &mut Vec<MetricsSnapshot>,
+    ) -> Result<(), (usize, DistError)> {
+        let rec = self.recorder;
+        let mut span = rec.span(TraceLevel::Phases, "cluster.round", "dist", 0);
+        span.attr_int("round", round as i64);
+        span.attr_int("attempt", attempt as i64);
+        span.attr_int("elastic", 1);
+        let units = split_units(&fleet.shard_map(), grain);
+        span.attr_int("units", units.len() as i64);
+        let node_ids: Vec<usize> = fleet.nodes.iter().map(|n| n.conn.id).collect();
+        let live_ids: Vec<u32> = node_ids.iter().map(|&id| id as u32).collect();
+        let queue = StealQueue::new(plan(&units, &live_ids, &self.config.elastic.placement));
+
+        // One worker per node, each owning a disjoint `&mut LiveNode`.
+        // Workers are telemetry-free (the per-node byte counts travel in
+        // their WorkerOut); all spans and counters are emitted below, on
+        // this thread, in fleet order — so traces stay deterministic
+        // even though completion order is not.
+        let outs: Vec<WorkerOut> = std::thread::scope(|s| {
+            let queue = &queue;
+            let handles: Vec<_> = fleet
+                .nodes
+                .iter_mut()
+                .enumerate()
+                .map(|(i, n)| {
+                    s.spawn(move || Self::elastic_worker(i, n, queue, round as u32, attempt, state))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|_| WorkerOut::panicked()))
+                .collect()
+        });
+
+        for o in &outs {
+            stats.bytes_sent += o.stats.bytes_sent;
+            stats.bytes_recv += o.stats.bytes_recv;
+        }
+        let hub = rec.hub();
+        if hub.is_enabled() {
+            for (o, &id) in outs.iter().zip(&node_ids) {
+                if o.err.is_some() {
+                    continue;
+                }
+                hub.add(metric_name(&format!("node{id}.rounds")), 1);
+                hub.observe(metric_name(&format!("node{id}.round_ns")), o.busy_ns);
+                hub.add(
+                    metric_name(&format!("node{id}.bytes")),
+                    o.stats.bytes_recv as i64,
+                );
+            }
+        }
+        // First hard failure (lowest fleet slot) wins and feeds the
+        // classic recovery loop; stale UnitResults from this aborted
+        // attempt are drained by the (round, attempt) echo on retry.
+        if let Some(slot) = outs.iter().position(|o| o.err.is_some()) {
+            let err = outs
+                .into_iter()
+                .nth(slot)
+                .and_then(|o| o.err)
+                .expect("slot found by position");
+            return Err((slot, err));
+        }
+        let total: usize = outs.iter().map(|o| o.results.len()).sum();
+        if total != units.len() {
+            return Err((
+                0,
+                DistError::Protocol {
+                    reason: format!(
+                        "elastic round {round} lost units: merged {total} of {}",
+                        units.len()
+                    ),
+                },
+            ));
+        }
+
+        // Global combination in ascending row order, before any leaver
+        // bookkeeping touches the fleet (slot attribution for decode
+        // errors must still match the fleet the workers saw).
+        merged.reset();
+        {
+            let mut cspan = rec.span(TraceLevel::Phases, "cluster.combine", "dist", 0);
+            cspan.attr_int("round", round as i64);
+            let mut all: Vec<(u64, &[u8], usize)> = outs
+                .iter()
+                .enumerate()
+                .flat_map(|(i, o)| {
+                    o.results
+                        .iter()
+                        .map(move |(first, cells)| (*first, cells.as_slice(), i))
+                })
+                .collect();
+            all.sort_by_key(|&(first, _, _)| first);
+            for (_, cells, from) in &all {
+                let shard =
+                    ReductionObject::decode_cells(layout, cells).map_err(|e| (*from, e.into()))?;
+                merged.merge_from(&shard);
+            }
+        }
+
+        let elapsed: Vec<(usize, u64)> = outs
+            .iter()
+            .zip(&node_ids)
+            .filter(|(o, _)| !o.left)
+            .map(|(o, &id)| (id, o.busy_ns))
+            .collect();
+        self.flag_stragglers(&elapsed, round, attempt, stats);
+
+        for (o, &thief) in outs.iter().zip(&node_ids) {
+            for &(first_row, rows, victim_slot) in &o.steals {
+                rec.instant(
+                    TraceLevel::Phases,
+                    "sched.steal",
+                    "dist",
+                    0,
+                    vec![
+                        ("thief", AttrValue::Int(thief as i64)),
+                        ("victim", AttrValue::Int(node_ids[victim_slot] as i64)),
+                        ("first_row", AttrValue::Int(first_row as i64)),
+                        ("rows", AttrValue::Int(rows as i64)),
+                        ("round", AttrValue::Int(round as i64)),
+                    ],
+                );
+                rec.add_counter("sched.steals", 1);
+                if hub.is_enabled() {
+                    hub.add("sched.steals", 1);
+                    hub.add(metric_name(&format!("node{thief}.steals")), 1);
+                }
+                stats.steals += 1;
+            }
+        }
+
+        // Leavers last, in descending slot order so earlier slots stay
+        // valid while later ones are removed. Their shards go to the
+        // least-loaded survivors (same balance rule as FT recovery),
+        // keeping the shard map's range *set* — and therefore the unit
+        // set — unchanged.
+        let leavers: Vec<usize> = outs
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.left)
+            .map(|(i, _)| i)
+            .collect();
+        for &slot in leavers.iter().rev() {
+            let gone = fleet.remove(slot);
+            let id = gone.conn.id;
+            rec.instant(
+                TraceLevel::Phases,
+                "sched.leave",
+                "dist",
+                0,
+                vec![
+                    ("node", AttrValue::Int(id as i64)),
+                    ("round", AttrValue::Int(round as i64)),
+                ],
+            );
+            rec.add_counter("sched.leaves", 1);
+            if hub.is_enabled() {
+                hub.add("sched.leaves", 1);
+                hub.add(metric_name(&format!("node{id}.leaves")), 1);
+            }
+            stats.leaves += 1;
+            if let Some(s) = gone.last_stats {
+                dead_stats.push(s);
+            }
+            if self.config.telemetry.warn {
+                eprintln!("cfr-dist: health: node {id} left the fleet after round {round}");
+            }
+            if fleet.is_empty() {
+                return Err((
+                    0,
+                    DistError::Protocol {
+                        reason: format!("all nodes left the fleet in round {round}"),
+                    },
+                ));
+            }
+            for sh in gone.shards {
+                let tgt = (0..fleet.nodes.len())
+                    .min_by_key(|&i| fleet.nodes[i].shards.len())
+                    .expect("at least one survivor");
+                fleet.nodes[tgt].shards.push(sh);
+            }
+            for n in fleet.nodes.iter_mut() {
+                n.shards.sort_unstable();
+            }
+        }
+        Ok(())
+    }
+
+    /// The per-node driver thread of one elastic round attempt:
+    /// RoundStart, then pop/send/await units until the queue drains,
+    /// then RoundEnd. Any hard failure closes the queue so sibling
+    /// workers unblock instead of waiting on in-flight work that will
+    /// never complete; a Leave answer hands work back and exits
+    /// cleanly.
+    fn elastic_worker(
+        slot: usize,
+        node: &mut LiveNode,
+        queue: &StealQueue,
+        round: u32,
+        attempt: u32,
+        state: &[f64],
+    ) -> WorkerOut {
+        let mut out = WorkerOut::default();
+        let fail = |out: &mut WorkerOut, e: DistError| {
+            out.err = Some(e);
+            queue.close();
+        };
+        if let Err(e) = node.conn.send(
+            &Message::RoundStart {
+                round,
+                attempt,
+                state: state.to_vec(),
+            },
+            &mut out.stats,
+        ) {
+            fail(&mut out, e);
+            return out;
+        }
+        while let Some(popped) = queue.pop_for(slot) {
+            let unit = popped.unit;
+            if let Err(e) = node.conn.send(
+                &Message::Unit {
+                    round,
+                    attempt,
+                    first_row: unit.first_row,
+                    rows: unit.rows,
+                },
+                &mut out.stats,
+            ) {
+                fail(&mut out, e);
+                return out;
+            }
+            loop {
+                let msg = match node.conn.recv("UnitResult", &mut out.stats) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        fail(&mut out, e);
+                        return out;
+                    }
+                };
+                match msg {
+                    Message::Stats { metrics, .. } => match MetricsSnapshot::decode_bin(&metrics) {
+                        Ok(s) => node.last_stats = Some(s),
+                        Err(e) => {
+                            fail(&mut out, e.into());
+                            return out;
+                        }
+                    },
+                    Message::UnitResult {
+                        round: r,
+                        attempt: a,
+                        first_row,
+                        elapsed_ns,
+                        cells,
+                    } => {
+                        if (r, a) == (round, attempt) && first_row == unit.first_row {
+                            out.busy_ns += elapsed_ns;
+                            if let Some(victim) = popped.stolen_from {
+                                out.steals.push((unit.first_row, unit.rows, victim));
+                            }
+                            out.results.push((first_row, cells));
+                            queue.done();
+                            break;
+                        }
+                        // A leftover from an attempt a failure aborted;
+                        // discard and keep reading, like the classic
+                        // (round, attempt) echo drain.
+                        let stale = r < round || (r == round && a < attempt);
+                        if !stale {
+                            fail(
+                                &mut out,
+                                DistError::Protocol {
+                                    reason: format!(
+                                        "node {}: UnitResult for row {first_row} \
+                                         round {r} attempt {a}, expected row {} \
+                                         round {round}/{attempt}",
+                                        node.conn.id, unit.first_row
+                                    ),
+                                },
+                            );
+                            return out;
+                        }
+                    }
+                    Message::Leave { .. } => {
+                        // Voluntary departure: this unit and the node's
+                        // untouched seed queue go back for survivors.
+                        queue.requeue(unit);
+                        queue.abandon(slot);
+                        out.left = true;
+                        return out;
+                    }
+                    other => {
+                        fail(
+                            &mut out,
+                            DistError::Protocol {
+                                reason: format!(
+                                    "node {}: expected UnitResult, got {}",
+                                    node.conn.id,
+                                    other.kind_name()
+                                ),
+                            },
+                        );
+                        return out;
+                    }
+                }
+            }
+        }
+        if let Err(e) = node
+            .conn
+            .send(&Message::RoundEnd { round, attempt }, &mut out.stats)
+        {
+            out.err = Some(e);
+            queue.close();
+        }
+        out
     }
 
     /// Latency-based straggler detection over one round's node-measured

@@ -1,0 +1,157 @@
+//! The membership hub: a background accept loop collecting mid-job
+//! joiner connections.
+//!
+//! The hub deliberately does **no** protocol work — it only parks raw
+//! `TcpStream`s. The driver drains `take_pending()` at each round
+//! barrier and runs the FRDM join handshake itself, so this crate
+//! stays wire-format-free and a half-finished handshake can never
+//! block the accept loop. `shutdown()` (also run on drop) stops the
+//! loop and closes every parked connection, which is what lets a
+//! fleet shut down cleanly while a join is still in flight: the joiner
+//! sees EOF/reset instead of a hang, and nothing leaks.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+pub struct MembershipHub {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    thread: Option<JoinHandle<()>>,
+}
+
+struct Inner {
+    pending: Mutex<Vec<TcpStream>>,
+    stop: AtomicBool,
+}
+
+impl MembershipHub {
+    /// Bind the join listener (use port 0 for an ephemeral port) and
+    /// start the accept loop.
+    pub fn bind(addr: &str) -> io::Result<MembershipHub> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            pending: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+        });
+        let worker = inner.clone();
+        let thread = std::thread::Builder::new()
+            .name("cfr-membership".into())
+            .spawn(move || loop {
+                if worker.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        // Hand the driver a blocking stream; it applies
+                        // its own read timeout during the handshake.
+                        let _ = stream.set_nonblocking(false);
+                        let mut pending = worker.pending.lock().unwrap_or_else(|e| e.into_inner());
+                        pending.push(stream);
+                    }
+                    Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            })?;
+        Ok(MembershipHub {
+            inner,
+            addr,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address joiners should dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted but not yet absorbed.
+    pub fn pending_count(&self) -> usize {
+        self.inner
+            .pending
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Drain the parked connections for the driver to handshake.
+    pub fn take_pending(&self) -> Vec<TcpStream> {
+        std::mem::take(&mut *self.inner.pending.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Stop accepting, join the loop, and close any parked
+    /// connections (their joiners see EOF, not a hang).
+    pub fn shutdown(&mut self) {
+        self.inner.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        self.take_pending(); // dropped here → closed
+    }
+}
+
+impl Drop for MembershipHub {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn wait_for(hub: &MembershipHub, n: usize) {
+        for _ in 0..200 {
+            if hub.pending_count() >= n {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("hub never saw {n} pending connection(s)");
+    }
+
+    #[test]
+    fn collects_and_drains_joiners() {
+        let hub = MembershipHub::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(hub.addr()).unwrap();
+        let b = TcpStream::connect(hub.addr()).unwrap();
+        wait_for(&hub, 2);
+        assert_eq!(hub.take_pending().len(), 2);
+        assert_eq!(hub.pending_count(), 0);
+        drop((a, b));
+    }
+
+    #[test]
+    fn shutdown_with_half_joined_connection_does_not_hang_or_leak() {
+        let mut hub = MembershipHub::bind("127.0.0.1:0").unwrap();
+        // A joiner that connects but never completes any handshake.
+        let mut half = TcpStream::connect(hub.addr()).unwrap();
+        wait_for(&hub, 1);
+        hub.shutdown();
+        // The parked connection was closed: the joiner reads EOF (or a
+        // reset) instead of blocking forever.
+        half.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let mut buf = [0u8; 8];
+        match half.read(&mut buf) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("unexpected {n} bytes from a dead hub"),
+        }
+        // And the listener is gone: new joiners are refused, not parked.
+        assert_eq!(hub.pending_count(), 0);
+    }
+
+    #[test]
+    fn double_shutdown_is_idempotent() {
+        let mut hub = MembershipHub::bind("127.0.0.1:0").unwrap();
+        hub.shutdown();
+        hub.shutdown();
+    }
+}

@@ -1,0 +1,112 @@
+//! Work units: membership-invariant sub-ranges of the shard map.
+
+/// One schedulable sub-range of rows. Units carry the **absolute**
+/// first row so results can be merged in first_row order regardless of
+/// which node produced them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WorkUnit {
+    pub first_row: u64,
+    pub rows: u64,
+}
+
+/// Cut every shard of `shard_map` into units of at most `grain` rows.
+///
+/// The split is a pure function of `(shard_map, grain)` — it never
+/// looks at live membership — so every run over the same dataset and
+/// grain folds partial results in exactly the same order. A grain of 0
+/// means "one unit per shard" (no splitting).
+pub fn split_units(shard_map: &[(u64, u64)], grain: u64) -> Vec<WorkUnit> {
+    let mut units = Vec::new();
+    for &(first, rows) in shard_map {
+        if rows == 0 {
+            continue;
+        }
+        if grain == 0 {
+            units.push(WorkUnit {
+                first_row: first,
+                rows,
+            });
+            continue;
+        }
+        let mut at = first;
+        let end = first + rows;
+        while at < end {
+            let take = grain.min(end - at);
+            units.push(WorkUnit {
+                first_row: at,
+                rows: take,
+            });
+            at += take;
+        }
+    }
+    units.sort_unstable();
+    units
+}
+
+/// Default grain: aim for ~8 units per node of the *initial* fleet, so
+/// there is enough slack to steal without drowning in round trips.
+/// Callers must feed the initial node count (not the live one) to keep
+/// the partition membership-invariant.
+pub fn auto_grain(total_rows: u64, initial_nodes: usize) -> u64 {
+    let lanes = (initial_nodes.max(1) as u64) * 8;
+    (total_rows.div_ceil(lanes)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_exactly_without_overlap() {
+        let map = [(0u64, 10u64), (10, 7), (17, 3)];
+        for grain in [0u64, 1, 2, 3, 4, 7, 10, 100] {
+            let units = split_units(&map, grain);
+            let mut at = 0u64;
+            for u in &units {
+                assert_eq!(u.first_row, at, "grain {grain}: gap or overlap");
+                assert!(u.rows > 0);
+                if grain > 0 {
+                    assert!(u.rows <= grain);
+                }
+                at += u.rows;
+            }
+            assert_eq!(at, 20, "grain {grain}: total rows wrong");
+        }
+    }
+
+    #[test]
+    fn skips_empty_shards() {
+        let units = split_units(&[(0, 0), (0, 4), (4, 0)], 2);
+        assert_eq!(
+            units,
+            vec![
+                WorkUnit {
+                    first_row: 0,
+                    rows: 2
+                },
+                WorkUnit {
+                    first_row: 2,
+                    rows: 2
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn grain_is_membership_invariant() {
+        // Same dataset + grain → same partition, whatever we pretend
+        // the live fleet looks like.
+        let map = [(0u64, 1000u64)];
+        let a = split_units(&map, 37);
+        let b = split_units(&map, 37);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn auto_grain_scales_with_fleet() {
+        assert_eq!(auto_grain(1600, 2), 100);
+        assert_eq!(auto_grain(1600, 4), 50);
+        assert_eq!(auto_grain(3, 4), 1, "grain never drops below one row");
+        assert_eq!(auto_grain(0, 0), 1);
+    }
+}

@@ -168,13 +168,26 @@ fn render(top: &TopSnapshot) {
     let nodes = m.node_rows();
     if !nodes.is_empty() {
         println!(
-            "  {:<6} {:>7} {:>10} {:>10} {:>10} {:>12} {:>10}",
-            "NODE", "ROUNDS", "P50", "P95", "P99", "BYTES", "STRAGGLER"
+            "  {:<6} {:>7} {:>10} {:>10} {:>10} {:>12} {:>10} {:>7} {:>6} {:>6} {:>7}",
+            "NODE",
+            "ROUNDS",
+            "P50",
+            "P95",
+            "P99",
+            "BYTES",
+            "STRAGGLER",
+            "STEALS",
+            "JOINS",
+            "LEAVES",
+            "WEIGHT"
         );
         for (node, rounds, p50, p95, p99, bytes) in nodes {
             let stragglers = m.counter(&format!("node{node}.stragglers"));
+            let steals = m.counter(&format!("node{node}.steals"));
+            let joins = m.counter(&format!("node{node}.joins"));
+            let leaves = m.counter(&format!("node{node}.leaves"));
             println!(
-                "  {:<6} {:>7} {:>10} {:>10} {:>10} {:>12} {:>10}",
+                "  {:<6} {:>7} {:>10} {:>10} {:>10} {:>12} {:>10} {:>7} {:>6} {:>6} {:>7}",
                 node,
                 rounds,
                 fmt_ms(p50),
@@ -182,14 +195,33 @@ fn render(top: &TopSnapshot) {
                 fmt_ms(p99),
                 bytes,
                 stragglers,
+                steals,
+                joins,
+                leaves,
+                fmt_weight(&top.weights, node),
             );
         }
     }
 
     let stragglers = m.counter("sched.stragglers");
     let failures = m.counter("health.node_failures");
+    let steals = m.counter("sched.steals");
+    let joins = m.counter("sched.joins");
+    let leaves = m.counter("sched.leaves");
     if stragglers > 0 || failures > 0 {
         println!("  health: {stragglers} straggler round(s), {failures} node failure(s)");
+    }
+    if steals > 0 || joins > 0 || leaves > 0 {
+        println!("  elastic: {steals} steal(s), {joins} join(s), {leaves} leave(s)");
+    }
+}
+
+/// Render a node's configured placement weight (milli-units → `x1.25`
+/// style); nodes beyond the configured fleet show `-`.
+fn fmt_weight(weights: &[(u32, u64)], node: u32) -> String {
+    match weights.iter().find(|&&(n, _)| n == node) {
+        Some(&(_, milli)) => format!("x{:.2}", milli as f64 / 1000.0),
+        None => "-".into(),
     }
 }
 

@@ -37,6 +37,9 @@ pub struct TopSnapshot {
     /// Merged fleet metrics: the server's own hub plus every finished
     /// job's telemetry.
     pub metrics: MetricsSnapshot,
+    /// Effective placement weight per fleet node in milli-units,
+    /// `(node, milli_weight)` in node order.
+    pub weights: Vec<(u32, u64)>,
 }
 
 /// One authenticated session with a job server.
@@ -140,6 +143,7 @@ impl Client {
                 status,
                 jobs,
                 metrics,
+                weights,
             } => {
                 let metrics = if metrics.is_empty() {
                     MetricsSnapshot::default()
@@ -152,6 +156,7 @@ impl Client {
                     status,
                     jobs,
                     metrics,
+                    weights,
                 })
             }
             Message::Error { message } => Err(ServeError::Server { message }),

@@ -31,8 +31,10 @@ pub const WIRE_MAGIC: &[u8; 4] = b"FRSV";
 /// per-job rows plus an `obs` FRMT metrics snapshot (the `cfr-top`
 /// feed). v3 adds the kernel `backend` byte to both job specs, so a
 /// submission can ask for the natively compiled kernel path (and the
-/// compiled-program cache keys on it).
-pub const WIRE_VERSION: u8 = 3;
+/// compiled-program cache keys on it). v4 extends [`Message::TopReport`]
+/// with the fleet's effective placement weights (milli-units per node),
+/// so `cfr-top` can show how the elastic scheduler seeds work.
+pub const WIRE_VERSION: u8 = 4;
 /// Upper bound on a frame payload (64 MiB): a corrupt length field
 /// fails fast instead of triggering a giant allocation.
 pub const MAX_FRAME_LEN: u32 = 64 << 20;
@@ -276,6 +278,10 @@ pub enum Message {
         /// snapshot frame (`MetricsSnapshot::decode_bin`); empty when
         /// the metrics hub is disabled.
         metrics: Vec<u8>,
+        /// Effective placement weight per fleet node, in milli-units
+        /// (`PlacementPolicy::weight_milli`): `(node, milli_weight)`
+        /// in node order. Empty on servers without a node fleet.
+        weights: Vec<(u32, u64)>,
     },
 }
 
@@ -622,6 +628,7 @@ impl Message {
                 status,
                 jobs,
                 metrics,
+                weights,
             } => {
                 put_status(&mut out, status);
                 out.extend_from_slice(&(jobs.len() as u32).to_le_bytes());
@@ -631,6 +638,11 @@ impl Message {
                     out.push(j.state);
                 }
                 put_bytes(&mut out, metrics);
+                out.extend_from_slice(&(weights.len() as u32).to_le_bytes());
+                for (node, milli) in weights {
+                    out.extend_from_slice(&node.to_le_bytes());
+                    out.extend_from_slice(&milli.to_le_bytes());
+                }
             }
             Message::TraceDump { chrome_json } => put_str(&mut out, chrome_json),
             Message::Error { message } => put_str(&mut out, message),
@@ -720,10 +732,18 @@ impl Message {
                     });
                 }
                 let metrics = r.bytes("metrics")?;
+                let n = r.len("weights")?;
+                let mut weights = Vec::with_capacity(n.min(1 << 10));
+                for _ in 0..n {
+                    let node = r.u32("weight node")?;
+                    let milli = r.u64("weight milli")?;
+                    weights.push((node, milli));
+                }
                 Message::TopReport {
                     status,
                     jobs,
                     metrics,
+                    weights,
                 }
             }
             TYPE_DUMP_TRACE => Message::DumpTrace,
@@ -879,6 +899,7 @@ mod proto_tests {
                     },
                 ],
                 metrics: vec![b'F', b'R', b'M', b'T', 1],
+                weights: vec![(0, 1000), (1, 2500)],
             },
             Message::DumpTrace,
             Message::TraceDump {

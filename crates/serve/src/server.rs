@@ -78,6 +78,12 @@ pub struct ServeConfig {
     /// server's metrics hub records regardless of [`ServeConfig::trace`],
     /// so live telemetry works with span recording off.
     pub metrics_listen: Option<String>,
+    /// Elastic scheduling policy applied to every task job on the
+    /// fleet: shard work-stealing and the declarative placement
+    /// policy. `join_listen` is ignored here — a shared daemon cannot
+    /// hand one membership hub to concurrent jobs — so membership
+    /// stays fixed at the configured fleet. Default is fully static.
+    pub elastic: freeride_dist::ElasticPolicy,
 }
 
 impl ServeConfig {
@@ -94,6 +100,7 @@ impl ServeConfig {
             checkpoint_root: None,
             job_retries: 1,
             metrics_listen: None,
+            elastic: freeride_dist::ElasticPolicy::default(),
         }
     }
 }
@@ -623,10 +630,15 @@ fn top_report(shared: &Shared) -> Message {
         .collect();
     let mut agg = shared.recorder.hub().snapshot();
     agg.merge(&inner.fleet_metrics);
+    let placement = &shared.cfg.elastic.placement;
+    let weights = (0..shared.cfg.nodes.len() as u32)
+        .map(|i| (i, placement.weight_milli(i)))
+        .collect();
     Message::TopReport {
         status,
         jobs,
         metrics: agg.encode_bin(),
+        weights,
     }
 }
 
@@ -812,6 +824,10 @@ fn run_job(
             cfg.read_timeout = shared.cfg.read_timeout;
             cfg.checkpoint_dir = shared.cfg.checkpoint_root.clone();
             cfg.job_tag = format!("job{job_id}");
+            // Steal/placement policy is fleet-wide; the membership hub
+            // is not (concurrent jobs can't share one listener).
+            cfg.elastic = shared.cfg.elastic.clone();
+            cfg.elastic.join_listen = None;
             run_task_job(shared, &cfg)
         }
         JobSpec::Chapel {

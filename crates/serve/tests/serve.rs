@@ -380,6 +380,11 @@ fn top_and_metrics_expose_fleet_telemetry() {
     cfg.trace = TraceLevel::Phases;
     cfg.max_concurrent = 2;
     cfg.metrics_listen = Some("127.0.0.1:0".into());
+    // Run the jobs through the elastic executor with a skewed placement,
+    // so the report's weight rows have something to say.
+    cfg.elastic.steal = true;
+    cfg.elastic.steal_grain = 8;
+    cfg.elastic.placement.weights = vec![1.0, 2.5];
     let handle = Server::start(cfg, "127.0.0.1:0").unwrap();
     let addr = handle.addr();
     let metrics_addr = handle.metrics_addr().expect("metrics endpoint bound");
@@ -411,6 +416,9 @@ fn top_and_metrics_expose_fleet_telemetry() {
         top.metrics.histograms.contains_key("serve.job_run_ns"),
         "job runtime histogram present"
     );
+    // v4: the configured placement weights travel in the report, in
+    // milli-units and node order.
+    assert_eq!(top.weights, vec![(0, 1000), (1, 2500)]);
 
     // ---- The HTTP endpoint, scraped without curl.
     let metrics_addr = metrics_addr.to_string();
